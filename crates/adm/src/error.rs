@@ -1,0 +1,38 @@
+//! Error type shared by the ADM data-model layer.
+
+use std::fmt;
+
+/// Errors raised by ADM value construction, parsing, typing, and evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmError {
+    /// A value did not conform to the Datatype it was checked against.
+    TypeMismatch(String),
+    /// Text could not be parsed as an ADM value or literal.
+    Parse(String),
+    /// A builtin function was applied to arguments of the wrong type.
+    InvalidArgument(String),
+    /// A builtin function name was not recognized.
+    UnknownFunction(String),
+    /// Arithmetic overflow or division by zero.
+    Arithmetic(String),
+    /// Malformed binary serialization input.
+    Corrupt(String),
+}
+
+impl fmt::Display for AdmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            AdmError::Parse(m) => write!(f, "parse error: {m}"),
+            AdmError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            AdmError::UnknownFunction(m) => write!(f, "unknown function: {m}"),
+            AdmError::Arithmetic(m) => write!(f, "arithmetic error: {m}"),
+            AdmError::Corrupt(m) => write!(f, "corrupt data: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AdmError {}
+
+/// Convenience alias used throughout the ADM crate.
+pub type Result<T> = std::result::Result<T, AdmError>;

@@ -1,0 +1,23 @@
+//! # asterix-adm — the Asterix Data Model
+//!
+//! The data-model layer of the AsterixDB reproduction (paper Section 2):
+//! ADM values (a superset of JSON with rich primitive types and bags), the
+//! open/closed Datatype system, text parsing/printing, two binary formats
+//! (self-describing and schema-aware), and the builtin function library
+//! (string, temporal, spatial, and similarity functions from Table 1).
+
+pub mod error;
+pub mod functions;
+pub mod parse;
+pub mod print;
+pub mod serde;
+pub mod similarity;
+pub mod spatial;
+pub mod strings;
+pub mod temporal;
+pub mod types;
+pub mod value;
+
+pub use error::{AdmError, Result};
+pub use types::{Datatype, FieldType, PrimitiveType, RecordType, RecordTypeBuilder, TypeRegistry};
+pub use value::{Record, Value};

@@ -1,0 +1,238 @@
+//! Printing ADM values in ADM text syntax (and plain JSON).
+//!
+//! ADM text is a superset of JSON: temporal and spatial values are printed
+//! with constructor syntax (`datetime("...")`, `point("x,y")`) and bags are
+//! printed with double braces.
+
+use std::fmt;
+
+use crate::value::{temporal_literal, Value};
+
+/// Write `v` in ADM text syntax to any formatter; used by `Display`.
+pub fn write_value(f: &mut fmt::Formatter<'_>, v: &Value) -> fmt::Result {
+    let mut out = String::new();
+    to_adm_string_into(&mut out, v);
+    f.write_str(&out)
+}
+
+/// Render a value as ADM text.
+pub fn to_adm_string(v: &Value) -> String {
+    let mut out = String::new();
+    to_adm_string_into(&mut out, v);
+    out
+}
+
+fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() && v.fract() == 0.0 && v.abs() < 1.0e15 {
+        out.push_str(&format!("{v:.1}"));
+    } else {
+        out.push_str(&format!("{v}"));
+    }
+}
+
+fn to_adm_string_into(out: &mut String, v: &Value) {
+    if let Some((ctor, body)) = temporal_literal(v) {
+        out.push_str(ctor);
+        out.push_str("(\"");
+        out.push_str(&body);
+        out.push_str("\")");
+        return;
+    }
+    match v {
+        Value::Missing => out.push_str("missing"),
+        Value::Null => out.push_str("null"),
+        Value::Boolean(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int8(i) => out.push_str(&format!("{i}i8")),
+        Value::Int16(i) => out.push_str(&format!("{i}i16")),
+        Value::Int32(i) => out.push_str(&i.to_string()),
+        Value::Int64(i) => out.push_str(&i.to_string()),
+        Value::Float(x) => {
+            push_f64(out, *x as f64);
+            out.push('f');
+        }
+        Value::Double(x) => push_f64(out, *x),
+        Value::String(s) => push_escaped(out, s),
+        Value::Interval(iv) => {
+            use crate::temporal::{format_date, format_datetime, format_time};
+            use crate::value::IntervalKind;
+            let (s, e) = match iv.kind {
+                IntervalKind::Date => (format_date(iv.start as i32), format_date(iv.end as i32)),
+                IntervalKind::Time => (format_time(iv.start as i32), format_time(iv.end as i32)),
+                IntervalKind::DateTime => (format_datetime(iv.start), format_datetime(iv.end)),
+            };
+            out.push_str(&format!("interval(\"{s}, {e}\")"));
+        }
+        Value::Point(p) => out.push_str(&format!("point(\"{},{}\")", p.x, p.y)),
+        Value::Line(l) => {
+            out.push_str(&format!("line(\"{},{} {},{}\")", l.a.x, l.a.y, l.b.x, l.b.y))
+        }
+        Value::Rectangle(r) => out.push_str(&format!(
+            "rectangle(\"{},{} {},{}\")",
+            r.low.x, r.low.y, r.high.x, r.high.y
+        )),
+        Value::Circle(c) => {
+            out.push_str(&format!("circle(\"{},{} {}\")", c.center.x, c.center.y, c.radius))
+        }
+        Value::Polygon(ps) => {
+            out.push_str("polygon(\"");
+            for (i, p) in ps.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                out.push_str(&format!("{},{}", p.x, p.y));
+            }
+            out.push_str("\")");
+        }
+        Value::Binary(b) => {
+            out.push_str("hex(\"");
+            for byte in b.iter() {
+                out.push_str(&format!("{byte:02x}"));
+            }
+            out.push_str("\")");
+        }
+        Value::Duration(_) | Value::YearMonthDuration(_) | Value::DayTimeDuration(_)
+        | Value::Date(_) | Value::Time(_) | Value::DateTime(_) => unreachable!("handled above"),
+        Value::Record(r) => {
+            out.push_str("{ ");
+            for (i, (name, val)) in r.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                push_escaped(out, name);
+                out.push_str(": ");
+                to_adm_string_into(out, val);
+            }
+            out.push_str(" }");
+        }
+        Value::OrderedList(items) => {
+            out.push_str("[ ");
+            for (i, val) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                to_adm_string_into(out, val);
+            }
+            out.push_str(" ]");
+        }
+        Value::UnorderedList(items) => {
+            out.push_str("{{ ");
+            for (i, val) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                to_adm_string_into(out, val);
+            }
+            out.push_str(" }}");
+        }
+    }
+}
+
+/// Render a value as plain JSON, downgrading ADM extensions: temporal values
+/// become ISO strings, bags become arrays, missing becomes null. This is the
+/// "data output format" path that the behavioral-analysis pilot motivated.
+pub fn to_json_string(v: &Value) -> String {
+    let mut out = String::new();
+    to_json_into(&mut out, v);
+    out
+}
+
+fn to_json_into(out: &mut String, v: &Value) {
+    use crate::temporal::{format_date, format_datetime, format_duration, format_time};
+    match v {
+        Value::Missing | Value::Null => out.push_str("null"),
+        Value::Boolean(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int8(i) => out.push_str(&i.to_string()),
+        Value::Int16(i) => out.push_str(&i.to_string()),
+        Value::Int32(i) => out.push_str(&i.to_string()),
+        Value::Int64(i) => out.push_str(&i.to_string()),
+        Value::Float(x) => out.push_str(&format!("{x}")),
+        Value::Double(x) => out.push_str(&format!("{x}")),
+        Value::String(s) => push_escaped(out, s),
+        Value::Date(d) => push_escaped(out, &format_date(*d)),
+        Value::Time(t) => push_escaped(out, &format_time(*t)),
+        Value::DateTime(t) => push_escaped(out, &format_datetime(*t)),
+        Value::Duration(d) => push_escaped(out, &format_duration(d.months, d.millis)),
+        Value::YearMonthDuration(m) => push_escaped(out, &format_duration(*m, 0)),
+        Value::DayTimeDuration(ms) => push_escaped(out, &format_duration(0, *ms)),
+        Value::Interval(_)
+        | Value::Point(_)
+        | Value::Line(_)
+        | Value::Rectangle(_)
+        | Value::Circle(_)
+        | Value::Polygon(_)
+        | Value::Binary(_) => push_escaped(out, &to_adm_string(v)),
+        Value::Record(r) => {
+            out.push('{');
+            for (i, (name, val)) in r.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_escaped(out, name);
+                out.push(':');
+                to_json_into(out, val);
+            }
+            out.push('}');
+        }
+        Value::OrderedList(items) | Value::UnorderedList(items) => {
+            out.push('[');
+            for (i, val) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                to_json_into(out, val);
+            }
+            out.push(']');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{Point, Record};
+
+    #[test]
+    fn adm_text_shapes() {
+        let v = Value::record(Record::from_fields([
+            ("id", Value::Int32(1)),
+            ("tags", Value::unordered_list(vec![Value::string("a"), Value::string("b")])),
+            ("loc", Value::Point(Point::new(1.5, -2.0))),
+        ]));
+        let s = to_adm_string(&v);
+        assert!(s.contains("{{ \"a\", \"b\" }}"), "{s}");
+        assert!(s.contains("point(\"1.5,-2\")"), "{s}");
+    }
+
+    #[test]
+    fn string_escaping() {
+        let v = Value::string("a\"b\\c\nd");
+        assert_eq!(to_adm_string(&v), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn json_downgrade() {
+        let v = Value::record(Record::from_fields([
+            ("when", Value::DateTime(0)),
+            ("bag", Value::unordered_list(vec![Value::Int32(1)])),
+            ("gone", Value::Missing),
+        ]));
+        let s = to_json_string(&v);
+        assert_eq!(s, "{\"when\":\"1970-01-01T00:00:00\",\"bag\":[1],\"gone\":null}");
+    }
+}

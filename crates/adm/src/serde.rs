@@ -1,0 +1,746 @@
+//! Binary (de)serialization of ADM values.
+//!
+//! Two physical formats, mirroring the storage trade-off in Section 2.1 and
+//! measured by Table 2:
+//!
+//! * **Self-describing** — every value carries a type tag; record instances
+//!   carry their field names. This is what *open* (undeclared) content costs
+//!   on disk (the "KeyOnly" configuration).
+//! * **Schema-aware** — values are written against a [`Datatype`]: declared
+//!   record fields are encoded positionally with a null/missing bitmap and
+//!   **no field names** (they live in the metadata instead); any extra open
+//!   fields fall back to the self-describing encoding (the "Schema"
+//!   configuration).
+
+use std::sync::Arc;
+
+use crate::error::{AdmError, Result};
+use crate::types::{Datatype, PrimitiveType, RecordType, TypeRegistry};
+use crate::value::{
+    Circle, DurationValue, IntervalKind, IntervalValue, Line, Point, Record, Rectangle, Value,
+};
+
+// Type tags for the self-describing format.
+const T_MISSING: u8 = 0;
+const T_NULL: u8 = 1;
+const T_FALSE: u8 = 2;
+const T_TRUE: u8 = 3;
+const T_INT8: u8 = 4;
+const T_INT16: u8 = 5;
+const T_INT32: u8 = 6;
+const T_INT64: u8 = 7;
+const T_FLOAT: u8 = 8;
+const T_DOUBLE: u8 = 9;
+const T_STRING: u8 = 10;
+const T_DATE: u8 = 11;
+const T_TIME: u8 = 12;
+const T_DATETIME: u8 = 13;
+const T_DURATION: u8 = 14;
+const T_YM_DURATION: u8 = 15;
+const T_DT_DURATION: u8 = 16;
+const T_INTERVAL: u8 = 17;
+const T_POINT: u8 = 18;
+const T_LINE: u8 = 19;
+const T_RECTANGLE: u8 = 20;
+const T_CIRCLE: u8 = 21;
+const T_POLYGON: u8 = 22;
+const T_BINARY: u8 = 23;
+const T_RECORD: u8 = 24;
+const T_ORDERED_LIST: u8 = 25;
+const T_UNORDERED_LIST: u8 = 26;
+
+/// Encoder buffer helpers.
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Unsigned LEB128 varint — keeps small lengths at one byte.
+    fn varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                break;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    fn bytes(&mut self, b: &[u8]) {
+        self.varint(b.len() as u64);
+        self.buf.extend_from_slice(b);
+    }
+
+    fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+
+    fn point(&mut self, p: &Point) {
+        self.f64(p.x);
+        self.f64(p.y);
+    }
+}
+
+impl Default for Writer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Decoder over a byte slice.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn need(&self, n: usize) -> Result<()> {
+        if self.remaining() < n {
+            Err(AdmError::Corrupt(format!(
+                "need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.remaining()
+            )))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        self.need(1)?;
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        Ok(v)
+    }
+
+    fn i32(&mut self) -> Result<i32> {
+        self.need(4)?;
+        let v = i32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().unwrap());
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn i64(&mut self) -> Result<i64> {
+        self.need(8)?;
+        let v = i64::from_le_bytes(self.buf[self.pos..self.pos + 8].try_into().unwrap());
+        self.pos += 8;
+        Ok(v)
+    }
+
+    fn f32(&mut self) -> Result<f32> {
+        self.need(4)?;
+        let v = f32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().unwrap());
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn f64(&mut self) -> Result<f64> {
+        self.need(8)?;
+        let v = f64::from_le_bytes(self.buf[self.pos..self.pos + 8].try_into().unwrap());
+        self.pos += 8;
+        Ok(v)
+    }
+
+    fn varint(&mut self) -> Result<u64> {
+        let mut v: u64 = 0;
+        let mut shift = 0;
+        loop {
+            let byte = self.u8()?;
+            v |= ((byte & 0x7f) as u64) << shift;
+            if byte & 0x80 == 0 {
+                break;
+            }
+            shift += 7;
+            if shift >= 64 {
+                return Err(AdmError::Corrupt("varint overflow".into()));
+            }
+        }
+        Ok(v)
+    }
+
+    fn bytes(&mut self) -> Result<&'a [u8]> {
+        let n = self.varint()? as usize;
+        self.need(n)?;
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn str(&mut self) -> Result<&'a str> {
+        std::str::from_utf8(self.bytes()?)
+            .map_err(|_| AdmError::Corrupt("invalid utf8 in string".into()))
+    }
+
+    fn point(&mut self) -> Result<Point> {
+        Ok(Point::new(self.f64()?, self.f64()?))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Self-describing format
+// ---------------------------------------------------------------------------
+
+/// Serialize a value in the self-describing format.
+pub fn encode(v: &Value) -> Vec<u8> {
+    let mut w = Writer::new();
+    encode_into(&mut w, v);
+    w.into_bytes()
+}
+
+fn encode_into(w: &mut Writer, v: &Value) {
+    match v {
+        Value::Missing => w.u8(T_MISSING),
+        Value::Null => w.u8(T_NULL),
+        Value::Boolean(false) => w.u8(T_FALSE),
+        Value::Boolean(true) => w.u8(T_TRUE),
+        Value::Int8(i) => {
+            w.u8(T_INT8);
+            w.u8(*i as u8);
+        }
+        Value::Int16(i) => {
+            w.u8(T_INT16);
+            w.buf.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Int32(i) => {
+            w.u8(T_INT32);
+            w.i32(*i);
+        }
+        Value::Int64(i) => {
+            w.u8(T_INT64);
+            w.i64(*i);
+        }
+        Value::Float(x) => {
+            w.u8(T_FLOAT);
+            w.f32(*x);
+        }
+        Value::Double(x) => {
+            w.u8(T_DOUBLE);
+            w.f64(*x);
+        }
+        Value::String(s) => {
+            w.u8(T_STRING);
+            w.str(s);
+        }
+        Value::Date(d) => {
+            w.u8(T_DATE);
+            w.i32(*d);
+        }
+        Value::Time(t) => {
+            w.u8(T_TIME);
+            w.i32(*t);
+        }
+        Value::DateTime(t) => {
+            w.u8(T_DATETIME);
+            w.i64(*t);
+        }
+        Value::Duration(d) => {
+            w.u8(T_DURATION);
+            w.i32(d.months);
+            w.i64(d.millis);
+        }
+        Value::YearMonthDuration(m) => {
+            w.u8(T_YM_DURATION);
+            w.i32(*m);
+        }
+        Value::DayTimeDuration(ms) => {
+            w.u8(T_DT_DURATION);
+            w.i64(*ms);
+        }
+        Value::Interval(iv) => {
+            w.u8(T_INTERVAL);
+            w.u8(match iv.kind {
+                IntervalKind::Date => 0,
+                IntervalKind::Time => 1,
+                IntervalKind::DateTime => 2,
+            });
+            w.i64(iv.start);
+            w.i64(iv.end);
+        }
+        Value::Point(p) => {
+            w.u8(T_POINT);
+            w.point(p);
+        }
+        Value::Line(l) => {
+            w.u8(T_LINE);
+            w.point(&l.a);
+            w.point(&l.b);
+        }
+        Value::Rectangle(r) => {
+            w.u8(T_RECTANGLE);
+            w.point(&r.low);
+            w.point(&r.high);
+        }
+        Value::Circle(c) => {
+            w.u8(T_CIRCLE);
+            w.point(&c.center);
+            w.f64(c.radius);
+        }
+        Value::Polygon(ps) => {
+            w.u8(T_POLYGON);
+            w.varint(ps.len() as u64);
+            for p in ps.iter() {
+                w.point(p);
+            }
+        }
+        Value::Binary(b) => {
+            w.u8(T_BINARY);
+            w.bytes(b);
+        }
+        Value::Record(r) => {
+            w.u8(T_RECORD);
+            w.varint(r.len() as u64);
+            for (name, val) in r.iter() {
+                w.str(name);
+                encode_into(w, val);
+            }
+        }
+        Value::OrderedList(items) => {
+            w.u8(T_ORDERED_LIST);
+            w.varint(items.len() as u64);
+            for v in items.iter() {
+                encode_into(w, v);
+            }
+        }
+        Value::UnorderedList(items) => {
+            w.u8(T_UNORDERED_LIST);
+            w.varint(items.len() as u64);
+            for v in items.iter() {
+                encode_into(w, v);
+            }
+        }
+    }
+}
+
+/// Deserialize a self-describing value, requiring full consumption.
+pub fn decode(buf: &[u8]) -> Result<Value> {
+    let mut r = Reader::new(buf);
+    let v = decode_from(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(AdmError::Corrupt(format!("{} trailing bytes", r.remaining())));
+    }
+    Ok(v)
+}
+
+fn decode_from(r: &mut Reader<'_>) -> Result<Value> {
+    Ok(match r.u8()? {
+        T_MISSING => Value::Missing,
+        T_NULL => Value::Null,
+        T_FALSE => Value::Boolean(false),
+        T_TRUE => Value::Boolean(true),
+        T_INT8 => Value::Int8(r.u8()? as i8),
+        T_INT16 => {
+            r.need(2)?;
+            let v = i16::from_le_bytes(r.buf[r.pos..r.pos + 2].try_into().unwrap());
+            r.pos += 2;
+            Value::Int16(v)
+        }
+        T_INT32 => Value::Int32(r.i32()?),
+        T_INT64 => Value::Int64(r.i64()?),
+        T_FLOAT => Value::Float(r.f32()?),
+        T_DOUBLE => Value::Double(r.f64()?),
+        T_STRING => Value::string(r.str()?),
+        T_DATE => Value::Date(r.i32()?),
+        T_TIME => Value::Time(r.i32()?),
+        T_DATETIME => Value::DateTime(r.i64()?),
+        T_DURATION => Value::Duration(DurationValue { months: r.i32()?, millis: r.i64()? }),
+        T_YM_DURATION => Value::YearMonthDuration(r.i32()?),
+        T_DT_DURATION => Value::DayTimeDuration(r.i64()?),
+        T_INTERVAL => {
+            let kind = match r.u8()? {
+                0 => IntervalKind::Date,
+                1 => IntervalKind::Time,
+                2 => IntervalKind::DateTime,
+                other => {
+                    return Err(AdmError::Corrupt(format!("bad interval kind {other}")))
+                }
+            };
+            Value::Interval(IntervalValue { kind, start: r.i64()?, end: r.i64()? })
+        }
+        T_POINT => Value::Point(r.point()?),
+        T_LINE => Value::Line(Line { a: r.point()?, b: r.point()? }),
+        T_RECTANGLE => Value::Rectangle(Rectangle { low: r.point()?, high: r.point()? }),
+        T_CIRCLE => Value::Circle(Circle { center: r.point()?, radius: r.f64()? }),
+        T_POLYGON => {
+            let n = r.varint()? as usize;
+            let mut ps = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                ps.push(r.point()?);
+            }
+            Value::Polygon(Arc::from(ps))
+        }
+        T_BINARY => Value::Binary(Arc::from(r.bytes()?)),
+        T_RECORD => {
+            let n = r.varint()? as usize;
+            let mut rec = Record::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                let name = r.str()?.to_string();
+                let val = decode_from(r)?;
+                rec.push_unchecked(name, val);
+            }
+            Value::record(rec)
+        }
+        T_ORDERED_LIST => {
+            let n = r.varint()? as usize;
+            let mut items = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                items.push(decode_from(r)?);
+            }
+            Value::ordered_list(items)
+        }
+        T_UNORDERED_LIST => {
+            let n = r.varint()? as usize;
+            let mut items = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                items.push(decode_from(r)?);
+            }
+            Value::unordered_list(items)
+        }
+        other => return Err(AdmError::Corrupt(format!("unknown type tag {other}"))),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Schema-aware format
+// ---------------------------------------------------------------------------
+
+/// Serialize `v` against a Datatype: declared fields are positional (names
+/// omitted), open content is self-describing. `reg` resolves named types.
+pub fn encode_typed(reg: &TypeRegistry, v: &Value, ty: &Datatype) -> Result<Vec<u8>> {
+    let mut w = Writer::new();
+    encode_typed_into(reg, &mut w, v, ty)?;
+    Ok(w.into_bytes())
+}
+
+fn encode_typed_into(
+    reg: &TypeRegistry,
+    w: &mut Writer,
+    v: &Value,
+    ty: &Datatype,
+) -> Result<()> {
+    let ty = reg.resolve(ty)?;
+    match &ty {
+        Datatype::Primitive(PrimitiveType::Any) | Datatype::Named(_) => {
+            encode_into(w, v);
+            Ok(())
+        }
+        Datatype::Primitive(_) => {
+            // Primitive payloads are written with their tag: a tag byte is
+            // cheap and keeps decoding uniform; the big win of the typed
+            // format is dropping record field names.
+            encode_into(w, v);
+            Ok(())
+        }
+        Datatype::OrderedList(elem) => match v {
+            Value::OrderedList(items) => {
+                w.u8(T_ORDERED_LIST);
+                w.varint(items.len() as u64);
+                for item in items.iter() {
+                    encode_typed_into(reg, w, item, elem)?;
+                }
+                Ok(())
+            }
+            other => {
+                encode_into(w, other);
+                Ok(())
+            }
+        },
+        Datatype::UnorderedList(elem) => match v {
+            Value::UnorderedList(items) => {
+                w.u8(T_UNORDERED_LIST);
+                w.varint(items.len() as u64);
+                for item in items.iter() {
+                    encode_typed_into(reg, w, item, elem)?;
+                }
+                Ok(())
+            }
+            other => {
+                encode_into(w, other);
+                Ok(())
+            }
+        },
+        Datatype::Record(rt) => match v {
+            Value::Record(rec) => encode_typed_record(reg, w, rec, rt),
+            other => {
+                encode_into(w, other);
+                Ok(())
+            }
+        },
+    }
+}
+
+fn encode_typed_record(
+    reg: &TypeRegistry,
+    w: &mut Writer,
+    rec: &Record,
+    rt: &RecordType,
+) -> Result<()> {
+    w.u8(T_RECORD);
+    // Presence bitmap for declared fields: 0 = present, 1 = missing, 2 = null
+    // packed 2 bits per field.
+    let nbits = rt.fields.len();
+    let mut bitmap = vec![0u8; nbits.div_ceil(4)];
+    for (i, f) in rt.fields.iter().enumerate() {
+        let code: u8 = match rec.get(&f.name) {
+            None | Some(Value::Missing) => 1,
+            Some(Value::Null) => 2,
+            Some(_) => 0,
+        };
+        bitmap[i / 4] |= code << ((i % 4) * 2);
+    }
+    w.bytes(&bitmap);
+    for f in &rt.fields {
+        match rec.get(&f.name) {
+            None | Some(Value::Missing) | Some(Value::Null) => {}
+            Some(v) => encode_typed_into(reg, w, v, &f.ty)?,
+        }
+    }
+    // Open fields (not declared) are self-describing with names.
+    let open: Vec<(&str, &Value)> =
+        rec.iter().filter(|(name, _)| rt.field(name).is_none()).collect();
+    w.varint(open.len() as u64);
+    for (name, v) in open {
+        w.str(name);
+        encode_into(w, v);
+    }
+    Ok(())
+}
+
+/// Deserialize a schema-aware value against the Datatype it was written with.
+pub fn decode_typed(reg: &TypeRegistry, buf: &[u8], ty: &Datatype) -> Result<Value> {
+    let mut r = Reader::new(buf);
+    let v = decode_typed_from(reg, &mut r, ty)?;
+    if r.remaining() != 0 {
+        return Err(AdmError::Corrupt(format!("{} trailing bytes", r.remaining())));
+    }
+    Ok(v)
+}
+
+fn decode_typed_from(reg: &TypeRegistry, r: &mut Reader<'_>, ty: &Datatype) -> Result<Value> {
+    let ty = reg.resolve(ty)?;
+    match &ty {
+        Datatype::Primitive(_) | Datatype::Named(_) => decode_from(r),
+        Datatype::OrderedList(elem) => {
+            let tag = r.u8()?;
+            if tag != T_ORDERED_LIST {
+                // Value was not list-shaped at write time; re-read untyped.
+                r.pos -= 1;
+                return decode_from(r);
+            }
+            let n = r.varint()? as usize;
+            let mut items = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                items.push(decode_typed_from(reg, r, elem)?);
+            }
+            Ok(Value::ordered_list(items))
+        }
+        Datatype::UnorderedList(elem) => {
+            let tag = r.u8()?;
+            if tag != T_UNORDERED_LIST {
+                r.pos -= 1;
+                return decode_from(r);
+            }
+            let n = r.varint()? as usize;
+            let mut items = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                items.push(decode_typed_from(reg, r, elem)?);
+            }
+            Ok(Value::unordered_list(items))
+        }
+        Datatype::Record(rt) => {
+            let tag = r.u8()?;
+            if tag != T_RECORD {
+                r.pos -= 1;
+                return decode_from(r);
+            }
+            let bitmap = r.bytes()?.to_vec();
+            let mut rec = Record::with_capacity(rt.fields.len());
+            for (i, f) in rt.fields.iter().enumerate() {
+                let code = (bitmap.get(i / 4).copied().unwrap_or(0) >> ((i % 4) * 2)) & 0b11;
+                match code {
+                    1 => {} // missing: omit
+                    2 => rec.push_unchecked(&f.name, Value::Null),
+                    _ => {
+                        let v = decode_typed_from(reg, r, &f.ty)?;
+                        rec.push_unchecked(&f.name, v);
+                    }
+                }
+            }
+            let n_open = r.varint()? as usize;
+            for _ in 0..n_open {
+                let name = r.str()?.to_string();
+                let v = decode_from(r)?;
+                rec.push_unchecked(name, v);
+            }
+            Ok(Value::record(rec))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::RecordTypeBuilder;
+
+    fn sample() -> Value {
+        crate::parse::parse_value(
+            r#"{
+                "id": 42,
+                "name": "Ann",
+                "user-since": datetime("2012-08-20T10:10:00"),
+                "friend-ids": {{ 1, 2, 3 }},
+                "address": { "zip": "98765", "city": "X" },
+                "loc": point("1,2"),
+                "pi": 3.14159,
+                "ok": true,
+                "nothing": null
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn self_describing_roundtrip() {
+        let v = sample();
+        let bytes = encode(&v);
+        let v2 = decode(&bytes).unwrap();
+        assert_eq!(v.total_cmp(&v2), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn typed_roundtrip_with_open_fields() {
+        let mut reg = TypeRegistry::new();
+        reg.define(
+            "T",
+            RecordTypeBuilder::open()
+                .field("id", Datatype::Primitive(PrimitiveType::Int64))
+                .field("name", Datatype::Primitive(PrimitiveType::String))
+                .optional_field("nothing", Datatype::Primitive(PrimitiveType::String))
+                .build(),
+        );
+        let ty = Datatype::Named("T".into());
+        let v = sample();
+        let bytes = encode_typed(&reg, &v, &ty).unwrap();
+        let v2 = decode_typed(&reg, &bytes, &ty).unwrap();
+        // All fields survive, declared and open alike.
+        assert_eq!(v2.field("id"), Value::Int64(42));
+        assert_eq!(v2.field("name"), Value::string("Ann"));
+        assert_eq!(v2.field("nothing"), Value::Null);
+        assert_eq!(v2.field("address").field("zip"), Value::string("98765"));
+        assert!(matches!(v2.field("loc"), Value::Point(_)));
+    }
+
+    #[test]
+    fn typed_encoding_is_smaller_when_schema_declared() {
+        // The Table 2 effect: declaring fields moves names off the instances.
+        let mut reg = TypeRegistry::new();
+        reg.define(
+            "Full",
+            RecordTypeBuilder::open()
+                .field("id", Datatype::Primitive(PrimitiveType::Int64))
+                .field("name", Datatype::Primitive(PrimitiveType::String))
+                .field("user-since", Datatype::Primitive(PrimitiveType::DateTime))
+                .field(
+                    "friend-ids",
+                    Datatype::UnorderedList(Arc::new(Datatype::Primitive(
+                        PrimitiveType::Int64,
+                    ))),
+                )
+                .field("loc", Datatype::Primitive(PrimitiveType::Point))
+                .field("pi", Datatype::Primitive(PrimitiveType::Double))
+                .field("ok", Datatype::Primitive(PrimitiveType::Boolean))
+                .optional_field("nothing", Datatype::Primitive(PrimitiveType::String))
+                .field("address", RecordTypeBuilder::open()
+                    .field("zip", Datatype::Primitive(PrimitiveType::String))
+                    .field("city", Datatype::Primitive(PrimitiveType::String))
+                    .build())
+                .build(),
+        );
+        reg.define(
+            "KeyOnly",
+            RecordTypeBuilder::open()
+                .field("id", Datatype::Primitive(PrimitiveType::Int64))
+                .build(),
+        );
+        let v = sample();
+        let full = encode_typed(&reg, &v, &Datatype::Named("Full".into())).unwrap();
+        let key_only = encode_typed(&reg, &v, &Datatype::Named("KeyOnly".into())).unwrap();
+        let untyped = encode(&v);
+        assert!(full.len() < key_only.len(), "{} !< {}", full.len(), key_only.len());
+        // KeyOnly is within a few bytes of fully self-describing.
+        assert!(key_only.len() as i64 - untyped.len() as i64 <= 8);
+    }
+
+    #[test]
+    fn missing_vs_null_in_typed_records() {
+        let mut reg = TypeRegistry::new();
+        reg.define(
+            "T",
+            RecordTypeBuilder::closed()
+                .field("a", Datatype::Primitive(PrimitiveType::Int64))
+                .optional_field("b", Datatype::Primitive(PrimitiveType::String))
+                .build(),
+        );
+        let ty = Datatype::Named("T".into());
+        let with_null = Value::record(Record::from_fields([
+            ("a", Value::Int64(1)),
+            ("b", Value::Null),
+        ]));
+        let without = Value::record(Record::from_fields([("a", Value::Int64(1))]));
+        let b1 = encode_typed(&reg, &with_null, &ty).unwrap();
+        let b2 = encode_typed(&reg, &without, &ty).unwrap();
+        let v1 = decode_typed(&reg, &b1, &ty).unwrap();
+        let v2 = decode_typed(&reg, &b2, &ty).unwrap();
+        assert_eq!(v1.field("b"), Value::Null);
+        assert!(v2.field("b").is_missing());
+    }
+
+    #[test]
+    fn corrupt_input_is_rejected() {
+        assert!(decode(&[]).is_err());
+        assert!(decode(&[200]).is_err());
+        let mut bytes = encode(&sample());
+        bytes.truncate(bytes.len() - 3);
+        assert!(decode(&bytes).is_err());
+        let mut bytes2 = encode(&Value::Int32(5));
+        bytes2.push(0);
+        assert!(decode(&bytes2).is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! Set-similarity builtins: `similarity-jaccard` and
+//! `similarity-jaccard-check` over bags/lists (Table 1), the primitives that
+//! fuzzy joins like Query 13 compile to.
+
+use crate::error::{AdmError, Result};
+use crate::value::Value;
+
+/// Jaccard similarity of two collections compared with ADM equality
+/// semantics. Duplicate elements are treated set-wise (as AsterixDB does for
+/// its tag bags).
+pub fn jaccard(a: &[Value], b: &[Value]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    // Dedup via sort by total order.
+    let mut sa: Vec<&Value> = a.iter().collect();
+    let mut sb: Vec<&Value> = b.iter().collect();
+    sa.sort_by(|x, y| x.total_cmp(y));
+    sa.dedup_by(|x, y| x.total_cmp(y).is_eq());
+    sb.sort_by(|x, y| x.total_cmp(y));
+    sb.dedup_by(|x, y| x.total_cmp(y).is_eq());
+    // Merge-count the intersection.
+    let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+    while i < sa.len() && j < sb.len() {
+        match sa[i].total_cmp(sb[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = sa.len() + sb.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// `similarity-jaccard-check(a, b, t)` — returns `Some(sim)` iff
+/// `sim >= t`, with a cheap length-filter early exit (the upper bound of the
+/// Jaccard of sets sized m and n is min(m,n)/max(m,n)).
+pub fn jaccard_check(a: &[Value], b: &[Value], threshold: f64) -> Option<f64> {
+    let (m, n) = (a.len(), b.len());
+    if m > 0 && n > 0 {
+        let upper = m.min(n) as f64 / m.max(n) as f64;
+        // The upper bound uses raw lengths; dedup only shrinks both sides,
+        // so it is only a valid prune when it is already conservative.
+        if upper < threshold && upper < 1.0 && threshold > 0.0 && m.min(n) > 0 {
+            // Dedup could change ratios, so verify cheaply only when the gap
+            // is decisive: |m - n| alone bounds the achievable similarity.
+            if (m.max(n) - m.min(n)) as f64 / m.max(n) as f64 > 1.0 - threshold {
+                return None;
+            }
+        }
+    }
+    let sim = jaccard(a, b);
+    (sim >= threshold).then_some(sim)
+}
+
+/// Dispatch for the `~=` operator given the session `simfunction` and
+/// `simthreshold` settings (Queries 6 and 13).
+pub fn fuzzy_eq(a: &Value, b: &Value, simfunction: &str, simthreshold: &str) -> Result<bool> {
+    match simfunction {
+        "edit-distance" => {
+            let t: usize = simthreshold.parse().map_err(|_| {
+                AdmError::InvalidArgument(format!(
+                    "simthreshold {simthreshold:?} is not an integer"
+                ))
+            })?;
+            match (a, b) {
+                (Value::String(x), Value::String(y)) => {
+                    Ok(crate::strings::edit_distance_check(x, y, t).is_some())
+                }
+                _ => Err(AdmError::InvalidArgument(format!(
+                    "edit-distance ~= requires strings, got {} and {}",
+                    a.type_name(),
+                    b.type_name()
+                ))),
+            }
+        }
+        "jaccard" => {
+            let t: f64 = simthreshold.parse().map_err(|_| {
+                AdmError::InvalidArgument(format!(
+                    "simthreshold {simthreshold:?} is not a number"
+                ))
+            })?;
+            match (a.as_list(), b.as_list()) {
+                (Some(x), Some(y)) => Ok(jaccard_check(x, y, t).is_some()),
+                _ => Err(AdmError::InvalidArgument(format!(
+                    "jaccard ~= requires collections, got {} and {}",
+                    a.type_name(),
+                    b.type_name()
+                ))),
+            }
+        }
+        other => Err(AdmError::InvalidArgument(format!("unknown simfunction {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bag(items: &[&str]) -> Vec<Value> {
+        items.iter().map(|s| Value::string(s)).collect()
+    }
+
+    #[test]
+    fn jaccard_basic() {
+        let a = bag(&["a", "b", "c"]);
+        let b = bag(&["b", "c", "d"]);
+        assert!((jaccard(&a, &b) - 0.5).abs() < 1e-12);
+        assert_eq!(jaccard(&a, &a), 1.0);
+        assert_eq!(jaccard(&a, &[]), 0.0);
+        assert_eq!(jaccard(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn jaccard_dedups() {
+        let a = bag(&["a", "a", "b"]);
+        let b = bag(&["a", "b", "b"]);
+        assert_eq!(jaccard(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn jaccard_check_threshold() {
+        let a = bag(&["a", "b", "c"]);
+        let b = bag(&["b", "c", "d"]);
+        assert_eq!(jaccard_check(&a, &b, 0.3), Some(0.5));
+        assert_eq!(jaccard_check(&a, &b, 0.6), None);
+    }
+
+    #[test]
+    fn fuzzy_eq_dispatch() {
+        let x = Value::string("tonight");
+        let y = Value::string("tonite");
+        assert!(fuzzy_eq(&x, &y, "edit-distance", "3").unwrap());
+        assert!(!fuzzy_eq(&x, &y, "edit-distance", "1").unwrap());
+        let a = Value::unordered_list(bag(&["a", "b", "c"]));
+        let b = Value::unordered_list(bag(&["b", "c", "d"]));
+        assert!(fuzzy_eq(&a, &b, "jaccard", "0.3").unwrap());
+        assert!(!fuzzy_eq(&a, &b, "jaccard", "0.9").unwrap());
+        assert!(fuzzy_eq(&x, &y, "nope", "1").is_err());
+        assert!(fuzzy_eq(&a, &b, "edit-distance", "2").is_err());
+    }
+}

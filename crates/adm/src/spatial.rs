@@ -1,0 +1,306 @@
+//! Spatial builtins from Table 1: `spatial-distance`, `spatial-area`,
+//! `spatial-intersect`, and `spatial-cell`, over points, lines, rectangles,
+//! circles, and polygons.
+
+use crate::error::{AdmError, Result};
+use crate::value::{Line, Point, Rectangle, Value};
+
+/// `spatial-distance(a, b)` — Euclidean distance between two points.
+pub fn spatial_distance(a: &Value, b: &Value) -> Result<f64> {
+    match (a, b) {
+        (Value::Point(p), Value::Point(q)) => Ok(p.distance(q)),
+        _ => Err(AdmError::InvalidArgument(format!(
+            "spatial-distance expects points, got {} and {}",
+            a.type_name(),
+            b.type_name()
+        ))),
+    }
+}
+
+/// `spatial-area(g)` — area of a rectangle, circle, or simple polygon.
+pub fn spatial_area(g: &Value) -> Result<f64> {
+    match g {
+        Value::Rectangle(r) => Ok(r.area()),
+        Value::Circle(c) => Ok(std::f64::consts::PI * c.radius * c.radius),
+        Value::Polygon(ps) => Ok(polygon_area(ps)),
+        _ => Err(AdmError::InvalidArgument(format!(
+            "spatial-area expects rectangle/circle/polygon, got {}",
+            g.type_name()
+        ))),
+    }
+}
+
+/// Shoelace formula for a simple polygon.
+pub fn polygon_area(ps: &[Point]) -> f64 {
+    if ps.len() < 3 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for i in 0..ps.len() {
+        let j = (i + 1) % ps.len();
+        acc += ps[i].x * ps[j].y - ps[j].x * ps[i].y;
+    }
+    acc.abs() / 2.0
+}
+
+/// The minimum bounding rectangle of any spatial value — the key primitive
+/// behind the R-tree index on `sender-location`.
+pub fn mbr(g: &Value) -> Result<Rectangle> {
+    match g {
+        Value::Point(p) => Ok(Rectangle::new(*p, *p)),
+        Value::Line(l) => Ok(Rectangle::new(
+            Point::new(l.a.x.min(l.b.x), l.a.y.min(l.b.y)),
+            Point::new(l.a.x.max(l.b.x), l.a.y.max(l.b.y)),
+        )),
+        Value::Rectangle(r) => Ok(*r),
+        Value::Circle(c) => Ok(Rectangle::new(
+            Point::new(c.center.x - c.radius, c.center.y - c.radius),
+            Point::new(c.center.x + c.radius, c.center.y + c.radius),
+        )),
+        Value::Polygon(ps) => {
+            let mut lo = Point::new(f64::INFINITY, f64::INFINITY);
+            let mut hi = Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+            for p in ps.iter() {
+                lo.x = lo.x.min(p.x);
+                lo.y = lo.y.min(p.y);
+                hi.x = hi.x.max(p.x);
+                hi.y = hi.y.max(p.y);
+            }
+            Ok(Rectangle::new(lo, hi))
+        }
+        _ => Err(AdmError::InvalidArgument(format!(
+            "expected a spatial value, got {}",
+            g.type_name()
+        ))),
+    }
+}
+
+fn point_in_polygon(p: &Point, ps: &[Point]) -> bool {
+    // Ray casting.
+    let mut inside = false;
+    let mut j = ps.len() - 1;
+    for i in 0..ps.len() {
+        let (a, b) = (&ps[i], &ps[j]);
+        if (a.y > p.y) != (b.y > p.y) {
+            let x_at = (b.x - a.x) * (p.y - a.y) / (b.y - a.y) + a.x;
+            if p.x < x_at {
+                inside = !inside;
+            }
+        }
+        j = i;
+    }
+    inside
+}
+
+fn seg_distance_to_point(l: &Line, p: &Point) -> f64 {
+    let (dx, dy) = (l.b.x - l.a.x, l.b.y - l.a.y);
+    let len2 = dx * dx + dy * dy;
+    if len2 == 0.0 {
+        return l.a.distance(p);
+    }
+    let t = (((p.x - l.a.x) * dx + (p.y - l.a.y) * dy) / len2).clamp(0.0, 1.0);
+    Point::new(l.a.x + t * dx, l.a.y + t * dy).distance(p)
+}
+
+fn segments_intersect(l1: &Line, l2: &Line) -> bool {
+    fn orient(a: &Point, b: &Point, c: &Point) -> f64 {
+        (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+    }
+    fn on_segment(a: &Point, b: &Point, c: &Point) -> bool {
+        c.x >= a.x.min(b.x) && c.x <= a.x.max(b.x) && c.y >= a.y.min(b.y) && c.y <= a.y.max(b.y)
+    }
+    let d1 = orient(&l2.a, &l2.b, &l1.a);
+    let d2 = orient(&l2.a, &l2.b, &l1.b);
+    let d3 = orient(&l1.a, &l1.b, &l2.a);
+    let d4 = orient(&l1.a, &l1.b, &l2.b);
+    if ((d1 > 0.0) != (d2 > 0.0) || d1 == 0.0 || d2 == 0.0)
+        && ((d3 > 0.0) != (d4 > 0.0) || d3 == 0.0 || d4 == 0.0)
+    {
+        if d1 == 0.0 && !on_segment(&l2.a, &l2.b, &l1.a) && d2 == 0.0
+            && !on_segment(&l2.a, &l2.b, &l1.b)
+        {
+            return false;
+        }
+        return (d1 > 0.0) != (d2 > 0.0) && (d3 > 0.0) != (d4 > 0.0)
+            || (d1 == 0.0 && on_segment(&l2.a, &l2.b, &l1.a))
+            || (d2 == 0.0 && on_segment(&l2.a, &l2.b, &l1.b))
+            || (d3 == 0.0 && on_segment(&l1.a, &l1.b, &l2.a))
+            || (d4 == 0.0 && on_segment(&l1.a, &l1.b, &l2.b));
+    }
+    false
+}
+
+/// `spatial-intersect(a, b)` — geometric intersection test across the
+/// supported shape pairs.
+pub fn spatial_intersect(a: &Value, b: &Value) -> Result<bool> {
+    use Value::*;
+    Ok(match (a, b) {
+        (Point(p), Point(q)) => p == q,
+        (Point(p), Rectangle(r)) | (Rectangle(r), Point(p)) => r.contains_point(p),
+        (Point(p), Circle(c)) | (Circle(c), Point(p)) => c.center.distance(p) <= c.radius,
+        (Point(p), Polygon(ps)) | (Polygon(ps), Point(p)) => point_in_polygon(p, ps),
+        (Point(p), Line(l)) | (Line(l), Point(p)) => seg_distance_to_point(l, p) < 1e-9,
+        (Rectangle(r), Rectangle(s)) => r.intersects(s),
+        (Circle(c), Circle(d)) => c.center.distance(&d.center) <= c.radius + d.radius,
+        (Circle(c), Rectangle(r)) | (Rectangle(r), Circle(c)) => {
+            let nx = c.center.x.clamp(r.low.x, r.high.x);
+            let ny = c.center.y.clamp(r.low.y, r.high.y);
+            c.center.distance(&crate::value::Point::new(nx, ny)) <= c.radius
+        }
+        (Line(l), Line(m)) => segments_intersect(l, m),
+        (Line(l), Rectangle(r)) | (Rectangle(r), Line(l)) => {
+            r.contains_point(&l.a)
+                || r.contains_point(&l.b)
+                || rect_edges(r).iter().any(|e| segments_intersect(l, e))
+        }
+        (Line(l), Circle(c)) | (Circle(c), Line(l)) => {
+            seg_distance_to_point(l, &c.center) <= c.radius
+        }
+        (Polygon(ps), Rectangle(r)) | (Rectangle(r), Polygon(ps)) => {
+            ps.iter().any(|p| r.contains_point(p))
+                || point_in_polygon(&r.low, ps)
+                || poly_edges(ps)
+                    .iter()
+                    .any(|e| rect_edges(r).iter().any(|f| segments_intersect(e, f)))
+        }
+        (Polygon(ps), Polygon(qs)) => {
+            ps.iter().any(|p| point_in_polygon(p, qs))
+                || qs.iter().any(|q| point_in_polygon(q, ps))
+                || poly_edges(ps)
+                    .iter()
+                    .any(|e| poly_edges(qs).iter().any(|f| segments_intersect(e, f)))
+        }
+        (Polygon(ps), Circle(c)) | (Circle(c), Polygon(ps)) => {
+            point_in_polygon(&c.center, ps)
+                || poly_edges(ps)
+                    .iter()
+                    .any(|e| seg_distance_to_point(e, &c.center) <= c.radius)
+        }
+        (Polygon(ps), Line(l)) | (Line(l), Polygon(ps)) => {
+            point_in_polygon(&l.a, ps)
+                || point_in_polygon(&l.b, ps)
+                || poly_edges(ps).iter().any(|e| segments_intersect(e, l))
+        }
+        _ => {
+            return Err(AdmError::InvalidArgument(format!(
+                "spatial-intersect over {} and {}",
+                a.type_name(),
+                b.type_name()
+            )))
+        }
+    })
+}
+
+fn rect_edges(r: &Rectangle) -> [Line; 4] {
+    let (lo, hi) = (r.low, r.high);
+    let bl = lo;
+    let br = Point::new(hi.x, lo.y);
+    let tr = hi;
+    let tl = Point::new(lo.x, hi.y);
+    [
+        Line { a: bl, b: br },
+        Line { a: br, b: tr },
+        Line { a: tr, b: tl },
+        Line { a: tl, b: bl },
+    ]
+}
+
+fn poly_edges(ps: &[Point]) -> Vec<Line> {
+    (0..ps.len())
+        .map(|i| Line { a: ps[i], b: ps[(i + 1) % ps.len()] })
+        .collect()
+}
+
+/// `spatial-cell(p, origin, x-size, y-size)` — the grid cell (as a
+/// rectangle) containing point `p` in a grid anchored at `origin`, used for
+/// grouped spatial aggregation (the tweet-analytics pilot in §5.2).
+pub fn spatial_cell(p: &Value, origin: &Value, xs: f64, ys: f64) -> Result<Rectangle> {
+    let (p, o) = match (p, origin) {
+        (Value::Point(p), Value::Point(o)) => (p, o),
+        _ => {
+            return Err(AdmError::InvalidArgument(format!(
+                "spatial-cell expects points, got {} and {}",
+                p.type_name(),
+                origin.type_name()
+            )))
+        }
+    };
+    if xs <= 0.0 || ys <= 0.0 {
+        return Err(AdmError::InvalidArgument("spatial-cell sizes must be positive".into()));
+    }
+    let cx = ((p.x - o.x) / xs).floor();
+    let cy = ((p.y - o.y) / ys).floor();
+    Ok(Rectangle::new(
+        Point::new(o.x + cx * xs, o.y + cy * ys),
+        Point::new(o.x + (cx + 1.0) * xs, o.y + (cy + 1.0) * ys),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Circle;
+    use std::sync::Arc;
+
+    fn pt(x: f64, y: f64) -> Value {
+        Value::Point(Point::new(x, y))
+    }
+
+    #[test]
+    fn distance_and_area() {
+        assert_eq!(spatial_distance(&pt(0.0, 0.0), &pt(3.0, 4.0)).unwrap(), 5.0);
+        assert!(spatial_distance(&pt(0.0, 0.0), &Value::Int32(1)).is_err());
+        let r = Value::Rectangle(Rectangle::new(Point::new(0.0, 0.0), Point::new(2.0, 3.0)));
+        assert_eq!(spatial_area(&r).unwrap(), 6.0);
+        let c = Value::Circle(Circle { center: Point::new(0.0, 0.0), radius: 1.0 });
+        assert!((spatial_area(&c).unwrap() - std::f64::consts::PI).abs() < 1e-12);
+        let square = Value::Polygon(Arc::from(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+        ]));
+        assert_eq!(spatial_area(&square).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn intersections() {
+        let r = Value::Rectangle(Rectangle::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0)));
+        assert!(spatial_intersect(&pt(1.0, 1.0), &r).unwrap());
+        assert!(!spatial_intersect(&pt(3.0, 1.0), &r).unwrap());
+        let c = Value::Circle(Circle { center: Point::new(5.0, 5.0), radius: 1.0 });
+        assert!(!spatial_intersect(&c, &r).unwrap());
+        let c2 = Value::Circle(Circle { center: Point::new(2.5, 2.0), radius: 1.0 });
+        assert!(spatial_intersect(&c2, &r).unwrap());
+        let l = Value::Line(Line { a: Point::new(-1.0, 1.0), b: Point::new(3.0, 1.0) });
+        assert!(spatial_intersect(&l, &r).unwrap());
+        let tri = Value::Polygon(Arc::from(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(0.0, 4.0),
+        ]));
+        assert!(spatial_intersect(&pt(1.0, 1.0), &tri).unwrap());
+        assert!(!spatial_intersect(&pt(3.9, 3.9), &tri).unwrap());
+        assert!(spatial_intersect(&tri, &r).unwrap());
+    }
+
+    #[test]
+    fn mbrs() {
+        let l = Value::Line(Line { a: Point::new(2.0, -1.0), b: Point::new(0.0, 3.0) });
+        let m = mbr(&l).unwrap();
+        assert_eq!(m.low, Point::new(0.0, -1.0));
+        assert_eq!(m.high, Point::new(2.0, 3.0));
+        let c = Value::Circle(Circle { center: Point::new(1.0, 1.0), radius: 2.0 });
+        let m = mbr(&c).unwrap();
+        assert_eq!(m.low, Point::new(-1.0, -1.0));
+    }
+
+    #[test]
+    fn cells() {
+        let cell =
+            spatial_cell(&pt(5.5, -0.5), &pt(0.0, 0.0), 2.0, 2.0).unwrap();
+        assert_eq!(cell.low, Point::new(4.0, -2.0));
+        assert_eq!(cell.high, Point::new(6.0, 0.0));
+        assert!(spatial_cell(&pt(0.0, 0.0), &pt(0.0, 0.0), 0.0, 1.0).is_err());
+    }
+}

@@ -1,0 +1,832 @@
+//! The ADM value representation.
+//!
+//! ADM (the Asterix Data Model) is a superset of JSON: it adds a richer set
+//! of primitive types (temporal and spatial values, sized integers, binary)
+//! and additional modeling constructs (bags a.k.a. unordered lists) drawn
+//! from object databases, per Section 2 of the paper.
+
+use std::cmp::Ordering;
+use std::collections::hash_map::DefaultHasher;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use crate::error::{AdmError, Result};
+use crate::temporal::{format_date, format_datetime, format_duration, format_time};
+
+/// A 2-D point, the base spatial primitive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point (`spatial-distance` in Table 1).
+    pub fn distance(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// A line segment between two points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Line {
+    pub a: Point,
+    pub b: Point,
+}
+
+/// An axis-aligned rectangle given by its lower-left and upper-right corners.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rectangle {
+    pub low: Point,
+    pub high: Point,
+}
+
+impl Rectangle {
+    pub fn new(low: Point, high: Point) -> Self {
+        Rectangle { low, high }
+    }
+
+    pub fn area(&self) -> f64 {
+        (self.high.x - self.low.x).max(0.0) * (self.high.y - self.low.y).max(0.0)
+    }
+
+    pub fn contains_point(&self, p: &Point) -> bool {
+        p.x >= self.low.x && p.x <= self.high.x && p.y >= self.low.y && p.y <= self.high.y
+    }
+
+    pub fn intersects(&self, other: &Rectangle) -> bool {
+        self.low.x <= other.high.x
+            && other.low.x <= self.high.x
+            && self.low.y <= other.high.y
+            && other.low.y <= self.high.y
+    }
+}
+
+/// A circle with a center and radius.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Circle {
+    pub center: Point,
+    pub radius: f64,
+}
+
+/// A duration split into a month part and a millisecond part, as in ADM.
+///
+/// ADM distinguishes `duration` (both parts), `year-month-duration` (months
+/// only) and `day-time-duration` (milliseconds only); all three share this
+/// representation with the unused part zeroed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DurationValue {
+    pub months: i32,
+    pub millis: i64,
+}
+
+/// Which temporal point type an interval's endpoints carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntervalKind {
+    Date,
+    Time,
+    DateTime,
+}
+
+/// A half-open interval `[start, end)` over date, time, or datetime values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IntervalValue {
+    pub kind: IntervalKind,
+    pub start: i64,
+    pub end: i64,
+}
+
+/// One field of an ADM record: a name and a value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    pub name: String,
+    pub value: Value,
+}
+
+/// An ADM record: an ordered list of named fields with by-name lookup.
+///
+/// Records preserve field order (which matters for the schema-aware binary
+/// format) but are compared and hashed order-insensitively.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Record {
+    fields: Vec<Field>,
+}
+
+impl Record {
+    pub fn new() -> Self {
+        Record { fields: Vec::new() }
+    }
+
+    pub fn with_capacity(n: usize) -> Self {
+        Record { fields: Vec::with_capacity(n) }
+    }
+
+    /// Build a record from `(name, value)` pairs.
+    pub fn from_fields<I, S>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (S, Value)>,
+        S: Into<String>,
+    {
+        Record {
+            fields: pairs
+                .into_iter()
+                .map(|(n, v)| Field { name: n.into(), value: v })
+                .collect(),
+        }
+    }
+
+    /// Append a field, replacing any existing field of the same name.
+    pub fn set(&mut self, name: impl Into<String>, value: Value) {
+        let name = name.into();
+        if let Some(f) = self.fields.iter_mut().find(|f| f.name == name) {
+            f.value = value;
+        } else {
+            self.fields.push(Field { name, value });
+        }
+    }
+
+    /// Append a field without checking for duplicates (parser fast path).
+    pub fn push_unchecked(&mut self, name: impl Into<String>, value: Value) {
+        self.fields.push(Field { name: name.into(), value });
+    }
+
+    /// Field lookup by name; `None` when the field is absent ("missing").
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.fields.iter().find(|f| f.name == name).map(|f| &f.value)
+    }
+
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Value> {
+        self.fields.iter_mut().find(|f| f.name == name).map(|f| &mut f.value)
+    }
+
+    /// Remove a field by name, returning its value if present.
+    pub fn remove(&mut self, name: &str) -> Option<Value> {
+        let idx = self.fields.iter().position(|f| f.name == name)?;
+        Some(self.fields.remove(idx).value)
+    }
+
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.fields.iter().map(|f| (f.name.as_str(), &f.value))
+    }
+}
+
+/// An ADM value.
+///
+/// `Missing` models a field that is absent altogether (distinct from `Null`,
+/// which is an explicit unknown), mirroring the XQuery-inspired treatment of
+/// missing information that AQL keeps (Section 3).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    #[default]
+    Missing,
+    Null,
+    Boolean(bool),
+    Int8(i8),
+    Int16(i16),
+    Int32(i32),
+    Int64(i64),
+    Float(f32),
+    Double(f64),
+    String(Arc<str>),
+    /// Days since the Unix epoch.
+    Date(i32),
+    /// Milliseconds since midnight.
+    Time(i32),
+    /// Milliseconds since the Unix epoch.
+    DateTime(i64),
+    Duration(DurationValue),
+    YearMonthDuration(i32),
+    DayTimeDuration(i64),
+    Interval(IntervalValue),
+    Point(Point),
+    Line(Line),
+    Rectangle(Rectangle),
+    Circle(Circle),
+    Polygon(Arc<[Point]>),
+    Binary(Arc<[u8]>),
+    Record(Arc<Record>),
+    /// An ordered list `[ ... ]`.
+    OrderedList(Arc<[Value]>),
+    /// An unordered list (bag) `{{ ... }}`.
+    UnorderedList(Arc<[Value]>),
+}
+
+impl Value {
+    /// Convenience constructor for string values.
+    pub fn string(s: impl AsRef<str>) -> Value {
+        Value::String(Arc::from(s.as_ref()))
+    }
+
+    pub fn record(r: Record) -> Value {
+        Value::Record(Arc::new(r))
+    }
+
+    pub fn ordered_list(items: Vec<Value>) -> Value {
+        Value::OrderedList(Arc::from(items))
+    }
+
+    pub fn unordered_list(items: Vec<Value>) -> Value {
+        Value::UnorderedList(Arc::from(items))
+    }
+
+    pub fn is_missing(&self) -> bool {
+        matches!(self, Value::Missing)
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Null or missing — the two "unknown" values that propagate through
+    /// expressions.
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, Value::Null | Value::Missing)
+    }
+
+    pub fn is_numeric(&self) -> bool {
+        matches!(
+            self,
+            Value::Int8(_)
+                | Value::Int16(_)
+                | Value::Int32(_)
+                | Value::Int64(_)
+                | Value::Float(_)
+                | Value::Double(_)
+        )
+    }
+
+    /// Widen any numeric value to `i64`; `None` for non-integers.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int8(v) => Some(*v as i64),
+            Value::Int16(v) => Some(*v as i64),
+            Value::Int32(v) => Some(*v as i64),
+            Value::Int64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Widen any numeric value to `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int8(v) => Some(*v as f64),
+            Value::Int16(v) => Some(*v as f64),
+            Value::Int32(v) => Some(*v as f64),
+            Value::Int64(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v as f64),
+            Value::Double(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Boolean(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_record(&self) -> Option<&Record> {
+        match self {
+            Value::Record(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Items of either list kind.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::OrderedList(l) | Value::UnorderedList(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Field access that yields `Missing` for non-records / absent fields,
+    /// matching AQL's `$x.field` semantics.
+    pub fn field(&self, name: &str) -> Value {
+        match self {
+            Value::Record(r) => r.get(name).cloned().unwrap_or(Value::Missing),
+            _ => Value::Missing,
+        }
+    }
+
+    /// The type tag name used in error messages and the self-describing
+    /// binary format.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Missing => "missing",
+            Value::Null => "null",
+            Value::Boolean(_) => "boolean",
+            Value::Int8(_) => "int8",
+            Value::Int16(_) => "int16",
+            Value::Int32(_) => "int32",
+            Value::Int64(_) => "int64",
+            Value::Float(_) => "float",
+            Value::Double(_) => "double",
+            Value::String(_) => "string",
+            Value::Date(_) => "date",
+            Value::Time(_) => "time",
+            Value::DateTime(_) => "datetime",
+            Value::Duration(_) => "duration",
+            Value::YearMonthDuration(_) => "year-month-duration",
+            Value::DayTimeDuration(_) => "day-time-duration",
+            Value::Interval(_) => "interval",
+            Value::Point(_) => "point",
+            Value::Line(_) => "line",
+            Value::Rectangle(_) => "rectangle",
+            Value::Circle(_) => "circle",
+            Value::Polygon(_) => "polygon",
+            Value::Binary(_) => "binary",
+            Value::Record(_) => "record",
+            Value::OrderedList(_) => "orderedlist",
+            Value::UnorderedList(_) => "unorderedlist",
+        }
+    }
+
+    /// Total order used for sorting and B+-tree keys.
+    ///
+    /// Orders first by a type rank (null < missing < booleans < numerics <
+    /// strings < temporals < spatials < composites), then within numeric
+    /// types by promoted `f64`/`i64` value so that `int32 1 == int64 1`.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        let (ra, rb) = (self.type_rank(), other.type_rank());
+        if ra != rb {
+            return ra.cmp(&rb);
+        }
+        match (self, other) {
+            (Null, Null) | (Missing, Missing) => Ordering::Equal,
+            (Boolean(a), Boolean(b)) => a.cmp(b),
+            (a, b) if a.is_numeric() && b.is_numeric() => numeric_cmp(a, b),
+            (String(a), String(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            (Time(a), Time(b)) => a.cmp(b),
+            (DateTime(a), DateTime(b)) => a.cmp(b),
+            (Duration(a), Duration(b)) => {
+                (a.months, a.millis).cmp(&(b.months, b.millis))
+            }
+            (YearMonthDuration(a), YearMonthDuration(b)) => a.cmp(b),
+            (DayTimeDuration(a), DayTimeDuration(b)) => a.cmp(b),
+            (Interval(a), Interval(b)) => (a.start, a.end).cmp(&(b.start, b.end)),
+            (Point(a), Point(b)) => f64_cmp(a.x, b.x).then_with(|| f64_cmp(a.y, b.y)),
+            (Line(a), Line(b)) => f64_cmp(a.a.x, b.a.x)
+                .then_with(|| f64_cmp(a.a.y, b.a.y))
+                .then_with(|| f64_cmp(a.b.x, b.b.x))
+                .then_with(|| f64_cmp(a.b.y, b.b.y)),
+            (Rectangle(a), Rectangle(b)) => f64_cmp(a.low.x, b.low.x)
+                .then_with(|| f64_cmp(a.low.y, b.low.y))
+                .then_with(|| f64_cmp(a.high.x, b.high.x))
+                .then_with(|| f64_cmp(a.high.y, b.high.y)),
+            (Circle(a), Circle(b)) => f64_cmp(a.center.x, b.center.x)
+                .then_with(|| f64_cmp(a.center.y, b.center.y))
+                .then_with(|| f64_cmp(a.radius, b.radius)),
+            (Polygon(a), Polygon(b)) => {
+                for (pa, pb) in a.iter().zip(b.iter()) {
+                    let c = f64_cmp(pa.x, pb.x).then_with(|| f64_cmp(pa.y, pb.y));
+                    if c != Ordering::Equal {
+                        return c;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (Binary(a), Binary(b)) => a.cmp(b),
+            (OrderedList(a), OrderedList(b)) | (UnorderedList(a), UnorderedList(b)) => {
+                for (va, vb) in a.iter().zip(b.iter()) {
+                    let c = va.total_cmp(vb);
+                    if c != Ordering::Equal {
+                        return c;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (Record(a), Record(b)) => {
+                // Compare records by sorted field names, then values.
+                let mut fa: Vec<&crate::value::Field> = a.fields().iter().collect();
+                let mut fb: Vec<&crate::value::Field> = b.fields().iter().collect();
+                fa.sort_by(|x, y| x.name.cmp(&y.name));
+                fb.sort_by(|x, y| x.name.cmp(&y.name));
+                for (x, y) in fa.iter().zip(fb.iter()) {
+                    let c = x.name.cmp(&y.name).then_with(|| x.value.total_cmp(&y.value));
+                    if c != Ordering::Equal {
+                        return c;
+                    }
+                }
+                fa.len().cmp(&fb.len())
+            }
+            _ => Ordering::Equal,
+        }
+    }
+
+    fn type_rank(&self) -> u8 {
+        use Value::*;
+        match self {
+            Null => 0,
+            Missing => 1,
+            Boolean(_) => 2,
+            Int8(_) | Int16(_) | Int32(_) | Int64(_) | Float(_) | Double(_) => 3,
+            String(_) => 4,
+            Date(_) => 5,
+            Time(_) => 6,
+            DateTime(_) => 7,
+            Duration(_) => 8,
+            YearMonthDuration(_) => 9,
+            DayTimeDuration(_) => 10,
+            Interval(_) => 11,
+            Point(_) => 12,
+            Line(_) => 13,
+            Rectangle(_) => 14,
+            Circle(_) => 15,
+            Polygon(_) => 16,
+            Binary(_) => 17,
+            OrderedList(_) => 18,
+            UnorderedList(_) => 19,
+            Record(_) => 20,
+        }
+    }
+
+    /// Equality with numeric promotion, used by `=` in AQL and hash joins.
+    /// Unknown operands make the result unknown (`None`).
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        if self.is_unknown() || other.is_unknown() {
+            return None;
+        }
+        Some(self.total_cmp(other) == Ordering::Equal)
+    }
+
+    /// A stable 64-bit hash consistent with `total_cmp` equality; used for
+    /// hash partitioning (the paper's `MToNPartitioning` connector) and
+    /// hash joins.
+    pub fn stable_hash(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.hash_into(&mut h);
+        h.finish()
+    }
+
+    fn hash_into(&self, h: &mut impl Hasher) {
+        use Value::*;
+        match self {
+            Missing => 0u8.hash(h),
+            Null => 1u8.hash(h),
+            Boolean(b) => {
+                2u8.hash(h);
+                b.hash(h);
+            }
+            // All numerics hash through a canonical representation so that
+            // int32 1, int64 1 and double 1.0 collide (they compare equal).
+            v @ (Int8(_) | Int16(_) | Int32(_) | Int64(_) | Float(_) | Double(_)) => {
+                3u8.hash(h);
+                let d = v.as_f64().unwrap();
+                if d.fract() == 0.0 && d.abs() < 9.0e15 {
+                    (d as i64).hash(h);
+                } else {
+                    d.to_bits().hash(h);
+                }
+            }
+            String(s) => {
+                4u8.hash(h);
+                s.hash(h);
+            }
+            Date(d) => {
+                5u8.hash(h);
+                d.hash(h);
+            }
+            Time(t) => {
+                6u8.hash(h);
+                t.hash(h);
+            }
+            DateTime(t) => {
+                7u8.hash(h);
+                t.hash(h);
+            }
+            Duration(d) => {
+                8u8.hash(h);
+                d.hash(h);
+            }
+            YearMonthDuration(m) => {
+                9u8.hash(h);
+                m.hash(h);
+            }
+            DayTimeDuration(m) => {
+                10u8.hash(h);
+                m.hash(h);
+            }
+            Interval(i) => {
+                11u8.hash(h);
+                i.hash(h);
+            }
+            Point(p) => {
+                12u8.hash(h);
+                p.x.to_bits().hash(h);
+                p.y.to_bits().hash(h);
+            }
+            Line(l) => {
+                13u8.hash(h);
+                l.a.x.to_bits().hash(h);
+                l.a.y.to_bits().hash(h);
+                l.b.x.to_bits().hash(h);
+                l.b.y.to_bits().hash(h);
+            }
+            Rectangle(r) => {
+                14u8.hash(h);
+                r.low.x.to_bits().hash(h);
+                r.low.y.to_bits().hash(h);
+                r.high.x.to_bits().hash(h);
+                r.high.y.to_bits().hash(h);
+            }
+            Circle(c) => {
+                15u8.hash(h);
+                c.center.x.to_bits().hash(h);
+                c.center.y.to_bits().hash(h);
+                c.radius.to_bits().hash(h);
+            }
+            Polygon(ps) => {
+                16u8.hash(h);
+                for p in ps.iter() {
+                    p.x.to_bits().hash(h);
+                    p.y.to_bits().hash(h);
+                }
+            }
+            Binary(b) => {
+                17u8.hash(h);
+                b.hash(h);
+            }
+            OrderedList(l) => {
+                18u8.hash(h);
+                for v in l.iter() {
+                    v.hash_into(h);
+                }
+            }
+            UnorderedList(l) => {
+                // Order-insensitive: xor of element hashes.
+                19u8.hash(h);
+                let mut acc: u64 = 0;
+                for v in l.iter() {
+                    acc ^= v.stable_hash();
+                }
+                acc.hash(h);
+            }
+            Record(r) => {
+                20u8.hash(h);
+                let mut acc: u64 = 0;
+                for f in r.fields() {
+                    let mut fh = DefaultHasher::new();
+                    f.name.hash(&mut fh);
+                    f.value.hash_into(&mut fh);
+                    acc ^= fh.finish();
+                }
+                acc.hash(h);
+            }
+        }
+    }
+
+    /// Approximate in-memory footprint in bytes; used by the LSM memory
+    /// component budget and the Table 2 size accounting.
+    pub fn approx_size(&self) -> usize {
+        use Value::*;
+        match self {
+            Missing | Null => 1,
+            Boolean(_) | Int8(_) => 2,
+            Int16(_) => 3,
+            Int32(_) | Float(_) | Date(_) | Time(_) => 5,
+            Int64(_) | Double(_) | DateTime(_) | DayTimeDuration(_) => 9,
+            YearMonthDuration(_) => 5,
+            Duration(_) => 13,
+            Interval(_) => 18,
+            String(s) => 5 + s.len(),
+            Point(_) => 17,
+            Line(_) => 33,
+            Rectangle(_) => 33,
+            Circle(_) => 25,
+            Polygon(ps) => 5 + 16 * ps.len(),
+            Binary(b) => 5 + b.len(),
+            OrderedList(l) | UnorderedList(l) => {
+                5 + l.iter().map(|v| v.approx_size()).sum::<usize>()
+            }
+            Record(r) => {
+                5 + r
+                    .fields()
+                    .iter()
+                    .map(|f| f.name.len() + 3 + f.value.approx_size())
+                    .sum::<usize>()
+            }
+        }
+    }
+}
+
+fn f64_cmp(a: f64, b: f64) -> Ordering {
+    a.partial_cmp(&b).unwrap_or_else(|| {
+        // NaNs sort last, consistently.
+        match (a.is_nan(), b.is_nan()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Greater,
+            (false, true) => Ordering::Less,
+            (false, false) => unreachable!(),
+        }
+    })
+}
+
+fn numeric_cmp(a: &Value, b: &Value) -> Ordering {
+    match (a.as_i64(), b.as_i64()) {
+        (Some(x), Some(y)) => x.cmp(&y),
+        _ => f64_cmp(a.as_f64().unwrap(), b.as_f64().unwrap()),
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Boolean(v)
+    }
+}
+impl From<i8> for Value {
+    fn from(v: i8) -> Self {
+        Value::Int8(v)
+    }
+}
+impl From<i16> for Value {
+    fn from(v: i16) -> Self {
+        Value::Int16(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int32(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int64(v)
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::string(v)
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(Arc::from(v.as_str()))
+    }
+}
+
+impl fmt::Display for Value {
+    /// Display as ADM text syntax (see `crate::print` for the writer).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::print::write_value(f, self)
+    }
+}
+
+/// Coerce a value to the requested integer width, failing on overflow.
+pub fn coerce_int(v: &Value, target: &str) -> Result<Value> {
+    let i = v
+        .as_i64()
+        .ok_or_else(|| AdmError::InvalidArgument(format!("{} is not an integer", v.type_name())))?;
+    match target {
+        "int8" => i8::try_from(i)
+            .map(Value::Int8)
+            .map_err(|_| AdmError::Arithmetic(format!("{i} overflows int8"))),
+        "int16" => i16::try_from(i)
+            .map(Value::Int16)
+            .map_err(|_| AdmError::Arithmetic(format!("{i} overflows int16"))),
+        "int32" => i32::try_from(i)
+            .map(Value::Int32)
+            .map_err(|_| AdmError::Arithmetic(format!("{i} overflows int32"))),
+        "int64" => Ok(Value::Int64(i)),
+        _ => Err(AdmError::InvalidArgument(format!("unknown integer type {target}"))),
+    }
+}
+
+/// Pretty names for temporal values, used by Display via `crate::print`.
+pub(crate) fn temporal_literal(v: &Value) -> Option<(&'static str, String)> {
+    match v {
+        Value::Date(d) => Some(("date", format_date(*d))),
+        Value::Time(t) => Some(("time", format_time(*t))),
+        Value::DateTime(t) => Some(("datetime", format_datetime(*t))),
+        Value::Duration(d) => Some(("duration", format_duration(d.months, d.millis))),
+        Value::YearMonthDuration(m) => Some(("year-month-duration", format_duration(*m, 0))),
+        Value::DayTimeDuration(ms) => Some(("day-time-duration", format_duration(0, *ms))),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_set_get() {
+        let mut r = Record::new();
+        r.set("a", Value::Int32(1));
+        r.set("b", Value::string("x"));
+        r.set("a", Value::Int32(2));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get("a"), Some(&Value::Int32(2)));
+        assert_eq!(r.get("c"), None);
+    }
+
+    #[test]
+    fn field_access_on_non_record_is_missing() {
+        assert!(Value::Int32(3).field("x").is_missing());
+        let r = Value::record(Record::from_fields([("x", Value::Int32(1))]));
+        assert_eq!(r.field("x"), Value::Int32(1));
+        assert!(r.field("y").is_missing());
+    }
+
+    #[test]
+    fn numeric_promotion_in_cmp_and_hash() {
+        let a = Value::Int32(7);
+        let b = Value::Int64(7);
+        let c = Value::Double(7.0);
+        assert_eq!(a.total_cmp(&b), Ordering::Equal);
+        assert_eq!(a.total_cmp(&c), Ordering::Equal);
+        assert_eq!(a.stable_hash(), b.stable_hash());
+        assert_eq!(a.stable_hash(), c.stable_hash());
+        assert_eq!(Value::Int32(3).total_cmp(&Value::Double(3.5)), Ordering::Less);
+    }
+
+    #[test]
+    fn unknown_propagation_in_eq() {
+        assert_eq!(Value::Null.sql_eq(&Value::Int32(1)), None);
+        assert_eq!(Value::Missing.sql_eq(&Value::Missing), None);
+        assert_eq!(Value::Int32(1).sql_eq(&Value::Int32(1)), Some(true));
+        assert_eq!(Value::Int32(1).sql_eq(&Value::Int32(2)), Some(false));
+    }
+
+    #[test]
+    fn bag_hash_is_order_insensitive() {
+        let a = Value::unordered_list(vec![Value::Int32(1), Value::Int32(2)]);
+        let b = Value::unordered_list(vec![Value::Int32(2), Value::Int32(1)]);
+        assert_eq!(a.stable_hash(), b.stable_hash());
+        let c = Value::ordered_list(vec![Value::Int32(1), Value::Int32(2)]);
+        let d = Value::ordered_list(vec![Value::Int32(2), Value::Int32(1)]);
+        assert_ne!(c.stable_hash(), d.stable_hash());
+    }
+
+    #[test]
+    fn rectangle_geometry() {
+        let r = Rectangle::new(Point::new(0.0, 0.0), Point::new(2.0, 3.0));
+        assert_eq!(r.area(), 6.0);
+        assert!(r.contains_point(&Point::new(1.0, 1.0)));
+        assert!(!r.contains_point(&Point::new(3.0, 1.0)));
+        let s = Rectangle::new(Point::new(1.5, 2.5), Point::new(5.0, 5.0));
+        assert!(r.intersects(&s));
+        let t = Rectangle::new(Point::new(10.0, 10.0), Point::new(11.0, 11.0));
+        assert!(!r.intersects(&t));
+    }
+
+    #[test]
+    fn coerce_int_overflow() {
+        assert!(coerce_int(&Value::Int64(300), "int8").is_err());
+        assert_eq!(coerce_int(&Value::Int64(300), "int16").unwrap(), Value::Int16(300));
+    }
+
+    #[test]
+    fn total_order_across_types_is_stable() {
+        let vals = [
+            Value::Null,
+            Value::Missing,
+            Value::Boolean(false),
+            Value::Int32(0),
+            Value::string("a"),
+            Value::Date(0),
+        ];
+        for w in vals.windows(2) {
+            assert_eq!(w[0].total_cmp(&w[1]), Ordering::Less);
+        }
+    }
+}

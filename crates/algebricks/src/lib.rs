@@ -1,0 +1,31 @@
+//! # asterix-algebricks — the algebra layer (§4.2)
+//!
+//! Algebricks is the data-model-neutral algebraic compiler sitting between
+//! the query language (AQL here; Hivesterix/VXQuery in the paper's stack)
+//! and the Hyracks runtime. An incoming query arrives as a
+//! [`plan::LogicalOp`] tree over [`expr::LogicalExpr`] expressions; rewrite
+//! rules ([`rules`]) normalize it — select pushdown, equijoin extraction
+//! (the paper's "always hash-join equijoins" safe rule), index-access-path
+//! introduction (with Figure 6's sort + primary-lookup + post-validation
+//! shape), hint handling — and [`jobgen`] lowers the result into a Hyracks
+//! job with partitioned parallelism, inserting exchanges
+//! (partition/replicate/merge connectors) exactly where partitioning
+//! properties change.
+//!
+//! The same logical plan can also be evaluated by the tuple-at-a-time
+//! [`interp`]reter, which is how correlated subqueries (nested FLWORs)
+//! execute inside expressions, and which doubles as a differential-testing
+//! oracle for the compiled path.
+
+pub mod expr;
+pub mod interp;
+pub mod jobgen;
+pub mod metadata;
+pub mod plan;
+pub mod rules;
+
+pub use expr::{CompareOp, LogicalExpr, QuantKind, VarId};
+pub use jobgen::{compile, CompiledQuery};
+pub use metadata::{IndexInfo, IndexKind, KeyBound, MetadataProvider};
+pub use plan::{AggCall, AggFunc, JoinKind, LogicalOp, SortSpec};
+pub use rules::optimize;

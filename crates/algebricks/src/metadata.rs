@@ -1,0 +1,497 @@
+//! The metadata/provider interface between the compiler and the storage
+//! layer — what AsterixDB calls the metadata provider: dataset existence,
+//! partitioning, available indexes, and runtime data-access callbacks.
+
+use std::sync::Arc;
+
+use asterix_adm::value::Rectangle;
+use asterix_adm::Value;
+
+use asterix_hyracks::ops::SourceFn;
+use asterix_hyracks::Result;
+
+/// Secondary index kinds (§2.2: btree is the default; rtree, keyword and
+/// ngram(k) are explicit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexKind {
+    BTree,
+    RTree,
+    Keyword,
+    NGram(usize),
+}
+
+/// Descriptor of a secondary index.
+#[derive(Debug, Clone)]
+pub struct IndexInfo {
+    pub name: String,
+    pub kind: IndexKind,
+    /// Indexed field paths (dot-separated for nested fields).
+    pub fields: Vec<String>,
+}
+
+/// A key bound for B-tree searches.
+#[derive(Debug, Clone)]
+pub enum KeyBound {
+    Unbounded,
+    Inclusive(Value),
+    Exclusive(Value),
+}
+
+/// Everything the compiler and interpreter need from the system catalog
+/// and storage.
+pub trait MetadataProvider: Send + Sync {
+    /// Number of storage partitions per dataset (degree of parallelism for
+    /// scans — "the number of partitions that is used to store the
+    /// Dataset", §4.1).
+    fn partitions(&self) -> usize;
+
+    /// Partitions hosted per simulated node (locality domains for the
+    /// locality-aware connector). Defaults to one partition per node.
+    fn partitions_per_node(&self) -> usize {
+        1
+    }
+
+    /// Does the dataset exist (dataverse-qualified name)?
+    fn dataset_exists(&self, dataset: &str) -> bool;
+
+    /// Primary-key field names of a dataset.
+    fn primary_key_fields(&self, dataset: &str) -> Vec<String>;
+
+    /// Secondary indexes of a dataset.
+    fn indexes(&self, dataset: &str) -> Vec<IndexInfo>;
+
+    // -- compiled-path sources (per-partition, run inside operators) -------
+
+    /// Full scan source: emits one single-column tuple per record of the
+    /// caller's partition.
+    fn scan_source(&self, dataset: &str) -> Result<SourceFn>;
+
+    /// Primary-index range source: emits one single-column record tuple per
+    /// match in the caller's partition.
+    fn primary_range_source(&self, dataset: &str, lo: KeyBound, hi: KeyBound)
+        -> Result<SourceFn>;
+
+    /// Secondary B-tree search: emits one tuple per matching entry, columns
+    /// = primary-key fields (§2.2: "The result of a secondary key lookup is
+    /// a set of primary keys").
+    fn btree_search_source(
+        &self,
+        dataset: &str,
+        index: &str,
+        lo: KeyBound,
+        hi: KeyBound,
+    ) -> Result<SourceFn>;
+
+    /// R-tree search: emits primary-key tuples for entries intersecting
+    /// the query rectangle.
+    fn rtree_search_source(&self, dataset: &str, index: &str, query: Rectangle)
+        -> Result<SourceFn>;
+
+    /// Inverted-index search: primary keys matching at least `threshold`
+    /// of `tokens`.
+    fn inverted_search_source(
+        &self,
+        dataset: &str,
+        index: &str,
+        tokens: Vec<String>,
+        threshold: usize,
+    ) -> Result<SourceFn>;
+
+    /// Partition-local primary-index point lookup: `(partition, pk fields)
+    /// → record`.
+    #[allow(clippy::type_complexity)]
+    fn primary_lookup(
+        &self,
+        dataset: &str,
+    ) -> Result<Arc<dyn Fn(usize, &[Value]) -> Result<Option<Value>> + Send + Sync>>;
+
+    // -- interpreter-path access (whole dataset, partition-transparent) ----
+
+    /// All records (interpreter / correlated subplans).
+    fn scan_all(&self, dataset: &str) -> Result<Vec<Value>>;
+
+    /// Point lookup by primary key across partitions.
+    fn lookup_pk(&self, dataset: &str, pk: &[Value]) -> Result<Option<Value>>;
+
+    /// Cross-partition primary-index range scan returning records.
+    fn primary_range_all(&self, dataset: &str, lo: KeyBound, hi: KeyBound)
+        -> Result<Vec<Value>>;
+
+    /// Cross-partition secondary B-tree search returning primary keys.
+    fn btree_search_all(
+        &self,
+        dataset: &str,
+        index: &str,
+        lo: KeyBound,
+        hi: KeyBound,
+    ) -> Result<Vec<Vec<Value>>>;
+
+    /// Cross-partition R-tree search returning primary keys.
+    fn rtree_search_all(
+        &self,
+        dataset: &str,
+        index: &str,
+        query: &Rectangle,
+    ) -> Result<Vec<Vec<Value>>>;
+
+    /// Cross-partition inverted search returning primary keys.
+    fn inverted_search_all(
+        &self,
+        dataset: &str,
+        index: &str,
+        tokens: &[String],
+        threshold: usize,
+    ) -> Result<Vec<Vec<Value>>>;
+}
+
+/// Test support: a provider with no datasets.
+pub mod tests_support {
+    use super::*;
+
+    /// Provider exposing nothing; used by expression-level tests.
+    pub struct EmptyProvider;
+
+    impl MetadataProvider for EmptyProvider {
+        fn partitions(&self) -> usize {
+            1
+        }
+
+        fn dataset_exists(&self, _dataset: &str) -> bool {
+            false
+        }
+
+        fn primary_key_fields(&self, _dataset: &str) -> Vec<String> {
+            Vec::new()
+        }
+
+        fn indexes(&self, _dataset: &str) -> Vec<IndexInfo> {
+            Vec::new()
+        }
+
+        fn scan_source(&self, dataset: &str) -> Result<SourceFn> {
+            Err(asterix_hyracks::HyracksError::Operator(format!(
+                "unknown dataset {dataset}"
+            )))
+        }
+
+        fn primary_range_source(
+            &self,
+            dataset: &str,
+            _lo: KeyBound,
+            _hi: KeyBound,
+        ) -> Result<SourceFn> {
+            Err(asterix_hyracks::HyracksError::Operator(format!(
+                "unknown dataset {dataset}"
+            )))
+        }
+
+        fn primary_range_all(
+            &self,
+            dataset: &str,
+            _lo: KeyBound,
+            _hi: KeyBound,
+        ) -> Result<Vec<Value>> {
+            Err(asterix_hyracks::HyracksError::Operator(format!(
+                "unknown dataset {dataset}"
+            )))
+        }
+
+        fn btree_search_source(
+            &self,
+            dataset: &str,
+            _index: &str,
+            _lo: KeyBound,
+            _hi: KeyBound,
+        ) -> Result<SourceFn> {
+            Err(asterix_hyracks::HyracksError::Operator(format!(
+                "unknown dataset {dataset}"
+            )))
+        }
+
+        fn rtree_search_source(
+            &self,
+            dataset: &str,
+            _index: &str,
+            _query: Rectangle,
+        ) -> Result<SourceFn> {
+            Err(asterix_hyracks::HyracksError::Operator(format!(
+                "unknown dataset {dataset}"
+            )))
+        }
+
+        fn inverted_search_source(
+            &self,
+            dataset: &str,
+            _index: &str,
+            _tokens: Vec<String>,
+            _threshold: usize,
+        ) -> Result<SourceFn> {
+            Err(asterix_hyracks::HyracksError::Operator(format!(
+                "unknown dataset {dataset}"
+            )))
+        }
+
+        fn primary_lookup(
+            &self,
+            dataset: &str,
+        ) -> Result<Arc<dyn Fn(usize, &[Value]) -> Result<Option<Value>> + Send + Sync>>
+        {
+            Err(asterix_hyracks::HyracksError::Operator(format!(
+                "unknown dataset {dataset}"
+            )))
+        }
+
+        fn scan_all(&self, dataset: &str) -> Result<Vec<Value>> {
+            Err(asterix_hyracks::HyracksError::Operator(format!(
+                "unknown dataset {dataset}"
+            )))
+        }
+
+        fn lookup_pk(&self, dataset: &str, _pk: &[Value]) -> Result<Option<Value>> {
+            Err(asterix_hyracks::HyracksError::Operator(format!(
+                "unknown dataset {dataset}"
+            )))
+        }
+
+        fn btree_search_all(
+            &self,
+            dataset: &str,
+            _index: &str,
+            _lo: KeyBound,
+            _hi: KeyBound,
+        ) -> Result<Vec<Vec<Value>>> {
+            Err(asterix_hyracks::HyracksError::Operator(format!(
+                "unknown dataset {dataset}"
+            )))
+        }
+
+        fn rtree_search_all(
+            &self,
+            dataset: &str,
+            _index: &str,
+            _query: &Rectangle,
+        ) -> Result<Vec<Vec<Value>>> {
+            Err(asterix_hyracks::HyracksError::Operator(format!(
+                "unknown dataset {dataset}"
+            )))
+        }
+
+        fn inverted_search_all(
+            &self,
+            dataset: &str,
+            _index: &str,
+            _tokens: &[String],
+            _threshold: usize,
+        ) -> Result<Vec<Vec<Value>>> {
+            Err(asterix_hyracks::HyracksError::Operator(format!(
+                "unknown dataset {dataset}"
+            )))
+        }
+    }
+
+    /// A simple in-memory provider for compiler tests: named datasets as
+    /// vectors of records, hash-partitioned on demand, no indexes.
+    pub struct VecProvider {
+        pub datasets: std::collections::HashMap<String, Vec<Value>>,
+        pub pk_fields: std::collections::HashMap<String, Vec<String>>,
+        pub nparts: usize,
+    }
+
+    impl VecProvider {
+        pub fn new(nparts: usize) -> VecProvider {
+            VecProvider {
+                datasets: Default::default(),
+                pk_fields: Default::default(),
+                nparts,
+            }
+        }
+
+        pub fn add(&mut self, name: &str, pk: &str, records: Vec<Value>) {
+            self.datasets.insert(name.to_string(), records);
+            self.pk_fields.insert(name.to_string(), vec![pk.to_string()]);
+        }
+    }
+
+    impl MetadataProvider for VecProvider {
+        fn partitions(&self) -> usize {
+            self.nparts
+        }
+
+        fn dataset_exists(&self, dataset: &str) -> bool {
+            self.datasets.contains_key(dataset)
+        }
+
+        fn primary_key_fields(&self, dataset: &str) -> Vec<String> {
+            self.pk_fields.get(dataset).cloned().unwrap_or_default()
+        }
+
+        fn indexes(&self, _dataset: &str) -> Vec<IndexInfo> {
+            Vec::new()
+        }
+
+        fn scan_source(&self, dataset: &str) -> Result<SourceFn> {
+            let records = self
+                .datasets
+                .get(dataset)
+                .cloned()
+                .ok_or_else(|| {
+                    asterix_hyracks::HyracksError::Operator(format!(
+                        "unknown dataset {dataset}"
+                    ))
+                })?;
+            let pk_fields = self.primary_key_fields(dataset);
+            Ok(Arc::new(move |partition, nparts, emit| {
+                for r in &records {
+                    // Hash-partition by primary key, as real datasets are.
+                    let h = pk_fields
+                        .first()
+                        .map(|f| r.field(f).stable_hash())
+                        .unwrap_or(0);
+                    if (h % nparts as u64) as usize == partition {
+                        emit(vec![r.clone()])?;
+                    }
+                }
+                Ok(())
+            }))
+        }
+
+        fn primary_range_source(
+            &self,
+            dataset: &str,
+            lo: KeyBound,
+            hi: KeyBound,
+        ) -> Result<SourceFn> {
+            let records = self.primary_range_all(dataset, lo, hi)?;
+            let pk_fields = self.primary_key_fields(dataset);
+            Ok(Arc::new(move |partition, nparts, emit| {
+                for r in &records {
+                    let h = pk_fields
+                        .first()
+                        .map(|f| r.field(f).stable_hash())
+                        .unwrap_or(0);
+                    if (h % nparts as u64) as usize == partition {
+                        emit(vec![r.clone()])?;
+                    }
+                }
+                Ok(())
+            }))
+        }
+
+        fn primary_range_all(
+            &self,
+            dataset: &str,
+            lo: KeyBound,
+            hi: KeyBound,
+        ) -> Result<Vec<Value>> {
+            let pk = self
+                .primary_key_fields(dataset)
+                .first()
+                .cloned()
+                .unwrap_or_default();
+            Ok(self
+                .scan_all(dataset)?
+                .into_iter()
+                .filter(|r| {
+                    let k = r.field(&pk);
+                    let lo_ok = match &lo {
+                        KeyBound::Unbounded => true,
+                        KeyBound::Inclusive(v) => k.total_cmp(v).is_ge(),
+                        KeyBound::Exclusive(v) => k.total_cmp(v).is_gt(),
+                    };
+                    let hi_ok = match &hi {
+                        KeyBound::Unbounded => true,
+                        KeyBound::Inclusive(v) => k.total_cmp(v).is_le(),
+                        KeyBound::Exclusive(v) => k.total_cmp(v).is_lt(),
+                    };
+                    lo_ok && hi_ok
+                })
+                .collect())
+        }
+
+        fn btree_search_source(
+            &self,
+            _d: &str,
+            _i: &str,
+            _lo: KeyBound,
+            _hi: KeyBound,
+        ) -> Result<SourceFn> {
+            Err(asterix_hyracks::HyracksError::Operator("no indexes".into()))
+        }
+
+        fn rtree_search_source(
+            &self,
+            _d: &str,
+            _i: &str,
+            _q: Rectangle,
+        ) -> Result<SourceFn> {
+            Err(asterix_hyracks::HyracksError::Operator("no indexes".into()))
+        }
+
+        fn inverted_search_source(
+            &self,
+            _d: &str,
+            _i: &str,
+            _t: Vec<String>,
+            _th: usize,
+        ) -> Result<SourceFn> {
+            Err(asterix_hyracks::HyracksError::Operator("no indexes".into()))
+        }
+
+        fn primary_lookup(
+            &self,
+            dataset: &str,
+        ) -> Result<Arc<dyn Fn(usize, &[Value]) -> Result<Option<Value>> + Send + Sync>>
+        {
+            let records = self.datasets.get(dataset).cloned().unwrap_or_default();
+            let pk_fields = self.primary_key_fields(dataset);
+            Ok(Arc::new(move |_partition, pk| {
+                Ok(records.iter().find(|r| {
+                    pk_fields
+                        .iter()
+                        .zip(pk)
+                        .all(|(f, v)| r.field(f).total_cmp(v).is_eq())
+                }).cloned())
+            }))
+        }
+
+        fn scan_all(&self, dataset: &str) -> Result<Vec<Value>> {
+            self.datasets.get(dataset).cloned().ok_or_else(|| {
+                asterix_hyracks::HyracksError::Operator(format!("unknown dataset {dataset}"))
+            })
+        }
+
+        fn lookup_pk(&self, dataset: &str, pk: &[Value]) -> Result<Option<Value>> {
+            let f = self.primary_lookup(dataset)?;
+            f(0, pk)
+        }
+
+        fn btree_search_all(
+            &self,
+            _d: &str,
+            _i: &str,
+            _lo: KeyBound,
+            _hi: KeyBound,
+        ) -> Result<Vec<Vec<Value>>> {
+            Err(asterix_hyracks::HyracksError::Operator("no indexes".into()))
+        }
+
+        fn rtree_search_all(
+            &self,
+            _d: &str,
+            _i: &str,
+            _q: &Rectangle,
+        ) -> Result<Vec<Vec<Value>>> {
+            Err(asterix_hyracks::HyracksError::Operator("no indexes".into()))
+        }
+
+        fn inverted_search_all(
+            &self,
+            _d: &str,
+            _i: &str,
+            _t: &[String],
+            _th: usize,
+        ) -> Result<Vec<Vec<Value>>> {
+            Err(asterix_hyracks::HyracksError::Operator("no indexes".into()))
+        }
+    }
+}

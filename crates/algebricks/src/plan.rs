@@ -1,0 +1,524 @@
+//! The logical operator algebra.
+//!
+//! Plans are single-rooted trees; each operator produces a stream of
+//! variable bindings. This mirrors Algebricks' logical operators (assign,
+//! select, unnest, join, group-by, order, limit, distinct, datasource-scan)
+//! plus the access-path operators that the index-introduction rules insert.
+
+
+use asterix_adm::Value;
+
+use crate::expr::{LogicalExpr, VarId};
+
+/// Join kinds. AQL surfaces inner joins and (through nested plans /
+/// outer-unnest) left-outer semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    Inner,
+    /// Left-outer: unmatched left tuples survive with right vars null.
+    LeftOuter,
+}
+
+/// Aggregate function in a group-by / scalar aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+    /// Materialize group members as an ordered list (AQL `with $var`).
+    Listify,
+}
+
+impl AggFunc {
+    /// Map AQL function names (count/sum/... and sql-* variants) to
+    /// (function, sql-semantics flag).
+    pub fn from_name(name: &str) -> Option<(AggFunc, bool)> {
+        Some(match name {
+            "count" => (AggFunc::Count, false),
+            "sum" => (AggFunc::Sum, false),
+            "min" => (AggFunc::Min, false),
+            "max" => (AggFunc::Max, false),
+            "avg" => (AggFunc::Avg, false),
+            "sql-count" => (AggFunc::Count, true),
+            "sql-sum" => (AggFunc::Sum, true),
+            "sql-min" => (AggFunc::Min, true),
+            "sql-max" => (AggFunc::Max, true),
+            "sql-avg" => (AggFunc::Avg, true),
+            _ => return None,
+        })
+    }
+}
+
+/// One aggregate computation: `var := func(input-expr)`.
+#[derive(Debug, Clone)]
+pub struct AggCall {
+    pub var: VarId,
+    pub func: AggFunc,
+    pub sql: bool,
+    pub input: LogicalExpr,
+}
+
+/// One sort key.
+#[derive(Debug, Clone)]
+pub struct SortSpec {
+    pub expr: LogicalExpr,
+    pub descending: bool,
+}
+
+/// Index search specifications inserted by the access-path rules.
+///
+/// Bounds and probes are expressions rather than constants so the same
+/// plan shape works both for top-level queries (bounds fold to constants)
+/// and for correlated subplans, where a bound may reference an outer
+/// variable (e.g. Query 4's `author-id = $user.id` becomes a per-outer-
+/// tuple B-tree probe). The `bool` on each bound is "inclusive".
+#[derive(Debug, Clone)]
+pub enum IndexSearchSpec {
+    /// Range over the dataset's *primary* B+-tree (record lookups and
+    /// primary-key ranges; `index` is ignored).
+    PrimaryRange {
+        lo: Option<(LogicalExpr, bool)>,
+        hi: Option<(LogicalExpr, bool)>,
+    },
+    /// Range over a secondary B-tree.
+    BTreeRange {
+        lo: Option<(LogicalExpr, bool)>,
+        hi: Option<(LogicalExpr, bool)>,
+    },
+    /// R-tree intersection; `query` evaluates to a spatial value whose MBR
+    /// is the search window.
+    RTree { query: LogicalExpr },
+    /// Keyword index: records whose indexed value contains all tokens of
+    /// `needle` (a string or bag of strings).
+    InvertedConjunctive { needle: LogicalExpr },
+    /// N-gram index: records whose indexed string is within
+    /// `edit_distance` of `needle` (candidates; the postcondition
+    /// verifies).
+    InvertedFuzzy { needle: LogicalExpr, edit_distance: usize },
+}
+
+/// A logical operator. `input` boxes form the tree.
+#[derive(Debug, Clone)]
+pub enum LogicalOp {
+    /// Produces exactly one empty binding (the leaf under constant-only
+    /// plans, e.g. the `1+1` query).
+    EmptyTupleSource,
+    /// Full dataset scan binding each record to `var`.
+    DataSourceScan { dataset: String, var: VarId },
+    /// Secondary-index search followed by primary lookup, producing the
+    /// record in `var`. Carries Figure 6's full shape: the generated job
+    /// sorts primary keys before the primary-index search, and
+    /// `postcondition` re-checks the predicate on the fetched record (the
+    /// §4.4 consistency validation select).
+    IndexSearch {
+        dataset: String,
+        index: String,
+        var: VarId,
+        spec: IndexSearchSpec,
+        /// Residual predicate re-applied to the record (post-validation).
+        postcondition: Option<LogicalExpr>,
+    },
+    /// Bind `var` to `expr` for each input tuple.
+    Assign { input: Box<LogicalOp>, var: VarId, expr: LogicalExpr },
+    /// Keep tuples where `condition` is true.
+    Select { input: Box<LogicalOp>, condition: LogicalExpr },
+    /// Iterate `expr` (a collection), binding each item to `var`
+    /// (`for $x in <expr>`); `positional` binds the 1-based position
+    /// (`at $p`). Outer unnests keep empty collections with missing.
+    Unnest {
+        input: Box<LogicalOp>,
+        var: VarId,
+        expr: LogicalExpr,
+        positional: Option<VarId>,
+        outer: bool,
+    },
+    /// Cartesian product with an optional residual condition — produced by
+    /// the translator for adjacent `for` clauses; the equijoin-extraction
+    /// rule turns it into `HashJoin` when it finds equality predicates.
+    Join {
+        left: Box<LogicalOp>,
+        right: Box<LogicalOp>,
+        condition: LogicalExpr,
+        kind: JoinKind,
+        /// `/*+ indexnl */` hint from the query (Query 14).
+        index_nl_hint: bool,
+    },
+    /// Equi-join on extracted key expressions (physical: hybrid hash).
+    HashJoin {
+        left: Box<LogicalOp>,
+        right: Box<LogicalOp>,
+        left_keys: Vec<LogicalExpr>,
+        right_keys: Vec<LogicalExpr>,
+        residual: Option<LogicalExpr>,
+        kind: JoinKind,
+    },
+    /// Index nested-loop join: for each left tuple, search `dataset` via
+    /// `index` with key `probe` and bind matching records to `var`.
+    IndexNlJoin {
+        left: Box<LogicalOp>,
+        dataset: String,
+        index: String,
+        probe: LogicalExpr,
+        var: VarId,
+        kind: JoinKind,
+    },
+    /// Grouping: evaluates `keys` (each bound to a fresh var) and
+    /// aggregates over the group.
+    GroupBy {
+        input: Box<LogicalOp>,
+        keys: Vec<(VarId, LogicalExpr)>,
+        aggs: Vec<AggCall>,
+    },
+    /// Scalar aggregation over the whole input (no keys).
+    Aggregate { input: Box<LogicalOp>, aggs: Vec<AggCall> },
+    /// Sort.
+    Order { input: Box<LogicalOp>, keys: Vec<SortSpec> },
+    /// Limit/offset. `pushed_into_sort` marks the ablation variant where
+    /// the limit is fused into the upstream sort as a top-K (the paper
+    /// notes AsterixDB does *not* do this yet; see EXPERIMENTS.md).
+    Limit { input: Box<LogicalOp>, count: usize, offset: usize },
+    /// Duplicate elimination on the given expressions.
+    Distinct { input: Box<LogicalOp>, exprs: Vec<LogicalExpr> },
+    /// Final projection: the value each result row yields.
+    Emit { input: Box<LogicalOp>, expr: LogicalExpr },
+}
+
+impl LogicalOp {
+    /// Children accessors for generic traversal.
+    pub fn inputs(&self) -> Vec<&LogicalOp> {
+        match self {
+            LogicalOp::EmptyTupleSource
+            | LogicalOp::DataSourceScan { .. }
+            | LogicalOp::IndexSearch { .. } => vec![],
+            LogicalOp::Assign { input, .. }
+            | LogicalOp::Select { input, .. }
+            | LogicalOp::Unnest { input, .. }
+            | LogicalOp::GroupBy { input, .. }
+            | LogicalOp::Aggregate { input, .. }
+            | LogicalOp::Order { input, .. }
+            | LogicalOp::Limit { input, .. }
+            | LogicalOp::Distinct { input, .. }
+            | LogicalOp::Emit { input, .. }
+            | LogicalOp::IndexNlJoin { left: input, .. } => vec![input],
+            LogicalOp::Join { left, right, .. } | LogicalOp::HashJoin { left, right, .. } => {
+                vec![left, right]
+            }
+        }
+    }
+
+    /// Variables introduced by this operator alone.
+    pub fn introduced_vars(&self) -> Vec<VarId> {
+        match self {
+            LogicalOp::DataSourceScan { var, .. } | LogicalOp::IndexSearch { var, .. } => {
+                vec![*var]
+            }
+            LogicalOp::Assign { var, .. } => vec![*var],
+            LogicalOp::Unnest { var, positional, .. } => {
+                let mut v = vec![*var];
+                if let Some(p) = positional {
+                    v.push(*p);
+                }
+                v
+            }
+            LogicalOp::IndexNlJoin { var, .. } => vec![*var],
+            LogicalOp::GroupBy { keys, aggs, .. } => {
+                let mut v: Vec<VarId> = keys.iter().map(|(k, _)| *k).collect();
+                v.extend(aggs.iter().map(|a| a.var));
+                v
+            }
+            LogicalOp::Aggregate { aggs, .. } => aggs.iter().map(|a| a.var).collect(),
+            _ => vec![],
+        }
+    }
+
+    /// All variables bound anywhere in this subtree.
+    pub fn bound_vars(&self) -> Vec<VarId> {
+        let mut out = self.introduced_vars();
+        for i in self.inputs() {
+            out.extend(i.bound_vars());
+        }
+        out
+    }
+
+    /// Variables this subtree references but does not bind.
+    pub fn free_vars(&self, out: &mut Vec<VarId>) {
+        let mut referenced = Vec::new();
+        self.collect_expr_vars(&mut referenced);
+        let bound = self.bound_vars();
+        for v in referenced {
+            if !bound.contains(&v) && !out.contains(&v) {
+                out.push(v);
+            }
+        }
+    }
+
+    fn collect_expr_vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            LogicalOp::Assign { expr, .. }
+            | LogicalOp::Unnest { expr, .. }
+            | LogicalOp::Emit { expr, .. } => expr.free_vars(out),
+            LogicalOp::Select { condition, .. } => condition.free_vars(out),
+            LogicalOp::Join { condition, .. } => condition.free_vars(out),
+            LogicalOp::HashJoin { left_keys, right_keys, residual, .. } => {
+                for e in left_keys.iter().chain(right_keys) {
+                    e.free_vars(out);
+                }
+                if let Some(r) = residual {
+                    r.free_vars(out);
+                }
+            }
+            LogicalOp::IndexNlJoin { probe, .. } => probe.free_vars(out),
+            LogicalOp::GroupBy { keys, aggs, .. } => {
+                for (_, e) in keys {
+                    e.free_vars(out);
+                }
+                for a in aggs {
+                    a.input.free_vars(out);
+                }
+            }
+            LogicalOp::Aggregate { aggs, .. } => {
+                for a in aggs {
+                    a.input.free_vars(out);
+                }
+            }
+            LogicalOp::Order { keys, .. } => {
+                for k in keys {
+                    k.expr.free_vars(out);
+                }
+            }
+            LogicalOp::Distinct { exprs, .. } => {
+                for e in exprs {
+                    e.free_vars(out);
+                }
+            }
+            LogicalOp::IndexSearch { postcondition, .. } => {
+                if let Some(p) = postcondition {
+                    p.free_vars(out);
+                }
+            }
+            _ => {}
+        }
+        for i in self.inputs() {
+            i.collect_expr_vars(out);
+        }
+    }
+
+    /// Operator name for plan printing.
+    pub fn op_name(&self) -> String {
+        match self {
+            LogicalOp::EmptyTupleSource => "empty-tuple-source".into(),
+            LogicalOp::DataSourceScan { dataset, .. } => format!("data-scan {dataset}"),
+            LogicalOp::IndexSearch { dataset, index, spec, .. } => {
+                let kind = match spec {
+                    IndexSearchSpec::PrimaryRange { .. } => {
+                        return format!("btree-search {dataset} (primary)")
+                    }
+                    IndexSearchSpec::BTreeRange { .. } => "btree",
+                    IndexSearchSpec::RTree { .. } => "rtree",
+                    IndexSearchSpec::InvertedConjunctive { .. } => "keyword",
+                    IndexSearchSpec::InvertedFuzzy { .. } => "ngram-fuzzy",
+                };
+                format!("{kind}-search {dataset}.{index}")
+            }
+            LogicalOp::Assign { var, .. } => format!("assign $v{var}"),
+            LogicalOp::Select { .. } => "select".into(),
+            LogicalOp::Unnest { var, outer, .. } => {
+                if *outer {
+                    format!("outer-unnest $v{var}")
+                } else {
+                    format!("unnest $v{var}")
+                }
+            }
+            LogicalOp::Join { kind, .. } => format!("join ({kind:?})"),
+            LogicalOp::HashJoin { kind, .. } => format!("hash-join ({kind:?})"),
+            LogicalOp::IndexNlJoin { dataset, index, .. } => {
+                format!("index-nl-join {dataset}.{index}")
+            }
+            LogicalOp::GroupBy { keys, .. } => format!("group-by ({} keys)", keys.len()),
+            LogicalOp::Aggregate { .. } => "aggregate".into(),
+            LogicalOp::Order { .. } => "order".into(),
+            LogicalOp::Limit { count, offset, .. } => format!("limit {count} offset {offset}"),
+            LogicalOp::Distinct { .. } => "distinct".into(),
+            LogicalOp::Emit { .. } => "emit".into(),
+        }
+    }
+
+    /// Indented plan rendering (EXPLAIN-style).
+    pub fn pretty(&self) -> String {
+        fn walk(op: &LogicalOp, depth: usize, out: &mut String) {
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(&op.op_name());
+            out.push('\n');
+            for i in op.inputs() {
+                walk(i, depth + 1, out);
+            }
+        }
+        let mut s = String::new();
+        walk(self, 0, &mut s);
+        s
+    }
+
+    /// Rewrite helper: apply `f` bottom-up to every operator in the tree.
+    pub fn transform_up(self, f: &mut impl FnMut(LogicalOp) -> LogicalOp) -> LogicalOp {
+        let with_new_children = match self {
+            LogicalOp::Assign { input, var, expr } => LogicalOp::Assign {
+                input: Box::new(input.transform_up(f)),
+                var,
+                expr,
+            },
+            LogicalOp::Select { input, condition } => LogicalOp::Select {
+                input: Box::new(input.transform_up(f)),
+                condition,
+            },
+            LogicalOp::Unnest { input, var, expr, positional, outer } => LogicalOp::Unnest {
+                input: Box::new(input.transform_up(f)),
+                var,
+                expr,
+                positional,
+                outer,
+            },
+            LogicalOp::Join { left, right, condition, kind, index_nl_hint } => LogicalOp::Join {
+                left: Box::new(left.transform_up(f)),
+                right: Box::new(right.transform_up(f)),
+                condition,
+                kind,
+                index_nl_hint,
+            },
+            LogicalOp::HashJoin { left, right, left_keys, right_keys, residual, kind } => {
+                LogicalOp::HashJoin {
+                    left: Box::new(left.transform_up(f)),
+                    right: Box::new(right.transform_up(f)),
+                    left_keys,
+                    right_keys,
+                    residual,
+                    kind,
+                }
+            }
+            LogicalOp::IndexNlJoin { left, dataset, index, probe, var, kind } => {
+                LogicalOp::IndexNlJoin {
+                    left: Box::new(left.transform_up(f)),
+                    dataset,
+                    index,
+                    probe,
+                    var,
+                    kind,
+                }
+            }
+            LogicalOp::GroupBy { input, keys, aggs } => LogicalOp::GroupBy {
+                input: Box::new(input.transform_up(f)),
+                keys,
+                aggs,
+            },
+            LogicalOp::Aggregate { input, aggs } => LogicalOp::Aggregate {
+                input: Box::new(input.transform_up(f)),
+                aggs,
+            },
+            LogicalOp::Order { input, keys } => LogicalOp::Order {
+                input: Box::new(input.transform_up(f)),
+                keys,
+            },
+            LogicalOp::Limit { input, count, offset } => LogicalOp::Limit {
+                input: Box::new(input.transform_up(f)),
+                count,
+                offset,
+            },
+            LogicalOp::Distinct { input, exprs } => LogicalOp::Distinct {
+                input: Box::new(input.transform_up(f)),
+                exprs,
+            },
+            LogicalOp::Emit { input, expr } => LogicalOp::Emit {
+                input: Box::new(input.transform_up(f)),
+                expr,
+            },
+            leaf => leaf,
+        };
+        f(with_new_children)
+    }
+}
+
+/// Helpers for building plans in tests and the translator.
+pub mod build {
+    use super::*;
+
+    pub fn scan(dataset: &str, var: VarId) -> LogicalOp {
+        LogicalOp::DataSourceScan { dataset: dataset.into(), var }
+    }
+
+    pub fn select(input: LogicalOp, condition: LogicalExpr) -> LogicalOp {
+        LogicalOp::Select { input: Box::new(input), condition }
+    }
+
+    pub fn assign(input: LogicalOp, var: VarId, expr: LogicalExpr) -> LogicalOp {
+        LogicalOp::Assign { input: Box::new(input), var, expr }
+    }
+
+    pub fn emit(input: LogicalOp, expr: LogicalExpr) -> LogicalOp {
+        LogicalOp::Emit { input: Box::new(input), expr }
+    }
+
+    pub fn cross(left: LogicalOp, right: LogicalOp, condition: LogicalExpr) -> LogicalOp {
+        LogicalOp::Join {
+            left: Box::new(left),
+            right: Box::new(right),
+            condition,
+            kind: JoinKind::Inner,
+            index_nl_hint: false,
+        }
+    }
+
+    pub fn var(v: VarId) -> LogicalExpr {
+        LogicalExpr::Var(v)
+    }
+
+    pub fn lit(v: Value) -> LogicalExpr {
+        LogicalExpr::Const(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::build::*;
+    use super::*;
+    use crate::expr::CompareOp;
+
+    #[test]
+    fn bound_and_free_vars() {
+        let plan = emit(
+            select(
+                scan("ds", 0),
+                LogicalExpr::Compare(
+                    CompareOp::Eq,
+                    Box::new(LogicalExpr::field(var(0), "id")),
+                    Box::new(var(9)), // free (outer) variable
+                ),
+            ),
+            var(0),
+        );
+        assert_eq!(plan.bound_vars(), vec![0]);
+        let mut free = Vec::new();
+        plan.free_vars(&mut free);
+        assert_eq!(free, vec![9]);
+    }
+
+    #[test]
+    fn pretty_prints_tree() {
+        let plan = emit(select(scan("ds", 0), lit(Value::Boolean(true))), var(0));
+        let p = plan.pretty();
+        assert!(p.contains("emit"), "{p}");
+        assert!(p.contains("  select"), "{p}");
+        assert!(p.contains("    data-scan ds"), "{p}");
+    }
+
+    #[test]
+    fn transform_up_visits_all() {
+        let plan = emit(select(scan("ds", 0), lit(Value::Boolean(true))), var(0));
+        let mut n = 0;
+        let _ = plan.transform_up(&mut |op| {
+            n += 1;
+            op
+        });
+        assert_eq!(n, 3);
+    }
+}

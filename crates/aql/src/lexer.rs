@@ -1,0 +1,601 @@
+//! AQL lexer.
+//!
+//! Notable AQL-isms: `$`-prefixed variables, `{{ }}` bag delimiters, the
+//! fuzzy operator `~=`, `:=` bindings, and optimizer hints carried in
+//! comments (`/*+ indexnl */`, Query 14), which are surfaced as
+//! [`Token::Hint`] rather than skipped.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Bare identifier or keyword (keywords are contextual in AQL).
+    Ident(String),
+    /// `$name` variable reference.
+    Variable(String),
+    StringLit(String),
+    IntLit(i64),
+    DoubleLit(f64),
+    FloatLit(f32),
+    Int8Lit(i8),
+    Int16Lit(i16),
+    Int32Lit(i32),
+    /// `/*+ ... */` optimizer hint body (trimmed).
+    Hint(String),
+    // Punctuation / operators.
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    LDoubleBrace,
+    RDoubleBrace,
+    Comma,
+    Colon,
+    Semicolon,
+    Dot,
+    Assign, // :=
+    Eq,     // =
+    Neq,    // !=
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    FuzzyEq, // ~=
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    QuestionMark,
+    AtSign,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Variable(s) => write!(f, "${s}"),
+            Token::StringLit(s) => write!(f, "{s:?}"),
+            Token::IntLit(v) => write!(f, "{v}"),
+            Token::DoubleLit(v) => write!(f, "{v}"),
+            Token::FloatLit(v) => write!(f, "{v}f"),
+            Token::Int8Lit(v) => write!(f, "{v}i8"),
+            Token::Int16Lit(v) => write!(f, "{v}i16"),
+            Token::Int32Lit(v) => write!(f, "{v}i32"),
+            Token::Hint(s) => write!(f, "/*+ {s} */"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::LDoubleBrace => write!(f, "{{{{"),
+            Token::RDoubleBrace => write!(f, "}}}}"),
+            Token::Comma => write!(f, ","),
+            Token::Colon => write!(f, ":"),
+            Token::Semicolon => write!(f, ";"),
+            Token::Dot => write!(f, "."),
+            Token::Assign => write!(f, ":="),
+            Token::Eq => write!(f, "="),
+            Token::Neq => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::FuzzyEq => write!(f, "~="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+            Token::QuestionMark => write!(f, "?"),
+            Token::AtSign => write!(f, "@"),
+        }
+    }
+}
+
+/// A token with its source offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    pub token: Token,
+    pub offset: usize,
+    pub line: usize,
+}
+
+/// Lexing errors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    pub message: String,
+    pub line: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        let mut it = self.src[self.pos..].chars();
+        it.next();
+        it.next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> LexError {
+        LexError { message: msg.into(), line: self.line }
+    }
+}
+
+/// Tokenize AQL source.
+pub fn tokenize(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut lx = Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1 };
+    let mut out = Vec::new();
+    loop {
+        // Skip whitespace and comments (collecting hints).
+        loop {
+            match lx.peek() {
+                Some(c) if c.is_whitespace() => {
+                    lx.bump();
+                }
+                Some('/') if lx.peek2() == Some('/') => {
+                    while let Some(c) = lx.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                Some('/') if lx.peek2() == Some('*') => {
+                    let start_line = lx.line;
+                    lx.bump();
+                    lx.bump();
+                    let is_hint = lx.peek() == Some('+');
+                    if is_hint {
+                        lx.bump();
+                    }
+                    let body_start = lx.pos;
+                    let mut body_end = None;
+                    while lx.pos < lx.bytes.len() {
+                        if lx.src[lx.pos..].starts_with("*/") {
+                            body_end = Some(lx.pos);
+                            lx.bump();
+                            lx.bump();
+                            break;
+                        }
+                        lx.bump();
+                    }
+                    let Some(end) = body_end else {
+                        return Err(LexError {
+                            message: "unterminated comment".into(),
+                            line: start_line,
+                        });
+                    };
+                    if is_hint {
+                        out.push(Spanned {
+                            token: Token::Hint(lx.src[body_start..end].trim().to_string()),
+                            offset: body_start,
+                            line: start_line,
+                        });
+                    }
+                }
+                _ => break,
+            }
+        }
+        let offset = lx.pos;
+        let line = lx.line;
+        let Some(c) = lx.peek() else { break };
+        let token = match c {
+            '(' => {
+                lx.bump();
+                Token::LParen
+            }
+            ')' => {
+                lx.bump();
+                Token::RParen
+            }
+            '[' => {
+                lx.bump();
+                Token::LBracket
+            }
+            ']' => {
+                lx.bump();
+                Token::RBracket
+            }
+            '{' => {
+                lx.bump();
+                if lx.peek() == Some('{') {
+                    lx.bump();
+                    Token::LDoubleBrace
+                } else {
+                    Token::LBrace
+                }
+            }
+            '}' => {
+                lx.bump();
+                if lx.peek() == Some('}') {
+                    lx.bump();
+                    Token::RDoubleBrace
+                } else {
+                    Token::RBrace
+                }
+            }
+            ',' => {
+                lx.bump();
+                Token::Comma
+            }
+            ';' => {
+                lx.bump();
+                Token::Semicolon
+            }
+            '.' => {
+                lx.bump();
+                Token::Dot
+            }
+            '?' => {
+                lx.bump();
+                Token::QuestionMark
+            }
+            '@' => {
+                lx.bump();
+                Token::AtSign
+            }
+            ':' => {
+                lx.bump();
+                if lx.peek() == Some('=') {
+                    lx.bump();
+                    Token::Assign
+                } else {
+                    Token::Colon
+                }
+            }
+            '=' => {
+                lx.bump();
+                Token::Eq
+            }
+            '!' => {
+                lx.bump();
+                if lx.peek() == Some('=') {
+                    lx.bump();
+                    Token::Neq
+                } else {
+                    return Err(lx.err("expected '=' after '!'"));
+                }
+            }
+            '<' => {
+                lx.bump();
+                if lx.peek() == Some('=') {
+                    lx.bump();
+                    Token::Le
+                } else {
+                    Token::Lt
+                }
+            }
+            '>' => {
+                lx.bump();
+                if lx.peek() == Some('=') {
+                    lx.bump();
+                    Token::Ge
+                } else {
+                    Token::Gt
+                }
+            }
+            '~' => {
+                lx.bump();
+                if lx.peek() == Some('=') {
+                    lx.bump();
+                    Token::FuzzyEq
+                } else {
+                    return Err(lx.err("expected '=' after '~'"));
+                }
+            }
+            '+' => {
+                lx.bump();
+                Token::Plus
+            }
+            '-' => {
+                lx.bump();
+                Token::Minus
+            }
+            '*' => {
+                lx.bump();
+                Token::Star
+            }
+            '/' => {
+                lx.bump();
+                Token::Slash
+            }
+            '%' => {
+                lx.bump();
+                Token::Percent
+            }
+            '$' => {
+                lx.bump();
+                let start = lx.pos;
+                while let Some(c) = lx.peek() {
+                    if c.is_alphanumeric() || c == '_' || c == '-' {
+                        lx.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if lx.pos == start {
+                    return Err(lx.err("expected variable name after '$'"));
+                }
+                Token::Variable(lx.src[start..lx.pos].to_string())
+            }
+            '"' | '\'' => {
+                let quote = c;
+                lx.bump();
+                let mut s = String::new();
+                loop {
+                    match lx.bump() {
+                        None => return Err(lx.err("unterminated string literal")),
+                        Some(c) if c == quote => break,
+                        Some('\\') => match lx.bump() {
+                            Some('n') => s.push('\n'),
+                            Some('t') => s.push('\t'),
+                            Some('r') => s.push('\r'),
+                            Some('\\') => s.push('\\'),
+                            Some('/') => s.push('/'),
+                            Some('u') => {
+                                let mut code = 0u32;
+                                for _ in 0..4 {
+                                    let d = lx
+                                        .bump()
+                                        .and_then(|c| c.to_digit(16))
+                                        .ok_or_else(|| lx.err("bad \\u escape"))?;
+                                    code = code * 16 + d;
+                                }
+                                s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            }
+                            Some(c) if c == quote => s.push(quote),
+                            Some(other) => {
+                                return Err(
+                                    lx.err(format!("unknown escape '\\{other}' in string"))
+                                )
+                            }
+                            None => return Err(lx.err("unterminated string literal")),
+                        },
+                        Some(c) => s.push(c),
+                    }
+                }
+                Token::StringLit(s)
+            }
+            c if c.is_ascii_digit() => {
+                let start = lx.pos;
+                let mut is_float = false;
+                while let Some(c) = lx.peek() {
+                    match c {
+                        '0'..='9' => {
+                            lx.bump();
+                        }
+                        '.' => {
+                            // A digit must follow for this to be a decimal
+                            // point (otherwise it's field access like 1.x —
+                            // not valid AQL, but keep lexing robust).
+                            if lx.peek2().is_some_and(|d| d.is_ascii_digit()) {
+                                is_float = true;
+                                lx.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                        'e' | 'E' => {
+                            is_float = true;
+                            lx.bump();
+                            if matches!(lx.peek(), Some('+') | Some('-')) {
+                                lx.bump();
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                let text = &lx.src[start..lx.pos];
+                // Typed suffixes.
+                if lx.src[lx.pos..].starts_with("i8") {
+                    lx.pos += 2;
+                    Token::Int8Lit(
+                        text.parse().map_err(|_| lx.err("invalid int8 literal"))?,
+                    )
+                } else if lx.src[lx.pos..].starts_with("i16") {
+                    lx.pos += 3;
+                    Token::Int16Lit(
+                        text.parse().map_err(|_| lx.err("invalid int16 literal"))?,
+                    )
+                } else if lx.src[lx.pos..].starts_with("i32") {
+                    lx.pos += 3;
+                    Token::Int32Lit(
+                        text.parse().map_err(|_| lx.err("invalid int32 literal"))?,
+                    )
+                } else if lx.src[lx.pos..].starts_with("i64") {
+                    lx.pos += 3;
+                    Token::IntLit(text.parse().map_err(|_| lx.err("invalid int64 literal"))?)
+                } else if lx.peek() == Some('f') {
+                    lx.bump();
+                    Token::FloatLit(
+                        text.parse().map_err(|_| lx.err("invalid float literal"))?,
+                    )
+                } else if is_float {
+                    Token::DoubleLit(
+                        text.parse().map_err(|_| lx.err("invalid double literal"))?,
+                    )
+                } else {
+                    Token::IntLit(text.parse().map_err(|_| lx.err("invalid int literal"))?)
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = lx.pos;
+                while let Some(c) = lx.peek() {
+                    // AQL identifiers allow '-' (e.g. `author-id`,
+                    // `word-tokens`); a '-' is part of the identifier when
+                    // followed by an alphanumeric (so `a - 1` still lexes
+                    // as subtraction).
+                    if c.is_alphanumeric() || c == '_' {
+                        lx.bump();
+                    } else if c == '-'
+                        && lx.peek2().is_some_and(|d| d.is_alphanumeric() || d == '_')
+                    {
+                        lx.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Token::Ident(lx.src[start..lx.pos].to_string())
+            }
+            other => return Err(lx.err(format!("unexpected character {other:?}"))),
+        };
+        out.push(Spanned { token, offset, line });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("for $x in dataset M return $x;"),
+            vec![
+                Token::Ident("for".into()),
+                Token::Variable("x".into()),
+                Token::Ident("in".into()),
+                Token::Ident("dataset".into()),
+                Token::Ident("M".into()),
+                Token::Ident("return".into()),
+                Token::Variable("x".into()),
+                Token::Semicolon,
+            ]
+        );
+    }
+
+    #[test]
+    fn hyphenated_identifiers_vs_subtraction() {
+        assert_eq!(
+            toks("$m.author-id"),
+            vec![
+                Token::Variable("m".into()),
+                Token::Dot,
+                Token::Ident("author-id".into()),
+            ]
+        );
+        assert_eq!(
+            toks("a - 1"),
+            vec![Token::Ident("a".into()), Token::Minus, Token::IntLit(1)]
+        );
+        // `a -1` also subtracts (minus followed by digit).
+        assert_eq!(
+            toks("a -1"),
+            vec![Token::Ident("a".into()), Token::Minus, Token::IntLit(1)]
+        );
+    }
+
+    #[test]
+    fn operators_and_bags() {
+        assert_eq!(
+            toks("{{ 1, 2 }} ~= $x := y != z <= w"),
+            vec![
+                Token::LDoubleBrace,
+                Token::IntLit(1),
+                Token::Comma,
+                Token::IntLit(2),
+                Token::RDoubleBrace,
+                Token::FuzzyEq,
+                Token::Variable("x".into()),
+                Token::Assign,
+                Token::Ident("y".into()),
+                Token::Neq,
+                Token::Ident("z".into()),
+                Token::Le,
+                Token::Ident("w".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn hints_are_tokens_comments_are_not() {
+        let t = toks("a /* plain */ /*+ indexnl */ = b");
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("a".into()),
+                Token::Hint("indexnl".into()),
+                Token::Eq,
+                Token::Ident("b".into()),
+            ]
+        );
+        assert_eq!(toks("x // line comment\n y").len(), 2);
+    }
+
+    #[test]
+    fn string_escapes_and_quotes() {
+        assert_eq!(
+            toks(r#""a\"b" 'c\'d'"#),
+            vec![
+                Token::StringLit("a\"b".into()),
+                Token::StringLit("c'd".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numeric_literals() {
+        assert_eq!(
+            toks("1 2.5 1e3 7i8 9i32 2.5f"),
+            vec![
+                Token::IntLit(1),
+                Token::DoubleLit(2.5),
+                Token::DoubleLit(1000.0),
+                Token::Int8Lit(7),
+                Token::Int32Lit(9),
+                Token::FloatLit(2.5),
+            ]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("/* unterminated").is_err());
+        assert!(tokenize("a ~ b").is_err());
+        assert!(tokenize("#").is_err());
+    }
+
+    #[test]
+    fn line_tracking() {
+        let spanned = tokenize("a\nb\nc").unwrap();
+        assert_eq!(spanned[0].line, 1);
+        assert_eq!(spanned[1].line, 2);
+        assert_eq!(spanned[2].line, 3);
+    }
+}

@@ -1,0 +1,18 @@
+//! # asterix-aql — the Asterix Query Language (§3)
+//!
+//! AQL is an expression language loosely based on XQuery: FLWOR
+//! (for-let-where-order by-return) expressions with group by and limit,
+//! quantified expressions, fuzzy comparison (`~=`), rich literals (records,
+//! ordered lists, bags, typed constructors), and DDL/DML statements
+//! (dataverses, types, datasets, indexes, feeds, functions, insert/delete,
+//! load). This crate lexes and parses AQL and translates queries into
+//! Algebricks logical plans.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod translate;
+
+pub use ast::{Expr, Statement};
+pub use parser::{parse_expression, parse_statements};
+pub use translate::{AqlCatalog, FunctionDef, Translator};

@@ -1,0 +1,1176 @@
+//! Recursive-descent parser for AQL.
+//!
+//! Keywords are contextual (AQL allows `dataset`, `for`, etc. as field
+//! names after a dot), so the parser matches identifier text at the points
+//! where keywords are expected.
+
+use std::fmt;
+
+use asterix_adm::Value;
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Spanned, Token};
+
+/// Parse errors with line information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub message: String,
+    pub line: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<crate::lexer::LexError> for ParseError {
+    fn from(e: crate::lexer::LexError) -> Self {
+        ParseError { message: e.message, line: e.line }
+    }
+}
+
+type PResult<T> = Result<T, ParseError>;
+
+/// Parse a sequence of semicolon-terminated statements.
+pub fn parse_statements(src: &str) -> PResult<Vec<Statement>> {
+    Ok(parse_statements_spanned(src)?.into_iter().map(|(s, _)| s).collect())
+}
+
+/// Like [`parse_statements`], also returning each statement's source text
+/// (used to persist DDL for catalog replay).
+pub fn parse_statements_spanned(src: &str) -> PResult<Vec<(Statement, String)>> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut out = Vec::new();
+    while !p.at_end() {
+        if p.eat(&Token::Semicolon) {
+            continue;
+        }
+        let start_offset = p.tokens[p.pos].offset;
+        let stmt = p.parse_statement()?;
+        // Statements are separated by semicolons; the final one may omit it.
+        if !p.at_end() && !p.eat(&Token::Semicolon) {
+            return Err(p.err("expected ';' after statement"));
+        }
+        let end_offset = p
+            .tokens
+            .get(p.pos)
+            .map(|t| t.offset)
+            .unwrap_or(src.len());
+        let text = src[start_offset..end_offset]
+            .trim()
+            .trim_end_matches(';')
+            .trim()
+            .to_string();
+        out.push((stmt, text));
+    }
+    Ok(out)
+}
+
+/// Parse a single expression (must consume all input).
+pub fn parse_expression(src: &str) -> PResult<Expr> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.parse_expr()?;
+    if !p.at_end() && !p.eat(&Token::Semicolon) {
+        return Err(p.err("trailing input after expression"));
+    }
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn peek_at(&self, n: usize) -> Option<&Token> {
+        self.tokens.get(self.pos + n).map(|s| &s.token)
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|s| s.line)
+            .unwrap_or(0)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        let found = match self.peek() {
+            Some(t) => format!(" (found {t})"),
+            None => " (at end of input)".to_string(),
+        };
+        ParseError { message: format!("{}{}", msg.into(), found), line: self.line() }
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|s| s.token.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> PResult<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{t}'")))
+        }
+    }
+
+    /// Is the current token the identifier/keyword `kw`?
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> PResult<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword '{kw}'")))
+        }
+    }
+
+    fn expect_ident(&mut self) -> PResult<String> {
+        match self.bump() {
+            Some(Token::Ident(s)) => Ok(s),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("expected identifier"))
+            }
+        }
+    }
+
+    fn expect_variable(&mut self) -> PResult<String> {
+        match self.bump() {
+            Some(Token::Variable(s)) => Ok(s),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("expected variable"))
+            }
+        }
+    }
+
+    fn expect_string(&mut self) -> PResult<String> {
+        match self.bump() {
+            Some(Token::StringLit(s)) => Ok(s),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("expected string literal"))
+            }
+        }
+    }
+
+    // -- statements ----------------------------------------------------------
+
+    fn parse_statement(&mut self) -> PResult<Statement> {
+        if self.at_kw("drop") {
+            return self.parse_drop();
+        }
+        if self.at_kw("create") {
+            return self.parse_create();
+        }
+        if self.at_kw("use") {
+            self.bump();
+            self.expect_kw("dataverse")?;
+            return Ok(Statement::UseDataverse(self.expect_ident()?));
+        }
+        if self.at_kw("set") {
+            self.bump();
+            let key = self.expect_ident()?;
+            let value = self.expect_string()?;
+            return Ok(Statement::Set { key, value });
+        }
+        if self.at_kw("insert") {
+            self.bump();
+            self.expect_kw("into")?;
+            self.expect_kw("dataset")?;
+            let dataset = self.parse_qualified_name()?;
+            self.expect(&Token::LParen)?;
+            let expr = self.parse_expr()?;
+            self.expect(&Token::RParen)?;
+            return Ok(Statement::Insert { dataset, expr });
+        }
+        if self.at_kw("delete") {
+            self.bump();
+            let var = self.expect_variable()?;
+            self.expect_kw("from")?;
+            self.expect_kw("dataset")?;
+            let dataset = self.parse_qualified_name()?;
+            let condition = if self.eat_kw("where") {
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
+            return Ok(Statement::Delete { var, dataset, condition });
+        }
+        if self.at_kw("load") {
+            self.bump();
+            self.expect_kw("dataset")?;
+            let dataset = self.parse_qualified_name()?;
+            self.expect_kw("using")?;
+            let adaptor = self.expect_ident()?;
+            let properties = self.parse_properties()?;
+            return Ok(Statement::Load { dataset, adaptor, properties });
+        }
+        if self.at_kw("connect") {
+            self.bump();
+            self.expect_kw("feed")?;
+            let feed = self.parse_qualified_name()?;
+            let apply_function = if self.eat_kw("apply") {
+                self.expect_kw("function")?;
+                Some(self.expect_ident()?)
+            } else {
+                None
+            };
+            self.expect_kw("to")?;
+            self.expect_kw("dataset")?;
+            let dataset = self.parse_qualified_name()?;
+            return Ok(Statement::ConnectFeed { feed, dataset, apply_function });
+        }
+        if self.at_kw("disconnect") {
+            self.bump();
+            self.expect_kw("feed")?;
+            let feed = self.parse_qualified_name()?;
+            self.expect_kw("from")?;
+            self.expect_kw("dataset")?;
+            let dataset = self.parse_qualified_name()?;
+            return Ok(Statement::DisconnectFeed { feed, dataset });
+        }
+        // Otherwise: a query expression.
+        Ok(Statement::Query(self.parse_expr()?))
+    }
+
+    fn parse_if_exists(&mut self) -> bool {
+        if self.at_kw("if")
+            && matches!(self.peek_at(1), Some(Token::Ident(s)) if s.eq_ignore_ascii_case("exists"))
+        {
+            self.pos += 2;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_drop(&mut self) -> PResult<Statement> {
+        self.expect_kw("drop")?;
+        if self.eat_kw("dataverse") {
+            let name = self.expect_ident()?;
+            let if_exists = self.parse_if_exists();
+            return Ok(Statement::DropDataverse { name, if_exists });
+        }
+        if self.eat_kw("type") {
+            let name = self.expect_ident()?;
+            let if_exists = self.parse_if_exists();
+            return Ok(Statement::DropType { name, if_exists });
+        }
+        if self.eat_kw("dataset") {
+            let name = self.parse_qualified_name()?;
+            let if_exists = self.parse_if_exists();
+            return Ok(Statement::DropDataset { name, if_exists });
+        }
+        if self.eat_kw("index") {
+            // `drop index <dataset>.<index>` or `drop index <dv>.<ds>.<ix>`.
+            let mut parts = vec![self.expect_ident()?];
+            while self.eat(&Token::Dot) {
+                parts.push(self.expect_ident()?);
+            }
+            if parts.len() < 2 {
+                return Err(self.err("expected dataset.index after 'drop index'"));
+            }
+            let name = parts.pop().unwrap();
+            let dataset = parts.join(".");
+            let if_exists = self.parse_if_exists();
+            return Ok(Statement::DropIndex { dataset, name, if_exists });
+        }
+        if self.eat_kw("function") {
+            let name = self.expect_ident()?;
+            let if_exists = self.parse_if_exists();
+            return Ok(Statement::DropFunction { name, if_exists });
+        }
+        Err(self.err("expected dataverse/type/dataset/index/function after 'drop'"))
+    }
+
+    fn parse_create(&mut self) -> PResult<Statement> {
+        self.expect_kw("create")?;
+        if self.eat_kw("dataverse") {
+            let name = self.expect_ident()?;
+            let if_not_exists = if self.at_kw("if") {
+                self.bump();
+                self.expect_kw("not")?;
+                self.expect_kw("exists")?;
+                true
+            } else {
+                false
+            };
+            return Ok(Statement::CreateDataverse { name, if_not_exists });
+        }
+        if self.eat_kw("type") {
+            let name = self.expect_ident()?;
+            self.expect_kw("as")?;
+            // `as open { ... }` / `as closed { ... }` / `as { ... }`.
+            let open = if self.eat_kw("open") {
+                true
+            } else { !self.eat_kw("closed") };
+            let ty = self.parse_type_expr(open)?;
+            return Ok(Statement::CreateType { name, ty });
+        }
+        if self.eat_kw("secondary") {
+            self.expect_kw("feed")?;
+            let name = self.parse_qualified_name()?;
+            self.expect_kw("from")?;
+            self.expect_kw("feed")?;
+            let parent = self.parse_qualified_name()?;
+            return Ok(Statement::CreateSecondaryFeed { name, parent });
+        }
+        if self.eat_kw("external") {
+            self.expect_kw("dataset")?;
+            let name = self.parse_qualified_name()?;
+            self.expect(&Token::LParen)?;
+            let type_name = self.expect_ident()?;
+            self.expect(&Token::RParen)?;
+            self.expect_kw("using")?;
+            let adaptor = self.expect_ident()?;
+            let properties = self.parse_properties()?;
+            return Ok(Statement::CreateExternalDataset {
+                name,
+                type_name,
+                adaptor,
+                properties,
+            });
+        }
+        if self.eat_kw("dataset") {
+            let name = self.parse_qualified_name()?;
+            self.expect(&Token::LParen)?;
+            let type_name = self.expect_ident()?;
+            self.expect(&Token::RParen)?;
+            self.expect_kw("primary")?;
+            self.expect_kw("key")?;
+            let mut primary_key = vec![self.expect_ident()?];
+            while self.eat(&Token::Comma) {
+                primary_key.push(self.expect_ident()?);
+            }
+            let autogenerated = self.eat_kw("autogenerated");
+            if autogenerated && primary_key.len() != 1 {
+                return Err(self.err("autogenerated keys must be single-field"));
+            }
+            return Ok(Statement::CreateDataset {
+                name,
+                type_name,
+                primary_key,
+                autogenerated,
+            });
+        }
+        if self.eat_kw("index") {
+            let name = self.expect_ident()?;
+            self.expect_kw("on")?;
+            let dataset = self.parse_qualified_name()?;
+            self.expect(&Token::LParen)?;
+            let mut fields = vec![self.parse_field_path()?];
+            while self.eat(&Token::Comma) {
+                fields.push(self.parse_field_path()?);
+            }
+            self.expect(&Token::RParen)?;
+            let index_type = if self.eat_kw("type") {
+                if self.eat_kw("btree") {
+                    IndexTypeAst::BTree
+                } else if self.eat_kw("rtree") {
+                    IndexTypeAst::RTree
+                } else if self.eat_kw("keyword") {
+                    IndexTypeAst::Keyword
+                } else if self.eat_kw("ngram") {
+                    self.expect(&Token::LParen)?;
+                    let k = match self.bump() {
+                        Some(Token::IntLit(k)) if k > 0 => k as usize,
+                        _ => return Err(self.err("expected gram length")),
+                    };
+                    self.expect(&Token::RParen)?;
+                    IndexTypeAst::NGram(k)
+                } else {
+                    return Err(self.err("expected btree/rtree/keyword/ngram"));
+                }
+            } else {
+                IndexTypeAst::BTree // "btree is the default" (§2.2)
+            };
+            return Ok(Statement::CreateIndex { name, dataset, fields, index_type });
+        }
+        if self.eat_kw("feed") {
+            let name = self.parse_qualified_name()?;
+            self.expect_kw("using")?;
+            let adaptor = self.expect_ident()?;
+            let properties = self.parse_properties()?;
+            return Ok(Statement::CreateFeed { name, adaptor, properties });
+        }
+        if self.eat_kw("function") {
+            let name = self.expect_ident()?;
+            self.expect(&Token::LParen)?;
+            let mut params = Vec::new();
+            if !self.eat(&Token::RParen) {
+                loop {
+                    params.push(self.expect_variable()?);
+                    if self.eat(&Token::Comma) {
+                        continue;
+                    }
+                    self.expect(&Token::RParen)?;
+                    break;
+                }
+            }
+            self.expect(&Token::LBrace)?;
+            let body = self.parse_expr()?;
+            self.expect(&Token::RBrace)?;
+            return Ok(Statement::CreateFunction { name, params, body });
+        }
+        Err(self.err("expected dataverse/type/dataset/index/feed/function after 'create'"))
+    }
+
+    fn parse_field_path(&mut self) -> PResult<String> {
+        let mut path = self.expect_ident()?;
+        while self.eat(&Token::Dot) {
+            path.push('.');
+            path.push_str(&self.expect_ident()?);
+        }
+        Ok(path)
+    }
+
+    fn parse_qualified_name(&mut self) -> PResult<String> {
+        let first = self.expect_ident()?;
+        if self.peek() == Some(&Token::Dot)
+            && matches!(self.peek_at(1), Some(Token::Ident(_)))
+        {
+            self.bump();
+            let second = self.expect_ident()?;
+            Ok(format!("{first}.{second}"))
+        } else {
+            Ok(first)
+        }
+    }
+
+    /// `(("key"="value"), ...)` adaptor property lists.
+    fn parse_properties(&mut self) -> PResult<Vec<(String, String)>> {
+        self.expect(&Token::LParen)?;
+        let mut out = Vec::new();
+        if self.eat(&Token::RParen) {
+            return Ok(out);
+        }
+        loop {
+            self.expect(&Token::LParen)?;
+            let k = self.expect_string()?;
+            self.expect(&Token::Eq)?;
+            let v = self.expect_string()?;
+            self.expect(&Token::RParen)?;
+            out.push((k, v));
+            if self.eat(&Token::Comma) {
+                continue;
+            }
+            self.expect(&Token::RParen)?;
+            break;
+        }
+        Ok(out)
+    }
+
+    fn parse_type_expr(&mut self, open_default: bool) -> PResult<TypeExpr> {
+        match self.peek() {
+            Some(Token::LBrace) => {
+                self.bump();
+                let mut fields = Vec::new();
+                if !self.eat(&Token::RBrace) {
+                    loop {
+                        let name = match self.bump() {
+                            Some(Token::Ident(s)) => s,
+                            Some(Token::StringLit(s)) => s,
+                            _ => return Err(self.err("expected field name")),
+                        };
+                        self.expect(&Token::Colon)?;
+                        let ty = self.parse_type_expr(true)?;
+                        let optional = self.eat(&Token::QuestionMark);
+                        fields.push((name, ty, optional));
+                        if self.eat(&Token::Comma) {
+                            continue;
+                        }
+                        self.expect(&Token::RBrace)?;
+                        break;
+                    }
+                }
+                Ok(TypeExpr::Record { fields, open: open_default })
+            }
+            Some(Token::LBracket) => {
+                self.bump();
+                let inner = self.parse_type_expr(true)?;
+                self.expect(&Token::RBracket)?;
+                Ok(TypeExpr::OrderedList(Box::new(inner)))
+            }
+            Some(Token::LDoubleBrace) => {
+                self.bump();
+                let inner = self.parse_type_expr(true)?;
+                self.expect(&Token::RDoubleBrace)?;
+                Ok(TypeExpr::UnorderedList(Box::new(inner)))
+            }
+            Some(Token::Ident(_)) => Ok(TypeExpr::Named(self.expect_ident()?)),
+            _ => Err(self.err("expected type expression")),
+        }
+    }
+
+    // -- expressions ---------------------------------------------------------
+
+    fn parse_expr(&mut self) -> PResult<Expr> {
+        // FLWOR?
+        if self.at_kw("for") || self.at_kw("let") {
+            // `let` can also start a FLWOR (Query 12 starts with let).
+            return self.parse_flwor();
+        }
+        if self.at_kw("some") || self.at_kw("every") {
+            return self.parse_quantified();
+        }
+        if self.at_kw("if") && self.peek_at(1) == Some(&Token::LParen) {
+            self.bump();
+            self.expect(&Token::LParen)?;
+            let c = self.parse_expr()?;
+            self.expect(&Token::RParen)?;
+            self.expect_kw("then")?;
+            let t = self.parse_expr()?;
+            self.expect_kw("else")?;
+            let e = self.parse_expr()?;
+            return Ok(Expr::IfThenElse(Box::new(c), Box::new(t), Box::new(e)));
+        }
+        self.parse_or()
+    }
+
+    fn parse_quantified(&mut self) -> PResult<Expr> {
+        let q = if self.eat_kw("some") {
+            Quantifier::Some
+        } else {
+            self.expect_kw("every")?;
+            Quantifier::Every
+        };
+        let var = self.expect_variable()?;
+        self.expect_kw("in")?;
+        let collection = self.parse_or()?;
+        self.expect_kw("satisfies")?;
+        let predicate = self.parse_expr()?;
+        Ok(Expr::Quantified {
+            q,
+            var,
+            collection: Box::new(collection),
+            predicate: Box::new(predicate),
+        })
+    }
+
+    fn parse_flwor(&mut self) -> PResult<Expr> {
+        let mut clauses = Vec::new();
+        loop {
+            if self.eat_kw("for") {
+                let var = self.expect_variable()?;
+                let positional = if self.eat_kw("at") {
+                    Some(self.expect_variable()?)
+                } else {
+                    None
+                };
+                self.expect_kw("in")?;
+                let source = self.parse_or()?;
+                clauses.push(Clause::For { var, positional, source });
+            } else if self.eat_kw("let") {
+                let var = self.expect_variable()?;
+                self.expect(&Token::Assign)?;
+                let expr = self.parse_expr()?;
+                clauses.push(Clause::Let { var, expr });
+            } else if self.eat_kw("where") {
+                clauses.push(Clause::Where(self.parse_expr()?));
+            } else if self.at_kw("group") {
+                self.bump();
+                self.expect_kw("by")?;
+                let mut keys = Vec::new();
+                loop {
+                    let kvar = self.expect_variable()?;
+                    self.expect(&Token::Assign)?;
+                    let e = self.parse_expr()?;
+                    keys.push((kvar, e));
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect_kw("with")?;
+                let mut with = vec![self.expect_variable()?];
+                while self.eat(&Token::Comma) {
+                    with.push(self.expect_variable()?);
+                }
+                clauses.push(Clause::GroupBy { keys, with });
+            } else if self.at_kw("order") {
+                self.bump();
+                self.expect_kw("by")?;
+                let mut keys = Vec::new();
+                loop {
+                    let e = self.parse_expr()?;
+                    let desc = if self.eat_kw("desc") {
+                        true
+                    } else {
+                        self.eat_kw("asc");
+                        false
+                    };
+                    keys.push((e, desc));
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+                clauses.push(Clause::OrderBy(keys));
+            } else if self.eat_kw("limit") {
+                let count = self.parse_expr()?;
+                let offset = if self.eat_kw("offset") {
+                    Some(self.parse_expr()?)
+                } else {
+                    None
+                };
+                clauses.push(Clause::Limit { count, offset });
+            } else if self.at_kw("distinct") {
+                self.bump();
+                self.expect_kw("by")?;
+                let mut keys = vec![self.parse_expr()?];
+                while self.eat(&Token::Comma) {
+                    keys.push(self.parse_expr()?);
+                }
+                clauses.push(Clause::DistinctBy(keys));
+            } else if self.eat_kw("return") {
+                let ret = self.parse_expr()?;
+                return Ok(Expr::Flwor(Box::new(Flwor { clauses, ret })));
+            } else {
+                return Err(self.err("expected FLWOR clause or 'return'"));
+            }
+        }
+    }
+
+    fn parse_or(&mut self) -> PResult<Expr> {
+        let mut items = vec![self.parse_and()?];
+        while self.eat_kw("or") {
+            items.push(self.parse_and()?);
+        }
+        Ok(if items.len() == 1 { items.pop().unwrap() } else { Expr::Or(items) })
+    }
+
+    fn parse_and(&mut self) -> PResult<Expr> {
+        let mut items = vec![self.parse_not()?];
+        while self.eat_kw("and") {
+            items.push(self.parse_not()?);
+        }
+        Ok(if items.len() == 1 { items.pop().unwrap() } else { Expr::And(items) })
+    }
+
+    fn parse_not(&mut self) -> PResult<Expr> {
+        if self.at_kw("not") && self.peek_at(1) != Some(&Token::LParen) {
+            self.bump();
+            return Ok(Expr::Not(Box::new(self.parse_not()?)));
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> PResult<Expr> {
+        // Quantified expressions can appear as comparison operands inside
+        // and/or chains (Query 6).
+        if self.at_kw("some") || self.at_kw("every") {
+            return self.parse_quantified();
+        }
+        let left = self.parse_additive()?;
+        // Optional hint before the operator (Query 14).
+        let mut hint = false;
+        if let Some(Token::Hint(h)) = self.peek() {
+            if h.contains("indexnl") {
+                hint = true;
+            }
+            self.bump();
+        }
+        let op = match self.peek() {
+            Some(Token::Eq) => CmpOp::Eq,
+            Some(Token::Neq) => CmpOp::Neq,
+            Some(Token::Lt) => CmpOp::Lt,
+            Some(Token::Le) => CmpOp::Le,
+            Some(Token::Gt) => CmpOp::Gt,
+            Some(Token::Ge) => CmpOp::Ge,
+            Some(Token::FuzzyEq) => CmpOp::FuzzyEq,
+            _ => return Ok(left),
+        };
+        self.bump();
+        let right = self.parse_additive()?;
+        Ok(Expr::Compare {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+            index_nl_hint: hint,
+        })
+    }
+
+    fn parse_additive(&mut self) -> PResult<Expr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => ArithOp::Add,
+                Some(Token::Minus) => ArithOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let right = self.parse_multiplicative()?;
+            left = Expr::Arith(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> PResult<Expr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => ArithOp::Mul,
+                Some(Token::Slash) => ArithOp::Div,
+                Some(Token::Percent) => ArithOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let right = self.parse_unary()?;
+            left = Expr::Arith(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> PResult<Expr> {
+        if self.eat(&Token::Minus) {
+            return Ok(Expr::Neg(Box::new(self.parse_unary()?)));
+        }
+        self.eat(&Token::Plus);
+        self.parse_postfix()
+    }
+
+    fn parse_postfix(&mut self) -> PResult<Expr> {
+        let mut e = self.parse_primary()?;
+        loop {
+            if self.eat(&Token::Dot) {
+                let name = match self.bump() {
+                    Some(Token::Ident(s)) => s,
+                    Some(Token::StringLit(s)) => s,
+                    _ => return Err(self.err("expected field name after '.'")),
+                };
+                e = Expr::FieldAccess(Box::new(e), name);
+            } else if self.peek() == Some(&Token::LBracket) {
+                self.bump();
+                let idx = self.parse_expr()?;
+                self.expect(&Token::RBracket)?;
+                e = Expr::IndexAccess(Box::new(e), Box::new(idx));
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn parse_primary(&mut self) -> PResult<Expr> {
+        match self.peek().cloned() {
+            Some(Token::IntLit(v)) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Int64(v)))
+            }
+            Some(Token::DoubleLit(v)) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Double(v)))
+            }
+            Some(Token::FloatLit(v)) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Float(v)))
+            }
+            Some(Token::Int8Lit(v)) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Int8(v)))
+            }
+            Some(Token::Int16Lit(v)) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Int16(v)))
+            }
+            Some(Token::Int32Lit(v)) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Int32(v)))
+            }
+            Some(Token::StringLit(s)) => {
+                self.bump();
+                Ok(Expr::Literal(Value::string(s)))
+            }
+            Some(Token::Variable(name)) => {
+                self.bump();
+                Ok(Expr::Variable(name))
+            }
+            Some(Token::LParen) => {
+                self.bump();
+                let e = self.parse_expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::LBracket) => {
+                self.bump();
+                let mut items = Vec::new();
+                if !self.eat(&Token::RBracket) {
+                    loop {
+                        items.push(self.parse_expr()?);
+                        if self.eat(&Token::Comma) {
+                            continue;
+                        }
+                        self.expect(&Token::RBracket)?;
+                        break;
+                    }
+                }
+                Ok(Expr::ListCtor { ordered: true, items })
+            }
+            Some(Token::LDoubleBrace) => {
+                self.bump();
+                let mut items = Vec::new();
+                if !self.eat(&Token::RDoubleBrace) {
+                    loop {
+                        items.push(self.parse_expr()?);
+                        if self.eat(&Token::Comma) {
+                            continue;
+                        }
+                        self.expect(&Token::RDoubleBrace)?;
+                        break;
+                    }
+                }
+                Ok(Expr::ListCtor { ordered: false, items })
+            }
+            Some(Token::LBrace) => {
+                self.bump();
+                let mut fields = Vec::new();
+                if !self.eat(&Token::RBrace) {
+                    loop {
+                        let name = match self.bump() {
+                            Some(Token::StringLit(s)) => s,
+                            Some(Token::Ident(s)) => s,
+                            _ => return Err(self.err("expected record field name")),
+                        };
+                        self.expect(&Token::Colon)?;
+                        let value = self.parse_expr()?;
+                        fields.push((name, value));
+                        if self.eat(&Token::Comma) {
+                            continue;
+                        }
+                        self.expect(&Token::RBrace)?;
+                        break;
+                    }
+                }
+                Ok(Expr::RecordCtor(fields))
+            }
+            Some(Token::Ident(word)) => {
+                // Keyword-led expressions.
+                if word.eq_ignore_ascii_case("true") {
+                    self.bump();
+                    return Ok(Expr::Literal(Value::Boolean(true)));
+                }
+                if word.eq_ignore_ascii_case("false") {
+                    self.bump();
+                    return Ok(Expr::Literal(Value::Boolean(false)));
+                }
+                if word.eq_ignore_ascii_case("null") {
+                    self.bump();
+                    return Ok(Expr::Literal(Value::Null));
+                }
+                if word.eq_ignore_ascii_case("missing") {
+                    self.bump();
+                    return Ok(Expr::Literal(Value::Missing));
+                }
+                if word.eq_ignore_ascii_case("dataset") {
+                    self.bump();
+                    let name = self.parse_qualified_name()?;
+                    let (dataverse, name) = match name.split_once('.') {
+                        Some((dv, n)) => (Some(dv.to_string()), n.to_string()),
+                        None => (None, name),
+                    };
+                    return Ok(Expr::DatasetAccess { dataverse, name });
+                }
+                if word.eq_ignore_ascii_case("for") || word.eq_ignore_ascii_case("let") {
+                    return self.parse_flwor();
+                }
+                if word.eq_ignore_ascii_case("some") || word.eq_ignore_ascii_case("every") {
+                    return self.parse_quantified();
+                }
+                // Function call or bare identifier error.
+                self.bump();
+                if self.peek() == Some(&Token::LParen) {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.eat(&Token::RParen) {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if self.eat(&Token::Comma) {
+                                continue;
+                            }
+                            self.expect(&Token::RParen)?;
+                            break;
+                        }
+                    }
+                    Ok(Expr::Call { name: word, args })
+                } else {
+                    Err(self.err(format!("unexpected identifier '{word}'")))
+                }
+            }
+            _ => Err(self.err("expected expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(src: &str) -> Expr {
+        parse_expression(src).unwrap()
+    }
+
+    #[test]
+    fn one_plus_one() {
+        // "the expression 1+1 is a valid AQL query that evaluates to 2"
+        assert_eq!(
+            q("1+1"),
+            Expr::Arith(
+                ArithOp::Add,
+                Box::new(Expr::Literal(Value::Int64(1))),
+                Box::new(Expr::Literal(Value::Int64(1))),
+            )
+        );
+    }
+
+    #[test]
+    fn paper_query_2_parses() {
+        let e = q(r#"
+            for $user in dataset MugshotUsers
+            where $user.user-since >= datetime('2010-07-22T00:00:00')
+              and $user.user-since <= datetime('2012-07-29T23:59:59')
+            return $user
+        "#);
+        let Expr::Flwor(f) = e else { panic!("not a flwor") };
+        assert_eq!(f.clauses.len(), 2);
+        assert!(matches!(&f.clauses[0], Clause::For { var, .. } if var == "user"));
+        assert!(matches!(&f.clauses[1], Clause::Where(Expr::And(cs)) if cs.len() == 2));
+    }
+
+    #[test]
+    fn paper_query_11_parses() {
+        let e = q(r#"
+            for $msg in dataset MugshotMessages
+            where $msg.timestamp >= datetime("2014-02-20T00:00:00")
+              and $msg.timestamp < datetime("2014-02-21T00:00:00")
+            group by $aid := $msg.author-id with $msg
+            let $cnt := count($msg)
+            order by $cnt desc
+            limit 3
+            return { "author" : $aid, "no messages" : $cnt }
+        "#);
+        let Expr::Flwor(f) = e else { panic!() };
+        assert!(f
+            .clauses
+            .iter()
+            .any(|c| matches!(c, Clause::GroupBy { keys, with } if keys.len() == 1 && with.len() == 1)));
+        assert!(f.clauses.iter().any(|c| matches!(c, Clause::OrderBy(ks) if ks[0].1)));
+        assert!(f.clauses.iter().any(|c| matches!(c, Clause::Limit { .. })));
+        assert!(matches!(&f.ret, Expr::RecordCtor(fs) if fs.len() == 2));
+    }
+
+    #[test]
+    fn query14_hint_is_captured() {
+        let e = q(r#"
+            for $user in dataset MugshotUsers
+            for $message in dataset MugshotMessages
+            where $message.author-id /*+ indexnl */ = $user.id
+            return { "uname" : $user.name, "message" : $message.message }
+        "#);
+        let Expr::Flwor(f) = e else { panic!() };
+        let Clause::Where(Expr::Compare { index_nl_hint, .. }) = &f.clauses[2] else {
+            panic!("no where compare: {:?}", f.clauses[2]);
+        };
+        assert!(index_nl_hint);
+    }
+
+    #[test]
+    fn quantified_in_where() {
+        let e = q(r#"
+            for $msu in dataset MugshotUsers
+            where (some $e in $msu.employment
+                   satisfies is-null($e.end-date) and $e.job-kind = "part-time")
+            return $msu
+        "#);
+        let Expr::Flwor(f) = e else { panic!() };
+        assert!(matches!(&f.clauses[1], Clause::Where(Expr::Quantified { .. })));
+    }
+
+    #[test]
+    fn nested_flwor_in_return() {
+        let e = q(r#"
+            for $user in dataset MugshotUsers
+            return {
+                "uname" : $user.name,
+                "messages" :
+                    for $message in dataset MugshotMessages
+                    where $message.author-id = $user.id
+                    return $message.message
+            }
+        "#);
+        let Expr::Flwor(f) = e else { panic!() };
+        let Expr::RecordCtor(fields) = &f.ret else { panic!() };
+        assert!(matches!(&fields[1].1, Expr::Flwor(_)));
+    }
+
+    #[test]
+    fn ddl_statements_parse() {
+        let stmts = parse_statements(
+            r#"
+            drop dataverse TinySocial if exists;
+            create dataverse TinySocial;
+            use dataverse TinySocial;
+            create type EmploymentType as open {
+                organization-name: string,
+                start-date: date,
+                end-date: date?
+            };
+            create type MugshotMessageType as closed {
+                message-id: int32,
+                in-response-to: int32?,
+                sender-location: point?,
+                tags: {{ string }},
+                message: string
+            };
+            create dataset MugshotUsers(MugshotUserType) primary key id;
+            create index msUserSinceIdx on MugshotUsers(user-since);
+            create index msSenderLocIndex on MugshotMessages(sender-location) type rtree;
+            create index msMessageIdx on MugshotMessages(message) type keyword;
+            create index msNgram on MugshotMessages(message) type ngram(3);
+        "#,
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 10);
+        assert!(matches!(&stmts[0], Statement::DropDataverse { if_exists: true, .. }));
+        let Statement::CreateType { ty: TypeExpr::Record { fields, open }, .. } = &stmts[3]
+        else {
+            panic!()
+        };
+        assert!(*open);
+        assert_eq!(fields.len(), 3);
+        assert!(fields[2].2, "end-date should be optional");
+        let Statement::CreateType { ty: TypeExpr::Record { open, fields }, .. } = &stmts[4]
+        else {
+            panic!()
+        };
+        assert!(!*open);
+        assert!(matches!(&fields[3].1, TypeExpr::UnorderedList(_)));
+        assert!(matches!(
+            &stmts[6],
+            Statement::CreateIndex { index_type: IndexTypeAst::BTree, .. }
+        ));
+        assert!(matches!(
+            &stmts[9],
+            Statement::CreateIndex { index_type: IndexTypeAst::NGram(3), .. }
+        ));
+    }
+
+    #[test]
+    fn dml_statements_parse() {
+        let stmts = parse_statements(
+            r#"
+            set simfunction "edit-distance";
+            set simthreshold "3";
+            insert into dataset MugshotUsers ({ "id": 11, "alias": "John" });
+            delete $user from dataset MugshotUsers where $user.id = 11;
+        "#,
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 4);
+        assert!(matches!(&stmts[0], Statement::Set { key, .. } if key == "simfunction"));
+        assert!(matches!(&stmts[2], Statement::Insert { .. }));
+        assert!(
+            matches!(&stmts[3], Statement::Delete { condition: Some(_), var, .. } if var == "user")
+        );
+    }
+
+    #[test]
+    fn external_and_feed_ddl() {
+        let stmts = parse_statements(
+            r#"
+            create external dataset AccessLog(AccessLogType)
+                using localfs
+                (("path"="localhost:///tmp/log.csv"),
+                 ("format"="delimited-text"),
+                 ("delimiter"="|"));
+            create feed socket_feed using socket_adaptor
+                (("sockets"="127.0.0.1:10001"),
+                 ("type-name"="MugshotMessageType"));
+            connect feed socket_feed to dataset MugshotMessages;
+            disconnect feed socket_feed from dataset MugshotMessages;
+        "#,
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 4);
+        let Statement::CreateExternalDataset { adaptor, properties, .. } = &stmts[0] else {
+            panic!()
+        };
+        assert_eq!(adaptor, "localfs");
+        assert_eq!(properties.len(), 3);
+        assert!(matches!(&stmts[2], Statement::ConnectFeed { .. }));
+    }
+
+    #[test]
+    fn function_ddl_and_calls() {
+        let stmts = parse_statements(
+            r#"
+            create function unemployed() {
+                for $msu in dataset MugshotUsers
+                where (every $e in $msu.employment satisfies not(is-null($e.end-date)))
+                return { "name" : $msu.name }
+            };
+            for $un in unemployed() where $un.address.zip = "98765" return $un;
+        "#,
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 2);
+        assert!(matches!(&stmts[0], Statement::CreateFunction { params, .. } if params.is_empty()));
+        let Statement::Query(Expr::Flwor(f)) = &stmts[1] else { panic!() };
+        assert!(
+            matches!(&f.clauses[0], Clause::For { source: Expr::Call { name, .. }, .. } if name == "unemployed")
+        );
+    }
+
+    #[test]
+    fn positional_variable() {
+        let e = q("for $x at $i in $xs return $i");
+        let Expr::Flwor(f) = e else { panic!() };
+        assert!(
+            matches!(&f.clauses[0], Clause::For { positional: Some(p), .. } if p == "i")
+        );
+    }
+
+    #[test]
+    fn parse_errors_have_lines() {
+        let err = parse_statements("for $x in\n dataset M\n return").unwrap_err();
+        assert!(err.line >= 3, "{err}");
+        assert!(parse_expression("1 +").is_err());
+        assert!(parse_expression("{ \"a\" 1 }").is_err());
+        assert!(parse_statements("create banana Foo;").is_err());
+    }
+}

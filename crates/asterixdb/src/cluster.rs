@@ -1,0 +1,134 @@
+//! The simulated shared-nothing cluster (Figure 1 / Figure 4).
+//!
+//! One process hosts a Cluster Controller (the query entry point — in this
+//! reproduction, [`crate::Instance`]) and N Node Controllers, each managing
+//! P storage partitions on its own directory subtree. Operator instances
+//! run one thread per partition, so "nodes" are failure/locality domains
+//! rather than processes; every data path (hash partitioning by primary
+//! key, node-local secondary indexes, per-node transaction logs) follows
+//! the paper's architecture.
+
+use std::path::{Path, PathBuf};
+
+/// Cluster layout and storage tuning.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Node Controllers in the simulated cluster.
+    pub nodes: usize,
+    /// Storage partitions per node (the paper's setup: 3 data disks per
+    /// node → 30 partitions over 10 nodes).
+    pub partitions_per_node: usize,
+    /// Root directory for all node storage.
+    pub base_dir: PathBuf,
+    /// In-memory LSM component budget per index partition, in bytes.
+    pub mem_component_budget: usize,
+    /// Buffer cache capacity in pages (shared per instance).
+    pub buffer_cache_pages: usize,
+    /// Merge policy for all LSM indexes.
+    pub merge_policy: asterix_storage::MergePolicy,
+    /// fsync on commit (see `asterix_txn::wal::Durability`).
+    pub fsync_commits: bool,
+}
+
+impl ClusterConfig {
+    /// A small local cluster: 2 nodes × 2 partitions.
+    pub fn small(base_dir: impl Into<PathBuf>) -> ClusterConfig {
+        ClusterConfig {
+            nodes: 2,
+            partitions_per_node: 2,
+            base_dir: base_dir.into(),
+            mem_component_budget: 4 << 20,
+            buffer_cache_pages: 4096,
+            merge_policy: asterix_storage::MergePolicy::default(),
+            fsync_commits: false,
+        }
+    }
+
+    /// Total storage partitions.
+    pub fn partitions(&self) -> usize {
+        (self.nodes * self.partitions_per_node).max(1)
+    }
+
+    /// Which node hosts a partition.
+    pub fn node_of(&self, partition: usize) -> usize {
+        partition / self.partitions_per_node.max(1)
+    }
+
+    /// Storage directory of one node.
+    pub fn node_dir(&self, node: usize) -> PathBuf {
+        self.base_dir.join(format!("node{node}"))
+    }
+
+    /// Transaction-log path of one node ("system data" disk in the paper's
+    /// setup).
+    pub fn node_log_path(&self, node: usize) -> PathBuf {
+        self.node_dir(node).join("txn.log")
+    }
+
+    /// Directory of one index partition.
+    pub fn index_dir(
+        &self,
+        partition: usize,
+        dataverse: &str,
+        dataset: &str,
+        index: &str,
+    ) -> PathBuf {
+        self.node_dir(self.node_of(partition))
+            .join(format!("p{partition}"))
+            .join(dataverse)
+            .join(dataset)
+            .join(index)
+    }
+
+    /// The DDL replay log (persisted catalog).
+    pub fn ddl_log_path(&self) -> PathBuf {
+        self.base_dir.join("ddl.log")
+    }
+}
+
+/// Summary of the simulated topology (for diagnostics and the README
+/// architecture walkthrough).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    pub nodes: usize,
+    pub partitions: usize,
+}
+
+/// Compute the topology of a config.
+pub fn topology(cfg: &ClusterConfig) -> Topology {
+    Topology { nodes: cfg.nodes, partitions: cfg.partitions() }
+}
+
+/// True if `path` belongs to the node directory layout (sanity checks in
+/// drop/cleanup paths).
+pub fn is_node_path(cfg: &ClusterConfig, path: &Path) -> bool {
+    path.starts_with(&cfg.base_dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_to_node_mapping() {
+        let cfg = ClusterConfig {
+            nodes: 3,
+            partitions_per_node: 2,
+            ..ClusterConfig::small("/tmp/x")
+        };
+        assert_eq!(cfg.partitions(), 6);
+        assert_eq!(cfg.node_of(0), 0);
+        assert_eq!(cfg.node_of(1), 0);
+        assert_eq!(cfg.node_of(2), 1);
+        assert_eq!(cfg.node_of(5), 2);
+    }
+
+    #[test]
+    fn paths_are_per_node() {
+        let cfg = ClusterConfig::small("/tmp/base");
+        let d = cfg.index_dir(3, "TinySocial", "MugshotUsers", "primary");
+        assert!(d.starts_with("/tmp/base/node1/p3"), "{}", d.display());
+        assert!(is_node_path(&cfg, &d));
+        assert!(!is_node_path(&cfg, Path::new("/etc")));
+    }
+}

@@ -1,0 +1,103 @@
+//! Top-level error type aggregating every layer.
+
+use std::fmt;
+
+/// Any error surfaced by the BDMS.
+#[derive(Debug)]
+pub enum AsterixError {
+    Adm(asterix_adm::AdmError),
+    Storage(asterix_storage::StorageError),
+    Txn(asterix_txn::TxnError),
+    Hyracks(asterix_hyracks::HyracksError),
+    Parse(String),
+    Translate(String),
+    Catalog(String),
+    External(String),
+    Feed(String),
+    Io(std::io::Error),
+    /// Semantic errors at execution time (duplicate key, missing pk, ...).
+    Execution(String),
+}
+
+impl fmt::Display for AsterixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsterixError::Adm(e) => write!(f, "{e}"),
+            AsterixError::Storage(e) => write!(f, "{e}"),
+            AsterixError::Txn(e) => write!(f, "{e}"),
+            AsterixError::Hyracks(e) => write!(f, "{e}"),
+            AsterixError::Parse(m) => write!(f, "{m}"),
+            AsterixError::Translate(m) => write!(f, "{m}"),
+            AsterixError::Catalog(m) => write!(f, "{m}"),
+            AsterixError::External(m) => write!(f, "{m}"),
+            AsterixError::Feed(m) => write!(f, "{m}"),
+            AsterixError::Io(e) => write!(f, "io error: {e}"),
+            AsterixError::Execution(m) => write!(f, "execution error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AsterixError {}
+
+impl From<asterix_adm::AdmError> for AsterixError {
+    fn from(e: asterix_adm::AdmError) -> Self {
+        AsterixError::Adm(e)
+    }
+}
+
+impl From<asterix_storage::StorageError> for AsterixError {
+    fn from(e: asterix_storage::StorageError) -> Self {
+        AsterixError::Storage(e)
+    }
+}
+
+impl From<asterix_txn::TxnError> for AsterixError {
+    fn from(e: asterix_txn::TxnError) -> Self {
+        AsterixError::Txn(e)
+    }
+}
+
+impl From<asterix_hyracks::HyracksError> for AsterixError {
+    fn from(e: asterix_hyracks::HyracksError) -> Self {
+        AsterixError::Hyracks(e)
+    }
+}
+
+impl From<std::io::Error> for AsterixError {
+    fn from(e: std::io::Error) -> Self {
+        AsterixError::Io(e)
+    }
+}
+
+impl From<asterix_metadata::CatalogError> for AsterixError {
+    fn from(e: asterix_metadata::CatalogError) -> Self {
+        AsterixError::Catalog(e.0)
+    }
+}
+
+impl From<asterix_external::ExternalError> for AsterixError {
+    fn from(e: asterix_external::ExternalError) -> Self {
+        AsterixError::External(e.to_string())
+    }
+}
+
+impl From<asterix_feeds::FeedError> for AsterixError {
+    fn from(e: asterix_feeds::FeedError) -> Self {
+        AsterixError::Feed(e.to_string())
+    }
+}
+
+impl From<asterix_aql::parser::ParseError> for AsterixError {
+    fn from(e: asterix_aql::parser::ParseError) -> Self {
+        AsterixError::Parse(e.to_string())
+    }
+}
+
+impl From<asterix_aql::translate::TranslateError> for AsterixError {
+    fn from(e: asterix_aql::translate::TranslateError) -> Self {
+        AsterixError::Translate(e.to_string())
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, AsterixError>;

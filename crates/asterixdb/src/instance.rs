@@ -1,0 +1,916 @@
+//! The AsterixDB instance: the Cluster Controller role of Figure 1 —
+//! receives AQL statements, compiles them through Algebricks, runs Hyracks
+//! jobs over the node partitions, and manages DDL, DML, feeds, and
+//! recovery.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use asterix_adm::functions::FunctionContext;
+use asterix_adm::types::{Datatype, FieldType, RecordType};
+use asterix_adm::Value;
+use asterix_algebricks::jobgen;
+use asterix_algebricks::metadata::MetadataProvider;
+use asterix_algebricks::rules::{optimize, OptimizerOptions};
+use asterix_aql::ast::{Expr, IndexTypeAst, Statement, TypeExpr};
+use asterix_aql::parser::parse_statements_spanned;
+use asterix_aql::translate::Translator;
+use asterix_feeds::{socket_adaptor, ComputeFn, IngestionPipeline, SocketEndpoint};
+use asterix_metadata::{
+    Catalog, DatasetKind, DatasetMeta, FeedMeta, FunctionMeta, IndexKindMeta, IndexMeta,
+    METADATA_DATAVERSE,
+};
+use asterix_storage::BufferCache;
+use asterix_txn::wal::{Durability, LogManager};
+use asterix_txn::{recover, LockManager, RecoveryTarget};
+use parking_lot::{Mutex, RwLock};
+
+use crate::cluster::ClusterConfig;
+use crate::dataset::DatasetRuntime;
+use crate::error::{AsterixError, Result};
+use crate::provider::{InstanceProvider, SessionCatalog, Shared};
+
+/// The result of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatementResult {
+    /// DDL / session statement completed.
+    Ok,
+    /// DML completed, affecting this many records.
+    Count(usize),
+    /// Query rows.
+    Rows(Vec<Value>),
+}
+
+impl StatementResult {
+    /// Rows of a query result (empty for non-queries).
+    pub fn rows(&self) -> &[Value] {
+        match self {
+            StatementResult::Rows(r) => r,
+            _ => &[],
+        }
+    }
+
+    pub fn count(&self) -> usize {
+        match self {
+            StatementResult::Count(n) => *n,
+            StatementResult::Rows(r) => r.len(),
+            StatementResult::Ok => 0,
+        }
+    }
+}
+
+struct FeedRuntime {
+    endpoint: SocketEndpoint,
+    pipelines: HashMap<String, IngestionPipeline>, // by target dataset
+}
+
+/// A running AsterixDB instance.
+pub struct Instance {
+    cfg: ClusterConfig,
+    shared: Arc<Shared>,
+    locks: Arc<LockManager>,
+    wals: Vec<Arc<LogManager>>,
+    next_dataset_id: AtomicU32,
+    by_id: RwLock<HashMap<u32, Arc<DatasetRuntime>>>,
+    cache: Arc<BufferCache>,
+    session: RwLock<Session>,
+    feeds: Mutex<HashMap<String, FeedRuntime>>,
+    /// Optimizer switches (Table 3's no-index runs, limit-pushdown
+    /// ablation).
+    pub optimizer_options: RwLock<OptimizerOptions>,
+    /// When true, DDL is not persisted (used internally during replay).
+    replaying: std::sync::atomic::AtomicBool,
+}
+
+struct Session {
+    dataverse: String,
+    simfunction: String,
+    simthreshold: String,
+}
+
+impl Instance {
+    /// Open (or create) an instance rooted at the config's base dir,
+    /// replaying persisted DDL and running WAL crash recovery.
+    pub fn open(cfg: ClusterConfig) -> Result<Arc<Instance>> {
+        std::fs::create_dir_all(&cfg.base_dir)?;
+        let mut wals = Vec::with_capacity(cfg.nodes);
+        for n in 0..cfg.nodes {
+            std::fs::create_dir_all(cfg.node_dir(n))?;
+            let durability =
+                if cfg.fsync_commits { Durability::Fsync } else { Durability::Buffer };
+            wals.push(Arc::new(LogManager::open(&cfg.node_log_path(n), durability)?));
+        }
+        let shared = Arc::new(Shared {
+            catalog: RwLock::new(Catalog::new()),
+            datasets: RwLock::new(HashMap::new()),
+            external_cache: RwLock::new(HashMap::new()),
+            partitions: cfg.partitions(),
+            partitions_per_node: cfg.partitions_per_node.max(1),
+        });
+        let instance = Arc::new(Instance {
+            cache: BufferCache::new(cfg.buffer_cache_pages),
+            locks: LockManager::new(Duration::from_secs(10)),
+            wals,
+            next_dataset_id: AtomicU32::new(1),
+            by_id: RwLock::new(HashMap::new()),
+            shared,
+            session: RwLock::new(Session {
+                dataverse: METADATA_DATAVERSE.to_string(),
+                simfunction: "jaccard".into(),
+                simthreshold: "0.5".into(),
+            }),
+            feeds: Mutex::new(HashMap::new()),
+            optimizer_options: RwLock::new(OptimizerOptions::default()),
+            replaying: std::sync::atomic::AtomicBool::new(false),
+            cfg,
+        });
+        instance.replay_ddl()?;
+        instance.recover_from_wal()?;
+        Ok(instance)
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// The shared catalog/dataset state (for embedding scenarios that build
+    /// their own providers, e.g. differential tests running the interpreter
+    /// against live storage).
+    pub fn shared_state(&self) -> Arc<crate::provider::Shared> {
+        Arc::clone(&self.shared)
+    }
+
+    fn replay_ddl(&self) -> Result<()> {
+        let path = self.cfg.ddl_log_path();
+        if !path.exists() {
+            return Ok(());
+        }
+        let content = std::fs::read_to_string(&path)?;
+        self.replaying.store(true, Ordering::SeqCst);
+        let result = (|| -> Result<()> {
+            for stmt_src in content.split('\u{1e}') {
+                let stmt_src = stmt_src.trim();
+                if stmt_src.is_empty() {
+                    continue;
+                }
+                self.execute(stmt_src)?;
+            }
+            Ok(())
+        })();
+        self.replaying.store(false, Ordering::SeqCst);
+        result
+    }
+
+    fn persist_ddl(&self, source: &str) -> Result<()> {
+        if self.replaying.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.cfg.ddl_log_path())?;
+        // Record-separator-delimited statements (statements may contain
+        // semicolons inside string literals).
+        writeln!(f, "{source}\u{1e}")?;
+        f.sync_data()?;
+        Ok(())
+    }
+
+    fn recover_from_wal(&self) -> Result<()> {
+        struct Target<'a> {
+            by_id: &'a HashMap<u32, Arc<DatasetRuntime>>,
+        }
+        impl RecoveryTarget for Target<'_> {
+            fn replay_insert(
+                &mut self,
+                dataset: u32,
+                index: u32,
+                key: &[u8],
+                value: &[u8],
+            ) -> asterix_txn::Result<()> {
+                if let Some(ds) = self.by_id.get(&dataset) {
+                    ds.replay(index, key, value, false).map_err(|e| {
+                        asterix_txn::TxnError::Corrupt(format!("replay failed: {e}"))
+                    })?;
+                }
+                Ok(())
+            }
+
+            fn replay_delete(
+                &mut self,
+                dataset: u32,
+                index: u32,
+                key: &[u8],
+                value: &[u8],
+            ) -> asterix_txn::Result<()> {
+                if let Some(ds) = self.by_id.get(&dataset) {
+                    ds.replay(index, key, value, true).map_err(|e| {
+                        asterix_txn::TxnError::Corrupt(format!("replay failed: {e}"))
+                    })?;
+                }
+                Ok(())
+            }
+        }
+        let by_id = self.by_id.read().clone();
+        let mut target = Target { by_id: &by_id };
+        for n in 0..self.cfg.nodes {
+            recover(&self.cfg.node_log_path(n), &mut target)?;
+        }
+        Ok(())
+    }
+
+    /// Checkpoint: flush every index and truncate the logs.
+    pub fn checkpoint(&self) -> Result<()> {
+        for ds in self.shared.datasets.read().values() {
+            ds.flush_all()?;
+        }
+        for wal in &self.wals {
+            wal.truncate()?;
+        }
+        Ok(())
+    }
+
+    fn provider(&self) -> Arc<dyn MetadataProvider> {
+        Arc::new(InstanceProvider { shared: Arc::clone(&self.shared) })
+    }
+
+    fn session_catalog(&self) -> SessionCatalog {
+        SessionCatalog {
+            shared: Arc::clone(&self.shared),
+            current_dataverse: self.session.read().dataverse.clone(),
+        }
+    }
+
+    fn fn_ctx(&self) -> FunctionContext {
+        let s = self.session.read();
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as i64)
+            .unwrap_or(0);
+        FunctionContext {
+            now_millis: now,
+            simfunction: s.simfunction.clone(),
+            simthreshold: s.simthreshold.clone(),
+        }
+    }
+
+    /// Execute a string of AQL statements, returning one result per
+    /// statement (the Asterix Client Interface of Figure 4).
+    pub fn execute(&self, aql: &str) -> Result<Vec<StatementResult>> {
+        let statements = parse_statements_spanned(aql)?;
+        let mut out = Vec::with_capacity(statements.len());
+        for (stmt, source) in statements {
+            out.push(self.execute_statement(stmt, &source)?);
+        }
+        Ok(out)
+    }
+
+    /// Execute a single query and return its rows (convenience).
+    pub fn query(&self, aql: &str) -> Result<Vec<Value>> {
+        let results = self.execute(aql)?;
+        for r in results.into_iter().rev() {
+            if let StatementResult::Rows(rows) = r {
+                return Ok(rows);
+            }
+        }
+        Ok(Vec::new())
+    }
+
+    /// Compile a query and return (optimized logical plan, Hyracks job
+    /// description) — the EXPLAIN path used to reproduce Figure 6.
+    pub fn explain(&self, aql: &str) -> Result<(String, String)> {
+        let statements = parse_statements_spanned(aql)?;
+        for (stmt, _) in statements {
+            if let Statement::Query(e) = stmt {
+                let catalog = self.session_catalog();
+                let mut tr = Translator::new(&catalog);
+                let s = self.session.read();
+                tr.simfunction = s.simfunction.clone();
+                tr.simthreshold = s.simthreshold.clone();
+                drop(s);
+                let plan = tr.translate_query(&e)?;
+                let provider = self.provider();
+                let options = self.optimizer_options.read().clone();
+                let optimized = optimize(plan, &provider, &self.fn_ctx(), &options);
+                let compiled =
+                    jobgen::compile(&optimized, provider, self.fn_ctx(), &options)?;
+                return Ok((optimized.pretty(), compiled.describe()));
+            }
+        }
+        Err(AsterixError::Execution("no query statement to explain".into()))
+    }
+
+    fn execute_statement(&self, stmt: Statement, source: &str) -> Result<StatementResult> {
+        match stmt {
+            Statement::CreateDataverse { name, if_not_exists } => {
+                let mut catalog = self.shared.catalog.write();
+                match catalog.create_dataverse(&name) {
+                    Ok(()) => {}
+                    Err(_) if if_not_exists => return Ok(StatementResult::Ok),
+                    Err(e) => return Err(e.into()),
+                }
+                drop(catalog);
+                self.persist_ddl(source)?;
+                Ok(StatementResult::Ok)
+            }
+            Statement::DropDataverse { name, if_exists } => {
+                let dropped = {
+                    let mut catalog = self.shared.catalog.write();
+                    match catalog.drop_dataverse(&name) {
+                        Ok(dv) => Some(dv),
+                        Err(_) if if_exists => None,
+                        Err(e) => return Err(e.into()),
+                    }
+                };
+                if let Some(dv) = dropped {
+                    // Drop the stored datasets of the dataverse, including
+                    // their on-disk storage.
+                    let mut datasets = self.shared.datasets.write();
+                    let mut by_id = self.by_id.write();
+                    for ds_meta in dv.datasets.values() {
+                        if let Some(rt) = datasets.remove(&ds_meta.qualified()) {
+                            by_id.retain(|_, v| !Arc::ptr_eq(v, &rt));
+                            rt.destroy_storage();
+                        }
+                        self.shared
+                            .external_cache
+                            .write()
+                            .remove(&ds_meta.qualified());
+                    }
+                    self.persist_ddl(source)?;
+                }
+                Ok(StatementResult::Ok)
+            }
+            Statement::UseDataverse(name) => {
+                if self.shared.catalog.read().dataverse(&name).is_none() {
+                    return Err(AsterixError::Catalog(format!("unknown dataverse {name}")));
+                }
+                self.session.write().dataverse = name;
+                self.persist_ddl(source)?;
+                Ok(StatementResult::Ok)
+            }
+            Statement::CreateType { name, ty } => {
+                let dv = self.session.read().dataverse.clone();
+                let datatype = lower_type_expr(&ty);
+                self.shared.catalog.write().create_type(&dv, &name, datatype)?;
+                self.persist_ddl(source)?;
+                Ok(StatementResult::Ok)
+            }
+            Statement::DropType { name, if_exists } => {
+                let dv = self.session.read().dataverse.clone();
+                match self.shared.catalog.write().drop_type(&dv, &name) {
+                    Ok(()) => {
+                        self.persist_ddl(source)?;
+                        Ok(StatementResult::Ok)
+                    }
+                    Err(_) if if_exists => Ok(StatementResult::Ok),
+                    Err(e) => Err(e.into()),
+                }
+            }
+            Statement::CreateDataset { name, type_name, primary_key, autogenerated } => {
+                let dv = self.session.read().dataverse.clone();
+                let meta = DatasetMeta {
+                    dataverse: dv.clone(),
+                    name: name.clone(),
+                    type_name,
+                    primary_key,
+                    autogenerated,
+                    kind: DatasetKind::Internal,
+                    indexes: vec![],
+                };
+                self.shared.catalog.write().create_dataset(meta.clone())?;
+                self.materialize_dataset(meta)?;
+                self.persist_ddl(source)?;
+                Ok(StatementResult::Ok)
+            }
+            Statement::CreateExternalDataset { name, type_name, adaptor, properties } => {
+                let dv = self.session.read().dataverse.clone();
+                let meta = DatasetMeta {
+                    dataverse: dv,
+                    name,
+                    type_name,
+                    primary_key: vec![],
+                    autogenerated: false,
+                    kind: DatasetKind::External { adaptor, properties },
+                    indexes: vec![],
+                };
+                self.shared.catalog.write().create_dataset(meta)?;
+                self.persist_ddl(source)?;
+                Ok(StatementResult::Ok)
+            }
+            Statement::DropDataset { name, if_exists } => {
+                let dv = self.session.read().dataverse.clone();
+                let (dataverse, ds_name) = split_name(&dv, &name);
+                match self.shared.catalog.write().drop_dataset(&dataverse, &ds_name) {
+                    Ok(meta) => {
+                        let qualified = meta.qualified();
+                        let mut datasets = self.shared.datasets.write();
+                        if let Some(rt) = datasets.remove(&qualified) {
+                            self.by_id.write().retain(|_, v| !Arc::ptr_eq(v, &rt));
+                            rt.destroy_storage();
+                        }
+                        self.shared.external_cache.write().remove(&qualified);
+                        self.persist_ddl(source)?;
+                        Ok(StatementResult::Ok)
+                    }
+                    Err(_) if if_exists => Ok(StatementResult::Ok),
+                    Err(e) => Err(e.into()),
+                }
+            }
+            Statement::CreateIndex { name, dataset, fields, index_type } => {
+                let dv = self.session.read().dataverse.clone();
+                let (dataverse, ds_name) = split_name(&dv, &dataset);
+                let kind = match index_type {
+                    IndexTypeAst::BTree => IndexKindMeta::BTree,
+                    IndexTypeAst::RTree => IndexKindMeta::RTree,
+                    IndexTypeAst::Keyword => IndexKindMeta::Keyword,
+                    IndexTypeAst::NGram(k) => IndexKindMeta::NGram(k),
+                };
+                let ix = IndexMeta { name: name.clone(), fields, kind };
+                self.shared.catalog.write().add_index(&dataverse, &ds_name, ix.clone())?;
+                let qualified = format!("{dataverse}.{ds_name}");
+                if let Some(rt) = self.shared.dataset(&qualified) {
+                    rt.create_index(ix)?;
+                }
+                self.persist_ddl(source)?;
+                Ok(StatementResult::Ok)
+            }
+            Statement::DropIndex { dataset, name, if_exists } => {
+                let dv = self.session.read().dataverse.clone();
+                let (dataverse, ds_name) = split_name(&dv, &dataset);
+                match self.shared.catalog.write().drop_index(&dataverse, &ds_name, &name) {
+                    Ok(()) => {
+                        if let Some(rt) =
+                            self.shared.dataset(&format!("{dataverse}.{ds_name}"))
+                        {
+                            rt.drop_index(&name)?;
+                        }
+                        self.persist_ddl(source)?;
+                        Ok(StatementResult::Ok)
+                    }
+                    Err(_) if if_exists => Ok(StatementResult::Ok),
+                    Err(e) => Err(e.into()),
+                }
+            }
+            Statement::CreateFeed { name, adaptor, properties } => {
+                let dv = self.session.read().dataverse.clone();
+                {
+                    let mut catalog = self.shared.catalog.write();
+                    let dataverse = catalog.dataverse_mut(&dv)?;
+                    if dataverse.feeds.contains_key(&name) {
+                        return Err(AsterixError::Catalog(format!(
+                            "feed {name} already exists"
+                        )));
+                    }
+                    dataverse.feeds.insert(
+                        name.clone(),
+                        FeedMeta { name, adaptor, properties, parent: None, connections: vec![] },
+                    );
+                }
+                self.persist_ddl(source)?;
+                Ok(StatementResult::Ok)
+            }
+            Statement::CreateSecondaryFeed { name, parent } => {
+                let dv = self.session.read().dataverse.clone();
+                {
+                    let mut catalog = self.shared.catalog.write();
+                    let dataverse = catalog.dataverse_mut(&dv)?;
+                    if !dataverse.feeds.contains_key(&parent) {
+                        return Err(AsterixError::Catalog(format!(
+                            "unknown parent feed {parent}"
+                        )));
+                    }
+                    if dataverse.feeds.contains_key(&name) {
+                        return Err(AsterixError::Catalog(format!(
+                            "feed {name} already exists"
+                        )));
+                    }
+                    dataverse.feeds.insert(
+                        name.clone(),
+                        FeedMeta {
+                            name,
+                            adaptor: "secondary".into(),
+                            properties: vec![],
+                            parent: Some(parent),
+                            connections: vec![],
+                        },
+                    );
+                }
+                self.persist_ddl(source)?;
+                Ok(StatementResult::Ok)
+            }
+            Statement::ConnectFeed { feed, dataset, apply_function } => {
+                self.connect_feed(&feed, &dataset, apply_function.as_deref())?;
+                Ok(StatementResult::Ok)
+            }
+            Statement::DisconnectFeed { feed, dataset } => {
+                self.disconnect_feed(&feed, &dataset)?;
+                Ok(StatementResult::Ok)
+            }
+            Statement::CreateFunction { name, params, body: _ } => {
+                let dv = self.session.read().dataverse.clone();
+                {
+                    let mut catalog = self.shared.catalog.write();
+                    let dataverse = catalog.dataverse_mut(&dv)?;
+                    dataverse.functions.insert(
+                        name.clone(),
+                        FunctionMeta {
+                            name,
+                            params,
+                            // Store the whole statement; the catalog lookup
+                            // re-parses it and extracts the body.
+                            body_src: source.to_string(),
+                        },
+                    );
+                }
+                self.persist_ddl(source)?;
+                Ok(StatementResult::Ok)
+            }
+            Statement::DropFunction { name, if_exists } => {
+                let dv = self.session.read().dataverse.clone();
+                let mut catalog = self.shared.catalog.write();
+                let dataverse = catalog.dataverse_mut(&dv)?;
+                if dataverse.functions.remove(&name).is_none() && !if_exists {
+                    return Err(AsterixError::Catalog(format!("unknown function {name}")));
+                }
+                drop(catalog);
+                self.persist_ddl(source)?;
+                Ok(StatementResult::Ok)
+            }
+            Statement::Set { key, value } => {
+                let mut s = self.session.write();
+                match key.as_str() {
+                    "simfunction" => s.simfunction = value,
+                    "simthreshold" => s.simthreshold = value,
+                    _ => {
+                        return Err(AsterixError::Execution(format!(
+                            "unknown session parameter {key}"
+                        )))
+                    }
+                }
+                Ok(StatementResult::Ok)
+            }
+            Statement::Insert { dataset, expr } => {
+                let n = self.run_insert(&dataset, &expr)?;
+                Ok(StatementResult::Count(n))
+            }
+            Statement::Delete { var, dataset, condition } => {
+                let n = self.run_delete(&var, &dataset, condition.as_ref())?;
+                Ok(StatementResult::Count(n))
+            }
+            Statement::Load { dataset, adaptor, properties } => {
+                let n = self.run_load(&dataset, &adaptor, &properties)?;
+                Ok(StatementResult::Count(n))
+            }
+            Statement::Query(e) => {
+                let rows = self.run_query(&e)?;
+                Ok(StatementResult::Rows(rows))
+            }
+        }
+    }
+
+    fn materialize_dataset(&self, meta: DatasetMeta) -> Result<()> {
+        let catalog = self.shared.catalog.read();
+        let dv = catalog
+            .dataverse(&meta.dataverse)
+            .ok_or_else(|| AsterixError::Catalog(format!("unknown dataverse {}", meta.dataverse)))?;
+        let datatype = Datatype::Named(meta.type_name.clone());
+        let registry = dv.types.clone();
+        drop(catalog);
+        let id = self.next_dataset_id.fetch_add(1, Ordering::SeqCst);
+        let rt = DatasetRuntime::open(
+            id,
+            meta.clone(),
+            datatype,
+            registry,
+            &self.cfg,
+            Arc::clone(&self.cache),
+            Arc::clone(&self.locks),
+            self.wals.clone(),
+        )?;
+        self.shared.datasets.write().insert(meta.qualified(), Arc::clone(&rt));
+        self.by_id.write().insert(id, rt);
+        Ok(())
+    }
+
+    fn run_query(&self, e: &Expr) -> Result<Vec<Value>> {
+        let catalog = self.session_catalog();
+        let mut tr = Translator::new(&catalog);
+        {
+            let s = self.session.read();
+            tr.simfunction = s.simfunction.clone();
+            tr.simthreshold = s.simthreshold.clone();
+        }
+        let plan = tr.translate_query(e)?;
+        let provider = self.provider();
+        let options = self.optimizer_options.read().clone();
+        let optimized = optimize(plan, &provider, &self.fn_ctx(), &options);
+        let compiled = jobgen::compile(&optimized, provider, self.fn_ctx(), &options)?;
+        Ok(compiled.run()?)
+    }
+
+    /// Look up a stored dataset runtime by session-relative name.
+    pub fn dataset(&self, name: &str) -> Result<Arc<DatasetRuntime>> {
+        let dv = self.session.read().dataverse.clone();
+        let qualified = self
+            .shared
+            .catalog
+            .read()
+            .resolve_dataset(&dv, name)
+            .ok_or_else(|| AsterixError::Catalog(format!("cannot find dataset {name}")))?;
+        self.shared
+            .dataset(&qualified)
+            .ok_or_else(|| AsterixError::Catalog(format!("{qualified} is not a stored dataset")))
+    }
+
+    fn run_insert(&self, dataset: &str, expr: &Expr) -> Result<usize> {
+        let ds = self.dataset(dataset)?;
+        let rows = self.run_query(expr)?;
+        let mut n = 0;
+        for row in rows {
+            // A collection-valued row inserts its elements (batch insert:
+            // `insert into dataset DS ([r1, r2, ...])`, the Table 4
+            // batching shape).
+            match row.as_list() {
+                Some(items) => {
+                    for item in items {
+                        ds.insert(item)?;
+                        n += 1;
+                    }
+                }
+                None => {
+                    ds.insert(&row)?;
+                    n += 1;
+                }
+            }
+        }
+        Ok(n)
+    }
+
+    fn run_delete(&self, var: &str, dataset: &str, condition: Option<&Expr>) -> Result<usize> {
+        let ds = self.dataset(dataset)?;
+        let catalog = self.session_catalog();
+        let mut tr = Translator::new(&catalog);
+        {
+            let s = self.session.read();
+            tr.simfunction = s.simfunction.clone();
+            tr.simthreshold = s.simthreshold.clone();
+        }
+        let plan = tr.translate_delete(
+            var,
+            &ds.meta.qualified(),
+            &ds.meta.primary_key.clone(),
+            condition,
+        )?;
+        let provider = self.provider();
+        let options = self.optimizer_options.read().clone();
+        let optimized = optimize(plan, &provider, &self.fn_ctx(), &options);
+        let compiled = jobgen::compile(&optimized, provider, self.fn_ctx(), &options)?;
+        let pk_rows = compiled.run()?;
+        let mut n = 0;
+        for pk_row in pk_rows {
+            let pk = pk_row
+                .as_list()
+                .ok_or_else(|| AsterixError::Execution("bad delete pk row".into()))?;
+            if ds.delete_by_pk(pk)? {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    fn run_load(
+        &self,
+        dataset: &str,
+        adaptor: &str,
+        properties: &[(String, String)],
+    ) -> Result<usize> {
+        let ds = self.dataset(dataset)?;
+        let resolved = ds.registry.resolve(&ds.datatype)?;
+        let rt = resolved
+            .as_record()
+            .ok_or_else(|| AsterixError::Catalog("dataset type must be a record".into()))?;
+        let records = asterix_external::read_external(adaptor, properties, rt, &ds.registry)?;
+        let n = records.len();
+        for r in &records {
+            ds.insert(r)?;
+        }
+        Ok(n)
+    }
+
+    // -- feeds -----------------------------------------------------------------
+
+    fn connect_feed(
+        &self,
+        feed: &str,
+        dataset: &str,
+        apply_function: Option<&str>,
+    ) -> Result<()> {
+        let ds = self.dataset(dataset)?;
+        let dv = self.session.read().dataverse.clone();
+        {
+            let mut catalog = self.shared.catalog.write();
+            let dataverse = catalog.dataverse_mut(&dv)?;
+            let meta = dataverse
+                .feeds
+                .get_mut(feed)
+                .ok_or_else(|| AsterixError::Catalog(format!("unknown feed {feed}")))?;
+            if !meta.connections.contains(&ds.meta.qualified()) {
+                meta.connections.push(ds.meta.qualified());
+            }
+        }
+        // Compute stage from `apply function f`.
+        let compute: Option<ComputeFn> = match apply_function {
+            None => None,
+            Some(fname) => {
+                let catalog = self.session_catalog();
+                let def = catalog
+                    .shared
+                    .catalog
+                    .read()
+                    .dataverse(&dv)
+                    .and_then(|d| d.functions.get(fname).cloned())
+                    .ok_or_else(|| {
+                        AsterixError::Catalog(format!("unknown function {fname}"))
+                    })?;
+                let parsed = asterix_aql::parser::parse_statements(&def.body_src)?;
+                let Some(Statement::CreateFunction { body, params, .. }) =
+                    parsed.into_iter().next()
+                else {
+                    return Err(AsterixError::Catalog(format!(
+                        "stored function {fname} is corrupt"
+                    )));
+                };
+                if params.len() != 1 {
+                    return Err(AsterixError::Execution(
+                        "feed apply functions take exactly one parameter".into(),
+                    ));
+                }
+                let mut tr = Translator::new(&catalog);
+                let v = tr.fresh_var();
+                let mut scope = asterix_aql::translate::Scope::new();
+                scope.insert(params[0].clone(), v);
+                let lowered = tr.translate_expr(&body, &scope)?;
+                let provider = self.provider();
+                let fn_ctx = self.fn_ctx();
+                let compute: ComputeFn = Arc::new(move |record: Value| {
+                    let ctx = asterix_algebricks::expr::EvalCtx::new(
+                        Arc::clone(&provider),
+                        fn_ctx.clone(),
+                    );
+                    let mut bindings = std::collections::HashMap::new();
+                    bindings.insert(v, record);
+                    match asterix_algebricks::expr::eval(&lowered, &bindings, &ctx) {
+                        Ok(out) if out.is_unknown() => Ok(None),
+                        Ok(out) => Ok(Some(out)),
+                        Err(e) => Err(asterix_feeds::FeedError::Adm(e)),
+                    }
+                });
+                Some(compute)
+            }
+        };
+        // Secondary feeds cascade from a parent pipeline's compute joint
+        // rather than owning an adaptor (§2.4 / §4.5's Feed Joints).
+        let parent = {
+            let catalog = self.shared.catalog.read();
+            catalog
+                .dataverse(&dv)
+                .and_then(|d| d.feeds.get(feed))
+                .and_then(|f| f.parent.clone())
+        };
+        let ds2 = Arc::clone(&ds);
+        let store = Arc::new(move |v: Value| {
+            ds2.insert(&v)
+                .map_err(|e| asterix_feeds::FeedError::Config(e.to_string()))
+        });
+        let mut feeds = self.feeds.lock();
+        if let Some(parent_name) = parent {
+            let Some(parent_rt) = feeds.get(&parent_name) else {
+                return Err(AsterixError::Feed(format!(
+                    "parent feed {parent_name} must be connected first"
+                )));
+            };
+            let Some(parent_pipeline) = parent_rt.pipelines.values().next() else {
+                return Err(AsterixError::Feed(format!(
+                    "parent feed {parent_name} has no active pipeline"
+                )));
+            };
+            let joint = Arc::clone(&parent_pipeline.compute_joint);
+            let endpoint = parent_rt.endpoint.clone();
+            let pipeline = asterix_feeds::secondary_feed(
+                format!("{feed}->{dataset}"),
+                &joint,
+                compute,
+                store,
+                1024,
+            );
+            let runtime = feeds
+                .entry(feed.to_string())
+                .or_insert_with(|| FeedRuntime { endpoint, pipelines: HashMap::new() });
+            runtime.pipelines.insert(ds.meta.qualified(), pipeline);
+            return Ok(());
+        }
+        let runtime = feeds.entry(feed.to_string()).or_insert_with(|| {
+            let (endpoint, _rx) = socket_adaptor(1024);
+            FeedRuntime { endpoint, pipelines: HashMap::new() }
+        });
+        // Each connection gets its own intake channel fed from the shared
+        // endpoint: simplest correct model is one endpoint per (feed,
+        // dataset) pipeline; re-create the endpoint when this is the first
+        // connection so pushes reach the new pipeline.
+        let (endpoint, rx) = socket_adaptor(1024);
+        runtime.endpoint = endpoint;
+        let pipeline =
+            IngestionPipeline::start(format!("{feed}->{dataset}"), rx, compute, store);
+        runtime.pipelines.insert(ds.meta.qualified(), pipeline);
+        Ok(())
+    }
+
+    fn disconnect_feed(&self, feed: &str, dataset: &str) -> Result<()> {
+        let ds = self.dataset(dataset)?;
+        let mut feeds = self.feeds.lock();
+        let Some(runtime) = feeds.get_mut(feed) else {
+            return Err(AsterixError::Feed(format!("feed {feed} is not connected")));
+        };
+        runtime.endpoint.close();
+        if let Some(p) = runtime.pipelines.remove(&ds.meta.qualified()) {
+            p.disconnect()?;
+        }
+        let dv = self.session.read().dataverse.clone();
+        let mut catalog = self.shared.catalog.write();
+        if let Ok(dataverse) = catalog.dataverse_mut(&dv) {
+            if let Some(meta) = dataverse.feeds.get_mut(feed) {
+                meta.connections.retain(|c| c != &ds.meta.qualified());
+            }
+        }
+        Ok(())
+    }
+
+    /// The push endpoint of a connected feed (what a TCP client would see).
+    pub fn feed_endpoint(&self, feed: &str) -> Option<SocketEndpoint> {
+        self.feeds.lock().get(feed).map(|f| f.endpoint.clone())
+    }
+
+    /// Wait until a feed has stored at least `n` records (test/demo sync).
+    pub fn feed_wait_stored(&self, feed: &str, n: u64, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let stored: u64 = {
+                let feeds = self.feeds.lock();
+                match feeds.get(feed) {
+                    Some(f) => f
+                        .pipelines
+                        .values()
+                        .map(|p| p.stats.stored.load(Ordering::Relaxed))
+                        .sum(),
+                    None => 0,
+                }
+            };
+            if stored >= n {
+                return true;
+            }
+            if std::time::Instant::now() > deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+fn split_name(default_dv: &str, name: &str) -> (String, String) {
+    match name.split_once('.') {
+        Some((dv, n)) => (dv.to_string(), n.to_string()),
+        None => (default_dv.to_string(), name.to_string()),
+    }
+}
+
+/// Lower a parsed type expression into an ADM Datatype.
+fn lower_type_expr(t: &TypeExpr) -> Datatype {
+    match t {
+        TypeExpr::Named(n) => match asterix_adm::PrimitiveType::from_name(n) {
+            Some(p) => Datatype::Primitive(p),
+            None => Datatype::Named(n.clone()),
+        },
+        TypeExpr::Record { fields, open } => {
+            let fs = fields
+                .iter()
+                .map(|(name, ty, optional)| FieldType {
+                    name: name.clone(),
+                    ty: lower_type_expr(ty),
+                    optional: *optional,
+                })
+                .collect();
+            Datatype::Record(Arc::new(RecordType { fields: fs, open: *open }))
+        }
+        TypeExpr::OrderedList(inner) => {
+            Datatype::OrderedList(Arc::new(lower_type_expr(inner)))
+        }
+        TypeExpr::UnorderedList(inner) => {
+            Datatype::UnorderedList(Arc::new(lower_type_expr(inner)))
+        }
+    }
+}

@@ -1,0 +1,478 @@
+//! The instance's [`MetadataProvider`] — the bridge from the Algebricks
+//! compiler/interpreter to real storage — and its [`AqlCatalog`] for the
+//! translator.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use asterix_adm::value::Rectangle;
+use asterix_adm::Value;
+use asterix_algebricks::metadata::{IndexInfo, IndexKind, KeyBound, MetadataProvider};
+use asterix_aql::translate::{AqlCatalog, FunctionDef};
+use asterix_hyracks::ops::SourceFn;
+use asterix_hyracks::HyracksError;
+use asterix_metadata::{Catalog, DatasetKind, IndexKindMeta, METADATA_DATAVERSE};
+use asterix_storage::btree::ValueBound;
+use asterix_storage::inverted::Tokenizer;
+use parking_lot::RwLock;
+
+use crate::dataset::{DatasetRuntime, SecondaryPartition};
+use crate::error::AsterixError;
+
+fn op_err(e: impl std::fmt::Display) -> HyracksError {
+    HyracksError::Operator(e.to_string())
+}
+
+/// Shared mutable instance state referenced by providers, feeds, and the
+/// instance itself.
+pub struct Shared {
+    pub catalog: RwLock<Catalog>,
+    pub datasets: RwLock<HashMap<String, Arc<DatasetRuntime>>>,
+    /// Cached external dataset contents (read-only and static, §2.3).
+    pub external_cache: RwLock<HashMap<String, Arc<Vec<Value>>>>,
+    pub partitions: usize,
+    /// Partitions per simulated node (locality domains).
+    pub partitions_per_node: usize,
+}
+
+impl Shared {
+    pub fn dataset(&self, qualified: &str) -> Option<Arc<DatasetRuntime>> {
+        self.datasets.read().get(qualified).cloned()
+    }
+
+    /// Read (and cache) an external dataset's records.
+    pub fn external_records(&self, qualified: &str) -> crate::Result<Arc<Vec<Value>>> {
+        if let Some(c) = self.external_cache.read().get(qualified) {
+            return Ok(Arc::clone(c));
+        }
+        let (dv, name) = qualified
+            .split_once('.')
+            .ok_or_else(|| AsterixError::Catalog(format!("bad dataset name {qualified}")))?;
+        let catalog = self.catalog.read();
+        let meta = catalog
+            .dataset(dv, name)
+            .ok_or_else(|| AsterixError::Catalog(format!("unknown dataset {qualified}")))?;
+        let DatasetKind::External { adaptor, properties } = &meta.kind else {
+            return Err(AsterixError::Catalog(format!("{qualified} is not external")));
+        };
+        let dataverse = catalog
+            .dataverse(dv)
+            .ok_or_else(|| AsterixError::Catalog(format!("unknown dataverse {dv}")))?;
+        let ty = dataverse
+            .types
+            .get(&meta.type_name)
+            .ok_or_else(|| AsterixError::Catalog(format!("unknown type {}", meta.type_name)))?;
+        let resolved = dataverse.types.resolve(ty)?;
+        let rt = resolved
+            .as_record()
+            .ok_or_else(|| AsterixError::Catalog("external type must be a record".into()))?;
+        let records =
+            asterix_external::read_external(adaptor, properties, rt, &dataverse.types)?;
+        let arc = Arc::new(records);
+        self.external_cache
+            .write()
+            .insert(qualified.to_string(), Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    fn metadata_records(&self, qualified: &str) -> Option<Vec<Value>> {
+        let (dv, name) = qualified.split_once('.')?;
+        if dv != METADATA_DATAVERSE {
+            return None;
+        }
+        self.catalog.read().metadata_dataset_records(name)
+    }
+}
+
+/// The provider handed to the compiler/interpreter.
+pub struct InstanceProvider {
+    pub shared: Arc<Shared>,
+}
+
+fn to_value_bound(b: KeyBound) -> ValueBound {
+    match b {
+        KeyBound::Unbounded => ValueBound::Unbounded,
+        KeyBound::Inclusive(v) => ValueBound::Included(vec![v]),
+        KeyBound::Exclusive(v) => ValueBound::Excluded(vec![v]),
+    }
+}
+
+impl InstanceProvider {
+    fn runtime(&self, dataset: &str) -> asterix_hyracks::Result<Arc<DatasetRuntime>> {
+        self.shared
+            .dataset(dataset)
+            .ok_or_else(|| op_err(format!("unknown dataset {dataset}")))
+    }
+
+    /// Records of non-stored datasets (metadata / external), if applicable.
+    fn virtual_records(&self, dataset: &str) -> Option<asterix_hyracks::Result<Arc<Vec<Value>>>> {
+        if let Some(records) = self.shared.metadata_records(dataset) {
+            return Some(Ok(Arc::new(records)));
+        }
+        let is_external = {
+            let catalog = self.shared.catalog.read();
+            dataset.split_once('.').is_some_and(|(dv, n)| {
+                catalog
+                    .dataset(dv, n)
+                    .is_some_and(|m| matches!(m.kind, DatasetKind::External { .. }))
+            })
+        };
+        if is_external {
+            return Some(self.shared.external_records(dataset).map_err(op_err));
+        }
+        None
+    }
+
+    fn coerce_bounds(
+        &self,
+        ds: &Arc<DatasetRuntime>,
+        index: Option<&str>,
+        b: KeyBound,
+    ) -> KeyBound {
+        match (index, b) {
+            (None, KeyBound::Inclusive(v)) => {
+                KeyBound::Inclusive(ds.coerce_pk(&[v]).pop().unwrap())
+            }
+            (None, KeyBound::Exclusive(v)) => {
+                KeyBound::Exclusive(ds.coerce_pk(&[v]).pop().unwrap())
+            }
+            (Some(ix), KeyBound::Inclusive(v)) => {
+                let meta = ds.secondary(ix).map(|s| s.meta.clone());
+                match meta {
+                    Some(m) => KeyBound::Inclusive(ds.coerce_secondary_key(&m, &v)),
+                    None => KeyBound::Inclusive(v),
+                }
+            }
+            (Some(ix), KeyBound::Exclusive(v)) => {
+                let meta = ds.secondary(ix).map(|s| s.meta.clone());
+                match meta {
+                    Some(m) => KeyBound::Exclusive(ds.coerce_secondary_key(&m, &v)),
+                    None => KeyBound::Exclusive(v),
+                }
+            }
+            (_, KeyBound::Unbounded) => KeyBound::Unbounded,
+        }
+    }
+}
+
+impl MetadataProvider for InstanceProvider {
+    fn partitions(&self) -> usize {
+        self.shared.partitions
+    }
+
+    fn partitions_per_node(&self) -> usize {
+        self.shared.partitions_per_node
+    }
+
+    fn dataset_exists(&self, dataset: &str) -> bool {
+        self.shared.dataset(dataset).is_some()
+            || self.shared.metadata_records(dataset).is_some()
+            || {
+                let catalog = self.shared.catalog.read();
+                dataset
+                    .split_once('.')
+                    .is_some_and(|(dv, n)| catalog.dataset(dv, n).is_some())
+            }
+    }
+
+    fn primary_key_fields(&self, dataset: &str) -> Vec<String> {
+        self.shared
+            .dataset(dataset)
+            .map(|d| d.meta.primary_key.clone())
+            .unwrap_or_default()
+    }
+
+    fn indexes(&self, dataset: &str) -> Vec<IndexInfo> {
+        let Some(ds) = self.shared.dataset(dataset) else { return Vec::new() };
+        let secs = ds.secondaries.read().clone();
+        secs.iter()
+            .map(|s| IndexInfo {
+                name: s.meta.name.clone(),
+                kind: match &s.meta.kind {
+                    IndexKindMeta::BTree => IndexKind::BTree,
+                    IndexKindMeta::RTree => IndexKind::RTree,
+                    IndexKindMeta::Keyword => IndexKind::Keyword,
+                    IndexKindMeta::NGram(k) => IndexKind::NGram(*k),
+                },
+                fields: s.meta.fields.clone(),
+            })
+            .collect()
+    }
+
+    fn scan_source(&self, dataset: &str) -> asterix_hyracks::Result<SourceFn> {
+        if let Some(records) = self.virtual_records(dataset) {
+            let records = records?;
+            // Virtual datasets are spread round-robin across partitions so
+            // downstream operators still parallelize.
+            return Ok(Arc::new(move |partition, nparts, emit| {
+                for (i, r) in records.iter().enumerate() {
+                    if i % nparts == partition {
+                        emit(vec![r.clone()])?;
+                    }
+                }
+                Ok(())
+            }));
+        }
+        let ds = self.runtime(dataset)?;
+        Ok(Arc::new(move |partition, _nparts, emit| {
+            let records = ds.scan_partition(partition).map_err(op_err)?;
+            for r in records {
+                emit(vec![r])?;
+            }
+            Ok(())
+        }))
+    }
+
+    fn primary_range_source(
+        &self,
+        dataset: &str,
+        lo: KeyBound,
+        hi: KeyBound,
+    ) -> asterix_hyracks::Result<SourceFn> {
+        let ds = self.runtime(dataset)?;
+        let lo = to_value_bound(self.coerce_bounds(&ds, None, lo));
+        let hi = to_value_bound(self.coerce_bounds(&ds, None, hi));
+        Ok(Arc::new(move |partition, _nparts, emit| {
+            let rows = ds.primary[partition].range(&lo, &hi).map_err(op_err)?;
+            for (_, bytes) in rows {
+                let v = asterix_adm::serde::decode_typed(&ds.registry, &bytes, &ds.datatype)
+                    .map_err(op_err)?;
+                emit(vec![v])?;
+            }
+            Ok(())
+        }))
+    }
+
+    fn btree_search_source(
+        &self,
+        dataset: &str,
+        index: &str,
+        lo: KeyBound,
+        hi: KeyBound,
+    ) -> asterix_hyracks::Result<SourceFn> {
+        let ds = self.runtime(dataset)?;
+        let ix = ds
+            .secondary(index)
+            .ok_or_else(|| op_err(format!("unknown index {index}")))?;
+        let lo = to_value_bound(self.coerce_bounds(&ds, Some(index), lo));
+        let hi = to_value_bound(self.coerce_bounds(&ds, Some(index), hi));
+        Ok(Arc::new(move |partition, _nparts, emit| {
+            let SecondaryPartition::BTree(t) = &ix.partitions[partition] else {
+                return Err(op_err(format!("{} is not a btree index", ix.meta.name)));
+            };
+            let mut err = None;
+            t.range_with(&lo, &hi, |full_key, _| {
+                let (_, pk) = t.split_key(full_key);
+                match emit(pk.to_vec()) {
+                    Ok(()) => true,
+                    Err(e) => {
+                        err = Some(e);
+                        false
+                    }
+                }
+            })
+            .map_err(op_err)?;
+            match err {
+                Some(e) => Err(e),
+                None => Ok(()),
+            }
+        }))
+    }
+
+    fn rtree_search_source(
+        &self,
+        dataset: &str,
+        index: &str,
+        query: Rectangle,
+    ) -> asterix_hyracks::Result<SourceFn> {
+        let ds = self.runtime(dataset)?;
+        let ix = ds
+            .secondary(index)
+            .ok_or_else(|| op_err(format!("unknown index {index}")))?;
+        Ok(Arc::new(move |partition, _nparts, emit| {
+            let SecondaryPartition::RTree(t) = &ix.partitions[partition] else {
+                return Err(op_err(format!("{} is not an rtree index", ix.meta.name)));
+            };
+            for pk in t.search(&query).map_err(op_err)? {
+                emit(pk)?;
+            }
+            Ok(())
+        }))
+    }
+
+    fn inverted_search_source(
+        &self,
+        dataset: &str,
+        index: &str,
+        tokens: Vec<String>,
+        threshold: usize,
+    ) -> asterix_hyracks::Result<SourceFn> {
+        let ds = self.runtime(dataset)?;
+        let ix = ds
+            .secondary(index)
+            .ok_or_else(|| op_err(format!("unknown index {index}")))?;
+        Ok(Arc::new(move |partition, _nparts, emit| {
+            let SecondaryPartition::Inverted(t) = &ix.partitions[partition] else {
+                return Err(op_err(format!("{} is not an inverted index", ix.meta.name)));
+            };
+            for pk in t.t_occurrence(&tokens, threshold).map_err(op_err)? {
+                emit(pk)?;
+            }
+            Ok(())
+        }))
+    }
+
+    fn primary_lookup(
+        &self,
+        dataset: &str,
+    ) -> asterix_hyracks::Result<
+        Arc<dyn Fn(usize, &[Value]) -> asterix_hyracks::Result<Option<Value>> + Send + Sync>,
+    > {
+        let ds = self.runtime(dataset)?;
+        Ok(Arc::new(move |partition, pk| {
+            ds.get_in_partition(partition, pk).map_err(op_err)
+        }))
+    }
+
+    fn scan_all(&self, dataset: &str) -> asterix_hyracks::Result<Vec<Value>> {
+        if let Some(records) = self.virtual_records(dataset) {
+            return Ok(records?.as_ref().clone());
+        }
+        let ds = self.runtime(dataset)?;
+        let mut out = Vec::new();
+        for p in 0..ds.partitions() {
+            out.extend(ds.scan_partition(p).map_err(op_err)?);
+        }
+        Ok(out)
+    }
+
+    fn lookup_pk(&self, dataset: &str, pk: &[Value]) -> asterix_hyracks::Result<Option<Value>> {
+        let ds = self.runtime(dataset)?;
+        ds.get(pk).map_err(op_err)
+    }
+
+    fn primary_range_all(
+        &self,
+        dataset: &str,
+        lo: KeyBound,
+        hi: KeyBound,
+    ) -> asterix_hyracks::Result<Vec<Value>> {
+        let src = self.primary_range_source(dataset, lo, hi)?;
+        let nparts = self.partitions();
+        let mut out = Vec::new();
+        for p in 0..nparts {
+            src(p, nparts, &mut |mut t| {
+                out.push(t.pop().unwrap());
+                Ok(())
+            })?;
+        }
+        Ok(out)
+    }
+
+    fn btree_search_all(
+        &self,
+        dataset: &str,
+        index: &str,
+        lo: KeyBound,
+        hi: KeyBound,
+    ) -> asterix_hyracks::Result<Vec<Vec<Value>>> {
+        let src = self.btree_search_source(dataset, index, lo, hi)?;
+        let nparts = self.partitions();
+        let mut out = Vec::new();
+        for p in 0..nparts {
+            src(p, nparts, &mut |pk| {
+                out.push(pk);
+                Ok(())
+            })?;
+        }
+        Ok(out)
+    }
+
+    fn rtree_search_all(
+        &self,
+        dataset: &str,
+        index: &str,
+        query: &Rectangle,
+    ) -> asterix_hyracks::Result<Vec<Vec<Value>>> {
+        let src = self.rtree_search_source(dataset, index, *query)?;
+        let nparts = self.partitions();
+        let mut out = Vec::new();
+        for p in 0..nparts {
+            src(p, nparts, &mut |pk| {
+                out.push(pk);
+                Ok(())
+            })?;
+        }
+        Ok(out)
+    }
+
+    fn inverted_search_all(
+        &self,
+        dataset: &str,
+        index: &str,
+        tokens: &[String],
+        threshold: usize,
+    ) -> asterix_hyracks::Result<Vec<Vec<Value>>> {
+        let src =
+            self.inverted_search_source(dataset, index, tokens.to_vec(), threshold)?;
+        let nparts = self.partitions();
+        let mut out = Vec::new();
+        for p in 0..nparts {
+            src(p, nparts, &mut |pk| {
+                out.push(pk);
+                Ok(())
+            })?;
+        }
+        Ok(out)
+    }
+}
+
+/// The translator-facing catalog: resolves names against the session's
+/// current dataverse and looks up UDFs (re-parsed from stored source).
+pub struct SessionCatalog {
+    pub shared: Arc<Shared>,
+    pub current_dataverse: String,
+}
+
+impl AqlCatalog for SessionCatalog {
+    fn resolve_dataset(&self, name: &str) -> Option<String> {
+        let catalog = self.shared.catalog.read();
+        if let Some(q) = catalog.resolve_dataset(&self.current_dataverse, name) {
+            return Some(q);
+        }
+        // Metadata virtual datasets.
+        if let Some((dv, n)) = name.split_once('.') {
+            if dv == METADATA_DATAVERSE && catalog.metadata_dataset_records(n).is_some() {
+                return Some(name.to_string());
+            }
+        }
+        None
+    }
+
+    fn function(&self, name: &str, arity: usize) -> Option<FunctionDef> {
+        let catalog = self.shared.catalog.read();
+        let dv = catalog.dataverse(&self.current_dataverse)?;
+        let f = dv.functions.get(name)?;
+        if f.params.len() != arity {
+            return None;
+        }
+        // The stored source is the whole `create function` statement;
+        // re-parse it and pull out the body.
+        let stmts = asterix_aql::parser::parse_statements(&f.body_src).ok()?;
+        match stmts.into_iter().next()? {
+            asterix_aql::ast::Statement::CreateFunction { body, params, .. } => {
+                Some(FunctionDef { params, body })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Find the tokenizer of an inverted index (used by fuzzy-search helpers).
+pub fn tokenizer_of(ds: &DatasetRuntime, index: &str) -> Option<Tokenizer> {
+    ds.secondary(index).map(|s| match &s.meta.kind {
+        IndexKindMeta::Keyword => Tokenizer::Keyword,
+        IndexKindMeta::NGram(k) => Tokenizer::NGram(*k),
+        _ => Tokenizer::Keyword,
+    })
+}

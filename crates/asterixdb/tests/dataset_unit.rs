@@ -1,0 +1,167 @@
+//! Dataset-runtime behaviors below the AQL surface: partition routing,
+//! key coercion, index backfill, storage accounting, and direct storage
+//! reads.
+
+use std::sync::Arc;
+
+use asterix_adm::Value;
+use asterixdb::{ClusterConfig, Instance};
+
+fn setup() -> (Arc<Instance>, tempfile::TempDir) {
+    let dir = tempfile::TempDir::new().unwrap();
+    let instance = Instance::open(ClusterConfig::small(dir.path())).unwrap();
+    instance
+        .execute(
+            r#"
+        create dataverse U;
+        use dataverse U;
+        create type T as open { id: int32, v: int64, text: string };
+        create dataset D(T) primary key id;
+    "#,
+        )
+        .unwrap();
+    (instance, dir)
+}
+
+#[test]
+fn hash_partitioning_spreads_and_routes_records() {
+    let (instance, _d) = setup();
+    let ds = instance.dataset("D").unwrap();
+    for i in 0..200i64 {
+        ds.insert(
+            &asterix_adm::parse::parse_value(&format!(
+                "{{ \"id\": {i}, \"v\": {i}, \"text\": \"x\" }}"
+            ))
+            .unwrap(),
+        )
+        .unwrap();
+    }
+    // All partitions hold data, the counts sum, and point reads route to
+    // the partition that owns the key.
+    let mut total = 0;
+    let mut nonempty = 0;
+    for p in 0..ds.partitions() {
+        let n = ds.scan_partition(p).unwrap().len();
+        total += n;
+        if n > 0 {
+            nonempty += 1;
+        }
+    }
+    assert_eq!(total, 200);
+    assert_eq!(nonempty, ds.partitions(), "every partition owns a share");
+    for i in [0i64, 13, 77, 199] {
+        let pk = vec![Value::Int64(i)];
+        let p = ds.partition_of(&ds.coerce_pk(&pk));
+        assert!(ds.get_in_partition(p, &pk).unwrap().is_some());
+        // The same key is absent from every other partition.
+        for q in 0..ds.partitions() {
+            if q != p {
+                assert!(ds.get_in_partition(q, &pk).unwrap().is_none());
+            }
+        }
+    }
+}
+
+#[test]
+fn pk_coercion_matches_declared_width() {
+    let (instance, _d) = setup();
+    let ds = instance.dataset("D").unwrap();
+    ds.insert(
+        &asterix_adm::parse::parse_value("{ \"id\": 7, \"v\": 1, \"text\": \"a\" }").unwrap(),
+    )
+    .unwrap();
+    // The declared pk type is int32; an int64 probe must still hit.
+    assert!(ds.get(&[Value::Int64(7)]).unwrap().is_some());
+    assert!(ds.get(&[Value::Int32(7)]).unwrap().is_some());
+    assert!(ds.get(&[Value::Int64(8)]).unwrap().is_none());
+}
+
+#[test]
+fn index_backfill_covers_existing_records() {
+    let (instance, _d) = setup();
+    let ds = instance.dataset("D").unwrap();
+    for i in 0..50i64 {
+        ds.insert(
+            &asterix_adm::parse::parse_value(&format!(
+                "{{ \"id\": {i}, \"v\": {}, \"text\": \"t\" }}",
+                i % 5
+            ))
+            .unwrap(),
+        )
+        .unwrap();
+    }
+    // Create the index *after* the data exists: backfill must cover it.
+    instance.execute("use dataverse U; create index vIdx on D(v);").unwrap();
+    let rows = instance
+        .query("for $d in dataset D where $d.v = 2 return $d.id;")
+        .unwrap();
+    assert_eq!(rows.len(), 10);
+    let (plan, _) = instance
+        .explain("for $d in dataset D where $d.v = 2 return $d.id;")
+        .unwrap();
+    assert!(plan.contains("vIdx"), "{plan}");
+}
+
+#[test]
+fn deletes_clean_secondary_indexes() {
+    let (instance, _d) = setup();
+    instance.execute("use dataverse U; create index vIdx on D(v);").unwrap();
+    let ds = instance.dataset("D").unwrap();
+    for i in 0..20i64 {
+        ds.insert(
+            &asterix_adm::parse::parse_value(&format!(
+                "{{ \"id\": {i}, \"v\": 1, \"text\": \"t\" }}"
+            ))
+            .unwrap(),
+        )
+        .unwrap();
+    }
+    for i in 0..10i64 {
+        assert!(ds.delete_by_pk(&[Value::Int64(i)]).unwrap());
+    }
+    // Deleting a missing key reports false, not an error.
+    assert!(!ds.delete_by_pk(&[Value::Int64(999)]).unwrap());
+    let rows = instance
+        .query("for $d in dataset D where $d.v = 1 return $d.id;")
+        .unwrap();
+    assert_eq!(rows.len(), 10, "index must not return deleted records");
+}
+
+#[test]
+fn storage_accounting_grows_and_flushes() {
+    let (instance, _d) = setup();
+    let ds = instance.dataset("D").unwrap();
+    let before = ds.size_bytes();
+    for i in 0..500i64 {
+        ds.insert(
+            &asterix_adm::parse::parse_value(&format!(
+                "{{ \"id\": {i}, \"v\": {i}, \"text\": \"payload payload payload\" }}"
+            ))
+            .unwrap(),
+        )
+        .unwrap();
+    }
+    let in_memory = ds.size_bytes();
+    assert!(in_memory > before);
+    ds.flush_all().unwrap();
+    let on_disk = ds.size_bytes();
+    assert!(on_disk > 0);
+    assert_eq!(ds.count().unwrap(), 500);
+}
+
+#[test]
+fn validation_rejects_wrong_types_on_insert_path() {
+    let (instance, _d) = setup();
+    let ds = instance.dataset("D").unwrap();
+    // v declared int64; a string is rejected.
+    let bad = asterix_adm::parse::parse_value(
+        "{ \"id\": 1, \"v\": \"nope\", \"text\": \"x\" }",
+    )
+    .unwrap();
+    assert!(ds.insert(&bad).is_err());
+    // Missing pk rejected.
+    let no_pk =
+        asterix_adm::parse::parse_value("{ \"v\": 4, \"text\": \"x\" }").unwrap();
+    assert!(ds.insert(&no_pk).is_err());
+    assert_eq!(ds.count().unwrap(), 0);
+}

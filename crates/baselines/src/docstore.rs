@@ -1,0 +1,348 @@
+//! A MongoDB-2.4-shaped document store.
+//!
+//! Architecture mirrored: schemaless documents stored serialized with their
+//! field names (so storage size tracks AsterixDB's KeyOnly configuration in
+//! Table 2); a primary-key index; optional secondary B-tree indexes; no
+//! join support — Table 3's join rows used "a client-side join in Java",
+//! reproduced here by [`Collection::client_side_join`]; journaled writes
+//! (the paper set write concern to journaled for Table 4).
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::PathBuf;
+
+use asterix_adm::{serde as adm_serde, Value};
+
+/// One document collection.
+pub struct Collection {
+    pk_field: String,
+    /// Primary index: encoded pk → serialized document.
+    primary: BTreeMap<Vec<u8>, Vec<u8>>,
+    /// Secondary indexes: field → (encoded key ++ pk → pk bytes).
+    secondary: BTreeMap<String, BTreeMap<Vec<u8>, Vec<u8>>>,
+    /// Journal (None = in-memory only).
+    journal: Option<std::io::BufWriter<std::fs::File>>,
+    journal_path: Option<PathBuf>,
+}
+
+fn key_bytes(v: &Value) -> Vec<u8> {
+    // Order-preserving-enough key encoding for the baseline: numeric keys
+    // as big-endian sortable ints/floats, strings raw.
+    let mut out = Vec::new();
+    match v {
+        _ if v.as_i64().is_some() => {
+            out.push(1);
+            out.extend_from_slice(&((v.as_i64().unwrap() as u64) ^ (1 << 63)).to_be_bytes());
+        }
+        Value::Double(_) | Value::Float(_) => {
+            out.push(1);
+            let f = v.as_f64().unwrap();
+            let bits = f.to_bits();
+            let s = if bits >> 63 == 1 { !bits } else { bits | (1 << 63) };
+            out.extend_from_slice(&s.to_be_bytes());
+        }
+        Value::String(s) => {
+            out.push(2);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::DateTime(t) => {
+            out.push(3);
+            out.extend_from_slice(&((*t as u64) ^ (1 << 63)).to_be_bytes());
+        }
+        Value::Date(d) => {
+            out.push(4);
+            out.extend_from_slice(&((*d as i64 as u64) ^ (1 << 63)).to_be_bytes());
+        }
+        other => {
+            out.push(9);
+            out.extend_from_slice(&adm_serde::encode(other));
+        }
+    }
+    out
+}
+
+impl Collection {
+    /// An in-memory collection.
+    pub fn new(pk_field: &str) -> Collection {
+        Collection {
+            pk_field: pk_field.to_string(),
+            primary: BTreeMap::new(),
+            secondary: BTreeMap::new(),
+            journal: None,
+            journal_path: None,
+        }
+    }
+
+    /// A collection with a write journal (Table 4's "journaled" durability).
+    pub fn with_journal(pk_field: &str, path: PathBuf) -> std::io::Result<Collection> {
+        let file = std::fs::OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Collection {
+            pk_field: pk_field.to_string(),
+            primary: BTreeMap::new(),
+            secondary: BTreeMap::new(),
+            journal: Some(std::io::BufWriter::new(file)),
+            journal_path: Some(path),
+        })
+    }
+
+    /// `ensureIndex({field: 1})`.
+    pub fn ensure_index(&mut self, field: &str) {
+        let mut ix = BTreeMap::new();
+        for doc_bytes in self.primary.values() {
+            let doc = adm_serde::decode(doc_bytes).expect("corrupt doc");
+            let fv = doc.field(field);
+            if !fv.is_unknown() {
+                let pk = key_bytes(&doc.field(&self.pk_field));
+                let mut k = key_bytes(&fv);
+                k.extend_from_slice(&pk);
+                ix.insert(k, pk);
+            }
+        }
+        self.secondary.insert(field.to_string(), ix);
+    }
+
+    /// Insert one document (journaled if configured).
+    pub fn insert(&mut self, doc: &Value) -> std::io::Result<()> {
+        let pk = key_bytes(&doc.field(&self.pk_field));
+        let bytes = adm_serde::encode(doc);
+        if let Some(j) = &mut self.journal {
+            j.write_all(&(bytes.len() as u32).to_le_bytes())?;
+            j.write_all(&bytes)?;
+            j.flush()?; // journaled write concern
+        }
+        for (field, ix) in self.secondary.iter_mut() {
+            let fv = doc.field(field);
+            if !fv.is_unknown() {
+                let mut k = key_bytes(&fv);
+                k.extend_from_slice(&pk);
+                ix.insert(k, pk.clone());
+            }
+        }
+        self.primary.insert(pk, bytes);
+        Ok(())
+    }
+
+    /// Bulk insert (one journal flush per batch — batched write concern).
+    pub fn insert_batch(&mut self, docs: &[Value]) -> std::io::Result<()> {
+        for doc in docs {
+            let pk = key_bytes(&doc.field(&self.pk_field));
+            let bytes = adm_serde::encode(doc);
+            if let Some(j) = &mut self.journal {
+                j.write_all(&(bytes.len() as u32).to_le_bytes())?;
+                j.write_all(&bytes)?;
+            }
+            for (field, ix) in self.secondary.iter_mut() {
+                let fv = doc.field(field);
+                if !fv.is_unknown() {
+                    let mut k = key_bytes(&fv);
+                    k.extend_from_slice(&pk);
+                    ix.insert(k, pk.clone());
+                }
+            }
+            self.primary.insert(pk, bytes);
+        }
+        if let Some(j) = &mut self.journal {
+            j.flush()?;
+        }
+        Ok(())
+    }
+
+    pub fn len(&self) -> usize {
+        self.primary.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.primary.is_empty()
+    }
+
+    /// Storage footprint: serialized docs + index entries (Table 2).
+    pub fn size_bytes(&self) -> u64 {
+        let docs: usize = self.primary.iter().map(|(k, v)| k.len() + v.len()).sum();
+        let ix: usize = self
+            .secondary
+            .values()
+            .flat_map(|ix| ix.iter().map(|(k, v)| k.len() + v.len()))
+            .sum();
+        (docs + ix) as u64
+    }
+
+    /// Point lookup by primary key.
+    pub fn find_by_pk(&self, pk: &Value) -> Option<Value> {
+        self.primary
+            .get(&key_bytes(pk))
+            .map(|b| adm_serde::decode(b).expect("corrupt doc"))
+    }
+
+    /// Range query on a field: uses a secondary index when one exists,
+    /// otherwise falls back to a full collection scan (decoding every doc —
+    /// the no-index rows of Table 3).
+    pub fn find_range(&self, field: &str, lo: &Value, hi: &Value) -> Vec<Value> {
+        if field == self.pk_field {
+            return self
+                .primary
+                .range(key_bytes(lo)..=upper(&key_bytes(hi)))
+                .map(|(_, b)| adm_serde::decode(b).expect("corrupt doc"))
+                .collect();
+        }
+        if let Some(ix) = self.secondary.get(field) {
+            let lo_k = key_bytes(lo);
+            let mut hi_k = key_bytes(hi);
+            hi_k.extend_from_slice(&[0xFF; 9]); // include pk suffixes
+            return ix
+                .range(lo_k..=hi_k)
+                .filter_map(|(_, pk)| self.primary.get(pk))
+                .map(|b| adm_serde::decode(b).expect("corrupt doc"))
+                .collect();
+        }
+        self.scan_filter(|d| {
+            let v = d.field(field);
+            !v.is_unknown() && v.total_cmp(lo).is_ge() && v.total_cmp(hi).is_le()
+        })
+    }
+
+    /// Full scan with a filter (decodes every document).
+    pub fn scan_filter(&self, pred: impl Fn(&Value) -> bool) -> Vec<Value> {
+        self.primary
+            .values()
+            .map(|b| adm_serde::decode(b).expect("corrupt doc"))
+            .filter(pred)
+            .collect()
+    }
+
+    /// Aggregate a numeric field over a filtered scan (Mongo's map-reduce
+    /// path for Table 3's Agg rows — no direct aggregation framework
+    /// support for the paper's query).
+    pub fn map_reduce_avg(&self, pred: impl Fn(&Value) -> bool, map: impl Fn(&Value) -> f64) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for b in self.primary.values() {
+            let d = adm_serde::decode(b).expect("corrupt doc");
+            if pred(&d) {
+                sum += map(&d);
+                n += 1;
+            }
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// The paper's client-side join: find matching docs here by `local_key`
+    /// values gathered from `probes`, via bulk pk lookups when joining on
+    /// the pk, else via per-value index/scan lookups. Returns (probe,
+    /// match) pairs.
+    pub fn client_side_join<'a>(
+        &self,
+        probes: &'a [Value],
+        probe_key: &str,
+        local_key: &str,
+    ) -> Vec<(&'a Value, Value)> {
+        let mut out = Vec::new();
+        for p in probes {
+            let k = p.field(probe_key);
+            if k.is_unknown() {
+                continue;
+            }
+            if local_key == self.pk_field {
+                if let Some(m) = self.find_by_pk(&k) {
+                    out.push((p, m));
+                }
+            } else {
+                for m in self.find_range(local_key, &k, &k) {
+                    out.push((p, m.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Drop the journal file (cleanup).
+    pub fn destroy(self) {
+        if let Some(p) = self.journal_path {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+fn upper(k: &[u8]) -> Vec<u8> {
+    let mut v = k.to_vec();
+    v.extend_from_slice(&[0xFF; 4]);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asterix_adm::parse::parse_value;
+
+    fn doc(id: i64, age: i64) -> Value {
+        parse_value(&format!(
+            "{{ \"id\": {id}, \"age\": {age}, \"name\": \"u{id}\" }}"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn pk_lookup_and_range() {
+        let mut c = Collection::new("id");
+        for i in 0..100 {
+            c.insert(&doc(i, 20 + i % 50)).unwrap();
+        }
+        assert_eq!(c.len(), 100);
+        let d = c.find_by_pk(&Value::Int64(42)).unwrap();
+        assert_eq!(d.field("name"), Value::string("u42"));
+        let r = c.find_range("id", &Value::Int64(10), &Value::Int64(14));
+        assert_eq!(r.len(), 5);
+    }
+
+    #[test]
+    fn secondary_index_matches_scan() {
+        let mut c = Collection::new("id");
+        for i in 0..200 {
+            c.insert(&doc(i, i % 37)).unwrap();
+        }
+        let scan = c.find_range("age", &Value::Int64(5), &Value::Int64(7));
+        c.ensure_index("age");
+        let indexed = c.find_range("age", &Value::Int64(5), &Value::Int64(7));
+        assert_eq!(scan.len(), indexed.len());
+        assert!(!indexed.is_empty());
+    }
+
+    #[test]
+    fn client_side_join_shapes() {
+        let mut users = Collection::new("id");
+        for i in 0..10 {
+            users.insert(&doc(i, 30)).unwrap();
+        }
+        let msgs: Vec<Value> = (0..30)
+            .map(|m| {
+                parse_value(&format!("{{ \"mid\": {m}, \"author\": {} }}", m % 10)).unwrap()
+            })
+            .collect();
+        let joined = users.client_side_join(&msgs, "author", "id");
+        assert_eq!(joined.len(), 30);
+    }
+
+    #[test]
+    fn journal_persists_and_batches() {
+        let dir = tempfile::TempDir::new().unwrap();
+        let mut c =
+            Collection::with_journal("id", dir.path().join("j.log")).unwrap();
+        c.insert(&doc(1, 2)).unwrap();
+        c.insert_batch(&(2..22).map(|i| doc(i, 3)).collect::<Vec<_>>()).unwrap();
+        assert_eq!(c.len(), 21);
+        assert!(c.size_bytes() > 0);
+    }
+
+    #[test]
+    fn map_reduce_avg() {
+        let mut c = Collection::new("id");
+        for i in 0..10 {
+            c.insert(&doc(i, i)).unwrap();
+        }
+        let avg = c
+            .map_reduce_avg(|d| d.field("age").as_i64().unwrap() < 4, |d| {
+                d.field("age").as_f64().unwrap()
+            })
+            .unwrap();
+        assert_eq!(avg, 1.5);
+    }
+}

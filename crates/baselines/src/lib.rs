@@ -1,0 +1,22 @@
+//! # asterix-baselines — simulated comparison systems (§5.3)
+//!
+//! Table 3 compares AsterixDB against MongoDB 2.4.9, Apache Hive 0.11 (ORC
+//! files), and "System-X", a commercial shared-nothing parallel RDBMS. None
+//! are available here, so this crate implements faithful *architectural*
+//! stand-ins that preserve each system's Table 3 behaviour profile (see
+//! DESIGN.md's substitution table):
+//!
+//! * [`docstore`] — a document store: schemaless serialized documents, a
+//!   primary key index, optional secondary indexes, no joins (client-side
+//!   join helper), single-writer journal. MongoDB-shaped.
+//! * [`scanengine`] — a scan-only columnar engine with RLE/dictionary
+//!   compressed columns and no indexes; every query is a full (fast) scan.
+//!   Hive/ORC-shaped.
+//! * [`relational`] — a partitioned relational engine over a *normalized*
+//!   schema (nested fields in side tables), B-tree indexes, and a tiny
+//!   cost-based optimizer that picks index-nested-loop vs hash joins.
+//!   System-X-shaped.
+
+pub mod docstore;
+pub mod relational;
+pub mod scanengine;

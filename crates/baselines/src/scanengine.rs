@@ -1,0 +1,298 @@
+//! A Hive-0.11/ORC-shaped scan engine.
+//!
+//! Architecture mirrored: columnar storage with lightweight compression
+//! (dictionary encoding for strings, runs for repeated values), **no
+//! indexes** and no point-lookup path — every Table 3 query runs as a full
+//! scan ("Hive has no direct support for indexes, so it needs to scan all
+//! records"), but the scan is fast and the storage small (Table 2's 38 GB
+//! vs hundreds for the row stores).
+
+use std::collections::HashMap;
+
+use asterix_adm::Value;
+
+/// One compressed column.
+pub enum Column {
+    /// Run-length-encoded i64 (also holds dates/datetimes as i64).
+    IntRle { runs: Vec<(i64, u32)>, nulls: Vec<bool> },
+    /// Dictionary-encoded strings.
+    StrDict { dict: Vec<String>, codes: Vec<u32>, nulls: Vec<bool> },
+    /// Plain doubles.
+    F64(Vec<f64>, Vec<bool>),
+}
+
+impl Column {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::IntRle { runs, .. } => runs.iter().map(|(_, n)| *n as usize).sum(),
+            Column::StrDict { codes, .. } => codes.len(),
+            Column::F64(v, _) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate compressed size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        (match self {
+            Column::IntRle { runs, nulls } => runs.len() * 12 + nulls.len() / 8,
+            Column::StrDict { dict, codes, nulls } => {
+                dict.iter().map(|s| s.len() + 4).sum::<usize>()
+                    + codes.len() * 4
+                    + nulls.len() / 8
+            }
+            Column::F64(v, nulls) => v.len() * 8 + nulls.len() / 8,
+        }) as u64
+    }
+
+    /// Decode into values (the scan path).
+    pub fn values(&self) -> Vec<Value> {
+        match self {
+            Column::IntRle { runs, nulls } => {
+                let mut out = Vec::with_capacity(nulls.len());
+                for (v, n) in runs {
+                    for _ in 0..*n {
+                        out.push(Value::Int64(*v));
+                    }
+                }
+                for (i, is_null) in nulls.iter().enumerate() {
+                    if *is_null {
+                        out[i] = Value::Null;
+                    }
+                }
+                out
+            }
+            Column::StrDict { dict, codes, nulls } => codes
+                .iter()
+                .zip(nulls)
+                .map(|(c, is_null)| {
+                    if *is_null {
+                        Value::Null
+                    } else {
+                        Value::string(&dict[*c as usize])
+                    }
+                })
+                .collect(),
+            Column::F64(v, nulls) => v
+                .iter()
+                .zip(nulls)
+                .map(|(x, is_null)| if *is_null { Value::Null } else { Value::Double(*x) })
+                .collect(),
+        }
+    }
+}
+
+/// Build a compressed column from values.
+pub fn compress(values: &[Value]) -> Column {
+    let nulls: Vec<bool> = values.iter().map(|v| v.is_unknown()).collect();
+    if values.iter().all(|v| v.as_i64().is_some() || v.is_unknown() || matches!(v, Value::Date(_) | Value::DateTime(_))) {
+        let mut runs: Vec<(i64, u32)> = Vec::new();
+        for v in values {
+            let x = match v {
+                Value::Date(d) => *d as i64,
+                Value::DateTime(t) => *t,
+                _ => v.as_i64().unwrap_or(0),
+            };
+            match runs.last_mut() {
+                Some((rv, n)) if *rv == x => *n += 1,
+                _ => runs.push((x, 1)),
+            }
+        }
+        return Column::IntRle { runs, nulls };
+    }
+    if values.iter().all(|v| v.as_str().is_some() || v.is_unknown()) {
+        let mut dict: Vec<String> = Vec::new();
+        let mut map: HashMap<String, u32> = HashMap::new();
+        let mut codes = Vec::with_capacity(values.len());
+        for v in values {
+            let s = v.as_str().unwrap_or("");
+            let code = match map.get(s) {
+                Some(c) => *c,
+                None => {
+                    let c = dict.len() as u32;
+                    dict.push(s.to_string());
+                    map.insert(s.to_string(), c);
+                    c
+                }
+            };
+            codes.push(code);
+        }
+        return Column::StrDict { dict, codes, nulls };
+    }
+    Column::F64(
+        values.iter().map(|v| v.as_f64().unwrap_or(0.0)).collect(),
+        nulls,
+    )
+}
+
+/// A columnar table (an "ORC file").
+pub struct Table {
+    pub columns: Vec<(String, Column)>,
+    pub rows: usize,
+}
+
+impl Table {
+    /// Build from records, extracting the given top-level fields.
+    pub fn from_records(records: &[Value], fields: &[&str]) -> Table {
+        let mut columns = Vec::with_capacity(fields.len());
+        for f in fields {
+            let vals: Vec<Value> = records.iter().map(|r| r.field(f)).collect();
+            columns.push((f.to_string(), compress(&vals)));
+        }
+        Table { columns, rows: records.len() }
+    }
+
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|(n, _)| n == name).map(|(_, c)| c)
+    }
+
+    /// Compressed footprint (Table 2's Hive row).
+    pub fn size_bytes(&self) -> u64 {
+        self.columns.iter().map(|(_, c)| c.size_bytes()).sum()
+    }
+
+    /// Full-scan filter: decode the needed columns, return matching row
+    /// ids. Every query here starts this way — no indexes.
+    pub fn scan_where(&self, field: &str, pred: impl Fn(&Value) -> bool) -> Vec<usize> {
+        let Some(col) = self.column(field) else { return Vec::new() };
+        col.values()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| pred(v).then_some(i))
+            .collect()
+    }
+
+    /// Project one column at the given row ids.
+    pub fn gather(&self, field: &str, rows: &[usize]) -> Vec<Value> {
+        let Some(col) = self.column(field) else { return Vec::new() };
+        let all = col.values();
+        rows.iter().map(|&i| all[i].clone()).collect()
+    }
+
+    /// Average of a numeric column over matching rows (the agg scan).
+    pub fn avg_where(
+        &self,
+        filter_field: &str,
+        pred: impl Fn(&Value) -> bool,
+        agg_field: &str,
+    ) -> Option<f64> {
+        let rows = self.scan_where(filter_field, pred);
+        let vals = self.gather(agg_field, &rows);
+        let nums: Vec<f64> = vals.iter().filter_map(|v| v.as_f64()).collect();
+        (!nums.is_empty()).then(|| nums.iter().sum::<f64>() / nums.len() as f64)
+    }
+
+    /// Hash join with another table on equal columns; returns matching row
+    /// id pairs. Both sides are full scans, as Hive does.
+    pub fn hash_join(&self, my_field: &str, other: &Table, other_field: &str) -> Vec<(usize, usize)> {
+        let mut table: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mine = self.column(my_field).map(|c| c.values()).unwrap_or_default();
+        for (i, v) in mine.iter().enumerate() {
+            if !v.is_unknown() {
+                table.entry(v.stable_hash()).or_default().push(i);
+            }
+        }
+        let theirs = other.column(other_field).map(|c| c.values()).unwrap_or_default();
+        let mut out = Vec::new();
+        for (j, v) in theirs.iter().enumerate() {
+            if v.is_unknown() {
+                continue;
+            }
+            if let Some(is) = table.get(&v.stable_hash()) {
+                for &i in is {
+                    if mine[i].total_cmp(v).is_eq() {
+                        out.push((i, j));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asterix_adm::parse::parse_value;
+
+    fn records(n: i64) -> Vec<Value> {
+        (0..n)
+            .map(|i| {
+                parse_value(&format!(
+                    "{{ \"id\": {i}, \"grp\": {}, \"city\": \"c{}\", \"score\": {}.5 }}",
+                    i % 5,
+                    i % 3,
+                    i
+                ))
+                .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn compression_roundtrip() {
+        let recs = records(100);
+        let t = Table::from_records(&recs, &["id", "grp", "city", "score"]);
+        assert_eq!(t.rows, 100);
+        let ids = t.column("id").unwrap().values();
+        assert_eq!(ids.len(), 100);
+        assert_eq!(ids[42], Value::Int64(42));
+        let cities = t.column("city").unwrap().values();
+        assert_eq!(cities[4], Value::string("c1"));
+        let scores = t.column("score").unwrap().values();
+        assert_eq!(scores[2], Value::Double(2.5));
+    }
+
+    #[test]
+    fn rle_and_dict_compress_well() {
+        // grp cycles over 5 values; city over 3 → strong compression.
+        let recs = records(10_000);
+        let grp_col = compress(&recs.iter().map(|r| r.field("grp")).collect::<Vec<_>>());
+        // RLE on a cycling column is poor, but a sorted column compresses:
+        let mut sorted: Vec<Value> = recs.iter().map(|r| r.field("grp")).collect();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let sorted_col = compress(&sorted);
+        assert!(sorted_col.size_bytes() < grp_col.size_bytes() / 10);
+        let city_col = compress(&recs.iter().map(|r| r.field("city")).collect::<Vec<_>>());
+        // Dictionary: 3 entries + 4 bytes/row.
+        assert!(city_col.size_bytes() < 10_000 * 8);
+    }
+
+    #[test]
+    fn scan_queries() {
+        let recs = records(1000);
+        let t = Table::from_records(&recs, &["id", "grp", "score"]);
+        let rows = t.scan_where("grp", |v| v.as_i64() == Some(2));
+        assert_eq!(rows.len(), 200);
+        let avg = t
+            .avg_where("grp", |v| v.as_i64() == Some(2), "score")
+            .unwrap();
+        assert!((avg - 499.0).abs() < 5.0, "{avg}");
+    }
+
+    #[test]
+    fn join_via_full_scans() {
+        let users = records(50);
+        let msgs: Vec<Value> = (0..200)
+            .map(|m| {
+                parse_value(&format!("{{ \"mid\": {m}, \"author\": {} }}", m % 50)).unwrap()
+            })
+            .collect();
+        let ut = Table::from_records(&users, &["id"]);
+        let mt = Table::from_records(&msgs, &["mid", "author"]);
+        let pairs = ut.hash_join("id", &mt, "author");
+        assert_eq!(pairs.len(), 200);
+    }
+
+    #[test]
+    fn nulls_survive_compression() {
+        let vals = vec![Value::Int64(1), Value::Null, Value::Int64(1)];
+        let col = compress(&vals);
+        let back = col.values();
+        assert_eq!(back[1], Value::Null);
+        assert_eq!(back[2], Value::Int64(1));
+    }
+}

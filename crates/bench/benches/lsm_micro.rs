@@ -1,0 +1,100 @@
+//! LSM storage microbenchmarks: ingestion rate, point lookups against many
+//! components (bloom-filter effect), merged scans, and the merge-policy
+//! ablation from DESIGN.md (§4.3: merge policies trade write amplification
+//! for read cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+use asterix_adm::Value;
+use asterix_storage::btree::{LsmBTree, ValueBound};
+use asterix_storage::lsm::{LsmConfig, MergePolicy};
+use asterix_storage::{BufferCache, NullObserver};
+
+fn tree(dir: &std::path::Path, policy: MergePolicy) -> LsmBTree {
+    LsmBTree::open(
+        dir,
+        1,
+        LsmConfig {
+            mem_budget: 256 << 10,
+            page_size: 4096,
+            bloom_fpp: 0.01,
+            merge_policy: policy,
+        },
+        BufferCache::new(1024),
+        Arc::new(NullObserver),
+    )
+    .unwrap()
+}
+
+fn bench_lsm(c: &mut Criterion) {
+    // Ingestion (the paper's design goal: LSM for high ingest rates).
+    let mut g = c.benchmark_group("lsm/ingest_10k");
+    g.sample_size(10);
+    for (name, policy) in [
+        ("no_merge", MergePolicy::NoMerge),
+        ("constant4", MergePolicy::Constant { max: 4 }),
+        ("prefix", MergePolicy::default()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let dir = tempfile::TempDir::new().unwrap();
+                let t = tree(dir.path(), policy.clone());
+                for i in 0..10_000i64 {
+                    t.insert(&[Value::Int64(i)], vec![0u8; 64]).unwrap();
+                }
+            })
+        });
+    }
+    g.finish();
+
+    // Point lookups across many components: merge policy ablation.
+    let mut g = c.benchmark_group("lsm/get_after_ingest");
+    for (name, policy) in [
+        ("no_merge", MergePolicy::NoMerge),
+        ("constant4", MergePolicy::Constant { max: 4 }),
+    ] {
+        let dir = tempfile::TempDir::new().unwrap();
+        let t = tree(dir.path(), policy);
+        for i in 0..20_000i64 {
+            t.lsm()
+                .insert(
+                    asterix_storage::keycodec::encode_single(&Value::Int64(i)).unwrap(),
+                    vec![0u8; 64],
+                )
+                .unwrap();
+        }
+        t.lsm().flush().unwrap();
+        eprintln!("{name}: {} disk components", t.lsm().disk_component_count());
+        g.bench_function(name, |b| {
+            let mut i = 0i64;
+            b.iter(|| {
+                i = (i + 7919) % 20_000;
+                t.get(&[Value::Int64(i)]).unwrap()
+            })
+        });
+    }
+    g.finish();
+
+    // Range scans.
+    let mut g = c.benchmark_group("lsm/scan_1k_of_20k");
+    let dir = tempfile::TempDir::new().unwrap();
+    let t = tree(dir.path(), MergePolicy::Constant { max: 4 });
+    for i in 0..20_000i64 {
+        t.insert(&[Value::Int64(i)], vec![0u8; 64]).unwrap();
+    }
+    t.lsm().flush().unwrap();
+    g.bench_function("range", |b| {
+        b.iter(|| {
+            t.range(
+                &ValueBound::included(Value::Int64(5000)),
+                &ValueBound::excluded(Value::Int64(6000)),
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lsm);
+criterion_main!(benches);

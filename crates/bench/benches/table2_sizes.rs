@@ -1,0 +1,50 @@
+//! Criterion bench for Table 2: times corpus load into each system and
+//! reports the resulting storage sizes (the `table2` binary prints the
+//! full comparison table).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use asterix_bench::datagen::{generate, Scale};
+use asterix_bench::harness::*;
+
+fn bench_table2(c: &mut Criterion) {
+    let scale = Scale::tiny();
+    let corpus = generate(&scale, 20140702);
+
+    let mut g = c.benchmark_group("table2/load");
+    g.sample_size(10);
+    g.bench_function("asterix_schema", |b| {
+        b.iter(|| {
+            let sys = setup_asterix(&corpus, SchemaMode::Schema, false);
+            criterion::black_box(sys.size_bytes())
+        })
+    });
+    g.bench_function("asterix_keyonly", |b| {
+        b.iter(|| {
+            let sys = setup_asterix(&corpus, SchemaMode::KeyOnly, false);
+            criterion::black_box(sys.size_bytes())
+        })
+    });
+    g.bench_function("systemx", |b| {
+        b.iter(|| criterion::black_box(setup_systemx(&corpus, false).size_bytes()))
+    });
+    g.bench_function("hive_like", |b| {
+        b.iter(|| criterion::black_box(setup_hive(&corpus).size_bytes()))
+    });
+    g.bench_function("mongo_like", |b| {
+        b.iter(|| criterion::black_box(setup_mongo(&corpus, false).size_bytes()))
+    });
+    g.finish();
+
+    // Print the size comparison once (the Table 2 payload).
+    let s = setup_asterix(&corpus, SchemaMode::Schema, false).size_bytes();
+    let k = setup_asterix(&corpus, SchemaMode::KeyOnly, false).size_bytes();
+    let x = setup_systemx(&corpus, false).size_bytes();
+    let h = setup_hive(&corpus).size_bytes();
+    let m = setup_mongo(&corpus, false).size_bytes();
+    eprintln!("table2 sizes (bytes): schema={s} keyonly={k} systemx={x} hive={h} mongo={m}");
+    assert!(s < k && h < s, "Table 2 ordering must hold");
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

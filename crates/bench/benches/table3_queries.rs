@@ -1,0 +1,68 @@
+//! Criterion bench for Table 3's workload (reduced scale; the
+//! `table3` binary prints the full 20-row table with shape checks).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use asterix_bench::datagen::{generate, ts_range_for, Scale};
+use asterix_bench::harness::*;
+
+fn bench_table3(c: &mut Criterion) {
+    let scale = Scale::tiny();
+    let corpus = generate(&scale, 20140702);
+    let m = corpus.messages.len();
+    let u = corpus.users.len();
+    let (mlo, mhi) = ts_range_for(m / 20, m);
+    let (ulo, uhi) = ts_range_for(u / 20, u);
+
+    let systems_ix: Vec<Box<dyn Table3System>> = vec![
+        Box::new(setup_asterix(&corpus, SchemaMode::Schema, true)),
+        Box::new(setup_systemx(&corpus, true)),
+        Box::new(setup_hive(&corpus)),
+        Box::new(setup_mongo(&corpus, true)),
+    ];
+    let systems_noix: Vec<Box<dyn Table3System>> = vec![
+        Box::new(setup_asterix(&corpus, SchemaMode::Schema, false)),
+        Box::new(setup_systemx(&corpus, false)),
+        Box::new(setup_mongo(&corpus, false)),
+    ];
+
+    let mut g = c.benchmark_group("table3/rec_lookup");
+    for s in &systems_ix {
+        g.bench_function(s.name(), |b| b.iter(|| s.rec_lookup(57)));
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("table3/range_scan_ix");
+    for s in &systems_ix {
+        g.bench_function(s.name(), |b| b.iter(|| s.range_scan(mlo, mhi)));
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("table3/range_scan_noix");
+    for s in &systems_noix {
+        g.bench_function(s.name(), |b| b.iter(|| s.range_scan(mlo, mhi)));
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("table3/sel_join_ix");
+    g.sample_size(10);
+    for s in &systems_ix {
+        g.bench_function(s.name(), |b| b.iter(|| s.sel_join(ulo, uhi)));
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("table3/agg_ix");
+    for s in &systems_ix {
+        g.bench_function(s.name(), |b| b.iter(|| s.agg(mlo, mhi)));
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("table3/grp_agg_ix");
+    for s in &systems_ix {
+        g.bench_function(s.name(), |b| b.iter(|| s.grp_agg(mlo, mhi)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench for Table 4: per-record insert cost at batch sizes 1
+//! and 20 (the `table4` binary prints the cross-system table).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use asterix_adm::print::to_adm_string;
+use asterix_bench::datagen::{gen_message, Corpus};
+use asterix_bench::harness::{setup_asterix, SchemaMode};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_inserts(c: &mut Criterion) {
+    let corpus = Corpus { users: vec![], messages: vec![], tweets: vec![] };
+    let sys = setup_asterix(&corpus, SchemaMode::Schema, true);
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut next_id = 1_000_000i64;
+
+    let mut g = c.benchmark_group("table4/insert");
+    g.sample_size(20);
+    g.bench_function("asterix_batch1", |b| {
+        b.iter_batched(
+            || {
+                next_id += 1;
+                format!(
+                    "insert into dataset MugshotMessages ({});",
+                    to_adm_string(&gen_message(&mut rng, next_id, 100))
+                )
+            },
+            |stmt| sys.instance.execute(&stmt).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("asterix_batch20", |b| {
+        b.iter_batched(
+            || {
+                let items: Vec<String> = (0..20)
+                    .map(|_| {
+                        next_id += 1;
+                        to_adm_string(&gen_message(&mut rng, next_id, 100))
+                    })
+                    .collect();
+                format!("insert into dataset MugshotMessages ([{}]);", items.join(", "))
+            },
+            |stmt| sys.instance.execute(&stmt).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_inserts);
+criterion_main!(benches);

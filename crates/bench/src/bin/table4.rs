@@ -1,0 +1,137 @@
+//! Regenerate **Table 4: Average insert time per record** — batch sizes 1
+//! and 20 across the insert-capable systems (Hive is excluded, as in the
+//! paper).
+//!
+//! Reproduction targets: single-record inserts in AsterixDB carry
+//! per-statement compilation ("Hyracks job generation and start-up")
+//! overhead that the simpler engines do not pay, and batching 20 records
+//! into one statement amortizes it below the per-record cost of the
+//! others — the paper's crossover.
+
+use std::time::Instant;
+
+use asterix_adm::print::to_adm_string;
+use asterix_bench::datagen::{gen_message, Scale};
+use asterix_bench::harness::{setup_asterix, SchemaMode};
+use asterix_baselines::docstore::Collection;
+use asterix_baselines::relational::RelTable;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_env();
+    let n_single = 200usize;
+    let n_batches = 20usize; // batches of 20
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let docs: Vec<asterix_adm::Value> = (0..(n_single + n_batches * 20) as i64)
+        .map(|i| gen_message(&mut rng, 1_000_000 + i, scale.users))
+        .collect();
+
+    // --- AsterixDB (Schema + KeyOnly): full AQL statement path ------------
+    let asx = |mode: SchemaMode| -> (f64, f64) {
+        let corpus = empty_corpus();
+        let sys = setup_asterix(&corpus, mode, true);
+        // Single-record statements.
+        let start = Instant::now();
+        for d in &docs[..n_single] {
+            let stmt = format!("insert into dataset MugshotMessages ({});", to_adm_string(d));
+            sys.instance.execute(&stmt).expect("insert");
+        }
+        let single = start.elapsed().as_secs_f64() / n_single as f64;
+        // One-statement batches of 20.
+        let start = Instant::now();
+        for b in 0..n_batches {
+            let chunk = &docs[n_single + b * 20..n_single + (b + 1) * 20];
+            let items: Vec<String> = chunk.iter().map(to_adm_string).collect();
+            let stmt = format!(
+                "insert into dataset MugshotMessages ([{}]);",
+                items.join(", ")
+            );
+            sys.instance.execute(&stmt).expect("batch insert");
+        }
+        let batch = start.elapsed().as_secs_f64() / (n_batches * 20) as f64;
+        (single, batch)
+    };
+    eprintln!("running AsterixDB (Schema) inserts ...");
+    let (as_s1, as_s20) = asx(SchemaMode::Schema);
+    eprintln!("running AsterixDB (KeyOnly) inserts ...");
+    let (ak_s1, ak_s20) = asx(SchemaMode::KeyOnly);
+
+    // --- System-X stand-in -------------------------------------------------
+    eprintln!("running System-X inserts ...");
+    let mut sx = RelTable::new("messages", &["message-id", "author-id", "timestamp", "message"]);
+    sx.create_index("message-id");
+    let to_row = |d: &asterix_adm::Value| {
+        vec![
+            d.field("message-id"),
+            d.field("author-id"),
+            d.field("timestamp"),
+            d.field("message"),
+        ]
+    };
+    let start = Instant::now();
+    for d in &docs[..n_single] {
+        sx.insert(to_row(d));
+    }
+    let sx_s1 = start.elapsed().as_secs_f64() / n_single as f64;
+    let start = Instant::now();
+    for b in 0..n_batches {
+        for d in &docs[n_single + b * 20..n_single + (b + 1) * 20] {
+            sx.insert(to_row(d));
+        }
+    }
+    let sx_s20 = start.elapsed().as_secs_f64() / (n_batches * 20) as f64;
+
+    // --- Mongo stand-in (journaled) ----------------------------------------
+    eprintln!("running Mongo-like inserts ...");
+    let dir = tempfile::TempDir::new().unwrap();
+    let mut mongo = Collection::with_journal("message-id", dir.path().join("j.log")).unwrap();
+    let start = Instant::now();
+    for d in &docs[..n_single] {
+        mongo.insert(d).unwrap();
+    }
+    let mg_s1 = start.elapsed().as_secs_f64() / n_single as f64;
+    let start = Instant::now();
+    for b in 0..n_batches {
+        mongo
+            .insert_batch(&docs[n_single + b * 20..n_single + (b + 1) * 20])
+            .unwrap();
+    }
+    let mg_s20 = start.elapsed().as_secs_f64() / (n_batches * 20) as f64;
+
+    let ms = |s: f64| format!("{:.3}", s * 1000.0);
+    println!("## Table 4 — Average insert time per record (measured, ms)\n");
+    println!("| Batch | Asterix Schema | Asterix KeyOnly | Syst-X | Mongo | paper (s) |");
+    println!("|---|---|---|---|---|---|");
+    println!(
+        "| 1  | {} | {} | {} | {} | 0.091 / 0.093 / 0.040 / 0.035 |",
+        ms(as_s1), ms(ak_s1), ms(sx_s1), ms(mg_s1)
+    );
+    println!(
+        "| 20 | {} | {} | {} | {} | 0.010 / 0.011 / 0.026 / 0.024 |",
+        ms(as_s20), ms(ak_s20), ms(sx_s20), ms(mg_s20)
+    );
+
+    println!("\n### Shape checks\n");
+    let check = |name: &str, ok: bool| {
+        println!("- [{}] {}", if ok { "x" } else { " " }, name);
+    };
+    check(
+        "batching amortizes AsterixDB's per-statement overhead by >3x",
+        as_s1 / as_s20.max(1e-9) > 3.0,
+    );
+    check(
+        "single-record AsterixDB inserts are slower than the simple engines (job-gen overhead)",
+        as_s1 > sx_s1 && as_s1 > mg_s1,
+    );
+    check(
+        "batched AsterixDB insert-per-record improves relative to the others (paper's crossover direction)",
+        (as_s20 / as_s1) < (mg_s20 / mg_s1).max(sx_s20 / sx_s1),
+    );
+}
+
+/// An empty corpus (Table 4 measures pure insert cost).
+fn empty_corpus() -> asterix_bench::datagen::Corpus {
+    asterix_bench::datagen::Corpus { users: vec![], messages: vec![], tweets: vec![] }
+}

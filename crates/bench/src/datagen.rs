@@ -1,0 +1,272 @@
+//! Deterministic synthetic data mirroring §5.3.1's users / messages /
+//! tweets datasets (nested records, bags, datetimes, points, tag bags).
+
+use asterix_adm::value::Point;
+use asterix_adm::{Record, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Scale knobs for the generated corpus.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    pub users: usize,
+    pub messages: usize,
+    pub tweets: usize,
+}
+
+impl Scale {
+    /// Default laptop-scale corpus; override with `ASTERIX_BENCH_SCALE`
+    /// (a multiplier).
+    pub fn from_env() -> Scale {
+        let mult: f64 = std::env::var("ASTERIX_BENCH_SCALE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1.0);
+        Scale {
+            users: (4_000.0 * mult) as usize,
+            messages: (20_000.0 * mult) as usize,
+            tweets: (10_000.0 * mult) as usize,
+        }
+    }
+
+    pub fn tiny() -> Scale {
+        Scale { users: 200, messages: 1000, tweets: 500 }
+    }
+}
+
+const EPOCH_2010: i64 = 1_262_304_000_000; // 2010-01-01T00:00:00Z in millis
+const YEAR_MILLIS: i64 = 365 * 24 * 3600 * 1000;
+
+const FIRST_NAMES: &[&str] = &[
+    "Ada", "Grace", "Alan", "Edsger", "Barbara", "Donald", "John", "Dana", "Nicola",
+    "Margaret", "Tim", "Leslie", "Tony", "Frances", "Niklaus", "Ken",
+];
+const LAST_NAMES: &[&str] = &[
+    "Lovelace", "Hopper", "Turing", "Dijkstra", "Liskov", "Knuth", "Backus", "Scott",
+    "Hamilton", "Lee", "Lamport", "Hoare", "Allen", "Wirth", "Thompson", "Codd",
+];
+const CITIES: &[&str] = &[
+    "Irvine", "Riverside", "San Harry", "Springfield", "Portland", "Austin", "Madison",
+    "Boulder",
+];
+const STATES: &[&str] = &["CA", "OR", "TX", "WI", "CO", "WA"];
+const COUNTRIES: &[&str] = &["USA", "Canada", "Mexico", "Germany", "India", "Japan"];
+const ORGS: &[&str] = &[
+    "Kongreen", "Hexbit", "Dataverse Inc", "Streamworks", "Quanta", "Mugshot.com",
+    "Acme Analytics",
+];
+const JOB_KINDS: &[&str] = &["full-time", "part-time", "contract"];
+const WORDS: &[&str] = &[
+    "love", "this", "phone", "network", "tonight", "coffee", "deadline", "paper",
+    "weather", "game", "concert", "great", "terrible", "slow", "fast", "battery",
+    "service", "signal", "happy", "meeting", "traffic", "beach", "music", "launch",
+    "release", "update", "crash", "awesome", "bug", "query",
+];
+const TAGS: &[&str] = &[
+    "tech", "music", "sports", "food", "travel", "news", "movies", "science", "art",
+    "coding",
+];
+
+fn pick<'a>(rng: &mut StdRng, xs: &'a [&'a str]) -> &'a str {
+    xs[rng.gen_range(0..xs.len())]
+}
+
+/// Generate one Mugshot user (MugshotUserType's shape, Data definition 1).
+pub fn gen_user(rng: &mut StdRng, id: i64, nusers: usize) -> Value {
+    let first = pick(rng, FIRST_NAMES);
+    let last = pick(rng, LAST_NAMES);
+    let user_since = EPOCH_2010 + rng.gen_range(0..4 * YEAR_MILLIS);
+    let nfriends = rng.gen_range(1..8usize);
+    let friends: Vec<Value> = (0..nfriends)
+        .map(|_| Value::Int64(rng.gen_range(0..nusers as i64)))
+        .collect();
+    let nemp = rng.gen_range(0..3usize);
+    let employment: Vec<Value> = (0..nemp)
+        .map(|_| {
+            let start = (user_since / 86_400_000) as i32 - rng.gen_range(0..2000);
+            let mut emp = Record::new();
+            emp.push_unchecked("organization-name", Value::string(pick(rng, ORGS)));
+            emp.push_unchecked("start-date", Value::Date(start));
+            if rng.gen_bool(0.5) {
+                emp.push_unchecked(
+                    "end-date",
+                    Value::Date(start + rng.gen_range(30..1500)),
+                );
+            }
+            // Open-type extra field (Query 7 probes job-kind, undeclared).
+            if rng.gen_bool(0.7) {
+                emp.push_unchecked("job-kind", Value::string(pick(rng, JOB_KINDS)));
+            }
+            Value::record(emp)
+        })
+        .collect();
+    let mut address = Record::new();
+    address.push_unchecked("street", Value::string(format!("{} Main St", rng.gen_range(1..999))));
+    address.push_unchecked("city", Value::string(pick(rng, CITIES)));
+    address.push_unchecked("state", Value::string(pick(rng, STATES)));
+    address.push_unchecked("zip", Value::string(format!("{:05}", rng.gen_range(10000..99999))));
+    address.push_unchecked("country", Value::string(pick(rng, COUNTRIES)));
+
+    let mut r = Record::new();
+    r.push_unchecked("id", Value::Int64(id));
+    r.push_unchecked("alias", Value::string(format!("{first}{id}")));
+    r.push_unchecked("name", Value::string(format!("{first} {last}")));
+    r.push_unchecked("user-since", Value::DateTime(user_since));
+    r.push_unchecked("address", Value::record(address));
+    r.push_unchecked("friend-ids", Value::unordered_list(friends));
+    r.push_unchecked("employment", Value::ordered_list(employment));
+    Value::record(r)
+}
+
+fn gen_text(rng: &mut StdRng, words: usize) -> String {
+    let mut s = String::new();
+    for i in 0..words {
+        if i > 0 {
+            s.push(' ');
+        }
+        s.push_str(pick(rng, WORDS));
+    }
+    s
+}
+
+/// Generate one Mugshot message (MugshotMessageType's shape).
+pub fn gen_message(rng: &mut StdRng, mid: i64, nusers: usize) -> Value {
+    let ts = EPOCH_2010 + rng.gen_range(0..4 * YEAR_MILLIS);
+    let ntags = rng.gen_range(1..4usize);
+    let tags: Vec<Value> = (0..ntags).map(|_| Value::string(pick(rng, TAGS))).collect();
+    let mut r = Record::new();
+    r.push_unchecked("message-id", Value::Int64(mid));
+    r.push_unchecked("author-id", Value::Int64(rng.gen_range(0..nusers as i64)));
+    r.push_unchecked("timestamp", Value::DateTime(ts));
+    if rng.gen_bool(0.3) {
+        r.push_unchecked("in-response-to", Value::Int64(rng.gen_range(0..mid.max(1))));
+    }
+    if rng.gen_bool(0.8) {
+        r.push_unchecked(
+            "sender-location",
+            Value::Point(Point::new(
+                rng.gen_range(-120.0..-80.0),
+                rng.gen_range(25.0..48.0),
+            )),
+        );
+    }
+    r.push_unchecked("tags", Value::unordered_list(tags));
+    let nw = rng.gen_range(4..20);
+    r.push_unchecked("message", Value::string(gen_text(rng, nw)));
+    Value::record(r)
+}
+
+/// Generate one tweet (the third §5.3.1 dataset).
+pub fn gen_tweet(rng: &mut StdRng, tid: i64, nusers: usize) -> Value {
+    let ts = EPOCH_2010 + rng.gen_range(0..4 * YEAR_MILLIS);
+    let mut user = Record::new();
+    let name = format!("{}{}", pick(rng, FIRST_NAMES), rng.gen_range(0..nusers));
+    user.push_unchecked("screen-name", Value::string(&name));
+    user.push_unchecked("followers", Value::Int64(rng.gen_range(0..100_000)));
+    let mut r = Record::new();
+    r.push_unchecked("tweetid", Value::Int64(tid));
+    r.push_unchecked("user", Value::record(user));
+    r.push_unchecked(
+        "sender-location",
+        Value::Point(Point::new(rng.gen_range(-120.0..-80.0), rng.gen_range(25.0..48.0))),
+    );
+    r.push_unchecked("send-time", Value::DateTime(ts));
+    r.push_unchecked(
+        "referred-topics",
+        Value::unordered_list(
+            (0..rng.gen_range(1..4usize))
+                .map(|_| Value::string(pick(rng, TAGS)))
+                .collect(),
+        ),
+    );
+    let nw = rng.gen_range(3..12);
+    r.push_unchecked("message-text", Value::string(gen_text(rng, nw)));
+    Value::record(r)
+}
+
+/// The three datasets, deterministically generated from a seed.
+pub struct Corpus {
+    pub users: Vec<Value>,
+    pub messages: Vec<Value>,
+    pub tweets: Vec<Value>,
+}
+
+/// Generate the full corpus.
+pub fn generate(scale: &Scale, seed: u64) -> Corpus {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let users = (0..scale.users as i64)
+        .map(|i| gen_user(&mut rng, i, scale.users))
+        .collect();
+    let messages = (0..scale.messages as i64)
+        .map(|i| gen_message(&mut rng, i, scale.users))
+        .collect();
+    let tweets = (0..scale.tweets as i64)
+        .map(|i| gen_tweet(&mut rng, i, scale.users))
+        .collect();
+    Corpus { users, messages, tweets }
+}
+
+/// A timestamp range selecting roughly `target` of `total` messages (the
+/// paper's small = 300 / large = 3000-or-30000 selectivities, scaled).
+pub fn ts_range_for(target: usize, total: usize) -> (i64, i64) {
+    let frac = target as f64 / total.max(1) as f64;
+    let span = (4 * YEAR_MILLIS) as f64 * frac;
+    let start = EPOCH_2010 + YEAR_MILLIS; // away from the edges
+    (start, start + span as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_shaped() {
+        let scale = Scale::tiny();
+        let a = generate(&scale, 42);
+        let b = generate(&scale, 42);
+        assert_eq!(a.users.len(), 200);
+        assert_eq!(a.messages.len(), 1000);
+        assert_eq!(
+            a.users[7].total_cmp(&b.users[7]),
+            std::cmp::Ordering::Equal,
+            "same seed, same data"
+        );
+        let c = generate(&scale, 43);
+        assert!(a.users[7].total_cmp(&c.users[7]).is_ne());
+        // Shape checks.
+        let u = &a.users[0];
+        assert!(matches!(u.field("user-since"), Value::DateTime(_)));
+        assert!(u.field("address").field("zip").as_str().is_some());
+        assert!(u.field("friend-ids").as_list().is_some());
+        let m = &a.messages[0];
+        assert!(m.field("message").as_str().is_some());
+        assert!(m.field("tags").as_list().unwrap().len() <= 3);
+    }
+
+    #[test]
+    fn ts_range_selectivity_is_close() {
+        let scale = Scale::tiny();
+        let c = generate(&scale, 7);
+        let (lo, hi) = ts_range_for(100, c.messages.len());
+        let n = c
+            .messages
+            .iter()
+            .filter(|m| {
+                let Value::DateTime(t) = m.field("timestamp") else { return false };
+                t >= lo && t < hi
+            })
+            .count();
+        // Uniform timestamps: expect within 3x of the target.
+        assert!(n > 30 && n < 300, "selected {n}, wanted ~100");
+    }
+
+    #[test]
+    fn author_ids_reference_users() {
+        let scale = Scale::tiny();
+        let c = generate(&scale, 7);
+        for m in &c.messages {
+            let a = m.field("author-id").as_i64().unwrap();
+            assert!(a >= 0 && (a as usize) < scale.users);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! # asterix-bench — the evaluation harness (§5.3)
+//!
+//! Regenerates every table and figure of the paper's evaluation section:
+//!
+//! * **Table 2** (dataset sizes): [`datagen`] produces the paper's three
+//!   synthetic datasets (users, messages, tweets); `bin/table2` stores them
+//!   in all five systems and reports sizes.
+//! * **Table 3** (query response times): `bin/table3` runs the paper's
+//!   read-only workload (record lookup, range scan, two select-joins, two
+//!   aggregations — each with and without indexes, small and large
+//!   selectivity) against AsterixDB (Schema and KeyOnly configurations) and
+//!   the three baseline stand-ins.
+//! * **Table 4** (insert times): `bin/table4`, batch sizes 1 and 20.
+//! * **Figure 6** (the Hyracks job for Query 10): `bin/fig6_plan` compiles
+//!   Query 10 and prints/validates the job shape.
+//!
+//! Criterion benches under `benches/` cover the same workloads at reduced
+//! scale plus ablations (limit-into-sort pushdown, group materialization,
+//! LSM merge policies).
+
+pub mod datagen;
+pub mod harness;

@@ -1,0 +1,522 @@
+//! Connectors redistribute data between operator partitions (§4.1).
+//!
+//! The six kinds from the paper are implemented: `OneToOne`,
+//! `MToNReplicating`, `MToNPartitioning`, `LocalityAwareMToNPartitioning`,
+//! `MToNPartitioningMerging`, and `HashPartitioningShuffle`. Frames move
+//! over unbounded crossbeam channels; a merging connector's receive side
+//! performs a streaming k-way merge over the per-sender channels.
+
+use std::cmp::Ordering;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Select, Sender};
+
+use crate::frame::{hash_fields, Frame, Tuple, FRAME_CAPACITY};
+use crate::Result;
+
+/// Tuple comparator used by merging connectors and sorts.
+pub type Comparator = Arc<dyn Fn(&Tuple, &Tuple) -> Ordering + Send + Sync>;
+
+/// The connector kinds of §4.1.
+#[derive(Clone)]
+pub enum ConnectorKind {
+    /// Partition i → partition i; requires equal partition counts. No data
+    /// movement — the pipelined fast path highlighted in Figure 6.
+    OneToOne,
+    /// Every source partition sends every frame to every destination
+    /// partition (used e.g. to feed a 1-partition global aggregator).
+    MToNReplicating,
+    /// Hash partitioning on the given tuple fields.
+    MToNPartitioning { fields: Vec<usize> },
+    /// Hash partitioning that keeps data on the same node when the
+    /// destination has partitions there (one network hop saved per §4.1's
+    /// operator library).
+    LocalityAwareMToNPartitioning { fields: Vec<usize> },
+    /// Hash partitioning whose receive side merges the per-sender streams
+    /// by a sort order, preserving sortedness across repartitioning.
+    MToNPartitioningMerging { fields: Vec<usize>, comparator: Comparator },
+    /// Alias of hash partitioning used for shuffle stages.
+    HashPartitioningShuffle { fields: Vec<usize> },
+}
+
+impl ConnectorKind {
+    /// Display name matching the paper's terminology.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ConnectorKind::OneToOne => "OneToOneConnector",
+            ConnectorKind::MToNReplicating => "MToNReplicatingConnector",
+            ConnectorKind::MToNPartitioning { .. } => "MToNPartitioningConnector",
+            ConnectorKind::LocalityAwareMToNPartitioning { .. } => {
+                "LocalityAwareMToNPartitioningConnector"
+            }
+            ConnectorKind::MToNPartitioningMerging { .. } => {
+                "MToNPartitioningMergingConnector"
+            }
+            ConnectorKind::HashPartitioningShuffle { .. } => "HashPartitioningShuffle",
+        }
+    }
+}
+
+impl std::fmt::Debug for ConnectorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How an output port routes each tuple.
+enum RouteStrategy {
+    /// All tuples to one fixed destination channel.
+    Fixed(usize),
+    /// Hash of fields modulo destination count.
+    Hash(Vec<usize>),
+    /// Hash of fields within the sender's node group when possible.
+    LocalityAware { fields: Vec<usize>, group: Vec<usize> },
+    /// Every tuple to every destination.
+    Replicate,
+}
+
+/// The sending half of one connector for one source partition.
+pub struct OutputPort {
+    senders: Vec<Sender<Frame>>,
+    buffers: Vec<Frame>,
+    strategy: RouteStrategy,
+}
+
+impl OutputPort {
+    fn new(senders: Vec<Sender<Frame>>, strategy: RouteStrategy) -> OutputPort {
+        let n = senders.len();
+        OutputPort { senders, buffers: (0..n).map(|_| Frame::new()).collect(), strategy }
+    }
+
+    /// A port that discards everything (for dangling outputs).
+    pub fn sink() -> OutputPort {
+        OutputPort { senders: Vec::new(), buffers: Vec::new(), strategy: RouteStrategy::Replicate }
+    }
+
+    /// Emit one tuple.
+    pub fn push(&mut self, tuple: Tuple) -> Result<()> {
+        match &self.strategy {
+            RouteStrategy::Fixed(j) => self.buffer_to(*j, tuple),
+            RouteStrategy::Hash(fields) => {
+                let j = (hash_fields(&tuple, fields) % self.senders.len().max(1) as u64) as usize;
+                self.buffer_to(j, tuple)
+            }
+            RouteStrategy::LocalityAware { fields, group } => {
+                let h = hash_fields(&tuple, fields);
+                let j = group[(h % group.len() as u64) as usize];
+                self.buffer_to(j, tuple)
+            }
+            RouteStrategy::Replicate => {
+                for j in 0..self.senders.len() {
+                    self.buffer_to(j, tuple.clone())?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn buffer_to(&mut self, j: usize, tuple: Tuple) -> Result<()> {
+        if self.senders.is_empty() {
+            return Ok(());
+        }
+        self.buffers[j].push(tuple);
+        if self.buffers[j].len() >= FRAME_CAPACITY {
+            let frame = std::mem::take(&mut self.buffers[j]);
+            // Receiver gone means downstream finished early (e.g. LIMIT);
+            // dropping data then is correct, not an error.
+            let _ = self.senders[j].send(frame);
+        }
+        Ok(())
+    }
+
+    /// Flush remaining buffered tuples. Called automatically when the
+    /// operator finishes (executor drops the port), but operators may flush
+    /// early to bound latency (feeds do).
+    pub fn flush(&mut self) {
+        for j in 0..self.senders.len() {
+            if !self.buffers[j].is_empty() {
+                let frame = std::mem::take(&mut self.buffers[j]);
+                let _ = self.senders[j].send(frame);
+            }
+        }
+    }
+}
+
+impl Drop for OutputPort {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// How an input port combines multiple incoming channels.
+enum InputMode {
+    /// Take frames in arrival order (select over channels).
+    Any,
+    /// K-way merge of sorted per-sender streams.
+    Merge(Comparator),
+}
+
+/// The receiving half of one connector for one destination partition.
+pub struct InputPort {
+    receivers: Vec<Receiver<Frame>>,
+    mode: InputMode,
+    /// Merge-mode lookahead buffers, one per sender.
+    lookahead: Vec<VecDeque<Tuple>>,
+    exhausted: Vec<bool>,
+}
+
+impl InputPort {
+    fn new(receivers: Vec<Receiver<Frame>>, mode: InputMode) -> InputPort {
+        let n = receivers.len();
+        InputPort {
+            receivers,
+            mode,
+            lookahead: (0..n).map(|_| VecDeque::new()).collect(),
+            exhausted: vec![false; n],
+        }
+    }
+
+    /// An input port that yields nothing (for testing/synthetic ops).
+    pub fn empty() -> InputPort {
+        InputPort::new(Vec::new(), InputMode::Any)
+    }
+
+    /// Receive the next frame (Any mode) — `None` at end of stream.
+    fn recv_any(&mut self) -> Option<Frame> {
+        loop {
+            let live: Vec<usize> = (0..self.receivers.len())
+                .filter(|&i| !self.exhausted[i])
+                .collect();
+            if live.is_empty() {
+                return None;
+            }
+            if live.len() == 1 {
+                match self.receivers[live[0]].recv() {
+                    Ok(f) => return Some(f),
+                    Err(_) => {
+                        self.exhausted[live[0]] = true;
+                        continue;
+                    }
+                }
+            }
+            let mut sel = Select::new();
+            for &i in &live {
+                sel.recv(&self.receivers[i]);
+            }
+            let op = sel.select();
+            let idx = live[op.index()];
+            match op.recv(&self.receivers[idx]) {
+                Ok(f) => return Some(f),
+                Err(_) => {
+                    self.exhausted[idx] = true;
+                }
+            }
+        }
+    }
+
+    fn refill(&mut self, i: usize) {
+        while self.lookahead[i].is_empty() && !self.exhausted[i] {
+            match self.receivers[i].recv() {
+                Ok(frame) => self.lookahead[i].extend(frame),
+                Err(_) => self.exhausted[i] = true,
+            }
+        }
+    }
+
+    fn next_merged(&mut self) -> Option<Tuple> {
+        let cmp = match &self.mode {
+            InputMode::Merge(c) => Arc::clone(c),
+            InputMode::Any => unreachable!("next_merged on non-merge port"),
+        };
+        for i in 0..self.receivers.len() {
+            self.refill(i);
+        }
+        let mut best: Option<usize> = None;
+        for i in 0..self.receivers.len() {
+            if let Some(t) = self.lookahead[i].front() {
+                match best {
+                    None => best = Some(i),
+                    Some(b) => {
+                        if cmp(t, self.lookahead[b].front().unwrap()) == Ordering::Less {
+                            best = Some(i);
+                        }
+                    }
+                }
+            }
+        }
+        best.and_then(|i| self.lookahead[i].pop_front())
+    }
+
+    /// Drain the port, invoking `f` for every tuple; stops early (and
+    /// discards the rest) if `f` returns `false`.
+    pub fn for_each(&mut self, mut f: impl FnMut(Tuple) -> Result<bool>) -> Result<()> {
+        match &self.mode {
+            InputMode::Any => {
+                while let Some(frame) = self.recv_any() {
+                    for t in frame {
+                        if !f(t)? {
+                            self.drain();
+                            return Ok(());
+                        }
+                    }
+                }
+                Ok(())
+            }
+            InputMode::Merge(_) => {
+                while let Some(t) = self.next_merged() {
+                    if !f(t)? {
+                        self.drain();
+                        return Ok(());
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Collect the whole input into a vector (blocking operators).
+    pub fn collect(&mut self) -> Result<Vec<Tuple>> {
+        let mut out = Vec::new();
+        self.for_each(|t| {
+            out.push(t);
+            Ok(true)
+        })?;
+        Ok(out)
+    }
+
+    /// Consume and discard the remainder of the stream so upstream senders
+    /// never block (channels are unbounded, so this only frees memory).
+    pub fn drain(&mut self) {
+        for i in 0..self.receivers.len() {
+            while self.receivers[i].try_recv().is_ok() {}
+            self.exhausted[i] = true;
+        }
+        self.lookahead.iter_mut().for_each(|q| q.clear());
+    }
+}
+
+/// Build the channel fabric for one connector between `n_src` source and
+/// `n_dst` destination partitions. Returns (per-source output ports,
+/// per-destination input ports).
+///
+/// `node_of` maps a partition index to its (simulated) node id, used by the
+/// locality-aware connector.
+pub fn wire(
+    kind: &ConnectorKind,
+    n_src: usize,
+    n_dst: usize,
+    node_of: &dyn Fn(usize) -> usize,
+) -> Result<(Vec<OutputPort>, Vec<InputPort>)> {
+    match kind {
+        ConnectorKind::OneToOne => {
+            if n_src != n_dst {
+                return Err(crate::HyracksError::InvalidJob(format!(
+                    "OneToOne connector between {n_src} and {n_dst} partitions"
+                )));
+            }
+            let mut outs = Vec::with_capacity(n_src);
+            let mut ins = Vec::with_capacity(n_dst);
+            for _ in 0..n_src {
+                let (tx, rx) = unbounded();
+                outs.push(OutputPort::new(vec![tx], RouteStrategy::Fixed(0)));
+                ins.push(InputPort::new(vec![rx], InputMode::Any));
+            }
+            Ok((outs, ins))
+        }
+        ConnectorKind::MToNReplicating => {
+            let (txs, rxs): (Vec<_>, Vec<_>) = (0..n_dst).map(|_| unbounded()).unzip();
+            let outs = (0..n_src)
+                .map(|_| OutputPort::new(txs.clone(), RouteStrategy::Replicate))
+                .collect();
+            let ins = rxs
+                .into_iter()
+                .map(|rx| InputPort::new(vec![rx], InputMode::Any))
+                .collect();
+            Ok((outs, ins))
+        }
+        ConnectorKind::MToNPartitioning { fields }
+        | ConnectorKind::HashPartitioningShuffle { fields } => {
+            let (txs, rxs): (Vec<_>, Vec<_>) = (0..n_dst).map(|_| unbounded()).unzip();
+            let outs = (0..n_src)
+                .map(|_| OutputPort::new(txs.clone(), RouteStrategy::Hash(fields.clone())))
+                .collect();
+            let ins = rxs
+                .into_iter()
+                .map(|rx| InputPort::new(vec![rx], InputMode::Any))
+                .collect();
+            Ok((outs, ins))
+        }
+        ConnectorKind::LocalityAwareMToNPartitioning { fields } => {
+            let (txs, rxs): (Vec<_>, Vec<_>) = (0..n_dst).map(|_| unbounded()).unzip();
+            let outs = (0..n_src)
+                .map(|p| {
+                    // Destinations on the same node as source partition p,
+                    // falling back to all destinations.
+                    let my_node = node_of(p);
+                    let local: Vec<usize> =
+                        (0..n_dst).filter(|&j| node_of(j) == my_node).collect();
+                    let group = if local.is_empty() { (0..n_dst).collect() } else { local };
+                    OutputPort::new(
+                        txs.clone(),
+                        RouteStrategy::LocalityAware { fields: fields.clone(), group },
+                    )
+                })
+                .collect();
+            let ins = rxs
+                .into_iter()
+                .map(|rx| InputPort::new(vec![rx], InputMode::Any))
+                .collect();
+            Ok((outs, ins))
+        }
+        ConnectorKind::MToNPartitioningMerging { fields, comparator } => {
+            // One channel per (src, dst) pair so the receiver can merge the
+            // sorted per-sender streams.
+            let mut per_dst_rxs: Vec<Vec<Receiver<Frame>>> =
+                (0..n_dst).map(|_| Vec::with_capacity(n_src)).collect();
+            let mut per_src_txs: Vec<Vec<Sender<Frame>>> =
+                (0..n_src).map(|_| Vec::with_capacity(n_dst)).collect();
+            for txs in per_src_txs.iter_mut() {
+                for rxs in per_dst_rxs.iter_mut() {
+                    let (tx, rx) = unbounded();
+                    txs.push(tx);
+                    rxs.push(rx);
+                }
+            }
+            let outs = per_src_txs
+                .into_iter()
+                .map(|txs| OutputPort::new(txs, RouteStrategy::Hash(fields.clone())))
+                .collect();
+            let ins = per_dst_rxs
+                .into_iter()
+                .map(|rxs| InputPort::new(rxs, InputMode::Merge(Arc::clone(comparator))))
+                .collect();
+            Ok((outs, ins))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asterix_adm::Value;
+
+    fn t(i: i64) -> Tuple {
+        vec![Value::Int64(i)]
+    }
+
+    #[test]
+    fn one_to_one_preserves_partition() {
+        let (mut outs, ins) = wire(&ConnectorKind::OneToOne, 2, 2, &|_| 0).unwrap();
+        outs[0].push(t(0)).unwrap();
+        outs[1].push(t(1)).unwrap();
+        drop(outs);
+        for (i, mut port) in ins.into_iter().enumerate() {
+            let got = port.collect().unwrap();
+            assert_eq!(got, vec![t(i as i64)]);
+        }
+    }
+
+    #[test]
+    fn one_to_one_arity_mismatch_rejected() {
+        assert!(wire(&ConnectorKind::OneToOne, 2, 3, &|_| 0).is_err());
+    }
+
+    #[test]
+    fn partitioning_routes_by_hash() {
+        let kind = ConnectorKind::MToNPartitioning { fields: vec![0] };
+        let (mut outs, ins) = wire(&kind, 2, 4, &|_| 0).unwrap();
+        for i in 0..100 {
+            outs[(i % 2) as usize].push(t(i)).unwrap();
+        }
+        drop(outs);
+        let mut total = 0;
+        let mut per_part: Vec<Vec<i64>> = Vec::new();
+        for mut port in ins {
+            let got = port.collect().unwrap();
+            total += got.len();
+            per_part.push(got.iter().map(|t| t[0].as_i64().unwrap()).collect());
+        }
+        assert_eq!(total, 100);
+        // Same key always lands in the same partition: re-send key 7.
+        let (mut outs2, ins2) = wire(&kind, 1, 4, &|_| 0).unwrap();
+        outs2[0].push(t(7)).unwrap();
+        drop(outs2);
+        let landed: Vec<usize> = ins2
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, mut p)| (!p.collect().unwrap().is_empty()).then_some(i))
+            .collect();
+        assert_eq!(landed.len(), 1);
+        assert!(per_part[landed[0]].contains(&7));
+    }
+
+    #[test]
+    fn replicating_duplicates() {
+        let (mut outs, ins) = wire(&ConnectorKind::MToNReplicating, 2, 3, &|_| 0).unwrap();
+        outs[0].push(t(1)).unwrap();
+        outs[1].push(t(2)).unwrap();
+        drop(outs);
+        for mut port in ins {
+            let mut got: Vec<i64> =
+                port.collect().unwrap().iter().map(|t| t[0].as_i64().unwrap()).collect();
+            got.sort_unstable();
+            assert_eq!(got, vec![1, 2]);
+        }
+    }
+
+    #[test]
+    fn merging_connector_preserves_order() {
+        let cmp: Comparator = Arc::new(|a, b| a[0].total_cmp(&b[0]));
+        let kind = ConnectorKind::MToNPartitioningMerging { fields: vec![], comparator: cmp };
+        // fields=[] → every tuple hashes identically → all to dst 0.
+        let (mut outs, mut ins) = wire(&kind, 3, 1, &|_| 0).unwrap();
+        // Each source emits a sorted run.
+        for (s, base) in [(0usize, 0i64), (1, 1), (2, 2)] {
+            for i in 0..10 {
+                outs[s].push(t(base + i * 3)).unwrap();
+            }
+        }
+        drop(outs);
+        let got: Vec<i64> =
+            ins[0].collect().unwrap().iter().map(|t| t[0].as_i64().unwrap()).collect();
+        let expect: Vec<i64> = (0..30).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn locality_aware_stays_on_node() {
+        // 4 partitions on 2 nodes: partitions 0,1 on node 0; 2,3 on node 1.
+        let node_of = |p: usize| p / 2;
+        let kind = ConnectorKind::LocalityAwareMToNPartitioning { fields: vec![0] };
+        let (mut outs, ins) = wire(&kind, 4, 4, &node_of).unwrap();
+        for i in 0..100 {
+            outs[0].push(t(i)).unwrap(); // src partition 0, node 0
+        }
+        drop(outs);
+        let counts: Vec<usize> =
+            ins.into_iter().map(|mut p| p.collect().unwrap().len()).collect();
+        // Everything from node 0 stays on node 0's partitions (0 and 1).
+        assert_eq!(counts[2] + counts[3], 0);
+        assert_eq!(counts[0] + counts[1], 100);
+    }
+
+    #[test]
+    fn early_exit_drains() {
+        let (mut outs, mut ins) = wire(&ConnectorKind::OneToOne, 1, 1, &|_| 0).unwrap();
+        for i in 0..5000 {
+            outs[0].push(t(i)).unwrap();
+        }
+        drop(outs);
+        let mut n = 0;
+        ins[0]
+            .for_each(|_| {
+                n += 1;
+                Ok(n < 10)
+            })
+            .unwrap();
+        assert_eq!(n, 10);
+        // Port fully drained afterwards.
+        assert!(ins[0].collect().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,51 @@
+//! Runtime error type.
+
+use std::fmt;
+
+/// Errors surfaced by job execution.
+#[derive(Debug)]
+pub enum HyracksError {
+    /// Expression/data-model failure inside an operator.
+    Adm(asterix_adm::AdmError),
+    /// A malformed job graph (bad connector arity, cycles, ...).
+    InvalidJob(String),
+    /// Operator runtime failure (storage callbacks and the like surface
+    /// through this as strings to keep the runtime crate substrate-neutral).
+    Operator(String),
+    /// I/O during spilling.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for HyracksError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HyracksError::Adm(e) => write!(f, "{e}"),
+            HyracksError::InvalidJob(m) => write!(f, "invalid job: {m}"),
+            HyracksError::Operator(m) => write!(f, "operator failure: {m}"),
+            HyracksError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HyracksError {}
+
+impl From<asterix_adm::AdmError> for HyracksError {
+    fn from(e: asterix_adm::AdmError) -> Self {
+        HyracksError::Adm(e)
+    }
+}
+
+impl From<std::io::Error> for HyracksError {
+    fn from(e: std::io::Error) -> Self {
+        HyracksError::Io(e)
+    }
+}
+
+impl From<String> for HyracksError {
+    fn from(m: String) -> Self {
+        HyracksError::Operator(m)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, HyracksError>;

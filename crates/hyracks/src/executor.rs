@@ -1,0 +1,370 @@
+//! The job executor: wires connectors, spawns one thread per operator
+//! partition, and propagates failures.
+//!
+//! This is the Node Controller side of §4.1 collapsed into one process:
+//! every partition of every operator runs concurrently; blocking operators
+//! (declared via `blocking_inputs`, the activity split) impose the stage
+//! ordering implicitly by consuming their blocking inputs to completion
+//! before emitting.
+
+use std::sync::Arc;
+use std::thread;
+
+use crate::connector::{wire, InputPort, OutputPort};
+use crate::job::JobSpec;
+use crate::ops::OpCtx;
+use crate::{HyracksError, Result};
+
+/// Execution settings for the simulated cluster.
+#[derive(Debug, Clone)]
+pub struct ExecutorConfig {
+    /// Partitions hosted per simulated node (for locality-aware routing).
+    pub partitions_per_node: usize,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig { partitions_per_node: 1 }
+    }
+}
+
+/// Run a job to completion, returning the first operator error if any.
+pub fn run_job(job: &JobSpec) -> Result<()> {
+    run_job_with(job, &ExecutorConfig::default())
+}
+
+/// Run a job with explicit cluster configuration.
+pub fn run_job_with(job: &JobSpec, cfg: &ExecutorConfig) -> Result<()> {
+    job.topo_order()?; // validates acyclicity
+
+    let ppn = cfg.partitions_per_node.max(1);
+    let node_of = move |p: usize| p / ppn;
+
+    // Wire every connector: per source partition output ports, per
+    // destination partition input ports.
+    let mut conn_outs: Vec<Vec<Option<OutputPort>>> = Vec::with_capacity(job.conns.len());
+    let mut conn_ins: Vec<Vec<Option<InputPort>>> = Vec::with_capacity(job.conns.len());
+    for c in &job.conns {
+        let n_src = job.ops[c.src.0].nparts;
+        let n_dst = job.ops[c.dst.0].nparts;
+        let (outs, ins) = wire(&c.kind, n_src, n_dst, &node_of)?;
+        conn_outs.push(outs.into_iter().map(Some).collect());
+        conn_ins.push(ins.into_iter().map(Some).collect());
+    }
+
+    // Spawn one thread per (operator, partition).
+    let mut handles = Vec::new();
+    for (op_idx, op) in job.ops.iter().enumerate() {
+        let in_conns = job.inputs_of(crate::job::OperatorId(op_idx));
+        let out_conns = job.outputs_of(crate::job::OperatorId(op_idx));
+        for p in 0..op.nparts {
+            let inputs: Vec<InputPort> = in_conns
+                .iter()
+                .map(|&ci| conn_ins[ci][p].take().expect("input port taken twice"))
+                .collect();
+            let mut outputs: Vec<OutputPort> = out_conns
+                .iter()
+                .map(|&ci| conn_outs[ci][p].take().expect("output port taken twice"))
+                .collect();
+            if outputs.is_empty() {
+                outputs.push(OutputPort::sink());
+            }
+            let desc = Arc::clone(&op.desc);
+            let nparts = op.nparts;
+            let node = node_of(p);
+            handles.push(
+                thread::Builder::new()
+                    .name(format!("{}[{p}]", desc.name()))
+                    .spawn(move || {
+                        let mut ctx = OpCtx { partition: p, nparts, node, inputs, outputs };
+                        let result = desc.run(&mut ctx);
+                        // Drain remaining input so upstream memory is freed
+                        // even on early exit/error, then drop ports (which
+                        // flushes and closes outputs).
+                        for input in ctx.inputs.iter_mut() {
+                            input.drain();
+                        }
+                        result
+                    })
+                    .expect("spawn operator thread"),
+            );
+        }
+    }
+
+    let mut first_err: Option<HyracksError> = None;
+    for h in handles {
+        match h.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+            Err(_) => {
+                if first_err.is_none() {
+                    first_err = Some(HyracksError::Operator("operator thread panicked".into()));
+                }
+            }
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connector::ConnectorKind;
+    use crate::ops::{
+        AggKind, AggSpec, AssignOp, GroupMode, HashGroupOp, HybridHashJoinOp, JoinType,
+        LimitOp, ScalarAggOp, SelectOp, SinkOp, SortKey, SortOp, SourceOp, UnionAllOp,
+    };
+    use asterix_adm::Value;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    fn int_source(label: &str, per_partition: i64) -> Arc<SourceOp> {
+        Arc::new(SourceOp::new(label.to_string(), move |p, _n, emit| {
+            for i in 0..per_partition {
+                emit(vec![Value::Int64(p as i64 * per_partition + i)])?;
+            }
+            Ok(())
+        }))
+    }
+
+    fn collect_sink(job: &mut JobSpec) -> (crate::job::OperatorId, Arc<Mutex<Vec<Vec<Value>>>>) {
+        let collector = Arc::new(Mutex::new(Vec::new()));
+        let id = job.add(1, Arc::new(SinkOp::new(Arc::clone(&collector))));
+        (id, collector)
+    }
+
+    #[test]
+    fn scan_select_sink_pipeline() {
+        let mut job = JobSpec::new();
+        let src = job.add(4, int_source("scan", 100));
+        let sel = job.add(
+            4,
+            Arc::new(SelectOp::new(
+                "even",
+                Arc::new(|t: &Vec<Value>| Ok(t[0].as_i64().unwrap() % 2 == 0)),
+            )),
+        );
+        let (sink, collector) = collect_sink(&mut job);
+        job.connect(ConnectorKind::OneToOne, src, sel);
+        job.connect(ConnectorKind::MToNReplicating, sel, sink);
+        run_job(&job).unwrap();
+        let out = collector.lock();
+        assert_eq!(out.len(), 200);
+        assert!(out.iter().all(|t| t[0].as_i64().unwrap() % 2 == 0));
+    }
+
+    #[test]
+    fn figure6_shape_local_global_agg() {
+        // scan → assign(double it) → local avg → n:1 replicating → global avg
+        let mut job = JobSpec::new();
+        let src = job.add(3, int_source("scan", 10)); // values 0..30
+        let assign = job.add(
+            3,
+            Arc::new(AssignOp::new(
+                "x2",
+                vec![Arc::new(|t: &Vec<Value>| {
+                    asterix_adm::functions::arith('*', &t[0], &Value::Int64(2))
+                        .map_err(Into::into)
+                })],
+            )),
+        );
+        let local = job.add(
+            3,
+            Arc::new(ScalarAggOp::new(
+                "avg",
+                vec![AggSpec::new(AggKind::Avg, 1)],
+                GroupMode::Partial,
+            )),
+        );
+        let global = job.add(
+            1,
+            Arc::new(ScalarAggOp::new(
+                "avg",
+                vec![AggSpec::new(AggKind::Avg, 0)],
+                GroupMode::Final,
+            )),
+        );
+        let (sink, collector) = collect_sink(&mut job);
+        job.connect(ConnectorKind::OneToOne, src, assign);
+        job.connect(ConnectorKind::OneToOne, assign, local);
+        job.connect(ConnectorKind::MToNReplicating, local, global);
+        job.connect(ConnectorKind::OneToOne, global, sink);
+        run_job(&job).unwrap();
+        let out = collector.lock();
+        assert_eq!(out.len(), 1);
+        // avg of 2*(0..29) = 29.
+        assert_eq!(out[0][0], Value::Double(29.0));
+        // Stage analysis: global agg runs a stage after local agg.
+        let stages = job.stages().unwrap();
+        assert!(stages[global.0] > stages[assign.0]);
+    }
+
+    #[test]
+    fn partitioned_group_by() {
+        let mut job = JobSpec::new();
+        let src = job.add(4, int_source("scan", 100)); // 0..400
+        // Local partial group by (i mod 10), then repartition by key, final.
+        let keyed = job.add(
+            4,
+            Arc::new(AssignOp::new(
+                "key",
+                vec![Arc::new(|t: &Vec<Value>| {
+                    Ok(Value::Int64(t[0].as_i64().unwrap() % 10))
+                })],
+            )),
+        );
+        let local = job.add(
+            4,
+            Arc::new(HashGroupOp::new(
+                "local",
+                vec![1],
+                vec![AggSpec::new(AggKind::Count, 0), AggSpec::new(AggKind::Sum, 0)],
+                GroupMode::Partial,
+            )),
+        );
+        let global = job.add(
+            2,
+            Arc::new(HashGroupOp::new(
+                "global",
+                vec![0],
+                vec![AggSpec::new(AggKind::Count, 1), AggSpec::new(AggKind::Sum, 2)],
+                GroupMode::Final,
+            )),
+        );
+        let (sink, collector) = collect_sink(&mut job);
+        job.connect(ConnectorKind::OneToOne, src, keyed);
+        job.connect(ConnectorKind::OneToOne, keyed, local);
+        job.connect(ConnectorKind::MToNPartitioning { fields: vec![0] }, local, global);
+        job.connect(ConnectorKind::MToNReplicating, global, sink);
+        run_job(&job).unwrap();
+        let mut out = collector.lock().clone();
+        out.sort_by(|a, b| a[0].total_cmp(&b[0]));
+        assert_eq!(out.len(), 10);
+        for (k, row) in out.iter().enumerate() {
+            assert_eq!(row[1], Value::Int64(40), "count of group {k}");
+            // sum of {k, k+10, ..., k+390} = 40k + 10*(0+..+39)
+            let expect = 40 * k as i64 + 10 * (39 * 40 / 2);
+            assert_eq!(row[2], Value::Int64(expect), "sum of group {k}");
+        }
+    }
+
+    #[test]
+    fn distributed_hash_join() {
+        let mut job = JobSpec::new();
+        // Build: keys 0..50 twice; probe: keys 0..100 once.
+        let build = job.add(
+            2,
+            Arc::new(SourceOp::new("build", |p, _n, emit| {
+                for i in 0..50i64 {
+                    emit(vec![Value::Int64(i), Value::string(format!("b{p}"))])?;
+                }
+                Ok(())
+            })),
+        );
+        let probe = job.add(
+            2,
+            Arc::new(SourceOp::new("probe", |p, _n, emit| {
+                for i in 0..50i64 {
+                    emit(vec![Value::Int64(p as i64 * 50 + i), Value::string("p")])?;
+                }
+                Ok(())
+            })),
+        );
+        let join = job.add(
+            3,
+            Arc::new(HybridHashJoinOp::new("j", vec![0], vec![0], JoinType::Inner)),
+        );
+        let (sink, collector) = collect_sink(&mut job);
+        job.connect(ConnectorKind::MToNPartitioning { fields: vec![0] }, build, join);
+        job.connect(ConnectorKind::MToNPartitioning { fields: vec![0] }, probe, join);
+        job.connect(ConnectorKind::MToNReplicating, join, sink);
+        run_job(&job).unwrap();
+        // Keys 0..50 exist on probe side once (from partition 0's range)
+        // and build side twice (both partitions) → 100 result rows.
+        assert_eq!(collector.lock().len(), 100);
+    }
+
+    #[test]
+    fn sort_merge_connector_gives_global_order() {
+        let mut job = JobSpec::new();
+        let src = job.add(4, int_source("scan", 250)); // 0..1000 across parts
+        let sort = job.add(
+            4,
+            Arc::new(SortOp::new("k", vec![SortKey::field(0, true)])),
+        );
+        let merge = job.add(
+            1,
+            Arc::new(LimitOp { limit: 5, offset: 0 }),
+        );
+        let (sink, collector) = collect_sink(&mut job);
+        job.connect(ConnectorKind::OneToOne, src, sort);
+        job.connect(
+            ConnectorKind::MToNPartitioningMerging {
+                fields: vec![],
+                comparator: crate::ops::sort_comparator(&[SortKey::field(0, true)]),
+            },
+            sort,
+            merge,
+        );
+        job.connect(ConnectorKind::OneToOne, merge, sink);
+        run_job(&job).unwrap();
+        let got: Vec<i64> =
+            collector.lock().iter().map(|t| t[0].as_i64().unwrap()).collect();
+        assert_eq!(got, vec![999, 998, 997, 996, 995]);
+    }
+
+    #[test]
+    fn union_all_merges_branches() {
+        let mut job = JobSpec::new();
+        let a = job.add(2, int_source("a", 10));
+        let b = job.add(2, int_source("b", 10));
+        let u = job.add(2, Arc::new(UnionAllOp));
+        let (sink, collector) = collect_sink(&mut job);
+        job.connect(ConnectorKind::OneToOne, a, u);
+        job.connect(ConnectorKind::OneToOne, b, u);
+        job.connect(ConnectorKind::MToNReplicating, u, sink);
+        run_job(&job).unwrap();
+        assert_eq!(collector.lock().len(), 40);
+    }
+
+    #[test]
+    fn operator_errors_propagate() {
+        let mut job = JobSpec::new();
+        let src = job.add(1, int_source("scan", 10));
+        let bad = job.add(
+            1,
+            Arc::new(SelectOp::new(
+                "boom",
+                Arc::new(|_t: &Vec<Value>| {
+                    Err(HyracksError::Operator("intentional".into()))
+                }),
+            )),
+        );
+        let (sink, _collector) = collect_sink(&mut job);
+        job.connect(ConnectorKind::OneToOne, src, bad);
+        job.connect(ConnectorKind::OneToOne, bad, sink);
+        let err = run_job(&job).unwrap_err();
+        assert!(matches!(err, HyracksError::Operator(m) if m.contains("intentional")));
+    }
+
+    #[test]
+    fn limit_stops_early_without_hanging() {
+        let mut job = JobSpec::new();
+        let src = job.add(1, int_source("scan", 100_000));
+        let limit = job.add(1, Arc::new(LimitOp { limit: 3, offset: 1 }));
+        let (sink, collector) = collect_sink(&mut job);
+        job.connect(ConnectorKind::OneToOne, src, limit);
+        job.connect(ConnectorKind::OneToOne, limit, sink);
+        run_job(&job).unwrap();
+        let got: Vec<i64> =
+            collector.lock().iter().map(|t| t[0].as_i64().unwrap()).collect();
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+}

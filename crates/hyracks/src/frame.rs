@@ -1,0 +1,48 @@
+//! Tuples and frames — the unit of dataflow between operators.
+
+use asterix_adm::Value;
+
+/// A runtime tuple: positional ADM values. Field-name → position mapping is
+/// a compile-time (Algebricks) concern; the runtime is purely positional.
+pub type Tuple = Vec<Value>;
+
+/// A frame: a batch of tuples moved through a connector in one channel
+/// send, amortizing synchronization cost (the analogue of Hyracks' byte
+/// frames).
+pub type Frame = Vec<Tuple>;
+
+/// Default tuples per frame.
+pub const FRAME_CAPACITY: usize = 1024;
+
+/// Compute the hash of the given tuple fields, for hash partitioning and
+/// hash joins. Uses the ADM stable hash so equal-comparing values (across
+/// numeric widths) land in the same partition.
+pub fn hash_fields(tuple: &Tuple, fields: &[usize]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &f in fields {
+        let vh = tuple.get(f).map_or(0, |v| v.stable_hash());
+        h ^= vh;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_respects_numeric_promotion() {
+        let a: Tuple = vec![Value::Int32(5), Value::string("x")];
+        let b: Tuple = vec![Value::Int64(5), Value::string("x")];
+        assert_eq!(hash_fields(&a, &[0, 1]), hash_fields(&b, &[0, 1]));
+        let c: Tuple = vec![Value::Int64(6), Value::string("x")];
+        assert_ne!(hash_fields(&a, &[0]), hash_fields(&c, &[0]));
+    }
+
+    #[test]
+    fn missing_fields_hash_consistently() {
+        let a: Tuple = vec![Value::Int32(1)];
+        assert_eq!(hash_fields(&a, &[5]), hash_fields(&a, &[9]));
+    }
+}

@@ -1,0 +1,224 @@
+//! Job specifications: DAGs of operators and connectors, plus the
+//! activity/stage analysis of §4.1.
+//!
+//! "As the first step in the execution of a submitted Hyracks Job, its
+//! Operators are expanded into their constituent Activities. [...] the
+//! separation of an Operator into two or more Activities surfaces the
+//! constraint that it can produce no output until all of its input has been
+//! consumed." Stages are maximal sets of activities executable together.
+
+use std::sync::Arc;
+
+use crate::connector::ConnectorKind;
+use crate::ops::OperatorDescriptor;
+use crate::Result;
+
+/// Identifies an operator within a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OperatorId(pub usize);
+
+pub(crate) struct OpNode {
+    pub desc: Arc<dyn OperatorDescriptor>,
+    pub nparts: usize,
+}
+
+pub(crate) struct ConnSpec {
+    pub kind: ConnectorKind,
+    pub src: OperatorId,
+    pub dst: OperatorId,
+}
+
+/// A Hyracks job: a DAG of operators and connectors.
+#[derive(Default)]
+pub struct JobSpec {
+    pub(crate) ops: Vec<OpNode>,
+    pub(crate) conns: Vec<ConnSpec>,
+}
+
+impl JobSpec {
+    pub fn new() -> JobSpec {
+        JobSpec::default()
+    }
+
+    /// Add an operator running with `nparts` partitions.
+    pub fn add(&mut self, nparts: usize, desc: Arc<dyn OperatorDescriptor>) -> OperatorId {
+        self.ops.push(OpNode { desc, nparts: nparts.max(1) });
+        OperatorId(self.ops.len() - 1)
+    }
+
+    /// Connect `src`'s next output to `dst`'s next input through `kind`.
+    /// Input/output indexes are assigned in connection order.
+    pub fn connect(&mut self, kind: ConnectorKind, src: OperatorId, dst: OperatorId) {
+        self.conns.push(ConnSpec { kind, src, dst });
+    }
+
+    /// Number of operators.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Partition count of an operator.
+    pub fn partitions(&self, op: OperatorId) -> usize {
+        self.ops[op.0].nparts
+    }
+
+    /// Operator display name.
+    pub fn op_name(&self, op: OperatorId) -> String {
+        self.ops[op.0].desc.name()
+    }
+
+    /// Incoming connector indexes of `dst`, in input order.
+    pub(crate) fn inputs_of(&self, dst: OperatorId) -> Vec<usize> {
+        self.conns
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| (c.dst == dst).then_some(i))
+            .collect()
+    }
+
+    /// Outgoing connector indexes of `src`, in output order.
+    pub(crate) fn outputs_of(&self, src: OperatorId) -> Vec<usize> {
+        self.conns
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| (c.src == src).then_some(i))
+            .collect()
+    }
+
+    /// Topological order of operators; errors on cycles.
+    pub fn topo_order(&self) -> Result<Vec<OperatorId>> {
+        let n = self.ops.len();
+        let mut indegree = vec![0usize; n];
+        for c in &self.conns {
+            indegree[c.dst.0] += 1;
+        }
+        let mut queue: Vec<usize> =
+            (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut out = Vec::with_capacity(n);
+        while let Some(i) = queue.pop() {
+            out.push(OperatorId(i));
+            for c in &self.conns {
+                if c.src.0 == i {
+                    indegree[c.dst.0] -= 1;
+                    if indegree[c.dst.0] == 0 {
+                        queue.push(c.dst.0);
+                    }
+                }
+            }
+        }
+        if out.len() != n {
+            return Err(crate::HyracksError::InvalidJob("job graph has a cycle".into()));
+        }
+        Ok(out)
+    }
+
+    /// Stage analysis: expand operators into activities and split the graph
+    /// at blocking activity boundaries. Returns the stage index of each
+    /// operator (stage k must fully finish its blocking consumption before
+    /// stage k+1's results flow).
+    pub fn stages(&self) -> Result<Vec<usize>> {
+        let order = self.topo_order()?;
+        let mut stage = vec![0usize; self.ops.len()];
+        for op in order {
+            let inputs = self.inputs_of(op);
+            let blocking = self.ops[op.0].desc.blocking_inputs();
+            let mut s = 0;
+            for (input_idx, &conn_idx) in inputs.iter().enumerate() {
+                let src = self.conns[conn_idx].src;
+                let src_stage = stage[src.0];
+                let bump = usize::from(blocking.contains(&input_idx));
+                s = s.max(src_stage + bump);
+            }
+            stage[op.0] = s;
+        }
+        Ok(stage)
+    }
+
+    /// Pretty-print the job in Figure 6's style: one line per operator
+    /// (bottom-up source-first), with the connector kind annotated between
+    /// producer and consumer.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        let Ok(order) = self.topo_order() else {
+            return "<cyclic job>".to_string();
+        };
+        let stages = self.stages().unwrap_or_else(|_| vec![0; self.ops.len()]);
+        for op in order {
+            let inputs = self.inputs_of(op);
+            for &ci in &inputs {
+                let c = &self.conns[ci];
+                let (ns, nd) = (self.ops[c.src.0].nparts, self.ops[c.dst.0].nparts);
+                let arrow = match c.kind {
+                    ConnectorKind::OneToOne => "1:1".to_string(),
+                    ConnectorKind::MToNReplicating => format!("{ns}:{nd} replicating"),
+                    ConnectorKind::MToNPartitioning { .. } => {
+                        format!("{ns}:{nd} partitioning")
+                    }
+                    ConnectorKind::LocalityAwareMToNPartitioning { .. } => {
+                        format!("{ns}:{nd} locality-aware")
+                    }
+                    ConnectorKind::MToNPartitioningMerging { .. } => {
+                        format!("{ns}:{nd} partitioning-merging")
+                    }
+                    ConnectorKind::HashPartitioningShuffle { .. } => {
+                        format!("{ns}:{nd} shuffle")
+                    }
+                };
+                out.push_str(&format!("  |{arrow}|\n"));
+            }
+            out.push_str(&format!(
+                "{} [parts={}, stage={}]\n",
+                self.ops[op.0].desc.name(),
+                self.ops[op.0].nparts,
+                stages[op.0]
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{SinkOp, SourceOp};
+    use asterix_adm::Value;
+    use parking_lot::Mutex;
+
+    fn source() -> Arc<dyn OperatorDescriptor> {
+        Arc::new(SourceOp::new("scan", |_, _, emit| {
+            emit(vec![Value::Int64(1)])?;
+            Ok(())
+        }))
+    }
+
+    #[test]
+    fn topo_order_and_cycles() {
+        let mut job = JobSpec::new();
+        let a = job.add(1, source());
+        let sink = Arc::new(Mutex::new(Vec::new()));
+        let b = job.add(1, Arc::new(SinkOp::new(Arc::clone(&sink))));
+        job.connect(ConnectorKind::OneToOne, a, b);
+        let order = job.topo_order().unwrap();
+        assert_eq!(order, vec![a, b]);
+
+        // A cycle is rejected.
+        let mut bad = JobSpec::new();
+        let x = bad.add(1, source());
+        let y = bad.add(1, source());
+        bad.connect(ConnectorKind::OneToOne, x, y);
+        bad.connect(ConnectorKind::OneToOne, y, x);
+        assert!(bad.topo_order().is_err());
+    }
+
+    #[test]
+    fn describe_contains_connector_names() {
+        let mut job = JobSpec::new();
+        let a = job.add(2, source());
+        let sink = Arc::new(Mutex::new(Vec::new()));
+        let b = job.add(1, Arc::new(SinkOp::new(sink)));
+        job.connect(ConnectorKind::MToNReplicating, a, b);
+        let d = job.describe();
+        assert!(d.contains("2:1 replicating"), "{d}");
+        assert!(d.contains("scan [parts=2"), "{d}");
+    }
+}

@@ -1,0 +1,693 @@
+//! Aggregation operators (§4.1): HashGroup, PreclusteredGroup, and the
+//! scalar Local/Global aggregation pair that Figure 6 shows for Query 10
+//! ("a Local Aggregation Operator that pre-aggregates the records for the
+//! local node and a Global Aggregation Operator that aggregates the results
+//! of the Local Aggregation Operators").
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+use asterix_adm::{AdmError, Value};
+
+use super::{OpCtx, OperatorDescriptor};
+use crate::frame::Tuple;
+use crate::Result;
+
+/// Aggregate function kinds. `sql` variants skip unknowns; AQL variants
+/// return null when any input is null (Section 3's aggregate semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggKind {
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+    /// Collect the field values into an ordered list (materializes group
+    /// variables — the `with $msg` of Query 11).
+    Listify,
+}
+
+/// One aggregate: which kind over which input field position.
+#[derive(Debug, Clone, Copy)]
+pub struct AggSpec {
+    pub kind: AggKind,
+    pub field: usize,
+    /// SQL null semantics (`sql-*` builtins) instead of AQL semantics.
+    pub sql: bool,
+}
+
+impl AggSpec {
+    pub fn new(kind: AggKind, field: usize) -> AggSpec {
+        AggSpec { kind, field, sql: false }
+    }
+
+    pub fn sql(kind: AggKind, field: usize) -> AggSpec {
+        AggSpec { kind, field, sql: true }
+    }
+
+    /// How many fields this aggregate's partial state occupies.
+    pub fn partial_arity(&self) -> usize {
+        match self.kind {
+            AggKind::Avg => 2, // (sum, count)
+            _ => 1,
+        }
+    }
+}
+
+/// Running state for one aggregate in one group.
+#[derive(Debug, Clone)]
+enum AggState {
+    Count(i64),
+    /// (sum as f64, all-int flag, int sum, poisoned-by-null)
+    Sum { sum: f64, all_int: bool, isum: i64, poisoned: bool, seen: bool },
+    MinMax { best: Option<Value>, is_min: bool, poisoned: bool },
+    Avg { sum: f64, count: i64, poisoned: bool },
+    Listify(Vec<Value>),
+}
+
+impl AggState {
+    fn init(spec: &AggSpec) -> AggState {
+        match spec.kind {
+            AggKind::Count => AggState::Count(0),
+            AggKind::Sum => {
+                AggState::Sum { sum: 0.0, all_int: true, isum: 0, poisoned: false, seen: false }
+            }
+            AggKind::Min => AggState::MinMax { best: None, is_min: true, poisoned: false },
+            AggKind::Max => AggState::MinMax { best: None, is_min: false, poisoned: false },
+            AggKind::Avg => AggState::Avg { sum: 0.0, count: 0, poisoned: false },
+            AggKind::Listify => AggState::Listify(Vec::new()),
+        }
+    }
+
+    fn accumulate(&mut self, spec: &AggSpec, v: &Value) -> Result<()> {
+        match self {
+            AggState::Count(n) => {
+                let skip = if spec.sql { v.is_unknown() } else { v.is_missing() };
+                if !skip {
+                    *n += 1;
+                }
+            }
+            AggState::Sum { sum, all_int, isum, poisoned, seen } => {
+                if v.is_unknown() {
+                    if !spec.sql {
+                        *poisoned = true;
+                    }
+                    return Ok(());
+                }
+                *seen = true;
+                let f = v.as_f64().ok_or_else(|| {
+                    AdmError::InvalidArgument(format!("sum over {}", v.type_name()))
+                })?;
+                *sum += f;
+                match v.as_i64() {
+                    Some(i) => *isum = isum.wrapping_add(i),
+                    None => *all_int = false,
+                }
+            }
+            AggState::MinMax { best, is_min, poisoned } => {
+                if v.is_unknown() {
+                    if !spec.sql {
+                        *poisoned = true;
+                    }
+                    return Ok(());
+                }
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        let c = v.total_cmp(b);
+                        if *is_min {
+                            c.is_lt()
+                        } else {
+                            c.is_gt()
+                        }
+                    }
+                };
+                if better {
+                    *best = Some(v.clone());
+                }
+            }
+            AggState::Avg { sum, count, poisoned } => {
+                if v.is_unknown() {
+                    if !spec.sql {
+                        *poisoned = true;
+                    }
+                    return Ok(());
+                }
+                *sum += v.as_f64().ok_or_else(|| {
+                    AdmError::InvalidArgument(format!("avg over {}", v.type_name()))
+                })?;
+                *count += 1;
+            }
+            AggState::Listify(items) => {
+                if !v.is_missing() {
+                    items.push(v.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Emit partial-aggregate fields (local aggregation output).
+    fn partial(&self) -> Vec<Value> {
+        match self {
+            AggState::Count(n) => vec![Value::Int64(*n)],
+            AggState::Sum { sum, all_int, isum, poisoned, seen } => {
+                if *poisoned {
+                    vec![Value::Null]
+                } else if !*seen {
+                    vec![Value::Missing]
+                } else if *all_int {
+                    vec![Value::Int64(*isum)]
+                } else {
+                    vec![Value::Double(*sum)]
+                }
+            }
+            AggState::MinMax { best, poisoned, .. } => {
+                if *poisoned {
+                    vec![Value::Null]
+                } else {
+                    vec![best.clone().unwrap_or(Value::Missing)]
+                }
+            }
+            AggState::Avg { sum, count, poisoned } => {
+                if *poisoned {
+                    vec![Value::Null, Value::Null]
+                } else {
+                    vec![Value::Double(*sum), Value::Int64(*count)]
+                }
+            }
+            AggState::Listify(items) => vec![Value::ordered_list(items.clone())],
+        }
+    }
+
+    /// Fold partial fields (from a local aggregator) into this state.
+    fn combine(&mut self, spec: &AggSpec, partial: &[Value]) -> Result<()> {
+        match self {
+            AggState::Count(n) => {
+                if let Some(i) = partial[0].as_i64() {
+                    *n += i;
+                }
+            }
+            AggState::Sum { .. } | AggState::MinMax { .. } => {
+                // A missing partial means that partition saw no values —
+                // always skipped. A null partial poisons (AQL) or is
+                // skipped (SQL); otherwise it folds in like a plain value.
+                if partial[0].is_missing() {
+                    return Ok(());
+                }
+                self.accumulate(spec, &partial[0])?;
+            }
+            AggState::Avg { sum, count, poisoned } => {
+                if partial[0].is_null() {
+                    if !spec.sql {
+                        *poisoned = true;
+                    }
+                } else {
+                    sum.add_assign_from(&partial[0]);
+                    *count += partial[1].as_i64().unwrap_or(0);
+                }
+            }
+            AggState::Listify(items) => {
+                if let Some(list) = partial[0].as_list() {
+                    items.extend(list.iter().cloned());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Emit the final aggregate value.
+    fn finish(&self) -> Value {
+        match self {
+            AggState::Count(n) => Value::Int64(*n),
+            AggState::Sum { sum, all_int, isum, poisoned, seen } => {
+                if *poisoned || !*seen {
+                    Value::Null
+                } else if *all_int {
+                    Value::Int64(*isum)
+                } else {
+                    Value::Double(*sum)
+                }
+            }
+            AggState::MinMax { best, poisoned, .. } => {
+                if *poisoned {
+                    Value::Null
+                } else {
+                    best.clone().unwrap_or(Value::Null)
+                }
+            }
+            AggState::Avg { sum, count, poisoned } => {
+                if *poisoned || *count == 0 {
+                    Value::Null
+                } else {
+                    Value::Double(*sum / *count as f64)
+                }
+            }
+            AggState::Listify(items) => Value::ordered_list(items.clone()),
+        }
+    }
+}
+
+trait AddAssignFrom {
+    fn add_assign_from(&mut self, v: &Value);
+}
+
+impl AddAssignFrom for f64 {
+    fn add_assign_from(&mut self, v: &Value) {
+        if let Some(f) = v.as_f64() {
+            *self += f;
+        }
+    }
+}
+
+/// Group-key wrapper with ADM equality/hash semantics.
+#[derive(Debug, Clone)]
+struct GroupKey(Vec<Value>);
+
+impl PartialEq for GroupKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.len() == other.0.len()
+            && self.0.iter().zip(&other.0).all(|(a, b)| a.total_cmp(b).is_eq())
+    }
+}
+
+impl Eq for GroupKey {}
+
+impl std::hash::Hash for GroupKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        for v in &self.0 {
+            state.write_u64(v.stable_hash());
+        }
+    }
+}
+
+/// Whether a grouping operator computes partials, finals from partials, or
+/// everything in one step — the local/global split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupMode {
+    /// Consume raw tuples, emit `keys ++ partial fields`.
+    Partial,
+    /// Consume `keys ++ partial fields`, emit `keys ++ final values`.
+    Final,
+    /// Consume raw tuples, emit `keys ++ final values`.
+    Complete,
+}
+
+fn run_grouping(
+    label: &str,
+    keys: &[usize],
+    aggs: &[AggSpec],
+    mode: GroupMode,
+    ctx: &mut OpCtx,
+    preclustered: bool,
+) -> Result<()> {
+    let OpCtx { inputs, outputs, .. } = ctx;
+    let out = &mut outputs[0];
+    let _ = label;
+
+    let mut emit_group = |key: GroupKey, states: Vec<AggState>| -> Result<()> {
+        let mut row: Tuple = key.0;
+        for st in &states {
+            match mode {
+                GroupMode::Partial => row.extend(st.partial()),
+                GroupMode::Final | GroupMode::Complete => row.push(st.finish()),
+            }
+        }
+        out.push(row)
+    };
+
+    let extract_key = |t: &Tuple| -> GroupKey {
+        GroupKey(
+            keys.iter()
+                .map(|&i| t.get(i).cloned().unwrap_or(Value::Missing))
+                .collect(),
+        )
+    };
+
+    let feed = |states: &mut Vec<AggState>, t: &Tuple| -> Result<()> {
+        for (spec, st) in aggs.iter().zip(states.iter_mut()) {
+            match mode {
+                GroupMode::Partial | GroupMode::Complete => {
+                    let v = t.get(spec.field).cloned().unwrap_or(Value::Missing);
+                    st.accumulate(spec, &v)?;
+                }
+                GroupMode::Final => {
+                    // Partial fields follow the key fields in declared
+                    // order; compute this aggregate's slice.
+                    let mut off = keys.len();
+                    for prior in aggs.iter().take_while(|p| !std::ptr::eq(*p, spec)) {
+                        off += prior.partial_arity();
+                    }
+                    let slice: Vec<Value> = (0..spec.partial_arity())
+                        .map(|i| t.get(off + i).cloned().unwrap_or(Value::Missing))
+                        .collect();
+                    st.combine(spec, &slice)?;
+                }
+            }
+        }
+        Ok(())
+    };
+
+    if preclustered {
+        // Input arrives clustered by key: emit each group as it closes.
+        let mut current: Option<(GroupKey, Vec<AggState>)> = None;
+        inputs[0].for_each(|t| {
+            let key = extract_key(&t);
+            let close = matches!(&current, Some((k, _)) if *k != key);
+            if close {
+                let (k, states) = current.take().unwrap();
+                emit_group(k, states)?;
+            }
+            if current.is_none() {
+                current = Some((key, aggs.iter().map(AggState::init).collect()));
+            }
+            feed(&mut current.as_mut().unwrap().1, &t)?;
+            Ok(true)
+        })?;
+        if let Some((k, states)) = current.take() {
+            emit_group(k, states)?;
+        }
+    } else {
+        let mut table: HashMap<GroupKey, Vec<AggState>> = HashMap::new();
+        inputs[0].for_each(|t| {
+            let key = extract_key(&t);
+            let states = match table.entry(key) {
+                Entry::Occupied(e) => e.into_mut(),
+                Entry::Vacant(e) => e.insert(aggs.iter().map(AggState::init).collect()),
+            };
+            feed(states, &t)?;
+            Ok(true)
+        })?;
+        for (k, states) in table {
+            emit_group(k, states)?;
+        }
+    }
+    Ok(())
+}
+
+/// Hash-based group-by ("HashGroup" in §4.1's operator list).
+pub struct HashGroupOp {
+    label: String,
+    pub keys: Vec<usize>,
+    pub aggs: Vec<AggSpec>,
+    pub mode: GroupMode,
+}
+
+impl HashGroupOp {
+    pub fn new(
+        label: impl Into<String>,
+        keys: Vec<usize>,
+        aggs: Vec<AggSpec>,
+        mode: GroupMode,
+    ) -> HashGroupOp {
+        HashGroupOp { label: label.into(), keys, aggs, mode }
+    }
+}
+
+impl OperatorDescriptor for HashGroupOp {
+    fn name(&self) -> String {
+        format!(
+            "hash-group {} ({:?})",
+            self.label,
+            self.mode
+        )
+    }
+
+    fn blocking_inputs(&self) -> Vec<usize> {
+        vec![0]
+    }
+
+    fn run(&self, ctx: &mut OpCtx) -> Result<()> {
+        run_grouping(&self.label, &self.keys, &self.aggs, self.mode, ctx, false)
+    }
+}
+
+/// Group-by over key-clustered input ("PreclusteredGroup"): streams, no
+/// hash table, emits groups as they close.
+pub struct PreclusteredGroupOp {
+    label: String,
+    pub keys: Vec<usize>,
+    pub aggs: Vec<AggSpec>,
+    pub mode: GroupMode,
+}
+
+impl PreclusteredGroupOp {
+    pub fn new(
+        label: impl Into<String>,
+        keys: Vec<usize>,
+        aggs: Vec<AggSpec>,
+        mode: GroupMode,
+    ) -> PreclusteredGroupOp {
+        PreclusteredGroupOp { label: label.into(), keys, aggs, mode }
+    }
+}
+
+impl OperatorDescriptor for PreclusteredGroupOp {
+    fn name(&self) -> String {
+        format!("preclustered-group {} ({:?})", self.label, self.mode)
+    }
+
+    fn run(&self, ctx: &mut OpCtx) -> Result<()> {
+        run_grouping(&self.label, &self.keys, &self.aggs, self.mode, ctx, true)
+    }
+}
+
+/// Scalar (ungrouped) aggregation — Figure 6's `aggregate local-avg` /
+/// `aggregate global-avg` pair. With `GroupMode::Partial` this is the
+/// Local Aggregation Operator; with `Final` the Global one (run at
+/// parallelism 1 behind an n:1 replicating connector).
+pub struct ScalarAggOp {
+    label: String,
+    pub aggs: Vec<AggSpec>,
+    pub mode: GroupMode,
+}
+
+impl ScalarAggOp {
+    pub fn new(label: impl Into<String>, aggs: Vec<AggSpec>, mode: GroupMode) -> ScalarAggOp {
+        ScalarAggOp { label: label.into(), aggs, mode }
+    }
+}
+
+impl OperatorDescriptor for ScalarAggOp {
+    fn name(&self) -> String {
+        let prefix = match self.mode {
+            GroupMode::Partial => "aggregate local",
+            GroupMode::Final => "aggregate global",
+            GroupMode::Complete => "aggregate",
+        };
+        format!("{prefix} {}", self.label)
+    }
+
+    fn blocking_inputs(&self) -> Vec<usize> {
+        vec![0]
+    }
+
+    fn run(&self, ctx: &mut OpCtx) -> Result<()> {
+        let OpCtx { inputs, outputs, .. } = ctx;
+        let out = &mut outputs[0];
+        let aggs = &self.aggs;
+        let mode = self.mode;
+        let mut states: Vec<AggState> = aggs.iter().map(AggState::init).collect();
+        inputs[0].for_each(|t| {
+            for (spec, st) in aggs.iter().zip(states.iter_mut()) {
+                match mode {
+                    GroupMode::Partial | GroupMode::Complete => {
+                        let v = t.get(spec.field).cloned().unwrap_or(Value::Missing);
+                        st.accumulate(spec, &v)?;
+                    }
+                    GroupMode::Final => {
+                        let mut off = 0usize;
+                        for prior in aggs.iter().take_while(|p| !std::ptr::eq(*p, spec)) {
+                            off += prior.partial_arity();
+                        }
+                        let slice: Vec<Value> = (0..spec.partial_arity())
+                            .map(|i| t.get(off + i).cloned().unwrap_or(Value::Missing))
+                            .collect();
+                        st.combine(spec, &slice)?;
+                    }
+                }
+            }
+            Ok(true)
+        })?;
+        let mut row: Tuple = Vec::new();
+        for st in &states {
+            match mode {
+                GroupMode::Partial => row.extend(st.partial()),
+                GroupMode::Final | GroupMode::Complete => row.push(st.finish()),
+            }
+        }
+        out.push(row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connector::{wire, ConnectorKind};
+
+    fn run_op(op: &dyn OperatorDescriptor, input: Vec<Tuple>) -> Vec<Tuple> {
+        let (mut in_outs, ins) = wire(&ConnectorKind::OneToOne, 1, 1, &|_| 0).unwrap();
+        let (outs, mut res_ins) = wire(&ConnectorKind::OneToOne, 1, 1, &|_| 0).unwrap();
+        for t in input {
+            in_outs[0].push(t).unwrap();
+        }
+        drop(in_outs);
+        let mut ctx = OpCtx { partition: 0, nparts: 1, node: 0, inputs: ins, outputs: outs };
+        op.run(&mut ctx).unwrap();
+        drop(ctx);
+        res_ins[0].collect().unwrap()
+    }
+
+    fn rows(pairs: &[(i64, i64)]) -> Vec<Tuple> {
+        pairs
+            .iter()
+            .map(|&(k, v)| vec![Value::Int64(k), Value::Int64(v)])
+            .collect()
+    }
+
+    #[test]
+    fn hash_group_count_sum() {
+        let op = HashGroupOp::new(
+            "g",
+            vec![0],
+            vec![AggSpec::new(AggKind::Count, 1), AggSpec::new(AggKind::Sum, 1)],
+            GroupMode::Complete,
+        );
+        let mut out = run_op(&op, rows(&[(1, 10), (2, 20), (1, 30), (2, 2), (3, 5)]));
+        out.sort_by(|a, b| a[0].total_cmp(&b[0]));
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], vec![Value::Int64(1), Value::Int64(2), Value::Int64(40)]);
+        assert_eq!(out[1], vec![Value::Int64(2), Value::Int64(2), Value::Int64(22)]);
+        assert_eq!(out[2], vec![Value::Int64(3), Value::Int64(1), Value::Int64(5)]);
+    }
+
+    #[test]
+    fn partial_then_final_equals_complete() {
+        let aggs = vec![
+            AggSpec::new(AggKind::Avg, 1),
+            AggSpec::new(AggKind::Min, 1),
+            AggSpec::new(AggKind::Count, 1),
+        ];
+        let data = rows(&[(1, 10), (1, 20), (2, 5), (1, 30), (2, 15)]);
+        // Split the data across two "partitions", aggregate partially, then
+        // feed both partials into a final aggregator.
+        let p1 = run_op(
+            &HashGroupOp::new("l", vec![0], aggs.clone(), GroupMode::Partial),
+            data[..3].to_vec(),
+        );
+        let p2 = run_op(
+            &HashGroupOp::new("l", vec![0], aggs.clone(), GroupMode::Partial),
+            data[3..].to_vec(),
+        );
+        let mut partials = p1;
+        partials.extend(p2);
+        let mut two_step = run_op(
+            &HashGroupOp::new("g", vec![0], aggs.clone(), GroupMode::Final),
+            partials,
+        );
+        let mut one_step = run_op(
+            &HashGroupOp::new("c", vec![0], aggs, GroupMode::Complete),
+            data,
+        );
+        two_step.sort_by(|a, b| a[0].total_cmp(&b[0]));
+        one_step.sort_by(|a, b| a[0].total_cmp(&b[0]));
+        assert_eq!(two_step, one_step);
+        // avg of group 1 = 20.
+        assert_eq!(one_step[0][1], Value::Double(20.0));
+    }
+
+    #[test]
+    fn preclustered_group_streams_groups() {
+        let op = PreclusteredGroupOp::new(
+            "p",
+            vec![0],
+            vec![AggSpec::new(AggKind::Count, 1)],
+            GroupMode::Complete,
+        );
+        // Input clustered by key.
+        let out = run_op(&op, rows(&[(1, 0), (1, 0), (2, 0), (3, 0), (3, 0)]));
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], vec![Value::Int64(1), Value::Int64(2)]);
+        assert_eq!(out[1], vec![Value::Int64(2), Value::Int64(1)]);
+        assert_eq!(out[2], vec![Value::Int64(3), Value::Int64(2)]);
+    }
+
+    #[test]
+    fn scalar_local_global_avg_like_figure6() {
+        let aggs = vec![AggSpec::new(AggKind::Avg, 0)];
+        let vals = |xs: &[i64]| -> Vec<Tuple> {
+            xs.iter().map(|&v| vec![Value::Int64(v)]).collect()
+        };
+        let l1 = run_op(
+            &ScalarAggOp::new("avg", aggs.clone(), GroupMode::Partial),
+            vals(&[10, 20]),
+        );
+        let l2 = run_op(
+            &ScalarAggOp::new("avg", aggs.clone(), GroupMode::Partial),
+            vals(&[60]),
+        );
+        let mut partials = l1;
+        partials.extend(l2);
+        let fin = run_op(&ScalarAggOp::new("avg", aggs, GroupMode::Final), partials);
+        assert_eq!(fin.len(), 1);
+        assert_eq!(fin[0][0], Value::Double(30.0));
+    }
+
+    #[test]
+    fn null_semantics_aql_vs_sql() {
+        let data: Vec<Tuple> = vec![
+            vec![Value::Int64(1), Value::Int64(10)],
+            vec![Value::Int64(1), Value::Null],
+            vec![Value::Int64(1), Value::Int64(20)],
+        ];
+        let aql = run_op(
+            &HashGroupOp::new(
+                "a",
+                vec![0],
+                vec![AggSpec::new(AggKind::Avg, 1)],
+                GroupMode::Complete,
+            ),
+            data.clone(),
+        );
+        assert_eq!(aql[0][1], Value::Null);
+        let sql = run_op(
+            &HashGroupOp::new(
+                "s",
+                vec![0],
+                vec![AggSpec::sql(AggKind::Avg, 1)],
+                GroupMode::Complete,
+            ),
+            data,
+        );
+        assert_eq!(sql[0][1], Value::Double(15.0));
+    }
+
+    #[test]
+    fn listify_collects_group_members() {
+        let op = HashGroupOp::new(
+            "l",
+            vec![0],
+            vec![AggSpec::new(AggKind::Listify, 1)],
+            GroupMode::Complete,
+        );
+        let mut out = run_op(&op, rows(&[(1, 10), (1, 20), (2, 5)]));
+        out.sort_by(|a, b| a[0].total_cmp(&b[0]));
+        let l = out[0][1].as_list().unwrap();
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn empty_input_scalar_agg() {
+        let out = run_op(
+            &ScalarAggOp::new(
+                "e",
+                vec![AggSpec::new(AggKind::Avg, 0), AggSpec::new(AggKind::Count, 0)],
+                GroupMode::Complete,
+            ),
+            Vec::new(),
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0][0], Value::Null);
+        assert_eq!(out[0][1], Value::Int64(0));
+    }
+}

@@ -1,0 +1,544 @@
+//! Join operators (§4.1): HybridHash (with Grace-style spilling),
+//! NestedLoop, and the index nested-loop join selected by the
+//! `/*+ indexnl */` hint (Query 14).
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Arc;
+
+use asterix_adm::{serde as adm_serde, Value};
+
+use super::{OpCtx, OperatorDescriptor};
+use crate::connector::OutputPort;
+use crate::frame::{hash_fields, Tuple};
+use crate::Result;
+
+/// Join type: inner, or outer on the probe input (unmatched probe tuples
+/// are emitted with nulls on the build side; the compiler arranges the
+/// outer branch to be the probe).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    Inner,
+    ProbeOuter,
+}
+
+/// Key wrapper with ADM equality semantics for join hash tables.
+#[derive(Debug, Clone)]
+struct JoinKey(Vec<Value>);
+
+impl JoinKey {
+    fn from(t: &Tuple, fields: &[usize]) -> Option<JoinKey> {
+        let mut vals = Vec::with_capacity(fields.len());
+        for &f in fields {
+            let v = t.get(f).cloned().unwrap_or(Value::Missing);
+            if v.is_unknown() {
+                return None; // unknown keys never join
+            }
+            vals.push(v);
+        }
+        Some(JoinKey(vals))
+    }
+}
+
+impl PartialEq for JoinKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.len() == other.0.len()
+            && self.0.iter().zip(&other.0).all(|(a, b)| a.total_cmp(b).is_eq())
+    }
+}
+
+impl Eq for JoinKey {}
+
+impl std::hash::Hash for JoinKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        for v in &self.0 {
+            state.write_u64(v.stable_hash());
+        }
+    }
+}
+
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn spill_path(tag: &str) -> PathBuf {
+    let n = SPILL_SEQ.fetch_add(1, AtomicOrdering::Relaxed);
+    std::env::temp_dir().join(format!("asterix-join-{}-{tag}-{n}.part", std::process::id()))
+}
+
+struct SpillWriter {
+    w: BufWriter<File>,
+    path: PathBuf,
+    count: usize,
+}
+
+impl SpillWriter {
+    fn create(tag: &str) -> Result<SpillWriter> {
+        let path = spill_path(tag);
+        Ok(SpillWriter { w: BufWriter::new(File::create(&path)?), path, count: 0 })
+    }
+
+    fn write(&mut self, t: &Tuple) -> Result<()> {
+        let bytes = adm_serde::encode(&Value::ordered_list(t.clone()));
+        self.w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+        self.w.write_all(&bytes)?;
+        self.count += 1;
+        Ok(())
+    }
+
+    fn finish(mut self) -> Result<(PathBuf, usize)> {
+        self.w.flush()?;
+        Ok((self.path, self.count))
+    }
+}
+
+fn read_spill(path: &PathBuf) -> Result<Vec<Tuple>> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut out = Vec::new();
+    loop {
+        let mut len_buf = [0u8; 4];
+        match r.read_exact(&mut len_buf) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e.into()),
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        let mut buf = vec![0u8; len];
+        r.read_exact(&mut buf)?;
+        let v = adm_serde::decode(&buf)
+            .map_err(|e| crate::HyracksError::Operator(format!("corrupt join spill: {e}")))?;
+        out.push(v.as_list().map(|l| l.to_vec()).unwrap_or_default());
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(out)
+}
+
+/// Hybrid hash join. Input 0 is the Build activity (blocking), input 1 the
+/// Probe activity, mirroring the two-activity expansion described in §4.1.
+/// When the build side exceeds the memory budget, both sides are
+/// Grace-partitioned to disk by join-key hash and joined partition-wise.
+pub struct HybridHashJoinOp {
+    label: String,
+    pub build_keys: Vec<usize>,
+    pub probe_keys: Vec<usize>,
+    pub join_type: JoinType,
+    pub mem_budget: usize,
+    /// Grace fan-out when spilling.
+    pub fanout: usize,
+}
+
+impl HybridHashJoinOp {
+    pub fn new(
+        label: impl Into<String>,
+        build_keys: Vec<usize>,
+        probe_keys: Vec<usize>,
+        join_type: JoinType,
+    ) -> HybridHashJoinOp {
+        HybridHashJoinOp {
+            label: label.into(),
+            build_keys,
+            probe_keys,
+            join_type,
+            mem_budget: 64 << 20,
+            fanout: 16,
+        }
+    }
+
+    pub fn with_budget(mut self, bytes: usize) -> Self {
+        self.mem_budget = bytes.max(1024);
+        self
+    }
+
+    fn join_in_memory(
+        &self,
+        build: Vec<Tuple>,
+        probe: Vec<Tuple>,
+        build_arity: usize,
+        out: &mut OutputPort,
+    ) -> Result<()> {
+        let mut table: HashMap<JoinKey, Vec<Tuple>> = HashMap::new();
+        for t in build {
+            if let Some(k) = JoinKey::from(&t, &self.build_keys) {
+                table.entry(k).or_default().push(t);
+            }
+        }
+        for p in probe {
+            let matches = JoinKey::from(&p, &self.probe_keys)
+                .and_then(|k| table.get(&k));
+            match matches {
+                Some(ms) => {
+                    for b in ms {
+                        let mut row = b.clone();
+                        row.extend(p.iter().cloned());
+                        out.push(row)?;
+                    }
+                }
+                None if self.join_type == JoinType::ProbeOuter => {
+                    let mut row: Tuple = vec![Value::Null; build_arity];
+                    row.extend(p.iter().cloned());
+                    out.push(row)?;
+                }
+                None => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+impl OperatorDescriptor for HybridHashJoinOp {
+    fn name(&self) -> String {
+        format!("hybrid-hash-join {}", self.label)
+    }
+
+    fn blocking_inputs(&self) -> Vec<usize> {
+        vec![0] // the Build activity
+    }
+
+    fn run(&self, ctx: &mut OpCtx) -> Result<()> {
+        let OpCtx { inputs, outputs, .. } = ctx;
+        // Build phase: buffer until budget, then switch to Grace spilling.
+        let mut build_mem: Vec<Tuple> = Vec::new();
+        let mut bytes = 0usize;
+        let mut spilled = false;
+        let mut build_writers: Vec<SpillWriter> = Vec::new();
+        let budget = self.mem_budget;
+        let fanout = self.fanout.max(2);
+        let build_keys = self.build_keys.clone();
+        let label = self.label.clone();
+        let mut build_arity = 0usize;
+        {
+            let input0 = &mut inputs[0];
+            input0.for_each(|t| {
+                build_arity = build_arity.max(t.len());
+                if !spilled {
+                    bytes += t.iter().map(|v| v.approx_size()).sum::<usize>() + 24;
+                    build_mem.push(t);
+                    if bytes >= budget {
+                        spilled = true;
+                        for i in 0..fanout {
+                            build_writers.push(SpillWriter::create(&format!(
+                                "{label}-b{i}"
+                            ))?);
+                        }
+                        for t in build_mem.drain(..) {
+                            let h = hash_fields(&t, &build_keys) as usize % fanout;
+                            build_writers[h].write(&t)?;
+                        }
+                    }
+                } else {
+                    let h = hash_fields(&t, &build_keys) as usize % fanout;
+                    build_writers[h].write(&t)?;
+                }
+                Ok(true)
+            })?;
+        }
+
+        let out = &mut outputs[0];
+        if !spilled {
+            // Pure in-memory: stream the probe side.
+            let mut table: HashMap<JoinKey, Vec<Tuple>> = HashMap::new();
+            for t in build_mem {
+                if let Some(k) = JoinKey::from(&t, &self.build_keys) {
+                    table.entry(k).or_default().push(t);
+                }
+            }
+            let probe_keys = &self.probe_keys;
+            let join_type = self.join_type;
+            inputs[1].for_each(|p| {
+                match JoinKey::from(&p, probe_keys).and_then(|k| table.get(&k)) {
+                    Some(ms) => {
+                        for b in ms {
+                            let mut row = b.clone();
+                            row.extend(p.iter().cloned());
+                            out.push(row)?;
+                        }
+                    }
+                    None if join_type == JoinType::ProbeOuter => {
+                        let mut row: Tuple = vec![Value::Null; build_arity];
+                        row.extend(p);
+                        out.push(row)?;
+                    }
+                    None => {}
+                }
+                Ok(true)
+            })?;
+            return Ok(());
+        }
+
+        // Grace: partition the probe side the same way, then join pairwise.
+        let build_parts: Vec<(PathBuf, usize)> = build_writers
+            .into_iter()
+            .map(|w| w.finish())
+            .collect::<Result<_>>()?;
+        let mut probe_writers: Vec<SpillWriter> = (0..fanout)
+            .map(|i| SpillWriter::create(&format!("{label}-p{i}")))
+            .collect::<Result<_>>()?;
+        let probe_keys = self.probe_keys.clone();
+        inputs[1].for_each(|t| {
+            let h = hash_fields(&t, &probe_keys) as usize % fanout;
+            probe_writers[h].write(&t)?;
+            Ok(true)
+        })?;
+        let probe_parts: Vec<(PathBuf, usize)> = probe_writers
+            .into_iter()
+            .map(|w| w.finish())
+            .collect::<Result<_>>()?;
+        for ((bpath, bcount), (ppath, pcount)) in build_parts.iter().zip(probe_parts.iter()) {
+            if *pcount == 0 && (*bcount == 0 || self.join_type == JoinType::Inner) {
+                let _ = std::fs::remove_file(bpath);
+                let _ = std::fs::remove_file(ppath);
+                continue;
+            }
+            let build = read_spill(bpath)?;
+            let probe = read_spill(ppath)?;
+            self.join_in_memory(build, probe, build_arity, out)?;
+        }
+        Ok(())
+    }
+}
+
+/// Block nested-loop join with an arbitrary predicate over (build, probe)
+/// tuple pairs — the fallback for non-equijoins (spatial joins without an
+/// index, Query 5's inner pairing).
+pub struct NestedLoopJoinOp {
+    label: String,
+    pred: Arc<dyn Fn(&Tuple, &Tuple) -> Result<bool> + Send + Sync>,
+    pub join_type: JoinType,
+}
+
+impl NestedLoopJoinOp {
+    pub fn new(
+        label: impl Into<String>,
+        pred: impl Fn(&Tuple, &Tuple) -> Result<bool> + Send + Sync + 'static,
+        join_type: JoinType,
+    ) -> NestedLoopJoinOp {
+        NestedLoopJoinOp { label: label.into(), pred: Arc::new(pred), join_type }
+    }
+}
+
+impl OperatorDescriptor for NestedLoopJoinOp {
+    fn name(&self) -> String {
+        format!("nested-loop-join {}", self.label)
+    }
+
+    fn blocking_inputs(&self) -> Vec<usize> {
+        vec![0]
+    }
+
+    fn run(&self, ctx: &mut OpCtx) -> Result<()> {
+        let OpCtx { inputs, outputs, .. } = ctx;
+        let build = inputs[0].collect()?;
+        let build_arity = build.iter().map(|t| t.len()).max().unwrap_or(0);
+        let out = &mut outputs[0];
+        let pred = &self.pred;
+        let join_type = self.join_type;
+        inputs[1].for_each(|p| {
+            let mut matched = false;
+            for b in &build {
+                if pred(b, &p)? {
+                    matched = true;
+                    let mut row = b.clone();
+                    row.extend(p.iter().cloned());
+                    out.push(row)?;
+                }
+            }
+            if !matched && join_type == JoinType::ProbeOuter {
+                let mut row: Tuple = vec![Value::Null; build_arity];
+                row.extend(p);
+                out.push(row)?;
+            }
+            Ok(true)
+        })
+    }
+}
+
+/// Index nested-loop join: for each input tuple, probe an index through a
+/// callback and emit `input ++ match`. Selected by the `indexnl` hint
+/// (Query 14) and used for all secondary-index access paths.
+pub struct IndexNestedLoopJoinOp {
+    label: String,
+    probe: Arc<dyn Fn(&Tuple) -> Result<Vec<Tuple>> + Send + Sync>,
+    pub join_type: JoinType,
+    /// Arity of the index-side tuples (for ProbeOuter null padding).
+    pub inner_arity: usize,
+}
+
+impl IndexNestedLoopJoinOp {
+    pub fn new(
+        label: impl Into<String>,
+        probe: impl Fn(&Tuple) -> Result<Vec<Tuple>> + Send + Sync + 'static,
+        join_type: JoinType,
+        inner_arity: usize,
+    ) -> IndexNestedLoopJoinOp {
+        IndexNestedLoopJoinOp {
+            label: label.into(),
+            probe: Arc::new(probe),
+            join_type,
+            inner_arity,
+        }
+    }
+}
+
+impl OperatorDescriptor for IndexNestedLoopJoinOp {
+    fn name(&self) -> String {
+        format!("index-nested-loop-join {}", self.label)
+    }
+
+    fn run(&self, ctx: &mut OpCtx) -> Result<()> {
+        let OpCtx { inputs, outputs, .. } = ctx;
+        let out = &mut outputs[0];
+        let probe = &self.probe;
+        let join_type = self.join_type;
+        let inner_arity = self.inner_arity;
+        inputs[0].for_each(|t| {
+            let matches = probe(&t)?;
+            if matches.is_empty() && join_type == JoinType::ProbeOuter {
+                let mut row = t.clone();
+                row.extend(std::iter::repeat_n(Value::Null, inner_arity));
+                out.push(row)?;
+            } else {
+                for m in matches {
+                    let mut row = t.clone();
+                    row.extend(m);
+                    out.push(row)?;
+                }
+            }
+            Ok(true)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connector::{wire, ConnectorKind};
+    use crate::ops::OpCtx;
+
+    fn run_join(
+        op: &dyn OperatorDescriptor,
+        build: Vec<Tuple>,
+        probe: Vec<Tuple>,
+    ) -> Vec<Tuple> {
+        let (mut b_out, b_in) = wire(&ConnectorKind::OneToOne, 1, 1, &|_| 0).unwrap();
+        let (mut p_out, p_in) = wire(&ConnectorKind::OneToOne, 1, 1, &|_| 0).unwrap();
+        let (r_out, mut r_in) = wire(&ConnectorKind::OneToOne, 1, 1, &|_| 0).unwrap();
+        for t in build {
+            b_out[0].push(t).unwrap();
+        }
+        for t in probe {
+            p_out[0].push(t).unwrap();
+        }
+        drop(b_out);
+        drop(p_out);
+        let mut inputs = b_in;
+        inputs.extend(p_in);
+        let mut ctx = OpCtx { partition: 0, nparts: 1, node: 0, inputs, outputs: r_out };
+        op.run(&mut ctx).unwrap();
+        drop(ctx);
+        r_in[0].collect().unwrap()
+    }
+
+    fn kv(k: i64, v: &str) -> Tuple {
+        vec![Value::Int64(k), Value::string(v)]
+    }
+
+    #[test]
+    fn hash_join_inner() {
+        let op = HybridHashJoinOp::new("j", vec![0], vec![0], JoinType::Inner);
+        let out = run_join(
+            &op,
+            vec![kv(1, "a"), kv(2, "b"), kv(2, "b2")],
+            vec![kv(2, "x"), kv(3, "y"), kv(2, "z")],
+        );
+        assert_eq!(out.len(), 4); // 2 build rows × 2 probe rows for key 2
+        for row in &out {
+            assert_eq!(row.len(), 4);
+            assert_eq!(row[0], row[2]);
+        }
+    }
+
+    #[test]
+    fn hash_join_probe_outer() {
+        let op = HybridHashJoinOp::new("j", vec![0], vec![0], JoinType::ProbeOuter);
+        let mut out = run_join(&op, vec![kv(1, "a")], vec![kv(1, "x"), kv(9, "y")]);
+        out.sort_by(|a, b| a[2].total_cmp(&b[2]));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0][0], Value::Int64(1)); // matched
+        assert_eq!(out[1][0], Value::Null); // unmatched probe padded
+        assert_eq!(out[1][2], Value::Int64(9));
+    }
+
+    #[test]
+    fn null_keys_never_join() {
+        let op = HybridHashJoinOp::new("j", vec![0], vec![0], JoinType::Inner);
+        let out = run_join(
+            &op,
+            vec![vec![Value::Null, Value::string("b")]],
+            vec![vec![Value::Null, Value::string("p")]],
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn grace_spill_matches_in_memory() {
+        let build: Vec<Tuple> = (0..2000i64).map(|i| kv(i % 500, "b")).collect();
+        let probe: Vec<Tuple> = (0..1000i64).map(|i| kv(i % 500, "p")).collect();
+        let big = HybridHashJoinOp::new("m", vec![0], vec![0], JoinType::Inner);
+        let expected = run_join(&big, build.clone(), probe.clone()).len();
+        let tiny = HybridHashJoinOp::new("s", vec![0], vec![0], JoinType::Inner)
+            .with_budget(2048);
+        let got = run_join(&tiny, build, probe).len();
+        assert_eq!(got, expected);
+        assert_eq!(got, 2000 * 2); // each probe key matches 4 build rows; 1000 probes * 4
+    }
+
+    #[test]
+    fn nested_loop_with_inequality() {
+        let op = NestedLoopJoinOp::new(
+            "nl",
+            |b, p| Ok(b[0].total_cmp(&p[0]).is_lt()),
+            JoinType::Inner,
+        );
+        let out = run_join(
+            &op,
+            vec![kv(1, "b1"), kv(5, "b5")],
+            vec![kv(3, "p3"), kv(6, "p6")],
+        );
+        // b1<p3, b1<p6, b5<p6 → 3 rows.
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn index_nested_loop_probes_callback() {
+        let op = IndexNestedLoopJoinOp::new(
+            "ix",
+            |t| {
+                let k = t[0].as_i64().unwrap();
+                if k % 2 == 0 {
+                    Ok(vec![vec![Value::string(format!("even-{k}"))]])
+                } else {
+                    Ok(vec![])
+                }
+            },
+            JoinType::ProbeOuter,
+            1,
+        );
+        // Index NL join takes a single input (the outer); probe is a
+        // callback. Feed outer tuples through input 0.
+        let (mut b_out, b_in) = wire(&ConnectorKind::OneToOne, 1, 1, &|_| 0).unwrap();
+        let (r_out, mut r_in) = wire(&ConnectorKind::OneToOne, 1, 1, &|_| 0).unwrap();
+        for i in 0..4i64 {
+            b_out[0].push(vec![Value::Int64(i)]).unwrap();
+        }
+        drop(b_out);
+        let mut ctx =
+            OpCtx { partition: 0, nparts: 1, node: 0, inputs: b_in, outputs: r_out };
+        op.run(&mut ctx).unwrap();
+        drop(ctx);
+        let out = r_in[0].collect().unwrap();
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0][1], Value::string("even-0"));
+        assert_eq!(out[1][1], Value::Null); // odd, padded
+    }
+}

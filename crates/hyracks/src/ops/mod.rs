@@ -1,0 +1,511 @@
+//! The operator library (§4.1).
+//!
+//! Operators are stateless descriptors; per-partition state lives inside
+//! `run`, which the executor invokes once per partition on its own thread.
+//! Expression evaluation is injected as closures so the runtime stays
+//! data-language-neutral (the same property that lets Hyracks host
+//! Hivesterix and VXQuery in the paper's software stack, Figure 5).
+
+mod group;
+mod join;
+mod sort;
+
+pub use group::{AggKind, AggSpec, GroupMode, HashGroupOp, PreclusteredGroupOp, ScalarAggOp};
+pub use join::{HybridHashJoinOp, IndexNestedLoopJoinOp, JoinType, NestedLoopJoinOp};
+pub use sort::{sort_comparator, SortKey, SortOp};
+
+use std::sync::Arc;
+
+use asterix_adm::Value;
+use parking_lot::Mutex;
+
+use crate::connector::{InputPort, OutputPort};
+use crate::frame::Tuple;
+use crate::Result;
+
+/// Evaluate an expression over a tuple.
+pub type EvalFn = Arc<dyn Fn(&Tuple) -> Result<Value> + Send + Sync>;
+
+/// Evaluate a predicate over a tuple. `Ok(false)` for unknown (AQL's
+/// 2.5-valued logic collapses to false at the select boundary).
+pub type PredFn = Arc<dyn Fn(&Tuple) -> Result<bool> + Send + Sync>;
+
+/// Produce source tuples for one partition: `(partition, nparts, emit)`.
+pub type SourceFn =
+    Arc<dyn Fn(usize, usize, &mut dyn FnMut(Tuple) -> Result<()>) -> Result<()> + Send + Sync>;
+
+/// Per-partition execution context handed to `run`.
+pub struct OpCtx {
+    pub partition: usize,
+    pub nparts: usize,
+    /// Simulated node hosting this partition.
+    pub node: usize,
+    pub inputs: Vec<InputPort>,
+    pub outputs: Vec<OutputPort>,
+}
+
+/// An operator: named, with declared blocking inputs (activity structure)
+/// and a per-partition run body.
+pub trait OperatorDescriptor: Send + Sync {
+    /// Display name (used by `JobSpec::describe`, Figure 6 style).
+    fn name(&self) -> String;
+
+    /// Input indexes that must be fully consumed before any output is
+    /// produced — the activity split of §4.1 (e.g. hash-join input 0 is the
+    /// Build activity).
+    fn blocking_inputs(&self) -> Vec<usize> {
+        Vec::new()
+    }
+
+    /// Execute one partition.
+    fn run(&self, ctx: &mut OpCtx) -> Result<()>;
+}
+
+// ---------------------------------------------------------------------------
+// Sources and sinks
+// ---------------------------------------------------------------------------
+
+/// A data source driven by a closure (dataset scans, index searches, value
+/// literals — the storage layer binds these).
+pub struct SourceOp {
+    label: String,
+    source: SourceFn,
+}
+
+impl SourceOp {
+    pub fn new(
+        label: impl Into<String>,
+        f: impl Fn(usize, usize, &mut dyn FnMut(Tuple) -> Result<()>) -> Result<()>
+            + Send
+            + Sync
+            + 'static,
+    ) -> SourceOp {
+        SourceOp { label: label.into(), source: Arc::new(f) }
+    }
+
+    pub fn from_fn(label: impl Into<String>, f: SourceFn) -> SourceOp {
+        SourceOp { label: label.into(), source: f }
+    }
+}
+
+impl OperatorDescriptor for SourceOp {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn run(&self, ctx: &mut OpCtx) -> Result<()> {
+        let OpCtx { partition, nparts, outputs, .. } = ctx;
+        let out = &mut outputs[0];
+        (self.source)(*partition, *nparts, &mut |t| out.push(t))
+    }
+}
+
+/// Collects every input tuple into a shared vector (job results).
+pub struct SinkOp {
+    collector: Arc<Mutex<Vec<Tuple>>>,
+}
+
+impl SinkOp {
+    pub fn new(collector: Arc<Mutex<Vec<Tuple>>>) -> SinkOp {
+        SinkOp { collector }
+    }
+}
+
+impl OperatorDescriptor for SinkOp {
+    fn name(&self) -> String {
+        "result-sink".into()
+    }
+
+    fn run(&self, ctx: &mut OpCtx) -> Result<()> {
+        let mut local = Vec::new();
+        ctx.inputs[0].for_each(|t| {
+            local.push(t);
+            Ok(true)
+        })?;
+        self.collector.lock().extend(local);
+        Ok(())
+    }
+}
+
+/// Applies a side-effecting callback per tuple (index insert/delete — the
+/// index lifecycle operators of §4.1), forwarding tuples downstream.
+pub struct ApplyOp {
+    label: String,
+    apply: Arc<dyn Fn(usize, &Tuple) -> Result<()> + Send + Sync>,
+}
+
+impl ApplyOp {
+    pub fn new(
+        label: impl Into<String>,
+        apply: impl Fn(usize, &Tuple) -> Result<()> + Send + Sync + 'static,
+    ) -> ApplyOp {
+        ApplyOp { label: label.into(), apply: Arc::new(apply) }
+    }
+}
+
+impl OperatorDescriptor for ApplyOp {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn run(&self, ctx: &mut OpCtx) -> Result<()> {
+        let OpCtx { partition, inputs, outputs, .. } = ctx;
+        let p = *partition;
+        let out = &mut outputs[0];
+        let apply = &self.apply;
+        inputs[0].for_each(|t| {
+            apply(p, &t)?;
+            out.push(t)?;
+            Ok(true)
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuple-at-a-time operators
+// ---------------------------------------------------------------------------
+
+/// Filter by predicate (the `select` operator of Figure 6).
+pub struct SelectOp {
+    label: String,
+    pred: PredFn,
+}
+
+impl SelectOp {
+    pub fn new(label: impl Into<String>, pred: PredFn) -> SelectOp {
+        SelectOp { label: label.into(), pred }
+    }
+}
+
+impl OperatorDescriptor for SelectOp {
+    fn name(&self) -> String {
+        format!("select {}", self.label)
+    }
+
+    fn run(&self, ctx: &mut OpCtx) -> Result<()> {
+        let OpCtx { inputs, outputs, .. } = ctx;
+        let out = &mut outputs[0];
+        let pred = &self.pred;
+        inputs[0].for_each(|t| {
+            if pred(&t)? {
+                out.push(t)?;
+            }
+            Ok(true)
+        })
+    }
+}
+
+/// Append computed expression values to each tuple (Figure 6's `assign`).
+pub struct AssignOp {
+    label: String,
+    exprs: Vec<EvalFn>,
+}
+
+impl AssignOp {
+    pub fn new(label: impl Into<String>, exprs: Vec<EvalFn>) -> AssignOp {
+        AssignOp { label: label.into(), exprs }
+    }
+}
+
+impl OperatorDescriptor for AssignOp {
+    fn name(&self) -> String {
+        format!("assign {}", self.label)
+    }
+
+    fn run(&self, ctx: &mut OpCtx) -> Result<()> {
+        let OpCtx { inputs, outputs, .. } = ctx;
+        let out = &mut outputs[0];
+        let exprs = &self.exprs;
+        inputs[0].for_each(|mut t| {
+            for e in exprs {
+                let v = e(&t)?;
+                t.push(v);
+            }
+            out.push(t)?;
+            Ok(true)
+        })
+    }
+}
+
+/// Keep only the given field positions, in order.
+pub struct ProjectOp {
+    pub fields: Vec<usize>,
+}
+
+impl OperatorDescriptor for ProjectOp {
+    fn name(&self) -> String {
+        format!("project {:?}", self.fields)
+    }
+
+    fn run(&self, ctx: &mut OpCtx) -> Result<()> {
+        let OpCtx { inputs, outputs, .. } = ctx;
+        let out = &mut outputs[0];
+        let fields = &self.fields;
+        inputs[0].for_each(|t| {
+            let projected: Tuple = fields
+                .iter()
+                .map(|&i| t.get(i).cloned().unwrap_or(Value::Missing))
+                .collect();
+            out.push(projected)?;
+            Ok(true)
+        })
+    }
+}
+
+/// Pass through at most `limit` tuples after skipping `offset` (per
+/// instance — a global limit runs this at parallelism 1).
+pub struct LimitOp {
+    pub limit: usize,
+    pub offset: usize,
+}
+
+impl OperatorDescriptor for LimitOp {
+    fn name(&self) -> String {
+        if self.offset > 0 {
+            format!("limit {} offset {}", self.limit, self.offset)
+        } else {
+            format!("limit {}", self.limit)
+        }
+    }
+
+    fn run(&self, ctx: &mut OpCtx) -> Result<()> {
+        let OpCtx { inputs, outputs, .. } = ctx;
+        let out = &mut outputs[0];
+        let mut seen = 0usize;
+        let mut emitted = 0usize;
+        let (limit, offset) = (self.limit, self.offset);
+        inputs[0].for_each(|t| {
+            if seen < offset {
+                seen += 1;
+                return Ok(true);
+            }
+            if emitted >= limit {
+                return Ok(false);
+            }
+            out.push(t)?;
+            emitted += 1;
+            Ok(emitted < limit)
+        })
+    }
+}
+
+/// Unnest a collection-valued expression: one output tuple per element,
+/// with the element (and optionally its 1-based position, for AQL's `at`
+/// positional variables) appended.
+pub struct UnnestOp {
+    label: String,
+    expr: EvalFn,
+    pub with_position: bool,
+    /// When false (inner unnest), tuples whose collection is empty or
+    /// unknown vanish; when true (outer), one tuple with `missing` appended
+    /// survives — the left-outer shape of Query 4.
+    pub outer: bool,
+}
+
+impl UnnestOp {
+    pub fn new(label: impl Into<String>, expr: EvalFn) -> UnnestOp {
+        UnnestOp { label: label.into(), expr, with_position: false, outer: false }
+    }
+
+    pub fn outer(label: impl Into<String>, expr: EvalFn) -> UnnestOp {
+        UnnestOp { label: label.into(), expr, with_position: false, outer: true }
+    }
+
+    pub fn with_position(mut self) -> Self {
+        self.with_position = true;
+        self
+    }
+}
+
+impl OperatorDescriptor for UnnestOp {
+    fn name(&self) -> String {
+        format!("unnest {}", self.label)
+    }
+
+    fn run(&self, ctx: &mut OpCtx) -> Result<()> {
+        let OpCtx { inputs, outputs, .. } = ctx;
+        let out = &mut outputs[0];
+        let expr = &self.expr;
+        let (with_pos, outer) = (self.with_position, self.outer);
+        inputs[0].for_each(|t| {
+            let coll = expr(&t)?;
+            match coll.as_list() {
+                Some(items) if !items.is_empty() => {
+                    for (i, item) in items.iter().enumerate() {
+                        let mut row = t.clone();
+                        row.push(item.clone());
+                        if with_pos {
+                            row.push(Value::Int64(i as i64 + 1));
+                        }
+                        out.push(row)?;
+                    }
+                }
+                _ if outer => {
+                    let mut row = t.clone();
+                    row.push(Value::Missing);
+                    if with_pos {
+                        row.push(Value::Missing);
+                    }
+                    out.push(row)?;
+                }
+                _ => {}
+            }
+            Ok(true)
+        })
+    }
+}
+
+/// Forward all inputs to the single output (bag union).
+pub struct UnionAllOp;
+
+impl OperatorDescriptor for UnionAllOp {
+    fn name(&self) -> String {
+        "union-all".into()
+    }
+
+    fn run(&self, ctx: &mut OpCtx) -> Result<()> {
+        let OpCtx { inputs, outputs, .. } = ctx;
+        let out = &mut outputs[0];
+        for input in inputs.iter_mut() {
+            input.for_each(|t| {
+                out.push(t)?;
+                Ok(true)
+            })?;
+        }
+        Ok(())
+    }
+}
+
+/// Forward the input to every output — a Feed Joint (§4.5): "like a
+/// network tap [...] allows data to be routed simultaneously along
+/// multiple paths".
+pub struct ReplicateOp;
+
+impl OperatorDescriptor for ReplicateOp {
+    fn name(&self) -> String {
+        "replicate (feed joint)".into()
+    }
+
+    fn run(&self, ctx: &mut OpCtx) -> Result<()> {
+        let OpCtx { inputs, outputs, .. } = ctx;
+        inputs[0].for_each(|t| {
+            for out in outputs.iter_mut() {
+                out.push(t.clone())?;
+            }
+            Ok(true)
+        })
+    }
+}
+
+/// Partition-aware flat-map: the closure receives the partition index —
+/// used for partition-local storage access like the primary-index lookups
+/// that follow a secondary-index search (Figure 6).
+pub struct PartitionMapOp {
+    label: String,
+    f: Arc<dyn Fn(usize, &Tuple) -> Result<Vec<Tuple>> + Send + Sync>,
+}
+
+impl PartitionMapOp {
+    pub fn new(
+        label: impl Into<String>,
+        f: impl Fn(usize, &Tuple) -> Result<Vec<Tuple>> + Send + Sync + 'static,
+    ) -> PartitionMapOp {
+        PartitionMapOp { label: label.into(), f: Arc::new(f) }
+    }
+}
+
+impl OperatorDescriptor for PartitionMapOp {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn run(&self, ctx: &mut OpCtx) -> Result<()> {
+        let OpCtx { partition, inputs, outputs, .. } = ctx;
+        let p = *partition;
+        let out = &mut outputs[0];
+        let f = &self.f;
+        inputs[0].for_each(|t| {
+            for row in f(p, &t)? {
+                out.push(row)?;
+            }
+            Ok(true)
+        })
+    }
+}
+
+/// Duplicate elimination on a set of key columns: the first tuple of each
+/// distinct key survives. Run after hash-partitioning on those columns for
+/// global dedup.
+pub struct DistinctOp {
+    pub keys: Vec<usize>,
+}
+
+impl OperatorDescriptor for DistinctOp {
+    fn name(&self) -> String {
+        format!("distinct {:?}", self.keys)
+    }
+
+    fn run(&self, ctx: &mut OpCtx) -> Result<()> {
+        let OpCtx { inputs, outputs, .. } = ctx;
+        let out = &mut outputs[0];
+        let keys = &self.keys;
+        let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        let mut reps: Vec<Vec<asterix_adm::Value>> = Vec::new();
+        inputs[0].for_each(|t| {
+            let kv: Tuple = keys
+                .iter()
+                .map(|&i| t.get(i).cloned().unwrap_or(asterix_adm::Value::Missing))
+                .collect();
+            let h = crate::frame::hash_fields(&kv, &(0..kv.len()).collect::<Vec<_>>());
+            if seen.insert(h) {
+                reps.push(kv);
+                out.push(t)?;
+            } else {
+                // Hash collision check: compare against stored keys.
+                let dup = reps.iter().any(|r| {
+                    r.len() == kv.len()
+                        && r.iter().zip(&kv).all(|(a, b)| a.total_cmp(b).is_eq())
+                });
+                if !dup {
+                    reps.push(kv);
+                    out.push(t)?;
+                }
+            }
+            Ok(true)
+        })
+    }
+}
+
+/// General flat-map (used for compiled subplans that need bespoke tuple
+/// shapes).
+pub struct MapOp {
+    label: String,
+    f: Arc<dyn Fn(&Tuple) -> Result<Vec<Tuple>> + Send + Sync>,
+}
+
+impl MapOp {
+    pub fn new(
+        label: impl Into<String>,
+        f: impl Fn(&Tuple) -> Result<Vec<Tuple>> + Send + Sync + 'static,
+    ) -> MapOp {
+        MapOp { label: label.into(), f: Arc::new(f) }
+    }
+}
+
+impl OperatorDescriptor for MapOp {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn run(&self, ctx: &mut OpCtx) -> Result<()> {
+        let OpCtx { inputs, outputs, .. } = ctx;
+        let out = &mut outputs[0];
+        let f = &self.f;
+        inputs[0].for_each(|t| {
+            for row in f(&t)? {
+                out.push(row)?;
+            }
+            Ok(true)
+        })
+    }
+}

@@ -1,0 +1,298 @@
+//! External sort (§4.1's sort operator; Figure 6 sorts primary keys
+//! between the secondary- and primary-index searches).
+//!
+//! Run generation + k-way merge: tuples accumulate in memory until the
+//! budget is exceeded, each full batch is sorted and spilled to a run file,
+//! and the final pass merges the in-memory batch with all runs. The
+//! run-generation side is a blocking activity, so a sort splits its job
+//! into stages exactly as §4.1 describes.
+
+use std::cmp::Ordering;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Arc;
+
+use asterix_adm::{serde as adm_serde, Value};
+
+use super::{EvalFn, OpCtx, OperatorDescriptor};
+use crate::connector::Comparator;
+use crate::frame::Tuple;
+use crate::Result;
+
+/// One sort key: an expression and a direction.
+#[derive(Clone)]
+pub struct SortKey {
+    pub expr: EvalFn,
+    pub descending: bool,
+}
+
+impl SortKey {
+    pub fn asc(expr: EvalFn) -> SortKey {
+        SortKey { expr, descending: false }
+    }
+
+    pub fn desc(expr: EvalFn) -> SortKey {
+        SortKey { expr, descending: true }
+    }
+
+    /// Sort by field position helper.
+    pub fn field(idx: usize, descending: bool) -> SortKey {
+        SortKey {
+            expr: Arc::new(move |t: &Tuple| {
+                Ok(t.get(idx).cloned().unwrap_or(Value::Missing))
+            }),
+            descending,
+        }
+    }
+}
+
+/// Build a tuple comparator from sort keys (shared with the merging
+/// connector so repartitioned sorted streams stay sorted).
+pub fn sort_comparator(keys: &[SortKey]) -> Comparator {
+    let keys = keys.to_vec();
+    Arc::new(move |a: &Tuple, b: &Tuple| {
+        for k in &keys {
+            let va = (k.expr)(a).unwrap_or(Value::Missing);
+            let vb = (k.expr)(b).unwrap_or(Value::Missing);
+            let ord = va.total_cmp(&vb);
+            let ord = if k.descending { ord.reverse() } else { ord };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    })
+}
+
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn spill_path(label: &str) -> PathBuf {
+    let n = SPILL_SEQ.fetch_add(1, AtomicOrdering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "asterix-sort-{}-{}-{}.run",
+        std::process::id(),
+        label,
+        n
+    ))
+}
+
+fn write_run(path: &PathBuf, tuples: &[Tuple]) -> Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for t in tuples {
+        let v = Value::ordered_list(t.clone());
+        let bytes = adm_serde::encode(&v);
+        w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+        w.write_all(&bytes)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+struct RunReader {
+    reader: BufReader<File>,
+    path: PathBuf,
+    head: Option<Tuple>,
+}
+
+impl RunReader {
+    fn open(path: PathBuf) -> Result<RunReader> {
+        let reader = BufReader::new(File::open(&path)?);
+        let mut r = RunReader { reader, path, head: None };
+        r.advance()?;
+        Ok(r)
+    }
+
+    fn advance(&mut self) -> Result<()> {
+        let mut len_buf = [0u8; 4];
+        match self.reader.read_exact(&mut len_buf) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                self.head = None;
+                return Ok(());
+            }
+            Err(e) => return Err(e.into()),
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        let mut buf = vec![0u8; len];
+        self.reader.read_exact(&mut buf)?;
+        let v = adm_serde::decode(&buf)
+            .map_err(|e| crate::HyracksError::Operator(format!("corrupt sort run: {e}")))?;
+        self.head = v.as_list().map(|items| items.to_vec());
+        Ok(())
+    }
+}
+
+impl Drop for RunReader {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// External sort operator.
+pub struct SortOp {
+    label: String,
+    keys: Vec<SortKey>,
+    /// In-memory budget (approximate bytes) before a run is spilled.
+    pub mem_budget: usize,
+}
+
+impl SortOp {
+    pub fn new(label: impl Into<String>, keys: Vec<SortKey>) -> SortOp {
+        SortOp { label: label.into(), keys, mem_budget: 32 << 20 }
+    }
+
+    pub fn with_budget(mut self, bytes: usize) -> SortOp {
+        self.mem_budget = bytes.max(1024);
+        self
+    }
+}
+
+impl OperatorDescriptor for SortOp {
+    fn name(&self) -> String {
+        format!("sort {}", self.label)
+    }
+
+    fn blocking_inputs(&self) -> Vec<usize> {
+        vec![0] // run generation consumes everything before merge emits
+    }
+
+    fn run(&self, ctx: &mut OpCtx) -> Result<()> {
+        let OpCtx { inputs, outputs, .. } = ctx;
+        let cmp = sort_comparator(&self.keys);
+        let mut mem: Vec<Tuple> = Vec::new();
+        let mut mem_bytes = 0usize;
+        let mut runs: Vec<PathBuf> = Vec::new();
+        let budget = self.mem_budget;
+        let label = self.label.clone();
+        inputs[0].for_each(|t| {
+            mem_bytes += t.iter().map(|v| v.approx_size()).sum::<usize>() + 24;
+            mem.push(t);
+            if mem_bytes >= budget {
+                mem.sort_by(|a, b| cmp(a, b));
+                let path = spill_path(&label);
+                write_run(&path, &mem)?;
+                runs.push(path);
+                mem.clear();
+                mem_bytes = 0;
+            }
+            Ok(true)
+        })?;
+        mem.sort_by(|a, b| cmp(a, b));
+        let out = &mut outputs[0];
+        if runs.is_empty() {
+            for t in mem {
+                out.push(t)?;
+            }
+            return Ok(());
+        }
+        // K-way merge of spilled runs plus the in-memory tail.
+        let mut readers: Vec<RunReader> = Vec::with_capacity(runs.len());
+        for path in runs {
+            readers.push(RunReader::open(path)?);
+        }
+        let mut mem_iter = mem.into_iter().peekable();
+        loop {
+            // Choose the smallest head among runs and the memory iterator.
+            let mut best: Option<usize> = None; // index into readers
+            for (i, r) in readers.iter().enumerate() {
+                if let Some(h) = &r.head {
+                    match best {
+                        None => best = Some(i),
+                        Some(b) => {
+                            if cmp(h, readers[b].head.as_ref().unwrap()) == Ordering::Less {
+                                best = Some(i);
+                            }
+                        }
+                    }
+                }
+            }
+            let take_mem = match (best, mem_iter.peek()) {
+                (None, Some(_)) => true,
+                (Some(b), Some(m)) => cmp(m, readers[b].head.as_ref().unwrap()) == Ordering::Less,
+                (_, None) => false,
+            };
+            if take_mem {
+                out.push(mem_iter.next().unwrap())?;
+            } else if let Some(b) = best {
+                let t = readers[b].head.take().unwrap();
+                readers[b].advance()?;
+                out.push(t)?;
+            } else {
+                break;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connector::{wire, ConnectorKind};
+    use asterix_adm::Value;
+
+    fn run_sort(op: SortOp, input: Vec<Tuple>) -> Vec<Tuple> {
+        let (mut in_outs, ins) = wire(&ConnectorKind::OneToOne, 1, 1, &|_| 0).unwrap();
+        let (outs, mut res_ins) = wire(&ConnectorKind::OneToOne, 1, 1, &|_| 0).unwrap();
+        for t in input {
+            in_outs[0].push(t).unwrap();
+        }
+        drop(in_outs);
+        let mut ctx = OpCtx { partition: 0, nparts: 1, node: 0, inputs: ins, outputs: outs };
+        op.run(&mut ctx).unwrap();
+        drop(ctx);
+        res_ins[0].collect().unwrap()
+    }
+
+    #[test]
+    fn in_memory_sort() {
+        let input: Vec<Tuple> =
+            [3i64, 1, 4, 1, 5, 9, 2, 6].iter().map(|&i| vec![Value::Int64(i)]).collect();
+        let out = run_sort(SortOp::new("k", vec![SortKey::field(0, false)]), input);
+        let got: Vec<i64> = out.iter().map(|t| t[0].as_i64().unwrap()).collect();
+        assert_eq!(got, vec![1, 1, 2, 3, 4, 5, 6, 9]);
+    }
+
+    #[test]
+    fn descending_and_secondary_keys() {
+        let input: Vec<Tuple> = vec![
+            vec![Value::Int64(1), Value::string("b")],
+            vec![Value::Int64(2), Value::string("a")],
+            vec![Value::Int64(1), Value::string("a")],
+        ];
+        let out = run_sort(
+            SortOp::new("k", vec![SortKey::field(0, true), SortKey::field(1, false)]),
+            input,
+        );
+        let got: Vec<(i64, String)> = out
+            .iter()
+            .map(|t| (t[0].as_i64().unwrap(), t[1].as_str().unwrap().to_string()))
+            .collect();
+        assert_eq!(
+            got,
+            vec![(2, "a".into()), (1, "a".into()), (1, "b".into())]
+        );
+    }
+
+    #[test]
+    fn spilling_sort_matches_in_memory() {
+        let input: Vec<Tuple> = (0..5000i64)
+            .map(|i| vec![Value::Int64((i * 7919) % 5000), Value::string("pad-pad-pad")])
+            .collect();
+        let tiny = SortOp::new("spill", vec![SortKey::field(0, false)]).with_budget(4096);
+        let out = run_sort(tiny, input.clone());
+        assert_eq!(out.len(), 5000);
+        let got: Vec<i64> = out.iter().map(|t| t[0].as_i64().unwrap()).collect();
+        let mut expect: Vec<i64> = input.iter().map(|t| t[0].as_i64().unwrap()).collect();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn sort_is_blocking_activity() {
+        let op = SortOp::new("x", vec![SortKey::field(0, false)]);
+        assert_eq!(op.blocking_inputs(), vec![0]);
+    }
+}

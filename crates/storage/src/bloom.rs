@@ -1,0 +1,153 @@
+//! Bloom filters attached to LSM disk components.
+//!
+//! Each disk component carries a bloom filter over its keys so that point
+//! lookups (the hot path of primary-key fetches after a secondary-index
+//! search, Figure 6) can skip components that certainly do not contain the
+//! key — the same role bloom filters play in AsterixDB's LSM B+-trees.
+
+/// A fixed-size bloom filter with k derived hash functions.
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    nbits: u64,
+    k: u32,
+}
+
+fn hash64(data: &[u8], seed: u64) -> u64 {
+    // FNV-1a with a seed mixed in; cheap and adequate for component filters.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // Final avalanche (from splitmix64).
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+impl BloomFilter {
+    /// Build a filter sized for `expected` keys at ~`fpp` false positives.
+    pub fn with_capacity(expected: usize, fpp: f64) -> Self {
+        let expected = expected.max(1) as f64;
+        let fpp = fpp.clamp(1e-6, 0.5);
+        let nbits = (-(expected * fpp.ln()) / (std::f64::consts::LN_2.powi(2)))
+            .ceil()
+            .max(64.0) as u64;
+        let k = ((nbits as f64 / expected) * std::f64::consts::LN_2).round().max(1.0) as u32;
+        BloomFilter { bits: vec![0u64; nbits.div_ceil(64) as usize], nbits, k: k.min(16) }
+    }
+
+    /// Insert a key.
+    pub fn insert(&mut self, key: &[u8]) {
+        let h1 = hash64(key, 0x51ed_270b);
+        let h2 = hash64(key, 0xb492_b66f) | 1;
+        for i in 0..self.k {
+            let bit = h1.wrapping_add((i as u64).wrapping_mul(h2)) % self.nbits;
+            self.bits[(bit / 64) as usize] |= 1 << (bit % 64);
+        }
+    }
+
+    /// May the filter contain `key`? False positives possible, negatives not.
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        let h1 = hash64(key, 0x51ed_270b);
+        let h2 = hash64(key, 0xb492_b66f) | 1;
+        for i in 0..self.k {
+            let bit = h1.wrapping_add((i as u64).wrapping_mul(h2)) % self.nbits;
+            if self.bits[(bit / 64) as usize] & (1 << (bit % 64)) == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Serialize to bytes (for the component footer).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.bits.len() * 8);
+        out.extend_from_slice(&self.nbits.to_le_bytes());
+        out.extend_from_slice(&self.k.to_le_bytes());
+        out.extend_from_slice(&(self.bits.len() as u32).to_le_bytes());
+        for w in &self.bits {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserialize from bytes.
+    pub fn from_bytes(buf: &[u8]) -> Option<BloomFilter> {
+        if buf.len() < 16 {
+            return None;
+        }
+        let nbits = u64::from_le_bytes(buf[0..8].try_into().ok()?);
+        let k = u32::from_le_bytes(buf[8..12].try_into().ok()?);
+        let nwords = u32::from_le_bytes(buf[12..16].try_into().ok()?) as usize;
+        if buf.len() != 16 + nwords * 8 || nbits == 0 || k == 0 {
+            return None;
+        }
+        let mut bits = Vec::with_capacity(nwords);
+        for i in 0..nwords {
+            bits.push(u64::from_le_bytes(
+                buf[16 + i * 8..24 + i * 8].try_into().ok()?,
+            ));
+        }
+        Some(BloomFilter { bits, nbits, k })
+    }
+
+    /// Size of the serialized filter in bytes.
+    pub fn byte_size(&self) -> usize {
+        16 + self.bits.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::with_capacity(1000, 0.01);
+        let keys: Vec<Vec<u8>> = (0..1000u32).map(|i| i.to_le_bytes().to_vec()).collect();
+        for k in &keys {
+            f.insert(k);
+        }
+        for k in &keys {
+            assert!(f.may_contain(k));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_reasonable() {
+        let mut f = BloomFilter::with_capacity(1000, 0.01);
+        for i in 0..1000u32 {
+            f.insert(&i.to_le_bytes());
+        }
+        let fp = (1000..11000u32)
+            .filter(|i| f.may_contain(&i.to_le_bytes()))
+            .count();
+        // Expect ~1%; allow generous slack.
+        assert!(fp < 500, "false positive count {fp} too high");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut f = BloomFilter::with_capacity(100, 0.05);
+        for i in 0..100u32 {
+            f.insert(&i.to_le_bytes());
+        }
+        let bytes = f.to_bytes();
+        assert_eq!(bytes.len(), f.byte_size());
+        let g = BloomFilter::from_bytes(&bytes).unwrap();
+        for i in 0..100u32 {
+            assert!(g.may_contain(&i.to_le_bytes()));
+        }
+        assert!(BloomFilter::from_bytes(&bytes[..8]).is_none());
+    }
+
+    #[test]
+    fn empty_filter_rejects() {
+        let f = BloomFilter::with_capacity(10, 0.01);
+        assert!(!f.may_contain(b"anything"));
+    }
+}

@@ -1,0 +1,188 @@
+//! A shared buffer cache for disk-component pages.
+//!
+//! Disk components read their data in fixed-size pages through this cache;
+//! it bounds memory and avoids re-reading hot pages (e.g. the root of the
+//! page index, or frequently probed leaf pages). Eviction is CLOCK —
+//! simpler than LRU under a lock and good enough for a scan+probe mix.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Default page size for disk components (4 KiB).
+pub const PAGE_SIZE: usize = 4096;
+
+/// Cache key: a component-unique file id plus the page index in that file.
+pub type PageKey = (u64, u32);
+
+struct Slot {
+    key: PageKey,
+    data: Arc<Vec<u8>>,
+    referenced: bool,
+}
+
+struct CacheInner {
+    map: HashMap<PageKey, usize>,
+    slots: Vec<Option<Slot>>,
+    hand: usize,
+}
+
+/// A fixed-capacity page cache shared by every LSM index on a node.
+pub struct BufferCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl BufferCache {
+    /// Create a cache holding at most `capacity` pages.
+    pub fn new(capacity: usize) -> Arc<Self> {
+        let capacity = capacity.max(8);
+        Arc::new(BufferCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::with_capacity(capacity),
+                slots: (0..capacity).map(|_| None).collect(),
+                hand: 0,
+            }),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// Look up a page; on miss, `load` is invoked to fetch it and the result
+    /// is cached.
+    pub fn get_or_load<E>(
+        &self,
+        key: PageKey,
+        load: impl FnOnce() -> std::result::Result<Vec<u8>, E>,
+    ) -> std::result::Result<Arc<Vec<u8>>, E> {
+        {
+            let mut inner = self.inner.lock();
+            if let Some(&slot_idx) = inner.map.get(&key) {
+                if let Some(slot) = inner.slots[slot_idx].as_mut() {
+                    slot.referenced = true;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Arc::clone(&slot.data));
+                }
+            }
+        }
+        // Load outside the lock; a racing thread may load the same page —
+        // harmless (last writer wins, both Arcs are valid).
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let data = Arc::new(load()?);
+        let mut inner = self.inner.lock();
+        let idx = Self::evict_slot(&mut inner, self.capacity);
+        if let Some(old) = inner.slots[idx].take() {
+            inner.map.remove(&old.key);
+        }
+        inner.map.insert(key, idx);
+        inner.slots[idx] = Some(Slot { key, data: Arc::clone(&data), referenced: true });
+        Ok(data)
+    }
+
+    fn evict_slot(inner: &mut CacheInner, capacity: usize) -> usize {
+        // CLOCK sweep: clear reference bits until an unreferenced slot (or
+        // an empty one) is found.
+        for _ in 0..capacity * 2 {
+            let idx = inner.hand;
+            inner.hand = (inner.hand + 1) % capacity;
+            match inner.slots[idx].as_mut() {
+                None => return idx,
+                Some(slot) if !slot.referenced => return idx,
+                Some(slot) => slot.referenced = false,
+            }
+        }
+        inner.hand
+    }
+
+    /// Drop all pages belonging to a file (component deletion after merge).
+    pub fn invalidate_file(&self, file_id: u64) {
+        let mut inner = self.inner.lock();
+        let keys: Vec<PageKey> =
+            inner.map.keys().filter(|(f, _)| *f == file_id).copied().collect();
+        for k in keys {
+            if let Some(idx) = inner.map.remove(&k) {
+                inner.slots[idx] = None;
+            }
+        }
+    }
+
+    /// (hits, misses) counters — used by cache-behaviour tests and stats.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+}
+
+/// Generator of unique file ids for cache keying.
+static NEXT_FILE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocate a process-unique file id.
+pub fn next_file_id() -> u64 {
+    NEXT_FILE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_load() {
+        let cache = BufferCache::new(16);
+        let loads = std::cell::Cell::new(0);
+        for _ in 0..3 {
+            let page = cache
+                .get_or_load::<()>((1, 0), || {
+                    loads.set(loads.get() + 1);
+                    Ok(vec![7u8; 10])
+                })
+                .unwrap();
+            assert_eq!(page[0], 7);
+        }
+        assert_eq!(loads.get(), 1);
+        let (hits, misses) = cache.stats();
+        assert_eq!((hits, misses), (2, 1));
+    }
+
+    #[test]
+    fn eviction_under_pressure() {
+        let cache = BufferCache::new(8);
+        for i in 0..64u32 {
+            cache.get_or_load::<()>((1, i), || Ok(vec![i as u8])).unwrap();
+        }
+        // Cache holds at most 8 pages; re-reading an early page must reload.
+        let mut reloaded = false;
+        cache
+            .get_or_load::<()>((1, 0), || {
+                reloaded = true;
+                Ok(vec![0])
+            })
+            .unwrap();
+        assert!(reloaded);
+    }
+
+    #[test]
+    fn invalidation() {
+        let cache = BufferCache::new(8);
+        cache.get_or_load::<()>((5, 0), || Ok(vec![1])).unwrap();
+        cache.invalidate_file(5);
+        let mut reloaded = false;
+        cache
+            .get_or_load::<()>((5, 0), || {
+                reloaded = true;
+                Ok(vec![2])
+            })
+            .unwrap();
+        assert!(reloaded);
+    }
+
+    #[test]
+    fn load_errors_propagate() {
+        let cache = BufferCache::new(8);
+        let r = cache.get_or_load::<String>((9, 9), || Err("boom".to_string()));
+        assert_eq!(r.unwrap_err(), "boom");
+    }
+}

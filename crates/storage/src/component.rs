@@ -1,0 +1,639 @@
+//! Immutable LSM disk components.
+//!
+//! A disk component is a single file holding a sorted run of
+//! `(key, antimatter, value)` entries, a sparse page index, and a bloom
+//! filter over its keys. Components are written once (by flush or merge) and
+//! then never modified; they are installed atomically by creating a `.valid`
+//! marker file after the data file is durable — the paper's "validity bit"
+//! shadowing scheme (§4.4). Crash recovery deletes any component file that
+//! lacks its marker.
+
+use std::fs::{self, File};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::bloom::BloomFilter;
+use crate::cache::{next_file_id, BufferCache};
+use crate::error::{Result, StorageError};
+
+const MAGIC: u64 = 0x4153_5458_4c53_4d31; // "ASTXLSM1"
+
+/// One entry in a component: key bytes, tombstone flag, value bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    pub key: Vec<u8>,
+    /// Antimatter entries mark deletions of matching keys in older
+    /// components (§4.3: deferred-update, append-only structures).
+    pub antimatter: bool,
+    pub value: Vec<u8>,
+}
+
+impl Entry {
+    pub fn put(key: Vec<u8>, value: Vec<u8>) -> Self {
+        Entry { key, antimatter: false, value }
+    }
+
+    pub fn tombstone(key: Vec<u8>) -> Self {
+        Entry { key, antimatter: true, value: Vec::new() }
+    }
+}
+
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            break;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0;
+    loop {
+        let b = *buf
+            .get(*pos)
+            .ok_or_else(|| StorageError::Corrupt("truncated varint".into()))?;
+        *pos += 1;
+        v |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(StorageError::Corrupt("varint overflow".into()));
+        }
+    }
+}
+
+struct PageMeta {
+    first_key: Vec<u8>,
+    offset: u64,
+    len: u32,
+    entries: u32,
+}
+
+/// Configuration for building components.
+#[derive(Debug, Clone)]
+pub struct ComponentConfig {
+    pub page_size: usize,
+    pub bloom_fpp: f64,
+}
+
+impl Default for ComponentConfig {
+    fn default() -> Self {
+        ComponentConfig { page_size: crate::cache::PAGE_SIZE, bloom_fpp: 0.01 }
+    }
+}
+
+/// An immutable, sorted, bloom-filtered disk component.
+pub struct DiskComponent {
+    path: PathBuf,
+    file_id: u64,
+    cache: Arc<BufferCache>,
+    pages: Vec<PageMeta>,
+    bloom: BloomFilter,
+    entry_count: u64,
+    file_len: u64,
+    /// Sequence range [min_seq, max_seq] of the flushes merged into this
+    /// component (AsterixDB-style component naming).
+    pub min_seq: u64,
+    pub max_seq: u64,
+}
+
+impl DiskComponent {
+    /// Path of the data file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn marker_path(path: &Path) -> PathBuf {
+        path.with_extension("valid")
+    }
+
+    /// Build a component from an already-sorted, deduplicated entry stream.
+    /// The stream MUST be sorted ascending by key with unique keys.
+    pub fn build<I>(
+        path: &Path,
+        cache: Arc<BufferCache>,
+        cfg: &ComponentConfig,
+        min_seq: u64,
+        max_seq: u64,
+        entries: I,
+        expected: usize,
+    ) -> Result<Arc<DiskComponent>>
+    where
+        I: IntoIterator<Item = Entry>,
+    {
+        let mut file = File::create(path)?;
+        let mut bloom = BloomFilter::with_capacity(expected, cfg.bloom_fpp);
+        let mut pages: Vec<PageMeta> = Vec::new();
+        let mut page_buf: Vec<u8> = Vec::with_capacity(cfg.page_size * 2);
+        let mut page_first: Option<Vec<u8>> = None;
+        let mut page_entries = 0u32;
+        let mut offset = 0u64;
+        let mut entry_count = 0u64;
+
+        let flush_page = |file: &mut File,
+                              pages: &mut Vec<PageMeta>,
+                              page_buf: &mut Vec<u8>,
+                              page_first: &mut Option<Vec<u8>>,
+                              page_entries: &mut u32,
+                              offset: &mut u64|
+         -> Result<()> {
+            if page_buf.is_empty() {
+                return Ok(());
+            }
+            file.write_all(page_buf)?;
+            pages.push(PageMeta {
+                first_key: page_first.take().unwrap_or_default(),
+                offset: *offset,
+                len: page_buf.len() as u32,
+                entries: *page_entries,
+            });
+            *offset += page_buf.len() as u64;
+            page_buf.clear();
+            *page_entries = 0;
+            Ok(())
+        };
+
+        for e in entries {
+            if page_first.is_none() {
+                page_first = Some(e.key.clone());
+            }
+            bloom.insert(&e.key);
+            write_varint(&mut page_buf, e.key.len() as u64);
+            write_varint(&mut page_buf, e.value.len() as u64);
+            page_buf.push(u8::from(e.antimatter));
+            page_buf.extend_from_slice(&e.key);
+            page_buf.extend_from_slice(&e.value);
+            page_entries += 1;
+            entry_count += 1;
+            if page_buf.len() >= cfg.page_size {
+                flush_page(
+                    &mut file,
+                    &mut pages,
+                    &mut page_buf,
+                    &mut page_first,
+                    &mut page_entries,
+                    &mut offset,
+                )?;
+            }
+        }
+        flush_page(
+            &mut file,
+            &mut pages,
+            &mut page_buf,
+            &mut page_first,
+            &mut page_entries,
+            &mut offset,
+        )?;
+
+        // Page index.
+        let index_offset = offset;
+        let mut index_buf = Vec::new();
+        write_varint(&mut index_buf, pages.len() as u64);
+        for p in &pages {
+            write_varint(&mut index_buf, p.first_key.len() as u64);
+            index_buf.extend_from_slice(&p.first_key);
+            index_buf.extend_from_slice(&p.offset.to_le_bytes());
+            index_buf.extend_from_slice(&p.len.to_le_bytes());
+            index_buf.extend_from_slice(&p.entries.to_le_bytes());
+        }
+        file.write_all(&index_buf)?;
+
+        // Bloom filter.
+        let bloom_offset = index_offset + index_buf.len() as u64;
+        let bloom_bytes = bloom.to_bytes();
+        file.write_all(&bloom_bytes)?;
+
+        // Footer.
+        let mut footer = Vec::with_capacity(56);
+        footer.extend_from_slice(&index_offset.to_le_bytes());
+        footer.extend_from_slice(&bloom_offset.to_le_bytes());
+        footer.extend_from_slice(&entry_count.to_le_bytes());
+        footer.extend_from_slice(&min_seq.to_le_bytes());
+        footer.extend_from_slice(&max_seq.to_le_bytes());
+        footer.extend_from_slice(&MAGIC.to_le_bytes());
+        file.write_all(&footer)?;
+        file.sync_all()?;
+
+        // Atomic install: the validity marker is created only after the data
+        // file is durable.
+        let marker = Self::marker_path(path);
+        File::create(&marker)?.sync_all()?;
+
+        let file_len = offset + index_buf.len() as u64 + bloom_bytes.len() as u64 + 48;
+        Ok(Arc::new(DiskComponent {
+            path: path.to_path_buf(),
+            file_id: next_file_id(),
+            cache,
+            pages,
+            bloom,
+            entry_count,
+            file_len,
+            min_seq,
+            max_seq,
+        }))
+    }
+
+    /// Open a previously built component, verifying its validity marker.
+    pub fn open(path: &Path, cache: Arc<BufferCache>) -> Result<Arc<DiskComponent>> {
+        if !Self::marker_path(path).exists() {
+            return Err(StorageError::InvalidState(format!(
+                "component {} has no validity marker",
+                path.display()
+            )));
+        }
+        let mut file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        if file_len < 48 {
+            return Err(StorageError::Corrupt("component too small".into()));
+        }
+        let mut footer = [0u8; 48];
+        file.seek(SeekFrom::End(-48))?;
+        file.read_exact(&mut footer)?;
+        let magic = u64::from_le_bytes(footer[40..48].try_into().unwrap());
+        if magic != MAGIC {
+            return Err(StorageError::Corrupt("bad component magic".into()));
+        }
+        let index_offset = u64::from_le_bytes(footer[0..8].try_into().unwrap());
+        let bloom_offset = u64::from_le_bytes(footer[8..16].try_into().unwrap());
+        let entry_count = u64::from_le_bytes(footer[16..24].try_into().unwrap());
+        let min_seq = u64::from_le_bytes(footer[24..32].try_into().unwrap());
+        let max_seq = u64::from_le_bytes(footer[32..40].try_into().unwrap());
+
+        // Page index.
+        let index_len = (bloom_offset - index_offset) as usize;
+        let mut index_buf = vec![0u8; index_len];
+        file.seek(SeekFrom::Start(index_offset))?;
+        file.read_exact(&mut index_buf)?;
+        let mut pos = 0usize;
+        let npages = read_varint(&index_buf, &mut pos)? as usize;
+        let mut pages = Vec::with_capacity(npages);
+        for _ in 0..npages {
+            let klen = read_varint(&index_buf, &mut pos)? as usize;
+            if pos + klen + 16 > index_buf.len() {
+                return Err(StorageError::Corrupt("truncated page index".into()));
+            }
+            let first_key = index_buf[pos..pos + klen].to_vec();
+            pos += klen;
+            let offset = u64::from_le_bytes(index_buf[pos..pos + 8].try_into().unwrap());
+            pos += 8;
+            let len = u32::from_le_bytes(index_buf[pos..pos + 4].try_into().unwrap());
+            pos += 4;
+            let entries = u32::from_le_bytes(index_buf[pos..pos + 4].try_into().unwrap());
+            pos += 4;
+            pages.push(PageMeta { first_key, offset, len, entries });
+        }
+
+        // Bloom.
+        let bloom_len = (file_len - 48 - bloom_offset) as usize;
+        let mut bloom_buf = vec![0u8; bloom_len];
+        file.seek(SeekFrom::Start(bloom_offset))?;
+        file.read_exact(&mut bloom_buf)?;
+        let bloom = BloomFilter::from_bytes(&bloom_buf)
+            .ok_or_else(|| StorageError::Corrupt("bad bloom filter".into()))?;
+
+        Ok(Arc::new(DiskComponent {
+            path: path.to_path_buf(),
+            file_id: next_file_id(),
+            cache,
+            pages,
+            bloom,
+            entry_count,
+            file_len,
+            min_seq,
+            max_seq,
+        }))
+    }
+
+    /// Number of entries (including antimatter).
+    pub fn entry_count(&self) -> u64 {
+        self.entry_count
+    }
+
+    /// Total file size in bytes.
+    pub fn file_len(&self) -> u64 {
+        self.file_len
+    }
+
+    fn read_page(&self, idx: usize) -> Result<Arc<Vec<u8>>> {
+        let meta = &self.pages[idx];
+        let (offset, len, path) = (meta.offset, meta.len as usize, self.path.clone());
+        self.cache.get_or_load((self.file_id, idx as u32), move || {
+            let mut file = File::open(&path)?;
+            file.seek(SeekFrom::Start(offset))?;
+            let mut buf = vec![0u8; len];
+            file.read_exact(&mut buf)?;
+            Ok::<_, StorageError>(buf)
+        })
+    }
+
+    fn parse_page(buf: &[u8]) -> Result<Vec<Entry>> {
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let klen = read_varint(buf, &mut pos)? as usize;
+            let vlen = read_varint(buf, &mut pos)? as usize;
+            let anti = *buf
+                .get(pos)
+                .ok_or_else(|| StorageError::Corrupt("truncated entry".into()))?
+                != 0;
+            pos += 1;
+            if pos + klen + vlen > buf.len() {
+                return Err(StorageError::Corrupt("entry spans past page".into()));
+            }
+            let key = buf[pos..pos + klen].to_vec();
+            pos += klen;
+            let value = buf[pos..pos + vlen].to_vec();
+            pos += vlen;
+            out.push(Entry { key, antimatter: anti, value });
+        }
+        Ok(out)
+    }
+
+    /// Index of the last page whose first key is <= `key` (candidate page).
+    fn locate_page(&self, key: &[u8]) -> Option<usize> {
+        if self.pages.is_empty() {
+            return None;
+        }
+        match self.pages.binary_search_by(|p| p.first_key.as_slice().cmp(key)) {
+            Ok(i) => Some(i),
+            Err(0) => None, // key below the first page's first key
+            Err(i) => Some(i - 1),
+        }
+    }
+
+    /// Point lookup; returns the entry (possibly antimatter) if present.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Entry>> {
+        if !self.bloom.may_contain(key) {
+            return Ok(None);
+        }
+        let Some(pidx) = self.locate_page(key) else {
+            return Ok(None);
+        };
+        let page = self.read_page(pidx)?;
+        let entries = Self::parse_page(&page)?;
+        match entries.binary_search_by(|e| e.key.as_slice().cmp(key)) {
+            Ok(i) => Ok(Some(entries[i].clone())),
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// Iterate entries with keys in `[lo, hi)`; `None` bounds are open.
+    pub fn range(
+        self: &Arc<Self>,
+        lo: Option<&[u8]>,
+        hi: Option<&[u8]>,
+    ) -> ComponentIter {
+        let start_page = match lo {
+            Some(lo) => self.locate_page(lo).unwrap_or(0),
+            None => 0,
+        };
+        ComponentIter {
+            comp: Arc::clone(self),
+            page_idx: start_page,
+            entries: Vec::new(),
+            entry_idx: 0,
+            lo: lo.map(|b| b.to_vec()),
+            hi: hi.map(|b| b.to_vec()),
+            primed: false,
+            error: None,
+        }
+    }
+
+    /// Delete the component's files and invalidate cached pages.
+    pub fn destroy(&self) -> Result<()> {
+        self.cache.invalidate_file(self.file_id);
+        let _ = fs::remove_file(Self::marker_path(&self.path));
+        fs::remove_file(&self.path)?;
+        Ok(())
+    }
+
+    /// Remove any component data files in `dir` lacking a validity marker.
+    /// Returns the paths of valid components, sorted by name. This is the
+    /// crash-recovery garbage collection step from §4.4.
+    pub fn scavenge_dir(dir: &Path) -> Result<Vec<PathBuf>> {
+        let mut valid = Vec::new();
+        if !dir.exists() {
+            return Ok(valid);
+        }
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) == Some("dat") {
+                if Self::marker_path(&path).exists() {
+                    valid.push(path);
+                } else {
+                    let _ = fs::remove_file(&path);
+                }
+            }
+        }
+        valid.sort();
+        Ok(valid)
+    }
+}
+
+/// Forward iterator over one component's entries in a key range.
+pub struct ComponentIter {
+    comp: Arc<DiskComponent>,
+    page_idx: usize,
+    entries: Vec<Entry>,
+    entry_idx: usize,
+    lo: Option<Vec<u8>>,
+    hi: Option<Vec<u8>>,
+    primed: bool,
+    error: Option<StorageError>,
+}
+
+impl ComponentIter {
+    /// Surface any I/O error hit during iteration.
+    pub fn take_error(&mut self) -> Option<StorageError> {
+        self.error.take()
+    }
+
+    fn load_page(&mut self) -> bool {
+        while self.page_idx < self.comp.pages.len() {
+            match self.comp.read_page(self.page_idx).and_then(|p| DiskComponent::parse_page(&p))
+            {
+                Ok(entries) => {
+                    self.page_idx += 1;
+                    self.entries = entries;
+                    self.entry_idx = 0;
+                    if !self.primed {
+                        self.primed = true;
+                        if let Some(lo) = &self.lo {
+                            self.entry_idx = self
+                                .entries
+                                .partition_point(|e| e.key.as_slice() < lo.as_slice());
+                        }
+                    }
+                    if self.entry_idx < self.entries.len() {
+                        return true;
+                    }
+                }
+                Err(e) => {
+                    self.error = Some(e);
+                    return false;
+                }
+            }
+        }
+        false
+    }
+}
+
+impl Iterator for ComponentIter {
+    type Item = Entry;
+
+    fn next(&mut self) -> Option<Entry> {
+        loop {
+            if self.entry_idx >= self.entries.len() && !self.load_page() {
+                return None;
+            }
+            let e = self.entries[self.entry_idx].clone();
+            self.entry_idx += 1;
+            if let Some(hi) = &self.hi {
+                if e.key.as_slice() >= hi.as_slice() {
+                    // Past the upper bound: stop (and skip remaining pages).
+                    self.page_idx = self.comp.pages.len();
+                    self.entries.clear();
+                    return None;
+                }
+            }
+            if let Some(lo) = &self.lo {
+                if e.key.as_slice() < lo.as_slice() {
+                    continue;
+                }
+            }
+            return Some(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempfile::TempDir;
+
+    fn key(i: u32) -> Vec<u8> {
+        i.to_be_bytes().to_vec()
+    }
+
+    fn build_n(dir: &Path, n: u32) -> Arc<DiskComponent> {
+        let cache = BufferCache::new(64);
+        let entries = (0..n).map(|i| Entry::put(key(i * 2), vec![i as u8; 8]));
+        DiskComponent::build(
+            &dir.join("c_0_0.dat"),
+            cache,
+            &ComponentConfig { page_size: 256, bloom_fpp: 0.01 },
+            0,
+            0,
+            entries,
+            n as usize,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_get_roundtrip() {
+        let dir = TempDir::new().unwrap();
+        let c = build_n(dir.path(), 1000);
+        assert_eq!(c.entry_count(), 1000);
+        for i in 0..1000u32 {
+            let got = c.get(&key(i * 2)).unwrap().unwrap();
+            assert_eq!(got.value, vec![i as u8; 8]);
+            assert!(c.get(&key(i * 2 + 1)).unwrap().is_none());
+        }
+    }
+
+    #[test]
+    fn open_roundtrip() {
+        let dir = TempDir::new().unwrap();
+        let c = build_n(dir.path(), 500);
+        let path = c.path().to_path_buf();
+        drop(c);
+        let cache = BufferCache::new(64);
+        let c2 = DiskComponent::open(&path, cache).unwrap();
+        assert_eq!(c2.entry_count(), 500);
+        assert!(c2.get(&key(10)).unwrap().is_some());
+        assert!(c2.get(&key(11)).unwrap().is_none());
+    }
+
+    #[test]
+    fn range_scans() {
+        let dir = TempDir::new().unwrap();
+        let c = build_n(dir.path(), 100);
+        let all: Vec<Entry> = c.range(None, None).collect();
+        assert_eq!(all.len(), 100);
+        assert!(all.windows(2).all(|w| w[0].key < w[1].key));
+        let mid: Vec<Entry> = c.range(Some(&key(10)), Some(&key(20))).collect();
+        assert_eq!(mid.len(), 5); // keys 10,12,14,16,18
+        assert_eq!(mid[0].key, key(10));
+        let from_odd: Vec<Entry> = c.range(Some(&key(11)), Some(&key(15))).collect();
+        assert_eq!(from_odd.len(), 2); // 12, 14
+        let none: Vec<Entry> = c.range(Some(&key(500)), None).collect();
+        assert_eq!(none.len(), 0);
+    }
+
+    #[test]
+    fn validity_marker_enforced() {
+        let dir = TempDir::new().unwrap();
+        let c = build_n(dir.path(), 10);
+        let path = c.path().to_path_buf();
+        fs::remove_file(path.with_extension("valid")).unwrap();
+        let cache = BufferCache::new(8);
+        assert!(DiskComponent::open(&path, cache).is_err());
+        // Scavenge removes the orphaned data file.
+        let valid = DiskComponent::scavenge_dir(dir.path()).unwrap();
+        assert!(valid.is_empty());
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn scavenge_keeps_valid() {
+        let dir = TempDir::new().unwrap();
+        let c = build_n(dir.path(), 10);
+        let valid = DiskComponent::scavenge_dir(dir.path()).unwrap();
+        assert_eq!(valid, vec![c.path().to_path_buf()]);
+    }
+
+    #[test]
+    fn antimatter_entries_survive_roundtrip() {
+        let dir = TempDir::new().unwrap();
+        let cache = BufferCache::new(8);
+        let entries = vec![
+            Entry::put(key(1), b"v1".to_vec()),
+            Entry::tombstone(key(2)),
+            Entry::put(key(3), b"v3".to_vec()),
+        ];
+        let c = DiskComponent::build(
+            &dir.path().join("c_1_1.dat"),
+            cache,
+            &ComponentConfig::default(),
+            1,
+            1,
+            entries,
+            3,
+        )
+        .unwrap();
+        let e = c.get(&key(2)).unwrap().unwrap();
+        assert!(e.antimatter);
+        let e = c.get(&key(3)).unwrap().unwrap();
+        assert!(!e.antimatter);
+    }
+
+    #[test]
+    fn destroy_removes_files() {
+        let dir = TempDir::new().unwrap();
+        let c = build_n(dir.path(), 10);
+        let path = c.path().to_path_buf();
+        c.destroy().unwrap();
+        assert!(!path.exists());
+        assert!(!path.with_extension("valid").exists());
+    }
+}

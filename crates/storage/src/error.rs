@@ -1,0 +1,52 @@
+//! Storage-layer error type.
+
+use std::fmt;
+
+/// Errors raised by the LSM storage engine.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// On-disk bytes failed to decode.
+    Corrupt(String),
+    /// Data-model error surfaced through storage (key codec etc.).
+    Adm(asterix_adm::AdmError),
+    /// Misuse of the storage API (e.g. operating on a dropped index).
+    InvalidState(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "io error: {e}"),
+            StorageError::Corrupt(m) => write!(f, "corrupt storage: {m}"),
+            StorageError::Adm(e) => write!(f, "{e}"),
+            StorageError::InvalidState(m) => write!(f, "invalid state: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            StorageError::Adm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+impl From<asterix_adm::AdmError> for StorageError {
+    fn from(e: asterix_adm::AdmError) -> Self {
+        StorageError::Adm(e)
+    }
+}
+
+/// Convenience alias for the storage crate.
+pub type Result<T> = std::result::Result<T, StorageError>;

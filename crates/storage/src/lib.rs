@@ -1,0 +1,24 @@
+//! # asterix-storage — LSM-based storage and indexing
+//!
+//! The storage layer of the AsterixDB reproduction (paper §4.3): a generic
+//! LSM-ification framework (in-memory component, immutable bloom-filtered
+//! disk components, flush/merge with pluggable merge policies, antimatter
+//! deletes, validity-marker shadowing), an order-preserving key codec for
+//! ADM values, and three concrete index structures on top of it — the LSM
+//! B+-tree, the LSM R-tree, and LSM inverted (keyword / n-gram) indexes —
+//! all sharing one buffer cache.
+
+pub mod bloom;
+pub mod btree;
+pub mod cache;
+pub mod component;
+pub mod error;
+pub mod inverted;
+pub mod keycodec;
+pub mod lsm;
+pub mod rtree;
+
+pub use cache::BufferCache;
+pub use component::{DiskComponent, Entry};
+pub use error::{Result, StorageError};
+pub use lsm::{LsmConfig, LsmObserver, LsmTree, MergePolicy, NullObserver};

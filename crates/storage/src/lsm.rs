@@ -1,0 +1,710 @@
+//! The LSM-ification framework (§4.3).
+//!
+//! [`LsmTree`] converts an in-place-update index discipline into a
+//! deferred-update, append-only one: writes land in an in-memory component;
+//! when its budget is exceeded the component is flushed to an immutable disk
+//! component; disk components are periodically merged per a
+//! [`MergePolicy`]. Deletes are antimatter entries. This harness backs the
+//! LSM B+-tree directly and (through composite keys) the inverted indexes;
+//! the R-tree has its own spatially-organized variant sharing the same
+//! component lifecycle.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::component::{ComponentConfig, DiskComponent, Entry};
+use crate::cache::BufferCache;
+use crate::error::Result;
+
+/// When and what to merge (§4.3 "subject to some merge policy").
+#[derive(Debug, Clone)]
+pub enum MergePolicy {
+    /// Never merge — flushes accumulate (useful for tests and ablations).
+    NoMerge,
+    /// Keep at most `max` disk components; when exceeded, merge all of them
+    /// into one (AsterixDB's "constant" policy).
+    Constant { max: usize },
+    /// AsterixDB's "prefix" policy: merge the longest prefix of (newest →
+    /// oldest) components whose combined size is below
+    /// `max_mergable_size` once more than `max_tolerance` such components
+    /// accumulate.
+    Prefix { max_mergable_size: u64, max_tolerance: usize },
+}
+
+impl Default for MergePolicy {
+    fn default() -> Self {
+        MergePolicy::Prefix { max_mergable_size: 64 << 20, max_tolerance: 4 }
+    }
+}
+
+/// LSM tuning knobs.
+#[derive(Debug, Clone)]
+pub struct LsmConfig {
+    /// In-memory component budget in bytes before an automatic flush.
+    pub mem_budget: usize,
+    pub page_size: usize,
+    pub bloom_fpp: f64,
+    pub merge_policy: MergePolicy,
+}
+
+impl Default for LsmConfig {
+    fn default() -> Self {
+        LsmConfig {
+            mem_budget: 4 << 20,
+            page_size: crate::cache::PAGE_SIZE,
+            bloom_fpp: 0.01,
+            merge_policy: MergePolicy::default(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct MemEntry {
+    antimatter: bool,
+    value: Vec<u8>,
+}
+
+struct LsmState {
+    mem: BTreeMap<Vec<u8>, MemEntry>,
+    mem_bytes: usize,
+    /// An immutable memory component currently being flushed; readers
+    /// consult it between `mem` and `disk` so no window exists in which
+    /// flushed-but-not-yet-installed data is invisible.
+    flushing: Option<Arc<BTreeMap<Vec<u8>, MemEntry>>>,
+    /// Disk components, newest first.
+    disk: Vec<Arc<DiskComponent>>,
+    next_seq: u64,
+}
+
+/// Lifecycle events surfaced to the transaction/recovery layer.
+pub trait LsmObserver: Send + Sync {
+    /// A flush produced `component_path` covering flush sequences up to and
+    /// including `max_seq`.
+    fn on_flush(&self, _component_path: &Path, _max_seq: u64) {}
+    /// A merge replaced `inputs` with `output`.
+    fn on_merge(&self, _inputs: &[PathBuf], _output: &Path) {}
+}
+
+/// No-op observer.
+pub struct NullObserver;
+impl LsmObserver for NullObserver {}
+
+/// An LSM index over byte-string keys.
+pub struct LsmTree {
+    dir: PathBuf,
+    cfg: LsmConfig,
+    cache: Arc<BufferCache>,
+    state: RwLock<LsmState>,
+    /// Serializes whole flush operations.
+    flush_lock: Mutex<()>,
+    observer: Arc<dyn LsmObserver>,
+}
+
+impl LsmTree {
+    /// Create or reopen an LSM tree rooted at `dir`. Invalid (crash-orphaned)
+    /// components are garbage-collected; valid ones are reopened.
+    pub fn open(
+        dir: &Path,
+        cfg: LsmConfig,
+        cache: Arc<BufferCache>,
+        observer: Arc<dyn LsmObserver>,
+    ) -> Result<LsmTree> {
+        std::fs::create_dir_all(dir)?;
+        let valid = DiskComponent::scavenge_dir(dir)?;
+        let mut disk: Vec<Arc<DiskComponent>> = Vec::with_capacity(valid.len());
+        for path in valid {
+            disk.push(DiskComponent::open(&path, Arc::clone(&cache))?);
+        }
+        // Newest first: components are named c_<min>_<max>.dat with
+        // zero-padded sequence numbers, so path sort order is seq order.
+        disk.sort_by_key(|c| std::cmp::Reverse(c.max_seq));
+        let next_seq = disk.iter().map(|c| c.max_seq + 1).max().unwrap_or(0);
+        Ok(LsmTree {
+            dir: dir.to_path_buf(),
+            cfg,
+            cache,
+            state: RwLock::new(LsmState {
+                mem: BTreeMap::new(),
+                mem_bytes: 0,
+                flushing: None,
+                disk,
+                next_seq,
+            }),
+            flush_lock: Mutex::new(()),
+            observer,
+        })
+    }
+
+    /// Root directory of this index.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_overhead(key: &[u8], value: &[u8]) -> usize {
+        key.len() + value.len() + 48
+    }
+
+    /// Insert or overwrite (upsert) a key. Automatically flushes when the
+    /// memory budget is exceeded.
+    pub fn insert(&self, key: Vec<u8>, value: Vec<u8>) -> Result<()> {
+        self.write(key, MemEntry { antimatter: false, value })
+    }
+
+    /// Delete a key by writing an antimatter entry.
+    pub fn delete(&self, key: Vec<u8>) -> Result<()> {
+        self.write(key, MemEntry { antimatter: true, value: Vec::new() })
+    }
+
+    fn write(&self, key: Vec<u8>, entry: MemEntry) -> Result<()> {
+        let needs_flush = {
+            let mut st = self.state.write();
+            st.mem_bytes += Self::entry_overhead(&key, &entry.value);
+            if let Some(old) = st.mem.insert(key, entry) {
+                st.mem_bytes = st.mem_bytes.saturating_sub(old.value.len());
+            }
+            st.mem_bytes >= self.cfg.mem_budget
+        };
+        if needs_flush {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Point lookup: memory first, then disk components newest → oldest,
+    /// with bloom filters pruning component probes.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let st = self.state.read();
+        if let Some(e) = st.mem.get(key) {
+            return Ok(if e.antimatter { None } else { Some(e.value.clone()) });
+        }
+        if let Some(fl) = &st.flushing {
+            if let Some(e) = fl.get(key) {
+                return Ok(if e.antimatter { None } else { Some(e.value.clone()) });
+            }
+        }
+        for comp in &st.disk {
+            if let Some(e) = comp.get(key)? {
+                return Ok(if e.antimatter { None } else { Some(e.value) });
+            }
+        }
+        Ok(None)
+    }
+
+    /// Does the key exist (non-antimatter)?
+    pub fn contains(&self, key: &[u8]) -> Result<bool> {
+        Ok(self.get(key)?.is_some())
+    }
+
+    /// Merged range scan over `[lo, hi)`; resolves antimatter so only live
+    /// entries are yielded, in ascending key order.
+    pub fn scan(&self, lo: Option<&[u8]>, hi: Option<&[u8]>) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut out = Vec::new();
+        self.scan_with(lo, hi, |k, v| {
+            out.push((k.to_vec(), v.to_vec()));
+            true
+        })?;
+        Ok(out)
+    }
+
+    /// Streaming variant of [`LsmTree::scan`]: the callback returns `false` to stop
+    /// early (used by LIMIT evaluation).
+    pub fn scan_with(
+        &self,
+        lo: Option<&[u8]>,
+        hi: Option<&[u8]>,
+        mut f: impl FnMut(&[u8], &[u8]) -> bool,
+    ) -> Result<()> {
+        let st = self.state.read();
+        // Source 0 is the memory component (highest priority), then disk
+        // components newest → oldest.
+        let mem_range = st.mem.range::<[u8], _>((
+            lo.map_or(Bound::Unbounded, Bound::Included),
+            hi.map_or(Bound::Unbounded, Bound::Excluded),
+        ));
+        let mut mem_iter = mem_range.map(|(k, v)| Entry {
+            key: k.clone(),
+            antimatter: v.antimatter,
+            value: v.value.clone(),
+        });
+        // The flushing component (if any) sits between memory and disk in
+        // recency; its relevant range is materialized (bounded by the
+        // memory budget).
+        let flushing_entries: Vec<Entry> = match &st.flushing {
+            Some(fl) => fl
+                .range::<[u8], _>((
+                    lo.map_or(Bound::Unbounded, Bound::Included),
+                    hi.map_or(Bound::Unbounded, Bound::Excluded),
+                ))
+                .map(|(k, v)| Entry {
+                    key: k.clone(),
+                    antimatter: v.antimatter,
+                    value: v.value.clone(),
+                })
+                .collect(),
+            None => Vec::new(),
+        };
+        let mut flushing_iter = flushing_entries.into_iter();
+        let mut disk_iters: Vec<crate::component::ComponentIter> =
+            st.disk.iter().map(|c| c.range(lo, hi)).collect();
+        // A heads array implementing a k-way merge by (key, priority):
+        // source 0 is the memory component, source 1 the flushing
+        // component, then disk newest → oldest.
+        let mut heads: Vec<Option<Entry>> = Vec::with_capacity(2 + disk_iters.len());
+        heads.push(mem_iter.next());
+        heads.push(flushing_iter.next());
+        for it in &mut disk_iters {
+            heads.push(it.next());
+        }
+        loop {
+            // Find the smallest key; among equals the lowest source index
+            // (newest data) wins.
+            let mut best: Option<(usize, &[u8])> = None;
+            for (i, h) in heads.iter().enumerate() {
+                if let Some(e) = h {
+                    match best {
+                        None => best = Some((i, &e.key)),
+                        Some((_, bk)) if e.key.as_slice() < bk => best = Some((i, &e.key)),
+                        _ => {}
+                    }
+                }
+            }
+            let Some((winner, _)) = best else { break };
+            let entry = heads[winner].take().unwrap();
+            // Advance the winner and every source holding the same key
+            // (older duplicates are shadowed and must be skipped).
+            let mut advance = |i: usize, heads: &mut Vec<Option<Entry>>| {
+                heads[i] = match i {
+                    0 => mem_iter.next(),
+                    1 => flushing_iter.next(),
+                    _ => disk_iters[i - 2].next(),
+                };
+            };
+            advance(winner, &mut heads);
+            for i in 0..heads.len() {
+                loop {
+                    let same = matches!(&heads[i], Some(e) if e.key == entry.key);
+                    if !same {
+                        break;
+                    }
+                    advance(i, &mut heads);
+                }
+            }
+            if !entry.antimatter && !f(&entry.key, &entry.value) {
+                break;
+            }
+        }
+        for mut it in disk_iters {
+            if let Some(e) = it.take_error() {
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Count of live entries (scan-based; used by tests and stats).
+    pub fn live_count(&self) -> Result<usize> {
+        let mut n = 0;
+        self.scan_with(None, None, |_, _| {
+            n += 1;
+            true
+        })?;
+        Ok(n)
+    }
+
+    /// Force-flush the in-memory component to disk. No-op when empty.
+    /// Readers see the data throughout: it moves memory → flushing
+    /// component → installed disk component without a visibility gap.
+    pub fn flush(&self) -> Result<Option<PathBuf>> {
+        let _serialize = self.flush_lock.lock();
+        let (snapshot, seq) = {
+            let mut st = self.state.write();
+            if st.mem.is_empty() {
+                return Ok(None);
+            }
+            let mem = std::mem::take(&mut st.mem);
+            st.mem_bytes = 0;
+            let snapshot = Arc::new(mem);
+            st.flushing = Some(Arc::clone(&snapshot));
+            let seq = st.next_seq;
+            st.next_seq += 1;
+            (snapshot, seq)
+        };
+        let path = self.dir.join(format!("c_{seq:012}_{seq:012}.dat"));
+        let n = snapshot.len();
+        let comp = DiskComponent::build(
+            &path,
+            Arc::clone(&self.cache),
+            &ComponentConfig { page_size: self.cfg.page_size, bloom_fpp: self.cfg.bloom_fpp },
+            seq,
+            seq,
+            snapshot.iter().map(|(k, v)| Entry {
+                key: k.clone(),
+                antimatter: v.antimatter,
+                value: v.value.clone(),
+            }),
+            n,
+        )?;
+        {
+            let mut st = self.state.write();
+            st.disk.insert(0, comp);
+            st.flushing = None;
+        }
+        self.observer.on_flush(&path, seq);
+        self.maybe_merge()?;
+        Ok(Some(path))
+    }
+
+    /// Apply the merge policy; merges synchronously when triggered.
+    pub fn maybe_merge(&self) -> Result<()> {
+        let to_merge: Vec<Arc<DiskComponent>> = {
+            let st = self.state.read();
+            match &self.cfg.merge_policy {
+                MergePolicy::NoMerge => Vec::new(),
+                MergePolicy::Constant { max } => {
+                    if st.disk.len() > *max {
+                        st.disk.clone()
+                    } else {
+                        Vec::new()
+                    }
+                }
+                MergePolicy::Prefix { max_mergable_size, max_tolerance } => {
+                    // Longest prefix of newest components under the size cap.
+                    let mut acc = 0u64;
+                    let mut prefix = Vec::new();
+                    for c in &st.disk {
+                        if acc + c.file_len() > *max_mergable_size {
+                            break;
+                        }
+                        acc += c.file_len();
+                        prefix.push(Arc::clone(c));
+                    }
+                    if prefix.len() > *max_tolerance {
+                        prefix
+                    } else {
+                        Vec::new()
+                    }
+                }
+            }
+        };
+        if to_merge.len() < 2 {
+            return Ok(());
+        }
+        self.merge_components(&to_merge)
+    }
+
+    /// Merge all current disk components into one (manual full merge).
+    pub fn merge_all(&self) -> Result<()> {
+        let comps = self.state.read().disk.clone();
+        if comps.len() < 2 {
+            return Ok(());
+        }
+        self.merge_components(&comps)
+    }
+
+    fn merge_components(&self, inputs: &[Arc<DiskComponent>]) -> Result<()> {
+        let min_seq = inputs.iter().map(|c| c.min_seq).min().unwrap();
+        let max_seq = inputs.iter().map(|c| c.max_seq).max().unwrap();
+        // Whether the merge includes the oldest on-disk data; if so,
+        // antimatter entries can be dropped entirely.
+        let includes_oldest = {
+            let st = self.state.read();
+            st.disk.iter().map(|c| c.min_seq).min() == Some(min_seq)
+        };
+        // K-way merge, newest (lowest index in st.disk order) wins.
+        let mut iters: Vec<_> = inputs.iter().map(|c| c.range(None, None)).collect();
+        let mut heads: Vec<Option<Entry>> = iters.iter_mut().map(|i| i.next()).collect();
+        let mut merged: Vec<Entry> = Vec::new();
+        loop {
+            let mut best: Option<(usize, &[u8], u64)> = None;
+            for (i, h) in heads.iter().enumerate() {
+                if let Some(e) = h {
+                    let seq = inputs[i].max_seq;
+                    match best {
+                        None => best = Some((i, &e.key, seq)),
+                        Some((_, bk, bseq)) => {
+                            if e.key.as_slice() < bk
+                                || (e.key.as_slice() == bk && seq > bseq)
+                            {
+                                best = Some((i, &e.key, seq));
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((winner, _, _)) = best else { break };
+            let entry = heads[winner].take().unwrap();
+            heads[winner] = iters[winner].next();
+            for i in 0..heads.len() {
+                loop {
+                    let same = matches!(&heads[i], Some(e) if e.key == entry.key);
+                    if !same {
+                        break;
+                    }
+                    heads[i] = iters[i].next();
+                }
+            }
+            if entry.antimatter && includes_oldest {
+                continue; // fully compacted away
+            }
+            merged.push(entry);
+        }
+        for mut it in iters {
+            if let Some(e) = it.take_error() {
+                return Err(e);
+            }
+        }
+        let out_path = self.dir.join(format!("c_{min_seq:012}_{max_seq:012}.dat"));
+        let n = merged.len();
+        let comp = DiskComponent::build(
+            &out_path,
+            Arc::clone(&self.cache),
+            &ComponentConfig { page_size: self.cfg.page_size, bloom_fpp: self.cfg.bloom_fpp },
+            min_seq,
+            max_seq,
+            merged,
+            n,
+        )?;
+        // Atomically swap the component list, then destroy the inputs.
+        let input_paths: Vec<PathBuf> =
+            inputs.iter().map(|c| c.path().to_path_buf()).collect();
+        {
+            let mut st = self.state.write();
+            st.disk.retain(|c| !input_paths.contains(&c.path().to_path_buf()));
+            let pos = st.disk.partition_point(|c| c.max_seq > max_seq);
+            st.disk.insert(pos, comp);
+        }
+        for c in inputs {
+            c.destroy()?;
+        }
+        self.observer.on_merge(&input_paths, &out_path);
+        Ok(())
+    }
+
+    /// Number of disk components (for tests/stats).
+    pub fn disk_component_count(&self) -> usize {
+        self.state.read().disk.len()
+    }
+
+    /// Total bytes across disk components plus the memory component —
+    /// Table 2's storage-size metric.
+    pub fn size_bytes(&self) -> u64 {
+        let st = self.state.read();
+        st.disk.iter().map(|c| c.file_len()).sum::<u64>() + st.mem_bytes as u64
+    }
+
+    /// In-memory component size in bytes.
+    pub fn mem_bytes(&self) -> usize {
+        self.state.read().mem_bytes
+    }
+
+    /// Drop everything (dataset drop): removes the directory.
+    pub fn destroy(self) -> Result<()> {
+        let st = self.state.into_inner();
+        drop(st);
+        std::fs::remove_dir_all(&self.dir)?;
+        Ok(())
+    }
+
+    /// Discard the in-memory component (crash simulation for recovery
+    /// tests: memory is lost, disk components survive).
+    pub fn simulate_crash_lose_memory(&self) {
+        let mut st = self.state.write();
+        st.mem.clear();
+        st.mem_bytes = 0;
+        st.flushing = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempfile::TempDir;
+
+    fn open(dir: &Path, policy: MergePolicy, budget: usize) -> LsmTree {
+        LsmTree::open(
+            dir,
+            LsmConfig {
+                mem_budget: budget,
+                page_size: 512,
+                bloom_fpp: 0.01,
+                merge_policy: policy,
+            },
+            BufferCache::new(256),
+            Arc::new(NullObserver),
+        )
+        .unwrap()
+    }
+
+    fn k(i: u32) -> Vec<u8> {
+        i.to_be_bytes().to_vec()
+    }
+
+    #[test]
+    fn insert_get_delete_in_memory() {
+        let dir = TempDir::new().unwrap();
+        let t = open(dir.path(), MergePolicy::NoMerge, 1 << 20);
+        t.insert(k(1), b"a".to_vec()).unwrap();
+        t.insert(k(2), b"b".to_vec()).unwrap();
+        assert_eq!(t.get(&k(1)).unwrap(), Some(b"a".to_vec()));
+        t.delete(k(1)).unwrap();
+        assert_eq!(t.get(&k(1)).unwrap(), None);
+        assert_eq!(t.get(&k(2)).unwrap(), Some(b"b".to_vec()));
+        assert_eq!(t.live_count().unwrap(), 1);
+    }
+
+    #[test]
+    fn flush_and_read_back() {
+        let dir = TempDir::new().unwrap();
+        let t = open(dir.path(), MergePolicy::NoMerge, 1 << 20);
+        for i in 0..100 {
+            t.insert(k(i), vec![i as u8]).unwrap();
+        }
+        t.flush().unwrap();
+        assert_eq!(t.disk_component_count(), 1);
+        assert_eq!(t.mem_bytes(), 0);
+        for i in 0..100 {
+            assert_eq!(t.get(&k(i)).unwrap(), Some(vec![i as u8]));
+        }
+    }
+
+    #[test]
+    fn newest_component_wins() {
+        let dir = TempDir::new().unwrap();
+        let t = open(dir.path(), MergePolicy::NoMerge, 1 << 20);
+        t.insert(k(5), b"old".to_vec()).unwrap();
+        t.flush().unwrap();
+        t.insert(k(5), b"new".to_vec()).unwrap();
+        t.flush().unwrap();
+        assert_eq!(t.get(&k(5)).unwrap(), Some(b"new".to_vec()));
+        // Delete shadows both.
+        t.delete(k(5)).unwrap();
+        t.flush().unwrap();
+        assert_eq!(t.get(&k(5)).unwrap(), None);
+        let all = t.scan(None, None).unwrap();
+        assert!(all.is_empty());
+    }
+
+    #[test]
+    fn scan_merges_components() {
+        let dir = TempDir::new().unwrap();
+        let t = open(dir.path(), MergePolicy::NoMerge, 1 << 20);
+        for i in (0..50).step_by(2) {
+            t.insert(k(i), b"even".to_vec()).unwrap();
+        }
+        t.flush().unwrap();
+        for i in (1..50).step_by(2) {
+            t.insert(k(i), b"odd".to_vec()).unwrap();
+        }
+        // Half in memory, half on disk.
+        let all = t.scan(None, None).unwrap();
+        assert_eq!(all.len(), 50);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+        let some = t.scan(Some(&k(10)), Some(&k(20))).unwrap();
+        assert_eq!(some.len(), 10);
+    }
+
+    #[test]
+    fn auto_flush_on_budget() {
+        let dir = TempDir::new().unwrap();
+        let t = open(dir.path(), MergePolicy::NoMerge, 2048);
+        for i in 0..200 {
+            t.insert(k(i), vec![0u8; 32]).unwrap();
+        }
+        assert!(t.disk_component_count() >= 2, "expected multiple auto-flushes");
+        assert_eq!(t.live_count().unwrap(), 200);
+    }
+
+    #[test]
+    fn constant_merge_policy_caps_components() {
+        let dir = TempDir::new().unwrap();
+        let t = open(dir.path(), MergePolicy::Constant { max: 3 }, 1 << 20);
+        for round in 0..8u32 {
+            for i in 0..20 {
+                t.insert(k(round * 100 + i), vec![round as u8]).unwrap();
+            }
+            t.flush().unwrap();
+        }
+        assert!(t.disk_component_count() <= 4, "got {}", t.disk_component_count());
+        assert_eq!(t.live_count().unwrap(), 160);
+    }
+
+    #[test]
+    fn merge_drops_tombstones_when_covering_oldest() {
+        let dir = TempDir::new().unwrap();
+        let t = open(dir.path(), MergePolicy::NoMerge, 1 << 20);
+        for i in 0..10 {
+            t.insert(k(i), b"v".to_vec()).unwrap();
+        }
+        t.flush().unwrap();
+        for i in 0..5 {
+            t.delete(k(i)).unwrap();
+        }
+        t.flush().unwrap();
+        t.merge_all().unwrap();
+        assert_eq!(t.disk_component_count(), 1);
+        assert_eq!(t.live_count().unwrap(), 5);
+        // After a full merge, antimatter is gone: the single component holds
+        // exactly the live entries.
+        let st = t.state.read();
+        assert_eq!(st.disk[0].entry_count(), 5);
+    }
+
+    #[test]
+    fn reopen_recovers_disk_state() {
+        let dir = TempDir::new().unwrap();
+        {
+            let t = open(dir.path(), MergePolicy::NoMerge, 1 << 20);
+            for i in 0..30 {
+                t.insert(k(i), vec![1]).unwrap();
+            }
+            t.flush().unwrap();
+            t.insert(k(100), vec![2]).unwrap(); // stays in memory, lost
+            t.simulate_crash_lose_memory();
+        }
+        let t = open(dir.path(), MergePolicy::NoMerge, 1 << 20);
+        assert_eq!(t.live_count().unwrap(), 30);
+        assert_eq!(t.get(&k(100)).unwrap(), None);
+        // New writes get fresh sequence numbers beyond recovered ones.
+        t.insert(k(200), vec![3]).unwrap();
+        t.flush().unwrap();
+        assert_eq!(t.get(&k(200)).unwrap(), Some(vec![3]));
+    }
+
+    #[test]
+    fn prefix_merge_policy_triggers() {
+        let dir = TempDir::new().unwrap();
+        let t = open(
+            dir.path(),
+            MergePolicy::Prefix { max_mergable_size: 1 << 20, max_tolerance: 2 },
+            1 << 20,
+        );
+        for round in 0..5u32 {
+            for i in 0..10 {
+                t.insert(k(round * 100 + i), vec![0u8; 16]).unwrap();
+            }
+            t.flush().unwrap();
+        }
+        assert!(t.disk_component_count() <= 3, "got {}", t.disk_component_count());
+        assert_eq!(t.live_count().unwrap(), 50);
+    }
+
+    #[test]
+    fn early_exit_scan() {
+        let dir = TempDir::new().unwrap();
+        let t = open(dir.path(), MergePolicy::NoMerge, 1 << 20);
+        for i in 0..100 {
+            t.insert(k(i), vec![0]).unwrap();
+        }
+        let mut seen = 0;
+        t.scan_with(None, None, |_, _| {
+            seen += 1;
+            seen < 10
+        })
+        .unwrap();
+        assert_eq!(seen, 10);
+    }
+}

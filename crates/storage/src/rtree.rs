@@ -1,0 +1,576 @@
+//! The LSM R-tree: a spatial secondary index over ADM values (§2.2's
+//! `create index ... type rtree`, used for `sender-location` queries).
+//!
+//! Entries are `(MBR, primary-key)` pairs. The in-memory component is a
+//! plain vector; disk components are STR-packed (Sort-Tile-Recursive)
+//! immutable trees: leaf blocks of entries with their bounding rectangles,
+//! and an in-memory directory of block MBRs built at open. Deletes are
+//! antimatter entries identified by the `(MBR, primary-key)` pair; search
+//! resolves components newest → oldest, exactly like the LSM B+-tree.
+
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use asterix_adm::value::Rectangle;
+use asterix_adm::Value;
+use parking_lot::RwLock;
+
+use crate::cache::{next_file_id, BufferCache};
+use crate::error::{Result, StorageError};
+use crate::keycodec::{decode_key, encode_key};
+
+const MAGIC: u64 = 0x4153_5458_5254_5231; // "ASTXRTR1"
+const LEAF_BLOCK_SIZE: usize = 64;
+
+/// One R-tree entry: rectangle, antimatter flag, encoded primary key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RtEntry {
+    pub mbr: Rectangle,
+    pub antimatter: bool,
+    pub pk: Vec<u8>,
+}
+
+impl RtEntry {
+    fn identity(&self) -> (u64, u64, u64, u64, &[u8]) {
+        (
+            self.mbr.low.x.to_bits(),
+            self.mbr.low.y.to_bits(),
+            self.mbr.high.x.to_bits(),
+            self.mbr.high.y.to_bits(),
+            &self.pk,
+        )
+    }
+}
+
+fn rect_union(a: &Rectangle, b: &Rectangle) -> Rectangle {
+    Rectangle {
+        low: asterix_adm::value::Point::new(a.low.x.min(b.low.x), a.low.y.min(b.low.y)),
+        high: asterix_adm::value::Point::new(a.high.x.max(b.high.x), a.high.y.max(b.high.y)),
+    }
+}
+
+struct BlockMeta {
+    mbr: Rectangle,
+    offset: u64,
+    len: u32,
+}
+
+/// An immutable STR-packed disk component.
+struct RtDiskComponent {
+    path: PathBuf,
+    file_id: u64,
+    cache: Arc<BufferCache>,
+    blocks: Vec<BlockMeta>,
+    entry_count: u64,
+    file_len: u64,
+    seq: u64,
+}
+
+fn write_rect(out: &mut Vec<u8>, r: &Rectangle) {
+    out.extend_from_slice(&r.low.x.to_le_bytes());
+    out.extend_from_slice(&r.low.y.to_le_bytes());
+    out.extend_from_slice(&r.high.x.to_le_bytes());
+    out.extend_from_slice(&r.high.y.to_le_bytes());
+}
+
+fn read_rect(buf: &[u8], pos: &mut usize) -> Result<Rectangle> {
+    if *pos + 32 > buf.len() {
+        return Err(StorageError::Corrupt("truncated rectangle".into()));
+    }
+    let f = |o: usize| f64::from_le_bytes(buf[*pos + o..*pos + o + 8].try_into().unwrap());
+    let r = Rectangle {
+        low: asterix_adm::value::Point::new(f(0), f(8)),
+        high: asterix_adm::value::Point::new(f(16), f(24)),
+    };
+    *pos += 32;
+    Ok(r)
+}
+
+impl RtDiskComponent {
+    fn marker(path: &Path) -> PathBuf {
+        path.with_extension("valid")
+    }
+
+    /// STR bulk-load: sort by x-center into vertical slabs, sort each slab
+    /// by y-center, pack runs of `LEAF_BLOCK_SIZE` into blocks.
+    fn build(
+        path: &Path,
+        cache: Arc<BufferCache>,
+        seq: u64,
+        mut entries: Vec<RtEntry>,
+    ) -> Result<Arc<RtDiskComponent>> {
+        let n = entries.len();
+        let nblocks = n.div_ceil(LEAF_BLOCK_SIZE).max(1);
+        let nslabs = (nblocks as f64).sqrt().ceil() as usize;
+        let slab_size = n.div_ceil(nslabs.max(1)).max(1);
+        entries.sort_by(|a, b| {
+            let ax = a.mbr.low.x + a.mbr.high.x;
+            let bx = b.mbr.low.x + b.mbr.high.x;
+            ax.partial_cmp(&bx).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for slab in entries.chunks_mut(slab_size) {
+            slab.sort_by(|a, b| {
+                let ay = a.mbr.low.y + a.mbr.high.y;
+                let by = b.mbr.low.y + b.mbr.high.y;
+                ay.partial_cmp(&by).unwrap_or(std::cmp::Ordering::Equal)
+            });
+        }
+
+        let mut file = File::create(path)?;
+        let mut blocks = Vec::new();
+        let mut offset = 0u64;
+        for chunk in entries.chunks(LEAF_BLOCK_SIZE) {
+            let mut buf = Vec::with_capacity(chunk.len() * 48);
+            buf.extend_from_slice(&(chunk.len() as u32).to_le_bytes());
+            let mut mbr: Option<Rectangle> = None;
+            for e in chunk {
+                write_rect(&mut buf, &e.mbr);
+                buf.push(u8::from(e.antimatter));
+                buf.extend_from_slice(&(e.pk.len() as u32).to_le_bytes());
+                buf.extend_from_slice(&e.pk);
+                mbr = Some(match mbr {
+                    None => e.mbr,
+                    Some(m) => rect_union(&m, &e.mbr),
+                });
+            }
+            file.write_all(&buf)?;
+            blocks.push(BlockMeta {
+                mbr: mbr.unwrap_or(Rectangle {
+                    low: asterix_adm::value::Point::new(0.0, 0.0),
+                    high: asterix_adm::value::Point::new(0.0, 0.0),
+                }),
+                offset,
+                len: buf.len() as u32,
+            });
+            offset += buf.len() as u64;
+        }
+
+        // Directory: block MBRs + offsets.
+        let dir_offset = offset;
+        let mut dir = Vec::new();
+        dir.extend_from_slice(&(blocks.len() as u32).to_le_bytes());
+        for b in &blocks {
+            write_rect(&mut dir, &b.mbr);
+            dir.extend_from_slice(&b.offset.to_le_bytes());
+            dir.extend_from_slice(&b.len.to_le_bytes());
+        }
+        file.write_all(&dir)?;
+
+        let mut footer = Vec::with_capacity(32);
+        footer.extend_from_slice(&dir_offset.to_le_bytes());
+        footer.extend_from_slice(&(n as u64).to_le_bytes());
+        footer.extend_from_slice(&seq.to_le_bytes());
+        footer.extend_from_slice(&MAGIC.to_le_bytes());
+        file.write_all(&footer)?;
+        file.sync_all()?;
+        File::create(Self::marker(path))?.sync_all()?;
+
+        let file_len = dir_offset + dir.len() as u64 + 32;
+        Ok(Arc::new(RtDiskComponent {
+            path: path.to_path_buf(),
+            file_id: next_file_id(),
+            cache,
+            blocks,
+            entry_count: n as u64,
+            file_len,
+            seq,
+        }))
+    }
+
+    fn open(path: &Path, cache: Arc<BufferCache>) -> Result<Arc<RtDiskComponent>> {
+        if !Self::marker(path).exists() {
+            return Err(StorageError::InvalidState(format!(
+                "r-tree component {} has no validity marker",
+                path.display()
+            )));
+        }
+        let mut file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        if file_len < 32 {
+            return Err(StorageError::Corrupt("r-tree component too small".into()));
+        }
+        let mut footer = [0u8; 32];
+        file.seek(SeekFrom::End(-32))?;
+        file.read_exact(&mut footer)?;
+        if u64::from_le_bytes(footer[24..32].try_into().unwrap()) != MAGIC {
+            return Err(StorageError::Corrupt("bad r-tree magic".into()));
+        }
+        let dir_offset = u64::from_le_bytes(footer[0..8].try_into().unwrap());
+        let entry_count = u64::from_le_bytes(footer[8..16].try_into().unwrap());
+        let seq = u64::from_le_bytes(footer[16..24].try_into().unwrap());
+        let dir_len = (file_len - 32 - dir_offset) as usize;
+        let mut dir = vec![0u8; dir_len];
+        file.seek(SeekFrom::Start(dir_offset))?;
+        file.read_exact(&mut dir)?;
+        let mut pos = 0usize;
+        if dir.len() < 4 {
+            return Err(StorageError::Corrupt("truncated r-tree directory".into()));
+        }
+        let nblocks = u32::from_le_bytes(dir[0..4].try_into().unwrap()) as usize;
+        pos += 4;
+        let mut blocks = Vec::with_capacity(nblocks);
+        for _ in 0..nblocks {
+            let mbr = read_rect(&dir, &mut pos)?;
+            if pos + 12 > dir.len() {
+                return Err(StorageError::Corrupt("truncated r-tree directory".into()));
+            }
+            let offset = u64::from_le_bytes(dir[pos..pos + 8].try_into().unwrap());
+            pos += 8;
+            let len = u32::from_le_bytes(dir[pos..pos + 4].try_into().unwrap());
+            pos += 4;
+            blocks.push(BlockMeta { mbr, offset, len });
+        }
+        Ok(Arc::new(RtDiskComponent {
+            path: path.to_path_buf(),
+            file_id: next_file_id(),
+            cache,
+            blocks,
+            entry_count,
+            file_len,
+            seq,
+        }))
+    }
+
+    fn read_block(&self, idx: usize) -> Result<Vec<RtEntry>> {
+        let meta = &self.blocks[idx];
+        let (offset, len, path) = (meta.offset, meta.len as usize, self.path.clone());
+        let buf = self.cache.get_or_load((self.file_id, idx as u32), move || {
+            let mut f = File::open(&path)?;
+            f.seek(SeekFrom::Start(offset))?;
+            let mut b = vec![0u8; len];
+            f.read_exact(&mut b)?;
+            Ok::<_, StorageError>(b)
+        })?;
+        let mut pos = 0usize;
+        if buf.len() < 4 {
+            return Err(StorageError::Corrupt("truncated r-tree block".into()));
+        }
+        let n = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+        pos += 4;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mbr = read_rect(&buf, &mut pos)?;
+            let anti = *buf
+                .get(pos)
+                .ok_or_else(|| StorageError::Corrupt("truncated r-tree entry".into()))?
+                != 0;
+            pos += 1;
+            if pos + 4 > buf.len() {
+                return Err(StorageError::Corrupt("truncated r-tree entry".into()));
+            }
+            let pklen = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += 4;
+            if pos + pklen > buf.len() {
+                return Err(StorageError::Corrupt("truncated r-tree pk".into()));
+            }
+            let pk = buf[pos..pos + pklen].to_vec();
+            pos += pklen;
+            out.push(RtEntry { mbr, antimatter: anti, pk });
+        }
+        Ok(out)
+    }
+
+    fn search(&self, query: &Rectangle, out: &mut Vec<RtEntry>) -> Result<()> {
+        for (i, b) in self.blocks.iter().enumerate() {
+            if b.mbr.intersects(query) {
+                for e in self.read_block(i)? {
+                    if e.mbr.intersects(query) {
+                        out.push(e);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn all_entries(&self) -> Result<Vec<RtEntry>> {
+        let mut out = Vec::with_capacity(self.entry_count as usize);
+        for i in 0..self.blocks.len() {
+            out.extend(self.read_block(i)?);
+        }
+        Ok(out)
+    }
+
+    fn destroy(&self) -> Result<()> {
+        self.cache.invalidate_file(self.file_id);
+        let _ = std::fs::remove_file(Self::marker(&self.path));
+        std::fs::remove_file(&self.path)?;
+        Ok(())
+    }
+}
+
+struct RtState {
+    mem: Vec<RtEntry>,
+    mem_bytes: usize,
+    disk: Vec<Arc<RtDiskComponent>>, // newest first
+    next_seq: u64,
+}
+
+/// An LSM-ified R-tree.
+pub struct LsmRTree {
+    dir: PathBuf,
+    cache: Arc<BufferCache>,
+    mem_budget: usize,
+    state: RwLock<RtState>,
+}
+
+impl LsmRTree {
+    /// Open (or create) an LSM R-tree at `dir`, scavenging invalid
+    /// components left by crashes.
+    pub fn open(dir: &Path, mem_budget: usize, cache: Arc<BufferCache>) -> Result<LsmRTree> {
+        std::fs::create_dir_all(dir)?;
+        let mut paths: Vec<PathBuf> = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let p = entry?.path();
+            if p.extension().and_then(|e| e.to_str()) == Some("dat") {
+                if RtDiskComponent::marker(&p).exists() {
+                    paths.push(p);
+                } else {
+                    let _ = std::fs::remove_file(&p);
+                }
+            }
+        }
+        paths.sort();
+        let mut disk = Vec::with_capacity(paths.len());
+        for p in paths {
+            disk.push(RtDiskComponent::open(&p, Arc::clone(&cache))?);
+        }
+        disk.sort_by_key(|c| std::cmp::Reverse(c.seq));
+        let next_seq = disk.iter().map(|c| c.seq + 1).max().unwrap_or(0);
+        Ok(LsmRTree {
+            dir: dir.to_path_buf(),
+            cache,
+            mem_budget: mem_budget.max(1024),
+            state: RwLock::new(RtState { mem: Vec::new(), mem_bytes: 0, disk, next_seq }),
+        })
+    }
+
+    /// Insert an entry for `mbr` pointing at primary key `pk`.
+    pub fn insert(&self, mbr: Rectangle, pk: &[Value]) -> Result<()> {
+        self.write(RtEntry { mbr, antimatter: false, pk: encode_key(pk)? })
+    }
+
+    /// Delete the entry `(mbr, pk)` (antimatter).
+    pub fn delete(&self, mbr: Rectangle, pk: &[Value]) -> Result<()> {
+        self.write(RtEntry { mbr, antimatter: true, pk: encode_key(pk)? })
+    }
+
+    fn write(&self, e: RtEntry) -> Result<()> {
+        let needs_flush = {
+            let mut st = self.state.write();
+            st.mem_bytes += 48 + e.pk.len();
+            st.mem.push(e);
+            st.mem_bytes >= self.mem_budget
+        };
+        if needs_flush {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Spatial search: all live primary keys whose MBR intersects `query`.
+    pub fn search(&self, query: &Rectangle) -> Result<Vec<Vec<Value>>> {
+        let st = self.state.read();
+        // Collect matches in recency order: memory (newest last inserted —
+        // scan in reverse), then disk newest → oldest. The first occurrence
+        // of an identity decides liveness.
+        let mut seen: std::collections::HashSet<(u64, u64, u64, u64, Vec<u8>)> =
+            std::collections::HashSet::new();
+        let mut out = Vec::new();
+        let mut consider = |e: &RtEntry, out: &mut Vec<Vec<Value>>| -> Result<()> {
+            let id = e.identity();
+            let key = (id.0, id.1, id.2, id.3, id.4.to_vec());
+            if seen.insert(key) && !e.antimatter {
+                out.push(decode_key(&e.pk)?);
+            }
+            Ok(())
+        };
+        for e in st.mem.iter().rev() {
+            if e.mbr.intersects(query) {
+                consider(e, &mut out)?;
+            }
+        }
+        let mut hits = Vec::new();
+        for comp in &st.disk {
+            hits.clear();
+            comp.search(query, &mut hits)?;
+            for e in &hits {
+                consider(e, &mut out)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Flush the memory component into an STR-packed disk component.
+    pub fn flush(&self) -> Result<()> {
+        let (entries, seq) = {
+            let mut st = self.state.write();
+            if st.mem.is_empty() {
+                return Ok(());
+            }
+            let entries = std::mem::take(&mut st.mem);
+            st.mem_bytes = 0;
+            let seq = st.next_seq;
+            st.next_seq += 1;
+            (entries, seq)
+        };
+        // Within one memory component, later writes shadow earlier ones with
+        // the same identity; dedup keeping the newest.
+        let mut dedup: Vec<RtEntry> = Vec::with_capacity(entries.len());
+        let mut seen = std::collections::HashSet::new();
+        for e in entries.into_iter().rev() {
+            let id = e.identity();
+            let key = (id.0, id.1, id.2, id.3, id.4.to_vec());
+            if seen.insert(key) {
+                dedup.push(e);
+            }
+        }
+        let path = self.dir.join(format!("c_{seq:012}.dat"));
+        let comp = RtDiskComponent::build(&path, Arc::clone(&self.cache), seq, dedup)?;
+        self.state.write().disk.insert(0, comp);
+        Ok(())
+    }
+
+    /// Merge every disk component into one, dropping antimatter.
+    pub fn merge_all(&self) -> Result<()> {
+        let comps = self.state.read().disk.clone();
+        if comps.len() < 2 {
+            return Ok(());
+        }
+        let max_seq = comps.iter().map(|c| c.seq).max().unwrap();
+        let mut seen = std::collections::HashSet::new();
+        let mut live = Vec::new();
+        for comp in &comps {
+            // comps is newest → oldest; first identity wins.
+            for e in comp.all_entries()? {
+                let id = e.identity();
+                let key = (id.0, id.1, id.2, id.3, id.4.to_vec());
+                if seen.insert(key) && !e.antimatter {
+                    live.push(e);
+                }
+            }
+        }
+        let path = self.dir.join(format!("c_{max_seq:012}m.dat"));
+        let merged = RtDiskComponent::build(&path, Arc::clone(&self.cache), max_seq, live)?;
+        {
+            let mut st = self.state.write();
+            let merged_paths: Vec<PathBuf> =
+                comps.iter().map(|c| c.path.clone()).collect();
+            st.disk.retain(|c| !merged_paths.contains(&c.path));
+            st.disk.push(merged);
+            st.disk.sort_by_key(|c| std::cmp::Reverse(c.seq));
+        }
+        for c in &comps {
+            c.destroy()?;
+        }
+        Ok(())
+    }
+
+    /// Number of disk components.
+    pub fn disk_component_count(&self) -> usize {
+        self.state.read().disk.len()
+    }
+
+    /// Total size (Table 2 accounting).
+    pub fn size_bytes(&self) -> u64 {
+        let st = self.state.read();
+        st.disk.iter().map(|c| c.file_len).sum::<u64>() + st.mem_bytes as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asterix_adm::value::Point;
+    use tempfile::TempDir;
+
+    fn pt_rect(x: f64, y: f64) -> Rectangle {
+        Rectangle::new(Point::new(x, y), Point::new(x, y))
+    }
+
+    fn query(x0: f64, y0: f64, x1: f64, y1: f64) -> Rectangle {
+        Rectangle::new(Point::new(x0, y0), Point::new(x1, y1))
+    }
+
+    #[test]
+    fn insert_search_memory() {
+        let dir = TempDir::new().unwrap();
+        let t = LsmRTree::open(dir.path(), 1 << 20, BufferCache::new(64)).unwrap();
+        for i in 0..100 {
+            t.insert(pt_rect(i as f64, i as f64), &[Value::Int64(i)]).unwrap();
+        }
+        let hits = t.search(&query(10.0, 10.0, 20.0, 20.0)).unwrap();
+        assert_eq!(hits.len(), 11);
+    }
+
+    #[test]
+    fn flush_and_search_disk() {
+        let dir = TempDir::new().unwrap();
+        let t = LsmRTree::open(dir.path(), 1 << 20, BufferCache::new(64)).unwrap();
+        for i in 0..500 {
+            let (x, y) = ((i % 50) as f64, (i / 50) as f64);
+            t.insert(pt_rect(x, y), &[Value::Int64(i)]).unwrap();
+        }
+        t.flush().unwrap();
+        assert_eq!(t.disk_component_count(), 1);
+        let hits = t.search(&query(0.0, 0.0, 4.0, 4.0)).unwrap();
+        assert_eq!(hits.len(), 25);
+        // Reopen from disk.
+        drop(t);
+        let t2 = LsmRTree::open(dir.path(), 1 << 20, BufferCache::new(64)).unwrap();
+        let hits = t2.search(&query(0.0, 0.0, 4.0, 4.0)).unwrap();
+        assert_eq!(hits.len(), 25);
+    }
+
+    #[test]
+    fn antimatter_shadows_older_components() {
+        let dir = TempDir::new().unwrap();
+        let t = LsmRTree::open(dir.path(), 1 << 20, BufferCache::new(64)).unwrap();
+        t.insert(pt_rect(1.0, 1.0), &[Value::Int64(7)]).unwrap();
+        t.flush().unwrap();
+        t.delete(pt_rect(1.0, 1.0), &[Value::Int64(7)]).unwrap();
+        let hits = t.search(&query(0.0, 0.0, 2.0, 2.0)).unwrap();
+        assert!(hits.is_empty());
+        t.flush().unwrap();
+        let hits = t.search(&query(0.0, 0.0, 2.0, 2.0)).unwrap();
+        assert!(hits.is_empty());
+        // Merge compacts the tombstone away.
+        t.merge_all().unwrap();
+        assert_eq!(t.disk_component_count(), 1);
+        let hits = t.search(&query(0.0, 0.0, 2.0, 2.0)).unwrap();
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn str_packing_clusters_blocks() {
+        let dir = TempDir::new().unwrap();
+        let t = LsmRTree::open(dir.path(), 8 << 20, BufferCache::new(1024)).unwrap();
+        // A 100x100 grid of points.
+        let mut i = 0i64;
+        for x in 0..100 {
+            for y in 0..100 {
+                t.insert(pt_rect(x as f64, y as f64), &[Value::Int64(i)]).unwrap();
+                i += 1;
+            }
+        }
+        t.flush().unwrap();
+        // A small window should hit a small fraction of blocks; verify the
+        // result is exactly right.
+        let hits = t.search(&query(10.0, 10.0, 12.0, 12.0)).unwrap();
+        assert_eq!(hits.len(), 9);
+    }
+
+    #[test]
+    fn mixed_shapes() {
+        let dir = TempDir::new().unwrap();
+        let t = LsmRTree::open(dir.path(), 1 << 20, BufferCache::new(64)).unwrap();
+        t.insert(query(0.0, 0.0, 5.0, 5.0), &[Value::Int64(1)]).unwrap();
+        t.insert(query(10.0, 10.0, 15.0, 15.0), &[Value::Int64(2)]).unwrap();
+        let hits = t.search(&query(4.0, 4.0, 11.0, 11.0)).unwrap();
+        assert_eq!(hits.len(), 2);
+        let hits = t.search(&query(6.0, 6.0, 9.0, 9.0)).unwrap();
+        assert_eq!(hits.len(), 0);
+    }
+}

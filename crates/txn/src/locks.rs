@@ -1,0 +1,268 @@
+//! Node-local 2PL lock manager (§4.4).
+//!
+//! "As transactions in AsterixDB just guarantee record-level consistency,
+//! all locks are node-local and no distributed locking is required.
+//! Further, actual locks are only acquired for modifications of primary
+//! indexes and not for secondary indexes."
+//!
+//! Lock keys are `(dataset id, encoded primary key)`. Modes are shared and
+//! exclusive with the usual compatibility matrix. Because record-level
+//! transactions touch one record at a time, deadlocks cannot form among
+//! them; a wait timeout guards against misuse by longer (multi-record)
+//! callers.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Lock modes with the standard S/X compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    Shared,
+    Exclusive,
+}
+
+/// Identifies a lockable resource: a record of a dataset by primary key.
+pub type ResourceId = (u32, Vec<u8>);
+
+/// A transaction id as seen by the lock table.
+pub type LockTxnId = u64;
+
+#[derive(Default)]
+struct LockState {
+    /// Holders and their modes. Multiple Shared holders, or one Exclusive.
+    holders: HashMap<LockTxnId, LockMode>,
+    waiting: usize,
+}
+
+impl LockState {
+    fn compatible(&self, txn: LockTxnId, mode: LockMode) -> bool {
+        match mode {
+            LockMode::Shared => self
+                .holders
+                .iter()
+                .all(|(t, m)| *t == txn || *m == LockMode::Shared),
+            LockMode::Exclusive => self.holders.keys().all(|t| *t == txn),
+        }
+    }
+}
+
+struct Inner {
+    table: HashMap<ResourceId, LockState>,
+    /// Locks held per transaction, for release-all at commit.
+    held: HashMap<LockTxnId, HashSet<ResourceId>>,
+}
+
+/// The lock table.
+pub struct LockManager {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+    timeout: Duration,
+}
+
+impl LockManager {
+    /// Create a lock manager with the given wait timeout.
+    pub fn new(timeout: Duration) -> Arc<LockManager> {
+        Arc::new(LockManager {
+            inner: Mutex::new(Inner { table: HashMap::new(), held: HashMap::new() }),
+            cv: Condvar::new(),
+            timeout,
+        })
+    }
+
+    /// Acquire (or upgrade) a lock; blocks until granted or timeout.
+    pub fn lock(
+        &self,
+        txn: LockTxnId,
+        resource: &ResourceId,
+        mode: LockMode,
+    ) -> crate::Result<()> {
+        let mut inner = self.inner.lock();
+        loop {
+            let state = inner.table.entry(resource.clone()).or_default();
+            // Re-entrant / upgrade handling.
+            let already = state.holders.get(&txn).copied();
+            let effective = match (already, mode) {
+                (Some(LockMode::Exclusive), _) => return Ok(()),
+                (Some(LockMode::Shared), LockMode::Shared) => return Ok(()),
+                (Some(LockMode::Shared), LockMode::Exclusive) => LockMode::Exclusive,
+                (None, m) => m,
+            };
+            if state.compatible(txn, effective) {
+                state.holders.insert(txn, effective);
+                inner.held.entry(txn).or_default().insert(resource.clone());
+                return Ok(());
+            }
+            let state = inner.table.get_mut(resource).unwrap();
+            state.waiting += 1;
+            let timed_out = self.cv.wait_for(&mut inner, self.timeout).timed_out();
+            if let Some(state) = inner.table.get_mut(resource) {
+                state.waiting = state.waiting.saturating_sub(1);
+            }
+            if timed_out {
+                return Err(crate::TxnError::LockTimeout(format!(
+                    "txn {txn} waiting for {:?} on dataset {}",
+                    mode, resource.0
+                )));
+            }
+        }
+    }
+
+    /// Try to acquire without blocking; returns whether granted.
+    pub fn try_lock(&self, txn: LockTxnId, resource: &ResourceId, mode: LockMode) -> bool {
+        let mut inner = self.inner.lock();
+        let state = inner.table.entry(resource.clone()).or_default();
+        let already = state.holders.get(&txn).copied();
+        let effective = match (already, mode) {
+            (Some(LockMode::Exclusive), _) => return true,
+            (Some(LockMode::Shared), LockMode::Shared) => return true,
+            (Some(LockMode::Shared), LockMode::Exclusive) => LockMode::Exclusive,
+            (None, m) => m,
+        };
+        if state.compatible(txn, effective) {
+            state.holders.insert(txn, effective);
+            inner.held.entry(txn).or_default().insert(resource.clone());
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Release every lock held by `txn` (commit/abort).
+    pub fn release_all(&self, txn: LockTxnId) {
+        let mut inner = self.inner.lock();
+        let Some(resources) = inner.held.remove(&txn) else { return };
+        for r in resources {
+            let remove = if let Some(state) = inner.table.get_mut(&r) {
+                state.holders.remove(&txn);
+                state.holders.is_empty() && state.waiting == 0
+            } else {
+                false
+            };
+            if remove {
+                inner.table.remove(&r);
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Number of resources currently locked (test/diagnostic hook).
+    pub fn locked_resource_count(&self) -> usize {
+        self.inner.lock().table.values().filter(|s| !s.holders.is_empty()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread;
+
+    fn rid(ds: u32, k: u8) -> ResourceId {
+        (ds, vec![k])
+    }
+
+    #[test]
+    fn shared_locks_coexist() {
+        let lm = LockManager::new(Duration::from_millis(100));
+        lm.lock(1, &rid(1, 1), LockMode::Shared).unwrap();
+        lm.lock(2, &rid(1, 1), LockMode::Shared).unwrap();
+        assert_eq!(lm.locked_resource_count(), 1);
+        lm.release_all(1);
+        lm.release_all(2);
+        assert_eq!(lm.locked_resource_count(), 0);
+    }
+
+    #[test]
+    fn exclusive_blocks_shared() {
+        let lm = LockManager::new(Duration::from_millis(50));
+        lm.lock(1, &rid(1, 1), LockMode::Exclusive).unwrap();
+        assert!(lm.lock(2, &rid(1, 1), LockMode::Shared).is_err());
+        lm.release_all(1);
+        assert!(lm.lock(2, &rid(1, 1), LockMode::Shared).is_ok());
+    }
+
+    #[test]
+    fn reentrancy_and_upgrade() {
+        let lm = LockManager::new(Duration::from_millis(50));
+        lm.lock(1, &rid(1, 1), LockMode::Shared).unwrap();
+        lm.lock(1, &rid(1, 1), LockMode::Shared).unwrap();
+        // Upgrade succeeds while sole holder.
+        lm.lock(1, &rid(1, 1), LockMode::Exclusive).unwrap();
+        assert!(!lm.try_lock(2, &rid(1, 1), LockMode::Shared));
+        lm.release_all(1);
+    }
+
+    #[test]
+    fn upgrade_blocked_by_other_shared_holder() {
+        let lm = LockManager::new(Duration::from_millis(50));
+        lm.lock(1, &rid(1, 1), LockMode::Shared).unwrap();
+        lm.lock(2, &rid(1, 1), LockMode::Shared).unwrap();
+        assert!(lm.lock(1, &rid(1, 1), LockMode::Exclusive).is_err());
+        lm.release_all(2);
+        assert!(lm.lock(1, &rid(1, 1), LockMode::Exclusive).is_ok());
+        lm.release_all(1);
+    }
+
+    #[test]
+    fn different_records_do_not_conflict() {
+        let lm = LockManager::new(Duration::from_millis(50));
+        lm.lock(1, &rid(1, 1), LockMode::Exclusive).unwrap();
+        lm.lock(2, &rid(1, 2), LockMode::Exclusive).unwrap();
+        lm.lock(3, &rid(2, 1), LockMode::Exclusive).unwrap();
+        assert_eq!(lm.locked_resource_count(), 3);
+        lm.release_all(1);
+        lm.release_all(2);
+        lm.release_all(3);
+    }
+
+    #[test]
+    fn waiters_wake_on_release() {
+        let lm = LockManager::new(Duration::from_secs(5));
+        lm.lock(1, &rid(1, 1), LockMode::Exclusive).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let acquired = Arc::new(AtomicUsize::new(0));
+        let acquired2 = Arc::clone(&acquired);
+        let h = thread::spawn(move || {
+            lm2.lock(2, &rid(1, 1), LockMode::Exclusive).unwrap();
+            acquired2.store(1, Ordering::SeqCst);
+            lm2.release_all(2);
+        });
+        thread::sleep(Duration::from_millis(50));
+        assert_eq!(acquired.load(Ordering::SeqCst), 0);
+        lm.release_all(1);
+        h.join().unwrap();
+        assert_eq!(acquired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn concurrent_increments_are_serialized() {
+        // A bank-style check: concurrent read-modify-write under X locks.
+        let lm = LockManager::new(Duration::from_secs(10));
+        let counter = Arc::new(Mutex::new(0u64));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let lm = Arc::clone(&lm);
+            let counter = Arc::clone(&counter);
+            handles.push(thread::spawn(move || {
+                for i in 0..100 {
+                    let txn = t * 1000 + i;
+                    lm.lock(txn, &(1, vec![42]), LockMode::Exclusive).unwrap();
+                    {
+                        let mut c = counter.lock();
+                        let v = *c;
+                        thread::yield_now();
+                        *c = v + 1;
+                    }
+                    lm.release_all(txn);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*counter.lock(), 800);
+    }
+}

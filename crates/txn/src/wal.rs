@@ -1,0 +1,386 @@
+//! Logical write-ahead logging (§4.4).
+//!
+//! "For logical logging, the no-steal/no-force buffer management policy and
+//! write-ahead-log (WAL) protocols are followed, so each LSM-index-level
+//! update operation generates a single log record."
+//!
+//! Record kinds:
+//! * `Update` — one logical insert/delete against one LSM index;
+//! * `Commit` — a record-level transaction committed (forces the log);
+//! * `Flush`  — an index's in-memory component was flushed; carries the LSN
+//!   up to which that index's updates are now durable in a component, so
+//!   recovery replays only the tail ("only the committed operations from
+//!   in-memory components need to be selectively replayed").
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::{Result, TxnError};
+
+/// Transaction identifier.
+pub type TxnId = u64;
+
+/// Log sequence number (1-based; 0 = "before everything").
+pub type Lsn = u64;
+
+/// A logical log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogRecord {
+    /// One LSM-index update: (txn, dataset, index, delete?, key, value).
+    Update {
+        txn: TxnId,
+        dataset: u32,
+        index: u32,
+        is_delete: bool,
+        key: Vec<u8>,
+        value: Vec<u8>,
+    },
+    /// Transaction commit.
+    Commit { txn: TxnId },
+    /// Transaction abort (its updates must not be replayed).
+    Abort { txn: TxnId },
+    /// Index flush watermark: updates of (dataset, index) with LSN <=
+    /// `durable_lsn` are persisted in disk components.
+    Flush { dataset: u32, index: u32, durable_lsn: Lsn },
+}
+
+const T_UPDATE: u8 = 1;
+const T_COMMIT: u8 = 2;
+const T_ABORT: u8 = 3;
+const T_FLUSH: u8 = 4;
+
+fn crc32(data: &[u8]) -> u32 {
+    // Small table-free CRC-32 (IEEE), adequate for log-record integrity.
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+impl LogRecord {
+    fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        match self {
+            LogRecord::Update { txn, dataset, index, is_delete, key, value } => {
+                body.push(T_UPDATE);
+                body.extend_from_slice(&txn.to_le_bytes());
+                body.extend_from_slice(&dataset.to_le_bytes());
+                body.extend_from_slice(&index.to_le_bytes());
+                body.push(u8::from(*is_delete));
+                body.extend_from_slice(&(key.len() as u32).to_le_bytes());
+                body.extend_from_slice(key);
+                body.extend_from_slice(&(value.len() as u32).to_le_bytes());
+                body.extend_from_slice(value);
+            }
+            LogRecord::Commit { txn } => {
+                body.push(T_COMMIT);
+                body.extend_from_slice(&txn.to_le_bytes());
+            }
+            LogRecord::Abort { txn } => {
+                body.push(T_ABORT);
+                body.extend_from_slice(&txn.to_le_bytes());
+            }
+            LogRecord::Flush { dataset, index, durable_lsn } => {
+                body.push(T_FLUSH);
+                body.extend_from_slice(&dataset.to_le_bytes());
+                body.extend_from_slice(&index.to_le_bytes());
+                body.extend_from_slice(&durable_lsn.to_le_bytes());
+            }
+        }
+        let mut out = Vec::with_capacity(body.len() + 8);
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(&body).to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    fn decode(body: &[u8]) -> Result<LogRecord> {
+        let corrupt = || TxnError::Corrupt("truncated log record body".into());
+        let mut pos = 0usize;
+        let u8_at = |pos: &mut usize| -> Result<u8> {
+            let b = *body.get(*pos).ok_or_else(corrupt)?;
+            *pos += 1;
+            Ok(b)
+        };
+        let u32_at = |pos: &mut usize| -> Result<u32> {
+            if *pos + 4 > body.len() {
+                return Err(corrupt());
+            }
+            let v = u32::from_le_bytes(body[*pos..*pos + 4].try_into().unwrap());
+            *pos += 4;
+            Ok(v)
+        };
+        let u64_at = |pos: &mut usize| -> Result<u64> {
+            if *pos + 8 > body.len() {
+                return Err(corrupt());
+            }
+            let v = u64::from_le_bytes(body[*pos..*pos + 8].try_into().unwrap());
+            *pos += 8;
+            Ok(v)
+        };
+        let bytes_at = |pos: &mut usize| -> Result<Vec<u8>> {
+            let n = u32_at(pos)? as usize;
+            if *pos + n > body.len() {
+                return Err(corrupt());
+            }
+            let out = body[*pos..*pos + n].to_vec();
+            *pos += n;
+            Ok(out)
+        };
+        Ok(match u8_at(&mut pos)? {
+            T_UPDATE => LogRecord::Update {
+                txn: u64_at(&mut pos)?,
+                dataset: u32_at(&mut pos)?,
+                index: u32_at(&mut pos)?,
+                is_delete: u8_at(&mut pos)? != 0,
+                key: bytes_at(&mut pos)?,
+                value: bytes_at(&mut pos)?,
+            },
+            T_COMMIT => LogRecord::Commit { txn: u64_at(&mut pos)? },
+            T_ABORT => LogRecord::Abort { txn: u64_at(&mut pos)? },
+            T_FLUSH => LogRecord::Flush {
+                dataset: u32_at(&mut pos)?,
+                index: u32_at(&mut pos)?,
+                durable_lsn: u64_at(&mut pos)?,
+            },
+            other => return Err(TxnError::Corrupt(format!("bad log record type {other}"))),
+        })
+    }
+}
+
+/// Durability level for commit forcing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Durability {
+    /// Flush the userspace buffer to the OS (journaled-equivalent for the
+    /// Table 4 comparison; crash of the *process* loses nothing).
+    Buffer,
+    /// Additionally fsync (survives OS crash). Slower; off by default in
+    /// benches to keep insert costs comparable across systems.
+    Fsync,
+}
+
+/// The append-only log manager for one node.
+pub struct LogManager {
+    path: PathBuf,
+    writer: Mutex<BufWriter<File>>,
+    next_lsn: AtomicU64,
+    next_txn: AtomicU64,
+    durability: Durability,
+}
+
+impl LogManager {
+    /// Open (creating if needed) the log at `path`.
+    pub fn open(path: &Path, durability: Durability) -> Result<LogManager> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        // Determine the next LSN by replaying the record count.
+        let existing = if path.exists() { Self::read_all_records(path)?.len() } else { 0 };
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(LogManager {
+            path: path.to_path_buf(),
+            writer: Mutex::new(BufWriter::new(file)),
+            next_lsn: AtomicU64::new(existing as u64 + 1),
+            next_txn: AtomicU64::new(1),
+            durability,
+        })
+    }
+
+    /// Log file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Allocate a fresh transaction id.
+    pub fn begin(&self) -> TxnId {
+        self.next_txn.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Append a record, returning its LSN. WAL rule: callers append the
+    /// Update record *before* applying the operation to the index.
+    pub fn append(&self, rec: &LogRecord) -> Result<Lsn> {
+        let lsn = self.next_lsn.fetch_add(1, Ordering::SeqCst);
+        let bytes = rec.encode();
+        let mut w = self.writer.lock();
+        w.write_all(&bytes)?;
+        Ok(lsn)
+    }
+
+    /// Append a commit record and force the log (no-steal/no-force).
+    pub fn commit(&self, txn: TxnId) -> Result<Lsn> {
+        let lsn = self.append(&LogRecord::Commit { txn })?;
+        self.force()?;
+        Ok(lsn)
+    }
+
+    /// Force buffered records to the OS (and disk under `Fsync`).
+    pub fn force(&self) -> Result<()> {
+        let mut w = self.writer.lock();
+        w.flush()?;
+        if self.durability == Durability::Fsync {
+            w.get_ref().sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Read every intact record (with LSNs) from a log file; a torn tail is
+    /// tolerated (truncated/corrupt trailing records are dropped).
+    pub fn read_all_records(path: &Path) -> Result<Vec<(Lsn, LogRecord)>> {
+        let mut buf = Vec::new();
+        File::open(path)?.read_to_end(&mut buf)?;
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        let mut lsn: Lsn = 1;
+        while pos + 8 <= buf.len() {
+            let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap());
+            if pos + 8 + len > buf.len() {
+                break; // torn tail
+            }
+            let body = &buf[pos + 8..pos + 8 + len];
+            if crc32(body) != crc {
+                break; // corrupt tail
+            }
+            match LogRecord::decode(body) {
+                Ok(rec) => out.push((lsn, rec)),
+                Err(_) => break,
+            }
+            lsn += 1;
+            pos += 8 + len;
+        }
+        Ok(out)
+    }
+
+    /// Truncate the log (after a checkpoint — all indexes flushed).
+    pub fn truncate(&self) -> Result<()> {
+        let mut w = self.writer.lock();
+        w.flush()?;
+        let file = OpenOptions::new().write(true).open(&self.path)?;
+        file.set_len(0)?;
+        file.sync_all()?;
+        *w = BufWriter::new(OpenOptions::new().append(true).open(&self.path)?);
+        self.next_lsn.store(1, Ordering::SeqCst);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempfile::TempDir;
+
+    fn upd(txn: TxnId, k: u8) -> LogRecord {
+        LogRecord::Update {
+            txn,
+            dataset: 1,
+            index: 0,
+            is_delete: false,
+            key: vec![k],
+            value: vec![k, k],
+        }
+    }
+
+    #[test]
+    fn append_and_read_back() {
+        let dir = TempDir::new().unwrap();
+        let path = dir.path().join("wal.log");
+        let log = LogManager::open(&path, Durability::Buffer).unwrap();
+        let t = log.begin();
+        log.append(&upd(t, 1)).unwrap();
+        log.append(&upd(t, 2)).unwrap();
+        log.commit(t).unwrap();
+        let recs = LogManager::read_all_records(&path).unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].0, 1);
+        assert_eq!(recs[2].1, LogRecord::Commit { txn: t });
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated() {
+        let dir = TempDir::new().unwrap();
+        let path = dir.path().join("wal.log");
+        {
+            let log = LogManager::open(&path, Durability::Buffer).unwrap();
+            log.append(&upd(1, 1)).unwrap();
+            log.commit(1).unwrap();
+        }
+        // Append garbage simulating a torn write.
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[42u8; 7]).unwrap();
+        }
+        let recs = LogManager::read_all_records(&path).unwrap();
+        assert_eq!(recs.len(), 2);
+    }
+
+    #[test]
+    fn corrupt_record_stops_replay() {
+        let dir = TempDir::new().unwrap();
+        let path = dir.path().join("wal.log");
+        {
+            let log = LogManager::open(&path, Durability::Buffer).unwrap();
+            log.append(&upd(1, 1)).unwrap();
+            log.append(&upd(1, 2)).unwrap();
+            log.force().unwrap();
+        }
+        // Flip a byte in the second record's body.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let recs = LogManager::read_all_records(&path).unwrap();
+        assert_eq!(recs.len(), 1);
+    }
+
+    #[test]
+    fn reopen_continues_lsns() {
+        let dir = TempDir::new().unwrap();
+        let path = dir.path().join("wal.log");
+        {
+            let log = LogManager::open(&path, Durability::Buffer).unwrap();
+            log.append(&upd(1, 1)).unwrap();
+            log.force().unwrap();
+        }
+        let log = LogManager::open(&path, Durability::Buffer).unwrap();
+        let lsn = log.append(&LogRecord::Commit { txn: 1 }).unwrap();
+        assert_eq!(lsn, 2);
+    }
+
+    #[test]
+    fn flush_records_roundtrip() {
+        let dir = TempDir::new().unwrap();
+        let path = dir.path().join("wal.log");
+        let log = LogManager::open(&path, Durability::Buffer).unwrap();
+        log.append(&LogRecord::Flush { dataset: 3, index: 1, durable_lsn: 17 }).unwrap();
+        log.force().unwrap();
+        let recs = LogManager::read_all_records(&path).unwrap();
+        assert_eq!(
+            recs[0].1,
+            LogRecord::Flush { dataset: 3, index: 1, durable_lsn: 17 }
+        );
+    }
+
+    #[test]
+    fn truncate_resets() {
+        let dir = TempDir::new().unwrap();
+        let path = dir.path().join("wal.log");
+        let log = LogManager::open(&path, Durability::Buffer).unwrap();
+        log.append(&upd(1, 1)).unwrap();
+        log.commit(1).unwrap();
+        log.truncate().unwrap();
+        assert!(LogManager::read_all_records(&path).unwrap().is_empty());
+        log.append(&upd(2, 2)).unwrap();
+        log.force().unwrap();
+        assert_eq!(LogManager::read_all_records(&path).unwrap().len(), 1);
+    }
+}

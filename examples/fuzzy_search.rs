@@ -1,0 +1,104 @@
+//! Fuzzy and spatial querying (§2.1's advanced types, Queries 5/6/13):
+//! edit-distance selection through an n-gram index, Jaccard tag joins,
+//! and R-tree-accelerated spatial search.
+//!
+//! Run with: `cargo run --example fuzzy_search`
+
+use asterixdb::{ClusterConfig, Instance};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = tempfile::TempDir::new()?;
+    let instance = Instance::open(ClusterConfig::small(dir.path()))?;
+
+    instance.execute(
+        r#"
+        create dataverse Fuzzy;
+        use dataverse Fuzzy;
+
+        create type NoteType as open {
+            id: int64,
+            title: string,
+            tags: {{ string }},
+            loc: point?
+        };
+        create dataset Notes(NoteType) primary key id;
+        create index titleNgram on Notes(title) type ngram(2);
+        create index locIdx on Notes(loc) type rtree;
+
+        insert into dataset Notes ([
+            { "id": 1, "title": "tonight we celebrate",
+              "tags": {{ "party", "music", "friends" }}, "loc": point("1.0,1.0") },
+            { "id": 2, "title": "tonite we celebrate",
+              "tags": {{ "party", "music" }}, "loc": point("1.2,0.8") },
+            { "id": 3, "title": "tomorrow we work",
+              "tags": {{ "work", "deadline" }}, "loc": point("10.0,10.0") },
+            { "id": 4, "title": "tonight is quiet",
+              "tags": {{ "home", "music", "friends" }}, "loc": point("1.1,1.3") },
+            { "id": 5, "title": "vacation planning",
+              "tags": {{ "travel", "friends" }}, "loc": point("30.0,5.0") }
+        ]);
+    "#,
+    )?;
+
+    // --- Edit-distance fuzzy selection (Query 6 style) ----------------------
+    instance.execute(r#"set simfunction "edit-distance"; set simthreshold "3";"#)?;
+    let fuzzy = instance.query(
+        r#"for $n in dataset Notes
+           where $n.title ~= "tonight we celebrate"
+           return $n.id;"#,
+    )?;
+    println!("titles within edit distance 3 of 'tonight we celebrate': {fuzzy:?}");
+    assert_eq!(fuzzy.len(), 2); // ids 1 and 2 ("tonite" is 3 edits away)
+
+    // The n-gram index accelerates this; the plan shows it.
+    let (plan, _) = instance.explain(
+        r#"for $n in dataset Notes where $n.title ~= "tonight we celebrate" return $n;"#,
+    )?;
+    assert!(plan.contains("ngram-fuzzy-search"), "plan should use the ngram index:\n{plan}");
+    println!("fuzzy plan uses: ngram-fuzzy-search ✓");
+
+    // --- Jaccard similarity join on tag bags (Query 13 style) --------------
+    instance.execute(r#"set simfunction "jaccard"; set simthreshold "0.5";"#)?;
+    let similar = instance.query(
+        r#"for $n in dataset Notes
+           let $sim := (
+               for $m in dataset Notes
+               where $m.tags ~= $n.tags and $m.id != $n.id
+               return $m.id
+           )
+           where count($sim) > 0
+           return { "note": $n.id, "similarly tagged": $sim };"#,
+    )?;
+    println!("jaccard-similar notes: {similar:?}");
+    assert!(!similar.is_empty());
+
+    // --- Spatial search (Query 5 style) -------------------------------------
+    let nearby = instance.query(
+        r#"for $n in dataset Notes
+           where spatial-distance($n.loc, point("1.0,1.0")) <= 0.5
+           return $n.id;"#,
+    )?;
+    println!("notes within 0.5 of (1,1): {nearby:?}");
+    assert_eq!(nearby.len(), 3); // ids 1, 2 (d=0.28), and 4 (d=0.32)
+
+    let (plan, _) = instance.explain(
+        r#"for $n in dataset Notes
+           where spatial-distance($n.loc, point("1.0,1.0")) <= 0.5
+           return $n;"#,
+    )?;
+    assert!(plan.contains("rtree-search"), "plan should use the R-tree:\n{plan}");
+    println!("spatial plan uses: rtree-search ✓");
+
+    // Spatial join: for each note, nearby notes (nested FLWOR, Query 5).
+    let pairs = instance.query(
+        r#"for $n in dataset Notes
+           return { "note": $n.id,
+                    "nearby": for $m in dataset Notes
+                              where spatial-distance($n.loc, $m.loc) <= 1
+                                and $m.id != $n.id
+                              return $m.id };"#,
+    )?;
+    println!("spatial join: {pairs:?}");
+
+    Ok(())
+}

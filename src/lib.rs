@@ -1,0 +1,20 @@
+//! # asterix-rs — workspace umbrella
+//!
+//! This crate exists to host the repository-level `examples/` and `tests/`
+//! (Cargo requires them to belong to a package); the system itself lives in
+//! the `crates/` workspace members. Re-exports below give examples and
+//! integration tests one import root.
+//!
+//! Start with [`asterixdb::Instance`] — see the README and
+//! `examples/quickstart.rs`.
+
+pub use asterix_adm as adm;
+pub use asterix_algebricks as algebricks;
+pub use asterix_aql as aql;
+pub use asterix_external as external;
+pub use asterix_feeds as feeds;
+pub use asterix_hyracks as hyracks;
+pub use asterix_metadata as metadata;
+pub use asterix_storage as storage;
+pub use asterix_txn as txn;
+pub use asterixdb;

@@ -1,0 +1,94 @@
+//! Cluster-shape sanity: the same workload must produce identical answers
+//! across cluster topologies (1×1, 2×2, 4×3 nodes×partitions) — the
+//! "scale gracefully" desideratum (#7 in §1), scaled to a laptop.
+
+use asterix_adm::Value;
+use asterixdb::{ClusterConfig, Instance};
+
+fn run_workload(nodes: usize, ppn: usize) -> (usize, Vec<Value>, Value) {
+    let dir = tempfile::TempDir::new().unwrap();
+    let mut cfg = ClusterConfig::small(dir.path());
+    cfg.nodes = nodes;
+    cfg.partitions_per_node = ppn;
+    let instance = Instance::open(cfg).unwrap();
+    instance
+        .execute(
+            r#"
+        create dataverse C;
+        use dataverse C;
+        create type U as open { id: int64, grp: int64 };
+        create type M as open { mid: int64, author: int64, n: int64 };
+        create dataset Users(U) primary key id;
+        create dataset Msgs(M) primary key mid;
+        create index grpIdx on Users(grp);
+    "#,
+        )
+        .unwrap();
+    let users = instance.dataset("Users").unwrap();
+    for i in 0..300i64 {
+        users
+            .insert(
+                &asterix_adm::parse::parse_value(&format!(
+                    "{{ \"id\": {i}, \"grp\": {} }}",
+                    i % 11
+                ))
+                .unwrap(),
+            )
+            .unwrap();
+    }
+    let msgs = instance.dataset("Msgs").unwrap();
+    for m in 0..900i64 {
+        msgs.insert(
+            &asterix_adm::parse::parse_value(&format!(
+                "{{ \"mid\": {m}, \"author\": {}, \"n\": {} }}",
+                m % 300,
+                m % 7
+            ))
+            .unwrap(),
+        )
+        .unwrap();
+    }
+
+    // Join + filter.
+    let join = instance
+        .query(
+            "for $u in dataset Users for $m in dataset Msgs \
+             where $m.author = $u.id and $u.grp = 4 return $m.mid;",
+        )
+        .unwrap()
+        .len();
+    // Grouped aggregation with global ordering.
+    let grouped = instance
+        .query(
+            "for $m in dataset Msgs group by $k := $m.n with $m \
+             let $c := count($m) order by $k return $c;",
+        )
+        .unwrap();
+    // Scalar aggregate.
+    let total = instance
+        .query("sum(for $m in dataset Msgs return $m.n);")
+        .unwrap()
+        .pop()
+        .unwrap();
+    (join, grouped, total)
+}
+
+#[test]
+fn answers_are_topology_invariant() {
+    let base = run_workload(1, 1);
+    for (nodes, ppn) in [(2, 2), (4, 3), (1, 8)] {
+        let got = run_workload(nodes, ppn);
+        assert_eq!(got.0, base.0, "join count at {nodes}x{ppn}");
+        assert_eq!(got.1, base.1, "group counts at {nodes}x{ppn}");
+        assert_eq!(
+            got.2.total_cmp(&base.2),
+            std::cmp::Ordering::Equal,
+            "sum at {nodes}x{ppn}"
+        );
+    }
+    // And the absolute values are right.
+    // grp 4 has users 4, 15, 26, ..., 290 → 27 users; each user authors 3
+    // messages (900 msgs over 300 authors).
+    assert_eq!(base.0, 27 * 3);
+    assert_eq!(base.1.len(), 7);
+}
