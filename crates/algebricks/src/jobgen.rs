@@ -51,12 +51,27 @@ pub struct CompiledQuery {
 impl CompiledQuery {
     /// Execute and return the emitted values in arrival order.
     pub fn run(self) -> Result<Vec<Value>> {
-        asterix_hyracks::executor::run_job_with(
-            &self.job,
-            &asterix_hyracks::executor::ExecutorConfig {
-                partitions_per_node: self.partitions_per_node,
-            },
-        )?;
+        let cfg = asterix_hyracks::executor::ExecutorConfig {
+            partitions_per_node: self.partitions_per_node,
+            ..Default::default()
+        };
+        let stats = Arc::new(asterix_hyracks::ExchangeStats::new());
+        self.run_with(&cfg, &stats)
+    }
+
+    /// Execute with explicit executor settings, accumulating exchange
+    /// counters into `stats` (the instance keeps one handle across queries
+    /// so the bench harness can report frames/tuples/stall totals).
+    pub fn run_with(
+        self,
+        cfg: &asterix_hyracks::executor::ExecutorConfig,
+        stats: &Arc<asterix_hyracks::ExchangeStats>,
+    ) -> Result<Vec<Value>> {
+        let cfg = asterix_hyracks::executor::ExecutorConfig {
+            partitions_per_node: self.partitions_per_node,
+            ..cfg.clone()
+        };
+        asterix_hyracks::executor::run_job_with_stats(&self.job, &cfg, stats)?;
         // The job spec's sink operator also holds the collector Arc, so
         // take the rows out under the lock.
         let rows = std::mem::take(&mut *self.collector.lock());

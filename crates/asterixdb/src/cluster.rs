@@ -24,10 +24,16 @@ pub struct ClusterConfig {
     pub mem_component_budget: usize,
     /// Buffer cache capacity in pages (shared per instance).
     pub buffer_cache_pages: usize,
+    /// Lock stripes in the shared buffer cache (clamped so small caches
+    /// keep useful per-shard capacity).
+    pub cache_shards: usize,
     /// Merge policy for all LSM indexes.
     pub merge_policy: asterix_storage::MergePolicy,
     /// fsync on commit (see `asterix_txn::wal::Durability`).
     pub fsync_commits: bool,
+    /// Bound on frames buffered per exchange channel — the executor's
+    /// backpressure knob (see DESIGN.md "Execution & storage tuning").
+    pub frames_in_flight: usize,
 }
 
 impl ClusterConfig {
@@ -39,8 +45,10 @@ impl ClusterConfig {
             base_dir: base_dir.into(),
             mem_component_budget: 4 << 20,
             buffer_cache_pages: 4096,
+            cache_shards: 8,
             merge_policy: asterix_storage::MergePolicy::default(),
             fsync_commits: false,
+            frames_in_flight: 8,
         }
     }
 

@@ -75,6 +75,9 @@ pub struct Instance {
     next_dataset_id: AtomicU32,
     by_id: RwLock<HashMap<u32, Arc<DatasetRuntime>>>,
     cache: Arc<BufferCache>,
+    /// Exchange-layer counters accumulated across every query this
+    /// instance runs (frames/tuples sent, backpressure stalls).
+    exchange_stats: Arc<asterix_hyracks::ExchangeStats>,
     session: RwLock<Session>,
     feeds: Mutex<HashMap<String, FeedRuntime>>,
     /// Optimizer switches (Table 3's no-index runs, limit-pushdown
@@ -110,7 +113,8 @@ impl Instance {
             partitions_per_node: cfg.partitions_per_node.max(1),
         });
         let instance = Arc::new(Instance {
-            cache: BufferCache::new(cfg.buffer_cache_pages),
+            cache: BufferCache::with_shards(cfg.buffer_cache_pages, cfg.cache_shards),
+            exchange_stats: Arc::new(asterix_hyracks::ExchangeStats::new()),
             locks: LockManager::new(Duration::from_secs(10)),
             wals,
             next_dataset_id: AtomicU32::new(1),
@@ -134,6 +138,26 @@ impl Instance {
     /// The cluster configuration.
     pub fn config(&self) -> &ClusterConfig {
         &self.cfg
+    }
+
+    /// Executor settings derived from the cluster config (partition count
+    /// is set per query by the compiler).
+    fn executor_config(&self) -> asterix_hyracks::ExecutorConfig {
+        asterix_hyracks::ExecutorConfig {
+            frames_in_flight: self.cfg.frames_in_flight,
+            ..Default::default()
+        }
+    }
+
+    /// Cumulative exchange counters across every job this instance ran.
+    pub fn exchange_stats(&self) -> &asterix_hyracks::ExchangeStats {
+        &self.exchange_stats
+    }
+
+    /// Buffer-cache hit/miss counters and hit rate.
+    pub fn cache_stats(&self) -> (u64, u64, f64) {
+        let (hits, misses) = self.cache.stats();
+        (hits, misses, self.cache.hit_rate())
     }
 
     /// The shared catalog/dataset state (for embedding scenarios that build
@@ -610,7 +634,7 @@ impl Instance {
         let options = self.optimizer_options.read().clone();
         let optimized = optimize(plan, &provider, &self.fn_ctx(), &options);
         let compiled = jobgen::compile(&optimized, provider, self.fn_ctx(), &options)?;
-        Ok(compiled.run()?)
+        Ok(compiled.run_with(&self.executor_config(), &self.exchange_stats)?)
     }
 
     /// Look up a stored dataset runtime by session-relative name.
@@ -670,7 +694,7 @@ impl Instance {
         let options = self.optimizer_options.read().clone();
         let optimized = optimize(plan, &provider, &self.fn_ctx(), &options);
         let compiled = jobgen::compile(&optimized, provider, self.fn_ctx(), &options)?;
-        let pk_rows = compiled.run()?;
+        let pk_rows = compiled.run_with(&self.executor_config(), &self.exchange_stats)?;
         let mut n = 0;
         for pk_row in pk_rows {
             let pk = pk_row

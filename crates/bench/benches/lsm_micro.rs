@@ -20,6 +20,7 @@ fn tree(dir: &std::path::Path, policy: MergePolicy) -> LsmBTree {
             page_size: 4096,
             bloom_fpp: 0.01,
             merge_policy: policy,
+            max_frozen: 2,
         },
         BufferCache::new(1024),
         Arc::new(NullObserver),

@@ -213,4 +213,15 @@ fn main() {
             ms(rows[13].times[3]) < best * 4.0
         },
     );
+
+    // Machine-readable runtime counters (buffer-cache hit rate, exchange
+    // frames/tuples/stalls accumulated over the whole workload).
+    println!("\n### Runtime stats (JSON)\n");
+    println!("```json");
+    for s in systems_noix.iter().chain(systems_ix.iter()) {
+        if let Some(json) = s.runtime_stats_json() {
+            println!("{json}");
+        }
+    }
+    println!("```");
 }

@@ -12,7 +12,7 @@ use std::time::Instant;
 
 use asterix_adm::print::to_adm_string;
 use asterix_bench::datagen::{gen_message, Scale};
-use asterix_bench::harness::{setup_asterix, SchemaMode};
+use asterix_bench::harness::{setup_asterix, SchemaMode, Table3System};
 use asterix_baselines::docstore::Collection;
 use asterix_baselines::relational::RelTable;
 use rand::rngs::StdRng;
@@ -29,7 +29,7 @@ fn main() {
         .collect();
 
     // --- AsterixDB (Schema + KeyOnly): full AQL statement path ------------
-    let asx = |mode: SchemaMode| -> (f64, f64) {
+    let asx = |mode: SchemaMode| -> (f64, f64, String) {
         let corpus = empty_corpus();
         let sys = setup_asterix(&corpus, mode, true);
         // Single-record statements.
@@ -51,12 +51,13 @@ fn main() {
             sys.instance.execute(&stmt).expect("batch insert");
         }
         let batch = start.elapsed().as_secs_f64() / (n_batches * 20) as f64;
-        (single, batch)
+        let stats = sys.runtime_stats_json().unwrap_or_default();
+        (single, batch, stats)
     };
     eprintln!("running AsterixDB (Schema) inserts ...");
-    let (as_s1, as_s20) = asx(SchemaMode::Schema);
+    let (as_s1, as_s20, as_stats) = asx(SchemaMode::Schema);
     eprintln!("running AsterixDB (KeyOnly) inserts ...");
-    let (ak_s1, ak_s20) = asx(SchemaMode::KeyOnly);
+    let (ak_s1, ak_s20, ak_stats) = asx(SchemaMode::KeyOnly);
 
     // --- System-X stand-in -------------------------------------------------
     eprintln!("running System-X inserts ...");
@@ -129,6 +130,13 @@ fn main() {
         "batched AsterixDB insert-per-record improves relative to the others (paper's crossover direction)",
         (as_s20 / as_s1) < (mg_s20 / mg_s1).max(sx_s20 / sx_s1),
     );
+
+    // Machine-readable runtime counters for the ingest runs.
+    println!("\n### Runtime stats (JSON)\n");
+    println!("```json");
+    println!("{as_stats}");
+    println!("{ak_stats}");
+    println!("```");
 }
 
 /// An empty corpus (Table 4 measures pure insert cost).

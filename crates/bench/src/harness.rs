@@ -50,6 +50,13 @@ pub trait Table3System {
 
     /// Total storage bytes (Table 2).
     fn size_bytes(&self) -> u64;
+
+    /// Machine-readable runtime counters as one JSON object, for systems
+    /// that track them (AsterixDB reports buffer-cache hit rate and
+    /// exchange frame/stall totals).
+    fn runtime_stats_json(&self) -> Option<String> {
+        None
+    }
 }
 
 /// Insert-capable systems (Table 4; Hive is excluded, as in the paper).
@@ -281,6 +288,20 @@ impl Table3System for AsterixSystem {
             .iter()
             .map(|d| self.instance.dataset(d).unwrap().primary_size_bytes())
             .sum()
+    }
+
+    fn runtime_stats_json(&self) -> Option<String> {
+        let (hits, misses, rate) = self.instance.cache_stats();
+        let x = self.instance.exchange_stats();
+        Some(format!(
+            "{{\"system\":\"{}\",\"cache_hits\":{hits},\"cache_misses\":{misses},\
+             \"cache_hit_rate\":{rate:.4},\"frames_sent\":{},\"tuples_sent\":{},\
+             \"backpressure_stalls\":{}}}",
+            self.name(),
+            x.frames_sent(),
+            x.tuples_sent(),
+            x.backpressure_stalls(),
+        ))
     }
 }
 
@@ -812,6 +833,30 @@ mod tests {
         for s in &systems {
             assert_eq!(s.grp_agg(lo, hi), expected_groups, "{} grp_agg", s.name());
         }
+    }
+
+    /// The JSON stats sidecar carries live counters once queries have run.
+    #[test]
+    fn runtime_stats_json_reports_counters() {
+        let scale = Scale::tiny();
+        let corpus = generate(&scale, 3);
+        let asx = setup_asterix(&corpus, SchemaMode::Schema, false);
+        let (lo, hi) = ts_range_for(60, corpus.messages.len());
+        assert!(asx.range_scan(lo, hi) > 0);
+        let json = asx.runtime_stats_json().expect("asterix reports stats");
+        for key in [
+            "cache_hits",
+            "cache_misses",
+            "cache_hit_rate",
+            "frames_sent",
+            "tuples_sent",
+            "backpressure_stalls",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // A scan moved at least one frame with at least one tuple.
+        assert!(asx.instance.exchange_stats().frames_sent() > 0);
+        assert!(asx.instance.exchange_stats().tuples_sent() > 0);
     }
 
     /// Table 2's size ordering: Hive (compressed columns) smallest;

@@ -3,20 +3,129 @@
 //! The six kinds from the paper are implemented: `OneToOne`,
 //! `MToNReplicating`, `MToNPartitioning`, `LocalityAwareMToNPartitioning`,
 //! `MToNPartitioningMerging`, and `HashPartitioningShuffle`. Frames move
-//! over unbounded crossbeam channels; a merging connector's receive side
-//! performs a streaming k-way merge over the per-sender channels.
+//! over **bounded** crossbeam channels sized by
+//! [`ExchangeConfig::frames_in_flight`], so a fast producer blocks once the
+//! frame budget is reached and backpressure propagates upstream — peak
+//! exchange memory is `O(channels × frames_in_flight × FRAME_CAPACITY)`
+//! rather than `O(dataset)`. A merging connector's receive side performs a
+//! streaming k-way merge over the per-sender channels. Drained frames are
+//! returned to a shared [`FramePool`] and reused by senders, so
+//! steady-state exchange does no per-frame allocation.
 
 use std::cmp::Ordering;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
 
-use crossbeam::channel::{unbounded, Receiver, Select, Sender};
+use crossbeam::channel::{bounded, Receiver, Select, Sender, TrySendError};
 
-use crate::frame::{hash_fields, Frame, Tuple, FRAME_CAPACITY};
-use crate::Result;
+use crate::frame::{hash_fields, Frame, FramePool, Tuple, FRAME_CAPACITY};
+use crate::{HyracksError, Result};
 
 /// Tuple comparator used by merging connectors and sorts.
 pub type Comparator = Arc<dyn Fn(&Tuple, &Tuple) -> Ordering + Send + Sync>;
+
+/// Counters for one job run's exchange activity, shared by every port.
+///
+/// `buffered_frames` is a gauge of frames handed to a channel (queued or
+/// mid-send) and not yet received; its high-water mark proves the
+/// bounded-memory claim: with `frames_in_flight = F`, a channel never holds
+/// more than `F` frames (capacity `F - 1` queued plus one in a blocked
+/// sender's hand).
+#[derive(Debug, Default)]
+pub struct ExchangeStats {
+    frames_sent: AtomicU64,
+    tuples_sent: AtomicU64,
+    backpressure_stalls: AtomicU64,
+    buffered_frames: AtomicI64,
+    peak_buffered_frames: AtomicI64,
+}
+
+impl ExchangeStats {
+    pub fn new() -> ExchangeStats {
+        ExchangeStats::default()
+    }
+
+    /// A frame is being handed to a channel (before the send completes, so
+    /// the gauge over-counts rather than under-counts in-flight memory).
+    fn on_enqueue(&self) {
+        let now = self.buffered_frames.fetch_add(1, AtomicOrdering::SeqCst) + 1;
+        self.peak_buffered_frames.fetch_max(now, AtomicOrdering::SeqCst);
+    }
+
+    fn on_send_ok(&self, tuples: u64) {
+        self.frames_sent.fetch_add(1, AtomicOrdering::Relaxed);
+        self.tuples_sent.fetch_add(tuples, AtomicOrdering::Relaxed);
+    }
+
+    /// The send failed (receiver gone): undo the gauge increment.
+    fn on_send_fail(&self) {
+        self.buffered_frames.fetch_sub(1, AtomicOrdering::SeqCst);
+    }
+
+    fn on_stall(&self) {
+        self.backpressure_stalls.fetch_add(1, AtomicOrdering::Relaxed);
+    }
+
+    fn on_recv(&self) {
+        self.buffered_frames.fetch_sub(1, AtomicOrdering::SeqCst);
+    }
+
+    /// Frames delivered to channels so far.
+    pub fn frames_sent(&self) -> u64 {
+        self.frames_sent.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Tuples delivered to channels so far.
+    pub fn tuples_sent(&self) -> u64 {
+        self.tuples_sent.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Times a sender found its channel full and had to block.
+    pub fn backpressure_stalls(&self) -> u64 {
+        self.backpressure_stalls.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Frames currently in flight (sent, not yet received).
+    pub fn buffered_frames(&self) -> i64 {
+        self.buffered_frames.load(AtomicOrdering::SeqCst)
+    }
+
+    /// High-water mark of `buffered_frames` over the run.
+    pub fn peak_buffered_frames(&self) -> i64 {
+        self.peak_buffered_frames.load(AtomicOrdering::SeqCst)
+    }
+}
+
+/// Exchange-layer settings threaded through [`wire`] into every port.
+#[derive(Clone)]
+pub struct ExchangeConfig {
+    /// Per-channel bound on frames in flight (queued plus one mid-send).
+    /// Minimum 1 (a rendezvous channel: every send waits for its receive).
+    pub frames_in_flight: usize,
+    /// Shared counters for the run.
+    pub stats: Arc<ExchangeStats>,
+    /// Shared frame-recycling pool for the run.
+    pub pool: Arc<FramePool>,
+}
+
+impl Default for ExchangeConfig {
+    fn default() -> Self {
+        ExchangeConfig {
+            frames_in_flight: 8,
+            stats: Arc::new(ExchangeStats::new()),
+            pool: Arc::new(FramePool::new()),
+        }
+    }
+}
+
+impl ExchangeConfig {
+    fn channel(&self) -> (Sender<Frame>, Receiver<Frame>) {
+        // Capacity F-1 so queued + one frame in a blocked sender's hand
+        // never exceeds frames_in_flight. F=1 is a rendezvous channel.
+        bounded(self.frames_in_flight.max(1) - 1)
+    }
+}
 
 /// The connector kinds of §4.1.
 #[derive(Clone)]
@@ -80,21 +189,81 @@ enum RouteStrategy {
 pub struct OutputPort {
     senders: Vec<Sender<Frame>>,
     buffers: Vec<Frame>,
+    /// Destinations whose receiver has hung up; sends to them are skipped.
+    dead: Vec<bool>,
     strategy: RouteStrategy,
+    stats: Arc<ExchangeStats>,
+    pool: Arc<FramePool>,
 }
 
 impl OutputPort {
-    fn new(senders: Vec<Sender<Frame>>, strategy: RouteStrategy) -> OutputPort {
+    fn new(senders: Vec<Sender<Frame>>, strategy: RouteStrategy, xcfg: &ExchangeConfig) -> OutputPort {
         let n = senders.len();
-        OutputPort { senders, buffers: (0..n).map(|_| Frame::new()).collect(), strategy }
+        OutputPort {
+            senders,
+            buffers: (0..n).map(|_| xcfg.pool.take()).collect(),
+            dead: vec![false; n],
+            strategy,
+            stats: Arc::clone(&xcfg.stats),
+            pool: Arc::clone(&xcfg.pool),
+        }
     }
 
     /// A port that discards everything (for dangling outputs).
     pub fn sink() -> OutputPort {
-        OutputPort { senders: Vec::new(), buffers: Vec::new(), strategy: RouteStrategy::Replicate }
+        OutputPort {
+            senders: Vec::new(),
+            buffers: Vec::new(),
+            dead: Vec::new(),
+            strategy: RouteStrategy::Replicate,
+            stats: Arc::default(),
+            pool: Arc::default(),
+        }
     }
 
-    /// Emit one tuple.
+    fn all_dead(&self) -> bool {
+        !self.dead.is_empty() && self.dead.iter().all(|&d| d)
+    }
+
+    /// Hand one frame to channel `j`, blocking if the frame budget is
+    /// exhausted. Returns `false` (after recycling the frame) when the
+    /// receiver has hung up.
+    fn send_frame(&mut self, j: usize, frame: Frame) -> bool {
+        if self.dead[j] || frame.is_empty() {
+            self.pool.give(frame);
+            return !self.dead[j];
+        }
+        let tuples = frame.len() as u64;
+        self.stats.on_enqueue();
+        let undeliverable = match self.senders[j].try_send(frame) {
+            Ok(()) => None,
+            Err(TrySendError::Full(frame)) => {
+                self.stats.on_stall();
+                match self.senders[j].send(frame) {
+                    Ok(()) => None,
+                    Err(e) => Some(e.into_inner()),
+                }
+            }
+            Err(TrySendError::Disconnected(frame)) => Some(frame),
+        };
+        match undeliverable {
+            None => {
+                self.stats.on_send_ok(tuples);
+                true
+            }
+            Some(frame) => {
+                self.stats.on_send_fail();
+                self.pool.give(frame);
+                self.dead[j] = true;
+                false
+            }
+        }
+    }
+
+    /// Emit one tuple. Returns [`HyracksError::DownstreamClosed`] once
+    /// every destination's receiver has hung up (e.g. a downstream LIMIT
+    /// finished), so the producer can stop instead of computing data
+    /// nobody will read.
     pub fn push(&mut self, tuple: Tuple) -> Result<()> {
         match &self.strategy {
             RouteStrategy::Fixed(j) => self.buffer_to(*j, tuple),
@@ -120,32 +289,45 @@ impl OutputPort {
         if self.senders.is_empty() {
             return Ok(());
         }
+        if self.dead[j] {
+            // This destination is gone; its share of the data has no
+            // consumer. Only when *every* destination is gone does the
+            // producer get told to stop.
+            return if self.all_dead() { Err(HyracksError::DownstreamClosed) } else { Ok(()) };
+        }
         self.buffers[j].push(tuple);
         if self.buffers[j].len() >= FRAME_CAPACITY {
-            let frame = std::mem::take(&mut self.buffers[j]);
-            // Receiver gone means downstream finished early (e.g. LIMIT);
-            // dropping data then is correct, not an error.
-            let _ = self.senders[j].send(frame);
+            let frame = std::mem::replace(&mut self.buffers[j], self.pool.take());
+            if !self.send_frame(j, frame) && self.all_dead() {
+                return Err(HyracksError::DownstreamClosed);
+            }
         }
         Ok(())
     }
 
     /// Flush remaining buffered tuples. Called automatically when the
     /// operator finishes (executor drops the port), but operators may flush
-    /// early to bound latency (feeds do).
-    pub fn flush(&mut self) {
+    /// early to bound latency (feeds do). Returns
+    /// [`HyracksError::DownstreamClosed`] when every destination has hung
+    /// up — explicit callers can stop early; the `Drop` path ignores it.
+    pub fn flush(&mut self) -> Result<()> {
         for j in 0..self.senders.len() {
             if !self.buffers[j].is_empty() {
                 let frame = std::mem::take(&mut self.buffers[j]);
-                let _ = self.senders[j].send(frame);
+                self.send_frame(j, frame);
             }
+        }
+        if self.all_dead() {
+            Err(HyracksError::DownstreamClosed)
+        } else {
+            Ok(())
         }
     }
 }
 
 impl Drop for OutputPort {
     fn drop(&mut self) {
-        self.flush();
+        let _ = self.flush();
     }
 }
 
@@ -164,22 +346,33 @@ pub struct InputPort {
     /// Merge-mode lookahead buffers, one per sender.
     lookahead: Vec<VecDeque<Tuple>>,
     exhausted: Vec<bool>,
+    stats: Arc<ExchangeStats>,
+    pool: Arc<FramePool>,
 }
 
 impl InputPort {
-    fn new(receivers: Vec<Receiver<Frame>>, mode: InputMode) -> InputPort {
+    fn new(receivers: Vec<Receiver<Frame>>, mode: InputMode, xcfg: &ExchangeConfig) -> InputPort {
         let n = receivers.len();
         InputPort {
             receivers,
             mode,
             lookahead: (0..n).map(|_| VecDeque::new()).collect(),
             exhausted: vec![false; n],
+            stats: Arc::clone(&xcfg.stats),
+            pool: Arc::clone(&xcfg.pool),
         }
     }
 
     /// An input port that yields nothing (for testing/synthetic ops).
     pub fn empty() -> InputPort {
-        InputPort::new(Vec::new(), InputMode::Any)
+        InputPort {
+            receivers: Vec::new(),
+            mode: InputMode::Any,
+            lookahead: Vec::new(),
+            exhausted: Vec::new(),
+            stats: Arc::default(),
+            pool: Arc::default(),
+        }
     }
 
     /// Receive the next frame (Any mode) — `None` at end of stream.
@@ -193,7 +386,10 @@ impl InputPort {
             }
             if live.len() == 1 {
                 match self.receivers[live[0]].recv() {
-                    Ok(f) => return Some(f),
+                    Ok(f) => {
+                        self.stats.on_recv();
+                        return Some(f);
+                    }
                     Err(_) => {
                         self.exhausted[live[0]] = true;
                         continue;
@@ -207,7 +403,10 @@ impl InputPort {
             let op = sel.select();
             let idx = live[op.index()];
             match op.recv(&self.receivers[idx]) {
-                Ok(f) => return Some(f),
+                Ok(f) => {
+                    self.stats.on_recv();
+                    return Some(f);
+                }
                 Err(_) => {
                     self.exhausted[idx] = true;
                 }
@@ -218,7 +417,11 @@ impl InputPort {
     fn refill(&mut self, i: usize) {
         while self.lookahead[i].is_empty() && !self.exhausted[i] {
             match self.receivers[i].recv() {
-                Ok(frame) => self.lookahead[i].extend(frame),
+                Ok(mut frame) => {
+                    self.stats.on_recv();
+                    self.lookahead[i].extend(frame.drain(..));
+                    self.pool.give(frame);
+                }
                 Err(_) => self.exhausted[i] = true,
             }
         }
@@ -253,12 +456,17 @@ impl InputPort {
     pub fn for_each(&mut self, mut f: impl FnMut(Tuple) -> Result<bool>) -> Result<()> {
         match &self.mode {
             InputMode::Any => {
-                while let Some(frame) = self.recv_any() {
-                    for t in frame {
-                        if !f(t)? {
-                            self.drain();
-                            return Ok(());
+                while let Some(mut frame) = self.recv_any() {
+                    let mut keep_going = true;
+                    for t in frame.drain(..) {
+                        if keep_going && !f(t)? {
+                            keep_going = false;
                         }
+                    }
+                    self.pool.give(frame);
+                    if !keep_going {
+                        self.drain();
+                        return Ok(());
                     }
                 }
                 Ok(())
@@ -285,14 +493,27 @@ impl InputPort {
         Ok(out)
     }
 
-    /// Consume and discard the remainder of the stream so upstream senders
-    /// never block (channels are unbounded, so this only frees memory).
+    /// Consume and discard what is currently queued, recycle the frames,
+    /// and mark the port exhausted. With bounded channels this also opens
+    /// queue space so blocked senders make progress until the port is
+    /// dropped (which disconnects the channels and wakes them for good).
     pub fn drain(&mut self) {
         for i in 0..self.receivers.len() {
-            while self.receivers[i].try_recv().is_ok() {}
+            while let Ok(f) = self.receivers[i].try_recv() {
+                self.stats.on_recv();
+                self.pool.give(f);
+            }
             self.exhausted[i] = true;
         }
         self.lookahead.iter_mut().for_each(|q| q.clear());
+    }
+}
+
+impl Drop for InputPort {
+    fn drop(&mut self) {
+        // Keep the in-flight gauge honest: account for frames still queued
+        // when the consumer exits early.
+        self.drain();
     }
 }
 
@@ -301,12 +522,14 @@ impl InputPort {
 /// per-destination input ports).
 ///
 /// `node_of` maps a partition index to its (simulated) node id, used by the
-/// locality-aware connector.
+/// locality-aware connector. `xcfg` supplies the frames-in-flight bound and
+/// the shared stats/pool for the run.
 pub fn wire(
     kind: &ConnectorKind,
     n_src: usize,
     n_dst: usize,
     node_of: &dyn Fn(usize) -> usize,
+    xcfg: &ExchangeConfig,
 ) -> Result<(Vec<OutputPort>, Vec<InputPort>)> {
     match kind {
         ConnectorKind::OneToOne => {
@@ -318,37 +541,37 @@ pub fn wire(
             let mut outs = Vec::with_capacity(n_src);
             let mut ins = Vec::with_capacity(n_dst);
             for _ in 0..n_src {
-                let (tx, rx) = unbounded();
-                outs.push(OutputPort::new(vec![tx], RouteStrategy::Fixed(0)));
-                ins.push(InputPort::new(vec![rx], InputMode::Any));
+                let (tx, rx) = xcfg.channel();
+                outs.push(OutputPort::new(vec![tx], RouteStrategy::Fixed(0), xcfg));
+                ins.push(InputPort::new(vec![rx], InputMode::Any, xcfg));
             }
             Ok((outs, ins))
         }
         ConnectorKind::MToNReplicating => {
-            let (txs, rxs): (Vec<_>, Vec<_>) = (0..n_dst).map(|_| unbounded()).unzip();
+            let (txs, rxs): (Vec<_>, Vec<_>) = (0..n_dst).map(|_| xcfg.channel()).unzip();
             let outs = (0..n_src)
-                .map(|_| OutputPort::new(txs.clone(), RouteStrategy::Replicate))
+                .map(|_| OutputPort::new(txs.clone(), RouteStrategy::Replicate, xcfg))
                 .collect();
             let ins = rxs
                 .into_iter()
-                .map(|rx| InputPort::new(vec![rx], InputMode::Any))
+                .map(|rx| InputPort::new(vec![rx], InputMode::Any, xcfg))
                 .collect();
             Ok((outs, ins))
         }
         ConnectorKind::MToNPartitioning { fields }
         | ConnectorKind::HashPartitioningShuffle { fields } => {
-            let (txs, rxs): (Vec<_>, Vec<_>) = (0..n_dst).map(|_| unbounded()).unzip();
+            let (txs, rxs): (Vec<_>, Vec<_>) = (0..n_dst).map(|_| xcfg.channel()).unzip();
             let outs = (0..n_src)
-                .map(|_| OutputPort::new(txs.clone(), RouteStrategy::Hash(fields.clone())))
+                .map(|_| OutputPort::new(txs.clone(), RouteStrategy::Hash(fields.clone()), xcfg))
                 .collect();
             let ins = rxs
                 .into_iter()
-                .map(|rx| InputPort::new(vec![rx], InputMode::Any))
+                .map(|rx| InputPort::new(vec![rx], InputMode::Any, xcfg))
                 .collect();
             Ok((outs, ins))
         }
         ConnectorKind::LocalityAwareMToNPartitioning { fields } => {
-            let (txs, rxs): (Vec<_>, Vec<_>) = (0..n_dst).map(|_| unbounded()).unzip();
+            let (txs, rxs): (Vec<_>, Vec<_>) = (0..n_dst).map(|_| xcfg.channel()).unzip();
             let outs = (0..n_src)
                 .map(|p| {
                     // Destinations on the same node as source partition p,
@@ -360,12 +583,13 @@ pub fn wire(
                     OutputPort::new(
                         txs.clone(),
                         RouteStrategy::LocalityAware { fields: fields.clone(), group },
+                        xcfg,
                     )
                 })
                 .collect();
             let ins = rxs
                 .into_iter()
-                .map(|rx| InputPort::new(vec![rx], InputMode::Any))
+                .map(|rx| InputPort::new(vec![rx], InputMode::Any, xcfg))
                 .collect();
             Ok((outs, ins))
         }
@@ -378,18 +602,18 @@ pub fn wire(
                 (0..n_src).map(|_| Vec::with_capacity(n_dst)).collect();
             for txs in per_src_txs.iter_mut() {
                 for rxs in per_dst_rxs.iter_mut() {
-                    let (tx, rx) = unbounded();
+                    let (tx, rx) = xcfg.channel();
                     txs.push(tx);
                     rxs.push(rx);
                 }
             }
             let outs = per_src_txs
                 .into_iter()
-                .map(|txs| OutputPort::new(txs, RouteStrategy::Hash(fields.clone())))
+                .map(|txs| OutputPort::new(txs, RouteStrategy::Hash(fields.clone()), xcfg))
                 .collect();
             let ins = per_dst_rxs
                 .into_iter()
-                .map(|rxs| InputPort::new(rxs, InputMode::Merge(Arc::clone(comparator))))
+                .map(|rxs| InputPort::new(rxs, InputMode::Merge(Arc::clone(comparator)), xcfg))
                 .collect();
             Ok((outs, ins))
         }
@@ -405,9 +629,13 @@ mod tests {
         vec![Value::Int64(i)]
     }
 
+    fn xcfg() -> ExchangeConfig {
+        ExchangeConfig::default()
+    }
+
     #[test]
     fn one_to_one_preserves_partition() {
-        let (mut outs, ins) = wire(&ConnectorKind::OneToOne, 2, 2, &|_| 0).unwrap();
+        let (mut outs, ins) = wire(&ConnectorKind::OneToOne, 2, 2, &|_| 0, &xcfg()).unwrap();
         outs[0].push(t(0)).unwrap();
         outs[1].push(t(1)).unwrap();
         drop(outs);
@@ -419,13 +647,13 @@ mod tests {
 
     #[test]
     fn one_to_one_arity_mismatch_rejected() {
-        assert!(wire(&ConnectorKind::OneToOne, 2, 3, &|_| 0).is_err());
+        assert!(wire(&ConnectorKind::OneToOne, 2, 3, &|_| 0, &xcfg()).is_err());
     }
 
     #[test]
     fn partitioning_routes_by_hash() {
         let kind = ConnectorKind::MToNPartitioning { fields: vec![0] };
-        let (mut outs, ins) = wire(&kind, 2, 4, &|_| 0).unwrap();
+        let (mut outs, ins) = wire(&kind, 2, 4, &|_| 0, &xcfg()).unwrap();
         for i in 0..100 {
             outs[(i % 2) as usize].push(t(i)).unwrap();
         }
@@ -439,7 +667,7 @@ mod tests {
         }
         assert_eq!(total, 100);
         // Same key always lands in the same partition: re-send key 7.
-        let (mut outs2, ins2) = wire(&kind, 1, 4, &|_| 0).unwrap();
+        let (mut outs2, ins2) = wire(&kind, 1, 4, &|_| 0, &xcfg()).unwrap();
         outs2[0].push(t(7)).unwrap();
         drop(outs2);
         let landed: Vec<usize> = ins2
@@ -453,7 +681,8 @@ mod tests {
 
     #[test]
     fn replicating_duplicates() {
-        let (mut outs, ins) = wire(&ConnectorKind::MToNReplicating, 2, 3, &|_| 0).unwrap();
+        let (mut outs, ins) =
+            wire(&ConnectorKind::MToNReplicating, 2, 3, &|_| 0, &xcfg()).unwrap();
         outs[0].push(t(1)).unwrap();
         outs[1].push(t(2)).unwrap();
         drop(outs);
@@ -470,7 +699,7 @@ mod tests {
         let cmp: Comparator = Arc::new(|a, b| a[0].total_cmp(&b[0]));
         let kind = ConnectorKind::MToNPartitioningMerging { fields: vec![], comparator: cmp };
         // fields=[] → every tuple hashes identically → all to dst 0.
-        let (mut outs, mut ins) = wire(&kind, 3, 1, &|_| 0).unwrap();
+        let (mut outs, mut ins) = wire(&kind, 3, 1, &|_| 0, &xcfg()).unwrap();
         // Each source emits a sorted run.
         for (s, base) in [(0usize, 0i64), (1, 1), (2, 2)] {
             for i in 0..10 {
@@ -489,7 +718,7 @@ mod tests {
         // 4 partitions on 2 nodes: partitions 0,1 on node 0; 2,3 on node 1.
         let node_of = |p: usize| p / 2;
         let kind = ConnectorKind::LocalityAwareMToNPartitioning { fields: vec![0] };
-        let (mut outs, ins) = wire(&kind, 4, 4, &node_of).unwrap();
+        let (mut outs, ins) = wire(&kind, 4, 4, &node_of, &xcfg()).unwrap();
         for i in 0..100 {
             outs[0].push(t(i)).unwrap(); // src partition 0, node 0
         }
@@ -503,7 +732,7 @@ mod tests {
 
     #[test]
     fn early_exit_drains() {
-        let (mut outs, mut ins) = wire(&ConnectorKind::OneToOne, 1, 1, &|_| 0).unwrap();
+        let (mut outs, mut ins) = wire(&ConnectorKind::OneToOne, 1, 1, &|_| 0, &xcfg()).unwrap();
         for i in 0..5000 {
             outs[0].push(t(i)).unwrap();
         }
@@ -518,5 +747,66 @@ mod tests {
         assert_eq!(n, 10);
         // Port fully drained afterwards.
         assert!(ins[0].collect().unwrap().is_empty());
+    }
+
+    #[test]
+    fn closed_receiver_surfaces_downstream_closed() {
+        // Producer feeding a hung-up consumer learns about it within one
+        // frame instead of silently discarding data forever.
+        let cfg = ExchangeConfig { frames_in_flight: 2, ..Default::default() };
+        let (mut outs, ins) = wire(&ConnectorKind::OneToOne, 1, 1, &|_| 0, &cfg).unwrap();
+        drop(ins);
+        let mut stopped_at = None;
+        for i in 0..100_000 {
+            if outs[0].push(t(i)).is_err() {
+                stopped_at = Some(i);
+                break;
+            }
+        }
+        // First full frame (FRAME_CAPACITY tuples) hits the disconnect.
+        assert_eq!(stopped_at, Some(FRAME_CAPACITY as i64 - 1));
+        assert!(matches!(outs[0].flush(), Err(HyracksError::DownstreamClosed)));
+    }
+
+    #[test]
+    fn partial_disconnect_keeps_live_destinations() {
+        // 1 source, 2 destinations; destination 1 hangs up. Data routed to
+        // the live destination still flows; push only errors once ALL
+        // destinations are gone.
+        let cfg = ExchangeConfig { frames_in_flight: 8, ..Default::default() };
+        let kind = ConnectorKind::MToNPartitioning { fields: vec![0] };
+        let (mut outs, mut ins) = wire(&kind, 1, 2, &|_| 0, &cfg).unwrap();
+        let dead = ins.pop().unwrap();
+        drop(dead);
+        let mut pushed = 0u64;
+        for i in 0..(FRAME_CAPACITY as i64 * 4) {
+            if outs[0].push(t(i)).is_err() {
+                break;
+            }
+            pushed += 1;
+        }
+        assert_eq!(pushed, FRAME_CAPACITY as u64 * 4, "live destination keeps accepting");
+        drop(outs);
+        let got = ins[0].collect().unwrap();
+        assert!(!got.is_empty());
+        assert!(got.iter().all(|t| {
+            (hash_fields(t, &[0]) % 2) == 0
+        }));
+    }
+
+    #[test]
+    fn frames_are_recycled_through_the_pool() {
+        let cfg = xcfg();
+        let (mut outs, mut ins) = wire(&ConnectorKind::OneToOne, 1, 1, &|_| 0, &cfg).unwrap();
+        for i in 0..(FRAME_CAPACITY as i64 * 2) {
+            outs[0].push(t(i)).unwrap();
+        }
+        drop(outs);
+        assert_eq!(ins[0].collect().unwrap().len(), FRAME_CAPACITY * 2);
+        drop(ins);
+        assert!(cfg.pool.pooled() >= 2, "drained frames return to the pool");
+        assert_eq!(cfg.stats.frames_sent(), 2);
+        assert_eq!(cfg.stats.tuples_sent(), FRAME_CAPACITY as u64 * 2);
+        assert_eq!(cfg.stats.buffered_frames(), 0, "gauge returns to zero");
     }
 }

@@ -14,6 +14,17 @@ pub enum HyracksError {
     Operator(String),
     /// I/O during spilling.
     Io(std::io::Error),
+    /// Every downstream consumer of an output port has hung up (e.g. a
+    /// `LimitOp` finished early). Producers should stop generating data;
+    /// the executor treats this as a clean early exit, not a failure.
+    DownstreamClosed,
+}
+
+impl HyracksError {
+    /// Is this the benign "consumer finished early" signal?
+    pub fn is_downstream_closed(&self) -> bool {
+        matches!(self, HyracksError::DownstreamClosed)
+    }
 }
 
 impl fmt::Display for HyracksError {
@@ -23,6 +34,7 @@ impl fmt::Display for HyracksError {
             HyracksError::InvalidJob(m) => write!(f, "invalid job: {m}"),
             HyracksError::Operator(m) => write!(f, "operator failure: {m}"),
             HyracksError::Io(e) => write!(f, "io error: {e}"),
+            HyracksError::DownstreamClosed => write!(f, "downstream consumers closed"),
         }
     }
 }

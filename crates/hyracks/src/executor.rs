@@ -10,7 +10,8 @@
 use std::sync::Arc;
 use std::thread;
 
-use crate::connector::{wire, InputPort, OutputPort};
+use crate::connector::{wire, ExchangeConfig, ExchangeStats, InputPort, OutputPort};
+use crate::frame::FramePool;
 use crate::job::JobSpec;
 use crate::ops::OpCtx;
 use crate::{HyracksError, Result};
@@ -20,11 +21,19 @@ use crate::{HyracksError, Result};
 pub struct ExecutorConfig {
     /// Partitions hosted per simulated node (for locality-aware routing).
     pub partitions_per_node: usize,
+    /// Per-channel bound on exchange frames in flight (§4.1's bounded frame
+    /// buffers). Lower = tighter memory and earlier backpressure; higher =
+    /// more pipeline slack. Minimum 1.
+    pub frames_in_flight: usize,
+    /// Upper bound on the threads a single job may spawn. Jobs exceeding it
+    /// are rejected up front with a clear error instead of exhausting the
+    /// OS thread table mid-run.
+    pub max_threads: usize,
 }
 
 impl Default for ExecutorConfig {
     fn default() -> Self {
-        ExecutorConfig { partitions_per_node: 1 }
+        ExecutorConfig { partitions_per_node: 1, frames_in_flight: 8, max_threads: 512 }
     }
 }
 
@@ -35,10 +44,45 @@ pub fn run_job(job: &JobSpec) -> Result<()> {
 
 /// Run a job with explicit cluster configuration.
 pub fn run_job_with(job: &JobSpec, cfg: &ExecutorConfig) -> Result<()> {
+    run_job_with_stats(job, cfg, &Arc::new(ExchangeStats::new()))
+}
+
+/// Run a job, accumulating exchange counters (frames/tuples sent,
+/// backpressure stalls, peak in-flight frames) into `stats` — the handle an
+/// embedding system (or bench harness) keeps to report on the run.
+pub fn run_job_with_stats(
+    job: &JobSpec,
+    cfg: &ExecutorConfig,
+    stats: &Arc<ExchangeStats>,
+) -> Result<()> {
     job.topo_order()?; // validates acyclicity
+
+    // Every (operator, partition) pair gets its own thread, and ALL of them
+    // must coexist for the duration of the job: stage ordering here is
+    // implicit — a blocking operator (hash-join build, sort run generation)
+    // simply consumes its blocking input to completion before emitting, so
+    // its thread must be alive and consuming while every transitive
+    // upstream thread is alive and producing. Running partitions through a
+    // smaller worker pool would deadlock (a queued-but-unscheduled consumer
+    // leaves its producers blocked on full channels forever). Hence a
+    // *guard*, not a pool: jobs that would need more threads than
+    // `max_threads` are rejected before anything is spawned.
+    let total_threads: usize = job.ops.iter().map(|op| op.nparts).sum();
+    if total_threads > cfg.max_threads.max(1) {
+        return Err(HyracksError::InvalidJob(format!(
+            "job needs {total_threads} operator-partition threads, exceeding \
+             ExecutorConfig::max_threads = {}; reduce partition counts or raise the cap",
+            cfg.max_threads
+        )));
+    }
 
     let ppn = cfg.partitions_per_node.max(1);
     let node_of = move |p: usize| p / ppn;
+    let xcfg = ExchangeConfig {
+        frames_in_flight: cfg.frames_in_flight.max(1),
+        stats: Arc::clone(stats),
+        pool: Arc::new(FramePool::new()),
+    };
 
     // Wire every connector: per source partition output ports, per
     // destination partition input ports.
@@ -47,7 +91,7 @@ pub fn run_job_with(job: &JobSpec, cfg: &ExecutorConfig) -> Result<()> {
     for c in &job.conns {
         let n_src = job.ops[c.src.0].nparts;
         let n_dst = job.ops[c.dst.0].nparts;
-        let (outs, ins) = wire(&c.kind, n_src, n_dst, &node_of)?;
+        let (outs, ins) = wire(&c.kind, n_src, n_dst, &node_of, &xcfg)?;
         conn_outs.push(outs.into_iter().map(Some).collect());
         conn_ins.push(ins.into_iter().map(Some).collect());
     }
@@ -95,6 +139,9 @@ pub fn run_job_with(job: &JobSpec, cfg: &ExecutorConfig) -> Result<()> {
     for h in handles {
         match h.join() {
             Ok(Ok(())) => {}
+            // A producer cut short because every consumer hung up (LIMIT
+            // satisfied, etc.) is a clean early exit, not a job failure.
+            Ok(Err(HyracksError::DownstreamClosed)) => {}
             Ok(Err(e)) => {
                 if first_err.is_none() {
                     first_err = Some(e);
@@ -366,5 +413,143 @@ mod tests {
         let got: Vec<i64> =
             collector.lock().iter().map(|t| t[0].as_i64().unwrap()).collect();
         assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn backpressure_bounds_buffered_frames() {
+        use crate::connector::ExchangeStats;
+
+        // A fast producer feeding a slow consumer: with unbounded channels
+        // the whole 100k-tuple dataset would sit in exchange memory; with
+        // bounded channels the in-flight frame count must stay within
+        // frames_in_flight × channels.
+        let mut job = JobSpec::new();
+        let src = job.add(1, int_source("scan", 100_000));
+        let slow = job.add(
+            1,
+            Arc::new(SelectOp::new(
+                "slow",
+                Arc::new(|t: &Vec<Value>| {
+                    if t[0].as_i64().unwrap() % 4096 == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                    }
+                    Ok(true)
+                }),
+            )),
+        );
+        let (sink, collector) = collect_sink(&mut job);
+        job.connect(ConnectorKind::OneToOne, src, slow);
+        job.connect(ConnectorKind::OneToOne, slow, sink);
+
+        let cfg = ExecutorConfig { frames_in_flight: 2, ..Default::default() };
+        let stats = Arc::new(ExchangeStats::new());
+        run_job_with_stats(&job, &cfg, &stats).unwrap();
+
+        assert_eq!(collector.lock().len(), 100_000);
+        // Two OneToOne connectors with one sender each.
+        let bound = (cfg.frames_in_flight * 2) as i64;
+        assert!(
+            stats.peak_buffered_frames() <= bound,
+            "peak {} exceeds frames_in_flight bound {}",
+            stats.peak_buffered_frames(),
+            bound
+        );
+        assert!(stats.backpressure_stalls() > 0, "producer never felt backpressure");
+        assert!(stats.frames_sent() >= (100_000 / crate::FRAME_CAPACITY as u64));
+        assert_eq!(stats.tuples_sent(), 200_000); // both hops counted
+    }
+
+    #[test]
+    fn producer_stops_early_when_downstream_closes() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        // Regression for the silent-discard bug: a producer feeding a
+        // closed LIMIT must terminate early, not grind through all 100k
+        // tuples into a void.
+        let emitted = Arc::new(AtomicU64::new(0));
+        let emitted2 = Arc::clone(&emitted);
+        let mut job = JobSpec::new();
+        let src = job.add(
+            1,
+            Arc::new(SourceOp::new("scan", move |_p, _n, emit| {
+                for i in 0..100_000i64 {
+                    emitted2.fetch_add(1, Ordering::Relaxed);
+                    emit(vec![Value::Int64(i)])?;
+                }
+                Ok(())
+            })),
+        );
+        let limit = job.add(1, Arc::new(LimitOp { limit: 3, offset: 0 }));
+        let (sink, collector) = collect_sink(&mut job);
+        job.connect(ConnectorKind::OneToOne, src, limit);
+        job.connect(ConnectorKind::OneToOne, limit, sink);
+
+        let cfg = ExecutorConfig { frames_in_flight: 2, ..Default::default() };
+        run_job_with(&job, &cfg).unwrap();
+
+        let got: Vec<i64> =
+            collector.lock().iter().map(|t| t[0].as_i64().unwrap()).collect();
+        assert_eq!(got, vec![0, 1, 2]);
+        let n = emitted.load(Ordering::Relaxed);
+        assert!(n < 20_000, "producer emitted {n} tuples after the consumer hung up");
+    }
+
+    #[test]
+    fn thread_fanout_over_cap_is_rejected() {
+        let mut job = JobSpec::new();
+        let src = job.add(8, int_source("scan", 1));
+        let (sink, _collector) = collect_sink(&mut job);
+        job.connect(ConnectorKind::MToNReplicating, src, sink);
+        let cfg = ExecutorConfig { max_threads: 4, ..Default::default() };
+        let err = run_job_with(&job, &cfg).unwrap_err();
+        assert!(
+            matches!(&err, HyracksError::InvalidJob(m) if m.contains("max_threads")),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn locality_aware_routing_respects_node_groups() {
+        use crate::ops::PartitionMapOp;
+
+        // 4 partitions over 2 nodes (partitions_per_node = 2). Each source
+        // partition tags tuples with its own index; the receiving op tags
+        // them with its index; every tuple must stay within the sender's
+        // node group.
+        let mut job = JobSpec::new();
+        let src = job.add(
+            4,
+            Arc::new(SourceOp::new("scan", |p, _n, emit| {
+                for i in 0..500i64 {
+                    emit(vec![Value::Int64(i), Value::Int64(p as i64)])?;
+                }
+                Ok(())
+            })),
+        );
+        let tag = job.add(
+            4,
+            Arc::new(PartitionMapOp::new("tag-dst", |p, t: &Vec<Value>| {
+                let mut row = t.clone();
+                row.push(Value::Int64(p as i64));
+                Ok(vec![row])
+            })),
+        );
+        let (sink, collector) = collect_sink(&mut job);
+        job.connect(
+            ConnectorKind::LocalityAwareMToNPartitioning { fields: vec![0] },
+            src,
+            tag,
+        );
+        job.connect(ConnectorKind::MToNReplicating, tag, sink);
+        let cfg = ExecutorConfig { partitions_per_node: 2, ..Default::default() };
+        run_job_with(&job, &cfg).unwrap();
+
+        let out = collector.lock();
+        assert_eq!(out.len(), 2000);
+        for row in out.iter() {
+            let src_p = row[1].as_i64().unwrap();
+            let dst_p = row[2].as_i64().unwrap();
+            assert_eq!(src_p / 2, dst_p / 2, "tuple crossed node groups: {row:?}");
+        }
     }
 }

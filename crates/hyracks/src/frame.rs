@@ -1,5 +1,7 @@
 //! Tuples and frames — the unit of dataflow between operators.
 
+use crossbeam::queue::SegQueue;
+
 use asterix_adm::Value;
 
 /// A runtime tuple: positional ADM values. Field-name → position mapping is
@@ -13,6 +15,55 @@ pub type Frame = Vec<Tuple>;
 
 /// Default tuples per frame.
 pub const FRAME_CAPACITY: usize = 1024;
+
+/// A lock-free pool of recycled frames shared by the ports of one job run.
+///
+/// Hyracks proper allocates fixed-size byte frames once and circulates them;
+/// here the analogue is reusing the `Vec` backing each frame so steady-state
+/// exchange does no per-frame allocation: receivers return drained frames
+/// via [`FramePool::give`], senders grab them back via [`FramePool::take`].
+pub struct FramePool {
+    frames: SegQueue<Frame>,
+    max_pooled: usize,
+}
+
+impl Default for FramePool {
+    fn default() -> Self {
+        FramePool::new()
+    }
+}
+
+impl FramePool {
+    /// A pool retaining at most a generous default number of idle frames.
+    pub fn new() -> FramePool {
+        FramePool::with_max(4096)
+    }
+
+    /// A pool retaining at most `max_pooled` idle frames; surplus returns
+    /// are dropped so the pool itself cannot hoard memory.
+    pub fn with_max(max_pooled: usize) -> FramePool {
+        FramePool { frames: SegQueue::new(), max_pooled }
+    }
+
+    /// Take a cleared frame, reusing a recycled one when available.
+    pub fn take(&self) -> Frame {
+        self.frames.pop().unwrap_or_else(|| Frame::with_capacity(FRAME_CAPACITY))
+    }
+
+    /// Return a frame for reuse. Its tuples are dropped; the backing
+    /// allocation is kept.
+    pub fn give(&self, mut frame: Frame) {
+        if self.frames.len() < self.max_pooled {
+            frame.clear();
+            self.frames.push(frame);
+        }
+    }
+
+    /// Idle frames currently pooled (used by tests and stats).
+    pub fn pooled(&self) -> usize {
+        self.frames.len()
+    }
+}
 
 /// Compute the hash of the given tuple fields, for hash partitioning and
 /// hash joins. Uses the ADM stable hash so equal-comparing values (across

@@ -24,8 +24,8 @@ pub mod frame;
 pub mod job;
 pub mod ops;
 
-pub use connector::ConnectorKind;
+pub use connector::{ConnectorKind, ExchangeConfig, ExchangeStats};
 pub use error::{HyracksError, Result};
-pub use executor::run_job;
-pub use frame::{Frame, Tuple, FRAME_CAPACITY};
+pub use executor::{run_job, run_job_with, run_job_with_stats, ExecutorConfig};
+pub use frame::{Frame, FramePool, Tuple, FRAME_CAPACITY};
 pub use job::{JobSpec, OperatorId};

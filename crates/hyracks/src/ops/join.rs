@@ -412,7 +412,7 @@ impl OperatorDescriptor for IndexNestedLoopJoinOp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::connector::{wire, ConnectorKind};
+    use crate::connector::{wire, ConnectorKind, ExchangeConfig};
     use crate::ops::OpCtx;
 
     fn run_join(
@@ -420,9 +420,10 @@ mod tests {
         build: Vec<Tuple>,
         probe: Vec<Tuple>,
     ) -> Vec<Tuple> {
-        let (mut b_out, b_in) = wire(&ConnectorKind::OneToOne, 1, 1, &|_| 0).unwrap();
-        let (mut p_out, p_in) = wire(&ConnectorKind::OneToOne, 1, 1, &|_| 0).unwrap();
-        let (r_out, mut r_in) = wire(&ConnectorKind::OneToOne, 1, 1, &|_| 0).unwrap();
+        let x = ExchangeConfig::default();
+        let (mut b_out, b_in) = wire(&ConnectorKind::OneToOne, 1, 1, &|_| 0, &x).unwrap();
+        let (mut p_out, p_in) = wire(&ConnectorKind::OneToOne, 1, 1, &|_| 0, &x).unwrap();
+        let (r_out, mut r_in) = wire(&ConnectorKind::OneToOne, 1, 1, &|_| 0, &x).unwrap();
         for t in build {
             b_out[0].push(t).unwrap();
         }
@@ -526,8 +527,9 @@ mod tests {
         );
         // Index NL join takes a single input (the outer); probe is a
         // callback. Feed outer tuples through input 0.
-        let (mut b_out, b_in) = wire(&ConnectorKind::OneToOne, 1, 1, &|_| 0).unwrap();
-        let (r_out, mut r_in) = wire(&ConnectorKind::OneToOne, 1, 1, &|_| 0).unwrap();
+        let x = ExchangeConfig::default();
+        let (mut b_out, b_in) = wire(&ConnectorKind::OneToOne, 1, 1, &|_| 0, &x).unwrap();
+        let (r_out, mut r_in) = wire(&ConnectorKind::OneToOne, 1, 1, &|_| 0, &x).unwrap();
         for i in 0..4i64 {
             b_out[0].push(vec![Value::Int64(i)]).unwrap();
         }

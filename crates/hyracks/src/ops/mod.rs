@@ -388,11 +388,23 @@ impl OperatorDescriptor for ReplicateOp {
 
     fn run(&self, ctx: &mut OpCtx) -> Result<()> {
         let OpCtx { inputs, outputs, .. } = ctx;
+        let n = outputs.len();
+        let mut closed = vec![false; n];
         inputs[0].for_each(|t| {
-            for out in outputs.iter_mut() {
-                out.push(t.clone())?;
+            let mut all_closed = true;
+            for (i, out) in outputs.iter_mut().enumerate() {
+                if closed[i] {
+                    continue;
+                }
+                // One tap hanging up must not starve the others; only stop
+                // consuming once every downstream path is gone.
+                match out.push(t.clone()) {
+                    Ok(()) => all_closed = false,
+                    Err(crate::HyracksError::DownstreamClosed) => closed[i] = true,
+                    Err(e) => return Err(e),
+                }
             }
-            Ok(true)
+            Ok(!all_closed)
         })
     }
 }

@@ -230,12 +230,13 @@ impl OperatorDescriptor for SortOp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::connector::{wire, ConnectorKind};
+    use crate::connector::{wire, ConnectorKind, ExchangeConfig};
     use asterix_adm::Value;
 
     fn run_sort(op: SortOp, input: Vec<Tuple>) -> Vec<Tuple> {
-        let (mut in_outs, ins) = wire(&ConnectorKind::OneToOne, 1, 1, &|_| 0).unwrap();
-        let (outs, mut res_ins) = wire(&ConnectorKind::OneToOne, 1, 1, &|_| 0).unwrap();
+        let x = ExchangeConfig::default();
+        let (mut in_outs, ins) = wire(&ConnectorKind::OneToOne, 1, 1, &|_| 0, &x).unwrap();
+        let (outs, mut res_ins) = wire(&ConnectorKind::OneToOne, 1, 1, &|_| 0, &x).unwrap();
         for t in input {
             in_outs[0].push(t).unwrap();
         }

@@ -207,6 +207,7 @@ mod tests {
                 page_size: 512,
                 bloom_fpp: 0.01,
                 merge_policy: MergePolicy::NoMerge,
+                max_frozen: 2,
             },
             BufferCache::new(128),
             Arc::new(NullObserver),

@@ -2,23 +2,34 @@
 //!
 //! [`LsmTree`] converts an in-place-update index discipline into a
 //! deferred-update, append-only one: writes land in an in-memory component;
-//! when its budget is exceeded the component is flushed to an immutable disk
-//! component; disk components are periodically merged per a
-//! [`MergePolicy`]. Deletes are antimatter entries. This harness backs the
+//! when its budget is exceeded the component is **sealed** and handed to a
+//! per-tree background maintenance thread that builds the immutable disk
+//! component and applies the [`MergePolicy`] — the write path never waits
+//! for flush or merge I/O (§4.2's non-stalling ingest). Readers consult the
+//! mutable component, then sealed-but-unflushed components newest → oldest,
+//! then disk components, so no visibility gap exists at any point of the
+//! flush pipeline. Deletes are antimatter entries. This harness backs the
 //! LSM B+-tree directly and (through composite keys) the inverted indexes;
 //! the R-tree has its own spatially-organized variant sharing the same
 //! component lifecycle.
+//!
+//! Background I/O failures are *deferred*: they surface as the error of the
+//! next write, [`LsmTree::flush`], or [`LsmTree::close`] call, mirroring
+//! how a real engine reports asynchronous flush failures.
 
 use std::collections::BTreeMap;
 use std::ops::Bound;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
 
-use parking_lot::{Mutex, RwLock};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex, RwLock};
 
-use crate::component::{ComponentConfig, DiskComponent, Entry};
 use crate::cache::BufferCache;
-use crate::error::Result;
+use crate::component::{ComponentConfig, DiskComponent, Entry};
+use crate::error::{Result, StorageError};
 
 /// When and what to merge (§4.3 "subject to some merge policy").
 #[derive(Debug, Clone)]
@@ -49,6 +60,11 @@ pub struct LsmConfig {
     pub page_size: usize,
     pub bloom_fpp: f64,
     pub merge_policy: MergePolicy,
+    /// How many sealed in-memory components may queue for background
+    /// flushing before writers block (AsterixDB keeps a small fixed pool of
+    /// memory components per index). Bounds write-path memory to roughly
+    /// `(1 + max_frozen) × mem_budget`.
+    pub max_frozen: usize,
 }
 
 impl Default for LsmConfig {
@@ -58,6 +74,7 @@ impl Default for LsmConfig {
             page_size: crate::cache::PAGE_SIZE,
             bloom_fpp: 0.01,
             merge_policy: MergePolicy::default(),
+            max_frozen: 2,
         }
     }
 }
@@ -68,13 +85,25 @@ struct MemEntry {
     value: Vec<u8>,
 }
 
+/// A sealed in-memory component waiting for (or undergoing) its background
+/// flush. Readers consult it between `mem` and `disk` so no window exists
+/// in which sealed-but-not-yet-installed data is invisible.
+struct FrozenComponent {
+    seq: u64,
+    /// Recovery watermark captured from [`LsmObserver::on_seal`] at seal
+    /// time — it describes exactly the operations contained in `entries`,
+    /// never ones that raced in after the seal.
+    watermark: u64,
+    bytes: usize,
+    entries: Arc<BTreeMap<Vec<u8>, MemEntry>>,
+}
+
 struct LsmState {
     mem: BTreeMap<Vec<u8>, MemEntry>,
     mem_bytes: usize,
-    /// An immutable memory component currently being flushed; readers
-    /// consult it between `mem` and `disk` so no window exists in which
-    /// flushed-but-not-yet-installed data is invisible.
-    flushing: Option<Arc<BTreeMap<Vec<u8>, MemEntry>>>,
+    /// Sealed components, oldest first (the maintenance thread flushes from
+    /// the front; readers scan from the back).
+    frozen: Vec<FrozenComponent>,
     /// Disk components, newest first.
     disk: Vec<Arc<DiskComponent>>,
     next_seq: u64,
@@ -82,9 +111,20 @@ struct LsmState {
 
 /// Lifecycle events surfaced to the transaction/recovery layer.
 pub trait LsmObserver: Send + Sync {
+    /// Called synchronously on the writer's thread at the moment the
+    /// mutable component is sealed, before any new write lands in the
+    /// fresh component. Returns the recovery watermark (e.g. the last WAL
+    /// LSN applied to this index) to associate with the eventual flush.
+    /// Capturing it here — not when the flush completes — keeps the
+    /// watermark consistent with the sealed contents under background
+    /// flushing.
+    fn on_seal(&self) -> u64 {
+        0
+    }
     /// A flush produced `component_path` covering flush sequences up to and
-    /// including `max_seq`.
-    fn on_flush(&self, _component_path: &Path, _max_seq: u64) {}
+    /// including `max_seq`; `watermark` is the value [`LsmObserver::on_seal`]
+    /// returned when the component was sealed.
+    fn on_flush(&self, _component_path: &Path, _max_seq: u64, _watermark: u64) {}
     /// A merge replaced `inputs` with `output`.
     fn on_merge(&self, _inputs: &[PathBuf], _output: &Path) {}
 }
@@ -93,273 +133,127 @@ pub trait LsmObserver: Send + Sync {
 pub struct NullObserver;
 impl LsmObserver for NullObserver {}
 
-/// An LSM index over byte-string keys.
-pub struct LsmTree {
+/// Work orders for the maintenance thread.
+enum MaintMsg {
+    /// Sealed components are queued; flush them (and merge per policy).
+    Work,
+    /// Flush everything queued, then ack with the last component path.
+    Drain(Sender<Result<Option<PathBuf>>>),
+    /// Flush everything queued, then merge all disk components.
+    MergeAll(Sender<Result<()>>),
+    /// Exit after a best-effort drain.
+    Shutdown,
+}
+
+/// State shared between the tree handle and its maintenance thread.
+struct LsmInner {
     dir: PathBuf,
     cfg: LsmConfig,
     cache: Arc<BufferCache>,
     state: RwLock<LsmState>,
-    /// Serializes whole flush operations.
-    flush_lock: Mutex<()>,
     observer: Arc<dyn LsmObserver>,
+    /// First unreported background I/O error; surfaced to the next caller.
+    deferred: Mutex<Option<StorageError>>,
+    /// Signals a change in the frozen queue (for writers blocked on
+    /// `max_frozen`).
+    frozen_cv: Condvar,
+    frozen_lock: Mutex<()>,
 }
 
-impl LsmTree {
-    /// Create or reopen an LSM tree rooted at `dir`. Invalid (crash-orphaned)
-    /// components are garbage-collected; valid ones are reopened.
-    pub fn open(
-        dir: &Path,
-        cfg: LsmConfig,
-        cache: Arc<BufferCache>,
-        observer: Arc<dyn LsmObserver>,
-    ) -> Result<LsmTree> {
-        std::fs::create_dir_all(dir)?;
-        let valid = DiskComponent::scavenge_dir(dir)?;
-        let mut disk: Vec<Arc<DiskComponent>> = Vec::with_capacity(valid.len());
-        for path in valid {
-            disk.push(DiskComponent::open(&path, Arc::clone(&cache))?);
+impl LsmInner {
+    fn defer_error(&self, e: StorageError) {
+        let mut d = self.deferred.lock();
+        if d.is_none() {
+            *d = Some(e);
         }
-        // Newest first: components are named c_<min>_<max>.dat with
-        // zero-padded sequence numbers, so path sort order is seq order.
-        disk.sort_by_key(|c| std::cmp::Reverse(c.max_seq));
-        let next_seq = disk.iter().map(|c| c.max_seq + 1).max().unwrap_or(0);
-        Ok(LsmTree {
-            dir: dir.to_path_buf(),
-            cfg,
-            cache,
-            state: RwLock::new(LsmState {
-                mem: BTreeMap::new(),
-                mem_bytes: 0,
-                flushing: None,
-                disk,
-                next_seq,
-            }),
-            flush_lock: Mutex::new(()),
-            observer,
-        })
     }
 
-    /// Root directory of this index.
-    pub fn dir(&self) -> &Path {
-        &self.dir
+    fn take_deferred(&self) -> Option<StorageError> {
+        self.deferred.lock().take()
     }
 
-    fn entry_overhead(key: &[u8], value: &[u8]) -> usize {
-        key.len() + value.len() + 48
+    fn notify_frozen(&self) {
+        let _g = self.frozen_lock.lock();
+        self.frozen_cv.notify_all();
     }
 
-    /// Insert or overwrite (upsert) a key. Automatically flushes when the
-    /// memory budget is exceeded.
-    pub fn insert(&self, key: Vec<u8>, value: Vec<u8>) -> Result<()> {
-        self.write(key, MemEntry { antimatter: false, value })
-    }
-
-    /// Delete a key by writing an antimatter entry.
-    pub fn delete(&self, key: Vec<u8>) -> Result<()> {
-        self.write(key, MemEntry { antimatter: true, value: Vec::new() })
-    }
-
-    fn write(&self, key: Vec<u8>, entry: MemEntry) -> Result<()> {
-        let needs_flush = {
-            let mut st = self.state.write();
-            st.mem_bytes += Self::entry_overhead(&key, &entry.value);
-            if let Some(old) = st.mem.insert(key, entry) {
-                st.mem_bytes = st.mem_bytes.saturating_sub(old.value.len());
+    /// Block until the frozen queue has room (or a background error is
+    /// pending, which the caller must surface instead of writing more).
+    fn wait_for_frozen_capacity(&self, nudge: &Sender<MaintMsg>) -> Result<()> {
+        let cap = self.cfg.max_frozen.max(1);
+        let mut guard = self.frozen_lock.lock();
+        loop {
+            if self.state.read().frozen.len() < cap {
+                return Ok(());
             }
-            st.mem_bytes >= self.cfg.mem_budget
-        };
-        if needs_flush {
-            self.flush()?;
-        }
-        Ok(())
-    }
-
-    /// Point lookup: memory first, then disk components newest → oldest,
-    /// with bloom filters pruning component probes.
-    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
-        let st = self.state.read();
-        if let Some(e) = st.mem.get(key) {
-            return Ok(if e.antimatter { None } else { Some(e.value.clone()) });
-        }
-        if let Some(fl) = &st.flushing {
-            if let Some(e) = fl.get(key) {
-                return Ok(if e.antimatter { None } else { Some(e.value.clone()) });
+            if let Some(e) = self.take_deferred() {
+                return Err(e);
             }
+            // Re-kick the worker in case an earlier error left the queue
+            // stalled with no message in flight.
+            let _ = nudge.send(MaintMsg::Work);
+            self.frozen_cv.wait_for(&mut guard, Duration::from_millis(50));
         }
-        for comp in &st.disk {
-            if let Some(e) = comp.get(key)? {
-                return Ok(if e.antimatter { None } else { Some(e.value) });
-            }
-        }
-        Ok(None)
     }
 
-    /// Does the key exist (non-antimatter)?
-    pub fn contains(&self, key: &[u8]) -> Result<bool> {
-        Ok(self.get(key)?.is_some())
-    }
-
-    /// Merged range scan over `[lo, hi)`; resolves antimatter so only live
-    /// entries are yielded, in ascending key order.
-    pub fn scan(&self, lo: Option<&[u8]>, hi: Option<&[u8]>) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
-        let mut out = Vec::new();
-        self.scan_with(lo, hi, |k, v| {
-            out.push((k.to_vec(), v.to_vec()));
-            true
-        })?;
-        Ok(out)
-    }
-
-    /// Streaming variant of [`LsmTree::scan`]: the callback returns `false` to stop
-    /// early (used by LIMIT evaluation).
-    pub fn scan_with(
-        &self,
-        lo: Option<&[u8]>,
-        hi: Option<&[u8]>,
-        mut f: impl FnMut(&[u8], &[u8]) -> bool,
-    ) -> Result<()> {
-        let st = self.state.read();
-        // Source 0 is the memory component (highest priority), then disk
-        // components newest → oldest.
-        let mem_range = st.mem.range::<[u8], _>((
-            lo.map_or(Bound::Unbounded, Bound::Included),
-            hi.map_or(Bound::Unbounded, Bound::Excluded),
-        ));
-        let mut mem_iter = mem_range.map(|(k, v)| Entry {
-            key: k.clone(),
-            antimatter: v.antimatter,
-            value: v.value.clone(),
-        });
-        // The flushing component (if any) sits between memory and disk in
-        // recency; its relevant range is materialized (bounded by the
-        // memory budget).
-        let flushing_entries: Vec<Entry> = match &st.flushing {
-            Some(fl) => fl
-                .range::<[u8], _>((
-                    lo.map_or(Bound::Unbounded, Bound::Included),
-                    hi.map_or(Bound::Unbounded, Bound::Excluded),
-                ))
-                .map(|(k, v)| Entry {
+    /// Flush every queued frozen component (oldest first), applying the
+    /// merge policy after each install. Returns the path of the last
+    /// component built.
+    fn process_pending(self: &Arc<Self>) -> Result<Option<PathBuf>> {
+        let mut last = None;
+        loop {
+            let job = {
+                let st = self.state.read();
+                st.frozen
+                    .first()
+                    .map(|f| (f.seq, f.watermark, Arc::clone(&f.entries)))
+            };
+            let Some((seq, watermark, entries)) = job else { break };
+            let path = self.dir.join(format!("c_{seq:012}_{seq:012}.dat"));
+            let n = entries.len();
+            let comp = DiskComponent::build(
+                &path,
+                Arc::clone(&self.cache),
+                &ComponentConfig {
+                    page_size: self.cfg.page_size,
+                    bloom_fpp: self.cfg.bloom_fpp,
+                },
+                seq,
+                seq,
+                entries.iter().map(|(k, v)| Entry {
                     key: k.clone(),
                     antimatter: v.antimatter,
                     value: v.value.clone(),
-                })
-                .collect(),
-            None => Vec::new(),
-        };
-        let mut flushing_iter = flushing_entries.into_iter();
-        let mut disk_iters: Vec<crate::component::ComponentIter> =
-            st.disk.iter().map(|c| c.range(lo, hi)).collect();
-        // A heads array implementing a k-way merge by (key, priority):
-        // source 0 is the memory component, source 1 the flushing
-        // component, then disk newest → oldest.
-        let mut heads: Vec<Option<Entry>> = Vec::with_capacity(2 + disk_iters.len());
-        heads.push(mem_iter.next());
-        heads.push(flushing_iter.next());
-        for it in &mut disk_iters {
-            heads.push(it.next());
-        }
-        loop {
-            // Find the smallest key; among equals the lowest source index
-            // (newest data) wins.
-            let mut best: Option<(usize, &[u8])> = None;
-            for (i, h) in heads.iter().enumerate() {
-                if let Some(e) = h {
-                    match best {
-                        None => best = Some((i, &e.key)),
-                        Some((_, bk)) if e.key.as_slice() < bk => best = Some((i, &e.key)),
-                        _ => {}
+                }),
+                n,
+            )?;
+            let installed = {
+                let mut st = self.state.write();
+                // The snapshot may have been discarded while we built (crash
+                // simulation); install only if it is still queued.
+                match st.frozen.iter().position(|f| f.seq == seq) {
+                    Some(pos) => {
+                        st.frozen.remove(pos);
+                        st.disk.insert(0, comp);
+                        true
                     }
+                    None => false,
                 }
-            }
-            let Some((winner, _)) = best else { break };
-            let entry = heads[winner].take().unwrap();
-            // Advance the winner and every source holding the same key
-            // (older duplicates are shadowed and must be skipped).
-            let mut advance = |i: usize, heads: &mut Vec<Option<Entry>>| {
-                heads[i] = match i {
-                    0 => mem_iter.next(),
-                    1 => flushing_iter.next(),
-                    _ => disk_iters[i - 2].next(),
-                };
             };
-            advance(winner, &mut heads);
-            for i in 0..heads.len() {
-                loop {
-                    let same = matches!(&heads[i], Some(e) if e.key == entry.key);
-                    if !same {
-                        break;
-                    }
-                    advance(i, &mut heads);
-                }
-            }
-            if !entry.antimatter && !f(&entry.key, &entry.value) {
-                break;
+            self.notify_frozen();
+            if installed {
+                self.observer.on_flush(&path, seq, watermark);
+                self.maybe_merge()?;
+                last = Some(path);
+            } else {
+                let _ = std::fs::remove_file(&path);
             }
         }
-        for mut it in disk_iters {
-            if let Some(e) = it.take_error() {
-                return Err(e);
-            }
-        }
-        Ok(())
+        Ok(last)
     }
 
-    /// Count of live entries (scan-based; used by tests and stats).
-    pub fn live_count(&self) -> Result<usize> {
-        let mut n = 0;
-        self.scan_with(None, None, |_, _| {
-            n += 1;
-            true
-        })?;
-        Ok(n)
-    }
-
-    /// Force-flush the in-memory component to disk. No-op when empty.
-    /// Readers see the data throughout: it moves memory → flushing
-    /// component → installed disk component without a visibility gap.
-    pub fn flush(&self) -> Result<Option<PathBuf>> {
-        let _serialize = self.flush_lock.lock();
-        let (snapshot, seq) = {
-            let mut st = self.state.write();
-            if st.mem.is_empty() {
-                return Ok(None);
-            }
-            let mem = std::mem::take(&mut st.mem);
-            st.mem_bytes = 0;
-            let snapshot = Arc::new(mem);
-            st.flushing = Some(Arc::clone(&snapshot));
-            let seq = st.next_seq;
-            st.next_seq += 1;
-            (snapshot, seq)
-        };
-        let path = self.dir.join(format!("c_{seq:012}_{seq:012}.dat"));
-        let n = snapshot.len();
-        let comp = DiskComponent::build(
-            &path,
-            Arc::clone(&self.cache),
-            &ComponentConfig { page_size: self.cfg.page_size, bloom_fpp: self.cfg.bloom_fpp },
-            seq,
-            seq,
-            snapshot.iter().map(|(k, v)| Entry {
-                key: k.clone(),
-                antimatter: v.antimatter,
-                value: v.value.clone(),
-            }),
-            n,
-        )?;
-        {
-            let mut st = self.state.write();
-            st.disk.insert(0, comp);
-            st.flushing = None;
-        }
-        self.observer.on_flush(&path, seq);
-        self.maybe_merge()?;
-        Ok(Some(path))
-    }
-
-    /// Apply the merge policy; merges synchronously when triggered.
-    pub fn maybe_merge(&self) -> Result<()> {
+    /// Apply the merge policy; runs on the maintenance thread.
+    fn maybe_merge(self: &Arc<Self>) -> Result<()> {
         let to_merge: Vec<Arc<DiskComponent>> = {
             let st = self.state.read();
             match &self.cfg.merge_policy {
@@ -396,16 +290,7 @@ impl LsmTree {
         self.merge_components(&to_merge)
     }
 
-    /// Merge all current disk components into one (manual full merge).
-    pub fn merge_all(&self) -> Result<()> {
-        let comps = self.state.read().disk.clone();
-        if comps.len() < 2 {
-            return Ok(());
-        }
-        self.merge_components(&comps)
-    }
-
-    fn merge_components(&self, inputs: &[Arc<DiskComponent>]) -> Result<()> {
+    fn merge_components(self: &Arc<Self>, inputs: &[Arc<DiskComponent>]) -> Result<()> {
         let min_seq = inputs.iter().map(|c| c.min_seq).min().unwrap();
         let max_seq = inputs.iter().map(|c| c.max_seq).max().unwrap();
         // Whether the merge includes the oldest on-disk data; if so,
@@ -473,7 +358,7 @@ impl LsmTree {
             inputs.iter().map(|c| c.path().to_path_buf()).collect();
         {
             let mut st = self.state.write();
-            st.disk.retain(|c| !input_paths.contains(&c.path().to_path_buf()));
+            st.disk.retain(|c| !input_paths.iter().any(|p| p == c.path()));
             let pos = st.disk.partition_point(|c| c.max_seq > max_seq);
             st.disk.insert(pos, comp);
         }
@@ -483,39 +368,454 @@ impl LsmTree {
         self.observer.on_merge(&input_paths, &out_path);
         Ok(())
     }
+}
+
+/// The maintenance thread: flushes sealed components and merges disk
+/// components so the write path never blocks on I/O. All merges run here,
+/// serializing them against flushes without any extra locking.
+fn maintenance_loop(inner: Arc<LsmInner>, rx: Receiver<MaintMsg>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            MaintMsg::Work => {
+                if let Err(e) = inner.process_pending() {
+                    inner.defer_error(e);
+                    inner.notify_frozen();
+                }
+            }
+            MaintMsg::Drain(ack) => {
+                let res = inner.process_pending();
+                let res = match (res, inner.take_deferred()) {
+                    (Err(e), _) => Err(e),
+                    (Ok(_), Some(e)) => Err(e),
+                    (Ok(p), None) => Ok(p),
+                };
+                let _ = ack.send(res);
+            }
+            MaintMsg::MergeAll(ack) => {
+                let res = inner
+                    .process_pending()
+                    .and_then(|_| {
+                        let comps = inner.state.read().disk.clone();
+                        if comps.len() < 2 {
+                            Ok(())
+                        } else {
+                            inner.merge_components(&comps)
+                        }
+                    });
+                let _ = ack.send(res);
+            }
+            MaintMsg::Shutdown => {
+                if let Err(e) = inner.process_pending() {
+                    inner.defer_error(e);
+                }
+                break;
+            }
+        }
+    }
+    // Wake any writer still blocked on frozen capacity so it can observe
+    // the dead worker instead of hanging.
+    inner.notify_frozen();
+}
+
+/// An LSM index over byte-string keys.
+pub struct LsmTree {
+    inner: Arc<LsmInner>,
+    tx: Sender<MaintMsg>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl LsmTree {
+    /// Create or reopen an LSM tree rooted at `dir`. Invalid (crash-orphaned)
+    /// components are garbage-collected; valid ones are reopened. Spawns the
+    /// tree's background maintenance thread.
+    pub fn open(
+        dir: &Path,
+        cfg: LsmConfig,
+        cache: Arc<BufferCache>,
+        observer: Arc<dyn LsmObserver>,
+    ) -> Result<LsmTree> {
+        std::fs::create_dir_all(dir)?;
+        let valid = DiskComponent::scavenge_dir(dir)?;
+        let mut disk: Vec<Arc<DiskComponent>> = Vec::with_capacity(valid.len());
+        for path in valid {
+            disk.push(DiskComponent::open(&path, Arc::clone(&cache))?);
+        }
+        // Newest first: components are named c_<min>_<max>.dat with
+        // zero-padded sequence numbers, so path sort order is seq order.
+        disk.sort_by_key(|c| std::cmp::Reverse(c.max_seq));
+        let next_seq = disk.iter().map(|c| c.max_seq + 1).max().unwrap_or(0);
+        let inner = Arc::new(LsmInner {
+            dir: dir.to_path_buf(),
+            cfg,
+            cache,
+            state: RwLock::new(LsmState {
+                mem: BTreeMap::new(),
+                mem_bytes: 0,
+                frozen: Vec::new(),
+                disk,
+                next_seq,
+            }),
+            observer,
+            deferred: Mutex::new(None),
+            frozen_cv: Condvar::new(),
+            frozen_lock: Mutex::new(()),
+        });
+        let (tx, rx) = unbounded();
+        let inner2 = Arc::clone(&inner);
+        let worker = std::thread::Builder::new()
+            .name("lsm-maint".into())
+            .spawn(move || maintenance_loop(inner2, rx))?;
+        Ok(LsmTree { inner, tx, worker: Mutex::new(Some(worker)) })
+    }
+
+    /// Root directory of this index.
+    pub fn dir(&self) -> &Path {
+        &self.inner.dir
+    }
+
+    fn entry_overhead(key: &[u8], value: &[u8]) -> usize {
+        key.len() + value.len() + 48
+    }
+
+    fn send(&self, msg: MaintMsg) -> Result<()> {
+        self.tx.send(msg).map_err(|_| {
+            StorageError::InvalidState("lsm maintenance thread terminated".into())
+        })
+    }
+
+    /// Insert or overwrite (upsert) a key. When the memory budget trips,
+    /// the mutable component is sealed and queued for background flushing —
+    /// the call returns without waiting for any I/O (unless `max_frozen`
+    /// seals are already queued, the write-path memory bound).
+    pub fn insert(&self, key: Vec<u8>, value: Vec<u8>) -> Result<()> {
+        self.write(key, MemEntry { antimatter: false, value })
+    }
+
+    /// Delete a key by writing an antimatter entry.
+    pub fn delete(&self, key: Vec<u8>) -> Result<()> {
+        self.write(key, MemEntry { antimatter: true, value: Vec::new() })
+    }
+
+    fn write(&self, key: Vec<u8>, entry: MemEntry) -> Result<()> {
+        // Background maintenance failures surface on the next write.
+        if let Some(e) = self.inner.take_deferred() {
+            return Err(e);
+        }
+        let needs_seal = {
+            let mut st = self.inner.state.write();
+            st.mem_bytes += Self::entry_overhead(&key, &entry.value);
+            if let Some(old) = st.mem.insert(key, entry) {
+                st.mem_bytes = st.mem_bytes.saturating_sub(old.value.len());
+            }
+            st.mem_bytes >= self.inner.cfg.mem_budget
+        };
+        if needs_seal {
+            self.seal_and_enqueue()?;
+        }
+        Ok(())
+    }
+
+    /// Seal the mutable component and queue it for background flushing.
+    fn seal_and_enqueue(&self) -> Result<()> {
+        self.inner.wait_for_frozen_capacity(&self.tx)?;
+        let sealed = {
+            let mut st = self.inner.state.write();
+            // A racing writer may have sealed already; only seal when the
+            // budget is (still) exceeded.
+            if st.mem.is_empty() || st.mem_bytes < self.inner.cfg.mem_budget {
+                false
+            } else {
+                let watermark = self.inner.observer.on_seal();
+                let mem = std::mem::take(&mut st.mem);
+                let bytes = std::mem::replace(&mut st.mem_bytes, 0);
+                let seq = st.next_seq;
+                st.next_seq += 1;
+                st.frozen.push(FrozenComponent {
+                    seq,
+                    watermark,
+                    bytes,
+                    entries: Arc::new(mem),
+                });
+                true
+            }
+        };
+        if sealed {
+            self.send(MaintMsg::Work)?;
+        }
+        Ok(())
+    }
+
+    /// Point lookup: mutable memory first, then sealed components newest →
+    /// oldest, then disk components newest → oldest, with bloom filters
+    /// pruning component probes.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let st = self.inner.state.read();
+        if let Some(e) = st.mem.get(key) {
+            return Ok(if e.antimatter { None } else { Some(e.value.clone()) });
+        }
+        for fr in st.frozen.iter().rev() {
+            if let Some(e) = fr.entries.get(key) {
+                return Ok(if e.antimatter { None } else { Some(e.value.clone()) });
+            }
+        }
+        for comp in &st.disk {
+            if let Some(e) = comp.get(key)? {
+                return Ok(if e.antimatter { None } else { Some(e.value) });
+            }
+        }
+        Ok(None)
+    }
+
+    /// Does the key exist (non-antimatter)?
+    pub fn contains(&self, key: &[u8]) -> Result<bool> {
+        Ok(self.get(key)?.is_some())
+    }
+
+    /// Merged range scan over `[lo, hi)`; resolves antimatter so only live
+    /// entries are yielded, in ascending key order.
+    pub fn scan(&self, lo: Option<&[u8]>, hi: Option<&[u8]>) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut out = Vec::new();
+        self.scan_with(lo, hi, |k, v| {
+            out.push((k.to_vec(), v.to_vec()));
+            true
+        })?;
+        Ok(out)
+    }
+
+    /// Streaming variant of [`LsmTree::scan`]: the callback returns `false` to stop
+    /// early (used by LIMIT evaluation).
+    pub fn scan_with(
+        &self,
+        lo: Option<&[u8]>,
+        hi: Option<&[u8]>,
+        mut f: impl FnMut(&[u8], &[u8]) -> bool,
+    ) -> Result<()> {
+        let st = self.inner.state.read();
+        let bounds = (
+            lo.map_or(Bound::Unbounded, Bound::Included),
+            hi.map_or(Bound::Unbounded, Bound::Excluded),
+        );
+        // Source 0 is the mutable memory component (highest priority), then
+        // sealed components newest → oldest, then disk newest → oldest.
+        let mem_range = st.mem.range::<[u8], _>(bounds);
+        let mut mem_iter = mem_range.map(|(k, v)| Entry {
+            key: k.clone(),
+            antimatter: v.antimatter,
+            value: v.value.clone(),
+        });
+        // Sealed components' relevant ranges are materialized (bounded by
+        // max_frozen × mem_budget).
+        let mut frozen_iters: Vec<std::vec::IntoIter<Entry>> = st
+            .frozen
+            .iter()
+            .rev()
+            .map(|fr| {
+                fr.entries
+                    .range::<[u8], _>(bounds)
+                    .map(|(k, v)| Entry {
+                        key: k.clone(),
+                        antimatter: v.antimatter,
+                        value: v.value.clone(),
+                    })
+                    .collect::<Vec<Entry>>()
+                    .into_iter()
+            })
+            .collect();
+        let nf = frozen_iters.len();
+        let mut disk_iters: Vec<crate::component::ComponentIter> =
+            st.disk.iter().map(|c| c.range(lo, hi)).collect();
+        // A heads array implementing a k-way merge by (key, priority):
+        // lower source index = newer data.
+        let mut heads: Vec<Option<Entry>> = Vec::with_capacity(1 + nf + disk_iters.len());
+        heads.push(mem_iter.next());
+        for it in &mut frozen_iters {
+            heads.push(it.next());
+        }
+        for it in &mut disk_iters {
+            heads.push(it.next());
+        }
+        loop {
+            // Find the smallest key; among equals the lowest source index
+            // (newest data) wins.
+            let mut best: Option<(usize, &[u8])> = None;
+            for (i, h) in heads.iter().enumerate() {
+                if let Some(e) = h {
+                    match best {
+                        None => best = Some((i, &e.key)),
+                        Some((_, bk)) if e.key.as_slice() < bk => best = Some((i, &e.key)),
+                        _ => {}
+                    }
+                }
+            }
+            let Some((winner, _)) = best else { break };
+            let entry = heads[winner].take().unwrap();
+            // Advance the winner and every source holding the same key
+            // (older duplicates are shadowed and must be skipped).
+            let mut advance = |i: usize, heads: &mut Vec<Option<Entry>>| {
+                heads[i] = if i == 0 {
+                    mem_iter.next()
+                } else if i <= nf {
+                    frozen_iters[i - 1].next()
+                } else {
+                    disk_iters[i - 1 - nf].next()
+                };
+            };
+            advance(winner, &mut heads);
+            for i in 0..heads.len() {
+                loop {
+                    let same = matches!(&heads[i], Some(e) if e.key == entry.key);
+                    if !same {
+                        break;
+                    }
+                    advance(i, &mut heads);
+                }
+            }
+            if !entry.antimatter && !f(&entry.key, &entry.value) {
+                break;
+            }
+        }
+        for mut it in disk_iters {
+            if let Some(e) = it.take_error() {
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Count of live entries (scan-based; used by tests and stats).
+    pub fn live_count(&self) -> Result<usize> {
+        let mut n = 0;
+        self.scan_with(None, None, |_, _| {
+            n += 1;
+            true
+        })?;
+        Ok(n)
+    }
+
+    /// Force-flush: seal the in-memory component (if non-empty) and wait
+    /// for the maintenance thread to drain every queued seal to disk.
+    /// Returns the path of the last component written, `None` when there
+    /// was nothing to flush. Surfaces any deferred background error.
+    /// Readers see the data throughout: it moves memory → sealed
+    /// component → installed disk component without a visibility gap.
+    pub fn flush(&self) -> Result<Option<PathBuf>> {
+        {
+            let mut st = self.inner.state.write();
+            if !st.mem.is_empty() {
+                let watermark = self.inner.observer.on_seal();
+                let mem = std::mem::take(&mut st.mem);
+                let bytes = std::mem::replace(&mut st.mem_bytes, 0);
+                let seq = st.next_seq;
+                st.next_seq += 1;
+                st.frozen.push(FrozenComponent {
+                    seq,
+                    watermark,
+                    bytes,
+                    entries: Arc::new(mem),
+                });
+            }
+        }
+        let (ack_tx, ack_rx) = bounded(1);
+        self.send(MaintMsg::Drain(ack_tx))?;
+        ack_rx.recv().unwrap_or_else(|_| {
+            Err(StorageError::InvalidState("lsm maintenance thread terminated".into()))
+        })
+    }
+
+    /// Merge all current disk components into one (manual full merge),
+    /// after draining any pending flushes. Runs on the maintenance thread
+    /// (like policy-triggered merges) but blocks the caller until done.
+    pub fn merge_all(&self) -> Result<()> {
+        let (ack_tx, ack_rx) = bounded(1);
+        self.send(MaintMsg::MergeAll(ack_tx))?;
+        ack_rx.recv().unwrap_or_else(|_| {
+            Err(StorageError::InvalidState("lsm maintenance thread terminated".into()))
+        })
+    }
+
+    /// Drain pending background work, surface any deferred I/O error, and
+    /// stop the maintenance thread. Reads keep working afterwards; writes
+    /// that need maintenance will fail. Idempotent.
+    pub fn close(&self) -> Result<()> {
+        let (ack_tx, ack_rx) = bounded(1);
+        let drained = match self.tx.send(MaintMsg::Drain(ack_tx)) {
+            Ok(()) => ack_rx.recv().unwrap_or(Ok(None)),
+            // Worker already gone: nothing pending except a possible
+            // deferred error, handled below.
+            Err(_) => Ok(None),
+        };
+        self.shutdown_worker();
+        drained?;
+        match self.inner.take_deferred() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    fn shutdown_worker(&self) {
+        let _ = self.tx.send(MaintMsg::Shutdown);
+        if let Some(h) = self.worker.lock().take() {
+            let _ = h.join();
+        }
+    }
 
     /// Number of disk components (for tests/stats).
     pub fn disk_component_count(&self) -> usize {
-        self.state.read().disk.len()
+        self.inner.state.read().disk.len()
     }
 
-    /// Total bytes across disk components plus the memory component —
-    /// Table 2's storage-size metric.
+    /// Total bytes across disk components plus the in-memory (mutable and
+    /// sealed) components — Table 2's storage-size metric.
     pub fn size_bytes(&self) -> u64 {
-        let st = self.state.read();
-        st.disk.iter().map(|c| c.file_len()).sum::<u64>() + st.mem_bytes as u64
+        let st = self.inner.state.read();
+        st.disk.iter().map(|c| c.file_len()).sum::<u64>()
+            + st.mem_bytes as u64
+            + st.frozen.iter().map(|f| f.bytes as u64).sum::<u64>()
     }
 
-    /// In-memory component size in bytes.
+    /// Mutable in-memory component size in bytes.
     pub fn mem_bytes(&self) -> usize {
-        self.state.read().mem_bytes
+        self.inner.state.read().mem_bytes
     }
 
     /// Drop everything (dataset drop): removes the directory.
     pub fn destroy(self) -> Result<()> {
-        let st = self.state.into_inner();
-        drop(st);
-        std::fs::remove_dir_all(&self.dir)?;
+        {
+            // Discard pending seals — their data is about to be deleted.
+            let mut st = self.inner.state.write();
+            st.mem.clear();
+            st.mem_bytes = 0;
+            st.frozen.clear();
+        }
+        self.shutdown_worker();
+        // Destroy components first so their cached pages are invalidated.
+        let disk = std::mem::take(&mut self.inner.state.write().disk);
+        for c in disk {
+            let _ = c.destroy();
+        }
+        std::fs::remove_dir_all(&self.inner.dir)?;
         Ok(())
     }
 
     /// Discard the in-memory component (crash simulation for recovery
-    /// tests: memory is lost, disk components survive).
+    /// tests: memory — mutable and sealed-but-unflushed — is lost, disk
+    /// components survive).
     pub fn simulate_crash_lose_memory(&self) {
-        let mut st = self.state.write();
-        st.mem.clear();
-        st.mem_bytes = 0;
-        st.flushing = None;
+        {
+            let mut st = self.inner.state.write();
+            st.mem.clear();
+            st.mem_bytes = 0;
+            st.frozen.clear();
+        }
+        self.inner.notify_frozen();
+    }
+}
+
+impl Drop for LsmTree {
+    fn drop(&mut self) {
+        // Best-effort drain (Shutdown processes the queue) so auto-sealed
+        // data reaches disk; errors are unreportable here.
+        self.shutdown_worker();
     }
 }
 
@@ -532,6 +832,7 @@ mod tests {
                 page_size: 512,
                 bloom_fpp: 0.01,
                 merge_policy: policy,
+                max_frozen: 2,
             },
             BufferCache::new(256),
             Arc::new(NullObserver),
@@ -614,6 +915,9 @@ mod tests {
         for i in 0..200 {
             t.insert(k(i), vec![0u8; 32]).unwrap();
         }
+        // Everything stays visible while background flushes are in flight.
+        assert_eq!(t.live_count().unwrap(), 200);
+        t.flush().unwrap(); // drain pending background work
         assert!(t.disk_component_count() >= 2, "expected multiple auto-flushes");
         assert_eq!(t.live_count().unwrap(), 200);
     }
@@ -649,7 +953,7 @@ mod tests {
         assert_eq!(t.live_count().unwrap(), 5);
         // After a full merge, antimatter is gone: the single component holds
         // exactly the live entries.
-        let st = t.state.read();
+        let st = t.inner.state.read();
         assert_eq!(st.disk[0].entry_count(), 5);
     }
 
@@ -706,5 +1010,115 @@ mod tests {
         })
         .unwrap();
         assert_eq!(seen, 10);
+    }
+
+    /// Observer whose `on_flush` blocks until released — stands in for slow
+    /// flush I/O so tests can prove the write path does not wait for it.
+    struct GateObserver {
+        entered: Sender<()>,
+        release: Receiver<()>,
+    }
+
+    impl LsmObserver for GateObserver {
+        fn on_flush(&self, _p: &Path, _s: u64, _w: u64) {
+            let _ = self.entered.send(());
+            // First call blocks until released; once the release sender is
+            // dropped, later flushes pass straight through.
+            let _ = self.release.recv_timeout(Duration::from_secs(10));
+        }
+    }
+
+    #[test]
+    fn inserts_do_not_stall_on_flush_io() {
+        let dir = TempDir::new().unwrap();
+        let (entered_tx, entered_rx) = unbounded();
+        let (release_tx, release_rx) = unbounded();
+        let t = LsmTree::open(
+            dir.path(),
+            LsmConfig {
+                mem_budget: 2048,
+                page_size: 512,
+                bloom_fpp: 0.01,
+                merge_policy: MergePolicy::NoMerge,
+                max_frozen: 2,
+            },
+            BufferCache::new(256),
+            Arc::new(GateObserver { entered: entered_tx, release: release_rx }),
+        )
+        .unwrap();
+
+        // ~84 bytes/entry: 60 inserts trip the 2048-byte budget twice.
+        for i in 0..60u32 {
+            t.insert(k(i), vec![0u8; 32]).unwrap();
+        }
+        // The background flush is now stuck in its (gated) completion path.
+        entered_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("background flush never started");
+
+        // The paper's point (§4.2): ingest keeps landing while flush I/O is
+        // incomplete. These inserts must return without waiting for the
+        // gated flush (they stay under one budget, so no max_frozen block).
+        let before = std::time::Instant::now();
+        for i in 1000..1020u32 {
+            t.insert(k(i), vec![0u8; 32]).unwrap();
+        }
+        assert!(
+            before.elapsed() < Duration::from_secs(5),
+            "inserts stalled behind flush I/O"
+        );
+
+        // Everything is visible even though flushes are still in flight.
+        assert_eq!(t.live_count().unwrap(), 80);
+
+        // Release the gate, drain, and verify durability.
+        release_tx.send(()).unwrap();
+        drop(release_tx);
+        t.flush().unwrap();
+        assert!(t.disk_component_count() >= 2);
+        assert_eq!(t.live_count().unwrap(), 80);
+        for i in 0..60u32 {
+            assert_eq!(t.get(&k(i)).unwrap(), Some(vec![0u8; 32]));
+        }
+        t.close().unwrap();
+    }
+
+    #[test]
+    fn seal_watermark_captured_at_seal_time() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        // The watermark delivered to on_flush must be the on_seal value of
+        // the sealed component, even when on_seal advances afterwards.
+        struct WatermarkProbe {
+            next: AtomicU64,
+            flushed: Mutex<Vec<u64>>,
+        }
+        impl LsmObserver for WatermarkProbe {
+            fn on_seal(&self) -> u64 {
+                self.next.load(Ordering::SeqCst)
+            }
+            fn on_flush(&self, _p: &Path, _s: u64, watermark: u64) {
+                self.flushed.lock().push(watermark);
+            }
+        }
+
+        let dir = TempDir::new().unwrap();
+        let probe = Arc::new(WatermarkProbe {
+            next: AtomicU64::new(7),
+            flushed: Mutex::new(Vec::new()),
+        });
+        let t = LsmTree::open(
+            dir.path(),
+            LsmConfig { merge_policy: MergePolicy::NoMerge, ..Default::default() },
+            BufferCache::new(256),
+            Arc::clone(&probe) as Arc<dyn LsmObserver>,
+        )
+        .unwrap();
+        t.insert(k(1), b"a".to_vec()).unwrap();
+        t.flush().unwrap(); // seals at watermark 7
+        probe.next.store(42, Ordering::SeqCst);
+        t.insert(k(2), b"b".to_vec()).unwrap();
+        t.flush().unwrap(); // seals at watermark 42
+        assert_eq!(*probe.flushed.lock(), vec![7, 42]);
     }
 }

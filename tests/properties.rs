@@ -151,6 +151,7 @@ proptest! {
                 page_size: 256,
                 bloom_fpp: 0.01,
                 merge_policy: MergePolicy::NoMerge,
+                max_frozen: 2,
             },
             BufferCache::new(64),
             Arc::new(NullObserver),
