@@ -78,9 +78,35 @@ impl CompiledQuery {
         Ok(rows.into_iter().map(|mut t| t.pop().unwrap_or(Value::Missing)).collect())
     }
 
+    /// Like [`CompiledQuery::run_with`], but meters every operator port and
+    /// times every partition, returning the per-operator [`JobProfile`]
+    /// alongside the results. Operator ids in the profile are the ids this
+    /// compilation assigned, so rows map back to plan nodes.
+    pub fn run_profiled_with(
+        &self,
+        cfg: &asterix_hyracks::executor::ExecutorConfig,
+        stats: &Arc<asterix_hyracks::ExchangeStats>,
+    ) -> Result<(Vec<Value>, asterix_hyracks::JobProfile)> {
+        let cfg = asterix_hyracks::executor::ExecutorConfig {
+            partitions_per_node: self.partitions_per_node,
+            ..cfg.clone()
+        };
+        let profile = asterix_hyracks::executor::run_job_profiled(&self.job, &cfg, stats)?;
+        let rows = std::mem::take(&mut *self.collector.lock());
+        let values =
+            rows.into_iter().map(|mut t| t.pop().unwrap_or(Value::Missing)).collect();
+        Ok((values, profile))
+    }
+
     /// The Figure 6-style description of the job.
     pub fn describe(&self) -> String {
         self.job.describe()
+    }
+
+    /// The job description with each operator line annotated with runtime
+    /// stats from a profiled run of this same query shape.
+    pub fn describe_profiled(&self, profile: &asterix_hyracks::JobProfile) -> String {
+        self.job.describe_annotated(&|op| profile.annotation(op))
     }
 }
 

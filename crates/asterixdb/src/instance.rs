@@ -22,14 +22,16 @@ use asterix_metadata::{
     Catalog, DatasetKind, DatasetMeta, FeedMeta, FunctionMeta, IndexKindMeta, IndexMeta,
     METADATA_DATAVERSE,
 };
+use asterix_obs::{log_event, MetricsRegistry, Span};
 use asterix_storage::BufferCache;
 use asterix_txn::wal::{Durability, LogManager};
 use asterix_txn::{recover, LockManager, RecoveryTarget};
 use parking_lot::{Mutex, RwLock};
 
 use crate::cluster::ClusterConfig;
-use crate::dataset::DatasetRuntime;
+use crate::dataset::{DatasetRuntime, SecondaryPartition};
 use crate::error::{AsterixError, Result};
+use crate::profile::QueryProfile;
 use crate::provider::{InstanceProvider, SessionCatalog, Shared};
 
 /// The result of executing one statement.
@@ -78,6 +80,10 @@ pub struct Instance {
     /// Exchange-layer counters accumulated across every query this
     /// instance runs (frames/tuples sent, backpressure stalls).
     exchange_stats: Arc<asterix_hyracks::ExchangeStats>,
+    /// The unified stats registry: exchange counters, per-shard cache
+    /// hit/miss, per-node WAL appends/forces, and per-index LSM
+    /// maintenance metrics, all adopted under stable names.
+    metrics: Arc<MetricsRegistry>,
     session: RwLock<Session>,
     feeds: Mutex<HashMap<String, FeedRuntime>>,
     /// Optimizer switches (Table 3's no-index runs, limit-pushdown
@@ -115,6 +121,7 @@ impl Instance {
         let instance = Arc::new(Instance {
             cache: BufferCache::with_shards(cfg.buffer_cache_pages, cfg.cache_shards),
             exchange_stats: Arc::new(asterix_hyracks::ExchangeStats::new()),
+            metrics: Arc::new(MetricsRegistry::new()),
             locks: LockManager::new(Duration::from_secs(10)),
             wals,
             next_dataset_id: AtomicU32::new(1),
@@ -130,6 +137,13 @@ impl Instance {
             replaying: std::sync::atomic::AtomicBool::new(false),
             cfg,
         });
+        // Adopt every subsystem's intrinsic counters under stable names so
+        // one snapshot covers the whole instance.
+        instance.exchange_stats.register_into(&instance.metrics, "exchange");
+        instance.cache.register_into(&instance.metrics, "cache");
+        for (n, wal) in instance.wals.iter().enumerate() {
+            wal.register_into(&instance.metrics, &format!("wal.node{n}"));
+        }
         instance.replay_ddl()?;
         instance.recover_from_wal()?;
         Ok(instance)
@@ -150,14 +164,43 @@ impl Instance {
     }
 
     /// Cumulative exchange counters across every job this instance ran.
+    /// A thin view over the registry's `exchange.*` metrics.
     pub fn exchange_stats(&self) -> &asterix_hyracks::ExchangeStats {
         &self.exchange_stats
     }
 
-    /// Buffer-cache hit/miss counters and hit rate.
+    /// Buffer-cache hit/miss counters and hit rate, aggregated over the
+    /// cache's shards (a view over the registry's `cache.*` metrics).
     pub fn cache_stats(&self) -> (u64, u64, f64) {
         let (hits, misses) = self.cache.stats();
         (hits, misses, self.cache.hit_rate())
+    }
+
+    /// Per-shard `(hits, misses, hit_rate)` of the buffer cache, in shard
+    /// order.
+    pub fn per_shard_cache_stats(&self) -> Vec<(u64, u64, f64)> {
+        self.cache
+            .per_shard_stats()
+            .into_iter()
+            .map(|(h, m)| {
+                let total = h + m;
+                let rate = if total == 0 { 0.0 } else { h as f64 / total as f64 };
+                (h, m, rate)
+            })
+            .collect()
+    }
+
+    /// The unified metrics registry for this instance.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Schema-versioned JSON snapshot of every registered metric.
+    pub fn metrics_json(&self) -> String {
+        format!(
+            "{{\"schema_version\":1,\"metrics\":{}}}",
+            self.metrics.to_json()
+        )
     }
 
     /// The shared catalog/dataset state (for embedding scenarios that build
@@ -328,6 +371,84 @@ impl Instance {
         Err(AsterixError::Execution("no query statement to explain".into()))
     }
 
+    /// Execute the (single) query in `aql` with full profiling: lifecycle
+    /// spans for parse → translate → optimize → jobgen → execute, plus a
+    /// per-operator runtime profile of the Hyracks job whose operator ids
+    /// map back to the plan nodes the compiler emitted.
+    pub fn profile(&self, aql: &str) -> Result<QueryProfile> {
+        let parse_span = Span::start("parse");
+        let statements = parse_statements_spanned(aql)?;
+        let parse = parse_span.finish();
+        for (stmt, _) in statements {
+            if let Statement::Query(e) = stmt {
+                return self.profile_query(&e, parse);
+            }
+        }
+        Err(AsterixError::Execution("no query statement to profile".into()))
+    }
+
+    /// The EXPLAIN pair of [`Instance::explain`], but produced from a real
+    /// profiled run: the job description carries each operator's observed
+    /// tuple counts and busy time.
+    pub fn explain_profiled(&self, aql: &str) -> Result<(String, String)> {
+        let p = self.profile(aql)?;
+        Ok((p.plan, p.job))
+    }
+
+    fn profile_query(
+        &self,
+        e: &Expr,
+        parse: asterix_obs::SpanRecord,
+    ) -> Result<QueryProfile> {
+        let catalog = self.session_catalog();
+        let mut tr = Translator::new(&catalog);
+        {
+            let s = self.session.read();
+            tr.simfunction = s.simfunction.clone();
+            tr.simthreshold = s.simthreshold.clone();
+        }
+        let translate_span = Span::start("translate");
+        let plan = tr.translate_query(e)?;
+        let translate = translate_span.finish();
+
+        let provider = self.provider();
+        let options = self.optimizer_options.read().clone();
+        let optimize_span = Span::start("optimize");
+        let optimized = optimize(plan, &provider, &self.fn_ctx(), &options);
+        let optimize_rec = optimize_span.finish();
+
+        let jobgen_span = Span::start("jobgen");
+        let compiled = jobgen::compile(&optimized, provider, self.fn_ctx(), &options)?;
+        let jobgen_rec = jobgen_span.finish();
+
+        let execute_span = Span::start("execute");
+        let (rows, operators) =
+            compiled.run_profiled_with(&self.executor_config(), &self.exchange_stats)?;
+        let execute = execute_span.finish();
+
+        let profile = QueryProfile {
+            job: compiled.describe_profiled(&operators),
+            plan: optimized.pretty(),
+            phases: vec![parse, translate, optimize_rec, jobgen_rec, execute],
+            rows,
+            operators,
+        };
+        log_event(
+            "asterix.query",
+            "profiled",
+            &[
+                ("rows", profile.rows.len().into()),
+                ("operators", profile.operators.operators.len().into()),
+                ("total_us", profile.total_us().into()),
+                (
+                    "execute_us",
+                    (profile.phases[4].duration.as_micros() as u64).into(),
+                ),
+            ],
+        );
+        Ok(profile)
+    }
+
     fn execute_statement(&self, stmt: Statement, source: &str) -> Result<StatementResult> {
         match stmt {
             Statement::CreateDataverse { name, if_not_exists } => {
@@ -459,6 +580,7 @@ impl Instance {
                 let qualified = format!("{dataverse}.{ds_name}");
                 if let Some(rt) = self.shared.dataset(&qualified) {
                     rt.create_index(ix)?;
+                    self.register_lsm_metrics(&rt);
                 }
                 self.persist_ddl(source)?;
                 Ok(StatementResult::Ok)
@@ -616,9 +738,36 @@ impl Instance {
             Arc::clone(&self.locks),
             self.wals.clone(),
         )?;
+        self.register_lsm_metrics(&rt);
         self.shared.datasets.write().insert(meta.qualified(), Arc::clone(&rt));
         self.by_id.write().insert(id, rt);
         Ok(())
+    }
+
+    /// Adopt the dataset's per-partition LSM maintenance metrics (primary
+    /// tree plus any LSM-backed secondaries) into the registry under
+    /// `lsm.{dataverse}.{dataset}[.{index}].p{partition}.*`.
+    fn register_lsm_metrics(&self, rt: &DatasetRuntime) {
+        let base = format!("lsm.{}", rt.meta.qualified());
+        for (p, t) in rt.primary.iter().enumerate() {
+            t.lsm().metrics().register_into(&self.metrics, &format!("{base}.p{p}"));
+        }
+        for ix in rt.secondaries.read().iter() {
+            for (p, part) in ix.partitions.iter().enumerate() {
+                let prefix = format!("{base}.{}.p{p}", ix.meta.name);
+                match part {
+                    SecondaryPartition::BTree(t) => {
+                        t.lsm().metrics().register_into(&self.metrics, &prefix)
+                    }
+                    SecondaryPartition::Inverted(t) => {
+                        t.lsm().metrics().register_into(&self.metrics, &prefix)
+                    }
+                    // The R-tree variant manages its own component
+                    // lifecycle and is not LSM-metered yet.
+                    SecondaryPartition::RTree(_) => {}
+                }
+            }
+        }
     }
 
     fn run_query(&self, e: &Expr) -> Result<Vec<Value>> {
@@ -634,7 +783,17 @@ impl Instance {
         let options = self.optimizer_options.read().clone();
         let optimized = optimize(plan, &provider, &self.fn_ctx(), &options);
         let compiled = jobgen::compile(&optimized, provider, self.fn_ctx(), &options)?;
-        Ok(compiled.run_with(&self.executor_config(), &self.exchange_stats)?)
+        let started = std::time::Instant::now();
+        let rows = compiled.run_with(&self.executor_config(), &self.exchange_stats)?;
+        log_event(
+            "asterix.query",
+            "query",
+            &[
+                ("rows", rows.len().into()),
+                ("elapsed_us", (started.elapsed().as_micros() as u64).into()),
+            ],
+        );
+        Ok(rows)
     }
 
     /// Look up a stored dataset runtime by session-relative name.

@@ -13,8 +13,10 @@ pub mod cluster;
 pub mod dataset;
 pub mod error;
 pub mod instance;
+pub mod profile;
 pub mod provider;
 
 pub use cluster::ClusterConfig;
 pub use error::{AsterixError, Result};
 pub use instance::{Instance, StatementResult};
+pub use profile::QueryProfile;

@@ -1,0 +1,61 @@
+//! Query lifecycle profiling: one [`QueryProfile`] per profiled query,
+//! combining the compilation-phase spans (parse → translate → optimize →
+//! jobgen → execute) with the per-operator runtime profile of the Hyracks
+//! job, plus the plan texts they reconcile against.
+
+use asterix_adm::Value;
+use asterix_hyracks::{JobProfile, OperatorProfile};
+use asterix_obs::SpanRecord;
+
+/// The result of [`crate::Instance::profile`]: the query's rows plus a
+/// full breakdown of where its time went.
+#[derive(Clone, Debug)]
+pub struct QueryProfile {
+    /// Result rows, exactly as [`crate::Instance::query`] would return.
+    pub rows: Vec<Value>,
+    /// Lifecycle spans, in order: `parse`, `translate`, `optimize`,
+    /// `jobgen`, `execute`.
+    pub phases: Vec<SpanRecord>,
+    /// The optimized logical plan (EXPLAIN's first component).
+    pub plan: String,
+    /// The Figure 6-style job description with each operator line
+    /// annotated with its runtime stats (extended EXPLAIN).
+    pub job: String,
+    /// Per-operator tuple/frame/byte counts and busy times. Operator ids
+    /// are the ones job generation assigned, so entries map back to the
+    /// plan nodes shown in `job`.
+    pub operators: JobProfile,
+}
+
+impl QueryProfile {
+    /// Duration of one lifecycle phase, if it was recorded.
+    pub fn phase(&self, name: &str) -> Option<&SpanRecord> {
+        self.phases.iter().find(|s| s.name == name)
+    }
+
+    /// First operator whose name starts with `prefix` (e.g.
+    /// `data-scan Mugshot.MugshotUsers`, `equi`, an index-NL join's
+    /// `{dataset}.{index}` label).
+    pub fn operator(&self, prefix: &str) -> Option<&OperatorProfile> {
+        self.operators.find(prefix)
+    }
+
+    /// Total microseconds across the recorded phases.
+    pub fn total_us(&self) -> u64 {
+        self.phases.iter().map(|s| s.duration.as_micros() as u64).sum()
+    }
+
+    /// A human-readable report: phase timings, then the per-operator table.
+    pub fn describe(&self) -> String {
+        let mut out = String::from("query profile\n");
+        for s in &self.phases {
+            out.push_str(&format!(
+                "  {:<10} {:>10.3}ms\n",
+                s.name,
+                s.duration.as_secs_f64() * 1000.0
+            ));
+        }
+        out.push_str(&self.operators.describe());
+        out
+    }
+}

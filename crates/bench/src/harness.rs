@@ -291,16 +291,21 @@ impl Table3System for AsterixSystem {
     }
 
     fn runtime_stats_json(&self) -> Option<String> {
+        // Schema-versioned: the legacy flat keys stay for old consumers,
+        // and the full registry snapshot rides under the stable `metrics`
+        // top-level key.
         let (hits, misses, rate) = self.instance.cache_stats();
         let x = self.instance.exchange_stats();
         Some(format!(
-            "{{\"system\":\"{}\",\"cache_hits\":{hits},\"cache_misses\":{misses},\
-             \"cache_hit_rate\":{rate:.4},\"frames_sent\":{},\"tuples_sent\":{},\
-             \"backpressure_stalls\":{}}}",
+            "{{\"schema_version\":1,\"system\":\"{}\",\"cache_hits\":{hits},\
+             \"cache_misses\":{misses},\"cache_hit_rate\":{rate:.4},\
+             \"frames_sent\":{},\"tuples_sent\":{},\"backpressure_stalls\":{},\
+             \"metrics\":{}}}",
             self.name(),
             x.frames_sent(),
             x.tuples_sent(),
             x.backpressure_stalls(),
+            self.instance.metrics().to_json(),
         ))
     }
 }
@@ -845,15 +850,21 @@ mod tests {
         assert!(asx.range_scan(lo, hi) > 0);
         let json = asx.runtime_stats_json().expect("asterix reports stats");
         for key in [
+            "schema_version",
             "cache_hits",
             "cache_misses",
             "cache_hit_rate",
             "frames_sent",
             "tuples_sent",
             "backpressure_stalls",
+            "\"metrics\":",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+        // The registry snapshot carries the migrated exchange counters and
+        // the per-shard cache counters.
+        assert!(json.contains("\"exchange.frames_sent\""), "registry snapshot in {json}");
+        assert!(json.contains("\"cache.shard0.hits\""), "per-shard cache in {json}");
         // A scan moved at least one frame with at least one tuple.
         assert!(asx.instance.exchange_stats().frames_sent() > 0);
         assert!(asx.instance.exchange_stats().tuples_sent() > 0);

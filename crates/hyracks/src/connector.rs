@@ -14,12 +14,13 @@
 
 use std::cmp::Ordering;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
 
+use asterix_obs::{Counter, Gauge, MetricsRegistry};
 use crossbeam::channel::{bounded, Receiver, Select, Sender, TrySendError};
 
 use crate::frame::{hash_fields, Frame, FramePool, Tuple, FRAME_CAPACITY};
+use crate::profile::{tuple_bytes, PortMeter};
 use crate::{HyracksError, Result};
 
 /// Tuple comparator used by merging connectors and sorts.
@@ -34,11 +35,10 @@ pub type Comparator = Arc<dyn Fn(&Tuple, &Tuple) -> Ordering + Send + Sync>;
 /// sender's hand).
 #[derive(Debug, Default)]
 pub struct ExchangeStats {
-    frames_sent: AtomicU64,
-    tuples_sent: AtomicU64,
-    backpressure_stalls: AtomicU64,
-    buffered_frames: AtomicI64,
-    peak_buffered_frames: AtomicI64,
+    frames_sent: Counter,
+    tuples_sent: Counter,
+    backpressure_stalls: Counter,
+    buffered_frames: Gauge,
 }
 
 impl ExchangeStats {
@@ -49,51 +49,63 @@ impl ExchangeStats {
     /// A frame is being handed to a channel (before the send completes, so
     /// the gauge over-counts rather than under-counts in-flight memory).
     fn on_enqueue(&self) {
-        let now = self.buffered_frames.fetch_add(1, AtomicOrdering::SeqCst) + 1;
-        self.peak_buffered_frames.fetch_max(now, AtomicOrdering::SeqCst);
+        self.buffered_frames.add(1);
     }
 
     fn on_send_ok(&self, tuples: u64) {
-        self.frames_sent.fetch_add(1, AtomicOrdering::Relaxed);
-        self.tuples_sent.fetch_add(tuples, AtomicOrdering::Relaxed);
+        self.frames_sent.inc();
+        self.tuples_sent.add(tuples);
     }
 
     /// The send failed (receiver gone): undo the gauge increment.
     fn on_send_fail(&self) {
-        self.buffered_frames.fetch_sub(1, AtomicOrdering::SeqCst);
+        self.buffered_frames.sub(1);
     }
 
     fn on_stall(&self) {
-        self.backpressure_stalls.fetch_add(1, AtomicOrdering::Relaxed);
+        self.backpressure_stalls.inc();
     }
 
     fn on_recv(&self) {
-        self.buffered_frames.fetch_sub(1, AtomicOrdering::SeqCst);
+        self.buffered_frames.sub(1);
     }
 
     /// Frames delivered to channels so far.
     pub fn frames_sent(&self) -> u64 {
-        self.frames_sent.load(AtomicOrdering::Relaxed)
+        self.frames_sent.get()
     }
 
     /// Tuples delivered to channels so far.
     pub fn tuples_sent(&self) -> u64 {
-        self.tuples_sent.load(AtomicOrdering::Relaxed)
+        self.tuples_sent.get()
     }
 
     /// Times a sender found its channel full and had to block.
     pub fn backpressure_stalls(&self) -> u64 {
-        self.backpressure_stalls.load(AtomicOrdering::Relaxed)
+        self.backpressure_stalls.get()
     }
 
     /// Frames currently in flight (sent, not yet received).
     pub fn buffered_frames(&self) -> i64 {
-        self.buffered_frames.load(AtomicOrdering::SeqCst)
+        self.buffered_frames.get()
     }
 
     /// High-water mark of `buffered_frames` over the run.
     pub fn peak_buffered_frames(&self) -> i64 {
-        self.peak_buffered_frames.load(AtomicOrdering::SeqCst)
+        self.buffered_frames.peak()
+    }
+
+    /// Adopt this bundle's handles into a [`MetricsRegistry`] under
+    /// `{prefix}.*` names. The counters stay live — the registry snapshot
+    /// and the legacy accessors read the same atomics.
+    pub fn register_into(&self, reg: &MetricsRegistry, prefix: &str) {
+        reg.register_counter(&format!("{prefix}.frames_sent"), &self.frames_sent);
+        reg.register_counter(&format!("{prefix}.tuples_sent"), &self.tuples_sent);
+        reg.register_counter(
+            &format!("{prefix}.backpressure_stalls"),
+            &self.backpressure_stalls,
+        );
+        reg.register_gauge(&format!("{prefix}.buffered_frames"), &self.buffered_frames);
     }
 }
 
@@ -194,6 +206,8 @@ pub struct OutputPort {
     strategy: RouteStrategy,
     stats: Arc<ExchangeStats>,
     pool: Arc<FramePool>,
+    /// Per-operator profiling meter (attached only on profiled runs).
+    meter: Option<Arc<PortMeter>>,
 }
 
 impl OutputPort {
@@ -206,6 +220,7 @@ impl OutputPort {
             strategy,
             stats: Arc::clone(&xcfg.stats),
             pool: Arc::clone(&xcfg.pool),
+            meter: None,
         }
     }
 
@@ -218,7 +233,14 @@ impl OutputPort {
             strategy: RouteStrategy::Replicate,
             stats: Arc::default(),
             pool: Arc::default(),
+            meter: None,
         }
+    }
+
+    /// Attach a profiling meter counting tuples/frames/bytes emitted
+    /// through this port.
+    pub(crate) fn set_meter(&mut self, meter: Arc<PortMeter>) {
+        self.meter = Some(meter);
     }
 
     fn all_dead(&self) -> bool {
@@ -249,6 +271,9 @@ impl OutputPort {
         match undeliverable {
             None => {
                 self.stats.on_send_ok(tuples);
+                if let Some(m) = &self.meter {
+                    m.frames.inc();
+                }
                 true
             }
             Some(frame) => {
@@ -265,6 +290,10 @@ impl OutputPort {
     /// finished), so the producer can stop instead of computing data
     /// nobody will read.
     pub fn push(&mut self, tuple: Tuple) -> Result<()> {
+        if let Some(m) = &self.meter {
+            m.tuples.inc();
+            m.bytes.add(tuple_bytes(&tuple));
+        }
         match &self.strategy {
             RouteStrategy::Fixed(j) => self.buffer_to(*j, tuple),
             RouteStrategy::Hash(fields) => {
@@ -348,6 +377,8 @@ pub struct InputPort {
     exhausted: Vec<bool>,
     stats: Arc<ExchangeStats>,
     pool: Arc<FramePool>,
+    /// Per-operator profiling meter (attached only on profiled runs).
+    meter: Option<Arc<PortMeter>>,
 }
 
 impl InputPort {
@@ -360,6 +391,7 @@ impl InputPort {
             exhausted: vec![false; n],
             stats: Arc::clone(&xcfg.stats),
             pool: Arc::clone(&xcfg.pool),
+            meter: None,
         }
     }
 
@@ -372,6 +404,24 @@ impl InputPort {
             exhausted: Vec::new(),
             stats: Arc::default(),
             pool: Arc::default(),
+            meter: None,
+        }
+    }
+
+    /// Attach a profiling meter counting tuples/frames/bytes arriving at
+    /// this port.
+    pub(crate) fn set_meter(&mut self, meter: Arc<PortMeter>) {
+        self.meter = Some(meter);
+    }
+
+    /// Account one received frame against the run gauge and, when
+    /// profiling, this port's meter.
+    fn note_frame(&self, frame: &Frame) {
+        self.stats.on_recv();
+        if let Some(m) = &self.meter {
+            m.frames.inc();
+            m.tuples.add(frame.len() as u64);
+            m.bytes.add(frame.iter().map(|t| tuple_bytes(t)).sum::<u64>());
         }
     }
 
@@ -387,7 +437,7 @@ impl InputPort {
             if live.len() == 1 {
                 match self.receivers[live[0]].recv() {
                     Ok(f) => {
-                        self.stats.on_recv();
+                        self.note_frame(&f);
                         return Some(f);
                     }
                     Err(_) => {
@@ -404,7 +454,7 @@ impl InputPort {
             let idx = live[op.index()];
             match op.recv(&self.receivers[idx]) {
                 Ok(f) => {
-                    self.stats.on_recv();
+                    self.note_frame(&f);
                     return Some(f);
                 }
                 Err(_) => {
@@ -418,7 +468,7 @@ impl InputPort {
         while self.lookahead[i].is_empty() && !self.exhausted[i] {
             match self.receivers[i].recv() {
                 Ok(mut frame) => {
-                    self.stats.on_recv();
+                    self.note_frame(&frame);
                     self.lookahead[i].extend(frame.drain(..));
                     self.pool.give(frame);
                 }
@@ -500,7 +550,7 @@ impl InputPort {
     pub fn drain(&mut self) {
         for i in 0..self.receivers.len() {
             while let Ok(f) = self.receivers[i].try_recv() {
-                self.stats.on_recv();
+                self.note_frame(&f);
                 self.pool.give(f);
             }
             self.exhausted[i] = true;

@@ -9,11 +9,13 @@
 
 use std::sync::Arc;
 use std::thread;
+use std::time::Instant;
 
 use crate::connector::{wire, ExchangeConfig, ExchangeStats, InputPort, OutputPort};
 use crate::frame::FramePool;
 use crate::job::JobSpec;
 use crate::ops::OpCtx;
+use crate::profile::{JobProfile, PortMeter, ProfileBuilder};
 use crate::{HyracksError, Result};
 
 /// Execution settings for the simulated cluster.
@@ -55,7 +57,30 @@ pub fn run_job_with_stats(
     cfg: &ExecutorConfig,
     stats: &Arc<ExchangeStats>,
 ) -> Result<()> {
+    run_job_inner(job, cfg, stats, None).map(|_| ())
+}
+
+/// Run a job while collecting a per-operator [`JobProfile`]: every port of
+/// every operator partition gets a tuple/frame/byte meter and every
+/// partition's `run` is timed. Metering costs a little per tuple, so it is
+/// opt-in — the unprofiled paths carry `None` meters and skip it entirely.
+pub fn run_job_profiled(
+    job: &JobSpec,
+    cfg: &ExecutorConfig,
+    stats: &Arc<ExchangeStats>,
+) -> Result<JobProfile> {
+    run_job_inner(job, cfg, stats, Some(ProfileBuilder::for_job(job)))
+        .map(|p| p.expect("profiled run yields a profile"))
+}
+
+fn run_job_inner(
+    job: &JobSpec,
+    cfg: &ExecutorConfig,
+    stats: &Arc<ExchangeStats>,
+    mut profile: Option<ProfileBuilder>,
+) -> Result<Option<JobProfile>> {
     job.topo_order()?; // validates acyclicity
+    let started = Instant::now();
 
     // Every (operator, partition) pair gets its own thread, and ALL of them
     // must coexist for the duration of the job: stage ordering here is
@@ -102,7 +127,7 @@ pub fn run_job_with_stats(
         let in_conns = job.inputs_of(crate::job::OperatorId(op_idx));
         let out_conns = job.outputs_of(crate::job::OperatorId(op_idx));
         for p in 0..op.nparts {
-            let inputs: Vec<InputPort> = in_conns
+            let mut inputs: Vec<InputPort> = in_conns
                 .iter()
                 .map(|&ci| conn_ins[ci][p].take().expect("input port taken twice"))
                 .collect();
@@ -110,6 +135,22 @@ pub fn run_job_with_stats(
                 .iter()
                 .map(|&ci| conn_outs[ci][p].take().expect("output port taken twice"))
                 .collect();
+            // When profiling, meter every real port (in connector order)
+            // and keep a handle for this partition's busy time.
+            let busy = profile.as_mut().map(|pb| {
+                let pm = &mut pb.meters[op_idx][p];
+                for port in inputs.iter_mut() {
+                    let m = Arc::new(PortMeter::default());
+                    port.set_meter(Arc::clone(&m));
+                    pm.inputs.push(m);
+                }
+                for port in outputs.iter_mut() {
+                    let m = Arc::new(PortMeter::default());
+                    port.set_meter(Arc::clone(&m));
+                    pm.outputs.push(m);
+                }
+                Arc::clone(&pm.busy)
+            });
             if outputs.is_empty() {
                 outputs.push(OutputPort::sink());
             }
@@ -120,6 +161,7 @@ pub fn run_job_with_stats(
                 thread::Builder::new()
                     .name(format!("{}[{p}]", desc.name()))
                     .spawn(move || {
+                        let run_started = busy.as_ref().map(|_| Instant::now());
                         let mut ctx = OpCtx { partition: p, nparts, node, inputs, outputs };
                         let result = desc.run(&mut ctx);
                         // Drain remaining input so upstream memory is freed
@@ -127,6 +169,9 @@ pub fn run_job_with_stats(
                         // flushes and closes outputs).
                         for input in ctx.inputs.iter_mut() {
                             input.drain();
+                        }
+                        if let (Some(b), Some(s)) = (busy, run_started) {
+                            *b.lock() = s.elapsed();
                         }
                         result
                     })
@@ -156,7 +201,7 @@ pub fn run_job_with_stats(
     }
     match first_err {
         Some(e) => Err(e),
-        None => Ok(()),
+        None => Ok(profile.map(|pb| pb.finish(job, started.elapsed()))),
     }
 }
 
@@ -506,6 +551,78 @@ mod tests {
             matches!(&err, HyracksError::InvalidJob(m) if m.contains("max_threads")),
             "unexpected error: {err}"
         );
+    }
+
+    #[test]
+    fn profiled_run_reconciles_tuple_counts() {
+        let mut job = JobSpec::new();
+        let src = job.add(2, int_source("scan", 100));
+        let sel = job.add(
+            2,
+            Arc::new(SelectOp::new(
+                "even",
+                Arc::new(|t: &Vec<Value>| Ok(t[0].as_i64().unwrap() % 2 == 0)),
+            )),
+        );
+        let (sink, collector) = collect_sink(&mut job);
+        job.connect(ConnectorKind::OneToOne, src, sel);
+        job.connect(ConnectorKind::MToNReplicating, sel, sink);
+
+        let stats = Arc::new(ExchangeStats::new());
+        let profile = run_job_profiled(&job, &ExecutorConfig::default(), &stats).unwrap();
+
+        assert_eq!(collector.lock().len(), 100);
+        let scan = profile.operator(src).unwrap();
+        assert_eq!(scan.tuples_out(), 200, "scan emits every source tuple");
+        assert!(scan.frames_out() > 0 && scan.bytes_out() > 0);
+        let select = profile.operator(sel).unwrap();
+        assert_eq!(select.tuples_in(), 200);
+        assert_eq!(select.tuples_out(), 100, "selectivity 0.5");
+        let sink_prof = profile.operator(sink).unwrap();
+        assert_eq!(sink_prof.tuples_in(), 100, "sink input equals result cardinality");
+        assert_eq!(sink_prof.partitions.len(), 1);
+        assert!(profile.elapsed > std::time::Duration::ZERO);
+        assert!(profile.describe().contains("result-sink"));
+    }
+
+    #[test]
+    fn profiled_join_distinguishes_build_and_probe_ports() {
+        let mut job = JobSpec::new();
+        let build = job.add(
+            2,
+            Arc::new(SourceOp::new("build", |p, _n, emit| {
+                for i in 0..50i64 {
+                    emit(vec![Value::Int64(i), Value::string(format!("b{p}"))])?;
+                }
+                Ok(())
+            })),
+        );
+        let probe = job.add(
+            2,
+            Arc::new(SourceOp::new("probe", |p, _n, emit| {
+                for i in 0..50i64 {
+                    emit(vec![Value::Int64(p as i64 * 50 + i), Value::string("p")])?;
+                }
+                Ok(())
+            })),
+        );
+        let join = job.add(
+            3,
+            Arc::new(HybridHashJoinOp::new("j", vec![0], vec![0], JoinType::Inner)),
+        );
+        let (sink, collector) = collect_sink(&mut job);
+        job.connect(ConnectorKind::MToNPartitioning { fields: vec![0] }, build, join);
+        job.connect(ConnectorKind::MToNPartitioning { fields: vec![0] }, probe, join);
+        job.connect(ConnectorKind::MToNReplicating, join, sink);
+
+        let stats = Arc::new(ExchangeStats::new());
+        let profile = run_job_profiled(&job, &ExecutorConfig::default(), &stats).unwrap();
+
+        assert_eq!(collector.lock().len(), 100);
+        let jp = profile.operator(join).unwrap();
+        assert_eq!(jp.tuples_in_port(0), 100, "build side sees both build partitions");
+        assert_eq!(jp.tuples_in_port(1), 100, "probe side sees both probe partitions");
+        assert_eq!(jp.tuples_out(), 100);
     }
 
     #[test]

@@ -138,6 +138,13 @@ impl JobSpec {
     /// (bottom-up source-first), with the connector kind annotated between
     /// producer and consumer.
     pub fn describe(&self) -> String {
+        self.describe_annotated(&|_| None)
+    }
+
+    /// Like [`JobSpec::describe`], but appends `annot(op)` (when `Some`) to
+    /// each operator line — used by profiled explain to show runtime stats
+    /// next to the plan node that produced each operator.
+    pub fn describe_annotated(&self, annot: &dyn Fn(OperatorId) -> Option<String>) -> String {
         let mut out = String::new();
         let Ok(order) = self.topo_order() else {
             return "<cyclic job>".to_string();
@@ -166,8 +173,9 @@ impl JobSpec {
                 };
                 out.push_str(&format!("  |{arrow}|\n"));
             }
+            let extra = annot(op).map(|a| format!("  -- {a}")).unwrap_or_default();
             out.push_str(&format!(
-                "{} [parts={}, stage={}]\n",
+                "{} [parts={}, stage={}]{extra}\n",
                 self.ops[op.0].desc.name(),
                 self.ops[op.0].nparts,
                 stages[op.0]

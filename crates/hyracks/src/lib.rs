@@ -23,9 +23,11 @@ pub mod executor;
 pub mod frame;
 pub mod job;
 pub mod ops;
+pub mod profile;
 
 pub use connector::{ConnectorKind, ExchangeConfig, ExchangeStats};
 pub use error::{HyracksError, Result};
-pub use executor::{run_job, run_job_with, run_job_with_stats, ExecutorConfig};
+pub use executor::{run_job, run_job_profiled, run_job_with, run_job_with_stats, ExecutorConfig};
+pub use profile::{JobProfile, OperatorProfile, PartitionProfile, PortStat};
 pub use frame::{Frame, FramePool, Tuple, FRAME_CAPACITY};
 pub use job::{JobSpec, OperatorId};

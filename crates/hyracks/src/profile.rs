@@ -1,0 +1,223 @@
+//! Per-operator runtime profiles.
+//!
+//! On a profiled run ([`crate::run_job_profiled`]) the executor attaches a
+//! [`PortMeter`] to every input and output port of every operator
+//! partition and times each partition's `run` body. The result is a
+//! [`JobProfile`] keyed by [`OperatorId`] — operator ids are assigned in
+//! plan-walk order by the compiler and survive job generation unchanged,
+//! so profile rows map straight back to plan nodes (Figure 6 style).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use asterix_obs::Counter;
+
+use crate::frame::Tuple;
+use crate::job::{JobSpec, OperatorId};
+
+/// Estimated serialized size of a tuple (sum of the ADM binary encodings
+/// of its fields). Only evaluated on profiled runs.
+pub fn tuple_bytes(tuple: &Tuple) -> u64 {
+    tuple.iter().map(|v| asterix_adm::serde::encode(v).len() as u64).sum()
+}
+
+/// Atomic tuple/frame/byte counters for one port of one partition.
+#[derive(Debug, Default)]
+pub struct PortMeter {
+    pub tuples: Counter,
+    pub frames: Counter,
+    pub bytes: Counter,
+}
+
+impl PortMeter {
+    pub fn snapshot(&self) -> PortStat {
+        PortStat {
+            tuples: self.tuples.get(),
+            frames: self.frames.get(),
+            bytes: self.bytes.get(),
+        }
+    }
+}
+
+/// A point-in-time reading of one port's meter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PortStat {
+    pub tuples: u64,
+    pub frames: u64,
+    pub bytes: u64,
+}
+
+/// One operator partition's measurements: per-port traffic plus busy time
+/// (the wall time its thread spent inside `run`, including final drains).
+#[derive(Clone, Debug, Default)]
+pub struct PartitionProfile {
+    pub partition: usize,
+    pub inputs: Vec<PortStat>,
+    pub outputs: Vec<PortStat>,
+    pub busy: Duration,
+}
+
+/// All partitions of one operator.
+#[derive(Clone, Debug)]
+pub struct OperatorProfile {
+    pub op: OperatorId,
+    pub name: String,
+    pub partitions: Vec<PartitionProfile>,
+}
+
+impl OperatorProfile {
+    fn sum_ports(&self, f: impl Fn(&PartitionProfile) -> &[PortStat], g: impl Fn(&PortStat) -> u64) -> u64 {
+        self.partitions.iter().flat_map(|p| f(p).iter()).map(g).sum()
+    }
+
+    /// Tuples that arrived across every input port and partition.
+    pub fn tuples_in(&self) -> u64 {
+        self.sum_ports(|p| &p.inputs, |s| s.tuples)
+    }
+
+    /// Tuples emitted across every output port and partition.
+    pub fn tuples_out(&self) -> u64 {
+        self.sum_ports(|p| &p.outputs, |s| s.tuples)
+    }
+
+    /// Tuples that arrived on one input port (e.g. a hash join's build
+    /// side is port 0, its probe side port 1), summed over partitions.
+    pub fn tuples_in_port(&self, port: usize) -> u64 {
+        self.partitions
+            .iter()
+            .filter_map(|p| p.inputs.get(port))
+            .map(|s| s.tuples)
+            .sum()
+    }
+
+    pub fn frames_in(&self) -> u64 {
+        self.sum_ports(|p| &p.inputs, |s| s.frames)
+    }
+
+    pub fn frames_out(&self) -> u64 {
+        self.sum_ports(|p| &p.outputs, |s| s.frames)
+    }
+
+    pub fn bytes_in(&self) -> u64 {
+        self.sum_ports(|p| &p.inputs, |s| s.bytes)
+    }
+
+    pub fn bytes_out(&self) -> u64 {
+        self.sum_ports(|p| &p.outputs, |s| s.bytes)
+    }
+
+    /// Summed busy time across partitions (can exceed wall time).
+    pub fn busy(&self) -> Duration {
+        self.partitions.iter().map(|p| p.busy).sum()
+    }
+}
+
+/// The profile of one job run: one entry per operator (indexed by
+/// [`OperatorId`]), plus the job's wall-clock time.
+#[derive(Clone, Debug)]
+pub struct JobProfile {
+    pub operators: Vec<OperatorProfile>,
+    pub elapsed: Duration,
+}
+
+impl JobProfile {
+    pub fn operator(&self, op: OperatorId) -> Option<&OperatorProfile> {
+        self.operators.get(op.0)
+    }
+
+    /// First operator whose name starts with `prefix` (operator names come
+    /// from the plan: `data-scan DS`, `equi`, `DS.IX`, ...).
+    pub fn find(&self, prefix: &str) -> Option<&OperatorProfile> {
+        self.operators.iter().find(|o| o.name.starts_with(prefix))
+    }
+
+    /// One-line runtime annotation for an operator, used by the extended
+    /// explain output.
+    pub fn annotation(&self, op: OperatorId) -> Option<String> {
+        let o = self.operator(op)?;
+        Some(format!(
+            "in={} out={} bytes_out={} busy={:.3}ms",
+            o.tuples_in(),
+            o.tuples_out(),
+            o.bytes_out(),
+            o.busy().as_secs_f64() * 1000.0,
+        ))
+    }
+
+    /// A human-readable per-operator table.
+    pub fn describe(&self) -> String {
+        let mut out = format!(
+            "job profile: {} operators, elapsed {:.3}ms\n",
+            self.operators.len(),
+            self.elapsed.as_secs_f64() * 1000.0
+        );
+        for o in &self.operators {
+            out.push_str(&format!(
+                "  [{}] {} (parts={}): in={} out={} frames={}→{} bytes={}→{} busy={:.3}ms\n",
+                o.op.0,
+                o.name,
+                o.partitions.len(),
+                o.tuples_in(),
+                o.tuples_out(),
+                o.frames_in(),
+                o.frames_out(),
+                o.bytes_in(),
+                o.bytes_out(),
+                o.busy().as_secs_f64() * 1000.0,
+            ));
+        }
+        out
+    }
+}
+
+/// Executor-internal collection state for one operator partition: the
+/// meters handed to its ports (in connector order) and its busy time.
+#[derive(Debug, Default)]
+pub(crate) struct PartitionMeters {
+    pub inputs: Vec<Arc<PortMeter>>,
+    pub outputs: Vec<Arc<PortMeter>>,
+    pub busy: Arc<parking_lot::Mutex<Duration>>,
+}
+
+/// Per-(operator, partition) meter matrix for one profiled run.
+#[derive(Debug, Default)]
+pub(crate) struct ProfileBuilder {
+    /// `meters[op][partition]`.
+    pub meters: Vec<Vec<PartitionMeters>>,
+}
+
+impl ProfileBuilder {
+    pub fn for_job(job: &JobSpec) -> ProfileBuilder {
+        let meters = (0..job.op_count())
+            .map(|op| {
+                (0..job.partitions(OperatorId(op)))
+                    .map(|_| PartitionMeters::default())
+                    .collect()
+            })
+            .collect();
+        ProfileBuilder { meters }
+    }
+
+    pub fn finish(self, job: &JobSpec, elapsed: Duration) -> JobProfile {
+        let operators = self
+            .meters
+            .into_iter()
+            .enumerate()
+            .map(|(op, parts)| OperatorProfile {
+                op: OperatorId(op),
+                name: job.op_name(OperatorId(op)),
+                partitions: parts
+                    .into_iter()
+                    .enumerate()
+                    .map(|(p, m)| PartitionProfile {
+                        partition: p,
+                        inputs: m.inputs.iter().map(|x| x.snapshot()).collect(),
+                        outputs: m.outputs.iter().map(|x| x.snapshot()).collect(),
+                        busy: *m.busy.lock(),
+                    })
+                    .collect(),
+            })
+            .collect();
+        JobProfile { operators, elapsed }
+    }
+}

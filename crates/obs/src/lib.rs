@@ -1,0 +1,20 @@
+//! Dependency-free observability: an atomics-based metrics registry
+//! (counters, gauges, fixed-bucket histograms), lightweight span tracing
+//! over the monotonic clock, and a JSON-lines event log gated by the
+//! `ASTERIX_LOG` environment filter.
+//!
+//! The paper's evaluation (Tables 3–4, Figure 6) is about *explaining*
+//! where time goes — index vs. scan, build vs. probe, flush vs. merge.
+//! Every layer of the reproduction hangs its counters off this crate so a
+//! single registry snapshot (and the bench binaries' schema-versioned
+//! JSON) can tell that story without external dependencies.
+
+pub mod json;
+pub mod log;
+pub mod registry;
+pub mod span;
+
+pub use json::json_escape;
+pub use log::{log_enabled, log_event, FieldValue};
+pub use registry::{Counter, Gauge, Histogram, Metric, MetricValue, MetricsRegistry};
+pub use span::{now_us, timed, Span, SpanRecord};

@@ -1,0 +1,135 @@
+//! Structured JSON-lines event log, gated by the `ASTERIX_LOG`
+//! environment variable.
+//!
+//! `ASTERIX_LOG` is a comma-separated list of target prefixes
+//! (`ASTERIX_LOG=asterix.query,storage.lsm`); `*` or `all` enables
+//! everything; unset or empty disables logging entirely. Events are one
+//! JSON object per line on stderr:
+//!
+//! ```text
+//! {"ts_us":1234,"target":"storage.lsm","event":"flush","seq":3,"duration_us":812}
+//! ```
+
+use std::io::Write;
+use std::sync::OnceLock;
+
+use crate::json::json_escape;
+use crate::span::now_us;
+
+/// A typed field value for [`log_event`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> FieldValue {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> FieldValue {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> FieldValue {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> FieldValue {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> FieldValue {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> FieldValue {
+        FieldValue::Str(v)
+    }
+}
+
+fn filters() -> &'static [String] {
+    static FILTERS: OnceLock<Vec<String>> = OnceLock::new();
+    FILTERS.get_or_init(|| parse_filter(&std::env::var("ASTERIX_LOG").unwrap_or_default()))
+}
+
+fn parse_filter(spec: &str) -> Vec<String> {
+    spec.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect()
+}
+
+fn enabled_for(filters: &[String], target: &str) -> bool {
+    filters.iter().any(|f| f == "*" || f == "all" || target.starts_with(f.as_str()))
+}
+
+/// Whether events for `target` pass the `ASTERIX_LOG` filter (the filter
+/// is read once per process).
+pub fn log_enabled(target: &str) -> bool {
+    enabled_for(filters(), target)
+}
+
+/// Emit one JSON-lines event to stderr if `target` passes the filter.
+pub fn log_event(target: &str, event: &str, fields: &[(&str, FieldValue)]) {
+    if !log_enabled(target) {
+        return;
+    }
+    let mut line = format!(
+        "{{\"ts_us\":{},\"target\":\"{}\",\"event\":\"{}\"",
+        now_us(),
+        json_escape(target),
+        json_escape(event)
+    );
+    for (k, v) in fields {
+        line.push_str(&format!(",\"{}\":", json_escape(k)));
+        match v {
+            FieldValue::U64(n) => line.push_str(&n.to_string()),
+            FieldValue::I64(n) => line.push_str(&n.to_string()),
+            FieldValue::F64(n) if n.is_finite() => line.push_str(&format!("{n}")),
+            FieldValue::F64(_) => line.push_str("null"),
+            FieldValue::Str(s) => line.push_str(&format!("\"{}\"", json_escape(s))),
+        }
+    }
+    line.push('}');
+    let stderr = std::io::stderr();
+    let mut lock = stderr.lock();
+    let _ = writeln!(lock, "{line}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_parsing_and_prefix_match() {
+        let f = parse_filter("asterix.query, storage.lsm");
+        assert!(enabled_for(&f, "asterix.query"));
+        assert!(enabled_for(&f, "storage.lsm.flush"));
+        assert!(!enabled_for(&f, "hyracks.exchange"));
+
+        let all = parse_filter("*");
+        assert!(enabled_for(&all, "anything"));
+        let all2 = parse_filter("all");
+        assert!(enabled_for(&all2, "anything"));
+
+        let none = parse_filter("");
+        assert!(!enabled_for(&none, "anything"));
+    }
+
+    #[test]
+    fn disabled_log_event_is_a_noop() {
+        // No ASTERIX_LOG in the test environment: must not panic or print.
+        log_event("test.target", "noop", &[("k", 1u64.into())]);
+    }
+}

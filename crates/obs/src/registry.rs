@@ -1,0 +1,407 @@
+//! Atomics-based metric handles and the name-keyed registry.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc`-backed
+//! clones that subsystems create and update locally with relaxed atomics;
+//! a [`MetricsRegistry`] *adopts* existing handles under stable names so a
+//! single snapshot sees every layer's counters without those layers ever
+//! touching a lock on the hot path.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json::json_escape;
+
+// ---------------------------------------------------------------------------
+// Counter
+// ---------------------------------------------------------------------------
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct GaugeInner {
+    value: AtomicI64,
+    peak: AtomicI64,
+}
+
+/// A signed up/down gauge that also tracks its high-water mark.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<GaugeInner>);
+
+impl Gauge {
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    pub fn set(&self, v: i64) {
+        self.0.value.store(v, Ordering::Relaxed);
+        self.0.peak.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Add a delta and return the new value (peak is updated when the new
+    /// value is a high-water mark).
+    pub fn add(&self, delta: i64) -> i64 {
+        let v = self.0.value.fetch_add(delta, Ordering::Relaxed) + delta;
+        self.0.peak.fetch_max(v, Ordering::Relaxed);
+        v
+    }
+
+    pub fn sub(&self, delta: i64) -> i64 {
+        self.add(-delta)
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.value.load(Ordering::Relaxed)
+    }
+
+    pub fn peak(&self) -> i64 {
+        self.0.peak.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Inclusive upper bounds, ascending; an implicit +inf bucket follows.
+    bounds: Vec<u64>,
+    /// `bounds.len() + 1` buckets.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A fixed-bucket histogram (values are `u64`, typically microseconds).
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    /// Build a histogram with the given inclusive upper bounds (sorted and
+    /// deduplicated); values above the last bound land in an overflow
+    /// bucket.
+    pub fn with_bounds(bounds: &[u64]) -> Histogram {
+        let mut bounds: Vec<u64> = bounds.to_vec();
+        bounds.sort_unstable();
+        bounds.dedup();
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram(Arc::new(HistogramInner {
+            bounds,
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }))
+    }
+
+    /// Default bounds for microsecond durations: 100µs … 10s, one decade
+    /// per bucket.
+    pub fn duration_us() -> Histogram {
+        Histogram::with_bounds(&[100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000])
+    }
+
+    pub fn record(&self, v: u64) {
+        let i = self.0.bounds.partition_point(|&b| b < v);
+        self.0.buckets[i].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+        self.0.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_micros() as u64);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    pub fn max(&self) -> u64 {
+        self.0.max.load(Ordering::Relaxed)
+    }
+
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// `(upper_bound, count)` per bucket; `None` is the overflow bucket.
+    pub fn buckets(&self) -> Vec<(Option<u64>, u64)> {
+        let mut out = Vec::with_capacity(self.0.buckets.len());
+        for (i, b) in self.0.buckets.iter().enumerate() {
+            out.push((self.0.bounds.get(i).copied(), b.load(Ordering::Relaxed)));
+        }
+        out
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::duration_us()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// A metric handle held by the registry.
+#[derive(Clone, Debug)]
+pub enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A point-in-time reading of one metric.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge { value: i64, peak: i64 },
+    Histogram { count: u64, sum: u64, max: u64, buckets: Vec<(Option<u64>, u64)> },
+}
+
+/// A name-keyed registry of metric handles.
+///
+/// Registration either *creates* a handle (`counter`/`gauge`/`histogram`)
+/// or *adopts* one a subsystem already owns (`register_*`) — the latter is
+/// how `ExchangeStats`, the buffer cache, the WAL, and LSM trees keep
+/// their intrinsic stats while an instance-level snapshot sees them all.
+/// Re-registering a name replaces the previous handle (last wins).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Get or create a counter under `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut m = self.metrics.lock().unwrap();
+        if let Some(Metric::Counter(c)) = m.get(name) {
+            return c.clone();
+        }
+        let c = Counter::new();
+        m.insert(name.to_string(), Metric::Counter(c.clone()));
+        c
+    }
+
+    /// Get or create a gauge under `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut m = self.metrics.lock().unwrap();
+        if let Some(Metric::Gauge(g)) = m.get(name) {
+            return g.clone();
+        }
+        let g = Gauge::new();
+        m.insert(name.to_string(), Metric::Gauge(g.clone()));
+        g
+    }
+
+    /// Get or create a histogram under `name` (bounds apply on creation).
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        let mut m = self.metrics.lock().unwrap();
+        if let Some(Metric::Histogram(h)) = m.get(name) {
+            return h.clone();
+        }
+        let h = Histogram::with_bounds(bounds);
+        m.insert(name.to_string(), Metric::Histogram(h.clone()));
+        h
+    }
+
+    /// Adopt an existing counter handle under `name`.
+    pub fn register_counter(&self, name: &str, c: &Counter) {
+        self.metrics.lock().unwrap().insert(name.to_string(), Metric::Counter(c.clone()));
+    }
+
+    /// Adopt an existing gauge handle under `name`.
+    pub fn register_gauge(&self, name: &str, g: &Gauge) {
+        self.metrics.lock().unwrap().insert(name.to_string(), Metric::Gauge(g.clone()));
+    }
+
+    /// Adopt an existing histogram handle under `name`.
+    pub fn register_histogram(&self, name: &str, h: &Histogram) {
+        self.metrics.lock().unwrap().insert(name.to_string(), Metric::Histogram(h.clone()));
+    }
+
+    pub fn get(&self, name: &str) -> Option<Metric> {
+        self.metrics.lock().unwrap().get(name).cloned()
+    }
+
+    pub fn names(&self) -> Vec<String> {
+        self.metrics.lock().unwrap().keys().cloned().collect()
+    }
+
+    /// Read every metric, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, MetricValue)> {
+        let m = self.metrics.lock().unwrap();
+        m.iter()
+            .map(|(name, metric)| {
+                let v = match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge { value: g.get(), peak: g.peak() },
+                    Metric::Histogram(h) => MetricValue::Histogram {
+                        count: h.count(),
+                        sum: h.sum(),
+                        max: h.max(),
+                        buckets: h.buckets(),
+                    },
+                };
+                (name.clone(), v)
+            })
+            .collect()
+    }
+
+    /// One JSON object mapping metric names to values: counters are
+    /// numbers, gauges `{"value":..,"peak":..}`, histograms
+    /// `{"count":..,"sum":..,"max":..,"buckets":[[bound,count],..]}` with
+    /// a `null` bound for the overflow bucket.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, value)) in self.snapshot().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(&json_escape(name));
+            out.push_str("\":");
+            match value {
+                MetricValue::Counter(n) => out.push_str(&n.to_string()),
+                MetricValue::Gauge { value, peak } => {
+                    out.push_str(&format!("{{\"value\":{value},\"peak\":{peak}}}"));
+                }
+                MetricValue::Histogram { count, sum, max, buckets } => {
+                    out.push_str(&format!(
+                        "{{\"count\":{count},\"sum\":{sum},\"max\":{max},\"buckets\":["
+                    ));
+                    for (j, (bound, n)) in buckets.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        match bound {
+                            Some(b) => out.push_str(&format!("[{b},{n}]")),
+                            None => out.push_str(&format!("[null,{n}]")),
+                        }
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts_across_clones() {
+        let c = Counter::new();
+        let c2 = c.clone();
+        c.inc();
+        c2.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn gauge_tracks_value_and_peak() {
+        let g = Gauge::new();
+        g.add(3);
+        g.add(4);
+        g.sub(5);
+        assert_eq!(g.get(), 2);
+        assert_eq!(g.peak(), 7);
+        g.set(1);
+        assert_eq!(g.peak(), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let h = Histogram::with_bounds(&[10, 100]);
+        for v in [5, 10, 11, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1026);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.buckets(), vec![(Some(10), 2), (Some(100), 1), (None, 1)]);
+        assert!((h.mean() - 256.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn registry_adopts_existing_handles() {
+        let reg = MetricsRegistry::new();
+        let c = Counter::new();
+        c.add(7);
+        reg.register_counter("exchange.frames_sent", &c);
+        c.inc();
+        match reg.get("exchange.frames_sent") {
+            Some(Metric::Counter(rc)) => assert_eq!(rc.get(), 8),
+            other => panic!("wrong metric: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn registry_get_or_create_is_stable() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        assert_eq!(b.get(), 1);
+        assert_eq!(reg.names(), vec!["x".to_string()]);
+    }
+
+    #[test]
+    fn json_snapshot_is_sorted_and_typed() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b.count").add(2);
+        reg.gauge("a.depth").add(3);
+        let h = reg.histogram("c.lat", &[10]);
+        h.record(4);
+        h.record(40);
+        let json = reg.to_json();
+        assert_eq!(
+            json,
+            "{\"a.depth\":{\"value\":3,\"peak\":3},\"b.count\":2,\
+             \"c.lat\":{\"count\":2,\"sum\":44,\"max\":40,\"buckets\":[[10,1],[null,1]]}}"
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Lightweight span tracing over the process-monotonic clock.
+//!
+//! Timestamps are microseconds since a lazily pinned process epoch
+//! (`Instant`-based, so they never go backwards); a [`Span`] is a started
+//! timer that yields a [`SpanRecord`] when finished.
+
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds since the process observability epoch (monotonic).
+pub fn now_us() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+/// A finished span: name, start offset, and wall duration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    pub name: String,
+    /// Microseconds since the process epoch when the span started.
+    pub start_us: u64,
+    pub duration: Duration,
+}
+
+impl SpanRecord {
+    pub fn end_us(&self) -> u64 {
+        self.start_us + self.duration.as_micros() as u64
+    }
+}
+
+/// An in-flight span.
+#[derive(Debug)]
+pub struct Span {
+    name: String,
+    start_us: u64,
+    started: Instant,
+}
+
+impl Span {
+    pub fn start(name: impl Into<String>) -> Span {
+        Span { name: name.into(), start_us: now_us(), started: Instant::now() }
+    }
+
+    pub fn finish(self) -> SpanRecord {
+        SpanRecord { name: self.name, start_us: self.start_us, duration: self.started.elapsed() }
+    }
+}
+
+/// Run `f` inside a span, returning its result and the finished record.
+pub fn timed<R>(name: &str, f: impl FnOnce() -> R) -> (R, SpanRecord) {
+    let span = Span::start(name);
+    let out = f();
+    (out, span.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_are_monotonic_and_nonzero() {
+        let a = now_us();
+        let (sum, rec) = timed("work", || {
+            std::thread::sleep(Duration::from_millis(2));
+            1 + 1
+        });
+        let b = now_us();
+        assert_eq!(sum, 2);
+        assert_eq!(rec.name, "work");
+        assert!(rec.duration >= Duration::from_millis(2));
+        assert!(rec.start_us >= a);
+        assert!(rec.end_us() <= b + 1);
+    }
+
+    #[test]
+    fn span_guard_records_duration() {
+        let s = Span::start("s");
+        std::thread::sleep(Duration::from_millis(1));
+        let r = s.finish();
+        assert!(r.duration >= Duration::from_millis(1));
+    }
+}

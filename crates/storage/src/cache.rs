@@ -9,12 +9,14 @@
 //! hash of their [`PageKey`], each shard guarded by its own mutex with its
 //! own CLOCK hand. Concurrent partition scans that previously serialized
 //! on one global lock now mostly touch distinct shards. Hit/miss counters
-//! are process-wide atomics aggregated across shards.
+//! are kept **per shard** (obs [`Counter`]s, so they can be registered in
+//! a [`MetricsRegistry`]) and aggregated on read.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use asterix_obs::{Counter, MetricsRegistry};
 use parking_lot::Mutex;
 
 /// Default page size for disk components (4 KiB).
@@ -69,11 +71,17 @@ impl CacheShard {
     }
 }
 
+/// Per-shard hit/miss counters, cheap to clone into a metrics registry.
+#[derive(Debug, Default)]
+struct ShardCounters {
+    hits: Counter,
+    misses: Counter,
+}
+
 /// A fixed-capacity page cache shared by every LSM index on a node.
 pub struct BufferCache {
     shards: Vec<Mutex<CacheShard>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    counters: Vec<ShardCounters>,
 }
 
 impl BufferCache {
@@ -93,19 +101,18 @@ impl BufferCache {
         let per_shard = capacity / nshards;
         Arc::new(BufferCache {
             shards: (0..nshards).map(|_| Mutex::new(CacheShard::new(per_shard))).collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            counters: (0..nshards).map(|_| ShardCounters::default()).collect(),
         })
     }
 
-    fn shard_of(&self, key: &PageKey) -> &Mutex<CacheShard> {
+    fn shard_of(&self, key: &PageKey) -> usize {
         // FNV-1a over the key bytes; independent of HashMap's hasher.
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for b in key.0.to_le_bytes().into_iter().chain(key.1.to_le_bytes()) {
             h ^= b as u64;
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
-        &self.shards[(h % self.shards.len() as u64) as usize]
+        (h % self.shards.len() as u64) as usize
     }
 
     /// Look up a page; on miss, `load` is invoked to fetch it and the result
@@ -115,20 +122,21 @@ impl BufferCache {
         key: PageKey,
         load: impl FnOnce() -> std::result::Result<Vec<u8>, E>,
     ) -> std::result::Result<Arc<Vec<u8>>, E> {
-        let shard = self.shard_of(&key);
+        let shard_idx = self.shard_of(&key);
+        let shard = &self.shards[shard_idx];
         {
             let mut inner = shard.lock();
             if let Some(&slot_idx) = inner.map.get(&key) {
                 if let Some(slot) = inner.slots[slot_idx].as_mut() {
                     slot.referenced = true;
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.counters[shard_idx].hits.inc();
                     return Ok(Arc::clone(&slot.data));
                 }
             }
         }
         // Load outside the lock; a racing thread may load the same page —
         // harmless (last writer wins, both Arcs are valid).
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.counters[shard_idx].misses.inc();
         let data = Arc::new(load()?);
         let mut inner = shard.lock();
         let idx = inner.evict_slot();
@@ -159,9 +167,26 @@ impl BufferCache {
         self.shards.len()
     }
 
-    /// (hits, misses) counters — used by cache-behaviour tests and stats.
+    /// (hits, misses) counters aggregated over every shard — used by
+    /// cache-behaviour tests and stats.
     pub fn stats(&self) -> (u64, u64) {
-        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+        self.counters
+            .iter()
+            .fold((0, 0), |(h, m), c| (h + c.hits.get(), m + c.misses.get()))
+    }
+
+    /// Per-shard (hits, misses) readings, in shard order.
+    pub fn per_shard_stats(&self) -> Vec<(u64, u64)> {
+        self.counters.iter().map(|c| (c.hits.get(), c.misses.get())).collect()
+    }
+
+    /// Register every shard's hit/miss counters under
+    /// `{prefix}.shard{N}.{hits,misses}`.
+    pub fn register_into(&self, reg: &MetricsRegistry, prefix: &str) {
+        for (i, c) in self.counters.iter().enumerate() {
+            reg.register_counter(&format!("{prefix}.shard{i}.hits"), &c.hits);
+            reg.register_counter(&format!("{prefix}.shard{i}.misses"), &c.misses);
+        }
     }
 
     /// Fraction of lookups served from memory, 0.0 when the cache is cold.
@@ -251,6 +276,38 @@ mod tests {
         assert_eq!(BufferCache::with_shards(64, 8).shard_count(), 8);
         assert_eq!(BufferCache::with_shards(32, 8).shard_count(), 4);
         assert_eq!(BufferCache::with_shards(4096, 8).shard_count(), 8);
+    }
+
+    #[test]
+    fn per_shard_stats_sum_to_aggregate_and_register() {
+        let cache = BufferCache::with_shards(64, 4);
+        for i in 0..32u32 {
+            cache.get_or_load::<()>((1, i), || Ok(vec![0])).unwrap();
+        }
+        for i in 0..32u32 {
+            cache.get_or_load::<()>((1, i), || Ok(vec![0])).unwrap();
+        }
+        let (hits, misses) = cache.stats();
+        assert_eq!((hits, misses), (32, 32));
+        let shards = cache.per_shard_stats();
+        assert_eq!(shards.len(), cache.shard_count());
+        assert_eq!(shards.iter().map(|(h, _)| h).sum::<u64>(), hits);
+        assert_eq!(shards.iter().map(|(_, m)| m).sum::<u64>(), misses);
+
+        let reg = MetricsRegistry::default();
+        cache.register_into(&reg, "cache.node0");
+        assert_eq!(reg.names().len(), 2 * cache.shard_count());
+        // The registered counters are live views of the shard counters.
+        cache.get_or_load::<()>((1, 0), || Ok(vec![0])).unwrap();
+        let total: u64 = reg
+            .snapshot()
+            .into_iter()
+            .map(|(_, v)| match v {
+                asterix_obs::MetricValue::Counter(n) => n,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(total, 65);
     }
 
     #[test]

@@ -21,4 +21,4 @@ pub mod rtree;
 pub use cache::BufferCache;
 pub use component::{DiskComponent, Entry};
 pub use error::{Result, StorageError};
-pub use lsm::{LsmConfig, LsmObserver, LsmTree, MergePolicy, NullObserver};
+pub use lsm::{LsmConfig, LsmMetrics, LsmObserver, LsmTree, MergePolicy, NullObserver};

@@ -22,8 +22,9 @@ use std::ops::Bound;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use asterix_obs::{log_event, Counter, Gauge, Histogram, MetricsRegistry};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex, RwLock};
 
@@ -133,6 +134,34 @@ pub trait LsmObserver: Send + Sync {
 pub struct NullObserver;
 impl LsmObserver for NullObserver {}
 
+/// Per-tree maintenance metrics, updated by the background thread.
+/// Cheap `Arc`-backed clones; adopt them into a [`MetricsRegistry`] with
+/// [`LsmMetrics::register_into`].
+#[derive(Clone, Debug, Default)]
+pub struct LsmMetrics {
+    /// Completed background flushes (disk components installed).
+    pub flushes: Counter,
+    /// Completed merges (policy-triggered or manual).
+    pub merges: Counter,
+    /// Flush durations (seal dequeue → component installed), microseconds.
+    pub flush_us: Histogram,
+    /// Merge durations, microseconds.
+    pub merge_us: Histogram,
+    /// Current number of disk components.
+    pub components: Gauge,
+}
+
+impl LsmMetrics {
+    /// Register every metric under `{prefix}.{flushes,merges,...}`.
+    pub fn register_into(&self, reg: &MetricsRegistry, prefix: &str) {
+        reg.register_counter(&format!("{prefix}.flushes"), &self.flushes);
+        reg.register_counter(&format!("{prefix}.merges"), &self.merges);
+        reg.register_histogram(&format!("{prefix}.flush_us"), &self.flush_us);
+        reg.register_histogram(&format!("{prefix}.merge_us"), &self.merge_us);
+        reg.register_gauge(&format!("{prefix}.components"), &self.components);
+    }
+}
+
 /// Work orders for the maintenance thread.
 enum MaintMsg {
     /// Sealed components are queued; flush them (and merge per policy).
@@ -158,6 +187,7 @@ struct LsmInner {
     /// `max_frozen`).
     frozen_cv: Condvar,
     frozen_lock: Mutex<()>,
+    metrics: LsmMetrics,
 }
 
 impl LsmInner {
@@ -209,6 +239,7 @@ impl LsmInner {
                     .map(|f| (f.seq, f.watermark, Arc::clone(&f.entries)))
             };
             let Some((seq, watermark, entries)) = job else { break };
+            let flush_started = Instant::now();
             let path = self.dir.join(format!("c_{seq:012}_{seq:012}.dat"));
             let n = entries.len();
             let comp = DiskComponent::build(
@@ -235,13 +266,27 @@ impl LsmInner {
                     Some(pos) => {
                         st.frozen.remove(pos);
                         st.disk.insert(0, comp);
-                        true
+                        Some(st.disk.len())
                     }
-                    None => false,
+                    None => None,
                 }
             };
             self.notify_frozen();
-            if installed {
+            if let Some(ncomp) = installed {
+                let took = flush_started.elapsed();
+                self.metrics.flushes.inc();
+                self.metrics.flush_us.record_duration(took);
+                self.metrics.components.set(ncomp as i64);
+                log_event(
+                    "storage.lsm",
+                    "flush",
+                    &[
+                        ("seq", seq.into()),
+                        ("entries", n.into()),
+                        ("duration_us", (took.as_micros() as u64).into()),
+                        ("components", ncomp.into()),
+                    ],
+                );
                 self.observer.on_flush(&path, seq, watermark);
                 self.maybe_merge()?;
                 last = Some(path);
@@ -291,6 +336,7 @@ impl LsmInner {
     }
 
     fn merge_components(self: &Arc<Self>, inputs: &[Arc<DiskComponent>]) -> Result<()> {
+        let merge_started = Instant::now();
         let min_seq = inputs.iter().map(|c| c.min_seq).min().unwrap();
         let max_seq = inputs.iter().map(|c| c.max_seq).max().unwrap();
         // Whether the merge includes the oldest on-disk data; if so,
@@ -356,15 +402,30 @@ impl LsmInner {
         // Atomically swap the component list, then destroy the inputs.
         let input_paths: Vec<PathBuf> =
             inputs.iter().map(|c| c.path().to_path_buf()).collect();
-        {
+        let ncomp = {
             let mut st = self.state.write();
             st.disk.retain(|c| !input_paths.iter().any(|p| p == c.path()));
             let pos = st.disk.partition_point(|c| c.max_seq > max_seq);
             st.disk.insert(pos, comp);
-        }
+            st.disk.len()
+        };
         for c in inputs {
             c.destroy()?;
         }
+        let took = merge_started.elapsed();
+        self.metrics.merges.inc();
+        self.metrics.merge_us.record_duration(took);
+        self.metrics.components.set(ncomp as i64);
+        log_event(
+            "storage.lsm",
+            "merge",
+            &[
+                ("inputs", inputs.len().into()),
+                ("entries", n.into()),
+                ("duration_us", (took.as_micros() as u64).into()),
+                ("components", ncomp.into()),
+            ],
+        );
         self.observer.on_merge(&input_paths, &out_path);
         Ok(())
     }
@@ -459,7 +520,9 @@ impl LsmTree {
             deferred: Mutex::new(None),
             frozen_cv: Condvar::new(),
             frozen_lock: Mutex::new(()),
+            metrics: LsmMetrics::default(),
         });
+        inner.metrics.components.set(inner.state.read().disk.len() as i64);
         let (tx, rx) = unbounded();
         let inner2 = Arc::clone(&inner);
         let worker = std::thread::Builder::new()
@@ -762,6 +825,12 @@ impl LsmTree {
     /// Number of disk components (for tests/stats).
     pub fn disk_component_count(&self) -> usize {
         self.inner.state.read().disk.len()
+    }
+
+    /// Maintenance metrics (flush/merge counts and durations, component
+    /// gauge). The returned handle stays live — clones share the counters.
+    pub fn metrics(&self) -> &LsmMetrics {
+        &self.inner.metrics
     }
 
     /// Total bytes across disk components plus the in-memory (mutable and
@@ -1081,6 +1150,58 @@ mod tests {
             assert_eq!(t.get(&k(i)).unwrap(), Some(vec![0u8; 32]));
         }
         t.close().unwrap();
+    }
+
+    #[test]
+    fn maintenance_metrics_record_flushes_and_merges() {
+        let dir = TempDir::new().unwrap();
+        let t = open(dir.path(), MergePolicy::NoMerge, 1 << 20);
+        for round in 0..3u32 {
+            for i in 0..20 {
+                t.insert(k(round * 100 + i), vec![round as u8]).unwrap();
+            }
+            t.flush().unwrap();
+        }
+        let m = t.metrics();
+        assert_eq!(m.flushes.get(), 3, "one background flush per seal");
+        assert_eq!(m.flush_us.count(), 3);
+        assert!(m.flush_us.sum() > 0, "flush durations must be nonzero");
+        assert_eq!(m.merges.get(), 0);
+        assert_eq!(
+            m.components.get(),
+            t.disk_component_count() as i64,
+            "component gauge tracks on-disk components"
+        );
+
+        t.merge_all().unwrap();
+        assert_eq!(m.merges.get(), 1);
+        assert_eq!(m.merge_us.count(), 1);
+        assert!(m.merge_us.sum() > 0, "merge duration must be nonzero");
+        assert_eq!(t.disk_component_count(), 1);
+        assert_eq!(m.components.get(), 1);
+
+        // Registered views read the same live counters.
+        let reg = MetricsRegistry::new();
+        m.register_into(&reg, "lsm.ds");
+        match reg.get("lsm.ds.flushes") {
+            Some(asterix_obs::Metric::Counter(c)) => assert_eq!(c.get(), 3),
+            other => panic!("wrong metric: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reopen_seeds_component_gauge() {
+        let dir = TempDir::new().unwrap();
+        {
+            let t = open(dir.path(), MergePolicy::NoMerge, 1 << 20);
+            for i in 0..10 {
+                t.insert(k(i), vec![1]).unwrap();
+            }
+            t.flush().unwrap();
+        }
+        let t = open(dir.path(), MergePolicy::NoMerge, 1 << 20);
+        assert_eq!(t.metrics().components.get(), t.disk_component_count() as i64);
+        assert_eq!(t.metrics().flushes.get(), 0, "counters start fresh on reopen");
     }
 
     #[test]

@@ -17,6 +17,7 @@ use std::io::{BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use asterix_obs::{Counter, MetricsRegistry};
 use parking_lot::Mutex;
 
 use crate::{Result, TxnError};
@@ -175,6 +176,8 @@ pub struct LogManager {
     next_lsn: AtomicU64,
     next_txn: AtomicU64,
     durability: Durability,
+    appends: Counter,
+    forces: Counter,
 }
 
 impl LogManager {
@@ -192,6 +195,8 @@ impl LogManager {
             next_lsn: AtomicU64::new(existing as u64 + 1),
             next_txn: AtomicU64::new(1),
             durability,
+            appends: Counter::new(),
+            forces: Counter::new(),
         })
     }
 
@@ -212,6 +217,7 @@ impl LogManager {
         let bytes = rec.encode();
         let mut w = self.writer.lock();
         w.write_all(&bytes)?;
+        self.appends.inc();
         Ok(lsn)
     }
 
@@ -229,7 +235,24 @@ impl LogManager {
         if self.durability == Durability::Fsync {
             w.get_ref().sync_data()?;
         }
+        self.forces.inc();
         Ok(())
+    }
+
+    /// Records appended since open (not persisted across reopen).
+    pub fn append_count(&self) -> u64 {
+        self.appends.get()
+    }
+
+    /// Log forces (buffer flushes / fsync-equivalents) since open.
+    pub fn force_count(&self) -> u64 {
+        self.forces.get()
+    }
+
+    /// Register the append/force counters under `{prefix}.{appends,forces}`.
+    pub fn register_into(&self, reg: &MetricsRegistry, prefix: &str) {
+        reg.register_counter(&format!("{prefix}.appends"), &self.appends);
+        reg.register_counter(&format!("{prefix}.forces"), &self.forces);
     }
 
     /// Read every intact record (with LSNs) from a log file; a torn tail is
@@ -302,6 +325,27 @@ mod tests {
         assert_eq!(recs.len(), 3);
         assert_eq!(recs[0].0, 1);
         assert_eq!(recs[2].1, LogRecord::Commit { txn: t });
+    }
+
+    #[test]
+    fn wal_counters_track_appends_and_forces() {
+        let dir = TempDir::new().unwrap();
+        let path = dir.path().join("wal.log");
+        let log = LogManager::open(&path, Durability::Buffer).unwrap();
+        let t = log.begin();
+        log.append(&upd(t, 1)).unwrap();
+        log.append(&upd(t, 2)).unwrap();
+        log.commit(t).unwrap(); // one append + one force
+        assert_eq!(log.append_count(), 3);
+        assert_eq!(log.force_count(), 1);
+
+        let reg = MetricsRegistry::new();
+        log.register_into(&reg, "wal.node0");
+        log.force().unwrap();
+        match reg.get("wal.node0.forces") {
+            Some(asterix_obs::Metric::Counter(c)) => assert_eq!(c.get(), 2),
+            other => panic!("wrong metric: {other:?}"),
+        }
     }
 
     #[test]
