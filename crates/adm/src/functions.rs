@@ -8,8 +8,6 @@
 //! `missing` argument makes the result `null` (SQL-style propagation), which
 //! matches AQL's handling of missing information.
 
-
-
 use crate::error::{AdmError, Result};
 use crate::parse::construct_from_str;
 use crate::similarity::{jaccard, jaccard_check};
@@ -69,10 +67,7 @@ fn int_arg(name: &str, v: &Value) -> Result<i64> {
 
 fn list_arg<'a>(name: &str, v: &'a Value) -> Result<&'a [Value]> {
     v.as_list().ok_or_else(|| {
-        AdmError::InvalidArgument(format!(
-            "{name} expects a collection, got {}",
-            v.type_name()
-        ))
+        AdmError::InvalidArgument(format!("{name} expects a collection, got {}", v.type_name()))
     })
 }
 
@@ -92,9 +87,20 @@ fn duration_arg(name: &str, v: &Value) -> Result<DurationValue> {
 fn handles_unknowns(name: &str) -> bool {
     matches!(
         name,
-        "is-null" | "is-missing" | "is-unknown" | "not" | "if-missing" | "if-null"
-            | "if-missing-or-null" | "count" | "sql-count" | "sql-sum" | "sql-min" | "sql-max"
-            | "sql-avg" | "deep-equal"
+        "is-null"
+            | "is-missing"
+            | "is-unknown"
+            | "not"
+            | "if-missing"
+            | "if-null"
+            | "if-missing-or-null"
+            | "count"
+            | "sql-count"
+            | "sql-sum"
+            | "sql-min"
+            | "sql-max"
+            | "sql-avg"
+            | "deep-equal"
     )
 }
 
@@ -164,10 +170,7 @@ pub fn eval(name: &str, args: &[Value], ctx: &FunctionContext) -> Result<Value> 
         }
         "like" => {
             arity(name, args, 2)?;
-            Ok(Value::Boolean(strings::like(
-                str_arg(name, &args[0])?,
-                str_arg(name, &args[1])?,
-            )))
+            Ok(Value::Boolean(strings::like(str_arg(name, &args[0])?, str_arg(name, &args[1])?)))
         }
         "matches" => {
             arity(name, args, 2)?;
@@ -213,22 +216,16 @@ pub fn eval(name: &str, args: &[Value], ctx: &FunctionContext) -> Result<Value> 
         }
         "starts-with" => {
             arity(name, args, 2)?;
-            Ok(Value::Boolean(
-                str_arg(name, &args[0])?.starts_with(str_arg(name, &args[1])?),
-            ))
+            Ok(Value::Boolean(str_arg(name, &args[0])?.starts_with(str_arg(name, &args[1])?)))
         }
         "ends-with" => {
             arity(name, args, 2)?;
-            Ok(Value::Boolean(
-                str_arg(name, &args[0])?.ends_with(str_arg(name, &args[1])?),
-            ))
+            Ok(Value::Boolean(str_arg(name, &args[0])?.ends_with(str_arg(name, &args[1])?)))
         }
         "substring" => {
             // substring(s, start[, len]) — 1-based start as in AQL.
             if args.len() < 2 || args.len() > 3 {
-                return Err(AdmError::InvalidArgument(
-                    "substring expects 2 or 3 arguments".into(),
-                ));
+                return Err(AdmError::InvalidArgument("substring expects 2 or 3 arguments".into()));
             }
             let s = str_arg(name, &args[0])?;
             let start = (int_arg(name, &args[1])? - 1).max(0) as usize;
@@ -265,9 +262,11 @@ pub fn eval(name: &str, args: &[Value], ctx: &FunctionContext) -> Result<Value> 
             let mut out = String::new();
             for v in items {
                 let cp = int_arg(name, v)? as u32;
-                out.push(char::from_u32(cp).ok_or_else(|| {
-                    AdmError::InvalidArgument(format!("invalid codepoint {cp}"))
-                })?);
+                out.push(
+                    char::from_u32(cp).ok_or_else(|| {
+                        AdmError::InvalidArgument(format!("invalid codepoint {cp}"))
+                    })?,
+                );
             }
             Ok(Value::string(out))
         }
@@ -288,14 +287,12 @@ pub fn eval(name: &str, args: &[Value], ctx: &FunctionContext) -> Result<Value> 
                 str_arg(name, &args[1])?,
                 t,
             ) {
-                Some(d) => Ok(Value::ordered_list(vec![
-                    Value::Boolean(true),
-                    Value::Int64(d as i64),
-                ])),
-                None => Ok(Value::ordered_list(vec![
-                    Value::Boolean(false),
-                    Value::Int64(t as i64 + 1),
-                ])),
+                Some(d) => {
+                    Ok(Value::ordered_list(vec![Value::Boolean(true), Value::Int64(d as i64)]))
+                }
+                None => {
+                    Ok(Value::ordered_list(vec![Value::Boolean(false), Value::Int64(t as i64 + 1)]))
+                }
             }
         }
         "edit-distance-ok" => {
@@ -304,12 +301,8 @@ pub fn eval(name: &str, args: &[Value], ctx: &FunctionContext) -> Result<Value> 
             arity(name, args, 3)?;
             let t = int_arg(name, &args[2])?.max(0) as usize;
             Ok(Value::Boolean(
-                strings::edit_distance_check(
-                    str_arg(name, &args[0])?,
-                    str_arg(name, &args[1])?,
-                    t,
-                )
-                .is_some(),
+                strings::edit_distance_check(str_arg(name, &args[0])?, str_arg(name, &args[1])?, t)
+                    .is_some(),
             ))
         }
         "edit-distance-contains" => {
@@ -323,23 +316,16 @@ pub fn eval(name: &str, args: &[Value], ctx: &FunctionContext) -> Result<Value> 
         }
         "similarity-jaccard" => {
             arity(name, args, 2)?;
-            Ok(Value::Double(jaccard(
-                list_arg(name, &args[0])?,
-                list_arg(name, &args[1])?,
-            )))
+            Ok(Value::Double(jaccard(list_arg(name, &args[0])?, list_arg(name, &args[1])?)))
         }
         "similarity-jaccard-check" => {
             arity(name, args, 3)?;
             let t = num_arg(name, &args[2])?;
             match jaccard_check(list_arg(name, &args[0])?, list_arg(name, &args[1])?, t) {
-                Some(sim) => Ok(Value::ordered_list(vec![
-                    Value::Boolean(true),
-                    Value::Double(sim),
-                ])),
-                None => Ok(Value::ordered_list(vec![
-                    Value::Boolean(false),
-                    Value::Double(0.0),
-                ])),
+                Some(sim) => {
+                    Ok(Value::ordered_list(vec![Value::Boolean(true), Value::Double(sim)]))
+                }
+                None => Ok(Value::ordered_list(vec![Value::Boolean(false), Value::Double(0.0)])),
             }
         }
         "fuzzy-eq" => {
@@ -365,8 +351,17 @@ pub fn eval(name: &str, args: &[Value], ctx: &FunctionContext) -> Result<Value> 
             arity(name, args, 0)?;
             Ok(Value::Time(ctx.now_millis.rem_euclid(MILLIS_PER_DAY) as i32))
         }
-        "date" | "time" | "datetime" | "duration" | "year-month-duration"
-        | "day-time-duration" | "point" | "line" | "rectangle" | "circle" | "polygon"
+        "date"
+        | "time"
+        | "datetime"
+        | "duration"
+        | "year-month-duration"
+        | "day-time-duration"
+        | "point"
+        | "line"
+        | "rectangle"
+        | "circle"
+        | "polygon"
         | "hex" => {
             arity(name, args, 1)?;
             // Constructor applied to a string (e.g. `datetime($log.time)`,
@@ -591,9 +586,7 @@ pub fn eval(name: &str, args: &[Value], ctx: &FunctionContext) -> Result<Value> 
                         high: crate::value::Point::new(a.x.max(b.x), a.y.max(b.y)),
                     }))
                 }
-                _ => Err(AdmError::InvalidArgument(
-                    "create-rectangle expects two points".into(),
-                )),
+                _ => Err(AdmError::InvalidArgument("create-rectangle expects two points".into())),
             }
         }
         "create-point" => {
@@ -768,19 +761,16 @@ fn scalar_aggregate(op: &str, input: &Value, sql: bool) -> Result<Value> {
             if vals.iter().all(|v| v.as_i64().is_some()) {
                 let mut acc: i64 = 0;
                 for v in &vals {
-                    acc = acc.checked_add(v.as_i64().unwrap()).ok_or_else(|| {
-                        AdmError::Arithmetic("integer overflow in sum".into())
-                    })?;
+                    acc = acc
+                        .checked_add(v.as_i64().unwrap())
+                        .ok_or_else(|| AdmError::Arithmetic("integer overflow in sum".into()))?;
                 }
                 Ok(Value::Int64(acc))
             } else {
                 let mut acc = 0.0;
                 for v in &vals {
                     acc += v.as_f64().ok_or_else(|| {
-                        AdmError::InvalidArgument(format!(
-                            "sum over non-numeric {}",
-                            v.type_name()
-                        ))
+                        AdmError::InvalidArgument(format!("sum over non-numeric {}", v.type_name()))
                     })?;
                 }
                 Ok(Value::Double(acc))
@@ -920,10 +910,7 @@ pub fn neg(v: &Value) -> Result<Value> {
         Value::Duration(d) => {
             Ok(Value::Duration(DurationValue { months: -d.months, millis: -d.millis }))
         }
-        other => Err(AdmError::InvalidArgument(format!(
-            "cannot negate {}",
-            other.type_name()
-        ))),
+        other => Err(AdmError::InvalidArgument(format!("cannot negate {}", other.type_name()))),
     }
 }
 
@@ -953,24 +940,102 @@ pub fn build_list(items: Vec<Value>, ordered: bool) -> Value {
 /// calls from user-defined functions.
 pub fn is_builtin(name: &str) -> bool {
     const NAMES: &[&str] = &[
-        "is-null", "is-missing", "is-unknown", "if-missing", "if-null",
-        "if-missing-or-null", "not", "deep-equal", "contains", "like", "matches", "replace",
-        "word-tokens", "gram-tokens", "string-length", "lowercase", "uppercase", "trim",
-        "starts-with", "ends-with", "substring", "string-concat", "string-join",
-        "codepoint-to-string", "edit-distance", "edit-distance-check", "edit-distance-ok",
-        "edit-distance-contains", "similarity-jaccard", "similarity-jaccard-check",
-        "fuzzy-eq", "current-datetime", "current-date", "current-time", "date", "time",
-        "datetime", "duration", "year-month-duration", "day-time-duration", "point", "line",
-        "rectangle", "circle", "polygon", "hex", "int8", "int16", "int32", "int64", "double",
-        "string", "subtract-datetime", "subtract-date", "subtract-time",
-        "adjust-datetime-for-timezone", "adjust-time-for-timezone",
-        "interval-start-from-date", "interval-start-from-time",
-        "interval-start-from-datetime", "interval-bin", "get-interval-start",
-        "get-interval-end", "year", "month", "day", "hour", "minute", "second",
-        "spatial-distance", "spatial-area", "spatial-intersect", "spatial-cell",
-        "create-point", "create-circle", "create-rectangle", "get-x", "get-y", "abs", "round", "floor", "ceiling", "sqrt", "len",
-        "get-item", "range", "count", "sum", "min", "max", "avg", "sql-count", "sql-sum",
-        "sql-min", "sql-max", "sql-avg",
+        "is-null",
+        "is-missing",
+        "is-unknown",
+        "if-missing",
+        "if-null",
+        "if-missing-or-null",
+        "not",
+        "deep-equal",
+        "contains",
+        "like",
+        "matches",
+        "replace",
+        "word-tokens",
+        "gram-tokens",
+        "string-length",
+        "lowercase",
+        "uppercase",
+        "trim",
+        "starts-with",
+        "ends-with",
+        "substring",
+        "string-concat",
+        "string-join",
+        "codepoint-to-string",
+        "edit-distance",
+        "edit-distance-check",
+        "edit-distance-ok",
+        "edit-distance-contains",
+        "similarity-jaccard",
+        "similarity-jaccard-check",
+        "fuzzy-eq",
+        "current-datetime",
+        "current-date",
+        "current-time",
+        "date",
+        "time",
+        "datetime",
+        "duration",
+        "year-month-duration",
+        "day-time-duration",
+        "point",
+        "line",
+        "rectangle",
+        "circle",
+        "polygon",
+        "hex",
+        "int8",
+        "int16",
+        "int32",
+        "int64",
+        "double",
+        "string",
+        "subtract-datetime",
+        "subtract-date",
+        "subtract-time",
+        "adjust-datetime-for-timezone",
+        "adjust-time-for-timezone",
+        "interval-start-from-date",
+        "interval-start-from-time",
+        "interval-start-from-datetime",
+        "interval-bin",
+        "get-interval-start",
+        "get-interval-end",
+        "year",
+        "month",
+        "day",
+        "hour",
+        "minute",
+        "second",
+        "spatial-distance",
+        "spatial-area",
+        "spatial-intersect",
+        "spatial-cell",
+        "create-point",
+        "create-circle",
+        "create-rectangle",
+        "get-x",
+        "get-y",
+        "abs",
+        "round",
+        "floor",
+        "ceiling",
+        "sqrt",
+        "len",
+        "get-item",
+        "range",
+        "count",
+        "sum",
+        "min",
+        "max",
+        "avg",
+        "sql-count",
+        "sql-sum",
+        "sql-min",
+        "sql-max",
+        "sql-avg",
     ];
     NAMES.contains(&name) || name.starts_with("interval-")
 }
@@ -980,8 +1045,16 @@ pub fn is_builtin(name: &str) -> bool {
 pub fn is_aggregate(name: &str) -> bool {
     matches!(
         name,
-        "count" | "sum" | "min" | "max" | "avg" | "sql-count" | "sql-sum" | "sql-min"
-            | "sql-max" | "sql-avg"
+        "count"
+            | "sum"
+            | "min"
+            | "max"
+            | "avg"
+            | "sql-count"
+            | "sql-sum"
+            | "sql-min"
+            | "sql-max"
+            | "sql-avg"
     )
 }
 
@@ -1029,11 +1102,7 @@ mod tests {
     #[test]
     fn aggregate_null_semantics() {
         // AQL avg: null poisons; SQL avg: null skipped.
-        let with_null = Value::ordered_list(vec![
-            Value::Int64(2),
-            Value::Null,
-            Value::Int64(4),
-        ]);
+        let with_null = Value::ordered_list(vec![Value::Int64(2), Value::Null, Value::Int64(4)]);
         assert_eq!(call("avg", &[with_null.clone()]), Value::Null);
         assert_eq!(call("sql-avg", &[with_null.clone()]), Value::Double(3.0));
         assert_eq!(call("count", &[with_null.clone()]), Value::Int64(3));
@@ -1066,10 +1135,7 @@ mod tests {
         let dt = call("datetime", &[Value::string("2014-01-31T00:00:00")]);
         let dur = call("duration", &[Value::string("P30D")]);
         let sum = arith('+', &dt, &dur).unwrap();
-        assert_eq!(
-            crate::print::to_adm_string(&sum),
-            "datetime(\"2014-03-02T00:00:00\")"
-        );
+        assert_eq!(crate::print::to_adm_string(&sum), "datetime(\"2014-03-02T00:00:00\")");
         let diff = arith('-', &sum, &dt).unwrap();
         assert_eq!(diff, Value::DayTimeDuration(30 * MILLIS_PER_DAY));
     }
@@ -1081,10 +1147,7 @@ mod tests {
         assert_eq!(arith('/', &Value::Int32(7), &Value::Int32(2)).unwrap(), Value::Double(3.5));
         assert!(arith('/', &Value::Int32(1), &Value::Int32(0)).is_err());
         assert_eq!(arith('+', &Value::Null, &Value::Int32(1)).unwrap(), Value::Null);
-        assert_eq!(
-            arith('*', &Value::Double(1.5), &Value::Int32(2)).unwrap(),
-            Value::Double(3.0)
-        );
+        assert_eq!(arith('*', &Value::Double(1.5), &Value::Int32(2)).unwrap(), Value::Double(3.0));
         assert!(arith('+', &Value::Int64(i64::MAX), &Value::Int64(1)).is_err());
     }
 
@@ -1100,29 +1163,20 @@ mod tests {
             "edit-distance-check",
             &[Value::string("abc"), Value::string("abd"), Value::Int64(1)],
         );
-        assert_eq!(
-            r,
-            Value::ordered_list(vec![Value::Boolean(true), Value::Int64(1)])
-        );
+        assert_eq!(r, Value::ordered_list(vec![Value::Boolean(true), Value::Int64(1)]));
     }
 
     #[test]
     fn interval_functions() {
         let iv = call(
             "interval-start-from-datetime",
-            &[
-                Value::string("2014-01-01T00:00:00"),
-                call("duration", &[Value::string("P1D")]),
-            ],
+            &[Value::string("2014-01-01T00:00:00"), call("duration", &[Value::string("P1D")])],
         );
         let start = call("get-interval-start", &[iv.clone()]);
         assert!(matches!(start, Value::DateTime(_)));
         let iv2 = call(
             "interval-start-from-datetime",
-            &[
-                Value::string("2014-01-01T12:00:00"),
-                call("duration", &[Value::string("P1D")]),
-            ],
+            &[Value::string("2014-01-01T12:00:00"), call("duration", &[Value::string("P1D")])],
         );
         assert_eq!(call("interval-overlaps", &[iv, iv2]), Value::Boolean(true));
     }
@@ -1140,18 +1194,12 @@ mod tests {
 
     #[test]
     fn unknown_function_errors() {
-        assert!(matches!(
-            eval("no-such-fn", &[], &ctx()),
-            Err(AdmError::UnknownFunction(_))
-        ));
+        assert!(matches!(eval("no-such-fn", &[], &ctx()), Err(AdmError::UnknownFunction(_))));
     }
 
     #[test]
     fn record_builder_drops_missing() {
-        let v = build_record(vec![
-            ("a".into(), Value::Int64(1)),
-            ("b".into(), Value::Missing),
-        ]);
+        let v = build_record(vec![("a".into(), Value::Int64(1)), ("b".into(), Value::Missing)]);
         assert_eq!(v.as_record().unwrap().len(), 1);
     }
 }

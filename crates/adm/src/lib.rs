@@ -8,6 +8,7 @@
 
 pub mod error;
 pub mod functions;
+pub mod ordkey;
 pub mod parse;
 pub mod print;
 pub mod serde;
@@ -15,9 +16,13 @@ pub mod similarity;
 pub mod spatial;
 pub mod strings;
 pub mod temporal;
+pub mod tuple;
 pub mod types;
 pub mod value;
 
 pub use error::{AdmError, Result};
+pub use tuple::{
+    concat_tuples_into, decode_tuple, encode_tuple, encode_tuple_into, TupleRef, ValueRef,
+};
 pub use types::{Datatype, FieldType, PrimitiveType, RecordType, RecordTypeBuilder, TypeRegistry};
 pub use value::{Record, Value};

@@ -1,0 +1,378 @@
+//! Order-preserving *comparison keys* for ADM values.
+//!
+//! Encodes any `Value` into a byte string whose `memcmp` order agrees with
+//! [`Value::total_cmp`] — the normalized-key technique Hyracks uses so that
+//! sort, merge, and group/join key equality run directly over bytes. The
+//! same bit-flipping primitives back `storage::keycodec`'s B+-tree key
+//! format (which additionally needs to *decode* keys and therefore keeps a
+//! width tag); this encoding is comparison-only and canonical:
+//!
+//! * all numerics share one rank and encode as a canonicalized sortable
+//!   `f64` plus an exact integer tiebreak, so `int32 5`, `int64 5` and
+//!   `double 5.0` produce *identical* bytes (they compare equal);
+//! * `-0.0` folds into `0.0` and every NaN into the canonical quiet NaN,
+//!   matching `total_cmp`'s equality classes;
+//! * records encode their fields sorted by name, matching the
+//!   order-insensitive record comparison.
+//!
+//! Caveat (shared with `total_cmp` itself, which is non-transitive there):
+//! integers with magnitude ≥ 9.0e15 lose their exact tiebreak against
+//! floating-point neighbours, so an `int64`/`double` pair that far out may
+//! compare equal by bytes while `total_cmp` distinguishes them, and vice
+//! versa. Key comparisons inside the engine restrict themselves to the
+//! exact range, as do the property tests.
+
+use std::cmp::Ordering;
+
+use crate::value::Value;
+
+/// Escape byte for embedded zero bytes in variable-length runs.
+pub const ESCAPE: u8 = 0x00;
+/// What an escaped `0x00` is rewritten to.
+pub const ESCAPED_00: u8 = 0xFF;
+/// Terminates a variable-length run; sorts below any escaped content.
+pub const TERMINATOR: [u8; 2] = [0x00, 0x01];
+/// Marks one more element in a list/record run; sorts above `TERMINATOR`.
+pub const ELEMENT_MARKER: u8 = 0x02;
+
+/// Map an `f64` to a `u64` whose unsigned big-endian order matches the
+/// numeric order (negative values complement, positives flip the sign bit).
+pub fn sortable_f64(v: f64) -> u64 {
+    let bits = v.to_bits();
+    if bits & 0x8000_0000_0000_0000 != 0 {
+        !bits
+    } else {
+        bits ^ 0x8000_0000_0000_0000
+    }
+}
+
+/// Inverse of [`sortable_f64`].
+pub fn unsortable_f64(bits: u64) -> f64 {
+    let raw = if bits & 0x8000_0000_0000_0000 != 0 { bits ^ 0x8000_0000_0000_0000 } else { !bits };
+    f64::from_bits(raw)
+}
+
+/// Map an `i64` to a `u64` preserving order (flip the sign bit).
+pub fn sortable_i64(v: i64) -> u64 {
+    (v as u64) ^ 0x8000_0000_0000_0000
+}
+
+/// Inverse of [`sortable_i64`].
+pub fn unsortable_i64(bits: u64) -> i64 {
+    (bits ^ 0x8000_0000_0000_0000) as i64
+}
+
+/// Map an `i32` to a `u32` preserving order.
+pub fn sortable_i32(v: i32) -> u32 {
+    (v as u32) ^ 0x8000_0000
+}
+
+/// Inverse of [`sortable_i32`].
+pub fn unsortable_i32(bits: u32) -> i32 {
+    (bits ^ 0x8000_0000) as i32
+}
+
+/// Append `bytes` with `0x00` escaped and a terminator, preserving
+/// lexicographic order across the embedded run.
+pub fn encode_terminated_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    for &b in bytes {
+        if b == ESCAPE {
+            out.push(ESCAPE);
+            out.push(ESCAPED_00);
+        } else {
+            out.push(b);
+        }
+    }
+    out.extend_from_slice(&TERMINATOR);
+}
+
+/// Fold `-0.0` to `0.0` and any NaN to the canonical quiet NaN so that
+/// `total_cmp`-equal doubles map to identical bit patterns.
+fn canon_f64(v: f64) -> f64 {
+    if v.is_nan() {
+        f64::NAN
+    } else if v == 0.0 {
+        0.0
+    } else {
+        v
+    }
+}
+
+fn push_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&sortable_f64(canon_f64(v)).to_be_bytes());
+}
+
+/// The exact integer tiebreak behind the `f64` rank: the integer value for
+/// integer-typed numerics, the integral double when it is exactly
+/// representable, and 0 beyond the exact range (see the module caveat).
+fn numeric_tie(v: &Value) -> i64 {
+    if let Some(i) = v.as_i64() {
+        return i;
+    }
+    let d = v.as_f64().unwrap_or(0.0);
+    if d.fract() == 0.0 && d.abs() < 9.0e15 {
+        d as i64
+    } else {
+        0
+    }
+}
+
+/// Append the comparison key of `v` to `out`. Total: every `Value` variant
+/// encodes, in `type_rank` order.
+pub fn encode_value_into(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Missing => out.push(1),
+        Value::Boolean(b) => {
+            out.push(2);
+            out.push(u8::from(*b));
+        }
+        _ if v.is_numeric() => {
+            out.push(3);
+            push_f64(out, v.as_f64().unwrap());
+            out.extend_from_slice(&sortable_i64(numeric_tie(v)).to_be_bytes());
+        }
+        Value::String(s) => {
+            out.push(4);
+            encode_terminated_bytes(out, s.as_bytes());
+        }
+        Value::Date(d) => {
+            out.push(5);
+            out.extend_from_slice(&sortable_i32(*d).to_be_bytes());
+        }
+        Value::Time(t) => {
+            out.push(6);
+            out.extend_from_slice(&sortable_i32(*t).to_be_bytes());
+        }
+        Value::DateTime(t) => {
+            out.push(7);
+            out.extend_from_slice(&sortable_i64(*t).to_be_bytes());
+        }
+        Value::Duration(d) => {
+            out.push(8);
+            out.extend_from_slice(&sortable_i32(d.months).to_be_bytes());
+            out.extend_from_slice(&sortable_i64(d.millis).to_be_bytes());
+        }
+        Value::YearMonthDuration(m) => {
+            out.push(9);
+            out.extend_from_slice(&sortable_i32(*m).to_be_bytes());
+        }
+        Value::DayTimeDuration(ms) => {
+            out.push(10);
+            out.extend_from_slice(&sortable_i64(*ms).to_be_bytes());
+        }
+        Value::Interval(iv) => {
+            // total_cmp orders intervals by (start, end) only; the kind
+            // does not participate, so it is omitted here.
+            out.push(11);
+            out.extend_from_slice(&sortable_i64(iv.start).to_be_bytes());
+            out.extend_from_slice(&sortable_i64(iv.end).to_be_bytes());
+        }
+        Value::Point(p) => {
+            out.push(12);
+            push_f64(out, p.x);
+            push_f64(out, p.y);
+        }
+        Value::Line(l) => {
+            out.push(13);
+            push_f64(out, l.a.x);
+            push_f64(out, l.a.y);
+            push_f64(out, l.b.x);
+            push_f64(out, l.b.y);
+        }
+        Value::Rectangle(r) => {
+            out.push(14);
+            push_f64(out, r.low.x);
+            push_f64(out, r.low.y);
+            push_f64(out, r.high.x);
+            push_f64(out, r.high.y);
+        }
+        Value::Circle(c) => {
+            out.push(15);
+            push_f64(out, c.center.x);
+            push_f64(out, c.center.y);
+            push_f64(out, c.radius);
+        }
+        Value::Polygon(ps) => {
+            out.push(16);
+            for p in ps.iter() {
+                out.push(ELEMENT_MARKER);
+                push_f64(out, p.x);
+                push_f64(out, p.y);
+            }
+            out.extend_from_slice(&TERMINATOR);
+        }
+        Value::Binary(b) => {
+            out.push(17);
+            encode_terminated_bytes(out, b);
+        }
+        Value::OrderedList(items) => {
+            out.push(18);
+            for item in items.iter() {
+                out.push(ELEMENT_MARKER);
+                encode_value_into(out, item);
+            }
+            out.extend_from_slice(&TERMINATOR);
+        }
+        Value::UnorderedList(items) => {
+            out.push(19);
+            for item in items.iter() {
+                out.push(ELEMENT_MARKER);
+                encode_value_into(out, item);
+            }
+            out.extend_from_slice(&TERMINATOR);
+        }
+        Value::Record(r) => {
+            // total_cmp compares records by sorted field name, then value.
+            out.push(20);
+            let mut fields: Vec<_> = r.fields().iter().collect();
+            fields.sort_by(|a, b| a.name.cmp(&b.name));
+            for f in fields {
+                out.push(ELEMENT_MARKER);
+                encode_terminated_bytes(out, f.name.as_bytes());
+                encode_value_into(out, &f.value);
+            }
+            out.extend_from_slice(&TERMINATOR);
+        }
+        // is_numeric() covered every remaining variant above.
+        _ => unreachable!("non-numeric value fell through ordkey encoding"),
+    }
+}
+
+/// The comparison key of a single value.
+pub fn encode_value(v: &Value) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    encode_value_into(&mut out, v);
+    out
+}
+
+/// The comparison key of a composite key (concatenation is order-correct
+/// because each value's encoding is self-delimiting and prefix-free).
+pub fn encode_values(values: &[Value]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 * values.len());
+    for v in values {
+        encode_value_into(&mut out, v);
+    }
+    out
+}
+
+/// Compare two values through their comparison keys (test/assert helper;
+/// hot paths cache the encoded keys instead).
+pub fn cmp_values(a: &Value, b: &Value) -> Ordering {
+    encode_value(a).cmp(&encode_value(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{Circle, DurationValue, IntervalValue, Line, Point, Record, Rectangle};
+
+    fn specimens() -> Vec<Value> {
+        vec![
+            Value::Null,
+            Value::Missing,
+            Value::Boolean(false),
+            Value::Boolean(true),
+            Value::Int8(-5),
+            Value::Int16(300),
+            Value::Int32(-70_000),
+            Value::Int64(1 << 40),
+            Value::Int64(0),
+            Value::Float(2.5),
+            Value::Double(-0.0),
+            Value::Double(2.5),
+            Value::Double(f64::INFINITY),
+            Value::Double(f64::NEG_INFINITY),
+            Value::Double(f64::NAN),
+            Value::string(""),
+            Value::string("a"),
+            Value::string("a\u{0}b"),
+            Value::string("ab"),
+            Value::Date(-3),
+            Value::Time(7),
+            Value::DateTime(1234567),
+            Value::Duration(DurationValue { months: 2, millis: -5 }),
+            Value::YearMonthDuration(-1),
+            Value::DayTimeDuration(99),
+            Value::Interval(IntervalValue {
+                kind: crate::value::IntervalKind::Date,
+                start: 1,
+                end: 5,
+            }),
+            Value::Point(Point::new(1.0, 2.0)),
+            Value::Line(Line { a: Point::new(0.0, 0.0), b: Point::new(1.0, 1.0) }),
+            Value::Rectangle(Rectangle::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0))),
+            Value::Circle(Circle { center: Point::new(1.0, 1.0), radius: 3.0 }),
+            Value::Polygon(std::sync::Arc::from(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)])),
+            Value::Binary(std::sync::Arc::from(vec![0u8, 1, 255])),
+            Value::ordered_list(vec![Value::Int64(1), Value::string("x")]),
+            Value::ordered_list(vec![Value::Int64(1)]),
+            Value::unordered_list(vec![Value::Int64(2)]),
+            Value::record(Record::from_fields([("b", Value::Int64(2)), ("a", Value::string("v"))])),
+            Value::record(Record::from_fields([("a", Value::string("v"))])),
+        ]
+    }
+
+    #[test]
+    fn byte_order_agrees_with_total_cmp_across_all_variants() {
+        let vals = specimens();
+        for a in &vals {
+            for b in &vals {
+                assert_eq!(
+                    cmp_values(a, b),
+                    a.total_cmp(b),
+                    "ordkey order disagrees with total_cmp for {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn equal_numerics_encode_identically() {
+        let fives = [
+            Value::Int8(5),
+            Value::Int16(5),
+            Value::Int32(5),
+            Value::Int64(5),
+            Value::Float(5.0),
+            Value::Double(5.0),
+        ];
+        let k = encode_value(&fives[0]);
+        for v in &fives[1..] {
+            assert_eq!(encode_value(v), k, "{v} key differs from int8 5");
+        }
+        // Zero classes: -0.0, 0.0 and integer 0 all collapse.
+        assert_eq!(encode_value(&Value::Double(-0.0)), encode_value(&Value::Int64(0)));
+        // NaN is a single equality class sorting above +inf.
+        assert_eq!(encode_value(&Value::Double(f64::NAN)), encode_value(&Value::Float(f32::NAN)));
+        assert!(
+            encode_value(&Value::Double(f64::NAN)) > encode_value(&Value::Double(f64::INFINITY))
+        );
+    }
+
+    #[test]
+    fn record_keys_are_field_order_insensitive() {
+        let a =
+            Value::record(Record::from_fields([("x", Value::Int64(1)), ("y", Value::string("s"))]));
+        let b =
+            Value::record(Record::from_fields([("y", Value::string("s")), ("x", Value::Int64(1))]));
+        assert_eq!(encode_value(&a), encode_value(&b));
+    }
+
+    #[test]
+    fn composite_keys_order_lexicographically() {
+        let k1 = encode_values(&[Value::string("alice"), Value::Int64(1)]);
+        let k2 = encode_values(&[Value::string("alice"), Value::Int64(2)]);
+        let k3 = encode_values(&[Value::string("bob"), Value::Int64(0)]);
+        assert!(k1 < k2);
+        assert!(k2 < k3);
+    }
+
+    #[test]
+    fn integer_tiebreak_distinguishes_beyond_f64_precision() {
+        let a = Value::Int64(1 << 53);
+        let b = Value::Int64((1 << 53) + 1);
+        assert_eq!(cmp_values(&a, &b), a.total_cmp(&b));
+        assert_eq!(cmp_values(&a, &b), Ordering::Less);
+    }
+}

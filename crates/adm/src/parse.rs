@@ -137,10 +137,9 @@ impl<'a> Parser<'a> {
             Some('"') => Ok(Value::String(Arc::from(self.parse_string()?.as_str()))),
             Some(c) if c == '-' || c.is_ascii_digit() => self.parse_number(),
             Some(c) if c.is_ascii_alphabetic() => self.parse_word(),
-            Some(c) => Err(AdmError::Parse(format!(
-                "unexpected character {c:?} at offset {}",
-                self.pos
-            ))),
+            Some(c) => {
+                Err(AdmError::Parse(format!("unexpected character {c:?} at offset {}", self.pos)))
+            }
         }
     }
 
@@ -234,9 +233,9 @@ impl<'a> Parser<'a> {
                     Some('u') => {
                         let mut code = 0u32;
                         for _ in 0..4 {
-                            let c = self.bump().ok_or_else(|| {
-                                AdmError::Parse("truncated \\u escape".into())
-                            })?;
+                            let c = self
+                                .bump()
+                                .ok_or_else(|| AdmError::Parse("truncated \\u escape".into()))?;
                             code = code * 16
                                 + c.to_digit(16).ok_or_else(|| {
                                     AdmError::Parse(format!("bad hex digit {c:?}"))
@@ -360,9 +359,8 @@ fn bad_num(t: &str) -> AdmError {
 }
 
 fn parse_point_body(s: &str) -> Result<Point> {
-    let (x, y) = s
-        .split_once(',')
-        .ok_or_else(|| AdmError::Parse(format!("invalid point body {s:?}")))?;
+    let (x, y) =
+        s.split_once(',').ok_or_else(|| AdmError::Parse(format!("invalid point body {s:?}")))?;
     Ok(Point::new(
         x.trim().parse().map_err(|_| bad_num(x))?,
         y.trim().parse().map_err(|_| bad_num(y))?,
@@ -465,9 +463,7 @@ fn construct(ctor: &str, arg: CtorArg) -> Result<Value> {
         ("int64", CtorArg::Str(s)) => Ok(Value::Int64(parse_i64(&s)?)),
         ("float", CtorArg::Num(n)) => Ok(Value::Float(n as f32)),
         ("float", CtorArg::Int(i)) => Ok(Value::Float(i as f32)),
-        ("float", CtorArg::Str(s)) => {
-            Ok(Value::Float(s.trim().parse().map_err(|_| bad_num(&s))?))
-        }
+        ("float", CtorArg::Str(s)) => Ok(Value::Float(s.trim().parse().map_err(|_| bad_num(&s))?)),
         ("double", CtorArg::Num(n)) => Ok(Value::Double(n)),
         ("double", CtorArg::Int(i)) => Ok(Value::Double(i as f64)),
         ("double", CtorArg::Str(s)) => {
@@ -520,10 +516,7 @@ mod tests {
         assert_eq!(friends.as_list().unwrap().len(), 3);
         assert!(matches!(v.field("user-since"), Value::DateTime(_)));
         let emp = v.field("employment");
-        assert!(matches!(
-            emp.as_list().unwrap()[0].field("start-date"),
-            Value::Date(_)
-        ));
+        assert!(matches!(emp.as_list().unwrap()[0].field("start-date"), Value::Date(_)));
     }
 
     #[test]

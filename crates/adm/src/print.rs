@@ -82,10 +82,8 @@ fn to_adm_string_into(out: &mut String, v: &Value) {
         Value::Line(l) => {
             out.push_str(&format!("line(\"{},{} {},{}\")", l.a.x, l.a.y, l.b.x, l.b.y))
         }
-        Value::Rectangle(r) => out.push_str(&format!(
-            "rectangle(\"{},{} {},{}\")",
-            r.low.x, r.low.y, r.high.x, r.high.y
-        )),
+        Value::Rectangle(r) => out
+            .push_str(&format!("rectangle(\"{},{} {},{}\")", r.low.x, r.low.y, r.high.x, r.high.y)),
         Value::Circle(c) => {
             out.push_str(&format!("circle(\"{},{} {}\")", c.center.x, c.center.y, c.radius))
         }
@@ -106,8 +104,12 @@ fn to_adm_string_into(out: &mut String, v: &Value) {
             }
             out.push_str("\")");
         }
-        Value::Duration(_) | Value::YearMonthDuration(_) | Value::DayTimeDuration(_)
-        | Value::Date(_) | Value::Time(_) | Value::DateTime(_) => unreachable!("handled above"),
+        Value::Duration(_)
+        | Value::YearMonthDuration(_)
+        | Value::DayTimeDuration(_)
+        | Value::Date(_)
+        | Value::Time(_)
+        | Value::DateTime(_) => unreachable!("handled above"),
         Value::Record(r) => {
             out.push_str("{ ");
             for (i, (name, val)) in r.iter().enumerate() {

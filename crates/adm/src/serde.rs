@@ -21,33 +21,33 @@ use crate::value::{
 };
 
 // Type tags for the self-describing format.
-const T_MISSING: u8 = 0;
-const T_NULL: u8 = 1;
-const T_FALSE: u8 = 2;
-const T_TRUE: u8 = 3;
-const T_INT8: u8 = 4;
-const T_INT16: u8 = 5;
-const T_INT32: u8 = 6;
-const T_INT64: u8 = 7;
-const T_FLOAT: u8 = 8;
-const T_DOUBLE: u8 = 9;
-const T_STRING: u8 = 10;
-const T_DATE: u8 = 11;
-const T_TIME: u8 = 12;
-const T_DATETIME: u8 = 13;
-const T_DURATION: u8 = 14;
-const T_YM_DURATION: u8 = 15;
-const T_DT_DURATION: u8 = 16;
-const T_INTERVAL: u8 = 17;
-const T_POINT: u8 = 18;
-const T_LINE: u8 = 19;
-const T_RECTANGLE: u8 = 20;
-const T_CIRCLE: u8 = 21;
-const T_POLYGON: u8 = 22;
-const T_BINARY: u8 = 23;
-const T_RECORD: u8 = 24;
-const T_ORDERED_LIST: u8 = 25;
-const T_UNORDERED_LIST: u8 = 26;
+pub(crate) const T_MISSING: u8 = 0;
+pub(crate) const T_NULL: u8 = 1;
+pub(crate) const T_FALSE: u8 = 2;
+pub(crate) const T_TRUE: u8 = 3;
+pub(crate) const T_INT8: u8 = 4;
+pub(crate) const T_INT16: u8 = 5;
+pub(crate) const T_INT32: u8 = 6;
+pub(crate) const T_INT64: u8 = 7;
+pub(crate) const T_FLOAT: u8 = 8;
+pub(crate) const T_DOUBLE: u8 = 9;
+pub(crate) const T_STRING: u8 = 10;
+pub(crate) const T_DATE: u8 = 11;
+pub(crate) const T_TIME: u8 = 12;
+pub(crate) const T_DATETIME: u8 = 13;
+pub(crate) const T_DURATION: u8 = 14;
+pub(crate) const T_YM_DURATION: u8 = 15;
+pub(crate) const T_DT_DURATION: u8 = 16;
+pub(crate) const T_INTERVAL: u8 = 17;
+pub(crate) const T_POINT: u8 = 18;
+pub(crate) const T_LINE: u8 = 19;
+pub(crate) const T_RECTANGLE: u8 = 20;
+pub(crate) const T_CIRCLE: u8 = 21;
+pub(crate) const T_POLYGON: u8 = 22;
+pub(crate) const T_BINARY: u8 = 23;
+pub(crate) const T_RECORD: u8 = 24;
+pub(crate) const T_ORDERED_LIST: u8 = 25;
+pub(crate) const T_UNORDERED_LIST: u8 = 26;
 
 /// Encoder buffer helpers.
 pub struct Writer {
@@ -225,6 +225,14 @@ pub fn encode(v: &Value) -> Vec<u8> {
     w.into_bytes()
 }
 
+/// Append the self-describing encoding of `v` to an existing buffer
+/// without an intermediate allocation (the tuple codec's building block).
+pub fn encode_append(out: &mut Vec<u8>, v: &Value) {
+    let mut w = Writer { buf: std::mem::take(out) };
+    encode_into(&mut w, v);
+    *out = w.into_bytes();
+}
+
 fn encode_into(w: &mut Writer, v: &Value) {
     match v {
         Value::Missing => w.u8(T_MISSING),
@@ -388,9 +396,7 @@ fn decode_from(r: &mut Reader<'_>) -> Result<Value> {
                 0 => IntervalKind::Date,
                 1 => IntervalKind::Time,
                 2 => IntervalKind::DateTime,
-                other => {
-                    return Err(AdmError::Corrupt(format!("bad interval kind {other}")))
-                }
+                other => return Err(AdmError::Corrupt(format!("bad interval kind {other}"))),
             };
             Value::Interval(IntervalValue { kind, start: r.i64()?, end: r.i64()? })
         }
@@ -438,6 +444,174 @@ fn decode_from(r: &mut Reader<'_>) -> Result<Value> {
 }
 
 // ---------------------------------------------------------------------------
+// Hashing over encoded bytes
+// ---------------------------------------------------------------------------
+
+/// Hash one self-describing encoded value, consuming it from the reader.
+///
+/// Feeds the hasher the exact same statement sequence as
+/// `Value::hash_into`, so `stable_hash_encoded(encode(v)) ==
+/// v.stable_hash()` bit-for-bit — strings and binaries are hashed straight
+/// from the borrowed bytes without materializing a `Value`.
+fn hash_encoded_from(r: &mut Reader<'_>, h: &mut impl std::hash::Hasher) -> Result<()> {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    match r.u8()? {
+        T_MISSING => 0u8.hash(h),
+        T_NULL => 1u8.hash(h),
+        T_FALSE => {
+            2u8.hash(h);
+            false.hash(h);
+        }
+        T_TRUE => {
+            2u8.hash(h);
+            true.hash(h);
+        }
+        tag @ (T_INT8 | T_INT16 | T_INT32 | T_INT64 | T_FLOAT | T_DOUBLE) => {
+            3u8.hash(h);
+            let d: f64 = match tag {
+                T_INT8 => (r.u8()? as i8) as f64,
+                T_INT16 => {
+                    r.need(2)?;
+                    let v = i16::from_le_bytes(r.buf[r.pos..r.pos + 2].try_into().unwrap());
+                    r.pos += 2;
+                    v as f64
+                }
+                T_INT32 => r.i32()? as f64,
+                T_INT64 => r.i64()? as f64,
+                T_FLOAT => r.f32()? as f64,
+                _ => r.f64()?,
+            };
+            if d.fract() == 0.0 && d.abs() < 9.0e15 {
+                (d as i64).hash(h);
+            } else {
+                d.to_bits().hash(h);
+            }
+        }
+        T_STRING => {
+            4u8.hash(h);
+            r.str()?.hash(h);
+        }
+        T_DATE => {
+            5u8.hash(h);
+            r.i32()?.hash(h);
+        }
+        T_TIME => {
+            6u8.hash(h);
+            r.i32()?.hash(h);
+        }
+        T_DATETIME => {
+            7u8.hash(h);
+            r.i64()?.hash(h);
+        }
+        T_DURATION => {
+            8u8.hash(h);
+            DurationValue { months: r.i32()?, millis: r.i64()? }.hash(h);
+        }
+        T_YM_DURATION => {
+            9u8.hash(h);
+            r.i32()?.hash(h);
+        }
+        T_DT_DURATION => {
+            10u8.hash(h);
+            r.i64()?.hash(h);
+        }
+        T_INTERVAL => {
+            let kind = match r.u8()? {
+                0 => IntervalKind::Date,
+                1 => IntervalKind::Time,
+                2 => IntervalKind::DateTime,
+                other => return Err(AdmError::Corrupt(format!("bad interval kind {other}"))),
+            };
+            11u8.hash(h);
+            IntervalValue { kind, start: r.i64()?, end: r.i64()? }.hash(h);
+        }
+        T_POINT => {
+            12u8.hash(h);
+            r.f64()?.to_bits().hash(h);
+            r.f64()?.to_bits().hash(h);
+        }
+        T_LINE => {
+            13u8.hash(h);
+            for _ in 0..4 {
+                r.f64()?.to_bits().hash(h);
+            }
+        }
+        T_RECTANGLE => {
+            14u8.hash(h);
+            for _ in 0..4 {
+                r.f64()?.to_bits().hash(h);
+            }
+        }
+        T_CIRCLE => {
+            15u8.hash(h);
+            for _ in 0..3 {
+                r.f64()?.to_bits().hash(h);
+            }
+        }
+        T_POLYGON => {
+            16u8.hash(h);
+            let n = r.varint()? as usize;
+            for _ in 0..n {
+                r.f64()?.to_bits().hash(h);
+                r.f64()?.to_bits().hash(h);
+            }
+        }
+        T_BINARY => {
+            17u8.hash(h);
+            r.bytes()?.hash(h);
+        }
+        T_ORDERED_LIST => {
+            18u8.hash(h);
+            let n = r.varint()? as usize;
+            for _ in 0..n {
+                hash_encoded_from(r, h)?;
+            }
+        }
+        T_UNORDERED_LIST => {
+            // Order-insensitive: xor of element hashes, as in hash_into.
+            19u8.hash(h);
+            let n = r.varint()? as usize;
+            let mut acc: u64 = 0;
+            for _ in 0..n {
+                let mut eh = DefaultHasher::new();
+                hash_encoded_from(r, &mut eh)?;
+                acc ^= eh.finish();
+            }
+            acc.hash(h);
+        }
+        T_RECORD => {
+            20u8.hash(h);
+            let n = r.varint()? as usize;
+            let mut acc: u64 = 0;
+            for _ in 0..n {
+                let mut fh = DefaultHasher::new();
+                r.str()?.hash(&mut fh);
+                hash_encoded_from(r, &mut fh)?;
+                acc ^= fh.finish();
+            }
+            acc.hash(h);
+        }
+        other => return Err(AdmError::Corrupt(format!("unknown type tag {other}"))),
+    }
+    Ok(())
+}
+
+/// `decode(buf)?.stable_hash()` computed directly over the encoded bytes,
+/// requiring full consumption. Bit-identical to `Value::stable_hash`.
+pub fn stable_hash_encoded(buf: &[u8]) -> Result<u64> {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::Hasher;
+    let mut r = Reader::new(buf);
+    let mut h = DefaultHasher::new();
+    hash_encoded_from(&mut r, &mut h)?;
+    if r.remaining() != 0 {
+        return Err(AdmError::Corrupt(format!("{} trailing bytes", r.remaining())));
+    }
+    Ok(h.finish())
+}
+
+// ---------------------------------------------------------------------------
 // Schema-aware format
 // ---------------------------------------------------------------------------
 
@@ -449,12 +623,7 @@ pub fn encode_typed(reg: &TypeRegistry, v: &Value, ty: &Datatype) -> Result<Vec<
     Ok(w.into_bytes())
 }
 
-fn encode_typed_into(
-    reg: &TypeRegistry,
-    w: &mut Writer,
-    v: &Value,
-    ty: &Datatype,
-) -> Result<()> {
+fn encode_typed_into(reg: &TypeRegistry, w: &mut Writer, v: &Value, ty: &Datatype) -> Result<()> {
     let ty = reg.resolve(ty)?;
     match &ty {
         Datatype::Primitive(PrimitiveType::Any) | Datatype::Named(_) => {
@@ -679,18 +848,19 @@ mod tests {
                 .field("user-since", Datatype::Primitive(PrimitiveType::DateTime))
                 .field(
                     "friend-ids",
-                    Datatype::UnorderedList(Arc::new(Datatype::Primitive(
-                        PrimitiveType::Int64,
-                    ))),
+                    Datatype::UnorderedList(Arc::new(Datatype::Primitive(PrimitiveType::Int64))),
                 )
                 .field("loc", Datatype::Primitive(PrimitiveType::Point))
                 .field("pi", Datatype::Primitive(PrimitiveType::Double))
                 .field("ok", Datatype::Primitive(PrimitiveType::Boolean))
                 .optional_field("nothing", Datatype::Primitive(PrimitiveType::String))
-                .field("address", RecordTypeBuilder::open()
-                    .field("zip", Datatype::Primitive(PrimitiveType::String))
-                    .field("city", Datatype::Primitive(PrimitiveType::String))
-                    .build())
+                .field(
+                    "address",
+                    RecordTypeBuilder::open()
+                        .field("zip", Datatype::Primitive(PrimitiveType::String))
+                        .field("city", Datatype::Primitive(PrimitiveType::String))
+                        .build(),
+                )
                 .build(),
         );
         reg.define(
@@ -719,10 +889,8 @@ mod tests {
                 .build(),
         );
         let ty = Datatype::Named("T".into());
-        let with_null = Value::record(Record::from_fields([
-            ("a", Value::Int64(1)),
-            ("b", Value::Null),
-        ]));
+        let with_null =
+            Value::record(Record::from_fields([("a", Value::Int64(1)), ("b", Value::Null)]));
         let without = Value::record(Record::from_fields([("a", Value::Int64(1))]));
         let b1 = encode_typed(&reg, &with_null, &ty).unwrap();
         let b2 = encode_typed(&reg, &without, &ty).unwrap();

@@ -83,9 +83,7 @@ pub fn fuzzy_eq(a: &Value, b: &Value, simfunction: &str, simthreshold: &str) -> 
         }
         "jaccard" => {
             let t: f64 = simthreshold.parse().map_err(|_| {
-                AdmError::InvalidArgument(format!(
-                    "simthreshold {simthreshold:?} is not a number"
-                ))
+                AdmError::InvalidArgument(format!("simthreshold {simthreshold:?} is not a number"))
             })?;
             match (a.as_list(), b.as_list()) {
                 (Some(x), Some(y)) => Ok(jaccard_check(x, y, t).is_some()),

@@ -116,7 +116,9 @@ fn segments_intersect(l1: &Line, l2: &Line) -> bool {
     if ((d1 > 0.0) != (d2 > 0.0) || d1 == 0.0 || d2 == 0.0)
         && ((d3 > 0.0) != (d4 > 0.0) || d3 == 0.0 || d4 == 0.0)
     {
-        if d1 == 0.0 && !on_segment(&l2.a, &l2.b, &l1.a) && d2 == 0.0
+        if d1 == 0.0
+            && !on_segment(&l2.a, &l2.b, &l1.a)
+            && d2 == 0.0
             && !on_segment(&l2.a, &l2.b, &l1.b)
         {
             return false;
@@ -172,9 +174,7 @@ pub fn spatial_intersect(a: &Value, b: &Value) -> Result<bool> {
         }
         (Polygon(ps), Circle(c)) | (Circle(c), Polygon(ps)) => {
             point_in_polygon(&c.center, ps)
-                || poly_edges(ps)
-                    .iter()
-                    .any(|e| seg_distance_to_point(e, &c.center) <= c.radius)
+                || poly_edges(ps).iter().any(|e| seg_distance_to_point(e, &c.center) <= c.radius)
         }
         (Polygon(ps), Line(l)) | (Line(l), Polygon(ps)) => {
             point_in_polygon(&l.a, ps)
@@ -197,18 +197,11 @@ fn rect_edges(r: &Rectangle) -> [Line; 4] {
     let br = Point::new(hi.x, lo.y);
     let tr = hi;
     let tl = Point::new(lo.x, hi.y);
-    [
-        Line { a: bl, b: br },
-        Line { a: br, b: tr },
-        Line { a: tr, b: tl },
-        Line { a: tl, b: bl },
-    ]
+    [Line { a: bl, b: br }, Line { a: br, b: tr }, Line { a: tr, b: tl }, Line { a: tl, b: bl }]
 }
 
 fn poly_edges(ps: &[Point]) -> Vec<Line> {
-    (0..ps.len())
-        .map(|i| Line { a: ps[i], b: ps[(i + 1) % ps.len()] })
-        .collect()
+    (0..ps.len()).map(|i| Line { a: ps[i], b: ps[(i + 1) % ps.len()] }).collect()
 }
 
 /// `spatial-cell(p, origin, x-size, y-size)` — the grid cell (as a
@@ -297,8 +290,7 @@ mod tests {
 
     #[test]
     fn cells() {
-        let cell =
-            spatial_cell(&pt(5.5, -0.5), &pt(0.0, 0.0), 2.0, 2.0).unwrap();
+        let cell = spatial_cell(&pt(5.5, -0.5), &pt(0.0, 0.0), 2.0, 2.0).unwrap();
         assert_eq!(cell.low, Point::new(4.0, -2.0));
         assert_eq!(cell.high, Point::new(6.0, 0.0));
         assert!(spatial_cell(&pt(0.0, 0.0), &pt(0.0, 0.0), 0.0, 1.0).is_err());

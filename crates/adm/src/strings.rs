@@ -19,9 +19,7 @@ pub fn like(s: &str, pattern: &str) -> bool {
                 (0..=s.len()).any(|i| rec(&s[i..], &p[1..]))
             }
             Some('_') => !s.is_empty() && rec(&s[1..], &p[1..]),
-            Some('\\') if p.len() > 1 => {
-                !s.is_empty() && s[0] == p[1] && rec(&s[1..], &p[2..])
-            }
+            Some('\\') if p.len() > 1 => !s.is_empty() && s[0] == p[1] && rec(&s[1..], &p[2..]),
             Some(&c) => !s.is_empty() && s[0] == c && rec(&s[1..], &p[1..]),
         }
     }
@@ -179,9 +177,8 @@ impl<'a> ReParser<'a> {
             };
             if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
                 self.bump(); // '-'
-                let hi = self
-                    .bump()
-                    .ok_or_else(|| AdmError::Parse("regex: unclosed range".into()))?;
+                let hi =
+                    self.bump().ok_or_else(|| AdmError::Parse("regex: unclosed range".into()))?;
                 ranges.push((c, hi));
             } else {
                 ranges.push((c, c));
@@ -335,10 +332,8 @@ fn match_all(node: &Node, s: &[char], pos: usize, at_start: bool) -> Vec<usize> 
             ends
         }
         Node::Alt(branches) => {
-            let mut ends: Vec<usize> = branches
-                .iter()
-                .filter_map(|b| match_here(b, s, pos, at_start))
-                .collect();
+            let mut ends: Vec<usize> =
+                branches.iter().filter_map(|b| match_here(b, s, pos, at_start)).collect();
             ends.dedup();
             ends
         }

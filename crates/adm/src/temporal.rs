@@ -62,8 +62,7 @@ pub fn days_in_month(y: i32, m: u32) -> u32 {
 }
 
 fn parse_fixed_u32(s: &str, what: &str) -> Result<u32> {
-    s.parse::<u32>()
-        .map_err(|_| AdmError::Parse(format!("invalid {what} component: {s:?}")))
+    s.parse::<u32>().map_err(|_| AdmError::Parse(format!("invalid {what} component: {s:?}")))
 }
 
 /// Parse `YYYY-MM-DD` (with optional leading `-` on the year) into epoch days.
@@ -136,14 +135,10 @@ fn split_timezone(s: &str) -> Result<(&str, i64)> {
                 if digits.len() < 2 {
                     break;
                 }
-                let h: i64 = digits[..2].parse().map_err(|_| {
-                    AdmError::Parse(format!("invalid timezone offset in {s:?}"))
-                })?;
-                let m: i64 = if digits.len() >= 4 {
-                    digits[2..4].parse().unwrap_or(0)
-                } else {
-                    0
-                };
+                let h: i64 = digits[..2]
+                    .parse()
+                    .map_err(|_| AdmError::Parse(format!("invalid timezone offset in {s:?}")))?;
+                let m: i64 = if digits.len() >= 4 { digits[2..4].parse().unwrap_or(0) } else { 0 };
                 let sign = if c == '-' { -1 } else { 1 };
                 return Ok((&s[..idx], sign * (h * MILLIS_PER_HOUR + m * MILLIS_PER_MINUTE)));
             }
@@ -183,9 +178,8 @@ pub fn parse_duration(s: &str) -> Result<(i32, i64)> {
             'T' => in_time = true,
             '0'..='9' | '.' => num.push(c),
             'Y' | 'M' | 'D' | 'H' | 'S' | 'W' => {
-                let n: f64 = num
-                    .parse()
-                    .map_err(|_| AdmError::Parse(format!("invalid duration {s:?}")))?;
+                let n: f64 =
+                    num.parse().map_err(|_| AdmError::Parse(format!("invalid duration {s:?}")))?;
                 num.clear();
                 match (c, in_time) {
                     ('Y', false) => months += (n as i64) * 12,
@@ -398,8 +392,8 @@ pub enum AllenRelation {
 
 /// Compute which Allen relation holds between intervals `a` and `b`.
 pub fn allen_relation(a: &IntervalValue, b: &IntervalValue) -> AllenRelation {
-    use AllenRelation::*;
     use std::cmp::Ordering::*;
+    use AllenRelation::*;
     match (a.start.cmp(&b.start), a.end.cmp(&b.end)) {
         (Equal, Equal) => Equals,
         (Equal, Less) => Starts,
@@ -526,8 +520,10 @@ mod tests {
     #[test]
     fn parse_time_variants() {
         assert_eq!(parse_time("00:00:00").unwrap(), 0);
-        assert_eq!(parse_time("01:02:03").unwrap() as i64,
-            MILLIS_PER_HOUR + 2 * MILLIS_PER_MINUTE + 3 * MILLIS_PER_SECOND);
+        assert_eq!(
+            parse_time("01:02:03").unwrap() as i64,
+            MILLIS_PER_HOUR + 2 * MILLIS_PER_MINUTE + 3 * MILLIS_PER_SECOND
+        );
         assert!(parse_time("25:00:00").is_err());
     }
 
@@ -537,10 +533,7 @@ mod tests {
         assert_eq!((m, ms), (0, 30 * MILLIS_PER_DAY));
         let (m, ms) = parse_duration("P1Y2M3DT4H5M6.007S").unwrap();
         assert_eq!(m, 14);
-        assert_eq!(
-            ms,
-            3 * MILLIS_PER_DAY + 4 * MILLIS_PER_HOUR + 5 * MILLIS_PER_MINUTE + 6007
-        );
+        assert_eq!(ms, 3 * MILLIS_PER_DAY + 4 * MILLIS_PER_HOUR + 5 * MILLIS_PER_MINUTE + 6007);
         assert_eq!(format_duration(14, ms), "P1Y2M3DT4H5M6.007S");
         let (m, ms) = parse_duration("-P1M").unwrap();
         assert_eq!((m, ms), (-1, 0));
@@ -572,13 +565,8 @@ mod tests {
     #[test]
     fn interval_bin_yearmonth() {
         let v = parse_datetime("2014-05-15T10:30:00").unwrap();
-        let b = interval_bin(
-            v,
-            IntervalKind::DateTime,
-            0,
-            &DurationValue { months: 3, millis: 0 },
-        )
-        .unwrap();
+        let b = interval_bin(v, IntervalKind::DateTime, 0, &DurationValue { months: 3, millis: 0 })
+            .unwrap();
         assert_eq!(format_datetime(b.start), "2014-04-01T00:00:00");
         assert_eq!(format_datetime(b.end), "2014-07-01T00:00:00");
     }

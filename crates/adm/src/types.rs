@@ -254,9 +254,8 @@ impl TypeRegistry {
             Datatype::UnorderedList(elem) => match value {
                 Value::UnorderedList(items) => {
                     for (i, v) in items.iter().enumerate() {
-                        self.validate(v, elem).map_err(|e| {
-                            AdmError::TypeMismatch(format!("bag element {i}: {e}"))
-                        })?;
+                        self.validate(v, elem)
+                            .map_err(|e| AdmError::TypeMismatch(format!("bag element {i}: {e}")))?;
                     }
                     Ok(())
                 }
@@ -333,11 +332,7 @@ impl TypeRegistry {
         if ok {
             Ok(())
         } else {
-            Err(AdmError::TypeMismatch(format!(
-                "expected {}, got {}",
-                p.name(),
-                value.type_name()
-            )))
+            Err(AdmError::TypeMismatch(format!("expected {}, got {}", p.name(), value.type_name())))
         }
     }
 
@@ -356,15 +351,9 @@ impl TypeRegistry {
             Datatype::Primitive(p) => {
                 use PrimitiveType as P;
                 Ok(match (p, value) {
-                    (P::Int8, v) if v.as_i64().is_some() => {
-                        crate::value::coerce_int(v, "int8")?
-                    }
-                    (P::Int16, v) if v.as_i64().is_some() => {
-                        crate::value::coerce_int(v, "int16")?
-                    }
-                    (P::Int32, v) if v.as_i64().is_some() => {
-                        crate::value::coerce_int(v, "int32")?
-                    }
+                    (P::Int8, v) if v.as_i64().is_some() => crate::value::coerce_int(v, "int8")?,
+                    (P::Int16, v) if v.as_i64().is_some() => crate::value::coerce_int(v, "int16")?,
+                    (P::Int32, v) if v.as_i64().is_some() => crate::value::coerce_int(v, "int32")?,
                     (P::Int64, v) if v.as_i64().is_some() => Value::Int64(v.as_i64().unwrap()),
                     (P::Float, v) if v.is_numeric() => Value::Float(v.as_f64().unwrap() as f32),
                     (P::Double, v) if v.is_numeric() => Value::Double(v.as_f64().unwrap()),
@@ -478,10 +467,7 @@ mod tests {
             .optional_field("end-date", p(PrimitiveType::Date))
             .build();
         let reg = TypeRegistry::new();
-        let missing_required = Value::record(Record::from_fields([(
-            "end-date",
-            Value::Date(0),
-        )]));
+        let missing_required = Value::record(Record::from_fields([("end-date", Value::Date(0))]));
         assert!(reg.validate(&missing_required, &ty).is_err());
         let ok = Value::record(Record::from_fields([("id", Value::Int32(1))]));
         assert!(reg.validate(&ok, &ty).is_ok());
@@ -509,10 +495,7 @@ mod tests {
                 "employment",
                 Datatype::OrderedList(Arc::new(Datatype::Named("EmploymentType".into()))),
             )
-            .field(
-                "friend-ids",
-                Datatype::UnorderedList(Arc::new(p(PrimitiveType::Int32))),
-            )
+            .field("friend-ids", Datatype::UnorderedList(Arc::new(p(PrimitiveType::Int32))))
             .build();
         let v = Value::record(Record::from_fields([
             ("id", Value::Int32(1)),
@@ -523,10 +506,7 @@ mod tests {
                     ("start-date", Value::Date(15000)),
                 ]))]),
             ),
-            (
-                "friend-ids",
-                Value::unordered_list(vec![Value::Int32(5), Value::Int32(9)]),
-            ),
+            ("friend-ids", Value::unordered_list(vec![Value::Int32(5), Value::Int32(9)])),
         ]));
         assert!(reg.validate(&v, &user_ty).is_ok());
 
@@ -543,9 +523,7 @@ mod tests {
     fn int_width_conformance_and_coercion() {
         let reg = TypeRegistry::new();
         assert!(reg.validate(&Value::Int64(5), &p(PrimitiveType::Int32)).is_ok());
-        assert!(reg
-            .validate(&Value::Int64(5_000_000_000), &p(PrimitiveType::Int32))
-            .is_err());
+        assert!(reg.validate(&Value::Int64(5_000_000_000), &p(PrimitiveType::Int32)).is_err());
         let c = reg.coerce(&Value::Int64(5), &p(PrimitiveType::Int32)).unwrap();
         assert_eq!(c, Value::Int32(5));
         let c = reg.coerce(&Value::Int32(5), &p(PrimitiveType::Double)).unwrap();

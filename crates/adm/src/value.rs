@@ -135,10 +135,7 @@ impl Record {
         S: Into<String>,
     {
         Record {
-            fields: pairs
-                .into_iter()
-                .map(|(n, v)| Field { name: n.into(), value: v })
-                .collect(),
+            fields: pairs.into_iter().map(|(n, v)| Field { name: n.into(), value: v }).collect(),
         }
     }
 
@@ -388,9 +385,7 @@ impl Value {
             (Date(a), Date(b)) => a.cmp(b),
             (Time(a), Time(b)) => a.cmp(b),
             (DateTime(a), DateTime(b)) => a.cmp(b),
-            (Duration(a), Duration(b)) => {
-                (a.months, a.millis).cmp(&(b.months, b.millis))
-            }
+            (Duration(a), Duration(b)) => (a.months, a.millis).cmp(&(b.months, b.millis)),
             (YearMonthDuration(a), YearMonthDuration(b)) => a.cmp(b),
             (DayTimeDuration(a), DayTimeDuration(b)) => a.cmp(b),
             (Interval(a), Interval(b)) => (a.start, a.end).cmp(&(b.start, b.end)),

@@ -58,7 +58,10 @@ pub enum LogicalExpr {
     /// `{ "name": expr, ... }` — record constructor.
     RecordCtor(Vec<(String, LogicalExpr)>),
     /// `[ ... ]` / `{{ ... }}`.
-    ListCtor { ordered: bool, items: Vec<LogicalExpr> },
+    ListCtor {
+        ordered: bool,
+        items: Vec<LogicalExpr>,
+    },
     /// `some/every $v in <coll> satisfies <pred>`.
     Quantified {
         kind: QuantKind,
@@ -168,13 +171,9 @@ impl LogicalExpr {
             LogicalExpr::IndexAccess(a, b)
             | LogicalExpr::Arith(_, a, b)
             | LogicalExpr::Compare(_, a, b) => a.is_foldable_const() && b.is_foldable_const(),
-            LogicalExpr::And(es) | LogicalExpr::Or(es) => {
-                es.iter().all(|e| e.is_foldable_const())
-            }
+            LogicalExpr::And(es) | LogicalExpr::Or(es) => es.iter().all(|e| e.is_foldable_const()),
             LogicalExpr::RecordCtor(fs) => fs.iter().all(|(_, e)| e.is_foldable_const()),
-            LogicalExpr::ListCtor { items, .. } => {
-                items.iter().all(|e| e.is_foldable_const())
-            }
+            LogicalExpr::ListCtor { items, .. } => items.iter().all(|e| e.is_foldable_const()),
             LogicalExpr::Quantified { collection, predicate, .. } => {
                 collection.is_foldable_const() && predicate.is_foldable_const()
             }
@@ -223,11 +222,7 @@ pub struct TupleResolver<'a> {
 
 impl VarResolver for TupleResolver<'_> {
     fn get(&self, var: VarId) -> Option<Value> {
-        self.columns
-            .get(var)
-            .copied()
-            .flatten()
-            .and_then(|i| self.tuple.get(i).cloned())
+        self.columns.get(var).copied().flatten().and_then(|i| self.tuple.get(i).cloned())
     }
 }
 
@@ -452,10 +447,7 @@ mod tests {
     fn field_and_index_access() {
         let rec = asterix_adm::parse::parse_value(r#"{ "a": { "b": [10, 20] } }"#).unwrap();
         let e = LogicalExpr::IndexAccess(
-            Box::new(LogicalExpr::field(
-                LogicalExpr::field(LogicalExpr::Const(rec), "a"),
-                "b",
-            )),
+            Box::new(LogicalExpr::field(LogicalExpr::field(LogicalExpr::Const(rec), "a"), "b")),
             Box::new(LogicalExpr::Const(Value::Int64(1))),
         );
         assert_eq!(ev(&e), Value::Int64(20));
@@ -530,11 +522,8 @@ mod tests {
 
     #[test]
     fn foldability() {
-        assert!(LogicalExpr::call(
-            "string-length",
-            vec![LogicalExpr::Const(Value::string("abc"))]
-        )
-        .is_foldable_const());
+        assert!(LogicalExpr::call("string-length", vec![LogicalExpr::Const(Value::string("abc"))])
+            .is_foldable_const());
         assert!(!LogicalExpr::call("current-datetime", vec![]).is_foldable_const());
         assert!(!LogicalExpr::Var(0).is_foldable_const());
     }

@@ -51,10 +51,7 @@ pub fn eval_subplan(
             }
             Ok(out)
         }
-        other => Err(adm_err(format!(
-            "subplan root must be emit, found {}",
-            other.op_name()
-        ))),
+        other => Err(adm_err(format!("subplan root must be emit, found {}", other.op_name()))),
     }
 }
 
@@ -67,8 +64,7 @@ pub fn eval_rows(
     match op {
         LogicalOp::EmptyTupleSource => Ok(vec![Env::new()]),
         LogicalOp::DataSourceScan { dataset, var } => {
-            let records =
-                ctx.provider.scan_all(dataset).map_err(adm_err)?;
+            let records = ctx.provider.scan_all(dataset).map_err(adm_err)?;
             Ok(records
                 .into_iter()
                 .map(|r| {
@@ -224,10 +220,7 @@ pub fn eval_rows(
                     if let Some(cands) = table.get(&combined_hash(&keys)) {
                         for (rkeys, r) in cands {
                             if rkeys.len() == keys.len()
-                                && rkeys
-                                    .iter()
-                                    .zip(&keys)
-                                    .all(|(a, b)| a.total_cmp(b).is_eq())
+                                && rkeys.iter().zip(&keys).all(|(a, b)| a.total_cmp(b).is_eq())
                             {
                                 let mut env = l.clone();
                                 env.extend(r.iter().map(|(k, v)| (*k, v.clone())));
@@ -278,9 +271,7 @@ pub fn eval_rows(
                         .map_err(adm_err)?;
                     let mut recs = Vec::with_capacity(pks.len());
                     for pk in pks {
-                        if let Some(r) =
-                            ctx.provider.lookup_pk(dataset, &pk).map_err(adm_err)?
-                        {
+                        if let Some(r) = ctx.provider.lookup_pk(dataset, &pk).map_err(adm_err)? {
                             recs.push(r);
                         }
                     }
@@ -312,8 +303,7 @@ pub fn eval_rows(
                     kv.push(eval(ke, &res, ctx)?);
                 }
                 let idx = order.iter().position(|o| {
-                    o.len() == kv.len()
-                        && o.iter().zip(&kv).all(|(a, b)| a.total_cmp(b).is_eq())
+                    o.len() == kv.len() && o.iter().zip(&kv).all(|(a, b)| a.total_cmp(b).is_eq())
                 });
                 match idx {
                     Some(i) => groups[i].push(env),
@@ -383,9 +373,8 @@ pub fn eval_rows(
                 for e in exprs {
                     kv.push(eval(e, &res, ctx)?);
                 }
-                let dup = seen.iter().any(|o| {
-                    o.iter().zip(&kv).all(|(a, b)| a.total_cmp(b).is_eq())
-                });
+                let dup =
+                    seen.iter().any(|o| o.iter().zip(&kv).all(|(a, b)| a.total_cmp(b).is_eq()));
                 if !dup {
                     seen.push(kv);
                     out.push(env);
@@ -428,10 +417,9 @@ pub fn index_search_records(
         })
     };
     match spec {
-        IndexSearchSpec::PrimaryRange { lo, hi } => ctx
-            .provider
-            .primary_range_all(dataset, bound(lo)?, bound(hi)?)
-            .map_err(adm_err),
+        IndexSearchSpec::PrimaryRange { lo, hi } => {
+            ctx.provider.primary_range_all(dataset, bound(lo)?, bound(hi)?).map_err(adm_err)
+        }
         IndexSearchSpec::BTreeRange { lo, hi } => {
             let pks = ctx
                 .provider
@@ -442,10 +430,7 @@ pub fn index_search_records(
         IndexSearchSpec::RTree { query } => {
             let q = eval(query, outer, ctx)?;
             let rect: Rectangle = asterix_adm::spatial::mbr(&q)?;
-            let pks = ctx
-                .provider
-                .rtree_search_all(dataset, index, &rect)
-                .map_err(adm_err)?;
+            let pks = ctx.provider.rtree_search_all(dataset, index, &rect).map_err(adm_err)?;
             fetch_records(dataset, pks, ctx)
         }
         IndexSearchSpec::InvertedConjunctive { needle } => {
@@ -460,9 +445,7 @@ pub fn index_search_records(
         }
         IndexSearchSpec::InvertedFuzzy { needle, edit_distance } => {
             let v = eval(needle, outer, ctx)?;
-            let s = v
-                .as_str()
-                .ok_or_else(|| adm_err("fuzzy search needle must be a string"))?;
+            let s = v.as_str().ok_or_else(|| adm_err("fuzzy search needle must be a string"))?;
             let k = gram_len(ctx, dataset, index)?;
             let grams = asterix_adm::strings::gram_tokens(s, k);
             let lower = grams.len().saturating_sub(k * edit_distance);
@@ -471,10 +454,8 @@ pub fn index_search_records(
                 // the postcondition filter does the exact check.
                 return ctx.provider.scan_all(dataset).map_err(adm_err);
             }
-            let pks = ctx
-                .provider
-                .inverted_search_all(dataset, index, &grams, lower)
-                .map_err(adm_err)?;
+            let pks =
+                ctx.provider.inverted_search_all(dataset, index, &grams, lower).map_err(adm_err)?;
             fetch_records(dataset, pks, ctx)
         }
     }
@@ -529,21 +510,13 @@ fn tokenize_for(
             .iter()
             .filter_map(|x| x.as_str().map(|s| s.to_lowercase()))
             .collect()),
-        (IndexKind::NGram(k), Value::String(s)) => {
-            Ok(asterix_adm::strings::gram_tokens(s, k))
-        }
+        (IndexKind::NGram(k), Value::String(s)) => Ok(asterix_adm::strings::gram_tokens(s, k)),
         _ => Err(adm_err("cannot tokenize needle for this index")),
     }
 }
 
 fn gram_len(ctx: &EvalCtx, dataset: &str, index: &str) -> asterix_adm::Result<usize> {
-    match ctx
-        .provider
-        .indexes(dataset)
-        .into_iter()
-        .find(|i| i.name == index)
-        .map(|i| i.kind)
-    {
+    match ctx.provider.indexes(dataset).into_iter().find(|i| i.name == index).map(|i| i.kind) {
         Some(IndexKind::NGram(k)) => Ok(k),
         _ => Err(adm_err(format!("{index} is not an ngram index"))),
     }
@@ -665,17 +638,9 @@ mod tests {
                         Box::new(lit(Value::Int64(2))),
                     ),
                 )],
-                aggs: vec![AggCall {
-                    var: 2,
-                    func: AggFunc::Count,
-                    sql: false,
-                    input: var(0),
-                }],
+                aggs: vec![AggCall { var: 2, func: AggFunc::Count, sql: false, input: var(0) }],
             },
-            LogicalExpr::RecordCtor(vec![
-                ("k".into(), var(1)),
-                ("n".into(), var(2)),
-            ]),
+            LogicalExpr::RecordCtor(vec![("k".into(), var(1)), ("n".into(), var(2))]),
         );
         let mut out = run(&plan, &ctx);
         out.sort_by(|a, b| a.field("k").total_cmp(&b.field("k")));
@@ -701,10 +666,7 @@ mod tests {
             LogicalExpr::field(var(0), "id"),
         );
         let out = run(&plan, &ctx);
-        assert_eq!(
-            out,
-            vec![Value::Int64(9), Value::Int64(8), Value::Int64(7)]
-        );
+        assert_eq!(out, vec![Value::Int64(9), Value::Int64(8), Value::Int64(7)]);
     }
 
     #[test]

@@ -93,8 +93,7 @@ impl CompiledQuery {
         };
         let profile = asterix_hyracks::executor::run_job_profiled(&self.job, &cfg, stats)?;
         let rows = std::mem::take(&mut *self.collector.lock());
-        let values =
-            rows.into_iter().map(|mut t| t.pop().unwrap_or(Value::Missing)).collect();
+        let values = rows.into_iter().map(|mut t| t.pop().unwrap_or(Value::Missing)).collect();
         Ok((values, profile))
     }
 
@@ -138,10 +137,7 @@ pub fn compile(
     // Final emit: compute the output value, project it, sink at 1 partition.
     let emit_eval = gen.make_eval(expr, &schema)?;
     let width = schema.len();
-    let assign = gen.job.add(
-        gen.parts(part),
-        Arc::new(AssignOp::new("emit", vec![emit_eval])),
-    );
+    let assign = gen.job.add(gen.parts(part), Arc::new(AssignOp::new("emit", vec![emit_eval])));
     gen.job.connect(ConnectorKind::OneToOne, op, assign);
     let project = gen.job.add(gen.parts(part), Arc::new(ProjectOp { fields: vec![width] }));
     gen.job.connect(ConnectorKind::OneToOne, assign, project);
@@ -149,9 +145,7 @@ pub fn compile(
     let sink = gen.job.add(1, Arc::new(SinkOp::new(Arc::clone(&collector))));
     match part {
         Part::Single => gen.job.connect(ConnectorKind::OneToOne, project, sink),
-        Part::Distributed => {
-            gen.job.connect(ConnectorKind::MToNReplicating, project, sink)
-        }
+        Part::Distributed => gen.job.connect(ConnectorKind::MToNReplicating, project, sink),
     }
     let partitions_per_node = gen.ctx.provider.partitions_per_node();
     Ok(CompiledQuery { job: gen.job, collector, partitions_per_node })
@@ -229,8 +223,7 @@ impl Gen {
         label: &str,
         exprs: &[(VarId, LogicalExpr)],
     ) -> Result<(OperatorId, Vec<VarId>)> {
-        let evals: Result<Vec<_>> =
-            exprs.iter().map(|(_, e)| self.make_eval(e, schema)).collect();
+        let evals: Result<Vec<_>> = exprs.iter().map(|(_, e)| self.make_eval(e, schema)).collect();
         let op = self.job.add(self.parts(part), Arc::new(AssignOp::new(label, evals?)));
         self.job.connect(ConnectorKind::OneToOne, input, op);
         let mut new_schema = schema.to_vec();
@@ -243,18 +236,24 @@ impl Gen {
             LogicalOp::EmptyTupleSource => {
                 let id = self.job.add(
                     1,
-                    Arc::new(SourceOp::new("empty-tuple-source", |_, _, emit| {
-                        emit(Vec::new())
-                    })),
+                    Arc::new(SourceOp::new("empty-tuple-source", |_, _, emit| emit(Vec::new()))),
                 );
                 Ok((id, Vec::new(), Part::Single))
             }
             LogicalOp::DataSourceScan { dataset, var } => {
-                let src = self.ctx.provider.scan_source(dataset)?;
-                let id = self.job.add(
-                    self.nparts,
-                    Arc::new(SourceOp::from_fn(format!("data-scan {dataset}"), src)),
-                );
+                // Prefer the serialized scan: storage hands encoded tuple
+                // bytes straight into the byte-frame exchange. Providers
+                // without one fall back to the decoded source.
+                let op: Arc<SourceOp> = match self.ctx.provider.raw_scan_source(dataset)? {
+                    Some(raw) => {
+                        Arc::new(SourceOp::from_raw_fn(format!("data-scan {dataset}"), raw))
+                    }
+                    None => {
+                        let src = self.ctx.provider.scan_source(dataset)?;
+                        Arc::new(SourceOp::from_fn(format!("data-scan {dataset}"), src))
+                    }
+                };
+                let id = self.job.add(self.nparts, op);
                 Ok((id, vec![*var], Part::Distributed))
             }
             LogicalOp::IndexSearch { dataset, index, var, spec, postcondition } => {
@@ -274,9 +273,7 @@ impl Gen {
             LogicalOp::Select { input, condition } => {
                 let (in_op, schema, part) = self.build(input)?;
                 let pred = self.make_pred(condition, &schema)?;
-                let id = self
-                    .job
-                    .add(self.parts(part), Arc::new(SelectOp::new("filter", pred)));
+                let id = self.job.add(self.parts(part), Arc::new(SelectOp::new("filter", pred)));
                 self.job.connect(ConnectorKind::OneToOne, in_op, id);
                 Ok((id, schema, part))
             }
@@ -319,18 +316,12 @@ impl Gen {
                 let r_key_vars: Vec<VarId> = (0..right_keys.len())
                     .map(|i| fresh_var(&l_schema, &r_schema, i + left_keys.len()))
                     .collect();
-                let kexprs: Vec<(VarId, LogicalExpr)> = l_key_vars
-                    .iter()
-                    .zip(left_keys)
-                    .map(|(v, e)| (*v, e.clone()))
-                    .collect();
+                let kexprs: Vec<(VarId, LogicalExpr)> =
+                    l_key_vars.iter().zip(left_keys).map(|(v, e)| (*v, e.clone())).collect();
                 let (l_keyed, l_schema) =
                     self.append_columns(l_op, &l_schema, l_part, "join-key", &kexprs)?;
-                let kexprs: Vec<(VarId, LogicalExpr)> = r_key_vars
-                    .iter()
-                    .zip(right_keys)
-                    .map(|(v, e)| (*v, e.clone()))
-                    .collect();
+                let kexprs: Vec<(VarId, LogicalExpr)> =
+                    r_key_vars.iter().zip(right_keys).map(|(v, e)| (*v, e.clone())).collect();
                 let (r_keyed, r_schema) =
                     self.append_columns(r_op, &r_schema, r_part, "join-key", &kexprs)?;
                 let l_key_cols: Vec<usize> =
@@ -367,9 +358,7 @@ impl Gen {
                 let mut out = join;
                 if let Some(resid) = residual {
                     let pred = self.make_pred(resid, &schema)?;
-                    let sel = self
-                        .job
-                        .add(self.nparts, Arc::new(SelectOp::new("residual", pred)));
+                    let sel = self.job.add(self.nparts, Arc::new(SelectOp::new("residual", pred)));
                     self.job.connect(ConnectorKind::OneToOne, join, sel);
                     out = sel;
                 }
@@ -460,10 +449,8 @@ impl Gen {
                 );
                 self.job.connect(ConnectorKind::OneToOne, keyed, local);
                 // Partial output schema: keys 0..nkeys, partial fields after.
-                let final_specs: Vec<AggSpec> = specs
-                    .iter()
-                    .map(|s| AggSpec { kind: s.kind, field: 0, sql: s.sql })
-                    .collect();
+                let final_specs: Vec<AggSpec> =
+                    specs.iter().map(|s| AggSpec { kind: s.kind, field: 0, sql: s.sql }).collect();
                 let global = self.job.add(
                     self.nparts,
                     Arc::new(HashGroupOp::new(
@@ -486,11 +473,8 @@ impl Gen {
                 let (in_op, schema, part) = self.build(input)?;
                 let agg_in_vars: Vec<VarId> =
                     aggs.iter().enumerate().map(|(i, _)| 1_000_000 + i).collect();
-                let new_cols: Vec<(VarId, LogicalExpr)> = agg_in_vars
-                    .iter()
-                    .zip(aggs)
-                    .map(|(v, a)| (*v, a.input.clone()))
-                    .collect();
+                let new_cols: Vec<(VarId, LogicalExpr)> =
+                    agg_in_vars.iter().zip(aggs).map(|(v, a)| (*v, a.input.clone())).collect();
                 let (keyed, keyed_schema) =
                     self.append_columns(in_op, &schema, part, "agg-input", &new_cols)?;
                 let base = keyed_schema.len() - aggs.len();
@@ -506,14 +490,11 @@ impl Gen {
                     Arc::new(ScalarAggOp::new("local", specs.clone(), GroupMode::Partial)),
                 );
                 self.job.connect(ConnectorKind::OneToOne, keyed, local);
-                let final_specs: Vec<AggSpec> = specs
-                    .iter()
-                    .map(|s| AggSpec { kind: s.kind, field: 0, sql: s.sql })
-                    .collect();
-                let global = self.job.add(
-                    1,
-                    Arc::new(ScalarAggOp::new("global", final_specs, GroupMode::Final)),
-                );
+                let final_specs: Vec<AggSpec> =
+                    specs.iter().map(|s| AggSpec { kind: s.kind, field: 0, sql: s.sql }).collect();
+                let global = self
+                    .job
+                    .add(1, Arc::new(ScalarAggOp::new("global", final_specs, GroupMode::Final)));
                 self.job.connect(ConnectorKind::MToNReplicating, local, global);
                 let out_schema: Vec<VarId> = aggs.iter().map(|a| a.var).collect();
                 Ok((global, out_schema, Part::Single))
@@ -540,9 +521,7 @@ impl Gen {
                 let (in_op, schema, part) = self.build(input)?;
                 // A global limit needs a single stream.
                 let (stream, spart) = self.to_single(in_op, part);
-                let lim = self
-                    .job
-                    .add(1, Arc::new(LimitOp { limit: *count, offset: *offset }));
+                let lim = self.job.add(1, Arc::new(LimitOp { limit: *count, offset: *offset }));
                 self.job.connect(ConnectorKind::OneToOne, stream, lim);
                 Ok((lim, schema, spart))
             }
@@ -550,18 +529,14 @@ impl Gen {
                 let (in_op, schema, part) = self.build(input)?;
                 let vars: Vec<VarId> =
                     exprs.iter().enumerate().map(|(i, _)| 2_000_000 + i).collect();
-                let cols: Vec<(VarId, LogicalExpr)> = vars
-                    .iter()
-                    .zip(exprs)
-                    .map(|(v, e)| (*v, e.clone()))
-                    .collect();
+                let cols: Vec<(VarId, LogicalExpr)> =
+                    vars.iter().zip(exprs).map(|(v, e)| (*v, e.clone())).collect();
                 let (keyed, keyed_schema) =
                     self.append_columns(in_op, &schema, part, "distinct-key", &cols)?;
                 let base = keyed_schema.len() - exprs.len();
                 let key_cols: Vec<usize> = (base..keyed_schema.len()).collect();
-                let distinct = self
-                    .job
-                    .add(self.nparts, Arc::new(DistinctOp { keys: key_cols.clone() }));
+                let distinct =
+                    self.job.add(self.nparts, Arc::new(DistinctOp { keys: key_cols.clone() }));
                 self.job.connect(
                     ConnectorKind::MToNPartitioning { fields: key_cols },
                     keyed,
@@ -569,9 +544,7 @@ impl Gen {
                 );
                 Ok((distinct, keyed_schema, Part::Distributed))
             }
-            LogicalOp::Emit { .. } => {
-                Err(HyracksError::InvalidJob("nested emit in plan".into()))
-            }
+            LogicalOp::Emit { .. } => Err(HyracksError::InvalidJob("nested emit in plan".into())),
         }
     }
 
@@ -586,29 +559,18 @@ impl Gen {
     ) -> Result<(OperatorId, Vec<VarId>, Part)> {
         let (in_op, schema, part) = self.build(input)?;
         let vars: Vec<VarId> = keys.iter().enumerate().map(|(i, _)| 3_000_000 + i).collect();
-        let cols: Vec<(VarId, LogicalExpr)> = vars
-            .iter()
-            .zip(keys)
-            .map(|(v, k)| (*v, k.expr.clone()))
-            .collect();
-        let (keyed, keyed_schema) =
-            self.append_columns(in_op, &schema, part, "sort-key", &cols)?;
+        let cols: Vec<(VarId, LogicalExpr)> =
+            vars.iter().zip(keys).map(|(v, k)| (*v, k.expr.clone())).collect();
+        let (keyed, keyed_schema) = self.append_columns(in_op, &schema, part, "sort-key", &cols)?;
         let base = keyed_schema.len() - keys.len();
-        let sort_keys: Vec<SortKey> = keys
-            .iter()
-            .enumerate()
-            .map(|(i, k)| SortKey::field(base + i, k.descending))
-            .collect();
-        let sort = self.job.add(
-            self.parts(part),
-            Arc::new(SortOp::new("order-by", sort_keys.clone())),
-        );
+        let sort_keys: Vec<SortKey> =
+            keys.iter().enumerate().map(|(i, k)| SortKey::field(base + i, k.descending)).collect();
+        let sort =
+            self.job.add(self.parts(part), Arc::new(SortOp::new("order-by", sort_keys.clone())));
         self.job.connect(ConnectorKind::OneToOne, keyed, sort);
         let mut tail = sort;
         if let Some(k) = per_part_limit {
-            let lim = self
-                .job
-                .add(self.parts(part), Arc::new(LimitOp { limit: k, offset: 0 }));
+            let lim = self.job.add(self.parts(part), Arc::new(LimitOp { limit: k, offset: 0 }));
             self.job.connect(ConnectorKind::OneToOne, sort, lim);
             tail = lim;
         }
@@ -631,8 +593,7 @@ impl Gen {
         match part {
             Part::Single => (op, Part::Single),
             Part::Distributed => {
-                let pass =
-                    self.job.add(1, Arc::new(MapOp::new("gather", |t| Ok(vec![t.clone()]))));
+                let pass = self.job.add(1, Arc::new(MapOp::new("gather", |t| Ok(vec![t.clone()]))));
                 self.job.connect(ConnectorKind::MToNReplicating, op, pass);
                 (pass, Part::Single)
             }
@@ -700,10 +661,7 @@ impl Gen {
                 )?;
                 self.job.add(
                     self.nparts,
-                    Arc::new(SourceOp::from_fn(
-                        format!("btree-search {dataset} (primary)"),
-                        src,
-                    )),
+                    Arc::new(SourceOp::from_fn(format!("btree-search {dataset} (primary)"), src)),
                 )
             }
             IndexSearchSpec::BTreeRange { lo, hi } => {
@@ -744,8 +702,7 @@ impl Gen {
                         Arc::new(SourceOp::from_fn(format!("data-scan {dataset}"), src)),
                     )
                 } else {
-                    let src =
-                        provider.inverted_search_source(dataset, index, grams, lower)?;
+                    let src = provider.inverted_search_source(dataset, index, grams, lower)?;
                     self.secondary_then_primary(dataset, index, src)?
                 }
             }
@@ -754,10 +711,7 @@ impl Gen {
         let mut out = tail;
         if let Some(post) = postcondition {
             let pred = self.make_pred(post, &schema)?;
-            let sel = self.job.add(
-                self.nparts,
-                Arc::new(SelectOp::new("post-validate", pred)),
-            );
+            let sel = self.job.add(self.nparts, Arc::new(SelectOp::new("post-validate", pred)));
             self.job.connect(ConnectorKind::OneToOne, out, sel);
             out = sel;
         }
@@ -777,10 +731,8 @@ impl Gen {
         );
         // Sort primary keys "to improve the access pattern on the primary
         // index" (Figure 6 discussion).
-        let sort = self.job.add(
-            self.nparts,
-            Arc::new(SortOp::new("$pk", vec![SortKey::field(0, false)])),
-        );
+        let sort =
+            self.job.add(self.nparts, Arc::new(SortOp::new("$pk", vec![SortKey::field(0, false)])));
         self.job.connect(ConnectorKind::OneToOne, search, sort);
         let lookup_fn = self.ctx.provider.primary_lookup(dataset)?;
         let lookup = self.job.add(
@@ -856,34 +808,21 @@ fn tokens_for(
         .map(|i| i.kind)
         .ok_or_else(|| HyracksError::Operator(format!("unknown index {index}")))?;
     match (kind, v) {
-        (IndexKind::Keyword, Value::String(s)) => {
-            Ok(asterix_adm::strings::word_tokens(s))
-        }
+        (IndexKind::Keyword, Value::String(s)) => Ok(asterix_adm::strings::word_tokens(s)),
         (IndexKind::Keyword, v) if v.as_list().is_some() => Ok(v
             .as_list()
             .unwrap()
             .iter()
             .filter_map(|x| x.as_str().map(|s| s.to_lowercase()))
             .collect()),
-        (IndexKind::NGram(k), Value::String(s)) => {
-            Ok(asterix_adm::strings::gram_tokens(s, k))
-        }
+        (IndexKind::NGram(k), Value::String(s)) => Ok(asterix_adm::strings::gram_tokens(s, k)),
         _ => Err(HyracksError::Operator("cannot tokenize needle".into())),
     }
 }
 
-fn gram_len_of(
-    provider: &Arc<dyn MetadataProvider>,
-    dataset: &str,
-    index: &str,
-) -> Result<usize> {
+fn gram_len_of(provider: &Arc<dyn MetadataProvider>, dataset: &str, index: &str) -> Result<usize> {
     use crate::metadata::IndexKind;
-    match provider
-        .indexes(dataset)
-        .into_iter()
-        .find(|i| i.name == index)
-        .map(|i| i.kind)
-    {
+    match provider.indexes(dataset).into_iter().find(|i| i.name == index).map(|i| i.kind) {
         Some(IndexKind::NGram(k)) => Ok(k),
         _ => Err(HyracksError::Operator(format!("{index} is not an ngram index"))),
     }
@@ -893,9 +832,9 @@ fn gram_len_of(
 mod tests {
     use super::*;
     use crate::expr::CompareOp;
-    use crate::plan::AggCall;
     use crate::metadata::tests_support::VecProvider;
     use crate::plan::build::*;
+    use crate::plan::AggCall;
     use crate::rules::optimize;
 
     fn users(n: i64) -> Vec<Value> {
@@ -935,12 +874,9 @@ mod tests {
         let optimized = optimize(plan, &prov, &fctx, &OptimizerOptions::default());
         // Interpreter path.
         let ictx = EvalCtx::new(Arc::clone(&prov), fctx.clone());
-        let interp = crate::interp::eval_subplan(
-            &optimized,
-            &std::collections::HashMap::new(),
-            &ictx,
-        )
-        .unwrap();
+        let interp =
+            crate::interp::eval_subplan(&optimized, &std::collections::HashMap::new(), &ictx)
+                .unwrap();
         // Compiled path.
         let compiled = compile(&optimized, prov, fctx, &OptimizerOptions::default()).unwrap();
         let exec = compiled.run().unwrap();
@@ -996,12 +932,7 @@ mod tests {
                 input: Box::new(scan("U", 0)),
                 keys: vec![(1, LogicalExpr::field(var(0), "grp"))],
                 aggs: vec![
-                    AggCall {
-                        var: 2,
-                        func: AggFunc::Count,
-                        sql: false,
-                        input: var(0),
-                    },
+                    AggCall { var: 2, func: AggFunc::Count, sql: false, input: var(0) },
                     AggCall {
                         var: 3,
                         func: AggFunc::Avg,
@@ -1040,10 +971,7 @@ mod tests {
         let (i, c) = run_both(plan, provider(100));
         // Order matters here — compare directly.
         assert_eq!(i, c);
-        assert_eq!(
-            c,
-            (95..100).rev().map(Value::Int64).collect::<Vec<_>>()
-        );
+        assert_eq!(c, (95..100).rev().map(Value::Int64).collect::<Vec<_>>());
     }
 
     #[test]
@@ -1086,8 +1014,7 @@ mod tests {
             var(1),
         );
         let optimized = optimize(plan, &prov, &fctx, &OptimizerOptions::default());
-        let compiled =
-            compile(&optimized, prov, fctx, &OptimizerOptions::default()).unwrap();
+        let compiled = compile(&optimized, prov, fctx, &OptimizerOptions::default()).unwrap();
         let d = compiled.describe();
         assert!(d.contains("aggregate local"), "{d}");
         assert!(d.contains("aggregate global"), "{d}");

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use asterix_adm::value::Rectangle;
 use asterix_adm::Value;
 
-use asterix_hyracks::ops::SourceFn;
+use asterix_hyracks::ops::{RawSourceFn, SourceFn};
 use asterix_hyracks::Result;
 
 /// Secondary index kinds (§2.2: btree is the default; rtree, keyword and
@@ -66,10 +66,18 @@ pub trait MetadataProvider: Send + Sync {
     /// caller's partition.
     fn scan_source(&self, dataset: &str) -> Result<SourceFn>;
 
+    /// Serialized full-scan source: emits the offset-prefixed tuple
+    /// encoding directly, so the scan feeds the byte-frame exchange without
+    /// materializing a `Value` per record. Providers that can serve bytes
+    /// return `Some`; the default `None` makes the compiler fall back to
+    /// `scan_source` (staged migration — see DESIGN.md "Data plane").
+    fn raw_scan_source(&self, _dataset: &str) -> Result<Option<RawSourceFn>> {
+        Ok(None)
+    }
+
     /// Primary-index range source: emits one single-column record tuple per
     /// match in the caller's partition.
-    fn primary_range_source(&self, dataset: &str, lo: KeyBound, hi: KeyBound)
-        -> Result<SourceFn>;
+    fn primary_range_source(&self, dataset: &str, lo: KeyBound, hi: KeyBound) -> Result<SourceFn>;
 
     /// Secondary B-tree search: emits one tuple per matching entry, columns
     /// = primary-key fields (§2.2: "The result of a secondary key lookup is
@@ -114,8 +122,7 @@ pub trait MetadataProvider: Send + Sync {
     fn lookup_pk(&self, dataset: &str, pk: &[Value]) -> Result<Option<Value>>;
 
     /// Cross-partition primary-index range scan returning records.
-    fn primary_range_all(&self, dataset: &str, lo: KeyBound, hi: KeyBound)
-        -> Result<Vec<Value>>;
+    fn primary_range_all(&self, dataset: &str, lo: KeyBound, hi: KeyBound) -> Result<Vec<Value>>;
 
     /// Cross-partition secondary B-tree search returning primary keys.
     fn btree_search_all(
@@ -169,9 +176,7 @@ pub mod tests_support {
         }
 
         fn scan_source(&self, dataset: &str) -> Result<SourceFn> {
-            Err(asterix_hyracks::HyracksError::Operator(format!(
-                "unknown dataset {dataset}"
-            )))
+            Err(asterix_hyracks::HyracksError::Operator(format!("unknown dataset {dataset}")))
         }
 
         fn primary_range_source(
@@ -180,9 +185,7 @@ pub mod tests_support {
             _lo: KeyBound,
             _hi: KeyBound,
         ) -> Result<SourceFn> {
-            Err(asterix_hyracks::HyracksError::Operator(format!(
-                "unknown dataset {dataset}"
-            )))
+            Err(asterix_hyracks::HyracksError::Operator(format!("unknown dataset {dataset}")))
         }
 
         fn primary_range_all(
@@ -191,9 +194,7 @@ pub mod tests_support {
             _lo: KeyBound,
             _hi: KeyBound,
         ) -> Result<Vec<Value>> {
-            Err(asterix_hyracks::HyracksError::Operator(format!(
-                "unknown dataset {dataset}"
-            )))
+            Err(asterix_hyracks::HyracksError::Operator(format!("unknown dataset {dataset}")))
         }
 
         fn btree_search_source(
@@ -203,9 +204,7 @@ pub mod tests_support {
             _lo: KeyBound,
             _hi: KeyBound,
         ) -> Result<SourceFn> {
-            Err(asterix_hyracks::HyracksError::Operator(format!(
-                "unknown dataset {dataset}"
-            )))
+            Err(asterix_hyracks::HyracksError::Operator(format!("unknown dataset {dataset}")))
         }
 
         fn rtree_search_source(
@@ -214,9 +213,7 @@ pub mod tests_support {
             _index: &str,
             _query: Rectangle,
         ) -> Result<SourceFn> {
-            Err(asterix_hyracks::HyracksError::Operator(format!(
-                "unknown dataset {dataset}"
-            )))
+            Err(asterix_hyracks::HyracksError::Operator(format!("unknown dataset {dataset}")))
         }
 
         fn inverted_search_source(
@@ -226,31 +223,22 @@ pub mod tests_support {
             _tokens: Vec<String>,
             _threshold: usize,
         ) -> Result<SourceFn> {
-            Err(asterix_hyracks::HyracksError::Operator(format!(
-                "unknown dataset {dataset}"
-            )))
+            Err(asterix_hyracks::HyracksError::Operator(format!("unknown dataset {dataset}")))
         }
 
         fn primary_lookup(
             &self,
             dataset: &str,
-        ) -> Result<Arc<dyn Fn(usize, &[Value]) -> Result<Option<Value>> + Send + Sync>>
-        {
-            Err(asterix_hyracks::HyracksError::Operator(format!(
-                "unknown dataset {dataset}"
-            )))
+        ) -> Result<Arc<dyn Fn(usize, &[Value]) -> Result<Option<Value>> + Send + Sync>> {
+            Err(asterix_hyracks::HyracksError::Operator(format!("unknown dataset {dataset}")))
         }
 
         fn scan_all(&self, dataset: &str) -> Result<Vec<Value>> {
-            Err(asterix_hyracks::HyracksError::Operator(format!(
-                "unknown dataset {dataset}"
-            )))
+            Err(asterix_hyracks::HyracksError::Operator(format!("unknown dataset {dataset}")))
         }
 
         fn lookup_pk(&self, dataset: &str, _pk: &[Value]) -> Result<Option<Value>> {
-            Err(asterix_hyracks::HyracksError::Operator(format!(
-                "unknown dataset {dataset}"
-            )))
+            Err(asterix_hyracks::HyracksError::Operator(format!("unknown dataset {dataset}")))
         }
 
         fn btree_search_all(
@@ -260,9 +248,7 @@ pub mod tests_support {
             _lo: KeyBound,
             _hi: KeyBound,
         ) -> Result<Vec<Vec<Value>>> {
-            Err(asterix_hyracks::HyracksError::Operator(format!(
-                "unknown dataset {dataset}"
-            )))
+            Err(asterix_hyracks::HyracksError::Operator(format!("unknown dataset {dataset}")))
         }
 
         fn rtree_search_all(
@@ -271,9 +257,7 @@ pub mod tests_support {
             _index: &str,
             _query: &Rectangle,
         ) -> Result<Vec<Vec<Value>>> {
-            Err(asterix_hyracks::HyracksError::Operator(format!(
-                "unknown dataset {dataset}"
-            )))
+            Err(asterix_hyracks::HyracksError::Operator(format!("unknown dataset {dataset}")))
         }
 
         fn inverted_search_all(
@@ -283,9 +267,7 @@ pub mod tests_support {
             _tokens: &[String],
             _threshold: usize,
         ) -> Result<Vec<Vec<Value>>> {
-            Err(asterix_hyracks::HyracksError::Operator(format!(
-                "unknown dataset {dataset}"
-            )))
+            Err(asterix_hyracks::HyracksError::Operator(format!("unknown dataset {dataset}")))
         }
     }
 
@@ -299,11 +281,7 @@ pub mod tests_support {
 
     impl VecProvider {
         pub fn new(nparts: usize) -> VecProvider {
-            VecProvider {
-                datasets: Default::default(),
-                pk_fields: Default::default(),
-                nparts,
-            }
+            VecProvider { datasets: Default::default(), pk_fields: Default::default(), nparts }
         }
 
         pub fn add(&mut self, name: &str, pk: &str, records: Vec<Value>) {
@@ -330,23 +308,14 @@ pub mod tests_support {
         }
 
         fn scan_source(&self, dataset: &str) -> Result<SourceFn> {
-            let records = self
-                .datasets
-                .get(dataset)
-                .cloned()
-                .ok_or_else(|| {
-                    asterix_hyracks::HyracksError::Operator(format!(
-                        "unknown dataset {dataset}"
-                    ))
-                })?;
+            let records = self.datasets.get(dataset).cloned().ok_or_else(|| {
+                asterix_hyracks::HyracksError::Operator(format!("unknown dataset {dataset}"))
+            })?;
             let pk_fields = self.primary_key_fields(dataset);
             Ok(Arc::new(move |partition, nparts, emit| {
                 for r in &records {
                     // Hash-partition by primary key, as real datasets are.
-                    let h = pk_fields
-                        .first()
-                        .map(|f| r.field(f).stable_hash())
-                        .unwrap_or(0);
+                    let h = pk_fields.first().map(|f| r.field(f).stable_hash()).unwrap_or(0);
                     if (h % nparts as u64) as usize == partition {
                         emit(vec![r.clone()])?;
                     }
@@ -365,10 +334,7 @@ pub mod tests_support {
             let pk_fields = self.primary_key_fields(dataset);
             Ok(Arc::new(move |partition, nparts, emit| {
                 for r in &records {
-                    let h = pk_fields
-                        .first()
-                        .map(|f| r.field(f).stable_hash())
-                        .unwrap_or(0);
+                    let h = pk_fields.first().map(|f| r.field(f).stable_hash()).unwrap_or(0);
                     if (h % nparts as u64) as usize == partition {
                         emit(vec![r.clone()])?;
                     }
@@ -383,11 +349,7 @@ pub mod tests_support {
             lo: KeyBound,
             hi: KeyBound,
         ) -> Result<Vec<Value>> {
-            let pk = self
-                .primary_key_fields(dataset)
-                .first()
-                .cloned()
-                .unwrap_or_default();
+            let pk = self.primary_key_fields(dataset).first().cloned().unwrap_or_default();
             Ok(self
                 .scan_all(dataset)?
                 .into_iter()
@@ -418,12 +380,7 @@ pub mod tests_support {
             Err(asterix_hyracks::HyracksError::Operator("no indexes".into()))
         }
 
-        fn rtree_search_source(
-            &self,
-            _d: &str,
-            _i: &str,
-            _q: Rectangle,
-        ) -> Result<SourceFn> {
+        fn rtree_search_source(&self, _d: &str, _i: &str, _q: Rectangle) -> Result<SourceFn> {
             Err(asterix_hyracks::HyracksError::Operator("no indexes".into()))
         }
 
@@ -440,17 +397,16 @@ pub mod tests_support {
         fn primary_lookup(
             &self,
             dataset: &str,
-        ) -> Result<Arc<dyn Fn(usize, &[Value]) -> Result<Option<Value>> + Send + Sync>>
-        {
+        ) -> Result<Arc<dyn Fn(usize, &[Value]) -> Result<Option<Value>> + Send + Sync>> {
             let records = self.datasets.get(dataset).cloned().unwrap_or_default();
             let pk_fields = self.primary_key_fields(dataset);
             Ok(Arc::new(move |_partition, pk| {
-                Ok(records.iter().find(|r| {
-                    pk_fields
-                        .iter()
-                        .zip(pk)
-                        .all(|(f, v)| r.field(f).total_cmp(v).is_eq())
-                }).cloned())
+                Ok(records
+                    .iter()
+                    .find(|r| {
+                        pk_fields.iter().zip(pk).all(|(f, v)| r.field(f).total_cmp(v).is_eq())
+                    })
+                    .cloned())
             }))
         }
 
@@ -475,12 +431,7 @@ pub mod tests_support {
             Err(asterix_hyracks::HyracksError::Operator("no indexes".into()))
         }
 
-        fn rtree_search_all(
-            &self,
-            _d: &str,
-            _i: &str,
-            _q: &Rectangle,
-        ) -> Result<Vec<Vec<Value>>> {
+        fn rtree_search_all(&self, _d: &str, _i: &str, _q: &Rectangle) -> Result<Vec<Vec<Value>>> {
             Err(asterix_hyracks::HyracksError::Operator("no indexes".into()))
         }
 

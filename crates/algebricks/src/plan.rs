@@ -5,7 +5,6 @@
 //! select, unnest, join, group-by, order, limit, distinct, datasource-scan)
 //! plus the access-path operators that the index-introduction rules insert.
 
-
 use asterix_adm::Value;
 
 use crate::expr::{LogicalExpr, VarId};
@@ -78,15 +77,9 @@ pub struct SortSpec {
 pub enum IndexSearchSpec {
     /// Range over the dataset's *primary* B+-tree (record lookups and
     /// primary-key ranges; `index` is ignored).
-    PrimaryRange {
-        lo: Option<(LogicalExpr, bool)>,
-        hi: Option<(LogicalExpr, bool)>,
-    },
+    PrimaryRange { lo: Option<(LogicalExpr, bool)>, hi: Option<(LogicalExpr, bool)> },
     /// Range over a secondary B-tree.
-    BTreeRange {
-        lo: Option<(LogicalExpr, bool)>,
-        hi: Option<(LogicalExpr, bool)>,
-    },
+    BTreeRange { lo: Option<(LogicalExpr, bool)>, hi: Option<(LogicalExpr, bool)> },
     /// R-tree intersection; `query` evaluates to a spatial value whose MBR
     /// is the search window.
     RTree { query: LogicalExpr },
@@ -166,11 +159,7 @@ pub enum LogicalOp {
     },
     /// Grouping: evaluates `keys` (each bound to a fresh var) and
     /// aggregates over the group.
-    GroupBy {
-        input: Box<LogicalOp>,
-        keys: Vec<(VarId, LogicalExpr)>,
-        aggs: Vec<AggCall>,
-    },
+    GroupBy { input: Box<LogicalOp>, keys: Vec<(VarId, LogicalExpr)>, aggs: Vec<AggCall> },
     /// Scalar aggregation over the whole input (no keys).
     Aggregate { input: Box<LogicalOp>, aggs: Vec<AggCall> },
     /// Sort.
@@ -363,15 +352,12 @@ impl LogicalOp {
     /// Rewrite helper: apply `f` bottom-up to every operator in the tree.
     pub fn transform_up(self, f: &mut impl FnMut(LogicalOp) -> LogicalOp) -> LogicalOp {
         let with_new_children = match self {
-            LogicalOp::Assign { input, var, expr } => LogicalOp::Assign {
-                input: Box::new(input.transform_up(f)),
-                var,
-                expr,
-            },
-            LogicalOp::Select { input, condition } => LogicalOp::Select {
-                input: Box::new(input.transform_up(f)),
-                condition,
-            },
+            LogicalOp::Assign { input, var, expr } => {
+                LogicalOp::Assign { input: Box::new(input.transform_up(f)), var, expr }
+            }
+            LogicalOp::Select { input, condition } => {
+                LogicalOp::Select { input: Box::new(input.transform_up(f)), condition }
+            }
             LogicalOp::Unnest { input, var, expr, positional, outer } => LogicalOp::Unnest {
                 input: Box::new(input.transform_up(f)),
                 var,
@@ -406,32 +392,24 @@ impl LogicalOp {
                     kind,
                 }
             }
-            LogicalOp::GroupBy { input, keys, aggs } => LogicalOp::GroupBy {
-                input: Box::new(input.transform_up(f)),
-                keys,
-                aggs,
-            },
-            LogicalOp::Aggregate { input, aggs } => LogicalOp::Aggregate {
-                input: Box::new(input.transform_up(f)),
-                aggs,
-            },
-            LogicalOp::Order { input, keys } => LogicalOp::Order {
-                input: Box::new(input.transform_up(f)),
-                keys,
-            },
-            LogicalOp::Limit { input, count, offset } => LogicalOp::Limit {
-                input: Box::new(input.transform_up(f)),
-                count,
-                offset,
-            },
-            LogicalOp::Distinct { input, exprs } => LogicalOp::Distinct {
-                input: Box::new(input.transform_up(f)),
-                exprs,
-            },
-            LogicalOp::Emit { input, expr } => LogicalOp::Emit {
-                input: Box::new(input.transform_up(f)),
-                expr,
-            },
+            LogicalOp::GroupBy { input, keys, aggs } => {
+                LogicalOp::GroupBy { input: Box::new(input.transform_up(f)), keys, aggs }
+            }
+            LogicalOp::Aggregate { input, aggs } => {
+                LogicalOp::Aggregate { input: Box::new(input.transform_up(f)), aggs }
+            }
+            LogicalOp::Order { input, keys } => {
+                LogicalOp::Order { input: Box::new(input.transform_up(f)), keys }
+            }
+            LogicalOp::Limit { input, count, offset } => {
+                LogicalOp::Limit { input: Box::new(input.transform_up(f)), count, offset }
+            }
+            LogicalOp::Distinct { input, exprs } => {
+                LogicalOp::Distinct { input: Box::new(input.transform_up(f)), exprs }
+            }
+            LogicalOp::Emit { input, expr } => {
+                LogicalOp::Emit { input: Box::new(input.transform_up(f)), expr }
+            }
             leaf => leaf,
         };
         f(with_new_children)

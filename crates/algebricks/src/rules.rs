@@ -110,12 +110,8 @@ fn map_expr_children(
         LogicalExpr::IndexAccess(a, b) => {
             LogicalExpr::IndexAccess(Box::new(f(*a)), Box::new(f(*b)))
         }
-        LogicalExpr::Call(n, args) => {
-            LogicalExpr::Call(n, args.into_iter().map(f).collect())
-        }
-        LogicalExpr::Arith(op, a, b) => {
-            LogicalExpr::Arith(op, Box::new(f(*a)), Box::new(f(*b)))
-        }
+        LogicalExpr::Call(n, args) => LogicalExpr::Call(n, args.into_iter().map(f).collect()),
+        LogicalExpr::Arith(op, a, b) => LogicalExpr::Arith(op, Box::new(f(*a)), Box::new(f(*b))),
         LogicalExpr::Neg(a) => LogicalExpr::Neg(Box::new(f(*a))),
         LogicalExpr::Compare(op, a, b) => {
             LogicalExpr::Compare(op, Box::new(f(*a)), Box::new(f(*b)))
@@ -126,18 +122,15 @@ fn map_expr_children(
         LogicalExpr::RecordCtor(fs) => {
             LogicalExpr::RecordCtor(fs.into_iter().map(|(n, e)| (n, f(e))).collect())
         }
-        LogicalExpr::ListCtor { ordered, items } => LogicalExpr::ListCtor {
-            ordered,
-            items: items.into_iter().map(f).collect(),
-        },
-        LogicalExpr::Quantified { kind, var, collection, predicate } => {
-            LogicalExpr::Quantified {
-                kind,
-                var,
-                collection: Box::new(f(*collection)),
-                predicate: Box::new(f(*predicate)),
-            }
+        LogicalExpr::ListCtor { ordered, items } => {
+            LogicalExpr::ListCtor { ordered, items: items.into_iter().map(f).collect() }
         }
+        LogicalExpr::Quantified { kind, var, collection, predicate } => LogicalExpr::Quantified {
+            kind,
+            var,
+            collection: Box::new(f(*collection)),
+            predicate: Box::new(f(*predicate)),
+        },
         LogicalExpr::IfThenElse(c, t, e2) => {
             LogicalExpr::IfThenElse(Box::new(f(*c)), Box::new(f(*t)), Box::new(f(*e2)))
         }
@@ -147,9 +140,7 @@ fn map_expr_children(
 
 fn map_op_exprs(op: LogicalOp, f: &mut impl FnMut(LogicalExpr) -> LogicalExpr) -> LogicalOp {
     match op {
-        LogicalOp::Assign { input, var, expr } => {
-            LogicalOp::Assign { input, var, expr: f(expr) }
-        }
+        LogicalOp::Assign { input, var, expr } => LogicalOp::Assign { input, var, expr: f(expr) },
         LogicalOp::Select { input, condition } => {
             LogicalOp::Select { input, condition: f(condition) }
         }
@@ -203,10 +194,9 @@ fn map_op_exprs(op: LogicalOp, f: &mut impl FnMut(LogicalExpr) -> LogicalExpr) -
                 })
                 .collect(),
         },
-        LogicalOp::Distinct { input, exprs } => LogicalOp::Distinct {
-            input,
-            exprs: exprs.into_iter().map(&mut *f).collect(),
-        },
+        LogicalOp::Distinct { input, exprs } => {
+            LogicalOp::Distinct { input, exprs: exprs.into_iter().map(&mut *f).collect() }
+        }
         LogicalOp::Emit { input, expr } => LogicalOp::Emit { input, expr: f(expr) },
         LogicalOp::IndexSearch { dataset, index, var, spec, postcondition } => {
             LogicalOp::IndexSearch {
@@ -510,8 +500,7 @@ fn try_index_access(op: LogicalOp, provider: &Arc<dyn MetadataProvider>) -> Logi
                 }
                 let dataset = dataset.clone();
                 let var = *var;
-                if let Some(new_op) = build_access_path(&dataset, var, &conditions, provider)
-                {
+                if let Some(new_op) = build_access_path(&dataset, var, &conditions, provider) {
                     return new_op;
                 }
                 return op;
@@ -624,10 +613,7 @@ fn finish_search(
     all_conditions: &[LogicalExpr],
     used: &[LogicalExpr],
 ) -> LogicalOp {
-    let post = used
-        .iter()
-        .cloned()
-        .reduce(and2);
+    let post = used.iter().cloned().reduce(and2);
     let mut out = LogicalOp::IndexSearch {
         dataset: dataset.to_string(),
         index: index.to_string(),
@@ -686,26 +672,22 @@ fn collect_range(conditions: &[LogicalExpr], var: VarId, field: &str) -> Option<
                 acc.hi = Some((bound, true));
                 acc.used.push(c.clone());
             }
-            CompareOp::Ge
-                if acc.lo.is_none() => {
-                    acc.lo = Some((bound, true));
-                    acc.used.push(c.clone());
-                }
-            CompareOp::Gt
-                if acc.lo.is_none() => {
-                    acc.lo = Some((bound, false));
-                    acc.used.push(c.clone());
-                }
-            CompareOp::Le
-                if acc.hi.is_none() => {
-                    acc.hi = Some((bound, true));
-                    acc.used.push(c.clone());
-                }
-            CompareOp::Lt
-                if acc.hi.is_none() => {
-                    acc.hi = Some((bound, false));
-                    acc.used.push(c.clone());
-                }
+            CompareOp::Ge if acc.lo.is_none() => {
+                acc.lo = Some((bound, true));
+                acc.used.push(c.clone());
+            }
+            CompareOp::Gt if acc.lo.is_none() => {
+                acc.lo = Some((bound, false));
+                acc.used.push(c.clone());
+            }
+            CompareOp::Le if acc.hi.is_none() => {
+                acc.hi = Some((bound, true));
+                acc.used.push(c.clone());
+            }
+            CompareOp::Lt if acc.hi.is_none() => {
+                acc.hi = Some((bound, false));
+                acc.used.push(c.clone());
+            }
             _ => {}
         }
         if acc.lo.is_some() && acc.hi.is_some() {
@@ -792,8 +774,7 @@ fn fuzzy_pred_of(c: &LogicalExpr, var: VarId, field: &str) -> Option<(LogicalExp
 /// Match `some $w in word-tokens($v.field) satisfies $w = <needle>` — the
 /// Query 6 shape — where needle is var-independent.
 fn keyword_pred_of(c: &LogicalExpr, var: VarId, field: &str) -> Option<LogicalExpr> {
-    let LogicalExpr::Quantified { kind: QuantKind::Some, var: w, collection, predicate } = c
-    else {
+    let LogicalExpr::Quantified { kind: QuantKind::Some, var: w, collection, predicate } = c else {
         return None;
     };
     let LogicalExpr::Call(fname, fargs) = collection.as_ref() else { return None };
@@ -826,8 +807,8 @@ fn keyword_pred_of(c: &LogicalExpr, var: VarId, field: &str) -> Option<LogicalEx
 /// other uses. This avoids materializing group member lists that exist
 /// only to be counted/summed — the §5.2 materialization lesson.
 pub fn fuse_group_aggregates(plan: LogicalOp) -> LogicalOp {
-    use std::collections::HashMap;
     use crate::plan::{AggCall, AggFunc};
+    use std::collections::HashMap;
 
     // Pass 1: listify vars and their member-input expressions.
     let mut listify: HashMap<VarId, LogicalExpr> = HashMap::new();
@@ -918,9 +899,7 @@ pub fn fuse_group_aggregates(plan: LogicalOp) -> LogicalOp {
                     LogicalOp::Aggregate { aggs, .. } => {
                         exprs.extend(aggs.iter().map(|a| &a.input))
                     }
-                    LogicalOp::Order { keys, .. } => {
-                        exprs.extend(keys.iter().map(|k| &k.expr))
-                    }
+                    LogicalOp::Order { keys, .. } => exprs.extend(keys.iter().map(|k| &k.expr)),
                     LogicalOp::Distinct { exprs: es, .. } => exprs.extend(es.iter()),
                     LogicalOp::IndexSearch { postcondition, .. } => {
                         if let Some(p) = postcondition {
@@ -936,10 +915,7 @@ pub fn fuse_group_aggregates(plan: LogicalOp) -> LogicalOp {
         }
     });
 
-    let fusable: Vec<_> = fusable
-        .into_iter()
-        .filter(|(_, _, _, g)| !blocked.contains(g))
-        .collect();
+    let fusable: Vec<_> = fusable.into_iter().filter(|(_, _, _, g)| !blocked.contains(g)).collect();
     if fusable.is_empty() {
         return plan;
     }
@@ -959,20 +935,15 @@ pub fn fuse_group_aggregates(plan: LogicalOp) -> LogicalOp {
             }
         }
         LogicalOp::GroupBy { input, keys, mut aggs } => {
-            let my_listifies: Vec<VarId> = aggs
-                .iter()
-                .filter(|a| a.func == AggFunc::Listify)
-                .map(|a| a.var)
-                .collect();
+            let my_listifies: Vec<VarId> =
+                aggs.iter().filter(|a| a.func == AggFunc::Listify).map(|a| a.var).collect();
             for (v, func, sql, g) in &fusable {
                 if my_listifies.contains(g) {
                     let member = listify.get(g).cloned().unwrap();
                     aggs.push(AggCall { var: *v, func: *func, sql: *sql, input: member });
                 }
             }
-            aggs.retain(|a| {
-                !(a.func == AggFunc::Listify && dead_listifies.contains(&a.var))
-            });
+            aggs.retain(|a| !(a.func == AggFunc::Listify && dead_listifies.contains(&a.var)));
             LogicalOp::GroupBy { input, keys, aggs }
         }
         other => other,
@@ -1000,9 +971,7 @@ fn optimize_expr_subplans(
     fn_ctx: &FunctionContext,
     options: &OptimizerOptions,
 ) -> LogicalExpr {
-    let e = map_expr_children(e, &mut |c| {
-        optimize_expr_subplans(c, provider, fn_ctx, options)
-    });
+    let e = map_expr_children(e, &mut |c| optimize_expr_subplans(c, provider, fn_ctx, options));
     if let LogicalExpr::Subquery(plan) = e {
         let optimized = optimize((*plan).clone(), provider, fn_ctx, options);
         LogicalExpr::Subquery(Arc::new(optimized))
@@ -1128,11 +1097,7 @@ mod tests {
         inner.add("DS", "id", vec![]);
         Arc::new(IndexedProvider {
             inner,
-            ixs: vec![IndexInfo {
-                name: "ix".into(),
-                kind,
-                fields: vec![field.into()],
-            }],
+            ixs: vec![IndexInfo { name: "ix".into(), kind, fields: vec![field.into()] }],
         })
     }
 
@@ -1151,12 +1116,7 @@ mod tests {
         let group = LogicalOp::GroupBy {
             input: Box::new(scan("DS", 0)),
             keys: vec![(1, LogicalExpr::field(var(0), "author"))],
-            aggs: vec![AggCall {
-                var: 2,
-                func: AggFunc::Listify,
-                sql: false,
-                input: var(0),
-            }],
+            aggs: vec![AggCall { var: 2, func: AggFunc::Listify, sql: false, input: var(0) }],
         };
         let plan = emit(
             LogicalOp::Assign {
@@ -1173,9 +1133,7 @@ mod tests {
             }
             op.inputs().into_iter().find_map(find_group)
         }
-        let LogicalOp::GroupBy { aggs, .. } = find_group(&fused).unwrap() else {
-            panic!()
-        };
+        let LogicalOp::GroupBy { aggs, .. } = find_group(&fused).unwrap() else { panic!() };
         assert_eq!(aggs.len(), 1, "listify replaced by count");
         assert_eq!(aggs[0].func, AggFunc::Count);
         assert_eq!(aggs[0].var, 3);
@@ -1187,12 +1145,7 @@ mod tests {
         let group2 = LogicalOp::GroupBy {
             input: Box::new(scan("DS", 0)),
             keys: vec![(1, LogicalExpr::field(var(0), "author"))],
-            aggs: vec![AggCall {
-                var: 2,
-                func: AggFunc::Listify,
-                sql: false,
-                input: var(0),
-            }],
+            aggs: vec![AggCall { var: 2, func: AggFunc::Listify, sql: false, input: var(0) }],
         };
         let plan2 = emit(
             LogicalOp::Assign {
@@ -1206,9 +1159,7 @@ mod tests {
             ]),
         );
         let fused2 = fuse_group_aggregates(plan2);
-        let LogicalOp::GroupBy { aggs, .. } = find_group(&fused2).unwrap() else {
-            panic!()
-        };
+        let LogicalOp::GroupBy { aggs, .. } = find_group(&fused2).unwrap() else { panic!() };
         assert!(
             aggs.iter().any(|a| a.func == AggFunc::Listify),
             "listify with other uses must survive"
@@ -1220,11 +1171,7 @@ mod tests {
         let provider = provider_with_index(IndexKind::BTree, "ts");
         let plan = emit(
             LogicalOp::EmptyTupleSource,
-            LogicalExpr::Arith(
-                '+',
-                Box::new(lit(Value::Int64(1))),
-                Box::new(lit(Value::Int64(1))),
-            ),
+            LogicalExpr::Arith('+', Box::new(lit(Value::Int64(1))), Box::new(lit(Value::Int64(1)))),
         );
         let out = optimize(plan, &provider, &fctx(), &OptimizerOptions::default());
         match out {
@@ -1240,10 +1187,7 @@ mod tests {
             cross(
                 scan("DS", 0),
                 scan("DS", 1),
-                eq(
-                    LogicalExpr::field(var(0), "id"),
-                    LogicalExpr::field(var(1), "author"),
-                ),
+                eq(LogicalExpr::field(var(0), "id"), LogicalExpr::field(var(1), "author")),
             ),
             var(0),
         );
@@ -1303,10 +1247,7 @@ mod tests {
     fn pk_equality_uses_primary_index() {
         let provider = provider_with_index(IndexKind::BTree, "ts");
         let plan = emit(
-            select(
-                scan("DS", 0),
-                eq(LogicalExpr::field(var(0), "id"), lit(Value::Int64(7))),
-            ),
+            select(scan("DS", 0), eq(LogicalExpr::field(var(0), "id"), lit(Value::Int64(7)))),
             var(0),
         );
         let out = optimize(plan, &provider, &fctx(), &OptimizerOptions::default());
@@ -1317,10 +1258,7 @@ mod tests {
     fn index_access_can_be_disabled() {
         let provider = provider_with_index(IndexKind::BTree, "ts");
         let plan = emit(
-            select(
-                scan("DS", 0),
-                eq(LogicalExpr::field(var(0), "ts"), lit(Value::Int64(7))),
-            ),
+            select(scan("DS", 0), eq(LogicalExpr::field(var(0), "ts"), lit(Value::Int64(7)))),
             var(0),
         );
         let opts = OptimizerOptions { enable_index_access: false, ..Default::default() };
@@ -1376,10 +1314,7 @@ mod tests {
                 cross(
                     scan("DS", 0),
                     scan("DS", 1),
-                    eq(
-                        LogicalExpr::field(var(0), "id"),
-                        LogicalExpr::field(var(1), "author"),
-                    ),
+                    eq(LogicalExpr::field(var(0), "id"), LogicalExpr::field(var(1), "author")),
                 ),
                 eq(LogicalExpr::field(var(0), "ts"), lit(Value::Int64(3))),
             ),

@@ -375,9 +375,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, LexError> {
                             }
                             Some(c) if c == quote => s.push(quote),
                             Some(other) => {
-                                return Err(
-                                    lx.err(format!("unknown escape '\\{other}' in string"))
-                                )
+                                return Err(lx.err(format!("unknown escape '\\{other}' in string")))
                             }
                             None => return Err(lx.err("unterminated string literal")),
                         },
@@ -419,31 +417,21 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, LexError> {
                 // Typed suffixes.
                 if lx.src[lx.pos..].starts_with("i8") {
                     lx.pos += 2;
-                    Token::Int8Lit(
-                        text.parse().map_err(|_| lx.err("invalid int8 literal"))?,
-                    )
+                    Token::Int8Lit(text.parse().map_err(|_| lx.err("invalid int8 literal"))?)
                 } else if lx.src[lx.pos..].starts_with("i16") {
                     lx.pos += 3;
-                    Token::Int16Lit(
-                        text.parse().map_err(|_| lx.err("invalid int16 literal"))?,
-                    )
+                    Token::Int16Lit(text.parse().map_err(|_| lx.err("invalid int16 literal"))?)
                 } else if lx.src[lx.pos..].starts_with("i32") {
                     lx.pos += 3;
-                    Token::Int32Lit(
-                        text.parse().map_err(|_| lx.err("invalid int32 literal"))?,
-                    )
+                    Token::Int32Lit(text.parse().map_err(|_| lx.err("invalid int32 literal"))?)
                 } else if lx.src[lx.pos..].starts_with("i64") {
                     lx.pos += 3;
                     Token::IntLit(text.parse().map_err(|_| lx.err("invalid int64 literal"))?)
                 } else if lx.peek() == Some('f') {
                     lx.bump();
-                    Token::FloatLit(
-                        text.parse().map_err(|_| lx.err("invalid float literal"))?,
-                    )
+                    Token::FloatLit(text.parse().map_err(|_| lx.err("invalid float literal"))?)
                 } else if is_float {
-                    Token::DoubleLit(
-                        text.parse().map_err(|_| lx.err("invalid double literal"))?,
-                    )
+                    Token::DoubleLit(text.parse().map_err(|_| lx.err("invalid double literal"))?)
                 } else {
                     Token::IntLit(text.parse().map_err(|_| lx.err("invalid int literal"))?)
                 }
@@ -503,21 +491,11 @@ mod tests {
     fn hyphenated_identifiers_vs_subtraction() {
         assert_eq!(
             toks("$m.author-id"),
-            vec![
-                Token::Variable("m".into()),
-                Token::Dot,
-                Token::Ident("author-id".into()),
-            ]
+            vec![Token::Variable("m".into()), Token::Dot, Token::Ident("author-id".into()),]
         );
-        assert_eq!(
-            toks("a - 1"),
-            vec![Token::Ident("a".into()), Token::Minus, Token::IntLit(1)]
-        );
+        assert_eq!(toks("a - 1"), vec![Token::Ident("a".into()), Token::Minus, Token::IntLit(1)]);
         // `a -1` also subtracts (minus followed by digit).
-        assert_eq!(
-            toks("a -1"),
-            vec![Token::Ident("a".into()), Token::Minus, Token::IntLit(1)]
-        );
+        assert_eq!(toks("a -1"), vec![Token::Ident("a".into()), Token::Minus, Token::IntLit(1)]);
     }
 
     #[test]
@@ -561,10 +539,7 @@ mod tests {
     fn string_escapes_and_quotes() {
         assert_eq!(
             toks(r#""a\"b" 'c\'d'"#),
-            vec![
-                Token::StringLit("a\"b".into()),
-                Token::StringLit("c'd".into()),
-            ]
+            vec![Token::StringLit("a\"b".into()), Token::StringLit("c'd".into()),]
         );
     }
 

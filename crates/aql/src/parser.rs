@@ -55,16 +55,8 @@ pub fn parse_statements_spanned(src: &str) -> PResult<Vec<(Statement, String)>> 
         if !p.at_end() && !p.eat(&Token::Semicolon) {
             return Err(p.err("expected ';' after statement"));
         }
-        let end_offset = p
-            .tokens
-            .get(p.pos)
-            .map(|t| t.offset)
-            .unwrap_or(src.len());
-        let text = src[start_offset..end_offset]
-            .trim()
-            .trim_end_matches(';')
-            .trim()
-            .to_string();
+        let end_offset = p.tokens.get(p.pos).map(|t| t.offset).unwrap_or(src.len());
+        let text = src[start_offset..end_offset].trim().trim_end_matches(';').trim().to_string();
         out.push((stmt, text));
     }
     Ok(out)
@@ -227,11 +219,7 @@ impl Parser {
             self.expect_kw("from")?;
             self.expect_kw("dataset")?;
             let dataset = self.parse_qualified_name()?;
-            let condition = if self.eat_kw("where") {
-                Some(self.parse_expr()?)
-            } else {
-                None
-            };
+            let condition = if self.eat_kw("where") { Some(self.parse_expr()?) } else { None };
             return Ok(Statement::Delete { var, dataset, condition });
         }
         if self.at_kw("load") {
@@ -339,9 +327,7 @@ impl Parser {
             let name = self.expect_ident()?;
             self.expect_kw("as")?;
             // `as open { ... }` / `as closed { ... }` / `as { ... }`.
-            let open = if self.eat_kw("open") {
-                true
-            } else { !self.eat_kw("closed") };
+            let open = if self.eat_kw("open") { true } else { !self.eat_kw("closed") };
             let ty = self.parse_type_expr(open)?;
             return Ok(Statement::CreateType { name, ty });
         }
@@ -362,12 +348,7 @@ impl Parser {
             self.expect_kw("using")?;
             let adaptor = self.expect_ident()?;
             let properties = self.parse_properties()?;
-            return Ok(Statement::CreateExternalDataset {
-                name,
-                type_name,
-                adaptor,
-                properties,
-            });
+            return Ok(Statement::CreateExternalDataset { name, type_name, adaptor, properties });
         }
         if self.eat_kw("dataset") {
             let name = self.parse_qualified_name()?;
@@ -384,12 +365,7 @@ impl Parser {
             if autogenerated && primary_key.len() != 1 {
                 return Err(self.err("autogenerated keys must be single-field"));
             }
-            return Ok(Statement::CreateDataset {
-                name,
-                type_name,
-                primary_key,
-                autogenerated,
-            });
+            return Ok(Statement::CreateDataset { name, type_name, primary_key, autogenerated });
         }
         if self.eat_kw("index") {
             let name = self.expect_ident()?;
@@ -464,9 +440,7 @@ impl Parser {
 
     fn parse_qualified_name(&mut self) -> PResult<String> {
         let first = self.expect_ident()?;
-        if self.peek() == Some(&Token::Dot)
-            && matches!(self.peek_at(1), Some(Token::Ident(_)))
-        {
+        if self.peek() == Some(&Token::Dot) && matches!(self.peek_at(1), Some(Token::Ident(_))) {
             self.bump();
             let second = self.expect_ident()?;
             Ok(format!("{first}.{second}"))
@@ -590,11 +564,8 @@ impl Parser {
         loop {
             if self.eat_kw("for") {
                 let var = self.expect_variable()?;
-                let positional = if self.eat_kw("at") {
-                    Some(self.expect_variable()?)
-                } else {
-                    None
-                };
+                let positional =
+                    if self.eat_kw("at") { Some(self.expect_variable()?) } else { None };
                 self.expect_kw("in")?;
                 let source = self.parse_or()?;
                 clauses.push(Clause::For { var, positional, source });
@@ -644,11 +615,7 @@ impl Parser {
                 clauses.push(Clause::OrderBy(keys));
             } else if self.eat_kw("limit") {
                 let count = self.parse_expr()?;
-                let offset = if self.eat_kw("offset") {
-                    Some(self.parse_expr()?)
-                } else {
-                    None
-                };
+                let offset = if self.eat_kw("offset") { Some(self.parse_expr()?) } else { None };
                 clauses.push(Clause::Limit { count, offset });
             } else if self.at_kw("distinct") {
                 self.bump();
@@ -718,12 +685,7 @@ impl Parser {
         };
         self.bump();
         let right = self.parse_additive()?;
-        Ok(Expr::Compare {
-            op,
-            left: Box::new(left),
-            right: Box::new(right),
-            index_nl_hint: hint,
-        })
+        Ok(Expr::Compare { op, left: Box::new(left), right: Box::new(right), index_nl_hint: hint })
     }
 
     fn parse_additive(&mut self) -> PResult<Expr> {
@@ -985,10 +947,9 @@ mod tests {
             return { "author" : $aid, "no messages" : $cnt }
         "#);
         let Expr::Flwor(f) = e else { panic!() };
-        assert!(f
-            .clauses
-            .iter()
-            .any(|c| matches!(c, Clause::GroupBy { keys, with } if keys.len() == 1 && with.len() == 1)));
+        assert!(f.clauses.iter().any(
+            |c| matches!(c, Clause::GroupBy { keys, with } if keys.len() == 1 && with.len() == 1)
+        ));
         assert!(f.clauses.iter().any(|c| matches!(c, Clause::OrderBy(ks) if ks[0].1)));
         assert!(f.clauses.iter().any(|c| matches!(c, Clause::Limit { .. })));
         assert!(matches!(&f.ret, Expr::RecordCtor(fs) if fs.len() == 2));
@@ -1067,15 +1028,13 @@ mod tests {
         .unwrap();
         assert_eq!(stmts.len(), 10);
         assert!(matches!(&stmts[0], Statement::DropDataverse { if_exists: true, .. }));
-        let Statement::CreateType { ty: TypeExpr::Record { fields, open }, .. } = &stmts[3]
-        else {
+        let Statement::CreateType { ty: TypeExpr::Record { fields, open }, .. } = &stmts[3] else {
             panic!()
         };
         assert!(*open);
         assert_eq!(fields.len(), 3);
         assert!(fields[2].2, "end-date should be optional");
-        let Statement::CreateType { ty: TypeExpr::Record { open, fields }, .. } = &stmts[4]
-        else {
+        let Statement::CreateType { ty: TypeExpr::Record { open, fields }, .. } = &stmts[4] else {
             panic!()
         };
         assert!(!*open);
@@ -1160,9 +1119,7 @@ mod tests {
     fn positional_variable() {
         let e = q("for $x at $i in $xs return $i");
         let Expr::Flwor(f) = e else { panic!() };
-        assert!(
-            matches!(&f.clauses[0], Clause::For { positional: Some(p), .. } if p == "i")
-        );
+        assert!(matches!(&f.clauses[0], Clause::For { positional: Some(p), .. } if p == "i"));
     }
 
     #[test]

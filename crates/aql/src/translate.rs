@@ -101,10 +101,7 @@ impl<'a> Translator<'a> {
         let v = self.fresh();
         let mut scope = Scope::new();
         scope.insert(var_name.to_string(), v);
-        let mut plan = LogicalOp::DataSourceScan {
-            dataset: dataset_qualified.to_string(),
-            var: v,
-        };
+        let mut plan = LogicalOp::DataSourceScan { dataset: dataset_qualified.to_string(), var: v };
         if let Some(cond) = condition {
             let c = self.translate_expr(cond, &scope)?;
             plan = LogicalOp::Select { input: Box::new(plan), condition: c };
@@ -150,10 +147,7 @@ impl<'a> Translator<'a> {
                     input,
                     aggs: vec![AggCall { var: agg_var, func, sql, input: expr }],
                 };
-                Ok(LogicalOp::Emit {
-                    input: Box::new(agg),
-                    expr: LogicalExpr::Var(agg_var),
-                })
+                Ok(LogicalOp::Emit { input: Box::new(agg), expr: LogicalExpr::Var(agg_var) })
             }
             other => {
                 // Non-FLWOR query (e.g. `1+1`, or a bare function call):
@@ -289,13 +283,7 @@ impl<'a> Translator<'a> {
         }
         // General collection expression: unnest.
         let e = self.translate_expr(source, scope)?;
-        Ok(LogicalOp::Unnest {
-            input: Box::new(plan),
-            var,
-            expr: e,
-            positional,
-            outer: false,
-        })
+        Ok(LogicalOp::Unnest { input: Box::new(plan), var, expr: e, positional, outer: false })
     }
 
     fn resolve_dataset(&self, dataverse: &Option<String>, name: &str) -> TResult<String> {
@@ -311,11 +299,11 @@ impl<'a> Translator<'a> {
     fn const_usize(&mut self, e: &Expr, scope: &Scope) -> TResult<usize> {
         let le = self.translate_expr(e, scope)?;
         match le {
-            LogicalExpr::Const(v) => v
-                .as_i64()
-                .filter(|i| *i >= 0)
-                .map(|i| i as usize)
-                .ok_or_else(|| TranslateError("limit/offset must be a non-negative integer".into())),
+            LogicalExpr::Const(v) => {
+                v.as_i64().filter(|i| *i >= 0).map(|i| i as usize).ok_or_else(|| {
+                    TranslateError("limit/offset must be a non-negative integer".into())
+                })
+            }
             _ => terr("limit/offset must be a constant"),
         }
     }
@@ -451,10 +439,7 @@ impl<'a> Translator<'a> {
                 } else if let Some(def) = self.catalog.function(name, args.len()) {
                     self.inline_udf(&def, args, scope)?
                 } else {
-                    return terr(format!(
-                        "unknown function {name}({} args)",
-                        args.len()
-                    ));
+                    return terr(format!("unknown function {name}({} args)", args.len()));
                 }
             }
         })
@@ -489,11 +474,8 @@ impl<'a> Translator<'a> {
                     // wrap them as outer bindings using a synthetic pipeline:
                     // Emit is the root; we rewrite its input to join with an
                     // assign chain only when parameters exist.
-                    let plan = if assigns.is_empty() {
-                        body
-                    } else {
-                        prepend_assigns(body, assigns)
-                    };
+                    let plan =
+                        if assigns.is_empty() { body } else { prepend_assigns(body, assigns) };
                     Ok(LogicalExpr::Subquery(Arc::new(plan)))
                 }
                 other => {
@@ -545,15 +527,12 @@ fn prepend_assigns(plan: LogicalOp, assigns: Vec<(VarId, LogicalExpr)>) -> Logic
                     None => op,
                 }
             }
-            LogicalOp::Assign { input, var, expr } => LogicalOp::Assign {
-                input: Box::new(rewrite(*input, chain)),
-                var,
-                expr,
-            },
-            LogicalOp::Select { input, condition } => LogicalOp::Select {
-                input: Box::new(rewrite(*input, chain)),
-                condition,
-            },
+            LogicalOp::Assign { input, var, expr } => {
+                LogicalOp::Assign { input: Box::new(rewrite(*input, chain)), var, expr }
+            }
+            LogicalOp::Select { input, condition } => {
+                LogicalOp::Select { input: Box::new(rewrite(*input, chain)), condition }
+            }
             LogicalOp::Unnest { input, var, expr, positional, outer } => LogicalOp::Unnest {
                 input: Box::new(rewrite(*input, chain)),
                 var,
@@ -561,41 +540,31 @@ fn prepend_assigns(plan: LogicalOp, assigns: Vec<(VarId, LogicalExpr)>) -> Logic
                 positional,
                 outer,
             },
-            LogicalOp::Join { left, right, condition, kind, index_nl_hint } => {
-                LogicalOp::Join {
-                    left: Box::new(rewrite(*left, chain)),
-                    right,
-                    condition,
-                    kind,
-                    index_nl_hint,
-                }
+            LogicalOp::Join { left, right, condition, kind, index_nl_hint } => LogicalOp::Join {
+                left: Box::new(rewrite(*left, chain)),
+                right,
+                condition,
+                kind,
+                index_nl_hint,
+            },
+            LogicalOp::GroupBy { input, keys, aggs } => {
+                LogicalOp::GroupBy { input: Box::new(rewrite(*input, chain)), keys, aggs }
             }
-            LogicalOp::GroupBy { input, keys, aggs } => LogicalOp::GroupBy {
-                input: Box::new(rewrite(*input, chain)),
-                keys,
-                aggs,
-            },
-            LogicalOp::Aggregate { input, aggs } => LogicalOp::Aggregate {
-                input: Box::new(rewrite(*input, chain)),
-                aggs,
-            },
-            LogicalOp::Order { input, keys } => LogicalOp::Order {
-                input: Box::new(rewrite(*input, chain)),
-                keys,
-            },
-            LogicalOp::Limit { input, count, offset } => LogicalOp::Limit {
-                input: Box::new(rewrite(*input, chain)),
-                count,
-                offset,
-            },
-            LogicalOp::Distinct { input, exprs } => LogicalOp::Distinct {
-                input: Box::new(rewrite(*input, chain)),
-                exprs,
-            },
-            LogicalOp::Emit { input, expr } => LogicalOp::Emit {
-                input: Box::new(rewrite(*input, chain)),
-                expr,
-            },
+            LogicalOp::Aggregate { input, aggs } => {
+                LogicalOp::Aggregate { input: Box::new(rewrite(*input, chain)), aggs }
+            }
+            LogicalOp::Order { input, keys } => {
+                LogicalOp::Order { input: Box::new(rewrite(*input, chain)), keys }
+            }
+            LogicalOp::Limit { input, count, offset } => {
+                LogicalOp::Limit { input: Box::new(rewrite(*input, chain)), count, offset }
+            }
+            LogicalOp::Distinct { input, exprs } => {
+                LogicalOp::Distinct { input: Box::new(rewrite(*input, chain)), exprs }
+            }
+            LogicalOp::Emit { input, expr } => {
+                LogicalOp::Emit { input: Box::new(rewrite(*input, chain)), expr }
+            }
             other => other,
         }
     }
@@ -619,13 +588,9 @@ fn contains_indexnl_hint(e: &Expr) -> bool {
 /// per-query in practice: Query 14 has exactly one join).
 fn mark_joins_indexnl(plan: LogicalOp) -> LogicalOp {
     plan.transform_up(&mut |op| match op {
-        LogicalOp::Join { left, right, condition, kind, .. } => LogicalOp::Join {
-            left,
-            right,
-            condition,
-            kind,
-            index_nl_hint: true,
-        },
+        LogicalOp::Join { left, right, condition, kind, .. } => {
+            LogicalOp::Join { left, right, condition, kind, index_nl_hint: true }
+        }
         other => other,
     })
 }
@@ -776,7 +741,10 @@ mod tests {
 
     #[test]
     fn fuzzy_lowering_depends_on_session() {
-        let e = parse_expression("for $m in dataset MugshotMessages where $m.message ~= \"tonight\" return $m").unwrap();
+        let e = parse_expression(
+            "for $m in dataset MugshotMessages where $m.message ~= \"tonight\" return $m",
+        )
+        .unwrap();
         let mut tr = Translator::new(&TestCatalog);
         tr.simfunction = "edit-distance".into();
         tr.simthreshold = "3".into();

@@ -119,11 +119,8 @@ mod tests {
 
     #[test]
     fn partition_to_node_mapping() {
-        let cfg = ClusterConfig {
-            nodes: 3,
-            partitions_per_node: 2,
-            ..ClusterConfig::small("/tmp/x")
-        };
+        let cfg =
+            ClusterConfig { nodes: 3, partitions_per_node: 2, ..ClusterConfig::small("/tmp/x") };
         assert_eq!(cfg.partitions(), 6);
         assert_eq!(cfg.node_of(0), 0);
         assert_eq!(cfg.node_of(1), 0);

@@ -107,8 +107,7 @@ impl Instance {
         let mut wals = Vec::with_capacity(cfg.nodes);
         for n in 0..cfg.nodes {
             std::fs::create_dir_all(cfg.node_dir(n))?;
-            let durability =
-                if cfg.fsync_commits { Durability::Fsync } else { Durability::Buffer };
+            let durability = if cfg.fsync_commits { Durability::Fsync } else { Durability::Buffer };
             wals.push(Arc::new(LogManager::open(&cfg.node_log_path(n), durability)?));
         }
         let shared = Arc::new(Shared {
@@ -197,10 +196,7 @@ impl Instance {
 
     /// Schema-versioned JSON snapshot of every registered metric.
     pub fn metrics_json(&self) -> String {
-        format!(
-            "{{\"schema_version\":1,\"metrics\":{}}}",
-            self.metrics.to_json()
-        )
+        format!("{{\"schema_version\":1,\"metrics\":{}}}", self.metrics.to_json())
     }
 
     /// The shared catalog/dataset state (for embedding scenarios that build
@@ -236,10 +232,8 @@ impl Instance {
             return Ok(());
         }
         use std::io::Write;
-        let mut f = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(self.cfg.ddl_log_path())?;
+        let mut f =
+            std::fs::OpenOptions::new().create(true).append(true).open(self.cfg.ddl_log_path())?;
         // Record-separator-delimited statements (statements may contain
         // semicolons inside string literals).
         writeln!(f, "{source}\u{1e}")?;
@@ -363,8 +357,7 @@ impl Instance {
                 let provider = self.provider();
                 let options = self.optimizer_options.read().clone();
                 let optimized = optimize(plan, &provider, &self.fn_ctx(), &options);
-                let compiled =
-                    jobgen::compile(&optimized, provider, self.fn_ctx(), &options)?;
+                let compiled = jobgen::compile(&optimized, provider, self.fn_ctx(), &options)?;
                 return Ok((optimized.pretty(), compiled.describe()));
             }
         }
@@ -395,11 +388,7 @@ impl Instance {
         Ok((p.plan, p.job))
     }
 
-    fn profile_query(
-        &self,
-        e: &Expr,
-        parse: asterix_obs::SpanRecord,
-    ) -> Result<QueryProfile> {
+    fn profile_query(&self, e: &Expr, parse: asterix_obs::SpanRecord) -> Result<QueryProfile> {
         let catalog = self.session_catalog();
         let mut tr = Translator::new(&catalog);
         {
@@ -440,10 +429,7 @@ impl Instance {
                 ("rows", profile.rows.len().into()),
                 ("operators", profile.operators.operators.len().into()),
                 ("total_us", profile.total_us().into()),
-                (
-                    "execute_us",
-                    (profile.phases[4].duration.as_micros() as u64).into(),
-                ),
+                ("execute_us", (profile.phases[4].duration.as_micros() as u64).into()),
             ],
         );
         Ok(profile)
@@ -481,10 +467,7 @@ impl Instance {
                             by_id.retain(|_, v| !Arc::ptr_eq(v, &rt));
                             rt.destroy_storage();
                         }
-                        self.shared
-                            .external_cache
-                            .write()
-                            .remove(&ds_meta.qualified());
+                        self.shared.external_cache.write().remove(&ds_meta.qualified());
                     }
                     self.persist_ddl(source)?;
                 }
@@ -590,9 +573,7 @@ impl Instance {
                 let (dataverse, ds_name) = split_name(&dv, &dataset);
                 match self.shared.catalog.write().drop_index(&dataverse, &ds_name, &name) {
                     Ok(()) => {
-                        if let Some(rt) =
-                            self.shared.dataset(&format!("{dataverse}.{ds_name}"))
-                        {
+                        if let Some(rt) = self.shared.dataset(&format!("{dataverse}.{ds_name}")) {
                             rt.drop_index(&name)?;
                         }
                         self.persist_ddl(source)?;
@@ -608,9 +589,7 @@ impl Instance {
                     let mut catalog = self.shared.catalog.write();
                     let dataverse = catalog.dataverse_mut(&dv)?;
                     if dataverse.feeds.contains_key(&name) {
-                        return Err(AsterixError::Catalog(format!(
-                            "feed {name} already exists"
-                        )));
+                        return Err(AsterixError::Catalog(format!("feed {name} already exists")));
                     }
                     dataverse.feeds.insert(
                         name.clone(),
@@ -626,14 +605,10 @@ impl Instance {
                     let mut catalog = self.shared.catalog.write();
                     let dataverse = catalog.dataverse_mut(&dv)?;
                     if !dataverse.feeds.contains_key(&parent) {
-                        return Err(AsterixError::Catalog(format!(
-                            "unknown parent feed {parent}"
-                        )));
+                        return Err(AsterixError::Catalog(format!("unknown parent feed {parent}")));
                     }
                     if dataverse.feeds.contains_key(&name) {
-                        return Err(AsterixError::Catalog(format!(
-                            "feed {name} already exists"
-                        )));
+                        return Err(AsterixError::Catalog(format!("feed {name} already exists")));
                     }
                     dataverse.feeds.insert(
                         name.clone(),
@@ -721,9 +696,9 @@ impl Instance {
 
     fn materialize_dataset(&self, meta: DatasetMeta) -> Result<()> {
         let catalog = self.shared.catalog.read();
-        let dv = catalog
-            .dataverse(&meta.dataverse)
-            .ok_or_else(|| AsterixError::Catalog(format!("unknown dataverse {}", meta.dataverse)))?;
+        let dv = catalog.dataverse(&meta.dataverse).ok_or_else(|| {
+            AsterixError::Catalog(format!("unknown dataverse {}", meta.dataverse))
+        })?;
         let datatype = Datatype::Named(meta.type_name.clone());
         let registry = dv.types.clone();
         drop(catalog);
@@ -887,12 +862,7 @@ impl Instance {
 
     // -- feeds -----------------------------------------------------------------
 
-    fn connect_feed(
-        &self,
-        feed: &str,
-        dataset: &str,
-        apply_function: Option<&str>,
-    ) -> Result<()> {
+    fn connect_feed(&self, feed: &str, dataset: &str, apply_function: Option<&str>) -> Result<()> {
         let ds = self.dataset(dataset)?;
         let dv = self.session.read().dataverse.clone();
         {
@@ -917,9 +887,7 @@ impl Instance {
                     .read()
                     .dataverse(&dv)
                     .and_then(|d| d.functions.get(fname).cloned())
-                    .ok_or_else(|| {
-                        AsterixError::Catalog(format!("unknown function {fname}"))
-                    })?;
+                    .ok_or_else(|| AsterixError::Catalog(format!("unknown function {fname}")))?;
                 let parsed = asterix_aql::parser::parse_statements(&def.body_src)?;
                 let Some(Statement::CreateFunction { body, params, .. }) =
                     parsed.into_iter().next()
@@ -960,15 +928,11 @@ impl Instance {
         // rather than owning an adaptor (§2.4 / §4.5's Feed Joints).
         let parent = {
             let catalog = self.shared.catalog.read();
-            catalog
-                .dataverse(&dv)
-                .and_then(|d| d.feeds.get(feed))
-                .and_then(|f| f.parent.clone())
+            catalog.dataverse(&dv).and_then(|d| d.feeds.get(feed)).and_then(|f| f.parent.clone())
         };
         let ds2 = Arc::clone(&ds);
         let store = Arc::new(move |v: Value| {
-            ds2.insert(&v)
-                .map_err(|e| asterix_feeds::FeedError::Config(e.to_string()))
+            ds2.insert(&v).map_err(|e| asterix_feeds::FeedError::Config(e.to_string()))
         });
         let mut feeds = self.feeds.lock();
         if let Some(parent_name) = parent {
@@ -1007,8 +971,7 @@ impl Instance {
         // connection so pushes reach the new pipeline.
         let (endpoint, rx) = socket_adaptor(1024);
         runtime.endpoint = endpoint;
-        let pipeline =
-            IngestionPipeline::start(format!("{feed}->{dataset}"), rx, compute, store);
+        let pipeline = IngestionPipeline::start(format!("{feed}->{dataset}"), rx, compute, store);
         runtime.pipelines.insert(ds.meta.qualified(), pipeline);
         Ok(())
     }
@@ -1045,11 +1008,9 @@ impl Instance {
             let stored: u64 = {
                 let feeds = self.feeds.lock();
                 match feeds.get(feed) {
-                    Some(f) => f
-                        .pipelines
-                        .values()
-                        .map(|p| p.stats.stored.load(Ordering::Relaxed))
-                        .sum(),
+                    Some(f) => {
+                        f.pipelines.values().map(|p| p.stats.stored.load(Ordering::Relaxed)).sum()
+                    }
                     None => 0,
                 }
             };
@@ -1089,11 +1050,7 @@ fn lower_type_expr(t: &TypeExpr) -> Datatype {
                 .collect();
             Datatype::Record(Arc::new(RecordType { fields: fs, open: *open }))
         }
-        TypeExpr::OrderedList(inner) => {
-            Datatype::OrderedList(Arc::new(lower_type_expr(inner)))
-        }
-        TypeExpr::UnorderedList(inner) => {
-            Datatype::UnorderedList(Arc::new(lower_type_expr(inner)))
-        }
+        TypeExpr::OrderedList(inner) => Datatype::OrderedList(Arc::new(lower_type_expr(inner))),
+        TypeExpr::UnorderedList(inner) => Datatype::UnorderedList(Arc::new(lower_type_expr(inner))),
     }
 }

@@ -9,7 +9,7 @@ use asterix_adm::value::Rectangle;
 use asterix_adm::Value;
 use asterix_algebricks::metadata::{IndexInfo, IndexKind, KeyBound, MetadataProvider};
 use asterix_aql::translate::{AqlCatalog, FunctionDef};
-use asterix_hyracks::ops::SourceFn;
+use asterix_hyracks::ops::{RawSourceFn, SourceFn};
 use asterix_hyracks::HyracksError;
 use asterix_metadata::{Catalog, DatasetKind, IndexKindMeta, METADATA_DATAVERSE};
 use asterix_storage::btree::ValueBound;
@@ -66,12 +66,9 @@ impl Shared {
         let rt = resolved
             .as_record()
             .ok_or_else(|| AsterixError::Catalog("external type must be a record".into()))?;
-        let records =
-            asterix_external::read_external(adaptor, properties, rt, &dataverse.types)?;
+        let records = asterix_external::read_external(adaptor, properties, rt, &dataverse.types)?;
         let arc = Arc::new(records);
-        self.external_cache
-            .write()
-            .insert(qualified.to_string(), Arc::clone(&arc));
+        self.external_cache.write().insert(qualified.to_string(), Arc::clone(&arc));
         Ok(arc)
     }
 
@@ -99,9 +96,7 @@ fn to_value_bound(b: KeyBound) -> ValueBound {
 
 impl InstanceProvider {
     fn runtime(&self, dataset: &str) -> asterix_hyracks::Result<Arc<DatasetRuntime>> {
-        self.shared
-            .dataset(dataset)
-            .ok_or_else(|| op_err(format!("unknown dataset {dataset}")))
+        self.shared.dataset(dataset).ok_or_else(|| op_err(format!("unknown dataset {dataset}")))
     }
 
     /// Records of non-stored datasets (metadata / external), if applicable.
@@ -169,17 +164,12 @@ impl MetadataProvider for InstanceProvider {
             || self.shared.metadata_records(dataset).is_some()
             || {
                 let catalog = self.shared.catalog.read();
-                dataset
-                    .split_once('.')
-                    .is_some_and(|(dv, n)| catalog.dataset(dv, n).is_some())
+                dataset.split_once('.').is_some_and(|(dv, n)| catalog.dataset(dv, n).is_some())
             }
     }
 
     fn primary_key_fields(&self, dataset: &str) -> Vec<String> {
-        self.shared
-            .dataset(dataset)
-            .map(|d| d.meta.primary_key.clone())
-            .unwrap_or_default()
+        self.shared.dataset(dataset).map(|d| d.meta.primary_key.clone()).unwrap_or_default()
     }
 
     fn indexes(&self, dataset: &str) -> Vec<IndexInfo> {
@@ -223,6 +213,28 @@ impl MetadataProvider for InstanceProvider {
         }))
     }
 
+    fn raw_scan_source(&self, dataset: &str) -> asterix_hyracks::Result<Option<RawSourceFn>> {
+        // Only stored datasets serve serialized tuples; metadata/external
+        // datasets (and unknown names, which must error through
+        // `scan_source`) take the decoded fallback path.
+        let Some(ds) = self.shared.dataset(dataset) else { return Ok(None) };
+        Ok(Some(Arc::new(move |partition, _nparts, emit| {
+            let mut emit_err: Option<HyracksError> = None;
+            ds.scan_partition_raw(partition, &mut |bytes| match emit(bytes) {
+                Ok(()) => true,
+                Err(e) => {
+                    emit_err = Some(e);
+                    false
+                }
+            })
+            .map_err(op_err)?;
+            match emit_err {
+                Some(e) => Err(e),
+                None => Ok(()),
+            }
+        })))
+    }
+
     fn primary_range_source(
         &self,
         dataset: &str,
@@ -251,9 +263,7 @@ impl MetadataProvider for InstanceProvider {
         hi: KeyBound,
     ) -> asterix_hyracks::Result<SourceFn> {
         let ds = self.runtime(dataset)?;
-        let ix = ds
-            .secondary(index)
-            .ok_or_else(|| op_err(format!("unknown index {index}")))?;
+        let ix = ds.secondary(index).ok_or_else(|| op_err(format!("unknown index {index}")))?;
         let lo = to_value_bound(self.coerce_bounds(&ds, Some(index), lo));
         let hi = to_value_bound(self.coerce_bounds(&ds, Some(index), hi));
         Ok(Arc::new(move |partition, _nparts, emit| {
@@ -286,9 +296,7 @@ impl MetadataProvider for InstanceProvider {
         query: Rectangle,
     ) -> asterix_hyracks::Result<SourceFn> {
         let ds = self.runtime(dataset)?;
-        let ix = ds
-            .secondary(index)
-            .ok_or_else(|| op_err(format!("unknown index {index}")))?;
+        let ix = ds.secondary(index).ok_or_else(|| op_err(format!("unknown index {index}")))?;
         Ok(Arc::new(move |partition, _nparts, emit| {
             let SecondaryPartition::RTree(t) = &ix.partitions[partition] else {
                 return Err(op_err(format!("{} is not an rtree index", ix.meta.name)));
@@ -308,9 +316,7 @@ impl MetadataProvider for InstanceProvider {
         threshold: usize,
     ) -> asterix_hyracks::Result<SourceFn> {
         let ds = self.runtime(dataset)?;
-        let ix = ds
-            .secondary(index)
-            .ok_or_else(|| op_err(format!("unknown index {index}")))?;
+        let ix = ds.secondary(index).ok_or_else(|| op_err(format!("unknown index {index}")))?;
         Ok(Arc::new(move |partition, _nparts, emit| {
             let SecondaryPartition::Inverted(t) = &ix.partitions[partition] else {
                 return Err(op_err(format!("{} is not an inverted index", ix.meta.name)));
@@ -329,9 +335,7 @@ impl MetadataProvider for InstanceProvider {
         Arc<dyn Fn(usize, &[Value]) -> asterix_hyracks::Result<Option<Value>> + Send + Sync>,
     > {
         let ds = self.runtime(dataset)?;
-        Ok(Arc::new(move |partition, pk| {
-            ds.get_in_partition(partition, pk).map_err(op_err)
-        }))
+        Ok(Arc::new(move |partition, pk| ds.get_in_partition(partition, pk).map_err(op_err)))
     }
 
     fn scan_all(&self, dataset: &str) -> asterix_hyracks::Result<Vec<Value>> {
@@ -413,8 +417,7 @@ impl MetadataProvider for InstanceProvider {
         tokens: &[String],
         threshold: usize,
     ) -> asterix_hyracks::Result<Vec<Vec<Value>>> {
-        let src =
-            self.inverted_search_source(dataset, index, tokens.to_vec(), threshold)?;
+        let src = self.inverted_search_source(dataset, index, tokens.to_vec(), threshold)?;
         let nparts = self.partitions();
         let mut out = Vec::new();
         for p in 0..nparts {

@@ -92,13 +92,9 @@ fn index_backfill_covers_existing_records() {
     }
     // Create the index *after* the data exists: backfill must cover it.
     instance.execute("use dataverse U; create index vIdx on D(v);").unwrap();
-    let rows = instance
-        .query("for $d in dataset D where $d.v = 2 return $d.id;")
-        .unwrap();
+    let rows = instance.query("for $d in dataset D where $d.v = 2 return $d.id;").unwrap();
     assert_eq!(rows.len(), 10);
-    let (plan, _) = instance
-        .explain("for $d in dataset D where $d.v = 2 return $d.id;")
-        .unwrap();
+    let (plan, _) = instance.explain("for $d in dataset D where $d.v = 2 return $d.id;").unwrap();
     assert!(plan.contains("vIdx"), "{plan}");
 }
 
@@ -121,9 +117,7 @@ fn deletes_clean_secondary_indexes() {
     }
     // Deleting a missing key reports false, not an error.
     assert!(!ds.delete_by_pk(&[Value::Int64(999)]).unwrap());
-    let rows = instance
-        .query("for $d in dataset D where $d.v = 1 return $d.id;")
-        .unwrap();
+    let rows = instance.query("for $d in dataset D where $d.v = 1 return $d.id;").unwrap();
     assert_eq!(rows.len(), 10, "index must not return deleted records");
 }
 
@@ -154,14 +148,11 @@ fn validation_rejects_wrong_types_on_insert_path() {
     let (instance, _d) = setup();
     let ds = instance.dataset("D").unwrap();
     // v declared int64; a string is rejected.
-    let bad = asterix_adm::parse::parse_value(
-        "{ \"id\": 1, \"v\": \"nope\", \"text\": \"x\" }",
-    )
-    .unwrap();
+    let bad =
+        asterix_adm::parse::parse_value("{ \"id\": 1, \"v\": \"nope\", \"text\": \"x\" }").unwrap();
     assert!(ds.insert(&bad).is_err());
     // Missing pk rejected.
-    let no_pk =
-        asterix_adm::parse::parse_value("{ \"v\": 4, \"text\": \"x\" }").unwrap();
+    let no_pk = asterix_adm::parse::parse_value("{ \"v\": 4, \"text\": \"x\" }").unwrap();
     assert!(ds.insert(&no_pk).is_err());
     assert_eq!(ds.count().unwrap(), 0);
 }

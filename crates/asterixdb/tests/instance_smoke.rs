@@ -40,20 +40,14 @@ fn ddl_insert_query_roundtrip() {
     instance.execute(DDL).unwrap();
     seed(&instance, 25);
 
-    let rows = instance
-        .query("for $u in dataset Users where $u.age >= 40 return $u.name")
-        .unwrap();
+    let rows = instance.query("for $u in dataset Users where $u.age >= 40 return $u.name").unwrap();
     // ages cycle 20..69; >= 40 for i%50 >= 20 → i in 20..25 → 5 users.
     assert_eq!(rows.len(), 5);
 
     // Order by + limit.
-    let rows = instance
-        .query("for $u in dataset Users order by $u.id desc limit 3 return $u.id")
-        .unwrap();
-    assert_eq!(
-        rows,
-        vec![Value::Int32(24), Value::Int32(23), Value::Int32(22)]
-    );
+    let rows =
+        instance.query("for $u in dataset Users order by $u.id desc limit 3 return $u.id").unwrap();
+    assert_eq!(rows, vec![Value::Int32(24), Value::Int32(23), Value::Int32(22)]);
 
     // 1+1 is a valid AQL query.
     let rows = instance.query("1+1;").unwrap();
@@ -68,9 +62,8 @@ fn secondary_index_and_explain() {
     seed(&instance, 50);
     instance.execute("create index ageIdx on Users(age);").unwrap();
 
-    let (plan, job) = instance
-        .explain("for $u in dataset Users where $u.age = 33 return $u;")
-        .unwrap();
+    let (plan, job) =
+        instance.explain("for $u in dataset Users where $u.age = 33 return $u;").unwrap();
     assert!(plan.contains("btree-search Test.Users.ageIdx"), "{plan}");
     // Figure 6 shape in the job: secondary search, sort, primary lookup,
     // post-validation select.
@@ -79,17 +72,13 @@ fn secondary_index_and_explain() {
     assert!(job.contains("btree-search Test.Users (primary)"), "{job}");
     assert!(job.contains("select post-validate"), "{job}");
 
-    let rows = instance
-        .query("for $u in dataset Users where $u.age = 33 return $u.id")
-        .unwrap();
+    let rows = instance.query("for $u in dataset Users where $u.age = 33 return $u.id").unwrap();
     assert_eq!(rows.len(), 1);
     assert_eq!(rows[0], Value::Int32(13));
 
     // Same result with index access disabled (scan path).
     instance.optimizer_options.write().enable_index_access = false;
-    let rows2 = instance
-        .query("for $u in dataset Users where $u.age = 33 return $u.id")
-        .unwrap();
+    let rows2 = instance.query("for $u in dataset Users where $u.age = 33 return $u.id").unwrap();
     assert_eq!(rows, rows2);
 }
 
@@ -100,22 +89,16 @@ fn delete_and_metadata_datasets() {
     instance.execute(DDL).unwrap();
     seed(&instance, 10);
 
-    let results = instance
-        .execute("delete $u from dataset Users where $u.id >= 7;")
-        .unwrap();
+    let results = instance.execute("delete $u from dataset Users where $u.id >= 7;").unwrap();
     assert_eq!(results[0].count(), 3);
     let rows = instance.query("for $u in dataset Users return $u.id").unwrap();
     assert_eq!(rows.len(), 7);
 
     // Query 1: metadata is data.
-    let ds = instance
-        .query("for $ds in dataset Metadata.Dataset return $ds;")
-        .unwrap();
+    let ds = instance.query("for $ds in dataset Metadata.Dataset return $ds;").unwrap();
     assert_eq!(ds.len(), 1);
     assert_eq!(ds[0].field("DatasetName"), Value::string("Users"));
-    let ix = instance
-        .query("for $ix in dataset Metadata.Index return $ix;")
-        .unwrap();
+    let ix = instance.query("for $ix in dataset Metadata.Index return $ix;").unwrap();
     assert_eq!(ix.len(), 1); // just the primary index
 }
 
@@ -172,9 +155,8 @@ fn closed_type_validation_on_insert() {
         )
         .unwrap();
     // Extra field rejected by the closed type.
-    let err = instance
-        .execute("insert into dataset D ({ \"id\": 1, \"extra\": true });")
-        .unwrap_err();
+    let err =
+        instance.execute("insert into dataset D ({ \"id\": 1, \"extra\": true });").unwrap_err();
     assert!(err.to_string().contains("extra"), "{err}");
     // Optional field may be absent.
     instance.execute("insert into dataset D ({ \"id\": 1 });").unwrap();
@@ -271,16 +253,11 @@ fn feed_ingestion_via_socket_adaptor() {
     let endpoint = instance.feed_endpoint("userfeed").unwrap();
     for i in 0..20 {
         endpoint
-            .send_text(format!(
-                "{{ \"id\": {i}, \"name\": \"feed{i}\", \"age\": {} }}",
-                30 + i
-            ))
+            .send_text(format!("{{ \"id\": {i}, \"name\": \"feed{i}\", \"age\": {} }}", 30 + i))
             .unwrap();
     }
     assert!(instance.feed_wait_stored("userfeed", 20, std::time::Duration::from_secs(5)));
-    instance
-        .execute("disconnect feed userfeed from dataset Users;")
-        .unwrap();
+    instance.execute("disconnect feed userfeed from dataset Users;").unwrap();
     let rows = instance.query("for $u in dataset Users return $u").unwrap();
     assert_eq!(rows.len(), 20);
 }
@@ -315,9 +292,8 @@ fn external_dataset_query() {
             log_path.display()
         ))
         .unwrap();
-    let rows = instance
-        .query("for $l in dataset AccessLog where $l.stat = 200 return $l.user")
-        .unwrap();
+    let rows =
+        instance.query("for $l in dataset AccessLog where $l.stat = 200 return $l.user").unwrap();
     assert_eq!(rows.len(), 2);
     assert_eq!(rows[0], Value::string("Nicholas"));
 }

@@ -158,19 +158,14 @@ impl Collection {
     /// Storage footprint: serialized docs + index entries (Table 2).
     pub fn size_bytes(&self) -> u64 {
         let docs: usize = self.primary.iter().map(|(k, v)| k.len() + v.len()).sum();
-        let ix: usize = self
-            .secondary
-            .values()
-            .flat_map(|ix| ix.iter().map(|(k, v)| k.len() + v.len()))
-            .sum();
+        let ix: usize =
+            self.secondary.values().flat_map(|ix| ix.iter().map(|(k, v)| k.len() + v.len())).sum();
         (docs + ix) as u64
     }
 
     /// Point lookup by primary key.
     pub fn find_by_pk(&self, pk: &Value) -> Option<Value> {
-        self.primary
-            .get(&key_bytes(pk))
-            .map(|b| adm_serde::decode(b).expect("corrupt doc"))
+        self.primary.get(&key_bytes(pk)).map(|b| adm_serde::decode(b).expect("corrupt doc"))
     }
 
     /// Range query on a field: uses a secondary index when one exists,
@@ -212,7 +207,11 @@ impl Collection {
     /// Aggregate a numeric field over a filtered scan (Mongo's map-reduce
     /// path for Table 3's Agg rows — no direct aggregation framework
     /// support for the paper's query).
-    pub fn map_reduce_avg(&self, pred: impl Fn(&Value) -> bool, map: impl Fn(&Value) -> f64) -> Option<f64> {
+    pub fn map_reduce_avg(
+        &self,
+        pred: impl Fn(&Value) -> bool,
+        map: impl Fn(&Value) -> f64,
+    ) -> Option<f64> {
         let mut sum = 0.0;
         let mut n = 0usize;
         for b in self.primary.values() {
@@ -274,10 +273,7 @@ mod tests {
     use asterix_adm::parse::parse_value;
 
     fn doc(id: i64, age: i64) -> Value {
-        parse_value(&format!(
-            "{{ \"id\": {id}, \"age\": {age}, \"name\": \"u{id}\" }}"
-        ))
-        .unwrap()
+        parse_value(&format!("{{ \"id\": {id}, \"age\": {age}, \"name\": \"u{id}\" }}")).unwrap()
     }
 
     #[test]
@@ -313,9 +309,7 @@ mod tests {
             users.insert(&doc(i, 30)).unwrap();
         }
         let msgs: Vec<Value> = (0..30)
-            .map(|m| {
-                parse_value(&format!("{{ \"mid\": {m}, \"author\": {} }}", m % 10)).unwrap()
-            })
+            .map(|m| parse_value(&format!("{{ \"mid\": {m}, \"author\": {} }}", m % 10)).unwrap())
             .collect();
         let joined = users.client_side_join(&msgs, "author", "id");
         assert_eq!(joined.len(), 30);
@@ -324,8 +318,7 @@ mod tests {
     #[test]
     fn journal_persists_and_batches() {
         let dir = tempfile::TempDir::new().unwrap();
-        let mut c =
-            Collection::with_journal("id", dir.path().join("j.log")).unwrap();
+        let mut c = Collection::with_journal("id", dir.path().join("j.log")).unwrap();
         c.insert(&doc(1, 2)).unwrap();
         c.insert_batch(&(2..22).map(|i| doc(i, 3)).collect::<Vec<_>>()).unwrap();
         assert_eq!(c.len(), 21);
@@ -339,9 +332,10 @@ mod tests {
             c.insert(&doc(i, i)).unwrap();
         }
         let avg = c
-            .map_reduce_avg(|d| d.field("age").as_i64().unwrap() < 4, |d| {
-                d.field("age").as_f64().unwrap()
-            })
+            .map_reduce_avg(
+                |d| d.field("age").as_i64().unwrap() < 4,
+                |d| d.field("age").as_f64().unwrap(),
+            )
             .unwrap();
         assert_eq!(avg, 1.5);
     }

@@ -78,11 +78,8 @@ impl RelTable {
     /// Storage footprint: rows without field names (schema-first), plus
     /// index entries — Table 2's System-X row.
     pub fn size_bytes(&self) -> u64 {
-        let data: usize = self
-            .rows
-            .iter()
-            .map(|r| r.iter().map(|v| v.approx_size()).sum::<usize>() + 8)
-            .sum();
+        let data: usize =
+            self.rows.iter().map(|r| r.iter().map(|v| v.approx_size()).sum::<usize>() + 8).sum();
         let ix: usize = self
             .indexes
             .values()
@@ -96,21 +93,13 @@ impl RelTable {
         let ix = self.indexes.get(column)?;
         let mut hi_k = key_bytes(hi);
         hi_k.push(0xFF);
-        Some(
-            ix.range(key_bytes(lo)..hi_k)
-                .flat_map(|(_, ids)| ids.iter().copied())
-                .collect(),
-        )
+        Some(ix.range(key_bytes(lo)..hi_k).flat_map(|(_, ids)| ids.iter().copied()).collect())
     }
 
     /// Full table scan with a column predicate.
     pub fn scan_where(&self, column: &str, pred: impl Fn(&Value) -> bool) -> Vec<usize> {
         let Some(ci) = self.col(column) else { return Vec::new() };
-        self.rows
-            .iter()
-            .enumerate()
-            .filter_map(|(i, r)| pred(&r[ci]).then_some(i))
-            .collect()
+        self.rows.iter().enumerate().filter_map(|(i, r)| pred(&r[ci]).then_some(i)).collect()
     }
 
     /// Range selection choosing the access path like the paper's rule:
@@ -226,15 +215,18 @@ pub fn normalize(
         })
         .collect();
     for r in records {
-        let row: Row = scalar_fields.iter().map(|f| {
-            // Dotted paths pull nested scalars (e.g. address.zip) into the
-            // main table, as a normalized schema would.
-            let mut cur = r.clone();
-            for part in f.split('.') {
-                cur = cur.field(part);
-            }
-            cur
-        }).collect();
+        let row: Row = scalar_fields
+            .iter()
+            .map(|f| {
+                // Dotted paths pull nested scalars (e.g. address.zip) into the
+                // main table, as a normalized schema would.
+                let mut cur = r.clone();
+                for part in f.split('.') {
+                    cur = cur.field(part);
+                }
+                cur
+            })
+            .collect();
         main.insert(row);
         let pk_v = r.field(pk);
         for ((nf, cols), tbl) in nested.iter().zip(side.iter_mut()) {
@@ -342,7 +334,7 @@ mod tests {
         assert_eq!(nd.main.rows.len(), 10);
         assert_eq!(nd.side.len(), 1);
         assert_eq!(nd.side[0].rows.len(), 20); // 2 friends each
-        // Dotted scalar landed in the main table.
+                                               // Dotted scalar landed in the main table.
         let ci = nd.main.col("address.zip").unwrap();
         assert_eq!(nd.main.rows[3][ci], Value::string("z3"));
     }

@@ -40,9 +40,7 @@ impl Column {
         (match self {
             Column::IntRle { runs, nulls } => runs.len() * 12 + nulls.len() / 8,
             Column::StrDict { dict, codes, nulls } => {
-                dict.iter().map(|s| s.len() + 4).sum::<usize>()
-                    + codes.len() * 4
-                    + nulls.len() / 8
+                dict.iter().map(|s| s.len() + 4).sum::<usize>() + codes.len() * 4 + nulls.len() / 8
             }
             Column::F64(v, nulls) => v.len() * 8 + nulls.len() / 8,
         }) as u64
@@ -68,13 +66,15 @@ impl Column {
             Column::StrDict { dict, codes, nulls } => codes
                 .iter()
                 .zip(nulls)
-                .map(|(c, is_null)| {
-                    if *is_null {
-                        Value::Null
-                    } else {
-                        Value::string(&dict[*c as usize])
-                    }
-                })
+                .map(
+                    |(c, is_null)| {
+                        if *is_null {
+                            Value::Null
+                        } else {
+                            Value::string(&dict[*c as usize])
+                        }
+                    },
+                )
                 .collect(),
             Column::F64(v, nulls) => v
                 .iter()
@@ -88,7 +88,9 @@ impl Column {
 /// Build a compressed column from values.
 pub fn compress(values: &[Value]) -> Column {
     let nulls: Vec<bool> = values.iter().map(|v| v.is_unknown()).collect();
-    if values.iter().all(|v| v.as_i64().is_some() || v.is_unknown() || matches!(v, Value::Date(_) | Value::DateTime(_))) {
+    if values.iter().all(|v| {
+        v.as_i64().is_some() || v.is_unknown() || matches!(v, Value::Date(_) | Value::DateTime(_))
+    }) {
         let mut runs: Vec<(i64, u32)> = Vec::new();
         for v in values {
             let x = match v {
@@ -122,10 +124,7 @@ pub fn compress(values: &[Value]) -> Column {
         }
         return Column::StrDict { dict, codes, nulls };
     }
-    Column::F64(
-        values.iter().map(|v| v.as_f64().unwrap_or(0.0)).collect(),
-        nulls,
-    )
+    Column::F64(values.iter().map(|v| v.as_f64().unwrap_or(0.0)).collect(), nulls)
 }
 
 /// A columnar table (an "ORC file").
@@ -158,11 +157,7 @@ impl Table {
     /// ids. Every query here starts this way — no indexes.
     pub fn scan_where(&self, field: &str, pred: impl Fn(&Value) -> bool) -> Vec<usize> {
         let Some(col) = self.column(field) else { return Vec::new() };
-        col.values()
-            .iter()
-            .enumerate()
-            .filter_map(|(i, v)| pred(v).then_some(i))
-            .collect()
+        col.values().iter().enumerate().filter_map(|(i, v)| pred(v).then_some(i)).collect()
     }
 
     /// Project one column at the given row ids.
@@ -187,7 +182,12 @@ impl Table {
 
     /// Hash join with another table on equal columns; returns matching row
     /// id pairs. Both sides are full scans, as Hive does.
-    pub fn hash_join(&self, my_field: &str, other: &Table, other_field: &str) -> Vec<(usize, usize)> {
+    pub fn hash_join(
+        &self,
+        my_field: &str,
+        other: &Table,
+        other_field: &str,
+    ) -> Vec<(usize, usize)> {
         let mut table: HashMap<u64, Vec<usize>> = HashMap::new();
         let mine = self.column(my_field).map(|c| c.values()).unwrap_or_default();
         for (i, v) in mine.iter().enumerate() {
@@ -267,9 +267,7 @@ mod tests {
         let t = Table::from_records(&recs, &["id", "grp", "score"]);
         let rows = t.scan_where("grp", |v| v.as_i64() == Some(2));
         assert_eq!(rows.len(), 200);
-        let avg = t
-            .avg_where("grp", |v| v.as_i64() == Some(2), "score")
-            .unwrap();
+        let avg = t.avg_where("grp", |v| v.as_i64() == Some(2), "score").unwrap();
         assert!((avg - 499.0).abs() < 5.0, "{avg}");
     }
 
@@ -277,9 +275,7 @@ mod tests {
     fn join_via_full_scans() {
         let users = records(50);
         let msgs: Vec<Value> = (0..200)
-            .map(|m| {
-                parse_value(&format!("{{ \"mid\": {m}, \"author\": {} }}", m % 50)).unwrap()
-            })
+            .map(|m| parse_value(&format!("{{ \"mid\": {m}, \"author\": {} }}", m % 50)).unwrap())
             .collect();
         let ut = Table::from_records(&users, &["id"]);
         let mt = Table::from_records(&msgs, &["mid", "author"]);

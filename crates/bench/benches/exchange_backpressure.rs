@@ -17,9 +17,7 @@ use parking_lot::Mutex;
 
 use asterix_adm::Value;
 use asterix_hyracks::ops::{SelectOp, SinkOp, SourceOp};
-use asterix_hyracks::{
-    run_job_with_stats, ConnectorKind, ExchangeStats, ExecutorConfig, JobSpec,
-};
+use asterix_hyracks::{run_job_with_stats, ConnectorKind, ExchangeStats, ExecutorConfig, JobSpec};
 use asterix_storage::lsm::{LsmConfig, LsmTree, MergePolicy};
 use asterix_storage::{BufferCache, NullObserver};
 
@@ -66,6 +64,48 @@ fn bench_exchange(c: &mut Criterion) {
                 assert!(
                     peak <= fif as i64 * channels,
                     "peak {peak} frames exceeds bound for fif={fif}"
+                );
+                stats.frames_sent()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Frame-size sweep over the same exchange path: small frames amortize
+/// badly (one channel send per handful of tuples), big frames batch well.
+/// Inside the measured closure we also assert the byte counter is *exact*:
+/// every tuple costs its serialized length plus one 4-byte slot entry, so
+/// total bytes are independent of how tuples are cut into frames.
+fn bench_frame_size(c: &mut Criterion) {
+    let wire_tuple_bytes: u64 = {
+        let enc = asterix_adm::encode_tuple(&[Value::Int64(0), Value::Int64(0)]);
+        enc.len() as u64 + 4 // payload + slot-directory entry
+    };
+    let total_tuples = (TUPLES_PER_PART * PARTS as i64) as u64;
+
+    let mut g = c.benchmark_group("exchange/frame_size_50k_2x2");
+    g.sample_size(10);
+    for tpf in [4usize, 64, 1024] {
+        g.bench_function(format!("tuples_per_frame_{tpf}"), |b| {
+            b.iter(|| {
+                let job = exchange_job();
+                let cfg = ExecutorConfig {
+                    partitions_per_node: 2,
+                    frames_in_flight: 8,
+                    tuples_per_frame: tpf,
+                    ..Default::default()
+                };
+                let stats = Arc::new(ExchangeStats::new());
+                run_job_with_stats(&job, &cfg, &stats).unwrap();
+                // Byte-exactness: the partitioning hop and the replicating
+                // hop each forward every tuple exactly once, so the counter
+                // must equal 2 legs * tuples * per-tuple wire size.
+                let expected = 2 * total_tuples * wire_tuple_bytes;
+                assert_eq!(
+                    stats.bytes_sent(),
+                    expected,
+                    "exchange bytes must be exact frame occupancy at tpf={tpf}"
                 );
                 stats.frames_sent()
             })
@@ -130,5 +170,5 @@ fn bench_nonstall_ingest(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_exchange, bench_nonstall_ingest);
+criterion_group!(benches, bench_exchange, bench_frame_size, bench_nonstall_ingest);
 criterion_main!(benches);

@@ -51,10 +51,9 @@ fn bench_lsm(c: &mut Criterion) {
 
     // Point lookups across many components: merge policy ablation.
     let mut g = c.benchmark_group("lsm/get_after_ingest");
-    for (name, policy) in [
-        ("no_merge", MergePolicy::NoMerge),
-        ("constant4", MergePolicy::Constant { max: 4 }),
-    ] {
+    for (name, policy) in
+        [("no_merge", MergePolicy::NoMerge), ("constant4", MergePolicy::Constant { max: 4 })]
+    {
         let dir = tempfile::TempDir::new().unwrap();
         let t = tree(dir.path(), policy);
         for i in 0..20_000i64 {

@@ -59,10 +59,7 @@ fn main() {
         "an n:1 replicating connector feeds the global aggregate",
         job.contains(":1 replicating"),
     );
-    check(
-        "every other connector is 1:1 (no repartitioning needed)",
-        !job.contains("partitioning"),
-    );
+    check("every other connector is 1:1 (no repartitioning needed)", !job.contains("partitioning"));
     check("no full data-scan appears (index access path won)", !job.contains("data-scan"));
 
     // And the query actually runs, producing the same answer as a scan.

@@ -35,44 +35,48 @@ fn main() {
     };
     let (su, sm, st) = asx_sizes(&schema);
     let (ku, km, kt) = asx_sizes(&keyonly);
-    let (xu, xm, xt) = (
-        systemx.users.size_bytes(),
-        systemx.messages.size_bytes(),
-        systemx.tweets.size_bytes(),
-    );
+    let (xu, xm, xt) =
+        (systemx.users.size_bytes(), systemx.messages.size_bytes(), systemx.tweets.size_bytes());
     let (hu, hm, ht) = (
         hive.users.size_bytes() + hive.user_employment.size_bytes(),
         hive.messages.size_bytes() + hive.message_tags.size_bytes(),
         hive.tweets.size_bytes(),
     );
-    let (mu, mm, mt) = (
-        mongo.users.size_bytes(),
-        mongo.messages.size_bytes(),
-        mongo.tweets.size_bytes(),
-    );
+    let (mu, mm, mt) =
+        (mongo.users.size_bytes(), mongo.messages.size_bytes(), mongo.tweets.size_bytes());
 
     println!("## Table 2 — Dataset sizes (measured, MB at laptop scale)\n");
     println!("| System | Users | Messages | Tweets | paper (GB) |");
     println!("|---|---|---|---|---|");
     println!(
         "| Asterix (Schema)  | {:.1} | {:.1} | {:.1} | 192 / 120 / 330 |",
-        mb(su), mb(sm), mb(st)
+        mb(su),
+        mb(sm),
+        mb(st)
     );
     println!(
         "| Asterix (KeyOnly) | {:.1} | {:.1} | {:.1} | 360 / 240 / 600 |",
-        mb(ku), mb(km), mb(kt)
+        mb(ku),
+        mb(km),
+        mb(kt)
     );
     println!(
         "| Syst-X            | {:.1} | {:.1} | {:.1} | 290 / 100 / 495 |",
-        mb(xu), mb(xm), mb(xt)
+        mb(xu),
+        mb(xm),
+        mb(xt)
     );
     println!(
         "| Hive              | {:.1} | {:.1} | {:.1} | 38 / 12 / 25 |",
-        mb(hu), mb(hm), mb(ht)
+        mb(hu),
+        mb(hm),
+        mb(ht)
     );
     println!(
         "| Mongo             | {:.1} | {:.1} | {:.1} | 240 / 215 / 478 |",
-        mb(mu), mb(mm), mb(mt)
+        mb(mu),
+        mb(mm),
+        mb(mt)
     );
 
     println!("\n### Shape checks (the reproduction targets)\n");
@@ -91,11 +95,8 @@ fn main() {
         "Mongo tracks KeyOnly (both store field names per document)",
         mb(mu) / mb(ku) > 0.5 && mb(mu) / mb(ku) < 2.0,
     );
-    check(
-        "KeyOnly/Schema ratio within 2x of the paper's (~1.9 users, 2.0 msgs)",
-        {
-            let r = ku as f64 / su as f64;
-            (1.1..4.0).contains(&r)
-        },
-    );
+    check("KeyOnly/Schema ratio within 2x of the paper's (~1.9 users, 2.0 msgs)", {
+        let r = ku as f64 / su as f64;
+        (1.1..4.0).contains(&r)
+    });
 }

@@ -71,14 +71,9 @@ fn main() {
     run_row("Rec Lookup", "0.03/0.03/0.12/(379)/0.02", &systems_ix, &|s| {
         s.rec_lookup(57);
     });
-    run_row(
-        "Range Scan",
-        "79/148/148/11717/176",
-        &systems_noix,
-        &|s| {
-            s.range_scan(m_sm_lo, m_sm_hi);
-        },
-    );
+    run_row("Range Scan", "79/148/148/11717/176", &systems_noix, &|s| {
+        s.range_scan(m_sm_lo, m_sm_hi);
+    });
     run_row("— with IX", "0.10/0.10/4.9/(—)/0.05", &systems_ix, &|s| {
         s.range_scan(m_sm_lo, m_sm_hi);
     });
@@ -167,10 +162,8 @@ fn main() {
         // number includes per-statement compilation, its Table 4 story).
         "Hive-like record lookup is orders slower than the best indexed lookup",
         {
-            let best = [0usize, 2, 4]
-                .iter()
-                .map(|&i| ms(rows[0].times[i]))
-                .fold(f64::INFINITY, f64::min);
+            let best =
+                [0usize, 2, 4].iter().map(|&i| ms(rows[0].times[i])).fold(f64::INFINITY, f64::min);
             ms(rows[0].times[3]) > 20.0 * best.max(0.0001)
         },
     );
@@ -194,25 +187,15 @@ fn main() {
         "small-selectivity indexed join beats the hash join",
         ms(join_sm_ix.times[0]) < ms(join_sm_noix.times[0]),
     );
-    check(
-        "Mongo-like client-side join degrades faster than server joins (Lg)",
-        {
-            let mongo_ratio = ms(rows[5].times[4]) / ms(rows[3].times[4]).max(0.001);
-            let sysx_ratio = ms(rows[5].times[2]) / ms(rows[3].times[2]).max(0.001);
-            mongo_ratio > sysx_ratio * 0.8 // degrade at least comparably
-        },
-    );
-    check(
-        "Hive-like agg scan is competitive without indexes (within 4x of best)",
-        {
-            let best = rows[13]
-                .times
-                .iter()
-                .map(|t| ms(*t))
-                .fold(f64::INFINITY, f64::min);
-            ms(rows[13].times[3]) < best * 4.0
-        },
-    );
+    check("Mongo-like client-side join degrades faster than server joins (Lg)", {
+        let mongo_ratio = ms(rows[5].times[4]) / ms(rows[3].times[4]).max(0.001);
+        let sysx_ratio = ms(rows[5].times[2]) / ms(rows[3].times[2]).max(0.001);
+        mongo_ratio > sysx_ratio * 0.8 // degrade at least comparably
+    });
+    check("Hive-like agg scan is competitive without indexes (within 4x of best)", {
+        let best = rows[13].times.iter().map(|t| ms(*t)).fold(f64::INFINITY, f64::min);
+        ms(rows[13].times[3]) < best * 4.0
+    });
 
     // Machine-readable runtime counters (buffer-cache hit rate, exchange
     // frames/tuples/stalls accumulated over the whole workload).

@@ -11,10 +11,10 @@
 use std::time::Instant;
 
 use asterix_adm::print::to_adm_string;
-use asterix_bench::datagen::{gen_message, Scale};
-use asterix_bench::harness::{setup_asterix, SchemaMode, Table3System};
 use asterix_baselines::docstore::Collection;
 use asterix_baselines::relational::RelTable;
+use asterix_bench::datagen::{gen_message, Scale};
+use asterix_bench::harness::{setup_asterix, SchemaMode, Table3System};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -44,10 +44,7 @@ fn main() {
         for b in 0..n_batches {
             let chunk = &docs[n_single + b * 20..n_single + (b + 1) * 20];
             let items: Vec<String> = chunk.iter().map(to_adm_string).collect();
-            let stmt = format!(
-                "insert into dataset MugshotMessages ([{}]);",
-                items.join(", ")
-            );
+            let stmt = format!("insert into dataset MugshotMessages ([{}]);", items.join(", "));
             sys.instance.execute(&stmt).expect("batch insert");
         }
         let batch = start.elapsed().as_secs_f64() / (n_batches * 20) as f64;
@@ -64,12 +61,7 @@ fn main() {
     let mut sx = RelTable::new("messages", &["message-id", "author-id", "timestamp", "message"]);
     sx.create_index("message-id");
     let to_row = |d: &asterix_adm::Value| {
-        vec![
-            d.field("message-id"),
-            d.field("author-id"),
-            d.field("timestamp"),
-            d.field("message"),
-        ]
+        vec![d.field("message-id"), d.field("author-id"), d.field("timestamp"), d.field("message")]
     };
     let start = Instant::now();
     for d in &docs[..n_single] {
@@ -95,9 +87,7 @@ fn main() {
     let mg_s1 = start.elapsed().as_secs_f64() / n_single as f64;
     let start = Instant::now();
     for b in 0..n_batches {
-        mongo
-            .insert_batch(&docs[n_single + b * 20..n_single + (b + 1) * 20])
-            .unwrap();
+        mongo.insert_batch(&docs[n_single + b * 20..n_single + (b + 1) * 20]).unwrap();
     }
     let mg_s20 = start.elapsed().as_secs_f64() / (n_batches * 20) as f64;
 
@@ -107,11 +97,17 @@ fn main() {
     println!("|---|---|---|---|---|---|");
     println!(
         "| 1  | {} | {} | {} | {} | 0.091 / 0.093 / 0.040 / 0.035 |",
-        ms(as_s1), ms(ak_s1), ms(sx_s1), ms(mg_s1)
+        ms(as_s1),
+        ms(ak_s1),
+        ms(sx_s1),
+        ms(mg_s1)
     );
     println!(
         "| 20 | {} | {} | {} | {} | 0.010 / 0.011 / 0.026 / 0.024 |",
-        ms(as_s20), ms(ak_s20), ms(sx_s20), ms(mg_s20)
+        ms(as_s20),
+        ms(ak_s20),
+        ms(sx_s20),
+        ms(mg_s20)
     );
 
     println!("\n### Shape checks\n");

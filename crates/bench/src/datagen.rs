@@ -18,10 +18,8 @@ impl Scale {
     /// Default laptop-scale corpus; override with `ASTERIX_BENCH_SCALE`
     /// (a multiplier).
     pub fn from_env() -> Scale {
-        let mult: f64 = std::env::var("ASTERIX_BENCH_SCALE")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(1.0);
+        let mult: f64 =
+            std::env::var("ASTERIX_BENCH_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0);
         Scale {
             users: (4_000.0 * mult) as usize,
             messages: (20_000.0 * mult) as usize,
@@ -38,34 +36,43 @@ const EPOCH_2010: i64 = 1_262_304_000_000; // 2010-01-01T00:00:00Z in millis
 const YEAR_MILLIS: i64 = 365 * 24 * 3600 * 1000;
 
 const FIRST_NAMES: &[&str] = &[
-    "Ada", "Grace", "Alan", "Edsger", "Barbara", "Donald", "John", "Dana", "Nicola",
-    "Margaret", "Tim", "Leslie", "Tony", "Frances", "Niklaus", "Ken",
+    "Ada", "Grace", "Alan", "Edsger", "Barbara", "Donald", "John", "Dana", "Nicola", "Margaret",
+    "Tim", "Leslie", "Tony", "Frances", "Niklaus", "Ken",
 ];
 const LAST_NAMES: &[&str] = &[
-    "Lovelace", "Hopper", "Turing", "Dijkstra", "Liskov", "Knuth", "Backus", "Scott",
-    "Hamilton", "Lee", "Lamport", "Hoare", "Allen", "Wirth", "Thompson", "Codd",
+    "Lovelace", "Hopper", "Turing", "Dijkstra", "Liskov", "Knuth", "Backus", "Scott", "Hamilton",
+    "Lee", "Lamport", "Hoare", "Allen", "Wirth", "Thompson", "Codd",
 ];
 const CITIES: &[&str] = &[
-    "Irvine", "Riverside", "San Harry", "Springfield", "Portland", "Austin", "Madison",
+    "Irvine",
+    "Riverside",
+    "San Harry",
+    "Springfield",
+    "Portland",
+    "Austin",
+    "Madison",
     "Boulder",
 ];
 const STATES: &[&str] = &["CA", "OR", "TX", "WI", "CO", "WA"];
 const COUNTRIES: &[&str] = &["USA", "Canada", "Mexico", "Germany", "India", "Japan"];
 const ORGS: &[&str] = &[
-    "Kongreen", "Hexbit", "Dataverse Inc", "Streamworks", "Quanta", "Mugshot.com",
+    "Kongreen",
+    "Hexbit",
+    "Dataverse Inc",
+    "Streamworks",
+    "Quanta",
+    "Mugshot.com",
     "Acme Analytics",
 ];
 const JOB_KINDS: &[&str] = &["full-time", "part-time", "contract"];
 const WORDS: &[&str] = &[
-    "love", "this", "phone", "network", "tonight", "coffee", "deadline", "paper",
-    "weather", "game", "concert", "great", "terrible", "slow", "fast", "battery",
-    "service", "signal", "happy", "meeting", "traffic", "beach", "music", "launch",
-    "release", "update", "crash", "awesome", "bug", "query",
+    "love", "this", "phone", "network", "tonight", "coffee", "deadline", "paper", "weather",
+    "game", "concert", "great", "terrible", "slow", "fast", "battery", "service", "signal",
+    "happy", "meeting", "traffic", "beach", "music", "launch", "release", "update", "crash",
+    "awesome", "bug", "query",
 ];
-const TAGS: &[&str] = &[
-    "tech", "music", "sports", "food", "travel", "news", "movies", "science", "art",
-    "coding",
-];
+const TAGS: &[&str] =
+    &["tech", "music", "sports", "food", "travel", "news", "movies", "science", "art", "coding"];
 
 fn pick<'a>(rng: &mut StdRng, xs: &'a [&'a str]) -> &'a str {
     xs[rng.gen_range(0..xs.len())]
@@ -77,9 +84,8 @@ pub fn gen_user(rng: &mut StdRng, id: i64, nusers: usize) -> Value {
     let last = pick(rng, LAST_NAMES);
     let user_since = EPOCH_2010 + rng.gen_range(0..4 * YEAR_MILLIS);
     let nfriends = rng.gen_range(1..8usize);
-    let friends: Vec<Value> = (0..nfriends)
-        .map(|_| Value::Int64(rng.gen_range(0..nusers as i64)))
-        .collect();
+    let friends: Vec<Value> =
+        (0..nfriends).map(|_| Value::Int64(rng.gen_range(0..nusers as i64))).collect();
     let nemp = rng.gen_range(0..3usize);
     let employment: Vec<Value> = (0..nemp)
         .map(|_| {
@@ -88,10 +94,7 @@ pub fn gen_user(rng: &mut StdRng, id: i64, nusers: usize) -> Value {
             emp.push_unchecked("organization-name", Value::string(pick(rng, ORGS)));
             emp.push_unchecked("start-date", Value::Date(start));
             if rng.gen_bool(0.5) {
-                emp.push_unchecked(
-                    "end-date",
-                    Value::Date(start + rng.gen_range(30..1500)),
-                );
+                emp.push_unchecked("end-date", Value::Date(start + rng.gen_range(30..1500)));
             }
             // Open-type extra field (Query 7 probes job-kind, undeclared).
             if rng.gen_bool(0.7) {
@@ -144,10 +147,7 @@ pub fn gen_message(rng: &mut StdRng, mid: i64, nusers: usize) -> Value {
     if rng.gen_bool(0.8) {
         r.push_unchecked(
             "sender-location",
-            Value::Point(Point::new(
-                rng.gen_range(-120.0..-80.0),
-                rng.gen_range(25.0..48.0),
-            )),
+            Value::Point(Point::new(rng.gen_range(-120.0..-80.0), rng.gen_range(25.0..48.0))),
         );
     }
     r.push_unchecked("tags", Value::unordered_list(tags));
@@ -174,9 +174,7 @@ pub fn gen_tweet(rng: &mut StdRng, tid: i64, nusers: usize) -> Value {
     r.push_unchecked(
         "referred-topics",
         Value::unordered_list(
-            (0..rng.gen_range(1..4usize))
-                .map(|_| Value::string(pick(rng, TAGS)))
-                .collect(),
+            (0..rng.gen_range(1..4usize)).map(|_| Value::string(pick(rng, TAGS))).collect(),
         ),
     );
     let nw = rng.gen_range(3..12);
@@ -194,15 +192,10 @@ pub struct Corpus {
 /// Generate the full corpus.
 pub fn generate(scale: &Scale, seed: u64) -> Corpus {
     let mut rng = StdRng::seed_from_u64(seed);
-    let users = (0..scale.users as i64)
-        .map(|i| gen_user(&mut rng, i, scale.users))
-        .collect();
-    let messages = (0..scale.messages as i64)
-        .map(|i| gen_message(&mut rng, i, scale.users))
-        .collect();
-    let tweets = (0..scale.tweets as i64)
-        .map(|i| gen_tweet(&mut rng, i, scale.users))
-        .collect();
+    let users = (0..scale.users as i64).map(|i| gen_user(&mut rng, i, scale.users)).collect();
+    let messages =
+        (0..scale.messages as i64).map(|i| gen_message(&mut rng, i, scale.users)).collect();
+    let tweets = (0..scale.tweets as i64).map(|i| gen_tweet(&mut rng, i, scale.users)).collect();
     Corpus { users, messages, tweets }
 }
 

@@ -193,9 +193,7 @@ impl Table3System for AsterixSystem {
 
     fn rec_lookup(&self, id: i64) -> usize {
         self.instance
-            .query(&format!(
-                "for $u in dataset MugshotUsers where $u.id = {id} return $u"
-            ))
+            .query(&format!("for $u in dataset MugshotUsers where $u.id = {id} return $u"))
             .expect("rec lookup")
             .len()
     }
@@ -299,11 +297,13 @@ impl Table3System for AsterixSystem {
         Some(format!(
             "{{\"schema_version\":1,\"system\":\"{}\",\"cache_hits\":{hits},\
              \"cache_misses\":{misses},\"cache_hit_rate\":{rate:.4},\
-             \"frames_sent\":{},\"tuples_sent\":{},\"backpressure_stalls\":{},\
+             \"frames_sent\":{},\"tuples_sent\":{},\"bytes_sent\":{},\
+             \"backpressure_stalls\":{},\
              \"metrics\":{}}}",
             self.name(),
             x.frames_sent(),
             x.tuples_sent(),
+            x.bytes_sent(),
             x.backpressure_stalls(),
             self.instance.metrics().to_json(),
         ))
@@ -382,10 +382,7 @@ impl Table3System for SystemX {
 
     fn rec_lookup(&self, id: i64) -> usize {
         // PK lookup plus the small joins to reassemble nested fields.
-        let ids = self
-            .users
-            .main
-            .select_range("id", &Value::Int64(id), &Value::Int64(id));
+        let ids = self.users.main.select_range("id", &Value::Int64(id), &Value::Int64(id));
         self.users.reassemble(&ids, "id").len()
     }
 
@@ -400,13 +397,9 @@ impl Table3System for SystemX {
     }
 
     fn sel_join(&self, lo: i64, hi: i64) -> usize {
-        let uids = self.users.main.select_range(
-            "user-since",
-            &Value::DateTime(lo),
-            &Value::DateTime(hi),
-        );
-        relational::join(&self.users.main, &uids, "id", &self.messages.main, "author-id")
-            .len()
+        let uids =
+            self.users.main.select_range("user-since", &Value::DateTime(lo), &Value::DateTime(hi));
+        relational::join(&self.users.main, &uids, "id", &self.messages.main, "author-id").len()
     }
 
     fn sel2_join(&self, ulo: i64, uhi: i64, mlo: i64, mhi: i64) -> usize {
@@ -439,9 +432,7 @@ impl Table3System for SystemX {
         let lens: Vec<f64> = ids
             .iter()
             .filter_map(|&i| {
-                self.messages.main.rows[i][mc]
-                    .as_str()
-                    .map(|s| s.chars().count() as f64)
+                self.messages.main.rows[i][mc].as_str().map(|s| s.chars().count() as f64)
             })
             .collect();
         (!lens.is_empty()).then(|| lens.iter().sum::<f64>() / lens.len() as f64)
@@ -490,18 +481,15 @@ pub fn setup_hive(corpus: &Corpus) -> HiveLike {
         .iter()
         .flat_map(|u| {
             let pid = u.field("id");
-            u.field("employment")
-                .as_list()
-                .map(|l| l.to_vec())
-                .unwrap_or_default()
-                .into_iter()
-                .map(move |e| {
+            u.field("employment").as_list().map(|l| l.to_vec()).unwrap_or_default().into_iter().map(
+                move |e| {
                     let mut r = asterix_adm::Record::new();
                     r.push_unchecked("_parent", pid.clone());
                     r.push_unchecked("organization-name", e.field("organization-name"));
                     r.push_unchecked("start-date", e.field("start-date"));
                     Value::record(r)
-                })
+                },
+            )
         })
         .collect();
     let tag_rows: Vec<Value> = corpus
@@ -509,17 +497,14 @@ pub fn setup_hive(corpus: &Corpus) -> HiveLike {
         .iter()
         .flat_map(|m| {
             let pid = m.field("message-id");
-            m.field("tags")
-                .as_list()
-                .map(|l| l.to_vec())
-                .unwrap_or_default()
-                .into_iter()
-                .map(move |t| {
+            m.field("tags").as_list().map(|l| l.to_vec()).unwrap_or_default().into_iter().map(
+                move |t| {
                     let mut r = asterix_adm::Record::new();
                     r.push_unchecked("_parent", pid.clone());
                     r.push_unchecked("tag", t);
                     Value::record(r)
-                })
+                },
+            )
         })
         .collect();
     // Flatten dotted fields for the columnar layout.
@@ -551,10 +536,7 @@ pub fn setup_hive(corpus: &Corpus) -> HiveLike {
             &["message-id", "author-id", "timestamp", "message"],
         ),
         message_tags: OrcTable::from_records(&tag_rows, &["_parent", "tag"]),
-        tweets: OrcTable::from_records(
-            &corpus.tweets,
-            &["tweetid", "send-time", "message-text"],
-        ),
+        tweets: OrcTable::from_records(&corpus.tweets, &["tweetid", "send-time", "message-text"]),
     }
 }
 
@@ -566,42 +548,34 @@ impl Table3System for HiveLike {
     fn rec_lookup(&self, id: i64) -> usize {
         // No indexes: full scan even for one record (the parenthesized
         // Table 3 number).
-        self.users
-            .scan_where("id", |v| v.as_i64() == Some(id))
-            .len()
+        self.users.scan_where("id", |v| v.as_i64() == Some(id)).len()
     }
 
     fn range_scan(&self, lo: i64, hi: i64) -> usize {
         self.messages
-            .scan_where("timestamp", |v| {
-                v.as_i64().is_some_and(|t| t >= lo && t < hi)
-            })
+            .scan_where("timestamp", |v| v.as_i64().is_some_and(|t| t >= lo && t < hi))
             .len()
     }
 
     fn sel_join(&self, lo: i64, hi: i64) -> usize {
-        let uids = self
-            .users
-            .scan_where("user-since", |v| v.as_i64().is_some_and(|t| t >= lo && t <= hi));
+        let uids =
+            self.users.scan_where("user-since", |v| v.as_i64().is_some_and(|t| t >= lo && t <= hi));
         let pairs = self.users.hash_join("id", &self.messages, "author-id");
         let uset: std::collections::HashSet<usize> = uids.into_iter().collect();
         pairs.iter().filter(|(u, _)| uset.contains(u)).count()
     }
 
     fn sel2_join(&self, ulo: i64, uhi: i64, mlo: i64, mhi: i64) -> usize {
-        let uids = self.users.scan_where("user-since", |v| {
-            v.as_i64().is_some_and(|t| t >= ulo && t <= uhi)
-        });
+        let uids = self
+            .users
+            .scan_where("user-since", |v| v.as_i64().is_some_and(|t| t >= ulo && t <= uhi));
         let mids = self
             .messages
             .scan_where("timestamp", |v| v.as_i64().is_some_and(|t| t >= mlo && t < mhi));
         let uset: std::collections::HashSet<usize> = uids.into_iter().collect();
         let mset: std::collections::HashSet<usize> = mids.into_iter().collect();
         let pairs = self.users.hash_join("id", &self.messages, "author-id");
-        pairs
-            .iter()
-            .filter(|(u, m)| uset.contains(u) && mset.contains(m))
-            .count()
+        pairs.iter().filter(|(u, m)| uset.contains(u) && mset.contains(m)).count()
     }
 
     fn agg(&self, lo: i64, hi: i64) -> Option<f64> {
@@ -609,10 +583,8 @@ impl Table3System for HiveLike {
             .messages
             .scan_where("timestamp", |v| v.as_i64().is_some_and(|t| t >= lo && t < hi));
         let texts = self.messages.gather("message", &rows);
-        let lens: Vec<f64> = texts
-            .iter()
-            .filter_map(|v| v.as_str().map(|s| s.chars().count() as f64))
-            .collect();
+        let lens: Vec<f64> =
+            texts.iter().filter_map(|v| v.as_str().map(|s| s.chars().count() as f64)).collect();
         (!lens.is_empty()).then(|| lens.iter().sum::<f64>() / lens.len() as f64)
     }
 
@@ -688,17 +660,13 @@ impl Table3System for MongoLike {
     }
 
     fn range_scan(&self, lo: i64, hi: i64) -> usize {
-        self.messages
-            .find_range("timestamp", &Value::DateTime(lo), &Value::DateTime(hi - 1))
-            .len()
+        self.messages.find_range("timestamp", &Value::DateTime(lo), &Value::DateTime(hi - 1)).len()
     }
 
     fn sel_join(&self, lo: i64, hi: i64) -> usize {
         // The paper's client-side join: select users, then bulk-look-up
         // their messages from the client.
-        let users =
-            self.users
-                .find_range("user-since", &Value::DateTime(lo), &Value::DateTime(hi));
+        let users = self.users.find_range("user-since", &Value::DateTime(lo), &Value::DateTime(hi));
         let mut n = 0;
         for u in &users {
             let id = u.field("id");
@@ -709,8 +677,7 @@ impl Table3System for MongoLike {
 
     fn sel2_join(&self, ulo: i64, uhi: i64, mlo: i64, mhi: i64) -> usize {
         let users =
-            self.users
-                .find_range("user-since", &Value::DateTime(ulo), &Value::DateTime(uhi));
+            self.users.find_range("user-since", &Value::DateTime(ulo), &Value::DateTime(uhi));
         let mut n = 0;
         for u in &users {
             let id = u.field("id");
@@ -718,9 +685,9 @@ impl Table3System for MongoLike {
                 .messages
                 .find_range("author-id", &id, &id)
                 .iter()
-                .filter(|m| {
-                    matches!(m.field("timestamp"), Value::DateTime(t) if t >= mlo && t < mhi)
-                })
+                .filter(
+                    |m| matches!(m.field("timestamp"), Value::DateTime(t) if t >= mlo && t < mhi),
+                )
                 .count();
         }
         n
@@ -735,9 +702,9 @@ impl Table3System for MongoLike {
     }
 
     fn grp_agg(&self, lo: i64, hi: i64) -> usize {
-        let msgs = self.messages.scan_filter(|m| {
-            matches!(m.field("timestamp"), Value::DateTime(t) if t >= lo && t < hi)
-        });
+        let msgs = self.messages.scan_filter(
+            |m| matches!(m.field("timestamp"), Value::DateTime(t) if t >= lo && t < hi),
+        );
         let mut counts: std::collections::HashMap<i64, usize> = Default::default();
         for m in msgs {
             if let Some(a) = m.field("author-id").as_i64() {
@@ -798,8 +765,7 @@ mod tests {
         let hive = setup_hive(&corpus);
         let mongo = setup_mongo(&corpus, true);
 
-        let systems: Vec<&dyn Table3System> =
-            vec![&asx, &asx_ko, &sx, &sx_noix, &hive, &mongo];
+        let systems: Vec<&dyn Table3System> = vec![&asx, &asx_ko, &sx, &sx_noix, &hive, &mongo];
 
         let expected_scan = sx.range_scan(lo, hi);
         assert!(expected_scan > 0, "range must select something");
@@ -816,22 +782,13 @@ mod tests {
 
         let expected_join2 = sx.sel2_join(ulo, uhi, lo, hi);
         for s in &systems {
-            assert_eq!(
-                s.sel2_join(ulo, uhi, lo, hi),
-                expected_join2,
-                "{} sel2_join",
-                s.name()
-            );
+            assert_eq!(s.sel2_join(ulo, uhi, lo, hi), expected_join2, "{} sel2_join", s.name());
         }
 
         let expected_avg = sx.agg(lo, hi).unwrap();
         for s in &systems {
             let got = s.agg(lo, hi).unwrap();
-            assert!(
-                (got - expected_avg).abs() < 1e-9,
-                "{}: avg {got} != {expected_avg}",
-                s.name()
-            );
+            assert!((got - expected_avg).abs() < 1e-9, "{}: avg {got} != {expected_avg}", s.name());
         }
 
         let expected_groups = sx.grp_agg(lo, hi);
@@ -856,6 +813,7 @@ mod tests {
             "cache_hit_rate",
             "frames_sent",
             "tuples_sent",
+            "bytes_sent",
             "backpressure_stalls",
             "\"metrics\":",
         ] {
@@ -865,9 +823,11 @@ mod tests {
         // the per-shard cache counters.
         assert!(json.contains("\"exchange.frames_sent\""), "registry snapshot in {json}");
         assert!(json.contains("\"cache.shard0.hits\""), "per-shard cache in {json}");
-        // A scan moved at least one frame with at least one tuple.
+        // A scan moved at least one frame with at least one tuple, and the
+        // byte counter measured its serialized occupancy.
         assert!(asx.instance.exchange_stats().frames_sent() > 0);
         assert!(asx.instance.exchange_stats().tuples_sent() > 0);
+        assert!(asx.instance.exchange_stats().bytes_sent() > 0);
     }
 
     /// Table 2's size ordering: Hive (compressed columns) smallest;

@@ -78,19 +78,22 @@ fn parse_field(raw: &str, ty: &Datatype, reg: &TypeRegistry) -> XResult<Value> {
     Ok(match resolved {
         Datatype::Primitive(p) => match p {
             PrimitiveType::String | PrimitiveType::Any => Value::string(raw),
-            PrimitiveType::Int8 | PrimitiveType::Int16 | PrimitiveType::Int32
+            PrimitiveType::Int8
+            | PrimitiveType::Int16
+            | PrimitiveType::Int32
             | PrimitiveType::Int64 => {
-                let i: i64 = raw.parse().map_err(|_| {
-                    AdmError::Parse(format!("invalid integer field {raw:?}"))
-                })?;
+                let i: i64 = raw
+                    .parse()
+                    .map_err(|_| AdmError::Parse(format!("invalid integer field {raw:?}")))?;
                 asterix_adm::value::coerce_int(&Value::Int64(i), p.name())?
             }
-            PrimitiveType::Float => Value::Float(raw.parse().map_err(|_| {
-                AdmError::Parse(format!("invalid float field {raw:?}"))
-            })?),
-            PrimitiveType::Double => Value::Double(raw.parse().map_err(|_| {
-                AdmError::Parse(format!("invalid double field {raw:?}"))
-            })?),
+            PrimitiveType::Float => Value::Float(
+                raw.parse().map_err(|_| AdmError::Parse(format!("invalid float field {raw:?}")))?,
+            ),
+            PrimitiveType::Double => Value::Double(
+                raw.parse()
+                    .map_err(|_| AdmError::Parse(format!("invalid double field {raw:?}")))?,
+            ),
             PrimitiveType::Boolean => match raw {
                 "true" | "TRUE" | "1" => Value::Boolean(true),
                 "false" | "FALSE" | "0" => Value::Boolean(false),
@@ -98,9 +101,7 @@ fn parse_field(raw: &str, ty: &Datatype, reg: &TypeRegistry) -> XResult<Value> {
             },
             PrimitiveType::Date => Value::Date(asterix_adm::temporal::parse_date(raw)?),
             PrimitiveType::Time => Value::Time(asterix_adm::temporal::parse_time(raw)?),
-            PrimitiveType::DateTime => {
-                Value::DateTime(asterix_adm::temporal::parse_datetime(raw)?)
-            }
+            PrimitiveType::DateTime => Value::DateTime(asterix_adm::temporal::parse_datetime(raw)?),
             PrimitiveType::Point => asterix_adm::parse::construct_from_str("point", raw)?,
             other => {
                 return Err(ExternalError::Config(format!(
@@ -181,9 +182,7 @@ pub fn read_external(
                 .filter_map(|e| e.ok())
                 .map(|e| e.path())
                 .filter(|p| {
-                    p.file_name()
-                        .and_then(|n| n.to_str())
-                        .is_some_and(|n| n.starts_with("part-"))
+                    p.file_name().and_then(|n| n.to_str()).is_some_and(|n| n.starts_with("part-"))
                 })
                 .collect();
             parts.sort();
@@ -213,9 +212,10 @@ fn read_formatted(
     match prop(properties, "format").unwrap_or("adm") {
         "delimited-text" => {
             let delim_str = prop(properties, "delimiter").unwrap_or(",");
-            let delimiter = delim_str.chars().next().ok_or_else(|| {
-                ExternalError::Config("empty delimiter".into())
-            })?;
+            let delimiter = delim_str
+                .chars()
+                .next()
+                .ok_or_else(|| ExternalError::Config("empty delimiter".into()))?;
             parse_delimited(content, delimiter, record_type, reg)
         }
         "adm" => Ok(asterix_adm::parse::parse_many(content)?),
@@ -277,9 +277,13 @@ mod tests {
             .build();
         let rt = ty.as_record().unwrap().clone();
         let reg = TypeRegistry::new();
-        let recs =
-            parse_delimited("7,2014-01-01T00:00:00,3.5,\n8,2014-01-02T10:00:00,1.25,hi", ',', &rt, &reg)
-                .unwrap();
+        let recs = parse_delimited(
+            "7,2014-01-01T00:00:00,3.5,\n8,2014-01-02T10:00:00,1.25,hi",
+            ',',
+            &rt,
+            &reg,
+        )
+        .unwrap();
         assert_eq!(recs[0].field("id"), Value::Int64(7));
         assert!(matches!(recs[0].field("when"), Value::DateTime(_)));
         assert_eq!(recs[0].field("note"), Value::Null); // empty optional

@@ -87,9 +87,7 @@ impl SocketEndpoint {
 
     /// Push one typed value.
     pub fn send_value(&self, v: Value) -> FResult<()> {
-        self.tx
-            .send(RawItem::Value(v))
-            .map_err(|_| FeedError::Closed("intake stopped".into()))
+        self.tx.send(RawItem::Value(v)).map_err(|_| FeedError::Closed("intake stopped".into()))
     }
 
     /// Try to push without blocking; `false` when the buffer is full.
@@ -97,9 +95,7 @@ impl SocketEndpoint {
         match self.tx.try_send(RawItem::Value(v)) {
             Ok(()) => Ok(true),
             Err(TrySendError::Full(_)) => Ok(false),
-            Err(TrySendError::Disconnected(_)) => {
-                Err(FeedError::Closed("intake stopped".into()))
-            }
+            Err(TrySendError::Disconnected(_)) => Err(FeedError::Closed("intake stopped".into())),
         }
     }
 
@@ -213,9 +209,7 @@ impl IngestionPipeline {
                     let item = match rx.recv_timeout(std::time::Duration::from_millis(50)) {
                         Ok(i) => i,
                         Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
-                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
-                            return Ok(())
-                        }
+                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return Ok(()),
                     };
                     // Intake: raw → ADM.
                     let value = match item {
@@ -256,13 +250,7 @@ impl IngestionPipeline {
                 }
             })
             .expect("spawn feed thread");
-        IngestionPipeline {
-            handle: Some(handle),
-            stop,
-            intake_joint,
-            compute_joint,
-            stats,
-        }
+        IngestionPipeline { handle: Some(handle), stop, intake_joint, compute_joint, stats }
     }
 
     /// Request stop and wait for the pipeline thread (disconnect feed).
@@ -400,10 +388,9 @@ mod tests {
             }),
         );
         for i in 0..10 {
-            endpoint.send_value(
-                asterix_adm::parse::parse_value(&format!("{{ \"id\": {i} }}")).unwrap(),
-            )
-            .unwrap();
+            endpoint
+                .send_value(asterix_adm::parse::parse_value(&format!("{{ \"id\": {i} }}")).unwrap())
+                .unwrap();
         }
         endpoint.close();
         wait_for(|| pipeline.stats.ingested.load(Ordering::Relaxed) == 10);

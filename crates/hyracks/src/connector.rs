@@ -2,29 +2,40 @@
 //!
 //! The six kinds from the paper are implemented: `OneToOne`,
 //! `MToNReplicating`, `MToNPartitioning`, `LocalityAwareMToNPartitioning`,
-//! `MToNPartitioningMerging`, and `HashPartitioningShuffle`. Frames move
-//! over **bounded** crossbeam channels sized by
+//! `MToNPartitioningMerging`, and `HashPartitioningShuffle`. *Byte frames*
+//! ([`Frame`] = [`crate::frame::FrameBuf`]) of serialized tuples move over
+//! **bounded** crossbeam channels sized by
 //! [`ExchangeConfig::frames_in_flight`], so a fast producer blocks once the
 //! frame budget is reached and backpressure propagates upstream — peak
-//! exchange memory is `O(channels × frames_in_flight × FRAME_CAPACITY)`
-//! rather than `O(dataset)`. A merging connector's receive side performs a
-//! streaming k-way merge over the per-sender channels. Drained frames are
+//! exchange memory is `O(channels × frames_in_flight × frame_bytes)`
+//! rather than `O(dataset)`. No `Vec<Value>`-typed frame ever crosses a
+//! channel: producers serialize on [`OutputPort::push`] (or forward
+//! already-encoded tuples via [`OutputPort::push_encoded`] without
+//! re-encoding), receivers decode lazily at the operator boundary. Hash
+//! routing of encoded tuples uses `hash_encoded_fields`, bit-identical to
+//! the decoded `hash_fields`, so both push paths route alike. A merging
+//! connector's receive side performs a streaming k-way merge over the
+//! per-sender channels, comparing *encoded* tuples. Drained frames are
 //! returned to a shared [`FramePool`] and reused by senders, so
 //! steady-state exchange does no per-frame allocation.
 
 use std::cmp::Ordering;
-use std::collections::VecDeque;
 use std::sync::Arc;
 
+use asterix_adm::{encode_tuple_into, TupleRef};
 use asterix_obs::{Counter, Gauge, MetricsRegistry};
 use crossbeam::channel::{bounded, Receiver, Select, Sender, TrySendError};
 
-use crate::frame::{hash_fields, Frame, FramePool, Tuple, FRAME_CAPACITY};
-use crate::profile::{tuple_bytes, PortMeter};
+use crate::frame::{
+    hash_encoded_fields, hash_fields, Frame, FramePool, Tuple, DEFAULT_FRAME_BYTES, FRAME_CAPACITY,
+};
+use crate::profile::PortMeter;
 use crate::{HyracksError, Result};
 
-/// Tuple comparator used by merging connectors and sorts.
-pub type Comparator = Arc<dyn Fn(&Tuple, &Tuple) -> Ordering + Send + Sync>;
+/// Comparator over *encoded* tuples, used by merging connectors and sorts.
+/// Both arguments are offset-prefixed tuple encodings
+/// (`asterix_adm::tuple`); implementations compare key bytes directly.
+pub type Comparator = Arc<dyn Fn(&[u8], &[u8]) -> Ordering + Send + Sync>;
 
 /// Counters for one job run's exchange activity, shared by every port.
 ///
@@ -32,11 +43,14 @@ pub type Comparator = Arc<dyn Fn(&Tuple, &Tuple) -> Ordering + Send + Sync>;
 /// mid-send) and not yet received; its high-water mark proves the
 /// bounded-memory claim: with `frames_in_flight = F`, a channel never holds
 /// more than `F` frames (capacity `F - 1` queued plus one in a blocked
-/// sender's hand).
+/// sender's hand). `bytes_sent` sums the exact frame occupancy (tuple data
+/// plus slot directory) of every delivered frame — a measurement, not an
+/// estimate.
 #[derive(Debug, Default)]
 pub struct ExchangeStats {
     frames_sent: Counter,
     tuples_sent: Counter,
+    bytes_sent: Counter,
     backpressure_stalls: Counter,
     buffered_frames: Gauge,
 }
@@ -52,9 +66,10 @@ impl ExchangeStats {
         self.buffered_frames.add(1);
     }
 
-    fn on_send_ok(&self, tuples: u64) {
+    fn on_send_ok(&self, tuples: u64, bytes: u64) {
         self.frames_sent.inc();
         self.tuples_sent.add(tuples);
+        self.bytes_sent.add(bytes);
     }
 
     /// The send failed (receiver gone): undo the gauge increment.
@@ -80,6 +95,12 @@ impl ExchangeStats {
         self.tuples_sent.get()
     }
 
+    /// Exact wire bytes delivered to channels so far: the summed
+    /// [`Frame::occupancy`] of every sent frame.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent.get()
+    }
+
     /// Times a sender found its channel full and had to block.
     pub fn backpressure_stalls(&self) -> u64 {
         self.backpressure_stalls.get()
@@ -101,10 +122,8 @@ impl ExchangeStats {
     pub fn register_into(&self, reg: &MetricsRegistry, prefix: &str) {
         reg.register_counter(&format!("{prefix}.frames_sent"), &self.frames_sent);
         reg.register_counter(&format!("{prefix}.tuples_sent"), &self.tuples_sent);
-        reg.register_counter(
-            &format!("{prefix}.backpressure_stalls"),
-            &self.backpressure_stalls,
-        );
+        reg.register_counter(&format!("{prefix}.bytes_sent"), &self.bytes_sent);
+        reg.register_counter(&format!("{prefix}.backpressure_stalls"), &self.backpressure_stalls);
         reg.register_gauge(&format!("{prefix}.buffered_frames"), &self.buffered_frames);
     }
 }
@@ -115,6 +134,10 @@ pub struct ExchangeConfig {
     /// Per-channel bound on frames in flight (queued plus one mid-send).
     /// Minimum 1 (a rendezvous channel: every send waits for its receive).
     pub frames_in_flight: usize,
+    /// Flush a frame once it holds this many tuples.
+    pub tuples_per_frame: usize,
+    /// Flush a frame once its occupancy reaches this many bytes.
+    pub frame_bytes: usize,
     /// Shared counters for the run.
     pub stats: Arc<ExchangeStats>,
     /// Shared frame-recycling pool for the run.
@@ -125,6 +148,8 @@ impl Default for ExchangeConfig {
     fn default() -> Self {
         ExchangeConfig {
             frames_in_flight: 8,
+            tuples_per_frame: FRAME_CAPACITY,
+            frame_bytes: DEFAULT_FRAME_BYTES,
             stats: Arc::new(ExchangeStats::new()),
             pool: Arc::new(FramePool::new()),
         }
@@ -171,9 +196,7 @@ impl ConnectorKind {
             ConnectorKind::LocalityAwareMToNPartitioning { .. } => {
                 "LocalityAwareMToNPartitioningConnector"
             }
-            ConnectorKind::MToNPartitioningMerging { .. } => {
-                "MToNPartitioningMergingConnector"
-            }
+            ConnectorKind::MToNPartitioningMerging { .. } => "MToNPartitioningMergingConnector",
             ConnectorKind::HashPartitioningShuffle { .. } => "HashPartitioningShuffle",
         }
     }
@@ -206,12 +229,20 @@ pub struct OutputPort {
     strategy: RouteStrategy,
     stats: Arc<ExchangeStats>,
     pool: Arc<FramePool>,
+    tuples_per_frame: usize,
+    frame_bytes: usize,
+    /// Reused scratch buffer for serializing pushed tuples.
+    enc: Vec<u8>,
     /// Per-operator profiling meter (attached only on profiled runs).
     meter: Option<Arc<PortMeter>>,
 }
 
 impl OutputPort {
-    fn new(senders: Vec<Sender<Frame>>, strategy: RouteStrategy, xcfg: &ExchangeConfig) -> OutputPort {
+    fn new(
+        senders: Vec<Sender<Frame>>,
+        strategy: RouteStrategy,
+        xcfg: &ExchangeConfig,
+    ) -> OutputPort {
         let n = senders.len();
         OutputPort {
             senders,
@@ -220,6 +251,9 @@ impl OutputPort {
             strategy,
             stats: Arc::clone(&xcfg.stats),
             pool: Arc::clone(&xcfg.pool),
+            tuples_per_frame: xcfg.tuples_per_frame.max(1),
+            frame_bytes: xcfg.frame_bytes.max(1),
+            enc: Vec::new(),
             meter: None,
         }
     }
@@ -233,6 +267,9 @@ impl OutputPort {
             strategy: RouteStrategy::Replicate,
             stats: Arc::default(),
             pool: Arc::default(),
+            tuples_per_frame: FRAME_CAPACITY,
+            frame_bytes: DEFAULT_FRAME_BYTES,
+            enc: Vec::new(),
             meter: None,
         }
     }
@@ -255,7 +292,8 @@ impl OutputPort {
             self.pool.give(frame);
             return !self.dead[j];
         }
-        let tuples = frame.len() as u64;
+        let tuples = frame.tuple_count() as u64;
+        let bytes = frame.occupancy() as u64;
         self.stats.on_enqueue();
         let undeliverable = match self.senders[j].try_send(frame) {
             Ok(()) => None,
@@ -270,9 +308,10 @@ impl OutputPort {
         };
         match undeliverable {
             None => {
-                self.stats.on_send_ok(tuples);
+                self.stats.on_send_ok(tuples, bytes);
                 if let Some(m) = &self.meter {
                     m.frames.inc();
+                    m.bytes.add(bytes);
                 }
                 true
             }
@@ -285,36 +324,52 @@ impl OutputPort {
         }
     }
 
-    /// Emit one tuple. Returns [`HyracksError::DownstreamClosed`] once
-    /// every destination's receiver has hung up (e.g. a downstream LIMIT
-    /// finished), so the producer can stop instead of computing data
-    /// nobody will read.
+    /// Emit one tuple, serializing it into the destination frame. Returns
+    /// [`HyracksError::DownstreamClosed`] once every destination's receiver
+    /// has hung up (e.g. a downstream LIMIT finished), so the producer can
+    /// stop instead of computing data nobody will read.
     pub fn push(&mut self, tuple: Tuple) -> Result<()> {
-        if let Some(m) = &self.meter {
-            m.tuples.inc();
-            m.bytes.add(tuple_bytes(&tuple));
-        }
-        match &self.strategy {
-            RouteStrategy::Fixed(j) => self.buffer_to(*j, tuple),
-            RouteStrategy::Hash(fields) => {
-                let j = (hash_fields(&tuple, fields) % self.senders.len().max(1) as u64) as usize;
-                self.buffer_to(j, tuple)
-            }
-            RouteStrategy::LocalityAware { fields, group } => {
-                let h = hash_fields(&tuple, fields);
-                let j = group[(h % group.len() as u64) as usize];
-                self.buffer_to(j, tuple)
-            }
-            RouteStrategy::Replicate => {
-                for j in 0..self.senders.len() {
-                    self.buffer_to(j, tuple.clone())?;
-                }
-                Ok(())
-            }
-        }
+        let mut enc = std::mem::take(&mut self.enc);
+        enc.clear();
+        encode_tuple_into(&mut enc, &tuple);
+        let res = self.route(&enc, Some(&tuple));
+        self.enc = enc;
+        res
     }
 
-    fn buffer_to(&mut self, j: usize, tuple: Tuple) -> Result<()> {
+    /// Forward an already-encoded tuple verbatim — the zero-copy re-slice
+    /// path. Routes identically to [`OutputPort::push`] because the
+    /// byte-level hasher is bit-identical to the decoded one.
+    pub fn push_encoded(&mut self, bytes: &[u8]) -> Result<()> {
+        self.route(bytes, None)
+    }
+
+    fn route(&mut self, bytes: &[u8], decoded: Option<&Tuple>) -> Result<()> {
+        if let Some(m) = &self.meter {
+            m.tuples.inc();
+        }
+        if matches!(self.strategy, RouteStrategy::Replicate) {
+            // One serialization, appended to every destination's frame —
+            // replication no longer clones the tuple per destination.
+            for j in 0..self.senders.len() {
+                self.buffer_to(j, bytes)?;
+            }
+            return Ok(());
+        }
+        let n = self.senders.len().max(1) as u64;
+        let j = match &self.strategy {
+            RouteStrategy::Fixed(j) => *j,
+            RouteStrategy::Hash(fields) => (route_hash(bytes, decoded, fields)? % n) as usize,
+            RouteStrategy::LocalityAware { fields, group } => {
+                let h = route_hash(bytes, decoded, fields)?;
+                group[(h % group.len() as u64) as usize]
+            }
+            RouteStrategy::Replicate => unreachable!(),
+        };
+        self.buffer_to(j, bytes)
+    }
+
+    fn buffer_to(&mut self, j: usize, bytes: &[u8]) -> Result<()> {
         if self.senders.is_empty() {
             return Ok(());
         }
@@ -324,8 +379,10 @@ impl OutputPort {
             // producer get told to stop.
             return if self.all_dead() { Err(HyracksError::DownstreamClosed) } else { Ok(()) };
         }
-        self.buffers[j].push(tuple);
-        if self.buffers[j].len() >= FRAME_CAPACITY {
+        self.buffers[j].push_encoded(bytes);
+        if self.buffers[j].tuple_count() >= self.tuples_per_frame
+            || self.buffers[j].occupancy() >= self.frame_bytes
+        {
             let frame = std::mem::replace(&mut self.buffers[j], self.pool.take());
             if !self.send_frame(j, frame) && self.all_dead() {
                 return Err(HyracksError::DownstreamClosed);
@@ -354,6 +411,15 @@ impl OutputPort {
     }
 }
 
+/// Routing hash of one tuple: the decoded value-level hash when the caller
+/// has the tuple in hand, otherwise the bit-identical byte-level hash.
+fn route_hash(bytes: &[u8], decoded: Option<&Tuple>, fields: &[usize]) -> Result<u64> {
+    match decoded {
+        Some(t) => Ok(hash_fields(t, fields)),
+        None => Ok(hash_encoded_fields(&TupleRef::new(bytes)?, fields)),
+    }
+}
+
 impl Drop for OutputPort {
     fn drop(&mut self) {
         let _ = self.flush();
@@ -364,16 +430,23 @@ impl Drop for OutputPort {
 enum InputMode {
     /// Take frames in arrival order (select over channels).
     Any,
-    /// K-way merge of sorted per-sender streams.
+    /// K-way merge of sorted per-sender streams, comparing encoded tuples.
     Merge(Comparator),
+}
+
+/// Merge-mode read position within one sender's current frame.
+struct MergeCursor {
+    frame: Frame,
+    idx: usize,
 }
 
 /// The receiving half of one connector for one destination partition.
 pub struct InputPort {
     receivers: Vec<Receiver<Frame>>,
     mode: InputMode,
-    /// Merge-mode lookahead buffers, one per sender.
-    lookahead: Vec<VecDeque<Tuple>>,
+    /// Merge-mode lookahead: the current frame of each sender, read in
+    /// place — tuples are compared and handed out as borrowed slices.
+    lookahead: Vec<Option<MergeCursor>>,
     exhausted: Vec<bool>,
     stats: Arc<ExchangeStats>,
     pool: Arc<FramePool>,
@@ -387,7 +460,7 @@ impl InputPort {
         InputPort {
             receivers,
             mode,
-            lookahead: (0..n).map(|_| VecDeque::new()).collect(),
+            lookahead: (0..n).map(|_| None).collect(),
             exhausted: vec![false; n],
             stats: Arc::clone(&xcfg.stats),
             pool: Arc::clone(&xcfg.pool),
@@ -415,22 +488,21 @@ impl InputPort {
     }
 
     /// Account one received frame against the run gauge and, when
-    /// profiling, this port's meter.
+    /// profiling, this port's meter. Bytes are the exact frame occupancy.
     fn note_frame(&self, frame: &Frame) {
         self.stats.on_recv();
         if let Some(m) = &self.meter {
             m.frames.inc();
-            m.tuples.add(frame.len() as u64);
-            m.bytes.add(frame.iter().map(|t| tuple_bytes(t)).sum::<u64>());
+            m.tuples.add(frame.tuple_count() as u64);
+            m.bytes.add(frame.occupancy() as u64);
         }
     }
 
     /// Receive the next frame (Any mode) — `None` at end of stream.
     fn recv_any(&mut self) -> Option<Frame> {
         loop {
-            let live: Vec<usize> = (0..self.receivers.len())
-                .filter(|&i| !self.exhausted[i])
-                .collect();
+            let live: Vec<usize> =
+                (0..self.receivers.len()).filter(|&i| !self.exhausted[i]).collect();
             if live.is_empty() {
                 return None;
             }
@@ -465,51 +537,69 @@ impl InputPort {
     }
 
     fn refill(&mut self, i: usize) {
-        while self.lookahead[i].is_empty() && !self.exhausted[i] {
+        while self.lookahead[i].is_none() && !self.exhausted[i] {
             match self.receivers[i].recv() {
-                Ok(mut frame) => {
+                Ok(frame) => {
                     self.note_frame(&frame);
-                    self.lookahead[i].extend(frame.drain(..));
-                    self.pool.give(frame);
+                    if frame.is_empty() {
+                        self.pool.give(frame);
+                    } else {
+                        self.lookahead[i] = Some(MergeCursor { frame, idx: 0 });
+                    }
                 }
                 Err(_) => self.exhausted[i] = true,
             }
         }
     }
 
-    fn next_merged(&mut self) -> Option<Tuple> {
-        let cmp = match &self.mode {
-            InputMode::Merge(c) => Arc::clone(c),
-            InputMode::Any => unreachable!("next_merged on non-merge port"),
-        };
+    /// The sender whose current head tuple is smallest (merge mode).
+    fn best_source(&mut self, cmp: &Comparator) -> Option<usize> {
         for i in 0..self.receivers.len() {
             self.refill(i);
         }
         let mut best: Option<usize> = None;
         for i in 0..self.receivers.len() {
-            if let Some(t) = self.lookahead[i].front() {
-                match best {
-                    None => best = Some(i),
-                    Some(b) => {
-                        if cmp(t, self.lookahead[b].front().unwrap()) == Ordering::Less {
-                            best = Some(i);
-                        }
+            let Some(cur) = &self.lookahead[i] else { continue };
+            match best {
+                None => best = Some(i),
+                Some(b) => {
+                    let bb = self.lookahead[b].as_ref().unwrap();
+                    if cmp(cur.frame.tuple_bytes(cur.idx), bb.frame.tuple_bytes(bb.idx))
+                        == Ordering::Less
+                    {
+                        best = Some(i);
                     }
                 }
             }
         }
-        best.and_then(|i| self.lookahead[i].pop_front())
+        best
     }
 
-    /// Drain the port, invoking `f` for every tuple; stops early (and
+    /// Step sender `i` past its head tuple, recycling finished frames.
+    fn advance(&mut self, i: usize) {
+        let done = match &mut self.lookahead[i] {
+            Some(cur) => {
+                cur.idx += 1;
+                cur.idx >= cur.frame.tuple_count()
+            }
+            None => false,
+        };
+        if done {
+            let cur = self.lookahead[i].take().unwrap();
+            self.pool.give(cur.frame);
+        }
+    }
+
+    /// Drain the port, invoking `f` with every *encoded* tuple — the
+    /// zero-decode path for forwarding operators. Stops early (and
     /// discards the rest) if `f` returns `false`.
-    pub fn for_each(&mut self, mut f: impl FnMut(Tuple) -> Result<bool>) -> Result<()> {
+    pub fn for_each_raw(&mut self, mut f: impl FnMut(&[u8]) -> Result<bool>) -> Result<()> {
         match &self.mode {
             InputMode::Any => {
-                while let Some(mut frame) = self.recv_any() {
+                while let Some(frame) = self.recv_any() {
                     let mut keep_going = true;
-                    for t in frame.drain(..) {
-                        if keep_going && !f(t)? {
+                    for i in 0..frame.tuple_count() {
+                        if keep_going && !f(frame.tuple_bytes(i))? {
                             keep_going = false;
                         }
                     }
@@ -521,16 +611,27 @@ impl InputPort {
                 }
                 Ok(())
             }
-            InputMode::Merge(_) => {
-                while let Some(t) = self.next_merged() {
-                    if !f(t)? {
+            InputMode::Merge(cmp) => {
+                let cmp = Arc::clone(cmp);
+                loop {
+                    let Some(i) = self.best_source(&cmp) else { return Ok(()) };
+                    let cur = self.lookahead[i].as_ref().unwrap();
+                    let keep = f(cur.frame.tuple_bytes(cur.idx))?;
+                    self.advance(i);
+                    if !keep {
                         self.drain();
                         return Ok(());
                     }
                 }
-                Ok(())
             }
         }
+    }
+
+    /// Drain the port, decoding each tuple for `f` (the staged-migration
+    /// operator boundary); stops early (and discards the rest) if `f`
+    /// returns `false`.
+    pub fn for_each(&mut self, mut f: impl FnMut(Tuple) -> Result<bool>) -> Result<()> {
+        self.for_each_raw(|bytes| f(asterix_adm::decode_tuple(bytes)?))
     }
 
     /// Collect the whole input into a vector (blocking operators).
@@ -555,7 +656,11 @@ impl InputPort {
             }
             self.exhausted[i] = true;
         }
-        self.lookahead.iter_mut().for_each(|q| q.clear());
+        for slot in self.lookahead.iter_mut() {
+            if let Some(cur) = slot.take() {
+                self.pool.give(cur.frame);
+            }
+        }
     }
 }
 
@@ -602,10 +707,8 @@ pub fn wire(
             let outs = (0..n_src)
                 .map(|_| OutputPort::new(txs.clone(), RouteStrategy::Replicate, xcfg))
                 .collect();
-            let ins = rxs
-                .into_iter()
-                .map(|rx| InputPort::new(vec![rx], InputMode::Any, xcfg))
-                .collect();
+            let ins =
+                rxs.into_iter().map(|rx| InputPort::new(vec![rx], InputMode::Any, xcfg)).collect();
             Ok((outs, ins))
         }
         ConnectorKind::MToNPartitioning { fields }
@@ -614,10 +717,8 @@ pub fn wire(
             let outs = (0..n_src)
                 .map(|_| OutputPort::new(txs.clone(), RouteStrategy::Hash(fields.clone()), xcfg))
                 .collect();
-            let ins = rxs
-                .into_iter()
-                .map(|rx| InputPort::new(vec![rx], InputMode::Any, xcfg))
-                .collect();
+            let ins =
+                rxs.into_iter().map(|rx| InputPort::new(vec![rx], InputMode::Any, xcfg)).collect();
             Ok((outs, ins))
         }
         ConnectorKind::LocalityAwareMToNPartitioning { fields } => {
@@ -627,8 +728,7 @@ pub fn wire(
                     // Destinations on the same node as source partition p,
                     // falling back to all destinations.
                     let my_node = node_of(p);
-                    let local: Vec<usize> =
-                        (0..n_dst).filter(|&j| node_of(j) == my_node).collect();
+                    let local: Vec<usize> = (0..n_dst).filter(|&j| node_of(j) == my_node).collect();
                     let group = if local.is_empty() { (0..n_dst).collect() } else { local };
                     OutputPort::new(
                         txs.clone(),
@@ -637,10 +737,8 @@ pub fn wire(
                     )
                 })
                 .collect();
-            let ins = rxs
-                .into_iter()
-                .map(|rx| InputPort::new(vec![rx], InputMode::Any, xcfg))
-                .collect();
+            let ins =
+                rxs.into_iter().map(|rx| InputPort::new(vec![rx], InputMode::Any, xcfg)).collect();
             Ok((outs, ins))
         }
         ConnectorKind::MToNPartitioningMerging { fields, comparator } => {
@@ -673,7 +771,8 @@ pub fn wire(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use asterix_adm::Value;
+    use crate::ops::{sort_comparator, SortKey};
+    use asterix_adm::{encode_tuple, Value};
 
     fn t(i: i64) -> Tuple {
         vec![Value::Int64(i)]
@@ -730,9 +829,31 @@ mod tests {
     }
 
     #[test]
+    fn encoded_and_decoded_pushes_route_identically() {
+        // push() and push_encoded() must agree on the destination: the
+        // byte-level hash is bit-identical to the decoded one.
+        let kind = ConnectorKind::MToNPartitioning { fields: vec![0] };
+        let (mut outs, ins) = wire(&kind, 1, 4, &|_| 0, &xcfg()).unwrap();
+        for i in 0..50 {
+            outs[0].push(t(i)).unwrap();
+            outs[0].push_encoded(&encode_tuple(&t(i))).unwrap();
+        }
+        drop(outs);
+        for mut port in ins {
+            let got = port.collect().unwrap();
+            // Every value arrived an even number of times (both copies
+            // routed to the same destination).
+            let mut counts = std::collections::HashMap::new();
+            for row in &got {
+                *counts.entry(row[0].as_i64().unwrap()).or_insert(0usize) += 1;
+            }
+            assert!(counts.values().all(|&c| c == 2), "copies split across partitions");
+        }
+    }
+
+    #[test]
     fn replicating_duplicates() {
-        let (mut outs, ins) =
-            wire(&ConnectorKind::MToNReplicating, 2, 3, &|_| 0, &xcfg()).unwrap();
+        let (mut outs, ins) = wire(&ConnectorKind::MToNReplicating, 2, 3, &|_| 0, &xcfg()).unwrap();
         outs[0].push(t(1)).unwrap();
         outs[1].push(t(2)).unwrap();
         drop(outs);
@@ -746,7 +867,8 @@ mod tests {
 
     #[test]
     fn merging_connector_preserves_order() {
-        let cmp: Comparator = Arc::new(|a, b| a[0].total_cmp(&b[0]));
+        // The real jobgen comparator: encoded-key bytes on field 0.
+        let cmp: Comparator = sort_comparator(&[SortKey::field(0, false)]);
         let kind = ConnectorKind::MToNPartitioningMerging { fields: vec![], comparator: cmp };
         // fields=[] → every tuple hashes identically → all to dst 0.
         let (mut outs, mut ins) = wire(&kind, 3, 1, &|_| 0, &xcfg()).unwrap();
@@ -773,8 +895,7 @@ mod tests {
             outs[0].push(t(i)).unwrap(); // src partition 0, node 0
         }
         drop(outs);
-        let counts: Vec<usize> =
-            ins.into_iter().map(|mut p| p.collect().unwrap().len()).collect();
+        let counts: Vec<usize> = ins.into_iter().map(|mut p| p.collect().unwrap().len()).collect();
         // Everything from node 0 stays on node 0's partitions (0 and 1).
         assert_eq!(counts[2] + counts[3], 0);
         assert_eq!(counts[0] + counts[1], 100);
@@ -839,9 +960,7 @@ mod tests {
         drop(outs);
         let got = ins[0].collect().unwrap();
         assert!(!got.is_empty());
-        assert!(got.iter().all(|t| {
-            (hash_fields(t, &[0]) % 2) == 0
-        }));
+        assert!(got.iter().all(|t| { (hash_fields(t, &[0]) % 2) == 0 }));
     }
 
     #[test]
@@ -858,5 +977,43 @@ mod tests {
         assert_eq!(cfg.stats.frames_sent(), 2);
         assert_eq!(cfg.stats.tuples_sent(), FRAME_CAPACITY as u64 * 2);
         assert_eq!(cfg.stats.buffered_frames(), 0, "gauge returns to zero");
+    }
+
+    #[test]
+    fn exchange_bytes_are_exact_frame_occupancy() {
+        // bytes_sent is a measurement of wire bytes: per-tuple encoded
+        // length plus 4 slot-directory bytes, summed over sent frames.
+        let cfg = xcfg();
+        let (mut outs, mut ins) = wire(&ConnectorKind::OneToOne, 1, 1, &|_| 0, &cfg).unwrap();
+        let rows: Vec<Tuple> =
+            (0..10).map(|i| vec![Value::Int64(i), Value::string("pad")]).collect();
+        let expected: u64 = rows.iter().map(|r| encode_tuple(r).len() as u64 + 4).sum();
+        for r in &rows {
+            outs[0].push(r.clone()).unwrap();
+        }
+        outs[0].flush().unwrap();
+        drop(outs);
+        assert_eq!(ins[0].collect().unwrap().len(), 10);
+        assert_eq!(cfg.stats.bytes_sent(), expected);
+    }
+
+    #[test]
+    fn small_frame_bytes_forces_early_flush() {
+        // The byte capacity is a flush threshold of its own: tiny frames
+        // mean many sends even when the tuple count is far below capacity.
+        // Enough frames in flight that the single-threaded test never
+        // blocks on the bounded channel before the consumer drains it.
+        let cfg = ExchangeConfig { frame_bytes: 64, frames_in_flight: 64, ..Default::default() };
+        let (mut outs, mut ins) = wire(&ConnectorKind::OneToOne, 1, 1, &|_| 0, &cfg).unwrap();
+        for i in 0..100 {
+            outs[0].push(t(i)).unwrap();
+        }
+        drop(outs);
+        assert_eq!(ins[0].collect().unwrap().len(), 100);
+        assert!(
+            cfg.stats.frames_sent() > 10,
+            "only {} frames for 100 tuples at 64-byte frames",
+            cfg.stats.frames_sent()
+        );
     }
 }

@@ -27,6 +27,10 @@ pub struct ExecutorConfig {
     /// buffers). Lower = tighter memory and earlier backpressure; higher =
     /// more pipeline slack. Minimum 1.
     pub frames_in_flight: usize,
+    /// Flush an exchange frame once it holds this many tuples.
+    pub tuples_per_frame: usize,
+    /// Flush an exchange frame once its occupancy reaches this many bytes.
+    pub frame_bytes: usize,
     /// Upper bound on the threads a single job may spawn. Jobs exceeding it
     /// are rejected up front with a clear error instead of exhausting the
     /// OS thread table mid-run.
@@ -35,7 +39,13 @@ pub struct ExecutorConfig {
 
 impl Default for ExecutorConfig {
     fn default() -> Self {
-        ExecutorConfig { partitions_per_node: 1, frames_in_flight: 8, max_threads: 512 }
+        ExecutorConfig {
+            partitions_per_node: 1,
+            frames_in_flight: 8,
+            tuples_per_frame: crate::frame::FRAME_CAPACITY,
+            frame_bytes: crate::frame::DEFAULT_FRAME_BYTES,
+            max_threads: 512,
+        }
     }
 }
 
@@ -105,6 +115,8 @@ fn run_job_inner(
     let node_of = move |p: usize| p / ppn;
     let xcfg = ExchangeConfig {
         frames_in_flight: cfg.frames_in_flight.max(1),
+        tuples_per_frame: cfg.tuples_per_frame.max(1),
+        frame_bytes: cfg.frame_bytes.max(1),
         stats: Arc::clone(stats),
         pool: Arc::new(FramePool::new()),
     };
@@ -210,8 +222,8 @@ mod tests {
     use super::*;
     use crate::connector::ConnectorKind;
     use crate::ops::{
-        AggKind, AggSpec, AssignOp, GroupMode, HashGroupOp, HybridHashJoinOp, JoinType,
-        LimitOp, ScalarAggOp, SelectOp, SinkOp, SortKey, SortOp, SourceOp, UnionAllOp,
+        AggKind, AggSpec, AssignOp, GroupMode, HashGroupOp, HybridHashJoinOp, JoinType, LimitOp,
+        ScalarAggOp, SelectOp, SinkOp, SortKey, SortOp, SourceOp, UnionAllOp,
     };
     use asterix_adm::Value;
     use parking_lot::Mutex;
@@ -262,8 +274,7 @@ mod tests {
             Arc::new(AssignOp::new(
                 "x2",
                 vec![Arc::new(|t: &Vec<Value>| {
-                    asterix_adm::functions::arith('*', &t[0], &Value::Int64(2))
-                        .map_err(Into::into)
+                    asterix_adm::functions::arith('*', &t[0], &Value::Int64(2)).map_err(Into::into)
                 })],
             )),
         );
@@ -302,14 +313,12 @@ mod tests {
     fn partitioned_group_by() {
         let mut job = JobSpec::new();
         let src = job.add(4, int_source("scan", 100)); // 0..400
-        // Local partial group by (i mod 10), then repartition by key, final.
+                                                       // Local partial group by (i mod 10), then repartition by key, final.
         let keyed = job.add(
             4,
             Arc::new(AssignOp::new(
                 "key",
-                vec![Arc::new(|t: &Vec<Value>| {
-                    Ok(Value::Int64(t[0].as_i64().unwrap() % 10))
-                })],
+                vec![Arc::new(|t: &Vec<Value>| Ok(Value::Int64(t[0].as_i64().unwrap() % 10)))],
             )),
         );
         let local = job.add(
@@ -369,10 +378,8 @@ mod tests {
                 Ok(())
             })),
         );
-        let join = job.add(
-            3,
-            Arc::new(HybridHashJoinOp::new("j", vec![0], vec![0], JoinType::Inner)),
-        );
+        let join =
+            job.add(3, Arc::new(HybridHashJoinOp::new("j", vec![0], vec![0], JoinType::Inner)));
         let (sink, collector) = collect_sink(&mut job);
         job.connect(ConnectorKind::MToNPartitioning { fields: vec![0] }, build, join);
         job.connect(ConnectorKind::MToNPartitioning { fields: vec![0] }, probe, join);
@@ -387,14 +394,8 @@ mod tests {
     fn sort_merge_connector_gives_global_order() {
         let mut job = JobSpec::new();
         let src = job.add(4, int_source("scan", 250)); // 0..1000 across parts
-        let sort = job.add(
-            4,
-            Arc::new(SortOp::new("k", vec![SortKey::field(0, true)])),
-        );
-        let merge = job.add(
-            1,
-            Arc::new(LimitOp { limit: 5, offset: 0 }),
-        );
+        let sort = job.add(4, Arc::new(SortOp::new("k", vec![SortKey::field(0, true)])));
+        let merge = job.add(1, Arc::new(LimitOp { limit: 5, offset: 0 }));
         let (sink, collector) = collect_sink(&mut job);
         job.connect(ConnectorKind::OneToOne, src, sort);
         job.connect(
@@ -407,8 +408,7 @@ mod tests {
         );
         job.connect(ConnectorKind::OneToOne, merge, sink);
         run_job(&job).unwrap();
-        let got: Vec<i64> =
-            collector.lock().iter().map(|t| t[0].as_i64().unwrap()).collect();
+        let got: Vec<i64> = collector.lock().iter().map(|t| t[0].as_i64().unwrap()).collect();
         assert_eq!(got, vec![999, 998, 997, 996, 995]);
     }
 
@@ -434,9 +434,7 @@ mod tests {
             1,
             Arc::new(SelectOp::new(
                 "boom",
-                Arc::new(|_t: &Vec<Value>| {
-                    Err(HyracksError::Operator("intentional".into()))
-                }),
+                Arc::new(|_t: &Vec<Value>| Err(HyracksError::Operator("intentional".into()))),
             )),
         );
         let (sink, _collector) = collect_sink(&mut job);
@@ -455,8 +453,7 @@ mod tests {
         job.connect(ConnectorKind::OneToOne, src, limit);
         job.connect(ConnectorKind::OneToOne, limit, sink);
         run_job(&job).unwrap();
-        let got: Vec<i64> =
-            collector.lock().iter().map(|t| t[0].as_i64().unwrap()).collect();
+        let got: Vec<i64> = collector.lock().iter().map(|t| t[0].as_i64().unwrap()).collect();
         assert_eq!(got, vec![1, 2, 3]);
     }
 
@@ -532,8 +529,7 @@ mod tests {
         let cfg = ExecutorConfig { frames_in_flight: 2, ..Default::default() };
         run_job_with(&job, &cfg).unwrap();
 
-        let got: Vec<i64> =
-            collector.lock().iter().map(|t| t[0].as_i64().unwrap()).collect();
+        let got: Vec<i64> = collector.lock().iter().map(|t| t[0].as_i64().unwrap()).collect();
         assert_eq!(got, vec![0, 1, 2]);
         let n = emitted.load(Ordering::Relaxed);
         assert!(n < 20_000, "producer emitted {n} tuples after the consumer hung up");
@@ -606,10 +602,8 @@ mod tests {
                 Ok(())
             })),
         );
-        let join = job.add(
-            3,
-            Arc::new(HybridHashJoinOp::new("j", vec![0], vec![0], JoinType::Inner)),
-        );
+        let join =
+            job.add(3, Arc::new(HybridHashJoinOp::new("j", vec![0], vec![0], JoinType::Inner)));
         let (sink, collector) = collect_sink(&mut job);
         job.connect(ConnectorKind::MToNPartitioning { fields: vec![0] }, build, join);
         job.connect(ConnectorKind::MToNPartitioning { fields: vec![0] }, probe, join);
@@ -652,11 +646,7 @@ mod tests {
             })),
         );
         let (sink, collector) = collect_sink(&mut job);
-        job.connect(
-            ConnectorKind::LocalityAwareMToNPartitioning { fields: vec![0] },
-            src,
-            tag,
-        );
+        job.connect(ConnectorKind::LocalityAwareMToNPartitioning { fields: vec![0] }, src, tag);
         job.connect(ConnectorKind::MToNReplicating, tag, sink);
         let cfg = ExecutorConfig { partitions_per_node: 2, ..Default::default() };
         run_job_with(&job, &cfg).unwrap();

@@ -1,27 +1,114 @@
-//! Tuples and frames — the unit of dataflow between operators.
+//! Byte frames and tuples — the unit of dataflow between operators.
+//!
+//! Hyracks moves fixed-size *byte frames* of serialized tuples between
+//! operators (Section 4.1); comparators, hashers and partitioners work on
+//! the bytes directly. [`FrameBuf`] is that frame: a byte buffer of
+//! offset-prefixed tuple encodings (see `asterix_adm::tuple`) plus a slot
+//! directory addressing each tuple. Hyracks proper writes the slot
+//! directory at the frame's tail growing backwards; here it lives in a
+//! companion array, and [`FrameBuf::occupancy`] accounts for it at 4 bytes
+//! per slot exactly as the tail layout would — so summed occupancy is the
+//! byte-exact wire size of the exchange.
 
 use crossbeam::queue::SegQueue;
+use std::sync::OnceLock;
 
-use asterix_adm::Value;
+use asterix_adm::{encode_tuple_into, AdmError, TupleRef, Value};
 
-/// A runtime tuple: positional ADM values. Field-name → position mapping is
-/// a compile-time (Algebricks) concern; the runtime is purely positional.
+/// A decoded runtime tuple: positional ADM values. Field-name → position
+/// mapping is a compile-time (Algebricks) concern; the runtime is purely
+/// positional. This remains the operator-boundary type for staged
+/// migration; the *channel* type between operators is [`FrameBuf`].
 pub type Tuple = Vec<Value>;
 
-/// A frame: a batch of tuples moved through a connector in one channel
-/// send, amortizing synchronization cost (the analogue of Hyracks' byte
-/// frames).
-pub type Frame = Vec<Tuple>;
-
-/// Default tuples per frame.
+/// Default tuples per frame (the flush threshold on tuple count).
 pub const FRAME_CAPACITY: usize = 1024;
+
+/// Default byte capacity of a frame (the flush threshold on occupancy).
+pub const DEFAULT_FRAME_BYTES: usize = 32 * 1024;
+
+/// A frame: a batch of serialized tuples moved through a connector in one
+/// channel send, amortizing synchronization cost.
+#[derive(Default)]
+pub struct FrameBuf {
+    /// Concatenated offset-prefixed tuple encodings.
+    data: Vec<u8>,
+    /// Slot directory: exclusive end offset of each tuple in `data`.
+    slots: Vec<u32>,
+}
+
+/// `Frame` as sent and received by connector channels is the serialized
+/// byte frame.
+pub type Frame = FrameBuf;
+
+impl FrameBuf {
+    pub fn new() -> FrameBuf {
+        FrameBuf { data: Vec::with_capacity(DEFAULT_FRAME_BYTES), slots: Vec::with_capacity(64) }
+    }
+
+    /// Serialize `t` and append it.
+    pub fn push_tuple(&mut self, t: &[Value]) {
+        encode_tuple_into(&mut self.data, t);
+        self.slots.push(self.data.len() as u32);
+    }
+
+    /// Append an already-encoded tuple verbatim (the zero-copy re-slice
+    /// path: forwarding operators never decode).
+    pub fn push_encoded(&mut self, bytes: &[u8]) {
+        self.data.extend_from_slice(bytes);
+        self.slots.push(self.data.len() as u32);
+    }
+
+    /// Number of tuples in the frame.
+    pub fn tuple_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Occupied wire bytes: tuple data plus 4 bytes of slot directory per
+    /// tuple. Exchange byte counters sum exactly this.
+    pub fn occupancy(&self) -> usize {
+        self.data.len() + 4 * self.slots.len()
+    }
+
+    /// The encoded bytes of tuple `i`.
+    pub fn tuple_bytes(&self, i: usize) -> &[u8] {
+        let start = if i == 0 { 0 } else { self.slots[i - 1] as usize };
+        &self.data[start..self.slots[i] as usize]
+    }
+
+    /// Zero-copy accessor over tuple `i`.
+    pub fn tuple_ref(&self, i: usize) -> Result<TupleRef<'_>, AdmError> {
+        TupleRef::new(self.tuple_bytes(i))
+    }
+
+    /// Iterate the encoded tuples.
+    pub fn iter(&self) -> impl Iterator<Item = &[u8]> {
+        (0..self.tuple_count()).map(move |i| self.tuple_bytes(i))
+    }
+
+    /// Decode tuple `i` into owned values (the staged-migration boundary).
+    pub fn decode_tuple(&self, i: usize) -> Result<Tuple, AdmError> {
+        self.tuple_ref(i)?.decode()
+    }
+
+    /// Drop all tuples, keeping both backing allocations.
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.slots.clear();
+    }
+}
 
 /// A lock-free pool of recycled frames shared by the ports of one job run.
 ///
-/// Hyracks proper allocates fixed-size byte frames once and circulates them;
-/// here the analogue is reusing the `Vec` backing each frame so steady-state
-/// exchange does no per-frame allocation: receivers return drained frames
-/// via [`FramePool::give`], senders grab them back via [`FramePool::take`].
+/// Hyracks proper allocates fixed-size byte frames once and circulates
+/// them; here the analogue is reusing the byte buffer and slot directory
+/// backing each [`FrameBuf`] so steady-state exchange does no per-frame
+/// allocation: receivers return drained frames via [`FramePool::give`],
+/// senders grab them back via [`FramePool::take`].
 pub struct FramePool {
     frames: SegQueue<Frame>,
     max_pooled: usize,
@@ -47,11 +134,11 @@ impl FramePool {
 
     /// Take a cleared frame, reusing a recycled one when available.
     pub fn take(&self) -> Frame {
-        self.frames.pop().unwrap_or_else(|| Frame::with_capacity(FRAME_CAPACITY))
+        self.frames.pop().unwrap_or_else(FrameBuf::new)
     }
 
     /// Return a frame for reuse. Its tuples are dropped; the backing
-    /// allocation is kept.
+    /// allocations are kept.
     pub fn give(&self, mut frame: Frame) {
         if self.frames.len() < self.max_pooled {
             frame.clear();
@@ -65,14 +152,36 @@ impl FramePool {
     }
 }
 
+/// The stable hash of an absent field. A distinguished value — *not* 0 —
+/// so a missing field can never collide with a present value whose
+/// `stable_hash` happens to be 0.
+fn missing_hash() -> u64 {
+    static H: OnceLock<u64> = OnceLock::new();
+    *H.get_or_init(|| Value::Missing.stable_hash())
+}
+
 /// Compute the hash of the given tuple fields, for hash partitioning and
 /// hash joins. Uses the ADM stable hash so equal-comparing values (across
-/// numeric widths) land in the same partition.
+/// numeric widths) land in the same partition; absent fields hash as
+/// MISSING.
 pub fn hash_fields(tuple: &Tuple, fields: &[usize]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &f in fields {
-        let vh = tuple.get(f).map_or(0, |v| v.stable_hash());
+        let vh = tuple.get(f).map_or_else(missing_hash, |v| v.stable_hash());
         h ^= vh;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// [`hash_fields`] computed directly over an encoded tuple, bit-identical
+/// to the decoded version: `ValueRef::stable_hash` replays the exact
+/// hasher sequence of `Value::stable_hash`, and an out-of-range field
+/// yields the MISSING encoding, which hashes as `Value::Missing`.
+pub fn hash_encoded_fields(tuple: &TupleRef<'_>, fields: &[usize]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &f in fields {
+        h ^= tuple.field(f).stable_hash();
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
@@ -81,6 +190,7 @@ pub fn hash_fields(tuple: &Tuple, fields: &[usize]) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use asterix_adm::encode_tuple;
 
     #[test]
     fn hash_respects_numeric_promotion() {
@@ -95,5 +205,68 @@ mod tests {
     fn missing_fields_hash_consistently() {
         let a: Tuple = vec![Value::Int32(1)];
         assert_eq!(hash_fields(&a, &[5]), hash_fields(&a, &[9]));
+    }
+
+    #[test]
+    fn missing_field_hash_is_distinguished_from_zero_hash() {
+        // An absent field must not collide with any "hash 0" sentinel: it
+        // hashes exactly as an explicit MISSING value does.
+        let absent: Tuple = vec![];
+        let explicit: Tuple = vec![Value::Missing];
+        assert_eq!(hash_fields(&absent, &[0]), hash_fields(&explicit, &[0]));
+        assert_ne!(
+            hash_fields(&absent, &[0]),
+            0xcbf2_9ce4_8422_2325u64.wrapping_mul(0x0000_0100_0000_01b3)
+        );
+    }
+
+    #[test]
+    fn encoded_hash_is_bit_identical_to_decoded_hash() {
+        let tuples: Vec<Tuple> = vec![
+            vec![Value::Int32(5), Value::string("x")],
+            vec![Value::Int64(5), Value::string("x")],
+            vec![Value::Missing, Value::Null, Value::Double(2.5)],
+            vec![],
+        ];
+        for t in &tuples {
+            let enc = encode_tuple(t);
+            let r = TupleRef::new(&enc).unwrap();
+            for fields in [&[0usize][..], &[0, 1], &[2], &[7], &[1, 5, 0]] {
+                assert_eq!(
+                    hash_fields(t, fields),
+                    hash_encoded_fields(&r, fields),
+                    "hash mismatch for {t:?} fields {fields:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frame_occupancy_is_byte_exact() {
+        let mut f = FrameBuf::new();
+        let t1 = encode_tuple(&[Value::Int64(1), Value::string("abc")]);
+        let t2 = encode_tuple(&[Value::Null]);
+        f.push_encoded(&t1);
+        f.push_tuple(&[Value::Null]);
+        assert_eq!(f.tuple_count(), 2);
+        assert_eq!(f.occupancy(), t1.len() + t2.len() + 2 * 4);
+        assert_eq!(f.tuple_bytes(0), &t1[..]);
+        assert_eq!(f.tuple_bytes(1), &t2[..]);
+        assert_eq!(f.decode_tuple(1).unwrap(), vec![Value::Null]);
+        f.clear();
+        assert!(f.is_empty());
+        assert_eq!(f.occupancy(), 0);
+    }
+
+    #[test]
+    fn pool_recycles_byte_buffers() {
+        let pool = FramePool::with_max(2);
+        let mut f = pool.take();
+        f.push_tuple(&[Value::Int64(7)]);
+        pool.give(f);
+        assert_eq!(pool.pooled(), 1);
+        let f = pool.take();
+        assert!(f.is_empty(), "recycled frame comes back cleared");
+        assert_eq!(pool.pooled(), 0);
     }
 }

@@ -69,20 +69,12 @@ impl JobSpec {
 
     /// Incoming connector indexes of `dst`, in input order.
     pub(crate) fn inputs_of(&self, dst: OperatorId) -> Vec<usize> {
-        self.conns
-            .iter()
-            .enumerate()
-            .filter_map(|(i, c)| (c.dst == dst).then_some(i))
-            .collect()
+        self.conns.iter().enumerate().filter_map(|(i, c)| (c.dst == dst).then_some(i)).collect()
     }
 
     /// Outgoing connector indexes of `src`, in output order.
     pub(crate) fn outputs_of(&self, src: OperatorId) -> Vec<usize> {
-        self.conns
-            .iter()
-            .enumerate()
-            .filter_map(|(i, c)| (c.src == src).then_some(i))
-            .collect()
+        self.conns.iter().enumerate().filter_map(|(i, c)| (c.src == src).then_some(i)).collect()
     }
 
     /// Topological order of operators; errors on cycles.
@@ -92,8 +84,7 @@ impl JobSpec {
         for c in &self.conns {
             indegree[c.dst.0] += 1;
         }
-        let mut queue: Vec<usize> =
-            (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
         let mut out = Vec::with_capacity(n);
         while let Some(i) = queue.pop() {
             out.push(OperatorId(i));

@@ -25,9 +25,12 @@ pub mod job;
 pub mod ops;
 pub mod profile;
 
-pub use connector::{ConnectorKind, ExchangeConfig, ExchangeStats};
+pub use connector::{Comparator, ConnectorKind, ExchangeConfig, ExchangeStats};
 pub use error::{HyracksError, Result};
 pub use executor::{run_job, run_job_profiled, run_job_with, run_job_with_stats, ExecutorConfig};
-pub use profile::{JobProfile, OperatorProfile, PartitionProfile, PortStat};
-pub use frame::{Frame, FramePool, Tuple, FRAME_CAPACITY};
+pub use frame::{
+    hash_encoded_fields, hash_fields, Frame, FrameBuf, FramePool, Tuple, DEFAULT_FRAME_BYTES,
+    FRAME_CAPACITY,
+};
 pub use job::{JobSpec, OperatorId};
+pub use profile::{JobProfile, OperatorProfile, PartitionProfile, PortStat};

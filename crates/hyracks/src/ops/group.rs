@@ -7,7 +7,7 @@
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
-use asterix_adm::{AdmError, Value};
+use asterix_adm::{ordkey, AdmError, TupleRef, Value};
 
 use super::{OpCtx, OperatorDescriptor};
 use crate::frame::Tuple;
@@ -59,9 +59,23 @@ impl AggSpec {
 enum AggState {
     Count(i64),
     /// (sum as f64, all-int flag, int sum, poisoned-by-null)
-    Sum { sum: f64, all_int: bool, isum: i64, poisoned: bool, seen: bool },
-    MinMax { best: Option<Value>, is_min: bool, poisoned: bool },
-    Avg { sum: f64, count: i64, poisoned: bool },
+    Sum {
+        sum: f64,
+        all_int: bool,
+        isum: i64,
+        poisoned: bool,
+        seen: bool,
+    },
+    MinMax {
+        best: Option<Value>,
+        is_min: bool,
+        poisoned: bool,
+    },
+    Avg {
+        sum: f64,
+        count: i64,
+        poisoned: bool,
+    },
     Listify(Vec<Value>),
 }
 
@@ -260,27 +274,6 @@ impl AddAssignFrom for f64 {
     }
 }
 
-/// Group-key wrapper with ADM equality/hash semantics.
-#[derive(Debug, Clone)]
-struct GroupKey(Vec<Value>);
-
-impl PartialEq for GroupKey {
-    fn eq(&self, other: &Self) -> bool {
-        self.0.len() == other.0.len()
-            && self.0.iter().zip(&other.0).all(|(a, b)| a.total_cmp(b).is_eq())
-    }
-}
-
-impl Eq for GroupKey {}
-
-impl std::hash::Hash for GroupKey {
-    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        for v in &self.0 {
-            state.write_u64(v.stable_hash());
-        }
-    }
-}
-
 /// Whether a grouping operator computes partials, finals from partials, or
 /// everything in one step — the local/global split.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -305,8 +298,8 @@ fn run_grouping(
     let out = &mut outputs[0];
     let _ = label;
 
-    let mut emit_group = |key: GroupKey, states: Vec<AggState>| -> Result<()> {
-        let mut row: Tuple = key.0;
+    let mut emit_group = |key_vals: Tuple, states: Vec<AggState>| -> Result<()> {
+        let mut row: Tuple = key_vals;
         for st in &states {
             match mode {
                 GroupMode::Partial => row.extend(st.partial()),
@@ -316,20 +309,27 @@ fn run_grouping(
         out.push(row)
     };
 
-    let extract_key = |t: &Tuple| -> GroupKey {
-        GroupKey(
-            keys.iter()
-                .map(|&i| t.get(i).cloned().unwrap_or(Value::Missing))
-                .collect(),
-        )
+    // Group keys are the canonical comparison-key encodings of the key
+    // fields, read straight off the encoded tuple: byte equality is ADM
+    // `total_cmp` equality, so no custom Eq/Hash wrapper is needed. The
+    // first occurrence's decoded key values are kept for emission.
+    let extract_key = |r: &TupleRef<'_>| -> Result<(Vec<u8>, Tuple)> {
+        let mut kb = Vec::new();
+        let mut kvals: Tuple = Vec::with_capacity(keys.len());
+        for &i in keys {
+            let v = r.field_value(i)?;
+            ordkey::encode_value_into(&mut kb, &v);
+            kvals.push(v);
+        }
+        Ok((kb, kvals))
     };
 
-    let feed = |states: &mut Vec<AggState>, t: &Tuple| -> Result<()> {
+    let feed = |states: &mut Vec<AggState>, r: &TupleRef<'_>| -> Result<()> {
         for (spec, st) in aggs.iter().zip(states.iter_mut()) {
             match mode {
                 GroupMode::Partial | GroupMode::Complete => {
-                    let v = t.get(spec.field).cloned().unwrap_or(Value::Missing);
-                    st.accumulate(spec, &v)?;
+                    // Only the aggregated field is decoded, not the tuple.
+                    st.accumulate(spec, &r.field_value(spec.field)?)?;
                 }
                 GroupMode::Final => {
                     // Partial fields follow the key fields in declared
@@ -339,8 +339,8 @@ fn run_grouping(
                         off += prior.partial_arity();
                     }
                     let slice: Vec<Value> = (0..spec.partial_arity())
-                        .map(|i| t.get(off + i).cloned().unwrap_or(Value::Missing))
-                        .collect();
+                        .map(|i| r.field_value(off + i))
+                        .collect::<asterix_adm::Result<_>>()?;
                     st.combine(spec, &slice)?;
                 }
             }
@@ -350,36 +350,38 @@ fn run_grouping(
 
     if preclustered {
         // Input arrives clustered by key: emit each group as it closes.
-        let mut current: Option<(GroupKey, Vec<AggState>)> = None;
-        inputs[0].for_each(|t| {
-            let key = extract_key(&t);
-            let close = matches!(&current, Some((k, _)) if *k != key);
+        let mut current: Option<(Vec<u8>, Tuple, Vec<AggState>)> = None;
+        inputs[0].for_each_raw(|bytes| {
+            let r = TupleRef::new(bytes)?;
+            let (kb, kvals) = extract_key(&r)?;
+            let close = matches!(&current, Some((k, _, _)) if *k != kb);
             if close {
-                let (k, states) = current.take().unwrap();
-                emit_group(k, states)?;
+                let (_, kv, states) = current.take().unwrap();
+                emit_group(kv, states)?;
             }
             if current.is_none() {
-                current = Some((key, aggs.iter().map(AggState::init).collect()));
+                current = Some((kb, kvals, aggs.iter().map(AggState::init).collect()));
             }
-            feed(&mut current.as_mut().unwrap().1, &t)?;
+            feed(&mut current.as_mut().unwrap().2, &r)?;
             Ok(true)
         })?;
-        if let Some((k, states)) = current.take() {
-            emit_group(k, states)?;
+        if let Some((_, kv, states)) = current.take() {
+            emit_group(kv, states)?;
         }
     } else {
-        let mut table: HashMap<GroupKey, Vec<AggState>> = HashMap::new();
-        inputs[0].for_each(|t| {
-            let key = extract_key(&t);
-            let states = match table.entry(key) {
+        let mut table: HashMap<Vec<u8>, (Tuple, Vec<AggState>)> = HashMap::new();
+        inputs[0].for_each_raw(|bytes| {
+            let r = TupleRef::new(bytes)?;
+            let (kb, kvals) = extract_key(&r)?;
+            let (_, states) = match table.entry(kb) {
                 Entry::Occupied(e) => e.into_mut(),
-                Entry::Vacant(e) => e.insert(aggs.iter().map(AggState::init).collect()),
+                Entry::Vacant(e) => e.insert((kvals, aggs.iter().map(AggState::init).collect())),
             };
-            feed(states, &t)?;
+            feed(states, &r)?;
             Ok(true)
         })?;
-        for (k, states) in table {
-            emit_group(k, states)?;
+        for (_, (kv, states)) in table {
+            emit_group(kv, states)?;
         }
     }
     Ok(())
@@ -406,11 +408,7 @@ impl HashGroupOp {
 
 impl OperatorDescriptor for HashGroupOp {
     fn name(&self) -> String {
-        format!(
-            "hash-group {} ({:?})",
-            self.label,
-            self.mode
-        )
+        format!("hash-group {} ({:?})", self.label, self.mode)
     }
 
     fn blocking_inputs(&self) -> Vec<usize> {
@@ -488,12 +486,12 @@ impl OperatorDescriptor for ScalarAggOp {
         let aggs = &self.aggs;
         let mode = self.mode;
         let mut states: Vec<AggState> = aggs.iter().map(AggState::init).collect();
-        inputs[0].for_each(|t| {
+        inputs[0].for_each_raw(|bytes| {
+            let r = TupleRef::new(bytes)?;
             for (spec, st) in aggs.iter().zip(states.iter_mut()) {
                 match mode {
                     GroupMode::Partial | GroupMode::Complete => {
-                        let v = t.get(spec.field).cloned().unwrap_or(Value::Missing);
-                        st.accumulate(spec, &v)?;
+                        st.accumulate(spec, &r.field_value(spec.field)?)?;
                     }
                     GroupMode::Final => {
                         let mut off = 0usize;
@@ -501,8 +499,8 @@ impl OperatorDescriptor for ScalarAggOp {
                             off += prior.partial_arity();
                         }
                         let slice: Vec<Value> = (0..spec.partial_arity())
-                            .map(|i| t.get(off + i).cloned().unwrap_or(Value::Missing))
-                            .collect();
+                            .map(|i| r.field_value(off + i))
+                            .collect::<asterix_adm::Result<_>>()?;
                         st.combine(spec, &slice)?;
                     }
                 }
@@ -540,10 +538,7 @@ mod tests {
     }
 
     fn rows(pairs: &[(i64, i64)]) -> Vec<Tuple> {
-        pairs
-            .iter()
-            .map(|&(k, v)| vec![Value::Int64(k), Value::Int64(v)])
-            .collect()
+        pairs.iter().map(|&(k, v)| vec![Value::Int64(k), Value::Int64(v)]).collect()
     }
 
     #[test]
@@ -582,14 +577,9 @@ mod tests {
         );
         let mut partials = p1;
         partials.extend(p2);
-        let mut two_step = run_op(
-            &HashGroupOp::new("g", vec![0], aggs.clone(), GroupMode::Final),
-            partials,
-        );
-        let mut one_step = run_op(
-            &HashGroupOp::new("c", vec![0], aggs, GroupMode::Complete),
-            data,
-        );
+        let mut two_step =
+            run_op(&HashGroupOp::new("g", vec![0], aggs.clone(), GroupMode::Final), partials);
+        let mut one_step = run_op(&HashGroupOp::new("c", vec![0], aggs, GroupMode::Complete), data);
         two_step.sort_by(|a, b| a[0].total_cmp(&b[0]));
         one_step.sort_by(|a, b| a[0].total_cmp(&b[0]));
         assert_eq!(two_step, one_step);
@@ -616,17 +606,11 @@ mod tests {
     #[test]
     fn scalar_local_global_avg_like_figure6() {
         let aggs = vec![AggSpec::new(AggKind::Avg, 0)];
-        let vals = |xs: &[i64]| -> Vec<Tuple> {
-            xs.iter().map(|&v| vec![Value::Int64(v)]).collect()
-        };
-        let l1 = run_op(
-            &ScalarAggOp::new("avg", aggs.clone(), GroupMode::Partial),
-            vals(&[10, 20]),
-        );
-        let l2 = run_op(
-            &ScalarAggOp::new("avg", aggs.clone(), GroupMode::Partial),
-            vals(&[60]),
-        );
+        let vals =
+            |xs: &[i64]| -> Vec<Tuple> { xs.iter().map(|&v| vec![Value::Int64(v)]).collect() };
+        let l1 =
+            run_op(&ScalarAggOp::new("avg", aggs.clone(), GroupMode::Partial), vals(&[10, 20]));
+        let l2 = run_op(&ScalarAggOp::new("avg", aggs.clone(), GroupMode::Partial), vals(&[60]));
         let mut partials = l1;
         partials.extend(l2);
         let fin = run_op(&ScalarAggOp::new("avg", aggs, GroupMode::Final), partials);

@@ -1,6 +1,13 @@
 //! Join operators (§4.1): HybridHash (with Grace-style spilling),
 //! NestedLoop, and the index nested-loop join selected by the
 //! `/*+ indexnl */` hint (Query 14).
+//!
+//! The hash join works on *encoded* tuples throughout: hash-table keys are
+//! the canonical `ordkey` encodings of the join-key values (byte equality
+//! there is exactly ADM `total_cmp` equality, collapsing numeric widths),
+//! buckets hold raw tuple encodings, output rows are built by byte-level
+//! concatenation ([`concat_tuples_into`]), and Grace spill partitions are
+//! files of raw tuple bytes hashed with the byte-level field hasher.
 
 use std::collections::HashMap;
 use std::fs::File;
@@ -9,11 +16,11 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
 
-use asterix_adm::{serde as adm_serde, Value};
+use asterix_adm::{concat_tuples_into, encode_tuple, ordkey, TupleRef, Value};
 
 use super::{OpCtx, OperatorDescriptor};
 use crate::connector::OutputPort;
-use crate::frame::{hash_fields, Tuple};
+use crate::frame::{hash_encoded_fields, Tuple};
 use crate::Result;
 
 /// Join type: inner, or outer on the probe input (unmatched probe tuples
@@ -25,39 +32,32 @@ pub enum JoinType {
     ProbeOuter,
 }
 
-/// Key wrapper with ADM equality semantics for join hash tables.
-#[derive(Debug, Clone)]
-struct JoinKey(Vec<Value>);
-
-impl JoinKey {
-    fn from(t: &Tuple, fields: &[usize]) -> Option<JoinKey> {
-        let mut vals = Vec::with_capacity(fields.len());
-        for &f in fields {
-            let v = t.get(f).cloned().unwrap_or(Value::Missing);
-            if v.is_unknown() {
-                return None; // unknown keys never join
-            }
-            vals.push(v);
+/// The hash-table key of one encoded tuple: concatenated canonical
+/// comparison-key encodings of the key fields. `None` when any key value
+/// is NULL/MISSING (unknown keys never join) — detected from the leading
+/// type tag without decoding.
+fn join_key(r: &TupleRef<'_>, fields: &[usize]) -> Result<Option<Vec<u8>>> {
+    let mut key = Vec::new();
+    for &f in fields {
+        let vr = r.field(f);
+        if vr.is_unknown() {
+            return Ok(None);
         }
-        Some(JoinKey(vals))
+        ordkey::encode_value_into(&mut key, &vr.to_value()?);
     }
+    Ok(Some(key))
 }
 
-impl PartialEq for JoinKey {
-    fn eq(&self, other: &Self) -> bool {
-        self.0.len() == other.0.len()
-            && self.0.iter().zip(&other.0).all(|(a, b)| a.total_cmp(b).is_eq())
-    }
+/// Encoded all-NULL padding row for ProbeOuter output.
+fn null_pad(arity: usize) -> Vec<u8> {
+    encode_tuple(&vec![Value::Null; arity])
 }
 
-impl Eq for JoinKey {}
-
-impl std::hash::Hash for JoinKey {
-    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        for v in &self.0 {
-            state.write_u64(v.stable_hash());
-        }
-    }
+/// Concatenate two encoded tuples and push the result.
+fn push_concat(out: &mut OutputPort, scratch: &mut Vec<u8>, b: &[u8], p: &[u8]) -> Result<()> {
+    scratch.clear();
+    concat_tuples_into(scratch, &TupleRef::new(b)?, &TupleRef::new(p)?);
+    out.push_encoded(scratch)
 }
 
 static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
@@ -79,10 +79,10 @@ impl SpillWriter {
         Ok(SpillWriter { w: BufWriter::new(File::create(&path)?), path, count: 0 })
     }
 
-    fn write(&mut self, t: &Tuple) -> Result<()> {
-        let bytes = adm_serde::encode(&Value::ordered_list(t.clone()));
+    /// Append one raw tuple encoding, length-prefixed.
+    fn write(&mut self, bytes: &[u8]) -> Result<()> {
         self.w.write_all(&(bytes.len() as u32).to_le_bytes())?;
-        self.w.write_all(&bytes)?;
+        self.w.write_all(bytes)?;
         self.count += 1;
         Ok(())
     }
@@ -93,7 +93,7 @@ impl SpillWriter {
     }
 }
 
-fn read_spill(path: &PathBuf) -> Result<Vec<Tuple>> {
+fn read_spill(path: &PathBuf) -> Result<Vec<Vec<u8>>> {
     let mut r = BufReader::new(File::open(path)?);
     let mut out = Vec::new();
     loop {
@@ -106,9 +106,7 @@ fn read_spill(path: &PathBuf) -> Result<Vec<Tuple>> {
         let len = u32::from_le_bytes(len_buf) as usize;
         let mut buf = vec![0u8; len];
         r.read_exact(&mut buf)?;
-        let v = adm_serde::decode(&buf)
-            .map_err(|e| crate::HyracksError::Operator(format!("corrupt join spill: {e}")))?;
-        out.push(v.as_list().map(|l| l.to_vec()).unwrap_or_default());
+        out.push(buf);
     }
     let _ = std::fs::remove_file(path);
     Ok(out)
@@ -152,32 +150,30 @@ impl HybridHashJoinOp {
 
     fn join_in_memory(
         &self,
-        build: Vec<Tuple>,
-        probe: Vec<Tuple>,
+        build: Vec<Vec<u8>>,
+        probe: Vec<Vec<u8>>,
         build_arity: usize,
         out: &mut OutputPort,
     ) -> Result<()> {
-        let mut table: HashMap<JoinKey, Vec<Tuple>> = HashMap::new();
-        for t in build {
-            if let Some(k) = JoinKey::from(&t, &self.build_keys) {
-                table.entry(k).or_default().push(t);
+        let mut table: HashMap<Vec<u8>, Vec<Vec<u8>>> = HashMap::new();
+        for bytes in build {
+            if let Some(k) = join_key(&TupleRef::new(&bytes)?, &self.build_keys)? {
+                table.entry(k).or_default().push(bytes);
             }
         }
+        let pad = null_pad(build_arity);
+        let mut scratch = Vec::new();
         for p in probe {
-            let matches = JoinKey::from(&p, &self.probe_keys)
-                .and_then(|k| table.get(&k));
+            let matches =
+                join_key(&TupleRef::new(&p)?, &self.probe_keys)?.and_then(|k| table.get(&k));
             match matches {
                 Some(ms) => {
                     for b in ms {
-                        let mut row = b.clone();
-                        row.extend(p.iter().cloned());
-                        out.push(row)?;
+                        push_concat(out, &mut scratch, b, &p)?;
                     }
                 }
                 None if self.join_type == JoinType::ProbeOuter => {
-                    let mut row: Tuple = vec![Value::Null; build_arity];
-                    row.extend(p.iter().cloned());
-                    out.push(row)?;
+                    push_concat(out, &mut scratch, &pad, &p)?;
                 }
                 None => {}
             }
@@ -197,8 +193,9 @@ impl OperatorDescriptor for HybridHashJoinOp {
 
     fn run(&self, ctx: &mut OpCtx) -> Result<()> {
         let OpCtx { inputs, outputs, .. } = ctx;
-        // Build phase: buffer until budget, then switch to Grace spilling.
-        let mut build_mem: Vec<Tuple> = Vec::new();
+        // Build phase: buffer encoded tuples until budget, then switch to
+        // Grace spilling.
+        let mut build_mem: Vec<Vec<u8>> = Vec::new();
         let mut bytes = 0usize;
         let mut spilled = false;
         let mut build_writers: Vec<SpillWriter> = Vec::new();
@@ -209,26 +206,27 @@ impl OperatorDescriptor for HybridHashJoinOp {
         let mut build_arity = 0usize;
         {
             let input0 = &mut inputs[0];
-            input0.for_each(|t| {
-                build_arity = build_arity.max(t.len());
+            input0.for_each_raw(|enc| {
+                let r = TupleRef::new(enc)?;
+                build_arity = build_arity.max(r.field_count());
                 if !spilled {
-                    bytes += t.iter().map(|v| v.approx_size()).sum::<usize>() + 24;
-                    build_mem.push(t);
+                    bytes += enc.len() + 32;
+                    build_mem.push(enc.to_vec());
                     if bytes >= budget {
                         spilled = true;
                         for i in 0..fanout {
-                            build_writers.push(SpillWriter::create(&format!(
-                                "{label}-b{i}"
-                            ))?);
+                            build_writers.push(SpillWriter::create(&format!("{label}-b{i}"))?);
                         }
-                        for t in build_mem.drain(..) {
-                            let h = hash_fields(&t, &build_keys) as usize % fanout;
-                            build_writers[h].write(&t)?;
+                        for enc in build_mem.drain(..) {
+                            let h = hash_encoded_fields(&TupleRef::new(&enc)?, &build_keys)
+                                as usize
+                                % fanout;
+                            build_writers[h].write(&enc)?;
                         }
                     }
                 } else {
-                    let h = hash_fields(&t, &build_keys) as usize % fanout;
-                    build_writers[h].write(&t)?;
+                    let h = hash_encoded_fields(&r, &build_keys) as usize % fanout;
+                    build_writers[h].write(enc)?;
                 }
                 Ok(true)
             })?;
@@ -237,27 +235,26 @@ impl OperatorDescriptor for HybridHashJoinOp {
         let out = &mut outputs[0];
         if !spilled {
             // Pure in-memory: stream the probe side.
-            let mut table: HashMap<JoinKey, Vec<Tuple>> = HashMap::new();
-            for t in build_mem {
-                if let Some(k) = JoinKey::from(&t, &self.build_keys) {
-                    table.entry(k).or_default().push(t);
+            let mut table: HashMap<Vec<u8>, Vec<Vec<u8>>> = HashMap::new();
+            for enc in build_mem {
+                if let Some(k) = join_key(&TupleRef::new(&enc)?, &self.build_keys)? {
+                    table.entry(k).or_default().push(enc);
                 }
             }
             let probe_keys = &self.probe_keys;
             let join_type = self.join_type;
-            inputs[1].for_each(|p| {
-                match JoinKey::from(&p, probe_keys).and_then(|k| table.get(&k)) {
+            let pad = null_pad(build_arity);
+            let mut scratch = Vec::new();
+            inputs[1].for_each_raw(|p| {
+                let k = join_key(&TupleRef::new(p)?, probe_keys)?;
+                match k.and_then(|k| table.get(&k)) {
                     Some(ms) => {
                         for b in ms {
-                            let mut row = b.clone();
-                            row.extend(p.iter().cloned());
-                            out.push(row)?;
+                            push_concat(out, &mut scratch, b, p)?;
                         }
                     }
                     None if join_type == JoinType::ProbeOuter => {
-                        let mut row: Tuple = vec![Value::Null; build_arity];
-                        row.extend(p);
-                        out.push(row)?;
+                        push_concat(out, &mut scratch, &pad, p)?;
                     }
                     None => {}
                 }
@@ -267,23 +264,19 @@ impl OperatorDescriptor for HybridHashJoinOp {
         }
 
         // Grace: partition the probe side the same way, then join pairwise.
-        let build_parts: Vec<(PathBuf, usize)> = build_writers
-            .into_iter()
-            .map(|w| w.finish())
-            .collect::<Result<_>>()?;
+        let build_parts: Vec<(PathBuf, usize)> =
+            build_writers.into_iter().map(|w| w.finish()).collect::<Result<_>>()?;
         let mut probe_writers: Vec<SpillWriter> = (0..fanout)
             .map(|i| SpillWriter::create(&format!("{label}-p{i}")))
             .collect::<Result<_>>()?;
         let probe_keys = self.probe_keys.clone();
-        inputs[1].for_each(|t| {
-            let h = hash_fields(&t, &probe_keys) as usize % fanout;
-            probe_writers[h].write(&t)?;
+        inputs[1].for_each_raw(|enc| {
+            let h = hash_encoded_fields(&TupleRef::new(enc)?, &probe_keys) as usize % fanout;
+            probe_writers[h].write(enc)?;
             Ok(true)
         })?;
-        let probe_parts: Vec<(PathBuf, usize)> = probe_writers
-            .into_iter()
-            .map(|w| w.finish())
-            .collect::<Result<_>>()?;
+        let probe_parts: Vec<(PathBuf, usize)> =
+            probe_writers.into_iter().map(|w| w.finish()).collect::<Result<_>>()?;
         for ((bpath, bcount), (ppath, pcount)) in build_parts.iter().zip(probe_parts.iter()) {
             if *pcount == 0 && (*bcount == 0 || self.join_type == JoinType::Inner) {
                 let _ = std::fs::remove_file(bpath);
@@ -328,25 +321,30 @@ impl OperatorDescriptor for NestedLoopJoinOp {
 
     fn run(&self, ctx: &mut OpCtx) -> Result<()> {
         let OpCtx { inputs, outputs, .. } = ctx;
-        let build = inputs[0].collect()?;
-        let build_arity = build.iter().map(|t| t.len()).max().unwrap_or(0);
+        // The predicate needs decoded values; keep the encoding alongside
+        // so matched rows are emitted by byte concatenation, not cloning.
+        let mut build: Vec<(Tuple, Vec<u8>)> = Vec::new();
+        inputs[0].for_each_raw(|enc| {
+            build.push((asterix_adm::decode_tuple(enc)?, enc.to_vec()));
+            Ok(true)
+        })?;
+        let build_arity = build.iter().map(|(t, _)| t.len()).max().unwrap_or(0);
+        let pad = null_pad(build_arity);
         let out = &mut outputs[0];
         let pred = &self.pred;
         let join_type = self.join_type;
-        inputs[1].for_each(|p| {
+        let mut scratch = Vec::new();
+        inputs[1].for_each_raw(|penc| {
+            let p = asterix_adm::decode_tuple(penc)?;
             let mut matched = false;
-            for b in &build {
+            for (b, benc) in &build {
                 if pred(b, &p)? {
                     matched = true;
-                    let mut row = b.clone();
-                    row.extend(p.iter().cloned());
-                    out.push(row)?;
+                    push_concat(out, &mut scratch, benc, penc)?;
                 }
             }
             if !matched && join_type == JoinType::ProbeOuter {
-                let mut row: Tuple = vec![Value::Null; build_arity];
-                row.extend(p);
-                out.push(row)?;
+                push_concat(out, &mut scratch, &pad, penc)?;
             }
             Ok(true)
         })
@@ -390,18 +388,21 @@ impl OperatorDescriptor for IndexNestedLoopJoinOp {
         let out = &mut outputs[0];
         let probe = &self.probe;
         let join_type = self.join_type;
-        let inner_arity = self.inner_arity;
-        inputs[0].for_each(|t| {
+        let pad = null_pad(self.inner_arity);
+        let mut scratch = Vec::new();
+        let mut menc = Vec::new();
+        inputs[0].for_each_raw(|enc| {
+            let t = asterix_adm::decode_tuple(enc)?;
             let matches = probe(&t)?;
             if matches.is_empty() && join_type == JoinType::ProbeOuter {
-                let mut row = t.clone();
-                row.extend(std::iter::repeat_n(Value::Null, inner_arity));
-                out.push(row)?;
+                push_concat(out, &mut scratch, enc, &pad)?;
             } else {
+                // The outer tuple's bytes are reused per match; only the
+                // index-side row needs encoding.
                 for m in matches {
-                    let mut row = t.clone();
-                    row.extend(m);
-                    out.push(row)?;
+                    menc.clear();
+                    asterix_adm::encode_tuple_into(&mut menc, &m);
+                    push_concat(out, &mut scratch, enc, &menc)?;
                 }
             }
             Ok(true)
@@ -415,11 +416,7 @@ mod tests {
     use crate::connector::{wire, ConnectorKind, ExchangeConfig};
     use crate::ops::OpCtx;
 
-    fn run_join(
-        op: &dyn OperatorDescriptor,
-        build: Vec<Tuple>,
-        probe: Vec<Tuple>,
-    ) -> Vec<Tuple> {
+    fn run_join(op: &dyn OperatorDescriptor, build: Vec<Tuple>, probe: Vec<Tuple>) -> Vec<Tuple> {
         let x = ExchangeConfig::default();
         let (mut b_out, b_in) = wire(&ConnectorKind::OneToOne, 1, 1, &|_| 0, &x).unwrap();
         let (mut p_out, p_in) = wire(&ConnectorKind::OneToOne, 1, 1, &|_| 0, &x).unwrap();
@@ -482,13 +479,30 @@ mod tests {
     }
 
     #[test]
+    fn mixed_width_keys_join_by_value() {
+        // Int32(7) on the build side joins Int64(7) / Double(7.0) probes:
+        // the canonical key encoding collapses numeric widths just like
+        // total_cmp equality did at the Value level.
+        let op = HybridHashJoinOp::new("j", vec![0], vec![0], JoinType::Inner);
+        let out = run_join(
+            &op,
+            vec![vec![Value::Int32(7), Value::string("b")]],
+            vec![
+                vec![Value::Int64(7), Value::string("p1")],
+                vec![Value::Double(7.0), Value::string("p2")],
+                vec![Value::Int64(8), Value::string("p3")],
+            ],
+        );
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
     fn grace_spill_matches_in_memory() {
         let build: Vec<Tuple> = (0..2000i64).map(|i| kv(i % 500, "b")).collect();
         let probe: Vec<Tuple> = (0..1000i64).map(|i| kv(i % 500, "p")).collect();
         let big = HybridHashJoinOp::new("m", vec![0], vec![0], JoinType::Inner);
         let expected = run_join(&big, build.clone(), probe.clone()).len();
-        let tiny = HybridHashJoinOp::new("s", vec![0], vec![0], JoinType::Inner)
-            .with_budget(2048);
+        let tiny = HybridHashJoinOp::new("s", vec![0], vec![0], JoinType::Inner).with_budget(2048);
         let got = run_join(&tiny, build, probe).len();
         assert_eq!(got, expected);
         assert_eq!(got, 2000 * 2); // each probe key matches 4 build rows; 1000 probes * 4
@@ -496,16 +510,9 @@ mod tests {
 
     #[test]
     fn nested_loop_with_inequality() {
-        let op = NestedLoopJoinOp::new(
-            "nl",
-            |b, p| Ok(b[0].total_cmp(&p[0]).is_lt()),
-            JoinType::Inner,
-        );
-        let out = run_join(
-            &op,
-            vec![kv(1, "b1"), kv(5, "b5")],
-            vec![kv(3, "p3"), kv(6, "p6")],
-        );
+        let op =
+            NestedLoopJoinOp::new("nl", |b, p| Ok(b[0].total_cmp(&p[0]).is_lt()), JoinType::Inner);
+        let out = run_join(&op, vec![kv(1, "b1"), kv(5, "b5")], vec![kv(3, "p3"), kv(6, "p6")]);
         // b1<p3, b1<p6, b5<p6 → 3 rows.
         assert_eq!(out.len(), 3);
     }
@@ -534,8 +541,7 @@ mod tests {
             b_out[0].push(vec![Value::Int64(i)]).unwrap();
         }
         drop(b_out);
-        let mut ctx =
-            OpCtx { partition: 0, nparts: 1, node: 0, inputs: b_in, outputs: r_out };
+        let mut ctx = OpCtx { partition: 0, nparts: 1, node: 0, inputs: b_in, outputs: r_out };
         op.run(&mut ctx).unwrap();
         drop(ctx);
         let out = r_in[0].collect().unwrap();

@@ -34,6 +34,12 @@ pub type PredFn = Arc<dyn Fn(&Tuple) -> Result<bool> + Send + Sync>;
 pub type SourceFn =
     Arc<dyn Fn(usize, usize, &mut dyn FnMut(Tuple) -> Result<()>) -> Result<()> + Send + Sync>;
 
+/// Produce *encoded* source tuples for one partition — the zero-copy scan
+/// path: storage hands the offset-prefixed tuple encoding straight to the
+/// exchange without materializing `Value`s.
+pub type RawSourceFn =
+    Arc<dyn Fn(usize, usize, &mut dyn FnMut(&[u8]) -> Result<()>) -> Result<()> + Send + Sync>;
+
 /// Per-partition execution context handed to `run`.
 pub struct OpCtx {
     pub partition: usize,
@@ -66,10 +72,17 @@ pub trait OperatorDescriptor: Send + Sync {
 // ---------------------------------------------------------------------------
 
 /// A data source driven by a closure (dataset scans, index searches, value
-/// literals — the storage layer binds these).
+/// literals — the storage layer binds these). Sources either emit decoded
+/// tuples ([`SourceFn`]) or already-encoded tuple bytes ([`RawSourceFn`]);
+/// the raw form feeds the exchange without a decode/re-encode round trip.
 pub struct SourceOp {
     label: String,
-    source: SourceFn,
+    source: SourceBody,
+}
+
+enum SourceBody {
+    Decoded(SourceFn),
+    Raw(RawSourceFn),
 }
 
 impl SourceOp {
@@ -80,11 +93,16 @@ impl SourceOp {
             + Sync
             + 'static,
     ) -> SourceOp {
-        SourceOp { label: label.into(), source: Arc::new(f) }
+        SourceOp { label: label.into(), source: SourceBody::Decoded(Arc::new(f)) }
     }
 
     pub fn from_fn(label: impl Into<String>, f: SourceFn) -> SourceOp {
-        SourceOp { label: label.into(), source: f }
+        SourceOp { label: label.into(), source: SourceBody::Decoded(f) }
+    }
+
+    /// A source that emits encoded tuples (the serialized scan path).
+    pub fn from_raw_fn(label: impl Into<String>, f: RawSourceFn) -> SourceOp {
+        SourceOp { label: label.into(), source: SourceBody::Raw(f) }
     }
 }
 
@@ -96,7 +114,10 @@ impl OperatorDescriptor for SourceOp {
     fn run(&self, ctx: &mut OpCtx) -> Result<()> {
         let OpCtx { partition, nparts, outputs, .. } = ctx;
         let out = &mut outputs[0];
-        (self.source)(*partition, *nparts, &mut |t| out.push(t))
+        match &self.source {
+            SourceBody::Decoded(f) => f(*partition, *nparts, &mut |t| out.push(t)),
+            SourceBody::Raw(f) => f(*partition, *nparts, &mut |bytes| out.push_encoded(bytes)),
+        }
     }
 }
 
@@ -153,9 +174,11 @@ impl OperatorDescriptor for ApplyOp {
         let p = *partition;
         let out = &mut outputs[0];
         let apply = &self.apply;
-        inputs[0].for_each(|t| {
+        // Decode for the callback, but forward the original bytes verbatim.
+        inputs[0].for_each_raw(|bytes| {
+            let t = asterix_adm::decode_tuple(bytes)?;
             apply(p, &t)?;
-            out.push(t)?;
+            out.push_encoded(bytes)?;
             Ok(true)
         })
     }
@@ -186,9 +209,12 @@ impl OperatorDescriptor for SelectOp {
         let OpCtx { inputs, outputs, .. } = ctx;
         let out = &mut outputs[0];
         let pred = &self.pred;
-        inputs[0].for_each(|t| {
+        // Evaluate on a decoded view; surviving tuples are forwarded as
+        // their original bytes (no re-serialization).
+        inputs[0].for_each_raw(|bytes| {
+            let t = asterix_adm::decode_tuple(bytes)?;
             if pred(&t)? {
-                out.push(t)?;
+                out.push_encoded(bytes)?;
             }
             Ok(true)
         })
@@ -241,12 +267,15 @@ impl OperatorDescriptor for ProjectOp {
         let OpCtx { inputs, outputs, .. } = ctx;
         let out = &mut outputs[0];
         let fields = &self.fields;
-        inputs[0].for_each(|t| {
-            let projected: Tuple = fields
-                .iter()
-                .map(|&i| t.get(i).cloned().unwrap_or(Value::Missing))
-                .collect();
-            out.push(projected)?;
+        // Pure byte re-slicing: kept fields' encodings are copied into a
+        // fresh tuple without ever decoding them (out-of-range fields
+        // become MISSING, matching the decoded semantics).
+        let mut scratch = Vec::new();
+        inputs[0].for_each_raw(|bytes| {
+            let r = asterix_adm::TupleRef::new(bytes)?;
+            scratch.clear();
+            asterix_adm::tuple::project_tuple_into(&mut scratch, &r, fields);
+            out.push_encoded(&scratch)?;
             Ok(true)
         })
     }
@@ -274,7 +303,8 @@ impl OperatorDescriptor for LimitOp {
         let mut seen = 0usize;
         let mut emitted = 0usize;
         let (limit, offset) = (self.limit, self.offset);
-        inputs[0].for_each(|t| {
+        // Pure forwarding: never decodes a tuple.
+        inputs[0].for_each_raw(|bytes| {
             if seen < offset {
                 seen += 1;
                 return Ok(true);
@@ -282,7 +312,7 @@ impl OperatorDescriptor for LimitOp {
             if emitted >= limit {
                 return Ok(false);
             }
-            out.push(t)?;
+            out.push_encoded(bytes)?;
             emitted += 1;
             Ok(emitted < limit)
         })
@@ -367,8 +397,9 @@ impl OperatorDescriptor for UnionAllOp {
         let OpCtx { inputs, outputs, .. } = ctx;
         let out = &mut outputs[0];
         for input in inputs.iter_mut() {
-            input.for_each(|t| {
-                out.push(t)?;
+            // Pure forwarding: never decodes a tuple.
+            input.for_each_raw(|bytes| {
+                out.push_encoded(bytes)?;
                 Ok(true)
             })?;
         }
@@ -390,7 +421,9 @@ impl OperatorDescriptor for ReplicateOp {
         let OpCtx { inputs, outputs, .. } = ctx;
         let n = outputs.len();
         let mut closed = vec![false; n];
-        inputs[0].for_each(|t| {
+        // Byte forwarding: each tap gets the same encoding appended to its
+        // frame — no per-tap tuple clone.
+        inputs[0].for_each_raw(|bytes| {
             let mut all_closed = true;
             for (i, out) in outputs.iter_mut().enumerate() {
                 if closed[i] {
@@ -398,7 +431,7 @@ impl OperatorDescriptor for ReplicateOp {
                 }
                 // One tap hanging up must not starve the others; only stop
                 // consuming once every downstream path is gone.
-                match out.push(t.clone()) {
+                match out.push_encoded(bytes) {
                     Ok(()) => all_closed = false,
                     Err(crate::HyracksError::DownstreamClosed) => closed[i] = true,
                     Err(e) => return Err(e),
@@ -461,27 +494,19 @@ impl OperatorDescriptor for DistinctOp {
         let OpCtx { inputs, outputs, .. } = ctx;
         let out = &mut outputs[0];
         let keys = &self.keys;
-        let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::new();
-        let mut reps: Vec<Vec<asterix_adm::Value>> = Vec::new();
-        inputs[0].for_each(|t| {
-            let kv: Tuple = keys
-                .iter()
-                .map(|&i| t.get(i).cloned().unwrap_or(asterix_adm::Value::Missing))
-                .collect();
-            let h = crate::frame::hash_fields(&kv, &(0..kv.len()).collect::<Vec<_>>());
-            if seen.insert(h) {
-                reps.push(kv);
-                out.push(t)?;
-            } else {
-                // Hash collision check: compare against stored keys.
-                let dup = reps.iter().any(|r| {
-                    r.len() == kv.len()
-                        && r.iter().zip(&kv).all(|(a, b)| a.total_cmp(b).is_eq())
-                });
-                if !dup {
-                    reps.push(kv);
-                    out.push(t)?;
-                }
+        // Keyed by the canonical comparison-key encoding of the key
+        // columns: byte equality there is exactly `total_cmp == Equal`
+        // (numeric widths collapse), so no collision re-check is needed,
+        // and survivors are forwarded as their original bytes.
+        let mut seen: std::collections::HashSet<Vec<u8>> = std::collections::HashSet::new();
+        inputs[0].for_each_raw(|bytes| {
+            let r = asterix_adm::TupleRef::new(bytes)?;
+            let mut key = Vec::new();
+            for &i in keys {
+                asterix_adm::ordkey::encode_value_into(&mut key, &r.field_value(i)?);
+            }
+            if seen.insert(key) {
+                out.push_encoded(bytes)?;
             }
             Ok(true)
         })

@@ -1,11 +1,16 @@
 //! External sort (§4.1's sort operator; Figure 6 sorts primary keys
 //! between the secondary- and primary-index searches).
 //!
-//! Run generation + k-way merge: tuples accumulate in memory until the
-//! budget is exceeded, each full batch is sorted and spilled to a run file,
-//! and the final pass merges the in-memory batch with all runs. The
-//! run-generation side is a blocking activity, so a sort splits its job
-//! into stages exactly as §4.1 describes.
+//! Run generation + k-way merge over *encoded* tuples: each arriving tuple
+//! keeps its wire encoding and gets a cached **normalized key** — the
+//! concatenated, length-prefixed `asterix_adm::ordkey` encodings of its
+//! sort-key values. All comparisons during sorting, spilling, and merging
+//! are segmented `memcmp`s over those key bytes (with per-key descending
+//! reversal); tuple values are never re-decoded to compare. Spill runs
+//! store the raw `(key, tuple)` byte pairs, so merging reads compare and
+//! forward without any deserialization. The run-generation side is a
+//! blocking activity, so a sort splits its job into stages exactly as §4.1
+//! describes.
 
 use std::cmp::Ordering;
 use std::fs::File;
@@ -14,77 +19,130 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
 
-use asterix_adm::{serde as adm_serde, Value};
+use asterix_adm::{ordkey, TupleRef, Value};
 
 use super::{EvalFn, OpCtx, OperatorDescriptor};
 use crate::connector::Comparator;
 use crate::frame::Tuple;
 use crate::Result;
 
-/// One sort key: an expression and a direction.
+/// One sort key: an expression and a direction. Keys built with
+/// [`SortKey::field`] carry the field position, letting the sort read the
+/// key straight out of the encoded tuple instead of decoding every field.
 #[derive(Clone)]
 pub struct SortKey {
     pub expr: EvalFn,
     pub descending: bool,
+    /// Fast path: the key is plain field access at this position.
+    field: Option<usize>,
 }
 
 impl SortKey {
     pub fn asc(expr: EvalFn) -> SortKey {
-        SortKey { expr, descending: false }
+        SortKey { expr, descending: false, field: None }
     }
 
     pub fn desc(expr: EvalFn) -> SortKey {
-        SortKey { expr, descending: true }
+        SortKey { expr, descending: true, field: None }
     }
 
     /// Sort by field position helper.
     pub fn field(idx: usize, descending: bool) -> SortKey {
         SortKey {
-            expr: Arc::new(move |t: &Tuple| {
-                Ok(t.get(idx).cloned().unwrap_or(Value::Missing))
-            }),
+            expr: Arc::new(move |t: &Tuple| Ok(t.get(idx).cloned().unwrap_or(Value::Missing))),
             descending,
+            field: Some(idx),
         }
     }
 }
 
-/// Build a tuple comparator from sort keys (shared with the merging
-/// connector so repartitioned sorted streams stay sorted).
-pub fn sort_comparator(keys: &[SortKey]) -> Comparator {
-    let keys = keys.to_vec();
-    Arc::new(move |a: &Tuple, b: &Tuple| {
-        for k in &keys {
-            let va = (k.expr)(a).unwrap_or(Value::Missing);
-            let vb = (k.expr)(b).unwrap_or(Value::Missing);
-            let ord = va.total_cmp(&vb);
-            let ord = if k.descending { ord.reverse() } else { ord };
-            if ord != Ordering::Equal {
-                return ord;
+/// Append the normalized key of one encoded tuple: per sort key, a `u32`
+/// length prefix followed by the order-preserving `ordkey` encoding of the
+/// key value. Field-position keys read the single field from the encoding;
+/// expression keys decode the tuple once, lazily.
+fn norm_key_into(out: &mut Vec<u8>, keys: &[SortKey], bytes: &[u8]) -> Result<()> {
+    let r = TupleRef::new(bytes)?;
+    let mut decoded: Option<Tuple> = None;
+    for k in keys {
+        let v = match k.field {
+            Some(i) => r.field_value(i)?,
+            None => {
+                if decoded.is_none() {
+                    decoded = Some(r.decode()?);
+                }
+                // Expression failure sorts as MISSING, matching the
+                // historical comparator's behavior.
+                (k.expr)(decoded.as_ref().unwrap()).unwrap_or(Value::Missing)
             }
+        };
+        let pos = out.len();
+        out.extend_from_slice(&[0u8; 4]);
+        ordkey::encode_value_into(out, &v);
+        let seg = (out.len() - pos - 4) as u32;
+        out[pos..pos + 4].copy_from_slice(&seg.to_le_bytes());
+    }
+    Ok(())
+}
+
+/// Segmented memcmp of two normalized keys, reversing per-key descending
+/// segments. `ordkey` encodings order exactly as `Value::total_cmp`, so
+/// this is the byte-level equivalent of comparing the decoded key values.
+fn cmp_norm(keys: &[SortKey], a: &[u8], b: &[u8]) -> Ordering {
+    let (mut pa, mut pb) = (0usize, 0usize);
+    for k in keys {
+        let la = u32::from_le_bytes(a[pa..pa + 4].try_into().unwrap()) as usize;
+        let lb = u32::from_le_bytes(b[pb..pb + 4].try_into().unwrap()) as usize;
+        let sa = &a[pa + 4..pa + 4 + la];
+        let sb = &b[pb + 4..pb + 4 + lb];
+        pa += 4 + la;
+        pb += 4 + lb;
+        let ord = sa.cmp(sb);
+        let ord = if k.descending { ord.reverse() } else { ord };
+        if ord != Ordering::Equal {
+            return ord;
         }
-        Ordering::Equal
+    }
+    Ordering::Equal
+}
+
+/// Build a comparator over *encoded* tuples from sort keys (shared with
+/// the merging connector so repartitioned sorted streams stay sorted).
+/// Each call derives both tuples' normalized keys and compares the bytes —
+/// the same ordering the sort itself uses.
+pub fn sort_comparator(keys: &[SortKey]) -> Comparator {
+    let keys: Vec<SortKey> = keys.to_vec();
+    Arc::new(move |a: &[u8], b: &[u8]| {
+        let mut ka = Vec::new();
+        let mut kb = Vec::new();
+        if norm_key_into(&mut ka, &keys, a).is_err() || norm_key_into(&mut kb, &keys, b).is_err() {
+            return Ordering::Equal;
+        }
+        cmp_norm(&keys, &ka, &kb)
     })
+}
+
+/// One buffered row: cached normalized key plus the tuple's wire encoding.
+struct Row {
+    key: Vec<u8>,
+    bytes: Vec<u8>,
 }
 
 static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
 
 fn spill_path(label: &str) -> PathBuf {
     let n = SPILL_SEQ.fetch_add(1, AtomicOrdering::Relaxed);
-    std::env::temp_dir().join(format!(
-        "asterix-sort-{}-{}-{}.run",
-        std::process::id(),
-        label,
-        n
-    ))
+    std::env::temp_dir().join(format!("asterix-sort-{}-{}-{}.run", std::process::id(), label, n))
 }
 
-fn write_run(path: &PathBuf, tuples: &[Tuple]) -> Result<()> {
+/// Spill a sorted batch: `[u32 key_len][key][u32 tuple_len][tuple]` per
+/// row — raw bytes in, raw bytes out, nothing re-encoded.
+fn write_run(path: &PathBuf, rows: &[Row]) -> Result<()> {
     let mut w = BufWriter::new(File::create(path)?);
-    for t in tuples {
-        let v = Value::ordered_list(t.clone());
-        let bytes = adm_serde::encode(&v);
-        w.write_all(&(bytes.len() as u32).to_le_bytes())?;
-        w.write_all(&bytes)?;
+    for row in rows {
+        w.write_all(&(row.key.len() as u32).to_le_bytes())?;
+        w.write_all(&row.key)?;
+        w.write_all(&(row.bytes.len() as u32).to_le_bytes())?;
+        w.write_all(&row.bytes)?;
     }
     w.flush()?;
     Ok(())
@@ -93,7 +151,7 @@ fn write_run(path: &PathBuf, tuples: &[Tuple]) -> Result<()> {
 struct RunReader {
     reader: BufReader<File>,
     path: PathBuf,
-    head: Option<Tuple>,
+    head: Option<Row>,
 }
 
 impl RunReader {
@@ -104,22 +162,29 @@ impl RunReader {
         Ok(r)
     }
 
-    fn advance(&mut self) -> Result<()> {
+    fn read_chunk(&mut self) -> Result<Option<Vec<u8>>> {
         let mut len_buf = [0u8; 4];
         match self.reader.read_exact(&mut len_buf) {
             Ok(()) => {}
-            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
-                self.head = None;
-                return Ok(());
-            }
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
             Err(e) => return Err(e.into()),
         }
         let len = u32::from_le_bytes(len_buf) as usize;
         let mut buf = vec![0u8; len];
         self.reader.read_exact(&mut buf)?;
-        let v = adm_serde::decode(&buf)
-            .map_err(|e| crate::HyracksError::Operator(format!("corrupt sort run: {e}")))?;
-        self.head = v.as_list().map(|items| items.to_vec());
+        Ok(Some(buf))
+    }
+
+    fn advance(&mut self) -> Result<()> {
+        self.head = match self.read_chunk()? {
+            None => None,
+            Some(key) => {
+                let bytes = self
+                    .read_chunk()?
+                    .ok_or_else(|| crate::HyracksError::Operator("truncated sort run".into()))?;
+                Some(Row { key, bytes })
+            }
+        };
         Ok(())
     }
 }
@@ -160,17 +225,19 @@ impl OperatorDescriptor for SortOp {
 
     fn run(&self, ctx: &mut OpCtx) -> Result<()> {
         let OpCtx { inputs, outputs, .. } = ctx;
-        let cmp = sort_comparator(&self.keys);
-        let mut mem: Vec<Tuple> = Vec::new();
+        let keys = &self.keys;
+        let mut mem: Vec<Row> = Vec::new();
         let mut mem_bytes = 0usize;
         let mut runs: Vec<PathBuf> = Vec::new();
         let budget = self.mem_budget;
         let label = self.label.clone();
-        inputs[0].for_each(|t| {
-            mem_bytes += t.iter().map(|v| v.approx_size()).sum::<usize>() + 24;
-            mem.push(t);
+        inputs[0].for_each_raw(|bytes| {
+            let mut key = Vec::new();
+            norm_key_into(&mut key, keys, bytes)?;
+            mem_bytes += key.len() + bytes.len() + 64;
+            mem.push(Row { key, bytes: bytes.to_vec() });
             if mem_bytes >= budget {
-                mem.sort_by(|a, b| cmp(a, b));
+                mem.sort_by(|a, b| cmp_norm(keys, &a.key, &b.key));
                 let path = spill_path(&label);
                 write_run(&path, &mem)?;
                 runs.push(path);
@@ -179,15 +246,16 @@ impl OperatorDescriptor for SortOp {
             }
             Ok(true)
         })?;
-        mem.sort_by(|a, b| cmp(a, b));
+        mem.sort_by(|a, b| cmp_norm(keys, &a.key, &b.key));
         let out = &mut outputs[0];
         if runs.is_empty() {
-            for t in mem {
-                out.push(t)?;
+            for row in &mem {
+                out.push_encoded(&row.bytes)?;
             }
             return Ok(());
         }
-        // K-way merge of spilled runs plus the in-memory tail.
+        // K-way merge of spilled runs plus the in-memory tail; all head
+        // comparisons are normalized-key memcmps.
         let mut readers: Vec<RunReader> = Vec::with_capacity(runs.len());
         for path in runs {
             readers.push(RunReader::open(path)?);
@@ -201,7 +269,8 @@ impl OperatorDescriptor for SortOp {
                     match best {
                         None => best = Some(i),
                         Some(b) => {
-                            if cmp(h, readers[b].head.as_ref().unwrap()) == Ordering::Less {
+                            let bh = readers[b].head.as_ref().unwrap();
+                            if cmp_norm(keys, &h.key, &bh.key) == Ordering::Less {
                                 best = Some(i);
                             }
                         }
@@ -210,15 +279,17 @@ impl OperatorDescriptor for SortOp {
             }
             let take_mem = match (best, mem_iter.peek()) {
                 (None, Some(_)) => true,
-                (Some(b), Some(m)) => cmp(m, readers[b].head.as_ref().unwrap()) == Ordering::Less,
+                (Some(b), Some(m)) => {
+                    cmp_norm(keys, &m.key, &readers[b].head.as_ref().unwrap().key) == Ordering::Less
+                }
                 (_, None) => false,
             };
             if take_mem {
-                out.push(mem_iter.next().unwrap())?;
+                out.push_encoded(&mem_iter.next().unwrap().bytes)?;
             } else if let Some(b) = best {
-                let t = readers[b].head.take().unwrap();
+                let row = readers[b].head.take().unwrap();
                 readers[b].advance()?;
-                out.push(t)?;
+                out.push_encoded(&row.bytes)?;
             } else {
                 break;
             }
@@ -271,10 +342,33 @@ mod tests {
             .iter()
             .map(|t| (t[0].as_i64().unwrap(), t[1].as_str().unwrap().to_string()))
             .collect();
-        assert_eq!(
-            got,
-            vec![(2, "a".into()), (1, "a".into()), (1, "b".into())]
-        );
+        assert_eq!(got, vec![(2, "a".into()), (1, "a".into()), (1, "b".into())]);
+    }
+
+    #[test]
+    fn expression_keys_fall_back_to_decoded_eval() {
+        // Non-field keys can't use the single-field fast path; they decode
+        // the tuple and evaluate — sorting by -x ascending is x descending.
+        let input: Vec<Tuple> = [3i64, 1, 4, 1, 5].iter().map(|&i| vec![Value::Int64(i)]).collect();
+        let neg: EvalFn = Arc::new(|t: &Tuple| Ok(Value::Int64(-t[0].as_i64().unwrap_or(0))));
+        let out = run_sort(SortOp::new("k", vec![SortKey::asc(neg)]), input);
+        let got: Vec<i64> = out.iter().map(|t| t[0].as_i64().unwrap()).collect();
+        assert_eq!(got, vec![5, 4, 3, 1, 1]);
+    }
+
+    #[test]
+    fn mixed_numeric_widths_sort_by_value() {
+        // The normalized key is canonical across numeric widths: Int32,
+        // Int64 and Double interleave by numeric value, not by type tag.
+        let input: Vec<Tuple> = vec![
+            vec![Value::Double(2.5)],
+            vec![Value::Int32(3)],
+            vec![Value::Int64(1)],
+            vec![Value::Double(1.5)],
+        ];
+        let out = run_sort(SortOp::new("k", vec![SortKey::field(0, false)]), input);
+        let got: Vec<f64> = out.iter().map(|t| t[0].as_f64().unwrap()).collect();
+        assert_eq!(got, vec![1.0, 1.5, 2.5, 3.0]);
     }
 
     #[test]

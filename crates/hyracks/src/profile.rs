@@ -12,16 +12,11 @@ use std::time::Duration;
 
 use asterix_obs::Counter;
 
-use crate::frame::Tuple;
 use crate::job::{JobSpec, OperatorId};
 
-/// Estimated serialized size of a tuple (sum of the ADM binary encodings
-/// of its fields). Only evaluated on profiled runs.
-pub fn tuple_bytes(tuple: &Tuple) -> u64 {
-    tuple.iter().map(|v| asterix_adm::serde::encode(v).len() as u64).sum()
-}
-
 /// Atomic tuple/frame/byte counters for one port of one partition.
+/// `bytes` is exact wire accounting: the summed [`crate::Frame`] occupancy
+/// (encoded tuple data plus slot directory) moving through the port.
 #[derive(Debug, Default)]
 pub struct PortMeter {
     pub tuples: Counter,
@@ -31,11 +26,7 @@ pub struct PortMeter {
 
 impl PortMeter {
     pub fn snapshot(&self) -> PortStat {
-        PortStat {
-            tuples: self.tuples.get(),
-            frames: self.frames.get(),
-            bytes: self.bytes.get(),
-        }
+        PortStat { tuples: self.tuples.get(), frames: self.frames.get(), bytes: self.bytes.get() }
     }
 }
 
@@ -66,7 +57,11 @@ pub struct OperatorProfile {
 }
 
 impl OperatorProfile {
-    fn sum_ports(&self, f: impl Fn(&PartitionProfile) -> &[PortStat], g: impl Fn(&PortStat) -> u64) -> u64 {
+    fn sum_ports(
+        &self,
+        f: impl Fn(&PartitionProfile) -> &[PortStat],
+        g: impl Fn(&PortStat) -> u64,
+    ) -> u64 {
         self.partitions.iter().flat_map(|p| f(p).iter()).map(g).sum()
     }
 
@@ -83,11 +78,7 @@ impl OperatorProfile {
     /// Tuples that arrived on one input port (e.g. a hash join's build
     /// side is port 0, its probe side port 1), summed over partitions.
     pub fn tuples_in_port(&self, port: usize) -> u64 {
-        self.partitions
-            .iter()
-            .filter_map(|p| p.inputs.get(port))
-            .map(|s| s.tuples)
-            .sum()
+        self.partitions.iter().filter_map(|p| p.inputs.get(port)).map(|s| s.tuples).sum()
     }
 
     pub fn frames_in(&self) -> u64 {
@@ -190,9 +181,7 @@ impl ProfileBuilder {
     pub fn for_job(job: &JobSpec) -> ProfileBuilder {
         let meters = (0..job.op_count())
             .map(|op| {
-                (0..job.partitions(OperatorId(op)))
-                    .map(|_| PartitionMeters::default())
-                    .collect()
+                (0..job.partitions(OperatorId(op))).map(|_| PartitionMeters::default()).collect()
             })
             .collect();
         ProfileBuilder { meters }

@@ -33,9 +33,8 @@ impl BloomFilter {
     pub fn with_capacity(expected: usize, fpp: f64) -> Self {
         let expected = expected.max(1) as f64;
         let fpp = fpp.clamp(1e-6, 0.5);
-        let nbits = (-(expected * fpp.ln()) / (std::f64::consts::LN_2.powi(2)))
-            .ceil()
-            .max(64.0) as u64;
+        let nbits =
+            (-(expected * fpp.ln()) / (std::f64::consts::LN_2.powi(2))).ceil().max(64.0) as u64;
         let k = ((nbits as f64 / expected) * std::f64::consts::LN_2).round().max(1.0) as u32;
         BloomFilter { bits: vec![0u64; nbits.div_ceil(64) as usize], nbits, k: k.min(16) }
     }
@@ -88,9 +87,7 @@ impl BloomFilter {
         }
         let mut bits = Vec::with_capacity(nwords);
         for i in 0..nwords {
-            bits.push(u64::from_le_bytes(
-                buf[16 + i * 8..24 + i * 8].try_into().ok()?,
-            ));
+            bits.push(u64::from_le_bytes(buf[16 + i * 8..24 + i * 8].try_into().ok()?));
         }
         Some(BloomFilter { bits, nbits, k })
     }
@@ -123,9 +120,7 @@ mod tests {
         for i in 0..1000u32 {
             f.insert(&i.to_le_bytes());
         }
-        let fp = (1000..11000u32)
-            .filter(|i| f.may_contain(&i.to_le_bytes()))
-            .count();
+        let fp = (1000..11000u32).filter(|i| f.may_contain(&i.to_le_bytes())).count();
         // Expect ~1%; allow generous slack.
         assert!(fp < 500, "false positive count {fp} too high");
     }

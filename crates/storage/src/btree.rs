@@ -107,11 +107,7 @@ impl LsmBTree {
     /// Range scan; yields `(decoded key values, payload)` in key order.
     /// Bounds apply to the leading (searchable) key fields, so a partial
     /// bound over a composite key behaves as a prefix range.
-    pub fn range(
-        &self,
-        lo: &ValueBound,
-        hi: &ValueBound,
-    ) -> Result<Vec<(Vec<Value>, Vec<u8>)>> {
+    pub fn range(&self, lo: &ValueBound, hi: &ValueBound) -> Result<Vec<(Vec<Value>, Vec<u8>)>> {
         let mut out = Vec::new();
         self.range_with(lo, hi, |k, v| {
             out.push((k.to_vec(), v.to_vec()));
@@ -133,13 +129,11 @@ impl LsmBTree {
         // unbounded scan with a decoded-value check; in practice encoded
         // keys never begin with runs of 0xFF, so this path is theoretical.
         let mut err = None;
-        self.tree.scan_with(lo_b.as_deref(), hi_b.as_deref(), |k, v| {
-            match decode_key(k) {
-                Ok(vals) => f(&vals, v),
-                Err(e) => {
-                    err = Some(e);
-                    false
-                }
+        self.tree.scan_with(lo_b.as_deref(), hi_b.as_deref(), |k, v| match decode_key(k) {
+            Ok(vals) => f(&vals, v),
+            Err(e) => {
+                err = Some(e);
+                false
             }
         })?;
         match err {
@@ -226,19 +220,13 @@ mod tests {
         assert_eq!(t.get(&[Value::Int64(42)]).unwrap(), Some(b"rec42".to_vec()));
         assert_eq!(t.get(&[Value::Int64(1000)]).unwrap(), None);
         let r = t
-            .range(
-                &ValueBound::included(Value::Int64(10)),
-                &ValueBound::excluded(Value::Int64(15)),
-            )
+            .range(&ValueBound::included(Value::Int64(10)), &ValueBound::excluded(Value::Int64(15)))
             .unwrap();
         assert_eq!(r.len(), 5);
         assert_eq!(r[0].0, vec![Value::Int64(10)]);
         // Inclusive upper bound.
         let r = t
-            .range(
-                &ValueBound::included(Value::Int64(10)),
-                &ValueBound::included(Value::Int64(15)),
-            )
+            .range(&ValueBound::included(Value::Int64(10)), &ValueBound::included(Value::Int64(15)))
             .unwrap();
         assert_eq!(r.len(), 6);
     }
@@ -289,9 +277,7 @@ mod tests {
         }
         t.delete(&[Value::Int64(5)]).unwrap();
         assert_eq!(t.get(&[Value::Int64(5)]).unwrap(), None);
-        let r = t
-            .range(&ValueBound::excluded(Value::Int64(3)), &ValueBound::Unbounded)
-            .unwrap();
+        let r = t.range(&ValueBound::excluded(Value::Int64(3)), &ValueBound::Unbounded).unwrap();
         let keys: Vec<i64> = r.iter().map(|(k, _)| k[0].as_i64().unwrap()).collect();
         assert_eq!(keys, vec![4, 6, 7, 8, 9]);
     }

@@ -170,9 +170,7 @@ impl BufferCache {
     /// (hits, misses) counters aggregated over every shard — used by
     /// cache-behaviour tests and stats.
     pub fn stats(&self) -> (u64, u64) {
-        self.counters
-            .iter()
-            .fold((0, 0), |(h, m), c| (h + c.hits.get(), m + c.misses.get()))
+        self.counters.iter().fold((0, 0), |(h, m), c| (h + c.hits.get(), m + c.misses.get()))
     }
 
     /// Per-shard (hits, misses) readings, in shard order.
@@ -319,9 +317,8 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for round in 0..3 {
                     for i in 0..32u32 {
-                        let page = cache
-                            .get_or_load::<()>((t, i), || Ok(vec![(i % 251) as u8]))
-                            .unwrap();
+                        let page =
+                            cache.get_or_load::<()>((t, i), || Ok(vec![(i % 251) as u8])).unwrap();
                         assert_eq!(page[0], (i % 251) as u8, "round {round}");
                     }
                 }

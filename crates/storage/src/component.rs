@@ -55,9 +55,7 @@ fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64> {
     let mut v = 0u64;
     let mut shift = 0;
     loop {
-        let b = *buf
-            .get(*pos)
-            .ok_or_else(|| StorageError::Corrupt("truncated varint".into()))?;
+        let b = *buf.get(*pos).ok_or_else(|| StorageError::Corrupt("truncated varint".into()))?;
         *pos += 1;
         v |= ((b & 0x7f) as u64) << shift;
         if b & 0x80 == 0 {
@@ -139,11 +137,11 @@ impl DiskComponent {
         let mut entry_count = 0u64;
 
         let flush_page = |file: &mut File,
-                              pages: &mut Vec<PageMeta>,
-                              page_buf: &mut Vec<u8>,
-                              page_first: &mut Option<Vec<u8>>,
-                              page_entries: &mut u32,
-                              offset: &mut u64|
+                          pages: &mut Vec<PageMeta>,
+                          page_buf: &mut Vec<u8>,
+                          page_first: &mut Option<Vec<u8>>,
+                          page_entries: &mut u32,
+                          offset: &mut u64|
          -> Result<()> {
             if page_buf.is_empty() {
                 return Ok(());
@@ -340,10 +338,8 @@ impl DiskComponent {
         while pos < buf.len() {
             let klen = read_varint(buf, &mut pos)? as usize;
             let vlen = read_varint(buf, &mut pos)? as usize;
-            let anti = *buf
-                .get(pos)
-                .ok_or_else(|| StorageError::Corrupt("truncated entry".into()))?
-                != 0;
+            let anti =
+                *buf.get(pos).ok_or_else(|| StorageError::Corrupt("truncated entry".into()))? != 0;
             pos += 1;
             if pos + klen + vlen > buf.len() {
                 return Err(StorageError::Corrupt("entry spans past page".into()));
@@ -386,11 +382,7 @@ impl DiskComponent {
     }
 
     /// Iterate entries with keys in `[lo, hi)`; `None` bounds are open.
-    pub fn range(
-        self: &Arc<Self>,
-        lo: Option<&[u8]>,
-        hi: Option<&[u8]>,
-    ) -> ComponentIter {
+    pub fn range(self: &Arc<Self>, lo: Option<&[u8]>, hi: Option<&[u8]>) -> ComponentIter {
         let start_page = match lo {
             Some(lo) => self.locate_page(lo).unwrap_or(0),
             None => 0,
@@ -459,8 +451,7 @@ impl ComponentIter {
 
     fn load_page(&mut self) -> bool {
         while self.page_idx < self.comp.pages.len() {
-            match self.comp.read_page(self.page_idx).and_then(|p| DiskComponent::parse_page(&p))
-            {
+            match self.comp.read_page(self.page_idx).and_then(|p| DiskComponent::parse_page(&p)) {
                 Ok(entries) => {
                     self.page_idx += 1;
                     self.entries = entries;
@@ -468,9 +459,8 @@ impl ComponentIter {
                     if !self.primed {
                         self.primed = true;
                         if let Some(lo) = &self.lo {
-                            self.entry_idx = self
-                                .entries
-                                .partition_point(|e| e.key.as_slice() < lo.as_slice());
+                            self.entry_idx =
+                                self.entries.partition_point(|e| e.key.as_slice() < lo.as_slice());
                         }
                     }
                     if self.entry_idx < self.entries.len() {

@@ -159,10 +159,7 @@ impl InvertedIndex {
                 slot.0 += 1;
             }
         }
-        Ok(counts
-            .into_values()
-            .filter_map(|(n, pk)| (n >= t).then_some(pk))
-            .collect())
+        Ok(counts.into_values().filter_map(|(n, pk)| (n >= t).then_some(pk)).collect())
     }
 
     /// Primary keys containing *all* tokens (conjunctive keyword search).
@@ -269,9 +266,8 @@ mod tests {
     fn keyword_index_over_tag_bags() {
         let dir = TempDir::new().unwrap();
         let ix = open(dir.path(), Tokenizer::Keyword);
-        let bag = |tags: &[&str]| {
-            Value::unordered_list(tags.iter().map(|t| Value::string(t)).collect())
-        };
+        let bag =
+            |tags: &[&str]| Value::unordered_list(tags.iter().map(|t| Value::string(t)).collect());
         ix.insert(&bag(&["music", "live"]), &[Value::Int64(1)]).unwrap();
         ix.insert(&bag(&["music", "food"]), &[Value::Int64(2)]).unwrap();
         ix.insert(&bag(&["sports"]), &[Value::Int64(3)]).unwrap();
@@ -280,9 +276,7 @@ mod tests {
         assert_eq!(both.len(), 1);
         assert_eq!(both[0][0], Value::Int64(1));
         // T-occurrence with t=1 is a disjunction.
-        let any = ix
-            .t_occurrence(&["music".into(), "sports".into()], 1)
-            .unwrap();
+        let any = ix.t_occurrence(&["music".into(), "sports".into()], 1).unwrap();
         assert_eq!(any.len(), 3);
     }
 
@@ -301,13 +295,8 @@ mod tests {
     fn ngram_fuzzy_search() {
         let dir = TempDir::new().unwrap();
         let ix = open(dir.path(), Tokenizer::NGram(2));
-        let store: Vec<(i64, &str)> = vec![
-            (1, "tonight"),
-            (2, "tonite"),
-            (3, "tomorrow"),
-            (4, "tonsil"),
-            (5, "night"),
-        ];
+        let store: Vec<(i64, &str)> =
+            vec![(1, "tonight"), (2, "tonite"), (3, "tomorrow"), (4, "tonsil"), (5, "night")];
         for (id, s) in &store {
             ix.insert(&Value::string(s), &[Value::Int64(*id)]).unwrap();
         }

@@ -10,49 +10,22 @@
 //! integers, so `int32 5` and `int64 5` encode identically while `int64 5`
 //! and `double 5.0` are adjacent but distinct. Point lookups therefore
 //! coerce the probe to the indexed field's declared type before encoding.
+//!
+//! The bit-flipping primitives and escape scheme are shared with the
+//! runtime's comparison-only normalized keys in [`asterix_adm::ordkey`];
+//! this module differs in keeping a width tag (keys must *decode* back to
+//! their original numeric type) and in rejecting non-key types.
 
+use asterix_adm::ordkey::{
+    encode_terminated_bytes, sortable_f64, sortable_i32, sortable_i64, unsortable_f64,
+    unsortable_i32, unsortable_i64, ESCAPE, ESCAPED_00,
+};
 use asterix_adm::value::{DurationValue, IntervalKind, IntervalValue};
 use asterix_adm::{AdmError, Value};
 
 use crate::error::{Result, StorageError};
 
-const ESCAPE: u8 = 0x00;
-const ESCAPED_00: u8 = 0xFF;
-const TERMINATOR: [u8; 2] = [0x00, 0x01];
-
-fn sortable_f64(v: f64) -> u64 {
-    let bits = v.to_bits();
-    if bits & 0x8000_0000_0000_0000 != 0 {
-        !bits
-    } else {
-        bits ^ 0x8000_0000_0000_0000
-    }
-}
-
-fn unsortable_f64(bits: u64) -> f64 {
-    let raw = if bits & 0x8000_0000_0000_0000 != 0 {
-        bits ^ 0x8000_0000_0000_0000
-    } else {
-        !bits
-    };
-    f64::from_bits(raw)
-}
-
-fn sortable_i64(v: i64) -> u64 {
-    (v as u64) ^ 0x8000_0000_0000_0000
-}
-
-fn unsortable_i64(bits: u64) -> i64 {
-    (bits ^ 0x8000_0000_0000_0000) as i64
-}
-
-fn sortable_i32(v: i32) -> u32 {
-    (v as u32) ^ 0x8000_0000
-}
-
-fn unsortable_i32(bits: u32) -> i32 {
-    (bits ^ 0x8000_0000) as i32
-}
+const TERMINATOR: [u8; 2] = asterix_adm::ordkey::TERMINATOR;
 
 /// Append the order-preserving encoding of `v` to `out`.
 pub fn encode_value(out: &mut Vec<u8>, v: &Value) -> Result<()> {
@@ -81,7 +54,7 @@ pub fn encode_value(out: &mut Vec<u8>, v: &Value) -> Result<()> {
         }
         Value::String(s) => {
             out.push(4);
-            encode_bytes(out, s.as_bytes());
+            encode_terminated_bytes(out, s.as_bytes());
         }
         Value::Date(d) => {
             out.push(5);
@@ -120,7 +93,7 @@ pub fn encode_value(out: &mut Vec<u8>, v: &Value) -> Result<()> {
         }
         Value::Binary(b) => {
             out.push(17);
-            encode_bytes(out, b);
+            encode_terminated_bytes(out, b);
         }
         Value::OrderedList(items) | Value::UnorderedList(items) => {
             out.push(if matches!(v, Value::OrderedList(_)) { 18 } else { 19 });
@@ -140,18 +113,6 @@ pub fn encode_value(out: &mut Vec<u8>, v: &Value) -> Result<()> {
         }
     }
     Ok(())
-}
-
-fn encode_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
-    for &b in bytes {
-        if b == ESCAPE {
-            out.push(ESCAPE);
-            out.push(ESCAPED_00);
-        } else {
-            out.push(b);
-        }
-    }
-    out.extend_from_slice(&TERMINATOR);
 }
 
 /// Encode a composite key (one or more values).
@@ -175,10 +136,8 @@ struct KeyReader<'a> {
 
 impl<'a> KeyReader<'a> {
     fn u8(&mut self) -> Result<u8> {
-        let b = *self
-            .buf
-            .get(self.pos)
-            .ok_or_else(|| StorageError::Corrupt("truncated key".into()))?;
+        let b =
+            *self.buf.get(self.pos).ok_or_else(|| StorageError::Corrupt("truncated key".into()))?;
         self.pos += 1;
         Ok(b)
     }
@@ -274,9 +233,7 @@ fn decode_one(r: &mut KeyReader<'_>) -> Result<Value> {
                         break;
                     }
                     other => {
-                        return Err(StorageError::Corrupt(format!(
-                            "bad list marker {other:#x}"
-                        )))
+                        return Err(StorageError::Corrupt(format!("bad list marker {other:#x}")))
                     }
                 }
             }
@@ -361,11 +318,7 @@ mod tests {
                 for b in &group {
                     let ka = enc(a);
                     let kb = enc(b);
-                    assert_eq!(
-                        ka.cmp(&kb),
-                        a.total_cmp(b),
-                        "byte order disagrees for {a} vs {b}"
-                    );
+                    assert_eq!(ka.cmp(&kb), a.total_cmp(b), "byte order disagrees for {a} vs {b}");
                 }
             }
         }

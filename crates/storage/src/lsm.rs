@@ -234,9 +234,7 @@ impl LsmInner {
         loop {
             let job = {
                 let st = self.state.read();
-                st.frozen
-                    .first()
-                    .map(|f| (f.seq, f.watermark, Arc::clone(&f.entries)))
+                st.frozen.first().map(|f| (f.seq, f.watermark, Arc::clone(&f.entries)))
             };
             let Some((seq, watermark, entries)) = job else { break };
             let flush_started = Instant::now();
@@ -245,10 +243,7 @@ impl LsmInner {
             let comp = DiskComponent::build(
                 &path,
                 Arc::clone(&self.cache),
-                &ComponentConfig {
-                    page_size: self.cfg.page_size,
-                    bloom_fpp: self.cfg.bloom_fpp,
-                },
+                &ComponentConfig { page_size: self.cfg.page_size, bloom_fpp: self.cfg.bloom_fpp },
                 seq,
                 seq,
                 entries.iter().map(|(k, v)| Entry {
@@ -357,9 +352,7 @@ impl LsmInner {
                     match best {
                         None => best = Some((i, &e.key, seq)),
                         Some((_, bk, bseq)) => {
-                            if e.key.as_slice() < bk
-                                || (e.key.as_slice() == bk && seq > bseq)
-                            {
+                            if e.key.as_slice() < bk || (e.key.as_slice() == bk && seq > bseq) {
                                 best = Some((i, &e.key, seq));
                             }
                         }
@@ -400,8 +393,7 @@ impl LsmInner {
             n,
         )?;
         // Atomically swap the component list, then destroy the inputs.
-        let input_paths: Vec<PathBuf> =
-            inputs.iter().map(|c| c.path().to_path_buf()).collect();
+        let input_paths: Vec<PathBuf> = inputs.iter().map(|c| c.path().to_path_buf()).collect();
         let ncomp = {
             let mut st = self.state.write();
             st.disk.retain(|c| !input_paths.iter().any(|p| p == c.path()));
@@ -453,16 +445,14 @@ fn maintenance_loop(inner: Arc<LsmInner>, rx: Receiver<MaintMsg>) {
                 let _ = ack.send(res);
             }
             MaintMsg::MergeAll(ack) => {
-                let res = inner
-                    .process_pending()
-                    .and_then(|_| {
-                        let comps = inner.state.read().disk.clone();
-                        if comps.len() < 2 {
-                            Ok(())
-                        } else {
-                            inner.merge_components(&comps)
-                        }
-                    });
+                let res = inner.process_pending().and_then(|_| {
+                    let comps = inner.state.read().disk.clone();
+                    if comps.len() < 2 {
+                        Ok(())
+                    } else {
+                        inner.merge_components(&comps)
+                    }
+                });
                 let _ = ack.send(res);
             }
             MaintMsg::Shutdown => {
@@ -541,9 +531,9 @@ impl LsmTree {
     }
 
     fn send(&self, msg: MaintMsg) -> Result<()> {
-        self.tx.send(msg).map_err(|_| {
-            StorageError::InvalidState("lsm maintenance thread terminated".into())
-        })
+        self.tx
+            .send(msg)
+            .map_err(|_| StorageError::InvalidState("lsm maintenance thread terminated".into()))
     }
 
     /// Insert or overwrite (upsert) a key. When the memory budget trips,
@@ -593,12 +583,7 @@ impl LsmTree {
                 let bytes = std::mem::replace(&mut st.mem_bytes, 0);
                 let seq = st.next_seq;
                 st.next_seq += 1;
-                st.frozen.push(FrozenComponent {
-                    seq,
-                    watermark,
-                    bytes,
-                    entries: Arc::new(mem),
-                });
+                st.frozen.push(FrozenComponent { seq, watermark, bytes, entries: Arc::new(mem) });
                 true
             }
         };
@@ -770,12 +755,7 @@ impl LsmTree {
                 let bytes = std::mem::replace(&mut st.mem_bytes, 0);
                 let seq = st.next_seq;
                 st.next_seq += 1;
-                st.frozen.push(FrozenComponent {
-                    seq,
-                    watermark,
-                    bytes,
-                    entries: Arc::new(mem),
-                });
+                st.frozen.push(FrozenComponent { seq, watermark, bytes, entries: Arc::new(mem) });
             }
         }
         let (ack_tx, ack_rx) = bounded(1);
@@ -1121,9 +1101,7 @@ mod tests {
             t.insert(k(i), vec![0u8; 32]).unwrap();
         }
         // The background flush is now stuck in its (gated) completion path.
-        entered_rx
-            .recv_timeout(Duration::from_secs(10))
-            .expect("background flush never started");
+        entered_rx.recv_timeout(Duration::from_secs(10)).expect("background flush never started");
 
         // The paper's point (§4.2): ingest keeps landing while flush I/O is
         // incomplete. These inserts must return without waiting for the
@@ -1132,10 +1110,7 @@ mod tests {
         for i in 1000..1020u32 {
             t.insert(k(i), vec![0u8; 32]).unwrap();
         }
-        assert!(
-            before.elapsed() < Duration::from_secs(5),
-            "inserts stalled behind flush I/O"
-        );
+        assert!(before.elapsed() < Duration::from_secs(5), "inserts stalled behind flush I/O");
 
         // Everything is visible even though flushes are still in flight.
         assert_eq!(t.live_count().unwrap(), 80);
@@ -1224,10 +1199,8 @@ mod tests {
         }
 
         let dir = TempDir::new().unwrap();
-        let probe = Arc::new(WatermarkProbe {
-            next: AtomicU64::new(7),
-            flushed: Mutex::new(Vec::new()),
-        });
+        let probe =
+            Arc::new(WatermarkProbe { next: AtomicU64::new(7), flushed: Mutex::new(Vec::new()) });
         let t = LsmTree::open(
             dir.path(),
             LsmConfig { merge_policy: MergePolicy::NoMerge, ..Default::default() },

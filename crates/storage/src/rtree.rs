@@ -456,8 +456,7 @@ impl LsmRTree {
         let merged = RtDiskComponent::build(&path, Arc::clone(&self.cache), max_seq, live)?;
         {
             let mut st = self.state.write();
-            let merged_paths: Vec<PathBuf> =
-                comps.iter().map(|c| c.path.clone()).collect();
+            let merged_paths: Vec<PathBuf> = comps.iter().map(|c| c.path.clone()).collect();
             st.disk.retain(|c| !merged_paths.contains(&c.path));
             st.disk.push(merged);
             st.disk.sort_by_key(|c| std::cmp::Reverse(c.seq));

@@ -40,10 +40,9 @@ struct LockState {
 impl LockState {
     fn compatible(&self, txn: LockTxnId, mode: LockMode) -> bool {
         match mode {
-            LockMode::Shared => self
-                .holders
-                .iter()
-                .all(|(t, m)| *t == txn || *m == LockMode::Shared),
+            LockMode::Shared => {
+                self.holders.iter().all(|(t, m)| *t == txn || *m == LockMode::Shared)
+            }
             LockMode::Exclusive => self.holders.keys().all(|t| *t == txn),
         }
     }
@@ -73,12 +72,7 @@ impl LockManager {
     }
 
     /// Acquire (or upgrade) a lock; blocks until granted or timeout.
-    pub fn lock(
-        &self,
-        txn: LockTxnId,
-        resource: &ResourceId,
-        mode: LockMode,
-    ) -> crate::Result<()> {
+    pub fn lock(&self, txn: LockTxnId, resource: &ResourceId, mode: LockMode) -> crate::Result<()> {
         let mut inner = self.inner.lock();
         loop {
             let state = inner.table.entry(resource.clone()).or_default();

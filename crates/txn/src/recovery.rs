@@ -20,13 +20,11 @@ use crate::Result;
 /// which routes them into the right LSM index).
 pub trait RecoveryTarget {
     /// Apply a logical insert to (dataset, index).
-    fn replay_insert(&mut self, dataset: u32, index: u32, key: &[u8], value: &[u8])
-        -> Result<()>;
+    fn replay_insert(&mut self, dataset: u32, index: u32, key: &[u8], value: &[u8]) -> Result<()>;
     /// Apply a logical delete to (dataset, index). `value` carries the
     /// logical payload for indexes whose delete needs it (e.g. secondary
     /// indexes log `[field value, pk...]` rather than a storage key).
-    fn replay_delete(&mut self, dataset: u32, index: u32, key: &[u8], value: &[u8])
-        -> Result<()>;
+    fn replay_delete(&mut self, dataset: u32, index: u32, key: &[u8], value: &[u8]) -> Result<()>;
 }
 
 /// Counters describing what recovery did.
@@ -112,10 +110,7 @@ mod tests {
             key: &[u8],
             value: &[u8],
         ) -> Result<()> {
-            self.state
-                .entry((dataset, index))
-                .or_default()
-                .insert(key.to_vec(), value.to_vec());
+            self.state.entry((dataset, index)).or_default().insert(key.to_vec(), value.to_vec());
             Ok(())
         }
 

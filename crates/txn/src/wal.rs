@@ -32,14 +32,7 @@ pub type Lsn = u64;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LogRecord {
     /// One LSM-index update: (txn, dataset, index, delete?, key, value).
-    Update {
-        txn: TxnId,
-        dataset: u32,
-        index: u32,
-        is_delete: bool,
-        key: Vec<u8>,
-        value: Vec<u8>,
-    },
+    Update { txn: TxnId, dataset: u32, index: u32, is_delete: bool, key: Vec<u8>, value: Vec<u8> },
     /// Transaction commit.
     Commit { txn: TxnId },
     /// Transaction abort (its updates must not be replayed).
@@ -408,10 +401,7 @@ mod tests {
         log.append(&LogRecord::Flush { dataset: 3, index: 1, durable_lsn: 17 }).unwrap();
         log.force().unwrap();
         let recs = LogManager::read_all_records(&path).unwrap();
-        assert_eq!(
-            recs[0].1,
-            LogRecord::Flush { dataset: 3, index: 1, durable_lsn: 17 }
-        );
+        assert_eq!(recs[0].1, LogRecord::Flush { dataset: 3, index: 1, durable_lsn: 17 });
     }
 
     #[test]

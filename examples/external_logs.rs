@@ -57,9 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ))?;
 
     // External data is queryable like any dataset (but read-only).
-    let ok = instance.query(
-        "for $l in dataset AccessLog where $l.stat = 200 return $l.path;",
-    )?;
+    let ok = instance.query("for $l in dataset AccessLog where $l.stat = 200 return $l.path;")?;
     println!("successful requests: {ok:?}");
     assert_eq!(ok.len(), 3);
 
@@ -79,9 +77,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(active.len(), 2); // USA (Nicholas) and UK (Ada); Ghost unknown
 
     // Aggregate over the external dataset directly.
-    let bytes = instance.query(
-        "sum( for $l in dataset AccessLog where $l.stat = 200 return $l.size );",
-    )?;
+    let bytes =
+        instance.query("sum( for $l in dataset AccessLog where $l.stat = 200 return $l.size );")?;
     println!("bytes served (2xx): {bytes:?}");
     assert_eq!(bytes[0].as_i64(), Some(2279 + 5299 + 1500));
 

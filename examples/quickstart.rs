@@ -57,9 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(rows.len(), 2);
 
     // EXPLAIN shows the compiled Hyracks job (Figure 6-style).
-    let (_plan, job) = instance.explain(
-        "for $p in dataset People where $p.age = 36 return $p;",
-    )?;
+    let (_plan, job) = instance.explain("for $p in dataset People where $p.age = 36 return $p;")?;
     println!("\ncompiled job for an indexed lookup:\n{job}");
 
     // The catalog is itself queryable data (Query 1 of the paper).

@@ -65,11 +65,7 @@ fn run_workload(nodes: usize, ppn: usize) -> (usize, Vec<Value>, Value) {
         )
         .unwrap();
     // Scalar aggregate.
-    let total = instance
-        .query("sum(for $m in dataset Msgs return $m.n);")
-        .unwrap()
-        .pop()
-        .unwrap();
+    let total = instance.query("sum(for $m in dataset Msgs return $m.n);").unwrap().pop().unwrap();
     (join, grouped, total)
 }
 
@@ -80,11 +76,7 @@ fn answers_are_topology_invariant() {
         let got = run_workload(nodes, ppn);
         assert_eq!(got.0, base.0, "join count at {nodes}x{ppn}");
         assert_eq!(got.1, base.1, "group counts at {nodes}x{ppn}");
-        assert_eq!(
-            got.2.total_cmp(&base.2),
-            std::cmp::Ordering::Equal,
-            "sum at {nodes}x{ppn}"
-        );
+        assert_eq!(got.2.total_cmp(&base.2), std::cmp::Ordering::Equal, "sum at {nodes}x{ppn}");
     }
     // And the absolute values are right.
     // grp 4 has users 4, 15, 26, ..., 290 → 27 users; each user authors 3

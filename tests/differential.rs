@@ -9,7 +9,6 @@ use asterix_adm::functions::FunctionContext;
 use asterix_adm::Value;
 use asterix_algebricks::expr::EvalCtx;
 use asterix_algebricks::interp;
-use asterix_algebricks::jobgen;
 use asterix_algebricks::metadata::MetadataProvider;
 use asterix_algebricks::rules::{optimize, OptimizerOptions};
 use asterix_aql::parser::parse_expression;
@@ -117,9 +116,7 @@ fn compiled_equals_interpreted_on_random_data() {
 
         // Interpreter path over the same optimized plan.
         let provider: Arc<dyn MetadataProvider> =
-            Arc::new(asterixdb::provider::InstanceProvider {
-                shared: instance_shared(&instance),
-            });
+            Arc::new(asterixdb::provider::InstanceProvider { shared: instance_shared(&instance) });
         let catalog = asterixdb::provider::SessionCatalog {
             shared: instance_shared(&instance),
             current_dataverse: "Diff".to_string(),
@@ -130,15 +127,11 @@ fn compiled_equals_interpreted_on_random_data() {
         let fctx = FunctionContext::default();
         let optimized = optimize(plan, &provider, &fctx, &OptimizerOptions::default());
         let ctx = EvalCtx::new(Arc::clone(&provider), fctx);
-        let interp_rows =
-            interp::eval_subplan(&optimized, &HashMap::new(), &ctx).unwrap();
+        let interp_rows = interp::eval_subplan(&optimized, &HashMap::new(), &ctx).unwrap();
 
         let ordered = q.contains("order by");
         if ordered {
-            assert_eq!(
-                compiled_rows, interp_rows,
-                "ordered results differ for {q}"
-            );
+            assert_eq!(compiled_rows, interp_rows, "ordered results differ for {q}");
         } else {
             assert_eq!(
                 deep_canonical(compiled_rows),
@@ -160,11 +153,7 @@ fn indexed_and_scan_plans_agree() {
         if q.contains("order by") {
             assert_eq!(with_ix, without, "ordered results differ for {q}");
         } else {
-            assert_eq!(
-                deep_canonical(with_ix),
-                deep_canonical(without),
-                "results differ for {q}"
-            );
+            assert_eq!(deep_canonical(with_ix), deep_canonical(without), "results differ for {q}");
         }
     }
 }

@@ -77,9 +77,7 @@ fn distinct_by_through_full_stack() {
     "#,
     )
     .unwrap();
-    let rows = ins
-        .query("for $d in dataset D distinct by $d.c return $d.c;")
-        .unwrap();
+    let rows = ins.query("for $d in dataset D distinct by $d.c return $d.c;").unwrap();
     assert_eq!(rows.len(), 3);
 }
 
@@ -150,10 +148,7 @@ fn empty_dataset_edge_cases() {
         asterix_adm::Value::Null
     );
     // Indexed query over empty data.
-    assert!(ins
-        .query("for $d in dataset D where $d.v = 5 return $d;")
-        .unwrap()
-        .is_empty());
+    assert!(ins.query("for $d in dataset D where $d.v = 5 return $d;").unwrap().is_empty());
     // Group by over empty input yields no groups.
     assert!(ins
         .query(

@@ -119,14 +119,12 @@ fn keyword_index_access_path() {
     // The Query 6 pattern routes through the keyword index.
     let (plan, _) = ins.explain(q).unwrap();
     assert!(plan.contains("keyword-search K.Msgs.kwIdx"), "{plan}");
-    let mut ids: Vec<i64> =
-        ins.query(q).unwrap().iter().map(|v| v.as_i64().unwrap()).collect();
+    let mut ids: Vec<i64> = ins.query(q).unwrap().iter().map(|v| v.as_i64().unwrap()).collect();
     ids.sort_unstable();
     assert_eq!(ids, vec![0, 2]);
     // Same answer without the index.
     ins.optimizer_options.write().enable_index_access = false;
-    let mut ids2: Vec<i64> =
-        ins.query(q).unwrap().iter().map(|v| v.as_i64().unwrap()).collect();
+    let mut ids2: Vec<i64> = ins.query(q).unwrap().iter().map(|v| v.as_i64().unwrap()).collect();
     ids2.sort_unstable();
     assert_eq!(ids, ids2);
 }
@@ -159,10 +157,7 @@ fn load_dataset_from_adm_file() {
         ))
         .unwrap();
     assert_eq!(res[0].count(), 3);
-    assert_eq!(
-        ins.query("for $u in dataset Users return $u;").unwrap().len(),
-        3
-    );
+    assert_eq!(ins.query("for $u in dataset Users return $u;").unwrap().len(), 3);
 }
 
 #[test]
@@ -183,14 +178,10 @@ fn dfs_external_dataset() {
         dfs.display()
     ))
     .unwrap();
-    let total = ins
-        .query("sum( for $b in dataset Blocks return $b.k );")
-        .unwrap();
+    let total = ins.query("sum( for $b in dataset Blocks return $b.k );").unwrap();
     assert_eq!(total[0].as_i64(), Some(6));
     // External datasets are read-only: inserts are rejected.
-    let err = ins
-        .execute("insert into dataset Blocks ({ \"k\": 9 });")
-        .unwrap_err();
+    let err = ins.execute("insert into dataset Blocks ({ \"k\": 9 });").unwrap_err();
     assert!(err.to_string().contains("not a stored dataset"), "{err}");
 }
 
@@ -301,20 +292,13 @@ fn autogenerated_primary_keys() {
     .unwrap();
     // Records without keys get fresh ones.
     for i in 0..5 {
-        ins.execute(&format!(
-            "insert into dataset D ({{ \"note\": \"auto{i}\" }});"
-        ))
-        .unwrap();
+        ins.execute(&format!("insert into dataset D ({{ \"note\": \"auto{i}\" }});")).unwrap();
     }
     // A record that brings its own key keeps it; later generated keys skip
     // past it.
-    ins.execute("insert into dataset D ({ \"id\": 7, \"note\": \"manual\" });")
-        .unwrap();
+    ins.execute("insert into dataset D ({ \"id\": 7, \"note\": \"manual\" });").unwrap();
     for i in 5..10 {
-        ins.execute(&format!(
-            "insert into dataset D ({{ \"note\": \"auto{i}\" }});"
-        ))
-        .unwrap();
+        ins.execute(&format!("insert into dataset D ({{ \"note\": \"auto{i}\" }});")).unwrap();
     }
     let ids = ins.query("for $d in dataset D order by $d.id return $d.id;").unwrap();
     assert_eq!(ids.len(), 11);
@@ -326,12 +310,8 @@ fn autogenerated_primary_keys() {
     drop(ins);
     let ins = instance(dir.path());
     ins.execute("use dataverse G;").unwrap();
-    ins.execute("insert into dataset D ({ \"note\": \"after restart\" });")
-        .unwrap();
-    assert_eq!(
-        ins.query("for $d in dataset D return $d;").unwrap().len(),
-        12
-    );
+    ins.execute("insert into dataset D ({ \"note\": \"after restart\" });").unwrap();
+    assert_eq!(ins.query("for $d in dataset D return $d;").unwrap().len(), 12);
 }
 
 #[test]
@@ -368,8 +348,6 @@ fn secondary_feeds_cascade() {
     ins.execute("disconnect feed base from dataset Raw;").unwrap();
     let raw = ins.query("for $r in dataset Raw return $r.v;").unwrap();
     assert_eq!(raw.len(), 30);
-    let doubled = ins
-        .query("for $d in dataset Doubled where $d.id = 7 return $d.v;")
-        .unwrap();
+    let doubled = ins.query("for $d in dataset Doubled where $d.id = 7 return $d.v;").unwrap();
     assert_eq!(doubled, vec![Value::Int64(14)]);
 }

@@ -62,18 +62,42 @@ fn tiny_social() -> (Arc<Instance>, tempfile::TempDir) {
         .unwrap();
     // Population: 6 users, 8 messages with known properties.
     for (id, alias, since, zip, emp) in [
-        (1, "Margarita", "2012-08-20T10:10:00", "98765",
-         r#"[{"organization-name":"Codetechno","start-date":date("2006-08-06")}]"#),
-        (2, "Isbel", "2011-01-22T10:10:00", "95014",
-         r#"[{"organization-name":"Hexviane","start-date":date("2010-04-27"),"end-date":date("2012-09-18")}]"#),
-        (3, "Emory", "2012-07-10T10:10:00", "92617",
-         r#"[{"organization-name":"geomedia","start-date":date("2010-06-17"),"job-kind":"part-time"}]"#),
-        (4, "Nicholas", "2010-01-15T08:00:00", "98765",
-         r#"[{"organization-name":"Mugshot.com","start-date":date("2009-01-01"),"end-date":date("2012-01-01")}]"#),
-        (5, "Von", "2012-12-01T00:00:00", "90210",
-         r#"[]"#),
-        (6, "Willis", "2013-01-01T00:00:00", "98765",
-         r#"[{"organization-name":"Acme","start-date":date("2011-03-01")}]"#),
+        (
+            1,
+            "Margarita",
+            "2012-08-20T10:10:00",
+            "98765",
+            r#"[{"organization-name":"Codetechno","start-date":date("2006-08-06")}]"#,
+        ),
+        (
+            2,
+            "Isbel",
+            "2011-01-22T10:10:00",
+            "95014",
+            r#"[{"organization-name":"Hexviane","start-date":date("2010-04-27"),"end-date":date("2012-09-18")}]"#,
+        ),
+        (
+            3,
+            "Emory",
+            "2012-07-10T10:10:00",
+            "92617",
+            r#"[{"organization-name":"geomedia","start-date":date("2010-06-17"),"job-kind":"part-time"}]"#,
+        ),
+        (
+            4,
+            "Nicholas",
+            "2010-01-15T08:00:00",
+            "98765",
+            r#"[{"organization-name":"Mugshot.com","start-date":date("2009-01-01"),"end-date":date("2012-01-01")}]"#,
+        ),
+        (5, "Von", "2012-12-01T00:00:00", "90210", r#"[]"#),
+        (
+            6,
+            "Willis",
+            "2013-01-01T00:00:00",
+            "98765",
+            r#"[{"organization-name":"Acme","start-date":date("2011-03-01")}]"#,
+        ),
     ] {
         instance
             .execute(&format!(
@@ -89,22 +113,42 @@ fn tiny_social() -> (Arc<Instance>, tempfile::TempDir) {
             .unwrap();
     }
     for (mid, aid, ts, loc, tags, msg) in [
-        (1, 1, "2012-09-01T12:00:00", "47.4,80.9", r#""tweet","phone""#,
-         "cant stand att the network is horrible"),
-        (2, 1, "2014-02-20T10:00:00", "40.3,70.1", r#""phone","plan""#,
-         "see you tonite at the concert"),
-        (3, 2, "2014-02-20T18:30:00", "40.5,70.2", r#""concert","music""#,
-         "going out tonight for some music"),
-        (4, 3, "2014-02-20T21:00:00", "44.0,75.0", r#""music""#,
-         "what a great concert that was"),
-        (5, 2, "2014-02-20T22:00:00", "40.6,70.3", r#""music","concert""#,
-         "that band was awesome tonight"),
-        (6, 4, "2014-01-10T09:00:00", "47.5,80.8", r#""phone""#,
-         "my phone battery died again"),
-        (7, 5, "2014-03-01T15:00:00", "30.0,60.0", r#""plan""#,
-         "new data plan is terrible"),
-        (8, 6, "2013-06-15T11:00:00", "48.0,81.0", r#""tweet""#,
-         "first message here"),
+        (
+            1,
+            1,
+            "2012-09-01T12:00:00",
+            "47.4,80.9",
+            r#""tweet","phone""#,
+            "cant stand att the network is horrible",
+        ),
+        (
+            2,
+            1,
+            "2014-02-20T10:00:00",
+            "40.3,70.1",
+            r#""phone","plan""#,
+            "see you tonite at the concert",
+        ),
+        (
+            3,
+            2,
+            "2014-02-20T18:30:00",
+            "40.5,70.2",
+            r#""concert","music""#,
+            "going out tonight for some music",
+        ),
+        (4, 3, "2014-02-20T21:00:00", "44.0,75.0", r#""music""#, "what a great concert that was"),
+        (
+            5,
+            2,
+            "2014-02-20T22:00:00",
+            "40.6,70.3",
+            r#""music","concert""#,
+            "that band was awesome tonight",
+        ),
+        (6, 4, "2014-01-10T09:00:00", "47.5,80.8", r#""phone""#, "my phone battery died again"),
+        (7, 5, "2014-03-01T15:00:00", "30.0,60.0", r#""plan""#, "new data plan is terrible"),
+        (8, 6, "2013-06-15T11:00:00", "48.0,81.0", r#""tweet""#, "first message here"),
     ] {
         instance
             .execute(&format!(
@@ -123,13 +167,9 @@ fn tiny_social() -> (Arc<Instance>, tempfile::TempDir) {
 #[test]
 fn query_1_metadata_is_data() {
     let (instance, _d) = tiny_social();
-    let datasets = instance
-        .query("for $ds in dataset Metadata.Dataset return $ds;")
-        .unwrap();
+    let datasets = instance.query("for $ds in dataset Metadata.Dataset return $ds;").unwrap();
     assert_eq!(datasets.len(), 2);
-    let indexes = instance
-        .query("for $ix in dataset Metadata.Index return $ix;")
-        .unwrap();
+    let indexes = instance.query("for $ix in dataset Metadata.Index return $ix;").unwrap();
     // 2 primary + 5 secondary.
     assert_eq!(indexes.len(), 7);
 }
@@ -200,10 +240,8 @@ fn query_4_nested_left_outer_join() {
     // Margarita, Isbel, Emory, Von — including Von with no messages? Von has
     // message 7; Margarita messages 1,2.
     assert_eq!(rows.len(), 4);
-    let margarita = rows
-        .iter()
-        .find(|r| r.field("uname").as_str() == Some("Margarita Person"))
-        .unwrap();
+    let margarita =
+        rows.iter().find(|r| r.field("uname").as_str() == Some("Margarita Person")).unwrap();
     assert_eq!(margarita.field("messages").as_list().unwrap().len(), 2);
 }
 
@@ -225,10 +263,8 @@ fn query_5_spatial_join() {
     assert_eq!(rows.len(), 8);
     // Messages 2, 3, 5 cluster around (40.x, 70.x): each sees >= 3 nearby
     // (including itself).
-    let m3 = rows
-        .iter()
-        .find(|r| r.field("message").as_str().unwrap().contains("going out"))
-        .unwrap();
+    let m3 =
+        rows.iter().find(|r| r.field("message").as_str().unwrap().contains("going out")).unwrap();
     assert!(m3.field("nearby-messages").as_list().unwrap().len() >= 3);
 }
 
@@ -475,18 +511,15 @@ fn updates_1_and_2() {
             );"#,
         )
         .unwrap();
-    let rows = instance
-        .query("for $u in dataset MugshotUsers where $u.id = 11 return $u.alias;")
-        .unwrap();
+    let rows =
+        instance.query("for $u in dataset MugshotUsers where $u.id = 11 return $u.alias;").unwrap();
     assert_eq!(rows, vec![Value::string("John")]);
     // Update 2, verbatim.
-    let res = instance
-        .execute("delete $user from dataset MugshotUsers where $user.id = 11;")
-        .unwrap();
+    let res =
+        instance.execute("delete $user from dataset MugshotUsers where $user.id = 11;").unwrap();
     assert_eq!(res[0].count(), 1);
-    let rows = instance
-        .query("for $u in dataset MugshotUsers where $u.id = 11 return $u;")
-        .unwrap();
+    let rows =
+        instance.query("for $u in dataset MugshotUsers where $u.id = 11 return $u;").unwrap();
     assert!(rows.is_empty());
 }
 
@@ -518,9 +551,7 @@ fn data_definition_4_feed() {
             .unwrap();
     }
     assert!(instance.feed_wait_stored("socket_feed", 20, std::time::Duration::from_secs(10)));
-    instance
-        .execute("disconnect feed socket_feed from dataset MugshotMessages;")
-        .unwrap();
+    instance.execute("disconnect feed socket_feed from dataset MugshotMessages;").unwrap();
     let n = instance
         .query("for $m in dataset MugshotMessages where $m.message-id >= 100 return $m;")
         .unwrap()

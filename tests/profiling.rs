@@ -116,7 +116,7 @@ fn profile_distinguishes_hash_join_build_and_probe_inputs() {
         .unwrap();
     assert_eq!(profile.rows.len(), N);
 
-    let join = profile.operator("equi").expect("hash join in profile");
+    let join = profile.operator("hybrid-hash-join").expect("hash join in profile");
     assert_eq!(join.tuples_in_port(0) as usize, N, "build side = messages input");
     assert_eq!(join.tuples_in_port(1) as usize, N, "probe side = users input");
     assert_eq!(join.tuples_out() as usize, N);
@@ -133,6 +133,38 @@ fn profile_distinguishes_hash_join_build_and_probe_inputs() {
     }
 }
 
+/// Exchange byte counters are exact, not estimates: the `bytes_sent`
+/// delta for a profiled query equals the frame occupancy summed over
+/// every operator's metered output port — both counters are incremented
+/// at the same frame hand-off with the same serialized byte count.
+#[test]
+fn exchange_bytes_equal_summed_frame_occupancy() {
+    let (instance, _dir) = join_instance(N);
+    let before = instance.exchange_stats().bytes_sent();
+    let profile = instance
+        .profile(
+            r#"for $u in dataset MugshotUsers
+               for $m in dataset MugshotMessages
+               where $m.author-id = $u.id
+               return { "u": $u.id, "m": $m.message-id }"#,
+        )
+        .unwrap();
+    assert_eq!(profile.rows.len(), N);
+
+    let sent = instance.exchange_stats().bytes_sent() - before;
+    let metered: u64 = profile.operators.operators.iter().map(|o| o.bytes_out()).sum();
+    assert!(sent > 0, "query moved bytes through the exchange");
+    assert_eq!(sent, metered, "exchange bytes_sent must equal summed output-port frame occupancy");
+
+    // Registry view agrees with the accessor.
+    match instance.metrics().get("exchange.bytes_sent") {
+        Some(Metric::Counter(c)) => {
+            assert_eq!(c.get(), instance.exchange_stats().bytes_sent())
+        }
+        other => panic!("exchange.bytes_sent missing: {other:?}"),
+    }
+}
+
 /// The instance registry aggregates every layer: exchange counters moved
 /// out of `ExchangeStats`, per-shard cache counters, WAL appends, and the
 /// LSM flush metrics recorded by `flush_all` — with the component gauges
@@ -140,9 +172,7 @@ fn profile_distinguishes_hash_join_build_and_probe_inputs() {
 #[test]
 fn registry_carries_storage_and_exchange_metrics() {
     let (instance, _dir) = join_instance(N);
-    instance
-        .query("for $u in dataset MugshotUsers return $u")
-        .unwrap();
+    instance.query("for $u in dataset MugshotUsers return $u").unwrap();
 
     let reg = instance.metrics();
     let snapshot = reg.snapshot();
@@ -169,16 +199,9 @@ fn registry_carries_storage_and_exchange_metrics() {
 
     // Per-shard cache counters sum to the aggregate hit/miss stats.
     let (hits, misses, _) = instance.cache_stats();
-    let shard_sum: u64 = instance
-        .per_shard_cache_stats()
-        .iter()
-        .map(|(h, m, _)| h + m)
-        .sum();
+    let shard_sum: u64 = instance.per_shard_cache_stats().iter().map(|(h, m, _)| h + m).sum();
     assert_eq!(shard_sum, hits + misses);
-    assert_eq!(
-        counter_sum(&|n: &str| n.starts_with("cache.shard") && n.ends_with(".hits")),
-        hits
-    );
+    assert_eq!(counter_sum(&|n: &str| n.starts_with("cache.shard") && n.ends_with(".hits")), hits);
 
     // WAL appends were counted for the inserts.
     assert!(
@@ -187,16 +210,11 @@ fn registry_carries_storage_and_exchange_metrics() {
     );
 
     // Flushes were recorded and the component gauges match the trees.
-    let flushes = counter_sum(
-        &|n: &str| n.starts_with("lsm.Prof.MugshotUsers.") && n.ends_with(".flushes"),
-    );
+    let flushes =
+        counter_sum(&|n: &str| n.starts_with("lsm.Prof.MugshotUsers.") && n.ends_with(".flushes"));
     assert!(flushes >= 1, "flush_all recorded flush events");
     let users = instance.dataset("MugshotUsers").unwrap();
-    let disk_total: i64 = users
-        .primary
-        .iter()
-        .map(|t| t.lsm().disk_component_count() as i64)
-        .sum();
+    let disk_total: i64 = users.primary.iter().map(|t| t.lsm().disk_component_count() as i64).sum();
     let gauge_total: i64 = snapshot
         .iter()
         .filter(|(name, _)| {

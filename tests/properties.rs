@@ -115,6 +115,140 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Byte-frame tuple codec and canonical order keys
+// ---------------------------------------------------------------------------
+
+use asterix_adm::value::{Circle, DurationValue, IntervalKind, IntervalValue, Line, Point};
+use asterix_adm::{decode_tuple, encode_tuple, ordkey, TupleRef};
+
+fn any_point() -> impl Strategy<Value = Point> {
+    ((-1.0e6f64..1.0e6), (-1.0e6f64..1.0e6)).prop_map(|(x, y)| Point::new(x, y))
+}
+
+/// Every `Value` variant, scalars only. `exact_numerics` keeps integers
+/// inside the f64-exact range where ordkey's byte order matches
+/// `total_cmp` without the documented ≥9.0e15 caveat.
+fn every_scalar(exact_numerics: bool) -> impl Strategy<Value = Value> {
+    let int64 =
+        if exact_numerics { (-(1i64 << 52)..(1i64 << 52)).boxed() } else { any::<i64>().boxed() };
+    let numerics = prop_oneof![
+        any::<i8>().prop_map(Value::Int8),
+        any::<i16>().prop_map(Value::Int16),
+        any::<i32>().prop_map(Value::Int32),
+        int64.prop_map(Value::Int64),
+        (-1.0e6f32..1.0e6).prop_map(Value::Float),
+        (-1.0e12f64..1.0e12).prop_map(Value::Double),
+    ];
+    let temporals = prop_oneof![
+        (-100_000i32..100_000).prop_map(Value::Date),
+        (0i32..86_400_000).prop_map(Value::Time),
+        any::<i32>().prop_map(|v| Value::DateTime(v as i64 * 1000)),
+        (any::<i32>(), any::<i32>()).prop_map(|(months, ms)| {
+            Value::Duration(DurationValue { months, millis: ms as i64 })
+        }),
+        any::<i32>().prop_map(Value::YearMonthDuration),
+        any::<i32>().prop_map(|v| Value::DayTimeDuration(v as i64)),
+        (any::<i32>(), any::<i32>()).prop_map(|(s, e)| {
+            Value::Interval(IntervalValue {
+                kind: IntervalKind::DateTime,
+                start: s as i64,
+                end: e as i64,
+            })
+        }),
+    ];
+    let spatials = prop_oneof![
+        any_point().prop_map(Value::Point),
+        (any_point(), any_point()).prop_map(|(a, b)| Value::Line(Line { a, b })),
+        (any_point(), any_point())
+            .prop_map(|(a, b)| { Value::Rectangle(asterix_adm::value::Rectangle::new(a, b)) }),
+        (any_point(), 0.0f64..1.0e6)
+            .prop_map(|(center, radius)| { Value::Circle(Circle { center, radius }) }),
+        prop::collection::vec(any_point(), 0..5).prop_map(|ps| Value::Polygon(Arc::from(ps))),
+    ];
+    prop_oneof![
+        Just(Value::Missing),
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Boolean),
+        numerics,
+        "[a-zA-Z0-9 _-]{0,24}".prop_map(Value::string),
+        temporals,
+        spatials,
+        prop::collection::vec(any::<u8>(), 0..16).prop_map(|b| Value::Binary(Arc::from(b))),
+    ]
+}
+
+/// Every `Value` variant including nested lists and records.
+fn every_value(exact_numerics: bool) -> impl Strategy<Value = Value> {
+    every_scalar(exact_numerics).prop_recursive(3, 24, 6, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..5).prop_map(Value::ordered_list),
+            prop::collection::vec(inner.clone(), 0..5).prop_map(Value::unordered_list),
+            prop::collection::vec(("[a-z]{1,8}", inner), 0..5).prop_map(|fields| {
+                let mut r = Record::new();
+                for (name, v) in fields {
+                    r.set(name, v);
+                }
+                Value::record(r)
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The frame tuple codec round-trips tuples over every `Value`
+    /// variant, and the zero-copy accessors agree with the bulk decode.
+    #[test]
+    fn tuple_codec_roundtrip(fields in prop::collection::vec(every_value(false), 0..6)) {
+        let bytes = encode_tuple(&fields);
+        let back = decode_tuple(&bytes).unwrap();
+        prop_assert_eq!(fields.len(), back.len());
+        for (x, y) in fields.iter().zip(&back) {
+            prop_assert!(x.total_cmp(y).is_eq(), "{} vs {}", x, y);
+        }
+        let r = TupleRef::new(&bytes).unwrap();
+        prop_assert_eq!(r.field_count(), fields.len());
+        for (i, x) in fields.iter().enumerate() {
+            let v = r.field_value(i).unwrap();
+            prop_assert!(x.total_cmp(&v).is_eq(), "field {}: {} vs {}", i, x, v);
+        }
+    }
+
+    /// The canonical order key's byte order is exactly ADM's total order —
+    /// across types and across numeric widths (the encoding carries no
+    /// width tag, so `int32 5`, `int64 5` and `double 5.0` tie).
+    #[test]
+    fn ordkey_byte_order_agrees_with_total_cmp(
+        a in every_value(true),
+        b in every_value(true),
+    ) {
+        let ka = ordkey::encode_value(&a);
+        let kb = ordkey::encode_value(&b);
+        prop_assert_eq!(ka.cmp(&kb), a.total_cmp(&b), "{} vs {}", a, b);
+        // Byte equality is exactly total_cmp equality — what lets joins
+        // and group-bys key hash tables on the encoded bytes directly.
+        prop_assert_eq!(ka == kb, a.total_cmp(&b).is_eq());
+    }
+
+    /// Byte-level field hashing over the serialized tuple is bit-identical
+    /// to hashing the decoded `Value`s, including out-of-range fields
+    /// (which hash as MISSING on both sides).
+    #[test]
+    fn encoded_field_hash_matches_decoded_hash(
+        fields in prop::collection::vec(every_value(false), 0..5),
+        keys in prop::collection::vec(0usize..7, 0..4),
+    ) {
+        let bytes = encode_tuple(&fields);
+        let r = TupleRef::new(&bytes).unwrap();
+        prop_assert_eq!(
+            asterix_hyracks::hash_encoded_fields(&r, &keys),
+            asterix_hyracks::hash_fields(&fields, &keys)
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
 // LSM model test
 // ---------------------------------------------------------------------------
 

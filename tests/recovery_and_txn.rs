@@ -35,9 +35,7 @@ fn recovery_replays_committed_work_including_secondary_indexes() {
         for i in 0..100 {
             insert(&instance, i, i % 10);
         }
-        instance
-            .execute("delete $d from dataset D where $d.id < 10;")
-            .unwrap();
+        instance.execute("delete $d from dataset D where $d.id < 10;").unwrap();
         // Crash: drop without flushing.
     }
     let instance = open(dir.path());
@@ -46,14 +44,10 @@ fn recovery_replays_committed_work_including_secondary_indexes() {
     assert_eq!(all.len(), 90);
     // The secondary index was rebuilt by replay too: an indexed query finds
     // the right records.
-    let via_ix = instance
-        .query("for $d in dataset D where $d.v = 3 return $d.id;")
-        .unwrap();
+    let via_ix = instance.query("for $d in dataset D where $d.v = 3 return $d.id;").unwrap();
     // v = 3 for ids ≡ 3 (mod 10); ids 13..93 → 9 records (id 3 deleted).
     assert_eq!(via_ix.len(), 9);
-    let (plan, _) = instance
-        .explain("for $d in dataset D where $d.v = 3 return $d.id;")
-        .unwrap();
+    let (plan, _) = instance.explain("for $d in dataset D where $d.v = 3 return $d.id;").unwrap();
     assert!(plan.contains("vIdx"), "{plan}");
 }
 
@@ -95,10 +89,7 @@ fn checkpoint_truncates_log_and_still_recovers() {
     }
     let instance = open(dir.path());
     instance.execute("use dataverse R;").unwrap();
-    assert_eq!(
-        instance.query("for $d in dataset D return $d;").unwrap().len(),
-        60
-    );
+    assert_eq!(instance.query("for $d in dataset D return $d;").unwrap().len(), 60);
 }
 
 #[test]
@@ -115,19 +106,13 @@ fn double_crash_recovery_is_idempotent() {
     {
         let instance = open(dir.path());
         instance.execute("use dataverse R;").unwrap();
-        assert_eq!(
-            instance.query("for $d in dataset D return $d;").unwrap().len(),
-            30
-        );
+        assert_eq!(instance.query("for $d in dataset D return $d;").unwrap().len(), 30);
     }
     // Second recovery replays the same log over the recovered state —
     // replay is idempotent (inserts are upserts).
     let instance = open(dir.path());
     instance.execute("use dataverse R;").unwrap();
-    assert_eq!(
-        instance.query("for $d in dataset D return $d;").unwrap().len(),
-        30
-    );
+    assert_eq!(instance.query("for $d in dataset D return $d;").unwrap().len(), 30);
 }
 
 #[test]
@@ -148,9 +133,7 @@ fn ddl_survives_restart() {
     let instance = open(dir.path());
     instance.execute("use dataverse R;").unwrap();
     // Types, datasets, indexes, and functions all came back.
-    let idx = instance
-        .query("for $ix in dataset Metadata.Index return $ix;")
-        .unwrap();
+    let idx = instance.query("for $ix in dataset Metadata.Index return $ix;").unwrap();
     assert_eq!(idx.len(), 2); // primary + vIdx
     let tags = instance.query("for $t in tagged() return $t;").unwrap();
     assert_eq!(tags.len(), 1);
@@ -178,10 +161,7 @@ fn concurrent_inserts_from_many_threads() {
     for h in handles {
         h.join().unwrap();
     }
-    assert_eq!(
-        instance.query("for $d in dataset D return $d;").unwrap().len(),
-        400
-    );
+    assert_eq!(instance.query("for $d in dataset D return $d;").unwrap().len(), 400);
     // Per-thread groups all have exactly 50.
     let counts = instance
         .query(
@@ -218,13 +198,7 @@ fn concurrent_duplicate_inserts_exactly_one_wins() {
     }
     let total_wins: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
     assert_eq!(total_wins, 1, "exactly one insert of pk 42 may succeed");
-    assert_eq!(
-        instance
-            .query("for $d in dataset D where $d.id = 42 return $d;")
-            .unwrap()
-            .len(),
-        1
-    );
+    assert_eq!(instance.query("for $d in dataset D where $d.id = 42 return $d;").unwrap().len(), 1);
 }
 
 #[test]
@@ -254,8 +228,5 @@ fn readers_see_consistent_data_during_writes() {
         assert!(rows.len() >= 200);
     }
     writer.join().unwrap();
-    assert_eq!(
-        instance.query("for $d in dataset D return $d;").unwrap().len(),
-        400
-    );
+    assert_eq!(instance.query("for $d in dataset D return $d;").unwrap().len(), 400);
 }
