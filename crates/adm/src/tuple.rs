@@ -276,6 +276,28 @@ pub fn decode_tuple(buf: &[u8]) -> Result<Vec<Value>> {
     TupleRef::new(buf)?.decode()
 }
 
+/// Append computed values to an encoded tuple at the byte level: the row
+/// `t ++ vals` without decoding any of `t`'s fields (the fused Assign
+/// path). `t`'s field bytes are copied verbatim; only the header and
+/// offset prefix are rebuilt, and the new values are encoded in place.
+pub fn append_values_into(out: &mut Vec<u8>, t: &TupleRef<'_>, vals: &[Value]) {
+    let n = t.field_count() + vals.len();
+    debug_assert!(n <= u16::MAX as usize, "tuple arity {n} exceeds u16");
+    out.extend_from_slice(&(n as u16).to_le_bytes());
+    for i in 0..t.field_count() {
+        out.extend_from_slice(&(t.end(i) as u32).to_le_bytes());
+    }
+    let ends_pos = out.len();
+    out.resize(ends_pos + 4 * vals.len(), 0);
+    let data_start = out.len();
+    out.extend_from_slice(t.data);
+    for (i, v) in vals.iter().enumerate() {
+        serde::encode_append(out, v);
+        let end = (out.len() - data_start) as u32;
+        out[ends_pos + 4 * i..ends_pos + 4 * i + 4].copy_from_slice(&end.to_le_bytes());
+    }
+}
+
 /// Project a subset of fields at the byte level: re-slices the kept
 /// fields' encodings into a fresh tuple without decoding them.
 pub fn project_tuple_into(out: &mut Vec<u8>, t: &TupleRef<'_>, fields: &[usize]) {
@@ -356,6 +378,22 @@ mod tests {
         let mut joined = a.clone();
         joined.extend(b.iter().cloned());
         assert_eq!(out, encode_tuple(&joined));
+    }
+
+    #[test]
+    fn append_values_matches_value_level_append() {
+        let t = sample_tuple();
+        let bytes = encode_tuple(&t);
+        let vals = vec![Value::Int64(7), Value::string("computed"), Value::Missing];
+        let mut out = Vec::new();
+        append_values_into(&mut out, &TupleRef::new(&bytes).unwrap(), &vals);
+        let mut joined = t.clone();
+        joined.extend(vals.iter().cloned());
+        assert_eq!(out, encode_tuple(&joined));
+        // Appending nothing is an exact copy.
+        let mut copy = Vec::new();
+        append_values_into(&mut copy, &TupleRef::new(&bytes).unwrap(), &[]);
+        assert_eq!(copy, bytes);
     }
 
     #[test]

@@ -137,7 +137,11 @@ pub fn compile(
     // Final emit: compute the output value, project it, sink at 1 partition.
     let emit_eval = gen.make_eval(expr, &schema)?;
     let width = schema.len();
-    let assign = gen.job.add(gen.parts(part), Arc::new(AssignOp::new("emit", vec![emit_eval])));
+    let emit_op = match Gen::referenced_cols(&[expr], &schema) {
+        Some(fields) => AssignOp::with_fields("emit", vec![emit_eval], fields),
+        None => AssignOp::new("emit", vec![emit_eval]),
+    };
+    let assign = gen.job.add(gen.parts(part), Arc::new(emit_op));
     gen.job.connect(ConnectorKind::OneToOne, op, assign);
     let project = gen.job.add(gen.parts(part), Arc::new(ProjectOp { fields: vec![width] }));
     gen.job.connect(ConnectorKind::OneToOne, assign, project);
@@ -167,6 +171,34 @@ impl Gen {
             cols[*v] = Some(i);
         }
         cols
+    }
+
+    /// The input columns a set of expressions actually read — handed to
+    /// Select/Assign so they decode only those positions instead of the
+    /// whole tuple. `None` (decode everything) when any free variable is
+    /// not a column of this schema, e.g. an assign expression referencing
+    /// a column appended earlier in the same operator.
+    fn referenced_cols(exprs: &[&LogicalExpr], schema: &[VarId]) -> Option<Vec<usize>> {
+        let cols = Self::columns_of(schema);
+        let mut vars: Vec<VarId> = Vec::new();
+        for e in exprs {
+            e.free_vars(&mut vars);
+        }
+        let mut out = Vec::with_capacity(vars.len());
+        for v in vars {
+            out.push(cols.get(v).copied().flatten()?);
+        }
+        out.sort_unstable();
+        out.dedup();
+        Some(out)
+    }
+
+    fn select_op(&self, label: &str, expr: &LogicalExpr, schema: &[VarId]) -> Result<SelectOp> {
+        let pred = self.make_pred(expr, schema)?;
+        Ok(match Self::referenced_cols(&[expr], schema) {
+            Some(fields) => SelectOp::with_fields(label, pred, fields),
+            None => SelectOp::new(label, pred),
+        })
     }
 
     fn make_eval(
@@ -224,7 +256,12 @@ impl Gen {
         exprs: &[(VarId, LogicalExpr)],
     ) -> Result<(OperatorId, Vec<VarId>)> {
         let evals: Result<Vec<_>> = exprs.iter().map(|(_, e)| self.make_eval(e, schema)).collect();
-        let op = self.job.add(self.parts(part), Arc::new(AssignOp::new(label, evals?)));
+        let erefs: Vec<&LogicalExpr> = exprs.iter().map(|(_, e)| e).collect();
+        let assign = match Self::referenced_cols(&erefs, schema) {
+            Some(fields) => AssignOp::with_fields(label, evals?, fields),
+            None => AssignOp::new(label, evals?),
+        };
+        let op = self.job.add(self.parts(part), Arc::new(assign));
         self.job.connect(ConnectorKind::OneToOne, input, op);
         let mut new_schema = schema.to_vec();
         new_schema.extend(exprs.iter().map(|(v, _)| *v));
@@ -272,8 +309,8 @@ impl Gen {
             }
             LogicalOp::Select { input, condition } => {
                 let (in_op, schema, part) = self.build(input)?;
-                let pred = self.make_pred(condition, &schema)?;
-                let id = self.job.add(self.parts(part), Arc::new(SelectOp::new("filter", pred)));
+                let sel = self.select_op("filter", condition, &schema)?;
+                let id = self.job.add(self.parts(part), Arc::new(sel));
                 self.job.connect(ConnectorKind::OneToOne, in_op, id);
                 Ok((id, schema, part))
             }
@@ -357,8 +394,8 @@ impl Gen {
                 schema.extend(l_schema);
                 let mut out = join;
                 if let Some(resid) = residual {
-                    let pred = self.make_pred(resid, &schema)?;
-                    let sel = self.job.add(self.nparts, Arc::new(SelectOp::new("residual", pred)));
+                    let sel_op = self.select_op("residual", resid, &schema)?;
+                    let sel = self.job.add(self.nparts, Arc::new(sel_op));
                     self.job.connect(ConnectorKind::OneToOne, join, sel);
                     out = sel;
                 }
@@ -710,8 +747,8 @@ impl Gen {
         let schema = vec![var];
         let mut out = tail;
         if let Some(post) = postcondition {
-            let pred = self.make_pred(post, &schema)?;
-            let sel = self.job.add(self.nparts, Arc::new(SelectOp::new("post-validate", pred)));
+            let sel_op = self.select_op("post-validate", post, &schema)?;
+            let sel = self.job.add(self.nparts, Arc::new(sel_op));
             self.job.connect(ConnectorKind::OneToOne, out, sel);
             out = sel;
         }

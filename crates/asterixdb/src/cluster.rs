@@ -34,6 +34,10 @@ pub struct ClusterConfig {
     /// Bound on frames buffered per exchange channel — the executor's
     /// backpressure knob (see DESIGN.md "Execution & storage tuning").
     pub frames_in_flight: usize,
+    /// Disable the executor's pipeline-fusion pass (one thread and a
+    /// channel per operator partition, as before fusion). For A/B runs and
+    /// debugging; results are identical either way.
+    pub disable_fusion: bool,
 }
 
 impl ClusterConfig {
@@ -49,6 +53,7 @@ impl ClusterConfig {
             merge_policy: asterix_storage::MergePolicy::default(),
             fsync_commits: false,
             frames_in_flight: 8,
+            disable_fusion: false,
         }
     }
 

@@ -158,6 +158,7 @@ impl Instance {
     fn executor_config(&self) -> asterix_hyracks::ExecutorConfig {
         asterix_hyracks::ExecutorConfig {
             frames_in_flight: self.cfg.frames_in_flight,
+            disable_fusion: self.cfg.disable_fusion,
             ..Default::default()
         }
     }

@@ -1,0 +1,93 @@
+//! Pipeline-fusion microbenchmark: the same scan → select → assign → sink
+//! chain run fused (one push-driven thread per partition, tuples stay
+//! encoded end-to-end) versus unfused (`disable_fusion`: one thread and a
+//! bounded channel per operator partition, a frame copy at every hop).
+//!
+//! Inside the measured closure we assert the fusion gauges agree with the
+//! mode — `pipelines_fused > 0` when fusion is on, `== 0` when forced off —
+//! so a regression in the fusion pass fails the bench rather than silently
+//! timing the wrong shape.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parking_lot::Mutex;
+
+use asterix_adm::Value;
+use asterix_hyracks::ops::{AssignOp, SelectOp, SinkOp, SourceOp};
+use asterix_hyracks::{run_job_with_stats, ConnectorKind, ExchangeStats, ExecutorConfig, JobSpec};
+
+const TUPLES_PER_PART: i64 = 25_000;
+
+/// scan → select (keep even ids) → assign (id*2) → sink, all OneToOne up to
+/// the final replicating hop into the single-partition sink.
+fn fusion_job(parts: usize) -> JobSpec {
+    let mut job = JobSpec::new();
+    let src = job.add(
+        parts,
+        Arc::new(SourceOp::new("gen", |p, _n, emit| {
+            for i in 0..TUPLES_PER_PART {
+                emit(vec![Value::Int64(i), Value::Int64(p as i64)])?;
+            }
+            Ok(())
+        })),
+    );
+    let sel = job.add(
+        parts,
+        Arc::new(SelectOp::with_fields(
+            "even",
+            Arc::new(|t| Ok(matches!(t.first(), Some(Value::Int64(i)) if i % 2 == 0))),
+            vec![0],
+        )),
+    );
+    let asg = job.add(
+        parts,
+        Arc::new(AssignOp::with_fields(
+            "double",
+            vec![Arc::new(|t: &Vec<Value>| match t.first() {
+                Some(Value::Int64(i)) => Ok(Value::Int64(i * 2)),
+                other => Ok(other.cloned().unwrap_or(Value::Missing)),
+            })],
+            vec![0],
+        )),
+    );
+    let sink = job.add(1, Arc::new(SinkOp::new(Arc::new(Mutex::new(Vec::new())))));
+    job.connect(ConnectorKind::OneToOne, src, sel);
+    job.connect(ConnectorKind::OneToOne, sel, asg);
+    job.connect(ConnectorKind::MToNReplicating, asg, sink);
+    job
+}
+
+fn bench_fusion(c: &mut Criterion) {
+    for parts in [1usize, 4, 8] {
+        let mut g = c.benchmark_group(format!("fusion/25k_per_part_p{parts}"));
+        g.sample_size(10);
+        for (label, disable) in [("fused", false), ("disable_fusion", true)] {
+            g.bench_function(label, |b| {
+                b.iter(|| {
+                    let job = fusion_job(parts);
+                    let cfg = ExecutorConfig {
+                        partitions_per_node: parts,
+                        disable_fusion: disable,
+                        ..Default::default()
+                    };
+                    let stats = Arc::new(ExchangeStats::new());
+                    run_job_with_stats(&job, &cfg, &stats).unwrap();
+                    if disable {
+                        assert_eq!(stats.pipelines_fused(), 0, "fusion must be off");
+                    } else {
+                        // scan→select→assign fuses per partition, saving two
+                        // threads (and two channel hops) each.
+                        assert_eq!(stats.pipelines_fused(), parts as i64);
+                        assert_eq!(stats.fusion_saved_threads(), 2 * parts as i64);
+                    }
+                    stats.tuples_sent()
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_fusion);
+criterion_main!(benches);

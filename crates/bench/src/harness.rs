@@ -823,6 +823,9 @@ mod tests {
         // the per-shard cache counters.
         assert!(json.contains("\"exchange.frames_sent\""), "registry snapshot in {json}");
         assert!(json.contains("\"cache.shard0.hits\""), "per-shard cache in {json}");
+        // Pipeline-fusion gauges ride the same snapshot (Table 3/4 JSON).
+        assert!(json.contains("\"exchange.pipelines_fused\""), "fusion gauges in {json}");
+        assert!(json.contains("\"exchange.fusion_saved_threads\""), "fusion gauges in {json}");
         // A scan moved at least one frame with at least one tuple, and the
         // byte counter measured its serialized occupancy.
         assert!(asx.instance.exchange_stats().frames_sent() > 0);

@@ -23,12 +23,13 @@ use std::cmp::Ordering;
 use std::sync::Arc;
 
 use asterix_adm::{encode_tuple_into, TupleRef};
-use asterix_obs::{Counter, Gauge, MetricsRegistry};
+use asterix_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use crossbeam::channel::{bounded, Receiver, Select, Sender, TrySendError};
 
 use crate::frame::{
     hash_encoded_fields, hash_fields, Frame, FramePool, Tuple, DEFAULT_FRAME_BYTES, FRAME_CAPACITY,
 };
+use crate::pipeline::PipelineOp;
 use crate::profile::PortMeter;
 use crate::{HyracksError, Result};
 
@@ -46,13 +47,36 @@ pub type Comparator = Arc<dyn Fn(&[u8], &[u8]) -> Ordering + Send + Sync>;
 /// sender's hand). `bytes_sent` sums the exact frame occupancy (tuple data
 /// plus slot directory) of every delivered frame — a measurement, not an
 /// estimate.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ExchangeStats {
     frames_sent: Counter,
     tuples_sent: Counter,
     bytes_sent: Counter,
     backpressure_stalls: Counter,
     buffered_frames: Gauge,
+    /// Operator-partition pipelines that ran fused (chains of length ≥ 2)
+    /// in the most recent job on this exchange.
+    pipelines_fused: Gauge,
+    /// Threads the most recent job did NOT spawn thanks to fusion: the
+    /// one-thread-per-(operator, partition) count minus the pipeline count.
+    fusion_saved_threads: Gauge,
+    /// Wall time each pipeline thread spent in its run body (µs).
+    pipeline_busy_us: Histogram,
+}
+
+impl Default for ExchangeStats {
+    fn default() -> Self {
+        ExchangeStats {
+            frames_sent: Counter::new(),
+            tuples_sent: Counter::new(),
+            bytes_sent: Counter::new(),
+            backpressure_stalls: Counter::new(),
+            buffered_frames: Gauge::new(),
+            pipelines_fused: Gauge::new(),
+            fusion_saved_threads: Gauge::new(),
+            pipeline_busy_us: Histogram::duration_us(),
+        }
+    }
 }
 
 impl ExchangeStats {
@@ -83,6 +107,20 @@ impl ExchangeStats {
 
     fn on_recv(&self) {
         self.buffered_frames.sub(1);
+    }
+
+    /// Record the fusion outcome of a job: how many operator-partition
+    /// pipelines ran fused and how many threads that saved versus the
+    /// one-thread-per-(operator, partition) baseline. Gauges reflect the
+    /// most recent job; peaks track the high-water mark.
+    pub(crate) fn on_job_fusion(&self, pipelines_fused: i64, saved_threads: i64) {
+        self.pipelines_fused.set(pipelines_fused);
+        self.fusion_saved_threads.set(saved_threads);
+    }
+
+    /// Record one pipeline thread's busy time.
+    pub(crate) fn on_pipeline_done(&self, busy: std::time::Duration) {
+        self.pipeline_busy_us.record_duration(busy);
     }
 
     /// Frames delivered to channels so far.
@@ -116,6 +154,21 @@ impl ExchangeStats {
         self.buffered_frames.peak()
     }
 
+    /// Operator-partition pipelines that ran fused in the most recent job.
+    pub fn pipelines_fused(&self) -> i64 {
+        self.pipelines_fused.get()
+    }
+
+    /// Threads the most recent job avoided spawning thanks to fusion.
+    pub fn fusion_saved_threads(&self) -> i64 {
+        self.fusion_saved_threads.get()
+    }
+
+    /// Per-pipeline busy-time histogram (µs).
+    pub fn pipeline_busy_us(&self) -> &Histogram {
+        &self.pipeline_busy_us
+    }
+
     /// Adopt this bundle's handles into a [`MetricsRegistry`] under
     /// `{prefix}.*` names. The counters stay live — the registry snapshot
     /// and the legacy accessors read the same atomics.
@@ -125,6 +178,9 @@ impl ExchangeStats {
         reg.register_counter(&format!("{prefix}.bytes_sent"), &self.bytes_sent);
         reg.register_counter(&format!("{prefix}.backpressure_stalls"), &self.backpressure_stalls);
         reg.register_gauge(&format!("{prefix}.buffered_frames"), &self.buffered_frames);
+        reg.register_gauge(&format!("{prefix}.pipelines_fused"), &self.pipelines_fused);
+        reg.register_gauge(&format!("{prefix}.fusion_saved_threads"), &self.fusion_saved_threads);
+        reg.register_histogram(&format!("{prefix}.pipeline_busy_us"), &self.pipeline_busy_us);
     }
 }
 
@@ -235,6 +291,13 @@ pub struct OutputPort {
     enc: Vec<u8>,
     /// Per-operator profiling meter (attached only on profiled runs).
     meter: Option<Arc<PortMeter>>,
+    /// When set, this port bypasses the exchange entirely: every tuple is
+    /// handed synchronously to the fused downstream chain. `senders` and
+    /// `buffers` are empty, and metering lives inside the chain's
+    /// [`crate::pipeline::FusedEdge`] adapters, not on this port.
+    fused: Option<Box<dyn PipelineOp>>,
+    /// The fused chain's `finish` has run (it must run exactly once).
+    fused_done: bool,
 }
 
 impl OutputPort {
@@ -255,6 +318,8 @@ impl OutputPort {
             frame_bytes: xcfg.frame_bytes.max(1),
             enc: Vec::new(),
             meter: None,
+            fused: None,
+            fused_done: false,
         }
     }
 
@@ -271,7 +336,17 @@ impl OutputPort {
             frame_bytes: DEFAULT_FRAME_BYTES,
             enc: Vec::new(),
             meter: None,
+            fused: None,
+            fused_done: false,
         }
+    }
+
+    /// A port backed by a fused pipeline chain instead of channels: pushes
+    /// go straight into `chain` on the caller's thread.
+    pub(crate) fn fused(chain: Box<dyn PipelineOp>) -> OutputPort {
+        let mut port = OutputPort::sink();
+        port.fused = Some(chain);
+        port
     }
 
     /// Attach a profiling meter counting tuples/frames/bytes emitted
@@ -332,7 +407,10 @@ impl OutputPort {
         let mut enc = std::mem::take(&mut self.enc);
         enc.clear();
         encode_tuple_into(&mut enc, &tuple);
-        let res = self.route(&enc, Some(&tuple));
+        let res = match &mut self.fused {
+            Some(chain) => chain.push(&enc),
+            None => self.route(&enc, Some(&tuple)),
+        };
         self.enc = enc;
         res
     }
@@ -341,6 +419,9 @@ impl OutputPort {
     /// path. Routes identically to [`OutputPort::push`] because the
     /// byte-level hasher is bit-identical to the decoded one.
     pub fn push_encoded(&mut self, bytes: &[u8]) -> Result<()> {
+        if let Some(chain) = &mut self.fused {
+            return chain.push(bytes);
+        }
         self.route(bytes, None)
     }
 
@@ -397,6 +478,9 @@ impl OutputPort {
     /// [`HyracksError::DownstreamClosed`] when every destination has hung
     /// up — explicit callers can stop early; the `Drop` path ignores it.
     pub fn flush(&mut self) -> Result<()> {
+        if let Some(chain) = &mut self.fused {
+            return chain.flush();
+        }
         for j in 0..self.senders.len() {
             if !self.buffers[j].is_empty() {
                 let frame = std::mem::take(&mut self.buffers[j]);
@@ -407,6 +491,21 @@ impl OutputPort {
             Err(HyracksError::DownstreamClosed)
         } else {
             Ok(())
+        }
+    }
+
+    /// End-of-stream for a fused port: run the chain's `finish` exactly
+    /// once (emitting buffered downstream state and flushing the tail's
+    /// real port). A no-op on channel-backed ports — their end-of-stream is
+    /// the flush-on-drop disconnect, unchanged.
+    pub(crate) fn finish_fused(&mut self) -> Result<()> {
+        if self.fused_done {
+            return Ok(());
+        }
+        self.fused_done = true;
+        match &mut self.fused {
+            Some(chain) => chain.finish(),
+            None => Ok(()),
         }
     }
 }
@@ -422,7 +521,14 @@ fn route_hash(bytes: &[u8], decoded: Option<&Tuple>, fields: &[usize]) -> Result
 
 impl Drop for OutputPort {
     fn drop(&mut self) {
-        let _ = self.flush();
+        if self.fused.is_some() {
+            // Backstop: the executor calls finish_fused explicitly; if the
+            // operator body bailed before that, still finish the chain so
+            // buffered results reach the real tail port.
+            let _ = self.finish_fused();
+        } else {
+            let _ = self.flush();
+        }
     }
 }
 
@@ -995,6 +1101,27 @@ mod tests {
         drop(outs);
         assert_eq!(ins[0].collect().unwrap().len(), 10);
         assert_eq!(cfg.stats.bytes_sent(), expected);
+    }
+
+    #[test]
+    fn fused_port_bypasses_channels_and_finishes_once() {
+        use crate::pipeline::testing::{Recorder, RecorderStage};
+        use parking_lot::Mutex;
+
+        let rec = Arc::new(Mutex::new(Recorder::default()));
+        let mut port = OutputPort::fused(Box::new(RecorderStage(Arc::clone(&rec))));
+        // Both push paths reach the chain with identical encodings.
+        port.push(t(1)).unwrap();
+        port.push_encoded(&encode_tuple(&t(2))).unwrap();
+        port.finish_fused().unwrap();
+        port.finish_fused().unwrap(); // idempotent
+        {
+            let r = rec.lock();
+            assert_eq!(r.rows, vec![encode_tuple(&t(1)), encode_tuple(&t(2))]);
+            assert!(r.finished);
+        }
+        drop(port); // Drop after an explicit finish is a no-op.
+        assert_eq!(rec.lock().rows.len(), 2);
     }
 
     #[test]

@@ -9,12 +9,13 @@
 
 use std::sync::Arc;
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::connector::{wire, ExchangeConfig, ExchangeStats, InputPort, OutputPort};
 use crate::frame::FramePool;
 use crate::job::JobSpec;
-use crate::ops::OpCtx;
+use crate::ops::{OpCtx, OperatorDescriptor};
+use crate::pipeline::{FusedEdge, PipelineCtx, PipelineOp, PortSink};
 use crate::profile::{JobProfile, PortMeter, ProfileBuilder};
 use crate::{HyracksError, Result};
 
@@ -33,8 +34,13 @@ pub struct ExecutorConfig {
     pub frame_bytes: usize,
     /// Upper bound on the threads a single job may spawn. Jobs exceeding it
     /// are rejected up front with a clear error instead of exhausting the
-    /// OS thread table mid-run.
+    /// OS thread table mid-run. Under fusion a whole pipeline counts as one
+    /// thread.
     pub max_threads: usize,
+    /// Escape hatch: run every operator partition on its own thread with
+    /// channels on every edge, as if no chain were fusible. For A/B
+    /// comparisons and debugging; results must be identical either way.
+    pub disable_fusion: bool,
 }
 
 impl Default for ExecutorConfig {
@@ -45,6 +51,7 @@ impl Default for ExecutorConfig {
             tuples_per_frame: crate::frame::FRAME_CAPACITY,
             frame_bytes: crate::frame::DEFAULT_FRAME_BYTES,
             max_threads: 512,
+            disable_fusion: false,
         }
     }
 }
@@ -89,11 +96,14 @@ fn run_job_inner(
     stats: &Arc<ExchangeStats>,
     mut profile: Option<ProfileBuilder>,
 ) -> Result<Option<JobProfile>> {
-    job.topo_order()?; // validates acyclicity
+    // Fusion pass: collapse maximal same-partition OneToOne chains into
+    // single push-driven pipelines (or run the identity plan when fusion is
+    // disabled). Validates acyclicity as a side effect.
+    let plan = if cfg.disable_fusion { job.unfused_plan()? } else { job.fusion_plan()? };
     let started = Instant::now();
 
-    // Every (operator, partition) pair gets its own thread, and ALL of them
-    // must coexist for the duration of the job: stage ordering here is
+    // Every pipeline partition gets its own thread, and ALL of them must
+    // coexist for the duration of the job: stage ordering here is
     // implicit — a blocking operator (hash-join build, sort run generation)
     // simply consumes its blocking input to completion before emitting, so
     // its thread must be alive and consuming while every transitive
@@ -101,8 +111,9 @@ fn run_job_inner(
     // smaller worker pool would deadlock (a queued-but-unscheduled consumer
     // leaves its producers blocked on full channels forever). Hence a
     // *guard*, not a pool: jobs that would need more threads than
-    // `max_threads` are rejected before anything is spawned.
-    let total_threads: usize = job.ops.iter().map(|op| op.nparts).sum();
+    // `max_threads` are rejected before anything is spawned. Fusion lowers
+    // the count — a fused chain is one thread per partition.
+    let total_threads = plan.total_threads();
     if total_threads > cfg.max_threads.max(1) {
         return Err(HyracksError::InvalidJob(format!(
             "job needs {total_threads} operator-partition threads, exceeding \
@@ -110,6 +121,7 @@ fn run_job_inner(
             cfg.max_threads
         )));
     }
+    stats.on_job_fusion(plan.fused_pipelines() as i64, plan.saved_threads() as i64);
 
     let ppn = cfg.partitions_per_node.max(1);
     let node_of = move |p: usize| p / ppn;
@@ -121,11 +133,17 @@ fn run_job_inner(
         pool: Arc::new(FramePool::new()),
     };
 
-    // Wire every connector: per source partition output ports, per
-    // destination partition input ports.
+    // Wire every surviving connector: per source partition output ports,
+    // per destination partition input ports. Fused edges get no channel at
+    // all (empty port lists keep connector indexes aligned).
     let mut conn_outs: Vec<Vec<Option<OutputPort>>> = Vec::with_capacity(job.conns.len());
     let mut conn_ins: Vec<Vec<Option<InputPort>>> = Vec::with_capacity(job.conns.len());
-    for c in &job.conns {
+    for (ci, c) in job.conns.iter().enumerate() {
+        if plan.fused_conns[ci] {
+            conn_outs.push(Vec::new());
+            conn_ins.push(Vec::new());
+            continue;
+        }
         let n_src = job.ops[c.src.0].nparts;
         let n_dst = job.ops[c.dst.0].nparts;
         let (outs, ins) = wire(&c.kind, n_src, n_dst, &node_of, &xcfg)?;
@@ -133,12 +151,33 @@ fn run_job_inner(
         conn_ins.push(ins.into_iter().map(Some).collect());
     }
 
-    // Spawn one thread per (operator, partition).
-    let mut handles = Vec::new();
-    for (op_idx, op) in job.ops.iter().enumerate() {
-        let in_conns = job.inputs_of(crate::job::OperatorId(op_idx));
-        let out_conns = job.outputs_of(crate::job::OperatorId(op_idx));
-        for p in 0..op.nparts {
+    // One thread per (chain, partition): the head operator runs its `run`
+    // body; chain members after it run as push stages stacked onto the
+    // head's output port. Build every pending thread before spawning any,
+    // so an instantiation error cannot leave already-spawned threads
+    // running against half-wired channels.
+    struct PendingThread {
+        name: String,
+        desc: Arc<dyn OperatorDescriptor>,
+        partition: usize,
+        nparts: usize,
+        node: usize,
+        inputs: Vec<InputPort>,
+        outputs: Vec<OutputPort>,
+        /// Busy-time slots for every chain member (all get the pipeline's
+        /// elapsed run time — they shared the thread).
+        busy: Vec<Arc<parking_lot::Mutex<Duration>>>,
+        fused: bool,
+    }
+
+    let mut pending: Vec<PendingThread> = Vec::with_capacity(total_threads);
+    for chain in &plan.chains {
+        let head = chain.ops[0];
+        let tail = *chain.ops.last().expect("chains are non-empty");
+        let in_conns = job.inputs_of(head);
+        let out_conns = job.outputs_of(tail);
+        for p in 0..chain.nparts {
+            let node = node_of(p);
             let mut inputs: Vec<InputPort> = in_conns
                 .iter()
                 .map(|&ci| conn_ins[ci][p].take().expect("input port taken twice"))
@@ -148,48 +187,117 @@ fn run_job_inner(
                 .map(|&ci| conn_outs[ci][p].take().expect("output port taken twice"))
                 .collect();
             // When profiling, meter every real port (in connector order)
-            // and keep a handle for this partition's busy time.
-            let busy = profile.as_mut().map(|pb| {
-                let pm = &mut pb.meters[op_idx][p];
+            // and keep busy-time handles for every chain member.
+            let mut busy: Vec<Arc<parking_lot::Mutex<Duration>>> = Vec::new();
+            if let Some(pb) = profile.as_mut() {
                 for port in inputs.iter_mut() {
                     let m = Arc::new(PortMeter::default());
                     port.set_meter(Arc::clone(&m));
-                    pm.inputs.push(m);
+                    pb.meters[head.0][p].inputs.push(m);
                 }
                 for port in outputs.iter_mut() {
                     let m = Arc::new(PortMeter::default());
                     port.set_meter(Arc::clone(&m));
-                    pm.outputs.push(m);
+                    pb.meters[tail.0][p].outputs.push(m);
                 }
-                Arc::clone(&pm.busy)
-            });
+                for op in &chain.ops {
+                    busy.push(Arc::clone(&pb.meters[op.0][p].busy));
+                }
+            }
+            if chain.ops.len() > 1 {
+                // Stack the push stages tail-first onto the tail's real
+                // output port (or a discard sink when the chain ends the
+                // job). Each interior edge gets a FusedEdge adapter that
+                // meters tuples for the adjacent operators' profiles.
+                let tail_port = outputs.pop().unwrap_or_else(OutputPort::sink);
+                let mut next: Box<dyn PipelineOp> = Box::new(PortSink::new(tail_port));
+                for idx in (1..chain.ops.len()).rev() {
+                    let opid = chain.ops[idx];
+                    let ctx = PipelineCtx { partition: p, nparts: chain.nparts, node };
+                    let stage = job.ops[opid.0].desc.pipeline(ctx, next)?;
+                    let meters = match profile.as_mut() {
+                        Some(pb) => {
+                            let m_out = Arc::new(PortMeter::default());
+                            let m_in = Arc::new(PortMeter::default());
+                            pb.meters[chain.ops[idx - 1].0][p].outputs.push(Arc::clone(&m_out));
+                            pb.meters[opid.0][p].inputs.push(Arc::clone(&m_in));
+                            vec![m_out, m_in]
+                        }
+                        None => Vec::new(),
+                    };
+                    next = Box::new(FusedEdge::new(meters, stage));
+                }
+                outputs = vec![OutputPort::fused(next)];
+            }
             if outputs.is_empty() {
                 outputs.push(OutputPort::sink());
             }
-            let desc = Arc::clone(&op.desc);
-            let nparts = op.nparts;
-            let node = node_of(p);
-            handles.push(
-                thread::Builder::new()
-                    .name(format!("{}[{p}]", desc.name()))
-                    .spawn(move || {
-                        let run_started = busy.as_ref().map(|_| Instant::now());
-                        let mut ctx = OpCtx { partition: p, nparts, node, inputs, outputs };
-                        let result = desc.run(&mut ctx);
-                        // Drain remaining input so upstream memory is freed
-                        // even on early exit/error, then drop ports (which
-                        // flushes and closes outputs).
-                        for input in ctx.inputs.iter_mut() {
-                            input.drain();
-                        }
-                        if let (Some(b), Some(s)) = (busy, run_started) {
-                            *b.lock() = s.elapsed();
-                        }
-                        result
-                    })
-                    .expect("spawn operator thread"),
-            );
+            let desc = Arc::clone(&job.ops[head.0].desc);
+            pending.push(PendingThread {
+                name: format!("{}[{p}]", desc.name()),
+                desc,
+                partition: p,
+                nparts: chain.nparts,
+                node,
+                inputs,
+                outputs,
+                busy,
+                fused: chain.ops.len() > 1,
+            });
         }
+    }
+
+    let mut handles = Vec::new();
+    for pt in pending {
+        let PendingThread { name, desc, partition, nparts, node, inputs, outputs, busy, fused } =
+            pt;
+        let stats = Arc::clone(stats);
+        let profiling = profile.is_some();
+        handles.push(
+            thread::Builder::new()
+                .name(name)
+                .spawn(move || {
+                    let run_started = Instant::now();
+                    let mut ctx = OpCtx { partition, nparts, node, inputs, outputs };
+                    let result = desc.run(&mut ctx);
+                    // Drain remaining input so upstream memory is freed
+                    // even on early exit/error, then finish the fused
+                    // stages (delivering their buffered output) before the
+                    // ports drop and close.
+                    for input in ctx.inputs.iter_mut() {
+                        input.drain();
+                    }
+                    let mut fin: Result<()> = Ok(());
+                    for out in ctx.outputs.iter_mut() {
+                        if let Err(e) = out.finish_fused() {
+                            if fin.is_ok() {
+                                fin = Err(e);
+                            }
+                        }
+                    }
+                    let elapsed = run_started.elapsed();
+                    if fused {
+                        stats.on_pipeline_done(elapsed);
+                    }
+                    if profiling {
+                        for b in &busy {
+                            *b.lock() = elapsed;
+                        }
+                    }
+                    match (result, fin) {
+                        (Ok(()), fin) => fin,
+                        // A head stopped by a fused LIMIT is clean, but a
+                        // real failure while finishing still surfaces.
+                        (Err(HyracksError::DownstreamClosed), Err(e))
+                            if !e.is_downstream_closed() =>
+                        {
+                            Err(e)
+                        }
+                        (result, _) => result,
+                    }
+                })
+                .expect("spawn operator thread"),
+        );
     }
 
     let mut first_err: Option<HyracksError> = None;
@@ -483,7 +591,10 @@ mod tests {
         job.connect(ConnectorKind::OneToOne, src, slow);
         job.connect(ConnectorKind::OneToOne, slow, sink);
 
-        let cfg = ExecutorConfig { frames_in_flight: 2, ..Default::default() };
+        // Fusion would collapse this chain into one thread with no channel
+        // at all; disable it — this test is about the channels.
+        let cfg =
+            ExecutorConfig { frames_in_flight: 2, disable_fusion: true, ..Default::default() };
         let stats = Arc::new(ExchangeStats::new());
         run_job_with_stats(&job, &cfg, &stats).unwrap();
 
@@ -550,6 +661,101 @@ mod tests {
     }
 
     #[test]
+    fn fusion_collapses_chain_to_one_thread_per_partition() {
+        // scan(4) → select(4) → assign(4) → MToNReplicating → sink(1):
+        // the OneToOne chain fuses to one pipeline per partition, so the
+        // whole job runs on 4 + 1 threads instead of 12 + 1.
+        let build_job = || {
+            let mut job = JobSpec::new();
+            let src = job.add(4, int_source("scan", 100));
+            let sel = job.add(
+                4,
+                Arc::new(SelectOp::new(
+                    "even",
+                    Arc::new(|t: &Vec<Value>| Ok(t[0].as_i64().unwrap() % 2 == 0)),
+                )),
+            );
+            let asg = job.add(
+                4,
+                Arc::new(AssignOp::new(
+                    "x2",
+                    vec![Arc::new(|t: &Vec<Value>| Ok(Value::Int64(t[0].as_i64().unwrap() * 2)))],
+                )),
+            );
+            let (sink, collector) = collect_sink(&mut job);
+            job.connect(ConnectorKind::OneToOne, src, sel);
+            job.connect(ConnectorKind::OneToOne, sel, asg);
+            job.connect(ConnectorKind::MToNReplicating, asg, sink);
+            (job, collector)
+        };
+
+        let (job, collector) = build_job();
+        let plan = job.fusion_plan().unwrap();
+        assert_eq!(plan.total_threads(), 5, "4 fused pipelines plus the sink");
+        assert_eq!(plan.fused_pipelines(), 4);
+        assert_eq!(plan.saved_threads(), 8);
+
+        // The max_threads guard counts pipelines, so 5 suffices fused...
+        let cfg = ExecutorConfig { max_threads: 5, ..Default::default() };
+        let stats = Arc::new(ExchangeStats::new());
+        run_job_with_stats(&job, &cfg, &stats).unwrap();
+        assert_eq!(stats.pipelines_fused(), 4);
+        assert_eq!(stats.fusion_saved_threads(), 8);
+        let mut fused_rows = collector.lock().clone();
+
+        // ...but the same job unfused needs 13 threads and is rejected.
+        let (job2, collector2) = build_job();
+        let tight = ExecutorConfig { max_threads: 5, disable_fusion: true, ..Default::default() };
+        let err = run_job_with(&job2, &tight).unwrap_err();
+        assert!(
+            matches!(&err, HyracksError::InvalidJob(m) if m.contains("max_threads")),
+            "unexpected error: {err}"
+        );
+
+        // Unfused with room to run: results must be bit-identical.
+        let loose = ExecutorConfig { disable_fusion: true, ..Default::default() };
+        run_job_with(&job2, &loose).unwrap();
+        let mut unfused_rows = collector2.lock().clone();
+        fused_rows.sort_by(|a, b| a[0].total_cmp(&b[0]));
+        unfused_rows.sort_by(|a, b| a[0].total_cmp(&b[0]));
+        assert_eq!(fused_rows.len(), 200);
+        assert_eq!(fused_rows, unfused_rows);
+    }
+
+    #[test]
+    fn fused_limit_stops_the_whole_chain_early() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        // LIMIT inside a fully fused chain: DownstreamClosed must unwind
+        // through the push stack to the head and stop the scan early.
+        let emitted = Arc::new(AtomicU64::new(0));
+        let emitted2 = Arc::clone(&emitted);
+        let mut job = JobSpec::new();
+        let src = job.add(
+            1,
+            Arc::new(SourceOp::new("scan", move |_p, _n, emit| {
+                for i in 0..100_000i64 {
+                    emitted2.fetch_add(1, Ordering::Relaxed);
+                    emit(vec![Value::Int64(i)])?;
+                }
+                Ok(())
+            })),
+        );
+        let limit = job.add(1, Arc::new(LimitOp { limit: 3, offset: 1 }));
+        let (sink, collector) = collect_sink(&mut job);
+        job.connect(ConnectorKind::OneToOne, src, limit);
+        job.connect(ConnectorKind::OneToOne, limit, sink);
+
+        let plan = job.fusion_plan().unwrap();
+        assert_eq!(plan.total_threads(), 1, "scan→limit→sink fuses to a single thread");
+        run_job(&job).unwrap();
+        let got: Vec<i64> = collector.lock().iter().map(|t| t[0].as_i64().unwrap()).collect();
+        assert_eq!(got, vec![1, 2, 3]);
+        let n = emitted.load(Ordering::Relaxed);
+        assert_eq!(n, 4, "fused LIMIT stops the scan on the very next push");
+    }
+
+    #[test]
     fn profiled_run_reconciles_tuple_counts() {
         let mut job = JobSpec::new();
         let src = job.add(2, int_source("scan", 100));
@@ -570,10 +776,13 @@ mod tests {
         assert_eq!(collector.lock().len(), 100);
         let scan = profile.operator(src).unwrap();
         assert_eq!(scan.tuples_out(), 200, "scan emits every source tuple");
-        assert!(scan.frames_out() > 0 && scan.bytes_out() > 0);
+        // scan→select fuses: the interior edge moves tuples, not frames.
+        assert_eq!(scan.frames_out(), 0, "no frames cross a fused edge");
+        assert_eq!(scan.bytes_out(), 0);
         let select = profile.operator(sel).unwrap();
         assert_eq!(select.tuples_in(), 200);
         assert_eq!(select.tuples_out(), 100, "selectivity 0.5");
+        assert!(select.frames_out() > 0 && select.bytes_out() > 0, "real exchange after the chain");
         let sink_prof = profile.operator(sink).unwrap();
         assert_eq!(sink_prof.tuples_in(), 100, "sink input equals result cardinality");
         assert_eq!(sink_prof.partitions.len(), 1);

@@ -35,6 +35,46 @@ pub struct JobSpec {
     pub(crate) conns: Vec<ConnSpec>,
 }
 
+/// One maximal fused chain: the operators that share a thread per
+/// partition, head first. A chain of length 1 is an unfused operator.
+#[derive(Debug, Clone)]
+pub struct FusedChain {
+    /// Chain members in push order (head runs its `run` body; the rest run
+    /// as push stages).
+    pub ops: Vec<OperatorId>,
+    /// Partition count shared by every member.
+    pub nparts: usize,
+}
+
+/// The executor's pipeline-fusion plan for one job (see
+/// [`JobSpec::fusion_plan`]).
+#[derive(Debug, Clone)]
+pub struct FusionPlan {
+    /// Every operator appears in exactly one chain.
+    pub chains: Vec<FusedChain>,
+    /// Per-connector flag: `true` when the edge is fused away (no channel
+    /// is wired for it).
+    pub(crate) fused_conns: Vec<bool>,
+}
+
+impl FusionPlan {
+    /// Threads the job will spawn: one per (chain, partition) — this is
+    /// what `ExecutorConfig::max_threads` guards under fusion.
+    pub fn total_threads(&self) -> usize {
+        self.chains.iter().map(|c| c.nparts).sum()
+    }
+
+    /// Operator-partition pipelines running fused (chains of length ≥ 2).
+    pub fn fused_pipelines(&self) -> usize {
+        self.chains.iter().filter(|c| c.ops.len() >= 2).map(|c| c.nparts).sum()
+    }
+
+    /// Threads saved versus one thread per (operator, partition).
+    pub fn saved_threads(&self) -> usize {
+        self.chains.iter().map(|c| (c.ops.len() - 1) * c.nparts).sum()
+    }
+}
+
 impl JobSpec {
     pub fn new() -> JobSpec {
         JobSpec::default()
@@ -101,6 +141,89 @@ impl JobSpec {
             return Err(crate::HyracksError::InvalidJob("job graph has a cycle".into()));
         }
         Ok(out)
+    }
+
+    /// Pipeline-fusion analysis: find maximal chains of operators linked by
+    /// same-partition OneToOne connectors whose downstream end can run as a
+    /// push stage, so the executor can run each chain as **one thread per
+    /// partition** instead of one per (operator, partition).
+    ///
+    /// A connector edge `src → dst` is fused away iff:
+    /// - it is a [`ConnectorKind::OneToOne`] between equal partition counts
+    ///   (so partition `p` feeds partition `p` with no data movement),
+    /// - it is `src`'s only output and `dst`'s only input (fan-out and
+    ///   fan-in edges keep their channels),
+    /// - `dst` has at most one output (a push stage forwards to one next),
+    /// - `dst` declares no blocking inputs (blocking edges cut stages,
+    ///   exactly as in the unfused stage analysis), and
+    /// - `dst` opts in via [`OperatorDescriptor::fusible`].
+    ///
+    /// Everything else — repartition, broadcast, merge, blocking edges —
+    /// keeps its channel, bounded-frame backpressure, and thread.
+    pub fn fusion_plan(&self) -> Result<FusionPlan> {
+        self.topo_order()?; // validates acyclicity
+        let n = self.ops.len();
+        let mut fused_conns = vec![false; self.conns.len()];
+        for (ci, c) in self.conns.iter().enumerate() {
+            if !matches!(c.kind, ConnectorKind::OneToOne) {
+                continue;
+            }
+            let (s, d) = (c.src.0, c.dst.0);
+            if s == d || self.ops[s].nparts != self.ops[d].nparts {
+                // Mismatched OneToOne arity stays unfused so wiring raises
+                // its usual error.
+                continue;
+            }
+            if self.outputs_of(c.src) != [ci] || self.inputs_of(c.dst) != [ci] {
+                continue;
+            }
+            if self.outputs_of(c.dst).len() > 1 {
+                continue;
+            }
+            if !self.ops[d].desc.blocking_inputs().is_empty() || !self.ops[d].desc.fusible() {
+                continue;
+            }
+            fused_conns[ci] = true;
+        }
+
+        // Chains: follow fused edges from every op with no fused
+        // predecessor. Each op appears in exactly one chain (a fused dst
+        // has exactly one input, so predecessors are unique).
+        let mut next_of: Vec<Option<usize>> = vec![None; n];
+        let mut has_fused_pred = vec![false; n];
+        for (ci, c) in self.conns.iter().enumerate() {
+            if fused_conns[ci] {
+                next_of[c.src.0] = Some(c.dst.0);
+                has_fused_pred[c.dst.0] = true;
+            }
+        }
+        let mut chains = Vec::new();
+        for head in 0..n {
+            if has_fused_pred[head] {
+                continue;
+            }
+            let mut ops = vec![OperatorId(head)];
+            let mut cur = head;
+            while let Some(nx) = next_of[cur] {
+                ops.push(OperatorId(nx));
+                cur = nx;
+            }
+            chains.push(FusedChain { nparts: self.ops[head].nparts, ops });
+        }
+        Ok(FusionPlan { chains, fused_conns })
+    }
+
+    /// The identity plan: every operator its own singleton chain, every
+    /// connector wired — what `ExecutorConfig::disable_fusion` runs.
+    pub fn unfused_plan(&self) -> Result<FusionPlan> {
+        self.topo_order()?;
+        let chains = self
+            .ops
+            .iter()
+            .enumerate()
+            .map(|(i, op)| FusedChain { ops: vec![OperatorId(i)], nparts: op.nparts })
+            .collect();
+        Ok(FusionPlan { chains, fused_conns: vec![false; self.conns.len()] })
     }
 
     /// Stage analysis: expand operators into activities and split the graph
@@ -207,6 +330,66 @@ mod tests {
         bad.connect(ConnectorKind::OneToOne, x, y);
         bad.connect(ConnectorKind::OneToOne, y, x);
         assert!(bad.topo_order().is_err());
+    }
+
+    #[test]
+    fn fusion_plan_finds_maximal_one_to_one_chains() {
+        use crate::ops::{AssignOp, SelectOp};
+
+        // scan(2) -1:1-> select(2) -1:1-> assign(2) -repl-> sink(1)
+        let mut job = JobSpec::new();
+        let scan = job.add(2, source());
+        let sel = job.add(2, Arc::new(SelectOp::new("f", Arc::new(|_: &Vec<Value>| Ok(true)))));
+        let asg = job.add(2, Arc::new(AssignOp::new("a", vec![])));
+        let collector = Arc::new(Mutex::new(Vec::new()));
+        let sink = job.add(1, Arc::new(SinkOp::new(collector)));
+        job.connect(ConnectorKind::OneToOne, scan, sel);
+        job.connect(ConnectorKind::OneToOne, sel, asg);
+        job.connect(ConnectorKind::MToNReplicating, asg, sink);
+
+        let plan = job.fusion_plan().unwrap();
+        let chains: Vec<Vec<OperatorId>> = plan.chains.iter().map(|c| c.ops.clone()).collect();
+        assert_eq!(chains, vec![vec![scan, sel, asg], vec![sink]]);
+        assert_eq!(plan.total_threads(), 3, "2 fused pipelines + 1 sink");
+        assert_eq!(plan.fused_pipelines(), 2);
+        assert_eq!(plan.saved_threads(), 4, "select and assign partitions ride along");
+        assert_eq!(plan.fused_conns, vec![true, true, false]);
+
+        // The escape hatch: every op alone, every connector wired.
+        let unfused = job.unfused_plan().unwrap();
+        assert_eq!(unfused.total_threads(), 7);
+        assert_eq!(unfused.fused_pipelines(), 0);
+        assert_eq!(unfused.saved_threads(), 0);
+        assert!(unfused.fused_conns.iter().all(|&f| !f));
+    }
+
+    #[test]
+    fn fusion_plan_keeps_blocking_fan_in_and_mismatched_edges() {
+        use crate::ops::{SortKey, SortOp, UnionAllOp};
+
+        // a(2) -1:1-> union(2) <-1:1- b(2); union -1:1-> sort(2): none fuse
+        // (union has two inputs and is not fusible; sort blocks input 0).
+        let mut job = JobSpec::new();
+        let a = job.add(2, source());
+        let b = job.add(2, source());
+        let u = job.add(2, Arc::new(UnionAllOp));
+        let sort = job.add(2, Arc::new(SortOp::new("k", vec![SortKey::field(0, false)])));
+        job.connect(ConnectorKind::OneToOne, a, u);
+        job.connect(ConnectorKind::OneToOne, b, u);
+        job.connect(ConnectorKind::OneToOne, u, sort);
+        let plan = job.fusion_plan().unwrap();
+        assert!(plan.fused_conns.iter().all(|&f| !f));
+        assert_eq!(plan.total_threads(), 8);
+
+        // A OneToOne between mismatched partition counts stays unfused so
+        // wiring reports the arity error instead of fusion hiding it.
+        let mut bad = JobSpec::new();
+        use crate::ops::SelectOp;
+        let x = bad.add(2, source());
+        let y = bad.add(3, Arc::new(SelectOp::new("f", Arc::new(|_: &Vec<Value>| Ok(true)))));
+        bad.connect(ConnectorKind::OneToOne, x, y);
+        let plan = bad.fusion_plan().unwrap();
+        assert!(plan.fused_conns.iter().all(|&f| !f));
     }
 
     #[test]

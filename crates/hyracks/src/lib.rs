@@ -23,6 +23,7 @@ pub mod executor;
 pub mod frame;
 pub mod job;
 pub mod ops;
+pub mod pipeline;
 pub mod profile;
 
 pub use connector::{Comparator, ConnectorKind, ExchangeConfig, ExchangeStats};
@@ -32,5 +33,6 @@ pub use frame::{
     hash_encoded_fields, hash_fields, Frame, FrameBuf, FramePool, Tuple, DEFAULT_FRAME_BYTES,
     FRAME_CAPACITY,
 };
-pub use job::{JobSpec, OperatorId};
+pub use job::{FusedChain, FusionPlan, JobSpec, OperatorId};
+pub use pipeline::{PipelineCtx, PipelineOp};
 pub use profile::{JobProfile, OperatorProfile, PartitionProfile, PortStat};

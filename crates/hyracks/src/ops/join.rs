@@ -21,6 +21,7 @@ use asterix_adm::{concat_tuples_into, encode_tuple, ordkey, TupleRef, Value};
 use super::{OpCtx, OperatorDescriptor};
 use crate::connector::OutputPort;
 use crate::frame::{hash_encoded_fields, Tuple};
+use crate::pipeline::{PipelineCtx, PipelineOp};
 use crate::Result;
 
 /// Join type: inner, or outer on the probe input (unmatched probe tuples
@@ -67,16 +68,30 @@ fn spill_path(tag: &str) -> PathBuf {
     std::env::temp_dir().join(format!("asterix-join-{}-{tag}-{n}.part", std::process::id()))
 }
 
+/// Owns one spill file on disk and deletes it on drop, so every exit from
+/// the join — clean merge, early `?`, panicking thread — removes its temp
+/// files. Same RAII shape as the sort operator's RunReader.
+struct SpillGuard {
+    path: PathBuf,
+}
+
+impl Drop for SpillGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
 struct SpillWriter {
     w: BufWriter<File>,
-    path: PathBuf,
+    guard: SpillGuard,
     count: usize,
 }
 
 impl SpillWriter {
     fn create(tag: &str) -> Result<SpillWriter> {
         let path = spill_path(tag);
-        Ok(SpillWriter { w: BufWriter::new(File::create(&path)?), path, count: 0 })
+        let w = BufWriter::new(File::create(&path)?);
+        Ok(SpillWriter { w, guard: SpillGuard { path }, count: 0 })
     }
 
     /// Append one raw tuple encoding, length-prefixed.
@@ -87,14 +102,14 @@ impl SpillWriter {
         Ok(())
     }
 
-    fn finish(mut self) -> Result<(PathBuf, usize)> {
+    fn finish(mut self) -> Result<(SpillGuard, usize)> {
         self.w.flush()?;
-        Ok((self.path, self.count))
+        Ok((self.guard, self.count))
     }
 }
 
-fn read_spill(path: &PathBuf) -> Result<Vec<Vec<u8>>> {
-    let mut r = BufReader::new(File::open(path)?);
+fn read_spill(spill: &SpillGuard) -> Result<Vec<Vec<u8>>> {
+    let mut r = BufReader::new(File::open(&spill.path)?);
     let mut out = Vec::new();
     loop {
         let mut len_buf = [0u8; 4];
@@ -108,7 +123,6 @@ fn read_spill(path: &PathBuf) -> Result<Vec<Vec<u8>>> {
         r.read_exact(&mut buf)?;
         out.push(buf);
     }
-    let _ = std::fs::remove_file(path);
     Ok(out)
 }
 
@@ -264,7 +278,9 @@ impl OperatorDescriptor for HybridHashJoinOp {
         }
 
         // Grace: partition the probe side the same way, then join pairwise.
-        let build_parts: Vec<(PathBuf, usize)> =
+        // Each part's SpillGuard deletes its file when the pair goes out of
+        // scope — after a clean merge, on an early `?`, or on panic alike.
+        let build_parts: Vec<(SpillGuard, usize)> =
             build_writers.into_iter().map(|w| w.finish()).collect::<Result<_>>()?;
         let mut probe_writers: Vec<SpillWriter> = (0..fanout)
             .map(|i| SpillWriter::create(&format!("{label}-p{i}")))
@@ -275,16 +291,14 @@ impl OperatorDescriptor for HybridHashJoinOp {
             probe_writers[h].write(enc)?;
             Ok(true)
         })?;
-        let probe_parts: Vec<(PathBuf, usize)> =
+        let probe_parts: Vec<(SpillGuard, usize)> =
             probe_writers.into_iter().map(|w| w.finish()).collect::<Result<_>>()?;
-        for ((bpath, bcount), (ppath, pcount)) in build_parts.iter().zip(probe_parts.iter()) {
-            if *pcount == 0 && (*bcount == 0 || self.join_type == JoinType::Inner) {
-                let _ = std::fs::remove_file(bpath);
-                let _ = std::fs::remove_file(ppath);
+        for ((bspill, bcount), (pspill, pcount)) in build_parts.into_iter().zip(probe_parts) {
+            if pcount == 0 && (bcount == 0 || self.join_type == JoinType::Inner) {
                 continue;
             }
-            let build = read_spill(bpath)?;
-            let probe = read_spill(ppath)?;
+            let build = read_spill(&bspill)?;
+            let probe = read_spill(&pspill)?;
             self.join_in_memory(build, probe, build_arity, out)?;
         }
         Ok(())
@@ -383,6 +397,25 @@ impl OperatorDescriptor for IndexNestedLoopJoinOp {
         format!("index-nested-loop-join {}", self.label)
     }
 
+    fn fusible(&self) -> bool {
+        true
+    }
+
+    fn pipeline(
+        &self,
+        _ctx: PipelineCtx,
+        next: Box<dyn PipelineOp>,
+    ) -> Result<Box<dyn PipelineOp>> {
+        Ok(Box::new(IndexNlStage {
+            probe: Arc::clone(&self.probe),
+            join_type: self.join_type,
+            pad: null_pad(self.inner_arity),
+            scratch: Vec::new(),
+            menc: Vec::new(),
+            next,
+        }))
+    }
+
     fn run(&self, ctx: &mut OpCtx) -> Result<()> {
         let OpCtx { inputs, outputs, .. } = ctx;
         let out = &mut outputs[0];
@@ -407,6 +440,45 @@ impl OperatorDescriptor for IndexNestedLoopJoinOp {
             }
             Ok(true)
         })
+    }
+}
+
+struct IndexNlStage {
+    probe: Arc<dyn Fn(&Tuple) -> Result<Vec<Tuple>> + Send + Sync>,
+    join_type: JoinType,
+    pad: Vec<u8>,
+    scratch: Vec<u8>,
+    menc: Vec<u8>,
+    next: Box<dyn PipelineOp>,
+}
+
+impl PipelineOp for IndexNlStage {
+    fn push(&mut self, bytes: &[u8]) -> Result<()> {
+        let t = asterix_adm::decode_tuple(bytes)?;
+        let matches = (self.probe)(&t)?;
+        let outer = TupleRef::new(bytes)?;
+        if matches.is_empty() && self.join_type == JoinType::ProbeOuter {
+            self.scratch.clear();
+            concat_tuples_into(&mut self.scratch, &outer, &TupleRef::new(&self.pad)?);
+            self.next.push(&self.scratch)?;
+            return Ok(());
+        }
+        for m in matches {
+            self.menc.clear();
+            asterix_adm::encode_tuple_into(&mut self.menc, &m);
+            self.scratch.clear();
+            concat_tuples_into(&mut self.scratch, &outer, &TupleRef::new(&self.menc)?);
+            self.next.push(&self.scratch)?;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.next.flush()
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        self.next.finish()
     }
 }
 
@@ -506,6 +578,44 @@ mod tests {
         let got = run_join(&tiny, build, probe).len();
         assert_eq!(got, expected);
         assert_eq!(got, 2000 * 2); // each probe key matches 4 build rows; 1000 probes * 4
+    }
+
+    #[test]
+    fn grace_spill_cleans_temp_files_on_error() {
+        // Kill the downstream before running so the merge phase errors out
+        // (DownstreamClosed) after the spill files exist, then check that
+        // the SpillGuards removed every temp file for this label.
+        let label = "guardtest";
+        let build: Vec<Tuple> = (0..2000i64).map(|i| kv(i % 500, "b")).collect();
+        let probe: Vec<Tuple> = (0..1000i64).map(|i| kv(i % 500, "p")).collect();
+        let op = HybridHashJoinOp::new(label, vec![0], vec![0], JoinType::Inner).with_budget(2048);
+        let x = ExchangeConfig::default();
+        let (mut b_out, b_in) = wire(&ConnectorKind::OneToOne, 1, 1, &|_| 0, &x).unwrap();
+        let (mut p_out, p_in) = wire(&ConnectorKind::OneToOne, 1, 1, &|_| 0, &x).unwrap();
+        let (r_out, r_in) = wire(&ConnectorKind::OneToOne, 1, 1, &|_| 0, &x).unwrap();
+        for t in build {
+            b_out[0].push(t).unwrap();
+        }
+        for t in probe {
+            p_out[0].push(t).unwrap();
+        }
+        drop(b_out);
+        drop(p_out);
+        drop(r_in); // downstream is gone
+        let mut inputs = b_in;
+        inputs.extend(p_in);
+        let mut ctx = OpCtx { partition: 0, nparts: 1, node: 0, inputs, outputs: r_out };
+        let res = op.run(&mut ctx);
+        assert!(res.is_err(), "merge into a closed downstream must error");
+        drop(ctx);
+        let marker = format!("asterix-join-{}-{label}", std::process::id());
+        let leaked: Vec<String> = std::fs::read_dir(std::env::temp_dir())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(&marker))
+            .collect();
+        assert!(leaked.is_empty(), "leaked spill files: {leaked:?}");
     }
 
     #[test]

@@ -21,6 +21,7 @@ use parking_lot::Mutex;
 
 use crate::connector::{InputPort, OutputPort};
 use crate::frame::Tuple;
+use crate::pipeline::{PipelineCtx, PipelineOp};
 use crate::Result;
 
 /// Evaluate an expression over a tuple.
@@ -63,8 +64,48 @@ pub trait OperatorDescriptor: Send + Sync {
         Vec::new()
     }
 
+    /// Whether this operator can run as a push stage inside a fused
+    /// pipeline: streaming, single-input, non-blocking. Sources are chain
+    /// *heads* (they keep their `run` body), never stages, so they stay
+    /// `false`; so do multi-input and multi-output operators.
+    fn fusible(&self) -> bool {
+        false
+    }
+
+    /// Instantiate this operator as a push stage feeding `next`. The
+    /// executor only calls this when [`OperatorDescriptor::fusible`] is
+    /// true.
+    fn pipeline(&self, ctx: PipelineCtx, next: Box<dyn PipelineOp>) -> Result<Box<dyn PipelineOp>> {
+        let _ = (ctx, next);
+        Err(crate::HyracksError::InvalidJob(format!(
+            "operator {} cannot run as a fused pipeline stage",
+            self.name()
+        )))
+    }
+
     /// Execute one partition.
     fn run(&self, ctx: &mut OpCtx) -> Result<()>;
+}
+
+/// Decode an encoded tuple for expression evaluation. With a referenced
+/// field set, only those positions are decoded (through the O(1)
+/// `TupleRef::field_value` accessor) into a sparse tuple whose other
+/// positions hold `Missing` — callers passing a field set guarantee their
+/// expressions read only these positions. Without one, the whole tuple is
+/// decoded (the conservative fallback for open/variable-arity shapes).
+fn decode_for_eval(bytes: &[u8], fields: Option<&[usize]>) -> Result<Tuple> {
+    match fields {
+        None => Ok(asterix_adm::decode_tuple(bytes)?),
+        Some(fs) => {
+            let r = asterix_adm::TupleRef::new(bytes)?;
+            let width = fs.iter().copied().max().map_or(0, |m| m + 1);
+            let mut t = vec![Value::Missing; width];
+            for &f in fs {
+                t[f] = r.field_value(f)?;
+            }
+            Ok(t)
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -137,6 +178,18 @@ impl OperatorDescriptor for SinkOp {
         "result-sink".into()
     }
 
+    fn fusible(&self) -> bool {
+        true
+    }
+
+    fn pipeline(
+        &self,
+        _ctx: PipelineCtx,
+        next: Box<dyn PipelineOp>,
+    ) -> Result<Box<dyn PipelineOp>> {
+        Ok(Box::new(SinkStage { collector: Arc::clone(&self.collector), local: Vec::new(), next }))
+    }
+
     fn run(&self, ctx: &mut OpCtx) -> Result<()> {
         let mut local = Vec::new();
         ctx.inputs[0].for_each(|t| {
@@ -145,6 +198,31 @@ impl OperatorDescriptor for SinkOp {
         })?;
         self.collector.lock().extend(local);
         Ok(())
+    }
+}
+
+struct SinkStage {
+    collector: Arc<Mutex<Vec<Tuple>>>,
+    local: Vec<Tuple>,
+    next: Box<dyn PipelineOp>,
+}
+
+impl PipelineOp for SinkStage {
+    fn push(&mut self, bytes: &[u8]) -> Result<()> {
+        self.local.push(asterix_adm::decode_tuple(bytes)?);
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.next.flush()
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        // Match the pull body: results land in one batch at end of input
+        // (partial results still land when an upstream error cut the run
+        // short, exactly like the drop-flush path).
+        self.collector.lock().extend(std::mem::take(&mut self.local));
+        self.next.finish()
     }
 }
 
@@ -169,6 +247,14 @@ impl OperatorDescriptor for ApplyOp {
         self.label.clone()
     }
 
+    fn fusible(&self) -> bool {
+        true
+    }
+
+    fn pipeline(&self, ctx: PipelineCtx, next: Box<dyn PipelineOp>) -> Result<Box<dyn PipelineOp>> {
+        Ok(Box::new(ApplyStage { partition: ctx.partition, apply: Arc::clone(&self.apply), next }))
+    }
+
     fn run(&self, ctx: &mut OpCtx) -> Result<()> {
         let OpCtx { partition, inputs, outputs, .. } = ctx;
         let p = *partition;
@@ -184,6 +270,28 @@ impl OperatorDescriptor for ApplyOp {
     }
 }
 
+struct ApplyStage {
+    partition: usize,
+    apply: Arc<dyn Fn(usize, &Tuple) -> Result<()> + Send + Sync>,
+    next: Box<dyn PipelineOp>,
+}
+
+impl PipelineOp for ApplyStage {
+    fn push(&mut self, bytes: &[u8]) -> Result<()> {
+        let t = asterix_adm::decode_tuple(bytes)?;
+        (self.apply)(self.partition, &t)?;
+        self.next.push(bytes)
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.next.flush()
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        self.next.finish()
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Tuple-at-a-time operators
 // ---------------------------------------------------------------------------
@@ -192,11 +300,21 @@ impl OperatorDescriptor for ApplyOp {
 pub struct SelectOp {
     label: String,
     pred: PredFn,
+    /// Columns the predicate reads, when the compiler knows them: only
+    /// these are decoded per tuple (`None` = full decode).
+    fields: Option<Vec<usize>>,
 }
 
 impl SelectOp {
     pub fn new(label: impl Into<String>, pred: PredFn) -> SelectOp {
-        SelectOp { label: label.into(), pred }
+        SelectOp { label: label.into(), pred, fields: None }
+    }
+
+    /// A select whose predicate reads only the given columns: evaluation
+    /// decodes just those positions through `TupleRef::field_value` and the
+    /// predicate sees `Missing` everywhere else.
+    pub fn with_fields(label: impl Into<String>, pred: PredFn, fields: Vec<usize>) -> SelectOp {
+        SelectOp { label: label.into(), pred, fields: Some(fields) }
     }
 }
 
@@ -205,14 +323,31 @@ impl OperatorDescriptor for SelectOp {
         format!("select {}", self.label)
     }
 
+    fn fusible(&self) -> bool {
+        true
+    }
+
+    fn pipeline(
+        &self,
+        _ctx: PipelineCtx,
+        next: Box<dyn PipelineOp>,
+    ) -> Result<Box<dyn PipelineOp>> {
+        Ok(Box::new(SelectStage {
+            pred: Arc::clone(&self.pred),
+            fields: self.fields.clone(),
+            next,
+        }))
+    }
+
     fn run(&self, ctx: &mut OpCtx) -> Result<()> {
         let OpCtx { inputs, outputs, .. } = ctx;
         let out = &mut outputs[0];
         let pred = &self.pred;
-        // Evaluate on a decoded view; surviving tuples are forwarded as
-        // their original bytes (no re-serialization).
+        let fields = self.fields.as_deref();
+        // Evaluate on a (sparsely) decoded view; surviving tuples are
+        // forwarded as their original bytes (no re-serialization).
         inputs[0].for_each_raw(|bytes| {
-            let t = asterix_adm::decode_tuple(bytes)?;
+            let t = decode_for_eval(bytes, fields)?;
             if pred(&t)? {
                 out.push_encoded(bytes)?;
             }
@@ -221,15 +356,55 @@ impl OperatorDescriptor for SelectOp {
     }
 }
 
+struct SelectStage {
+    pred: PredFn,
+    fields: Option<Vec<usize>>,
+    next: Box<dyn PipelineOp>,
+}
+
+impl PipelineOp for SelectStage {
+    fn push(&mut self, bytes: &[u8]) -> Result<()> {
+        let t = decode_for_eval(bytes, self.fields.as_deref())?;
+        if (self.pred)(&t)? {
+            self.next.push(bytes)?;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.next.flush()
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        self.next.finish()
+    }
+}
+
 /// Append computed expression values to each tuple (Figure 6's `assign`).
 pub struct AssignOp {
     label: String,
     exprs: Vec<EvalFn>,
+    /// Columns the expressions read, when the compiler knows them. With a
+    /// field set, evaluation decodes only those positions and the appended
+    /// values are spliced on at the byte level (`append_values_into`) — the
+    /// input tuple is never fully decoded or re-encoded. Callers guarantee
+    /// the expressions read input columns only (no expression sees the
+    /// values appended before it, unlike the full-decode path).
+    fields: Option<Vec<usize>>,
 }
 
 impl AssignOp {
     pub fn new(label: impl Into<String>, exprs: Vec<EvalFn>) -> AssignOp {
-        AssignOp { label: label.into(), exprs }
+        AssignOp { label: label.into(), exprs, fields: None }
+    }
+
+    /// An assign whose expressions read only the given input columns.
+    pub fn with_fields(
+        label: impl Into<String>,
+        exprs: Vec<EvalFn>,
+        fields: Vec<usize>,
+    ) -> AssignOp {
+        AssignOp { label: label.into(), exprs, fields: Some(fields) }
     }
 }
 
@@ -238,18 +413,107 @@ impl OperatorDescriptor for AssignOp {
         format!("assign {}", self.label)
     }
 
+    fn fusible(&self) -> bool {
+        true
+    }
+
+    fn pipeline(
+        &self,
+        _ctx: PipelineCtx,
+        next: Box<dyn PipelineOp>,
+    ) -> Result<Box<dyn PipelineOp>> {
+        Ok(Box::new(AssignStage {
+            exprs: self.exprs.clone(),
+            fields: self.fields.clone(),
+            scratch: Vec::new(),
+            vals: Vec::new(),
+            next,
+        }))
+    }
+
     fn run(&self, ctx: &mut OpCtx) -> Result<()> {
         let OpCtx { inputs, outputs, .. } = ctx;
         let out = &mut outputs[0];
         let exprs = &self.exprs;
-        inputs[0].for_each(|mut t| {
-            for e in exprs {
-                let v = e(&t)?;
-                t.push(v);
+        match self.fields.as_deref() {
+            // Full decode: each expression sees the values appended before
+            // it (positions arity, arity+1, ...).
+            None => inputs[0].for_each(|mut t| {
+                for e in exprs {
+                    let v = e(&t)?;
+                    t.push(v);
+                }
+                out.push(t)?;
+                Ok(true)
+            }),
+            // Sparse decode + byte-level append: only the referenced
+            // columns are materialized, and the original tuple bytes are
+            // copied verbatim into the output.
+            Some(fs) => {
+                let mut scratch = Vec::new();
+                let mut vals = Vec::with_capacity(exprs.len());
+                inputs[0].for_each_raw(|bytes| {
+                    let t = decode_for_eval(bytes, Some(fs))?;
+                    vals.clear();
+                    for e in exprs {
+                        vals.push(e(&t)?);
+                    }
+                    scratch.clear();
+                    asterix_adm::tuple::append_values_into(
+                        &mut scratch,
+                        &asterix_adm::TupleRef::new(bytes)?,
+                        &vals,
+                    );
+                    out.push_encoded(&scratch)?;
+                    Ok(true)
+                })
             }
-            out.push(t)?;
-            Ok(true)
-        })
+        }
+    }
+}
+
+struct AssignStage {
+    exprs: Vec<EvalFn>,
+    fields: Option<Vec<usize>>,
+    scratch: Vec<u8>,
+    vals: Vec<Value>,
+    next: Box<dyn PipelineOp>,
+}
+
+impl PipelineOp for AssignStage {
+    fn push(&mut self, bytes: &[u8]) -> Result<()> {
+        self.scratch.clear();
+        match self.fields.as_deref() {
+            None => {
+                let mut t = asterix_adm::decode_tuple(bytes)?;
+                for e in &self.exprs {
+                    let v = e(&t)?;
+                    t.push(v);
+                }
+                asterix_adm::encode_tuple_into(&mut self.scratch, &t);
+            }
+            Some(fs) => {
+                let t = decode_for_eval(bytes, Some(fs))?;
+                self.vals.clear();
+                for e in &self.exprs {
+                    self.vals.push(e(&t)?);
+                }
+                asterix_adm::tuple::append_values_into(
+                    &mut self.scratch,
+                    &asterix_adm::TupleRef::new(bytes)?,
+                    &self.vals,
+                );
+            }
+        }
+        self.next.push(&self.scratch)
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.next.flush()
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        self.next.finish()
     }
 }
 
@@ -261,6 +525,18 @@ pub struct ProjectOp {
 impl OperatorDescriptor for ProjectOp {
     fn name(&self) -> String {
         format!("project {:?}", self.fields)
+    }
+
+    fn fusible(&self) -> bool {
+        true
+    }
+
+    fn pipeline(
+        &self,
+        _ctx: PipelineCtx,
+        next: Box<dyn PipelineOp>,
+    ) -> Result<Box<dyn PipelineOp>> {
+        Ok(Box::new(ProjectStage { fields: self.fields.clone(), scratch: Vec::new(), next }))
     }
 
     fn run(&self, ctx: &mut OpCtx) -> Result<()> {
@@ -281,6 +557,29 @@ impl OperatorDescriptor for ProjectOp {
     }
 }
 
+struct ProjectStage {
+    fields: Vec<usize>,
+    scratch: Vec<u8>,
+    next: Box<dyn PipelineOp>,
+}
+
+impl PipelineOp for ProjectStage {
+    fn push(&mut self, bytes: &[u8]) -> Result<()> {
+        let r = asterix_adm::TupleRef::new(bytes)?;
+        self.scratch.clear();
+        asterix_adm::tuple::project_tuple_into(&mut self.scratch, &r, &self.fields);
+        self.next.push(&self.scratch)
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.next.flush()
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        self.next.finish()
+    }
+}
+
 /// Pass through at most `limit` tuples after skipping `offset` (per
 /// instance — a global limit runs this at parallelism 1).
 pub struct LimitOp {
@@ -295,6 +594,24 @@ impl OperatorDescriptor for LimitOp {
         } else {
             format!("limit {}", self.limit)
         }
+    }
+
+    fn fusible(&self) -> bool {
+        true
+    }
+
+    fn pipeline(
+        &self,
+        _ctx: PipelineCtx,
+        next: Box<dyn PipelineOp>,
+    ) -> Result<Box<dyn PipelineOp>> {
+        Ok(Box::new(LimitStage {
+            limit: self.limit,
+            offset: self.offset,
+            seen: 0,
+            emitted: 0,
+            next,
+        }))
     }
 
     fn run(&self, ctx: &mut OpCtx) -> Result<()> {
@@ -316,6 +633,42 @@ impl OperatorDescriptor for LimitOp {
             emitted += 1;
             Ok(emitted < limit)
         })
+    }
+}
+
+struct LimitStage {
+    limit: usize,
+    offset: usize,
+    seen: usize,
+    emitted: usize,
+    next: Box<dyn PipelineOp>,
+}
+
+impl PipelineOp for LimitStage {
+    fn push(&mut self, bytes: &[u8]) -> Result<()> {
+        if self.seen < self.offset {
+            self.seen += 1;
+            return Ok(());
+        }
+        if self.emitted >= self.limit {
+            return Err(crate::HyracksError::DownstreamClosed);
+        }
+        self.next.push(bytes)?;
+        self.emitted += 1;
+        if self.emitted >= self.limit {
+            // The fused analogue of a closed channel: tell upstream to stop
+            // as soon as the last allowed tuple is delivered.
+            return Err(crate::HyracksError::DownstreamClosed);
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.next.flush()
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        self.next.finish()
     }
 }
 
@@ -352,6 +705,24 @@ impl OperatorDescriptor for UnnestOp {
         format!("unnest {}", self.label)
     }
 
+    fn fusible(&self) -> bool {
+        true
+    }
+
+    fn pipeline(
+        &self,
+        _ctx: PipelineCtx,
+        next: Box<dyn PipelineOp>,
+    ) -> Result<Box<dyn PipelineOp>> {
+        Ok(Box::new(UnnestStage {
+            expr: Arc::clone(&self.expr),
+            with_position: self.with_position,
+            outer: self.outer,
+            scratch: Vec::new(),
+            next,
+        }))
+    }
+
     fn run(&self, ctx: &mut OpCtx) -> Result<()> {
         let OpCtx { inputs, outputs, .. } = ctx;
         let out = &mut outputs[0];
@@ -382,6 +753,61 @@ impl OperatorDescriptor for UnnestOp {
             }
             Ok(true)
         })
+    }
+}
+
+struct UnnestStage {
+    expr: EvalFn,
+    with_position: bool,
+    outer: bool,
+    scratch: Vec<u8>,
+    next: Box<dyn PipelineOp>,
+}
+
+impl UnnestStage {
+    /// Build one output row at the byte level: the input tuple's encoding
+    /// plus the appended element (and position), never re-encoding the
+    /// input fields.
+    fn emit(&mut self, base: &asterix_adm::TupleRef<'_>, vals: &[Value]) -> Result<()> {
+        self.scratch.clear();
+        asterix_adm::tuple::append_values_into(&mut self.scratch, base, vals);
+        self.next.push(&self.scratch)
+    }
+}
+
+impl PipelineOp for UnnestStage {
+    fn push(&mut self, bytes: &[u8]) -> Result<()> {
+        let t = asterix_adm::decode_tuple(bytes)?;
+        let coll = (self.expr)(&t)?;
+        let base = asterix_adm::TupleRef::new(bytes)?;
+        match coll.as_list() {
+            Some(items) if !items.is_empty() => {
+                for (i, item) in items.iter().enumerate() {
+                    if self.with_position {
+                        self.emit(&base, &[item.clone(), Value::Int64(i as i64 + 1)])?;
+                    } else {
+                        self.emit(&base, std::slice::from_ref(item))?;
+                    }
+                }
+            }
+            _ if self.outer => {
+                if self.with_position {
+                    self.emit(&base, &[Value::Missing, Value::Missing])?;
+                } else {
+                    self.emit(&base, &[Value::Missing])?;
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.next.flush()
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        self.next.finish()
     }
 }
 
@@ -464,6 +890,19 @@ impl OperatorDescriptor for PartitionMapOp {
         self.label.clone()
     }
 
+    fn fusible(&self) -> bool {
+        true
+    }
+
+    fn pipeline(&self, ctx: PipelineCtx, next: Box<dyn PipelineOp>) -> Result<Box<dyn PipelineOp>> {
+        Ok(Box::new(PartitionMapStage {
+            partition: ctx.partition,
+            f: Arc::clone(&self.f),
+            scratch: Vec::new(),
+            next,
+        }))
+    }
+
     fn run(&self, ctx: &mut OpCtx) -> Result<()> {
         let OpCtx { partition, inputs, outputs, .. } = ctx;
         let p = *partition;
@@ -478,6 +917,33 @@ impl OperatorDescriptor for PartitionMapOp {
     }
 }
 
+struct PartitionMapStage {
+    partition: usize,
+    f: Arc<dyn Fn(usize, &Tuple) -> Result<Vec<Tuple>> + Send + Sync>,
+    scratch: Vec<u8>,
+    next: Box<dyn PipelineOp>,
+}
+
+impl PipelineOp for PartitionMapStage {
+    fn push(&mut self, bytes: &[u8]) -> Result<()> {
+        let t = asterix_adm::decode_tuple(bytes)?;
+        for row in (self.f)(self.partition, &t)? {
+            self.scratch.clear();
+            asterix_adm::encode_tuple_into(&mut self.scratch, &row);
+            self.next.push(&self.scratch)?;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.next.flush()
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        self.next.finish()
+    }
+}
+
 /// Duplicate elimination on a set of key columns: the first tuple of each
 /// distinct key survives. Run after hash-partitioning on those columns for
 /// global dedup.
@@ -488,6 +954,22 @@ pub struct DistinctOp {
 impl OperatorDescriptor for DistinctOp {
     fn name(&self) -> String {
         format!("distinct {:?}", self.keys)
+    }
+
+    fn fusible(&self) -> bool {
+        true
+    }
+
+    fn pipeline(
+        &self,
+        _ctx: PipelineCtx,
+        next: Box<dyn PipelineOp>,
+    ) -> Result<Box<dyn PipelineOp>> {
+        Ok(Box::new(DistinctStage {
+            keys: self.keys.clone(),
+            seen: std::collections::HashSet::new(),
+            next,
+        }))
     }
 
     fn run(&self, ctx: &mut OpCtx) -> Result<()> {
@@ -513,6 +995,34 @@ impl OperatorDescriptor for DistinctOp {
     }
 }
 
+struct DistinctStage {
+    keys: Vec<usize>,
+    seen: std::collections::HashSet<Vec<u8>>,
+    next: Box<dyn PipelineOp>,
+}
+
+impl PipelineOp for DistinctStage {
+    fn push(&mut self, bytes: &[u8]) -> Result<()> {
+        let r = asterix_adm::TupleRef::new(bytes)?;
+        let mut key = Vec::new();
+        for &i in &self.keys {
+            asterix_adm::ordkey::encode_value_into(&mut key, &r.field_value(i)?);
+        }
+        if self.seen.insert(key) {
+            self.next.push(bytes)?;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.next.flush()
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        self.next.finish()
+    }
+}
+
 /// General flat-map (used for compiled subplans that need bespoke tuple
 /// shapes).
 pub struct MapOp {
@@ -534,6 +1044,18 @@ impl OperatorDescriptor for MapOp {
         self.label.clone()
     }
 
+    fn fusible(&self) -> bool {
+        true
+    }
+
+    fn pipeline(
+        &self,
+        _ctx: PipelineCtx,
+        next: Box<dyn PipelineOp>,
+    ) -> Result<Box<dyn PipelineOp>> {
+        Ok(Box::new(MapStage { f: Arc::clone(&self.f), scratch: Vec::new(), next }))
+    }
+
     fn run(&self, ctx: &mut OpCtx) -> Result<()> {
         let OpCtx { inputs, outputs, .. } = ctx;
         let out = &mut outputs[0];
@@ -544,5 +1066,31 @@ impl OperatorDescriptor for MapOp {
             }
             Ok(true)
         })
+    }
+}
+
+struct MapStage {
+    f: Arc<dyn Fn(&Tuple) -> Result<Vec<Tuple>> + Send + Sync>,
+    scratch: Vec<u8>,
+    next: Box<dyn PipelineOp>,
+}
+
+impl PipelineOp for MapStage {
+    fn push(&mut self, bytes: &[u8]) -> Result<()> {
+        let t = asterix_adm::decode_tuple(bytes)?;
+        for row in (self.f)(&t)? {
+            self.scratch.clear();
+            asterix_adm::encode_tuple_into(&mut self.scratch, &row);
+            self.next.push(&self.scratch)?;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.next.flush()
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        self.next.finish()
     }
 }

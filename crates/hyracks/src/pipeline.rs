@@ -1,0 +1,176 @@
+//! Push-style fused pipelines (§4.1's pipelined activity clusters).
+//!
+//! The executor's fusion pass ([`crate::job::JobSpec::fusion_plan`])
+//! collapses maximal chains of operators linked by same-partition OneToOne
+//! connectors into a single thread per partition. Inside such a chain the
+//! head operator runs its normal `run` body, but its output port is backed
+//! by a [`PipelineOp`] stack instead of a channel: every encoded tuple is
+//! handed *synchronously* to the next operator's push stage — no frame
+//! copy, no channel, no thread hand-off. The stack bottoms out in a
+//! [`PortSink`] wrapping the tail operator's real output port, so channels
+//! and backpressure are untouched at every surviving (repartition,
+//! broadcast, merge, blocking) edge.
+//!
+//! Early-stop composes: a fused LIMIT returns
+//! [`crate::HyracksError::DownstreamClosed`] from `push` once satisfied,
+//! which unwinds through the chain to the head exactly like a closed
+//! channel does in the unfused runtime.
+
+use std::sync::Arc;
+
+use crate::connector::OutputPort;
+use crate::profile::PortMeter;
+use crate::Result;
+
+/// Per-partition context handed to an operator when it is instantiated as
+/// a fused push stage (mirrors the fields of [`crate::ops::OpCtx`] that a
+/// streaming operator may consult).
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineCtx {
+    pub partition: usize,
+    pub nparts: usize,
+    /// Simulated node hosting this partition.
+    pub node: usize,
+}
+
+/// One operator instantiated as a push stage inside a fused chain.
+///
+/// `push` receives one *encoded* tuple (the offset-prefixed
+/// `asterix_adm::tuple` wire format) and forwards zero or more tuples to
+/// the next stage. Returning [`crate::HyracksError::DownstreamClosed`]
+/// tells the upstream producer to stop — the fused analogue of a closed
+/// channel.
+pub trait PipelineOp: Send {
+    /// Process one encoded tuple.
+    fn push(&mut self, bytes: &[u8]) -> Result<()>;
+
+    /// Propagate an early flush downstream (operators that flush to bound
+    /// latency — feeds — reach the real tail port through this).
+    fn flush(&mut self) -> Result<()>;
+
+    /// End of input: emit any buffered state, then finish downstream.
+    /// Called exactly once by the executor after the head's `run` returns
+    /// (on success *and* on error, matching the unfused drop-flush path).
+    fn finish(&mut self) -> Result<()>;
+}
+
+/// The metering adapter between two fused operators: counts tuples crossing
+/// the fused edge on behalf of the upstream op's output port and the
+/// downstream op's input port, then forwards. Frames and bytes stay zero —
+/// no frame exists on a fused edge, which keeps "summed port-meter bytes ==
+/// exchange bytes_sent" exact over the surviving channel edges.
+pub(crate) struct FusedEdge {
+    meters: Vec<Arc<PortMeter>>,
+    next: Box<dyn PipelineOp>,
+}
+
+impl FusedEdge {
+    pub(crate) fn new(meters: Vec<Arc<PortMeter>>, next: Box<dyn PipelineOp>) -> FusedEdge {
+        FusedEdge { meters, next }
+    }
+}
+
+impl PipelineOp for FusedEdge {
+    fn push(&mut self, bytes: &[u8]) -> Result<()> {
+        for m in &self.meters {
+            m.tuples.inc();
+        }
+        self.next.push(bytes)
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.next.flush()
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        self.next.finish()
+    }
+}
+
+/// Terminal stage: hands tuples to the tail operator's *real* output port
+/// (a channel-backed exchange port, or a discard sink when the chain ends
+/// the job). This is where fused data re-enters the frame/backpressure
+/// world.
+pub(crate) struct PortSink {
+    port: OutputPort,
+}
+
+impl PortSink {
+    pub(crate) fn new(port: OutputPort) -> PortSink {
+        PortSink { port }
+    }
+}
+
+impl PipelineOp for PortSink {
+    fn push(&mut self, bytes: &[u8]) -> Result<()> {
+        self.port.push_encoded(bytes)
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.port.flush()
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        self.port.flush()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testing {
+    use super::*;
+
+    /// Records every pushed tuple; used by unit tests across the crate.
+    #[derive(Default)]
+    pub(crate) struct Recorder {
+        pub rows: Vec<Vec<u8>>,
+        pub finished: bool,
+    }
+
+    pub(crate) struct RecorderStage(pub std::sync::Arc<parking_lot::Mutex<Recorder>>);
+
+    impl PipelineOp for RecorderStage {
+        fn push(&mut self, bytes: &[u8]) -> Result<()> {
+            self.0.lock().rows.push(bytes.to_vec());
+            Ok(())
+        }
+
+        fn flush(&mut self) -> Result<()> {
+            Ok(())
+        }
+
+        fn finish(&mut self) -> Result<()> {
+            self.0.lock().finished = true;
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testing::{Recorder, RecorderStage};
+    use super::*;
+    use asterix_adm::{encode_tuple, Value};
+    use parking_lot::Mutex;
+
+    #[test]
+    fn fused_edge_meters_tuples_only() {
+        let rec = Arc::new(Mutex::new(Recorder::default()));
+        let m_out = Arc::new(PortMeter::default());
+        let m_in = Arc::new(PortMeter::default());
+        let mut edge = FusedEdge::new(
+            vec![Arc::clone(&m_out), Arc::clone(&m_in)],
+            Box::new(RecorderStage(Arc::clone(&rec))),
+        );
+        for i in 0..5i64 {
+            edge.push(&encode_tuple(&[Value::Int64(i)])).unwrap();
+        }
+        edge.finish().unwrap();
+        assert_eq!(rec.lock().rows.len(), 5);
+        assert!(rec.lock().finished);
+        for m in [&m_out, &m_in] {
+            assert_eq!(m.tuples.get(), 5);
+            assert_eq!(m.frames.get(), 0, "no frames exist on a fused edge");
+            assert_eq!(m.bytes.get(), 0, "fused edges move no wire bytes");
+        }
+    }
+}

@@ -12,10 +12,15 @@ use asterixdb::{ClusterConfig, Instance};
 /// user i), plus the paper's `msAuthorIdx` secondary index — the shape of
 /// the Table 3/4 indexed join workload.
 fn join_instance(n: usize) -> (Arc<Instance>, tempfile::TempDir) {
+    join_instance_cfg(n, false)
+}
+
+fn join_instance_cfg(n: usize, disable_fusion: bool) -> (Arc<Instance>, tempfile::TempDir) {
     let dir = tempfile::TempDir::new().unwrap();
     let mut cfg = ClusterConfig::small(dir.path().join("db"));
     cfg.nodes = 2;
     cfg.partitions_per_node = 2;
+    cfg.disable_fusion = disable_fusion;
     let instance = Instance::open(cfg).unwrap();
     instance
         .execute(
@@ -163,6 +168,71 @@ fn exchange_bytes_equal_summed_frame_occupancy() {
         }
         other => panic!("exchange.bytes_sent missing: {other:?}"),
     }
+}
+
+/// Pipeline fusion is an execution-strategy change only: the same query
+/// run fused and unfused returns identical rows, and every operator's
+/// profiled tuple counts agree — the fused interior edges meter tuples
+/// exactly like the channels they replaced.
+#[test]
+fn fusion_preserves_results_and_operator_tuple_counts() {
+    use std::collections::BTreeMap;
+
+    let query = r#"for $u in dataset MugshotUsers
+                   where $u.id <= 10
+                   return { "u": $u.id, "name": $u.name }"#;
+    let (fused, _d1) = join_instance_cfg(N, false);
+    let (unfused, _d2) = join_instance_cfg(N, true);
+    let fp = fused.profile(query).unwrap();
+    let up = unfused.profile(query).unwrap();
+
+    assert!(fused.exchange_stats().pipelines_fused() > 0, "scan→filter→emit chain fuses");
+    assert!(fused.exchange_stats().fusion_saved_threads() > 0);
+    assert_eq!(unfused.exchange_stats().pipelines_fused(), 0, "fusion disabled");
+
+    let sorted = |rows: &[asterix_adm::Value]| {
+        let mut v = rows.to_vec();
+        v.sort_by(|a, b| a.total_cmp(b));
+        v
+    };
+    assert_eq!(fp.rows.len(), 10);
+    assert_eq!(sorted(&fp.rows), sorted(&up.rows), "fused and unfused rows must be identical");
+
+    // Per-operator tuple counts (aggregated by operator name — ids match
+    // too, but names make failures readable) are unchanged by fusion.
+    let counts = |p: &asterix_hyracks::JobProfile| -> BTreeMap<String, (u64, u64)> {
+        let mut m = BTreeMap::new();
+        for o in &p.operators {
+            let e = m.entry(o.name.clone()).or_insert((0u64, 0u64));
+            e.0 += o.tuples_in();
+            e.1 += o.tuples_out();
+        }
+        m
+    };
+    assert_eq!(counts(&fp.operators), counts(&up.operators));
+}
+
+/// A LIMIT running inside a fused chain still stops the upstream early:
+/// the query returns exactly the limited rows and the executor reports
+/// fused pipelines for the job.
+#[test]
+fn fused_limit_stops_early_through_chain() {
+    let (instance, _dir) = join_instance(N);
+    let profile = instance
+        .profile(
+            r#"for $m in dataset MugshotMessages
+               limit 3
+               return $m.message-id"#,
+        )
+        .unwrap();
+    assert_eq!(profile.rows.len(), 3, "limit 3 returns exactly 3 rows");
+    assert!(
+        instance.exchange_stats().pipelines_fused() > 0,
+        "the limit ran inside a fused pipeline"
+    );
+    // The limit's downstream (emit/project/sink) saw exactly 3 tuples.
+    let limit = profile.operator("limit").expect("limit operator in profile");
+    assert_eq!(limit.tuples_out(), 3);
 }
 
 /// The instance registry aggregates every layer: exchange counters moved
