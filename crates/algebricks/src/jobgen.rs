@@ -114,6 +114,42 @@ struct Gen {
     ctx: Arc<EvalCtx>,
     nparts: usize,
     options: OptimizerOptions,
+    /// Per-operator slice of the query's memory grant: the workload
+    /// manager's total divided across the plan's memory-hungry operators.
+    /// `None` leaves every operator on its built-in default.
+    per_op_mem: Option<usize>,
+}
+
+/// Floor for a single operator's slice of the query grant: dividing a small
+/// grant across a big plan must not produce unusable budgets.
+const MIN_OP_MEM: usize = 1 << 20;
+
+/// Count the plan nodes that become memory-hungry physical operators
+/// (sorts, hash-group tables, hybrid hash joins), so a query-wide memory
+/// grant can be divided among them. GroupBy counts twice (local partial +
+/// global final table) and secondary-index searches carry the hidden `$pk`
+/// sort of the Figure 6 access path.
+fn memory_hungry_ops(op: &LogicalOp) -> usize {
+    match op {
+        LogicalOp::EmptyTupleSource | LogicalOp::DataSourceScan { .. } => 0,
+        LogicalOp::IndexSearch { spec, .. } => {
+            usize::from(!matches!(spec, IndexSearchSpec::PrimaryRange { .. }))
+        }
+        LogicalOp::Assign { input, .. }
+        | LogicalOp::Select { input, .. }
+        | LogicalOp::Unnest { input, .. }
+        | LogicalOp::Limit { input, .. }
+        | LogicalOp::Distinct { input, .. }
+        | LogicalOp::Aggregate { input, .. }
+        | LogicalOp::Emit { input, .. } => memory_hungry_ops(input),
+        LogicalOp::Join { left, right, .. } => memory_hungry_ops(left) + memory_hungry_ops(right),
+        LogicalOp::HashJoin { left, right, .. } => {
+            1 + memory_hungry_ops(left) + memory_hungry_ops(right)
+        }
+        LogicalOp::IndexNlJoin { left, .. } => memory_hungry_ops(left),
+        LogicalOp::GroupBy { input, .. } => 2 + memory_hungry_ops(input),
+        LogicalOp::Order { input, .. } => 1 + memory_hungry_ops(input),
+    }
 }
 
 /// Compile an optimized logical plan into a Hyracks job.
@@ -124,11 +160,15 @@ pub fn compile(
     options: &OptimizerOptions,
 ) -> Result<CompiledQuery> {
     let nparts = provider.partitions().max(1);
+    let per_op_mem = options
+        .query_mem_budget
+        .map(|total| (total / memory_hungry_ops(plan).max(1)).max(MIN_OP_MEM));
     let mut gen = Gen {
         job: JobSpec::new(),
         ctx: Arc::new(EvalCtx::new(provider, fn_ctx)),
         nparts,
         options: options.clone(),
+        per_op_mem,
     };
     let LogicalOp::Emit { input, expr } = plan else {
         return Err(HyracksError::InvalidJob("top-level plan must end in emit".into()));
@@ -156,6 +196,30 @@ pub fn compile(
 }
 
 impl Gen {
+    /// A sort operator carrying this query's per-operator memory slice.
+    fn sort_op(&self, label: &str, keys: Vec<SortKey>) -> SortOp {
+        let op = SortOp::new(label, keys);
+        match self.per_op_mem {
+            Some(b) => op.with_budget(b),
+            None => op,
+        }
+    }
+
+    /// A hash-group operator carrying this query's per-operator slice.
+    fn group_op(
+        &self,
+        label: &str,
+        keys: Vec<usize>,
+        aggs: Vec<AggSpec>,
+        mode: GroupMode,
+    ) -> HashGroupOp {
+        let op = HashGroupOp::new(label, keys, aggs, mode);
+        match self.per_op_mem {
+            Some(b) => op.with_budget(b),
+            None => op,
+        }
+    }
+
     fn parts(&self, p: Part) -> usize {
         match p {
             Part::Distributed => self.nparts,
@@ -370,15 +434,12 @@ impl Gen {
                     JoinKind::Inner => JoinType::Inner,
                     JoinKind::LeftOuter => JoinType::ProbeOuter,
                 };
-                let join = self.job.add(
-                    self.nparts,
-                    Arc::new(HybridHashJoinOp::new(
-                        "equi",
-                        r_key_cols.clone(),
-                        l_key_cols.clone(),
-                        jt,
-                    )),
-                );
+                let mut hh =
+                    HybridHashJoinOp::new("equi", r_key_cols.clone(), l_key_cols.clone(), jt);
+                if let Some(b) = self.per_op_mem {
+                    hh = hh.with_budget(b);
+                }
+                let join = self.job.add(self.nparts, Arc::new(hh));
                 self.job.connect(
                     ConnectorKind::MToNPartitioning { fields: r_key_cols },
                     r_keyed,
@@ -477,7 +538,7 @@ impl Gen {
                 // Local partial aggregation.
                 let local = self.job.add(
                     self.parts(part),
-                    Arc::new(HashGroupOp::new(
+                    Arc::new(self.group_op(
                         "local",
                         key_cols.clone(),
                         specs.clone(),
@@ -490,7 +551,7 @@ impl Gen {
                     specs.iter().map(|s| AggSpec { kind: s.kind, field: 0, sql: s.sql }).collect();
                 let global = self.job.add(
                     self.nparts,
-                    Arc::new(HashGroupOp::new(
+                    Arc::new(self.group_op(
                         "global",
                         (0..nkeys).collect(),
                         final_specs,
@@ -603,7 +664,7 @@ impl Gen {
         let sort_keys: Vec<SortKey> =
             keys.iter().enumerate().map(|(i, k)| SortKey::field(base + i, k.descending)).collect();
         let sort =
-            self.job.add(self.parts(part), Arc::new(SortOp::new("order-by", sort_keys.clone())));
+            self.job.add(self.parts(part), Arc::new(self.sort_op("order-by", sort_keys.clone())));
         self.job.connect(ConnectorKind::OneToOne, keyed, sort);
         let mut tail = sort;
         if let Some(k) = per_part_limit {
@@ -768,8 +829,9 @@ impl Gen {
         );
         // Sort primary keys "to improve the access pattern on the primary
         // index" (Figure 6 discussion).
-        let sort =
-            self.job.add(self.nparts, Arc::new(SortOp::new("$pk", vec![SortKey::field(0, false)])));
+        let sort = self
+            .job
+            .add(self.nparts, Arc::new(self.sort_op("$pk", vec![SortKey::field(0, false)])));
         self.job.connect(ConnectorKind::OneToOne, search, sort);
         let lookup_fn = self.ctx.provider.primary_lookup(dataset)?;
         let lookup = self.job.add(
@@ -1083,6 +1145,33 @@ mod tests {
         // pairs (a,b) with a<b<4: b=1 (1), b=2 (2), b=3 (3) → 6 rows.
         assert_eq!(i.len(), 6);
         assert_eq!(sort_vals(i), sort_vals(c));
+    }
+
+    #[test]
+    fn memory_hungry_count_drives_budget_division() {
+        // order-by over group-by: 1 sort + 2 hash-group tables.
+        let plan = emit(
+            LogicalOp::Order {
+                input: Box::new(LogicalOp::GroupBy {
+                    input: Box::new(scan("U", 0)),
+                    keys: vec![(1, LogicalExpr::field(var(0), "grp"))],
+                    aggs: vec![AggCall { var: 2, func: AggFunc::Count, sql: false, input: var(0) }],
+                }),
+                keys: vec![SortSpec { expr: var(1), descending: false }],
+            },
+            var(1),
+        );
+        assert_eq!(memory_hungry_ops(&plan), 3);
+
+        // A compiled query under a tight grant still returns the same rows
+        // as the unbudgeted plan (the grant only caps working memory).
+        let prov = provider(70);
+        let fctx = FunctionContext::default();
+        let options = OptimizerOptions { query_mem_budget: Some(6 << 20), ..Default::default() };
+        let optimized = optimize(plan, &prov, &fctx, &options);
+        let compiled = compile(&optimized, prov, fctx, &options).unwrap();
+        let out = compiled.run().unwrap();
+        assert_eq!(out, (0..7).map(Value::Int64).collect::<Vec<_>>());
     }
 
     #[test]

@@ -42,6 +42,11 @@ pub struct OptimizerOptions {
     /// §5.2 pilots drove into AsterixDB's second release; off = the
     /// first-release behavior (ablation).
     pub fuse_group_aggregates: bool,
+    /// Total working memory granted to this query by the workload manager.
+    /// Job generation divides it across the plan's memory-hungry operators
+    /// (sort, hash group, hash join); `None` keeps each operator's built-in
+    /// default budget.
+    pub query_mem_budget: Option<usize>,
 }
 
 impl Default for OptimizerOptions {
@@ -51,6 +56,7 @@ impl Default for OptimizerOptions {
             enable_hash_join: true,
             push_limit_into_sort: false,
             fuse_group_aggregates: true,
+            query_mem_budget: None,
         }
     }
 }

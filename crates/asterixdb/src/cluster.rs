@@ -38,6 +38,20 @@ pub struct ClusterConfig {
     /// channel per operator partition, as before fusion). For A/B runs and
     /// debugging; results are identical either way.
     pub disable_fusion: bool,
+    /// Queries allowed to run at once; later arrivals queue (admission
+    /// control — the workload manager's concurrency gate).
+    pub max_concurrent_queries: usize,
+    /// Queries allowed to wait for a slot before new arrivals are rejected
+    /// outright.
+    pub max_queued_queries: usize,
+    /// How long a queued query waits for a slot before timing out.
+    pub admission_timeout: std::time::Duration,
+    /// Cluster-wide working-memory pool the workload manager grants
+    /// per-query budgets from.
+    pub query_mem_pool_bytes: usize,
+    /// Working memory requested for each admitted query (clamped to the
+    /// pool's headroom at grant time).
+    pub per_query_mem_bytes: usize,
 }
 
 impl ClusterConfig {
@@ -54,6 +68,11 @@ impl ClusterConfig {
             fsync_commits: false,
             frames_in_flight: 8,
             disable_fusion: false,
+            max_concurrent_queries: 16,
+            max_queued_queries: 64,
+            admission_timeout: std::time::Duration::from_secs(10),
+            query_mem_pool_bytes: 1 << 30,
+            per_query_mem_bytes: 128 << 20,
         }
     }
 

@@ -17,6 +17,12 @@ pub enum AsterixError {
     Io(std::io::Error),
     /// Semantic errors at execution time (duplicate key, missing pk, ...).
     Execution(String),
+    /// The query was cancelled (explicitly or by its deadline) and unwound
+    /// cooperatively.
+    Cancelled,
+    /// Admission control turned the query away (queue full) or its wait
+    /// for a slot timed out.
+    Admission(asterix_rm::AdmissionError),
 }
 
 impl fmt::Display for AsterixError {
@@ -33,6 +39,8 @@ impl fmt::Display for AsterixError {
             AsterixError::Feed(m) => write!(f, "{m}"),
             AsterixError::Io(e) => write!(f, "io error: {e}"),
             AsterixError::Execution(m) => write!(f, "execution error: {m}"),
+            AsterixError::Cancelled => write!(f, "query cancelled"),
+            AsterixError::Admission(e) => write!(f, "{e}"),
         }
     }
 }
@@ -59,7 +67,19 @@ impl From<asterix_txn::TxnError> for AsterixError {
 
 impl From<asterix_hyracks::HyracksError> for AsterixError {
     fn from(e: asterix_hyracks::HyracksError) -> Self {
-        AsterixError::Hyracks(e)
+        match e {
+            asterix_hyracks::HyracksError::Cancelled => AsterixError::Cancelled,
+            other => AsterixError::Hyracks(other),
+        }
+    }
+}
+
+impl From<asterix_rm::AdmissionError> for AsterixError {
+    fn from(e: asterix_rm::AdmissionError) -> Self {
+        match e {
+            asterix_rm::AdmissionError::Cancelled => AsterixError::Cancelled,
+            other => AsterixError::Admission(other),
+        }
     }
 }
 

@@ -89,8 +89,19 @@ pub struct Instance {
     /// Optimizer switches (Table 3's no-index runs, limit-pushdown
     /// ablation).
     pub optimizer_options: RwLock<OptimizerOptions>,
+    /// The workload manager: admission control, per-query memory grants,
+    /// and cooperative cancellation (DESIGN.md "Workload management").
+    rm: Arc<asterix_rm::ResourceManager>,
     /// When true, DDL is not persisted (used internally during replay).
     replaying: std::sync::atomic::AtomicBool,
+}
+
+/// Per-query execution options for [`Instance::query_with`].
+#[derive(Debug, Clone, Default)]
+pub struct QueryOpts {
+    /// Cancel the query if it has not finished within this duration
+    /// (measured from admission, including any queue wait).
+    pub deadline: Option<Duration>,
 }
 
 struct Session {
@@ -133,6 +144,14 @@ impl Instance {
             }),
             feeds: Mutex::new(HashMap::new()),
             optimizer_options: RwLock::new(OptimizerOptions::default()),
+            rm: asterix_rm::ResourceManager::new(asterix_rm::RmConfig {
+                max_concurrent: cfg.max_concurrent_queries,
+                max_queued: cfg.max_queued_queries,
+                queue_timeout: cfg.admission_timeout,
+                mem_pool_bytes: cfg.query_mem_pool_bytes,
+                per_query_mem_bytes: cfg.per_query_mem_bytes,
+                ..Default::default()
+            }),
             replaying: std::sync::atomic::AtomicBool::new(false),
             cfg,
         });
@@ -140,6 +159,7 @@ impl Instance {
         // one snapshot covers the whole instance.
         instance.exchange_stats.register_into(&instance.metrics, "exchange");
         instance.cache.register_into(&instance.metrics, "cache");
+        instance.rm.stats().register_into(&instance.metrics, "rm");
         for (n, wal) in instance.wals.iter().enumerate() {
             wal.register_into(&instance.metrics, &format!("wal.node{n}"));
         }
@@ -390,6 +410,18 @@ impl Instance {
     }
 
     fn profile_query(&self, e: &Expr, parse: asterix_obs::SpanRecord) -> Result<QueryProfile> {
+        let ticket = self.rm.begin("profile", None)?;
+        let res = self.profile_admitted_query(e, parse, &ticket);
+        self.note_cancelled(&res);
+        res
+    }
+
+    fn profile_admitted_query(
+        &self,
+        e: &Expr,
+        parse: asterix_obs::SpanRecord,
+        ticket: &asterix_rm::QueryTicket,
+    ) -> Result<QueryProfile> {
         let catalog = self.session_catalog();
         let mut tr = Translator::new(&catalog);
         {
@@ -402,7 +434,8 @@ impl Instance {
         let translate = translate_span.finish();
 
         let provider = self.provider();
-        let options = self.optimizer_options.read().clone();
+        let mut options = self.optimizer_options.read().clone();
+        options.query_mem_budget = Some(ticket.mem_granted());
         let optimize_span = Span::start("optimize");
         let optimized = optimize(plan, &provider, &self.fn_ctx(), &options);
         let optimize_rec = optimize_span.finish();
@@ -411,9 +444,10 @@ impl Instance {
         let compiled = jobgen::compile(&optimized, provider, self.fn_ctx(), &options)?;
         let jobgen_rec = jobgen_span.finish();
 
+        let mut cfg = self.executor_config();
+        cfg.cancel = Some(ticket.token().clone());
         let execute_span = Span::start("execute");
-        let (rows, operators) =
-            compiled.run_profiled_with(&self.executor_config(), &self.exchange_stats)?;
+        let (rows, operators) = compiled.run_profiled_with(&cfg, &self.exchange_stats)?;
         let execute = execute_span.finish();
 
         let profile = QueryProfile {
@@ -747,6 +781,23 @@ impl Instance {
     }
 
     fn run_query(&self, e: &Expr) -> Result<Vec<Value>> {
+        self.run_query_opts(e, &QueryOpts::default())
+    }
+
+    fn run_query_opts(&self, e: &Expr, opts: &QueryOpts) -> Result<Vec<Value>> {
+        let ticket = self.rm.begin("query", opts.deadline)?;
+        let res = self.run_admitted_query(e, &ticket);
+        self.note_cancelled(&res);
+        res
+    }
+
+    /// Execute a query under an admission ticket: working memory comes from
+    /// the ticket's grant (divided across the plan's sorts/groups/joins)
+    /// and the ticket's token makes every exchange a cancellation point.
+    fn run_admitted_query(&self, e: &Expr, ticket: &asterix_rm::QueryTicket) -> Result<Vec<Value>> {
+        if ticket.token().is_cancelled() {
+            return Err(AsterixError::Cancelled);
+        }
         let catalog = self.session_catalog();
         let mut tr = Translator::new(&catalog);
         {
@@ -756,11 +807,14 @@ impl Instance {
         }
         let plan = tr.translate_query(e)?;
         let provider = self.provider();
-        let options = self.optimizer_options.read().clone();
+        let mut options = self.optimizer_options.read().clone();
+        options.query_mem_budget = Some(ticket.mem_granted());
         let optimized = optimize(plan, &provider, &self.fn_ctx(), &options);
         let compiled = jobgen::compile(&optimized, provider, self.fn_ctx(), &options)?;
+        let mut cfg = self.executor_config();
+        cfg.cancel = Some(ticket.token().clone());
         let started = std::time::Instant::now();
-        let rows = compiled.run_with(&self.executor_config(), &self.exchange_stats)?;
+        let rows = compiled.run_with(&cfg, &self.exchange_stats)?;
         log_event(
             "asterix.query",
             "query",
@@ -770,6 +824,47 @@ impl Instance {
             ],
         );
         Ok(rows)
+    }
+
+    /// Record a cooperative cancellation in the workload manager's stats.
+    /// Counted where the query actually unwinds (not in `cancel()`), so a
+    /// cancel racing normal completion is never miscounted and deadline
+    /// expiries are included.
+    fn note_cancelled<T>(&self, res: &Result<T>) {
+        if matches!(res, Err(AsterixError::Cancelled)) {
+            self.rm.stats().cancelled.inc();
+        }
+    }
+
+    /// Cooperatively cancel a queued or running query by the job id shown
+    /// in [`Instance::list_jobs`]. The query unwinds at its next exchange
+    /// boundary, releases its memory grant and admission slot, and removes
+    /// any spill files. Returns false if the id is not live.
+    pub fn cancel(&self, job_id: u64) -> bool {
+        self.rm.cancel(job_id)
+    }
+
+    /// The workload manager's live jobs table: queued, running, and
+    /// cancelling queries with their memory grants.
+    pub fn list_jobs(&self) -> Vec<asterix_rm::JobInfo> {
+        self.rm.list_jobs()
+    }
+
+    /// The workload manager itself (admission control, the memory pool,
+    /// and `rm.*` stats).
+    pub fn resource_manager(&self) -> &Arc<asterix_rm::ResourceManager> {
+        &self.rm
+    }
+
+    /// Like [`Instance::query`], but with per-query options (deadline).
+    pub fn query_with(&self, aql: &str, opts: &QueryOpts) -> Result<Vec<Value>> {
+        let statements = parse_statements_spanned(aql)?;
+        for (stmt, _) in statements {
+            if let Statement::Query(e) = stmt {
+                return self.run_query_opts(&e, opts);
+            }
+        }
+        Err(AsterixError::Execution("no query statement to run".into()))
     }
 
     /// Look up a stored dataset runtime by session-relative name.
@@ -825,11 +920,19 @@ impl Instance {
             &ds.meta.primary_key.clone(),
             condition,
         )?;
+        let ticket = self.rm.begin("delete", None)?;
         let provider = self.provider();
-        let options = self.optimizer_options.read().clone();
+        let mut options = self.optimizer_options.read().clone();
+        options.query_mem_budget = Some(ticket.mem_granted());
         let optimized = optimize(plan, &provider, &self.fn_ctx(), &options);
         let compiled = jobgen::compile(&optimized, provider, self.fn_ctx(), &options)?;
-        let pk_rows = compiled.run_with(&self.executor_config(), &self.exchange_stats)?;
+        let mut cfg = self.executor_config();
+        cfg.cancel = Some(ticket.token().clone());
+        let pk_rows = {
+            let res = compiled.run_with(&cfg, &self.exchange_stats).map_err(AsterixError::from);
+            self.note_cancelled(&res);
+            res?
+        };
         let mut n = 0;
         for pk_row in pk_rows {
             let pk = pk_row
@@ -1003,25 +1106,44 @@ impl Instance {
     }
 
     /// Wait until a feed has stored at least `n` records (test/demo sync).
+    /// Blocks on the pipelines' progress notifiers instead of sleep-polling
+    /// the counters.
     pub fn feed_wait_stored(&self, feed: &str, n: u64, timeout: Duration) -> bool {
         let deadline = std::time::Instant::now() + timeout;
         loop {
-            let stored: u64 = {
+            // Capture each pipeline's change sequence BEFORE summing the
+            // counters: a store landing after the sum advances the
+            // sequence, so the wait below returns immediately.
+            let (stored, watch): (u64, Vec<_>) = {
                 let feeds = self.feeds.lock();
                 match feeds.get(feed) {
-                    Some(f) => {
-                        f.pipelines.values().map(|p| p.stats.stored.load(Ordering::Relaxed)).sum()
-                    }
-                    None => 0,
+                    Some(f) => (
+                        f.pipelines.values().map(|p| p.stats.stored.load(Ordering::Relaxed)).sum(),
+                        f.pipelines
+                            .values()
+                            .map(|p| (Arc::clone(&p.progress), p.progress.current()))
+                            .collect(),
+                    ),
+                    None => (0, Vec::new()),
                 }
             };
             if stored >= n {
                 return true;
             }
-            if std::time::Instant::now() > deadline {
+            let now = std::time::Instant::now();
+            if now >= deadline {
                 return false;
             }
-            std::thread::sleep(Duration::from_millis(5));
+            // Wait on the first pipeline's notifier; cap the wait so
+            // progress on sibling pipelines (or a feed connected after this
+            // call) is observed within a bounded interval.
+            let slice = (deadline - now).min(Duration::from_millis(250));
+            match watch.first() {
+                Some((progress, last)) => {
+                    progress.wait_change(*last, slice);
+                }
+                None => std::thread::sleep(slice.min(Duration::from_millis(5))),
+            }
         }
     }
 }

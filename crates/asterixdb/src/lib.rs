@@ -18,5 +18,7 @@ pub mod provider;
 
 pub use cluster::ClusterConfig;
 pub use error::{AsterixError, Result};
-pub use instance::{Instance, StatementResult};
+pub use instance::{Instance, QueryOpts, StatementResult};
 pub use profile::QueryProfile;
+
+pub use asterix_rm::{AdmissionError, JobInfo, JobState};

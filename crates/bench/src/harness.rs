@@ -140,12 +140,36 @@ const INDEX_DDL: &str = r#"
     create index msAuthorIdx on MugshotMessages(author-id) type btree;
 "#;
 
-/// Stand up an AsterixDB instance and load the corpus.
+/// Stand up an AsterixDB instance and load the corpus. The
+/// `ASTERIX_BENCH_QUERY_MEM` environment variable (bytes) overrides the
+/// per-query working-memory request, so the Table 3 binaries can run
+/// memory-pressure sweeps without a recompile.
 pub fn setup_asterix(corpus: &Corpus, mode: SchemaMode, indexed: bool) -> AsterixSystem {
+    let query_mem = std::env::var("ASTERIX_BENCH_QUERY_MEM").ok().and_then(|v| v.parse().ok());
+    setup_asterix_tuned(corpus, mode, indexed, query_mem, None)
+}
+
+/// [`setup_asterix`] with explicit workload-manager settings: `query_mem`
+/// is the per-query working-memory request the jobs divide across their
+/// sorts/groups/joins (small values force spilling), and `max_concurrent`
+/// caps simultaneously admitted queries (admission sweeps).
+pub fn setup_asterix_tuned(
+    corpus: &Corpus,
+    mode: SchemaMode,
+    indexed: bool,
+    query_mem: Option<usize>,
+    max_concurrent: Option<usize>,
+) -> AsterixSystem {
     let dir = tempfile::TempDir::new().expect("tempdir");
     let mut cfg = ClusterConfig::small(dir.path());
     cfg.nodes = 2;
     cfg.partitions_per_node = 2;
+    if let Some(m) = query_mem {
+        cfg.per_query_mem_bytes = m;
+    }
+    if let Some(c) = max_concurrent {
+        cfg.max_concurrent_queries = c;
+    }
     let instance = Instance::open(cfg).expect("open instance");
     let ddl = match mode {
         SchemaMode::Schema => SCHEMA_DDL,
@@ -826,11 +850,32 @@ mod tests {
         // Pipeline-fusion gauges ride the same snapshot (Table 3/4 JSON).
         assert!(json.contains("\"exchange.pipelines_fused\""), "fusion gauges in {json}");
         assert!(json.contains("\"exchange.fusion_saved_threads\""), "fusion gauges in {json}");
+        // Workload-manager counters: the scan above was admitted and got a
+        // memory grant, all visible under the rm.* prefix.
+        assert!(json.contains("\"rm.admitted\""), "rm counters in {json}");
+        assert!(json.contains("\"rm.mem_granted_bytes\""), "rm gauges in {json}");
+        assert!(json.contains("\"rm.queue_wait_us\""), "rm histograms in {json}");
+        assert!(asx.instance.resource_manager().stats().admitted.get() > 0);
         // A scan moved at least one frame with at least one tuple, and the
         // byte counter measured its serialized occupancy.
         assert!(asx.instance.exchange_stats().frames_sent() > 0);
         assert!(asx.instance.exchange_stats().tuples_sent() > 0);
         assert!(asx.instance.exchange_stats().bytes_sent() > 0);
+    }
+
+    /// Squeezing the per-query memory grant changes the physical plans
+    /// (spilling sorts/joins, flushing partial groups) but never the
+    /// answers.
+    #[test]
+    fn memory_pressure_sweep_preserves_answers() {
+        let scale = Scale::tiny();
+        let corpus = generate(&scale, 5);
+        let (lo, hi) = ts_range_for(60, corpus.messages.len());
+        let roomy = setup_asterix(&corpus, SchemaMode::Schema, false);
+        let tight = setup_asterix_tuned(&corpus, SchemaMode::Schema, false, Some(4 << 20), None);
+        assert_eq!(tight.range_scan(lo, hi), roomy.range_scan(lo, hi));
+        assert_eq!(tight.grp_agg(lo, hi), roomy.grp_agg(lo, hi));
+        assert_eq!(tight.agg(lo, hi), roomy.agg(lo, hi));
     }
 
     /// Table 2's size ordering: Hive (compressed columns) smallest;

@@ -18,7 +18,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use asterix_adm::{AdmError, Value};
 
@@ -157,6 +157,63 @@ pub struct FeedStats {
     pub failed: AtomicU64,
 }
 
+/// Monotonic change signal for a pipeline's counters: the pipeline thread
+/// bumps it after every stored/failed update (and once on exit), so waiters
+/// can block on progress instead of sleep-polling the counters.
+#[derive(Default)]
+pub struct ProgressNotifier {
+    seq: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl ProgressNotifier {
+    pub fn new() -> ProgressNotifier {
+        ProgressNotifier::default()
+    }
+
+    /// The current change sequence. Capture this BEFORE reading the
+    /// counters, then pass it to [`ProgressNotifier::wait_change`]: an
+    /// update landing between the read and the wait advances the sequence,
+    /// so the wait returns immediately — no lost-wakeup window.
+    pub fn current(&self) -> u64 {
+        *self.seq.lock()
+    }
+
+    /// Advance the sequence and wake every waiter.
+    pub fn notify(&self) {
+        *self.seq.lock() += 1;
+        self.cv.notify_all();
+    }
+
+    /// Block until the sequence advances past `last` or `timeout` elapses;
+    /// returns the sequence observed on wakeup (== `last` on timeout).
+    pub fn wait_change(&self, last: u64, timeout: std::time::Duration) -> u64 {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut seq = self.seq.lock();
+        while *seq <= last {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                break;
+            }
+            if self.cv.wait_for(&mut seq, deadline - now).timed_out() {
+                break;
+            }
+        }
+        *seq
+    }
+}
+
+/// Fires a final notify when the pipeline thread exits for any reason, so
+/// waiters observe the end of the stream instead of sleeping out their
+/// timeout.
+struct NotifyOnExit(Arc<ProgressNotifier>);
+
+impl Drop for NotifyOnExit {
+    fn drop(&mut self) {
+        self.0.notify();
+    }
+}
+
 /// The compute stage's pre-processing function: None drops the record
 /// (filtering feeds), Some transforms it (§2.4: "apply a previously
 /// defined function to the output of the adaptor").
@@ -175,6 +232,9 @@ pub struct IngestionPipeline {
     /// Joint after the compute stage (what the store stage sees).
     pub compute_joint: Arc<FeedJoint>,
     pub stats: Arc<FeedStats>,
+    /// Signals every stored/failed counter update (condvar-based waits for
+    /// ingestion progress — see [`ProgressNotifier`]).
+    pub progress: Arc<ProgressNotifier>,
 }
 
 impl IngestionPipeline {
@@ -189,16 +249,19 @@ impl IngestionPipeline {
         let intake_joint = Arc::new(FeedJoint::new());
         let compute_joint = Arc::new(FeedJoint::new());
         let stats = Arc::new(FeedStats::default());
-        let (stop2, ij, cj, st) = (
+        let progress = Arc::new(ProgressNotifier::new());
+        let (stop2, ij, cj, st, pn) = (
             Arc::clone(&stop),
             Arc::clone(&intake_joint),
             Arc::clone(&compute_joint),
             Arc::clone(&stats),
+            Arc::clone(&progress),
         );
         let name = name.into();
         let handle = std::thread::Builder::new()
             .name(format!("feed-{name}"))
             .spawn(move || -> FResult<()> {
+                let _exit = NotifyOnExit(Arc::clone(&pn));
                 loop {
                     if stop2.load(Ordering::Relaxed) {
                         return Ok(());
@@ -219,6 +282,7 @@ impl IngestionPipeline {
                             Ok(v) => v,
                             Err(_) => {
                                 st.failed.fetch_add(1, Ordering::Relaxed);
+                                pn.notify();
                                 continue;
                             }
                         },
@@ -232,6 +296,7 @@ impl IngestionPipeline {
                             Ok(v) => v,
                             Err(_) => {
                                 st.failed.fetch_add(1, Ordering::Relaxed);
+                                pn.notify();
                                 continue;
                             }
                         },
@@ -247,10 +312,18 @@ impl IngestionPipeline {
                             st.failed.fetch_add(1, Ordering::Relaxed);
                         }
                     }
+                    pn.notify();
                 }
             })
             .expect("spawn feed thread");
-        IngestionPipeline { handle: Some(handle), stop, intake_joint, compute_joint, stats }
+        IngestionPipeline {
+            handle: Some(handle),
+            stop,
+            intake_joint,
+            compute_joint,
+            stats,
+            progress,
+        }
     }
 
     /// Request stop and wait for the pipeline thread (disconnect feed).
@@ -453,6 +526,27 @@ mod tests {
             }),
         );
         wait_for(|| stored.lock().len() == 3);
+        pipeline.disconnect().unwrap();
+    }
+
+    #[test]
+    fn progress_notifier_wakes_waiters_on_store() {
+        let (endpoint, rx) = socket_adaptor(4);
+        let pipeline = IngestionPipeline::start("t", rx, None, Arc::new(|_| Ok(())));
+        // Idle pipeline: a bounded wait times out without advancing.
+        let last = pipeline.progress.current();
+        assert_eq!(pipeline.progress.wait_change(last, Duration::from_millis(20)), last);
+        // A store advances the sequence and wakes the waiter; the counter
+        // update is published before the notify.
+        endpoint.send_text("{ \"id\": 1 }").unwrap();
+        let new_seq = pipeline.progress.wait_change(last, Duration::from_secs(5));
+        assert!(new_seq > last, "notifier did not advance");
+        assert_eq!(pipeline.stats.stored.load(Ordering::Relaxed), 1);
+        // Closing the feed fires a final notify so waiters observe the end
+        // of the stream.
+        endpoint.close();
+        let end_seq = pipeline.progress.wait_change(new_seq, Duration::from_secs(5));
+        assert!(end_seq > new_seq, "pipeline exit did not notify");
         pipeline.disconnect().unwrap();
     }
 

@@ -24,6 +24,7 @@ use std::sync::Arc;
 
 use asterix_adm::{encode_tuple_into, TupleRef};
 use asterix_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use asterix_rm::CancellationToken;
 use crossbeam::channel::{bounded, Receiver, Select, Sender, TrySendError};
 
 use crate::frame::{
@@ -198,6 +199,10 @@ pub struct ExchangeConfig {
     pub stats: Arc<ExchangeStats>,
     /// Shared frame-recycling pool for the run.
     pub pool: Arc<FramePool>,
+    /// Cooperative cancellation token for the job, checked at every port
+    /// push and frame receive so a cancelled query unwinds at frame
+    /// granularity. `None` (the default) means the job is uncancellable.
+    pub cancel: Option<CancellationToken>,
 }
 
 impl Default for ExchangeConfig {
@@ -208,6 +213,7 @@ impl Default for ExchangeConfig {
             frame_bytes: DEFAULT_FRAME_BYTES,
             stats: Arc::new(ExchangeStats::new()),
             pool: Arc::new(FramePool::new()),
+            cancel: None,
         }
     }
 }
@@ -298,6 +304,8 @@ pub struct OutputPort {
     fused: Option<Box<dyn PipelineOp>>,
     /// The fused chain's `finish` has run (it must run exactly once).
     fused_done: bool,
+    /// Job cancellation token, checked on every push.
+    cancel: Option<CancellationToken>,
 }
 
 impl OutputPort {
@@ -320,6 +328,7 @@ impl OutputPort {
             meter: None,
             fused: None,
             fused_done: false,
+            cancel: xcfg.cancel.clone(),
         }
     }
 
@@ -338,14 +347,21 @@ impl OutputPort {
             meter: None,
             fused: None,
             fused_done: false,
+            cancel: None,
         }
     }
 
     /// A port backed by a fused pipeline chain instead of channels: pushes
-    /// go straight into `chain` on the caller's thread.
-    pub(crate) fn fused(chain: Box<dyn PipelineOp>) -> OutputPort {
+    /// go straight into `chain` on the caller's thread. The token makes the
+    /// head of the chain a cancellation point, matching channel-backed
+    /// ports (the chain's tail `PortSink` re-checks on its real port).
+    pub(crate) fn fused(
+        chain: Box<dyn PipelineOp>,
+        cancel: Option<CancellationToken>,
+    ) -> OutputPort {
         let mut port = OutputPort::sink();
         port.fused = Some(chain);
+        port.cancel = cancel;
         port
     }
 
@@ -357,6 +373,12 @@ impl OutputPort {
 
     fn all_dead(&self) -> bool {
         !self.dead.is_empty() && self.dead.iter().all(|&d| d)
+    }
+
+    /// True once the job's cancellation token has fired. Plain tokens cost
+    /// one relaxed load; an un-fired deadline token also reads the clock.
+    fn is_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(|t| t.is_cancelled())
     }
 
     /// Hand one frame to channel `j`, blocking if the frame budget is
@@ -404,6 +426,9 @@ impl OutputPort {
     /// has hung up (e.g. a downstream LIMIT finished), so the producer can
     /// stop instead of computing data nobody will read.
     pub fn push(&mut self, tuple: Tuple) -> Result<()> {
+        if self.is_cancelled() {
+            return Err(HyracksError::Cancelled);
+        }
         let mut enc = std::mem::take(&mut self.enc);
         enc.clear();
         encode_tuple_into(&mut enc, &tuple);
@@ -419,6 +444,9 @@ impl OutputPort {
     /// path. Routes identically to [`OutputPort::push`] because the
     /// byte-level hasher is bit-identical to the decoded one.
     pub fn push_encoded(&mut self, bytes: &[u8]) -> Result<()> {
+        if self.is_cancelled() {
+            return Err(HyracksError::Cancelled);
+        }
         if let Some(chain) = &mut self.fused {
             return chain.push(bytes);
         }
@@ -558,6 +586,8 @@ pub struct InputPort {
     pool: Arc<FramePool>,
     /// Per-operator profiling meter (attached only on profiled runs).
     meter: Option<Arc<PortMeter>>,
+    /// Job cancellation token, checked at frame granularity while reading.
+    cancel: Option<CancellationToken>,
 }
 
 impl InputPort {
@@ -571,6 +601,7 @@ impl InputPort {
             stats: Arc::clone(&xcfg.stats),
             pool: Arc::clone(&xcfg.pool),
             meter: None,
+            cancel: xcfg.cancel.clone(),
         }
     }
 
@@ -584,6 +615,7 @@ impl InputPort {
             stats: Arc::default(),
             pool: Arc::default(),
             meter: None,
+            cancel: None,
         }
     }
 
@@ -703,6 +735,15 @@ impl InputPort {
         match &self.mode {
             InputMode::Any => {
                 while let Some(frame) = self.recv_any() {
+                    // Blocking operators (sort/join builds) consume whole
+                    // inputs before pushing anything, so the read side is a
+                    // cancellation point too — at frame granularity, before
+                    // more work is invested in the frame's tuples.
+                    if self.cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+                        self.pool.give(frame);
+                        self.drain();
+                        return Err(HyracksError::Cancelled);
+                    }
                     let mut keep_going = true;
                     for i in 0..frame.tuple_count() {
                         if keep_going && !f(frame.tuple_bytes(i))? {
@@ -720,6 +761,10 @@ impl InputPort {
             InputMode::Merge(cmp) => {
                 let cmp = Arc::clone(cmp);
                 loop {
+                    if self.cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+                        self.drain();
+                        return Err(HyracksError::Cancelled);
+                    }
                     let Some(i) = self.best_source(&cmp) else { return Ok(()) };
                     let cur = self.lookahead[i].as_ref().unwrap();
                     let keep = f(cur.frame.tuple_bytes(cur.idx))?;
@@ -1109,7 +1154,7 @@ mod tests {
         use parking_lot::Mutex;
 
         let rec = Arc::new(Mutex::new(Recorder::default()));
-        let mut port = OutputPort::fused(Box::new(RecorderStage(Arc::clone(&rec))));
+        let mut port = OutputPort::fused(Box::new(RecorderStage(Arc::clone(&rec))), None);
         // Both push paths reach the chain with identical encodings.
         port.push(t(1)).unwrap();
         port.push_encoded(&encode_tuple(&t(2))).unwrap();

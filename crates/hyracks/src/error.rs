@@ -18,6 +18,10 @@ pub enum HyracksError {
     /// `LimitOp` finished early). Producers should stop generating data;
     /// the executor treats this as a clean early exit, not a failure.
     DownstreamClosed,
+    /// The job's cancellation token fired (`Instance::cancel` or a query
+    /// deadline). Operator threads unwind through the same drain paths as
+    /// `DownstreamClosed`, but the job as a whole reports this as an error.
+    Cancelled,
 }
 
 impl HyracksError {
@@ -35,6 +39,7 @@ impl fmt::Display for HyracksError {
             HyracksError::Operator(m) => write!(f, "operator failure: {m}"),
             HyracksError::Io(e) => write!(f, "io error: {e}"),
             HyracksError::DownstreamClosed => write!(f, "downstream consumers closed"),
+            HyracksError::Cancelled => write!(f, "query cancelled"),
         }
     }
 }

@@ -41,6 +41,12 @@ pub struct ExecutorConfig {
     /// channels on every edge, as if no chain were fusible. For A/B
     /// comparisons and debugging; results must be identical either way.
     pub disable_fusion: bool,
+    /// Cooperative cancellation token for the job. When set, every port
+    /// push and frame receive is a cancellation point: once the token fires
+    /// (explicit cancel or deadline), operator threads unwind with
+    /// [`HyracksError::Cancelled`] through the same drain/cleanup paths as
+    /// `DownstreamClosed`, and the job reports `Cancelled`.
+    pub cancel: Option<asterix_rm::CancellationToken>,
 }
 
 impl Default for ExecutorConfig {
@@ -52,6 +58,7 @@ impl Default for ExecutorConfig {
             frame_bytes: crate::frame::DEFAULT_FRAME_BYTES,
             max_threads: 512,
             disable_fusion: false,
+            cancel: None,
         }
     }
 }
@@ -131,6 +138,7 @@ fn run_job_inner(
         frame_bytes: cfg.frame_bytes.max(1),
         stats: Arc::clone(stats),
         pool: Arc::new(FramePool::new()),
+        cancel: cfg.cancel.clone(),
     };
 
     // Wire every surviving connector: per source partition output ports,
@@ -227,7 +235,7 @@ fn run_job_inner(
                     };
                     next = Box::new(FusedEdge::new(meters, stage));
                 }
-                outputs = vec![OutputPort::fused(next)];
+                outputs = vec![OutputPort::fused(next, xcfg.cancel.clone())];
             }
             if outputs.is_empty() {
                 outputs.push(OutputPort::sink());
@@ -867,5 +875,71 @@ mod tests {
             let dst_p = row[2].as_i64().unwrap();
             assert_eq!(src_p / 2, dst_p / 2, "tuple crossed node groups: {row:?}");
         }
+    }
+
+    #[test]
+    fn cancellation_token_stops_a_running_job() {
+        use asterix_rm::CancellationToken;
+
+        // An endless source can only stop when its output port observes the
+        // token; the whole job must unwind with Cancelled instead of hanging.
+        let mut job = JobSpec::new();
+        let src = job.add(
+            2,
+            Arc::new(SourceOp::new("endless", |p, _n, emit| {
+                let mut i = 0i64;
+                loop {
+                    emit(vec![Value::Int64(p as i64), Value::Int64(i)])?;
+                    i += 1;
+                }
+            })),
+        );
+        let (sink, _collector) = collect_sink(&mut job);
+        job.connect(ConnectorKind::MToNReplicating, src, sink);
+
+        let token = CancellationToken::new();
+        let cfg = ExecutorConfig { cancel: Some(token.clone()), ..Default::default() };
+        let canceller = {
+            let token = token.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                token.cancel();
+            })
+        };
+        let res = run_job_with(&job, &cfg);
+        canceller.join().unwrap();
+        assert!(
+            matches!(res, Err(crate::HyracksError::Cancelled)),
+            "expected Cancelled, got {res:?}"
+        );
+    }
+
+    #[test]
+    fn deadline_expiry_cancels_a_running_job() {
+        use asterix_rm::CancellationToken;
+
+        // Same endless job, but nobody calls cancel(): the deadline baked
+        // into the token fires on its own.
+        let mut job = JobSpec::new();
+        let src = job.add(
+            1,
+            Arc::new(SourceOp::new("endless", |_p, _n, emit| {
+                let mut i = 0i64;
+                loop {
+                    emit(vec![Value::Int64(i)])?;
+                    i += 1;
+                }
+            })),
+        );
+        let (sink, _collector) = collect_sink(&mut job);
+        job.connect(ConnectorKind::OneToOne, src, sink);
+
+        let token = CancellationToken::deadline_in(std::time::Duration::from_millis(50));
+        let cfg = ExecutorConfig { cancel: Some(token), ..Default::default() };
+        let res = run_job_with(&job, &cfg);
+        assert!(
+            matches!(res, Err(crate::HyracksError::Cancelled)),
+            "expected Cancelled, got {res:?}"
+        );
     }
 }

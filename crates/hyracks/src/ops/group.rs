@@ -293,6 +293,7 @@ fn run_grouping(
     mode: GroupMode,
     ctx: &mut OpCtx,
     preclustered: bool,
+    mem_budget: usize,
 ) -> Result<()> {
     let OpCtx { inputs, outputs, .. } = ctx;
     let out = &mut outputs[0];
@@ -369,15 +370,32 @@ fn run_grouping(
             emit_group(kv, states)?;
         }
     } else {
+        // In Partial mode the hash table is bounded by the operator's memory
+        // budget: when the (approximate) footprint overflows, the partial
+        // groups so far are flushed downstream and the table restarts. The
+        // Final aggregator recombines by key, so early partials stay
+        // correct — this trades output volume for bounded memory.
+        let spill_partials = mode == GroupMode::Partial && mem_budget > 0;
         let mut table: HashMap<Vec<u8>, (Tuple, Vec<AggState>)> = HashMap::new();
+        let mut approx_bytes = 0usize;
         inputs[0].for_each_raw(|bytes| {
             let r = TupleRef::new(bytes)?;
             let (kb, kvals) = extract_key(&r)?;
+            let entry_cost = kb.len() * 2 + aggs.len() * 48 + 64;
             let (_, states) = match table.entry(kb) {
                 Entry::Occupied(e) => e.into_mut(),
-                Entry::Vacant(e) => e.insert((kvals, aggs.iter().map(AggState::init).collect())),
+                Entry::Vacant(e) => {
+                    approx_bytes += entry_cost;
+                    e.insert((kvals, aggs.iter().map(AggState::init).collect()))
+                }
             };
             feed(states, &r)?;
+            if spill_partials && approx_bytes > mem_budget {
+                for (_, (kv, states)) in table.drain() {
+                    emit_group(kv, states)?;
+                }
+                approx_bytes = 0;
+            }
             Ok(true)
         })?;
         for (_, (kv, states)) in table {
@@ -387,12 +405,20 @@ fn run_grouping(
     Ok(())
 }
 
+/// Default hash-group memory budget when the workload manager hands out
+/// nothing more specific.
+pub const DEFAULT_GROUP_MEM: usize = 32 << 20;
+
 /// Hash-based group-by ("HashGroup" in §4.1's operator list).
 pub struct HashGroupOp {
     label: String,
     pub keys: Vec<usize>,
     pub aggs: Vec<AggSpec>,
     pub mode: GroupMode,
+    /// Approximate table budget in bytes. Partial-mode operators flush
+    /// their groups downstream when they exceed it; Final/Complete tables
+    /// must hold every group and ignore the budget.
+    pub mem_budget: usize,
 }
 
 impl HashGroupOp {
@@ -402,7 +428,12 @@ impl HashGroupOp {
         aggs: Vec<AggSpec>,
         mode: GroupMode,
     ) -> HashGroupOp {
-        HashGroupOp { label: label.into(), keys, aggs, mode }
+        HashGroupOp { label: label.into(), keys, aggs, mode, mem_budget: DEFAULT_GROUP_MEM }
+    }
+
+    pub fn with_budget(mut self, bytes: usize) -> HashGroupOp {
+        self.mem_budget = bytes.max(1024);
+        self
     }
 }
 
@@ -416,7 +447,7 @@ impl OperatorDescriptor for HashGroupOp {
     }
 
     fn run(&self, ctx: &mut OpCtx) -> Result<()> {
-        run_grouping(&self.label, &self.keys, &self.aggs, self.mode, ctx, false)
+        run_grouping(&self.label, &self.keys, &self.aggs, self.mode, ctx, false, self.mem_budget)
     }
 }
 
@@ -446,7 +477,9 @@ impl OperatorDescriptor for PreclusteredGroupOp {
     }
 
     fn run(&self, ctx: &mut OpCtx) -> Result<()> {
-        run_grouping(&self.label, &self.keys, &self.aggs, self.mode, ctx, true)
+        // Preclustered grouping streams one group at a time; no table, no
+        // budget to enforce.
+        run_grouping(&self.label, &self.keys, &self.aggs, self.mode, ctx, true, 0)
     }
 }
 
@@ -616,6 +649,26 @@ mod tests {
         let fin = run_op(&ScalarAggOp::new("avg", aggs, GroupMode::Final), partials);
         assert_eq!(fin.len(), 1);
         assert_eq!(fin[0][0], Value::Double(30.0));
+    }
+
+    #[test]
+    fn budgeted_partial_group_flushes_and_final_recombines() {
+        let aggs = vec![AggSpec::new(AggKind::Count, 1), AggSpec::new(AggKind::Sum, 1)];
+        let data: Vec<Tuple> =
+            (0..300i64).map(|i| vec![Value::Int64(i % 7), Value::Int64(i)]).collect();
+        let partials = run_op(
+            &HashGroupOp::new("l", vec![0], aggs.clone(), GroupMode::Partial).with_budget(1024),
+            data.clone(),
+        );
+        // Seven live groups overflow a 1 KiB budget, so the table must have
+        // flushed at least once: more partial rows than distinct keys.
+        assert!(partials.len() > 7, "expected repeated flushes, got {} rows", partials.len());
+        let mut two_step =
+            run_op(&HashGroupOp::new("g", vec![0], aggs.clone(), GroupMode::Final), partials);
+        let mut one_step = run_op(&HashGroupOp::new("c", vec![0], aggs, GroupMode::Complete), data);
+        two_step.sort_by(|a, b| a[0].total_cmp(&b[0]));
+        one_step.sort_by(|a, b| a[0].total_cmp(&b[0]));
+        assert_eq!(two_step, one_step);
     }
 
     #[test]

@@ -619,6 +619,53 @@ mod tests {
     }
 
     #[test]
+    fn cancelled_grace_join_cleans_temp_files() {
+        use asterix_rm::CancellationToken;
+
+        // Like grace_spill_cleans_temp_files_on_error, but the unwind comes
+        // from a cancellation token instead of a dead downstream: both
+        // sides Grace-partition to disk, then the pairwise merge hits the
+        // cancelled output port, and every SpillGuard must delete its file.
+        let label = "canceljoin";
+        let build: Vec<Tuple> = (0..2000i64).map(|i| kv(i % 500, "b")).collect();
+        let probe: Vec<Tuple> = (0..1000i64).map(|i| kv(i % 500, "p")).collect();
+        let op = HybridHashJoinOp::new(label, vec![0], vec![0], JoinType::Inner).with_budget(2048);
+        let x = ExchangeConfig::default();
+        let (mut b_out, b_in) = wire(&ConnectorKind::OneToOne, 1, 1, &|_| 0, &x).unwrap();
+        let (mut p_out, p_in) = wire(&ConnectorKind::OneToOne, 1, 1, &|_| 0, &x).unwrap();
+        let token = CancellationToken::new();
+        let out_cfg = ExchangeConfig { cancel: Some(token.clone()), ..Default::default() };
+        let (r_out, r_in) = wire(&ConnectorKind::OneToOne, 1, 1, &|_| 0, &out_cfg).unwrap();
+        for t in build {
+            b_out[0].push(t).unwrap();
+        }
+        for t in probe {
+            p_out[0].push(t).unwrap();
+        }
+        drop(b_out);
+        drop(p_out);
+        token.cancel();
+        let mut inputs = b_in;
+        inputs.extend(p_in);
+        let mut ctx = OpCtx { partition: 0, nparts: 1, node: 0, inputs, outputs: r_out };
+        let res = op.run(&mut ctx);
+        assert!(
+            matches!(res, Err(crate::HyracksError::Cancelled)),
+            "expected Cancelled, got {res:?}"
+        );
+        drop(ctx);
+        drop(r_in);
+        let marker = format!("asterix-join-{}-{label}", std::process::id());
+        let leaked: Vec<String> = std::fs::read_dir(std::env::temp_dir())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(&marker))
+            .collect();
+        assert!(leaked.is_empty(), "leaked spill files after cancellation: {leaked:?}");
+    }
+
+    #[test]
     fn nested_loop_with_inequality() {
         let op =
             NestedLoopJoinOp::new("nl", |b, p| Ok(b[0].total_cmp(&p[0]).is_lt()), JoinType::Inner);

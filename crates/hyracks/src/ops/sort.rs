@@ -134,10 +134,25 @@ fn spill_path(label: &str) -> PathBuf {
     std::env::temp_dir().join(format!("asterix-sort-{}-{}-{}.run", std::process::id(), label, n))
 }
 
+/// Owns one spill run on disk and deletes it on drop — the same RAII shape
+/// as the grace join's guards, so *every* exit from the sort (clean merge,
+/// error `?`, cancellation unwind, panic) removes its temp files.
+struct SpillGuard {
+    path: PathBuf,
+}
+
+impl Drop for SpillGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
 /// Spill a sorted batch: `[u32 key_len][key][u32 tuple_len][tuple]` per
-/// row — raw bytes in, raw bytes out, nothing re-encoded.
-fn write_run(path: &PathBuf, rows: &[Row]) -> Result<()> {
-    let mut w = BufWriter::new(File::create(path)?);
+/// row — raw bytes in, raw bytes out, nothing re-encoded. The returned
+/// guard owns the file from the moment it exists on disk.
+fn write_run(label: &str, rows: &[Row]) -> Result<SpillGuard> {
+    let guard = SpillGuard { path: spill_path(label) };
+    let mut w = BufWriter::new(File::create(&guard.path)?);
     for row in rows {
         w.write_all(&(row.key.len() as u32).to_le_bytes())?;
         w.write_all(&row.key)?;
@@ -145,19 +160,21 @@ fn write_run(path: &PathBuf, rows: &[Row]) -> Result<()> {
         w.write_all(&row.bytes)?;
     }
     w.flush()?;
-    Ok(())
+    Ok(guard)
 }
 
 struct RunReader {
     reader: BufReader<File>,
-    path: PathBuf,
+    /// Keeps the run file alive while reading; deletes it when the reader
+    /// goes away.
+    _guard: SpillGuard,
     head: Option<Row>,
 }
 
 impl RunReader {
-    fn open(path: PathBuf) -> Result<RunReader> {
-        let reader = BufReader::new(File::open(&path)?);
-        let mut r = RunReader { reader, path, head: None };
+    fn open(guard: SpillGuard) -> Result<RunReader> {
+        let reader = BufReader::new(File::open(&guard.path)?);
+        let mut r = RunReader { reader, _guard: guard, head: None };
         r.advance()?;
         Ok(r)
     }
@@ -186,12 +203,6 @@ impl RunReader {
             }
         };
         Ok(())
-    }
-}
-
-impl Drop for RunReader {
-    fn drop(&mut self) {
-        let _ = std::fs::remove_file(&self.path);
     }
 }
 
@@ -228,7 +239,7 @@ impl OperatorDescriptor for SortOp {
         let keys = &self.keys;
         let mut mem: Vec<Row> = Vec::new();
         let mut mem_bytes = 0usize;
-        let mut runs: Vec<PathBuf> = Vec::new();
+        let mut runs: Vec<SpillGuard> = Vec::new();
         let budget = self.mem_budget;
         let label = self.label.clone();
         inputs[0].for_each_raw(|bytes| {
@@ -238,9 +249,7 @@ impl OperatorDescriptor for SortOp {
             mem.push(Row { key, bytes: bytes.to_vec() });
             if mem_bytes >= budget {
                 mem.sort_by(|a, b| cmp_norm(keys, &a.key, &b.key));
-                let path = spill_path(&label);
-                write_run(&path, &mem)?;
-                runs.push(path);
+                runs.push(write_run(&label, &mem)?);
                 mem.clear();
                 mem_bytes = 0;
             }
@@ -257,8 +266,8 @@ impl OperatorDescriptor for SortOp {
         // K-way merge of spilled runs plus the in-memory tail; all head
         // comparisons are normalized-key memcmps.
         let mut readers: Vec<RunReader> = Vec::with_capacity(runs.len());
-        for path in runs {
-            readers.push(RunReader::open(path)?);
+        for guard in runs {
+            readers.push(RunReader::open(guard)?);
         }
         let mut mem_iter = mem.into_iter().peekable();
         loop {
@@ -389,5 +398,48 @@ mod tests {
     fn sort_is_blocking_activity() {
         let op = SortOp::new("x", vec![SortKey::field(0, false)]);
         assert_eq!(op.blocking_inputs(), vec![0]);
+    }
+
+    #[test]
+    fn cancelled_spilling_sort_cleans_temp_files() {
+        use asterix_rm::CancellationToken;
+
+        // Cancellation fires after run generation has spilled to disk but
+        // before the merge can emit: the sort must surface `Cancelled` (the
+        // merge's first push is a cancellation point) and its SpillGuards
+        // must remove every run file on the unwind.
+        let label = "cancelsort";
+        let input: Vec<Tuple> = (0..5000i64)
+            .map(|i| vec![Value::Int64((i * 7919) % 5000), Value::string("pad-pad-pad")])
+            .collect();
+        // Feed side carries no token so the accumulate phase runs (and
+        // spills); only the output side observes the cancellation.
+        let feed = ExchangeConfig::default();
+        let (mut in_outs, ins) = wire(&ConnectorKind::OneToOne, 1, 1, &|_| 0, &feed).unwrap();
+        let token = CancellationToken::new();
+        let out_cfg = ExchangeConfig { cancel: Some(token.clone()), ..Default::default() };
+        let (outs, res_ins) = wire(&ConnectorKind::OneToOne, 1, 1, &|_| 0, &out_cfg).unwrap();
+        for t in input {
+            in_outs[0].push(t).unwrap();
+        }
+        drop(in_outs);
+        token.cancel();
+        let op = SortOp::new(label, vec![SortKey::field(0, false)]).with_budget(4096);
+        let mut ctx = OpCtx { partition: 0, nparts: 1, node: 0, inputs: ins, outputs: outs };
+        let res = op.run(&mut ctx);
+        assert!(
+            matches!(res, Err(crate::HyracksError::Cancelled)),
+            "expected Cancelled, got {res:?}"
+        );
+        drop(ctx);
+        drop(res_ins);
+        let marker = format!("asterix-sort-{}-{label}", std::process::id());
+        let leaked: Vec<String> = std::fs::read_dir(std::env::temp_dir())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(&marker))
+            .collect();
+        assert!(leaked.is_empty(), "leaked sort runs after cancellation: {leaked:?}");
     }
 }

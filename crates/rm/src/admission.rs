@@ -1,0 +1,157 @@
+//! Bounded-concurrency admission queue.
+//!
+//! Modeled on the Cluster Controller's job-management role in the paper:
+//! at most `max_concurrent` queries execute at once, at most `max_queued`
+//! wait behind them, and a waiter gives up after `queue_timeout`. All
+//! waiting is condvar-based — no sleep-polling — so release, cancellation,
+//! and timeout latency are not quantized.
+
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::cancel::CancellationToken;
+use crate::stats::RmStats;
+
+/// Typed admission failures, surfaced to clients as distinct error variants
+/// so callers can tell "back off and retry" (queue pressure) from "give up".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The wait queue is full: the query was turned away immediately.
+    Rejected { queued: usize, max_queued: usize },
+    /// The query waited `queue_timeout` without getting a slot.
+    QueueTimeout { waited: Duration },
+    /// The query was cancelled (or its deadline fired) while still queued.
+    Cancelled,
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::Rejected { queued, max_queued } => {
+                write!(f, "admission rejected: {queued}/{max_queued} queries already queued")
+            }
+            AdmissionError::QueueTimeout { waited } => {
+                write!(f, "admission queue timeout after {waited:?}")
+            }
+            AdmissionError::Cancelled => write!(f, "cancelled while queued for admission"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+#[derive(Default)]
+struct AdmState {
+    running: usize,
+    queued: usize,
+}
+
+/// The admission gate. `admit()` blocks on a condvar until a slot frees,
+/// the timeout elapses, or the query's cancellation token fires.
+pub struct AdmissionController {
+    max_concurrent: usize,
+    max_queued: usize,
+    queue_timeout: Duration,
+    state: Mutex<AdmState>,
+    cv: Condvar,
+    stats: RmStats,
+}
+
+impl AdmissionController {
+    pub fn new(
+        max_concurrent: usize,
+        max_queued: usize,
+        queue_timeout: Duration,
+        stats: RmStats,
+    ) -> Arc<AdmissionController> {
+        Arc::new(AdmissionController {
+            max_concurrent: max_concurrent.max(1),
+            max_queued,
+            queue_timeout,
+            state: Mutex::new(AdmState::default()),
+            cv: Condvar::new(),
+            stats,
+        })
+    }
+
+    /// Wait for an execution slot. Returns an RAII [`AdmissionPermit`]
+    /// whose drop frees the slot and wakes the next waiter.
+    pub fn admit(
+        self: &Arc<Self>,
+        token: Option<&CancellationToken>,
+    ) -> Result<AdmissionPermit, AdmissionError> {
+        let mut st = self.state.lock().unwrap();
+        if st.running < self.max_concurrent {
+            st.running += 1;
+            self.stats.running.add(1);
+            self.stats.admitted.inc();
+            self.stats.queue_wait_us.record(0);
+            return Ok(AdmissionPermit { ctrl: Arc::clone(self) });
+        }
+        if st.queued >= self.max_queued {
+            self.stats.rejected.inc();
+            return Err(AdmissionError::Rejected {
+                queued: st.queued,
+                max_queued: self.max_queued,
+            });
+        }
+        st.queued += 1;
+        self.stats.queued.add(1);
+        let start = Instant::now();
+        loop {
+            if token.is_some_and(|t| t.is_cancelled()) {
+                st.queued -= 1;
+                self.stats.queued.sub(1);
+                return Err(AdmissionError::Cancelled);
+            }
+            let waited = start.elapsed();
+            let Some(mut remaining) = self.queue_timeout.checked_sub(waited) else {
+                st.queued -= 1;
+                self.stats.queued.sub(1);
+                self.stats.rejected.inc();
+                return Err(AdmissionError::QueueTimeout { waited });
+            };
+            // A deadline token must wake at its deadline, not at the queue
+            // timeout; wait until whichever comes first.
+            if let Some(until_deadline) = token.and_then(|t| t.until_deadline()) {
+                remaining = remaining.min(until_deadline);
+            }
+            let (guard, _timed_out) = self.cv.wait_timeout(st, remaining).unwrap();
+            st = guard;
+            if st.running < self.max_concurrent {
+                st.queued -= 1;
+                st.running += 1;
+                self.stats.queued.sub(1);
+                self.stats.running.add(1);
+                self.stats.admitted.inc();
+                self.stats.queue_wait_us.record(start.elapsed().as_micros() as u64);
+                return Ok(AdmissionPermit { ctrl: Arc::clone(self) });
+            }
+        }
+    }
+
+    /// Wake every queued waiter so it can re-check its cancellation token.
+    pub fn wake_all(&self) {
+        let _st = self.state.lock().unwrap();
+        self.cv.notify_all();
+    }
+
+    fn release(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.running -= 1;
+        self.stats.running.sub(1);
+        self.cv.notify_all();
+    }
+}
+
+/// One occupied execution slot; dropping it releases the slot.
+pub struct AdmissionPermit {
+    ctrl: Arc<AdmissionController>,
+}
+
+impl Drop for AdmissionPermit {
+    fn drop(&mut self) {
+        self.ctrl.release();
+    }
+}

@@ -1,0 +1,70 @@
+//! Cooperative cancellation tokens.
+//!
+//! A token is a cheap `Arc<AtomicBool>` clone (plus an optional absolute
+//! deadline) that the executor threads check at frame-send and
+//! `PipelineOp::push` boundaries. Once set, a cancelled query unwinds
+//! through the same error path as `DownstreamClosed` early-stop, so spill
+//! files are removed by their RAII guards and channels drain normally.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Default)]
+struct TokenInner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// Shared cancellation flag with an optional deadline. Clones observe the
+/// same state; the default token never fires on its own.
+#[derive(Clone, Debug, Default)]
+pub struct CancellationToken {
+    inner: Arc<TokenInner>,
+}
+
+impl CancellationToken {
+    pub fn new() -> CancellationToken {
+        CancellationToken::default()
+    }
+
+    /// A token that auto-cancels once `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> CancellationToken {
+        CancellationToken {
+            inner: Arc::new(TokenInner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(deadline),
+            }),
+        }
+    }
+
+    /// A token that auto-cancels `after` from now.
+    pub fn deadline_in(after: Duration) -> CancellationToken {
+        CancellationToken::with_deadline(Instant::now() + after)
+    }
+
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// True once `cancel()` was called or the deadline passed. A fired
+    /// deadline latches the flag so later checks are a single atomic load.
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.inner.deadline {
+            Some(d) if Instant::now() >= d => {
+                self.inner.cancelled.store(true, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Time left until the deadline (None when no deadline is set; zero
+    /// when it already passed).
+    pub fn until_deadline(&self) -> Option<Duration> {
+        self.inner.deadline.map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}

@@ -1,0 +1,112 @@
+//! Live jobs table: the reproduction of the Cluster Controller's job view.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::cancel::CancellationToken;
+
+/// Lifecycle of an admitted-or-waiting query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting for an admission slot.
+    Queued,
+    /// Executing.
+    Running,
+    /// Cancellation requested; the job is unwinding cooperatively.
+    Cancelling,
+}
+
+impl JobState {
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Cancelling => "cancelling",
+        }
+    }
+}
+
+/// Snapshot of one live job as returned by `Instance::list_jobs()`.
+#[derive(Clone, Debug)]
+pub struct JobInfo {
+    pub id: u64,
+    pub state: JobState,
+    pub description: String,
+    /// Bytes granted from the memory pool (0 while queued).
+    pub mem_granted: usize,
+}
+
+struct JobEntry {
+    state: JobState,
+    description: String,
+    token: CancellationToken,
+    mem_granted: usize,
+}
+
+/// Id-ordered table of live jobs. Entries exist from registration (Queued)
+/// until the owning `QueryTicket` drops.
+#[derive(Default)]
+pub struct JobTable {
+    next_id: AtomicU64,
+    jobs: Mutex<BTreeMap<u64, JobEntry>>,
+}
+
+impl JobTable {
+    pub fn new() -> JobTable {
+        JobTable::default()
+    }
+
+    /// Register a new job in Queued state; returns its id.
+    pub fn register(&self, description: &str, token: CancellationToken) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        self.jobs.lock().unwrap().insert(
+            id,
+            JobEntry {
+                state: JobState::Queued,
+                description: description.to_string(),
+                token,
+                mem_granted: 0,
+            },
+        );
+        id
+    }
+
+    pub fn set_running(&self, id: u64, mem_granted: usize) {
+        if let Some(e) = self.jobs.lock().unwrap().get_mut(&id) {
+            // A cancel that raced admission keeps the Cancelling state.
+            if e.state == JobState::Queued {
+                e.state = JobState::Running;
+            }
+            e.mem_granted = mem_granted;
+        }
+    }
+
+    /// Flip a job to Cancelling and hand back its token, or None when the
+    /// id is unknown (already finished).
+    pub fn cancel(&self, id: u64) -> Option<CancellationToken> {
+        let mut jobs = self.jobs.lock().unwrap();
+        jobs.get_mut(&id).map(|e| {
+            e.state = JobState::Cancelling;
+            e.token.clone()
+        })
+    }
+
+    pub fn remove(&self, id: u64) {
+        self.jobs.lock().unwrap().remove(&id);
+    }
+
+    pub fn list(&self) -> Vec<JobInfo> {
+        self.jobs
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(&id, e)| JobInfo {
+                id,
+                state: e.state,
+                description: e.description.clone(),
+                mem_granted: e.mem_granted,
+            })
+            .collect()
+    }
+}

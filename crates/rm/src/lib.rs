@@ -1,0 +1,381 @@
+//! Workload manager (resource manager) for the AsterixDB reproduction.
+//!
+//! The paper's Hyracks layer is a *managed* runtime: the Cluster Controller
+//! tracks every job's lifecycle and the memory-hungry operators (sort,
+//! hybrid hash join) run against fixed budgets. This crate supplies that
+//! missing layer for the reproduction:
+//!
+//! - [`AdmissionController`] — a bounded-concurrency admission queue with a
+//!   bounded wait queue and a queue-wait timeout, producing typed
+//!   [`AdmissionError::Rejected`] / [`AdmissionError::QueueTimeout`] errors.
+//! - [`MemoryPool`] — a cluster-wide pool that grants each admitted query a
+//!   memory budget ([`MemoryGrant`], released on drop) which the compiler
+//!   divides across the plan's sort/group/join operators.
+//! - [`CancellationToken`] — a cooperative cancellation flag (with optional
+//!   deadline) carried by a running job and checked at frame boundaries.
+//! - [`JobTable`] — the live jobs table behind `Instance::list_jobs()`.
+//! - [`RmStats`] — `rm.*` metrics (admitted/rejected/cancelled counters,
+//!   queue-wait histogram, granted-bytes and running/queued gauges) that
+//!   register into the instance-wide `MetricsRegistry`.
+//!
+//! Everything here is dependency-light by design: std sync primitives plus
+//! `asterix-obs` metric handles. The [`ResourceManager`] facade ties the
+//! pieces together for `asterixdb::Instance`.
+
+mod admission;
+mod cancel;
+mod jobs;
+mod memory;
+mod stats;
+
+use std::sync::Arc;
+use std::time::Duration;
+
+pub use admission::{AdmissionController, AdmissionError, AdmissionPermit};
+pub use cancel::CancellationToken;
+pub use jobs::{JobInfo, JobState, JobTable};
+pub use memory::{MemoryGrant, MemoryPool};
+pub use stats::RmStats;
+
+/// Sizing knobs for a [`ResourceManager`]. Defaults are generous so an
+/// unconfigured instance behaves like the pre-workload-manager code.
+#[derive(Clone, Debug)]
+pub struct RmConfig {
+    /// Queries allowed to execute at once; further queries wait.
+    pub max_concurrent: usize,
+    /// Queries allowed to wait for admission; further queries are rejected.
+    pub max_queued: usize,
+    /// How long a query may wait for admission before `QueueTimeout`.
+    pub queue_timeout: Duration,
+    /// Cluster-wide query working-memory pool divided among running queries.
+    pub mem_pool_bytes: usize,
+    /// Working-memory budget requested per query (capped by pool headroom).
+    pub per_query_mem_bytes: usize,
+    /// Floor for a grant even when the pool is exhausted — admission already
+    /// bounds concurrency, so this bounded overcommit avoids starving an
+    /// admitted query outright.
+    pub min_grant_bytes: usize,
+}
+
+impl Default for RmConfig {
+    fn default() -> RmConfig {
+        RmConfig {
+            max_concurrent: 64,
+            max_queued: 256,
+            queue_timeout: Duration::from_secs(10),
+            mem_pool_bytes: 1 << 30,
+            per_query_mem_bytes: 128 << 20,
+            min_grant_bytes: 1 << 20,
+        }
+    }
+}
+
+/// Facade over admission, memory, cancellation, and the jobs table.
+///
+/// `begin()` runs a query through admission, grants it memory, and returns a
+/// [`QueryTicket`] whose drop releases everything — the RAII shape means no
+/// exit path (success, error, cancellation, panic unwind) can leak a permit
+/// or a grant.
+pub struct ResourceManager {
+    admission: Arc<AdmissionController>,
+    pool: Arc<MemoryPool>,
+    jobs: JobTable,
+    stats: RmStats,
+    per_query_mem: usize,
+}
+
+impl ResourceManager {
+    pub fn new(cfg: RmConfig) -> Arc<ResourceManager> {
+        let stats = RmStats::new();
+        let admission = AdmissionController::new(
+            cfg.max_concurrent,
+            cfg.max_queued,
+            cfg.queue_timeout,
+            stats.clone(),
+        );
+        let pool = MemoryPool::new(
+            cfg.mem_pool_bytes,
+            cfg.min_grant_bytes,
+            stats.mem_granted_bytes.clone(),
+        );
+        Arc::new(ResourceManager {
+            admission,
+            pool,
+            jobs: JobTable::new(),
+            stats,
+            per_query_mem: cfg.per_query_mem_bytes,
+        })
+    }
+
+    pub fn stats(&self) -> &RmStats {
+        &self.stats
+    }
+
+    /// Admit one query: register it as Queued, wait for an admission slot,
+    /// then grant memory and flip it to Running. `deadline` (relative)
+    /// arms the ticket's cancellation token to fire on expiry.
+    pub fn begin(
+        self: &Arc<Self>,
+        description: &str,
+        deadline: Option<Duration>,
+    ) -> Result<QueryTicket, AdmissionError> {
+        let token = match deadline {
+            Some(d) => CancellationToken::deadline_in(d),
+            None => CancellationToken::new(),
+        };
+        let id = self.jobs.register(description, token.clone());
+        let permit = match self.admission.admit(Some(&token)) {
+            Ok(p) => p,
+            Err(e) => {
+                self.jobs.remove(id);
+                return Err(e);
+            }
+        };
+        let grant = self.pool.grant(self.per_query_mem);
+        self.jobs.set_running(id, grant.bytes());
+        Ok(QueryTicket { id, token, rm: Arc::clone(self), _permit: permit, grant })
+    }
+
+    /// Request cooperative cancellation of a live job. Returns false when
+    /// the id is unknown (e.g. the query already finished). The `rm.cancelled`
+    /// counter is bumped by the caller when the query actually unwinds, so
+    /// a cancel that races with completion is not miscounted.
+    pub fn cancel(&self, id: u64) -> bool {
+        match self.jobs.cancel(id) {
+            Some(token) => {
+                token.cancel();
+                // Wake admission waiters so a still-queued job notices.
+                self.admission.wake_all();
+                true
+            }
+            None => false,
+        }
+    }
+
+    pub fn list_jobs(&self) -> Vec<JobInfo> {
+        self.jobs.list()
+    }
+}
+
+/// RAII handle for one admitted query: admission permit + memory grant +
+/// cancellation token + jobs-table entry, all released on drop.
+pub struct QueryTicket {
+    id: u64,
+    token: CancellationToken,
+    rm: Arc<ResourceManager>,
+    _permit: AdmissionPermit,
+    grant: MemoryGrant,
+}
+
+impl QueryTicket {
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    pub fn token(&self) -> &CancellationToken {
+        &self.token
+    }
+
+    /// Bytes of working memory granted to this query.
+    pub fn mem_granted(&self) -> usize {
+        self.grant.bytes()
+    }
+}
+
+impl Drop for QueryTicket {
+    fn drop(&mut self) {
+        self.rm.jobs.remove(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Instant;
+
+    fn quick_cfg(max_concurrent: usize, max_queued: usize, timeout_ms: u64) -> RmConfig {
+        RmConfig {
+            max_concurrent,
+            max_queued,
+            queue_timeout: Duration::from_millis(timeout_ms),
+            mem_pool_bytes: 64 << 20,
+            per_query_mem_bytes: 16 << 20,
+            min_grant_bytes: 1 << 20,
+        }
+    }
+
+    #[test]
+    fn admission_bounds_concurrency_and_queues() {
+        let rm = ResourceManager::new(quick_cfg(2, 8, 2_000));
+        let t1 = rm.begin("q1", None).unwrap();
+        let t2 = rm.begin("q2", None).unwrap();
+        assert_eq!(rm.stats().running.get(), 2);
+        // Third query must wait; release a slot from another thread.
+        let rm2 = Arc::clone(&rm);
+        let h = std::thread::spawn(move || rm2.begin("q3", None).map(|t| t.id()));
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(rm.stats().queued.get(), 1);
+        drop(t1);
+        let id3 = h.join().unwrap().unwrap();
+        assert!(id3 > t2.id());
+        assert_eq!(rm.stats().admitted.get(), 3);
+        assert_eq!(rm.stats().running.get(), 1);
+        assert!(rm.stats().running.peak() <= 2);
+    }
+
+    #[test]
+    fn queue_timeout_and_rejection_are_typed() {
+        let rm = ResourceManager::new(quick_cfg(1, 1, 30));
+        let _t1 = rm.begin("hog", None).unwrap();
+        // Occupies the single queue slot until its timeout fires.
+        let rm2 = Arc::clone(&rm);
+        let waiter = std::thread::spawn(move || rm2.begin("waiter", None).err());
+        std::thread::sleep(Duration::from_millis(10));
+        // Queue is full now: instant rejection.
+        match rm.begin("overflow", None) {
+            Err(AdmissionError::Rejected { queued, max_queued }) => {
+                assert_eq!((queued, max_queued), (1, 1));
+            }
+            other => panic!("expected Rejected, got {other:?}", other = other.map(|t| t.id())),
+        }
+        match waiter.join().unwrap() {
+            Some(AdmissionError::QueueTimeout { .. }) => {}
+            other => panic!("expected QueueTimeout, got {other:?}"),
+        }
+        assert_eq!(rm.stats().rejected.get(), 2);
+        assert_eq!(rm.stats().admitted.get(), 1);
+    }
+
+    #[test]
+    fn permits_serialize_a_burst() {
+        let rm = ResourceManager::new(quick_cfg(2, 64, 5_000));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let live = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let (rm, peak, live) = (Arc::clone(&rm), Arc::clone(&peak), Arc::clone(&live));
+            handles.push(std::thread::spawn(move || {
+                let _t = rm.begin(&format!("q{i}"), None).unwrap();
+                let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(10));
+                live.fetch_sub(1, Ordering::SeqCst);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 2, "admission cap exceeded");
+        assert_eq!(rm.stats().admitted.get(), 8);
+        assert!(rm.stats().running.peak() <= 2);
+        assert_eq!(rm.stats().queue_wait_us.count(), 8);
+    }
+
+    #[test]
+    fn grants_come_from_the_pool_and_release_on_drop() {
+        let rm = ResourceManager::new(RmConfig {
+            mem_pool_bytes: 24 << 20,
+            per_query_mem_bytes: 16 << 20,
+            min_grant_bytes: 1 << 20,
+            ..quick_cfg(8, 8, 1_000)
+        });
+        let t1 = rm.begin("big", None).unwrap();
+        assert_eq!(t1.mem_granted(), 16 << 20);
+        let t2 = rm.begin("squeezed", None).unwrap();
+        assert_eq!(t2.mem_granted(), 8 << 20); // pool headroom, not the ask
+        let t3 = rm.begin("floor", None).unwrap();
+        assert_eq!(t3.mem_granted(), 1 << 20); // min-grant overcommit floor
+        assert_eq!(rm.stats().mem_granted_bytes.get(), 25 << 20);
+        drop(t1);
+        drop(t2);
+        drop(t3);
+        assert_eq!(rm.stats().mem_granted_bytes.get(), 0);
+        assert_eq!(rm.stats().mem_granted_bytes.peak(), 25 << 20);
+    }
+
+    #[test]
+    fn jobs_table_tracks_states_and_cancel() {
+        let rm = ResourceManager::new(quick_cfg(1, 4, 2_000));
+        let t1 = rm.begin("running", None).unwrap();
+        let rm2 = Arc::clone(&rm);
+        let h = std::thread::spawn(move || rm2.begin("queued", None));
+        std::thread::sleep(Duration::from_millis(30));
+        let jobs = rm.list_jobs();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].state, JobState::Running);
+        assert_eq!(jobs[0].description, "running");
+        assert_eq!(jobs[1].state, JobState::Queued);
+        assert!(rm.cancel(t1.id()));
+        assert!(t1.token().is_cancelled());
+        assert_eq!(rm.list_jobs()[0].state, JobState::Cancelling);
+        drop(t1); // releases the slot; queued query admits
+        let t2 = h.join().unwrap().unwrap();
+        assert!(!rm.cancel(999), "unknown id must report false");
+        assert_eq!(rm.list_jobs().len(), 1);
+        assert_eq!(rm.list_jobs()[0].id, t2.id());
+    }
+
+    #[test]
+    fn cancelling_a_queued_query_unblocks_its_wait() {
+        let rm = ResourceManager::new(quick_cfg(1, 4, 30_000));
+        let _t1 = rm.begin("hog", None).unwrap();
+        let rm2 = Arc::clone(&rm);
+        let h = std::thread::spawn(move || rm2.begin("victim", None));
+        let start = Instant::now();
+        // Wait until the victim shows up as Queued, then cancel it.
+        let victim = loop {
+            if let Some(j) = rm.list_jobs().iter().find(|j| j.state == JobState::Queued) {
+                break j.id;
+            }
+            assert!(start.elapsed() < Duration::from_secs(5));
+            std::thread::yield_now();
+        };
+        assert!(rm.cancel(victim));
+        match h.join().unwrap() {
+            Err(AdmissionError::Cancelled) => {}
+            other => panic!("expected Cancelled, got {:?}", other.map(|t| t.id())),
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "cancel must not wait out the queue timeout"
+        );
+    }
+
+    #[test]
+    fn deadline_tokens_fire_without_explicit_cancel() {
+        let tok = CancellationToken::deadline_in(Duration::from_millis(20));
+        assert!(!tok.is_cancelled());
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(tok.is_cancelled());
+        // Plain tokens never fire on their own.
+        let plain = CancellationToken::new();
+        assert!(!plain.is_cancelled());
+        plain.cancel();
+        assert!(plain.is_cancelled());
+        assert!(plain.clone().is_cancelled(), "clones share state");
+    }
+
+    #[test]
+    fn stats_register_under_rm_prefix() {
+        let rm = ResourceManager::new(quick_cfg(2, 2, 100));
+        let reg = asterix_obs::MetricsRegistry::new();
+        rm.stats().register_into(&reg, "rm");
+        let t = rm.begin("q", None).unwrap();
+        drop(t);
+        let names = reg.names();
+        for expect in [
+            "rm.admitted",
+            "rm.rejected",
+            "rm.cancelled",
+            "rm.queue_wait_us",
+            "rm.mem_granted_bytes",
+            "rm.running",
+            "rm.queued",
+        ] {
+            assert!(names.iter().any(|n| n == expect), "missing {expect} in {names:?}");
+        }
+        let json = reg.to_json();
+        assert!(json.contains("\"rm.admitted\":1"), "bad json: {json}");
+    }
+}

@@ -1,0 +1,64 @@
+//! Cluster-wide query memory pool.
+//!
+//! Each admitted query takes a [`MemoryGrant`] — at most its ask, at most
+//! the pool's headroom, never below the configured floor (admission already
+//! bounds how many grants can be live, so the floor is a bounded
+//! overcommit, not a leak). The compiler divides the grant across the
+//! plan's sort/group/join operators; dropping the grant returns the bytes.
+
+use std::sync::{Arc, Mutex};
+
+use asterix_obs::Gauge;
+
+pub struct MemoryPool {
+    capacity: usize,
+    min_grant: usize,
+    used: Mutex<usize>,
+    /// `rm.mem_granted_bytes`: live grant total, with peak tracking.
+    gauge: Gauge,
+}
+
+impl MemoryPool {
+    pub fn new(capacity: usize, min_grant: usize, gauge: Gauge) -> Arc<MemoryPool> {
+        Arc::new(MemoryPool { capacity, min_grant: min_grant.max(1), used: Mutex::new(0), gauge })
+    }
+
+    /// Carve `want` bytes (clamped to headroom, floored at `min_grant`) out
+    /// of the pool. Never blocks: admission is the concurrency gate.
+    pub fn grant(self: &Arc<Self>, want: usize) -> MemoryGrant {
+        let mut used = self.used.lock().unwrap();
+        let headroom = self.capacity.saturating_sub(*used);
+        let bytes = want.min(headroom).max(self.min_grant);
+        *used += bytes;
+        self.gauge.add(bytes as i64);
+        MemoryGrant { pool: Arc::clone(self), bytes }
+    }
+
+    pub fn used(&self) -> usize {
+        *self.used.lock().unwrap()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// One query's slice of the pool; dropping it returns the bytes.
+pub struct MemoryGrant {
+    pool: Arc<MemoryPool>,
+    bytes: usize,
+}
+
+impl MemoryGrant {
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+impl Drop for MemoryGrant {
+    fn drop(&mut self) {
+        let mut used = self.pool.used.lock().unwrap();
+        *used = used.saturating_sub(self.bytes);
+        self.pool.gauge.sub(self.bytes as i64);
+    }
+}

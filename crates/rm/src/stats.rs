@@ -1,0 +1,42 @@
+//! `rm.*` metric handles, adopted by the instance-wide registry.
+
+use asterix_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+
+/// Workload-manager metrics. Handles are `Arc`-backed clones updated with
+/// relaxed atomics on the admission/grant paths; `register_into` adopts
+/// them under `{prefix}.*` so the Table 3/4 bench JSON `metrics` block and
+/// `Instance::metrics_json()` carry them without extra plumbing.
+#[derive(Clone, Debug, Default)]
+pub struct RmStats {
+    /// Queries that got an execution slot (immediately or after queueing).
+    pub admitted: Counter,
+    /// Queries turned away: full wait queue or queue-wait timeout.
+    pub rejected: Counter,
+    /// Queries that actually unwound due to cancellation or deadline.
+    pub cancelled: Counter,
+    /// Admission wait per admitted query (µs; 0 for immediate admission).
+    pub queue_wait_us: Histogram,
+    /// Live bytes granted from the query memory pool (peak = high water).
+    pub mem_granted_bytes: Gauge,
+    /// Queries currently executing (peak ≤ max_concurrent by construction).
+    pub running: Gauge,
+    /// Queries currently waiting for admission.
+    pub queued: Gauge,
+}
+
+impl RmStats {
+    pub fn new() -> RmStats {
+        RmStats::default()
+    }
+
+    /// Adopt every handle into `reg` under `{prefix}.*`.
+    pub fn register_into(&self, reg: &MetricsRegistry, prefix: &str) {
+        reg.register_counter(&format!("{prefix}.admitted"), &self.admitted);
+        reg.register_counter(&format!("{prefix}.rejected"), &self.rejected);
+        reg.register_counter(&format!("{prefix}.cancelled"), &self.cancelled);
+        reg.register_histogram(&format!("{prefix}.queue_wait_us"), &self.queue_wait_us);
+        reg.register_gauge(&format!("{prefix}.mem_granted_bytes"), &self.mem_granted_bytes);
+        reg.register_gauge(&format!("{prefix}.running"), &self.running);
+        reg.register_gauge(&format!("{prefix}.queued"), &self.queued);
+    }
+}
