@@ -24,6 +24,7 @@
 
 use std::cmp::Ordering;
 
+use crate::serde as wire;
 use crate::value::Value;
 
 /// Escape byte for embedded zero bytes in variable-length runs.
@@ -262,6 +263,109 @@ pub fn cmp_values(a: &Value, b: &Value) -> Ordering {
     encode_value(a).cmp(&encode_value(b))
 }
 
+/// Largest numeric magnitude (exclusive) at which the integer tiebreak is
+/// exact; beyond it doubles collapse their tiebreak to 0 (module caveat).
+pub const NUMERIC_EXACT_BOUND: f64 = 9.0e15;
+
+/// Transcode one *self-describing encoded* scalar (a [`crate::serde`]
+/// field, as sliced by `TupleRef::field_bytes`) straight into its
+/// comparison key, appending to `out` — no `Value` is materialized. This
+/// is the vectorized select's memcmp fast path: the resulting bytes are
+/// exactly `encode_value_into` of the decoded field, so comparing them
+/// against a precomputed constant key decides `field <op> C` byte-wise.
+///
+/// Returns `false` (leaving `out` untouched) when the fast path must not
+/// decide: non-scalar or unknown fields, corrupt bytes, and numerics at or
+/// beyond [`NUMERIC_EXACT_BOUND`] where byte order and `total_cmp` can
+/// disagree (callers fall back to decoded evaluation).
+pub fn encoded_scalar_key_into(field: &[u8], out: &mut Vec<u8>) -> bool {
+    let Some((&tag, p)) = field.split_first() else { return false };
+    let fixed = |p: &[u8], n: usize| -> Option<[u8; 8]> {
+        let mut b = [0u8; 8];
+        b[..n].copy_from_slice(p.get(..n)?);
+        Some(b)
+    };
+    match tag {
+        wire::T_FALSE | wire::T_TRUE => {
+            out.push(2);
+            out.push(u8::from(tag == wire::T_TRUE));
+            true
+        }
+        wire::T_INT8 | wire::T_INT16 | wire::T_INT32 | wire::T_INT64 => {
+            let i = match tag {
+                wire::T_INT8 => match p.first() {
+                    Some(&b) => b as i8 as i64,
+                    None => return false,
+                },
+                wire::T_INT16 => match fixed(p, 2) {
+                    Some(b) => i16::from_le_bytes([b[0], b[1]]) as i64,
+                    None => return false,
+                },
+                wire::T_INT32 => match fixed(p, 4) {
+                    Some(b) => i32::from_le_bytes([b[0], b[1], b[2], b[3]]) as i64,
+                    None => return false,
+                },
+                _ => match fixed(p, 8) {
+                    Some(b) => i64::from_le_bytes(b),
+                    None => return false,
+                },
+            };
+            if (i as f64).abs() >= NUMERIC_EXACT_BOUND {
+                return false;
+            }
+            out.push(3);
+            push_f64(out, i as f64);
+            out.extend_from_slice(&sortable_i64(i).to_be_bytes());
+            true
+        }
+        wire::T_FLOAT | wire::T_DOUBLE => {
+            let d = if tag == wire::T_FLOAT {
+                match fixed(p, 4) {
+                    Some(b) => f32::from_le_bytes([b[0], b[1], b[2], b[3]]) as f64,
+                    None => return false,
+                }
+            } else {
+                match fixed(p, 8) {
+                    Some(b) => f64::from_le_bytes(b),
+                    None => return false,
+                }
+            };
+            // NaN fails this comparison too, falling back conservatively
+            // even though its canonical key would be exact.
+            if !(d.abs() < NUMERIC_EXACT_BOUND) {
+                return false;
+            }
+            out.push(3);
+            push_f64(out, d);
+            let tie = if d.fract() == 0.0 { d as i64 } else { 0 };
+            out.extend_from_slice(&sortable_i64(tie).to_be_bytes());
+            true
+        }
+        wire::T_STRING => {
+            let Some((len, consumed)) = wire::read_varint(p) else { return false };
+            let Some(end) = consumed.checked_add(len as usize) else { return false };
+            let Some(bytes) = p.get(consumed..end) else { return false };
+            out.push(4);
+            encode_terminated_bytes(out, bytes);
+            true
+        }
+        wire::T_DATE | wire::T_TIME => {
+            let Some(b) = fixed(p, 4) else { return false };
+            out.push(if tag == wire::T_DATE { 5 } else { 6 });
+            let v = i32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+            out.extend_from_slice(&sortable_i32(v).to_be_bytes());
+            true
+        }
+        wire::T_DATETIME => {
+            let Some(b) = fixed(p, 8) else { return false };
+            out.push(7);
+            out.extend_from_slice(&sortable_i64(i64::from_le_bytes(b)).to_be_bytes());
+            true
+        }
+        _ => false,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,5 +478,99 @@ mod tests {
         let b = Value::Int64((1 << 53) + 1);
         assert_eq!(cmp_values(&a, &b), a.total_cmp(&b));
         assert_eq!(cmp_values(&a, &b), Ordering::Less);
+    }
+
+    #[test]
+    fn encoded_scalar_key_matches_value_key_for_scalars() {
+        let scalars = [
+            Value::Boolean(false),
+            Value::Boolean(true),
+            Value::Int8(-5),
+            Value::Int16(300),
+            Value::Int32(-70_000),
+            Value::Int64(1 << 40),
+            Value::Int64(0),
+            Value::Float(2.5),
+            Value::Double(-0.0),
+            Value::Double(2.5),
+            Value::Double(-123456.0),
+            Value::string(""),
+            Value::string("a\u{0}b"),
+            Value::string("hello"),
+            Value::Date(-3),
+            Value::Time(7),
+            Value::DateTime(1234567),
+        ];
+        for v in &scalars {
+            let enc = crate::serde::encode(v);
+            let mut key = Vec::new();
+            assert!(encoded_scalar_key_into(&enc, &mut key), "fast path refused {v}");
+            assert_eq!(key, encode_value(v), "transcoded key differs for {v}");
+        }
+    }
+
+    #[test]
+    fn encoded_scalar_key_refuses_unsupported_and_inexact() {
+        let refused = [
+            Value::Missing,
+            Value::Null,
+            Value::Double(f64::NAN),
+            Value::Double(f64::INFINITY),
+            Value::Double(f64::NEG_INFINITY),
+            Value::Double(9.0e15),
+            Value::Double(-9.0e15),
+            Value::Int64(9_000_000_000_000_000),
+            Value::Int64(-9_000_000_000_000_000),
+            Value::YearMonthDuration(1),
+            Value::ordered_list(vec![Value::Int64(1)]),
+            Value::record(Record::from_fields([("a", Value::Int64(1))])),
+        ];
+        for v in &refused {
+            let enc = crate::serde::encode(v);
+            let mut key = Vec::new();
+            assert!(!encoded_scalar_key_into(&enc, &mut key), "fast path accepted {v}");
+            assert!(key.is_empty(), "refusal left bytes behind for {v}");
+        }
+        // Corrupt / truncated fields fail closed.
+        assert!(!encoded_scalar_key_into(&[], &mut Vec::new()));
+        assert!(!encoded_scalar_key_into(&[crate::serde::T_INT64, 1, 2], &mut Vec::new()));
+    }
+
+    /// Pins the documented numeric-collapse boundary at its exact edge:
+    /// strictly inside |v| < 9.0e15 the integer tiebreak is exact and byte
+    /// order matches `total_cmp`; at exactly |v| = 9.0e15 a double's
+    /// tiebreak collapses to 0 while an int64's stays exact, so the
+    /// int64/double pair with identical f64 value diverges from
+    /// `total_cmp`'s Equal.
+    #[test]
+    fn numeric_collapse_boundary_at_9e15() {
+        // 9.0e15 exactly, f64-exact.
+        const EDGE: i64 = 9_000_000_000_000_000;
+        // One below the edge: int64 and double agree bit-for-bit.
+        let below_i = Value::Int64(EDGE - 1);
+        let below_d = Value::Double((EDGE - 1) as f64);
+        assert_eq!(encode_value(&below_i), encode_value(&below_d));
+        assert_eq!(cmp_values(&below_i, &below_d), below_i.total_cmp(&below_d));
+        // At the edge: the double's tiebreak collapses to 0, the int64's
+        // does not — bytes now order Greater while total_cmp says Equal.
+        let at_i = Value::Int64(EDGE);
+        let at_d = Value::Double(EDGE as f64);
+        assert_eq!(at_i.total_cmp(&at_d), Ordering::Equal);
+        assert_eq!(cmp_values(&at_i, &at_d), Ordering::Greater);
+        // Mirrored on the negative side: the int64 tiebreak sorts below 0.
+        let neg_i = Value::Int64(-EDGE);
+        let neg_d = Value::Double(-(EDGE as f64));
+        assert_eq!(neg_i.total_cmp(&neg_d), Ordering::Equal);
+        assert_eq!(cmp_values(&neg_i, &neg_d), Ordering::Less);
+        // And one below the negative edge agreement holds again.
+        let nb_i = Value::Int64(-(EDGE - 1));
+        let nb_d = Value::Double(-((EDGE - 1) as f64));
+        assert_eq!(encode_value(&nb_i), encode_value(&nb_d));
+        // Ordering among same-type values stays correct across the edge.
+        assert_eq!(cmp_values(&Value::Int64(EDGE - 1), &Value::Int64(EDGE)), Ordering::Less);
+        assert_eq!(
+            cmp_values(&Value::Double((EDGE - 1) as f64), &Value::Double(EDGE as f64)),
+            Ordering::Less
+        );
     }
 }

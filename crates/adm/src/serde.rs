@@ -444,6 +444,97 @@ fn decode_from(r: &mut Reader<'_>) -> Result<Value> {
 }
 
 // ---------------------------------------------------------------------------
+// Structural navigation over encoded bytes
+// ---------------------------------------------------------------------------
+
+/// Read one LEB128 varint from the front of `buf`, returning the value and
+/// the number of bytes consumed (shared with `ordkey`'s byte transcoder).
+pub(crate) fn read_varint(buf: &[u8]) -> Option<(u64, usize)> {
+    let mut v: u64 = 0;
+    let mut shift = 0;
+    for (i, &byte) in buf.iter().enumerate() {
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Some((v, i + 1));
+        }
+        shift += 7;
+        if shift >= 64 {
+            return None;
+        }
+    }
+    None
+}
+
+/// Skip one self-describing value, consuming it from the reader without
+/// materializing anything — the building block for addressing a record
+/// field inside an encoded value.
+fn skip_from(r: &mut Reader<'_>) -> Result<()> {
+    let skip = |r: &mut Reader<'_>, n: usize| {
+        r.need(n)?;
+        r.pos += n;
+        Ok(())
+    };
+    match r.u8()? {
+        T_MISSING | T_NULL | T_FALSE | T_TRUE => Ok(()),
+        T_INT8 => skip(r, 1),
+        T_INT16 => skip(r, 2),
+        T_INT32 | T_FLOAT | T_DATE | T_TIME | T_YM_DURATION => skip(r, 4),
+        T_INT64 | T_DOUBLE | T_DATETIME | T_DT_DURATION => skip(r, 8),
+        T_DURATION => skip(r, 12),
+        T_INTERVAL => skip(r, 17),
+        T_POINT => skip(r, 16),
+        T_LINE | T_RECTANGLE => skip(r, 32),
+        T_CIRCLE => skip(r, 24),
+        T_POLYGON => {
+            let n = r.varint()? as usize;
+            skip(r, n.checked_mul(16).ok_or_else(|| AdmError::Corrupt("polygon len".into()))?)
+        }
+        T_STRING | T_BINARY => {
+            r.bytes()?;
+            Ok(())
+        }
+        T_RECORD => {
+            let n = r.varint()? as usize;
+            for _ in 0..n {
+                r.bytes()?; // field name
+                skip_from(r)?;
+            }
+            Ok(())
+        }
+        T_ORDERED_LIST | T_UNORDERED_LIST => {
+            let n = r.varint()? as usize;
+            for _ in 0..n {
+                skip_from(r)?;
+            }
+            Ok(())
+        }
+        other => Err(AdmError::Corrupt(format!("unknown type tag {other}"))),
+    }
+}
+
+/// Zero-copy record field access over an encoded value: the encoded bytes
+/// of field `name` when `buf` encodes a record containing it, else `None`
+/// (non-records and absent fields — the missing-propagating `$x.field`
+/// contract). Walks the record's field directory once without decoding any
+/// value.
+pub fn encoded_record_field<'a>(buf: &'a [u8], name: &str) -> Option<&'a [u8]> {
+    let mut r = Reader::new(buf);
+    if r.u8().ok()? != T_RECORD {
+        return None;
+    }
+    let n = r.varint().ok()? as usize;
+    for _ in 0..n {
+        let fname = r.str().ok()?;
+        let start = r.pos;
+        skip_from(&mut r).ok()?;
+        if fname == name {
+            return Some(&buf[start..r.pos]);
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
 // Hashing over encoded bytes
 // ---------------------------------------------------------------------------
 
@@ -898,6 +989,25 @@ mod tests {
         let v2 = decode_typed(&reg, &b2, &ty).unwrap();
         assert_eq!(v1.field("b"), Value::Null);
         assert!(v2.field("b").is_missing());
+    }
+
+    #[test]
+    fn encoded_record_field_addresses_without_decode() {
+        let v = sample();
+        let bytes = encode(&v);
+        // Present scalar/nested fields slice to exactly their encoding.
+        for name in ["id", "name", "address", "loc", "pi", "ok", "nothing", "friend-ids"] {
+            let field = encoded_record_field(&bytes, name).unwrap();
+            let expect = encode(&v.field(name));
+            assert_eq!(field, &expect[..], "field {name}");
+        }
+        // Absent fields and non-records yield None (missing-propagating).
+        assert!(encoded_record_field(&bytes, "no-such-field").is_none());
+        assert!(encoded_record_field(&encode(&Value::Int64(7)), "id").is_none());
+        assert!(encoded_record_field(&encode(&Value::Null), "id").is_none());
+        assert!(encoded_record_field(&[], "id").is_none());
+        // Truncated record bytes fail closed rather than panicking.
+        assert!(encoded_record_field(&bytes[..bytes.len() - 2], "nothing").is_none());
     }
 
     #[test]

@@ -19,13 +19,14 @@ use asterix_hyracks::connector::ConnectorKind;
 use asterix_hyracks::frame::Tuple;
 use asterix_hyracks::job::{JobSpec, OperatorId};
 use asterix_hyracks::ops::{
-    sort_comparator, AggKind, AggSpec, AssignOp, DistinctOp, GroupMode, HashGroupOp,
-    HybridHashJoinOp, IndexNestedLoopJoinOp, JoinType, LimitOp, MapOp, NestedLoopJoinOp,
-    PartitionMapOp, ProjectOp, ScalarAggOp, SelectOp, SinkOp, SortKey, SortOp, SourceOp,
+    sort_comparator, AggKind, AggSpec, AssignOp, CmpKind, DistinctOp, GroupMode, HashGroupOp,
+    HybridHashJoinOp, IndexNestedLoopJoinOp, JoinType, LimitOp, MapOp, NestedLoopJoinOp, OrdPred,
+    PartitionMapOp, ProjectOp, RuntimeFilterProbeOp, ScalarAggOp, SelectOp, SinkOp, SortKey,
+    SortOp, SourceOp,
 };
 use asterix_hyracks::{HyracksError, Result};
 
-use crate::expr::{eval, truthy, EvalCtx, LogicalExpr, TupleResolver, VarId};
+use crate::expr::{eval, truthy, CompareOp, EvalCtx, LogicalExpr, TupleResolver, VarId};
 use crate::metadata::{KeyBound, MetadataProvider};
 use crate::plan::{AggFunc, IndexSearchSpec, JoinKind, LogicalOp, SortSpec};
 use crate::rules::OptimizerOptions;
@@ -259,10 +260,81 @@ impl Gen {
 
     fn select_op(&self, label: &str, expr: &LogicalExpr, schema: &[VarId]) -> Result<SelectOp> {
         let pred = self.make_pred(expr, schema)?;
-        Ok(match Self::referenced_cols(&[expr], schema) {
+        let mut sel = match Self::referenced_cols(&[expr], schema) {
             Some(fields) => SelectOp::with_fields(label, pred, fields),
             None => SelectOp::new(label, pred),
-        })
+        };
+        if let Some(ord) = self.ordkey_pred(expr, schema) {
+            sel = sel.with_ordkey(ord);
+        }
+        Ok(sel)
+    }
+
+    /// Classify `expr` as an ordkey-decidable comparison: `$v <op> C` or
+    /// `$v.field <op> C` (either operand order) where the other side folds
+    /// to a known constant. The select then decides most tuples by memcmp
+    /// on encoded comparison keys; anything the transcoder refuses (unknown
+    /// fields, non-scalars, numerics at the exactness bound) falls back to
+    /// the decoding predicate, so classification never changes results.
+    fn ordkey_pred(&self, expr: &LogicalExpr, schema: &[VarId]) -> Option<OrdPred> {
+        let LogicalExpr::Compare(op, lhs, rhs) = expr else { return None };
+        let op = match op {
+            CompareOp::Eq => CmpKind::Eq,
+            CompareOp::Neq => CmpKind::Neq,
+            CompareOp::Lt => CmpKind::Lt,
+            CompareOp::Le => CmpKind::Le,
+            CompareOp::Gt => CmpKind::Gt,
+            CompareOp::Ge => CmpKind::Ge,
+            CompareOp::FuzzyEq => return None,
+        };
+        let cols = Self::columns_of(schema);
+        // A comparand the fast path can address: a column, or one encoded
+        // record field of a column.
+        let target = |e: &LogicalExpr| -> Option<(usize, Option<String>)> {
+            match e {
+                LogicalExpr::Var(v) => Some((cols.get(*v).copied().flatten()?, None)),
+                LogicalExpr::FieldAccess(base, name) => match base.as_ref() {
+                    LogicalExpr::Var(v) => {
+                        Some((cols.get(*v).copied().flatten()?, Some(name.clone())))
+                    }
+                    _ => None,
+                },
+                _ => None,
+            }
+        };
+        let is_const = |e: &LogicalExpr| {
+            let mut vars = Vec::new();
+            e.free_vars(&mut vars);
+            vars.is_empty()
+        };
+        // `C <op> $v` mirrors to `$v <flipped op> C`.
+        let flip = |op: CmpKind| match op {
+            CmpKind::Lt => CmpKind::Gt,
+            CmpKind::Le => CmpKind::Ge,
+            CmpKind::Gt => CmpKind::Lt,
+            CmpKind::Ge => CmpKind::Le,
+            eq => eq,
+        };
+        let ((col, path), cexpr, op) = if let Some(t) = target(lhs) {
+            if !is_const(rhs) {
+                return None;
+            }
+            (t, rhs, op)
+        } else if let Some(t) = target(rhs) {
+            if !is_const(lhs) {
+                return None;
+            }
+            (t, lhs, flip(op))
+        } else {
+            return None;
+        };
+        let c = self.const_value(cexpr).ok()?;
+        // NULL/MISSING comparands make the whole comparison unknown; the
+        // key encoding cannot express that, so leave them to the decoder.
+        if c.is_unknown() {
+            return None;
+        }
+        Some(OrdPred { col, path, op, key: asterix_adm::ordkey::encode_value(&c) })
     }
 
     fn make_eval(
@@ -439,6 +511,26 @@ impl Gen {
                 if let Some(b) = self.per_op_mem {
                     hh = hh.with_budget(b);
                 }
+                // Runtime join filter (inner joins only: an outer probe must
+                // emit non-matching tuples, so pruning them would corrupt
+                // results). The build side publishes its key hashes when the
+                // build finishes; a probe-side consult drops non-matching
+                // tuples *before* the probe exchange ships them.
+                let mut probe_src = l_keyed;
+                if self.options.enable_runtime_filters && jt == JoinType::Inner {
+                    let fid = self.job.alloc_runtime_filter();
+                    hh = hh.with_runtime_filter(fid);
+                    let probe = self.job.add(
+                        self.parts(l_part),
+                        Arc::new(RuntimeFilterProbeOp {
+                            filter_id: fid,
+                            key_cols: l_key_cols.clone(),
+                            join_nparts: self.nparts,
+                        }),
+                    );
+                    self.job.connect(ConnectorKind::OneToOne, l_keyed, probe);
+                    probe_src = probe;
+                }
                 let join = self.job.add(self.nparts, Arc::new(hh));
                 self.job.connect(
                     ConnectorKind::MToNPartitioning { fields: r_key_cols },
@@ -447,7 +539,7 @@ impl Gen {
                 );
                 self.job.connect(
                     ConnectorKind::MToNPartitioning { fields: l_key_cols },
-                    l_keyed,
+                    probe_src,
                     join,
                 );
                 // Output = build(right) ++ probe(left).

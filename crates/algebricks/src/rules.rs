@@ -42,6 +42,11 @@ pub struct OptimizerOptions {
     /// §5.2 pilots drove into AsterixDB's second release; off = the
     /// first-release behavior (ablation).
     pub fuse_group_aggregates: bool,
+    /// Publish a runtime filter from each hash join's build side and prune
+    /// probe tuples against it before the probe exchange (inner joins
+    /// only). Needs a filter factory on the executor to take effect; with
+    /// none injected the probe-side consult passes everything through.
+    pub enable_runtime_filters: bool,
     /// Total working memory granted to this query by the workload manager.
     /// Job generation divides it across the plan's memory-hungry operators
     /// (sort, hash group, hash join); `None` keeps each operator's built-in
@@ -56,6 +61,7 @@ impl Default for OptimizerOptions {
             enable_hash_join: true,
             push_limit_into_sort: false,
             fuse_group_aggregates: true,
+            enable_runtime_filters: true,
             query_mem_budget: None,
         }
     }

@@ -38,6 +38,15 @@ pub struct ClusterConfig {
     /// channel per operator partition, as before fusion). For A/B runs and
     /// debugging; results are identical either way.
     pub disable_fusion: bool,
+    /// Disable batch-at-a-time (frame-granular) evaluation in selections,
+    /// projections and scans, forcing the per-tuple scalar path. For A/B
+    /// runs and debugging; results are identical either way.
+    pub disable_vectorization: bool,
+    /// Disable runtime join filters: hash joins stop publishing build-side
+    /// key filters and the compiler stops inserting probe-side pruning
+    /// operators. For A/B runs and debugging; results are identical either
+    /// way.
+    pub disable_runtime_filters: bool,
     /// Queries allowed to run at once; later arrivals queue (admission
     /// control — the workload manager's concurrency gate).
     pub max_concurrent_queries: usize,
@@ -68,6 +77,8 @@ impl ClusterConfig {
             fsync_commits: false,
             frames_in_flight: 8,
             disable_fusion: false,
+            disable_vectorization: false,
+            disable_runtime_filters: false,
             max_concurrent_queries: 16,
             max_queued_queries: 64,
             admission_timeout: std::time::Duration::from_secs(10),

@@ -80,6 +80,9 @@ pub struct Instance {
     /// Exchange-layer counters accumulated across every query this
     /// instance runs (frames/tuples sent, backpressure stalls).
     exchange_stats: Arc<asterix_hyracks::ExchangeStats>,
+    /// Runtime-join-filter counters accumulated across every query
+    /// (filters published, probe tuples checked/pruned).
+    filter_stats: asterix_hyracks::FilterStats,
     /// The unified stats registry: exchange counters, per-shard cache
     /// hit/miss, per-node WAL appends/forces, and per-index LSM
     /// maintenance metrics, all adopted under stable names.
@@ -110,6 +113,21 @@ struct Session {
     simthreshold: String,
 }
 
+/// Build-side runtime-filter factory: a Bloom filter over the join-key
+/// hashes (the same structure storage uses for LSM point lookups), sized
+/// for ~1% false positives. False positives only cost shipping a tuple the
+/// join would drop anyway; there are no false negatives, so probe-side
+/// pruning never changes results.
+fn bloom_filter_factory() -> asterix_hyracks::FilterFactory {
+    Arc::new(|hashes: &[u64]| {
+        let mut bloom = asterix_storage::bloom::BloomFilter::with_capacity(hashes.len(), 0.01);
+        for h in hashes {
+            bloom.insert(&h.to_le_bytes());
+        }
+        Arc::new(move |h: u64| bloom.may_contain(&h.to_le_bytes())) as asterix_hyracks::KeyTest
+    })
+}
+
 impl Instance {
     /// Open (or create) an instance rooted at the config's base dir,
     /// replaying persisted DDL and running WAL crash recovery.
@@ -131,6 +149,7 @@ impl Instance {
         let instance = Arc::new(Instance {
             cache: BufferCache::with_shards(cfg.buffer_cache_pages, cfg.cache_shards),
             exchange_stats: Arc::new(asterix_hyracks::ExchangeStats::new()),
+            filter_stats: asterix_hyracks::FilterStats::default(),
             metrics: Arc::new(MetricsRegistry::new()),
             locks: LockManager::new(Duration::from_secs(10)),
             wals,
@@ -143,7 +162,10 @@ impl Instance {
                 simthreshold: "0.5".into(),
             }),
             feeds: Mutex::new(HashMap::new()),
-            optimizer_options: RwLock::new(OptimizerOptions::default()),
+            optimizer_options: RwLock::new(OptimizerOptions {
+                enable_runtime_filters: !cfg.disable_runtime_filters,
+                ..Default::default()
+            }),
             rm: asterix_rm::ResourceManager::new(asterix_rm::RmConfig {
                 max_concurrent: cfg.max_concurrent_queries,
                 max_queued: cfg.max_queued_queries,
@@ -158,6 +180,7 @@ impl Instance {
         // Adopt every subsystem's intrinsic counters under stable names so
         // one snapshot covers the whole instance.
         instance.exchange_stats.register_into(&instance.metrics, "exchange");
+        instance.filter_stats.register_into(&instance.metrics, "filters");
         instance.cache.register_into(&instance.metrics, "cache");
         instance.rm.stats().register_into(&instance.metrics, "rm");
         for (n, wal) in instance.wals.iter().enumerate() {
@@ -179,8 +202,18 @@ impl Instance {
         asterix_hyracks::ExecutorConfig {
             frames_in_flight: self.cfg.frames_in_flight,
             disable_fusion: self.cfg.disable_fusion,
+            disable_vectorization: self.cfg.disable_vectorization,
+            disable_runtime_filters: self.cfg.disable_runtime_filters,
+            filter_factory: Some(bloom_filter_factory()),
+            filter_stats: self.filter_stats.clone(),
             ..Default::default()
         }
+    }
+
+    /// Cumulative runtime-join-filter counters across every job this
+    /// instance ran (a view over the registry's `filters.*` metrics).
+    pub fn filter_stats(&self) -> &asterix_hyracks::FilterStats {
+        &self.filter_stats
     }
 
     /// Cumulative exchange counters across every job this instance ran.

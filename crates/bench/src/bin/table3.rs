@@ -197,14 +197,107 @@ fn main() {
         ms(rows[13].times[3]) < best * 4.0
     });
 
+    // Runtime-filter ablation on the reversed join (selective build side,
+    // full-scan probe side): same rows with filters on and off, probe
+    // tuples pruned before the exchange when on. Fresh unindexed Schema
+    // instances so the Table 3 systems' counters stay untouched.
+    eprintln!("runtime-filter ablation (rev-sel-join) ...");
+    let rf_on = setup_asterix(&corpus, SchemaMode::Schema, false);
+    let rf_off = setup_asterix(&corpus, SchemaMode::Schema, false);
+    rf_off.instance.optimizer_options.write().enable_runtime_filters = false;
+    let rows_on = rf_on.rev_sel_join(u_sm_lo, u_sm_hi);
+    let rows_off = rf_off.rev_sel_join(u_sm_lo, u_sm_hi);
+    let t_on = time_avg(warmup, runs, || {
+        rf_on.rev_sel_join(u_sm_lo, u_sm_hi);
+    });
+    let t_off = time_avg(warmup, runs, || {
+        rf_off.rev_sel_join(u_sm_lo, u_sm_hi);
+    });
+    let fs_on = rf_on.instance.filter_stats();
+    let fs_off = rf_off.instance.filter_stats();
+    println!("\n### Runtime-filter ablation (rev-sel-join, Sm selectivity)\n");
+    println!("| filters | time | rows | published | checked | pruned |");
+    println!("|---|---|---|---|---|---|");
+    println!(
+        "| on | {} | {rows_on} | {} | {} | {} |",
+        fmt_ms(t_on),
+        fs_on.published.get(),
+        fs_on.checked.get(),
+        fs_on.pruned_tuples.get()
+    );
+    println!(
+        "| off | {} | {rows_off} | {} | {} | {} |",
+        fmt_ms(t_off),
+        fs_off.published.get(),
+        fs_off.checked.get(),
+        fs_off.pruned_tuples.get()
+    );
+    println!();
+    check("runtime filters do not change the join result", rows_on == rows_off);
+    check("build side published a filter per join partition", fs_on.published.get() > 0);
+    check("probe tuples were pruned before the exchange", fs_on.pruned_tuples.get() > 0);
+    check("disabled run published and pruned nothing", {
+        fs_off.published.get() == 0 && fs_off.pruned_tuples.get() == 0
+    });
+
     // Machine-readable runtime counters (buffer-cache hit rate, exchange
     // frames/tuples/stalls accumulated over the whole workload).
+    let sys_stats: Vec<String> = systems_noix
+        .iter()
+        .chain(systems_ix.iter())
+        .filter_map(|s| s.runtime_stats_json())
+        .collect();
     println!("\n### Runtime stats (JSON)\n");
     println!("```json");
-    for s in systems_noix.iter().chain(systems_ix.iter()) {
-        if let Some(json) = s.runtime_stats_json() {
-            println!("{json}");
-        }
+    for json in &sys_stats {
+        println!("{json}");
     }
     println!("```");
+
+    // Consolidated machine-readable snapshot (BENCH_table3.json):
+    // regenerate with
+    //   ASTERIX_BENCH_JSON_OUT=BENCH_table3.json \
+    //     cargo run --release -p asterix-bench --bin table3
+    if let Ok(path) = std::env::var("ASTERIX_BENCH_JSON_OUT") {
+        let ms = |d: Duration| d.as_secs_f64() * 1000.0;
+        let mut out = String::from("{\n  \"schema_version\": 1,\n");
+        out.push_str(
+            "  \"regenerate\": \"ASTERIX_BENCH_JSON_OUT=BENCH_table3.json \
+             cargo run --release -p asterix-bench --bin table3\",\n",
+        );
+        out.push_str(&format!(
+            "  \"scale\": {{\"users\": {}, \"messages\": {}, \"tweets\": {}}},\n",
+            scale.users, scale.messages, scale.tweets
+        ));
+        out.push_str(&format!("  \"warmup\": {warmup}, \"runs\": {runs},\n"));
+        out.push_str(
+            "  \"columns\": [\"Asterix(Schema)\", \"Asterix(KeyOnly)\", \
+             \"System-X\", \"Hive\", \"Mongo\"],\n",
+        );
+        out.push_str("  \"rows\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            let times: Vec<String> = r.times.iter().map(|t| format!("{:.3}", ms(*t))).collect();
+            out.push_str(&format!(
+                "    {{\"query\": \"{}\", \"ms\": [{}], \"paper_s\": \"{}\"}}{}\n",
+                r.name,
+                times.join(", "),
+                r.paper,
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"runtime_filter_ablation\": {{\"query\": \"rev-sel-join (Sm)\", \
+             \"on_ms\": {:.3}, \"off_ms\": {:.3}, \"rows\": {rows_on}, \
+             \"published\": {}, \"checked\": {}, \"pruned_tuples\": {}}},\n",
+            ms(t_on),
+            ms(t_off),
+            fs_on.published.get(),
+            fs_on.checked.get(),
+            fs_on.pruned_tuples.get()
+        ));
+        out.push_str(&format!("  \"systems\": [{}]\n}}\n", sys_stats.join(",\n")));
+        std::fs::write(&path, out).expect("write ASTERIX_BENCH_JSON_OUT");
+        eprintln!("wrote {path}");
+    }
 }

@@ -170,6 +170,11 @@ pub fn setup_asterix_tuned(
     if let Some(c) = max_concurrent {
         cfg.max_concurrent_queries = c;
     }
+    // A/B smoke knobs (CI runs the tiny-scale workload once per knob; the
+    // shape checks then double as a results-parity gate for each path).
+    let env_flag = |k: &str| std::env::var(k).is_ok_and(|v| v == "1");
+    cfg.disable_vectorization = env_flag("ASTERIX_BENCH_DISABLE_VECTORIZATION");
+    cfg.disable_runtime_filters = env_flag("ASTERIX_BENCH_DISABLE_RUNTIME_FILTERS");
     let instance = Instance::open(cfg).expect("open instance");
     let ddl = match mode {
         SchemaMode::Schema => SCHEMA_DDL,
@@ -331,6 +336,30 @@ impl Table3System for AsterixSystem {
             x.backpressure_stalls(),
             self.instance.metrics().to_json(),
         ))
+    }
+}
+
+impl AsterixSystem {
+    /// The runtime-filter showcase join: `sel_join` with the datasets
+    /// reversed, so the *build* side is the selective user range and the
+    /// *probe* side scans every message. The tiny build publishes its key
+    /// filter almost immediately, and the probe prunes partner-less
+    /// messages before the repartition exchange — the natural `sel_join`
+    /// orientation (selective probe, full build) gives filters nothing to
+    /// do. Unhinted on purpose: this must compile to the hybrid hash join.
+    pub fn rev_sel_join(&self, lo: i64, hi: i64) -> usize {
+        self.instance
+            .query(&format!(
+                "for $m in dataset MugshotMessages \
+                 for $u in dataset MugshotUsers \
+                 where $m.author-id = $u.id \
+                   and $u.user-since >= {} and $u.user-since <= {} \
+                 return {{ \"uname\": $u.name, \"message\": $m.message }}",
+                dt(lo),
+                dt(hi)
+            ))
+            .expect("rev sel join")
+            .len()
     }
 }
 

@@ -453,6 +453,69 @@ impl OutputPort {
         self.route(bytes, None)
     }
 
+    /// Emit a whole frame of encoded tuples — the vectorized producer path.
+    /// One cancellation check covers the batch. Fixed-destination and
+    /// replicating routes append the frame with a single bulk copy per
+    /// destination ([`Frame::append_frame`]); hash routes still place each
+    /// tuple individually (routing is inherently per tuple).
+    pub fn push_frame(&mut self, frame: &Frame) -> Result<()> {
+        if self.is_cancelled() {
+            return Err(HyracksError::Cancelled);
+        }
+        if let Some(chain) = &mut self.fused {
+            return chain.push_frame(frame);
+        }
+        if frame.is_empty() {
+            return Ok(());
+        }
+        match &self.strategy {
+            RouteStrategy::Fixed(j) => {
+                let j = *j;
+                if let Some(m) = &self.meter {
+                    m.tuples.add(frame.tuple_count() as u64);
+                }
+                self.bulk_to(j, frame)
+            }
+            RouteStrategy::Replicate => {
+                if let Some(m) = &self.meter {
+                    m.tuples.add(frame.tuple_count() as u64);
+                }
+                for j in 0..self.senders.len() {
+                    self.bulk_to(j, frame)?;
+                }
+                Ok(())
+            }
+            RouteStrategy::Hash(_) | RouteStrategy::LocalityAware { .. } => {
+                for bytes in frame.iter() {
+                    self.route(bytes, None)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Bulk-append `frame` to destination `j`'s buffer, sending when a
+    /// flush threshold is crossed — [`OutputPort::buffer_to`] at frame
+    /// granularity.
+    fn bulk_to(&mut self, j: usize, frame: &Frame) -> Result<()> {
+        if self.senders.is_empty() {
+            return Ok(());
+        }
+        if self.dead[j] {
+            return if self.all_dead() { Err(HyracksError::DownstreamClosed) } else { Ok(()) };
+        }
+        self.buffers[j].append_frame(frame);
+        if self.buffers[j].tuple_count() >= self.tuples_per_frame
+            || self.buffers[j].occupancy() >= self.frame_bytes
+        {
+            let out = std::mem::replace(&mut self.buffers[j], self.pool.take());
+            if !self.send_frame(j, out) && self.all_dead() {
+                return Err(HyracksError::DownstreamClosed);
+            }
+        }
+        Ok(())
+    }
+
     fn route(&mut self, bytes: &[u8], decoded: Option<&Tuple>) -> Result<()> {
         if let Some(m) = &self.meter {
             m.tuples.inc();
@@ -774,6 +837,61 @@ impl InputPort {
                         return Ok(());
                     }
                 }
+            }
+        }
+    }
+
+    /// Drain the port frame-at-a-time — the vectorized consumer path. In
+    /// arrival-order mode each received frame is handed to `f` whole (no
+    /// per-tuple dispatch at all); in merge mode the merged stream is
+    /// re-batched into a scratch frame so `f` still sees order-preserving
+    /// batches. Stops early (and discards the rest) if `f` returns `false`.
+    pub fn for_each_frame(&mut self, mut f: impl FnMut(&Frame) -> Result<bool>) -> Result<()> {
+        match &self.mode {
+            InputMode::Any => {
+                while let Some(frame) = self.recv_any() {
+                    if self.cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+                        self.pool.give(frame);
+                        self.drain();
+                        return Err(HyracksError::Cancelled);
+                    }
+                    let keep = f(&frame);
+                    self.pool.give(frame);
+                    match keep {
+                        Ok(true) => {}
+                        Ok(false) => {
+                            self.drain();
+                            return Ok(());
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                Ok(())
+            }
+            InputMode::Merge(cmp) => {
+                let cmp = Arc::clone(cmp);
+                let mut scratch = Frame::new();
+                loop {
+                    if self.cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+                        self.drain();
+                        return Err(HyracksError::Cancelled);
+                    }
+                    let Some(i) = self.best_source(&cmp) else { break };
+                    let cur = self.lookahead[i].as_ref().unwrap();
+                    scratch.push_encoded(cur.frame.tuple_bytes(cur.idx));
+                    self.advance(i);
+                    if scratch.tuple_count() >= FRAME_CAPACITY {
+                        if !f(&scratch)? {
+                            self.drain();
+                            return Ok(());
+                        }
+                        scratch.clear();
+                    }
+                }
+                if !scratch.is_empty() {
+                    f(&scratch)?;
+                }
+                Ok(())
             }
         }
     }
@@ -1167,6 +1285,83 @@ mod tests {
         }
         drop(port); // Drop after an explicit finish is a no-op.
         assert_eq!(rec.lock().rows.len(), 2);
+    }
+
+    #[test]
+    fn push_frame_routes_identically_to_per_tuple() {
+        // The batch producer path must land every tuple on the same
+        // destination the per-tuple path picks, for every strategy.
+        for kind in [
+            ConnectorKind::OneToOne,
+            ConnectorKind::MToNReplicating,
+            ConnectorKind::MToNPartitioning { fields: vec![0] },
+        ] {
+            let n_dst = if matches!(kind, ConnectorKind::OneToOne) { 1 } else { 3 };
+            let cfg = ExchangeConfig { frames_in_flight: 64, ..Default::default() };
+            let (mut outs, ins) = wire(&kind, 1, n_dst, &|_| 0, &cfg).unwrap();
+            let mut frame = Frame::new();
+            for i in 0..40 {
+                frame.push_encoded(&encode_tuple(&t(i)));
+            }
+            outs[0].push_frame(&frame).unwrap();
+            // Reference: the per-tuple path over a second wiring.
+            let cfg2 = ExchangeConfig { frames_in_flight: 64, ..Default::default() };
+            let (mut outs2, ins2) = wire(&kind, 1, n_dst, &|_| 0, &cfg2).unwrap();
+            for i in 0..40 {
+                outs2[0].push_encoded(&encode_tuple(&t(i))).unwrap();
+            }
+            drop(outs);
+            drop(outs2);
+            for (mut a, mut b) in ins.into_iter().zip(ins2) {
+                assert_eq!(a.collect().unwrap(), b.collect().unwrap(), "{}", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_frame_sees_whole_frames_and_merges_in_order() {
+        // Any mode: received frames arrive whole.
+        let cfg = ExchangeConfig { frames_in_flight: 64, ..Default::default() };
+        let (mut outs, mut ins) = wire(&ConnectorKind::OneToOne, 1, 1, &|_| 0, &cfg).unwrap();
+        for i in 0..(FRAME_CAPACITY as i64 + 10) {
+            outs[0].push(t(i)).unwrap();
+        }
+        drop(outs);
+        let mut sizes = Vec::new();
+        let mut rows = Vec::new();
+        ins[0]
+            .for_each_frame(|frame| {
+                sizes.push(frame.tuple_count());
+                for i in 0..frame.tuple_count() {
+                    rows.push(frame.decode_tuple(i).unwrap()[0].as_i64().unwrap());
+                }
+                Ok(true)
+            })
+            .unwrap();
+        assert_eq!(sizes, vec![FRAME_CAPACITY, 10]);
+        assert_eq!(rows, (0..(FRAME_CAPACITY as i64 + 10)).collect::<Vec<_>>());
+
+        // Merge mode: batches preserve the k-way merge order.
+        let cmp: Comparator = sort_comparator(&[SortKey::field(0, false)]);
+        let kind = ConnectorKind::MToNPartitioningMerging { fields: vec![], comparator: cmp };
+        let cfg = ExchangeConfig { frames_in_flight: 64, ..Default::default() };
+        let (mut outs, mut ins) = wire(&kind, 3, 1, &|_| 0, &cfg).unwrap();
+        for (s, base) in [(0usize, 0i64), (1, 1), (2, 2)] {
+            for i in 0..10 {
+                outs[s].push(t(base + i * 3)).unwrap();
+            }
+        }
+        drop(outs);
+        let mut merged = Vec::new();
+        ins[0]
+            .for_each_frame(|frame| {
+                for i in 0..frame.tuple_count() {
+                    merged.push(frame.decode_tuple(i).unwrap()[0].as_i64().unwrap());
+                }
+                Ok(true)
+            })
+            .unwrap();
+        assert_eq!(merged, (0..30).collect::<Vec<_>>());
     }
 
     #[test]

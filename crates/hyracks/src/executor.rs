@@ -12,15 +12,16 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use crate::connector::{wire, ExchangeConfig, ExchangeStats, InputPort, OutputPort};
+use crate::filter::{FilterFactory, FilterStats, RuntimeFilterHub};
 use crate::frame::FramePool;
 use crate::job::JobSpec;
 use crate::ops::{OpCtx, OperatorDescriptor};
-use crate::pipeline::{FusedEdge, PipelineCtx, PipelineOp, PortSink};
+use crate::pipeline::{ExecEnv, FusedEdge, PipelineCtx, PipelineOp, PortSink};
 use crate::profile::{JobProfile, PortMeter, ProfileBuilder};
 use crate::{HyracksError, Result};
 
 /// Execution settings for the simulated cluster.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ExecutorConfig {
     /// Partitions hosted per simulated node (for locality-aware routing).
     pub partitions_per_node: usize,
@@ -41,6 +42,25 @@ pub struct ExecutorConfig {
     /// channels on every edge, as if no chain were fusible. For A/B
     /// comparisons and debugging; results must be identical either way.
     pub disable_fusion: bool,
+    /// A/B switch mirroring `disable_fusion`: evaluate strictly per tuple,
+    /// never batch-at-a-time (no frame-granular push, no ordkey predicate
+    /// fast path, no batched source emission). Results must be identical
+    /// either way.
+    pub disable_vectorization: bool,
+    /// A/B switch: runtime join filters are neither published nor
+    /// consulted. Probe-side filter stages become pass-throughs; results
+    /// must be identical either way (filters only drop tuples the join
+    /// would discard anyway).
+    pub disable_runtime_filters: bool,
+    /// Builds the per-join key-membership test published at end-of-build.
+    /// Hyracks carries no filter implementation of its own (the embedding
+    /// system injects one — AsterixDB wires a bloom filter from its storage
+    /// layer); `None` leaves runtime filters inert pass-throughs.
+    pub filter_factory: Option<FilterFactory>,
+    /// Shared counters for runtime-filter activity (filters published,
+    /// tuples checked, tuples pruned) the embedder can register into its
+    /// metrics registry.
+    pub filter_stats: FilterStats,
     /// Cooperative cancellation token for the job. When set, every port
     /// push and frame receive is a cancellation point: once the token fires
     /// (explicit cancel or deadline), operator threads unwind with
@@ -58,8 +78,28 @@ impl Default for ExecutorConfig {
             frame_bytes: crate::frame::DEFAULT_FRAME_BYTES,
             max_threads: 512,
             disable_fusion: false,
+            disable_vectorization: false,
+            disable_runtime_filters: false,
+            filter_factory: None,
+            filter_stats: FilterStats::default(),
             cancel: None,
         }
+    }
+}
+
+impl std::fmt::Debug for ExecutorConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecutorConfig")
+            .field("partitions_per_node", &self.partitions_per_node)
+            .field("frames_in_flight", &self.frames_in_flight)
+            .field("tuples_per_frame", &self.tuples_per_frame)
+            .field("frame_bytes", &self.frame_bytes)
+            .field("max_threads", &self.max_threads)
+            .field("disable_fusion", &self.disable_fusion)
+            .field("disable_vectorization", &self.disable_vectorization)
+            .field("disable_runtime_filters", &self.disable_runtime_filters)
+            .field("filter_factory", &self.filter_factory.as_ref().map(|_| "<factory>"))
+            .finish_non_exhaustive()
     }
 }
 
@@ -139,6 +179,17 @@ fn run_job_inner(
         stats: Arc::clone(stats),
         pool: Arc::new(FramePool::new()),
         cancel: cfg.cancel.clone(),
+    };
+
+    // Job-wide execution environment: the vectorization switch plus a
+    // runtime-filter hub with one slot per filter the job allocated.
+    // Disabling runtime filters simply withholds the factory — publish
+    // becomes a no-op and every consult passes tuples through.
+    let factory = if cfg.disable_runtime_filters { None } else { cfg.filter_factory.clone() };
+    let env = ExecEnv {
+        vectorized: !cfg.disable_vectorization,
+        tuples_per_frame: cfg.tuples_per_frame.max(1),
+        filters: RuntimeFilterHub::new(job.nfilters(), factory, cfg.filter_stats.clone()),
     };
 
     // Wire every surviving connector: per source partition output ports,
@@ -221,7 +272,8 @@ fn run_job_inner(
                 let mut next: Box<dyn PipelineOp> = Box::new(PortSink::new(tail_port));
                 for idx in (1..chain.ops.len()).rev() {
                     let opid = chain.ops[idx];
-                    let ctx = PipelineCtx { partition: p, nparts: chain.nparts, node };
+                    let ctx =
+                        PipelineCtx { partition: p, nparts: chain.nparts, node, env: env.clone() };
                     let stage = job.ops[opid.0].desc.pipeline(ctx, next)?;
                     let meters = match profile.as_mut() {
                         Some(pb) => {
@@ -260,13 +312,14 @@ fn run_job_inner(
         let PendingThread { name, desc, partition, nparts, node, inputs, outputs, busy, fused } =
             pt;
         let stats = Arc::clone(stats);
+        let env = env.clone();
         let profiling = profile.is_some();
         handles.push(
             thread::Builder::new()
                 .name(name)
                 .spawn(move || {
                     let run_started = Instant::now();
-                    let mut ctx = OpCtx { partition, nparts, node, inputs, outputs };
+                    let mut ctx = OpCtx { partition, nparts, node, inputs, outputs, env };
                     let result = desc.run(&mut ctx);
                     // Drain remaining input so upstream memory is freed
                     // even on early exit/error, then finish the fused
@@ -574,6 +627,91 @@ mod tests {
     }
 
     #[test]
+    fn runtime_filter_prunes_probe_tuples_before_exchange() {
+        use crate::filter::FilterStats;
+        use crate::ops::RuntimeFilterProbeOp;
+        use std::collections::HashSet;
+
+        let mut job = JobSpec::new();
+        // Build side: keys 0..20 across 2 partitions.
+        let build = job.add(2, int_source("build", 10));
+        // Probe side: keys 0..40 — half have no build partner. The source
+        // waits until every build partition has published its filter, so
+        // the probe-side consult deterministically sees a cached filter
+        // (in production it is best-effort and passes through until then).
+        let stats = FilterStats::default();
+        let gate = stats.clone();
+        let probe = job.add(
+            2,
+            Arc::new(SourceOp::new("probe".to_string(), move |p, _n, emit| {
+                while gate.published.get() < 2 {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                for i in 0..20i64 {
+                    emit(vec![Value::Int64(p as i64 * 20 + i)])?;
+                }
+                Ok(())
+            })),
+        );
+        let fid = job.alloc_runtime_filter();
+        let consult = job.add(
+            2,
+            Arc::new(RuntimeFilterProbeOp { filter_id: fid, key_cols: vec![0], join_nparts: 2 }),
+        );
+        let join = job.add(
+            2,
+            Arc::new(
+                HybridHashJoinOp::new("equi", vec![0], vec![0], JoinType::Inner)
+                    .with_runtime_filter(fid),
+            ),
+        );
+        let (sink, collector) = collect_sink(&mut job);
+        job.connect(ConnectorKind::MToNPartitioning { fields: vec![0] }, build, join);
+        job.connect(ConnectorKind::OneToOne, probe, consult);
+        job.connect(ConnectorKind::MToNPartitioning { fields: vec![0] }, consult, join);
+        job.connect(ConnectorKind::MToNReplicating, join, sink);
+
+        // Exact-set factory: no false positives, so every partner-less
+        // probe tuple is pruned before the exchange.
+        let cfg = ExecutorConfig {
+            filter_factory: Some(Arc::new(|hashes: &[u64]| {
+                let set: HashSet<u64> = hashes.iter().copied().collect();
+                Arc::new(move |h| set.contains(&h)) as crate::filter::KeyTest
+            })),
+            filter_stats: stats.clone(),
+            ..Default::default()
+        };
+        run_job_with(&job, &cfg).unwrap();
+
+        let mut got: Vec<i64> = collector.lock().iter().map(|t| t[0].as_i64().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..20).collect::<Vec<i64>>(), "join results unchanged by pruning");
+        assert_eq!(stats.published.get(), 2, "one filter per build partition");
+        assert_eq!(stats.checked.get(), 40, "every probe tuple consulted");
+        assert_eq!(stats.pruned_tuples.get(), 20, "all partner-less probe tuples pruned");
+
+        // Disabling runtime filters turns the consult into a pass-through:
+        // same results, nothing checked or pruned.
+        let stats_off = FilterStats::default();
+        let off = ExecutorConfig {
+            disable_runtime_filters: true,
+            filter_factory: Some(Arc::new(|hashes: &[u64]| {
+                let set: HashSet<u64> = hashes.iter().copied().collect();
+                Arc::new(move |h| set.contains(&h)) as crate::filter::KeyTest
+            })),
+            filter_stats: stats_off.clone(),
+            ..Default::default()
+        };
+        collector.lock().clear();
+        run_job_with(&job, &off).unwrap();
+        let mut got: Vec<i64> = collector.lock().iter().map(|t| t[0].as_i64().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..20).collect::<Vec<i64>>());
+        assert_eq!(stats_off.published.get(), 0);
+        assert_eq!(stats_off.pruned_tuples.get(), 0);
+    }
+
+    #[test]
     fn backpressure_bounds_buffered_frames() {
         use crate::connector::ExchangeStats;
 
@@ -607,8 +745,12 @@ mod tests {
         run_job_with_stats(&job, &cfg, &stats).unwrap();
 
         assert_eq!(collector.lock().len(), 100_000);
-        // Two OneToOne connectors with one sender each.
-        let bound = (cfg.frames_in_flight * 2) as i64;
+        // Two OneToOne connectors with one sender each. The gauge counts a
+        // frame from the moment its sender enqueues it (over-counting
+        // in-flight memory, never under-counting), so each sender blocked
+        // in a full channel contributes one frame beyond the channel's
+        // frames_in_flight budget.
+        let bound = ((cfg.frames_in_flight + 1) * 2) as i64;
         assert!(
             stats.peak_buffered_frames() <= bound,
             "peak {} exceeds frames_in_flight bound {}",

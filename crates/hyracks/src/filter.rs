@@ -1,0 +1,178 @@
+//! Runtime join-filter pushdown: the hub that carries build-side key
+//! membership filters from a hash join's build phase to probe-side
+//! producers.
+//!
+//! At end-of-build, each partition of a [`crate::ops::HybridHashJoinOp`]
+//! publishes a filter over the 64-bit hashes of its build-side join keys
+//! ([`crate::frame::hash_encoded_fields`] of the key columns — the same
+//! hash the probe exchange routes by). Probe-side producers upstream of the
+//! exchange (dataset scans and the fused pipeline heads they anchor)
+//! consult the filter per tuple and drop tuples whose key hash certainly
+//! has no build match, shrinking exchange traffic and probe work.
+//!
+//! Timing is best-effort by design: probe-side threads start before the
+//! build finishes, so early tuples pass unchecked until the filter appears.
+//! Correctness never depends on a filter — the membership test may return
+//! false positives but never false negatives, so consulting it only ever
+//! removes tuples the join would discard anyway (which is also why only
+//! INNER joins install filters; outer probes must keep unmatched tuples).
+//!
+//! The filter *representation* is type-erased: this crate sits below
+//! `asterix-storage`, so the bloom-filter implementation is injected as a
+//! [`FilterFactory`] (see `ExecutorConfig::filter_factory`; the asterixdb
+//! layer installs one backed by `storage::bloom::BloomFilter`). With no
+//! factory installed nothing is ever published and every probe passes.
+
+use std::sync::Arc;
+
+use asterix_obs::{Counter, MetricsRegistry};
+use parking_lot::Mutex;
+
+/// A type-erased membership test over a 64-bit key hash. False positives
+/// allowed, false negatives not.
+pub type KeyTest = Arc<dyn Fn(u64) -> bool + Send + Sync>;
+
+/// Builds a [`KeyTest`] from the complete set of build-side key hashes of
+/// one join partition.
+pub type FilterFactory = Arc<dyn Fn(&[u64]) -> KeyTest + Send + Sync>;
+
+/// `filters.*` observability counters (registered by the instance layer
+/// under the `filters` prefix, riding the bench metrics JSON).
+#[derive(Clone, Default)]
+pub struct FilterStats {
+    /// Filters published by join build phases (one per partition).
+    pub published: Counter,
+    /// Probe-side tuples tested against a published filter.
+    pub checked: Counter,
+    /// Probe-side tuples dropped before the exchange.
+    pub pruned_tuples: Counter,
+}
+
+impl FilterStats {
+    /// Adopt these live handles into `reg` under `{prefix}.published` etc.
+    pub fn register_into(&self, reg: &MetricsRegistry, prefix: &str) {
+        reg.register_counter(&format!("{prefix}.published"), &self.published);
+        reg.register_counter(&format!("{prefix}.checked"), &self.checked);
+        reg.register_counter(&format!("{prefix}.pruned_tuples"), &self.pruned_tuples);
+    }
+}
+
+/// Per-job registry of runtime filters, one slot per filter id (allocated
+/// at jobgen time via `JobSpec::alloc_runtime_filter`), each holding the
+/// per-build-partition filters as they are published.
+pub struct RuntimeFilterHub {
+    factory: Option<FilterFactory>,
+    stats: FilterStats,
+    slots: Vec<Mutex<Vec<Option<KeyTest>>>>,
+}
+
+impl RuntimeFilterHub {
+    /// A hub with `nfilters` slots. Without a factory, `publish` is a
+    /// no-op and every probe passes unchecked.
+    pub fn new(nfilters: usize, factory: Option<FilterFactory>, stats: FilterStats) -> Arc<Self> {
+        Arc::new(RuntimeFilterHub {
+            factory,
+            stats,
+            slots: (0..nfilters).map(|_| Mutex::new(Vec::new())).collect(),
+        })
+    }
+
+    /// The inert hub: no slots, no factory. Default for contexts built
+    /// outside a job run (unit tests, standalone operators).
+    pub fn disabled() -> Arc<Self> {
+        RuntimeFilterHub::new(0, None, FilterStats::default())
+    }
+
+    /// Build and publish the filter for `(id, partition)` over the given
+    /// key hashes. No-op without a factory or for an unknown id.
+    pub fn publish(&self, id: usize, partition: usize, hashes: &[u64]) {
+        let (Some(factory), Some(slot)) = (&self.factory, self.slots.get(id)) else {
+            return;
+        };
+        let test = factory(hashes);
+        let mut parts = slot.lock();
+        if parts.len() <= partition {
+            parts.resize(partition + 1, None);
+        }
+        parts[partition] = Some(test);
+        self.stats.published.inc();
+    }
+
+    /// The filter published for `(id, partition)`, if any yet. Consumers
+    /// cache the returned handle and re-poll only while it is absent.
+    pub fn get(&self, id: usize, partition: usize) -> Option<KeyTest> {
+        self.slots.get(id)?.lock().get(partition)?.clone()
+    }
+
+    /// Number of filter slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The shared stats handles.
+    pub fn stats(&self) -> &FilterStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    /// An exact-set factory for tests (no false positives at all).
+    pub(crate) fn exact_factory() -> FilterFactory {
+        Arc::new(|hashes: &[u64]| {
+            let set: HashSet<u64> = hashes.iter().copied().collect();
+            Arc::new(move |h| set.contains(&h)) as KeyTest
+        })
+    }
+
+    #[test]
+    fn publish_then_get_per_partition() {
+        let hub = RuntimeFilterHub::new(2, Some(exact_factory()), FilterStats::default());
+        assert_eq!(hub.len(), 2);
+        assert!(hub.get(0, 0).is_none(), "nothing published yet");
+        hub.publish(0, 1, &[7, 9]);
+        assert!(hub.get(0, 0).is_none(), "other partition still absent");
+        let f = hub.get(0, 1).unwrap();
+        assert!(f(7) && f(9) && !f(8));
+        assert_eq!(hub.stats().published.get(), 1);
+        // Unknown ids are ignored, not panics.
+        hub.publish(5, 0, &[1]);
+        assert!(hub.get(5, 0).is_none());
+    }
+
+    #[test]
+    fn disabled_hub_never_publishes() {
+        let hub = RuntimeFilterHub::disabled();
+        hub.publish(0, 0, &[1, 2, 3]);
+        assert!(hub.get(0, 0).is_none());
+        assert_eq!(hub.stats().published.get(), 0);
+    }
+
+    #[test]
+    fn hub_without_factory_passes_everything() {
+        let hub = RuntimeFilterHub::new(1, None, FilterStats::default());
+        hub.publish(0, 0, &[42]);
+        assert!(hub.get(0, 0).is_none(), "no factory, nothing published");
+    }
+
+    #[test]
+    fn stats_register_under_prefix() {
+        let stats = FilterStats::default();
+        stats.published.add(2);
+        stats.checked.add(10);
+        stats.pruned_tuples.add(4);
+        let reg = MetricsRegistry::new();
+        stats.register_into(&reg, "filters");
+        let json = reg.to_json();
+        assert!(json.contains("\"filters.published\":2"), "{json}");
+        assert!(json.contains("\"filters.checked\":10"), "{json}");
+        assert!(json.contains("\"filters.pruned_tuples\":4"), "{json}");
+    }
+}

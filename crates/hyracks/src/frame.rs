@@ -100,6 +100,92 @@ impl FrameBuf {
         self.data.clear();
         self.slots.clear();
     }
+
+    /// Bulk-append every tuple of `other`: one data copy plus a rebased
+    /// slot run, instead of `tuple_count` `push_encoded` calls.
+    pub fn append_frame(&mut self, other: &FrameBuf) {
+        let base = self.data.len() as u32;
+        self.data.extend_from_slice(&other.data);
+        self.slots.extend(other.slots.iter().map(|&s| s + base));
+    }
+
+    /// Copy the tuples selected by `keep` into `dst` (appending), walking
+    /// the slot directory once and coalescing each maximal run of kept
+    /// tuples into a single data copy — the batch select's slot-compacting
+    /// emission. Bits at or beyond `tuple_count` are ignored.
+    pub fn compact_into(&self, keep: &SelBitmap, dst: &mut FrameBuf) {
+        let n = self.tuple_count();
+        let mut i = 0;
+        while i < n {
+            if !keep.get(i) {
+                i += 1;
+                continue;
+            }
+            let mut j = i + 1;
+            while j < n && keep.get(j) {
+                j += 1;
+            }
+            let start = if i == 0 { 0 } else { self.slots[i - 1] as usize };
+            let end = self.slots[j - 1] as usize;
+            let rebase = (dst.data.len() as u32).wrapping_sub(start as u32);
+            dst.data.extend_from_slice(&self.data[start..end]);
+            dst.slots.extend(self.slots[i..j].iter().map(|&s| s.wrapping_add(rebase)));
+            i = j;
+        }
+    }
+}
+
+/// A selection bitmap over one frame's slot directory: the batch select
+/// path evaluates the predicate for every slot first, then emits survivors
+/// with [`FrameBuf::compact_into`] in one pass. Backed by `u64` words; the
+/// allocation is reused across frames.
+#[derive(Default)]
+pub struct SelBitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl SelBitmap {
+    pub fn new() -> SelBitmap {
+        SelBitmap::default()
+    }
+
+    /// Clear and resize to cover `len` slots, all unselected.
+    pub fn reset(&mut self, len: usize) {
+        self.len = len;
+        self.words.clear();
+        self.words.resize(len.div_ceil(64), 0);
+    }
+
+    /// Select slot `i`.
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Is slot `i` selected?
+    pub fn get(&self, i: usize) -> bool {
+        i < self.len && self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Number of slots covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of selected slots.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Every covered slot selected?
+    pub fn all(&self) -> bool {
+        self.count() == self.len
+    }
 }
 
 /// A lock-free pool of recycled frames shared by the ports of one job run.
@@ -256,6 +342,81 @@ mod tests {
         f.clear();
         assert!(f.is_empty());
         assert_eq!(f.occupancy(), 0);
+    }
+
+    #[test]
+    fn compact_into_matches_per_tuple_filter() {
+        let tuples: Vec<Tuple> =
+            (0..10).map(|i| vec![Value::Int64(i), Value::string(format!("row{i}"))]).collect();
+        let mut src = FrameBuf::new();
+        for t in &tuples {
+            src.push_tuple(t);
+        }
+        // Several selection shapes: runs, singletons, empty, full.
+        let shapes: Vec<Vec<usize>> = vec![
+            vec![],
+            (0..10).collect(),
+            vec![0, 1, 2, 7, 8],
+            vec![9],
+            vec![0, 2, 4, 6, 8],
+            vec![3, 4, 5],
+        ];
+        for shape in shapes {
+            let mut keep = SelBitmap::new();
+            keep.reset(src.tuple_count());
+            for &i in &shape {
+                keep.set(i);
+            }
+            assert_eq!(keep.count(), shape.len());
+            let mut dst = FrameBuf::new();
+            dst.push_tuple(&[Value::string("pre-existing")]);
+            src.compact_into(&keep, &mut dst);
+            assert_eq!(dst.tuple_count(), 1 + shape.len(), "shape {shape:?}");
+            for (k, &i) in shape.iter().enumerate() {
+                assert_eq!(dst.tuple_bytes(1 + k), src.tuple_bytes(i), "shape {shape:?} slot {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn append_frame_is_bulk_push_encoded() {
+        let mut a = FrameBuf::new();
+        let mut b = FrameBuf::new();
+        a.push_tuple(&[Value::Int64(1)]);
+        b.push_tuple(&[Value::string("x")]);
+        b.push_tuple(&[Value::Null, Value::Int64(2)]);
+        let mut expect = FrameBuf::new();
+        expect.push_encoded(a.tuple_bytes(0));
+        for t in b.iter() {
+            expect.push_encoded(t);
+        }
+        a.append_frame(&b);
+        assert_eq!(a.tuple_count(), 3);
+        assert_eq!(a.occupancy(), expect.occupancy());
+        for i in 0..3 {
+            assert_eq!(a.tuple_bytes(i), expect.tuple_bytes(i));
+        }
+        // Appending an empty frame is a no-op.
+        a.append_frame(&FrameBuf::new());
+        assert_eq!(a.tuple_count(), 3);
+    }
+
+    #[test]
+    fn sel_bitmap_basics() {
+        let mut s = SelBitmap::new();
+        s.reset(70);
+        assert_eq!(s.len(), 70);
+        assert_eq!(s.count(), 0);
+        assert!(!s.all());
+        for i in 0..70 {
+            s.set(i);
+        }
+        assert!(s.all());
+        assert!(!s.get(70), "out-of-range reads are false");
+        s.reset(3);
+        assert_eq!(s.count(), 0, "reset clears prior bits");
+        s.set(2);
+        assert!(s.get(2) && !s.get(0));
     }
 
     #[test]

@@ -33,6 +33,10 @@ pub(crate) struct ConnSpec {
 pub struct JobSpec {
     pub(crate) ops: Vec<OpNode>,
     pub(crate) conns: Vec<ConnSpec>,
+    /// Runtime join filters allocated for this job (see
+    /// [`JobSpec::alloc_runtime_filter`]); sizes the per-job
+    /// [`crate::filter::RuntimeFilterHub`].
+    nfilters: usize,
 }
 
 /// One maximal fused chain: the operators that share a thread per
@@ -95,6 +99,19 @@ impl JobSpec {
     /// Number of operators.
     pub fn op_count(&self) -> usize {
         self.ops.len()
+    }
+
+    /// Allocate a runtime-filter slot, pairing a join's build side (which
+    /// publishes into it) with probe-side consult stages. Returns the
+    /// filter id to hand both ends.
+    pub fn alloc_runtime_filter(&mut self) -> usize {
+        self.nfilters += 1;
+        self.nfilters - 1
+    }
+
+    /// Runtime-filter slots this job allocated.
+    pub fn nfilters(&self) -> usize {
+        self.nfilters
     }
 
     /// Partition count of an operator.

@@ -20,6 +20,7 @@
 pub mod connector;
 pub mod error;
 pub mod executor;
+pub mod filter;
 pub mod frame;
 pub mod job;
 pub mod ops;
@@ -29,10 +30,11 @@ pub mod profile;
 pub use connector::{Comparator, ConnectorKind, ExchangeConfig, ExchangeStats};
 pub use error::{HyracksError, Result};
 pub use executor::{run_job, run_job_profiled, run_job_with, run_job_with_stats, ExecutorConfig};
+pub use filter::{FilterFactory, FilterStats, KeyTest, RuntimeFilterHub};
 pub use frame::{
-    hash_encoded_fields, hash_fields, Frame, FrameBuf, FramePool, Tuple, DEFAULT_FRAME_BYTES,
-    FRAME_CAPACITY,
+    hash_encoded_fields, hash_fields, Frame, FrameBuf, FramePool, SelBitmap, Tuple,
+    DEFAULT_FRAME_BYTES, FRAME_CAPACITY,
 };
 pub use job::{FusedChain, FusionPlan, JobSpec, OperatorId};
-pub use pipeline::{PipelineCtx, PipelineOp};
+pub use pipeline::{ExecEnv, PipelineCtx, PipelineOp};
 pub use profile::{JobProfile, OperatorProfile, PartitionProfile, PortStat};

@@ -564,7 +564,14 @@ mod tests {
             in_outs[0].push(t).unwrap();
         }
         drop(in_outs);
-        let mut ctx = OpCtx { partition: 0, nparts: 1, node: 0, inputs: ins, outputs: outs };
+        let mut ctx = OpCtx {
+            partition: 0,
+            nparts: 1,
+            node: 0,
+            inputs: ins,
+            outputs: outs,
+            env: Default::default(),
+        };
         op.run(&mut ctx).unwrap();
         drop(ctx);
         res_ins[0].collect().unwrap()

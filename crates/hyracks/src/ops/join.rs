@@ -138,6 +138,11 @@ pub struct HybridHashJoinOp {
     pub mem_budget: usize,
     /// Grace fan-out when spilling.
     pub fanout: usize,
+    /// Runtime-filter hub slot this partition publishes to at end of
+    /// build, when jobgen wired one (inner joins only — an outer probe
+    /// must keep unmatched tuples, so pruning them upstream would be
+    /// wrong).
+    pub filter_id: Option<usize>,
 }
 
 impl HybridHashJoinOp {
@@ -154,11 +159,19 @@ impl HybridHashJoinOp {
             join_type,
             mem_budget: 64 << 20,
             fanout: 16,
+            filter_id: None,
         }
     }
 
     pub fn with_budget(mut self, bytes: usize) -> Self {
         self.mem_budget = bytes.max(1024);
+        self
+    }
+
+    /// Publish a runtime filter over the build-side key hashes through the
+    /// executor's hub at end of build.
+    pub fn with_runtime_filter(mut self, id: usize) -> Self {
+        self.filter_id = Some(id);
         self
     }
 
@@ -206,6 +219,8 @@ impl OperatorDescriptor for HybridHashJoinOp {
     }
 
     fn run(&self, ctx: &mut OpCtx) -> Result<()> {
+        let env = ctx.env.clone();
+        let partition = ctx.partition;
         let OpCtx { inputs, outputs, .. } = ctx;
         // Build phase: buffer encoded tuples until budget, then switch to
         // Grace spilling.
@@ -218,11 +233,19 @@ impl OperatorDescriptor for HybridHashJoinOp {
         let build_keys = self.build_keys.clone();
         let label = self.label.clone();
         let mut build_arity = 0usize;
+        // Runtime filter: collect every build tuple's key hash (unknown
+        // keys included — they can only make the filter pass more, never
+        // less, and probe-side unknowns are dropped at the join anyway).
+        let collect_filter = self.filter_id.is_some();
+        let mut filter_hashes: Vec<u64> = Vec::new();
         {
             let input0 = &mut inputs[0];
             input0.for_each_raw(|enc| {
                 let r = TupleRef::new(enc)?;
                 build_arity = build_arity.max(r.field_count());
+                if collect_filter {
+                    filter_hashes.push(hash_encoded_fields(&r, &build_keys));
+                }
                 if !spilled {
                     bytes += enc.len() + 32;
                     build_mem.push(enc.to_vec());
@@ -244,6 +267,14 @@ impl OperatorDescriptor for HybridHashJoinOp {
                 }
                 Ok(true)
             })?;
+        }
+        // End of build: publish this partition's filter before touching the
+        // probe input, so probe-side producers start pruning as early as
+        // possible. An empty build partition publishes too — its filter
+        // rejects every key, which is exactly right for an inner join.
+        if let Some(id) = self.filter_id {
+            env.filters.publish(id, partition, &filter_hashes);
+            drop(filter_hashes);
         }
 
         let out = &mut outputs[0];
@@ -503,7 +534,14 @@ mod tests {
         drop(p_out);
         let mut inputs = b_in;
         inputs.extend(p_in);
-        let mut ctx = OpCtx { partition: 0, nparts: 1, node: 0, inputs, outputs: r_out };
+        let mut ctx = OpCtx {
+            partition: 0,
+            nparts: 1,
+            node: 0,
+            inputs,
+            outputs: r_out,
+            env: Default::default(),
+        };
         op.run(&mut ctx).unwrap();
         drop(ctx);
         r_in[0].collect().unwrap()
@@ -604,7 +642,14 @@ mod tests {
         drop(r_in); // downstream is gone
         let mut inputs = b_in;
         inputs.extend(p_in);
-        let mut ctx = OpCtx { partition: 0, nparts: 1, node: 0, inputs, outputs: r_out };
+        let mut ctx = OpCtx {
+            partition: 0,
+            nparts: 1,
+            node: 0,
+            inputs,
+            outputs: r_out,
+            env: Default::default(),
+        };
         let res = op.run(&mut ctx);
         assert!(res.is_err(), "merge into a closed downstream must error");
         drop(ctx);
@@ -647,7 +692,14 @@ mod tests {
         token.cancel();
         let mut inputs = b_in;
         inputs.extend(p_in);
-        let mut ctx = OpCtx { partition: 0, nparts: 1, node: 0, inputs, outputs: r_out };
+        let mut ctx = OpCtx {
+            partition: 0,
+            nparts: 1,
+            node: 0,
+            inputs,
+            outputs: r_out,
+            env: Default::default(),
+        };
         let res = op.run(&mut ctx);
         assert!(
             matches!(res, Err(crate::HyracksError::Cancelled)),
@@ -698,7 +750,14 @@ mod tests {
             b_out[0].push(vec![Value::Int64(i)]).unwrap();
         }
         drop(b_out);
-        let mut ctx = OpCtx { partition: 0, nparts: 1, node: 0, inputs: b_in, outputs: r_out };
+        let mut ctx = OpCtx {
+            partition: 0,
+            nparts: 1,
+            node: 0,
+            inputs: b_in,
+            outputs: r_out,
+            env: Default::default(),
+        };
         op.run(&mut ctx).unwrap();
         drop(ctx);
         let out = r_in[0].collect().unwrap();

@@ -14,14 +14,16 @@ pub use group::{AggKind, AggSpec, GroupMode, HashGroupOp, PreclusteredGroupOp, S
 pub use join::{HybridHashJoinOp, IndexNestedLoopJoinOp, JoinType, NestedLoopJoinOp};
 pub use sort::{sort_comparator, SortKey, SortOp};
 
+use std::cmp::Ordering;
 use std::sync::Arc;
 
 use asterix_adm::Value;
 use parking_lot::Mutex;
 
 use crate::connector::{InputPort, OutputPort};
-use crate::frame::Tuple;
-use crate::pipeline::{PipelineCtx, PipelineOp};
+use crate::filter::{KeyTest, RuntimeFilterHub};
+use crate::frame::{hash_encoded_fields, FrameBuf, SelBitmap, Tuple};
+use crate::pipeline::{ExecEnv, PipelineCtx, PipelineOp};
 use crate::Result;
 
 /// Evaluate an expression over a tuple.
@@ -49,6 +51,9 @@ pub struct OpCtx {
     pub node: usize,
     pub inputs: Vec<InputPort>,
     pub outputs: Vec<OutputPort>,
+    /// Job-wide execution environment (vectorization switch, frame batching
+    /// target, runtime-filter hub).
+    pub env: ExecEnv,
 }
 
 /// An operator: named, with declared blocking inputs (activity structure)
@@ -153,10 +158,31 @@ impl OperatorDescriptor for SourceOp {
     }
 
     fn run(&self, ctx: &mut OpCtx) -> Result<()> {
+        let env = ctx.env.clone();
         let OpCtx { partition, nparts, outputs, .. } = ctx;
         let out = &mut outputs[0];
         match &self.source {
             SourceBody::Decoded(f) => f(*partition, *nparts, &mut |t| out.push(t)),
+            SourceBody::Raw(f) if env.vectorized => {
+                // Vectorized scan head: batch emitted encodings into a
+                // frame and push it whole, so every downstream batch-aware
+                // stage (and the exchange) sees frame granularity.
+                let tpf = env.tuples_per_frame.max(1);
+                let mut batch = FrameBuf::new();
+                f(*partition, *nparts, &mut |bytes| {
+                    batch.push_encoded(bytes);
+                    if batch.tuple_count() >= tpf {
+                        let res = out.push_frame(&batch);
+                        batch.clear();
+                        return res;
+                    }
+                    Ok(())
+                })?;
+                if !batch.is_empty() {
+                    out.push_frame(&batch)?;
+                }
+                Ok(())
+            }
             SourceBody::Raw(f) => f(*partition, *nparts, &mut |bytes| out.push_encoded(bytes)),
         }
     }
@@ -296,6 +322,77 @@ impl PipelineOp for ApplyStage {
 // Tuple-at-a-time operators
 // ---------------------------------------------------------------------------
 
+/// Comparison kind of an ordkey-classified constant predicate (mirrors the
+/// non-fuzzy compare operators of the expression language).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpKind {
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpKind {
+    fn apply(self, ord: Ordering) -> bool {
+        match self {
+            CmpKind::Eq => ord == Ordering::Equal,
+            CmpKind::Neq => ord != Ordering::Equal,
+            CmpKind::Lt => ord == Ordering::Less,
+            CmpKind::Le => ord != Ordering::Greater,
+            CmpKind::Gt => ord == Ordering::Greater,
+            CmpKind::Ge => ord != Ordering::Less,
+        }
+    }
+}
+
+/// A constant comparison jobgen classified as ordkey-comparable:
+/// `column [.path] <op> constant`, decided by memcmp of comparison-key
+/// bytes without decoding the tuple. `key` is the constant's
+/// `ordkey::encode_value` encoding, computed once at compile time.
+///
+/// Per-tuple evaluation is *partial*: tuples whose field cannot be
+/// transcoded to a comparison key (non-scalar, or numeric at the |v| ≥
+/// 9e15 collapse boundary where key order diverges from `total_cmp`)
+/// return `None` and the caller falls back to the decoded predicate — so
+/// the fast path can never change a verdict, only skip decode work.
+#[derive(Clone, Debug)]
+pub struct OrdPred {
+    /// Tuple column holding the comparand (or the record it lives in).
+    pub col: usize,
+    /// When set, compare `column.path` (a record field addressed directly
+    /// in the encoded bytes) instead of the column itself.
+    pub path: Option<String>,
+    pub op: CmpKind,
+    /// `ordkey::encode_value` bytes of the constant.
+    pub key: Vec<u8>,
+}
+
+impl OrdPred {
+    /// Decide the predicate on encoded bytes alone. `Some(keep)` is
+    /// authoritative; `None` means "decode and ask the real predicate".
+    fn eval_encoded(&self, bytes: &[u8], scratch: &mut Vec<u8>) -> Option<bool> {
+        let r = asterix_adm::TupleRef::new(bytes).ok()?;
+        let mut fb = r.field_bytes(self.col);
+        if let Some(name) = &self.path {
+            // Fall back on anything but a record with the field present —
+            // the decoded path owns the missing/non-record semantics.
+            fb = asterix_adm::serde::encoded_record_field(fb, name)?;
+        }
+        // MISSING/NULL comparands: compare() yields NULL, which the select
+        // boundary collapses to false. Decided without a key.
+        if asterix_adm::ValueRef::new(fb).is_unknown() {
+            return Some(false);
+        }
+        scratch.clear();
+        if !asterix_adm::ordkey::encoded_scalar_key_into(fb, scratch) {
+            return None;
+        }
+        Some(self.op.apply(scratch.as_slice().cmp(&self.key)))
+    }
+}
+
 /// Filter by predicate (the `select` operator of Figure 6).
 pub struct SelectOp {
     label: String,
@@ -303,18 +400,29 @@ pub struct SelectOp {
     /// Columns the predicate reads, when the compiler knows them: only
     /// these are decoded per tuple (`None` = full decode).
     fields: Option<Vec<usize>>,
+    /// Ordkey fast path for constant comparisons (vectorized runs only;
+    /// the scalar A/B path always decodes).
+    ord: Option<OrdPred>,
 }
 
 impl SelectOp {
     pub fn new(label: impl Into<String>, pred: PredFn) -> SelectOp {
-        SelectOp { label: label.into(), pred, fields: None }
+        SelectOp { label: label.into(), pred, fields: None, ord: None }
     }
 
     /// A select whose predicate reads only the given columns: evaluation
     /// decodes just those positions through `TupleRef::field_value` and the
     /// predicate sees `Missing` everywhere else.
     pub fn with_fields(label: impl Into<String>, pred: PredFn, fields: Vec<usize>) -> SelectOp {
-        SelectOp { label: label.into(), pred, fields: Some(fields) }
+        SelectOp { label: label.into(), pred, fields: Some(fields), ord: None }
+    }
+
+    /// Attach an ordkey-classified constant comparison equivalent to the
+    /// predicate: batch evaluation memcmps comparison-key bytes and only
+    /// decodes tuples the transcoder refuses.
+    pub fn with_ordkey(mut self, ord: OrdPred) -> SelectOp {
+        self.ord = Some(ord);
+        self
     }
 }
 
@@ -327,29 +435,62 @@ impl OperatorDescriptor for SelectOp {
         true
     }
 
-    fn pipeline(
-        &self,
-        _ctx: PipelineCtx,
-        next: Box<dyn PipelineOp>,
-    ) -> Result<Box<dyn PipelineOp>> {
+    fn pipeline(&self, ctx: PipelineCtx, next: Box<dyn PipelineOp>) -> Result<Box<dyn PipelineOp>> {
         Ok(Box::new(SelectStage {
             pred: Arc::clone(&self.pred),
             fields: self.fields.clone(),
+            ord: if ctx.env.vectorized { self.ord.clone() } else { None },
+            keep: SelBitmap::new(),
+            key_scratch: Vec::new(),
+            compacted: FrameBuf::new(),
             next,
         }))
     }
 
     fn run(&self, ctx: &mut OpCtx) -> Result<()> {
+        let vectorized = ctx.env.vectorized;
         let OpCtx { inputs, outputs, .. } = ctx;
         let out = &mut outputs[0];
         let pred = &self.pred;
         let fields = self.fields.as_deref();
-        // Evaluate on a (sparsely) decoded view; surviving tuples are
-        // forwarded as their original bytes (no re-serialization).
-        inputs[0].for_each_raw(|bytes| {
-            let t = decode_for_eval(bytes, fields)?;
-            if pred(&t)? {
-                out.push_encoded(bytes)?;
+        if !vectorized {
+            // Scalar A/B path: evaluate on a (sparsely) decoded view;
+            // surviving tuples are forwarded as their original bytes.
+            return inputs[0].for_each_raw(|bytes| {
+                let t = decode_for_eval(bytes, fields)?;
+                if pred(&t)? {
+                    out.push_encoded(bytes)?;
+                }
+                Ok(true)
+            });
+        }
+        // Batch path: one pass over the slot directory builds the bitmap
+        // (ordkey memcmp when classified, decoded predicate otherwise),
+        // then survivors move in one slot-compacting copy — or the frame
+        // passes through untouched when everything survived.
+        let ord = self.ord.as_ref();
+        let mut keep = SelBitmap::new();
+        let mut key_scratch = Vec::new();
+        let mut compacted = FrameBuf::new();
+        inputs[0].for_each_frame(|frame| {
+            let n = frame.tuple_count();
+            keep.reset(n);
+            for i in 0..n {
+                let bytes = frame.tuple_bytes(i);
+                let verdict = match ord.and_then(|o| o.eval_encoded(bytes, &mut key_scratch)) {
+                    Some(v) => v,
+                    None => pred(&decode_for_eval(bytes, fields)?)?,
+                };
+                if verdict {
+                    keep.set(i);
+                }
+            }
+            if keep.all() {
+                out.push_frame(frame)?;
+            } else if keep.count() > 0 {
+                compacted.clear();
+                frame.compact_into(&keep, &mut compacted);
+                out.push_frame(&compacted)?;
             }
             Ok(true)
         })
@@ -359,7 +500,24 @@ impl OperatorDescriptor for SelectOp {
 struct SelectStage {
     pred: PredFn,
     fields: Option<Vec<usize>>,
+    /// Ordkey fast path — populated only on vectorized runs.
+    ord: Option<OrdPred>,
+    keep: SelBitmap,
+    key_scratch: Vec<u8>,
+    compacted: FrameBuf,
     next: Box<dyn PipelineOp>,
+}
+
+impl SelectStage {
+    fn verdict(&mut self, bytes: &[u8]) -> Result<bool> {
+        if let Some(v) =
+            self.ord.as_ref().and_then(|o| o.eval_encoded(bytes, &mut self.key_scratch))
+        {
+            return Ok(v);
+        }
+        let t = decode_for_eval(bytes, self.fields.as_deref())?;
+        (self.pred)(&t)
+    }
 }
 
 impl PipelineOp for SelectStage {
@@ -369,6 +527,28 @@ impl PipelineOp for SelectStage {
             self.next.push(bytes)?;
         }
         Ok(())
+    }
+
+    fn push_frame(&mut self, frame: &FrameBuf) -> Result<()> {
+        let n = frame.tuple_count();
+        self.keep.reset(n);
+        for i in 0..n {
+            if self.verdict(frame.tuple_bytes(i))? {
+                self.keep.set(i);
+            }
+        }
+        if self.keep.all() {
+            self.next.push_frame(frame)
+        } else if self.keep.count() > 0 {
+            self.compacted.clear();
+            frame.compact_into(&self.keep, &mut self.compacted);
+            let compacted = std::mem::take(&mut self.compacted);
+            let res = self.next.push_frame(&compacted);
+            self.compacted = compacted;
+            res
+        } else {
+            Ok(())
+        }
     }
 
     fn flush(&mut self) -> Result<()> {
@@ -536,10 +716,16 @@ impl OperatorDescriptor for ProjectOp {
         _ctx: PipelineCtx,
         next: Box<dyn PipelineOp>,
     ) -> Result<Box<dyn PipelineOp>> {
-        Ok(Box::new(ProjectStage { fields: self.fields.clone(), scratch: Vec::new(), next }))
+        Ok(Box::new(ProjectStage {
+            fields: self.fields.clone(),
+            scratch: Vec::new(),
+            projected: FrameBuf::new(),
+            next,
+        }))
     }
 
     fn run(&self, ctx: &mut OpCtx) -> Result<()> {
+        let vectorized = ctx.env.vectorized;
         let OpCtx { inputs, outputs, .. } = ctx;
         let out = &mut outputs[0];
         let fields = &self.fields;
@@ -547,11 +733,27 @@ impl OperatorDescriptor for ProjectOp {
         // fresh tuple without ever decoding them (out-of-range fields
         // become MISSING, matching the decoded semantics).
         let mut scratch = Vec::new();
-        inputs[0].for_each_raw(|bytes| {
-            let r = asterix_adm::TupleRef::new(bytes)?;
-            scratch.clear();
-            asterix_adm::tuple::project_tuple_into(&mut scratch, &r, fields);
-            out.push_encoded(&scratch)?;
+        if !vectorized {
+            return inputs[0].for_each_raw(|bytes| {
+                let r = asterix_adm::TupleRef::new(bytes)?;
+                scratch.clear();
+                asterix_adm::tuple::project_tuple_into(&mut scratch, &r, fields);
+                out.push_encoded(&scratch)?;
+                Ok(true)
+            });
+        }
+        // Batch path: project every tuple of the frame into a scratch frame
+        // walked off the slot directory once, then push it whole.
+        let mut projected = FrameBuf::new();
+        inputs[0].for_each_frame(|frame| {
+            projected.clear();
+            for i in 0..frame.tuple_count() {
+                let r = frame.tuple_ref(i)?;
+                scratch.clear();
+                asterix_adm::tuple::project_tuple_into(&mut scratch, &r, fields);
+                projected.push_encoded(&scratch);
+            }
+            out.push_frame(&projected)?;
             Ok(true)
         })
     }
@@ -560,6 +762,7 @@ impl OperatorDescriptor for ProjectOp {
 struct ProjectStage {
     fields: Vec<usize>,
     scratch: Vec<u8>,
+    projected: FrameBuf,
     next: Box<dyn PipelineOp>,
 }
 
@@ -569,6 +772,20 @@ impl PipelineOp for ProjectStage {
         self.scratch.clear();
         asterix_adm::tuple::project_tuple_into(&mut self.scratch, &r, &self.fields);
         self.next.push(&self.scratch)
+    }
+
+    fn push_frame(&mut self, frame: &FrameBuf) -> Result<()> {
+        self.projected.clear();
+        for i in 0..frame.tuple_count() {
+            let r = frame.tuple_ref(i)?;
+            self.scratch.clear();
+            asterix_adm::tuple::project_tuple_into(&mut self.scratch, &r, &self.fields);
+            self.projected.push_encoded(&self.scratch);
+        }
+        let projected = std::mem::take(&mut self.projected);
+        let res = self.next.push_frame(&projected);
+        self.projected = projected;
+        res
     }
 
     fn flush(&mut self) -> Result<()> {
@@ -668,6 +885,224 @@ impl PipelineOp for LimitStage {
     }
 
     fn finish(&mut self) -> Result<()> {
+        self.next.finish()
+    }
+}
+
+/// How many pass-through tuples a filter consumer routes to a
+/// not-yet-published partition before re-polling the hub.
+const FILTER_POLL_EVERY: u32 = 64;
+
+/// Consult-side state for runtime join filters, shared by the pull
+/// operator and the fused stage: per-join-partition cached [`KeyTest`]s
+/// and locally-accumulated stats (folded into the hub counters once, at
+/// end of stream).
+struct FilterConsult {
+    hub: Arc<RuntimeFilterHub>,
+    filter_id: usize,
+    key_cols: Vec<usize>,
+    join_nparts: usize,
+    cached: Vec<Option<KeyTest>>,
+    since_poll: u32,
+    checked: u64,
+    pruned: u64,
+}
+
+impl FilterConsult {
+    fn new(
+        env: &ExecEnv,
+        filter_id: usize,
+        key_cols: Vec<usize>,
+        join_nparts: usize,
+    ) -> FilterConsult {
+        let join_nparts = join_nparts.max(1);
+        FilterConsult {
+            hub: Arc::clone(&env.filters),
+            filter_id,
+            key_cols,
+            join_nparts,
+            cached: vec![None; join_nparts],
+            // Start saturated so the first tuple polls immediately: when
+            // the build finishes before the probe starts (small build
+            // sides, the common case), pruning kicks in from tuple one.
+            since_poll: FILTER_POLL_EVERY,
+            checked: 0,
+            pruned: 0,
+        }
+    }
+
+    /// Fetch filters published since the last poll.
+    fn poll(&mut self) {
+        self.since_poll = 0;
+        for p in 0..self.join_nparts {
+            if self.cached[p].is_none() {
+                self.cached[p] = self.hub.get(self.filter_id, p);
+            }
+        }
+    }
+
+    /// Keep this tuple? Routes the key hash exactly like the exchange
+    /// (`hash % join_nparts`) and tests that partition's filter;
+    /// pass-through until the filter is published (best-effort by design —
+    /// the filter has no false negatives, so a late check never changes
+    /// results, only prunes less).
+    fn keep(&mut self, bytes: &[u8]) -> Result<bool> {
+        let r = asterix_adm::TupleRef::new(bytes)?;
+        let h = hash_encoded_fields(&r, &self.key_cols);
+        let p = (h % self.join_nparts as u64) as usize;
+        if self.cached[p].is_none() {
+            self.since_poll += 1;
+            if self.since_poll >= FILTER_POLL_EVERY {
+                self.poll();
+            }
+        }
+        Ok(match &self.cached[p] {
+            None => true,
+            Some(test) => {
+                self.checked += 1;
+                if test(h) {
+                    true
+                } else {
+                    self.pruned += 1;
+                    false
+                }
+            }
+        })
+    }
+
+    /// Fold the locally-accumulated counts into the hub's shared stats.
+    fn flush_stats(&mut self) {
+        if self.checked > 0 {
+            self.hub.stats().checked.add(std::mem::take(&mut self.checked));
+        }
+        if self.pruned > 0 {
+            self.hub.stats().pruned_tuples.add(std::mem::take(&mut self.pruned));
+        }
+    }
+}
+
+/// Probe-side consult operator for runtime join filters: drops tuples
+/// whose join-key hash certainly has no build-side match *before* the
+/// exchange into the join. Jobgen inserts it on the probe branch of inner
+/// hash joins; it is fusible, so it rides the scan-headed pipeline thread
+/// — the scan itself consults the filter.
+pub struct RuntimeFilterProbeOp {
+    /// Hub slot this probe consults ([`crate::job::JobSpec::alloc_runtime_filter`]).
+    pub filter_id: usize,
+    /// Probe-side columns holding the join key, in the join's key order —
+    /// the columns the probe exchange hashes.
+    pub key_cols: Vec<usize>,
+    /// Partition count of the join: the modulus of the routing hash.
+    pub join_nparts: usize,
+}
+
+impl OperatorDescriptor for RuntimeFilterProbeOp {
+    fn name(&self) -> String {
+        format!("runtime-filter-probe #{} {:?}", self.filter_id, self.key_cols)
+    }
+
+    fn fusible(&self) -> bool {
+        true
+    }
+
+    fn pipeline(&self, ctx: PipelineCtx, next: Box<dyn PipelineOp>) -> Result<Box<dyn PipelineOp>> {
+        Ok(Box::new(RuntimeFilterStage {
+            consult: FilterConsult::new(
+                &ctx.env,
+                self.filter_id,
+                self.key_cols.clone(),
+                self.join_nparts,
+            ),
+            keep: SelBitmap::new(),
+            compacted: FrameBuf::new(),
+            next,
+        }))
+    }
+
+    fn run(&self, ctx: &mut OpCtx) -> Result<()> {
+        let env = ctx.env.clone();
+        let mut consult =
+            FilterConsult::new(&env, self.filter_id, self.key_cols.clone(), self.join_nparts);
+        let OpCtx { inputs, outputs, .. } = ctx;
+        let out = &mut outputs[0];
+        let res = if env.vectorized {
+            let mut keep = SelBitmap::new();
+            let mut compacted = FrameBuf::new();
+            inputs[0].for_each_frame(|frame| {
+                consult.poll();
+                let n = frame.tuple_count();
+                keep.reset(n);
+                for i in 0..n {
+                    if consult.keep(frame.tuple_bytes(i))? {
+                        keep.set(i);
+                    }
+                }
+                if keep.all() {
+                    out.push_frame(frame)?;
+                } else if keep.count() > 0 {
+                    compacted.clear();
+                    frame.compact_into(&keep, &mut compacted);
+                    out.push_frame(&compacted)?;
+                }
+                Ok(true)
+            })
+        } else {
+            inputs[0].for_each_raw(|bytes| {
+                if consult.keep(bytes)? {
+                    out.push_encoded(bytes)?;
+                }
+                Ok(true)
+            })
+        };
+        consult.flush_stats();
+        res
+    }
+}
+
+struct RuntimeFilterStage {
+    consult: FilterConsult,
+    keep: SelBitmap,
+    compacted: FrameBuf,
+    next: Box<dyn PipelineOp>,
+}
+
+impl PipelineOp for RuntimeFilterStage {
+    fn push(&mut self, bytes: &[u8]) -> Result<()> {
+        if self.consult.keep(bytes)? {
+            self.next.push(bytes)?;
+        }
+        Ok(())
+    }
+
+    fn push_frame(&mut self, frame: &FrameBuf) -> Result<()> {
+        self.consult.poll();
+        let n = frame.tuple_count();
+        self.keep.reset(n);
+        for i in 0..n {
+            if self.consult.keep(frame.tuple_bytes(i))? {
+                self.keep.set(i);
+            }
+        }
+        if self.keep.all() {
+            self.next.push_frame(frame)
+        } else if self.keep.count() > 0 {
+            self.compacted.clear();
+            frame.compact_into(&self.keep, &mut self.compacted);
+            let compacted = std::mem::take(&mut self.compacted);
+            let res = self.next.push_frame(&compacted);
+            self.compacted = compacted;
+            res
+        } else {
+            Ok(())
+        }
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.next.flush()
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        self.consult.flush_stats();
         self.next.finish()
     }
 }

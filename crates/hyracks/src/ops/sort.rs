@@ -321,7 +321,14 @@ mod tests {
             in_outs[0].push(t).unwrap();
         }
         drop(in_outs);
-        let mut ctx = OpCtx { partition: 0, nparts: 1, node: 0, inputs: ins, outputs: outs };
+        let mut ctx = OpCtx {
+            partition: 0,
+            nparts: 1,
+            node: 0,
+            inputs: ins,
+            outputs: outs,
+            env: Default::default(),
+        };
         op.run(&mut ctx).unwrap();
         drop(ctx);
         res_ins[0].collect().unwrap()
@@ -425,7 +432,14 @@ mod tests {
         drop(in_outs);
         token.cancel();
         let op = SortOp::new(label, vec![SortKey::field(0, false)]).with_budget(4096);
-        let mut ctx = OpCtx { partition: 0, nparts: 1, node: 0, inputs: ins, outputs: outs };
+        let mut ctx = OpCtx {
+            partition: 0,
+            nparts: 1,
+            node: 0,
+            inputs: ins,
+            outputs: outs,
+            env: Default::default(),
+        };
         let res = op.run(&mut ctx);
         assert!(
             matches!(res, Err(crate::HyracksError::Cancelled)),

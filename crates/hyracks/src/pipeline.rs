@@ -19,18 +19,46 @@
 use std::sync::Arc;
 
 use crate::connector::OutputPort;
+use crate::filter::RuntimeFilterHub;
+use crate::frame::{FrameBuf, FRAME_CAPACITY};
 use crate::profile::PortMeter;
 use crate::Result;
+
+/// Job-wide execution environment threaded into every operator and push
+/// stage: the vectorization A/B switch, the frame batching target, and the
+/// runtime-filter hub. Cheap to clone (two words plus an `Arc`).
+#[derive(Clone)]
+pub struct ExecEnv {
+    /// Batch-at-a-time evaluation enabled (`disable_vectorization` off).
+    pub vectorized: bool,
+    /// Tuples a producer batches into one frame before pushing it.
+    pub tuples_per_frame: usize,
+    /// Runtime join filters published by build phases, consulted by
+    /// probe-side producers.
+    pub filters: Arc<RuntimeFilterHub>,
+}
+
+impl Default for ExecEnv {
+    fn default() -> ExecEnv {
+        ExecEnv {
+            vectorized: true,
+            tuples_per_frame: FRAME_CAPACITY,
+            filters: RuntimeFilterHub::disabled(),
+        }
+    }
+}
 
 /// Per-partition context handed to an operator when it is instantiated as
 /// a fused push stage (mirrors the fields of [`crate::ops::OpCtx`] that a
 /// streaming operator may consult).
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone)]
 pub struct PipelineCtx {
     pub partition: usize,
     pub nparts: usize,
     /// Simulated node hosting this partition.
     pub node: usize,
+    /// Job-wide execution environment.
+    pub env: ExecEnv,
 }
 
 /// One operator instantiated as a push stage inside a fused chain.
@@ -43,6 +71,18 @@ pub struct PipelineCtx {
 pub trait PipelineOp: Send {
     /// Process one encoded tuple.
     fn push(&mut self, bytes: &[u8]) -> Result<()>;
+
+    /// Process a whole frame of encoded tuples at once — the vectorized
+    /// hook. Stages that can evaluate batch-at-a-time (select via bitmap +
+    /// compaction, project into a scratch frame) override this; the
+    /// default degrades to per-tuple `push`, so correctness never depends
+    /// on a stage being batch-aware.
+    fn push_frame(&mut self, frame: &FrameBuf) -> Result<()> {
+        for bytes in frame.iter() {
+            self.push(bytes)?;
+        }
+        Ok(())
+    }
 
     /// Propagate an early flush downstream (operators that flush to bound
     /// latency — feeds — reach the real tail port through this).
@@ -78,6 +118,14 @@ impl PipelineOp for FusedEdge {
         self.next.push(bytes)
     }
 
+    fn push_frame(&mut self, frame: &FrameBuf) -> Result<()> {
+        let n = frame.tuple_count() as u64;
+        for m in &self.meters {
+            m.tuples.add(n);
+        }
+        self.next.push_frame(frame)
+    }
+
     fn flush(&mut self) -> Result<()> {
         self.next.flush()
     }
@@ -104,6 +152,10 @@ impl PortSink {
 impl PipelineOp for PortSink {
     fn push(&mut self, bytes: &[u8]) -> Result<()> {
         self.port.push_encoded(bytes)
+    }
+
+    fn push_frame(&mut self, frame: &FrameBuf) -> Result<()> {
+        self.port.push_frame(frame)
     }
 
     fn flush(&mut self) -> Result<()> {

@@ -28,15 +28,28 @@ fn hash64(data: &[u8], seed: u64) -> u64 {
     h ^ (h >> 31)
 }
 
+/// Bits per key that hit a target false-positive rate with the optimal
+/// hash count: `m/n = -ln(p) / (ln 2)²`. Targets are clamped to
+/// `[1e-6, 0.5]` — beyond that the formula asks for less than one bit or
+/// more than ~29 bits per key, neither of which a component filter wants.
+pub fn bits_per_key(fpp: f64) -> f64 {
+    -fpp.clamp(1e-6, 0.5).ln() / (std::f64::consts::LN_2 * std::f64::consts::LN_2)
+}
+
+/// Optimal hash-function count for a bits-per-key budget: `k = b · ln 2`,
+/// clamped to `[1, 16]` probes.
+pub fn optimal_k(bits_per_key: f64) -> u32 {
+    (bits_per_key * std::f64::consts::LN_2).round().clamp(1.0, 16.0) as u32
+}
+
 impl BloomFilter {
-    /// Build a filter sized for `expected` keys at ~`fpp` false positives.
+    /// Build a filter sized for `expected` keys at ~`fpp` false positives
+    /// (bits and probe count both derived from the target via
+    /// [`bits_per_key`] / [`optimal_k`]).
     pub fn with_capacity(expected: usize, fpp: f64) -> Self {
-        let expected = expected.max(1) as f64;
-        let fpp = fpp.clamp(1e-6, 0.5);
-        let nbits =
-            (-(expected * fpp.ln()) / (std::f64::consts::LN_2.powi(2))).ceil().max(64.0) as u64;
-        let k = ((nbits as f64 / expected) * std::f64::consts::LN_2).round().max(1.0) as u32;
-        BloomFilter { bits: vec![0u64; nbits.div_ceil(64) as usize], nbits, k: k.min(16) }
+        let b = bits_per_key(fpp);
+        let nbits = (b * expected.max(1) as f64).ceil().max(64.0) as u64;
+        BloomFilter { bits: vec![0u64; nbits.div_ceil(64) as usize], nbits, k: optimal_k(b) }
     }
 
     /// Insert a key.
@@ -144,5 +157,46 @@ mod tests {
     fn empty_filter_rejects() {
         let f = BloomFilter::with_capacity(10, 0.01);
         assert!(!f.may_contain(b"anything"));
+    }
+
+    #[test]
+    fn sizing_follows_target() {
+        // Tighter targets cost more bits and more probes.
+        assert!(bits_per_key(0.001) > bits_per_key(0.01));
+        assert!(optimal_k(bits_per_key(0.001)) > optimal_k(bits_per_key(0.01)));
+        // ~9.6 bits/key and 7 probes at 1% — the textbook figures.
+        assert!((bits_per_key(0.01) - 9.585).abs() < 0.01);
+        assert_eq!(optimal_k(bits_per_key(0.01)), 7);
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+        /// Observed FPR stays within 2× the sizing target, at both small
+        /// (1k) and large (100k) key counts. Members are i ∈ [0, n),
+        /// probes i ∈ [n, n+50k) under an injective mix of `seed`, so no
+        /// probe is a member and every hit is a genuine false positive.
+        #[test]
+        fn fpr_stays_within_twice_target(
+            seed in any::<u64>(),
+            fpp in prop_oneof![Just(0.05), Just(0.01), Just(0.002)],
+        ) {
+            for &n in &[1_000usize, 100_000] {
+                let key = |i: u64| (seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15)).to_le_bytes();
+                let mut f = BloomFilter::with_capacity(n, fpp);
+                for i in 0..n as u64 {
+                    f.insert(&key(i));
+                }
+                let probes = 50_000u64;
+                let fp =
+                    (n as u64..n as u64 + probes).filter(|&i| f.may_contain(&key(i))).count();
+                let observed = fp as f64 / probes as f64;
+                prop_assert!(
+                    observed <= 2.0 * fpp,
+                    "n={n} target fpp={fpp} observed={observed}"
+                );
+            }
+        }
     }
 }

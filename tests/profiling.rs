@@ -235,6 +235,169 @@ fn fused_limit_stops_early_through_chain() {
     assert_eq!(limit.tuples_out(), 3);
 }
 
+/// A join fixture with `extra` partner-less users beyond the `n` matched
+/// pairs, under an arbitrary config tweak — the runtime-filter and
+/// vectorization A/B tests build matched instances with one knob flipped.
+fn ab_instance(
+    n: usize,
+    extra: usize,
+    tweak: impl FnOnce(&mut ClusterConfig),
+) -> (Arc<Instance>, tempfile::TempDir) {
+    let dir = tempfile::TempDir::new().unwrap();
+    let mut cfg = ClusterConfig::small(dir.path().join("db"));
+    cfg.nodes = 2;
+    cfg.partitions_per_node = 2;
+    tweak(&mut cfg);
+    let instance = Instance::open(cfg).unwrap();
+    instance
+        .execute(
+            r#"
+        create dataverse Prof;
+        use dataverse Prof;
+        create type UserType as open { id: int64 };
+        create type MsgType as open { message-id: int64 };
+        create dataset MugshotUsers(UserType) primary key id;
+        create dataset MugshotMessages(MsgType) primary key message-id;
+    "#,
+        )
+        .unwrap();
+    for i in 1..=(n + extra) as i64 {
+        instance
+            .execute(&format!(
+                r#"insert into dataset MugshotUsers ({{ "id": {i}, "name": "user{i}" }});"#
+            ))
+            .unwrap();
+        if i <= n as i64 {
+            instance
+                .execute(&format!(
+                    r#"insert into dataset MugshotMessages (
+                        {{ "message-id": {i}, "author-id": {i}, "message": "msg{i}" }});"#
+                ))
+                .unwrap();
+        }
+    }
+    instance.dataset("MugshotUsers").unwrap().flush_all().unwrap();
+    instance.dataset("MugshotMessages").unwrap().flush_all().unwrap();
+    (instance, dir)
+}
+
+fn sorted_rows(rows: &[asterix_adm::Value]) -> Vec<asterix_adm::Value> {
+    let mut v = rows.to_vec();
+    v.sort_by(|a, b| a.total_cmp(b));
+    v
+}
+
+/// Vectorized (batch-at-a-time) evaluation is an execution-strategy change
+/// only: the Table-3 query shapes — scan+select (ordkey-classified numeric
+/// and string comparisons), equijoin, and aggregation — return bit-identical
+/// rows with the scalar path forced, and every operator's profiled tuple
+/// counts agree between the two runs.
+#[test]
+fn vectorization_preserves_results_and_operator_tuple_counts() {
+    use std::collections::BTreeMap;
+
+    let queries = [
+        // Ordkey fast path: integer comparison against a constant.
+        r#"for $u in dataset MugshotUsers
+           where $u.id <= 10
+           return { "u": $u.id, "name": $u.name }"#,
+        // Ordkey fast path: string equality, constant on the left.
+        r#"for $u in dataset MugshotUsers
+           where "user3" = $u.name
+           return $u.id"#,
+        // Hash equijoin (runtime filter rides along in both runs).
+        r#"for $u in dataset MugshotUsers
+           for $m in dataset MugshotMessages
+           where $m.author-id = $u.id
+           return { "u": $u.id, "m": $m.message-id }"#,
+        // Aggregation over a selected scan.
+        r#"avg(
+            for $m in dataset MugshotMessages
+            where $m.message-id > 5
+            return $m.message-id
+        )"#,
+    ];
+    let (vectorized, _d1) = ab_instance(N, N, |_| {});
+    let (scalar, _d2) = ab_instance(N, N, |cfg| cfg.disable_vectorization = true);
+    for q in queries {
+        let vp = vectorized.profile(q).unwrap();
+        let sp = scalar.profile(q).unwrap();
+        assert_eq!(
+            sorted_rows(&vp.rows),
+            sorted_rows(&sp.rows),
+            "vectorized and scalar rows must be identical: {q}"
+        );
+        let counts = |p: &asterixdb::QueryProfile| -> BTreeMap<String, (u64, u64)> {
+            let mut m = BTreeMap::new();
+            for o in &p.operators.operators {
+                let e = m.entry(o.name.clone()).or_insert((0u64, 0u64));
+                e.0 += o.tuples_in();
+                e.1 += o.tuples_out();
+            }
+            m
+        };
+        assert_eq!(counts(&vp), counts(&sp), "per-operator tuple counts differ: {q}");
+    }
+}
+
+/// Runtime join filters prune partner-less probe tuples before the
+/// exchange without changing results, and the profiled tuple counts
+/// reconcile exactly: the consult operator's in/out delta equals the
+/// `filters.pruned_tuples` metric delta, and what it let through is what
+/// the join's probe port received.
+#[test]
+fn runtime_filters_prune_probe_tuples_and_reconcile_counts() {
+    let query = r#"for $u in dataset MugshotUsers
+                   for $m in dataset MugshotMessages
+                   where $m.author-id = $u.id
+                   return { "u": $u.id, "m": $m.message-id }"#;
+    // N matched users + N partner-less ones: the probe side scans 2N
+    // tuples, only N can ever join.
+    let (on, _d1) = ab_instance(N, N, |_| {});
+    let (off, _d2) = ab_instance(N, N, |cfg| cfg.disable_runtime_filters = true);
+
+    let on_profile = on.profile(query).unwrap();
+    let off_profile = off.profile(query).unwrap();
+    assert_eq!(on_profile.rows.len(), N);
+    assert_eq!(
+        sorted_rows(&on_profile.rows),
+        sorted_rows(&off_profile.rows),
+        "runtime filters must not change results"
+    );
+
+    // With filters disabled nothing is published, checked, or pruned —
+    // and the compiler doesn't even insert the consult operator.
+    assert_eq!(off.filter_stats().published.get(), 0);
+    assert_eq!(off.filter_stats().pruned_tuples.get(), 0);
+    assert!(off_profile.operators.find("runtime-filter-probe").is_none());
+
+    // Filters-on: each build partition published at end-of-build. Pruning
+    // itself is best-effort (the probe may outrun publication), but the
+    // counts must reconcile exactly: scan out = consult in, and consult
+    // in − consult out = pruned tuples.
+    assert_eq!(on.filter_stats().published.get(), on.config().partitions() as u64);
+    let consult =
+        on_profile.operators.find("runtime-filter-probe").expect("consult operator in profile");
+    let scan = on_profile
+        .operators
+        .operators
+        .iter()
+        .find(|o| o.name.starts_with("data-scan") && o.name.contains("MugshotUsers"))
+        .expect("users data-scan in profile");
+    let join = on_profile.operator("hybrid-hash-join").expect("hash join in profile");
+    assert_eq!(scan.tuples_out(), 2 * N as u64, "probe scan sees matched + partner-less users");
+    let pruned = on.filter_stats().pruned_tuples.get();
+    assert_eq!(consult.tuples_in(), consult.tuples_out() + pruned, "consult drops = pruned");
+    assert_eq!(join.tuples_in_port(1), consult.tuples_out(), "join probe port = consult out");
+    assert_eq!(join.tuples_out(), N as u64);
+
+    // The registry carries the same counters under `filters.*`.
+    match on.metrics().get("filters.pruned_tuples") {
+        Some(Metric::Counter(c)) => assert_eq!(c.get(), pruned),
+        other => panic!("filters.pruned_tuples missing: {other:?}"),
+    }
+}
+
 /// The instance registry aggregates every layer: exchange counters moved
 /// out of `ExchangeStats`, per-shard cache counters, WAL appends, and the
 /// LSM flush metrics recorded by `flush_all` — with the component gauges
