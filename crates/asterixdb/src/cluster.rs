@@ -61,6 +61,15 @@ pub struct ClusterConfig {
     /// Working memory requested for each admitted query (clamped to the
     /// pool's headroom at grant time).
     pub per_query_mem_bytes: usize,
+    /// Per-trace ring capacity (finished spans retained) for profiled
+    /// queries. Tracing itself is per-query: `Instance::profile` traces,
+    /// `Instance::query` does not.
+    pub trace_capacity: usize,
+    /// When set, a background sampler thread snapshots the instance
+    /// metrics registry at this cadence, retaining per-interval deltas in
+    /// a bounded in-memory ring (`Instance::metrics_timeseries_json`).
+    /// `None` (the default) spawns no sampler.
+    pub metrics_sample_interval: Option<std::time::Duration>,
 }
 
 impl ClusterConfig {
@@ -84,6 +93,8 @@ impl ClusterConfig {
             admission_timeout: std::time::Duration::from_secs(10),
             query_mem_pool_bytes: 1 << 30,
             per_query_mem_bytes: 128 << 20,
+            trace_capacity: asterix_obs::DEFAULT_TRACE_CAPACITY,
+            metrics_sample_interval: None,
         }
     }
 

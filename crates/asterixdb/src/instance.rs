@@ -20,9 +20,9 @@ use asterix_aql::translate::Translator;
 use asterix_feeds::{socket_adaptor, ComputeFn, IngestionPipeline, SocketEndpoint};
 use asterix_metadata::{
     Catalog, DatasetKind, DatasetMeta, FeedMeta, FunctionMeta, IndexKindMeta, IndexMeta,
-    METADATA_DATAVERSE,
+    ACTIVE_JOBS_DATASET, METADATA_DATAVERSE, METRICS_DATASET,
 };
-use asterix_obs::{log_event, MetricsRegistry, Span};
+use asterix_obs::{log_event, now_us, MetricsRegistry, Sampler, Span, TraceContext};
 use asterix_storage::BufferCache;
 use asterix_txn::wal::{Durability, LogManager};
 use asterix_txn::{recover, LockManager, RecoveryTarget};
@@ -95,9 +95,16 @@ pub struct Instance {
     /// The workload manager: admission control, per-query memory grants,
     /// and cooperative cancellation (DESIGN.md "Workload management").
     rm: Arc<asterix_rm::ResourceManager>,
+    /// Continuous metrics sampler (running when the config sets
+    /// `metrics_sample_interval`); stopped on drop.
+    sampler: Mutex<Option<Sampler>>,
     /// When true, DDL is not persisted (used internally during replay).
     replaying: std::sync::atomic::AtomicBool,
 }
+
+/// Frames the continuous sampler retains (at a 1 s cadence, 10 minutes of
+/// registry deltas).
+const SAMPLER_RING_CAPACITY: usize = 600;
 
 /// Per-query execution options for [`Instance::query_with`].
 #[derive(Debug, Clone, Default)]
@@ -145,6 +152,7 @@ impl Instance {
             external_cache: RwLock::new(HashMap::new()),
             partitions: cfg.partitions(),
             partitions_per_node: cfg.partitions_per_node.max(1),
+            system_datasets: RwLock::new(HashMap::new()),
         });
         let instance = Arc::new(Instance {
             cache: BufferCache::with_shards(cfg.buffer_cache_pages, cfg.cache_shards),
@@ -174,6 +182,7 @@ impl Instance {
                 per_query_mem_bytes: cfg.per_query_mem_bytes,
                 ..Default::default()
             }),
+            sampler: Mutex::new(None),
             replaying: std::sync::atomic::AtomicBool::new(false),
             cfg,
         });
@@ -185,6 +194,25 @@ impl Instance {
         instance.rm.stats().register_into(&instance.metrics, "rm");
         for (n, wal) in instance.wals.iter().enumerate() {
             wal.register_into(&instance.metrics, &format!("wal.node{n}"));
+        }
+        // Live system views: ordinary AQL over `Metadata.ActiveJobs` /
+        // `Metadata.Metrics` observes the instance as of the scan.
+        let rm = Arc::clone(&instance.rm);
+        instance.shared.register_system_dataset(
+            ACTIVE_JOBS_DATASET,
+            Arc::new(move || crate::system::active_jobs_records(&rm.list_jobs())),
+        );
+        let metrics = Arc::clone(&instance.metrics);
+        instance.shared.register_system_dataset(
+            METRICS_DATASET,
+            Arc::new(move || crate::system::metrics_records(&metrics.snapshot())),
+        );
+        if let Some(interval) = instance.cfg.metrics_sample_interval {
+            *instance.sampler.lock() = Some(Sampler::start(
+                Arc::clone(&instance.metrics),
+                interval,
+                SAMPLER_RING_CAPACITY,
+            ));
         }
         instance.replay_ddl()?;
         instance.recover_from_wal()?;
@@ -251,6 +279,29 @@ impl Instance {
     /// Schema-versioned JSON snapshot of every registered metric.
     pub fn metrics_json(&self) -> String {
         format!("{{\"schema_version\":1,\"metrics\":{}}}", self.metrics.to_json())
+    }
+
+    /// Point-in-time view of the whole instance: the workload manager's
+    /// jobs table (with live tuple progress) plus a full metrics snapshot.
+    /// The same data backs the queryable `Metadata.ActiveJobs` and
+    /// `Metadata.Metrics` pseudo-datasets.
+    pub fn system_snapshot(&self) -> crate::system::SystemSnapshot {
+        crate::system::SystemSnapshot {
+            ts_us: now_us(),
+            jobs: self.rm.list_jobs(),
+            metrics: self.metrics.snapshot(),
+        }
+    }
+
+    /// Prometheus text exposition of every registered metric.
+    pub fn metrics_prometheus(&self) -> String {
+        self.metrics.to_prometheus()
+    }
+
+    /// The continuous sampler's retained per-interval registry deltas as a
+    /// JSON array (empty when `metrics_sample_interval` is unset).
+    pub fn metrics_timeseries_json(&self) -> String {
+        self.sampler.lock().as_ref().map_or_else(|| "[]".to_string(), Sampler::to_json)
     }
 
     /// The shared catalog/dataset state (for embedding scenarios that build
@@ -443,8 +494,23 @@ impl Instance {
     }
 
     fn profile_query(&self, e: &Expr, parse: asterix_obs::SpanRecord) -> Result<QueryProfile> {
+        // Profiled queries run under a fresh trace: a root `query` span
+        // with the queue wait, compile phases, and per-thread execution
+        // spans nested beneath it.
+        let trace = TraceContext::new_trace(self.cfg.trace_capacity);
+        let root = trace.span("query");
+        let root_ctx = root.context();
+        let queue_span = root_ctx.span("rm.queue_wait");
         let ticket = self.rm.begin("profile", None)?;
-        let res = self.profile_admitted_query(e, parse, &ticket);
+        queue_span.finish();
+        ticket.set_trace_id(trace.trace_id());
+        let res = self.profile_admitted_query(e, parse, &ticket, &root_ctx);
+        root.finish();
+        let res = res.map(|mut p| {
+            p.trace_id = trace.trace_id();
+            p.trace = trace.sink().map(|s| s.events()).unwrap_or_default();
+            p
+        });
         self.note_cancelled(&res);
         res
     }
@@ -454,7 +520,9 @@ impl Instance {
         e: &Expr,
         parse: asterix_obs::SpanRecord,
         ticket: &asterix_rm::QueryTicket,
+        trace: &TraceContext,
     ) -> Result<QueryProfile> {
+        trace.record_span(&parse);
         let catalog = self.session_catalog();
         let mut tr = Translator::new(&catalog);
         {
@@ -465,6 +533,7 @@ impl Instance {
         let translate_span = Span::start("translate");
         let plan = tr.translate_query(e)?;
         let translate = translate_span.finish();
+        trace.record_span(&translate);
 
         let provider = self.provider();
         let mut options = self.optimizer_options.read().clone();
@@ -472,15 +541,21 @@ impl Instance {
         let optimize_span = Span::start("optimize");
         let optimized = optimize(plan, &provider, &self.fn_ctx(), &options);
         let optimize_rec = optimize_span.finish();
+        trace.record_span(&optimize_rec);
 
         let jobgen_span = Span::start("jobgen");
         let compiled = jobgen::compile(&optimized, provider, self.fn_ctx(), &options)?;
         let jobgen_rec = jobgen_span.finish();
+        trace.record_span(&jobgen_rec);
 
         let mut cfg = self.executor_config();
         cfg.cancel = Some(ticket.token().clone());
+        cfg.progress = Some(ticket.progress());
         let execute_span = Span::start("execute");
+        let exec_tspan = trace.span("execute");
+        cfg.trace = exec_tspan.context();
         let (rows, operators) = compiled.run_profiled_with(&cfg, &self.exchange_stats)?;
+        exec_tspan.finish();
         let execute = execute_span.finish();
 
         let profile = QueryProfile {
@@ -489,6 +564,9 @@ impl Instance {
             phases: vec![parse, translate, optimize_rec, jobgen_rec, execute],
             rows,
             operators,
+            // Filled in by `profile_query` once the root span closes.
+            trace_id: 0,
+            trace: Vec::new(),
         };
         log_event(
             "asterix.query",
@@ -846,6 +924,8 @@ impl Instance {
         let compiled = jobgen::compile(&optimized, provider, self.fn_ctx(), &options)?;
         let mut cfg = self.executor_config();
         cfg.cancel = Some(ticket.token().clone());
+        // Live tuple progress for `Metadata.ActiveJobs` / `list_jobs`.
+        cfg.progress = Some(ticket.progress());
         let started = std::time::Instant::now();
         let rows = compiled.run_with(&cfg, &self.exchange_stats)?;
         log_event(

@@ -15,10 +15,12 @@ pub mod error;
 pub mod instance;
 pub mod profile;
 pub mod provider;
+pub mod system;
 
 pub use cluster::ClusterConfig;
 pub use error::{AsterixError, Result};
 pub use instance::{Instance, QueryOpts, StatementResult};
 pub use profile::QueryProfile;
+pub use system::SystemSnapshot;
 
 pub use asterix_rm::{AdmissionError, JobInfo, JobState};

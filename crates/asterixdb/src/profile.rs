@@ -5,7 +5,7 @@
 
 use asterix_adm::Value;
 use asterix_hyracks::{JobProfile, OperatorProfile};
-use asterix_obs::SpanRecord;
+use asterix_obs::{json_escape, SpanRecord, TraceEvent};
 
 /// The result of [`crate::Instance::profile`]: the query's rows plus a
 /// full breakdown of where its time went.
@@ -25,6 +25,14 @@ pub struct QueryProfile {
     /// are the ones job generation assigned, so entries map back to the
     /// plan nodes shown in `job`.
     pub operators: JobProfile,
+    /// Process-unique ID of this query's trace.
+    pub trace_id: u64,
+    /// The query's finished spans, sorted by start time: a root `query`
+    /// span; `rm.queue_wait` and the compile phases under it; per-thread
+    /// pipeline spans under `execute` with operator/send-block/spill spans
+    /// nested beneath; any LSM maintenance the query triggered
+    /// synchronously.
+    pub trace: Vec<TraceEvent>,
 }
 
 impl QueryProfile {
@@ -43,6 +51,60 @@ impl QueryProfile {
     /// Total microseconds across the recorded phases.
     pub fn total_us(&self) -> u64 {
         self.phases.iter().map(|s| s.duration.as_micros() as u64).sum()
+    }
+
+    /// The trace's root span (the whole-query `query` span).
+    pub fn trace_root(&self) -> Option<&TraceEvent> {
+        self.trace.iter().find(|e| e.parent_id == 0)
+    }
+
+    /// Direct children of the span with ID `parent`, in start order.
+    pub fn trace_children(&self, parent: u64) -> Vec<&TraceEvent> {
+        self.trace.iter().filter(|e| e.parent_id == parent).collect()
+    }
+
+    /// Export the trace as Chrome trace-event JSON (the "JSON Array
+    /// Format" with a `traceEvents` wrapper), loadable in
+    /// `chrome://tracing` and Perfetto. Spans become complete (`ph:"X"`)
+    /// events; the query's trace ID is the `pid` and each distinct
+    /// thread/partition label gets a `tid` (named via `thread_name`
+    /// metadata events). Span/parent IDs ride along in `args`.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut labels: Vec<String> = Vec::new();
+        let pid = self.trace_id;
+        let mut events = String::new();
+        for e in &self.trace {
+            let label = if e.label.is_empty() { "cc" } else { e.label.as_str() };
+            let tid = match labels.iter().position(|l| l == label) {
+                Some(i) => i,
+                None => {
+                    labels.push(label.to_string());
+                    labels.len() - 1
+                }
+            };
+            if !events.is_empty() {
+                events.push(',');
+            }
+            let cat = e.name.split(['.', ':']).next().unwrap_or("span");
+            events.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":{pid},\"tid\":{tid},\"args\":{{\"span_id\":{},\"parent_id\":{}}}}}",
+                json_escape(&e.name),
+                json_escape(cat),
+                e.start_us,
+                e.duration_us,
+                e.span_id,
+                e.parent_id
+            ));
+        }
+        for (tid, label) in labels.iter().enumerate() {
+            events.push_str(&format!(
+                ",{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                json_escape(label)
+            ));
+        }
+        format!("{{\"traceEvents\":[{events}]}}")
     }
 
     /// A human-readable report: phase timings, then the per-operator table.

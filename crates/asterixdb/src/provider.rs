@@ -23,6 +23,11 @@ fn op_err(e: impl std::fmt::Display) -> HyracksError {
     HyracksError::Operator(e.to_string())
 }
 
+/// A live system-view generator: called at scan time to materialize the
+/// current records of a `Metadata.*` pseudo-dataset (`ActiveJobs`,
+/// `Metrics`).
+pub type SystemDatasetFn = Arc<dyn Fn() -> Vec<Value> + Send + Sync>;
+
 /// Shared mutable instance state referenced by providers, feeds, and the
 /// instance itself.
 pub struct Shared {
@@ -33,6 +38,11 @@ pub struct Shared {
     pub partitions: usize,
     /// Partitions per simulated node (locality domains).
     pub partitions_per_node: usize,
+    /// Live system views under the `Metadata` dataverse, keyed by bare
+    /// dataset name. Unlike catalog-backed metadata datasets these
+    /// regenerate on every scan, so a query sees the instance's state *as
+    /// of that scan* (running jobs, current metric values).
+    pub system_datasets: RwLock<HashMap<String, SystemDatasetFn>>,
 }
 
 impl Shared {
@@ -72,10 +82,18 @@ impl Shared {
         Ok(arc)
     }
 
+    /// Register a live system view queryable as `Metadata.{name}`.
+    pub fn register_system_dataset(&self, name: &str, f: SystemDatasetFn) {
+        self.system_datasets.write().insert(name.to_string(), f);
+    }
+
     fn metadata_records(&self, qualified: &str) -> Option<Vec<Value>> {
         let (dv, name) = qualified.split_once('.')?;
         if dv != METADATA_DATAVERSE {
             return None;
+        }
+        if let Some(f) = self.system_datasets.read().get(name) {
+            return Some(f());
         }
         self.catalog.read().metadata_dataset_records(name)
     }
@@ -443,9 +461,12 @@ impl AqlCatalog for SessionCatalog {
         if let Some(q) = catalog.resolve_dataset(&self.current_dataverse, name) {
             return Some(q);
         }
-        // Metadata virtual datasets.
+        // Metadata virtual datasets (catalog-backed and live system views).
         if let Some((dv, n)) = name.split_once('.') {
-            if dv == METADATA_DATAVERSE && catalog.metadata_dataset_records(n).is_some() {
+            if dv == METADATA_DATAVERSE
+                && (self.shared.system_datasets.read().contains_key(n)
+                    || catalog.metadata_dataset_records(n).is_some())
+            {
                 return Some(name.to_string());
             }
         }

@@ -1,0 +1,117 @@
+//! Live system views: the record builders behind the queryable
+//! `Metadata.ActiveJobs` / `Metadata.Metrics` pseudo-datasets and the
+//! [`SystemSnapshot`] returned by `Instance::system_snapshot`.
+//!
+//! Both views regenerate on every scan, so ordinary AQL over them observes
+//! the instance's state as of that scan — running jobs with live tuple
+//! progress, current metric values — with no storage involved.
+
+use asterix_adm::{Record, Value};
+use asterix_obs::{json_escape, MetricValue};
+use asterix_rm::JobInfo;
+
+/// One records-view of `Metadata.ActiveJobs`: queued/running/cancelling
+/// queries with their memory grants and live tuple progress.
+pub fn active_jobs_records(jobs: &[JobInfo]) -> Vec<Value> {
+    jobs.iter()
+        .map(|j| {
+            Value::record(Record::from_fields([
+                ("JobId", Value::Int64(j.id as i64)),
+                ("State", Value::string(j.state.name())),
+                ("Description", Value::string(&j.description)),
+                ("MemGrantedBytes", Value::Int64(j.mem_granted as i64)),
+                ("Tuples", Value::Int64(j.tuples as i64)),
+                ("TraceId", Value::Int64(j.trace_id as i64)),
+            ]))
+        })
+        .collect()
+}
+
+/// One records-view of `Metadata.Metrics`: every registered metric as a
+/// record (histograms carry count/sum/max plus interpolated quantiles).
+pub fn metrics_records(snapshot: &[(String, MetricValue)]) -> Vec<Value> {
+    snapshot
+        .iter()
+        .map(|(name, v)| {
+            let mut fields = vec![("Name", Value::string(name))];
+            match v {
+                MetricValue::Counter(n) => {
+                    fields.push(("Kind", Value::string("counter")));
+                    fields.push(("Value", Value::Int64(*n as i64)));
+                }
+                MetricValue::Gauge { value, peak } => {
+                    fields.push(("Kind", Value::string("gauge")));
+                    fields.push(("Value", Value::Int64(*value)));
+                    fields.push(("Peak", Value::Int64(*peak)));
+                }
+                MetricValue::Histogram { count, sum, max, p50, p95, p99, .. } => {
+                    fields.push(("Kind", Value::string("histogram")));
+                    fields.push(("Count", Value::Int64(*count as i64)));
+                    fields.push(("Sum", Value::Int64(*sum as i64)));
+                    fields.push(("Max", Value::Int64(*max as i64)));
+                    fields.push(("P50", Value::Int64(*p50 as i64)));
+                    fields.push(("P95", Value::Int64(*p95 as i64)));
+                    fields.push(("P99", Value::Int64(*p99 as i64)));
+                }
+            }
+            Value::record(Record::from_fields(fields))
+        })
+        .collect()
+}
+
+/// A point-in-time view of the whole instance: the workload manager's jobs
+/// table plus a full metrics snapshot, stamped with the observability
+/// clock.
+#[derive(Clone, Debug)]
+pub struct SystemSnapshot {
+    /// Microseconds since the process observability epoch.
+    pub ts_us: u64,
+    /// Queued/running/cancelling queries (see [`JobInfo`]).
+    pub jobs: Vec<JobInfo>,
+    /// Every registered metric's current value.
+    pub metrics: Vec<(String, MetricValue)>,
+}
+
+impl SystemSnapshot {
+    /// JSON rendering: `{"ts_us":…,"jobs":[…],"metrics":{…}}` (histogram
+    /// buckets elided; quantiles retained).
+    pub fn to_json(&self) -> String {
+        let mut out = format!("{{\"ts_us\":{},\"jobs\":[", self.ts_us);
+        for (i, j) in self.jobs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"id\":{},\"state\":\"{}\",\"description\":\"{}\",\"mem_granted\":{},\
+                 \"tuples\":{},\"trace_id\":{}}}",
+                j.id,
+                json_escape(j.state.name()),
+                json_escape(&j.description),
+                j.mem_granted,
+                j.tuples,
+                j.trace_id
+            ));
+        }
+        out.push_str("],\"metrics\":{");
+        for (i, (name, v)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":", json_escape(name)));
+            match v {
+                MetricValue::Counter(n) => out.push_str(&n.to_string()),
+                MetricValue::Gauge { value, peak } => {
+                    out.push_str(&format!("{{\"value\":{value},\"peak\":{peak}}}"));
+                }
+                MetricValue::Histogram { count, sum, max, p50, p95, p99, .. } => {
+                    out.push_str(&format!(
+                        "{{\"count\":{count},\"sum\":{sum},\"max\":{max},\
+                         \"p50\":{p50},\"p95\":{p95},\"p99\":{p99}}}"
+                    ));
+                }
+            }
+        }
+        out.push_str("}}");
+        out
+    }
+}

@@ -1,0 +1,166 @@
+//! CI perf-regression gate over the Table 3 bench JSON.
+//!
+//! Compares a freshly written `ASTERIX_BENCH_JSON_OUT` snapshot against the
+//! committed `BENCH_table3.json`:
+//!
+//! * **Structural drift fails the build**: schema-version changes, a
+//!   committed query row or system entry missing from the fresh run, or a
+//!   metrics key the committed snapshot reports that the fresh run no
+//!   longer emits.
+//! * **Timings** are diffed with a generous tolerance, and only when the
+//!   two snapshots were produced at the same corpus scale (CI runs
+//!   tiny-scale against the committed small-scale baseline, where ratios
+//!   are meaningless — timings are then reported informationally).
+//!
+//! Usage: `bench_gate <committed.json> <fresh.json> [--tolerance N]`
+
+use asterix_obs::{json_parse, JsonValue};
+
+fn load(path: &str) -> JsonValue {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench_gate: cannot read {path}: {e}"));
+    json_parse(&text).unwrap_or_else(|e| panic!("bench_gate: {path} is not valid JSON: {e}"))
+}
+
+fn num(v: &JsonValue, key: &str) -> Option<f64> {
+    v.get(key).and_then(JsonValue::as_f64)
+}
+
+/// `{"users":…,"messages":…,"tweets":…}` as a comparable triple.
+fn scale_of(v: &JsonValue) -> Option<(f64, f64, f64)> {
+    let s = v.get("scale")?;
+    Some((num(s, "users")?, num(s, "messages")?, num(s, "tweets")?))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        eprintln!("usage: bench_gate <committed.json> <fresh.json> [--tolerance N]");
+        std::process::exit(2);
+    }
+    let mut tolerance = 10.0f64;
+    if let Some(i) = args.iter().position(|a| a == "--tolerance") {
+        tolerance = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .expect("bench_gate: --tolerance needs a number");
+    }
+    let committed = load(&args[0]);
+    let fresh = load(&args[1]);
+    let mut failures: Vec<String> = Vec::new();
+
+    // Schema-version drift is always structural.
+    let (cv, fv) = (num(&committed, "schema_version"), num(&fresh, "schema_version"));
+    if cv.is_none() || cv != fv {
+        failures.push(format!("schema_version drift: committed {cv:?}, fresh {fv:?}"));
+    }
+
+    // Every committed query row must still be produced, with the same
+    // column count.
+    let empty: Vec<JsonValue> = Vec::new();
+    let crows = committed.get("rows").and_then(JsonValue::as_arr).unwrap_or(&empty);
+    let frows = fresh.get("rows").and_then(JsonValue::as_arr).unwrap_or(&empty);
+    if crows.is_empty() {
+        failures.push("committed snapshot has no rows".into());
+    }
+    let same_scale = scale_of(&committed).is_some() && scale_of(&committed) == scale_of(&fresh);
+    let mut timing_lines = Vec::new();
+    for (i, crow) in crows.iter().enumerate() {
+        let Some(name) = crow.get("query").and_then(JsonValue::as_str) else {
+            failures.push(format!("committed row {i} has no query name"));
+            continue;
+        };
+        // Repeated "— with IX" names: match by occurrence index.
+        let nth = crows[..i]
+            .iter()
+            .filter(|r| r.get("query").and_then(JsonValue::as_str) == Some(name))
+            .count();
+        let found = frows
+            .iter()
+            .filter(|r| r.get("query").and_then(JsonValue::as_str) == Some(name))
+            .nth(nth);
+        let Some(frow) = found else {
+            failures.push(format!("query row '{name}' (occurrence {nth}) missing from fresh run"));
+            continue;
+        };
+        let cms = crow.get("ms").and_then(JsonValue::as_arr).unwrap_or(&empty);
+        let fms = frow.get("ms").and_then(JsonValue::as_arr).unwrap_or(&empty);
+        if cms.len() != fms.len() {
+            failures.push(format!(
+                "query row '{name}': column count changed {} -> {}",
+                cms.len(),
+                fms.len()
+            ));
+            continue;
+        }
+        for (col, (c, f)) in cms.iter().zip(fms.iter()).enumerate() {
+            let (Some(c), Some(f)) = (c.as_f64(), f.as_f64()) else { continue };
+            // Sub-ms baselines and sub-5ms results sit inside scheduler
+            // noise on shared CI runners; the gate is for order-of-magnitude
+            // blowups, not jitter.
+            if same_scale && c >= 1.0 && f > 5.0 && f > c * tolerance {
+                failures.push(format!(
+                    "timing regression: '{name}' col {col}: {c:.3}ms -> {f:.3}ms \
+                     (> {tolerance}x tolerance)"
+                ));
+            }
+            if f > c * 2.0 && f > 5.0 {
+                timing_lines.push(format!("  '{name}' col {col}: {c:.3}ms -> {f:.3}ms"));
+            }
+        }
+    }
+
+    // Every committed system entry must still report every key it used to,
+    // including each key in its metrics registry snapshot.
+    let csystems = committed.get("systems").and_then(JsonValue::as_arr).unwrap_or(&empty);
+    let fsystems = fresh.get("systems").and_then(JsonValue::as_arr).unwrap_or(&empty);
+    for csys in csystems {
+        let Some(name) = csys.get("system").and_then(JsonValue::as_str) else { continue };
+        let Some(fsys) =
+            fsystems.iter().find(|s| s.get("system").and_then(JsonValue::as_str) == Some(name))
+        else {
+            failures.push(format!("system entry '{name}' missing from fresh run"));
+            continue;
+        };
+        for (key, _) in csys.as_obj().unwrap_or(&[]) {
+            if fsys.get(key).is_none() {
+                failures.push(format!("system '{name}': key '{key}' missing from fresh run"));
+            }
+        }
+        let cmetrics = csys.get("metrics").and_then(JsonValue::as_obj).unwrap_or(&[]);
+        let fmetrics = fsys.get("metrics");
+        let missing: Vec<&str> = cmetrics
+            .iter()
+            .filter(|(k, _)| fmetrics.is_none_or(|m| m.get(k).is_none()))
+            .map(|(k, _)| k.as_str())
+            .collect();
+        if !missing.is_empty() {
+            failures.push(format!(
+                "system '{name}': {} metrics key(s) missing from fresh run (e.g. '{}')",
+                missing.len(),
+                missing[0]
+            ));
+        }
+    }
+
+    if !timing_lines.is_empty() {
+        let verdict = if same_scale { "checked against tolerance" } else { "different scales" };
+        println!("slower rows ({verdict}):");
+        for l in &timing_lines {
+            println!("{l}");
+        }
+    }
+    if failures.is_empty() {
+        println!(
+            "bench_gate OK: {} rows, {} systems, scale match: {same_scale}",
+            crows.len(),
+            csystems.len()
+        );
+    } else {
+        eprintln!("bench_gate FAILED:");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -256,13 +256,15 @@ fn main() {
 
     // Consolidated machine-readable snapshot (BENCH_table3.json):
     // regenerate with
-    //   ASTERIX_BENCH_JSON_OUT=BENCH_table3.json \
+    //   ASTERIX_BENCH_SAMPLE_MS=1000 ASTERIX_BENCH_JSON_OUT=BENCH_table3.json \
     //     cargo run --release -p asterix-bench --bin table3
+    // (1s sampler cadence keeps the committed timeseries block small.)
     if let Ok(path) = std::env::var("ASTERIX_BENCH_JSON_OUT") {
         let ms = |d: Duration| d.as_secs_f64() * 1000.0;
         let mut out = String::from("{\n  \"schema_version\": 1,\n");
         out.push_str(
-            "  \"regenerate\": \"ASTERIX_BENCH_JSON_OUT=BENCH_table3.json \
+            "  \"regenerate\": \"ASTERIX_BENCH_SAMPLE_MS=1000 \
+             ASTERIX_BENCH_JSON_OUT=BENCH_table3.json \
              cargo run --release -p asterix-bench --bin table3\",\n",
         );
         out.push_str(&format!(

@@ -175,6 +175,15 @@ pub fn setup_asterix_tuned(
     let env_flag = |k: &str| std::env::var(k).is_ok_and(|v| v == "1");
     cfg.disable_vectorization = env_flag("ASTERIX_BENCH_DISABLE_VECTORIZATION");
     cfg.disable_runtime_filters = env_flag("ASTERIX_BENCH_DISABLE_RUNTIME_FILTERS");
+    // Continuous metrics sampling for the bench JSON's time-series block
+    // (`ASTERIX_BENCH_SAMPLE_MS=0` disables it).
+    let sample_ms = std::env::var("ASTERIX_BENCH_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200u64);
+    if sample_ms > 0 {
+        cfg.metrics_sample_interval = Some(Duration::from_millis(sample_ms));
+    }
     let instance = Instance::open(cfg).expect("open instance");
     let ddl = match mode {
         SchemaMode::Schema => SCHEMA_DDL,
@@ -328,13 +337,15 @@ impl Table3System for AsterixSystem {
              \"cache_misses\":{misses},\"cache_hit_rate\":{rate:.4},\
              \"frames_sent\":{},\"tuples_sent\":{},\"bytes_sent\":{},\
              \"backpressure_stalls\":{},\
-             \"metrics\":{}}}",
+             \"metrics\":{},\
+             \"timeseries\":{}}}",
             self.name(),
             x.frames_sent(),
             x.tuples_sent(),
             x.bytes_sent(),
             x.backpressure_stalls(),
             self.instance.metrics().to_json(),
+            self.instance.metrics_timeseries_json(),
         ))
     }
 }

@@ -23,7 +23,7 @@ use std::cmp::Ordering;
 use std::sync::Arc;
 
 use asterix_adm::{encode_tuple_into, TupleRef};
-use asterix_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use asterix_obs::{Counter, Gauge, Histogram, MetricsRegistry, TraceContext};
 use asterix_rm::CancellationToken;
 use crossbeam::channel::{bounded, Receiver, Select, Sender, TrySendError};
 
@@ -203,6 +203,13 @@ pub struct ExchangeConfig {
     /// push and frame receive so a cancelled query unwinds at frame
     /// granularity. `None` (the default) means the job is uncancellable.
     pub cancel: Option<CancellationToken>,
+    /// Tracing handle for the job; ports record `exchange.send_block`
+    /// spans under it when backpressure blocks a send. Disabled by
+    /// default; the executor swaps in a per-thread labelled context.
+    pub trace: TraceContext,
+    /// Live tuple-progress counter for the job (the RM jobs table's view);
+    /// bumped once per delivered frame's tuple count.
+    pub progress: Option<Counter>,
 }
 
 impl Default for ExchangeConfig {
@@ -214,6 +221,8 @@ impl Default for ExchangeConfig {
             stats: Arc::new(ExchangeStats::new()),
             pool: Arc::new(FramePool::new()),
             cancel: None,
+            trace: TraceContext::disabled(),
+            progress: None,
         }
     }
 }
@@ -306,6 +315,10 @@ pub struct OutputPort {
     fused_done: bool,
     /// Job cancellation token, checked on every push.
     cancel: Option<CancellationToken>,
+    /// Trace context for send-block spans (disabled unless profiled).
+    trace: TraceContext,
+    /// Job-wide tuple-progress counter (live views), if any.
+    progress: Option<Counter>,
 }
 
 impl OutputPort {
@@ -329,6 +342,8 @@ impl OutputPort {
             fused: None,
             fused_done: false,
             cancel: xcfg.cancel.clone(),
+            trace: xcfg.trace.clone(),
+            progress: xcfg.progress.clone(),
         }
     }
 
@@ -348,6 +363,8 @@ impl OutputPort {
             fused: None,
             fused_done: false,
             cancel: None,
+            trace: TraceContext::disabled(),
+            progress: None,
         }
     }
 
@@ -369,6 +386,12 @@ impl OutputPort {
     /// through this port.
     pub(crate) fn set_meter(&mut self, meter: Arc<PortMeter>) {
         self.meter = Some(meter);
+    }
+
+    /// Swap in the executor thread's labelled trace context (send-block
+    /// spans recorded on this port become children of the thread's span).
+    pub(crate) fn set_trace(&mut self, trace: TraceContext) {
+        self.trace = trace;
     }
 
     fn all_dead(&self) -> bool {
@@ -396,8 +419,12 @@ impl OutputPort {
             Ok(()) => None,
             Err(TrySendError::Full(frame)) => {
                 self.stats.on_stall();
+                let block = self.trace.span("exchange.send_block");
                 match self.senders[j].send(frame) {
-                    Ok(()) => None,
+                    Ok(()) => {
+                        block.finish();
+                        None
+                    }
                     Err(e) => Some(e.into_inner()),
                 }
             }
@@ -409,6 +436,9 @@ impl OutputPort {
                 if let Some(m) = &self.meter {
                     m.frames.inc();
                     m.bytes.add(bytes);
+                }
+                if let Some(p) = &self.progress {
+                    p.add(tuples);
                 }
                 true
             }

@@ -11,6 +11,8 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
+use asterix_obs::{Counter, TraceContext};
+
 use crate::connector::{wire, ExchangeConfig, ExchangeStats, InputPort, OutputPort};
 use crate::filter::{FilterFactory, FilterStats, RuntimeFilterHub};
 use crate::frame::FramePool;
@@ -67,6 +69,15 @@ pub struct ExecutorConfig {
     /// [`HyracksError::Cancelled`] through the same drain/cleanup paths as
     /// `DownstreamClosed`, and the job reports `Cancelled`.
     pub cancel: Option<asterix_rm::CancellationToken>,
+    /// Tracing handle for the job. When enabled, every operator-partition
+    /// thread records a span (children of this context's parent), with
+    /// per-chain-member operator spans and exchange send-block spans
+    /// nested beneath. Disabled by default — the untraced path costs one
+    /// `Option` check per thread.
+    pub trace: TraceContext,
+    /// Live tuple-progress counter (the RM jobs table's view), bumped per
+    /// delivered frame by every output port.
+    pub progress: Option<Counter>,
 }
 
 impl Default for ExecutorConfig {
@@ -83,6 +94,8 @@ impl Default for ExecutorConfig {
             filter_factory: None,
             filter_stats: FilterStats::default(),
             cancel: None,
+            trace: TraceContext::disabled(),
+            progress: None,
         }
     }
 }
@@ -99,6 +112,7 @@ impl std::fmt::Debug for ExecutorConfig {
             .field("disable_vectorization", &self.disable_vectorization)
             .field("disable_runtime_filters", &self.disable_runtime_filters)
             .field("filter_factory", &self.filter_factory.as_ref().map(|_| "<factory>"))
+            .field("trace_enabled", &self.trace.is_enabled())
             .finish_non_exhaustive()
     }
 }
@@ -179,6 +193,8 @@ fn run_job_inner(
         stats: Arc::clone(stats),
         pool: Arc::new(FramePool::new()),
         cancel: cfg.cancel.clone(),
+        trace: cfg.trace.clone(),
+        progress: cfg.progress.clone(),
     };
 
     // Job-wide execution environment: the vectorization switch plus a
@@ -190,6 +206,8 @@ fn run_job_inner(
         vectorized: !cfg.disable_vectorization,
         tuples_per_frame: cfg.tuples_per_frame.max(1),
         filters: RuntimeFilterHub::new(job.nfilters(), factory, cfg.filter_stats.clone()),
+        // Each thread swaps in its own labelled child context below.
+        trace: TraceContext::disabled(),
     };
 
     // Wire every surviving connector: per source partition output ports,
@@ -226,6 +244,9 @@ fn run_job_inner(
         /// Busy-time slots for every chain member (all get the pipeline's
         /// elapsed run time — they shared the thread).
         busy: Vec<Arc<parking_lot::Mutex<Duration>>>,
+        /// Chain-member operator names, for per-operator trace spans
+        /// (same sharing semantics as `busy`).
+        op_names: Vec<String>,
         fused: bool,
     }
 
@@ -293,6 +314,11 @@ fn run_job_inner(
                 outputs.push(OutputPort::sink());
             }
             let desc = Arc::clone(&job.ops[head.0].desc);
+            let op_names = if cfg.trace.is_enabled() {
+                chain.ops.iter().map(|id| job.ops[id.0].desc.name().to_string()).collect()
+            } else {
+                Vec::new()
+            };
             pending.push(PendingThread {
                 name: format!("{}[{p}]", desc.name()),
                 desc,
@@ -302,6 +328,7 @@ fn run_job_inner(
                 inputs,
                 outputs,
                 busy,
+                op_names,
                 fused: chain.ops.len() > 1,
             });
         }
@@ -309,16 +336,39 @@ fn run_job_inner(
 
     let mut handles = Vec::new();
     for pt in pending {
-        let PendingThread { name, desc, partition, nparts, node, inputs, outputs, busy, fused } =
-            pt;
+        let PendingThread {
+            name,
+            desc,
+            partition,
+            nparts,
+            node,
+            inputs,
+            mut outputs,
+            busy,
+            op_names,
+            fused,
+        } = pt;
         let stats = Arc::clone(stats);
-        let env = env.clone();
+        let mut env = env.clone();
         let profiling = profile.is_some();
+        // Per-thread trace context: a pipeline span labelled with the
+        // partition, under which operator spans, send-block spans, and
+        // spill spans nest. One clone + no-op span when tracing is off.
+        let tctx = cfg.trace.with_label(&format!("p{partition}"));
+        let span_name = name.clone();
         handles.push(
             thread::Builder::new()
                 .name(name)
                 .spawn(move || {
                     let run_started = Instant::now();
+                    let tspan = tctx.span(&span_name);
+                    let child = tspan.context();
+                    if child.is_enabled() {
+                        for out in outputs.iter_mut() {
+                            out.set_trace(child.clone());
+                        }
+                        env.trace = child.clone();
+                    }
                     let mut ctx = OpCtx { partition, nparts, node, inputs, outputs, env };
                     let result = desc.run(&mut ctx);
                     // Drain remaining input so upstream memory is freed
@@ -345,6 +395,16 @@ fn run_job_inner(
                             *b.lock() = elapsed;
                         }
                     }
+                    if child.is_enabled() {
+                        // One span per chain member, mirroring the busy
+                        // meters: all share the thread, so all get the
+                        // pipeline's elapsed time.
+                        let elapsed_us = elapsed.as_micros() as u64;
+                        for op in &op_names {
+                            child.record(&format!("op:{op}"), tspan.start_us(), elapsed_us);
+                        }
+                    }
+                    tspan.finish();
                     match (result, fin) {
                         (Ok(()), fin) => fin,
                         // A head stopped by a fused LIMIT is clean, but a
@@ -431,6 +491,50 @@ mod tests {
         let out = collector.lock();
         assert_eq!(out.len(), 200);
         assert!(out.iter().all(|t| t[0].as_i64().unwrap() % 2 == 0));
+    }
+
+    #[test]
+    fn traced_run_emits_thread_and_operator_spans() {
+        let trace = asterix_obs::TraceContext::new_trace(1024);
+        let root = trace.span("execute");
+        let mut job = JobSpec::new();
+        let src = job.add(2, int_source("scan", 50));
+        let sel = job.add(2, Arc::new(SelectOp::new("keep", Arc::new(|_t: &Vec<Value>| Ok(true)))));
+        let (sink, collector) = collect_sink(&mut job);
+        job.connect(ConnectorKind::OneToOne, src, sel);
+        job.connect(ConnectorKind::MToNReplicating, sel, sink);
+        let cfg = ExecutorConfig { trace: root.context(), ..Default::default() };
+        run_job_with(&job, &cfg).unwrap();
+        let root_id = root.span_id();
+        root.finish();
+        assert_eq!(collector.lock().len(), 100);
+        let events = trace.sink().unwrap().events();
+        // Every executor thread records a pipeline span under `execute`,
+        // labelled with its partition.
+        let threads: Vec<&asterix_obs::TraceEvent> = events
+            .iter()
+            .filter(|e| e.parent_id == root_id && !e.name.starts_with("op:"))
+            .collect();
+        assert_eq!(threads.len(), 3, "2 fused scan/select chains + 1 sink: {events:#?}");
+        assert!(threads.iter().any(|e| e.label == "p0"));
+        assert!(threads.iter().any(|e| e.label == "p1"));
+        // Per-operator spans nest under their thread's span and cover every
+        // chain member.
+        let ops: Vec<&asterix_obs::TraceEvent> =
+            events.iter().filter(|e| e.name.starts_with("op:")).collect();
+        assert_eq!(ops.len(), 5, "2x(scan+select) + sink: {events:#?}");
+        for op in &ops {
+            assert!(threads.iter().any(|t| t.span_id == op.parent_id), "orphan op span {op:?}");
+        }
+        assert!(ops.iter().any(|e| e.name.contains("scan")));
+
+        // The disabled default records nothing and changes nothing.
+        let mut job2 = JobSpec::new();
+        let s2 = job2.add(2, int_source("scan", 10));
+        let (k2, c2) = collect_sink(&mut job2);
+        job2.connect(ConnectorKind::MToNReplicating, s2, k2);
+        run_job(&job2).unwrap();
+        assert_eq!(c2.lock().len(), 20);
     }
 
     #[test]

@@ -235,7 +235,8 @@ impl OperatorDescriptor for SortOp {
     }
 
     fn run(&self, ctx: &mut OpCtx) -> Result<()> {
-        let OpCtx { inputs, outputs, .. } = ctx;
+        let OpCtx { inputs, outputs, env, .. } = ctx;
+        let trace = env.trace.clone();
         let keys = &self.keys;
         let mut mem: Vec<Row> = Vec::new();
         let mut mem_bytes = 0usize;
@@ -248,8 +249,10 @@ impl OperatorDescriptor for SortOp {
             mem_bytes += key.len() + bytes.len() + 64;
             mem.push(Row { key, bytes: bytes.to_vec() });
             if mem_bytes >= budget {
+                let spill = trace.span("sort.spill_run");
                 mem.sort_by(|a, b| cmp_norm(keys, &a.key, &b.key));
                 runs.push(write_run(&label, &mem)?);
+                spill.finish();
                 mem.clear();
                 mem_bytes = 0;
             }

@@ -18,6 +18,8 @@
 
 use std::sync::Arc;
 
+use asterix_obs::TraceContext;
+
 use crate::connector::OutputPort;
 use crate::filter::RuntimeFilterHub;
 use crate::frame::{FrameBuf, FRAME_CAPACITY};
@@ -25,8 +27,9 @@ use crate::profile::PortMeter;
 use crate::Result;
 
 /// Job-wide execution environment threaded into every operator and push
-/// stage: the vectorization A/B switch, the frame batching target, and the
-/// runtime-filter hub. Cheap to clone (two words plus an `Arc`).
+/// stage: the vectorization A/B switch, the frame batching target, the
+/// runtime-filter hub, and the per-thread trace context. Cheap to clone
+/// (a few words plus `Arc` bumps).
 #[derive(Clone)]
 pub struct ExecEnv {
     /// Batch-at-a-time evaluation enabled (`disable_vectorization` off).
@@ -36,6 +39,10 @@ pub struct ExecEnv {
     /// Runtime join filters published by build phases, consulted by
     /// probe-side producers.
     pub filters: Arc<RuntimeFilterHub>,
+    /// Tracing handle for this executor thread; operators record coarse
+    /// events (spill runs, send blocks) under it. Disabled (no-op) unless
+    /// the job runs under a profiled/traced query.
+    pub trace: TraceContext,
 }
 
 impl Default for ExecEnv {
@@ -44,6 +51,7 @@ impl Default for ExecEnv {
             vectorized: true,
             tuples_per_frame: FRAME_CAPACITY,
             filters: RuntimeFilterHub::disabled(),
+            trace: TraceContext::disabled(),
         }
     }
 }

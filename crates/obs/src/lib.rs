@@ -1,20 +1,26 @@
 //! Dependency-free observability: an atomics-based metrics registry
-//! (counters, gauges, fixed-bucket histograms), lightweight span tracing
-//! over the monotonic clock, and a JSON-lines event log gated by the
-//! `ASTERIX_LOG` environment filter.
+//! (counters, gauges, fixed-bucket histograms with quantiles), lightweight
+//! span tracing over the monotonic clock, hierarchical ID-keyed query
+//! traces, a continuous metrics sampler, and a JSON-lines event log gated
+//! by the `ASTERIX_LOG` environment filter (overridable for tests).
 //!
 //! The paper's evaluation (Tables 3–4, Figure 6) is about *explaining*
 //! where time goes — index vs. scan, build vs. probe, flush vs. merge.
 //! Every layer of the reproduction hangs its counters off this crate so a
 //! single registry snapshot (and the bench binaries' schema-versioned
-//! JSON) can tell that story without external dependencies.
+//! JSON) can tell that story without external dependencies; [`trace`]
+//! extends that to per-query span trees exportable as Chrome trace JSON.
 
 pub mod json;
 pub mod log;
 pub mod registry;
+pub mod sampler;
 pub mod span;
+pub mod trace;
 
-pub use json::json_escape;
-pub use log::{log_enabled, log_event, FieldValue};
+pub use json::{json_escape, json_parse, JsonValue};
+pub use log::{capture_logs, install_log_override, log_enabled, log_event, FieldValue, LogSink};
 pub use registry::{Counter, Gauge, Histogram, Metric, MetricValue, MetricsRegistry};
+pub use sampler::{SampleFrame, Sampler};
 pub use span::{now_us, timed, Span, SpanRecord};
+pub use trace::{TraceContext, TraceEvent, TraceSink, TraceSpan, DEFAULT_TRACE_CAPACITY};

@@ -9,9 +9,15 @@
 //! ```text
 //! {"ts_us":1234,"target":"storage.lsm","event":"flush","seq":3,"duration_us":812}
 //! ```
+//!
+//! Tests (and embedders) can bypass the process-pinned environment filter
+//! with [`install_log_override`] / [`capture_logs`], which swap in an
+//! explicit filter and sink for the duration of a guard. The hot path
+//! stays one relaxed atomic load when no override is installed.
 
 use std::io::Write;
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::json::json_escape;
 use crate::span::now_us;
@@ -61,6 +67,61 @@ impl From<String> for FieldValue {
     }
 }
 
+/// A sink receiving fully formatted JSON lines.
+pub type LogSink = Arc<dyn Fn(&str) + Send + Sync>;
+
+struct LogOverride {
+    filters: Vec<String>,
+    sink: LogSink,
+}
+
+/// Fast-path flag: true only while an override is installed, so the
+/// default path costs one relaxed load.
+static OVERRIDE_ACTIVE: AtomicBool = AtomicBool::new(false);
+
+fn override_slot() -> &'static Mutex<Option<LogOverride>> {
+    static SLOT: OnceLock<Mutex<Option<LogOverride>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+/// Restores the previously installed override (if any) on drop.
+pub struct LogOverrideGuard {
+    prev: Option<LogOverride>,
+}
+
+impl Drop for LogOverrideGuard {
+    fn drop(&mut self) {
+        let mut slot = override_slot().lock().unwrap();
+        *slot = self.prev.take();
+        OVERRIDE_ACTIVE.store(slot.is_some(), Ordering::Relaxed);
+    }
+}
+
+/// Install a process-wide filter + sink override, bypassing the
+/// `ASTERIX_LOG` environment filter until the returned guard drops.
+/// Overrides nest (the guard restores the previous one), but they are
+/// global — concurrent tests installing different overrides will observe
+/// each other's.
+pub fn install_log_override(filter: &str, sink: LogSink) -> LogOverrideGuard {
+    let mut slot = override_slot().lock().unwrap();
+    let prev = slot.replace(LogOverride { filters: parse_filter(filter), sink });
+    OVERRIDE_ACTIVE.store(true, Ordering::Relaxed);
+    LogOverrideGuard { prev }
+}
+
+/// Run `f` with events matching `filter` captured into the returned
+/// vector instead of stderr.
+pub fn capture_logs(filter: &str, f: impl FnOnce()) -> Vec<String> {
+    let lines: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let into = Arc::clone(&lines);
+    let guard =
+        install_log_override(filter, Arc::new(move |line| into.lock().unwrap().push(line.into())));
+    f();
+    drop(guard);
+    let out = lines.lock().unwrap().clone();
+    out
+}
+
 fn filters() -> &'static [String] {
     static FILTERS: OnceLock<Vec<String>> = OnceLock::new();
     FILTERS.get_or_init(|| parse_filter(&std::env::var("ASTERIX_LOG").unwrap_or_default()))
@@ -74,17 +135,18 @@ fn enabled_for(filters: &[String], target: &str) -> bool {
     filters.iter().any(|f| f == "*" || f == "all" || target.starts_with(f.as_str()))
 }
 
-/// Whether events for `target` pass the `ASTERIX_LOG` filter (the filter
-/// is read once per process).
+/// Whether events for `target` pass the active filter (an installed
+/// override, otherwise `ASTERIX_LOG`, which is read once per process).
 pub fn log_enabled(target: &str) -> bool {
+    if OVERRIDE_ACTIVE.load(Ordering::Relaxed) {
+        if let Some(ov) = override_slot().lock().unwrap().as_ref() {
+            return enabled_for(&ov.filters, target);
+        }
+    }
     enabled_for(filters(), target)
 }
 
-/// Emit one JSON-lines event to stderr if `target` passes the filter.
-pub fn log_event(target: &str, event: &str, fields: &[(&str, FieldValue)]) {
-    if !log_enabled(target) {
-        return;
-    }
+fn format_line(target: &str, event: &str, fields: &[(&str, FieldValue)]) -> String {
     let mut line = format!(
         "{{\"ts_us\":{},\"target\":\"{}\",\"event\":\"{}\"",
         now_us(),
@@ -102,6 +164,25 @@ pub fn log_event(target: &str, event: &str, fields: &[(&str, FieldValue)]) {
         }
     }
     line.push('}');
+    line
+}
+
+/// Emit one JSON-lines event (to stderr, or the installed override sink)
+/// if `target` passes the active filter.
+pub fn log_event(target: &str, event: &str, fields: &[(&str, FieldValue)]) {
+    if OVERRIDE_ACTIVE.load(Ordering::Relaxed) {
+        let slot = override_slot().lock().unwrap();
+        if let Some(ov) = slot.as_ref() {
+            if enabled_for(&ov.filters, target) {
+                (ov.sink)(&format_line(target, event, fields));
+            }
+            return;
+        }
+    }
+    if !enabled_for(filters(), target) {
+        return;
+    }
+    let line = format_line(target, event, fields);
     let stderr = std::io::stderr();
     let mut lock = stderr.lock();
     let _ = writeln!(lock, "{line}");
@@ -110,6 +191,13 @@ pub fn log_event(target: &str, event: &str, fields: &[(&str, FieldValue)]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::json::{json_parse, JsonValue};
+
+    /// The override slot is process-global; serialize the tests that use it.
+    fn capture_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap()
+    }
 
     #[test]
     fn filter_parsing_and_prefix_match() {
@@ -131,5 +219,54 @@ mod tests {
     fn disabled_log_event_is_a_noop() {
         // No ASTERIX_LOG in the test environment: must not panic or print.
         log_event("test.target", "noop", &[("k", 1u64.into())]);
+    }
+
+    #[test]
+    fn captured_line_is_valid_json_with_escaped_fields() {
+        let _serial = capture_lock();
+        let lines = capture_logs("test.capture", || {
+            log_event(
+                "test.capture.sub",
+                "ev\"ent\nwith\\escapes",
+                &[
+                    ("plain", 7u64.into()),
+                    ("neg", (-3i64).into()),
+                    ("ratio", 0.5f64.into()),
+                    ("nan", f64::NAN.into()),
+                    ("na\"me\twith\u{1}ctl", FieldValue::Str("va\\lue\n\"quoted\" é".into())),
+                ],
+            );
+            // Filtered out: different prefix.
+            log_event("other.target", "skipped", &[]);
+        });
+        assert_eq!(lines.len(), 1, "only the matching target is captured");
+        let v = json_parse(&lines[0]).expect("emitted line parses as JSON");
+        assert_eq!(v.get("target").unwrap().as_str(), Some("test.capture.sub"));
+        assert_eq!(v.get("event").unwrap().as_str(), Some("ev\"ent\nwith\\escapes"));
+        assert_eq!(v.get("plain").unwrap().as_f64(), Some(7.0));
+        assert_eq!(v.get("neg").unwrap().as_f64(), Some(-3.0));
+        assert_eq!(v.get("ratio").unwrap().as_f64(), Some(0.5));
+        assert_eq!(v.get("nan").unwrap(), &JsonValue::Null);
+        assert_eq!(v.get("na\"me\twith\u{1}ctl").unwrap().as_str(), Some("va\\lue\n\"quoted\" é"));
+        assert!(v.get("ts_us").unwrap().as_f64().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn override_guard_restores_previous_sink() {
+        let _serial = capture_lock();
+        let outer = capture_logs("outer", || {
+            log_event("outer.a", "one", &[]);
+            let inner = capture_logs("inner", || {
+                log_event("inner.b", "two", &[]);
+                log_event("outer.a", "hidden-from-outer", &[]);
+            });
+            assert_eq!(inner.len(), 1);
+            log_event("outer.a", "three", &[]);
+        });
+        let events: Vec<String> = outer
+            .iter()
+            .map(|l| json_parse(l).unwrap().get("event").unwrap().as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(events, vec!["one", "three"]);
     }
 }

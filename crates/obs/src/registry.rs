@@ -167,6 +167,33 @@ impl Histogram {
         }
         out
     }
+
+    /// Bucket-interpolated quantile estimate for `p` in `[0, 1]`: the
+    /// winning bucket is found by cumulative count, then the value is
+    /// linearly interpolated between its bounds (the first bucket's lower
+    /// bound is 0). Ranks landing in the unbounded overflow bucket report
+    /// the observed max. Returns 0 for an empty histogram.
+    pub fn quantile(&self, p: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = ((p.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut acc = 0u64;
+        for (i, b) in self.0.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 && acc + c >= target {
+                let Some(&upper) = self.0.bounds.get(i) else {
+                    return self.max();
+                };
+                let lower = if i == 0 { 0 } else { self.0.bounds[i - 1] };
+                let within = (target - acc) as f64 / c as f64;
+                return lower + ((upper - lower) as f64 * within).round() as u64;
+            }
+            acc += c;
+        }
+        self.max()
+    }
 }
 
 impl Default for Histogram {
@@ -191,8 +218,19 @@ pub enum Metric {
 #[derive(Clone, Debug, PartialEq)]
 pub enum MetricValue {
     Counter(u64),
-    Gauge { value: i64, peak: i64 },
-    Histogram { count: u64, sum: u64, max: u64, buckets: Vec<(Option<u64>, u64)> },
+    Gauge {
+        value: i64,
+        peak: i64,
+    },
+    Histogram {
+        count: u64,
+        sum: u64,
+        max: u64,
+        p50: u64,
+        p95: u64,
+        p99: u64,
+        buckets: Vec<(Option<u64>, u64)>,
+    },
 }
 
 /// A name-keyed registry of metric handles.
@@ -280,6 +318,9 @@ impl MetricsRegistry {
                         count: h.count(),
                         sum: h.sum(),
                         max: h.max(),
+                        p50: h.quantile(0.50),
+                        p95: h.quantile(0.95),
+                        p99: h.quantile(0.99),
                         buckets: h.buckets(),
                     },
                 };
@@ -290,8 +331,9 @@ impl MetricsRegistry {
 
     /// One JSON object mapping metric names to values: counters are
     /// numbers, gauges `{"value":..,"peak":..}`, histograms
-    /// `{"count":..,"sum":..,"max":..,"buckets":[[bound,count],..]}` with
-    /// a `null` bound for the overflow bucket.
+    /// `{"count":..,"sum":..,"max":..,"p50":..,"p95":..,"p99":..,
+    /// "buckets":[[bound,count],..]}` with a `null` bound for the overflow
+    /// bucket (quantiles are bucket-interpolated estimates).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{");
         for (i, (name, value)) in self.snapshot().iter().enumerate() {
@@ -306,9 +348,10 @@ impl MetricsRegistry {
                 MetricValue::Gauge { value, peak } => {
                     out.push_str(&format!("{{\"value\":{value},\"peak\":{peak}}}"));
                 }
-                MetricValue::Histogram { count, sum, max, buckets } => {
+                MetricValue::Histogram { count, sum, max, p50, p95, p99, buckets } => {
                     out.push_str(&format!(
-                        "{{\"count\":{count},\"sum\":{sum},\"max\":{max},\"buckets\":["
+                        "{{\"count\":{count},\"sum\":{sum},\"max\":{max},\
+                         \"p50\":{p50},\"p95\":{p95},\"p99\":{p99},\"buckets\":["
                     ));
                     for (j, (bound, n)) in buckets.iter().enumerate() {
                         if j > 0 {
@@ -324,6 +367,50 @@ impl MetricsRegistry {
             }
         }
         out.push('}');
+        out
+    }
+
+    /// Prometheus text exposition (format 0.0.4) of the current snapshot.
+    /// Metric names are sanitized (`.` and other non-identifier characters
+    /// become `_`); gauges additionally expose their high-water mark as
+    /// `<name>_peak`, histograms use cumulative `_bucket{le="…"}` series
+    /// plus `_sum`/`_count`.
+    pub fn to_prometheus(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            name.chars()
+                .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == ':' { c } else { '_' })
+                .collect()
+        }
+        let mut out = String::new();
+        for (name, value) in self.snapshot() {
+            let n = sanitize(&name);
+            match value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+                }
+                MetricValue::Gauge { value, peak } => {
+                    out.push_str(&format!(
+                        "# TYPE {n} gauge\n{n} {value}\n# TYPE {n}_peak gauge\n{n}_peak {peak}\n"
+                    ));
+                }
+                MetricValue::Histogram { count, sum, buckets, .. } => {
+                    out.push_str(&format!("# TYPE {n} histogram\n"));
+                    let mut cum = 0u64;
+                    for (bound, c) in &buckets {
+                        cum += c;
+                        match bound {
+                            Some(b) => {
+                                out.push_str(&format!("{n}_bucket{{le=\"{b}\"}} {cum}\n"));
+                            }
+                            None => {
+                                out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {cum}\n"));
+                            }
+                        }
+                    }
+                    out.push_str(&format!("{n}_sum {sum}\n{n}_count {count}\n"));
+                }
+            }
+        }
         out
     }
 }
@@ -401,7 +488,51 @@ mod tests {
         assert_eq!(
             json,
             "{\"a.depth\":{\"value\":3,\"peak\":3},\"b.count\":2,\
-             \"c.lat\":{\"count\":2,\"sum\":44,\"max\":40,\"buckets\":[[10,1],[null,1]]}}"
+             \"c.lat\":{\"count\":2,\"sum\":44,\"max\":40,\"p50\":10,\"p95\":40,\"p99\":40,\
+             \"buckets\":[[10,1],[null,1]]}}"
         );
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let h = Histogram::with_bounds(&[100, 200, 400]);
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        // 10 values in (100, 200]: ranks spread linearly across the bucket.
+        for _ in 0..10 {
+            h.record(150);
+        }
+        assert_eq!(h.quantile(0.5), 150, "median of a full middle bucket");
+        assert_eq!(h.quantile(0.1), 110);
+        assert_eq!(h.quantile(1.0), 200, "p100 = bucket upper bound");
+        // Overflow values report the observed max.
+        h.record(5000);
+        assert_eq!(h.quantile(0.99), 5000);
+        assert_eq!(h.max(), 5000);
+        // All-in-first-bucket interpolates from zero.
+        let h2 = Histogram::with_bounds(&[1000]);
+        for _ in 0..4 {
+            h2.record(10);
+        }
+        assert_eq!(h2.quantile(0.5), 500);
+    }
+
+    #[test]
+    fn prometheus_exposition_covers_every_kind() {
+        let reg = MetricsRegistry::new();
+        reg.counter("rm.admitted").add(3);
+        reg.gauge("rm.queue depth").set(2);
+        let h = reg.histogram("rm.wait_us", &[10, 100]);
+        h.record(5);
+        h.record(50);
+        h.record(5000);
+        let text = reg.to_prometheus();
+        assert!(text.contains("# TYPE rm_admitted counter\nrm_admitted 3\n"));
+        assert!(text.contains("rm_queue_depth 2\n"), "spaces sanitized: {text}");
+        assert!(text.contains("rm_queue_depth_peak 2\n"));
+        assert!(text.contains("rm_wait_us_bucket{le=\"10\"} 1\n"));
+        assert!(text.contains("rm_wait_us_bucket{le=\"100\"} 2\n"), "buckets cumulative");
+        assert!(text.contains("rm_wait_us_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("rm_wait_us_sum 5055\n"));
+        assert!(text.contains("rm_wait_us_count 3\n"));
     }
 }

@@ -1,0 +1,227 @@
+//! Continuous metrics sampler: a background thread periodically reads a
+//! [`MetricsRegistry`] and stores per-interval *deltas* in a bounded ring,
+//! giving every instance an in-memory time series (exported as the
+//! `timeseries` block of the bench JSON) without any external collector.
+//!
+//! Counters and histogram counts are recorded as deltas against the
+//! previous sample; gauges as raw values. Metrics that did not change are
+//! omitted from a frame, so idle periods cost one timestamped empty frame
+//! per tick.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::json::json_escape;
+use crate::registry::{MetricValue, MetricsRegistry};
+use crate::span::now_us;
+
+/// One sampler tick: a timestamp plus the metrics that moved since the
+/// previous tick.
+#[derive(Clone, Debug)]
+pub struct SampleFrame {
+    /// Microseconds since the process observability epoch.
+    pub ts_us: u64,
+    /// `(name, value)`: counter/histogram-count deltas, or the raw gauge
+    /// value when it changed. Sorted by name (registry snapshot order).
+    pub values: Vec<(String, i64)>,
+}
+
+struct SamplerShared {
+    ring: Mutex<VecDeque<SampleFrame>>,
+    state: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// Handle to the sampling thread; dropping it stops the thread.
+pub struct Sampler {
+    shared: Arc<SamplerShared>,
+    worker: Option<JoinHandle<()>>,
+    interval: Duration,
+    capacity: usize,
+}
+
+/// Scalar reading used for delta computation.
+fn scalar_of(v: &MetricValue) -> i64 {
+    match v {
+        MetricValue::Counter(n) => *n as i64,
+        MetricValue::Gauge { value, .. } => *value,
+        MetricValue::Histogram { count, .. } => *count as i64,
+    }
+}
+
+fn sample_once(
+    registry: &MetricsRegistry,
+    prev: &mut BTreeMap<String, i64>,
+    gauges: bool,
+) -> Vec<(String, i64)> {
+    let mut values = Vec::new();
+    for (name, value) in registry.snapshot() {
+        let is_gauge = matches!(value, MetricValue::Gauge { .. });
+        let now = scalar_of(&value);
+        let before = prev.insert(name.clone(), now);
+        let _ = gauges;
+        if is_gauge {
+            // Raw value, recorded when it changed (or first appeared).
+            if before != Some(now) {
+                values.push((name, now));
+            }
+        } else {
+            let delta = now - before.unwrap_or(0);
+            if delta != 0 {
+                values.push((name, delta));
+            }
+        }
+    }
+    values
+}
+
+impl Sampler {
+    /// Start sampling `registry` every `interval`, retaining the most
+    /// recent `capacity` frames. The first tick's deltas are measured
+    /// against a baseline taken here, not against zero.
+    pub fn start(registry: Arc<MetricsRegistry>, interval: Duration, capacity: usize) -> Sampler {
+        let shared = Arc::new(SamplerShared {
+            ring: Mutex::new(VecDeque::new()),
+            state: Mutex::new(false),
+            cv: Condvar::new(),
+        });
+        let capacity = capacity.max(1);
+        let interval = interval.max(Duration::from_millis(1));
+        let shared2 = Arc::clone(&shared);
+        let mut prev: BTreeMap<String, i64> = BTreeMap::new();
+        // Baseline: start deltas from "now", so a long-lived registry does
+        // not dump its whole history into the first frame.
+        sample_once(&registry, &mut prev, true);
+        let worker = std::thread::Builder::new()
+            .name("obs-sampler".into())
+            .spawn(move || loop {
+                {
+                    let stop = shared2.state.lock().unwrap();
+                    let (stop, _) = shared2.cv.wait_timeout(stop, interval).unwrap();
+                    if *stop {
+                        break;
+                    }
+                }
+                let values = sample_once(&registry, &mut prev, true);
+                let frame = SampleFrame { ts_us: now_us(), values };
+                let mut ring = shared2.ring.lock().unwrap();
+                if ring.len() >= capacity {
+                    ring.pop_front();
+                }
+                ring.push_back(frame);
+            })
+            .expect("spawn sampler thread");
+        Sampler { shared, worker: Some(worker), interval, capacity }
+    }
+
+    pub fn interval(&self) -> Duration {
+        self.interval
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Snapshot of the retained frames, oldest first.
+    pub fn frames(&self) -> Vec<SampleFrame> {
+        self.shared.ring.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// JSON array of frames: `[{"ts_us":…,"values":{"name":delta,…}},…]`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, frame) in self.frames().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"ts_us\":{},\"values\":{{", frame.ts_us));
+            for (j, (name, v)) in frame.values.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\":{v}", json_escape(name)));
+            }
+            out.push_str("}}");
+        }
+        out.push(']');
+        out
+    }
+
+    /// Stop the sampling thread and wait for it to exit (also runs on
+    /// drop).
+    pub fn stop(&mut self) {
+        if let Some(worker) = self.worker.take() {
+            *self.shared.state.lock().unwrap() = true;
+            self.shared.cv.notify_all();
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl std::fmt::Debug for Sampler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sampler")
+            .field("interval", &self.interval)
+            .field("capacity", &self.capacity)
+            .field("frames", &self.shared.ring.lock().unwrap().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::json_parse;
+
+    #[test]
+    fn sampler_records_deltas_not_absolutes() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let c = reg.counter("work.done");
+        c.add(1000); // pre-sampler history must not appear in any frame
+        let g = reg.gauge("work.depth");
+        let mut s = Sampler::start(Arc::clone(&reg), Duration::from_millis(5), 64);
+        c.add(7);
+        g.set(3);
+        std::thread::sleep(Duration::from_millis(40));
+        s.stop();
+        let frames = s.frames();
+        assert!(!frames.is_empty(), "sampler produced frames");
+        let total: i64 = frames
+            .iter()
+            .flat_map(|f| f.values.iter())
+            .filter(|(n, _)| n == "work.done")
+            .map(|(_, v)| *v)
+            .sum();
+        assert_eq!(total, 7, "summed counter deltas equal post-baseline increments");
+        let depth: Vec<i64> = frames
+            .iter()
+            .flat_map(|f| f.values.iter())
+            .filter(|(n, _)| n == "work.depth")
+            .map(|(_, v)| *v)
+            .collect();
+        assert_eq!(depth, vec![3], "gauge recorded once, when it changed");
+    }
+
+    #[test]
+    fn sampler_ring_is_bounded_and_json_parses() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let c = reg.counter("tick");
+        let mut s = Sampler::start(Arc::clone(&reg), Duration::from_millis(2), 3);
+        for _ in 0..10 {
+            c.inc();
+            std::thread::sleep(Duration::from_millis(4));
+        }
+        s.stop();
+        assert!(s.frames().len() <= 3, "ring bounded at capacity");
+        let v = json_parse(&s.to_json()).expect("timeseries JSON parses");
+        assert!(v.as_arr().is_some());
+    }
+}

@@ -1,0 +1,350 @@
+//! Hierarchical, ID-keyed tracing: a per-trace ring buffer of finished
+//! spans with parent links and thread/partition labels.
+//!
+//! A [`TraceContext`] is a cheap cloneable handle carrying a trace ID, the
+//! current parent span ID, and a label; spans started from it record into
+//! the trace's [`TraceSink`] when they finish. A disabled context
+//! ([`TraceContext::disabled`], the default) costs one `Option` check per
+//! call site, so tracing can be threaded through hot paths unconditionally
+//! and switched on only for profiled queries.
+//!
+//! The sink is a bounded ring under a single mutex taken once per
+//! *finished* span (never per tuple); when the ring is full the oldest
+//! span is evicted and counted in [`TraceSink::dropped`].
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::span::{now_us, SpanRecord};
+
+/// Default per-trace ring capacity (finished spans retained).
+pub const DEFAULT_TRACE_CAPACITY: usize = 8192;
+
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A finished span within one trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Unique within the trace, allocated when the span starts.
+    pub span_id: u64,
+    /// Span this one nests under; `0` for a root span.
+    pub parent_id: u64,
+    pub name: String,
+    /// Thread/partition attribution (`"cc"`, `"p3"`, `"lsm-maint"`, …).
+    pub label: String,
+    /// Microseconds since the process observability epoch.
+    pub start_us: u64,
+    pub duration_us: u64,
+}
+
+impl TraceEvent {
+    pub fn end_us(&self) -> u64 {
+        self.start_us + self.duration_us
+    }
+}
+
+/// Bounded ring of finished spans for one trace.
+#[derive(Debug)]
+pub struct TraceSink {
+    trace_id: u64,
+    next_span_id: AtomicU64,
+    capacity: usize,
+    events: Mutex<VecDeque<TraceEvent>>,
+    dropped: AtomicU64,
+}
+
+impl TraceSink {
+    /// New sink with a fresh process-unique trace ID.
+    pub fn new(capacity: usize) -> Arc<TraceSink> {
+        Arc::new(TraceSink {
+            trace_id: NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed),
+            next_span_id: AtomicU64::new(1),
+            capacity: capacity.max(1),
+            events: Mutex::new(VecDeque::new()),
+            dropped: AtomicU64::new(0),
+        })
+    }
+
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    fn alloc_span_id(&self) -> u64 {
+        self.next_span_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn push(&self, ev: TraceEvent) {
+        let mut q = self.events.lock().unwrap();
+        if q.len() >= self.capacity {
+            q.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        q.push_back(ev);
+    }
+
+    /// Spans evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Finished spans currently retained.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the retained spans, ordered by start time (ties by
+    /// span ID, which follows allocation order).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut out: Vec<TraceEvent> = self.events.lock().unwrap().iter().cloned().collect();
+        out.sort_by_key(|e| (e.start_us, e.span_id));
+        out
+    }
+}
+
+#[derive(Debug)]
+struct TraceCtxInner {
+    sink: Arc<TraceSink>,
+    /// Span ID new spans are parented under (`0` = root).
+    parent: u64,
+    label: String,
+}
+
+/// A handle into one trace: sink + current parent span + label. Cloning is
+/// an `Arc` bump; the default/disabled context makes every operation a
+/// no-op.
+#[derive(Clone, Debug, Default)]
+pub struct TraceContext {
+    inner: Option<Arc<TraceCtxInner>>,
+}
+
+impl TraceContext {
+    /// The no-op context: spans started from it record nothing.
+    pub fn disabled() -> TraceContext {
+        TraceContext { inner: None }
+    }
+
+    /// Start a new trace with its own sink; spans started from the
+    /// returned context are roots (parent 0).
+    pub fn new_trace(capacity: usize) -> TraceContext {
+        TraceContext {
+            inner: Some(Arc::new(TraceCtxInner {
+                sink: TraceSink::new(capacity),
+                parent: 0,
+                label: String::new(),
+            })),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Trace ID, or 0 when disabled.
+    pub fn trace_id(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.sink.trace_id())
+    }
+
+    /// The underlying sink (None when disabled).
+    pub fn sink(&self) -> Option<Arc<TraceSink>> {
+        self.inner.as_ref().map(|i| Arc::clone(&i.sink))
+    }
+
+    /// Derive a context recording under a different thread/partition
+    /// label; parentage is unchanged.
+    pub fn with_label(&self, label: &str) -> TraceContext {
+        match &self.inner {
+            None => TraceContext::disabled(),
+            Some(i) => TraceContext {
+                inner: Some(Arc::new(TraceCtxInner {
+                    sink: Arc::clone(&i.sink),
+                    parent: i.parent,
+                    label: label.to_string(),
+                })),
+            },
+        }
+    }
+
+    /// Start a span as a child of this context's parent. Finish it with
+    /// [`TraceSpan::finish`] (or let it drop — unwinds still record).
+    pub fn span(&self, name: &str) -> TraceSpan {
+        match &self.inner {
+            None => TraceSpan { state: None },
+            Some(i) => TraceSpan {
+                state: Some(SpanState {
+                    ctx: Arc::clone(i),
+                    span_id: i.sink.alloc_span_id(),
+                    name: name.to_string(),
+                    start_us: now_us(),
+                    started: Instant::now(),
+                }),
+            },
+        }
+    }
+
+    /// Record a pre-measured interval as a finished child span. Returns
+    /// the span's ID (0 when disabled).
+    pub fn record(&self, name: &str, start_us: u64, duration_us: u64) -> u64 {
+        match &self.inner {
+            None => 0,
+            Some(i) => {
+                let span_id = i.sink.alloc_span_id();
+                i.sink.push(TraceEvent {
+                    span_id,
+                    parent_id: i.parent,
+                    name: name.to_string(),
+                    label: i.label.clone(),
+                    start_us,
+                    duration_us,
+                });
+                span_id
+            }
+        }
+    }
+
+    /// Record an already-finished flat [`SpanRecord`] as a child span.
+    pub fn record_span(&self, rec: &SpanRecord) -> u64 {
+        self.record(&rec.name, rec.start_us, rec.duration.as_micros() as u64)
+    }
+}
+
+#[derive(Debug)]
+struct SpanState {
+    ctx: Arc<TraceCtxInner>,
+    span_id: u64,
+    name: String,
+    start_us: u64,
+    started: Instant,
+}
+
+/// An in-flight traced span. Records into the sink exactly once, on
+/// `finish` or drop, whichever comes first.
+#[derive(Debug, Default)]
+pub struct TraceSpan {
+    state: Option<SpanState>,
+}
+
+impl TraceSpan {
+    /// A context whose spans become children of this span.
+    pub fn context(&self) -> TraceContext {
+        match &self.state {
+            None => TraceContext::disabled(),
+            Some(s) => TraceContext {
+                inner: Some(Arc::new(TraceCtxInner {
+                    sink: Arc::clone(&s.ctx.sink),
+                    parent: s.span_id,
+                    label: s.ctx.label.clone(),
+                })),
+            },
+        }
+    }
+
+    /// This span's ID (0 when tracing is disabled).
+    pub fn span_id(&self) -> u64 {
+        self.state.as_ref().map_or(0, |s| s.span_id)
+    }
+
+    /// Start timestamp (µs since the process epoch; 0 when disabled).
+    pub fn start_us(&self) -> u64 {
+        self.state.as_ref().map_or(0, |s| s.start_us)
+    }
+
+    fn finish_inner(&mut self) {
+        if let Some(s) = self.state.take() {
+            let duration_us = s.started.elapsed().as_micros() as u64;
+            s.ctx.sink.push(TraceEvent {
+                span_id: s.span_id,
+                parent_id: s.ctx.parent,
+                name: s.name,
+                label: s.ctx.label.clone(),
+                start_us: s.start_us,
+                duration_us,
+            });
+        }
+    }
+
+    pub fn finish(mut self) {
+        self.finish_inner();
+    }
+}
+
+impl Drop for TraceSpan {
+    fn drop(&mut self) {
+        self.finish_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_context_records_nothing() {
+        let t = TraceContext::disabled();
+        assert!(!t.is_enabled());
+        assert_eq!(t.trace_id(), 0);
+        let s = t.span("x");
+        assert_eq!(s.span_id(), 0);
+        s.finish();
+        assert_eq!(t.record("y", 0, 1), 0);
+        assert!(t.sink().is_none());
+    }
+
+    #[test]
+    fn spans_nest_via_parent_links() {
+        let t = TraceContext::new_trace(64);
+        let root = t.span("query");
+        let root_id = root.span_id();
+        let child_ctx = root.context().with_label("p0");
+        let c = child_ctx.span("execute");
+        let c_id = c.span_id();
+        let gc = c.context().record("op:scan", now_us(), 5);
+        c.finish();
+        root.finish();
+        let sink = t.sink().unwrap();
+        let evs = sink.events();
+        assert_eq!(evs.len(), 3);
+        let by_name = |n: &str| evs.iter().find(|e| e.name == n).unwrap();
+        assert_eq!(by_name("query").parent_id, 0);
+        assert_eq!(by_name("execute").parent_id, root_id);
+        assert_eq!(by_name("execute").label, "p0");
+        assert_eq!(by_name("op:scan").parent_id, c_id);
+        assert_eq!(by_name("op:scan").span_id, gc);
+        assert!(root_id != c_id && c_id != gc);
+    }
+
+    #[test]
+    fn trace_ids_are_process_unique() {
+        let a = TraceContext::new_trace(4);
+        let b = TraceContext::new_trace(4);
+        assert_ne!(a.trace_id(), b.trace_id());
+        assert!(a.trace_id() > 0);
+    }
+
+    #[test]
+    fn ring_bounds_and_counts_drops() {
+        let t = TraceContext::new_trace(2);
+        for i in 0..5 {
+            t.record(&format!("s{i}"), i, 1);
+        }
+        let sink = t.sink().unwrap();
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.dropped(), 3);
+        let names: Vec<String> = sink.events().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["s3", "s4"], "oldest evicted first");
+    }
+
+    #[test]
+    fn dropped_span_still_records() {
+        let t = TraceContext::new_trace(8);
+        {
+            let _s = t.span("unwound");
+        }
+        assert_eq!(t.sink().unwrap().events()[0].name, "unwound");
+    }
+}

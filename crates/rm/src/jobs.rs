@@ -4,6 +4,8 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use asterix_obs::Counter;
+
 use crate::cancel::CancellationToken;
 
 /// Lifecycle of an admitted-or-waiting query.
@@ -35,6 +37,10 @@ pub struct JobInfo {
     pub description: String,
     /// Bytes granted from the memory pool (0 while queued).
     pub mem_granted: usize,
+    /// Tuples the job's executor has pushed through its exchanges so far.
+    pub tuples: u64,
+    /// Trace ID when the job runs under tracing (0 otherwise).
+    pub trace_id: u64,
 }
 
 struct JobEntry {
@@ -42,6 +48,9 @@ struct JobEntry {
     description: String,
     token: CancellationToken,
     mem_granted: usize,
+    /// Shared with the executor, which bumps it as frames are sent.
+    progress: Counter,
+    trace_id: u64,
 }
 
 /// Id-ordered table of live jobs. Entries exist from registration (Queued)
@@ -67,9 +76,24 @@ impl JobTable {
                 description: description.to_string(),
                 token,
                 mem_granted: 0,
+                progress: Counter::new(),
+                trace_id: 0,
             },
         );
         id
+    }
+
+    /// The job's live tuple-progress counter (a cheap atomic handle the
+    /// executor bumps), or a detached counter for unknown ids.
+    pub fn progress(&self, id: u64) -> Counter {
+        self.jobs.lock().unwrap().get(&id).map(|e| e.progress.clone()).unwrap_or_default()
+    }
+
+    /// Tag a job with the trace it is recording into.
+    pub fn set_trace(&self, id: u64, trace_id: u64) {
+        if let Some(e) = self.jobs.lock().unwrap().get_mut(&id) {
+            e.trace_id = trace_id;
+        }
     }
 
     pub fn set_running(&self, id: u64, mem_granted: usize) {
@@ -106,6 +130,8 @@ impl JobTable {
                 state: e.state,
                 description: e.description.clone(),
                 mem_granted: e.mem_granted,
+                tuples: e.progress.get(),
+                trace_id: e.trace_id,
             })
             .collect()
     }

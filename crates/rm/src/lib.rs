@@ -180,6 +180,18 @@ impl QueryTicket {
     pub fn mem_granted(&self) -> usize {
         self.grant.bytes()
     }
+
+    /// Live tuple-progress counter for this job — a cheap atomic handle
+    /// the executor bumps and `Metadata.ActiveJobs` reads.
+    pub fn progress(&self) -> asterix_obs::Counter {
+        self.rm.jobs.progress(self.id)
+    }
+
+    /// Tag this job with the trace it is recording into, so live views
+    /// can correlate jobs with traces.
+    pub fn set_trace_id(&self, trace_id: u64) {
+        self.rm.jobs.set_trace(self.id, trace_id);
+    }
 }
 
 impl Drop for QueryTicket {
@@ -354,6 +366,19 @@ mod tests {
         plain.cancel();
         assert!(plain.is_cancelled());
         assert!(plain.clone().is_cancelled(), "clones share state");
+    }
+
+    #[test]
+    fn ticket_progress_and_trace_id_are_live() {
+        let rm = ResourceManager::new(quick_cfg(2, 2, 1_000));
+        let t = rm.begin("traced", None).unwrap();
+        t.set_trace_id(42);
+        t.progress().add(17);
+        let jobs = rm.list_jobs();
+        assert_eq!(jobs[0].trace_id, 42);
+        assert_eq!(jobs[0].tuples, 17);
+        // Unknown ids yield a detached counter, not a panic.
+        rm.jobs.progress(9999).inc();
     }
 
     #[test]

@@ -24,7 +24,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use asterix_obs::{log_event, Counter, Gauge, Histogram, MetricsRegistry};
+use asterix_obs::{log_event, now_us, Counter, Gauge, Histogram, MetricsRegistry, TraceContext};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex, RwLock};
 
@@ -162,14 +162,17 @@ impl LsmMetrics {
     }
 }
 
-/// Work orders for the maintenance thread.
+/// Work orders for the maintenance thread. Synchronous requests carry the
+/// requester's trace context so their flush/merge spans land in the
+/// triggering query's trace; background `Work` uses the tree's installed
+/// default.
 enum MaintMsg {
     /// Sealed components are queued; flush them (and merge per policy).
     Work,
     /// Flush everything queued, then ack with the last component path.
-    Drain(Sender<Result<Option<PathBuf>>>),
+    Drain(Sender<Result<Option<PathBuf>>>, TraceContext),
     /// Flush everything queued, then merge all disk components.
-    MergeAll(Sender<Result<()>>),
+    MergeAll(Sender<Result<()>>, TraceContext),
     /// Exit after a best-effort drain.
     Shutdown,
 }
@@ -188,6 +191,9 @@ struct LsmInner {
     frozen_cv: Condvar,
     frozen_lock: Mutex<()>,
     metrics: LsmMetrics,
+    /// Default trace for background maintenance spans (installed via
+    /// [`LsmTree::set_trace`]; disabled unless an embedder opts in).
+    trace: Mutex<TraceContext>,
 }
 
 impl LsmInner {
@@ -200,6 +206,14 @@ impl LsmInner {
 
     fn take_deferred(&self) -> Option<StorageError> {
         self.deferred.lock().take()
+    }
+
+    /// Trace to record maintenance spans into: the requester's (when it is
+    /// an enabled synchronous request), else the tree's installed default.
+    /// Either way the spans carry the maintenance thread's label.
+    fn maint_trace(&self, req: &TraceContext) -> TraceContext {
+        let base = if req.is_enabled() { req.clone() } else { self.trace.lock().clone() };
+        base.with_label("lsm-maint")
     }
 
     fn notify_frozen(&self) {
@@ -229,7 +243,8 @@ impl LsmInner {
     /// Flush every queued frozen component (oldest first), applying the
     /// merge policy after each install. Returns the path of the last
     /// component built.
-    fn process_pending(self: &Arc<Self>) -> Result<Option<PathBuf>> {
+    fn process_pending(self: &Arc<Self>, req: &TraceContext) -> Result<Option<PathBuf>> {
+        let trace = self.maint_trace(req);
         let mut last = None;
         loop {
             let job = {
@@ -238,6 +253,7 @@ impl LsmInner {
             };
             let Some((seq, watermark, entries)) = job else { break };
             let flush_started = Instant::now();
+            let flush_start_us = now_us();
             let path = self.dir.join(format!("c_{seq:012}_{seq:012}.dat"));
             let n = entries.len();
             let comp = DiskComponent::build(
@@ -282,8 +298,9 @@ impl LsmInner {
                         ("components", ncomp.into()),
                     ],
                 );
+                trace.record("lsm.flush", flush_start_us, took.as_micros() as u64);
                 self.observer.on_flush(&path, seq, watermark);
-                self.maybe_merge()?;
+                self.maybe_merge(&trace)?;
                 last = Some(path);
             } else {
                 let _ = std::fs::remove_file(&path);
@@ -293,7 +310,7 @@ impl LsmInner {
     }
 
     /// Apply the merge policy; runs on the maintenance thread.
-    fn maybe_merge(self: &Arc<Self>) -> Result<()> {
+    fn maybe_merge(self: &Arc<Self>, trace: &TraceContext) -> Result<()> {
         let to_merge: Vec<Arc<DiskComponent>> = {
             let st = self.state.read();
             match &self.cfg.merge_policy {
@@ -327,11 +344,16 @@ impl LsmInner {
         if to_merge.len() < 2 {
             return Ok(());
         }
-        self.merge_components(&to_merge)
+        self.merge_components(&to_merge, trace)
     }
 
-    fn merge_components(self: &Arc<Self>, inputs: &[Arc<DiskComponent>]) -> Result<()> {
+    fn merge_components(
+        self: &Arc<Self>,
+        inputs: &[Arc<DiskComponent>],
+        trace: &TraceContext,
+    ) -> Result<()> {
         let merge_started = Instant::now();
+        let merge_start_us = now_us();
         let min_seq = inputs.iter().map(|c| c.min_seq).min().unwrap();
         let max_seq = inputs.iter().map(|c| c.max_seq).max().unwrap();
         // Whether the merge includes the oldest on-disk data; if so,
@@ -418,6 +440,7 @@ impl LsmInner {
                 ("components", ncomp.into()),
             ],
         );
+        trace.record("lsm.merge", merge_start_us, took.as_micros() as u64);
         self.observer.on_merge(&input_paths, &out_path);
         Ok(())
     }
@@ -430,13 +453,13 @@ fn maintenance_loop(inner: Arc<LsmInner>, rx: Receiver<MaintMsg>) {
     while let Ok(msg) = rx.recv() {
         match msg {
             MaintMsg::Work => {
-                if let Err(e) = inner.process_pending() {
+                if let Err(e) = inner.process_pending(&TraceContext::disabled()) {
                     inner.defer_error(e);
                     inner.notify_frozen();
                 }
             }
-            MaintMsg::Drain(ack) => {
-                let res = inner.process_pending();
+            MaintMsg::Drain(ack, req) => {
+                let res = inner.process_pending(&req);
                 let res = match (res, inner.take_deferred()) {
                     (Err(e), _) => Err(e),
                     (Ok(_), Some(e)) => Err(e),
@@ -444,19 +467,19 @@ fn maintenance_loop(inner: Arc<LsmInner>, rx: Receiver<MaintMsg>) {
                 };
                 let _ = ack.send(res);
             }
-            MaintMsg::MergeAll(ack) => {
-                let res = inner.process_pending().and_then(|_| {
+            MaintMsg::MergeAll(ack, req) => {
+                let res = inner.process_pending(&req).and_then(|_| {
                     let comps = inner.state.read().disk.clone();
                     if comps.len() < 2 {
                         Ok(())
                     } else {
-                        inner.merge_components(&comps)
+                        inner.merge_components(&comps, &inner.maint_trace(&req))
                     }
                 });
                 let _ = ack.send(res);
             }
             MaintMsg::Shutdown => {
-                if let Err(e) = inner.process_pending() {
+                if let Err(e) = inner.process_pending(&TraceContext::disabled()) {
                     inner.defer_error(e);
                 }
                 break;
@@ -511,6 +534,7 @@ impl LsmTree {
             frozen_cv: Condvar::new(),
             frozen_lock: Mutex::new(()),
             metrics: LsmMetrics::default(),
+            trace: Mutex::new(TraceContext::disabled()),
         });
         inner.metrics.components.set(inner.state.read().disk.len() as i64);
         let (tx, rx) = unbounded();
@@ -524,6 +548,15 @@ impl LsmTree {
     /// Root directory of this index.
     pub fn dir(&self) -> &Path {
         &self.inner.dir
+    }
+
+    /// Install a default trace context for *background* maintenance spans
+    /// (`lsm.flush` / `lsm.merge` on the `lsm-maint` label). Synchronous
+    /// [`LsmTree::flush_traced`] / [`LsmTree::merge_all_traced`] requests
+    /// carry their own context instead. Pass
+    /// [`TraceContext::disabled`] to detach.
+    pub fn set_trace(&self, trace: TraceContext) {
+        *self.inner.trace.lock() = trace;
     }
 
     fn entry_overhead(key: &[u8], value: &[u8]) -> usize {
@@ -747,6 +780,14 @@ impl LsmTree {
     /// Readers see the data throughout: it moves memory → sealed
     /// component → installed disk component without a visibility gap.
     pub fn flush(&self) -> Result<Option<PathBuf>> {
+        self.flush_traced(&TraceContext::disabled())
+    }
+
+    /// [`LsmTree::flush`] with the caller's trace context: the resulting
+    /// `lsm.flush` spans are recorded into `trace` (still labelled
+    /// `lsm-maint`), attributing synchronous flush latency to the
+    /// triggering query.
+    pub fn flush_traced(&self, trace: &TraceContext) -> Result<Option<PathBuf>> {
         {
             let mut st = self.inner.state.write();
             if !st.mem.is_empty() {
@@ -759,7 +800,7 @@ impl LsmTree {
             }
         }
         let (ack_tx, ack_rx) = bounded(1);
-        self.send(MaintMsg::Drain(ack_tx))?;
+        self.send(MaintMsg::Drain(ack_tx, trace.clone()))?;
         ack_rx.recv().unwrap_or_else(|_| {
             Err(StorageError::InvalidState("lsm maintenance thread terminated".into()))
         })
@@ -769,8 +810,14 @@ impl LsmTree {
     /// after draining any pending flushes. Runs on the maintenance thread
     /// (like policy-triggered merges) but blocks the caller until done.
     pub fn merge_all(&self) -> Result<()> {
+        self.merge_all_traced(&TraceContext::disabled())
+    }
+
+    /// [`LsmTree::merge_all`] with the caller's trace context (see
+    /// [`LsmTree::flush_traced`]).
+    pub fn merge_all_traced(&self, trace: &TraceContext) -> Result<()> {
         let (ack_tx, ack_rx) = bounded(1);
-        self.send(MaintMsg::MergeAll(ack_tx))?;
+        self.send(MaintMsg::MergeAll(ack_tx, trace.clone()))?;
         ack_rx.recv().unwrap_or_else(|_| {
             Err(StorageError::InvalidState("lsm maintenance thread terminated".into()))
         })
@@ -781,7 +828,7 @@ impl LsmTree {
     /// that need maintenance will fail. Idempotent.
     pub fn close(&self) -> Result<()> {
         let (ack_tx, ack_rx) = bounded(1);
-        let drained = match self.tx.send(MaintMsg::Drain(ack_tx)) {
+        let drained = match self.tx.send(MaintMsg::Drain(ack_tx, TraceContext::disabled())) {
             Ok(()) => ack_rx.recv().unwrap_or(Ok(None)),
             // Worker already gone: nothing pending except a possible
             // deferred error, handled below.
@@ -904,6 +951,32 @@ mod tests {
         assert_eq!(t.get(&k(1)).unwrap(), None);
         assert_eq!(t.get(&k(2)).unwrap(), Some(b"b".to_vec()));
         assert_eq!(t.live_count().unwrap(), 1);
+    }
+
+    #[test]
+    fn traced_flush_and_merge_record_spans() {
+        let dir = TempDir::new().unwrap();
+        let t = open(dir.path(), MergePolicy::NoMerge, 1 << 20);
+        let trace = TraceContext::new_trace(64);
+        for i in 0..10 {
+            t.insert(k(i), vec![b'x'; 100]).unwrap();
+        }
+        t.flush_traced(&trace).unwrap();
+        for i in 10..20 {
+            t.insert(k(i), vec![b'x'; 100]).unwrap();
+        }
+        t.flush_traced(&trace).unwrap();
+        t.merge_all_traced(&trace).unwrap();
+        let evs = trace.sink().unwrap().events();
+        let flushes = evs.iter().filter(|e| e.name == "lsm.flush").count();
+        let merges = evs.iter().filter(|e| e.name == "lsm.merge").count();
+        assert_eq!(flushes, 2, "{evs:#?}");
+        assert_eq!(merges, 1, "{evs:#?}");
+        assert!(evs.iter().all(|e| e.label == "lsm-maint"));
+        // Untraced maintenance records nothing new into this trace.
+        t.insert(k(99), b"y".to_vec()).unwrap();
+        t.flush().unwrap();
+        assert_eq!(trace.sink().unwrap().len(), 3);
     }
 
     #[test]

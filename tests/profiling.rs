@@ -467,3 +467,238 @@ fn registry_carries_storage_and_exchange_metrics() {
     assert!(json.starts_with("{\"schema_version\":1,\"metrics\":{"), "{json}");
     assert!(json.contains("\"exchange.frames_sent\""));
 }
+
+/// The profiled Table-3 join yields a span tree rooted at the query's
+/// trace ID: compile phases and `execute` under the root, per-partition
+/// pipeline spans under `execute`, and an `op:` span for every operator
+/// that moved tuples — reconciled against the port meters.
+#[test]
+fn trace_spans_reconcile_with_operator_meters() {
+    let (instance, _dir) = join_instance(N);
+    let profile = instance
+        .profile(
+            r#"for $u in dataset MugshotUsers
+               for $m in dataset MugshotMessages
+               where $m.author-id = $u.id
+               return { "u": $u.id, "m": $m.message-id }"#,
+        )
+        .unwrap();
+    assert_eq!(profile.rows.len(), N);
+    assert!(profile.trace_id > 0, "profiled query runs under a trace");
+    assert!(!profile.trace.is_empty());
+
+    // Root `query` span; queue wait and every compile phase directly under
+    // it.
+    let root = profile.trace_root().expect("root span");
+    assert_eq!(root.name, "query");
+    assert_eq!(root.parent_id, 0);
+    let top: Vec<&str> =
+        profile.trace_children(root.span_id).iter().map(|e| e.name.as_str()).collect();
+    for phase in ["rm.queue_wait", "parse", "translate", "optimize", "jobgen", "execute"] {
+        assert!(top.contains(&phase), "{phase} missing under root: {top:?}");
+    }
+
+    // The execute subtree: one pipeline span per (chain, partition), each
+    // labelled with its partition, with `op:` spans nested beneath.
+    let execute =
+        profile.trace.iter().find(|e| e.name == "execute").expect("execute span in trace");
+    let threads = profile.trace_children(execute.span_id);
+    assert!(!threads.is_empty(), "pipeline spans under execute");
+    for t in &threads {
+        assert!(t.label.starts_with('p'), "partition label on {t:?}");
+        assert!(
+            t.end_us() <= execute.end_us() + 1_000,
+            "pipeline span inside execute: {t:?} vs {execute:?}"
+        );
+        for op in profile.trace_children(t.span_id) {
+            assert!(op.name.starts_with("op:"), "pipeline children are operator spans: {op:?}");
+            assert!(
+                op.duration_us <= t.duration_us + 1_000,
+                "operator span within its pipeline's busy time: {op:?} vs {t:?}"
+            );
+        }
+    }
+
+    // Every operator that moved tuples has at least one operator span, and
+    // every operator span sits under a pipeline span of the execute
+    // subtree.
+    let thread_ids: Vec<u64> = threads.iter().map(|t| t.span_id).collect();
+    for o in &profile.operators.operators {
+        if o.tuples_in() + o.tuples_out() == 0 {
+            continue;
+        }
+        let spans: Vec<_> =
+            profile.trace.iter().filter(|e| e.name == format!("op:{}", o.name)).collect();
+        assert!(!spans.is_empty(), "no trace span for metered operator {}", o.name);
+        for s in &spans {
+            assert!(thread_ids.contains(&s.parent_id), "operator span outside execute: {s:?}");
+        }
+    }
+}
+
+/// Under admission contention the queue wait is visible in the trace: with
+/// one slot held, a profiled query's `rm.queue_wait` span covers the time
+/// until the slot frees.
+#[test]
+fn queue_wait_span_appears_under_admission_contention() {
+    let (instance, _dir) = ab_instance(5, 0, |cfg| cfg.max_concurrent_queries = 1);
+    let hog = instance.resource_manager().begin("hog", None).unwrap();
+    let release = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        drop(hog);
+    });
+    let profile = instance.profile("for $u in dataset MugshotUsers return $u.id").unwrap();
+    release.join().unwrap();
+    let root = profile.trace_root().expect("root span");
+    let wait = profile
+        .trace_children(root.span_id)
+        .into_iter()
+        .find(|e| e.name == "rm.queue_wait")
+        .expect("queue-wait span under root");
+    assert!(
+        wait.duration_us >= 40_000,
+        "queue wait must cover the held slot: {}us",
+        wait.duration_us
+    );
+}
+
+/// `to_chrome_trace` emits valid Chrome trace-event JSON: a `traceEvents`
+/// array of complete (`ph:"X"`) events carrying the trace ID as `pid`,
+/// plus `thread_name` metadata naming each partition lane.
+#[test]
+fn chrome_trace_export_is_valid_and_complete() {
+    let (instance, _dir) = join_instance(N);
+    let profile = instance
+        .profile(
+            r#"for $u in dataset MugshotUsers
+               for $m in dataset MugshotMessages
+               where $m.author-id = $u.id
+               return { "u": $u.id, "m": $m.message-id }"#,
+        )
+        .unwrap();
+    let doc = asterix_obs::json_parse(&profile.to_chrome_trace()).expect("valid JSON");
+    let events = doc.get("traceEvents").and_then(|v| v.as_arr()).expect("traceEvents array");
+    assert_eq!(
+        events.iter().filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X")).count(),
+        profile.trace.len(),
+        "one complete event per trace span"
+    );
+    for e in events {
+        assert!(e.get("name").and_then(|v| v.as_str()).is_some(), "name in {e:?}");
+        assert_eq!(e.get("pid").and_then(|v| v.as_f64()), Some(profile.trace_id as f64));
+        match e.get("ph").and_then(|p| p.as_str()) {
+            Some("X") => {
+                assert!(e.get("ts").and_then(|v| v.as_f64()).is_some());
+                assert!(e.get("dur").and_then(|v| v.as_f64()).is_some());
+                assert!(e.get("args").and_then(|a| a.get("span_id")).is_some());
+            }
+            Some("M") => {
+                assert_eq!(e.get("name").and_then(|v| v.as_str()), Some("thread_name"));
+            }
+            other => panic!("unexpected phase {other:?} in {e:?}"),
+        }
+    }
+    // The main thread and at least one partition lane are named.
+    let lanes: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("M"))
+        .filter_map(|e| e.get("args").and_then(|a| a.get("name")).and_then(|v| v.as_str()))
+        .collect();
+    assert!(lanes.contains(&"cc"), "main-thread lane named: {lanes:?}");
+    assert!(lanes.iter().any(|l| l.starts_with('p')), "partition lane named: {lanes:?}");
+}
+
+/// `Metadata.ActiveJobs` is queryable with ordinary AQL while a query
+/// runs, and shows the running query with live tuple progress.
+#[test]
+fn active_jobs_dataset_shows_running_query_live() {
+    let (instance, _dir) = join_instance(N);
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let worker = {
+        let instance = Arc::clone(&instance);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            // Keep a profiled query in flight (description "profile", so
+            // the poller can tell it apart from its own "query" jobs).
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                instance
+                    .profile(
+                        r#"for $u in dataset MugshotUsers
+                           for $m in dataset MugshotMessages
+                           where $m.author-id = $u.id
+                           return { "u": $u.id, "m": $m.message-id }"#,
+                    )
+                    .unwrap();
+            }
+        })
+    };
+    let mut seen = None;
+    for _ in 0..500 {
+        let rows = instance
+            .query(
+                r#"for $j in dataset Metadata.ActiveJobs
+                   where $j.Description = "profile" and $j.State = "running"
+                   return $j"#,
+            )
+            .unwrap();
+        if let Some(job) = rows.iter().find(|j| j.field("Tuples").as_i64().unwrap_or(0) > 0) {
+            seen = Some(job.clone());
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    worker.join().unwrap();
+    let job = seen.expect("observed the profiled query running with live tuple progress");
+    assert!(job.field("JobId").as_i64().unwrap() > 0);
+    assert!(job.field("TraceId").as_i64().unwrap() > 0, "profiled job carries its trace ID");
+    assert!(job.field("MemGrantedBytes").as_i64().unwrap() > 0);
+}
+
+/// The live views, the one-call snapshot, the Prometheus exposition, and
+/// the continuous sampler all read the same registry.
+#[test]
+fn system_views_snapshot_and_sampler_agree() {
+    let (instance, _dir) = ab_instance(N, 0, |cfg| {
+        cfg.metrics_sample_interval = Some(std::time::Duration::from_millis(20));
+    });
+    instance.query("for $u in dataset MugshotUsers return $u.id").unwrap();
+
+    // Metadata.Metrics: ordinary AQL over the registry.
+    let rows = instance
+        .query(
+            r#"for $m in dataset Metadata.Metrics
+               where $m.Name = "exchange.tuples_sent"
+               return $m"#,
+        )
+        .unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].field("Kind").as_str(), Some("counter"));
+    assert!(rows[0].field("Value").as_i64().unwrap() > 0);
+
+    // system_snapshot: same registry, one call, valid JSON.
+    let snap = instance.system_snapshot();
+    assert!(snap.metrics.iter().any(|(n, _)| n == "exchange.tuples_sent"));
+    let doc = asterix_obs::json_parse(&snap.to_json()).expect("snapshot JSON parses");
+    assert!(doc.get("ts_us").is_some() && doc.get("jobs").is_some());
+    assert!(doc.get("metrics").and_then(|m| m.get("exchange.tuples_sent")).is_some());
+
+    // Prometheus text exposition.
+    let prom = instance.metrics_prometheus();
+    assert!(prom.contains("# TYPE exchange_tuples_sent counter"), "{prom}");
+
+    // The sampler accumulates per-interval deltas; the queries above moved
+    // counters, so a frame must land within a few intervals.
+    let mut frames = asterix_obs::json_parse(&instance.metrics_timeseries_json()).unwrap();
+    for _ in 0..100 {
+        if frames.as_arr().is_some_and(|a| !a.is_empty()) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        instance.query("for $u in dataset MugshotUsers return $u.id").unwrap();
+        frames = asterix_obs::json_parse(&instance.metrics_timeseries_json()).unwrap();
+    }
+    let frames = frames.as_arr().expect("timeseries is a JSON array");
+    assert!(!frames.is_empty(), "sampler recorded registry deltas");
+    assert!(frames[0].get("ts_us").is_some() && frames[0].get("values").is_some());
+}
