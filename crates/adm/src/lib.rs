@@ -6,6 +6,7 @@
 //! (self-describing and schema-aware), and the builtin function library
 //! (string, temporal, spatial, and similarity functions from Table 1).
 
+pub mod colschema;
 pub mod error;
 pub mod functions;
 pub mod ordkey;
@@ -22,7 +23,8 @@ pub mod value;
 
 pub use error::{AdmError, Result};
 pub use tuple::{
-    concat_tuples_into, decode_tuple, encode_tuple, encode_tuple_into, TupleRef, ValueRef,
+    concat_tuples_into, decode_tuple, encode_tuple, encode_tuple_from_encoded, encode_tuple_into,
+    TupleRef, ValueRef,
 };
 pub use types::{Datatype, FieldType, PrimitiveType, RecordType, RecordTypeBuilder, TypeRegistry};
 pub use value::{Record, Value};

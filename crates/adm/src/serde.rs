@@ -534,6 +534,31 @@ pub fn encoded_record_field<'a>(buf: &'a [u8], name: &str) -> Option<&'a [u8]> {
     None
 }
 
+/// Walk the fields of an encoded record without decoding, invoking `f`
+/// with each `(name, encoded value bytes)` pair in stored order. Returns
+/// `Ok(false)` when `buf` does not encode a record (the schema-inference
+/// caller's spill signal), `Err` on corrupt bytes. `f` returning `false`
+/// stops the walk early.
+pub fn for_each_record_field<'a>(
+    buf: &'a [u8],
+    f: &mut dyn FnMut(&'a str, &'a [u8]) -> bool,
+) -> Result<bool> {
+    let mut r = Reader::new(buf);
+    if r.u8()? != T_RECORD {
+        return Ok(false);
+    }
+    let n = r.varint()? as usize;
+    for _ in 0..n {
+        let fname = r.str()?;
+        let start = r.pos;
+        skip_from(&mut r)?;
+        if !f(fname, &buf[start..r.pos]) {
+            break;
+        }
+    }
+    Ok(true)
+}
+
 // ---------------------------------------------------------------------------
 // Hashing over encoded bytes
 // ---------------------------------------------------------------------------

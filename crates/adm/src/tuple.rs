@@ -44,6 +44,15 @@ pub fn encode_tuple_into(out: &mut Vec<u8>, fields: &[Value]) {
     }
 }
 
+/// Append a one-column tuple whose single field is already encoded —
+/// the columnar scan's late-materialization path, where the record bytes
+/// were assembled from column runs without a `Value` detour.
+pub fn encode_tuple_from_encoded(out: &mut Vec<u8>, value_bytes: &[u8]) {
+    out.extend_from_slice(&1u16.to_le_bytes());
+    out.extend_from_slice(&(value_bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(value_bytes);
+}
+
 /// Encode a tuple into a fresh buffer.
 pub fn encode_tuple(fields: &[Value]) -> Vec<u8> {
     let mut out = Vec::with_capacity(TUPLE_HEADER + 12 * fields.len());

@@ -27,7 +27,7 @@ use asterix_hyracks::ops::{
 use asterix_hyracks::{HyracksError, Result};
 
 use crate::expr::{eval, truthy, CompareOp, EvalCtx, LogicalExpr, TupleResolver, VarId};
-use crate::metadata::{KeyBound, MetadataProvider};
+use crate::metadata::{KeyBound, MetadataProvider, ScanFilter, ScanProjection};
 use crate::plan::{AggFunc, IndexSearchSpec, JoinKind, LogicalOp, SortSpec};
 use crate::rules::OptimizerOptions;
 
@@ -119,6 +119,137 @@ struct Gen {
     /// manager's total divided across the plan's memory-hungry operators.
     /// `None` leaves every operator on its built-in default.
     per_op_mem: Option<usize>,
+    /// How each data-scan variable is used across the whole plan — drives
+    /// projecting (late-materializing) scans over columnar storage.
+    scan_uses: std::collections::HashMap<VarId, VarUse>,
+}
+
+/// How a data-scan variable is consumed by the rest of the plan.
+#[derive(Debug, Clone)]
+enum VarUse {
+    /// Every use is a direct `$v.field` access: the scan only needs to
+    /// materialize these top-level fields.
+    Fields(std::collections::BTreeSet<String>),
+    /// The whole record escapes somewhere (returned, compared, passed to
+    /// a function, unnested…): the scan must produce full rows.
+    Escaped,
+}
+
+/// Compute, for every `DataSourceScan` variable in the plan, whether the
+/// query only ever touches specific top-level fields of it. Walks every
+/// expression of every operator, recursing into correlated subplans
+/// (whose own scans are interpreted, not compiled — only *outer* variable
+/// references matter there). Conservative by construction: any use that
+/// is not a literal `$v.field` marks the variable escaped.
+fn analyze_scan_uses(plan: &LogicalOp) -> std::collections::HashMap<VarId, VarUse> {
+    fn collect_scans(op: &LogicalOp, map: &mut std::collections::HashMap<VarId, VarUse>) {
+        if let LogicalOp::DataSourceScan { var, .. } = op {
+            map.insert(*var, VarUse::Fields(Default::default()));
+        }
+        for child in op.inputs() {
+            collect_scans(child, map);
+        }
+    }
+    fn note_expr(e: &LogicalExpr, map: &mut std::collections::HashMap<VarId, VarUse>) {
+        match e {
+            LogicalExpr::Const(_) => {}
+            LogicalExpr::Var(v) => {
+                if let Some(u) = map.get_mut(v) {
+                    *u = VarUse::Escaped;
+                }
+            }
+            LogicalExpr::FieldAccess(base, name) => {
+                if let LogicalExpr::Var(v) = base.as_ref() {
+                    if let Some(VarUse::Fields(fields)) = map.get_mut(v) {
+                        fields.insert(name.clone());
+                    }
+                } else {
+                    note_expr(base, map);
+                }
+            }
+            LogicalExpr::IndexAccess(a, b) | LogicalExpr::Arith(_, a, b) => {
+                note_expr(a, map);
+                note_expr(b, map);
+            }
+            LogicalExpr::Compare(_, a, b) => {
+                note_expr(a, map);
+                note_expr(b, map);
+            }
+            LogicalExpr::Neg(a) | LogicalExpr::Not(a) => note_expr(a, map),
+            LogicalExpr::Call(_, args) => args.iter().for_each(|a| note_expr(a, map)),
+            LogicalExpr::And(es) | LogicalExpr::Or(es) => es.iter().for_each(|a| note_expr(a, map)),
+            LogicalExpr::RecordCtor(fields) => fields.iter().for_each(|(_, a)| note_expr(a, map)),
+            LogicalExpr::ListCtor { items, .. } => items.iter().for_each(|a| note_expr(a, map)),
+            LogicalExpr::Quantified { collection, predicate, .. } => {
+                note_expr(collection, map);
+                note_expr(predicate, map);
+            }
+            LogicalExpr::IfThenElse(c, t, f) => {
+                note_expr(c, map);
+                note_expr(t, map);
+                note_expr(f, map);
+            }
+            LogicalExpr::Subquery(plan) => note_op(plan, map),
+        }
+    }
+    fn note_op(op: &LogicalOp, map: &mut std::collections::HashMap<VarId, VarUse>) {
+        match op {
+            LogicalOp::EmptyTupleSource | LogicalOp::DataSourceScan { .. } => {}
+            LogicalOp::IndexSearch { spec, postcondition, .. } => {
+                note_spec(spec, map);
+                if let Some(p) = postcondition {
+                    note_expr(p, map);
+                }
+            }
+            LogicalOp::Assign { expr, .. } => note_expr(expr, map),
+            LogicalOp::Select { condition, .. } => note_expr(condition, map),
+            LogicalOp::Unnest { expr, .. } => note_expr(expr, map),
+            LogicalOp::Join { condition, .. } => note_expr(condition, map),
+            LogicalOp::HashJoin { left_keys, right_keys, residual, .. } => {
+                left_keys.iter().chain(right_keys).for_each(|e| note_expr(e, map));
+                if let Some(r) = residual {
+                    note_expr(r, map);
+                }
+            }
+            LogicalOp::IndexNlJoin { probe, .. } => note_expr(probe, map),
+            LogicalOp::GroupBy { keys, aggs, .. } => {
+                keys.iter().for_each(|(_, e)| note_expr(e, map));
+                aggs.iter().for_each(|a| note_expr(&a.input, map));
+            }
+            LogicalOp::Aggregate { aggs, .. } => aggs.iter().for_each(|a| note_expr(&a.input, map)),
+            LogicalOp::Order { keys, .. } => keys.iter().for_each(|k| note_expr(&k.expr, map)),
+            LogicalOp::Limit { .. } => {}
+            LogicalOp::Distinct { exprs, .. } => exprs.iter().for_each(|e| note_expr(e, map)),
+            LogicalOp::Emit { expr, .. } => note_expr(expr, map),
+        }
+        for child in op.inputs() {
+            note_op(child, map);
+        }
+    }
+    fn note_spec(
+        spec: &crate::plan::IndexSearchSpec,
+        map: &mut std::collections::HashMap<VarId, VarUse>,
+    ) {
+        use crate::plan::IndexSearchSpec as S;
+        let mut bound = |b: &Option<(LogicalExpr, bool)>| {
+            if let Some((e, _)) = b {
+                note_expr(e, map);
+            }
+        };
+        match spec {
+            S::PrimaryRange { lo, hi } | S::BTreeRange { lo, hi } => {
+                bound(lo);
+                bound(hi);
+            }
+            S::RTree { query } => note_expr(query, map),
+            S::InvertedConjunctive { needle } => note_expr(needle, map),
+            S::InvertedFuzzy { needle, .. } => note_expr(needle, map),
+        }
+    }
+    let mut map = std::collections::HashMap::new();
+    collect_scans(plan, &mut map);
+    note_op(plan, &mut map);
+    map
 }
 
 /// Floor for a single operator's slice of the query grant: dividing a small
@@ -170,6 +301,7 @@ pub fn compile(
         nparts,
         options: options.clone(),
         per_op_mem,
+        scan_uses: analyze_scan_uses(plan),
     };
     let LogicalOp::Emit { input, expr } = plan else {
         return Err(HyracksError::InvalidJob("top-level plan must end in emit".into()));
@@ -404,6 +536,65 @@ impl Gen {
         Ok((op, new_schema))
     }
 
+    /// The projection a scan of `var` may run with: `Some` only when every
+    /// use of the variable across the plan is a direct field access.
+    fn scan_projection(&self, var: VarId, filter: Option<ScanFilter>) -> Option<ScanProjection> {
+        match self.scan_uses.get(&var) {
+            Some(VarUse::Fields(fields)) => {
+                Some(ScanProjection { fields: fields.iter().cloned().collect(), filter })
+            }
+            _ => None,
+        }
+    }
+
+    /// Classify a select condition over the scan variable as a pushable
+    /// single-column pre-filter: an ordkey-decidable `$v.field <op> C`
+    /// comparison (for conjunctions, the first such conjunct — dropping
+    /// rows one conjunct definitely rejects is always safe).
+    fn scan_filter(&self, condition: &LogicalExpr, var: VarId) -> Option<ScanFilter> {
+        let schema = [var];
+        let cand = |e: &LogicalExpr| -> Option<ScanFilter> {
+            let p = self.ordkey_pred(e, &schema)?;
+            let field = p.path?;
+            (p.col == 0).then(|| ScanFilter { field, op: p.op, key: p.key })
+        };
+        match condition {
+            LogicalExpr::And(cs) => cs.iter().find_map(cand),
+            e => cand(e),
+        }
+    }
+
+    /// Build a data-scan source. Prefers the serialized scan: storage
+    /// hands encoded tuple bytes straight into the byte-frame exchange.
+    /// When the plan only touches specific fields of the scan variable,
+    /// the provider is offered a projection so columnar components can
+    /// read just those columns and late-materialize.
+    fn build_scan(
+        &mut self,
+        dataset: &str,
+        var: VarId,
+        filter: Option<ScanFilter>,
+    ) -> Result<(OperatorId, Vec<VarId>, Part)> {
+        let proj = self.scan_projection(var, filter);
+        let op: Arc<SourceOp> = match self.ctx.provider.raw_scan_source(dataset, proj.as_ref())? {
+            Some(raw) => {
+                let label = match &proj {
+                    Some(p) if raw.projected => {
+                        format!("data-scan {dataset} [cols: {}]", p.fields.join(","))
+                    }
+                    _ => format!("data-scan {dataset}"),
+                };
+                Arc::new(SourceOp::from_raw_fn(label, raw.source))
+            }
+            None => {
+                let src = self.ctx.provider.scan_source(dataset)?;
+                Arc::new(SourceOp::from_fn(format!("data-scan {dataset}"), src))
+            }
+        };
+        let id = self.job.add(self.nparts, op);
+        Ok((id, vec![var], Part::Distributed))
+    }
+
     fn build(&mut self, op: &LogicalOp) -> Result<(OperatorId, Vec<VarId>, Part)> {
         match op {
             LogicalOp::EmptyTupleSource => {
@@ -413,22 +604,7 @@ impl Gen {
                 );
                 Ok((id, Vec::new(), Part::Single))
             }
-            LogicalOp::DataSourceScan { dataset, var } => {
-                // Prefer the serialized scan: storage hands encoded tuple
-                // bytes straight into the byte-frame exchange. Providers
-                // without one fall back to the decoded source.
-                let op: Arc<SourceOp> = match self.ctx.provider.raw_scan_source(dataset)? {
-                    Some(raw) => {
-                        Arc::new(SourceOp::from_raw_fn(format!("data-scan {dataset}"), raw))
-                    }
-                    None => {
-                        let src = self.ctx.provider.scan_source(dataset)?;
-                        Arc::new(SourceOp::from_fn(format!("data-scan {dataset}"), src))
-                    }
-                };
-                let id = self.job.add(self.nparts, op);
-                Ok((id, vec![*var], Part::Distributed))
-            }
+            LogicalOp::DataSourceScan { dataset, var } => self.build_scan(dataset, *var, None),
             LogicalOp::IndexSearch { dataset, index, var, spec, postcondition } => {
                 self.build_index_search(dataset, index, *var, spec, postcondition.as_ref())
             }
@@ -444,7 +620,18 @@ impl Gen {
                 Ok((op, schema, part))
             }
             LogicalOp::Select { input, condition } => {
-                let (in_op, schema, part) = self.build(input)?;
+                // A select directly over a data scan pushes its
+                // ordkey-decidable comparison into the scan: a columnar
+                // source then decides most rows on one column's bytes
+                // before assembling anything. The select stays in the plan
+                // — the pushed filter only drops definite rejects.
+                let (in_op, schema, part) = match input.as_ref() {
+                    LogicalOp::DataSourceScan { dataset, var } => {
+                        let filter = self.scan_filter(condition, *var);
+                        self.build_scan(dataset, *var, filter)?
+                    }
+                    _ => self.build(input)?,
+                };
                 let sel = self.select_op("filter", condition, &schema)?;
                 let id = self.job.add(self.parts(part), Arc::new(sel));
                 self.job.connect(ConnectorKind::OneToOne, in_op, id);

@@ -26,6 +26,8 @@ pub mod rules;
 
 pub use expr::{CompareOp, LogicalExpr, QuantKind, VarId};
 pub use jobgen::{compile, CompiledQuery};
-pub use metadata::{IndexInfo, IndexKind, KeyBound, MetadataProvider};
+pub use metadata::{
+    IndexInfo, IndexKind, KeyBound, MetadataProvider, RawScan, ScanFilter, ScanProjection,
+};
 pub use plan::{AggCall, AggFunc, JoinKind, LogicalOp, SortSpec};
 pub use rules::optimize;

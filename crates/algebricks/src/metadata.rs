@@ -7,7 +7,7 @@ use std::sync::Arc;
 use asterix_adm::value::Rectangle;
 use asterix_adm::Value;
 
-use asterix_hyracks::ops::{RawSourceFn, SourceFn};
+use asterix_hyracks::ops::{CmpKind, RawSourceFn, SourceFn};
 use asterix_hyracks::Result;
 
 /// Secondary index kinds (§2.2: btree is the default; rtree, keyword and
@@ -35,6 +35,39 @@ pub enum KeyBound {
     Unbounded,
     Inclusive(Value),
     Exclusive(Value),
+}
+
+/// A pushed-down `field <op> constant` scan pre-filter. `key` is the
+/// order-preserving `ordkey` encoding of the constant, so a columnar
+/// source can decide most rows by memcmp on one column's bytes before
+/// assembling anything. The filter is conservative: it only drops rows
+/// the comparison *definitely* rejects; the select above re-applies the
+/// full predicate to whatever comes through.
+#[derive(Debug, Clone)]
+pub struct ScanFilter {
+    pub field: String,
+    pub op: CmpKind,
+    pub key: Vec<u8>,
+}
+
+/// What a data scan actually needs to produce: the top-level fields the
+/// query accesses (every use of the scan variable is `$v.field`), plus an
+/// optional pre-filter. Handed to [`MetadataProvider::raw_scan_source`]
+/// so columnar storage can late-materialize just those columns.
+#[derive(Debug, Clone)]
+pub struct ScanProjection {
+    /// Field names in deterministic (sorted) order.
+    pub fields: Vec<String>,
+    pub filter: Option<ScanFilter>,
+}
+
+/// A serialized scan source plus whether it honors the requested
+/// projection. A provider may decline the projection — the dataset has no
+/// columnar components, or the `disable_columnar` knob is on — and serve
+/// full rows instead; the compiler labels the scan accordingly.
+pub struct RawScan {
+    pub source: RawSourceFn,
+    pub projected: bool,
 }
 
 /// Everything the compiler and interpreter need from the system catalog
@@ -66,12 +99,19 @@ pub trait MetadataProvider: Send + Sync {
     /// caller's partition.
     fn scan_source(&self, dataset: &str) -> Result<SourceFn>;
 
-    /// Serialized full-scan source: emits the offset-prefixed tuple
-    /// encoding directly, so the scan feeds the byte-frame exchange without
-    /// materializing a `Value` per record. Providers that can serve bytes
-    /// return `Some`; the default `None` makes the compiler fall back to
-    /// `scan_source` (staged migration — see DESIGN.md "Data plane").
-    fn raw_scan_source(&self, _dataset: &str) -> Result<Option<RawSourceFn>> {
+    /// Serialized scan source: emits the offset-prefixed tuple encoding
+    /// directly, so the scan feeds the byte-frame exchange without
+    /// materializing a `Value` per record. When the compiler knows the
+    /// query touches only specific fields it passes a `projection`;
+    /// providers backed by columnar components can then read just those
+    /// columns and late-materialize (see DESIGN.md "Columnar storage").
+    /// Providers that can serve bytes return `Some`; the default `None`
+    /// makes the compiler fall back to `scan_source`.
+    fn raw_scan_source(
+        &self,
+        _dataset: &str,
+        _projection: Option<&ScanProjection>,
+    ) -> Result<Option<RawScan>> {
         Ok(None)
     }
 

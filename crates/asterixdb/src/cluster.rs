@@ -47,6 +47,11 @@ pub struct ClusterConfig {
     /// operators. For A/B runs and debugging; results are identical either
     /// way.
     pub disable_runtime_filters: bool,
+    /// Disable columnar LSM components: flushes and merges write row-major
+    /// components and scans never late-materialize. Columnar components
+    /// written while the knob was off remain readable. For A/B runs and
+    /// debugging; results are identical either way.
+    pub disable_columnar: bool,
     /// Queries allowed to run at once; later arrivals queue (admission
     /// control — the workload manager's concurrency gate).
     pub max_concurrent_queries: usize,
@@ -88,6 +93,7 @@ impl ClusterConfig {
             disable_fusion: false,
             disable_vectorization: false,
             disable_runtime_filters: false,
+            disable_columnar: false,
             max_concurrent_queries: 16,
             max_queued_queries: 64,
             admission_timeout: std::time::Duration::from_secs(10),

@@ -95,6 +95,9 @@ pub struct Instance {
     /// The workload manager: admission control, per-query memory grants,
     /// and cooperative cancellation (DESIGN.md "Workload management").
     rm: Arc<asterix_rm::ResourceManager>,
+    /// Columnar-storage counters shared by every dataset's primary trees
+    /// (components built, columns projected, bytes skipped, spilled rows).
+    columnar_stats: Arc<asterix_storage::ColumnarStats>,
     /// Continuous metrics sampler (running when the config sets
     /// `metrics_sample_interval`); stopped on drop.
     sampler: Mutex<Option<Sampler>>,
@@ -158,6 +161,7 @@ impl Instance {
             cache: BufferCache::with_shards(cfg.buffer_cache_pages, cfg.cache_shards),
             exchange_stats: Arc::new(asterix_hyracks::ExchangeStats::new()),
             filter_stats: asterix_hyracks::FilterStats::default(),
+            columnar_stats: Arc::new(asterix_storage::ColumnarStats::default()),
             metrics: Arc::new(MetricsRegistry::new()),
             locks: LockManager::new(Duration::from_secs(10)),
             wals,
@@ -190,6 +194,7 @@ impl Instance {
         // one snapshot covers the whole instance.
         instance.exchange_stats.register_into(&instance.metrics, "exchange");
         instance.filter_stats.register_into(&instance.metrics, "filters");
+        instance.columnar_stats.register_into(&instance.metrics, "storage.columnar");
         instance.cache.register_into(&instance.metrics, "cache");
         instance.rm.stats().register_into(&instance.metrics, "rm");
         for (n, wal) in instance.wals.iter().enumerate() {
@@ -274,6 +279,11 @@ impl Instance {
     /// The unified metrics registry for this instance.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
+    }
+
+    /// Columnar-storage counters (shared across every dataset).
+    pub fn columnar_stats(&self) -> &asterix_storage::ColumnarStats {
+        &self.columnar_stats
     }
 
     /// Schema-versioned JSON snapshot of every registered metric.
@@ -858,6 +868,7 @@ impl Instance {
             Arc::clone(&self.cache),
             Arc::clone(&self.locks),
             self.wals.clone(),
+            Arc::clone(&self.columnar_stats),
         )?;
         self.register_lsm_metrics(&rt);
         self.shared.datasets.write().insert(meta.qualified(), Arc::clone(&rt));

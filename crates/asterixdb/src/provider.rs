@@ -7,7 +7,9 @@ use std::sync::Arc;
 
 use asterix_adm::value::Rectangle;
 use asterix_adm::Value;
-use asterix_algebricks::metadata::{IndexInfo, IndexKind, KeyBound, MetadataProvider};
+use asterix_algebricks::metadata::{
+    IndexInfo, IndexKind, KeyBound, MetadataProvider, RawScan, ScanProjection,
+};
 use asterix_aql::translate::{AqlCatalog, FunctionDef};
 use asterix_hyracks::ops::{RawSourceFn, SourceFn};
 use asterix_hyracks::HyracksError;
@@ -21,6 +23,20 @@ use crate::error::AsterixError;
 
 fn op_err(e: impl std::fmt::Display) -> HyracksError {
     HyracksError::Operator(e.to_string())
+}
+
+/// The executor's comparison kinds map one-to-one onto storage's.
+fn cmp_kind_to_op(k: asterix_hyracks::ops::CmpKind) -> asterix_storage::CmpOp {
+    use asterix_hyracks::ops::CmpKind as K;
+    use asterix_storage::CmpOp as O;
+    match k {
+        K::Eq => O::Eq,
+        K::Neq => O::Neq,
+        K::Lt => O::Lt,
+        K::Le => O::Le,
+        K::Gt => O::Gt,
+        K::Ge => O::Ge,
+    }
 }
 
 /// A live system-view generator: called at scan time to materialize the
@@ -231,12 +247,50 @@ impl MetadataProvider for InstanceProvider {
         }))
     }
 
-    fn raw_scan_source(&self, dataset: &str) -> asterix_hyracks::Result<Option<RawSourceFn>> {
+    fn raw_scan_source(
+        &self,
+        dataset: &str,
+        projection: Option<&ScanProjection>,
+    ) -> asterix_hyracks::Result<Option<RawScan>> {
         // Only stored datasets serve serialized tuples; metadata/external
         // datasets (and unknown names, which must error through
         // `scan_source`) take the decoded fallback path.
         let Some(ds) = self.shared.dataset(dataset) else { return Ok(None) };
-        Ok(Some(Arc::new(move |partition, _nparts, emit| {
+        // Projecting scan: the compiler proved the query only touches
+        // these fields, so columnar components late-materialize just
+        // those columns (and decide the pushed filter on raw column
+        // bytes). Declined when the columnar knob is off.
+        if let Some(proj) = projection {
+            if ds.columnar_scans_enabled() {
+                let storage_proj = asterix_storage::Projection {
+                    fields: proj.fields.clone(),
+                    filter: proj.filter.as_ref().map(|f| asterix_storage::ColumnFilter {
+                        field: f.field.clone(),
+                        op: cmp_kind_to_op(f.op),
+                        key: f.key.clone(),
+                    }),
+                };
+                let source: RawSourceFn = Arc::new(move |partition, _nparts, emit| {
+                    let mut emit_err: Option<HyracksError> = None;
+                    ds.scan_partition_projected(partition, &storage_proj, &mut |bytes| match emit(
+                        bytes,
+                    ) {
+                        Ok(()) => true,
+                        Err(e) => {
+                            emit_err = Some(e);
+                            false
+                        }
+                    })
+                    .map_err(op_err)?;
+                    match emit_err {
+                        Some(e) => Err(e),
+                        None => Ok(()),
+                    }
+                });
+                return Ok(Some(RawScan { source, projected: true }));
+            }
+        }
+        let source: RawSourceFn = Arc::new(move |partition, _nparts, emit| {
             let mut emit_err: Option<HyracksError> = None;
             ds.scan_partition_raw(partition, &mut |bytes| match emit(bytes) {
                 Ok(()) => true,
@@ -250,7 +304,8 @@ impl MetadataProvider for InstanceProvider {
                 Some(e) => Err(e),
                 None => Ok(()),
             }
-        })))
+        });
+        Ok(Some(RawScan { source, projected: false }))
     }
 
     fn primary_range_source(

@@ -21,6 +21,7 @@ fn tree(dir: &std::path::Path, policy: MergePolicy) -> LsmBTree {
             bloom_fpp: 0.01,
             merge_policy: policy,
             max_frozen: 2,
+            columnar: None,
         },
         BufferCache::new(1024),
         Arc::new(NullObserver),

@@ -55,6 +55,22 @@ fn main() {
         failures.push(format!("schema_version drift: committed {cv:?}, fresh {fv:?}"));
     }
 
+    // Ablation blocks (runtime filters, columnar storage) are structural:
+    // once committed, a fresh run must keep emitting the block with every
+    // key it used to report.
+    for block in ["runtime_filter_ablation", "columnar_ablation"] {
+        let Some(cblk) = committed.get(block) else { continue };
+        let Some(fblk) = fresh.get(block) else {
+            failures.push(format!("ablation block '{block}' missing from fresh run"));
+            continue;
+        };
+        for (key, _) in cblk.as_obj().unwrap_or(&[]) {
+            if fblk.get(key).is_none() {
+                failures.push(format!("ablation block '{block}': key '{key}' missing"));
+            }
+        }
+    }
+
     // Every committed query row must still be produced, with the same
     // column count.
     let empty: Vec<JsonValue> = Vec::new();

@@ -240,6 +240,70 @@ fn main() {
         fs_off.published.get() == 0 && fs_off.pruned_tuples.get() == 0
     });
 
+    // Columnar ablation on the field-projecting scan queries (agg reads
+    // {timestamp, message}, grp-agg reads {timestamp, author-id} of wide
+    // message records): same results with columnar components on and off,
+    // untouched columns never leaving the buffer cache when on. Fresh
+    // unindexed Schema instances with the knob forced per side, so the
+    // run works under ASTERIX_BENCH_DISABLE_COLUMNAR smoke too.
+    eprintln!("columnar ablation (agg / grp-agg, Lg selectivity) ...");
+    let col_on = setup_asterix_with(&corpus, SchemaMode::Schema, false, None, None, |c| {
+        c.disable_columnar = false;
+    });
+    let col_off = setup_asterix_with(&corpus, SchemaMode::Schema, false, None, None, |c| {
+        c.disable_columnar = true;
+    });
+    let agg_on = col_on.agg(m_lg_lo, m_lg_hi);
+    let agg_off = col_off.agg(m_lg_lo, m_lg_hi);
+    let grp_on = col_on.grp_agg(m_lg_lo, m_lg_hi);
+    let grp_off = col_off.grp_agg(m_lg_lo, m_lg_hi);
+    let t_agg_col = time_avg(warmup, runs, || {
+        col_on.agg(m_lg_lo, m_lg_hi);
+    });
+    let t_agg_row = time_avg(warmup, runs, || {
+        col_off.agg(m_lg_lo, m_lg_hi);
+    });
+    let t_grp_col = time_avg(warmup, runs, || {
+        col_on.grp_agg(m_lg_lo, m_lg_hi);
+    });
+    let t_grp_row = time_avg(warmup, runs, || {
+        col_off.grp_agg(m_lg_lo, m_lg_hi);
+    });
+    let cs_on = col_on.instance.columnar_stats();
+    let cs_off = col_off.instance.columnar_stats();
+    println!("\n### Columnar ablation (Lg selectivity scans)\n");
+    println!("| columnar | agg | grp-agg | components | cols projected | bytes skipped | fallback rows |");
+    println!("|---|---|---|---|---|---|---|");
+    println!(
+        "| on | {} | {} | {} | {} | {} | {} |",
+        fmt_ms(t_agg_col),
+        fmt_ms(t_grp_col),
+        cs_on.components.get(),
+        cs_on.columns_projected.get(),
+        cs_on.bytes_skipped.get(),
+        cs_on.fallback_rows.get()
+    );
+    println!(
+        "| off | {} | {} | {} | {} | {} | {} |",
+        fmt_ms(t_agg_row),
+        fmt_ms(t_grp_row),
+        cs_off.components.get(),
+        cs_off.columns_projected.get(),
+        cs_off.bytes_skipped.get(),
+        cs_off.fallback_rows.get()
+    );
+    println!();
+    check("columnar storage does not change agg/grp-agg results", {
+        agg_on == agg_off && grp_on == grp_off
+    });
+    check("columnar run built columnar components on flush", cs_on.components.get() > 0);
+    check("projected scans read a column subset and skipped bytes", {
+        cs_on.columns_projected.get() > 0 && cs_on.bytes_skipped.get() > 0
+    });
+    check("disabled run built row components and projected nothing", {
+        cs_off.components.get() == 0 && cs_off.columns_projected.get() == 0
+    });
+
     // Machine-readable runtime counters (buffer-cache hit rate, exchange
     // frames/tuples/stalls accumulated over the whole workload).
     let sys_stats: Vec<String> = systems_noix
@@ -297,6 +361,23 @@ fn main() {
             fs_on.published.get(),
             fs_on.checked.get(),
             fs_on.pruned_tuples.get()
+        ));
+        out.push_str(&format!(
+            "  \"columnar_ablation\": {{\"query\": \"agg+grp-agg (Lg)\", \
+             \"agg_on_ms\": {:.3}, \"agg_off_ms\": {:.3}, \
+             \"grp_on_ms\": {:.3}, \"grp_off_ms\": {:.3}, \
+             \"components\": {}, \"columns_projected\": {}, \
+             \"bytes_skipped\": {}, \"fallback_rows\": {}, \
+             \"off_components\": {}}},\n",
+            ms(t_agg_col),
+            ms(t_agg_row),
+            ms(t_grp_col),
+            ms(t_grp_row),
+            cs_on.components.get(),
+            cs_on.columns_projected.get(),
+            cs_on.bytes_skipped.get(),
+            cs_on.fallback_rows.get(),
+            cs_off.components.get()
         ));
         out.push_str(&format!("  \"systems\": [{}]\n}}\n", sys_stats.join(",\n")));
         std::fs::write(&path, out).expect("write ASTERIX_BENCH_JSON_OUT");

@@ -160,6 +160,20 @@ pub fn setup_asterix_tuned(
     query_mem: Option<usize>,
     max_concurrent: Option<usize>,
 ) -> AsterixSystem {
+    setup_asterix_with(corpus, mode, indexed, query_mem, max_concurrent, |_| {})
+}
+
+/// [`setup_asterix_tuned`] plus a config hook applied after the env knobs,
+/// so ablation harnesses can force a knob both ways inside one process
+/// (the env flags cover whole-process A/B runs in CI).
+pub fn setup_asterix_with(
+    corpus: &Corpus,
+    mode: SchemaMode,
+    indexed: bool,
+    query_mem: Option<usize>,
+    max_concurrent: Option<usize>,
+    tweak: impl FnOnce(&mut ClusterConfig),
+) -> AsterixSystem {
     let dir = tempfile::TempDir::new().expect("tempdir");
     let mut cfg = ClusterConfig::small(dir.path());
     cfg.nodes = 2;
@@ -175,6 +189,7 @@ pub fn setup_asterix_tuned(
     let env_flag = |k: &str| std::env::var(k).is_ok_and(|v| v == "1");
     cfg.disable_vectorization = env_flag("ASTERIX_BENCH_DISABLE_VECTORIZATION");
     cfg.disable_runtime_filters = env_flag("ASTERIX_BENCH_DISABLE_RUNTIME_FILTERS");
+    cfg.disable_columnar = env_flag("ASTERIX_BENCH_DISABLE_COLUMNAR");
     // Continuous metrics sampling for the bench JSON's time-series block
     // (`ASTERIX_BENCH_SAMPLE_MS=0` disables it).
     let sample_ms = std::env::var("ASTERIX_BENCH_SAMPLE_MS")
@@ -184,6 +199,7 @@ pub fn setup_asterix_tuned(
     if sample_ms > 0 {
         cfg.metrics_sample_interval = Some(Duration::from_millis(sample_ms));
     }
+    tweak(&mut cfg);
     let instance = Instance::open(cfg).expect("open instance");
     let ddl = match mode {
         SchemaMode::Schema => SCHEMA_DDL,

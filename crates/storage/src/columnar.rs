@@ -1,0 +1,177 @@
+//! Columnar-component support types: the row codec bridging the stored
+//! row encoding to the self-describing ADM encoding, build options and
+//! knobs, projection descriptors for late-materialized scans, and the
+//! `storage.columnar.*` observability counters.
+//!
+//! The storage layer stores opaque row bytes; shredding them into columns
+//! requires translating to the self-describing record encoding that
+//! [`asterix_adm::colschema`] understands. [`RowCodec`] is that bridge —
+//! the engine above supplies one per dataset (typed ↔ self-describing),
+//! and tests can use [`SelfDescribingCodec`] when rows already are the
+//! self-describing encoding.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+use asterix_adm::tuple::ValueRef;
+use asterix_obs::{Counter, MetricsRegistry};
+
+/// Bidirectional translation between the stored row encoding and the
+/// self-describing ADM encoding. Both directions return `None` for rows
+/// that cannot be translated — such rows ride the spill path verbatim.
+///
+/// The contract that makes columnar reads bit-exact: for every row the
+/// builder shreds, `to_stored(splice(shred(to_self_describing(row)))) ==
+/// row` is verified at build time, and rows failing it are spilled.
+pub trait RowCodec: Send + Sync {
+    fn to_self_describing(&self, stored: &[u8]) -> Option<Vec<u8>>;
+    fn to_stored(&self, sd: &[u8]) -> Option<Vec<u8>>;
+}
+
+/// Identity codec for stores whose row format already is the
+/// self-describing encoding (tests, schemaless byte stores).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SelfDescribingCodec;
+
+impl RowCodec for SelfDescribingCodec {
+    fn to_self_describing(&self, stored: &[u8]) -> Option<Vec<u8>> {
+        Some(stored.to_vec())
+    }
+
+    fn to_stored(&self, sd: &[u8]) -> Option<Vec<u8>> {
+        Some(sd.to_vec())
+    }
+}
+
+/// Counters for the columnar path, registered under `storage.columnar.*`.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnarStats {
+    /// Columnar disk components built (flushes and merges).
+    pub components: Counter,
+    /// Column page runs actually read by projecting scans.
+    pub columns_projected: Counter,
+    /// Bytes of column runs a projecting scan did NOT have to read.
+    pub bytes_skipped: Counter,
+    /// Rows that fell back to the row-stored spill column at build time.
+    pub fallback_rows: Counter,
+}
+
+impl ColumnarStats {
+    pub fn register_into(&self, reg: &MetricsRegistry, prefix: &str) {
+        reg.register_counter(&format!("{prefix}.components"), &self.components);
+        reg.register_counter(&format!("{prefix}.columns_projected"), &self.columns_projected);
+        reg.register_counter(&format!("{prefix}.bytes_skipped"), &self.bytes_skipped);
+        reg.register_counter(&format!("{prefix}.fallback_rows"), &self.fallback_rows);
+    }
+}
+
+/// Per-tree columnar configuration, carried on `LsmConfig`.
+#[derive(Clone)]
+pub struct ColumnarOptions {
+    /// Stored-row ↔ self-describing translation for this tree's values.
+    pub codec: Arc<dyn RowCodec>,
+    /// Build new components column-major when the data allows it. When
+    /// `false` (the `disable_columnar` knob) no new columnar components
+    /// are built and scans never project, but existing columnar
+    /// components remain readable — the knob must not strand data written
+    /// while it was on.
+    pub enabled: bool,
+    /// Minimum fraction of rows a field must appear in to earn a column.
+    pub min_presence: f64,
+    /// Minimum fraction of rows that must shred cleanly for a columnar
+    /// build to go ahead; below it the component falls back to row format.
+    pub min_shred_fraction: f64,
+    /// Cap on inferred columns (highest presence wins).
+    pub max_columns: usize,
+    pub stats: Arc<ColumnarStats>,
+}
+
+impl ColumnarOptions {
+    pub fn new(codec: Arc<dyn RowCodec>) -> Self {
+        ColumnarOptions {
+            codec,
+            enabled: true,
+            min_presence: 0.25,
+            min_shred_fraction: 0.5,
+            max_columns: 48,
+            stats: Arc::new(ColumnarStats::default()),
+        }
+    }
+}
+
+impl fmt::Debug for ColumnarOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ColumnarOptions")
+            .field("enabled", &self.enabled)
+            .field("min_presence", &self.min_presence)
+            .field("min_shred_fraction", &self.min_shred_fraction)
+            .field("max_columns", &self.max_columns)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Comparison operator for [`ColumnFilter`], mirroring the executor's
+/// `CmpKind` so jobgen predicates translate one-to-one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    pub fn apply(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Neq => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+}
+
+/// A pushed-down `field <op> constant` predicate evaluated on one
+/// column's bytes before any row assembly. `key` is the precomputed
+/// `ordkey` encoding of the constant.
+#[derive(Debug, Clone)]
+pub struct ColumnFilter {
+    pub field: String,
+    pub op: CmpOp,
+    pub key: Vec<u8>,
+}
+
+impl ColumnFilter {
+    /// `true` when the row is DEFINITELY rejected by this filter: the
+    /// field is absent or unknown (comparisons with MISSING/NULL are
+    /// unknown, which a select drops), or its ordkey transcoding compares
+    /// false against the constant. Indecisive cases — non-scalar values,
+    /// numerics past the exact bound — keep the row; the select operator
+    /// above re-evaluates every surviving row, so this can only be used
+    /// under the predicate it was derived from.
+    pub fn rejects(&self, field_sd: Option<&[u8]>, scratch: &mut Vec<u8>) -> bool {
+        let Some(bytes) = field_sd else { return true };
+        if ValueRef::new(bytes).is_unknown() {
+            return true;
+        }
+        scratch.clear();
+        if !asterix_adm::ordkey::encoded_scalar_key_into(bytes, scratch) {
+            return false; // indecisive: let the select decide
+        }
+        !self.op.apply(scratch.as_slice().cmp(self.key.as_slice()))
+    }
+}
+
+/// What a late-materializing scan should produce: the named fields, in
+/// order, of each surviving row — assembled into a self-describing record
+/// — plus an optional single-column pre-filter.
+#[derive(Debug, Clone)]
+pub struct Projection {
+    pub fields: Vec<String>,
+    pub filter: Option<ColumnFilter>,
+}

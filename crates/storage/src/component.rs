@@ -6,18 +6,45 @@
 //! then never modified; they are installed atomically by creating a `.valid`
 //! marker file after the data file is durable — the paper's "validity bit"
 //! shadowing scheme (§4.4). Crash recovery deletes any component file that
-//! lacks its marker.
+//! lacks its marker or fails structural validation.
+//!
+//! Two on-disk layouts share the `.dat` extension and are told apart by the
+//! trailing magic number:
+//!
+//! * **Row** (`ASTXLSM1`): interleaved `(key, antimatter, value)` pages —
+//!   the original format, still used for schema-unstable data and as the
+//!   fallback when columnar builds abort.
+//! * **Columnar** (`ASTXLSM2`): rows are grouped into page-sized *row
+//!   groups*; within each group the keys live on one page run and every
+//!   inferred schema column on its own run, with leftover fields in a
+//!   per-row "rest" record run and untranslatable rows on a row-stored
+//!   "spill" run. A group directory in the footer addresses every run, so
+//!   projecting scans read only the columns they need and late-materialize
+//!   encoded records without touching the rest of the row.
 
 use std::fs::{self, File};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use asterix_adm::colschema::{self, InferredSchema};
+use asterix_adm::serde as adm_serde;
+
 use crate::bloom::BloomFilter;
 use crate::cache::{next_file_id, BufferCache};
+use crate::columnar::{ColumnarOptions, ColumnarStats, Projection, RowCodec};
 use crate::error::{Result, StorageError};
 
 const MAGIC: u64 = 0x4153_5458_4c53_4d31; // "ASTXLSM1"
+const MAGIC_COLUMNAR: u64 = 0x4153_5458_4c53_4d32; // "ASTXLSM2"
+
+const ROW_FOOTER: u64 = 48;
+const COL_FOOTER: u64 = 64;
+
+/// Row-group key-page entry kinds.
+const KIND_SHREDDED: u8 = 0;
+const KIND_ANTIMATTER: u8 = 1;
+const KIND_SPILL: u8 = 2;
 
 /// One entry in a component: key bytes, tombstone flag, value bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -75,6 +102,35 @@ struct PageMeta {
     entries: u32,
 }
 
+/// One columnar row group: `nrows` keys on chunk 0, each schema column on
+/// chunk `1..=ncols`, the rest records on chunk `ncols+1`, spilled rows on
+/// chunk `ncols+2`.
+struct GroupMeta {
+    first_key: Vec<u8>,
+    nrows: u32,
+    /// `(offset, len)` per chunk; zero-length chunks occupy no file space.
+    chunks: Vec<(u64, u32)>,
+}
+
+/// Physical layout of a component's payload.
+enum Layout {
+    Row { pages: Vec<PageMeta> },
+    Columnar(ColMeta),
+}
+
+struct ColMeta {
+    groups: Vec<GroupMeta>,
+    schema: InferredSchema,
+    codec: Arc<dyn RowCodec>,
+    stats: Arc<ColumnarStats>,
+}
+
+impl ColMeta {
+    fn slots(&self) -> usize {
+        self.schema.columns.len() + 3
+    }
+}
+
 /// Configuration for building components.
 #[derive(Debug, Clone)]
 pub struct ComponentConfig {
@@ -93,7 +149,7 @@ pub struct DiskComponent {
     path: PathBuf,
     file_id: u64,
     cache: Arc<BufferCache>,
-    pages: Vec<PageMeta>,
+    layout: Layout,
     bloom: BloomFilter,
     entry_count: u64,
     file_len: u64,
@@ -113,8 +169,22 @@ impl DiskComponent {
         path.with_extension("valid")
     }
 
-    /// Build a component from an already-sorted, deduplicated entry stream.
-    /// The stream MUST be sorted ascending by key with unique keys.
+    /// Whether this component stores its payload column-major.
+    pub fn is_columnar(&self) -> bool {
+        matches!(self.layout, Layout::Columnar(_))
+    }
+
+    /// The inferred schema of a columnar component (None for row layout).
+    pub fn schema(&self) -> Option<&InferredSchema> {
+        match &self.layout {
+            Layout::Columnar(m) => Some(&m.schema),
+            Layout::Row { .. } => None,
+        }
+    }
+
+    /// Build a row-layout component from an already-sorted, deduplicated
+    /// entry stream. The stream MUST be sorted ascending by key with unique
+    /// keys.
     pub fn build<I>(
         path: &Path,
         cache: Arc<BufferCache>,
@@ -210,7 +280,7 @@ impl DiskComponent {
         file.write_all(&bloom_bytes)?;
 
         // Footer.
-        let mut footer = Vec::with_capacity(56);
+        let mut footer = Vec::with_capacity(ROW_FOOTER as usize);
         footer.extend_from_slice(&index_offset.to_le_bytes());
         footer.extend_from_slice(&bloom_offset.to_le_bytes());
         footer.extend_from_slice(&entry_count.to_le_bytes());
@@ -225,12 +295,12 @@ impl DiskComponent {
         let marker = Self::marker_path(path);
         File::create(&marker)?.sync_all()?;
 
-        let file_len = offset + index_buf.len() as u64 + bloom_bytes.len() as u64 + 48;
+        let file_len = bloom_offset + bloom_bytes.len() as u64 + ROW_FOOTER;
         Ok(Arc::new(DiskComponent {
             path: path.to_path_buf(),
             file_id: next_file_id(),
             cache,
-            pages,
+            layout: Layout::Row { pages },
             bloom,
             entry_count,
             file_len,
@@ -239,8 +309,273 @@ impl DiskComponent {
         }))
     }
 
+    /// Attempt to build a columnar component from sorted entries. Returns
+    /// `Ok(None)` — the caller then builds the row layout instead — when the
+    /// data is schema-unstable: no field qualifies for a column, or fewer
+    /// than `min_shred_fraction` of the rows shred cleanly.
+    ///
+    /// Every shredded row is verified round-trip (`to_stored(splice(shred))
+    /// == original`) at build time; rows failing verification ride the
+    /// spill run verbatim, so reads always reproduce the exact stored
+    /// bytes.
+    pub fn build_columnar(
+        path: &Path,
+        cache: Arc<BufferCache>,
+        cfg: &ComponentConfig,
+        columnar: &ColumnarOptions,
+        min_seq: u64,
+        max_seq: u64,
+        entries: &[Entry],
+    ) -> Result<Option<Arc<DiskComponent>>> {
+        enum Plan<'a> {
+            Anti,
+            Spill,
+            Shred { cols: Vec<Option<&'a [u8]>>, rest: Option<Vec<u8>> },
+        }
+
+        // Pass 1: translate rows to the self-describing encoding and infer
+        // the schema from the ones that translate.
+        let codec = &columnar.codec;
+        let mut builder = colschema::SchemaBuilder::new();
+        let mut sds: Vec<Option<Vec<u8>>> = Vec::with_capacity(entries.len());
+        let mut live_rows = 0u64;
+        for e in entries {
+            if e.antimatter {
+                sds.push(None);
+                continue;
+            }
+            live_rows += 1;
+            let sd = codec.to_self_describing(&e.value).filter(|sd| builder.observe(sd));
+            sds.push(sd);
+        }
+        if live_rows == 0 {
+            return Ok(None);
+        }
+        let schema = builder.finish(columnar.min_presence, columnar.max_columns);
+        if schema.columns.is_empty() {
+            return Ok(None);
+        }
+
+        // Pass 2: shred and verify each row; anything surprising spills.
+        let mut plans: Vec<Plan<'_>> = Vec::with_capacity(entries.len());
+        let mut shredded = 0u64;
+        let mut spilled = 0u64;
+        for (e, sd) in entries.iter().zip(&sds) {
+            if e.antimatter {
+                plans.push(Plan::Anti);
+                continue;
+            }
+            let plan = sd
+                .as_deref()
+                .and_then(|sd| colschema::shred(&schema, sd))
+                .and_then(|s| {
+                    let spliced =
+                        colschema::splice_full(&schema, &s.cols, s.rest.as_deref()).ok()?;
+                    let back = codec.to_stored(&spliced)?;
+                    (back == e.value).then_some(Plan::Shred { cols: s.cols, rest: s.rest })
+                })
+                .unwrap_or(Plan::Spill);
+            match plan {
+                Plan::Shred { .. } => shredded += 1,
+                _ => spilled += 1,
+            }
+            plans.push(plan);
+        }
+        if (shredded as f64) < columnar.min_shred_fraction * live_rows as f64 {
+            return Ok(None);
+        }
+
+        // Pass 3: write row groups.
+        let ncols = schema.columns.len();
+        let mut file = File::create(path)?;
+        let mut bloom = BloomFilter::with_capacity(entries.len(), cfg.bloom_fpp);
+        let mut groups: Vec<GroupMeta> = Vec::new();
+        let mut offset = 0u64;
+
+        let mut key_buf: Vec<u8> = Vec::with_capacity(cfg.page_size * 2);
+        let mut col_bufs: Vec<Vec<u8>> = vec![Vec::new(); ncols];
+        let mut rest_buf: Vec<u8> = Vec::new();
+        let mut spill_buf: Vec<u8> = Vec::new();
+        let mut group_first: Option<Vec<u8>> = None;
+        let mut group_rows = 0u32;
+
+        let flush_group = |file: &mut File,
+                           groups: &mut Vec<GroupMeta>,
+                           key_buf: &mut Vec<u8>,
+                           col_bufs: &mut Vec<Vec<u8>>,
+                           rest_buf: &mut Vec<u8>,
+                           spill_buf: &mut Vec<u8>,
+                           group_first: &mut Option<Vec<u8>>,
+                           group_rows: &mut u32,
+                           offset: &mut u64|
+         -> Result<()> {
+            if *group_rows == 0 {
+                return Ok(());
+            }
+            let mut chunks = Vec::with_capacity(ncols + 3);
+            let write_chunk =
+                |file: &mut File, buf: &mut Vec<u8>, offset: &mut u64| -> Result<(u64, u32)> {
+                    let at = *offset;
+                    let len = buf.len() as u32;
+                    if len > 0 {
+                        file.write_all(buf)?;
+                        *offset += len as u64;
+                        buf.clear();
+                    }
+                    Ok((at, len))
+                };
+            chunks.push(write_chunk(file, key_buf, offset)?);
+            for cb in col_bufs.iter_mut() {
+                chunks.push(write_chunk(file, cb, offset)?);
+            }
+            chunks.push(write_chunk(file, rest_buf, offset)?);
+            chunks.push(write_chunk(file, spill_buf, offset)?);
+            groups.push(GroupMeta {
+                first_key: group_first.take().unwrap_or_default(),
+                nrows: *group_rows,
+                chunks,
+            });
+            *group_rows = 0;
+            Ok(())
+        };
+
+        for (e, plan) in entries.iter().zip(&plans) {
+            if group_first.is_none() {
+                group_first = Some(e.key.clone());
+            }
+            bloom.insert(&e.key);
+            write_varint(&mut key_buf, e.key.len() as u64);
+            key_buf.extend_from_slice(&e.key);
+            match plan {
+                Plan::Anti => key_buf.push(KIND_ANTIMATTER),
+                Plan::Spill => {
+                    key_buf.push(KIND_SPILL);
+                    write_varint(&mut spill_buf, e.value.len() as u64);
+                    spill_buf.extend_from_slice(&e.value);
+                }
+                Plan::Shred { cols, rest } => {
+                    key_buf.push(KIND_SHREDDED);
+                    for (cb, col) in col_bufs.iter_mut().zip(cols) {
+                        match col {
+                            Some(bytes) => {
+                                cb.push(1);
+                                write_varint(cb, bytes.len() as u64);
+                                cb.extend_from_slice(bytes);
+                            }
+                            None => cb.push(0),
+                        }
+                    }
+                    match rest {
+                        Some(bytes) => {
+                            rest_buf.push(1);
+                            write_varint(&mut rest_buf, bytes.len() as u64);
+                            rest_buf.extend_from_slice(bytes);
+                        }
+                        None => rest_buf.push(0),
+                    }
+                }
+            }
+            group_rows += 1;
+            if key_buf.len() >= cfg.page_size {
+                flush_group(
+                    &mut file,
+                    &mut groups,
+                    &mut key_buf,
+                    &mut col_bufs,
+                    &mut rest_buf,
+                    &mut spill_buf,
+                    &mut group_first,
+                    &mut group_rows,
+                    &mut offset,
+                )?;
+            }
+        }
+        flush_group(
+            &mut file,
+            &mut groups,
+            &mut key_buf,
+            &mut col_bufs,
+            &mut rest_buf,
+            &mut spill_buf,
+            &mut group_first,
+            &mut group_rows,
+            &mut offset,
+        )?;
+
+        // Group directory.
+        let dir_offset = offset;
+        let mut dir_buf = Vec::new();
+        write_varint(&mut dir_buf, groups.len() as u64);
+        for g in &groups {
+            write_varint(&mut dir_buf, g.first_key.len() as u64);
+            dir_buf.extend_from_slice(&g.first_key);
+            dir_buf.extend_from_slice(&g.nrows.to_le_bytes());
+            for (off, len) in &g.chunks {
+                dir_buf.extend_from_slice(&off.to_le_bytes());
+                dir_buf.extend_from_slice(&len.to_le_bytes());
+            }
+        }
+        file.write_all(&dir_buf)?;
+
+        // Schema blob.
+        let schema_offset = dir_offset + dir_buf.len() as u64;
+        let schema_bytes = schema.to_bytes();
+        file.write_all(&schema_bytes)?;
+
+        // Bloom filter.
+        let bloom_offset = schema_offset + schema_bytes.len() as u64;
+        let bloom_bytes = bloom.to_bytes();
+        file.write_all(&bloom_bytes)?;
+
+        // Footer.
+        let entry_count = entries.len() as u64;
+        let mut footer = Vec::with_capacity(COL_FOOTER as usize);
+        footer.extend_from_slice(&dir_offset.to_le_bytes());
+        footer.extend_from_slice(&schema_offset.to_le_bytes());
+        footer.extend_from_slice(&bloom_offset.to_le_bytes());
+        footer.extend_from_slice(&entry_count.to_le_bytes());
+        footer.extend_from_slice(&min_seq.to_le_bytes());
+        footer.extend_from_slice(&max_seq.to_le_bytes());
+        footer.extend_from_slice(&(ncols as u64).to_le_bytes());
+        footer.extend_from_slice(&MAGIC_COLUMNAR.to_le_bytes());
+        file.write_all(&footer)?;
+        file.sync_all()?;
+
+        let marker = Self::marker_path(path);
+        File::create(&marker)?.sync_all()?;
+
+        columnar.stats.components.inc();
+        columnar.stats.fallback_rows.add(spilled);
+
+        let file_len = bloom_offset + bloom_bytes.len() as u64 + COL_FOOTER;
+        Ok(Some(Arc::new(DiskComponent {
+            path: path.to_path_buf(),
+            file_id: next_file_id(),
+            cache,
+            layout: Layout::Columnar(ColMeta {
+                groups,
+                schema,
+                codec: Arc::clone(&columnar.codec),
+                stats: Arc::clone(&columnar.stats),
+            }),
+            bloom,
+            entry_count,
+            file_len,
+            min_seq,
+            max_seq,
+        })))
+    }
+
     /// Open a previously built component, verifying its validity marker.
-    pub fn open(path: &Path, cache: Arc<BufferCache>) -> Result<Arc<DiskComponent>> {
+    /// Columnar components additionally need `columnar` options for their
+    /// row codec; opening one without is an error (a tree that ever built
+    /// columnar components must keep supplying the codec, even with the
+    /// build knob off).
+    pub fn open(
+        path: &Path,
+        cache: Arc<BufferCache>,
+        columnar: Option<&ColumnarOptions>,
+    ) -> Result<Arc<DiskComponent>> {
         if !Self::marker_path(path).exists() {
             return Err(StorageError::InvalidState(format!(
                 "component {} has no validity marker",
@@ -249,21 +584,75 @@ impl DiskComponent {
         }
         let mut file = File::open(path)?;
         let file_len = file.metadata()?.len();
-        if file_len < 48 {
+        match Self::read_magic(&mut file, file_len)? {
+            MAGIC => {
+                let meta = Self::read_row_meta(&mut file, file_len)?;
+                Ok(Arc::new(DiskComponent {
+                    path: path.to_path_buf(),
+                    file_id: next_file_id(),
+                    cache,
+                    layout: Layout::Row { pages: meta.pages },
+                    bloom: meta.bloom,
+                    entry_count: meta.entry_count,
+                    file_len,
+                    min_seq: meta.min_seq,
+                    max_seq: meta.max_seq,
+                }))
+            }
+            MAGIC_COLUMNAR => {
+                let c = columnar.ok_or_else(|| {
+                    StorageError::InvalidState(format!(
+                        "columnar component {} opened without a row codec",
+                        path.display()
+                    ))
+                })?;
+                let meta = Self::read_col_meta(&mut file, file_len)?;
+                Ok(Arc::new(DiskComponent {
+                    path: path.to_path_buf(),
+                    file_id: next_file_id(),
+                    cache,
+                    layout: Layout::Columnar(ColMeta {
+                        groups: meta.groups,
+                        schema: meta.schema,
+                        codec: Arc::clone(&c.codec),
+                        stats: Arc::clone(&c.stats),
+                    }),
+                    bloom: meta.bloom,
+                    entry_count: meta.entry_count,
+                    file_len,
+                    min_seq: meta.min_seq,
+                    max_seq: meta.max_seq,
+                }))
+            }
+            other => Err(StorageError::Corrupt(format!("bad component magic {other:#x}"))),
+        }
+    }
+
+    fn read_magic(file: &mut File, file_len: u64) -> Result<u64> {
+        if file_len < 8 {
             return Err(StorageError::Corrupt("component too small".into()));
         }
-        let mut footer = [0u8; 48];
-        file.seek(SeekFrom::End(-48))?;
-        file.read_exact(&mut footer)?;
-        let magic = u64::from_le_bytes(footer[40..48].try_into().unwrap());
-        if magic != MAGIC {
-            return Err(StorageError::Corrupt("bad component magic".into()));
+        let mut buf = [0u8; 8];
+        file.seek(SeekFrom::End(-8))?;
+        file.read_exact(&mut buf)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    fn read_row_meta(file: &mut File, file_len: u64) -> Result<RowMeta> {
+        if file_len < ROW_FOOTER {
+            return Err(StorageError::Corrupt("component too small".into()));
         }
+        let mut footer = [0u8; ROW_FOOTER as usize];
+        file.seek(SeekFrom::End(-(ROW_FOOTER as i64)))?;
+        file.read_exact(&mut footer)?;
         let index_offset = u64::from_le_bytes(footer[0..8].try_into().unwrap());
         let bloom_offset = u64::from_le_bytes(footer[8..16].try_into().unwrap());
         let entry_count = u64::from_le_bytes(footer[16..24].try_into().unwrap());
         let min_seq = u64::from_le_bytes(footer[24..32].try_into().unwrap());
         let max_seq = u64::from_le_bytes(footer[32..40].try_into().unwrap());
+        if index_offset > bloom_offset || bloom_offset > file_len - ROW_FOOTER {
+            return Err(StorageError::Corrupt("row footer offsets out of bounds".into()));
+        }
 
         // Page index.
         let index_len = (bloom_offset - index_offset) as usize;
@@ -272,7 +661,7 @@ impl DiskComponent {
         file.read_exact(&mut index_buf)?;
         let mut pos = 0usize;
         let npages = read_varint(&index_buf, &mut pos)? as usize;
-        let mut pages = Vec::with_capacity(npages);
+        let mut pages = Vec::with_capacity(npages.min(1 << 20));
         for _ in 0..npages {
             let klen = read_varint(&index_buf, &mut pos)? as usize;
             if pos + klen + 16 > index_buf.len() {
@@ -286,28 +675,111 @@ impl DiskComponent {
             pos += 4;
             let entries = u32::from_le_bytes(index_buf[pos..pos + 4].try_into().unwrap());
             pos += 4;
+            if offset + len as u64 > index_offset {
+                return Err(StorageError::Corrupt("page spans past index".into()));
+            }
             pages.push(PageMeta { first_key, offset, len, entries });
         }
 
         // Bloom.
-        let bloom_len = (file_len - 48 - bloom_offset) as usize;
+        let bloom_len = (file_len - ROW_FOOTER - bloom_offset) as usize;
         let mut bloom_buf = vec![0u8; bloom_len];
         file.seek(SeekFrom::Start(bloom_offset))?;
         file.read_exact(&mut bloom_buf)?;
         let bloom = BloomFilter::from_bytes(&bloom_buf)
             .ok_or_else(|| StorageError::Corrupt("bad bloom filter".into()))?;
 
-        Ok(Arc::new(DiskComponent {
-            path: path.to_path_buf(),
-            file_id: next_file_id(),
-            cache,
-            pages,
-            bloom,
-            entry_count,
-            file_len,
-            min_seq,
-            max_seq,
-        }))
+        Ok(RowMeta { pages, bloom, entry_count, min_seq, max_seq })
+    }
+
+    fn read_col_meta(file: &mut File, file_len: u64) -> Result<ColFileMeta> {
+        if file_len < COL_FOOTER {
+            return Err(StorageError::Corrupt("component too small".into()));
+        }
+        let mut footer = [0u8; COL_FOOTER as usize];
+        file.seek(SeekFrom::End(-(COL_FOOTER as i64)))?;
+        file.read_exact(&mut footer)?;
+        let dir_offset = u64::from_le_bytes(footer[0..8].try_into().unwrap());
+        let schema_offset = u64::from_le_bytes(footer[8..16].try_into().unwrap());
+        let bloom_offset = u64::from_le_bytes(footer[16..24].try_into().unwrap());
+        let entry_count = u64::from_le_bytes(footer[24..32].try_into().unwrap());
+        let min_seq = u64::from_le_bytes(footer[32..40].try_into().unwrap());
+        let max_seq = u64::from_le_bytes(footer[40..48].try_into().unwrap());
+        let ncols = u64::from_le_bytes(footer[48..56].try_into().unwrap()) as usize;
+        if dir_offset > schema_offset
+            || schema_offset > bloom_offset
+            || bloom_offset > file_len - COL_FOOTER
+            || ncols > 1 << 16
+        {
+            return Err(StorageError::Corrupt("columnar footer offsets out of bounds".into()));
+        }
+
+        // Group directory.
+        let dir_len = (schema_offset - dir_offset) as usize;
+        let mut dir_buf = vec![0u8; dir_len];
+        file.seek(SeekFrom::Start(dir_offset))?;
+        file.read_exact(&mut dir_buf)?;
+        let mut pos = 0usize;
+        let ngroups = read_varint(&dir_buf, &mut pos)? as usize;
+        let mut groups = Vec::with_capacity(ngroups.min(1 << 20));
+        for _ in 0..ngroups {
+            let klen = read_varint(&dir_buf, &mut pos)? as usize;
+            if pos + klen + 4 + 12 * (ncols + 3) > dir_buf.len() {
+                return Err(StorageError::Corrupt("truncated group directory".into()));
+            }
+            let first_key = dir_buf[pos..pos + klen].to_vec();
+            pos += klen;
+            let nrows = u32::from_le_bytes(dir_buf[pos..pos + 4].try_into().unwrap());
+            pos += 4;
+            let mut chunks = Vec::with_capacity(ncols + 3);
+            for _ in 0..ncols + 3 {
+                let off = u64::from_le_bytes(dir_buf[pos..pos + 8].try_into().unwrap());
+                pos += 8;
+                let len = u32::from_le_bytes(dir_buf[pos..pos + 4].try_into().unwrap());
+                pos += 4;
+                if off + len as u64 > dir_offset {
+                    return Err(StorageError::Corrupt("chunk spans past directory".into()));
+                }
+                chunks.push((off, len));
+            }
+            groups.push(GroupMeta { first_key, nrows, chunks });
+        }
+
+        // Schema blob.
+        let schema_len = (bloom_offset - schema_offset) as usize;
+        let mut schema_buf = vec![0u8; schema_len];
+        file.seek(SeekFrom::Start(schema_offset))?;
+        file.read_exact(&mut schema_buf)?;
+        let schema = InferredSchema::from_bytes(&schema_buf)
+            .ok_or_else(|| StorageError::Corrupt("bad schema blob".into()))?;
+        if schema.columns.len() != ncols {
+            return Err(StorageError::Corrupt("schema/footer column count mismatch".into()));
+        }
+
+        // Bloom.
+        let bloom_len = (file_len - COL_FOOTER - bloom_offset) as usize;
+        let mut bloom_buf = vec![0u8; bloom_len];
+        file.seek(SeekFrom::Start(bloom_offset))?;
+        file.read_exact(&mut bloom_buf)?;
+        let bloom = BloomFilter::from_bytes(&bloom_buf)
+            .ok_or_else(|| StorageError::Corrupt("bad bloom filter".into()))?;
+
+        Ok(ColFileMeta { groups, schema, bloom, entry_count, min_seq, max_seq })
+    }
+
+    /// Structurally validate a component file without installing it: footer
+    /// magic, page index or group directory, schema blob, bloom filter.
+    /// Catches torn writes — e.g. a crash mid-footer after the validity
+    /// marker was created by an earlier, overwritten build of the same
+    /// path — that the marker alone cannot.
+    pub fn validate(path: &Path) -> Result<()> {
+        let mut file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        match Self::read_magic(&mut file, file_len)? {
+            MAGIC => Self::read_row_meta(&mut file, file_len).map(|_| ()),
+            MAGIC_COLUMNAR => Self::read_col_meta(&mut file, file_len).map(|_| ()),
+            other => Err(StorageError::Corrupt(format!("bad component magic {other:#x}"))),
+        }
     }
 
     /// Number of entries (including antimatter).
@@ -320,16 +792,25 @@ impl DiskComponent {
         self.file_len
     }
 
-    fn read_page(&self, idx: usize) -> Result<Arc<Vec<u8>>> {
-        let meta = &self.pages[idx];
-        let (offset, len, path) = (meta.offset, meta.len as usize, self.path.clone());
-        self.cache.get_or_load((self.file_id, idx as u32), move || {
+    /// Read one cached page: a row page, or one columnar group chunk
+    /// addressed as `group * slots + slot`.
+    fn read_span(&self, page_no: u32, offset: u64, len: usize) -> Result<Arc<Vec<u8>>> {
+        if len == 0 {
+            return Ok(Arc::new(Vec::new()));
+        }
+        let path = self.path.clone();
+        self.cache.get_or_load((self.file_id, page_no), move || {
             let mut file = File::open(&path)?;
             file.seek(SeekFrom::Start(offset))?;
             let mut buf = vec![0u8; len];
             file.read_exact(&mut buf)?;
             Ok::<_, StorageError>(buf)
         })
+    }
+
+    fn read_chunk(&self, m: &ColMeta, group: usize, slot: usize) -> Result<Arc<Vec<u8>>> {
+        let (off, len) = m.groups[group].chunks[slot];
+        self.read_span((group * m.slots() + slot) as u32, off, len as usize)
     }
 
     fn parse_page(buf: &[u8]) -> Result<Vec<Entry>> {
@@ -353,14 +834,298 @@ impl DiskComponent {
         Ok(out)
     }
 
-    /// Index of the last page whose first key is <= `key` (candidate page).
-    fn locate_page(&self, key: &[u8]) -> Option<usize> {
-        if self.pages.is_empty() {
-            return None;
+    /// Parse a columnar key chunk into `(key, kind)` rows.
+    fn parse_key_chunk(buf: &[u8], nrows: u32) -> Result<Vec<(Vec<u8>, u8)>> {
+        let mut out = Vec::with_capacity(nrows as usize);
+        let mut pos = 0usize;
+        for _ in 0..nrows {
+            let klen = read_varint(buf, &mut pos)? as usize;
+            if pos + klen + 1 > buf.len() {
+                return Err(StorageError::Corrupt("truncated key chunk".into()));
+            }
+            let key = buf[pos..pos + klen].to_vec();
+            pos += klen;
+            let kind = buf[pos];
+            pos += 1;
+            if kind > KIND_SPILL {
+                return Err(StorageError::Corrupt(format!("bad row kind {kind}")));
+            }
+            out.push((key, kind));
         }
-        match self.pages.binary_search_by(|p| p.first_key.as_slice().cmp(key)) {
+        if pos != buf.len() {
+            return Err(StorageError::Corrupt("trailing bytes in key chunk".into()));
+        }
+        Ok(out)
+    }
+
+    /// Parse a presence-prefixed chunk (column or rest run) into per-row
+    /// byte ranges.
+    fn parse_presence_chunk(buf: &[u8], nrows: usize) -> Result<Vec<Option<(usize, usize)>>> {
+        let mut out = Vec::with_capacity(nrows);
+        let mut pos = 0usize;
+        for _ in 0..nrows {
+            let present = *buf
+                .get(pos)
+                .ok_or_else(|| StorageError::Corrupt("truncated column run".into()))?;
+            pos += 1;
+            if present == 0 {
+                out.push(None);
+                continue;
+            }
+            let len = read_varint(buf, &mut pos)? as usize;
+            if pos + len > buf.len() {
+                return Err(StorageError::Corrupt("column value spans past run".into()));
+            }
+            out.push(Some((pos, pos + len)));
+            pos += len;
+        }
+        Ok(out)
+    }
+
+    /// Parse a spill chunk into per-spilled-row byte ranges.
+    fn parse_spill_chunk(buf: &[u8], nrows: usize) -> Result<Vec<(usize, usize)>> {
+        let mut out = Vec::with_capacity(nrows);
+        let mut pos = 0usize;
+        for _ in 0..nrows {
+            let len = read_varint(buf, &mut pos)? as usize;
+            if pos + len > buf.len() {
+                return Err(StorageError::Corrupt("spill value spans past run".into()));
+            }
+            out.push((pos, pos + len));
+            pos += len;
+        }
+        Ok(out)
+    }
+
+    /// Materialize every entry of one columnar row group, reconstructing
+    /// each shredded row's exact original stored bytes through the codec.
+    fn reconstruct_group(&self, m: &ColMeta, g: usize) -> Result<Vec<Entry>> {
+        let keys = Self::parse_key_chunk(&self.read_chunk(m, g, 0)?, m.groups[g].nrows)?;
+        let nshred = keys.iter().filter(|(_, k)| *k == KIND_SHREDDED).count();
+        let nspill = keys.iter().filter(|(_, k)| *k == KIND_SPILL).count();
+        let ncols = m.schema.columns.len();
+        let mut col_data = Vec::with_capacity(ncols);
+        for c in 0..ncols {
+            let buf = self.read_chunk(m, g, 1 + c)?;
+            let ranges = Self::parse_presence_chunk(&buf, nshred)?;
+            col_data.push((buf, ranges));
+        }
+        let rest_buf = self.read_chunk(m, g, 1 + ncols)?;
+        let rest_ranges = Self::parse_presence_chunk(&rest_buf, nshred)?;
+        let spill_buf = self.read_chunk(m, g, 2 + ncols)?;
+        let spill_ranges = Self::parse_spill_chunk(&spill_buf, nspill)?;
+
+        let mut out = Vec::with_capacity(keys.len());
+        let (mut si, mut pi) = (0usize, 0usize);
+        for (key, kind) in keys {
+            match kind {
+                KIND_ANTIMATTER => out.push(Entry::tombstone(key)),
+                KIND_SPILL => {
+                    let (a, b) = spill_ranges[pi];
+                    pi += 1;
+                    out.push(Entry::put(key, spill_buf[a..b].to_vec()));
+                }
+                _ => {
+                    let cols: Vec<Option<&[u8]>> = col_data
+                        .iter()
+                        .map(|(buf, ranges)| ranges[si].map(|(a, b)| &buf[a..b]))
+                        .collect();
+                    let rest = rest_ranges[si].map(|(a, b)| &rest_buf[a..b]);
+                    si += 1;
+                    let sd = colschema::splice_full(&m.schema, &cols, rest)
+                        .map_err(|e| StorageError::Corrupt(format!("splice failed: {e}")))?;
+                    let value = m.codec.to_stored(&sd).ok_or_else(|| {
+                        StorageError::Corrupt("codec rejected reconstructed row".into())
+                    })?;
+                    out.push(Entry::put(key, value));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Advance a presence-prefixed chunk cursor by one row.
+    fn presence_next(buf: &[u8], pos: &mut usize) -> Result<Option<(usize, usize)>> {
+        let present =
+            *buf.get(*pos).ok_or_else(|| StorageError::Corrupt("truncated column run".into()))?;
+        *pos += 1;
+        if present == 0 {
+            return Ok(None);
+        }
+        let len = read_varint(buf, pos)? as usize;
+        if *pos + len > buf.len() {
+            return Err(StorageError::Corrupt("column value spans past run".into()));
+        }
+        let at = *pos;
+        *pos += len;
+        Ok(Some((at, at + len)))
+    }
+
+    /// Advance a spill chunk cursor by one spilled row.
+    fn spill_next(buf: &[u8], pos: &mut usize) -> Result<(usize, usize)> {
+        let len = read_varint(buf, pos)? as usize;
+        if *pos + len > buf.len() {
+            return Err(StorageError::Corrupt("spill value spans past run".into()));
+        }
+        let at = *pos;
+        *pos += len;
+        Ok((at, at + len))
+    }
+
+    /// [`Self::reconstruct_group`] restricted to keys in `[lo, hi)`: rows
+    /// outside the bounds are skipped with cursor walks (no splice, no
+    /// codec), so a short range over a big group pays for the rows it
+    /// yields, not the group. Unbounded scans take the full-group path.
+    fn reconstruct_group_bounded(
+        &self,
+        m: &ColMeta,
+        g: usize,
+        lo: Option<&[u8]>,
+        hi: Option<&[u8]>,
+    ) -> Result<Vec<Entry>> {
+        if lo.is_none() && hi.is_none() {
+            return self.reconstruct_group(m, g);
+        }
+        let key_buf = self.read_chunk(m, g, 0)?;
+        let nrows = m.groups[g].nrows as usize;
+        let mut rows = Vec::with_capacity(nrows);
+        let mut pos = 0usize;
+        for _ in 0..nrows {
+            let klen = read_varint(&key_buf, &mut pos)? as usize;
+            if pos + klen + 1 > key_buf.len() {
+                return Err(StorageError::Corrupt("truncated key chunk".into()));
+            }
+            rows.push(((pos, pos + klen), key_buf[pos + klen]));
+            pos += klen + 1;
+        }
+        let start = match lo {
+            Some(lo) => rows.partition_point(|((a, b), _)| &key_buf[*a..*b] < lo),
+            None => 0,
+        };
+        let end = match hi {
+            Some(hi) => rows.partition_point(|((a, b), _)| &key_buf[*a..*b] < hi),
+            None => rows.len(),
+        };
+        if start >= end {
+            return Ok(Vec::new());
+        }
+        let si = rows[..start].iter().filter(|(_, k)| *k == KIND_SHREDDED).count();
+        let pi = rows[..start].iter().filter(|(_, k)| *k == KIND_SPILL).count();
+        let any_shred = rows[start..end].iter().any(|(_, k)| *k == KIND_SHREDDED);
+        let any_spill = rows[start..end].iter().any(|(_, k)| *k == KIND_SPILL);
+        let ncols = m.schema.columns.len();
+
+        let empty: Arc<Vec<u8>> = Arc::new(Vec::new());
+        let mut col_bufs: Vec<Arc<Vec<u8>>> = Vec::with_capacity(ncols);
+        let mut col_pos = vec![0usize; ncols];
+        let (rest_buf, mut rest_pos) = if any_shred {
+            for c in 0..ncols {
+                col_bufs.push(self.read_chunk(m, g, 1 + c)?);
+            }
+            (self.read_chunk(m, g, 1 + ncols)?, 0usize)
+        } else {
+            col_bufs.resize(ncols, Arc::clone(&empty));
+            (Arc::clone(&empty), 0usize)
+        };
+        if any_shred {
+            for c in 0..ncols {
+                for _ in 0..si {
+                    Self::presence_next(&col_bufs[c], &mut col_pos[c])?;
+                }
+            }
+            for _ in 0..si {
+                Self::presence_next(&rest_buf, &mut rest_pos)?;
+            }
+        }
+        let (spill_buf, mut spill_pos) = if any_spill {
+            let buf = self.read_chunk(m, g, 2 + ncols)?;
+            let mut p = 0usize;
+            for _ in 0..pi {
+                Self::spill_next(&buf, &mut p)?;
+            }
+            (buf, p)
+        } else {
+            (Arc::clone(&empty), 0usize)
+        };
+
+        let mut out = Vec::with_capacity(end - start);
+        for &((a, b), kind) in &rows[start..end] {
+            let key = key_buf[a..b].to_vec();
+            match kind {
+                KIND_ANTIMATTER => out.push(Entry::tombstone(key)),
+                KIND_SPILL => {
+                    let (x, y) = Self::spill_next(&spill_buf, &mut spill_pos)?;
+                    out.push(Entry::put(key, spill_buf[x..y].to_vec()));
+                }
+                KIND_SHREDDED => {
+                    let mut ranges = Vec::with_capacity(ncols);
+                    for c in 0..ncols {
+                        ranges.push(Self::presence_next(&col_bufs[c], &mut col_pos[c])?);
+                    }
+                    let rest_r = Self::presence_next(&rest_buf, &mut rest_pos)?;
+                    let cols: Vec<Option<&[u8]>> = ranges
+                        .iter()
+                        .enumerate()
+                        .map(|(c, r)| r.map(|(x, y)| &col_bufs[c][x..y]))
+                        .collect();
+                    let rest = rest_r.map(|(x, y)| &rest_buf[x..y]);
+                    let sd = colschema::splice_full(&m.schema, &cols, rest)
+                        .map_err(|e| StorageError::Corrupt(format!("splice failed: {e}")))?;
+                    let value = m.codec.to_stored(&sd).ok_or_else(|| {
+                        StorageError::Corrupt("codec rejected reconstructed row".into())
+                    })?;
+                    out.push(Entry::put(key, value));
+                }
+                other => return Err(StorageError::Corrupt(format!("bad row kind {other}"))),
+            }
+        }
+        Ok(out)
+    }
+
+    fn nblocks(&self) -> usize {
+        match &self.layout {
+            Layout::Row { pages } => pages.len(),
+            Layout::Columnar(m) => m.groups.len(),
+        }
+    }
+
+    /// First key of a block (page or row group).
+    fn block_first_key(&self, idx: usize) -> &[u8] {
+        match &self.layout {
+            Layout::Row { pages } => &pages[idx].first_key,
+            Layout::Columnar(m) => &m.groups[idx].first_key,
+        }
+    }
+
+    fn load_block(&self, idx: usize) -> Result<Vec<Entry>> {
+        self.load_block_bounded(idx, None, None)
+    }
+
+    fn load_block_bounded(
+        &self,
+        idx: usize,
+        lo: Option<&[u8]>,
+        hi: Option<&[u8]>,
+    ) -> Result<Vec<Entry>> {
+        match &self.layout {
+            Layout::Row { pages } => {
+                let meta = &pages[idx];
+                let page = self.read_span(idx as u32, meta.offset, meta.len as usize)?;
+                Self::parse_page(&page)
+            }
+            Layout::Columnar(m) => self.reconstruct_group_bounded(m, idx, lo, hi),
+        }
+    }
+
+    /// Index of the last block whose first key is <= `key` (candidate).
+    fn locate_block(&self, key: &[u8]) -> Option<usize> {
+        let found = match &self.layout {
+            Layout::Row { pages } => pages.binary_search_by(|p| p.first_key.as_slice().cmp(key)),
+            Layout::Columnar(m) => m.groups.binary_search_by(|g| g.first_key.as_slice().cmp(key)),
+        };
+        match found {
             Ok(i) => Some(i),
-            Err(0) => None, // key below the first page's first key
+            Err(0) => None, // key below the first block's first key
             Err(i) => Some(i - 1),
         }
     }
@@ -370,32 +1135,184 @@ impl DiskComponent {
         if !self.bloom.may_contain(key) {
             return Ok(None);
         }
-        let Some(pidx) = self.locate_page(key) else {
+        let Some(bidx) = self.locate_block(key) else {
             return Ok(None);
         };
-        let page = self.read_page(pidx)?;
-        let entries = Self::parse_page(&page)?;
+        // Columnar groups reconstruct just the matching row — materializing
+        // the whole group (a full splice + codec round trip per row) turns
+        // every indexed lookup into a group scan.
+        if let Layout::Columnar(m) = &self.layout {
+            return self.get_in_group(m, bidx, key);
+        }
+        let entries = self.load_block(bidx)?;
         match entries.binary_search_by(|e| e.key.as_slice().cmp(key)) {
             Ok(i) => Ok(Some(entries[i].clone())),
             Err(_) => Ok(None),
         }
     }
 
+    /// Byte range of row `n` in a presence-prefixed chunk (column or rest
+    /// run), skipping earlier rows without materializing them.
+    fn nth_presence_range(buf: &[u8], n: usize) -> Result<Option<(usize, usize)>> {
+        let mut pos = 0usize;
+        for i in 0..=n {
+            let present = *buf
+                .get(pos)
+                .ok_or_else(|| StorageError::Corrupt("truncated column run".into()))?;
+            pos += 1;
+            if present == 0 {
+                if i == n {
+                    return Ok(None);
+                }
+                continue;
+            }
+            let len = read_varint(buf, &mut pos)? as usize;
+            if pos + len > buf.len() {
+                return Err(StorageError::Corrupt("column value spans past run".into()));
+            }
+            if i == n {
+                return Ok(Some((pos, pos + len)));
+            }
+            pos += len;
+        }
+        unreachable!()
+    }
+
+    /// Byte range of spilled row `n` in a spill chunk.
+    fn nth_spill_range(buf: &[u8], n: usize) -> Result<(usize, usize)> {
+        let mut pos = 0usize;
+        for i in 0..=n {
+            let len = read_varint(buf, &mut pos)? as usize;
+            if pos + len > buf.len() {
+                return Err(StorageError::Corrupt("spill value spans past run".into()));
+            }
+            if i == n {
+                return Ok((pos, pos + len));
+            }
+            pos += len;
+        }
+        unreachable!()
+    }
+
+    /// Point lookup inside one columnar row group: binary-search the key
+    /// run (parsed as ranges, no per-key allocation), then splice exactly
+    /// one row's column slices back through the codec.
+    fn get_in_group(&self, m: &ColMeta, g: usize, key: &[u8]) -> Result<Option<Entry>> {
+        let key_buf = self.read_chunk(m, g, 0)?;
+        let nrows = m.groups[g].nrows as usize;
+        // (key byte range, kind) per row, referencing `key_buf`.
+        let mut rows = Vec::with_capacity(nrows);
+        let mut pos = 0usize;
+        for _ in 0..nrows {
+            let klen = read_varint(&key_buf, &mut pos)? as usize;
+            if pos + klen + 1 > key_buf.len() {
+                return Err(StorageError::Corrupt("truncated key chunk".into()));
+            }
+            rows.push(((pos, pos + klen), key_buf[pos + klen]));
+            pos += klen + 1;
+        }
+        let Ok(i) = rows.binary_search_by(|((a, b), _)| key_buf[*a..*b].cmp(key)) else {
+            return Ok(None);
+        };
+        let kind = rows[i].1;
+        match kind {
+            KIND_ANTIMATTER => Ok(Some(Entry::tombstone(key.to_vec()))),
+            KIND_SPILL => {
+                let pi = rows[..i].iter().filter(|(_, k)| *k == KIND_SPILL).count();
+                let spill_buf = self.read_chunk(m, g, 2 + m.schema.columns.len())?;
+                let (a, b) = Self::nth_spill_range(&spill_buf, pi)?;
+                Ok(Some(Entry::put(key.to_vec(), spill_buf[a..b].to_vec())))
+            }
+            KIND_SHREDDED => {
+                let si = rows[..i].iter().filter(|(_, k)| *k == KIND_SHREDDED).count();
+                let ncols = m.schema.columns.len();
+                let mut col_bufs = Vec::with_capacity(ncols);
+                for c in 0..ncols {
+                    col_bufs.push(self.read_chunk(m, g, 1 + c)?);
+                }
+                let rest_buf = self.read_chunk(m, g, 1 + ncols)?;
+                let mut cols: Vec<Option<&[u8]>> = Vec::with_capacity(ncols);
+                for buf in &col_bufs {
+                    cols.push(Self::nth_presence_range(buf, si)?.map(|(a, b)| &buf[a..b]));
+                }
+                let rest = Self::nth_presence_range(&rest_buf, si)?.map(|(a, b)| &rest_buf[a..b]);
+                let sd = colschema::splice_full(&m.schema, &cols, rest)
+                    .map_err(|e| StorageError::Corrupt(format!("splice failed: {e}")))?;
+                let value = m.codec.to_stored(&sd).ok_or_else(|| {
+                    StorageError::Corrupt("codec rejected reconstructed row".into())
+                })?;
+                Ok(Some(Entry::put(key.to_vec(), value)))
+            }
+            other => Err(StorageError::Corrupt(format!("bad row kind {other}"))),
+        }
+    }
+
     /// Iterate entries with keys in `[lo, hi)`; `None` bounds are open.
     pub fn range(self: &Arc<Self>, lo: Option<&[u8]>, hi: Option<&[u8]>) -> ComponentIter {
-        let start_page = match lo {
-            Some(lo) => self.locate_page(lo).unwrap_or(0),
+        let start_block = match lo {
+            Some(lo) => self.locate_block(lo).unwrap_or(0),
             None => 0,
         };
         ComponentIter {
             comp: Arc::clone(self),
-            page_idx: start_page,
+            block_idx: start_block,
             entries: Vec::new(),
             entry_idx: 0,
             lo: lo.map(|b| b.to_vec()),
             hi: hi.map(|b| b.to_vec()),
             primed: false,
             error: None,
+        }
+    }
+
+    /// Late-materializing scan over a columnar component: reads the key run,
+    /// only the projected (and filtered) column runs, and assembles each
+    /// surviving row's requested fields into a self-describing record —
+    /// skipping every other column's bytes entirely. Must only be called
+    /// when [`Self::is_columnar`]; row components are scanned with
+    /// [`Self::range`].
+    pub fn project_range(
+        self: &Arc<Self>,
+        lo: Option<&[u8]>,
+        hi: Option<&[u8]>,
+        proj: &Projection,
+    ) -> ProjectedIter {
+        let Layout::Columnar(m) = &self.layout else {
+            panic!("project_range on a row component");
+        };
+        // Resolve projected fields against the schema once.
+        let cols: Vec<(String, Option<usize>)> =
+            proj.fields.iter().map(|f| (f.clone(), m.schema.column_index(f))).collect();
+        let need_rest = cols.iter().any(|(_, c)| c.is_none());
+        let filter = proj.filter.clone().map(|f| {
+            let src = m.schema.column_index(&f.field);
+            (f, src)
+        });
+        // The set of column slots this scan will read.
+        let mut read_cols: Vec<usize> = cols.iter().filter_map(|(_, c)| *c).collect();
+        if let Some((_, Some(c))) = &filter {
+            read_cols.push(*c);
+        }
+        read_cols.sort_unstable();
+        read_cols.dedup();
+        let start_block = match lo {
+            Some(lo) => self.locate_block(lo).unwrap_or(0),
+            None => 0,
+        };
+        ProjectedIter {
+            comp: Arc::clone(self),
+            cols,
+            read_cols,
+            need_rest,
+            filter,
+            group_idx: start_block,
+            rows: Vec::new(),
+            row_idx: 0,
+            lo: lo.map(|b| b.to_vec()),
+            hi: hi.map(|b| b.to_vec()),
+            primed: false,
+            error: None,
+            scratch: Vec::new(),
         }
     }
 
@@ -407,9 +1324,11 @@ impl DiskComponent {
         Ok(())
     }
 
-    /// Remove any component data files in `dir` lacking a validity marker.
-    /// Returns the paths of valid components, sorted by name. This is the
-    /// crash-recovery garbage collection step from §4.4.
+    /// Remove any component data files in `dir` lacking a validity marker
+    /// or failing structural validation (torn directory or footer from a
+    /// partially-written file). Returns the paths of valid components,
+    /// sorted by name. This is the crash-recovery garbage collection step
+    /// from §4.4.
     pub fn scavenge_dir(dir: &Path) -> Result<Vec<PathBuf>> {
         let mut valid = Vec::new();
         if !dir.exists() {
@@ -419,9 +1338,10 @@ impl DiskComponent {
             let entry = entry?;
             let path = entry.path();
             if path.extension().and_then(|e| e.to_str()) == Some("dat") {
-                if Self::marker_path(&path).exists() {
+                if Self::marker_path(&path).exists() && Self::validate(&path).is_ok() {
                     valid.push(path);
                 } else {
+                    let _ = fs::remove_file(Self::marker_path(&path));
                     let _ = fs::remove_file(&path);
                 }
             }
@@ -431,10 +1351,29 @@ impl DiskComponent {
     }
 }
 
-/// Forward iterator over one component's entries in a key range.
+struct RowMeta {
+    pages: Vec<PageMeta>,
+    bloom: BloomFilter,
+    entry_count: u64,
+    min_seq: u64,
+    max_seq: u64,
+}
+
+struct ColFileMeta {
+    groups: Vec<GroupMeta>,
+    schema: InferredSchema,
+    bloom: BloomFilter,
+    entry_count: u64,
+    min_seq: u64,
+    max_seq: u64,
+}
+
+/// Forward iterator over one component's entries in a key range. Works on
+/// both layouts; columnar groups are fully reconstructed so callers (merge,
+/// point scans) always see exact original row bytes.
 pub struct ComponentIter {
     comp: Arc<DiskComponent>,
-    page_idx: usize,
+    block_idx: usize,
     entries: Vec<Entry>,
     entry_idx: usize,
     lo: Option<Vec<u8>>,
@@ -449,11 +1388,23 @@ impl ComponentIter {
         self.error.take()
     }
 
-    fn load_page(&mut self) -> bool {
-        while self.page_idx < self.comp.pages.len() {
-            match self.comp.read_page(self.page_idx).and_then(|p| DiskComponent::parse_page(&p)) {
+    fn load_block(&mut self) -> bool {
+        while self.block_idx < self.comp.nblocks() {
+            if let Some(hi) = &self.hi {
+                // Blocks are key-ordered: once a block starts at/past the
+                // upper bound there is nothing left to yield.
+                if self.comp.block_first_key(self.block_idx) >= hi.as_slice() {
+                    self.block_idx = self.comp.nblocks();
+                    return false;
+                }
+            }
+            match self.comp.load_block_bounded(
+                self.block_idx,
+                if self.primed { None } else { self.lo.as_deref() },
+                self.hi.as_deref(),
+            ) {
                 Ok(entries) => {
-                    self.page_idx += 1;
+                    self.block_idx += 1;
                     self.entries = entries;
                     self.entry_idx = 0;
                     if !self.primed {
@@ -482,15 +1433,15 @@ impl Iterator for ComponentIter {
 
     fn next(&mut self) -> Option<Entry> {
         loop {
-            if self.entry_idx >= self.entries.len() && !self.load_page() {
+            if self.entry_idx >= self.entries.len() && !self.load_block() {
                 return None;
             }
             let e = self.entries[self.entry_idx].clone();
             self.entry_idx += 1;
             if let Some(hi) = &self.hi {
                 if e.key.as_slice() >= hi.as_slice() {
-                    // Past the upper bound: stop (and skip remaining pages).
-                    self.page_idx = self.comp.pages.len();
+                    // Past the upper bound: stop (and skip remaining blocks).
+                    self.block_idx = self.comp.nblocks();
                     self.entries.clear();
                     return None;
                 }
@@ -505,9 +1456,208 @@ impl Iterator for ComponentIter {
     }
 }
 
+/// One row out of a late-materializing scan, before merge resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProjEntry {
+    pub key: Vec<u8>,
+    pub kind: ProjKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProjKind {
+    /// Tombstone: suppresses older versions of the key.
+    Anti,
+    /// A full stored row (spill rows, or rows from non-columnar sources);
+    /// the consumer projects it itself.
+    Row(Vec<u8>),
+    /// The projected fields assembled into a self-describing record.
+    Assembled(Vec<u8>),
+    /// Rejected by the pushed-down column filter. Still carries its key so
+    /// merge resolution can let it shadow older versions; dropped only
+    /// after winning.
+    Filtered,
+}
+
+/// Late-materializing iterator over one columnar component: yields every
+/// key in range with its projected payload, reading only the needed column
+/// runs through the buffer cache.
+pub struct ProjectedIter {
+    comp: Arc<DiskComponent>,
+    /// Projected fields with their schema column index (None = from rest).
+    cols: Vec<(String, Option<usize>)>,
+    /// De-duplicated schema column slots this scan reads.
+    read_cols: Vec<usize>,
+    need_rest: bool,
+    filter: Option<(crate::columnar::ColumnFilter, Option<usize>)>,
+    group_idx: usize,
+    rows: Vec<ProjEntry>,
+    row_idx: usize,
+    lo: Option<Vec<u8>>,
+    hi: Option<Vec<u8>>,
+    primed: bool,
+    error: Option<StorageError>,
+    scratch: Vec<u8>,
+}
+
+impl ProjectedIter {
+    pub fn take_error(&mut self) -> Option<StorageError> {
+        self.error.take()
+    }
+
+    fn load_group(&mut self) -> bool {
+        while self.group_idx < self.comp.nblocks() {
+            match self.materialize_group(self.group_idx) {
+                Ok(rows) => {
+                    self.group_idx += 1;
+                    self.rows = rows;
+                    self.row_idx = 0;
+                    if !self.primed {
+                        self.primed = true;
+                        if let Some(lo) = &self.lo {
+                            self.row_idx =
+                                self.rows.partition_point(|r| r.key.as_slice() < lo.as_slice());
+                        }
+                    }
+                    if self.row_idx < self.rows.len() {
+                        return true;
+                    }
+                }
+                Err(e) => {
+                    self.error = Some(e);
+                    return false;
+                }
+            }
+        }
+        false
+    }
+
+    fn materialize_group(&mut self, g: usize) -> Result<Vec<ProjEntry>> {
+        let Layout::Columnar(m) = &self.comp.layout else { unreachable!() };
+        let meta = &m.groups[g];
+        let keys = DiskComponent::parse_key_chunk(&self.comp.read_chunk(m, g, 0)?, meta.nrows)?;
+        let nshred = keys.iter().filter(|(_, k)| *k == KIND_SHREDDED).count();
+        let nspill = keys.iter().filter(|(_, k)| *k == KIND_SPILL).count();
+        let ncols = m.schema.columns.len();
+
+        // Read only the projected/filtered column runs; account for every
+        // run we got to skip.
+        let mut col_data: Vec<Option<(Arc<Vec<u8>>, Vec<Option<(usize, usize)>>)>> =
+            (0..ncols).map(|_| None).collect();
+        for &c in &self.read_cols {
+            let buf = self.comp.read_chunk(m, g, 1 + c)?;
+            let ranges = DiskComponent::parse_presence_chunk(&buf, nshred)?;
+            col_data[c] = Some((buf, ranges));
+        }
+        m.stats.columns_projected.add(self.read_cols.len() as u64);
+        let skipped: u64 = (0..ncols)
+            .filter(|c| !self.read_cols.contains(c))
+            .map(|c| meta.chunks[1 + c].1 as u64)
+            .sum();
+        m.stats.bytes_skipped.add(skipped);
+
+        let rest = if self.need_rest {
+            let buf = self.comp.read_chunk(m, g, 1 + ncols)?;
+            let ranges = DiskComponent::parse_presence_chunk(&buf, nshred)?;
+            Some((buf, ranges))
+        } else {
+            None
+        };
+        let spill = if nspill > 0 {
+            let buf = self.comp.read_chunk(m, g, 2 + ncols)?;
+            let ranges = DiskComponent::parse_spill_chunk(&buf, nspill)?;
+            Some((buf, ranges))
+        } else {
+            None
+        };
+
+        let mut out = Vec::with_capacity(keys.len());
+        let (mut si, mut pi) = (0usize, 0usize);
+        let mut parts: Vec<(&str, &[u8])> = Vec::with_capacity(self.cols.len());
+        for (key, kind) in keys {
+            match kind {
+                KIND_ANTIMATTER => out.push(ProjEntry { key, kind: ProjKind::Anti }),
+                KIND_SPILL => {
+                    let (buf, ranges) = spill.as_ref().unwrap();
+                    let (a, b) = ranges[pi];
+                    pi += 1;
+                    out.push(ProjEntry { key, kind: ProjKind::Row(buf[a..b].to_vec()) });
+                }
+                _ => {
+                    let col_bytes = |c: usize, si: usize| -> Option<&[u8]> {
+                        let (buf, ranges) = col_data[c].as_ref()?;
+                        ranges[si].map(|(a, b)| &buf[a..b])
+                    };
+                    let rest_bytes: Option<&[u8]> =
+                        rest.as_ref().and_then(|(buf, ranges)| ranges[si].map(|(a, b)| &buf[a..b]));
+                    // Pushed-down filter: evaluate on the single column's
+                    // bytes before assembling anything.
+                    if let Some((f, src)) = &self.filter {
+                        let fbytes = match src {
+                            Some(c) => col_bytes(*c, si),
+                            None => rest_bytes
+                                .and_then(|r| adm_serde::encoded_record_field(r, &f.field)),
+                        };
+                        if f.rejects(fbytes, &mut self.scratch) {
+                            si += 1;
+                            out.push(ProjEntry { key, kind: ProjKind::Filtered });
+                            continue;
+                        }
+                    }
+                    parts.clear();
+                    for (name, col) in &self.cols {
+                        let bytes = match col {
+                            Some(c) => col_bytes(*c, si),
+                            None => {
+                                rest_bytes.and_then(|r| adm_serde::encoded_record_field(r, name))
+                            }
+                        };
+                        if let Some(b) = bytes {
+                            parts.push((name.as_str(), b));
+                        }
+                    }
+                    si += 1;
+                    let rec = colschema::encode_record_from_parts(&parts);
+                    out.push(ProjEntry { key, kind: ProjKind::Assembled(rec) });
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Iterator for ProjectedIter {
+    type Item = ProjEntry;
+
+    fn next(&mut self) -> Option<ProjEntry> {
+        loop {
+            if self.row_idx >= self.rows.len() && !self.load_group() {
+                return None;
+            }
+            let r = self.rows[self.row_idx].clone();
+            self.row_idx += 1;
+            if let Some(hi) = &self.hi {
+                if r.key.as_slice() >= hi.as_slice() {
+                    self.group_idx = self.comp.nblocks();
+                    self.rows.clear();
+                    return None;
+                }
+            }
+            if let Some(lo) = &self.lo {
+                if r.key.as_slice() < lo.as_slice() {
+                    continue;
+                }
+            }
+            return Some(r);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::columnar::{CmpOp, ColumnFilter, SelfDescribingCodec};
+    use asterix_adm::serde::encode;
+    use asterix_adm::value::{Record, Value};
     use tempfile::TempDir;
 
     fn key(i: u32) -> Vec<u8> {
@@ -548,7 +1698,7 @@ mod tests {
         let path = c.path().to_path_buf();
         drop(c);
         let cache = BufferCache::new(64);
-        let c2 = DiskComponent::open(&path, cache).unwrap();
+        let c2 = DiskComponent::open(&path, cache, None).unwrap();
         assert_eq!(c2.entry_count(), 500);
         assert!(c2.get(&key(10)).unwrap().is_some());
         assert!(c2.get(&key(11)).unwrap().is_none());
@@ -577,7 +1727,7 @@ mod tests {
         let path = c.path().to_path_buf();
         fs::remove_file(path.with_extension("valid")).unwrap();
         let cache = BufferCache::new(8);
-        assert!(DiskComponent::open(&path, cache).is_err());
+        assert!(DiskComponent::open(&path, cache, None).is_err());
         // Scavenge removes the orphaned data file.
         let valid = DiskComponent::scavenge_dir(dir.path()).unwrap();
         assert!(valid.is_empty());
@@ -623,6 +1773,222 @@ mod tests {
         let c = build_n(dir.path(), 10);
         let path = c.path().to_path_buf();
         c.destroy().unwrap();
+        assert!(!path.exists());
+        assert!(!path.with_extension("valid").exists());
+    }
+
+    // ------------------------------------------------------------------
+    // Columnar layout
+    // ------------------------------------------------------------------
+
+    fn record_value(i: u32) -> Vec<u8> {
+        let mut r = Record::new();
+        r.set("id", Value::Int64(i as i64));
+        r.set("name", Value::string(format!("user-{i:04}")));
+        r.set("score", Value::Double(i as f64 / 7.0));
+        if i % 5 == 0 {
+            r.set("flag", Value::Boolean(true));
+        }
+        encode(&Value::record(r))
+    }
+
+    fn columnar_opts() -> ColumnarOptions {
+        ColumnarOptions::new(Arc::new(SelfDescribingCodec))
+    }
+
+    fn build_columnar_n(dir: &Path, n: u32, opts: &ColumnarOptions) -> Arc<DiskComponent> {
+        let cache = BufferCache::new(256);
+        let entries: Vec<Entry> = (0..n)
+            .map(|i| {
+                if i % 17 == 3 {
+                    Entry::tombstone(key(i))
+                } else {
+                    Entry::put(key(i), record_value(i))
+                }
+            })
+            .collect();
+        DiskComponent::build_columnar(
+            &dir.join("c_0_0.dat"),
+            cache,
+            &ComponentConfig { page_size: 512, bloom_fpp: 0.01 },
+            opts,
+            0,
+            0,
+            &entries,
+        )
+        .unwrap()
+        .expect("stable records should build columnar")
+    }
+
+    #[test]
+    fn columnar_build_reconstructs_exact_rows() {
+        let dir = TempDir::new().unwrap();
+        let opts = columnar_opts();
+        let c = build_columnar_n(dir.path(), 500, &opts);
+        assert!(c.is_columnar());
+        assert_eq!(c.entry_count(), 500);
+        assert_eq!(opts.stats.components.get(), 1);
+        let schema = c.schema().unwrap();
+        assert!(schema.column_index("id").is_some());
+        assert!(schema.column_index("name").is_some());
+        for i in 0..500u32 {
+            let got = c.get(&key(i)).unwrap().unwrap();
+            if i % 17 == 3 {
+                assert!(got.antimatter);
+            } else {
+                assert_eq!(got.value, record_value(i), "row {i} must reconstruct exactly");
+            }
+        }
+        // Full range matches too, preserving order.
+        let all: Vec<Entry> = c.range(None, None).collect();
+        assert_eq!(all.len(), 500);
+        assert!(all.windows(2).all(|w| w[0].key < w[1].key));
+    }
+
+    #[test]
+    fn columnar_open_roundtrip_requires_codec() {
+        let dir = TempDir::new().unwrap();
+        let opts = columnar_opts();
+        let c = build_columnar_n(dir.path(), 100, &opts);
+        let path = c.path().to_path_buf();
+        drop(c);
+        let cache = BufferCache::new(64);
+        assert!(DiskComponent::open(&path, Arc::clone(&cache), None).is_err());
+        let c2 = DiskComponent::open(&path, cache, Some(&opts)).unwrap();
+        assert!(c2.is_columnar());
+        assert_eq!(c2.get(&key(7)).unwrap().unwrap().value, record_value(7));
+    }
+
+    #[test]
+    fn projected_scan_assembles_requested_fields_and_skips_bytes() {
+        let dir = TempDir::new().unwrap();
+        let opts = columnar_opts();
+        let c = build_columnar_n(dir.path(), 300, &opts);
+        let proj = Projection { fields: vec!["id".into(), "flag".into()], filter: None };
+        let rows: Vec<ProjEntry> = c.project_range(None, None, &proj).collect();
+        assert_eq!(rows.len(), 300);
+        for (i, r) in rows.iter().enumerate() {
+            let i = i as u32;
+            if i % 17 == 3 {
+                assert_eq!(r.kind, ProjKind::Anti);
+                continue;
+            }
+            let ProjKind::Assembled(rec) = &r.kind else { panic!("expected assembled row") };
+            let id = adm_serde::encoded_record_field(rec, "id").expect("id field");
+            assert_eq!(adm_serde::decode(id).unwrap(), Value::Int64(i as i64));
+            // "name" was not requested and must be absent from the output.
+            assert!(adm_serde::encoded_record_field(rec, "name").is_none());
+            let flag = adm_serde::encoded_record_field(rec, "flag");
+            assert_eq!(flag.is_some(), i % 5 == 0);
+        }
+        // The name/score columns were never read.
+        assert!(opts.stats.bytes_skipped.get() > 0);
+        assert!(opts.stats.columns_projected.get() > 0);
+    }
+
+    #[test]
+    fn projected_scan_filters_on_column_bytes() {
+        let dir = TempDir::new().unwrap();
+        let opts = columnar_opts();
+        let c = build_columnar_n(dir.path(), 200, &opts);
+        let mut filter_key = Vec::new();
+        assert!(asterix_adm::ordkey::encoded_scalar_key_into(
+            &encode(&Value::Int64(150)),
+            &mut filter_key
+        ));
+        let proj = Projection {
+            fields: vec!["id".into()],
+            filter: Some(ColumnFilter { field: "id".into(), op: CmpOp::Ge, key: filter_key }),
+        };
+        let rows: Vec<ProjEntry> = c.project_range(None, None, &proj).collect();
+        let assembled = rows.iter().filter(|r| matches!(r.kind, ProjKind::Assembled(_))).count();
+        let filtered = rows.iter().filter(|r| r.kind == ProjKind::Filtered).count();
+        let anti = rows.iter().filter(|r| r.kind == ProjKind::Anti).count();
+        assert_eq!(rows.len(), 200, "every key is still yielded for merge resolution");
+        let expected_live: Vec<u32> = (150..200).filter(|i| i % 17 != 3).collect();
+        assert_eq!(assembled, expected_live.len());
+        assert_eq!(anti, (0..200).filter(|i| i % 17 == 3).count());
+        assert_eq!(filtered, 200 - assembled - anti);
+    }
+
+    #[test]
+    fn unstable_data_falls_back_to_row_layout() {
+        let dir = TempDir::new().unwrap();
+        let opts = columnar_opts();
+        let cache = BufferCache::new(64);
+        // Values that aren't records at all: nothing to infer.
+        let entries: Vec<Entry> =
+            (0..50u32).map(|i| Entry::put(key(i), encode(&Value::Int64(i as i64)))).collect();
+        let built = DiskComponent::build_columnar(
+            &dir.path().join("c_0_0.dat"),
+            cache,
+            &ComponentConfig::default(),
+            &opts,
+            0,
+            0,
+            &entries,
+        )
+        .unwrap();
+        assert!(built.is_none(), "schema-unstable data must not build columnar");
+    }
+
+    #[test]
+    fn heterogeneous_rows_spill_and_reconstruct() {
+        let dir = TempDir::new().unwrap();
+        let opts = columnar_opts();
+        let cache = BufferCache::new(64);
+        let mk = |i: u32| -> Vec<u8> {
+            if i % 10 == 7 {
+                // Occasionally the "id" field is a string: this row spills.
+                let mut r = Record::new();
+                r.set("id", Value::string(format!("weird-{i}")));
+                encode(&Value::record(r))
+            } else {
+                record_value(i)
+            }
+        };
+        let entries: Vec<Entry> = (0..200u32).map(|i| Entry::put(key(i), mk(i))).collect();
+        let c = DiskComponent::build_columnar(
+            &dir.path().join("c_0_0.dat"),
+            cache,
+            &ComponentConfig { page_size: 512, bloom_fpp: 0.01 },
+            &opts,
+            0,
+            0,
+            &entries,
+        )
+        .unwrap()
+        .expect("mostly-stable data still builds columnar");
+        assert!(opts.stats.fallback_rows.get() > 0);
+        for i in 0..200u32 {
+            assert_eq!(c.get(&key(i)).unwrap().unwrap().value, mk(i));
+        }
+        // Projected scans hand spilled rows back whole.
+        let proj = Projection { fields: vec!["id".into()], filter: None };
+        let spills = c
+            .project_range(None, None, &proj)
+            .filter(|r| matches!(r.kind, ProjKind::Row(_)))
+            .count();
+        assert_eq!(spills, (0..200u32).filter(|i| i % 10 == 7).count());
+    }
+
+    #[test]
+    fn scavenge_deletes_torn_columnar_component() {
+        let dir = TempDir::new().unwrap();
+        let opts = columnar_opts();
+        let c = build_columnar_n(dir.path(), 300, &opts);
+        let path = c.path().to_path_buf();
+        drop(c);
+        // Tear the file mid-footer: the validity marker survives but the
+        // group directory can no longer be addressed.
+        let len = fs::metadata(&path).unwrap().len();
+        let f = fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 40).unwrap();
+        drop(f);
+        assert!(path.with_extension("valid").exists());
+        assert!(DiskComponent::validate(&path).is_err());
+        let valid = DiskComponent::scavenge_dir(dir.path()).unwrap();
+        assert!(valid.is_empty());
         assert!(!path.exists());
         assert!(!path.with_extension("valid").exists());
     }

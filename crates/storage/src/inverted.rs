@@ -233,6 +233,7 @@ mod tests {
                 bloom_fpp: 0.01,
                 merge_policy: MergePolicy::NoMerge,
                 max_frozen: 2,
+                columnar: None,
             },
             BufferCache::new(128),
             Arc::new(NullObserver),

@@ -11,6 +11,7 @@
 pub mod bloom;
 pub mod btree;
 pub mod cache;
+pub mod columnar;
 pub mod component;
 pub mod error;
 pub mod inverted;
@@ -19,6 +20,9 @@ pub mod lsm;
 pub mod rtree;
 
 pub use cache::BufferCache;
-pub use component::{DiskComponent, Entry};
+pub use columnar::{
+    CmpOp, ColumnFilter, ColumnarOptions, ColumnarStats, Projection, RowCodec, SelfDescribingCodec,
+};
+pub use component::{DiskComponent, Entry, ProjEntry, ProjKind};
 pub use error::{Result, StorageError};
-pub use lsm::{LsmConfig, LsmMetrics, LsmObserver, LsmTree, MergePolicy, NullObserver};
+pub use lsm::{LsmConfig, LsmMetrics, LsmObserver, LsmTree, MergePolicy, NullObserver, ScanValue};

@@ -29,7 +29,8 @@ use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::cache::BufferCache;
-use crate::component::{ComponentConfig, DiskComponent, Entry};
+use crate::columnar::{ColumnarOptions, Projection};
+use crate::component::{ComponentConfig, DiskComponent, Entry, ProjEntry, ProjKind};
 use crate::error::{Result, StorageError};
 
 /// When and what to merge (§4.3 "subject to some merge policy").
@@ -66,6 +67,14 @@ pub struct LsmConfig {
     /// memory components per index). Bounds write-path memory to roughly
     /// `(1 + max_frozen) × mem_budget`.
     pub max_frozen: usize,
+    /// Columnar storage for this tree's values: flushes and merges infer a
+    /// schema from the sealed rows and build column-major components when
+    /// the data is stable enough (row layout remains the fallback). `None`
+    /// keeps the tree purely row-oriented. Note the `enabled` flag inside:
+    /// a tree that ever built columnar components must keep supplying the
+    /// codec here even when new builds are disabled, or existing
+    /// components cannot be reopened.
+    pub columnar: Option<ColumnarOptions>,
 }
 
 impl Default for LsmConfig {
@@ -76,6 +85,7 @@ impl Default for LsmConfig {
             bloom_fpp: 0.01,
             merge_policy: MergePolicy::default(),
             max_frozen: 2,
+            columnar: None,
         }
     }
 }
@@ -221,6 +231,39 @@ impl LsmInner {
         self.frozen_cv.notify_all();
     }
 
+    /// Build one disk component from sorted entries, preferring the
+    /// columnar layout when it is enabled and the data's schema is stable
+    /// enough; otherwise (or when the columnar build declines) the row
+    /// layout is used. Flushes and merges share this, which is what lets a
+    /// merge re-infer across its inputs and promote row components to
+    /// columnar.
+    fn build_component(
+        &self,
+        path: &Path,
+        min_seq: u64,
+        max_seq: u64,
+        entries: Vec<Entry>,
+    ) -> Result<Arc<DiskComponent>> {
+        let ccfg = ComponentConfig { page_size: self.cfg.page_size, bloom_fpp: self.cfg.bloom_fpp };
+        if let Some(col) = &self.cfg.columnar {
+            if col.enabled {
+                if let Some(c) = DiskComponent::build_columnar(
+                    path,
+                    Arc::clone(&self.cache),
+                    &ccfg,
+                    col,
+                    min_seq,
+                    max_seq,
+                    &entries,
+                )? {
+                    return Ok(c);
+                }
+            }
+        }
+        let n = entries.len();
+        DiskComponent::build(path, Arc::clone(&self.cache), &ccfg, min_seq, max_seq, entries, n)
+    }
+
     /// Block until the frozen queue has room (or a background error is
     /// pending, which the caller must surface instead of writing more).
     fn wait_for_frozen_capacity(&self, nudge: &Sender<MaintMsg>) -> Result<()> {
@@ -256,18 +299,18 @@ impl LsmInner {
             let flush_start_us = now_us();
             let path = self.dir.join(format!("c_{seq:012}_{seq:012}.dat"));
             let n = entries.len();
-            let comp = DiskComponent::build(
+            let comp = self.build_component(
                 &path,
-                Arc::clone(&self.cache),
-                &ComponentConfig { page_size: self.cfg.page_size, bloom_fpp: self.cfg.bloom_fpp },
                 seq,
                 seq,
-                entries.iter().map(|(k, v)| Entry {
-                    key: k.clone(),
-                    antimatter: v.antimatter,
-                    value: v.value.clone(),
-                }),
-                n,
+                entries
+                    .iter()
+                    .map(|(k, v)| Entry {
+                        key: k.clone(),
+                        antimatter: v.antimatter,
+                        value: v.value.clone(),
+                    })
+                    .collect(),
             )?;
             let installed = {
                 let mut st = self.state.write();
@@ -405,15 +448,7 @@ impl LsmInner {
         }
         let out_path = self.dir.join(format!("c_{min_seq:012}_{max_seq:012}.dat"));
         let n = merged.len();
-        let comp = DiskComponent::build(
-            &out_path,
-            Arc::clone(&self.cache),
-            &ComponentConfig { page_size: self.cfg.page_size, bloom_fpp: self.cfg.bloom_fpp },
-            min_seq,
-            max_seq,
-            merged,
-            n,
-        )?;
+        let comp = self.build_component(&out_path, min_seq, max_seq, merged)?;
         // Atomically swap the component list, then destroy the inputs.
         let input_paths: Vec<PathBuf> = inputs.iter().map(|c| c.path().to_path_buf()).collect();
         let ncomp = {
@@ -491,6 +526,17 @@ fn maintenance_loop(inner: Arc<LsmInner>, rx: Receiver<MaintMsg>) {
     inner.notify_frozen();
 }
 
+/// One value out of [`LsmTree::scan_projected`].
+#[derive(Debug)]
+pub enum ScanValue<'a> {
+    /// A full stored row (from memory, sealed components, row-layout
+    /// components, or a columnar spill run): the caller projects it.
+    Row(&'a [u8]),
+    /// The projected fields already assembled into a self-describing
+    /// record by the columnar read path.
+    Assembled(&'a [u8]),
+}
+
 /// An LSM index over byte-string keys.
 pub struct LsmTree {
     inner: Arc<LsmInner>,
@@ -512,7 +558,7 @@ impl LsmTree {
         let valid = DiskComponent::scavenge_dir(dir)?;
         let mut disk: Vec<Arc<DiskComponent>> = Vec::with_capacity(valid.len());
         for path in valid {
-            disk.push(DiskComponent::open(&path, Arc::clone(&cache))?);
+            disk.push(DiskComponent::open(&path, Arc::clone(&cache), cfg.columnar.as_ref())?);
         }
         // Newest first: components are named c_<min>_<max>.dat with
         // zero-padded sequence numbers, so path sort order is seq order.
@@ -763,6 +809,143 @@ impl LsmTree {
         Ok(())
     }
 
+    /// Late-materializing merged scan over `[lo, hi)`: columnar disk
+    /// components read only the projected columns' page runs and hand back
+    /// already-assembled records ([`ScanValue::Assembled`]); every other
+    /// source (memory, sealed components, row components, spilled rows)
+    /// yields full stored rows ([`ScanValue::Row`]) for the caller to
+    /// project itself. Antimatter is resolved exactly as in
+    /// [`LsmTree::scan_with`] — a newer filtered or deleted version still
+    /// shadows older versions of its key. The optional column filter in
+    /// `proj` only ever drops rows that are *definitely* rejected by the
+    /// predicate it was derived from; the caller must still apply the full
+    /// predicate to what comes through.
+    pub fn scan_projected(
+        &self,
+        lo: Option<&[u8]>,
+        hi: Option<&[u8]>,
+        proj: &Projection,
+        mut f: impl FnMut(&[u8], ScanValue<'_>) -> bool,
+    ) -> Result<()> {
+        enum DiskSrc {
+            Plain(crate::component::ComponentIter),
+            Proj(crate::component::ProjectedIter),
+        }
+        impl DiskSrc {
+            fn next(&mut self) -> Option<ProjEntry> {
+                match self {
+                    DiskSrc::Plain(it) => it.next().map(|e| ProjEntry {
+                        key: e.key,
+                        kind: if e.antimatter { ProjKind::Anti } else { ProjKind::Row(e.value) },
+                    }),
+                    DiskSrc::Proj(it) => it.next(),
+                }
+            }
+            fn take_error(&mut self) -> Option<StorageError> {
+                match self {
+                    DiskSrc::Plain(it) => it.take_error(),
+                    DiskSrc::Proj(it) => it.take_error(),
+                }
+            }
+        }
+        let st = self.inner.state.read();
+        let bounds = (
+            lo.map_or(Bound::Unbounded, Bound::Included),
+            hi.map_or(Bound::Unbounded, Bound::Excluded),
+        );
+        let to_proj = |k: &Vec<u8>, v: &MemEntry| ProjEntry {
+            key: k.clone(),
+            kind: if v.antimatter { ProjKind::Anti } else { ProjKind::Row(v.value.clone()) },
+        };
+        let mem_range = st.mem.range::<[u8], _>(bounds);
+        let mut mem_iter = mem_range.map(|(k, v)| to_proj(k, v));
+        let mut frozen_iters: Vec<std::vec::IntoIter<ProjEntry>> = st
+            .frozen
+            .iter()
+            .rev()
+            .map(|fr| {
+                fr.entries
+                    .range::<[u8], _>(bounds)
+                    .map(|(k, v)| to_proj(k, v))
+                    .collect::<Vec<ProjEntry>>()
+                    .into_iter()
+            })
+            .collect();
+        let nf = frozen_iters.len();
+        let mut disk_iters: Vec<DiskSrc> = st
+            .disk
+            .iter()
+            .map(|c| {
+                if c.is_columnar() {
+                    DiskSrc::Proj(c.project_range(lo, hi, proj))
+                } else {
+                    DiskSrc::Plain(c.range(lo, hi))
+                }
+            })
+            .collect();
+        let mut heads: Vec<Option<ProjEntry>> = Vec::with_capacity(1 + nf + disk_iters.len());
+        heads.push(mem_iter.next());
+        for it in &mut frozen_iters {
+            heads.push(it.next());
+        }
+        for it in &mut disk_iters {
+            heads.push(it.next());
+        }
+        loop {
+            let mut best: Option<(usize, &[u8])> = None;
+            for (i, h) in heads.iter().enumerate() {
+                if let Some(e) = h {
+                    match best {
+                        None => best = Some((i, &e.key)),
+                        Some((_, bk)) if e.key.as_slice() < bk => best = Some((i, &e.key)),
+                        _ => {}
+                    }
+                }
+            }
+            let Some((winner, _)) = best else { break };
+            let entry = heads[winner].take().unwrap();
+            let mut advance = |i: usize, heads: &mut Vec<Option<ProjEntry>>| {
+                heads[i] = if i == 0 {
+                    mem_iter.next()
+                } else if i <= nf {
+                    frozen_iters[i - 1].next()
+                } else {
+                    disk_iters[i - 1 - nf].next()
+                };
+            };
+            advance(winner, &mut heads);
+            for i in 0..heads.len() {
+                loop {
+                    let same = matches!(&heads[i], Some(e) if e.key == entry.key);
+                    if !same {
+                        break;
+                    }
+                    advance(i, &mut heads);
+                }
+            }
+            let keep_going = match &entry.kind {
+                ProjKind::Anti | ProjKind::Filtered => true,
+                ProjKind::Row(v) => f(&entry.key, ScanValue::Row(v)),
+                ProjKind::Assembled(v) => f(&entry.key, ScanValue::Assembled(v)),
+            };
+            if !keep_going {
+                break;
+            }
+        }
+        for mut it in disk_iters {
+            if let Some(e) = it.take_error() {
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// How many of the tree's disk components are columnar (tests and
+    /// migration observability).
+    pub fn columnar_component_count(&self) -> usize {
+        self.inner.state.read().disk.iter().filter(|c| c.is_columnar()).count()
+    }
+
     /// Count of live entries (scan-based; used by tests and stats).
     pub fn live_count(&self) -> Result<usize> {
         let mut n = 0;
@@ -929,6 +1112,7 @@ mod tests {
                 bloom_fpp: 0.01,
                 merge_policy: policy,
                 max_frozen: 2,
+                columnar: None,
             },
             BufferCache::new(256),
             Arc::new(NullObserver),
@@ -1163,6 +1347,7 @@ mod tests {
                 bloom_fpp: 0.01,
                 merge_policy: MergePolicy::NoMerge,
                 max_frozen: 2,
+                columnar: None,
             },
             BufferCache::new(256),
             Arc::new(GateObserver { entered: entered_tx, release: release_rx }),
@@ -1287,5 +1472,173 @@ mod tests {
         t.insert(k(2), b"b".to_vec()).unwrap();
         t.flush().unwrap(); // seals at watermark 42
         assert_eq!(*probe.flushed.lock(), vec![7, 42]);
+    }
+
+    // ---- columnar components through the LSM lifecycle ----
+
+    use crate::columnar::{ColumnarOptions, Projection, SelfDescribingCodec};
+    use asterix_adm::serde::encode;
+    use asterix_adm::value::{Record, Value};
+
+    fn columnar_cfg(enabled: bool) -> LsmConfig {
+        let mut col = ColumnarOptions::new(Arc::new(SelfDescribingCodec));
+        col.enabled = enabled;
+        LsmConfig {
+            mem_budget: 1 << 20,
+            page_size: 512,
+            bloom_fpp: 0.01,
+            merge_policy: MergePolicy::NoMerge,
+            max_frozen: 2,
+            columnar: Some(col),
+        }
+    }
+
+    fn row(i: u32) -> Vec<u8> {
+        let mut r = Record::new();
+        r.set("id", Value::Int64(i as i64));
+        r.set("name", Value::string(format!("user-{i:04}")));
+        r.set("score", Value::Double(i as f64 / 3.0));
+        encode(&Value::record(r))
+    }
+
+    #[test]
+    fn columnar_flush_merge_and_exact_reads() {
+        let dir = TempDir::new().unwrap();
+        let t = LsmTree::open(
+            dir.path(),
+            columnar_cfg(true),
+            BufferCache::new(256),
+            Arc::new(NullObserver),
+        )
+        .unwrap();
+        for i in 0..150u32 {
+            t.insert(k(i), row(i)).unwrap();
+        }
+        t.flush().unwrap();
+        assert_eq!(t.columnar_component_count(), 1);
+        for i in 150..300u32 {
+            t.insert(k(i), row(i)).unwrap();
+        }
+        t.delete(k(42)).unwrap();
+        t.flush().unwrap();
+        t.merge_all().unwrap();
+        // The merged output re-infers a schema and stays columnar.
+        assert_eq!(t.columnar_component_count(), 1);
+        for i in 0..300u32 {
+            let got = t.get(&k(i)).unwrap();
+            if i == 42 {
+                assert_eq!(got, None);
+            } else {
+                assert_eq!(got, Some(row(i)), "row {i} must read back byte-identical");
+            }
+        }
+        assert_eq!(t.scan(None, None).unwrap().len(), 299);
+    }
+
+    #[test]
+    fn disabled_knob_builds_row_components_but_reads_columnar_ones() {
+        let dir = TempDir::new().unwrap();
+        // First incarnation: columnar on; writes one columnar component.
+        {
+            let t = LsmTree::open(
+                dir.path(),
+                columnar_cfg(true),
+                BufferCache::new(256),
+                Arc::new(NullObserver),
+            )
+            .unwrap();
+            for i in 0..80u32 {
+                t.insert(k(i), row(i)).unwrap();
+            }
+            t.flush().unwrap();
+            assert_eq!(t.columnar_component_count(), 1);
+        }
+        // Second incarnation: knob off. The existing columnar component
+        // must stay readable; new flushes come out row-major.
+        let t = LsmTree::open(
+            dir.path(),
+            columnar_cfg(false),
+            BufferCache::new(256),
+            Arc::new(NullObserver),
+        )
+        .unwrap();
+        assert_eq!(t.columnar_component_count(), 1);
+        for i in 80..160u32 {
+            t.insert(k(i), row(i)).unwrap();
+        }
+        t.flush().unwrap();
+        assert_eq!(t.columnar_component_count(), 1, "knob off must not build columnar");
+        for i in 0..160u32 {
+            assert_eq!(t.get(&k(i)).unwrap(), Some(row(i)));
+        }
+    }
+
+    #[test]
+    fn projected_scan_over_mixed_tree_matches_full_scan() {
+        let dir = TempDir::new().unwrap();
+        // Row component (columnar: None), then columnar component, then
+        // mem entries: scan_projected must merge all three planes.
+        {
+            let t = open(dir.path(), MergePolicy::NoMerge, 1 << 20);
+            for i in 0..60u32 {
+                t.insert(k(i), row(i)).unwrap();
+            }
+            t.flush().unwrap();
+        }
+        let t = LsmTree::open(
+            dir.path(),
+            columnar_cfg(true),
+            BufferCache::new(256),
+            Arc::new(NullObserver),
+        )
+        .unwrap();
+        for i in 60..120u32 {
+            t.insert(k(i), row(i)).unwrap();
+        }
+        t.delete(k(7)).unwrap();
+        t.insert(k(30), row(999)).unwrap(); // newer version shadows row component
+        t.flush().unwrap();
+        assert_eq!(t.columnar_component_count(), 1);
+        for i in 120..140u32 {
+            t.insert(k(i), row(i)).unwrap(); // stays in memory
+        }
+
+        let full = t.scan(None, None).unwrap();
+        let proj = Projection { fields: vec!["name".into()], filter: None };
+        enum ScanValue2 {
+            Row(Vec<u8>),
+            Assembled(Vec<u8>),
+        }
+        let mut projected: Vec<(Vec<u8>, ScanValue2)> = Vec::new();
+        t.scan_projected(None, None, &proj, |key, v| {
+            let owned = match v {
+                ScanValue::Row(b) => ScanValue2::Row(b.to_vec()),
+                ScanValue::Assembled(b) => ScanValue2::Assembled(b.to_vec()),
+            };
+            projected.push((key.to_vec(), owned));
+            true
+        })
+        .unwrap();
+        assert_eq!(
+            projected.iter().map(|(key, _)| key.clone()).collect::<Vec<_>>(),
+            full.iter().map(|(key, _)| key.clone()).collect::<Vec<_>>()
+        );
+        let mut assembled = 0;
+        for ((key, got), (_, full_row)) in projected.iter().zip(full.iter()) {
+            match got {
+                // Rows from the row component / memory come back whole.
+                ScanValue2::Row(b) => assert_eq!(b, full_row, "key {key:?}"),
+                // Columnar rows come back as just the projected field.
+                ScanValue2::Assembled(b) => {
+                    assembled += 1;
+                    let i = u32::from_be_bytes(key[..4].try_into().unwrap());
+                    let n = if i == 30 { 999 } else { i };
+                    let mut r = Record::new();
+                    r.set("name", Value::string(format!("user-{n:04}")));
+                    assert_eq!(b, &encode(&Value::record(r)), "key {key:?}");
+                }
+            }
+        }
+        assert!(assembled >= 60, "columnar component rows must late-materialize");
     }
 }

@@ -702,3 +702,138 @@ fn system_views_snapshot_and_sampler_agree() {
     assert!(!frames.is_empty(), "sampler recorded registry deltas");
     assert!(frames[0].get("ts_us").is_some() && frames[0].get("values").is_some());
 }
+
+/// Columnar components are a storage-layout change only: every Table-3
+/// query shape — projecting scans, pushed-down constant filters,
+/// equijoins, aggregation, and full-record scans (which read columnar
+/// components through whole-row reconstruction) — returns bit-identical
+/// rows with `disable_columnar` set, while the columnar instance actually
+/// projects columns and skips bytes.
+#[test]
+fn columnar_preserves_results_and_projects_columns() {
+    let queries = [
+        // Projecting scan: only two fields of the record are touched.
+        r#"for $u in dataset MugshotUsers
+           return { "u": $u.id, "name": $u.name }"#,
+        // Pushed-down constant filter decided on raw column bytes.
+        r#"for $u in dataset MugshotUsers
+           where $u.id <= 10
+           return { "u": $u.id, "name": $u.name }"#,
+        // Equijoin: both scans project.
+        r#"for $u in dataset MugshotUsers
+           for $m in dataset MugshotMessages
+           where $m.author-id = $u.id
+           return { "u": $u.id, "m": $m.message-id }"#,
+        // Aggregation over a selected projecting scan.
+        r#"avg(
+            for $m in dataset MugshotMessages
+            where $m.message-id > 5
+            return $m.message-id
+        )"#,
+        // Full-record scan: the variable escapes, so no projection — the
+        // columnar component serves reconstructed whole rows.
+        r#"for $u in dataset MugshotUsers return $u"#,
+    ];
+    let (on, _d1) = ab_instance(N, N, |_| {});
+    let (off, _d2) = ab_instance(N, N, |cfg| cfg.disable_columnar = true);
+
+    // Flushes on the columnar instance wrote columnar components; the
+    // knob-off instance wrote none.
+    assert!(on.columnar_stats().components.get() > 0, "flushes must build columnar components");
+    assert_eq!(off.columnar_stats().components.get(), 0);
+
+    for q in queries {
+        let op_rows = on.query(q).unwrap();
+        let off_rows = off.query(q).unwrap();
+        assert_eq!(
+            sorted_rows(&op_rows),
+            sorted_rows(&off_rows),
+            "columnar on/off rows must be identical: {q}"
+        );
+    }
+
+    // The projecting queries read only the requested columns.
+    assert!(on.columnar_stats().columns_projected.get() > 0, "scans must project columns");
+    assert!(on.columnar_stats().bytes_skipped.get() > 0, "projection must skip column bytes");
+    assert_eq!(off.columnar_stats().columns_projected.get(), 0);
+
+    // The scan label advertises the projection (and the registry carries
+    // the counters under stable names).
+    let profile = on
+        .profile(r#"for $u in dataset MugshotUsers return { "u": $u.id, "name": $u.name }"#)
+        .unwrap();
+    let scan = profile
+        .operators
+        .operators
+        .iter()
+        .find(|o| o.name.starts_with("data-scan"))
+        .expect("data-scan in profile");
+    assert!(scan.name.contains("[cols: id,name]"), "projecting scan label: {}", scan.name);
+    match on.metrics().get("storage.columnar.columns_projected") {
+        Some(Metric::Counter(c)) => assert!(c.get() > 0),
+        other => panic!("storage.columnar.columns_projected missing: {other:?}"),
+    }
+}
+
+/// Mid-migration trees — row components written under `disable_columnar`,
+/// then columnar components after the knob flips — serve every query
+/// bit-identically to an all-row instance over the same data.
+#[test]
+fn columnar_migration_mixed_tree_reads_identically() {
+    let ddl = r#"
+        create dataverse Prof;
+        use dataverse Prof;
+        create type UserType as open { id: int64 };
+        create dataset MugshotUsers(UserType) primary key id;
+    "#;
+    let fill = |inst: &Arc<Instance>, lo: i64, hi: i64| {
+        for i in lo..=hi {
+            inst.execute(&format!(
+                r#"insert into dataset MugshotUsers ({{ "id": {i}, "name": "user{i}" }});"#
+            ))
+            .unwrap();
+        }
+        inst.dataset("MugshotUsers").unwrap().flush_all().unwrap();
+    };
+    let dir = tempfile::TempDir::new().unwrap();
+    let cfg_at = |path: &std::path::Path, disable: bool| {
+        let mut cfg = ClusterConfig::small(path.join("db"));
+        cfg.nodes = 2;
+        cfg.partitions_per_node = 2;
+        cfg.disable_columnar = disable;
+        cfg
+    };
+    // First incarnation: columnar off — row components on disk.
+    {
+        let inst = Instance::open(cfg_at(dir.path(), true)).unwrap();
+        inst.execute(ddl).unwrap();
+        fill(&inst, 1, N as i64);
+        assert_eq!(inst.columnar_stats().components.get(), 0);
+    }
+    // Second incarnation, same storage: columnar on — new flushes come
+    // out column-major, so the tree now mixes both layouts.
+    let mixed = Instance::open(cfg_at(dir.path(), false)).unwrap();
+    mixed.execute("use dataverse Prof;").unwrap();
+    fill(&mixed, N as i64 + 1, 2 * N as i64);
+    assert!(mixed.columnar_stats().components.get() > 0, "post-flip flushes must be columnar");
+
+    // Reference: all-row instance over the same records.
+    let ref_dir = tempfile::TempDir::new().unwrap();
+    let all_row = Instance::open(cfg_at(ref_dir.path(), true)).unwrap();
+    all_row.execute(ddl).unwrap();
+    fill(&all_row, 1, 2 * N as i64);
+
+    let queries = [
+        r#"for $u in dataset MugshotUsers return { "u": $u.id, "name": $u.name }"#,
+        r#"for $u in dataset MugshotUsers where $u.id > 25 return $u.name"#,
+        r#"for $u in dataset MugshotUsers return $u"#,
+        r#"count(for $u in dataset MugshotUsers return $u.id)"#,
+    ];
+    for q in queries {
+        assert_eq!(
+            sorted_rows(&mixed.query(q).unwrap()),
+            sorted_rows(&all_row.query(q).unwrap()),
+            "mixed row+columnar tree must read identically: {q}"
+        );
+    }
+}
