@@ -382,7 +382,7 @@ mod tests {
     fn rec(fields: &[(&str, Value)]) -> Value {
         let mut r = Record::new();
         for (n, v) in fields {
-            r.set(n, v.clone());
+            r.set(*n, v.clone());
         }
         Value::record(r)
     }

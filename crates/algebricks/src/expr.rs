@@ -75,6 +75,11 @@ pub enum LogicalExpr {
     /// A correlated subplan (nested FLWOR). Evaluates to the ordered list
     /// of its emitted values under the outer bindings.
     Subquery(Arc<LogicalOp>),
+    /// A parameter slot filled at bind time from [`EvalCtx::params`].
+    /// Produced by AQL statement normalization (literal lifting) — never by
+    /// the parser — so cached plans can be re-instantiated with different
+    /// constants.
+    Param(usize),
 }
 
 impl LogicalExpr {
@@ -90,7 +95,10 @@ impl LogicalExpr {
     /// variables; quantifier/subplan-bound variables are excluded).
     pub fn free_vars(&self, out: &mut Vec<VarId>) {
         match self {
-            LogicalExpr::Const(_) => {}
+            // Params bind to per-execution constants, not tuple variables,
+            // so they are variable-free for plan analysis (ordkey
+            // classification, projection inference).
+            LogicalExpr::Const(_) | LogicalExpr::Param(_) => {}
             LogicalExpr::Var(v) => {
                 if !out.contains(v) {
                     out.push(*v);
@@ -160,7 +168,9 @@ impl LogicalExpr {
     pub fn is_foldable_const(&self) -> bool {
         match self {
             LogicalExpr::Const(_) => true,
-            LogicalExpr::Var(_) | LogicalExpr::Subquery(_) => false,
+            // A param's value is unknown until bind time: folding it into
+            // the cached plan would freeze one execution's constant.
+            LogicalExpr::Var(_) | LogicalExpr::Subquery(_) | LogicalExpr::Param(_) => false,
             LogicalExpr::Call(name, args) => {
                 !matches!(name.as_str(), "current-datetime" | "current-date" | "current-time")
                     && args.iter().all(|a| a.is_foldable_const())
@@ -230,11 +240,22 @@ impl VarResolver for TupleResolver<'_> {
 pub struct EvalCtx {
     pub provider: Arc<dyn MetadataProvider>,
     pub fn_ctx: FunctionContext,
+    /// Bind-time values for [`LogicalExpr::Param`] slots (empty for
+    /// non-parameterized plans).
+    pub params: Vec<Value>,
 }
 
 impl EvalCtx {
     pub fn new(provider: Arc<dyn MetadataProvider>, fn_ctx: FunctionContext) -> EvalCtx {
-        EvalCtx { provider, fn_ctx }
+        EvalCtx { provider, fn_ctx, params: Vec::new() }
+    }
+
+    pub fn with_params(
+        provider: Arc<dyn MetadataProvider>,
+        fn_ctx: FunctionContext,
+        params: Vec<Value>,
+    ) -> EvalCtx {
+        EvalCtx { provider, fn_ctx, params }
     }
 }
 
@@ -246,6 +267,9 @@ pub fn eval(
 ) -> asterix_adm::Result<Value> {
     match expr {
         LogicalExpr::Const(v) => Ok(v.clone()),
+        LogicalExpr::Param(i) => ctx.params.get(*i).cloned().ok_or_else(|| {
+            asterix_adm::AdmError::InvalidArgument(format!("unbound parameter ${i}"))
+        }),
         LogicalExpr::Var(v) => Ok(vars.get(*v).unwrap_or(Value::Missing)),
         LogicalExpr::FieldAccess(base, name) => Ok(eval(base, vars, ctx)?.field(name)),
         LogicalExpr::IndexAccess(base, idx) => {

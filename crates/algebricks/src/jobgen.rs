@@ -152,7 +152,7 @@ fn analyze_scan_uses(plan: &LogicalOp) -> std::collections::HashMap<VarId, VarUs
     }
     fn note_expr(e: &LogicalExpr, map: &mut std::collections::HashMap<VarId, VarUse>) {
         match e {
-            LogicalExpr::Const(_) => {}
+            LogicalExpr::Const(_) | LogicalExpr::Param(_) => {}
             LogicalExpr::Var(v) => {
                 if let Some(u) = map.get_mut(v) {
                     *u = VarUse::Escaped;
@@ -291,13 +291,28 @@ pub fn compile(
     fn_ctx: FunctionContext,
     options: &OptimizerOptions,
 ) -> Result<CompiledQuery> {
+    compile_with_params(plan, provider, fn_ctx, options, Vec::new())
+}
+
+/// Compile with bind-time values for the plan's [`LogicalExpr::Param`]
+/// slots. This is the plan cache's re-instantiation path: the optimized
+/// plan is compiled once per execution, so every constant the generated
+/// operators capture (ordkey predicate keys, index search bounds, pushed
+/// scan filters) is derived from the *current* parameter vector.
+pub fn compile_with_params(
+    plan: &LogicalOp,
+    provider: Arc<dyn MetadataProvider>,
+    fn_ctx: FunctionContext,
+    options: &OptimizerOptions,
+    params: Vec<asterix_adm::Value>,
+) -> Result<CompiledQuery> {
     let nparts = provider.partitions().max(1);
     let per_op_mem = options
         .query_mem_budget
         .map(|total| (total / memory_hungry_ops(plan).max(1)).max(MIN_OP_MEM));
     let mut gen = Gen {
         job: JobSpec::new(),
-        ctx: Arc::new(EvalCtx::new(provider, fn_ctx)),
+        ctx: Arc::new(EvalCtx::with_params(provider, fn_ctx, params)),
         nparts,
         options: options.clone(),
         per_op_mem,

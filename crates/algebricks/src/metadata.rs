@@ -84,6 +84,14 @@ pub trait MetadataProvider: Send + Sync {
         1
     }
 
+    /// Monotonic catalog version, bumped by every DDL statement. Cached
+    /// compiled plans record the epoch they were built under and are
+    /// discarded when it moves (see DESIGN.md "Plan cache & prepared
+    /// queries"). Providers without DDL can keep the constant default.
+    fn catalog_epoch(&self) -> u64 {
+        0
+    }
+
     /// Does the dataset exist (dataverse-qualified name)?
     fn dataset_exists(&self, dataset: &str) -> bool;
 

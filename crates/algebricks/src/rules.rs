@@ -146,7 +146,10 @@ fn map_expr_children(
         LogicalExpr::IfThenElse(c, t, e2) => {
             LogicalExpr::IfThenElse(Box::new(f(*c)), Box::new(f(*t)), Box::new(f(*e2)))
         }
-        leaf @ (LogicalExpr::Const(_) | LogicalExpr::Var(_) | LogicalExpr::Subquery(_)) => leaf,
+        leaf @ (LogicalExpr::Const(_)
+        | LogicalExpr::Var(_)
+        | LogicalExpr::Subquery(_)
+        | LogicalExpr::Param(_)) => leaf,
     }
 }
 

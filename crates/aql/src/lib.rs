@@ -10,9 +10,11 @@
 
 pub mod ast;
 pub mod lexer;
+pub mod normalize;
 pub mod parser;
 pub mod translate;
 
 pub use ast::{Expr, Statement};
+pub use normalize::{normalize_query, NormalizedQuery};
 pub use parser::{parse_expression, parse_statements};
 pub use translate::{AqlCatalog, FunctionDef, Translator};

@@ -312,6 +312,7 @@ impl<'a> Translator<'a> {
     pub fn translate_expr(&mut self, e: &Expr, scope: &Scope) -> TResult<LogicalExpr> {
         Ok(match e {
             Expr::Literal(v) => LogicalExpr::Const(v.clone()),
+            Expr::Param(i) => LogicalExpr::Param(*i),
             Expr::Variable(name) => match scope.get(name) {
                 Some(v) => LogicalExpr::Var(*v),
                 None => return terr(format!("undefined variable ${name}")),

@@ -52,6 +52,14 @@ pub struct ClusterConfig {
     /// written while the knob was off remain readable. For A/B runs and
     /// debugging; results are identical either way.
     pub disable_columnar: bool,
+    /// Disable the compiled-plan cache: every query re-runs the full
+    /// parse→translate→optimize→jobgen chain and `prepare` re-compiles on
+    /// each execution. For A/B runs and debugging; results are identical
+    /// either way.
+    pub disable_plan_cache: bool,
+    /// Compiled-plan cache capacity (entries, LRU-evicted). One entry per
+    /// normalized query shape × session/options state.
+    pub plan_cache_capacity: usize,
     /// Queries allowed to run at once; later arrivals queue (admission
     /// control — the workload manager's concurrency gate).
     pub max_concurrent_queries: usize,
@@ -94,6 +102,8 @@ impl ClusterConfig {
             disable_vectorization: false,
             disable_runtime_filters: false,
             disable_columnar: false,
+            disable_plan_cache: false,
+            plan_cache_capacity: 64,
             max_concurrent_queries: 16,
             max_queued_queries: 64,
             admission_timeout: std::time::Duration::from_secs(10),

@@ -13,8 +13,10 @@ use asterix_adm::types::{Datatype, FieldType, RecordType};
 use asterix_adm::Value;
 use asterix_algebricks::jobgen;
 use asterix_algebricks::metadata::MetadataProvider;
+use asterix_algebricks::plan::LogicalOp;
 use asterix_algebricks::rules::{optimize, OptimizerOptions};
 use asterix_aql::ast::{Expr, IndexTypeAst, Statement, TypeExpr};
+use asterix_aql::normalize::normalize_query;
 use asterix_aql::parser::parse_statements_spanned;
 use asterix_aql::translate::Translator;
 use asterix_feeds::{socket_adaptor, ComputeFn, IngestionPipeline, SocketEndpoint};
@@ -103,6 +105,10 @@ pub struct Instance {
     sampler: Mutex<Option<Sampler>>,
     /// When true, DDL is not persisted (used internally during replay).
     replaying: std::sync::atomic::AtomicBool,
+    /// LRU cache of optimized parameterized plans, keyed by normalized
+    /// statement shape × session/options state (DESIGN.md "Plan cache &
+    /// prepared queries").
+    plan_cache: crate::plancache::PlanCache,
 }
 
 /// Frames the continuous sampler retains (at a 1 s cadence, 10 minutes of
@@ -121,6 +127,21 @@ struct Session {
     dataverse: String,
     simfunction: String,
     simthreshold: String,
+}
+
+/// A compiled, runnable query plus everything the callers report: the
+/// optimized plan (for EXPLAIN / profiles), the compile-side lifecycle
+/// spans, and how the plan cache was involved.
+struct CompiledStatement {
+    job: jobgen::CompiledQuery,
+    plan: Arc<LogicalOp>,
+    /// Compile-phase spans in order (everything between parse and execute):
+    /// `[plan_cache]` on a hit, `[translate, optimize, jobgen, plan_cache]`
+    /// on a miss, `[translate, optimize, jobgen]` when the cache is off.
+    phases: Vec<asterix_obs::SpanRecord>,
+    /// `Some(true)` = cache hit, `Some(false)` = miss, `None` = cache
+    /// bypassed (`disable_plan_cache`).
+    cache_hit: Option<bool>,
 }
 
 /// Build-side runtime-filter factory: a Bloom filter over the join-key
@@ -156,6 +177,7 @@ impl Instance {
             partitions: cfg.partitions(),
             partitions_per_node: cfg.partitions_per_node.max(1),
             system_datasets: RwLock::new(HashMap::new()),
+            epoch: std::sync::atomic::AtomicU64::new(0),
         });
         let instance = Arc::new(Instance {
             cache: BufferCache::with_shards(cfg.buffer_cache_pages, cfg.cache_shards),
@@ -188,6 +210,11 @@ impl Instance {
             }),
             sampler: Mutex::new(None),
             replaying: std::sync::atomic::AtomicBool::new(false),
+            plan_cache: crate::plancache::PlanCache::new(if cfg.disable_plan_cache {
+                0
+            } else {
+                cfg.plan_cache_capacity
+            }),
             cfg,
         });
         // Adopt every subsystem's intrinsic counters under stable names so
@@ -197,6 +224,7 @@ impl Instance {
         instance.columnar_stats.register_into(&instance.metrics, "storage.columnar");
         instance.cache.register_into(&instance.metrics, "cache");
         instance.rm.stats().register_into(&instance.metrics, "rm");
+        instance.plan_cache.stats.register_into(&instance.metrics);
         for (n, wal) in instance.wals.iter().enumerate() {
             wal.register_into(&instance.metrics, &format!("wal.node{n}"));
         }
@@ -462,18 +490,9 @@ impl Instance {
         let statements = parse_statements_spanned(aql)?;
         for (stmt, _) in statements {
             if let Statement::Query(e) = stmt {
-                let catalog = self.session_catalog();
-                let mut tr = Translator::new(&catalog);
-                let s = self.session.read();
-                tr.simfunction = s.simfunction.clone();
-                tr.simthreshold = s.simthreshold.clone();
-                drop(s);
-                let plan = tr.translate_query(&e)?;
-                let provider = self.provider();
                 let options = self.optimizer_options.read().clone();
-                let optimized = optimize(plan, &provider, &self.fn_ctx(), &options);
-                let compiled = jobgen::compile(&optimized, provider, self.fn_ctx(), &options)?;
-                return Ok((optimized.pretty(), compiled.describe()));
+                let compiled = self.compile_query(&e, None, &options, None)?;
+                return Ok((compiled.plan.pretty(), compiled.job.describe()));
             }
         }
         Err(AsterixError::Execution("no query statement to explain".into()))
@@ -514,7 +533,7 @@ impl Instance {
         let ticket = self.rm.begin("profile", None)?;
         queue_span.finish();
         ticket.set_trace_id(trace.trace_id());
-        let res = self.profile_admitted_query(e, parse, &ticket, &root_ctx);
+        let res = self.profile_admitted_query(e, None, Some(parse), &ticket, &root_ctx);
         root.finish();
         let res = res.map(|mut p| {
             p.trace_id = trace.trace_id();
@@ -528,35 +547,20 @@ impl Instance {
     fn profile_admitted_query(
         &self,
         e: &Expr,
-        parse: asterix_obs::SpanRecord,
+        prepared: Option<(&str, &[Value])>,
+        parse: Option<asterix_obs::SpanRecord>,
         ticket: &asterix_rm::QueryTicket,
         trace: &TraceContext,
     ) -> Result<QueryProfile> {
-        trace.record_span(&parse);
-        let catalog = self.session_catalog();
-        let mut tr = Translator::new(&catalog);
-        {
-            let s = self.session.read();
-            tr.simfunction = s.simfunction.clone();
-            tr.simthreshold = s.simthreshold.clone();
+        let mut phases = Vec::new();
+        if let Some(p) = parse {
+            trace.record_span(&p);
+            phases.push(p);
         }
-        let translate_span = Span::start("translate");
-        let plan = tr.translate_query(e)?;
-        let translate = translate_span.finish();
-        trace.record_span(&translate);
-
-        let provider = self.provider();
         let mut options = self.optimizer_options.read().clone();
         options.query_mem_budget = Some(ticket.mem_granted());
-        let optimize_span = Span::start("optimize");
-        let optimized = optimize(plan, &provider, &self.fn_ctx(), &options);
-        let optimize_rec = optimize_span.finish();
-        trace.record_span(&optimize_rec);
-
-        let jobgen_span = Span::start("jobgen");
-        let compiled = jobgen::compile(&optimized, provider, self.fn_ctx(), &options)?;
-        let jobgen_rec = jobgen_span.finish();
-        trace.record_span(&jobgen_rec);
+        let compiled = self.compile_query(e, prepared, &options, Some(trace))?;
+        phases.extend(compiled.phases.iter().cloned());
 
         let mut cfg = self.executor_config();
         cfg.cancel = Some(ticket.token().clone());
@@ -564,14 +568,14 @@ impl Instance {
         let execute_span = Span::start("execute");
         let exec_tspan = trace.span("execute");
         cfg.trace = exec_tspan.context();
-        let (rows, operators) = compiled.run_profiled_with(&cfg, &self.exchange_stats)?;
+        let (rows, operators) = compiled.job.run_profiled_with(&cfg, &self.exchange_stats)?;
         exec_tspan.finish();
-        let execute = execute_span.finish();
+        phases.push(execute_span.finish());
 
         let profile = QueryProfile {
-            job: compiled.describe_profiled(&operators),
-            plan: optimized.pretty(),
-            phases: vec![parse, translate, optimize_rec, jobgen_rec, execute],
+            job: compiled.job.describe_profiled(&operators),
+            plan: compiled.plan.pretty(),
+            phases,
             rows,
             operators,
             // Filled in by `profile_query` once the root span closes.
@@ -585,13 +589,177 @@ impl Instance {
                 ("rows", profile.rows.len().into()),
                 ("operators", profile.operators.operators.len().into()),
                 ("total_us", profile.total_us().into()),
-                ("execute_us", (profile.phases[4].duration.as_micros() as u64).into()),
+                (
+                    "execute_us",
+                    profile
+                        .phase("execute")
+                        .map(|s| s.duration.as_micros() as u64)
+                        .unwrap_or(0)
+                        .into(),
+                ),
+                (
+                    "plan_cache",
+                    match compiled.cache_hit {
+                        Some(true) => "hit",
+                        Some(false) => "miss",
+                        None => "off",
+                    }
+                    .into(),
+                ),
             ],
         );
         Ok(profile)
     }
 
+    /// The single compile path behind `query`, `profile`, `explain`, and
+    /// the prepared-statement API: normalize the query (literals → `Param`
+    /// slots), consult the plan cache, and on a miss run
+    /// translate → optimize → jobgen on the normalized shape before
+    /// publishing the optimized plan. A hit skips straight to job
+    /// generation with this execution's parameter vector bound into the
+    /// evaluation context.
+    ///
+    /// `prepared` short-circuits normalization for [`Instance::prepare`]d
+    /// statements: `e` is already literal-stripped and the caller supplies
+    /// the fingerprint and parameters.
+    fn compile_query(
+        &self,
+        e: &Expr,
+        prepared: Option<(&str, &[Value])>,
+        options: &OptimizerOptions,
+        trace: Option<&TraceContext>,
+    ) -> Result<CompiledStatement> {
+        let disabled = self.cfg.disable_plan_cache;
+        let (expr, fingerprint, params): (std::borrow::Cow<'_, Expr>, String, Vec<Value>) =
+            match prepared {
+                Some((fp, ps)) => (std::borrow::Cow::Borrowed(e), fp.to_string(), ps.to_vec()),
+                None => {
+                    if disabled {
+                        // A/B bypass: the exact pre-cache chain — compile
+                        // the original expression, constants inline.
+                        return self.compile_fresh(e, Vec::new(), options, trace);
+                    }
+                    let n = normalize_query(e);
+                    (std::borrow::Cow::Owned(n.expr), n.fingerprint, n.params)
+                }
+            };
+        if disabled {
+            // Prepared statement with the cache disabled: recompile the
+            // normalized shape on every execution, no cache traffic.
+            return self.compile_fresh(&expr, params, options, trace);
+        }
+
+        let key = {
+            let s = self.session.read();
+            crate::plancache::PlanKey {
+                fingerprint,
+                dataverse: s.dataverse.clone(),
+                simfunction: s.simfunction.clone(),
+                simthreshold: s.simthreshold.clone(),
+                options: crate::plancache::options_key(options),
+            }
+        };
+        // Epoch is read before compiling: if a DDL lands mid-compile, the
+        // entry is stored under the older epoch and the next lookup
+        // invalidates it — stale plans are never served.
+        let epoch = self.shared.current_epoch();
+        if let Some(cached) = self.plan_cache.lookup(&key, epoch) {
+            let span = Span::start("plan_cache");
+            let job = jobgen::compile_with_params(
+                &cached.plan,
+                self.provider(),
+                self.fn_ctx(),
+                options,
+                params,
+            )?;
+            let rec = span.finish();
+            self.plan_cache.stats.bind_us.record_duration(rec.duration);
+            if let Some(t) = trace {
+                t.with_label("hit").record_span(&rec);
+            }
+            return Ok(CompiledStatement {
+                job,
+                plan: cached.plan,
+                phases: vec![rec],
+                cache_hit: Some(true),
+            });
+        }
+        let nparams = params.len();
+        let mut out = self.compile_fresh(&expr, params, options, trace)?;
+        let span = Span::start("plan_cache");
+        self.plan_cache.insert(
+            key,
+            crate::plancache::CachedPlan { plan: Arc::clone(&out.plan), epoch, nparams },
+        );
+        let rec = span.finish();
+        if let Some(t) = trace {
+            t.with_label("miss").record_span(&rec);
+        }
+        out.phases.push(rec);
+        out.cache_hit = Some(false);
+        Ok(out)
+    }
+
+    /// The full translate → optimize → jobgen chain, used for cache misses,
+    /// the `disable_plan_cache` bypass, and prepared re-compiles. `params`
+    /// fills the plan's `Param` slots at job generation (empty when `e`
+    /// still carries inline literals).
+    fn compile_fresh(
+        &self,
+        e: &Expr,
+        params: Vec<Value>,
+        options: &OptimizerOptions,
+        trace: Option<&TraceContext>,
+    ) -> Result<CompiledStatement> {
+        let catalog = self.session_catalog();
+        let mut tr = Translator::new(&catalog);
+        {
+            let s = self.session.read();
+            tr.simfunction = s.simfunction.clone();
+            tr.simthreshold = s.simthreshold.clone();
+        }
+        let translate_span = Span::start("translate");
+        let plan = tr.translate_query(e)?;
+        let translate = translate_span.finish();
+
+        let provider = self.provider();
+        let optimize_span = Span::start("optimize");
+        let optimized = optimize(plan, &provider, &self.fn_ctx(), options);
+        let optimize_rec = optimize_span.finish();
+
+        let jobgen_span = Span::start("jobgen");
+        let job =
+            jobgen::compile_with_params(&optimized, provider, self.fn_ctx(), options, params)?;
+        let jobgen_rec = jobgen_span.finish();
+
+        if let Some(t) = trace {
+            t.record_span(&translate);
+            t.record_span(&optimize_rec);
+            t.record_span(&jobgen_rec);
+        }
+        Ok(CompiledStatement {
+            job,
+            plan: Arc::new(optimized),
+            phases: vec![translate, optimize_rec, jobgen_rec],
+            cache_hit: None,
+        })
+    }
+
     fn execute_statement(&self, stmt: Statement, source: &str) -> Result<StatementResult> {
+        // Any statement that can change the catalog (DDL, feed wiring,
+        // `use dataverse`) bumps the catalog epoch, invalidating every
+        // cached plan. DML and queries leave plans valid; a bump on a
+        // statement that then fails only costs an extra recompile.
+        if !matches!(
+            stmt,
+            Statement::Query(_)
+                | Statement::Insert { .. }
+                | Statement::Delete { .. }
+                | Statement::Load { .. }
+                | Statement::Set { .. }
+        ) {
+            self.shared.bump_epoch();
+        }
         match stmt {
             Statement::CreateDataverse { name, if_not_exists } => {
                 let mut catalog = self.shared.catalog.write();
@@ -908,37 +1076,121 @@ impl Instance {
 
     fn run_query_opts(&self, e: &Expr, opts: &QueryOpts) -> Result<Vec<Value>> {
         let ticket = self.rm.begin("query", opts.deadline)?;
-        let res = self.run_admitted_query(e, &ticket);
+        let res = self.run_admitted_query(e, None, &ticket);
         self.note_cancelled(&res);
         res
+    }
+
+    /// Parse and normalize the (single) query in `aql` for repeated
+    /// execution with [`Instance::execute_prepared`]: every literal is
+    /// lifted into a parameter slot, so re-executions with different
+    /// constants share one compiled-plan cache entry and skip
+    /// parse → translate → optimize entirely.
+    pub fn prepare(&self, aql: &str) -> Result<crate::plancache::PreparedQuery> {
+        let statements = parse_statements_spanned(aql)?;
+        for (stmt, _) in statements {
+            if let Statement::Query(e) = stmt {
+                let n = normalize_query(&e);
+                return Ok(crate::plancache::PreparedQuery {
+                    expr: Arc::new(n.expr),
+                    fingerprint: n.fingerprint,
+                    default_params: n.params,
+                });
+            }
+        }
+        Err(AsterixError::Execution("no query statement to prepare".into()))
+    }
+
+    /// Execute a prepared query with `params` bound into its slots, in slot
+    /// order (pass [`PreparedQuery::default_params`] to run with the
+    /// original literals). Admission, memory grants, and cancellation work
+    /// exactly as for [`Instance::query`].
+    ///
+    /// [`PreparedQuery::default_params`]: crate::plancache::PreparedQuery::default_params
+    pub fn execute_prepared(
+        &self,
+        prepared: &crate::plancache::PreparedQuery,
+        params: &[Value],
+    ) -> Result<Vec<Value>> {
+        if params.len() != prepared.param_count() {
+            return Err(AsterixError::Execution(format!(
+                "prepared query expects {} parameters, got {}",
+                prepared.param_count(),
+                params.len()
+            )));
+        }
+        let ticket = self.rm.begin("query", None)?;
+        let res =
+            self.run_admitted_query(&prepared.expr, Some((&prepared.fingerprint, params)), &ticket);
+        self.note_cancelled(&res);
+        res
+    }
+
+    /// [`Instance::profile`] for a prepared query: the profile has no
+    /// `parse` phase (parsing happened at prepare time) and its compile
+    /// side is the cache lookup plus parameter bind on a hit.
+    pub fn profile_prepared(
+        &self,
+        prepared: &crate::plancache::PreparedQuery,
+        params: &[Value],
+    ) -> Result<QueryProfile> {
+        if params.len() != prepared.param_count() {
+            return Err(AsterixError::Execution(format!(
+                "prepared query expects {} parameters, got {}",
+                prepared.param_count(),
+                params.len()
+            )));
+        }
+        let trace = TraceContext::new_trace(self.cfg.trace_capacity);
+        let root = trace.span("query");
+        let root_ctx = root.context();
+        let queue_span = root_ctx.span("rm.queue_wait");
+        let ticket = self.rm.begin("profile", None)?;
+        queue_span.finish();
+        ticket.set_trace_id(trace.trace_id());
+        let res = self.profile_admitted_query(
+            &prepared.expr,
+            Some((&prepared.fingerprint, params)),
+            None,
+            &ticket,
+            &root_ctx,
+        );
+        root.finish();
+        let res = res.map(|mut p| {
+            p.trace_id = trace.trace_id();
+            p.trace = trace.sink().map(|s| s.events()).unwrap_or_default();
+            p
+        });
+        self.note_cancelled(&res);
+        res
+    }
+
+    /// The compiled-plan cache (counters, length, manual `clear`).
+    pub fn plan_cache(&self) -> &crate::plancache::PlanCache {
+        &self.plan_cache
     }
 
     /// Execute a query under an admission ticket: working memory comes from
     /// the ticket's grant (divided across the plan's sorts/groups/joins)
     /// and the ticket's token makes every exchange a cancellation point.
-    fn run_admitted_query(&self, e: &Expr, ticket: &asterix_rm::QueryTicket) -> Result<Vec<Value>> {
+    fn run_admitted_query(
+        &self,
+        e: &Expr,
+        prepared: Option<(&str, &[Value])>,
+        ticket: &asterix_rm::QueryTicket,
+    ) -> Result<Vec<Value>> {
         if ticket.token().is_cancelled() {
             return Err(AsterixError::Cancelled);
         }
-        let catalog = self.session_catalog();
-        let mut tr = Translator::new(&catalog);
-        {
-            let s = self.session.read();
-            tr.simfunction = s.simfunction.clone();
-            tr.simthreshold = s.simthreshold.clone();
-        }
-        let plan = tr.translate_query(e)?;
-        let provider = self.provider();
         let mut options = self.optimizer_options.read().clone();
         options.query_mem_budget = Some(ticket.mem_granted());
-        let optimized = optimize(plan, &provider, &self.fn_ctx(), &options);
-        let compiled = jobgen::compile(&optimized, provider, self.fn_ctx(), &options)?;
+        let compiled = self.compile_query(e, prepared, &options, None)?;
         let mut cfg = self.executor_config();
         cfg.cancel = Some(ticket.token().clone());
         // Live tuple progress for `Metadata.ActiveJobs` / `list_jobs`.
         cfg.progress = Some(ticket.progress());
         let started = std::time::Instant::now();
-        let rows = compiled.run_with(&cfg, &self.exchange_stats)?;
+        let rows = compiled.job.run_with(&cfg, &self.exchange_stats)?;
         log_event(
             "asterix.query",
             "query",

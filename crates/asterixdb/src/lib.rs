@@ -13,6 +13,7 @@ pub mod cluster;
 pub mod dataset;
 pub mod error;
 pub mod instance;
+pub mod plancache;
 pub mod profile;
 pub mod provider;
 pub mod system;
@@ -20,6 +21,7 @@ pub mod system;
 pub use cluster::ClusterConfig;
 pub use error::{AsterixError, Result};
 pub use instance::{Instance, QueryOpts, StatementResult};
+pub use plancache::PreparedQuery;
 pub use profile::QueryProfile;
 pub use system::SystemSnapshot;
 

@@ -1,7 +1,8 @@
 //! Query lifecycle profiling: one [`QueryProfile`] per profiled query,
 //! combining the compilation-phase spans (parse → translate → optimize →
-//! jobgen → execute) with the per-operator runtime profile of the Hyracks
-//! job, plus the plan texts they reconcile against.
+//! jobgen → execute, collapsed to a single `plan_cache` bind on a
+//! compiled-plan-cache hit) with the per-operator runtime profile of the
+//! Hyracks job, plus the plan texts they reconcile against.
 
 use asterix_adm::Value;
 use asterix_hyracks::{JobProfile, OperatorProfile};
@@ -13,8 +14,11 @@ use asterix_obs::{json_escape, SpanRecord, TraceEvent};
 pub struct QueryProfile {
     /// Result rows, exactly as [`crate::Instance::query`] would return.
     pub rows: Vec<Value>,
-    /// Lifecycle spans, in order: `parse`, `translate`, `optimize`,
-    /// `jobgen`, `execute`.
+    /// Lifecycle spans, in order. A plan-cache miss records `parse`,
+    /// `translate`, `optimize`, `jobgen`, `plan_cache`, `execute`; a hit
+    /// collapses the compile side to just `plan_cache` (the lookup plus
+    /// parameter bind), and prepared executions have no `parse`. Look
+    /// phases up by name with [`QueryProfile::phase`].
     pub phases: Vec<SpanRecord>,
     /// The optimized logical plan (EXPLAIN's first component).
     pub plan: String,

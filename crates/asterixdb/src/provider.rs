@@ -59,9 +59,23 @@ pub struct Shared {
     /// regenerate on every scan, so a query sees the instance's state *as
     /// of that scan* (running jobs, current metric values).
     pub system_datasets: RwLock<HashMap<String, SystemDatasetFn>>,
+    /// Catalog epoch: bumped by every DDL statement. Cached compiled plans
+    /// record the epoch they were built under and are invalidated when it
+    /// moves, so a plan never reads a dropped or recreated dataset.
+    pub epoch: std::sync::atomic::AtomicU64,
 }
 
 impl Shared {
+    /// Advance the catalog epoch (call after any DDL that changes what a
+    /// compiled plan could observe: datasets, indexes, types, functions,
+    /// feeds, dataverses).
+    pub fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch.load(std::sync::atomic::Ordering::SeqCst)
+    }
     pub fn dataset(&self, qualified: &str) -> Option<Arc<DatasetRuntime>> {
         self.datasets.read().get(qualified).cloned()
     }
@@ -191,6 +205,10 @@ impl MetadataProvider for InstanceProvider {
 
     fn partitions_per_node(&self) -> usize {
         self.shared.partitions_per_node
+    }
+
+    fn catalog_epoch(&self) -> u64 {
+        self.shared.current_epoch()
     }
 
     fn dataset_exists(&self, dataset: &str) -> bool {

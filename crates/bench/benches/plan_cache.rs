@@ -1,0 +1,52 @@
+//! Compiled-plan cache microbenchmarks: the cost of a cold compile
+//! (parse → translate → optimize → jobgen) versus a cached bind (cache
+//! lookup + jobgen with parameters) for the Table 3 indexed-join shape,
+//! across cluster widths — jobgen scales with partition count, so the bind
+//! cost grows while the saved parse/translate/optimize cost is fixed.
+//! A third group measures the end-to-end hot repeat (`query` twice).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use asterix_bench::datagen::{generate, Scale};
+use asterix_bench::harness::{setup_asterix_with, SchemaMode};
+
+const JOIN_Q: &str = "for $u in dataset MugshotUsers \
+     for $m in dataset MugshotMessages \
+     where $m.author-id /*+ indexnl */ = $u.id and $u.id >= 10 and $u.id < 20 \
+     return { \"u\": $u.id, \"m\": $m.message-id }";
+
+fn bench_plan_cache(c: &mut Criterion) {
+    let scale = Scale::tiny();
+    let corpus = generate(&scale, 20140702);
+    for (nodes, ppn) in [(1usize, 1usize), (2, 2), (2, 4)] {
+        let partitions = nodes * ppn;
+        let cached = setup_asterix_with(&corpus, SchemaMode::Schema, true, None, None, |cfg| {
+            cfg.nodes = nodes;
+            cfg.partitions_per_node = ppn;
+            cfg.disable_plan_cache = false;
+        });
+        let uncached = setup_asterix_with(&corpus, SchemaMode::Schema, true, None, None, |cfg| {
+            cfg.nodes = nodes;
+            cfg.partitions_per_node = ppn;
+            cfg.disable_plan_cache = true;
+        });
+
+        // `explain` runs exactly the compile side (no execution): the full
+        // chain when the cache is disabled, lookup + parameter bind once
+        // the enabled instance's first call has populated the entry.
+        let mut g = c.benchmark_group(format!("plan_cache/compile_p{partitions}"));
+        g.bench_function("cold_full_chain", |b| b.iter(|| uncached.instance.explain(JOIN_Q)));
+        cached.instance.explain(JOIN_Q).unwrap();
+        g.bench_function("cached_bind", |b| b.iter(|| cached.instance.explain(JOIN_Q)));
+        g.finish();
+
+        // End-to-end hot repeats of the same short query.
+        let mut g = c.benchmark_group(format!("plan_cache/hot_query_p{partitions}"));
+        g.bench_function("cache_off", |b| b.iter(|| uncached.instance.query(JOIN_Q).unwrap()));
+        g.bench_function("cache_on", |b| b.iter(|| cached.instance.query(JOIN_Q).unwrap()));
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_plan_cache);
+criterion_main!(benches);

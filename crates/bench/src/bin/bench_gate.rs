@@ -55,10 +55,10 @@ fn main() {
         failures.push(format!("schema_version drift: committed {cv:?}, fresh {fv:?}"));
     }
 
-    // Ablation blocks (runtime filters, columnar storage) are structural:
-    // once committed, a fresh run must keep emitting the block with every
-    // key it used to report.
-    for block in ["runtime_filter_ablation", "columnar_ablation"] {
+    // Ablation blocks (runtime filters, columnar storage, plan cache) are
+    // structural: once committed, a fresh run must keep emitting the block
+    // with every key it used to report.
+    for block in ["runtime_filter_ablation", "columnar_ablation", "plan_cache_ablation"] {
         let Some(cblk) = committed.get(block) else { continue };
         let Some(fblk) = fresh.get(block) else {
             failures.push(format!("ablation block '{block}' missing from fresh run"));

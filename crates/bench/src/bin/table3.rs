@@ -304,6 +304,54 @@ fn main() {
         cs_off.components.get() == 0 && cs_off.columns_projected.get() == 0
     });
 
+    // Plan-cache ablation on the hot-repeated indexed selective join: the
+    // same statement re-executed with fixed literals. With the cache on,
+    // every repeat after the first binds a cached plan (no
+    // parse/translate/optimize); with it off, each repeat pays the full
+    // chain. Fresh indexed Schema instances with the knob forced per side,
+    // so the run works under ASTERIX_BENCH_DISABLE_PLAN_CACHE smoke too.
+    eprintln!("plan-cache ablation (hot-repeat sel-join) ...");
+    let pc_on = setup_asterix_with(&corpus, SchemaMode::Schema, true, None, None, |c| {
+        c.disable_plan_cache = false;
+    });
+    let pc_off = setup_asterix_with(&corpus, SchemaMode::Schema, true, None, None, |c| {
+        c.disable_plan_cache = true;
+    });
+    // Count from here: the corpus load's repeated inserts also ride the
+    // cache and would otherwise swamp the query counters.
+    let pcs = &pc_on.instance.plan_cache().stats;
+    let (hits0, misses0) = (pcs.hits.get(), pcs.misses.get());
+    let (bind_sum0, bind_cnt0) = (pcs.bind_us.sum(), pcs.bind_us.count());
+    let rows_pc_on = pc_on.sel_join(u_sm_lo, u_sm_hi);
+    let rows_pc_off = pc_off.sel_join(u_sm_lo, u_sm_hi);
+    let t_pc_on = time_avg(warmup, runs, || {
+        pc_on.sel_join(u_sm_lo, u_sm_hi);
+    });
+    let t_pc_off = time_avg(warmup, runs, || {
+        pc_off.sel_join(u_sm_lo, u_sm_hi);
+    });
+    let (pc_hits, pc_misses) = (pcs.hits.get() - hits0, pcs.misses.get() - misses0);
+    let avg_bind_us =
+        (pcs.bind_us.sum() - bind_sum0) as f64 / (pcs.bind_us.count() - bind_cnt0).max(1) as f64;
+    println!("\n### Plan-cache ablation (sel-join Sm, hot repeats)\n");
+    println!("| plan cache | time | rows | hits | misses | avg bind |");
+    println!("|---|---|---|---|---|---|");
+    println!(
+        "| on | {} | {rows_pc_on} | {pc_hits} | {pc_misses} | {avg_bind_us:.0}us |",
+        fmt_ms(t_pc_on)
+    );
+    println!("| off | {} | {rows_pc_off} | 0 | 0 | — |", fmt_ms(t_pc_off));
+    println!();
+    check("plan cache does not change the join result", rows_pc_on == rows_pc_off);
+    check("hot repeats hit the cache (one miss per shape)", {
+        pc_hits >= (warmup + runs) as u64 && pc_misses == 1
+    });
+    check("cached bind is sub-millisecond on average", avg_bind_us < 1000.0);
+    check("disabled run never touched its cache", {
+        pc_off.instance.plan_cache().is_empty()
+            && pc_off.instance.plan_cache().stats.misses.get() == 0
+    });
+
     // Machine-readable runtime counters (buffer-cache hit rate, exchange
     // frames/tuples/stalls accumulated over the whole workload).
     let sys_stats: Vec<String> = systems_noix
@@ -378,6 +426,14 @@ fn main() {
             cs_on.bytes_skipped.get(),
             cs_on.fallback_rows.get(),
             cs_off.components.get()
+        ));
+        out.push_str(&format!(
+            "  \"plan_cache_ablation\": {{\"query\": \"sel-join (Sm) hot repeat\", \
+             \"on_ms\": {:.3}, \"off_ms\": {:.3}, \"rows\": {rows_pc_on}, \
+             \"hits\": {pc_hits}, \"misses\": {pc_misses}, \
+             \"avg_bind_us\": {avg_bind_us:.1}}},\n",
+            ms(t_pc_on),
+            ms(t_pc_off)
         ));
         out.push_str(&format!("  \"systems\": [{}]\n}}\n", sys_stats.join(",\n")));
         std::fs::write(&path, out).expect("write ASTERIX_BENCH_JSON_OUT");

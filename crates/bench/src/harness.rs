@@ -190,6 +190,7 @@ pub fn setup_asterix_with(
     cfg.disable_vectorization = env_flag("ASTERIX_BENCH_DISABLE_VECTORIZATION");
     cfg.disable_runtime_filters = env_flag("ASTERIX_BENCH_DISABLE_RUNTIME_FILTERS");
     cfg.disable_columnar = env_flag("ASTERIX_BENCH_DISABLE_COLUMNAR");
+    cfg.disable_plan_cache = env_flag("ASTERIX_BENCH_DISABLE_PLAN_CACHE");
     // Continuous metrics sampling for the bench JSON's time-series block
     // (`ASTERIX_BENCH_SAMPLE_MS=0` disables it).
     let sample_ms = std::env::var("ASTERIX_BENCH_SAMPLE_MS")

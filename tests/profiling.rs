@@ -96,7 +96,7 @@ fn profile_reconciles_index_nl_join_with_cardinalities() {
     // Lifecycle spans: every phase present, in order, and the execute
     // phase (which ran the Hyracks job) took measurable time.
     let names: Vec<&str> = profile.phases.iter().map(|s| s.name.as_str()).collect();
-    assert_eq!(names, ["parse", "translate", "optimize", "jobgen", "execute"]);
+    assert_eq!(names, ["parse", "translate", "optimize", "jobgen", "plan_cache", "execute"]);
     let execute = profile.phase("execute").unwrap();
     assert!(execute.duration > std::time::Duration::ZERO);
     assert!(profile.operators.elapsed <= execute.duration);
@@ -494,7 +494,9 @@ fn trace_spans_reconcile_with_operator_meters() {
     assert_eq!(root.parent_id, 0);
     let top: Vec<&str> =
         profile.trace_children(root.span_id).iter().map(|e| e.name.as_str()).collect();
-    for phase in ["rm.queue_wait", "parse", "translate", "optimize", "jobgen", "execute"] {
+    for phase in
+        ["rm.queue_wait", "parse", "translate", "optimize", "jobgen", "plan_cache", "execute"]
+    {
         assert!(top.contains(&phase), "{phase} missing under root: {top:?}");
     }
 
