@@ -22,9 +22,9 @@ use asterix_aql::translate::Translator;
 use asterix_feeds::{socket_adaptor, ComputeFn, IngestionPipeline, SocketEndpoint};
 use asterix_metadata::{
     Catalog, DatasetKind, DatasetMeta, FeedMeta, FunctionMeta, IndexKindMeta, IndexMeta,
-    ACTIVE_JOBS_DATASET, METADATA_DATAVERSE, METRICS_DATASET,
+    ACTIVE_JOBS_DATASET, METRICS_DATASET,
 };
-use asterix_obs::{log_event, now_us, MetricsRegistry, Sampler, Span, TraceContext};
+use asterix_obs::{log_event, now_us, Gauge, MetricsRegistry, Sampler, Span, TraceContext};
 use asterix_storage::BufferCache;
 use asterix_txn::wal::{Durability, LogManager};
 use asterix_txn::{recover, LockManager, RecoveryTarget};
@@ -35,6 +35,7 @@ use crate::dataset::{DatasetRuntime, SecondaryPartition};
 use crate::error::{AsterixError, Result};
 use crate::profile::QueryProfile;
 use crate::provider::{InstanceProvider, SessionCatalog, Shared};
+use crate::session::Session;
 
 /// The result of executing one statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,7 +90,17 @@ pub struct Instance {
     /// hit/miss, per-node WAL appends/forces, and per-index LSM
     /// maintenance metrics, all adopted under stable names.
     metrics: Arc<MetricsRegistry>,
-    session: RwLock<Session>,
+    /// The built-in session behind the legacy session-less API
+    /// (`execute`/`query`/...). Callers that need isolation — the network
+    /// front end, concurrent in-process threads — create their own with
+    /// [`Instance::new_session`] and use the `*_in` entry points.
+    default_session: Session,
+    /// Live count of sessions created by [`Instance::new_session`]
+    /// (registered as `sessions.active`; the built-in session is excluded).
+    sessions_active: Gauge,
+    /// Serializes appends to the DDL replay log so a statement and its
+    /// `use dataverse` context record land adjacently.
+    ddl_append: Mutex<()>,
     feeds: Mutex<HashMap<String, FeedRuntime>>,
     /// Optimizer switches (Table 3's no-index runs, limit-pushdown
     /// ablation).
@@ -121,12 +132,6 @@ pub struct QueryOpts {
     /// Cancel the query if it has not finished within this duration
     /// (measured from admission, including any queue wait).
     pub deadline: Option<Duration>,
-}
-
-struct Session {
-    dataverse: String,
-    simfunction: String,
-    simthreshold: String,
 }
 
 /// A compiled, runnable query plus everything the callers report: the
@@ -190,11 +195,9 @@ impl Instance {
             next_dataset_id: AtomicU32::new(1),
             by_id: RwLock::new(HashMap::new()),
             shared,
-            session: RwLock::new(Session {
-                dataverse: METADATA_DATAVERSE.to_string(),
-                simfunction: "jaccard".into(),
-                simthreshold: "0.5".into(),
-            }),
+            default_session: Session::new(None),
+            sessions_active: Gauge::new(),
+            ddl_append: Mutex::new(()),
             feeds: Mutex::new(HashMap::new()),
             optimizer_options: RwLock::new(OptimizerOptions {
                 enable_runtime_filters: !cfg.disable_runtime_filters,
@@ -225,6 +228,7 @@ impl Instance {
         instance.cache.register_into(&instance.metrics, "cache");
         instance.rm.stats().register_into(&instance.metrics, "rm");
         instance.plan_cache.stats.register_into(&instance.metrics);
+        instance.metrics.register_gauge("sessions.active", &instance.sessions_active);
         for (n, wal) in instance.wals.iter().enumerate() {
             wal.register_into(&instance.metrics, &format!("wal.node{n}"));
         }
@@ -370,16 +374,36 @@ impl Instance {
         result
     }
 
-    fn persist_ddl(&self, source: &str) -> Result<()> {
+    /// Persist a dataverse-scoped DDL statement: the record is prefixed
+    /// with the issuing session's `use dataverse` so replay re-creates the
+    /// object in the right namespace even when statements from different
+    /// sessions (different current dataverses) interleave in the log.
+    fn persist_ddl(&self, sess: &Session, source: &str) -> Result<()> {
+        let dv = sess.current_dataverse();
+        self.persist_ddl_records(&[&format!("use dataverse {dv}"), source])
+    }
+
+    /// Persist a dataverse-independent statement (`create/drop dataverse`,
+    /// `use dataverse`) verbatim.
+    fn persist_ddl_absolute(&self, source: &str) -> Result<()> {
+        self.persist_ddl_records(&[source])
+    }
+
+    fn persist_ddl_records(&self, records: &[&str]) -> Result<()> {
         if self.replaying.load(Ordering::SeqCst) {
             return Ok(());
         }
         use std::io::Write;
+        // One writer at a time so a statement and its session-context
+        // record land adjacently in the log.
+        let _guard = self.ddl_append.lock();
         let mut f =
             std::fs::OpenOptions::new().create(true).append(true).open(self.cfg.ddl_log_path())?;
-        // Record-separator-delimited statements (statements may contain
-        // semicolons inside string literals).
-        writeln!(f, "{source}\u{1e}")?;
+        for source in records {
+            // Record-separator-delimited statements (statements may contain
+            // semicolons inside string literals).
+            writeln!(f, "{source}\u{1e}")?;
+        }
         f.sync_data()?;
         Ok(())
     }
@@ -442,40 +466,63 @@ impl Instance {
         Arc::new(InstanceProvider { shared: Arc::clone(&self.shared) })
     }
 
-    fn session_catalog(&self) -> SessionCatalog {
+    fn session_catalog(&self, sess: &Session) -> SessionCatalog {
         SessionCatalog {
             shared: Arc::clone(&self.shared),
-            current_dataverse: self.session.read().dataverse.clone(),
+            current_dataverse: sess.current_dataverse(),
         }
     }
 
-    fn fn_ctx(&self) -> FunctionContext {
-        let s = self.session.read();
+    fn fn_ctx(&self, sess: &Session) -> FunctionContext {
+        let (simfunction, simthreshold) = sess.similarity();
         let now = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_millis() as i64)
             .unwrap_or(0);
-        FunctionContext {
-            now_millis: now,
-            simfunction: s.simfunction.clone(),
-            simthreshold: s.simthreshold.clone(),
-        }
+        FunctionContext { now_millis: now, simfunction, simthreshold }
+    }
+
+    /// Create a fresh session (current dataverse `Metadata`, default
+    /// similarity settings). Statements run through the `*_in` entry points
+    /// with this session see their own `use dataverse` / `set` state,
+    /// isolated from every other session — one session per client
+    /// connection or worker thread is the intended shape.
+    pub fn new_session(&self) -> Session {
+        Session::new(Some(self.sessions_active.clone()))
+    }
+
+    /// Live count of sessions created by [`Instance::new_session`] and not
+    /// yet dropped (the `sessions.active` gauge).
+    pub fn active_sessions(&self) -> i64 {
+        self.sessions_active.get()
     }
 
     /// Execute a string of AQL statements, returning one result per
-    /// statement (the Asterix Client Interface of Figure 4).
+    /// statement (the Asterix Client Interface of Figure 4). Runs in the
+    /// instance's built-in session; see [`Instance::execute_in`].
     pub fn execute(&self, aql: &str) -> Result<Vec<StatementResult>> {
+        self.execute_in(&self.default_session, aql)
+    }
+
+    /// [`Instance::execute`] in an explicit session: `use dataverse` and
+    /// `set` statements mutate `sess` and nothing else.
+    pub fn execute_in(&self, sess: &Session, aql: &str) -> Result<Vec<StatementResult>> {
         let statements = parse_statements_spanned(aql)?;
         let mut out = Vec::with_capacity(statements.len());
         for (stmt, source) in statements {
-            out.push(self.execute_statement(stmt, &source)?);
+            out.push(self.execute_statement(sess, stmt, &source)?);
         }
         Ok(out)
     }
 
     /// Execute a single query and return its rows (convenience).
     pub fn query(&self, aql: &str) -> Result<Vec<Value>> {
-        let results = self.execute(aql)?;
+        self.query_in(&self.default_session, aql)
+    }
+
+    /// [`Instance::query`] in an explicit session.
+    pub fn query_in(&self, sess: &Session, aql: &str) -> Result<Vec<Value>> {
+        let results = self.execute_in(sess, aql)?;
         for r in results.into_iter().rev() {
             if let StatementResult::Rows(rows) = r {
                 return Ok(rows);
@@ -491,7 +538,8 @@ impl Instance {
         for (stmt, _) in statements {
             if let Statement::Query(e) = stmt {
                 let options = self.optimizer_options.read().clone();
-                let compiled = self.compile_query(&e, None, &options, None)?;
+                let compiled =
+                    self.compile_query(&self.default_session, &e, None, &options, None)?;
                 return Ok((compiled.plan.pretty(), compiled.job.describe()));
             }
         }
@@ -508,7 +556,7 @@ impl Instance {
         let parse = parse_span.finish();
         for (stmt, _) in statements {
             if let Statement::Query(e) = stmt {
-                return self.profile_query(&e, parse);
+                return self.profile_query(&self.default_session, &e, parse);
             }
         }
         Err(AsterixError::Execution("no query statement to profile".into()))
@@ -522,7 +570,12 @@ impl Instance {
         Ok((p.plan, p.job))
     }
 
-    fn profile_query(&self, e: &Expr, parse: asterix_obs::SpanRecord) -> Result<QueryProfile> {
+    fn profile_query(
+        &self,
+        sess: &Session,
+        e: &Expr,
+        parse: asterix_obs::SpanRecord,
+    ) -> Result<QueryProfile> {
         // Profiled queries run under a fresh trace: a root `query` span
         // with the queue wait, compile phases, and per-thread execution
         // spans nested beneath it.
@@ -533,7 +586,7 @@ impl Instance {
         let ticket = self.rm.begin("profile", None)?;
         queue_span.finish();
         ticket.set_trace_id(trace.trace_id());
-        let res = self.profile_admitted_query(e, None, Some(parse), &ticket, &root_ctx);
+        let res = self.profile_admitted_query(sess, e, None, Some(parse), &ticket, &root_ctx);
         root.finish();
         let res = res.map(|mut p| {
             p.trace_id = trace.trace_id();
@@ -546,6 +599,7 @@ impl Instance {
 
     fn profile_admitted_query(
         &self,
+        sess: &Session,
         e: &Expr,
         prepared: Option<(&str, &[Value])>,
         parse: Option<asterix_obs::SpanRecord>,
@@ -559,7 +613,7 @@ impl Instance {
         }
         let mut options = self.optimizer_options.read().clone();
         options.query_mem_budget = Some(ticket.mem_granted());
-        let compiled = self.compile_query(e, prepared, &options, Some(trace))?;
+        let compiled = self.compile_query(sess, e, prepared, &options, Some(trace))?;
         phases.extend(compiled.phases.iter().cloned());
 
         let mut cfg = self.executor_config();
@@ -624,6 +678,7 @@ impl Instance {
     /// the fingerprint and parameters.
     fn compile_query(
         &self,
+        sess: &Session,
         e: &Expr,
         prepared: Option<(&str, &[Value])>,
         options: &OptimizerOptions,
@@ -637,7 +692,7 @@ impl Instance {
                     if disabled {
                         // A/B bypass: the exact pre-cache chain — compile
                         // the original expression, constants inline.
-                        return self.compile_fresh(e, Vec::new(), options, trace);
+                        return self.compile_fresh(sess, e, Vec::new(), options, trace);
                     }
                     let n = normalize_query(e);
                     (std::borrow::Cow::Owned(n.expr), n.fingerprint, n.params)
@@ -646,16 +701,16 @@ impl Instance {
         if disabled {
             // Prepared statement with the cache disabled: recompile the
             // normalized shape on every execution, no cache traffic.
-            return self.compile_fresh(&expr, params, options, trace);
+            return self.compile_fresh(sess, &expr, params, options, trace);
         }
 
         let key = {
-            let s = self.session.read();
+            let s = sess.snapshot();
             crate::plancache::PlanKey {
                 fingerprint,
-                dataverse: s.dataverse.clone(),
-                simfunction: s.simfunction.clone(),
-                simthreshold: s.simthreshold.clone(),
+                dataverse: s.dataverse,
+                simfunction: s.simfunction,
+                simthreshold: s.simthreshold,
                 options: crate::plancache::options_key(options),
             }
         };
@@ -668,7 +723,7 @@ impl Instance {
             let job = jobgen::compile_with_params(
                 &cached.plan,
                 self.provider(),
-                self.fn_ctx(),
+                self.fn_ctx(sess),
                 options,
                 params,
             )?;
@@ -685,7 +740,7 @@ impl Instance {
             });
         }
         let nparams = params.len();
-        let mut out = self.compile_fresh(&expr, params, options, trace)?;
+        let mut out = self.compile_fresh(sess, &expr, params, options, trace)?;
         let span = Span::start("plan_cache");
         self.plan_cache.insert(
             key,
@@ -706,17 +761,18 @@ impl Instance {
     /// still carries inline literals).
     fn compile_fresh(
         &self,
+        sess: &Session,
         e: &Expr,
         params: Vec<Value>,
         options: &OptimizerOptions,
         trace: Option<&TraceContext>,
     ) -> Result<CompiledStatement> {
-        let catalog = self.session_catalog();
+        let catalog = self.session_catalog(sess);
         let mut tr = Translator::new(&catalog);
         {
-            let s = self.session.read();
-            tr.simfunction = s.simfunction.clone();
-            tr.simthreshold = s.simthreshold.clone();
+            let (simfunction, simthreshold) = sess.similarity();
+            tr.simfunction = simfunction;
+            tr.simthreshold = simthreshold;
         }
         let translate_span = Span::start("translate");
         let plan = tr.translate_query(e)?;
@@ -724,12 +780,12 @@ impl Instance {
 
         let provider = self.provider();
         let optimize_span = Span::start("optimize");
-        let optimized = optimize(plan, &provider, &self.fn_ctx(), options);
+        let optimized = optimize(plan, &provider, &self.fn_ctx(sess), options);
         let optimize_rec = optimize_span.finish();
 
         let jobgen_span = Span::start("jobgen");
         let job =
-            jobgen::compile_with_params(&optimized, provider, self.fn_ctx(), options, params)?;
+            jobgen::compile_with_params(&optimized, provider, self.fn_ctx(sess), options, params)?;
         let jobgen_rec = jobgen_span.finish();
 
         if let Some(t) = trace {
@@ -745,7 +801,12 @@ impl Instance {
         })
     }
 
-    fn execute_statement(&self, stmt: Statement, source: &str) -> Result<StatementResult> {
+    fn execute_statement(
+        &self,
+        sess: &Session,
+        stmt: Statement,
+        source: &str,
+    ) -> Result<StatementResult> {
         // Any statement that can change the catalog (DDL, feed wiring,
         // `use dataverse`) bumps the catalog epoch, invalidating every
         // cached plan. DML and queries leave plans valid; a bump on a
@@ -769,7 +830,7 @@ impl Instance {
                     Err(e) => return Err(e.into()),
                 }
                 drop(catalog);
-                self.persist_ddl(source)?;
+                self.persist_ddl_absolute(source)?;
                 Ok(StatementResult::Ok)
             }
             Statement::DropDataverse { name, if_exists } => {
@@ -793,7 +854,7 @@ impl Instance {
                         }
                         self.shared.external_cache.write().remove(&ds_meta.qualified());
                     }
-                    self.persist_ddl(source)?;
+                    self.persist_ddl_absolute(source)?;
                 }
                 Ok(StatementResult::Ok)
             }
@@ -801,22 +862,22 @@ impl Instance {
                 if self.shared.catalog.read().dataverse(&name).is_none() {
                     return Err(AsterixError::Catalog(format!("unknown dataverse {name}")));
                 }
-                self.session.write().dataverse = name;
-                self.persist_ddl(source)?;
+                sess.set_dataverse(name);
+                self.persist_ddl_absolute(source)?;
                 Ok(StatementResult::Ok)
             }
             Statement::CreateType { name, ty } => {
-                let dv = self.session.read().dataverse.clone();
+                let dv = sess.current_dataverse();
                 let datatype = lower_type_expr(&ty);
                 self.shared.catalog.write().create_type(&dv, &name, datatype)?;
-                self.persist_ddl(source)?;
+                self.persist_ddl(sess, source)?;
                 Ok(StatementResult::Ok)
             }
             Statement::DropType { name, if_exists } => {
-                let dv = self.session.read().dataverse.clone();
+                let dv = sess.current_dataverse();
                 match self.shared.catalog.write().drop_type(&dv, &name) {
                     Ok(()) => {
-                        self.persist_ddl(source)?;
+                        self.persist_ddl(sess, source)?;
                         Ok(StatementResult::Ok)
                     }
                     Err(_) if if_exists => Ok(StatementResult::Ok),
@@ -824,7 +885,7 @@ impl Instance {
                 }
             }
             Statement::CreateDataset { name, type_name, primary_key, autogenerated } => {
-                let dv = self.session.read().dataverse.clone();
+                let dv = sess.current_dataverse();
                 let meta = DatasetMeta {
                     dataverse: dv.clone(),
                     name: name.clone(),
@@ -836,11 +897,11 @@ impl Instance {
                 };
                 self.shared.catalog.write().create_dataset(meta.clone())?;
                 self.materialize_dataset(meta)?;
-                self.persist_ddl(source)?;
+                self.persist_ddl(sess, source)?;
                 Ok(StatementResult::Ok)
             }
             Statement::CreateExternalDataset { name, type_name, adaptor, properties } => {
-                let dv = self.session.read().dataverse.clone();
+                let dv = sess.current_dataverse();
                 let meta = DatasetMeta {
                     dataverse: dv,
                     name,
@@ -851,11 +912,11 @@ impl Instance {
                     indexes: vec![],
                 };
                 self.shared.catalog.write().create_dataset(meta)?;
-                self.persist_ddl(source)?;
+                self.persist_ddl(sess, source)?;
                 Ok(StatementResult::Ok)
             }
             Statement::DropDataset { name, if_exists } => {
-                let dv = self.session.read().dataverse.clone();
+                let dv = sess.current_dataverse();
                 let (dataverse, ds_name) = split_name(&dv, &name);
                 match self.shared.catalog.write().drop_dataset(&dataverse, &ds_name) {
                     Ok(meta) => {
@@ -866,7 +927,7 @@ impl Instance {
                             rt.destroy_storage();
                         }
                         self.shared.external_cache.write().remove(&qualified);
-                        self.persist_ddl(source)?;
+                        self.persist_ddl(sess, source)?;
                         Ok(StatementResult::Ok)
                     }
                     Err(_) if if_exists => Ok(StatementResult::Ok),
@@ -874,7 +935,7 @@ impl Instance {
                 }
             }
             Statement::CreateIndex { name, dataset, fields, index_type } => {
-                let dv = self.session.read().dataverse.clone();
+                let dv = sess.current_dataverse();
                 let (dataverse, ds_name) = split_name(&dv, &dataset);
                 let kind = match index_type {
                     IndexTypeAst::BTree => IndexKindMeta::BTree,
@@ -889,18 +950,18 @@ impl Instance {
                     rt.create_index(ix)?;
                     self.register_lsm_metrics(&rt);
                 }
-                self.persist_ddl(source)?;
+                self.persist_ddl(sess, source)?;
                 Ok(StatementResult::Ok)
             }
             Statement::DropIndex { dataset, name, if_exists } => {
-                let dv = self.session.read().dataverse.clone();
+                let dv = sess.current_dataverse();
                 let (dataverse, ds_name) = split_name(&dv, &dataset);
                 match self.shared.catalog.write().drop_index(&dataverse, &ds_name, &name) {
                     Ok(()) => {
                         if let Some(rt) = self.shared.dataset(&format!("{dataverse}.{ds_name}")) {
                             rt.drop_index(&name)?;
                         }
-                        self.persist_ddl(source)?;
+                        self.persist_ddl(sess, source)?;
                         Ok(StatementResult::Ok)
                     }
                     Err(_) if if_exists => Ok(StatementResult::Ok),
@@ -908,7 +969,7 @@ impl Instance {
                 }
             }
             Statement::CreateFeed { name, adaptor, properties } => {
-                let dv = self.session.read().dataverse.clone();
+                let dv = sess.current_dataverse();
                 {
                     let mut catalog = self.shared.catalog.write();
                     let dataverse = catalog.dataverse_mut(&dv)?;
@@ -920,11 +981,11 @@ impl Instance {
                         FeedMeta { name, adaptor, properties, parent: None, connections: vec![] },
                     );
                 }
-                self.persist_ddl(source)?;
+                self.persist_ddl(sess, source)?;
                 Ok(StatementResult::Ok)
             }
             Statement::CreateSecondaryFeed { name, parent } => {
-                let dv = self.session.read().dataverse.clone();
+                let dv = sess.current_dataverse();
                 {
                     let mut catalog = self.shared.catalog.write();
                     let dataverse = catalog.dataverse_mut(&dv)?;
@@ -945,19 +1006,19 @@ impl Instance {
                         },
                     );
                 }
-                self.persist_ddl(source)?;
+                self.persist_ddl(sess, source)?;
                 Ok(StatementResult::Ok)
             }
             Statement::ConnectFeed { feed, dataset, apply_function } => {
-                self.connect_feed(&feed, &dataset, apply_function.as_deref())?;
+                self.connect_feed(sess, &feed, &dataset, apply_function.as_deref())?;
                 Ok(StatementResult::Ok)
             }
             Statement::DisconnectFeed { feed, dataset } => {
-                self.disconnect_feed(&feed, &dataset)?;
+                self.disconnect_feed(sess, &feed, &dataset)?;
                 Ok(StatementResult::Ok)
             }
             Statement::CreateFunction { name, params, body: _ } => {
-                let dv = self.session.read().dataverse.clone();
+                let dv = sess.current_dataverse();
                 {
                     let mut catalog = self.shared.catalog.write();
                     let dataverse = catalog.dataverse_mut(&dv)?;
@@ -972,25 +1033,24 @@ impl Instance {
                         },
                     );
                 }
-                self.persist_ddl(source)?;
+                self.persist_ddl(sess, source)?;
                 Ok(StatementResult::Ok)
             }
             Statement::DropFunction { name, if_exists } => {
-                let dv = self.session.read().dataverse.clone();
+                let dv = sess.current_dataverse();
                 let mut catalog = self.shared.catalog.write();
                 let dataverse = catalog.dataverse_mut(&dv)?;
                 if dataverse.functions.remove(&name).is_none() && !if_exists {
                     return Err(AsterixError::Catalog(format!("unknown function {name}")));
                 }
                 drop(catalog);
-                self.persist_ddl(source)?;
+                self.persist_ddl(sess, source)?;
                 Ok(StatementResult::Ok)
             }
             Statement::Set { key, value } => {
-                let mut s = self.session.write();
                 match key.as_str() {
-                    "simfunction" => s.simfunction = value,
-                    "simthreshold" => s.simthreshold = value,
+                    "simfunction" => sess.set_simfunction(value),
+                    "simthreshold" => sess.set_simthreshold(value),
                     _ => {
                         return Err(AsterixError::Execution(format!(
                             "unknown session parameter {key}"
@@ -1000,19 +1060,19 @@ impl Instance {
                 Ok(StatementResult::Ok)
             }
             Statement::Insert { dataset, expr } => {
-                let n = self.run_insert(&dataset, &expr)?;
+                let n = self.run_insert(sess, &dataset, &expr)?;
                 Ok(StatementResult::Count(n))
             }
             Statement::Delete { var, dataset, condition } => {
-                let n = self.run_delete(&var, &dataset, condition.as_ref())?;
+                let n = self.run_delete(sess, &var, &dataset, condition.as_ref())?;
                 Ok(StatementResult::Count(n))
             }
             Statement::Load { dataset, adaptor, properties } => {
-                let n = self.run_load(&dataset, &adaptor, &properties)?;
+                let n = self.run_load(sess, &dataset, &adaptor, &properties)?;
                 Ok(StatementResult::Count(n))
             }
             Statement::Query(e) => {
-                let rows = self.run_query(&e)?;
+                let rows = self.run_query(sess, &e)?;
                 Ok(StatementResult::Rows(rows))
             }
         }
@@ -1070,13 +1130,13 @@ impl Instance {
         }
     }
 
-    fn run_query(&self, e: &Expr) -> Result<Vec<Value>> {
-        self.run_query_opts(e, &QueryOpts::default())
+    fn run_query(&self, sess: &Session, e: &Expr) -> Result<Vec<Value>> {
+        self.run_query_opts(sess, e, &QueryOpts::default())
     }
 
-    fn run_query_opts(&self, e: &Expr, opts: &QueryOpts) -> Result<Vec<Value>> {
+    fn run_query_opts(&self, sess: &Session, e: &Expr, opts: &QueryOpts) -> Result<Vec<Value>> {
         let ticket = self.rm.begin("query", opts.deadline)?;
-        let res = self.run_admitted_query(e, None, &ticket);
+        let res = self.run_admitted_query(sess, e, None, &ticket);
         self.note_cancelled(&res);
         res
     }
@@ -1112,6 +1172,18 @@ impl Instance {
         prepared: &crate::plancache::PreparedQuery,
         params: &[Value],
     ) -> Result<Vec<Value>> {
+        self.execute_prepared_in(&self.default_session, prepared, params)
+    }
+
+    /// [`Instance::execute_prepared`] in an explicit session. The session
+    /// matters even for prepared statements: dataset names resolve (and the
+    /// plan cache is keyed) against the session's current dataverse.
+    pub fn execute_prepared_in(
+        &self,
+        sess: &Session,
+        prepared: &crate::plancache::PreparedQuery,
+        params: &[Value],
+    ) -> Result<Vec<Value>> {
         if params.len() != prepared.param_count() {
             return Err(AsterixError::Execution(format!(
                 "prepared query expects {} parameters, got {}",
@@ -1120,8 +1192,12 @@ impl Instance {
             )));
         }
         let ticket = self.rm.begin("query", None)?;
-        let res =
-            self.run_admitted_query(&prepared.expr, Some((&prepared.fingerprint, params)), &ticket);
+        let res = self.run_admitted_query(
+            sess,
+            &prepared.expr,
+            Some((&prepared.fingerprint, params)),
+            &ticket,
+        );
         self.note_cancelled(&res);
         res
     }
@@ -1149,6 +1225,7 @@ impl Instance {
         queue_span.finish();
         ticket.set_trace_id(trace.trace_id());
         let res = self.profile_admitted_query(
+            &self.default_session,
             &prepared.expr,
             Some((&prepared.fingerprint, params)),
             None,
@@ -1175,6 +1252,7 @@ impl Instance {
     /// and the ticket's token makes every exchange a cancellation point.
     fn run_admitted_query(
         &self,
+        sess: &Session,
         e: &Expr,
         prepared: Option<(&str, &[Value])>,
         ticket: &asterix_rm::QueryTicket,
@@ -1184,7 +1262,7 @@ impl Instance {
         }
         let mut options = self.optimizer_options.read().clone();
         options.query_mem_budget = Some(ticket.mem_granted());
-        let compiled = self.compile_query(e, prepared, &options, None)?;
+        let compiled = self.compile_query(sess, e, prepared, &options, None)?;
         let mut cfg = self.executor_config();
         cfg.cancel = Some(ticket.token().clone());
         // Live tuple progress for `Metadata.ActiveJobs` / `list_jobs`.
@@ -1237,7 +1315,7 @@ impl Instance {
         let statements = parse_statements_spanned(aql)?;
         for (stmt, _) in statements {
             if let Statement::Query(e) = stmt {
-                return self.run_query_opts(&e, opts);
+                return self.run_query_opts(&self.default_session, &e, opts);
             }
         }
         Err(AsterixError::Execution("no query statement to run".into()))
@@ -1245,7 +1323,13 @@ impl Instance {
 
     /// Look up a stored dataset runtime by session-relative name.
     pub fn dataset(&self, name: &str) -> Result<Arc<DatasetRuntime>> {
-        let dv = self.session.read().dataverse.clone();
+        self.dataset_in(&self.default_session, name)
+    }
+
+    /// [`Instance::dataset`] resolved against an explicit session's
+    /// current dataverse.
+    pub fn dataset_in(&self, sess: &Session, name: &str) -> Result<Arc<DatasetRuntime>> {
+        let dv = sess.current_dataverse();
         let qualified = self
             .shared
             .catalog
@@ -1257,9 +1341,9 @@ impl Instance {
             .ok_or_else(|| AsterixError::Catalog(format!("{qualified} is not a stored dataset")))
     }
 
-    fn run_insert(&self, dataset: &str, expr: &Expr) -> Result<usize> {
-        let ds = self.dataset(dataset)?;
-        let rows = self.run_query(expr)?;
+    fn run_insert(&self, sess: &Session, dataset: &str, expr: &Expr) -> Result<usize> {
+        let ds = self.dataset_in(sess, dataset)?;
+        let rows = self.run_query(sess, expr)?;
         let mut n = 0;
         for row in rows {
             // A collection-valued row inserts its elements (batch insert:
@@ -1281,14 +1365,20 @@ impl Instance {
         Ok(n)
     }
 
-    fn run_delete(&self, var: &str, dataset: &str, condition: Option<&Expr>) -> Result<usize> {
-        let ds = self.dataset(dataset)?;
-        let catalog = self.session_catalog();
+    fn run_delete(
+        &self,
+        sess: &Session,
+        var: &str,
+        dataset: &str,
+        condition: Option<&Expr>,
+    ) -> Result<usize> {
+        let ds = self.dataset_in(sess, dataset)?;
+        let catalog = self.session_catalog(sess);
         let mut tr = Translator::new(&catalog);
         {
-            let s = self.session.read();
-            tr.simfunction = s.simfunction.clone();
-            tr.simthreshold = s.simthreshold.clone();
+            let (simfunction, simthreshold) = sess.similarity();
+            tr.simfunction = simfunction;
+            tr.simthreshold = simthreshold;
         }
         let plan = tr.translate_delete(
             var,
@@ -1300,8 +1390,8 @@ impl Instance {
         let provider = self.provider();
         let mut options = self.optimizer_options.read().clone();
         options.query_mem_budget = Some(ticket.mem_granted());
-        let optimized = optimize(plan, &provider, &self.fn_ctx(), &options);
-        let compiled = jobgen::compile(&optimized, provider, self.fn_ctx(), &options)?;
+        let optimized = optimize(plan, &provider, &self.fn_ctx(sess), &options);
+        let compiled = jobgen::compile(&optimized, provider, self.fn_ctx(sess), &options)?;
         let mut cfg = self.executor_config();
         cfg.cancel = Some(ticket.token().clone());
         let pk_rows = {
@@ -1323,11 +1413,12 @@ impl Instance {
 
     fn run_load(
         &self,
+        sess: &Session,
         dataset: &str,
         adaptor: &str,
         properties: &[(String, String)],
     ) -> Result<usize> {
-        let ds = self.dataset(dataset)?;
+        let ds = self.dataset_in(sess, dataset)?;
         let resolved = ds.registry.resolve(&ds.datatype)?;
         let rt = resolved
             .as_record()
@@ -1342,9 +1433,15 @@ impl Instance {
 
     // -- feeds -----------------------------------------------------------------
 
-    fn connect_feed(&self, feed: &str, dataset: &str, apply_function: Option<&str>) -> Result<()> {
-        let ds = self.dataset(dataset)?;
-        let dv = self.session.read().dataverse.clone();
+    fn connect_feed(
+        &self,
+        sess: &Session,
+        feed: &str,
+        dataset: &str,
+        apply_function: Option<&str>,
+    ) -> Result<()> {
+        let ds = self.dataset_in(sess, dataset)?;
+        let dv = sess.current_dataverse();
         {
             let mut catalog = self.shared.catalog.write();
             let dataverse = catalog.dataverse_mut(&dv)?;
@@ -1360,7 +1457,7 @@ impl Instance {
         let compute: Option<ComputeFn> = match apply_function {
             None => None,
             Some(fname) => {
-                let catalog = self.session_catalog();
+                let catalog = self.session_catalog(sess);
                 let def = catalog
                     .shared
                     .catalog
@@ -1387,7 +1484,7 @@ impl Instance {
                 scope.insert(params[0].clone(), v);
                 let lowered = tr.translate_expr(&body, &scope)?;
                 let provider = self.provider();
-                let fn_ctx = self.fn_ctx();
+                let fn_ctx = self.fn_ctx(sess);
                 let compute: ComputeFn = Arc::new(move |record: Value| {
                     let ctx = asterix_algebricks::expr::EvalCtx::new(
                         Arc::clone(&provider),
@@ -1456,8 +1553,8 @@ impl Instance {
         Ok(())
     }
 
-    fn disconnect_feed(&self, feed: &str, dataset: &str) -> Result<()> {
-        let ds = self.dataset(dataset)?;
+    fn disconnect_feed(&self, sess: &Session, feed: &str, dataset: &str) -> Result<()> {
+        let ds = self.dataset_in(sess, dataset)?;
         let mut feeds = self.feeds.lock();
         let Some(runtime) = feeds.get_mut(feed) else {
             return Err(AsterixError::Feed(format!("feed {feed} is not connected")));
@@ -1466,7 +1563,7 @@ impl Instance {
         if let Some(p) = runtime.pipelines.remove(&ds.meta.qualified()) {
             p.disconnect()?;
         }
-        let dv = self.session.read().dataverse.clone();
+        let dv = sess.current_dataverse();
         let mut catalog = self.shared.catalog.write();
         if let Ok(dataverse) = catalog.dataverse_mut(&dv) {
             if let Some(meta) = dataverse.feeds.get_mut(feed) {

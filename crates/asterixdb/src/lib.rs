@@ -16,6 +16,7 @@ pub mod instance;
 pub mod plancache;
 pub mod profile;
 pub mod provider;
+pub mod session;
 pub mod system;
 
 pub use cluster::ClusterConfig;
@@ -23,6 +24,7 @@ pub use error::{AsterixError, Result};
 pub use instance::{Instance, QueryOpts, StatementResult};
 pub use plancache::PreparedQuery;
 pub use profile::QueryProfile;
+pub use session::Session;
 pub use system::SystemSnapshot;
 
 pub use asterix_rm::{AdmissionError, JobInfo, JobState};

@@ -1,0 +1,138 @@
+//! Per-caller session state.
+//!
+//! The paper's AsterixDB is a service: every client talks to the Cluster
+//! Controller over a connection with its *own* `use dataverse` / `set`
+//! state. This module gives the reproduction the same shape — a [`Session`]
+//! owns the current dataverse and similarity settings, and every statement
+//! an [`crate::Instance`] executes runs *in* a session. The instance keeps
+//! one built-in session behind the legacy `execute`/`query` API, so
+//! embedding callers that never cared about sessions see no change; servers
+//! (and concurrent in-process callers) create one session per
+//! connection/thread with [`crate::Instance::new_session`], so a `USE` or
+//! `SET` issued by one client can never leak into another's compilations.
+//!
+//! Plan-cache correctness falls out of the same structure: cache keys
+//! already include the session dataverse and similarity settings, and the
+//! compile path reads them from the session it was handed in one snapshot.
+
+use asterix_metadata::METADATA_DATAVERSE;
+use asterix_obs::Gauge;
+use parking_lot::Mutex;
+
+/// The mutable state one session carries between statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct SessionState {
+    /// Current dataverse (`use dataverse ...`), the namespace unqualified
+    /// dataset/type/function names resolve against.
+    pub dataverse: String,
+    /// `set simfunction ...` — the similarity function `~=` lowers to.
+    pub simfunction: String,
+    /// `set simthreshold ...` — the matching threshold.
+    pub simthreshold: String,
+}
+
+impl SessionState {
+    fn fresh() -> SessionState {
+        SessionState {
+            dataverse: METADATA_DATAVERSE.to_string(),
+            simfunction: "jaccard".into(),
+            simthreshold: "0.5".into(),
+        }
+    }
+}
+
+/// One caller's session: current dataverse plus `set` parameters.
+///
+/// Create with [`crate::Instance::new_session`] and pass to the `*_in`
+/// statement entry points (`execute_in`, `query_in`, `execute_prepared_in`,
+/// ...). Sessions are `Send + Sync`; sharing one session between threads is
+/// allowed but re-introduces the shared-`USE` semantics the per-session API
+/// exists to avoid.
+pub struct Session {
+    state: Mutex<SessionState>,
+    /// The instance's `sessions.active` gauge; decremented on drop so leaked
+    /// sessions are observable. `None` for the instance's built-in session.
+    active: Option<Gauge>,
+}
+
+impl Session {
+    pub(crate) fn new(active: Option<Gauge>) -> Session {
+        if let Some(g) = &active {
+            g.add(1);
+        }
+        Session { state: Mutex::new(SessionState::fresh()), active }
+    }
+
+    /// The session's current dataverse.
+    pub fn current_dataverse(&self) -> String {
+        self.state.lock().dataverse.clone()
+    }
+
+    /// The session's similarity function and threshold (`set simfunction`,
+    /// `set simthreshold`).
+    pub fn similarity(&self) -> (String, String) {
+        let s = self.state.lock();
+        (s.simfunction.clone(), s.simthreshold.clone())
+    }
+
+    pub(crate) fn snapshot(&self) -> SessionState {
+        self.state.lock().clone()
+    }
+
+    pub(crate) fn set_dataverse(&self, dv: String) {
+        self.state.lock().dataverse = dv;
+    }
+
+    pub(crate) fn set_simfunction(&self, v: String) {
+        self.state.lock().simfunction = v;
+    }
+
+    pub(crate) fn set_simthreshold(&self, v: String) {
+        self.state.lock().simthreshold = v;
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        if let Some(g) = &self.active {
+            g.sub(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_sessions_start_at_metadata_defaults() {
+        let s = Session::new(None);
+        assert_eq!(s.current_dataverse(), METADATA_DATAVERSE);
+        assert_eq!(s.similarity(), ("jaccard".to_string(), "0.5".to_string()));
+    }
+
+    #[test]
+    fn gauge_tracks_session_lifetime() {
+        let g = Gauge::new();
+        let a = Session::new(Some(g.clone()));
+        let b = Session::new(Some(g.clone()));
+        assert_eq!(g.get(), 2);
+        drop(a);
+        assert_eq!(g.get(), 1);
+        drop(b);
+        assert_eq!(g.get(), 0);
+        assert_eq!(g.peak(), 2);
+    }
+
+    #[test]
+    fn state_changes_stay_in_their_session() {
+        let a = Session::new(None);
+        let b = Session::new(None);
+        a.set_dataverse("One".into());
+        b.set_dataverse("Two".into());
+        a.set_simthreshold("0.9".into());
+        assert_eq!(a.current_dataverse(), "One");
+        assert_eq!(b.current_dataverse(), "Two");
+        assert_eq!(b.similarity().1, "0.5");
+    }
+}

@@ -229,7 +229,23 @@ pub fn setup_asterix_with(
     users.flush_all().unwrap();
     msgs.flush_all().unwrap();
     tweets.flush_all().unwrap();
+    net_smoke(&instance);
     AsterixSystem { instance, mode, indexed, _dir: dir }
+}
+
+/// One loopback round-trip through the wire-protocol server, so the
+/// `net.*` counters are live in every bench instance's registry (the
+/// committed bench JSON carries them and the gate checks key presence).
+fn net_smoke(instance: &Arc<Instance>) {
+    let server =
+        asterix_net::Server::start(Arc::clone(instance), asterix_net::ServerConfig::default())
+            .expect("net smoke: server");
+    let mut wire =
+        asterix_net::Client::connect(server.local_addr(), None).expect("net smoke: connect");
+    let rows = wire.query("for $x in [1, 2, 3] return $x").expect("net smoke: query");
+    assert_eq!(rows.len(), 3, "net smoke query shape");
+    wire.close().expect("net smoke: close");
+    server.shutdown();
 }
 
 fn dt(ms: i64) -> String {

@@ -1,0 +1,234 @@
+//! The native client: a blocking [`TcpStream`] speaking the crate's frame
+//! protocol, with typed error decoding.
+//!
+//! ```no_run
+//! use asterix_net::{Client, WireResult};
+//!
+//! let mut c = Client::connect("127.0.0.1:7031", Some("s3cret")).unwrap();
+//! c.execute("use dataverse TinySocial").unwrap();
+//! let rows = c.query("for $u in dataset Users return $u.name").unwrap();
+//! let stmt = c.prepare("for $u in dataset Users where $u.id = 1 return $u").unwrap();
+//! let one = c.execute_prepared(&stmt, &[asterix_adm::Value::Int64(7)]).unwrap();
+//! # let _ = (rows, one);
+//! ```
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use asterix_adm::Value;
+
+use crate::proto::{
+    decode_results, read_frame, write_frame, ErrorCode, FrameError, PayloadReader, PayloadWriter,
+    Request, Response, WireResult, MAX_FRAME_BYTES_DEFAULT, PROTOCOL_VERSION,
+};
+
+/// Client-side failures: transport, framing, or a typed server error.
+#[derive(Debug)]
+pub enum NetError {
+    Io(std::io::Error),
+    /// Locally detected protocol violation (bad frame, unexpected opcode).
+    Protocol(String),
+    /// The server answered with a typed error frame.
+    Server {
+        code: ErrorCode,
+        message: String,
+    },
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "io error: {e}"),
+            NetError::Protocol(m) => write!(f, "protocol error: {m}"),
+            NetError::Server { code, message } => write!(f, "server error ({code:?}): {message}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<FrameError> for NetError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(e) => NetError::Io(e),
+            other => NetError::Protocol(other.to_string()),
+        }
+    }
+}
+
+impl NetError {
+    /// The typed server error code, when this is a server error.
+    pub fn code(&self) -> Option<ErrorCode> {
+        match self {
+            NetError::Server { code, .. } => Some(*code),
+            _ => None,
+        }
+    }
+}
+
+/// A server-side prepared-statement handle (connection-scoped).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreparedHandle {
+    pub id: u64,
+    /// Parameter slots [`Client::execute_prepared`] must fill.
+    pub param_count: usize,
+}
+
+/// A connected, authenticated wire-protocol client.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    max_frame_bytes: usize,
+}
+
+impl Client {
+    /// Connect and run the `Hello` handshake (protocol version + optional
+    /// shared secret). A server configured with a secret answers a missing
+    /// or wrong one with a typed [`ErrorCode::Auth`] error.
+    pub fn connect(addr: impl ToSocketAddrs, secret: Option<&str>) -> Result<Client, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let mut client = Client { stream, max_frame_bytes: MAX_FRAME_BYTES_DEFAULT };
+        let mut w = PayloadWriter::new();
+        w.u8(PROTOCOL_VERSION).string(secret.unwrap_or(""));
+        let payload = w.into_bytes();
+        match client.round_trip(Request::Hello, &payload)? {
+            (Response::Ok, _banner) => Ok(client),
+            (op, _) => Err(unexpected(op)),
+        }
+    }
+
+    /// Run a batch of AQL statements in this connection's session; one
+    /// [`WireResult`] per statement.
+    pub fn execute(&mut self, aql: &str) -> Result<Vec<WireResult>, NetError> {
+        match self.round_trip(Request::Execute, aql.as_bytes())? {
+            (Response::Results, payload) => Ok(decode_results(&payload)?),
+            (op, _) => Err(unexpected(op)),
+        }
+    }
+
+    /// [`Client::execute`], returning the last statement's rows (the common
+    /// single-query case).
+    pub fn query(&mut self, aql: &str) -> Result<Vec<Value>, NetError> {
+        let results = self.execute(aql)?;
+        for r in results.into_iter().rev() {
+            if let WireResult::Rows(rows) = r {
+                return Ok(rows);
+            }
+        }
+        Err(NetError::Protocol("no query statement in batch".into()))
+    }
+
+    /// Prepare the (single) query server-side; the returned handle is valid
+    /// on this connection until it closes.
+    pub fn prepare(&mut self, aql: &str) -> Result<PreparedHandle, NetError> {
+        match self.round_trip(Request::Prepare, aql.as_bytes())? {
+            (Response::Prepared, payload) => {
+                let mut r = PayloadReader::new(&payload);
+                let id = r.u64().map_err(NetError::from)?;
+                let param_count = r.u32().map_err(NetError::from)? as usize;
+                Ok(PreparedHandle { id, param_count })
+            }
+            (op, _) => Err(unexpected(op)),
+        }
+    }
+
+    /// Execute a prepared handle with `params` bound in slot order.
+    pub fn execute_prepared(
+        &mut self,
+        handle: &PreparedHandle,
+        params: &[Value],
+    ) -> Result<Vec<Value>, NetError> {
+        let mut w = PayloadWriter::new();
+        w.u64(handle.id).u32(params.len() as u32);
+        for p in params {
+            w.bytes(&asterix_adm::serde::encode(p));
+        }
+        let payload = w.into_bytes();
+        match self.round_trip(Request::ExecutePrepared, &payload)? {
+            (Response::Results, payload) => {
+                for r in decode_results(&payload)?.into_iter().rev() {
+                    if let WireResult::Rows(rows) = r {
+                        return Ok(rows);
+                    }
+                }
+                Err(NetError::Protocol("prepared execute returned no rows result".into()))
+            }
+            (op, _) => Err(unexpected(op)),
+        }
+    }
+
+    /// Cooperatively cancel a job by id; `true` if it was live.
+    pub fn cancel(&mut self, job_id: u64) -> Result<bool, NetError> {
+        let mut w = PayloadWriter::new();
+        w.u64(job_id);
+        let payload = w.into_bytes();
+        match self.round_trip(Request::Cancel, &payload)? {
+            (Response::Ok, p) => Ok(p.first().copied() == Some(1)),
+            (op, _) => Err(unexpected(op)),
+        }
+    }
+
+    /// The server's metrics registry snapshot (schema-versioned JSON).
+    pub fn metrics_json(&mut self) -> Result<String, NetError> {
+        match self.round_trip(Request::Metrics, &[])? {
+            (Response::Ok, p) => String::from_utf8(p)
+                .map_err(|_| NetError::Protocol("metrics JSON is not UTF-8".into())),
+            (op, _) => Err(unexpected(op)),
+        }
+    }
+
+    /// Orderly goodbye: the server acknowledges and closes the connection.
+    pub fn close(mut self) -> Result<(), NetError> {
+        match self.round_trip(Request::Close, &[])? {
+            (Response::Ok, _) => Ok(()),
+            (op, _) => Err(unexpected(op)),
+        }
+    }
+
+    fn round_trip(&mut self, op: Request, payload: &[u8]) -> Result<(Response, Vec<u8>), NetError> {
+        if let Err(e) = write_frame(&mut self.stream, op as u8, payload) {
+            // The server may have answered (a typed reject at the door)
+            // and half-closed before reading our request; prefer its
+            // error frame, if one is already buffered, over the raw EPIPE.
+            let racy = matches!(
+                e.kind(),
+                std::io::ErrorKind::BrokenPipe
+                    | std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+            );
+            if !racy {
+                return Err(e.into());
+            }
+            match read_frame(&mut self.stream, self.max_frame_bytes) {
+                Ok(got) => return self.decode_response(got),
+                Err(_) => return Err(e.into()),
+            }
+        }
+        let got = read_frame(&mut self.stream, self.max_frame_bytes)?;
+        self.decode_response(got)
+    }
+
+    fn decode_response(&self, got: (u8, Vec<u8>)) -> Result<(Response, Vec<u8>), NetError> {
+        let (op, payload) = got;
+        let Some(resp) = Response::from_u8(op) else {
+            return Err(NetError::Protocol(format!("unknown response opcode 0x{op:02x}")));
+        };
+        if resp == Response::Error {
+            let mut r = PayloadReader::new(&payload);
+            let code = ErrorCode::from_u16(r.u16().map_err(NetError::from)?);
+            let message = r.rest_string().unwrap_or_default();
+            return Err(NetError::Server { code, message });
+        }
+        Ok((resp, payload))
+    }
+}
+
+fn unexpected(op: Response) -> NetError {
+    NetError::Protocol(format!("unexpected response opcode {op:?}"))
+}

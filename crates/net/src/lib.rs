@@ -1,0 +1,29 @@
+//! # asterix-net — the network front end
+//!
+//! The paper's AsterixDB is a *service*: clients hand AQL to the Cluster
+//! Controller over the network and get data back (§2). This crate makes
+//! the reproduction one too, with nothing beyond `std::net`:
+//!
+//! - [`proto`] — the length-prefixed binary frame protocol (u32 length,
+//!   u8 opcode, ADM/JSON payloads) with typed [`proto::ErrorCode`]s and a
+//!   `max_frame_bytes` decoder guard.
+//! - [`server`] — a [`std::net::TcpListener`] front end over an
+//!   [`asterixdb::Instance`]: one worker thread and one
+//!   [`asterixdb::Session`] per connection, a reject-at-the-door
+//!   connection cap layered in front of `asterix-rm` admission, optional
+//!   shared-secret auth, graceful drain-then-cancel shutdown, and `net.*`
+//!   metrics in the instance registry.
+//! - [`client`] — the matching native client (connect/auth, `execute`,
+//!   `prepare`/`execute_prepared` with server-side handles, typed error
+//!   decoding), used by the loopback tests and the `asterix-cli` example.
+//!
+//! See DESIGN.md §"Network front end" for the frame layout and opcode
+//! table.
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, NetError, PreparedHandle};
+pub use proto::{ErrorCode, WireResult, MAX_FRAME_BYTES_DEFAULT, PROTOCOL_VERSION};
+pub use server::{NetStats, Server, ServerConfig};

@@ -1,0 +1,529 @@
+//! The wire protocol: length-prefixed binary frames.
+//!
+//! Every message — request or response — is one frame:
+//!
+//! ```text
+//! +----------------+-----------+------------------------+
+//! | u32 BE length  | u8 opcode | payload (length bytes) |
+//! +----------------+-----------+------------------------+
+//! ```
+//!
+//! The length counts the payload only (not itself, not the opcode), so an
+//! empty-payload frame is 5 bytes on the wire. Multi-byte integers inside
+//! payloads are big-endian; strings are UTF-8; data values are ADM
+//! self-describing bytes ([`asterix_adm::serde::encode`]) — the same
+//! encoding the storage and exchange layers use, which is what makes the
+//! bit-identity guarantee of the loopback tests meaningful.
+//!
+//! The decoder enforces [`MAX_FRAME_BYTES_DEFAULT`]-style limits
+//! *before* allocating: a length prefix larger than the configured
+//! `max_frame_bytes` is a [`ErrorCode::FrameTooLarge`] protocol error, not
+//! an allocation. Truncated or garbage frames surface as
+//! [`FrameError::Protocol`] / clean EOF, never a hang or an OOM.
+
+use std::io::{Read, Write};
+
+use asterix_adm::Value;
+
+/// Protocol revision carried in the `Hello` payload. Bump on any frame- or
+/// payload-layout change.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Default cap on a single frame's payload (8 MiB).
+pub const MAX_FRAME_BYTES_DEFAULT: usize = 8 * 1024 * 1024;
+
+/// Request opcodes (client → server).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Request {
+    /// Version + optional shared-secret handshake; must be the first frame
+    /// on every connection.
+    Hello = 0x01,
+    /// Run a batch of AQL statements in this connection's session.
+    Execute = 0x02,
+    /// Normalize the (single) query and store it server-side; returns a
+    /// statement handle.
+    Prepare = 0x03,
+    /// Execute a previously prepared handle with a fresh parameter vector.
+    ExecutePrepared = 0x04,
+    /// Cooperatively cancel a running job by id (from any connection).
+    Cancel = 0x05,
+    /// Fetch the server's metrics registry snapshot as JSON.
+    Metrics = 0x06,
+    /// Orderly goodbye; the server acknowledges then closes.
+    Close = 0x07,
+}
+
+impl Request {
+    pub fn from_u8(b: u8) -> Option<Request> {
+        Some(match b {
+            0x01 => Request::Hello,
+            0x02 => Request::Execute,
+            0x03 => Request::Prepare,
+            0x04 => Request::ExecutePrepared,
+            0x05 => Request::Cancel,
+            0x06 => Request::Metrics,
+            0x07 => Request::Close,
+            _ => return None,
+        })
+    }
+}
+
+/// Response opcodes (server → client).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Response {
+    /// Success with an opcode-specific payload (banner JSON, metrics JSON,
+    /// cancel outcome byte, empty for `Close`).
+    Ok = 0x80,
+    /// Statement results (see [`encode_results`] / [`decode_results`]).
+    Results = 0x81,
+    /// A prepared-statement handle: u64 id + u32 param count.
+    Prepared = 0x82,
+    /// Typed error: u16 [`ErrorCode`] + UTF-8 message.
+    Error = 0xEE,
+}
+
+impl Response {
+    pub fn from_u8(b: u8) -> Option<Response> {
+        Some(match b {
+            0x80 => Response::Ok,
+            0x81 => Response::Results,
+            0x82 => Response::Prepared,
+            0xEE => Response::Error,
+            _ => return None,
+        })
+    }
+}
+
+/// Typed error codes carried in [`Response::Error`] frames, so clients can
+/// distinguish "try later" (admission) from "fix your query" (parse) from
+/// "goodbye" (shutdown) without string matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// Bad or missing shared secret, or no `Hello` first.
+    Auth = 1,
+    /// Malformed frame or payload.
+    Protocol = 2,
+    /// Length prefix exceeds the server's `max_frame_bytes`.
+    FrameTooLarge = 3,
+    /// The server is at its connection cap; rejected at the door.
+    ConnectionLimit = 4,
+    /// The server is draining for shutdown.
+    ServerShutdown = 5,
+    /// `ExecutePrepared` with a handle this connection never prepared.
+    UnknownHandle = 6,
+    Parse = 10,
+    Translate = 11,
+    Catalog = 12,
+    Execution = 13,
+    Cancelled = 14,
+    /// Admission queue full ([`asterixdb::AdmissionError::Rejected`]).
+    AdmissionRejected = 15,
+    /// Admission wait timed out.
+    QueueTimeout = 16,
+    /// Anything else (storage, txn, io, ...).
+    Internal = 99,
+}
+
+impl ErrorCode {
+    pub fn from_u16(v: u16) -> ErrorCode {
+        match v {
+            1 => ErrorCode::Auth,
+            2 => ErrorCode::Protocol,
+            3 => ErrorCode::FrameTooLarge,
+            4 => ErrorCode::ConnectionLimit,
+            5 => ErrorCode::ServerShutdown,
+            6 => ErrorCode::UnknownHandle,
+            10 => ErrorCode::Parse,
+            11 => ErrorCode::Translate,
+            12 => ErrorCode::Catalog,
+            13 => ErrorCode::Execution,
+            14 => ErrorCode::Cancelled,
+            15 => ErrorCode::AdmissionRejected,
+            16 => ErrorCode::QueueTimeout,
+            _ => ErrorCode::Internal,
+        }
+    }
+}
+
+/// Map an instance error onto the wire's typed codes.
+pub fn error_code_for(e: &asterixdb::AsterixError) -> ErrorCode {
+    use asterixdb::AsterixError as E;
+    match e {
+        E::Parse(_) => ErrorCode::Parse,
+        E::Translate(_) => ErrorCode::Translate,
+        E::Catalog(_) => ErrorCode::Catalog,
+        E::Execution(_) => ErrorCode::Execution,
+        E::Cancelled => ErrorCode::Cancelled,
+        E::Admission(a) => match a {
+            asterixdb::AdmissionError::Rejected { .. } => ErrorCode::AdmissionRejected,
+            asterixdb::AdmissionError::QueueTimeout { .. } => ErrorCode::QueueTimeout,
+            asterixdb::AdmissionError::Cancelled => ErrorCode::Cancelled,
+        },
+        _ => ErrorCode::Internal,
+    }
+}
+
+/// Frame-layer failures (distinct from typed server errors).
+#[derive(Debug)]
+pub enum FrameError {
+    Io(std::io::Error),
+    /// Length prefix over the configured cap; carries the offending length.
+    TooLarge(usize),
+    /// Structurally invalid frame or payload.
+    Protocol(String),
+    /// Orderly remote close between frames.
+    Eof,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "io error: {e}"),
+            FrameError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
+            FrameError::Protocol(m) => write!(f, "protocol error: {m}"),
+            FrameError::Eof => write!(f, "connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Write one frame: length prefix, opcode, payload.
+pub fn write_frame(w: &mut impl Write, opcode: u8, payload: &[u8]) -> std::io::Result<()> {
+    let len = payload.len() as u32;
+    let mut head = [0u8; 5];
+    head[..4].copy_from_slice(&len.to_be_bytes());
+    head[4] = opcode;
+    w.write_all(&head)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame, enforcing `max_frame_bytes` on the length prefix before
+/// any payload allocation. Returns `(opcode, payload)`.
+///
+/// A clean EOF *before any header byte* is [`FrameError::Eof`]; EOF
+/// mid-frame is a truncation ([`FrameError::Protocol`]).
+pub fn read_frame(r: &mut impl Read, max_frame_bytes: usize) -> Result<(u8, Vec<u8>), FrameError> {
+    let mut head = [0u8; 5];
+    let mut filled = 0;
+    while filled < head.len() {
+        match r.read(&mut head[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Err(FrameError::Eof)
+                } else {
+                    Err(FrameError::Protocol("truncated frame header".into()))
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_be_bytes([head[0], head[1], head[2], head[3]]) as usize;
+    if len > max_frame_bytes {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)
+        .map_err(|_| FrameError::Protocol("truncated frame payload".into()))?;
+    Ok((head[4], payload))
+}
+
+// ---------------------------------------------------------------------------
+// Payload building blocks
+// ---------------------------------------------------------------------------
+
+/// Cursor over a payload with bounds-checked big-endian reads.
+pub struct PayloadReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    pub fn new(buf: &'a [u8]) -> PayloadReader<'a> {
+        PayloadReader { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        if self.remaining() < n {
+            return Err(FrameError::Protocol(format!(
+                "payload truncated: wanted {n} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u16(&mut self) -> Result<u16, FrameError> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    pub fn u32(&mut self) -> Result<u32, FrameError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, FrameError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_be_bytes(a))
+    }
+
+    /// A u32-length-prefixed byte slice.
+    pub fn bytes(&mut self) -> Result<&'a [u8], FrameError> {
+        let n = self.u32()? as usize;
+        self.take(n)
+    }
+
+    /// A u32-length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, FrameError> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec())
+            .map_err(|_| FrameError::Protocol("invalid utf-8 in payload".into()))
+    }
+
+    /// Everything not yet consumed, as UTF-8.
+    pub fn rest_string(&mut self) -> Result<String, FrameError> {
+        let b = self.take(self.remaining())?;
+        String::from_utf8(b.to_vec())
+            .map_err(|_| FrameError::Protocol("invalid utf-8 in payload".into()))
+    }
+}
+
+/// Append helpers mirroring [`PayloadReader`].
+pub struct PayloadWriter {
+    buf: Vec<u8>,
+}
+
+impl PayloadWriter {
+    pub fn new() -> PayloadWriter {
+        PayloadWriter { buf: Vec::new() }
+    }
+
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    pub fn bytes(&mut self, b: &[u8]) -> &mut Self {
+        self.u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
+        self
+    }
+
+    pub fn string(&mut self, s: &str) -> &mut Self {
+        self.bytes(s.as_bytes())
+    }
+
+    pub fn raw(&mut self, b: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(b);
+        self
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+impl Default for PayloadWriter {
+    fn default() -> Self {
+        PayloadWriter::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Statement-result encoding (Execute / ExecutePrepared responses)
+// ---------------------------------------------------------------------------
+
+/// A statement outcome as it travels the wire; mirrors
+/// [`asterixdb::StatementResult`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireResult {
+    /// DDL / session statement completed.
+    Ok,
+    /// DML completed, affecting this many records.
+    Count(u64),
+    /// Query rows (ADM values).
+    Rows(Vec<Value>),
+}
+
+const TAG_OK: u8 = 0;
+const TAG_COUNT: u8 = 1;
+const TAG_ROWS: u8 = 2;
+
+/// Encode a batch of statement results:
+/// `u32 n, then per result: u8 tag, Count→u64, Rows→u32 nrows + per-row
+/// u32 len + ADM bytes`.
+pub fn encode_results(results: &[asterixdb::StatementResult]) -> Vec<u8> {
+    let mut w = PayloadWriter::new();
+    w.u32(results.len() as u32);
+    for r in results {
+        match r {
+            asterixdb::StatementResult::Ok => {
+                w.u8(TAG_OK);
+            }
+            asterixdb::StatementResult::Count(n) => {
+                w.u8(TAG_COUNT).u64(*n as u64);
+            }
+            asterixdb::StatementResult::Rows(rows) => {
+                w.u8(TAG_ROWS).u32(rows.len() as u32);
+                for row in rows {
+                    w.bytes(&asterix_adm::serde::encode(row));
+                }
+            }
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decode what [`encode_results`] produced.
+pub fn decode_results(payload: &[u8]) -> Result<Vec<WireResult>, FrameError> {
+    let mut r = PayloadReader::new(payload);
+    let n = r.u32()? as usize;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        match r.u8()? {
+            TAG_OK => out.push(WireResult::Ok),
+            TAG_COUNT => out.push(WireResult::Count(r.u64()?)),
+            TAG_ROWS => {
+                let nrows = r.u32()? as usize;
+                let mut rows = Vec::with_capacity(nrows.min(65536));
+                for _ in 0..nrows {
+                    let b = r.bytes()?;
+                    let v = asterix_adm::serde::decode(b)
+                        .map_err(|e| FrameError::Protocol(format!("bad ADM row encoding: {e}")))?;
+                    rows.push(v);
+                }
+                out.push(WireResult::Rows(rows));
+            }
+            t => return Err(FrameError::Protocol(format!("unknown result tag {t}"))),
+        }
+    }
+    if r.remaining() != 0 {
+        return Err(FrameError::Protocol(format!(
+            "{} trailing bytes after results",
+            r.remaining()
+        )));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, Request::Execute as u8, b"for $x in [1] return $x").unwrap();
+        let (op, payload) = read_frame(&mut buf.as_slice(), MAX_FRAME_BYTES_DEFAULT).unwrap();
+        assert_eq!(op, Request::Execute as u8);
+        assert_eq!(payload, b"for $x in [1] return $x");
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_before_allocation() {
+        // 4 GiB-1 length prefix; must fail fast, not allocate.
+        let buf = [0xFF, 0xFF, 0xFF, 0xFF, 0x02];
+        match read_frame(&mut buf.as_slice(), 1024) {
+            Err(FrameError::TooLarge(n)) => assert_eq!(n, u32::MAX as usize),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_header_and_payload_are_protocol_errors() {
+        let buf = [0x00, 0x00];
+        assert!(matches!(read_frame(&mut buf.as_slice(), 1024), Err(FrameError::Protocol(_))));
+        // Header promises 10 bytes of payload, delivers 3.
+        let buf = [0x00, 0x00, 0x00, 0x0A, 0x02, 1, 2, 3];
+        assert!(matches!(read_frame(&mut buf.as_slice(), 1024), Err(FrameError::Protocol(_))));
+    }
+
+    #[test]
+    fn clean_eof_between_frames() {
+        let buf: [u8; 0] = [];
+        assert!(matches!(read_frame(&mut buf.as_slice(), 1024), Err(FrameError::Eof)));
+    }
+
+    #[test]
+    fn results_roundtrip_bit_identical() {
+        let rows = vec![
+            Value::Int64(42),
+            Value::string("hello"),
+            Value::ordered_list(vec![Value::Int64(1), Value::Int64(2)]),
+        ];
+        let results = vec![
+            asterixdb::StatementResult::Ok,
+            asterixdb::StatementResult::Count(7),
+            asterixdb::StatementResult::Rows(rows.clone()),
+        ];
+        let decoded = decode_results(&encode_results(&results)).unwrap();
+        assert_eq!(decoded.len(), 3);
+        assert_eq!(decoded[0], WireResult::Ok);
+        assert_eq!(decoded[1], WireResult::Count(7));
+        let WireResult::Rows(got) = &decoded[2] else { panic!("expected rows") };
+        for (a, b) in got.iter().zip(rows.iter()) {
+            assert_eq!(asterix_adm::serde::encode(a), asterix_adm::serde::encode(b));
+        }
+    }
+
+    #[test]
+    fn error_code_u16_roundtrip() {
+        for c in [
+            ErrorCode::Auth,
+            ErrorCode::Protocol,
+            ErrorCode::FrameTooLarge,
+            ErrorCode::ConnectionLimit,
+            ErrorCode::ServerShutdown,
+            ErrorCode::UnknownHandle,
+            ErrorCode::Parse,
+            ErrorCode::Translate,
+            ErrorCode::Catalog,
+            ErrorCode::Execution,
+            ErrorCode::Cancelled,
+            ErrorCode::AdmissionRejected,
+            ErrorCode::QueueTimeout,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::from_u16(c as u16), c);
+        }
+    }
+}

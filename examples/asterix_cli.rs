@@ -1,0 +1,123 @@
+//! asterix-cli: a line-oriented AQL REPL over the wire protocol.
+//!
+//! Run against an existing server:
+//! `cargo run --example asterix_cli -- 127.0.0.1:7031 --secret s3cret`
+//!
+//! Or with no address, it stands up a demo instance + server in a temp
+//! directory and connects over loopback — a self-contained tour of the
+//! network front end:
+//! `cargo run --example asterix_cli`
+//!
+//! Statements end with `;` (and may span lines). REPL commands:
+//! `:metrics` prints the server's metrics JSON, `:quit` leaves.
+//! Non-interactive use: pipe AQL on stdin
+//! (`echo 'for $x in [1,2] return $x;' | cargo run --example asterix_cli`).
+
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+use asterix_net::{Client, Server, ServerConfig, WireResult};
+use asterixdb::{ClusterConfig, Instance};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr: Option<String> = None;
+    let mut secret: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--secret" => {
+                i += 1;
+                secret = args.get(i).cloned();
+            }
+            a => addr = Some(a.to_string()),
+        }
+        i += 1;
+    }
+
+    // No address: run a self-contained demo server to talk to.
+    let _embedded: Option<(Server, tempfile::TempDir)> = if addr.is_none() {
+        let dir = tempfile::TempDir::new()?;
+        let instance = Instance::open(ClusterConfig::small(dir.path().join("db")))?;
+        instance.execute(
+            r#"
+            create dataverse Demo;
+            use dataverse Demo;
+            create type PersonType as open { id: int64, name: string, age: int64 };
+            create dataset People(PersonType) primary key id;
+            insert into dataset People ({ "id": 1, "name": "Ada",   "age": 36 });
+            insert into dataset People ({ "id": 2, "name": "Alan",  "age": 41 });
+            insert into dataset People ({ "id": 3, "name": "Grace", "age": 85 });
+        "#,
+        )?;
+        let server = Server::start(Arc::clone(&instance), ServerConfig::default())?;
+        let local = server.local_addr().to_string();
+        eprintln!("demo server on {local} (dataverse Demo, dataset People)");
+        addr = Some(local);
+        Some((server, dir))
+    } else {
+        None
+    };
+
+    let mut client = Client::connect(addr.unwrap().as_str(), secret.as_deref())?;
+    eprintln!("connected; statements end with ';', :metrics and :quit are commands");
+    if _embedded.is_some() {
+        // Sessions are per-connection: the demo data lives in Demo, so
+        // point this connection's session there.
+        client.execute("use dataverse Demo")?;
+    }
+
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            eprint!("aql> ");
+        } else {
+            eprint!("   > ");
+        }
+        std::io::stderr().flush()?;
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break; // EOF
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() {
+            match trimmed {
+                ":quit" | ":q" => break,
+                ":metrics" => {
+                    match client.metrics_json() {
+                        Ok(json) => println!("{json}"),
+                        Err(e) => eprintln!("error: {e}"),
+                    }
+                    continue;
+                }
+                "" => continue,
+                _ => {}
+            }
+        }
+        buffer.push_str(&line);
+        if !trimmed.ends_with(';') {
+            continue; // statement continues on the next line
+        }
+        let stmt = std::mem::take(&mut buffer);
+        match client.execute(&stmt) {
+            Ok(results) => {
+                for r in results {
+                    match r {
+                        WireResult::Ok => println!("ok"),
+                        WireResult::Count(n) => println!("{n} record(s)"),
+                        WireResult::Rows(rows) => {
+                            for row in &rows {
+                                println!("{row}");
+                            }
+                            println!("-- {} row(s)", rows.len());
+                        }
+                    }
+                }
+            }
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+    client.close()?;
+    Ok(())
+}

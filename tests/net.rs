@@ -1,0 +1,464 @@
+//! The network front end, end to end over loopback TCP: authenticated
+//! prepared execution bit-identical to the in-process API, per-connection
+//! session isolation (both over the wire and for plain in-process
+//! threads), malformed-frame robustness, a concurrent soak with
+//! disconnect-mid-query cleanup, and graceful shutdown that drains
+//! in-flight queries while rejecting new connects with a typed error.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use asterix_adm::Value;
+use asterix_net::{Client, ErrorCode, NetError, Server, ServerConfig, WireResult};
+use asterix_obs::MetricValue;
+use asterixdb::{ClusterConfig, Instance};
+
+fn counter(ins: &Instance, name: &str) -> u64 {
+    for (n, v) in ins.metrics().snapshot() {
+        if n == name {
+            if let MetricValue::Counter(c) = v {
+                return c;
+            }
+        }
+    }
+    panic!("no counter named {name}");
+}
+
+fn adm_bytes(rows: &[Value]) -> Vec<Vec<u8>> {
+    rows.iter().map(asterix_adm::serde::encode).collect()
+}
+
+/// A two-dataverse instance: `NetA.Items` and `NetB.Items` share a dataset
+/// name but hold distinguishable rows, so any cross-session `USE` leak
+/// shows up as wrong data, not an error.
+fn two_dataverse_instance() -> (Arc<Instance>, tempfile::TempDir) {
+    let dir = tempfile::TempDir::new().unwrap();
+    let instance = Instance::open(ClusterConfig::small(dir.path().join("db"))).unwrap();
+    for (dv, tag) in [("NetA", 1000i64), ("NetB", 2000i64)] {
+        instance
+            .execute(&format!(
+                r#"
+            create dataverse {dv};
+            use dataverse {dv};
+            create type ItemType as open {{ id: int64 }};
+            create dataset Items(ItemType) primary key id;
+        "#
+            ))
+            .unwrap();
+        for i in 1..=20i64 {
+            instance
+                .execute(&format!(
+                    r#"use dataverse {dv};
+                    insert into dataset Items ({{ "id": {i}, "tag": {} }});"#,
+                    tag + i
+                ))
+                .unwrap();
+        }
+    }
+    (instance, dir)
+}
+
+/// Satellite regression: two in-process threads, each with its own
+/// session, resolving the same-named dataset in different dataverses.
+/// Before the per-session refactor the instance-global `RwLock<Session>`
+/// made one thread's `USE` change the other's current dataverse
+/// mid-statement.
+#[test]
+fn in_process_sessions_are_isolated() {
+    let (instance, _dir) = two_dataverse_instance();
+    let mut threads = Vec::new();
+    for (dv, base) in [("NetA", 1000i64), ("NetB", 2000i64)] {
+        let ins = Arc::clone(&instance);
+        threads.push(std::thread::spawn(move || {
+            let sess = ins.new_session();
+            for round in 0..30 {
+                // Re-issuing USE every round maximizes interleaving churn.
+                ins.execute_in(&sess, &format!("use dataverse {dv}")).unwrap();
+                let rows = ins
+                    .query_in(&sess, "for $x in dataset Items order by $x.id return $x.tag")
+                    .unwrap();
+                assert_eq!(rows.len(), 20, "round {round} in {dv}");
+                for (i, v) in rows.iter().enumerate() {
+                    assert_eq!(
+                        v.as_i64(),
+                        Some(base + i as i64 + 1),
+                        "round {round}: thread for {dv} saw foreign rows"
+                    );
+                }
+            }
+        }));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert_eq!(instance.active_sessions(), 0, "sessions leaked after threads exited");
+}
+
+/// The ISSUE acceptance path: authenticated client prepares once and
+/// executes repeatedly with different parameters, bit-identical to
+/// `Instance::execute_prepared`; a second concurrent client's `USE` does
+/// not move the first client's session.
+#[test]
+fn loopback_prepare_execute_bit_identity_and_use_isolation() {
+    let (instance, _dir) = two_dataverse_instance();
+    let server = Server::start(
+        Arc::clone(&instance),
+        ServerConfig { secret: Some("hunter2".into()), ..ServerConfig::default() },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Wrong secret: typed Auth error, not a hang or a bare disconnect.
+    match Client::connect(addr, Some("wrong")) {
+        Err(NetError::Server { code, .. }) => assert_eq!(code, ErrorCode::Auth),
+        other => panic!("expected Auth error, got {other:?}"),
+    }
+    // Missing secret too.
+    match Client::connect(addr, None) {
+        Err(NetError::Server { code, .. }) => assert_eq!(code, ErrorCode::Auth),
+        other => panic!("expected Auth error, got {other:?}"),
+    }
+
+    let mut c1 = Client::connect(addr, Some("hunter2")).unwrap();
+    c1.execute("use dataverse NetA").unwrap();
+    let stmt = c1.prepare("for $x in dataset Items where $x.id = 3 return $x.tag").unwrap();
+    assert_eq!(stmt.param_count, 1);
+
+    // The in-process reference: same prepared statement, session pinned to
+    // the same dataverse.
+    let reference =
+        instance.prepare("for $x in dataset Items where $x.id = 3 return $x.tag").unwrap();
+    let ref_sess = instance.new_session();
+    instance.execute_in(&ref_sess, "use dataverse NetA").unwrap();
+
+    let mut c2 = Client::connect(addr, Some("hunter2")).unwrap();
+    for i in 1..=20i64 {
+        // A second client keeps yanking its own session around; c1 must
+        // not notice.
+        c2.execute("use dataverse NetB").unwrap();
+        let wire = c1.execute_prepared(&stmt, &[Value::Int64(i)]).unwrap();
+        let local =
+            instance.execute_prepared_in(&ref_sess, &reference, &[Value::Int64(i)]).unwrap();
+        assert_eq!(adm_bytes(&wire), adm_bytes(&local), "param {i}: wire != in-process");
+        assert_eq!(wire.len(), 1);
+        assert_eq!(wire[0].as_i64(), Some(1000 + i), "param {i} resolved in wrong dataverse");
+    }
+    // c2 really is in NetB.
+    let c2_rows = c2.query("for $x in dataset Items where $x.id = 3 return $x.tag").unwrap();
+    assert_eq!(c2_rows[0].as_i64(), Some(2003));
+
+    // Execute's full statement-result shape over the wire.
+    let results = c1.execute(r#"insert into dataset Items ({ "id": 21, "tag": 1021 });"#).unwrap();
+    assert_eq!(results, vec![WireResult::Count(1)]);
+
+    // net.* metrics flow through the registry and over the wire.
+    let json = c1.metrics_json().unwrap();
+    assert!(json.contains("\"net.requests\""), "metrics JSON missing net.*: {json}");
+    assert!(counter(&instance, "net.requests") > 0);
+    assert!(counter(&instance, "net.bytes_in") > 0);
+    assert!(counter(&instance, "net.bytes_out") > 0);
+
+    c1.close().unwrap();
+    drop(c2);
+    drop(ref_sess);
+    server.shutdown();
+    assert_eq!(instance.active_sessions(), 0, "server leaked sessions");
+}
+
+fn raw_connect(addr: std::net::SocketAddr) -> TcpStream {
+    let s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    s
+}
+
+fn read_error_frame(s: &mut TcpStream) -> (u16, String) {
+    let mut head = [0u8; 5];
+    s.read_exact(&mut head).unwrap();
+    let len = u32::from_be_bytes([head[0], head[1], head[2], head[3]]) as usize;
+    assert_eq!(head[4], 0xEE, "expected an Error frame");
+    let mut payload = vec![0u8; len];
+    s.read_exact(&mut payload).unwrap();
+    let code = u16::from_be_bytes([payload[0], payload[1]]);
+    (code, String::from_utf8_lossy(&payload[2..]).into_owned())
+}
+
+/// Satellite: the decoder's `max_frame_bytes` guard and general
+/// malformed-input robustness — oversized, truncated, and garbage frames
+/// produce typed protocol errors or clean disconnects, and the server
+/// stays up for well-behaved clients throughout.
+#[test]
+fn malformed_frames_rejected_cleanly() {
+    let (instance, _dir) = two_dataverse_instance();
+    let server = Server::start(
+        Arc::clone(&instance),
+        ServerConfig { max_frame_bytes: 4096, ..ServerConfig::default() },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Oversized length prefix: typed FrameTooLarge before any allocation.
+    let mut s = raw_connect(addr);
+    s.write_all(&[0xFF, 0xFF, 0xFF, 0xFF, 0x01]).unwrap();
+    let (code, msg) = read_error_frame(&mut s);
+    assert_eq!(ErrorCode::from_u16(code), ErrorCode::FrameTooLarge, "{msg}");
+    drop(s);
+
+    // A frame just over the limit is rejected; at the limit is fine.
+    let mut s = raw_connect(addr);
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&4097u32.to_be_bytes());
+    frame.push(0x01);
+    frame.extend_from_slice(&vec![0u8; 4097]);
+    s.write_all(&frame).unwrap();
+    let (code, _) = read_error_frame(&mut s);
+    assert_eq!(ErrorCode::from_u16(code), ErrorCode::FrameTooLarge);
+    drop(s);
+
+    // Truncated frame then hangup: server must treat it as a clean loss.
+    let mut s = raw_connect(addr);
+    s.write_all(&[0x00, 0x00, 0x00, 0x10, 0x01, 0xAB]).unwrap();
+    drop(s);
+
+    // Skipping the handshake: first non-Hello frame is a typed Auth error.
+    let mut s = raw_connect(addr);
+    let mut frame = Vec::new();
+    let aql = b"for $x in [1] return $x";
+    frame.extend_from_slice(&(aql.len() as u32).to_be_bytes());
+    frame.push(0x02);
+    frame.extend_from_slice(aql);
+    s.write_all(&frame).unwrap();
+    let (code, _) = read_error_frame(&mut s);
+    assert_eq!(ErrorCode::from_u16(code), ErrorCode::Auth);
+    drop(s);
+
+    // Unknown opcode after a valid handshake.
+    let mut c = Client::connect(addr, None).unwrap();
+    // (reach under the client: a garbage opcode via a raw socket instead)
+    let mut s = raw_connect(addr);
+    let mut hello = Vec::new();
+    hello.extend_from_slice(&5u32.to_be_bytes());
+    hello.push(0x01);
+    hello.push(1); // protocol version
+    hello.extend_from_slice(&0u32.to_be_bytes()); // empty secret
+    s.write_all(&hello).unwrap();
+    let mut head = [0u8; 5];
+    s.read_exact(&mut head).unwrap();
+    let mut banner = vec![0u8; u32::from_be_bytes([head[0], head[1], head[2], head[3]]) as usize];
+    s.read_exact(&mut banner).unwrap();
+    s.write_all(&[0x00, 0x00, 0x00, 0x00, 0x7F]).unwrap();
+    let (code, _) = read_error_frame(&mut s);
+    assert_eq!(ErrorCode::from_u16(code), ErrorCode::Protocol);
+    drop(s);
+
+    // Pure garbage hammering: random-ish byte blobs, all answered with an
+    // error frame or a clean close — never a hang.
+    for seed in 0u8..10 {
+        let mut s = raw_connect(addr);
+        let blob: Vec<u8> = (0..64).map(|i| seed.wrapping_mul(31).wrapping_add(i)).collect();
+        let _ = s.write_all(&blob);
+        let mut sink = Vec::new();
+        let _ = s.read_to_end(&mut sink); // bounded by the read timeout
+        drop(s);
+    }
+
+    // Through all of that, a well-behaved client still gets service.
+    c.execute("use dataverse NetA").unwrap();
+    let rows = c.query("for $x in dataset Items where $x.id = 1 return $x.tag").unwrap();
+    assert_eq!(rows[0].as_i64(), Some(1001));
+    assert!(counter(&instance, "net.wire_errors") >= 4);
+    c.close().unwrap();
+    server.shutdown();
+    assert_eq!(instance.active_sessions(), 0);
+}
+
+/// Satellite: concurrent loopback soak. N clients hammer one prepared
+/// statement with rotating parameters; results stay bit-identical to the
+/// in-process reference, the plan cache keeps hitting, and after every
+/// client disconnects — one of them mid-query — nothing leaks: no
+/// sessions, no RM grants, no jobs, no spill files.
+#[test]
+fn concurrent_soak_hits_plan_cache_and_leaks_nothing() {
+    let (instance, _dir) = two_dataverse_instance();
+    let server = Server::start(Arc::clone(&instance), ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    // In-process reference rows, one per parameter value.
+    let ref_sess = instance.new_session();
+    instance.execute_in(&ref_sess, "use dataverse NetA").unwrap();
+    let reference =
+        instance.prepare("for $x in dataset Items where $x.id = 7 return $x.tag").unwrap();
+    let expected: Vec<Vec<Vec<u8>>> = (1..=20i64)
+        .map(|i| {
+            adm_bytes(
+                &instance.execute_prepared_in(&ref_sess, &reference, &[Value::Int64(i)]).unwrap(),
+            )
+        })
+        .collect();
+
+    let hits_before = counter(&instance, "compile.plan_cache.hits");
+    let n_clients = 4;
+    let per_client = 25;
+    let mut threads = Vec::new();
+    for t in 0..n_clients {
+        let addr = addr;
+        let expected = expected.clone();
+        threads.push(std::thread::spawn(move || {
+            let mut c = Client::connect(addr, None).unwrap();
+            c.execute("use dataverse NetA").unwrap();
+            let stmt = c.prepare("for $x in dataset Items where $x.id = 7 return $x.tag").unwrap();
+            for k in 0..per_client {
+                let i = ((t + k) % 20) as i64 + 1;
+                let rows = c.execute_prepared(&stmt, &[Value::Int64(i)]).unwrap();
+                assert_eq!(adm_bytes(&rows), expected[(i - 1) as usize], "client {t} iter {k}");
+            }
+            c.close().unwrap();
+        }));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+    let hits_after = counter(&instance, "compile.plan_cache.hits");
+    assert!(
+        hits_after >= hits_before + (n_clients * per_client - n_clients) as u64,
+        "prepared soak should hit the plan cache: {hits_before} -> {hits_after}"
+    );
+
+    // Now the rude client: handshakes raw, fires a heavy query, and slams
+    // the connection mid-query without reading the reply.
+    {
+        let mut s = raw_connect(addr);
+        let mut hello = Vec::new();
+        hello.extend_from_slice(&5u32.to_be_bytes());
+        hello.push(0x01);
+        hello.push(1); // protocol version
+        hello.extend_from_slice(&0u32.to_be_bytes()); // empty secret
+        s.write_all(&hello).unwrap();
+        let mut head = [0u8; 5];
+        s.read_exact(&mut head).unwrap();
+        let mut banner =
+            vec![0u8; u32::from_be_bytes([head[0], head[1], head[2], head[3]]) as usize];
+        s.read_exact(&mut banner).unwrap();
+        let aql = br#"use dataverse NetA;
+            for $a in dataset Items for $b in dataset Items for $c in dataset Items
+            where $a.tag = $b.tag and $b.tag = $c.tag return $a.tag"#;
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(aql.len() as u32).to_be_bytes());
+        frame.push(0x02);
+        frame.extend_from_slice(aql);
+        s.write_all(&frame).unwrap();
+        // Give the statement a moment to reach execution, then vanish.
+        std::thread::sleep(Duration::from_millis(20));
+        drop(s);
+    }
+    // The worker finishes (or fails to write the reply), notices the dead
+    // socket, and tears the session down.
+    drop(ref_sess);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while instance.active_sessions() > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(instance.active_sessions(), 0, "disconnect leaked a session");
+    assert!(instance.list_jobs().is_empty(), "disconnect leaked a job");
+    assert_eq!(instance.resource_manager().stats().mem_granted_bytes.get(), 0);
+    let pid = std::process::id();
+    let leaked: Vec<_> = std::fs::read_dir(std::env::temp_dir())
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| {
+            n.starts_with(&format!("asterix-sort-{pid}-"))
+                || n.starts_with(&format!("asterix-join-{pid}-"))
+        })
+        .collect();
+    assert!(leaked.is_empty(), "spill files leaked: {leaked:?}");
+    server.shutdown();
+}
+
+/// Acceptance: graceful shutdown lets the in-flight query finish and
+/// answers new connects with a typed ServerShutdown error while draining.
+#[test]
+fn graceful_shutdown_drains_in_flight_and_rejects_new() {
+    let dir = tempfile::TempDir::new().unwrap();
+    let instance = Instance::open(ClusterConfig::small(dir.path().join("db"))).unwrap();
+    // A self-join fan-out big enough to reliably straddle the shutdown
+    // call (the workload suite's proven "still running when poked" shape).
+    let rows = 900usize;
+    instance
+        .execute(
+            r#"
+        create dataverse W;
+        use dataverse W;
+        create type R as open { id: int64, grp: int64, pad: string };
+        create dataset Big(R) primary key id;
+    "#,
+        )
+        .unwrap();
+    for start in (0..rows).step_by(300) {
+        let objs: Vec<String> = (start..(start + 300).min(rows))
+            .map(|i| {
+                format!("{{ \"id\": {i}, \"grp\": {}, \"pad\": \"{}\" }}", i % 3, "x".repeat(40))
+            })
+            .collect();
+        instance.execute(&format!("insert into dataset Big ([{}]);", objs.join(", "))).unwrap();
+    }
+
+    let server = Arc::new(
+        Server::start(
+            Arc::clone(&instance),
+            ServerConfig { shutdown_grace: Duration::from_secs(60), ..ServerConfig::default() },
+        )
+        .unwrap(),
+    );
+    let addr = server.local_addr();
+
+    let runner = std::thread::spawn(move || {
+        let mut c = Client::connect(addr, None).unwrap();
+        c.execute("use dataverse W").unwrap();
+        c.query(
+            r#"for $a in dataset Big
+               for $b in dataset Big
+               where $a.grp = $b.grp
+               order by $a.id
+               return $a.id"#,
+        )
+    });
+    // Let the query reach execution.
+    let t0 = Instant::now();
+    while instance.list_jobs().is_empty() && t0.elapsed() < Duration::from_secs(10) {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(!instance.list_jobs().is_empty(), "in-flight query never started");
+
+    let shutter = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.shutdown())
+    };
+    // While draining, a new connect is answered with a typed error. The
+    // drain window is held open by the in-flight query, so the typed path
+    // is what we must see (not a refused connection). Poll rather than
+    // sleep a fixed delay: a connect that lands before the shutter thread
+    // sets the drain flag simply succeeds — drop it and retry.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        match Client::connect(addr, None) {
+            Err(NetError::Server { code, .. }) => {
+                assert_eq!(code, ErrorCode::ServerShutdown);
+                break;
+            }
+            Ok(early) => drop(early),
+            Err(other) => panic!("expected typed ServerShutdown, got {other:?}"),
+        }
+        assert!(Instant::now() < deadline, "never saw the typed drain rejection");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // The in-flight query drains to completion with correct results.
+    let got = runner.join().unwrap().unwrap();
+    assert_eq!(got.len(), 3 * (rows / 3) * (rows / 3));
+    assert_eq!(got[0].as_i64(), Some(0));
+    shutter.join().unwrap();
+    assert_eq!(instance.active_sessions(), 0);
+    assert!(instance.list_jobs().is_empty());
+}
