@@ -114,6 +114,8 @@ pub enum ErrorCode {
     ServerShutdown = 5,
     /// `ExecutePrepared` with a handle this connection never prepared.
     UnknownHandle = 6,
+    /// `Prepare` beyond the per-connection prepared-statement cap.
+    PreparedLimit = 7,
     Parse = 10,
     Translate = 11,
     Catalog = 12,
@@ -136,6 +138,7 @@ impl ErrorCode {
             4 => ErrorCode::ConnectionLimit,
             5 => ErrorCode::ServerShutdown,
             6 => ErrorCode::UnknownHandle,
+            7 => ErrorCode::PreparedLimit,
             10 => ErrorCode::Parse,
             11 => ErrorCode::Translate,
             12 => ErrorCode::Catalog,
@@ -212,31 +215,94 @@ pub fn write_frame(w: &mut impl Write, opcode: u8, payload: &[u8]) -> std::io::R
 /// any payload allocation. Returns `(opcode, payload)`.
 ///
 /// A clean EOF *before any header byte* is [`FrameError::Eof`]; EOF
-/// mid-frame is a truncation ([`FrameError::Protocol`]).
+/// mid-frame is a truncation ([`FrameError::Protocol`]). For sockets with
+/// a read timeout, use a persistent [`FrameReader`] instead: this one-shot
+/// form forgets partial bytes on a timeout.
 pub fn read_frame(r: &mut impl Read, max_frame_bytes: usize) -> Result<(u8, Vec<u8>), FrameError> {
-    let mut head = [0u8; 5];
-    let mut filled = 0;
-    while filled < head.len() {
-        match r.read(&mut head[filled..]) {
-            Ok(0) => {
-                return if filled == 0 {
-                    Err(FrameError::Eof)
-                } else {
-                    Err(FrameError::Protocol("truncated frame header".into()))
-                };
+    FrameReader::new().read(r, max_frame_bytes)
+}
+
+/// Incremental frame decoder that survives read timeouts.
+///
+/// Partial header and payload bytes are kept across
+/// `WouldBlock`/`TimedOut` errors, so a caller that uses a socket read
+/// timeout as an idle tick can resume the *same* frame on the next call —
+/// a peer whose bytes trickle in with gaps longer than the timeout (normal
+/// on WAN or congested links) is never desynced or disconnected.
+pub struct FrameReader {
+    head: [u8; 5],
+    head_filled: usize,
+    payload: Option<Vec<u8>>,
+    payload_filled: usize,
+}
+
+impl FrameReader {
+    pub fn new() -> FrameReader {
+        FrameReader { head: [0u8; 5], head_filled: 0, payload: None, payload_filled: 0 }
+    }
+
+    /// Whether any bytes of the current frame have been consumed. A read
+    /// timeout with this false is an idle tick between frames; with it
+    /// true, the peer is mid-frame and the bytes so far are retained.
+    pub fn mid_frame(&self) -> bool {
+        self.head_filled > 0
+    }
+
+    /// Try to complete one frame, enforcing `max_frame_bytes` on the
+    /// length prefix before any payload allocation.
+    ///
+    /// On `WouldBlock`/`TimedOut` (or any other error) the error is
+    /// returned but progress is kept — call again with the same reader to
+    /// resume. A completed frame resets the reader for the next one.
+    pub fn read(
+        &mut self,
+        r: &mut impl Read,
+        max_frame_bytes: usize,
+    ) -> Result<(u8, Vec<u8>), FrameError> {
+        while self.head_filled < self.head.len() {
+            match r.read(&mut self.head[self.head_filled..]) {
+                Ok(0) => {
+                    return if self.head_filled == 0 {
+                        Err(FrameError::Eof)
+                    } else {
+                        Err(FrameError::Protocol("truncated frame header".into()))
+                    };
+                }
+                Ok(n) => self.head_filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(FrameError::Io(e)),
             }
-            Ok(n) => filled += n,
-            Err(e) => return Err(FrameError::Io(e)),
         }
+        if self.payload.is_none() {
+            let len = u32::from_be_bytes([self.head[0], self.head[1], self.head[2], self.head[3]])
+                as usize;
+            if len > max_frame_bytes {
+                return Err(FrameError::TooLarge(len));
+            }
+            self.payload = Some(vec![0u8; len]);
+            self.payload_filled = 0;
+        }
+        let payload = self.payload.as_mut().expect("payload allocated above");
+        while self.payload_filled < payload.len() {
+            match r.read(&mut payload[self.payload_filled..]) {
+                Ok(0) => return Err(FrameError::Protocol("truncated frame payload".into())),
+                Ok(n) => self.payload_filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(FrameError::Io(e)),
+            }
+        }
+        let opcode = self.head[4];
+        let payload = self.payload.take().expect("payload present");
+        self.head_filled = 0;
+        self.payload_filled = 0;
+        Ok((opcode, payload))
     }
-    let len = u32::from_be_bytes([head[0], head[1], head[2], head[3]]) as usize;
-    if len > max_frame_bytes {
-        return Err(FrameError::TooLarge(len));
+}
+
+impl Default for FrameReader {
+    fn default() -> Self {
+        FrameReader::new()
     }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)
-        .map_err(|_| FrameError::Protocol("truncated frame payload".into()))?;
-    Ok((head[4], payload))
 }
 
 // ---------------------------------------------------------------------------
@@ -477,6 +543,74 @@ mod tests {
         assert!(matches!(read_frame(&mut buf.as_slice(), 1024), Err(FrameError::Protocol(_))));
     }
 
+    /// Yields one byte per call, with a `WouldBlock` "timeout" before each
+    /// — the worst-case trickle a read-timeout socket can produce.
+    struct Trickle {
+        data: Vec<u8>,
+        pos: usize,
+        ready: bool,
+    }
+
+    impl Read for Trickle {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if !self.ready {
+                self.ready = true;
+                return Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "tick"));
+            }
+            self.ready = false;
+            if self.pos >= self.data.len() {
+                return Ok(0);
+            }
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn frame_reader_resumes_across_read_timeouts() {
+        // Two back-to-back frames, delivered one byte at a time with a
+        // timeout between every byte; a non-resumable reader would discard
+        // partial header bytes on each timeout and desync permanently.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, Request::Execute as u8, b"abc").unwrap();
+        write_frame(&mut wire, Request::Close as u8, b"").unwrap();
+        let total = wire.len();
+        let mut src = Trickle { data: wire, pos: 0, ready: false };
+        let mut reader = FrameReader::new();
+        let mut frames = Vec::new();
+        let mut ticks = 0usize;
+        while frames.len() < 2 {
+            match reader.read(&mut src, 1024) {
+                Ok(frame) => {
+                    assert!(!reader.mid_frame(), "reader must reset after a full frame");
+                    frames.push(frame);
+                }
+                Err(FrameError::Io(e)) if e.kind() == std::io::ErrorKind::WouldBlock => ticks += 1,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(ticks, total, "every byte was preceded by a timeout tick");
+        assert_eq!(frames[0].0, Request::Execute as u8);
+        assert_eq!(frames[0].1, b"abc");
+        assert_eq!(frames[1].0, Request::Close as u8);
+        assert_eq!(frames[1].1, b"");
+    }
+
+    #[test]
+    fn frame_reader_mid_frame_tracks_consumed_bytes() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, Request::Execute as u8, b"xy").unwrap();
+        let mut src = Trickle { data: wire, pos: 0, ready: false };
+        let mut reader = FrameReader::new();
+        // First timeout: nothing consumed yet — an idle tick.
+        assert!(matches!(reader.read(&mut src, 1024), Err(FrameError::Io(_))));
+        assert!(!reader.mid_frame());
+        // Second call consumes one header byte before its timeout.
+        assert!(matches!(reader.read(&mut src, 1024), Err(FrameError::Io(_))));
+        assert!(reader.mid_frame());
+    }
+
     #[test]
     fn clean_eof_between_frames() {
         let buf: [u8; 0] = [];
@@ -514,6 +648,7 @@ mod tests {
             ErrorCode::ConnectionLimit,
             ErrorCode::ServerShutdown,
             ErrorCode::UnknownHandle,
+            ErrorCode::PreparedLimit,
             ErrorCode::Parse,
             ErrorCode::Translate,
             ErrorCode::Catalog,

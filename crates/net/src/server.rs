@@ -34,7 +34,7 @@ use asterix_obs::{Counter, Gauge};
 use asterixdb::{Instance, PreparedQuery, Session};
 
 use crate::proto::{
-    encode_results, error_code_for, read_frame, write_frame, ErrorCode, FrameError, PayloadReader,
+    encode_results, error_code_for, write_frame, ErrorCode, FrameError, FrameReader, PayloadReader,
     PayloadWriter, Request, Response, MAX_FRAME_BYTES_DEFAULT, PROTOCOL_VERSION,
 };
 
@@ -54,6 +54,14 @@ pub struct ServerConfig {
     /// How long [`Server::shutdown`] waits for in-flight work before
     /// cancelling it.
     pub shutdown_grace: Duration,
+    /// Per-syscall write timeout on worker sockets, so a client that
+    /// stops reading (full TCP window) cannot wedge a worker — and thereby
+    /// [`Server::shutdown`] — in `write_all` forever.
+    pub write_timeout: Duration,
+    /// Cap on prepared-statement handles per connection; beyond it,
+    /// `Prepare` is answered with a typed [`ErrorCode::PreparedLimit`]
+    /// error (each handle pins a compiled plan in server memory).
+    pub max_prepared_per_conn: usize,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +72,8 @@ impl Default for ServerConfig {
             max_frame_bytes: MAX_FRAME_BYTES_DEFAULT,
             secret: None,
             shutdown_grace: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(10),
+            max_prepared_per_conn: 256,
         }
     }
 }
@@ -177,12 +187,18 @@ impl Server {
         }
         // Grace expired: unwind the stragglers cooperatively. Cancelled
         // queries release their admission slots and memory grants and
-        // remove spill files on the way out.
+        // remove spill files on the way out. A worker can also be wedged
+        // outside any job — blocked in `write_all` to a client that
+        // stopped reading — which cancellation cannot reach; the socket
+        // write timeout bounds that, so this second wait is bounded too,
+        // and anything still alive past it is abandoned rather than
+        // hanging shutdown (which also runs from Drop) forever.
         if self.shared.active.load(Ordering::SeqCst) > 0 {
             for job in self.shared.instance.list_jobs() {
                 self.shared.instance.cancel(job.id);
             }
-            while self.shared.active.load(Ordering::SeqCst) > 0 {
+            let abandon = Instant::now() + self.shared.cfg.write_timeout + Duration::from_secs(1);
+            while self.shared.active.load(Ordering::SeqCst) > 0 && Instant::now() < abandon {
                 std::thread::sleep(Duration::from_millis(5));
             }
         }
@@ -193,9 +209,14 @@ impl Server {
         if let Some(t) = self.accept_thread.lock().unwrap().take() {
             let _ = t.join();
         }
+        // Join only workers that are actually done; dropping the handle of
+        // a straggler detaches it (it exits on its own once its socket
+        // write times out).
         let workers = std::mem::take(&mut *self.shared.workers.lock().unwrap());
         for w in workers {
-            let _ = w.join();
+            if w.is_finished() {
+                let _ = w.join();
+            }
         }
     }
 }
@@ -212,6 +233,9 @@ fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
             if shared.stopped.load(Ordering::SeqCst) {
                 return;
             }
+            // A persistent accept failure (e.g. EMFILE when the process is
+            // out of fds) must not busy-spin a core until fds free up.
+            std::thread::sleep(Duration::from_millis(50));
             continue;
         };
         if shared.stopped.load(Ordering::SeqCst) {
@@ -244,7 +268,14 @@ fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
             worker_shared.active.fetch_sub(1, Ordering::SeqCst);
         });
         match handle {
-            Ok(h) => shared.workers.lock().unwrap().push(h),
+            Ok(h) => {
+                // Reap long-finished connections' handles as we go, so the
+                // Vec tracks live connections rather than growing for the
+                // server's whole lifetime.
+                let mut workers = shared.workers.lock().unwrap();
+                workers.retain(|w| !w.is_finished());
+                workers.push(h);
+            }
             Err(_) => {
                 shared.stats.connections_active.sub(1);
                 shared.active.fetch_sub(1, Ordering::SeqCst);
@@ -311,6 +342,10 @@ struct Conn {
 
 fn serve_connection(mut stream: TcpStream, shared: Arc<ServerShared>) {
     let _ = stream.set_read_timeout(Some(TICK));
+    // Per-syscall, so a slow-but-reading client is fine (each write call
+    // makes progress); only a fully stalled TCP window trips it, erroring
+    // the worker out instead of wedging it — and shutdown — forever.
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
     let _ = stream.set_nodelay(true);
     let stats = shared.stats.clone();
     // Handshake first: anything before a valid Hello is turned away.
@@ -365,10 +400,15 @@ fn serve_connection(mut stream: TcpStream, shared: Arc<ServerShared>) {
 /// Blocking frame read that keeps ticking through read timeouts so the
 /// drain flag is noticed within one [`TICK`]. `Ok(None)` means "hang up
 /// now" (drain, EOF, or a frame error already answered on the wire).
+///
+/// The [`FrameReader`] persists across ticks: a timeout mid-frame keeps
+/// the bytes read so far and resumes, so a client whose header or payload
+/// trickles in with >[`TICK`] gaps is never desynced or disconnected.
 fn read_frame_ticking(
     stream: &mut TcpStream,
     shared: &ServerShared,
 ) -> Result<Option<(u8, Vec<u8>)>, ()> {
+    let mut reader = FrameReader::new();
     loop {
         if shared.draining.load(Ordering::SeqCst) {
             let _ = send_error(
@@ -379,7 +419,7 @@ fn read_frame_ticking(
             );
             return Ok(None);
         }
-        match read_frame(stream, shared.cfg.max_frame_bytes) {
+        match reader.read(stream, shared.cfg.max_frame_bytes) {
             Ok(frame) => return Ok(Some(frame)),
             Err(FrameError::Io(e))
                 if e.kind() == std::io::ErrorKind::WouldBlock
@@ -487,6 +527,21 @@ fn handle_prepare(
                 .is_ok();
         }
     };
+    // Each handle pins a compiled plan in server memory for the life of
+    // the connection; without a cap, looping Prepare is a trivial
+    // memory-exhaustion vector (especially with no secret configured).
+    if conn.prepared.len() >= shared.cfg.max_prepared_per_conn {
+        return send_error(
+            stream,
+            stats,
+            ErrorCode::PreparedLimit,
+            &format!(
+                "prepared-statement limit ({}) reached on this connection",
+                shared.cfg.max_prepared_per_conn
+            ),
+        )
+        .is_ok();
+    }
     match shared.instance.prepare(aql) {
         Ok(prepared) => {
             let handle = conn.next_handle.fetch_add(1, Ordering::Relaxed);

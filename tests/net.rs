@@ -273,6 +273,178 @@ fn malformed_frames_rejected_cleanly() {
     assert_eq!(instance.active_sessions(), 0);
 }
 
+fn hello_bytes() -> Vec<u8> {
+    let mut hello = Vec::new();
+    hello.extend_from_slice(&5u32.to_be_bytes());
+    hello.push(0x01);
+    hello.push(1); // protocol version
+    hello.extend_from_slice(&0u32.to_be_bytes()); // empty secret
+    hello
+}
+
+fn read_raw_frame(s: &mut TcpStream) -> (u8, Vec<u8>) {
+    let mut head = [0u8; 5];
+    s.read_exact(&mut head).unwrap();
+    let len = u32::from_be_bytes([head[0], head[1], head[2], head[3]]) as usize;
+    let mut payload = vec![0u8; len];
+    s.read_exact(&mut payload).unwrap();
+    (head[4], payload)
+}
+
+/// Regression: the server reads with a 100 ms idle tick, and frame reads
+/// must *resume* across those ticks. A client whose bytes arrive with
+/// longer gaps (normal on WAN or congested links) was previously desynced
+/// — partial header bytes were discarded on each tick — or disconnected
+/// with "truncated frame payload" when the gap fell mid-payload.
+#[test]
+fn trickling_client_survives_read_timeout_ticks() {
+    let (instance, _dir) = two_dataverse_instance();
+    let server = Server::start(Arc::clone(&instance), ServerConfig::default()).unwrap();
+    let mut s = raw_connect(server.local_addr());
+    s.set_nodelay(true).unwrap();
+
+    // Dribble the handshake one byte per 130 ms: every byte lands in a
+    // different server read tick.
+    for b in hello_bytes() {
+        s.write_all(&[b]).unwrap();
+        std::thread::sleep(Duration::from_millis(130));
+    }
+    let (op, _banner) = read_raw_frame(&mut s);
+    assert_eq!(op, 0x80, "expected Ok banner after a trickled Hello");
+
+    // An Execute frame: header trickled bytewise, payload split around a
+    // >tick pause (the old mid-payload read_exact path disconnected here).
+    let aql: &[u8] = b"use dataverse NetA; for $x in dataset Items where $x.id = 2 return $x.tag";
+    let mut head = Vec::new();
+    head.extend_from_slice(&(aql.len() as u32).to_be_bytes());
+    head.push(0x02);
+    for b in head {
+        s.write_all(&[b]).unwrap();
+        std::thread::sleep(Duration::from_millis(130));
+    }
+    let (first, second) = aql.split_at(aql.len() / 2);
+    s.write_all(first).unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+    s.write_all(second).unwrap();
+
+    let (op, payload) = read_raw_frame(&mut s);
+    assert_eq!(op, 0x81, "expected Results for the trickled Execute");
+    let results = asterix_net::proto::decode_results(&payload).unwrap();
+    let Some(WireResult::Rows(rows)) = results.last() else { panic!("expected rows") };
+    assert_eq!(rows[0].as_i64(), Some(1002), "trickled query returned wrong data");
+
+    drop(s);
+    server.shutdown();
+    assert_eq!(instance.active_sessions(), 0);
+}
+
+/// The per-connection prepared-handle map is capped: beyond
+/// `max_prepared_per_conn` the server answers `Prepare` with a typed
+/// PreparedLimit error instead of growing without bound, and the
+/// connection (and its existing handles) keep working.
+#[test]
+fn prepared_statement_cap_is_enforced() {
+    let (instance, _dir) = two_dataverse_instance();
+    let server = Server::start(
+        Arc::clone(&instance),
+        ServerConfig { max_prepared_per_conn: 2, ..ServerConfig::default() },
+    )
+    .unwrap();
+    let mut c = Client::connect(server.local_addr(), None).unwrap();
+    c.execute("use dataverse NetA").unwrap();
+    let first = c.prepare("for $x in dataset Items where $x.id = 1 return $x.tag").unwrap();
+    c.prepare("for $x in dataset Items order by $x.id return $x.id").unwrap();
+    match c.prepare("for $x in dataset Items return $x") {
+        Err(NetError::Server { code, .. }) => assert_eq!(code, ErrorCode::PreparedLimit),
+        other => panic!("expected PreparedLimit, got {other:?}"),
+    }
+    // Still a healthy connection: earlier handles execute fine.
+    let rows = c.execute_prepared(&first, &[Value::Int64(5)]).unwrap();
+    assert_eq!(rows[0].as_i64(), Some(1005));
+    c.close().unwrap();
+    server.shutdown();
+    assert_eq!(instance.active_sessions(), 0);
+}
+
+/// Regression: a client that fires a query with a large reply and then
+/// stops reading (full TCP window) used to wedge its worker in `write_all`
+/// forever — and `shutdown()`, whose post-grace drain had no deadline,
+/// with it. With a socket write timeout and a bounded abandon window,
+/// shutdown must return promptly.
+#[test]
+fn shutdown_not_wedged_by_client_that_stops_reading() {
+    let dir = tempfile::TempDir::new().unwrap();
+    let instance = Instance::open(ClusterConfig::small(dir.path().join("db"))).unwrap();
+    instance
+        .execute(
+            r#"
+        create dataverse S;
+        use dataverse S;
+        create type T as open { id: int64, pad: string };
+        create dataset Wide(T) primary key id;
+    "#,
+        )
+        .unwrap();
+    // 100 rows x 2 KiB pad: the cross join's ~20 MB reply dwarfs any
+    // loopback socket buffer, so the worker's write_all must block.
+    for start in (0..100i64).step_by(50) {
+        let objs: Vec<String> = (start..start + 50)
+            .map(|i| format!("{{ \"id\": {i}, \"pad\": \"{}\" }}", "x".repeat(2048)))
+            .collect();
+        instance
+            .execute(&format!("use dataverse S; insert into dataset Wide ([{}]);", objs.join(", ")))
+            .unwrap();
+    }
+    let server = Server::start(
+        Arc::clone(&instance),
+        ServerConfig {
+            shutdown_grace: Duration::from_millis(200),
+            write_timeout: Duration::from_millis(250),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut s = raw_connect(server.local_addr());
+    s.write_all(&hello_bytes()).unwrap();
+    let (op, _banner) = read_raw_frame(&mut s);
+    assert_eq!(op, 0x80);
+    let aql: &[u8] =
+        b"use dataverse S; for $a in dataset Wide for $b in dataset Wide return $a.pad";
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&(aql.len() as u32).to_be_bytes());
+    frame.push(0x02);
+    frame.extend_from_slice(aql);
+    s.write_all(&frame).unwrap();
+    // Never read the reply. Wait until the server starts writing it (bytes
+    // become peekable on our side), i.e. the worker left the job and is in
+    // the write path.
+    let mut peek = [0u8; 1];
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match s.peek(&mut peek) {
+            Ok(n) if n > 0 => break,
+            _ => {
+                assert!(Instant::now() < deadline, "reply never started");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+    let t0 = Instant::now();
+    server.shutdown();
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "shutdown took {:?} with a non-reading client",
+        t0.elapsed()
+    );
+    drop(s);
+    // The worker exits on its own once its write times out.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while instance.active_sessions() > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(instance.active_sessions(), 0, "wedged worker leaked its session");
+}
+
 /// Satellite: concurrent loopback soak. N clients hammer one prepared
 /// statement with rotating parameters; results stay bit-identical to the
 /// in-process reference, the plan cache keeps hitting, and after every
